@@ -1,0 +1,105 @@
+// Section 7 claim: "Tk is fast enough to instantiate relatively complex
+// applications (many tens of widgets) in a fraction of a second."
+//
+// Builds an application with a menu bar, a toolbar of buttons, a form of
+// labelled entries, a listbox+scrollbar pane and a status bar -- 60+
+// widgets -- and measures creation + layout + display time.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/tk/app.h"
+#include "src/xsim/server.h"
+
+namespace {
+
+constexpr char kComplexApp[] = R"tcl(
+  frame .menubar -relief raised -borderwidth 1
+  pack append . .menubar {top fillx}
+  foreach m {File Edit View Help} {
+    set lower [string tolower $m]
+    menubutton .menubar.$lower -text $m -menu .menu$lower
+    menu .menu$lower
+    .menu$lower add command -label "$m item 1"
+    .menu$lower add command -label "$m item 2"
+    pack append .menubar .menubar.$lower {left}
+  }
+  frame .toolbar
+  pack append . .toolbar {top fillx}
+  for {set i 0} {$i < 8} {incr i} {
+    button .toolbar.b$i -text "T$i" -command "set tool $i"
+    pack append .toolbar .toolbar.b$i {left}
+  }
+  frame .form
+  pack append . .form {top fillx}
+  foreach field {name address city state zip} {
+    frame .form.$field
+    label .form.$field.label -text $field -width 8 -anchor e
+    entry .form.$field.entry -width 24
+    pack append .form.$field .form.$field.label {left} .form.$field.entry {left expand fillx}
+    pack append .form .form.$field {top fillx}
+  }
+  frame .pane
+  pack append . .pane {top expand fill}
+  scrollbar .pane.scroll -command ".pane.list view"
+  listbox .pane.list -scroll ".pane.scroll set" -geometry 30x8
+  pack append .pane .pane.scroll {right filly} .pane.list {left expand fill}
+  for {set i 0} {$i < 40} {incr i} {
+    .pane.list insert end "row $i"
+  }
+  checkbutton .opt1 -text "Option one" -variable opt1
+  radiobutton .opt2 -text "Mode A" -variable mode -value a
+  radiobutton .opt3 -text "Mode B" -variable mode -value b
+  scale .volume -from 0 -to 100 -label Volume
+  pack append . .opt1 {top} .opt2 {top} .opt3 {top} .volume {top fillx}
+  label .status -text Ready -relief sunken -anchor w
+  pack append . .status {bottom fillx}
+)tcl";
+
+void BM_ComplexAppStartup(benchmark::State& state) {
+  xsim::Server server;
+  for (auto _ : state) {
+    tk::App app(server, "complex");
+    if (app.interp().Eval(kComplexApp) != tcl::Code::kOk) {
+      state.SkipWithError(app.interp().result().c_str());
+      return;
+    }
+    app.Update();
+  }
+}
+BENCHMARK(BM_ComplexAppStartup)->Unit(benchmark::kMillisecond);
+
+void PrintWidgetCount() {
+  xsim::Server server;
+  tk::App app(server, "complex");
+  if (app.interp().Eval(kComplexApp) != tcl::Code::kOk) {
+    std::fprintf(stderr, "error: %s\n", app.interp().result().c_str());
+    return;
+  }
+  app.Update();
+  auto start = std::chrono::steady_clock::now();
+  {
+    tk::App timed(server, "timed");
+    timed.interp().Eval(kComplexApp);
+    timed.Update();
+  }
+  double ms = std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - start)
+                  .count() /
+              1000.0;
+  std::printf("\nSection 7 claim check: application with %zu widgets instantiated,\n"
+              "laid out, displayed and destroyed in %.2f ms (\"fraction of a second\": "
+              "%s)\n",
+              app.WidgetPaths().size(), ms, ms < 250 ? "HOLDS" : "FAILS");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  PrintWidgetCount();
+  return 0;
+}

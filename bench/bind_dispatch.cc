@@ -1,0 +1,75 @@
+// Ablation: event-dispatch cost as the binding table grows.
+//
+// Tk matches every incoming event against the widget's and its class's
+// binding lists (Section 3.2).  This bench measures dispatch latency as a
+// function of the number of bindings on a widget, and the cost of
+// %-substitution.
+
+#include <benchmark/benchmark.h>
+
+#include "src/tk/app.h"
+#include "src/tk/bind.h"
+#include "src/tk/widget.h"
+#include "src/xsim/server.h"
+
+namespace {
+
+void BM_DispatchVsBindingCount(benchmark::State& state) {
+  xsim::Server server;
+  tk::App app(server, "bench");
+  app.interp().Eval("frame .f -geometry 50x50");
+  app.interp().Eval("pack append . .f {top}");
+  // N distinct key bindings plus the one we trigger.
+  for (int i = 0; i < state.range(0); ++i) {
+    char key = static_cast<char>('a' + (i % 26));
+    std::string mods = i / 26 == 0 ? "" : "Control-";
+    app.interp().Eval("bind .f <" + mods + std::string(1, key) + "> {set x " +
+                      std::to_string(i) + "}");
+  }
+  app.interp().Eval("bind .f <Enter> {set hits 1}");
+  app.Update();
+  xsim::Event event;
+  event.type = xsim::EventType::kEnterNotify;
+  event.window = app.FindWidget(".f")->window();
+  for (auto _ : state) {
+    app.DispatchEvent(event);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DispatchVsBindingCount)->Range(1, 64)->Complexity(benchmark::oN);
+
+void BM_PercentSubstitution(benchmark::State& state) {
+  xsim::Event event;
+  event.type = xsim::EventType::kButtonPress;
+  event.x = 42;
+  event.y = 17;
+  event.detail = 1;
+  std::string script = "handle %W %x %y %b %s";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tk::ExpandPercents(script, event, ".canvas"));
+  }
+}
+BENCHMARK(BM_PercentSubstitution);
+
+void BM_FullClickDispatch(benchmark::State& state) {
+  // End to end: injected click -> server routing -> widget handler ->
+  // binding match -> Tcl execution.
+  xsim::Server server;
+  tk::App app(server, "bench");
+  app.interp().Eval("set clicks 0");
+  app.interp().Eval("frame .f -geometry 50x50");
+  app.interp().Eval("pack append . .f {top}");
+  app.interp().Eval("bind .f <Button-1> {incr clicks}");
+  app.Update();
+  server.InjectPointerMove(25, 25);
+  app.Update();
+  for (auto _ : state) {
+    server.InjectClick(1);
+    app.Update();
+  }
+}
+BENCHMARK(BM_FullClickDispatch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Figure 8 of the paper: geometry management.
+//
+// Four windows A-D with requested sizes are packed all-in-a-column into a
+// parent too small to honour every request.  The figure shows window C
+// receiving less width than requested and window D less height.  This
+// harness reproduces the scenario and prints requested vs assigned geometry
+// for each window, then verifies the squeeze pattern.
+
+#include <cstdio>
+
+#include "src/tk/app.h"
+#include "src/tk/widget.h"
+#include "src/xsim/server.h"
+
+int main() {
+  xsim::Server server;
+  tk::App app(server, "fig8");
+  tcl::Interp& interp = app.interp();
+
+  interp.Eval(R"tcl(
+    frame .parent -geometry 100x120
+    frame .parent.a -geometry 60x30
+    frame .parent.b -geometry 40x30
+    frame .parent.c -geometry 140x30
+    frame .parent.d -geometry 60x60
+    pack append . .parent {top}
+    pack propagate .parent 0
+    pack append .parent .parent.a top .parent.b top .parent.c top .parent.d top
+  )tcl");
+  app.Update();
+
+  std::printf("Figure 8 reproduction: all-in-a-column packing into a 100x120 parent\n\n");
+  std::printf("  %-8s %12s %12s %8s\n", "window", "requested", "assigned", "squeezed");
+  struct Expect {
+    const char* path;
+    const char* label;
+  };
+  const Expect windows[] = {
+      {".parent.a", "A"}, {".parent.b", "B"}, {".parent.c", "C"}, {".parent.d", "D"}};
+  bool c_squeezed_width = false;
+  bool d_squeezed_height = false;
+  for (const Expect& w : windows) {
+    tk::Widget* widget = app.FindWidget(w.path);
+    bool squeezed =
+        widget->width() < widget->req_width() || widget->height() < widget->req_height();
+    std::printf("  %-8s %7dx%-4d %7dx%-4d %8s\n", w.label, widget->req_width(),
+                widget->req_height(), widget->width(), widget->height(),
+                squeezed ? "yes" : "no");
+    if (w.label[0] == 'C') {
+      c_squeezed_width = widget->width() < widget->req_width() &&
+                         widget->height() == widget->req_height();
+    }
+    if (w.label[0] == 'D') {
+      d_squeezed_height = widget->height() < widget->req_height() &&
+                          widget->width() == widget->req_width();
+    }
+  }
+  std::printf("\n  Figure's pattern -- C loses width, D loses height: %s\n",
+              c_squeezed_width && d_squeezed_height ? "REPRODUCED" : "FAILED");
+  std::printf("\n  layout (parent-relative):\n");
+  for (const Expect& w : windows) {
+    tk::Widget* widget = app.FindWidget(w.path);
+    std::printf("    %s at +%d+%d\n", w.label, widget->x(), widget->y());
+  }
+  return c_squeezed_width && d_squeezed_height ? 0 : 1;
+}

@@ -1,0 +1,80 @@
+// Ablation: packer layout cost vs number of slaves, and the cost of the
+// request-propagation chain (Section 3.4).
+//
+// Geometry management runs on every widget size change; the paper's design
+// deliberately recomputes a parent's layout from its full slave list.  This
+// bench measures one Arrange pass as the slave count grows, plus the cost of
+// a full propagate-and-relayout wave triggered by changing one label deep in
+// a nested hierarchy.
+
+#include <benchmark/benchmark.h>
+
+#include "src/tk/app.h"
+#include "src/tk/pack.h"
+#include "src/tk/widget.h"
+#include "src/xsim/server.h"
+
+namespace {
+
+void BM_ArrangeVsSlaveCount(benchmark::State& state) {
+  xsim::Server server;
+  tk::App app(server, "pack");
+  app.interp().Eval("frame .col");
+  app.interp().Eval("pack append . .col {top}");
+  for (int i = 0; i < state.range(0); ++i) {
+    std::string path = ".col.w" + std::to_string(i);
+    app.interp().Eval("frame " + path + " -geometry 40x10");
+    app.interp().Eval("pack append .col " + path + " top");
+  }
+  app.Update();
+  tk::Widget* col = app.FindWidget(".col");
+  for (auto _ : state) {
+    app.packer().Arrange(col);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ArrangeVsSlaveCount)->Range(2, 128)->Complexity(benchmark::oN);
+
+void BM_DeepPropagation(benchmark::State& state) {
+  // A chain of nested frames; resizing the innermost label must propagate
+  // requested sizes to the top and re-arrange every level.
+  xsim::Server server;
+  tk::App app(server, "deep");
+  std::string path;
+  for (int depth = 0; depth < state.range(0); ++depth) {
+    std::string child = path + ".f";
+    app.interp().Eval("frame " + child);
+    app.interp().Eval("pack append " + (path.empty() ? "." : path) + " " + child + " {top}");
+    path = child;
+  }
+  app.interp().Eval("label " + path + ".leaf -text x");
+  app.interp().Eval("pack append " + path + " " + path + ".leaf top");
+  app.Update();
+  int flip = 0;
+  for (auto _ : state) {
+    app.interp().Eval(path + ".leaf configure -text " +
+                      (flip++ % 2 == 0 ? "wide-wide-wide" : "x"));
+    app.Update();
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DeepPropagation)->Range(2, 16)->Complexity(benchmark::oN);
+
+void BM_RepackChurn(benchmark::State& state) {
+  // Repeatedly unpack + repack (menu-like dynamic interfaces).
+  xsim::Server server;
+  tk::App app(server, "churn");
+  app.interp().Eval("frame .a -geometry 20x20; frame .b -geometry 20x20");
+  app.interp().Eval("pack append . .a {top} .b {top}");
+  app.Update();
+  for (auto _ : state) {
+    app.interp().Eval("pack unpack .a");
+    app.interp().Eval("pack append . .a {top}");
+    app.Update();
+  }
+}
+BENCHMARK(BM_RepackChurn);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,113 @@
+// Ablation: the cost of Tcl's everything-is-a-string design (Section 2).
+//
+// "There is only one official data type in Tcl: strings ... whenever
+// information is passed from one place to another it is as a string."  This
+// bench quantifies what that costs (and what stays cheap) by timing the
+// interpreter on scripts that stress different paths: plain command
+// dispatch, substitution, expression evaluation, list re-parsing, and
+// procedure calls.  Supports the Section 7 claim that "the Tcl interpreter
+// is fast enough to execute many hundreds of Tcl commands within a human
+// response time".
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "src/tcl/interp.h"
+
+namespace {
+
+void BM_CommandDispatch(benchmark::State& state) {
+  tcl::Interp interp;
+  for (auto _ : state) {
+    interp.Eval("set a 1");
+  }
+}
+BENCHMARK(BM_CommandDispatch);
+
+void BM_VariableSubstitution(benchmark::State& state) {
+  tcl::Interp interp;
+  interp.Eval("set x hello; set y world");
+  for (auto _ : state) {
+    interp.Eval("set z \"$x $y $x $y\"");
+  }
+}
+BENCHMARK(BM_VariableSubstitution);
+
+void BM_CommandSubstitution(benchmark::State& state) {
+  tcl::Interp interp;
+  for (auto _ : state) {
+    interp.Eval("set z [format %d [expr 1+2]]");
+  }
+}
+BENCHMARK(BM_CommandSubstitution);
+
+void BM_ExprArithmetic(benchmark::State& state) {
+  tcl::Interp interp;
+  interp.Eval("set n 17");
+  for (auto _ : state) {
+    interp.Eval("expr {($n * 3 + 1) % 10 < 5 && $n != 0}");
+  }
+}
+BENCHMARK(BM_ExprArithmetic);
+
+// The string-design tax: every lindex re-parses the entire list.
+void BM_ListReparse(benchmark::State& state) {
+  tcl::Interp interp;
+  interp.Eval("set l {}");
+  for (int i = 0; i < state.range(0); ++i) {
+    interp.Eval("lappend l element" + std::to_string(i));
+  }
+  for (auto _ : state) {
+    interp.Eval("lindex $l " + std::to_string(state.range(0) - 1));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ListReparse)->Range(8, 512)->Complexity(benchmark::oN);
+
+void BM_ProcCall(benchmark::State& state) {
+  tcl::Interp interp;
+  interp.Eval("proc add {a b} {expr $a+$b}");
+  for (auto _ : state) {
+    interp.Eval("add 3 4");
+  }
+}
+BENCHMARK(BM_ProcCall);
+
+void BM_ForeachLoop(benchmark::State& state) {
+  tcl::Interp interp;
+  interp.Eval("set l {a b c d e f g h i j}");
+  for (auto _ : state) {
+    interp.Eval("foreach x $l {set y $x}");
+  }
+}
+BENCHMARK(BM_ForeachLoop);
+
+void PrintHumanResponseCheck() {
+  tcl::Interp interp;
+  interp.Eval("proc work {} {set sum 0; for {set i 0} {$i<100} {incr i} "
+              "{incr sum $i}; return $sum}");
+  auto start = std::chrono::steady_clock::now();
+  interp.Eval("work");
+  double ms = std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - start)
+                  .count() /
+              1000.0;
+  uint64_t commands = interp.command_count();
+  std::printf("\nSection 7 claim check: a %llu-command script ran in %.3f ms\n",
+              static_cast<unsigned long long>(commands), ms);
+  std::printf("(\"many hundreds of Tcl commands within a human response time\" of "
+              "~100 ms: %s)\n",
+              ms < 100.0 ? "HOLDS" : "FAILS");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  PrintHumanResponseCheck();
+  return 0;
+}

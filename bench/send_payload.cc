@@ -1,0 +1,102 @@
+// Ablation: send latency vs command size and vs direct evaluation.
+//
+// Section 7 reports "the send command currently takes a few tens of
+// milliseconds" and argues that is fast enough to forward live mouse-paint
+// traffic between applications.  This bench measures the full protocol
+// (registry lookup, property write, remote dispatch, reply property) for a
+// range of payload sizes, plus the paint-forwarding scenario itself.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/tk/app.h"
+#include "src/xsim/server.h"
+
+namespace {
+
+void BM_SendPayload(benchmark::State& state) {
+  xsim::Server server;
+  tk::App sender(server, "sender");
+  tk::App receiver(server, "receiver");
+  receiver.interp().Eval("proc sink {args} {return ok}");
+  std::string payload(state.range(0), 'x');
+  std::string script = "send receiver {sink {" + payload + "}}";
+  for (auto _ : state) {
+    sender.interp().Eval(script);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SendPayload)->Range(1, 1 << 14);
+
+void BM_LocalEvalBaseline(benchmark::State& state) {
+  // The same command evaluated locally: the difference is the protocol cost.
+  xsim::Server server;
+  tk::App app(server, "local");
+  app.interp().Eval("proc sink {args} {return ok}");
+  std::string payload(state.range(0), 'x');
+  std::string script = "sink {" + payload + "}";
+  for (auto _ : state) {
+    app.interp().Eval(script);
+  }
+}
+BENCHMARK(BM_LocalEvalBaseline)->Range(1, 1 << 14);
+
+// Section 7's scenario: mouse motion in one application forwarded through
+// Tcl bindings + send to a painter application in another "process".
+void BM_RemotePaintStroke(benchmark::State& state) {
+  xsim::Server server;
+  tk::App input(server, "input");
+  tk::App painter(server, "painter");
+  painter.interp().Eval("set strokes 0; proc paint {x y} {global strokes; incr strokes}");
+  input.interp().Eval("frame .canvas -geometry 200x200");
+  input.interp().Eval("pack append . .canvas {top}");
+  input.interp().Eval("bind .canvas <B1-Motion> {send painter {paint %x %y}}");
+  input.Update();
+  int x = 10;
+  for (auto _ : state) {
+    // One motion event -> binding fires -> send -> remote paint.
+    server.InjectPointerMove(20 + (x % 150), 30);
+    if (x == 10) {
+      server.InjectButton(1, true);
+    }
+    ++x;
+    input.Update();
+  }
+  server.InjectButton(1, false);
+}
+BENCHMARK(BM_RemotePaintStroke)->Unit(benchmark::kMicrosecond);
+
+void PrintPaintCheck() {
+  xsim::Server server;
+  tk::App input(server, "input");
+  tk::App painter(server, "painter");
+  painter.interp().Eval("set strokes 0; proc paint {x y} {global strokes; incr strokes}");
+  input.interp().Eval("frame .canvas -geometry 200x200");
+  input.interp().Eval("pack append . .canvas {top}");
+  input.interp().Eval("bind .canvas <B1-Motion> {send painter {paint %x %y}}");
+  input.Update();
+  server.InjectPointerMove(50, 50);
+  server.InjectButton(1, true);
+  for (int i = 0; i < 100; ++i) {
+    server.InjectPointerMove(50 + i, 50);
+    input.Update();
+  }
+  server.InjectButton(1, false);
+  painter.interp().Eval("set strokes");
+  std::printf("\nSection 7 paint-forwarding check: 100 mouse motions produced %s remote\n"
+              "paint calls via bind + %% substitution + send (paper: \"no noticeable\n"
+              "time lag\" at 15 ms/send on 1990 hardware)\n",
+              painter.interp().result().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  PrintPaintCheck();
+  return 0;
+}

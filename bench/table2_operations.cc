@@ -1,0 +1,127 @@
+// Table II of the paper: execution times for selected operations.
+//
+//   | Operation                           | Paper (DS3100) |
+//   |-------------------------------------|----------------|
+//   | Simple Tcl command (set a 1)        | 68 us          |
+//   | Send empty command                  | 15 ms          |
+//   | Create, display, delete 50 buttons  | 440 ms         |
+//
+// The absolute numbers here come from a modern machine and an in-process
+// display, so they are orders of magnitude smaller; the *shape* -- each row
+// roughly 100-1000x the previous one -- is the reproduced result.  Both the
+// google-benchmark measurements and a paper-style summary table are printed.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "src/tk/app.h"
+#include "src/xsim/server.h"
+
+namespace {
+
+void BM_SimpleTclCommand(benchmark::State& state) {
+  tcl::Interp interp;
+  for (auto _ : state) {
+    interp.Eval("set a 1");
+    benchmark::DoNotOptimize(interp.result());
+  }
+}
+BENCHMARK(BM_SimpleTclCommand);
+
+void BM_SendEmptyCommand(benchmark::State& state) {
+  xsim::Server server;
+  tk::App sender(server, "sender");
+  tk::App receiver(server, "receiver");
+  for (auto _ : state) {
+    sender.interp().Eval("send receiver {}");
+  }
+}
+BENCHMARK(BM_SendEmptyCommand);
+
+void BM_Create50Buttons(benchmark::State& state) {
+  xsim::Server server;
+  for (auto _ : state) {
+    tk::App app(server, "buttons");
+    for (int i = 0; i < 50; ++i) {
+      app.interp().Eval("button .b" + std::to_string(i) + " -text Button" +
+                        std::to_string(i));
+      app.interp().Eval("pack append . .b" + std::to_string(i) + " {top}");
+    }
+    app.Update();  // Display: layout + draw everything.
+    for (int i = 0; i < 50; ++i) {
+      app.interp().Eval("destroy .b" + std::to_string(i));
+    }
+    app.Update();
+  }
+}
+BENCHMARK(BM_Create50Buttons)->Unit(benchmark::kMillisecond);
+
+// One-shot wall-clock measurement for the paper-style summary.
+template <typename Fn>
+double MeasureUs(int iterations, Fn&& fn) {
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iterations; ++i) {
+    fn();
+  }
+  auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  return static_cast<double>(elapsed) / iterations / 1000.0;
+}
+
+void PrintPaperTable() {
+  double set_us = 0;
+  {
+    tcl::Interp interp;
+    set_us = MeasureUs(20000, [&]() { interp.Eval("set a 1"); });
+  }
+  double send_us = 0;
+  {
+    xsim::Server server;
+    tk::App sender(server, "sender");
+    tk::App receiver(server, "receiver");
+    send_us = MeasureUs(2000, [&]() { sender.interp().Eval("send receiver {}"); });
+  }
+  double buttons_us = 0;
+  {
+    xsim::Server server;
+    buttons_us = MeasureUs(20, [&]() {
+      tk::App app(server, "buttons");
+      for (int i = 0; i < 50; ++i) {
+        app.interp().Eval("button .b" + std::to_string(i) + " -text B" + std::to_string(i));
+        app.interp().Eval("pack append . .b" + std::to_string(i) + " {top}");
+      }
+      app.Update();
+      for (int i = 0; i < 50; ++i) {
+        app.interp().Eval("destroy .b" + std::to_string(i));
+      }
+      app.Update();
+    });
+  }
+  std::printf("\nTable II reproduction (paper: DECstation 3100 / Ultrix / X11R4;\n");
+  std::printf("here: this machine / xsim in-process display)\n\n");
+  std::printf("  %-38s %12s %14s %10s\n", "Operation", "Paper", "Measured", "Ratio");
+  auto row = [](const char* name, double paper_us, double measured_us) {
+    std::printf("  %-38s %9.0f us %11.2f us %9.0fx\n", name, paper_us, measured_us,
+                paper_us / measured_us);
+  };
+  row("Simple Tcl command (set a 1)", 68, set_us);
+  row("Send empty command", 15000, send_us);
+  row("Create, display, delete 50 buttons", 440000, buttons_us);
+  std::printf("\n  Shape check: send/set = %.0fx (paper: %.0fx), buttons/send = %.1fx "
+              "(paper: %.1fx)\n",
+              send_us / set_us, 15000.0 / 68.0, buttons_us / send_us, 440.0 / 15.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  PrintPaperTable();
+  return 0;
+}

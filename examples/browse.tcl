@@ -1,0 +1,49 @@
+# A simple directory browser -- Figure 9 of the paper, adapted only where
+# the 1990 environment differed (`mx` editor -> `viewer` proc that opens a
+# label window; recursive browse spawns a window instead of a process).
+#
+# Run with:  wish -f browse.tcl ?dir? -dump
+
+scrollbar .scroll -command ".list view"
+listbox .list -scroll ".scroll set" -relief raised -geometry 20x20
+pack append . .scroll {right filly} .list {left expand fill}
+
+proc browse {dir file} {
+    if {[string compare $dir "."] != 0} {set file $dir/$file}
+    if [file $file isdirectory] {
+        # The original runs `exec sh -c "browse $file &"`; with a simulated
+        # display we open the subdirectory in this browser instead.
+        .list delete 0 end
+        foreach i [exec ls -a $file] {
+            .list insert end $i
+        }
+        global current_dir
+        set current_dir $file
+    } else {
+        if [file $file isfile] {
+            viewer $file
+        } else {
+            print "$file isn't a directory or regular file\n"
+        }
+    }
+}
+
+# Stand-in for the mx editor: shows the file name in a popup frame.
+proc viewer {file} {
+    set w .view
+    catch {destroy $w}
+    frame $w -relief raised -borderwidth 2
+    label $w.title -text "viewing: $file"
+    button $w.dismiss -text Dismiss -command "destroy $w"
+    pack append $w $w.title {top} $w.dismiss {bottom}
+    pack append . $w {bottom fillx}
+}
+
+if $argc>0 {set dir [index $argv 0]} else {set dir "."}
+set current_dir $dir
+foreach i [exec ls -a $dir] {
+    .list insert end $i
+}
+
+bind .list <space> {foreach i [selection get] {browse $current_dir $i}}
+bind .list <Control-q> {destroy .}

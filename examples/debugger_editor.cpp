@@ -1,0 +1,109 @@
+// Two cooperating applications (Section 6 of the paper): a "debugger" and an
+// "editor" built as separate programs that control each other with `send`.
+//
+// The paper: "The debugger can send commands to the editor to highlight the
+// current line of execution, and the editor can send commands to the
+// debugger to print the contents of a selected variable or set a breakpoint
+// at a selected line."  Both directions are demonstrated below.
+
+#include <cstdio>
+
+#include "src/tk/app.h"
+#include "src/xsim/server.h"
+
+namespace {
+
+tcl::Code Eval(tk::App& app, const std::string& script) {
+  tcl::Code code = app.interp().Eval(script);
+  if (code != tcl::Code::kOk) {
+    std::fprintf(stderr, "[%s] error: %s\n", app.name().c_str(),
+                 app.interp().result().c_str());
+  }
+  return code;
+}
+
+}  // namespace
+
+int main() {
+  xsim::Server server;
+
+  // --- The editor: a listbox of source lines. ------------------------------
+  tk::App editor(server, "editor");
+  Eval(editor, R"tcl(
+    listbox .code -geometry 40x10
+    scrollbar .s -command ".code view"
+    pack append . .s {right filly} .code {left expand fill}
+    foreach line {
+      {int fib(int n) (}
+      {  if (n < 2) return n;}
+      {  return fib(n-1) + fib(n-2);}
+      {)}
+    } {.code insert end $line}
+    proc highlight {line} {
+      .code select from $line
+      .code select to $line
+    }
+    # Editor-side command: ask the debugger for a breakpoint on the line the
+    # user selected.
+    proc break_here {} {
+      send debugger "set_breakpoint [lindex [.code curselection] 0]"
+    }
+  )tcl");
+
+  // --- The debugger: breakpoint state + a status label. --------------------
+  tk::App debugger(server, "debugger");
+  Eval(debugger, R"tcl(
+    set breakpoints {}
+    label .status -textvariable status
+    pack append . .status {top fillx}
+    proc set_breakpoint {line} {
+      global breakpoints status
+      lappend breakpoints $line
+      set status "breakpoints: $breakpoints"
+      return $line
+    }
+    # Debugger-side command: step to a line and highlight it in the editor.
+    proc step_to {line} {
+      global status
+      set status "stopped at line $line"
+      send editor "highlight $line"
+    }
+  )tcl");
+
+  std::printf("registered interpreters:");
+  Eval(editor, "winfo interps");
+  std::printf(" %s\n", editor.interp().result().c_str());
+
+  // Debugger drives the editor.
+  std::printf("\ndebugger: step_to 2\n");
+  Eval(debugger, "step_to 2");
+  Eval(editor, ".code curselection");
+  std::printf("editor highlight is now on line: %s\n", editor.interp().result().c_str());
+
+  // Editor drives the debugger.
+  std::printf("\neditor: user selects line 1 and requests a breakpoint\n");
+  Eval(editor, ".code select from 1");
+  Eval(editor, "break_here");
+  Eval(debugger, "set breakpoints");
+  std::printf("debugger breakpoints: %s\n", debugger.interp().result().c_str());
+  Eval(debugger, "set status");
+  std::printf("debugger status label: %s\n", debugger.interp().result().c_str());
+
+  // Remote interface surgery (the interface-editor idea from Section 6):
+  // the editor grows a "Run" button installed *by the debugger*.
+  std::printf("\ndebugger installs a Run button inside the editor\n");
+  Eval(debugger,
+       "send editor {button .run -text Run -command {send debugger {step_to 0}};"
+       " pack append . .run {bottom fillx}}");
+  Eval(editor, "winfo class .run");
+  std::printf("editor now has a widget .run of class: %s\n",
+              editor.interp().result().c_str());
+  Eval(editor, ".run invoke");
+  Eval(debugger, "set status");
+  std::printf("after pressing it, debugger status: %s\n",
+              debugger.interp().result().c_str());
+
+  bool ok = debugger.interp().result() == "stopped at line 0";
+  std::printf("\n%s\n", ok ? "cooperating tools demo complete" : "FAILED");
+  return ok ? 0 : 1;
+}

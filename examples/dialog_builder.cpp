@@ -1,0 +1,80 @@
+// Dynamic interface construction (Section 5 of the paper).
+//
+// "Tk contains no special support for dialog boxes.  The basic commands for
+// creating and arranging widgets are already sufficient": this example
+// defines a reusable `dialog` procedure in pure Tcl, pops up a confirmation
+// dialog at runtime, answers it with synthetic input, and tears it down --
+// no C code specific to dialogs anywhere.
+
+#include <cstdio>
+
+#include "src/tk/app.h"
+#include "src/tk/widget.h"
+#include "src/xsim/server.h"
+
+int main() {
+  xsim::Server server;
+  tk::App app(server, "dialog-demo");
+  tcl::Interp& interp = app.interp();
+
+  tcl::Code code = interp.Eval(R"tcl(
+    # dialog: builds a message + row of buttons, waits for an answer.
+    # Returns the index of the button pressed.
+    proc dialog {w msg args} {
+      catch {destroy $w}
+      frame $w -relief raised -borderwidth 2
+      message $w.msg -text $msg -width 200
+      pack append $w $w.msg {top fillx}
+      frame $w.buttons
+      pack append $w $w.buttons {bottom fillx}
+      set i 0
+      foreach label $args {
+        button $w.buttons.b$i -text $label -command "set dialog_answer $i"
+        pack append $w.buttons $w.buttons.b$i {left expand}
+        incr i
+      }
+      pack append . $w {top fillx}
+      global dialog_answer
+      tkwait variable dialog_answer
+      destroy $w
+      return $dialog_answer
+    }
+
+    label .doc -text "document: untitled"
+    pack append . .doc {top fillx}
+  )tcl");
+  if (code != tcl::Code::kOk) {
+    std::fprintf(stderr, "setup failed: %s\n", interp.result().c_str());
+    return 1;
+  }
+  app.Update();
+
+  // Pop the dialog "in the background": schedule the user's click to happen
+  // once the dialog exists, then call the (blocking) dialog proc.
+  interp.Eval(R"tcl(
+    after 1 {
+      # The simulated user presses the middle button ("Save").
+      .confirm.buttons.b1 invoke
+    }
+  )tcl");
+  code = interp.Eval("dialog .confirm {Save changes to untitled?} Discard Save Cancel");
+  if (code != tcl::Code::kOk) {
+    std::fprintf(stderr, "dialog failed: %s\n", interp.result().c_str());
+    return 1;
+  }
+  std::string answer = interp.result();
+  std::printf("dialog answered with button index: %s (%s)\n", answer.c_str(),
+              answer == "1" ? "Save" : "?");
+
+  // The dialog destroyed itself.
+  app.Update();
+  std::printf("dialog window still exists: %s\n",
+              app.FindWidget(".confirm") != nullptr ? "yes" : "no");
+
+  // Section 5 again: rearrange the interface at runtime -- move the
+  // document label from the top to the bottom.
+  interp.Eval("pack unpack .doc; pack append . .doc {bottom fillx}");
+  app.Update();
+  std::printf("document label moved to the bottom of the window\n");
+  return answer == "1" && app.FindWidget(".confirm") == nullptr ? 0 : 1;
+}

@@ -1,0 +1,105 @@
+// Hypertext with embedded Tcl commands (Section 6 of the paper).
+//
+// "A hypertext system can be implemented by associating Tcl commands with
+// pieces of text or graphics in an editor; when a mouse button is clicked
+// over an item then the associated commands are executed.  A 'link' can be
+// produced by writing a Tcl command that opens a new view."
+//
+// Here each "document" is a column of labels; links carry a Tcl command in
+// their binding.  A hypermedia-style link sends a `play` command to a
+// separate "audio" application, exactly as the paper sketches.
+
+#include <cstdio>
+
+#include "src/tk/app.h"
+#include "src/tk/widget.h"
+#include "src/xsim/server.h"
+
+int main() {
+  xsim::Server server;
+
+  // A second application standing in for an audio/video player.
+  tk::App player(server, "player");
+  player.interp().Eval(R"tcl(
+    set playing none
+    proc play {clip} {global playing; set playing $clip; return "playing $clip"}
+  )tcl");
+
+  tk::App doc(server, "hyperdoc");
+  tcl::Interp& interp = doc.interp();
+  tcl::Code code = interp.Eval(R"tcl(
+    # show_page: renders a page as labels; entries of the form
+    # {text command} become live links.
+    proc show_page {name lines} {
+      catch {destroy .page}
+      frame .page
+      pack append . .page {top fillx}
+      set i 0
+      foreach line $lines {
+        set text [lindex $line 0]
+        set action [lindex $line 1]
+        label .page.l$i -text $text -anchor w
+        pack append .page .page.l$i {top fillx}
+        if {$action != ""} {
+          .page.l$i configure -fg blue
+          bind .page.l$i <Button-1> $action
+        }
+        incr i
+      }
+      global current_page
+      set current_page $name
+    }
+
+    proc goto {page} {
+      global pages
+      show_page $page $pages($page)
+    }
+
+    set pages(home) {
+      {{Welcome to the Tk hypertext demo} {}}
+      {{-> About Tk}            {goto about}}
+      {{-> Play the fanfare}    {send player {play fanfare.au}}}
+    }
+    set pages(about) {
+      {{Tk is an X11 toolkit based on Tcl.} {}}
+      {{-> Back home}           {goto home}}
+    }
+    goto home
+  )tcl");
+  if (code != tcl::Code::kOk) {
+    std::fprintf(stderr, "setup failed: %s\n", interp.result().c_str());
+    return 1;
+  }
+  doc.Update();
+
+  auto click = [&](const std::string& path) {
+    tk::Widget* w = doc.FindWidget(path);
+    if (w == nullptr) {
+      std::fprintf(stderr, "no widget %s\n", path.c_str());
+      return;
+    }
+    std::optional<xsim::Point> abs = server.AbsolutePosition(w->window());
+    server.InjectPointerMove(abs->x + 4, abs->y + w->height() / 2);
+    server.InjectClick(1);
+    doc.Update();
+  };
+
+  interp.Eval("set current_page");
+  std::printf("page: %s\n", interp.result().c_str());
+
+  // Follow the "About" link.
+  click(".page.l1");
+  interp.Eval("set current_page");
+  std::printf("after clicking link 1, page: %s\n", interp.result().c_str());
+
+  // Go back, then trigger the hypermedia link that sends to the player app.
+  click(".page.l1");
+  interp.Eval("set current_page");
+  std::printf("after clicking back, page: %s\n", interp.result().c_str());
+
+  click(".page.l2");
+  player.interp().Eval("set playing");
+  std::printf("player is now playing: %s\n", player.interp().result().c_str());
+
+  return player.interp().result() == "fanfare.au" ? 0 : 1;
+}

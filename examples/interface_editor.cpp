@@ -1,0 +1,128 @@
+// An interface editor working on a *live* application (Section 6).
+//
+// "With Tk and send it becomes possible for an interface editor to work on
+// live applications, using send to query and modify the application's
+// interface.  ... When a satisfactory interface has been created, the
+// interface editor can produce a Tcl command file for the application to
+// read at startup time."
+//
+// The editor below never links against the target application: it discovers
+// the widget tree with `winfo` over send, edits options with remote
+// `configure`, tries the result immediately (the button still works), and
+// finally emits a startup script reproducing the edited interface.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/tcl/list.h"
+#include "src/tk/app.h"
+#include "src/xsim/server.h"
+
+namespace {
+
+std::string RemoteEval(tk::App& editor, const std::string& script) {
+  if (editor.interp().Eval("send target {" + script + "}") != tcl::Code::kOk) {
+    std::fprintf(stderr, "remote error: %s\n", editor.interp().result().c_str());
+    return "";
+  }
+  return editor.interp().result();
+}
+
+// Recursively collects the remote widget tree.
+void CollectTree(tk::App& editor, const std::string& path, std::vector<std::string>* out) {
+  out->push_back(path);
+  std::string children = RemoteEval(editor, "winfo children " + path);
+  std::optional<std::vector<std::string>> list = tcl::SplitList(children, nullptr);
+  if (!list) {
+    return;
+  }
+  for (const std::string& child : *list) {
+    CollectTree(editor, child, out);
+  }
+}
+
+}  // namespace
+
+int main() {
+  xsim::Server server;
+
+  // The target application: a small form, knowing nothing about editors.
+  tk::App target(server, "target");
+  target.interp().Eval(R"tcl(
+    label .title -text "Order form"
+    entry .qty -width 8
+    button .submit -text Submit -command {set submitted [.qty get]}
+    pack append . .title {top fillx} .qty {top} .submit {bottom}
+  )tcl");
+  target.Update();
+
+  // The interface editor: a separate application on the same display.
+  tk::App editor(server, "editor");
+
+  std::printf("live applications on the display: ");
+  editor.interp().Eval("winfo interps");
+  std::printf("%s\n\n", editor.interp().result().c_str());
+
+  // 1. Discover the target's widget tree remotely.
+  std::vector<std::string> tree;
+  CollectTree(editor, ".", &tree);
+  std::printf("discovered target interface:\n");
+  for (const std::string& path : tree) {
+    if (path == ".") {
+      continue;
+    }
+    std::string clazz = RemoteEval(editor, "winfo class " + path);
+    std::string geometry = RemoteEval(editor, "winfo geometry " + path);
+    std::printf("  %-10s %-10s %s\n", path.c_str(), clazz.c_str(), geometry.c_str());
+  }
+
+  // 2. Edit the live interface: recolor the title, relabel the button.
+  std::printf("\nediting the live interface...\n");
+  RemoteEval(editor, ".title configure -bg gold");
+  RemoteEval(editor, ".submit configure -text {Place order}");
+  target.Update();
+
+  // 3. Try it out under real-life conditions -- the edited button still
+  //    carries the application's own behaviour.
+  RemoteEval(editor, ".qty insert 0 12");
+  RemoteEval(editor, ".submit invoke");
+  target.interp().Eval("set submitted");
+  std::printf("pressed the edited button; target received order qty: %s\n",
+              target.interp().result().c_str());
+
+  // 4. Produce the startup script (the "Tcl command file for the
+  //    application to read at startup time").
+  std::printf("\ngenerated startup script:\n");
+  std::string script;
+  for (const std::string& path : tree) {
+    if (path == ".") {
+      continue;
+    }
+    // For each widget, keep the options that differ from their defaults.
+    std::string config = RemoteEval(editor, path + " configure");
+    std::optional<std::vector<std::string>> options = tcl::SplitList(config, nullptr);
+    if (!options) {
+      continue;
+    }
+    std::string line;
+    for (const std::string& record : *options) {
+      std::optional<std::vector<std::string>> fields = tcl::SplitList(record, nullptr);
+      if (!fields || fields->size() != 5 || (*fields)[3] == (*fields)[4]) {
+        continue;
+      }
+      line += " " + (*fields)[0] + " " + tcl::QuoteListElement((*fields)[4]);
+    }
+    if (!line.empty()) {
+      script += path + " configure" + line + "\n";
+    }
+  }
+  std::printf("%s", script.c_str());
+
+  // 5. Prove it: reset one option, then replay the script remotely.
+  RemoteEval(editor, ".title configure -bg gray75");
+  editor.interp().Eval("send target {" + script + "}");
+  std::string bg = RemoteEval(editor, "lindex [.title configure -background] 4");
+  std::printf("\nreplayed script; .title background restored to: %s\n", bg.c_str());
+  return bg == "gold" ? 0 : 1;
+}

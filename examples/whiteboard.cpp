@@ -1,0 +1,73 @@
+// A two-application shared whiteboard: Section 7's remote-paint scenario as
+// a real program.
+//
+// "it is possible to paint with the mouse in one application, have all the
+// mouse motion events bound into Tcl commands, which in turn use send to
+// forward commands to another application in a different process, which
+// finally draws the painted object in its own window" -- here the input
+// application forwards strokes via `send`, and the viewer application draws
+// them on a canvas widget (the Section 5 drawing extension).
+
+#include <cstdio>
+
+#include "src/tk/app.h"
+#include "src/tk/widget.h"
+#include "src/tk/widgets/canvas.h"
+#include "src/xsim/server.h"
+
+int main() {
+  xsim::Server server;
+
+  // Viewer: a canvas that mirrors remote strokes.
+  tk::App viewer(server, "viewer");
+  viewer.interp().Eval(R"tcl(
+    canvas .board -width 180 -height 150 -bg white
+    pack append . .board {top}
+    set last_x -1
+    proc stroke {x y} {
+      global last_x last_y
+      if {$last_x >= 0} {
+        .board create line $last_x $last_y $x $y -fill black
+      }
+      set last_x $x
+      set last_y $y
+    }
+    proc pen_up {} {global last_x; set last_x -1}
+  )tcl");
+  viewer.Update();
+
+  // Input pad: every drag motion is forwarded with send.
+  tk::App pad(server, "pad");
+  pad.interp().Eval(R"tcl(
+    frame .pad -geometry 180x150 -bg gray90
+    pack append . .pad {top}
+    bind .pad <B1-Motion> {send viewer {stroke %x %y}}
+    bind .pad <ButtonRelease-1> {send viewer pen_up}
+  )tcl");
+  pad.Update();
+
+  // Simulated user draws a zig-zag on the pad.
+  tk::Widget* padw = pad.FindWidget(".pad");
+  std::optional<xsim::Point> abs = server.AbsolutePosition(padw->window());
+  server.InjectPointerMove(abs->x + 10, abs->y + 10);
+  server.InjectButton(1, true);
+  for (int i = 0; i <= 20; ++i) {
+    int x = 10 + i * 7;
+    int y = 10 + (i % 2 == 0 ? 0 : 40) + i * 3;
+    server.InjectPointerMove(abs->x + x, abs->y + y);
+    pad.Update();
+  }
+  server.InjectButton(1, false);
+  pad.Update();
+
+  auto* board = static_cast<tk::Canvas*>(viewer.FindWidget(".board"));
+  std::printf("pad strokes forwarded through send: viewer canvas now holds %d line items\n",
+              board->item_count());
+  viewer.interp().Eval(".board coords 1");
+  std::printf("first stroke coords: %s\n", viewer.interp().result().c_str());
+
+  // The viewer can be driven from the pad too -- clear the board remotely.
+  pad.interp().Eval("send viewer {.board delete all}");
+  std::printf("after remote clear: %d items\n", board->item_count());
+  return board->item_count() == 0 ? 0 : 1;
+}

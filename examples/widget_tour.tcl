@@ -1,0 +1,81 @@
+# widget_tour.tcl -- every Tk widget class in one window, written entirely
+# in Tcl (run with: wish -f widget_tour.tcl -dump).  The classic "look what
+# you can compose from the basic commands" demo: no C code anywhere.
+
+wm title . "tclk widget tour"
+
+# --- menu bar ---------------------------------------------------------------
+frame .menubar -relief raised -borderwidth 1
+pack append . .menubar {top fillx}
+menubutton .menubar.file -text File -menu .filemenu
+menu .filemenu
+.filemenu add command -label "New"   -command {set status "File > New"}
+.filemenu add command -label "Open"  -command {set status "File > Open"}
+.filemenu add separator
+.filemenu add command -label "Quit"  -command {destroy .}
+menubutton .menubar.opts -text Options -menu .optsmenu
+menu .optsmenu
+.optsmenu add checkbutton -label "Verbose" -variable verbose
+.optsmenu add radiobutton -label "Small" -variable size -value small
+.optsmenu add radiobutton -label "Large" -variable size -value large
+pack append .menubar .menubar.file {left} .menubar.opts {left}
+
+# --- label + message ---------------------------------------------------------
+label .title -text "A tour of every widget class" -relief flat
+pack append . .title {top fillx}
+message .blurb -width 260 -text "Each element below is a separate widget;\
+ the packer arranged everything and every action updates the status bar\
+ through ordinary Tcl commands."
+pack append . .blurb {top fillx}
+
+# --- button family -------------------------------------------------------------
+frame .buttons
+pack append . .buttons {top fillx}
+button .buttons.plain -text "Button" -command {set status "button pressed"}
+checkbutton .buttons.check -text "Check" -variable checked \
+    -command {set status "check is now $checked"}
+radiobutton .buttons.r1 -text "A" -variable which -value a \
+    -command {set status "radio A"}
+radiobutton .buttons.r2 -text "B" -variable which -value b \
+    -command {set status "radio B"}
+pack append .buttons .buttons.plain {left padx 4} .buttons.check {left padx 4} \
+    .buttons.r1 {left} .buttons.r2 {left}
+
+# --- entry + scale ---------------------------------------------------------------
+frame .inputs
+pack append . .inputs {top fillx}
+entry .inputs.name -width 14 -textvariable entered
+label .inputs.echo -textvariable entered -width 14 -anchor w
+scale .inputs.vol -from 0 -to 10 -length 90 -orient horizontal \
+    -command {set status "volume"}
+pack append .inputs .inputs.name {left padx 4} .inputs.echo {left padx 4} \
+    .inputs.vol {left}
+
+# --- listbox + scrollbar ---------------------------------------------------------
+frame .pane
+pack append . .pane {top expand fill}
+scrollbar .pane.scroll -command ".pane.list view"
+listbox .pane.list -scroll ".pane.scroll set" -geometry 24x5
+pack append .pane .pane.scroll {right filly} .pane.list {left expand fill}
+foreach widget {frame label button checkbutton radiobutton message \
+                listbox scrollbar scale entry menu menubutton canvas} {
+    .pane.list insert end "$widget widget"
+}
+bind .pane.list <space> {set status "selected: [selection get]"}
+
+# --- canvas ------------------------------------------------------------------------
+canvas .art -width 260 -height 60 -bg white
+pack append . .art {top}
+.art create rectangle 10 10 50 50 -fill SteelBlue -tags logo
+.art create oval 60 10 100 50 -fill gold -tags logo
+.art create line 110 30 150 10 -fill black
+.art create line 150 10 190 50 -fill black
+.art create text 200 22 -text "canvas!"
+.art bind logo {set status "you clicked the logo"}
+
+# --- status bar -----------------------------------------------------------------------
+set status "ready"
+label .status -textvariable status -relief sunken -anchor w
+pack append . .status {bottom fillx}
+
+update

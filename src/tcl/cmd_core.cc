@@ -1,0 +1,643 @@
+// Core built-in commands: variables, control flow, procedures, evaluation.
+
+#include <chrono>
+
+#include "src/tcl/expr.h"
+#include "src/tcl/interp.h"
+#include "src/tcl/list.h"
+#include "src/tcl/parser.h"
+#include "src/tcl/utils.h"
+
+namespace tcl {
+namespace {
+
+Code SetCmd(Interp& interp, std::vector<std::string>& args) {
+  if (args.size() == 2) {
+    const std::string* value = interp.GetVar(args[1]);
+    if (value == nullptr) {
+      return Code::kError;
+    }
+    interp.SetResult(*value);
+    return Code::kOk;
+  }
+  if (args.size() == 3) {
+    Code code = interp.SetVar(args[1], args[2]);
+    if (code != Code::kOk) {
+      return code;
+    }
+    interp.SetResult(args[2]);
+    return Code::kOk;
+  }
+  return interp.WrongNumArgs("set varName ?newValue?");
+}
+
+Code UnsetCmd(Interp& interp, std::vector<std::string>& args) {
+  if (args.size() < 2) {
+    return interp.WrongNumArgs("unset varName ?varName ...?");
+  }
+  for (size_t i = 1; i < args.size(); ++i) {
+    Code code = interp.UnsetVar(args[i]);
+    if (code != Code::kOk) {
+      return code;
+    }
+  }
+  interp.ResetResult();
+  return Code::kOk;
+}
+
+Code IncrCmd(Interp& interp, std::vector<std::string>& args) {
+  if (args.size() != 2 && args.size() != 3) {
+    return interp.WrongNumArgs("incr varName ?increment?");
+  }
+  const std::string* value = interp.GetVar(args[1]);
+  if (value == nullptr) {
+    return Code::kError;
+  }
+  std::optional<int64_t> current = ParseInt(*value);
+  if (!current) {
+    return interp.Error("expected integer but got \"" + *value + "\"");
+  }
+  int64_t amount = 1;
+  if (args.size() == 3) {
+    std::optional<int64_t> parsed = ParseInt(args[2]);
+    if (!parsed) {
+      return interp.Error("expected integer but got \"" + args[2] + "\"");
+    }
+    amount = *parsed;
+  }
+  std::string updated = FormatInt(*current + amount);
+  Code code = interp.SetVar(args[1], updated);
+  if (code != Code::kOk) {
+    return code;
+  }
+  interp.SetResult(std::move(updated));
+  return Code::kOk;
+}
+
+Code AppendCmd(Interp& interp, std::vector<std::string>& args) {
+  if (args.size() < 2) {
+    return interp.WrongNumArgs("append varName ?value value ...?");
+  }
+  const std::string* existing = interp.GetVarQuiet(args[1]);
+  std::string value = existing != nullptr ? *existing : "";
+  for (size_t i = 2; i < args.size(); ++i) {
+    value += args[i];
+  }
+  Code code = interp.SetVar(args[1], value);
+  if (code != Code::kOk) {
+    return code;
+  }
+  interp.SetResult(std::move(value));
+  return Code::kOk;
+}
+
+Code IfCmd(Interp& interp, std::vector<std::string>& args) {
+  size_t i = 1;
+  while (true) {
+    if (i >= args.size()) {
+      return interp.Error("wrong # args: no expression after \"" + args[0] + "\" argument");
+    }
+    bool condition = false;
+    Code code = ExprBoolean(interp, args[i], &condition);
+    if (code != Code::kOk) {
+      return code;
+    }
+    ++i;
+    if (i < args.size() && args[i] == "then") {
+      ++i;
+    }
+    if (i >= args.size()) {
+      return interp.Error("wrong # args: no script following \"" + args[i - 1] +
+                          "\" argument");
+    }
+    if (condition) {
+      return interp.Eval(args[i]);
+    }
+    ++i;
+    if (i >= args.size()) {
+      interp.ResetResult();
+      return Code::kOk;
+    }
+    if (args[i] == "elseif") {
+      ++i;
+      continue;
+    }
+    if (args[i] == "else") {
+      ++i;
+    }
+    if (i >= args.size()) {
+      return interp.Error("wrong # args: no script following \"else\" argument");
+    }
+    return interp.Eval(args[i]);
+  }
+}
+
+Code WhileCmd(Interp& interp, std::vector<std::string>& args) {
+  if (args.size() != 3) {
+    return interp.WrongNumArgs("while test command");
+  }
+  while (true) {
+    bool condition = false;
+    Code code = ExprBoolean(interp, args[1], &condition);
+    if (code != Code::kOk) {
+      return code;
+    }
+    if (!condition) {
+      break;
+    }
+    code = interp.Eval(args[2]);
+    if (code == Code::kBreak) {
+      break;
+    }
+    if (code != Code::kOk && code != Code::kContinue) {
+      if (code == Code::kError) {
+        interp.AddErrorInfo("\n    (\"while\" body line)");
+      }
+      return code;
+    }
+  }
+  interp.ResetResult();
+  return Code::kOk;
+}
+
+Code ForCmd(Interp& interp, std::vector<std::string>& args) {
+  if (args.size() != 5) {
+    return interp.WrongNumArgs("for start test next command");
+  }
+  Code code = interp.Eval(args[1]);
+  if (code != Code::kOk) {
+    return code;
+  }
+  while (true) {
+    bool condition = false;
+    code = ExprBoolean(interp, args[2], &condition);
+    if (code != Code::kOk) {
+      return code;
+    }
+    if (!condition) {
+      break;
+    }
+    code = interp.Eval(args[4]);
+    if (code == Code::kBreak) {
+      break;
+    }
+    if (code != Code::kOk && code != Code::kContinue) {
+      return code;
+    }
+    code = interp.Eval(args[3]);
+    if (code != Code::kOk) {
+      return code;
+    }
+  }
+  interp.ResetResult();
+  return Code::kOk;
+}
+
+Code ForeachCmd(Interp& interp, std::vector<std::string>& args) {
+  if (args.size() != 4) {
+    return interp.WrongNumArgs("foreach varList list command");
+  }
+  std::string error;
+  std::optional<std::vector<std::string>> names = SplitList(args[1], &error);
+  if (!names || names->empty()) {
+    return interp.Error(names ? "foreach varList must contain at least one variable name"
+                              : error);
+  }
+  std::optional<std::vector<std::string>> values = SplitList(args[2], &error);
+  if (!values) {
+    return interp.Error(error);
+  }
+  size_t stride = names->size();
+  for (size_t i = 0; i < values->size(); i += stride) {
+    for (size_t j = 0; j < stride; ++j) {
+      std::string value = (i + j) < values->size() ? (*values)[i + j] : "";
+      Code code = interp.SetVar((*names)[j], std::move(value));
+      if (code != Code::kOk) {
+        return code;
+      }
+    }
+    Code code = interp.Eval(args[3]);
+    if (code == Code::kBreak) {
+      break;
+    }
+    if (code != Code::kOk && code != Code::kContinue) {
+      if (code == Code::kError) {
+        interp.AddErrorInfo("\n    (\"foreach\" body line)");
+      }
+      return code;
+    }
+  }
+  interp.ResetResult();
+  return Code::kOk;
+}
+
+Code SwitchCmd(Interp& interp, std::vector<std::string>& args) {
+  size_t i = 1;
+  enum class Mode { kExact, kGlob };
+  Mode mode = Mode::kGlob;
+  while (i < args.size() && !args[i].empty() && args[i][0] == '-') {
+    if (args[i] == "-exact") {
+      mode = Mode::kExact;
+    } else if (args[i] == "-glob") {
+      mode = Mode::kGlob;
+    } else if (args[i] == "--") {
+      ++i;
+      break;
+    } else {
+      return interp.Error("bad option \"" + args[i] + "\": should be -exact, -glob, or --");
+    }
+    ++i;
+  }
+  if (i >= args.size()) {
+    return interp.WrongNumArgs("switch ?switches? string pattern body ... ?default body?");
+  }
+  const std::string subject = args[i];
+  ++i;
+  std::vector<std::string> pairs;
+  if (args.size() - i == 1) {
+    std::string error;
+    std::optional<std::vector<std::string>> split = SplitList(args[i], &error);
+    if (!split) {
+      return interp.Error(error);
+    }
+    pairs = std::move(*split);
+  } else {
+    pairs.assign(args.begin() + i, args.end());
+  }
+  if (pairs.empty() || pairs.size() % 2 != 0) {
+    return interp.Error("extra switch pattern with no body");
+  }
+  for (size_t p = 0; p < pairs.size(); p += 2) {
+    bool matched = false;
+    if (pairs[p] == "default" && p + 2 == pairs.size()) {
+      matched = true;
+    } else if (mode == Mode::kExact) {
+      matched = subject == pairs[p];
+    } else {
+      matched = StringMatch(pairs[p], subject);
+    }
+    if (!matched) {
+      continue;
+    }
+    // "-" chains to the next body.
+    size_t body = p + 1;
+    while (body < pairs.size() && pairs[body] == "-") {
+      body += 2;
+    }
+    if (body >= pairs.size()) {
+      return interp.Error("no body specified for pattern \"" + pairs[p] + "\"");
+    }
+    return interp.Eval(pairs[body]);
+  }
+  interp.ResetResult();
+  return Code::kOk;
+}
+
+Code CaseCmd(Interp& interp, std::vector<std::string>& args) {
+  // Old-style `case string ?in? {pat body pat body ...}` or inline pairs.
+  if (args.size() < 3) {
+    return interp.WrongNumArgs("case string ?in? patList body ?patList body ...?");
+  }
+  size_t i = 1;
+  const std::string subject = args[i];
+  ++i;
+  if (args[i] == "in") {
+    ++i;
+  }
+  std::vector<std::string> pairs;
+  if (args.size() - i == 1) {
+    std::string error;
+    std::optional<std::vector<std::string>> split = SplitList(args[i], &error);
+    if (!split) {
+      return interp.Error(error);
+    }
+    pairs = std::move(*split);
+  } else {
+    pairs.assign(args.begin() + i, args.end());
+  }
+  if (pairs.size() % 2 != 0) {
+    return interp.Error("extra case pattern with no body");
+  }
+  size_t default_body = pairs.size();
+  for (size_t p = 0; p < pairs.size(); p += 2) {
+    if (pairs[p] == "default") {
+      default_body = p + 1;
+      continue;
+    }
+    std::string error;
+    std::optional<std::vector<std::string>> patterns = SplitList(pairs[p], &error);
+    if (!patterns) {
+      return interp.Error(error);
+    }
+    for (const std::string& pattern : *patterns) {
+      if (StringMatch(pattern, subject)) {
+        return interp.Eval(pairs[p + 1]);
+      }
+    }
+  }
+  if (default_body < pairs.size()) {
+    return interp.Eval(pairs[default_body]);
+  }
+  interp.ResetResult();
+  return Code::kOk;
+}
+
+Code BreakCmd(Interp& interp, std::vector<std::string>& args) {
+  if (args.size() != 1) {
+    return interp.WrongNumArgs("break");
+  }
+  interp.ResetResult();
+  return Code::kBreak;
+}
+
+Code ContinueCmd(Interp& interp, std::vector<std::string>& args) {
+  if (args.size() != 1) {
+    return interp.WrongNumArgs("continue");
+  }
+  interp.ResetResult();
+  return Code::kContinue;
+}
+
+Code ReturnCmd(Interp& interp, std::vector<std::string>& args) {
+  Code code = Code::kReturn;
+  size_t i = 1;
+  if (args.size() >= 3 && args[i] == "-code") {
+    const std::string& name = args[i + 1];
+    if (name == "ok") {
+      code = Code::kReturn;
+    } else if (name == "error") {
+      code = Code::kError;
+    } else if (name == "return") {
+      code = Code::kReturn;
+    } else if (name == "break") {
+      code = Code::kBreak;
+    } else if (name == "continue") {
+      code = Code::kContinue;
+    } else if (std::optional<int64_t> numeric = ParseInt(name)) {
+      code = static_cast<Code>(*numeric);
+    } else {
+      return interp.Error("bad completion code \"" + name +
+                          "\": must be ok, error, return, break, or continue");
+    }
+    i += 2;
+  }
+  if (args.size() - i > 1) {
+    return interp.WrongNumArgs("return ?-code code? ?value?");
+  }
+  interp.SetResult(i < args.size() ? args[i] : "");
+  return code;
+}
+
+Code ProcCmd(Interp& interp, std::vector<std::string>& args) {
+  if (args.size() != 4) {
+    return interp.WrongNumArgs("proc name args body");
+  }
+  std::string error;
+  std::optional<std::vector<std::string>> formals = SplitList(args[2], &error);
+  if (!formals) {
+    return interp.Error(error);
+  }
+  Proc proc;
+  for (const std::string& spec : *formals) {
+    std::optional<std::vector<std::string>> parts = SplitList(spec, &error);
+    if (!parts || parts->empty() || parts->size() > 2) {
+      return interp.Error("procedure \"" + args[1] +
+                          "\" has argument with bad format: \"" + spec + "\"");
+    }
+    Proc::Formal formal;
+    formal.name = (*parts)[0];
+    if (parts->size() == 2) {
+      formal.default_value = (*parts)[1];
+      formal.has_default = true;
+    }
+    proc.formals.push_back(std::move(formal));
+  }
+  proc.body = args[3];
+  const std::string name = args[1];
+  interp.DefineProc(name, proc);
+  // Look the body up by the *invoked* name (args[0]) so `rename` keeps
+  // working: RenameCommand moves the proc entry along with the command.
+  interp.RegisterCommand(name, [](Interp& i, std::vector<std::string>& call_args) {
+    const Proc* p = i.FindProc(call_args[0]);
+    if (p == nullptr) {
+      return i.Error("invalid command name \"" + call_args[0] + "\"");
+    }
+    // Copy so redefining the proc mid-call is safe.
+    Proc snapshot = *p;
+    return ProcInvoke(i, call_args[0], snapshot, call_args);
+  });
+  interp.ResetResult();
+  return Code::kOk;
+}
+
+Code CatchCmd(Interp& interp, std::vector<std::string>& args) {
+  if (args.size() != 2 && args.size() != 3) {
+    return interp.WrongNumArgs("catch command ?varName?");
+  }
+  Code code = interp.Eval(args[1]);
+  if (args.size() == 3) {
+    Code set_code = interp.SetVar(args[2], interp.result());
+    if (set_code != Code::kOk) {
+      return set_code;
+    }
+  }
+  interp.ResetErrorState();
+  interp.SetResult(FormatInt(static_cast<int64_t>(code)));
+  return Code::kOk;
+}
+
+Code ErrorCmd(Interp& interp, std::vector<std::string>& args) {
+  if (args.size() < 2 || args.size() > 4) {
+    return interp.WrongNumArgs("error message ?errorInfo? ?errorCode?");
+  }
+  if (args.size() >= 3 && !args[2].empty()) {
+    // Seed the error trace with the caller-supplied errorInfo.
+    interp.SetResult(args[2]);
+    interp.AddErrorInfo("");
+  }
+  if (args.size() == 4) {
+    interp.SetVar("errorCode", args[3]);
+  }
+  return interp.Error(args[1]);
+}
+
+Code EvalCmd(Interp& interp, std::vector<std::string>& args) {
+  if (args.size() < 2) {
+    return interp.WrongNumArgs("eval arg ?arg ...?");
+  }
+  if (args.size() == 2) {
+    return interp.Eval(args[1]);
+  }
+  std::vector<std::string> parts(args.begin() + 1, args.end());
+  return interp.Eval(ConcatStrings(parts));
+}
+
+Code ExprCmd(Interp& interp, std::vector<std::string>& args) {
+  if (args.size() < 2) {
+    return interp.WrongNumArgs("expr arg ?arg ...?");
+  }
+  std::string text;
+  for (size_t i = 1; i < args.size(); ++i) {
+    if (i > 1) {
+      text.push_back(' ');
+    }
+    text += args[i];
+  }
+  std::string result;
+  Code code = ExprEval(interp, text, &result);
+  if (code != Code::kOk) {
+    return code;
+  }
+  interp.SetResult(std::move(result));
+  return Code::kOk;
+}
+
+Code GlobalCmd(Interp& interp, std::vector<std::string>& args) {
+  if (args.size() < 2) {
+    return interp.WrongNumArgs("global varName ?varName ...?");
+  }
+  for (size_t i = 1; i < args.size(); ++i) {
+    Code code = interp.LinkGlobal(args[i]);
+    if (code != Code::kOk) {
+      return code;
+    }
+  }
+  interp.ResetResult();
+  return Code::kOk;
+}
+
+Code UpvarCmd(Interp& interp, std::vector<std::string>& args) {
+  if (args.size() < 3) {
+    return interp.WrongNumArgs("upvar ?level? otherVar myVar ?otherVar myVar ...?");
+  }
+  size_t i = 1;
+  std::string level = "1";
+  // A level spec is "#n" or a number; otherwise it's a variable name.
+  if (args[1][0] == '#' || std::isdigit(static_cast<unsigned char>(args[1][0]))) {
+    level = args[1];
+    ++i;
+  }
+  if ((args.size() - i) % 2 != 0 || args.size() - i == 0) {
+    return interp.WrongNumArgs("upvar ?level? otherVar myVar ?otherVar myVar ...?");
+  }
+  for (; i + 1 < args.size(); i += 2) {
+    Code code = interp.LinkUpvar(level, args[i], args[i + 1]);
+    if (code != Code::kOk) {
+      return code;
+    }
+  }
+  interp.ResetResult();
+  return Code::kOk;
+}
+
+Code UplevelCmd(Interp& interp, std::vector<std::string>& args) {
+  if (args.size() < 2) {
+    return interp.WrongNumArgs("uplevel ?level? command ?arg ...?");
+  }
+  size_t i = 1;
+  std::string level = "1";
+  if (args.size() > 2 &&
+      (args[1][0] == '#' || std::isdigit(static_cast<unsigned char>(args[1][0])))) {
+    level = args[1];
+    ++i;
+  }
+  std::string script;
+  if (args.size() - i == 1) {
+    script = args[i];
+  } else {
+    std::vector<std::string> parts(args.begin() + i, args.end());
+    script = ConcatStrings(parts);
+  }
+  return interp.EvalAtLevel(level, script);
+}
+
+Code RenameCmd(Interp& interp, std::vector<std::string>& args) {
+  if (args.size() != 3) {
+    return interp.WrongNumArgs("rename oldName newName");
+  }
+  if (args[2].empty()) {
+    if (!interp.DeleteCommand(args[1])) {
+      return interp.Error("can't delete \"" + args[1] + "\": command doesn't exist");
+    }
+    interp.ResetResult();
+    return Code::kOk;
+  }
+  if (interp.HasCommand(args[2])) {
+    return interp.Error("can't rename to \"" + args[2] + "\": command already exists");
+  }
+  if (!interp.RenameCommand(args[1], args[2])) {
+    return interp.Error("can't rename \"" + args[1] + "\": command doesn't exist");
+  }
+  interp.ResetResult();
+  return Code::kOk;
+}
+
+Code SubstCmd(Interp& interp, std::vector<std::string>& args) {
+  if (args.size() != 2) {
+    return interp.WrongNumArgs("subst string");
+  }
+  std::string out;
+  Code code = SubstString(interp, args[1], &out);
+  if (code != Code::kOk) {
+    return code;
+  }
+  interp.SetResult(std::move(out));
+  return Code::kOk;
+}
+
+Code TimeCmd(Interp& interp, std::vector<std::string>& args) {
+  if (args.size() != 2 && args.size() != 3) {
+    return interp.WrongNumArgs("time command ?count?");
+  }
+  int64_t count = 1;
+  if (args.size() == 3) {
+    std::optional<int64_t> parsed = ParseInt(args[2]);
+    if (!parsed || *parsed <= 0) {
+      return interp.Error("expected positive integer but got \"" + args[2] + "\"");
+    }
+    count = *parsed;
+  }
+  auto start = std::chrono::steady_clock::now();
+  for (int64_t i = 0; i < count; ++i) {
+    Code code = interp.Eval(args[1]);
+    if (code != Code::kOk) {
+      return code;
+    }
+  }
+  auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  interp.SetResult(FormatInt(elapsed / count) + " microseconds per iteration");
+  return Code::kOk;
+}
+
+}  // namespace
+
+void RegisterCoreCommands(Interp& interp) {
+  interp.RegisterCommand("set", SetCmd);
+  interp.RegisterCommand("unset", UnsetCmd);
+  interp.RegisterCommand("incr", IncrCmd);
+  interp.RegisterCommand("append", AppendCmd);
+  interp.RegisterCommand("if", IfCmd);
+  interp.RegisterCommand("while", WhileCmd);
+  interp.RegisterCommand("for", ForCmd);
+  interp.RegisterCommand("foreach", ForeachCmd);
+  interp.RegisterCommand("switch", SwitchCmd);
+  interp.RegisterCommand("case", CaseCmd);
+  interp.RegisterCommand("break", BreakCmd);
+  interp.RegisterCommand("continue", ContinueCmd);
+  interp.RegisterCommand("return", ReturnCmd);
+  interp.RegisterCommand("proc", ProcCmd);
+  interp.RegisterCommand("catch", CatchCmd);
+  interp.RegisterCommand("error", ErrorCmd);
+  interp.RegisterCommand("eval", EvalCmd);
+  interp.RegisterCommand("expr", ExprCmd);
+  interp.RegisterCommand("global", GlobalCmd);
+  interp.RegisterCommand("upvar", UpvarCmd);
+  interp.RegisterCommand("uplevel", UplevelCmd);
+  interp.RegisterCommand("rename", RenameCmd);
+  interp.RegisterCommand("subst", SubstCmd);
+  interp.RegisterCommand("time", TimeCmd);
+}
+
+}  // namespace tcl

@@ -1,0 +1,243 @@
+// Introspection commands: `info` and `array`.
+//
+// The paper highlights that Tcl "provides access to its own internals (e.g.
+// it is possible to retrieve the body of a Tcl procedure or a list of all
+// defined variable names)" -- that is exactly what `info` implements.
+
+#include "src/tcl/interp.h"
+#include "src/tcl/list.h"
+#include "src/tcl/utils.h"
+
+namespace tcl {
+namespace {
+
+constexpr char kTclVersion[] = "7.0-tclk";
+
+Code InfoCmd(Interp& interp, std::vector<std::string>& args) {
+  if (args.size() < 2) {
+    return interp.WrongNumArgs("info option ?arg arg ...?");
+  }
+  const std::string& option = args[1];
+  if (option == "exists") {
+    if (args.size() != 3) {
+      return interp.WrongNumArgs("info exists varName");
+    }
+    interp.SetResult(interp.VarExists(args[2]) ? "1" : "0");
+    return Code::kOk;
+  }
+  if (option == "commands") {
+    std::string pattern = args.size() > 2 ? args[2] : "";
+    interp.SetResult(MergeList(interp.CommandNames(pattern)));
+    return Code::kOk;
+  }
+  if (option == "procs") {
+    std::string pattern = args.size() > 2 ? args[2] : "";
+    interp.SetResult(MergeList(interp.ProcNames(pattern)));
+    return Code::kOk;
+  }
+  if (option == "vars") {
+    std::string pattern = args.size() > 2 ? args[2] : "";
+    interp.SetResult(MergeList(interp.LocalVarNames(pattern)));
+    return Code::kOk;
+  }
+  if (option == "globals") {
+    std::string pattern = args.size() > 2 ? args[2] : "";
+    interp.SetResult(MergeList(interp.GlobalVarNames(pattern)));
+    return Code::kOk;
+  }
+  if (option == "locals") {
+    std::string pattern = args.size() > 2 ? args[2] : "";
+    if (interp.current_level() == 0) {
+      interp.ResetResult();
+      return Code::kOk;
+    }
+    interp.SetResult(MergeList(interp.LocalVarNames(pattern)));
+    return Code::kOk;
+  }
+  if (option == "body") {
+    if (args.size() != 3) {
+      return interp.WrongNumArgs("info body procName");
+    }
+    const Proc* proc = interp.FindProc(args[2]);
+    if (proc == nullptr) {
+      return interp.Error("\"" + args[2] + "\" isn't a procedure");
+    }
+    interp.SetResult(proc->body);
+    return Code::kOk;
+  }
+  if (option == "args") {
+    if (args.size() != 3) {
+      return interp.WrongNumArgs("info args procName");
+    }
+    const Proc* proc = interp.FindProc(args[2]);
+    if (proc == nullptr) {
+      return interp.Error("\"" + args[2] + "\" isn't a procedure");
+    }
+    std::vector<std::string> names;
+    for (const Proc::Formal& formal : proc->formals) {
+      names.push_back(formal.name);
+    }
+    interp.SetResult(MergeList(names));
+    return Code::kOk;
+  }
+  if (option == "default") {
+    if (args.size() != 5) {
+      return interp.WrongNumArgs("info default procName arg varName");
+    }
+    const Proc* proc = interp.FindProc(args[2]);
+    if (proc == nullptr) {
+      return interp.Error("\"" + args[2] + "\" isn't a procedure");
+    }
+    for (const Proc::Formal& formal : proc->formals) {
+      if (formal.name == args[3]) {
+        if (formal.has_default) {
+          interp.SetVar(args[4], formal.default_value);
+          interp.SetResult("1");
+        } else {
+          interp.SetVar(args[4], "");
+          interp.SetResult("0");
+        }
+        return Code::kOk;
+      }
+    }
+    return interp.Error("procedure \"" + args[2] + "\" doesn't have an argument \"" + args[3] +
+                        "\"");
+  }
+  if (option == "level") {
+    if (args.size() == 2) {
+      interp.SetResult(FormatInt(interp.current_level()));
+      return Code::kOk;
+    }
+    return interp.WrongNumArgs("info level");
+  }
+  if (option == "cmdcount") {
+    interp.SetResult(FormatInt(static_cast<int64_t>(interp.command_count())));
+    return Code::kOk;
+  }
+  if (option == "tclversion") {
+    interp.SetResult(kTclVersion);
+    return Code::kOk;
+  }
+  if (option == "complete") {
+    if (args.size() != 3) {
+      return interp.WrongNumArgs("info complete command");
+    }
+    // A command is complete when braces, brackets and quotes balance.
+    int braces = 0;
+    int brackets = 0;
+    bool in_quote = false;
+    const std::string& text = args[2];
+    for (size_t i = 0; i < text.size(); ++i) {
+      char c = text[i];
+      if (c == '\\') {
+        ++i;
+        continue;
+      }
+      if (in_quote) {
+        if (c == '"') {
+          in_quote = false;
+        }
+        continue;
+      }
+      switch (c) {
+        case '{':
+          ++braces;
+          break;
+        case '}':
+          --braces;
+          break;
+        case '[':
+          ++brackets;
+          break;
+        case ']':
+          --brackets;
+          break;
+        case '"':
+          in_quote = true;
+          break;
+        default:
+          break;
+      }
+    }
+    interp.SetResult((braces <= 0 && brackets <= 0 && !in_quote) ? "1" : "0");
+    return Code::kOk;
+  }
+  return interp.Error("bad option \"" + option +
+                      "\": should be args, body, cmdcount, commands, complete, default, "
+                      "exists, globals, level, locals, procs, tclversion, or vars");
+}
+
+Code ArrayCmd(Interp& interp, std::vector<std::string>& args) {
+  if (args.size() < 3) {
+    return interp.WrongNumArgs("array option arrayName ?arg ...?");
+  }
+  const std::string& option = args[1];
+  const std::string& name = args[2];
+  const std::map<std::string, std::string>* array = interp.GetArray(name);
+  if (option == "exists") {
+    interp.SetResult(array != nullptr ? "1" : "0");
+    return Code::kOk;
+  }
+  if (option == "set") {
+    if (args.size() != 4) {
+      return interp.WrongNumArgs("array set arrayName list");
+    }
+    std::string error;
+    std::optional<std::vector<std::string>> pairs = SplitList(args[3], &error);
+    if (!pairs) {
+      return interp.Error(error);
+    }
+    if (pairs->size() % 2 != 0) {
+      return interp.Error("list must have an even number of elements");
+    }
+    for (size_t i = 0; i < pairs->size(); i += 2) {
+      Code code = interp.SetVar(name + "(" + (*pairs)[i] + ")", (*pairs)[i + 1]);
+      if (code != Code::kOk) {
+        return code;
+      }
+    }
+    interp.ResetResult();
+    return Code::kOk;
+  }
+  if (array == nullptr) {
+    return interp.Error("\"" + name + "\" isn't an array");
+  }
+  if (option == "names") {
+    std::string pattern = args.size() > 3 ? args[3] : "";
+    std::vector<std::string> names;
+    for (const auto& [key, value] : *array) {
+      if (pattern.empty() || StringMatch(pattern, key)) {
+        names.push_back(key);
+      }
+    }
+    interp.SetResult(MergeList(names));
+    return Code::kOk;
+  }
+  if (option == "size") {
+    interp.SetResult(FormatInt(static_cast<int64_t>(array->size())));
+    return Code::kOk;
+  }
+  if (option == "get") {
+    std::string pattern = args.size() > 3 ? args[3] : "";
+    std::vector<std::string> flat;
+    for (const auto& [key, value] : *array) {
+      if (pattern.empty() || StringMatch(pattern, key)) {
+        flat.push_back(key);
+        flat.push_back(value);
+      }
+    }
+    interp.SetResult(MergeList(flat));
+    return Code::kOk;
+  }
+  return interp.Error("bad option \"" + option +
+                      "\": should be exists, get, names, set, or size");
+}
+
+}  // namespace
+
+void RegisterInfoCommands(Interp& interp) {
+  interp.RegisterCommand("info", InfoCmd);
+  interp.RegisterCommand("array", ArrayCmd);
+}
+
+}  // namespace tcl

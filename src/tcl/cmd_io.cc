@@ -1,0 +1,423 @@
+// I/O and OS commands: puts/print, source, exec, file, glob, pwd, cd, exit.
+//
+// `exec` runs subprocesses through popen (the Figure 9 browser uses
+// `exec ls -a $dir`); `file` accepts both the modern argument order
+// (`file isdirectory $name`) and the pre-7.0 order used in the paper
+// (`file $name isdirectory`).
+
+#include <array>
+#include <memory>
+#include <vector>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "src/tcl/interp.h"
+#include "src/tcl/list.h"
+#include "src/tcl/utils.h"
+
+namespace tcl {
+namespace {
+
+namespace fs = std::filesystem;
+
+Code PutsCmd(Interp& interp, std::vector<std::string>& args) {
+  bool newline = true;
+  size_t i = 1;
+  if (i < args.size() && args[i] == "-nonewline") {
+    newline = false;
+    ++i;
+  }
+  std::ostream* stream = &std::cout;
+  if (args.size() - i == 2) {
+    if (args[i] == "stderr") {
+      stream = &std::cerr;
+    } else if (args[i] != "stdout") {
+      return interp.Error("unsupported channel \"" + args[i] + "\" (stdout/stderr only)");
+    }
+    ++i;
+  }
+  if (args.size() - i != 1) {
+    return interp.WrongNumArgs("puts ?-nonewline? ?channel? string");
+  }
+  (*stream) << args[i];
+  if (newline) {
+    (*stream) << "\n";
+  }
+  stream->flush();
+  interp.ResetResult();
+  return Code::kOk;
+}
+
+// `print` (early Tcl): writes its argument verbatim, no newline appended
+// (scripts in the paper embed "\n" explicitly).
+Code PrintCmd(Interp& interp, std::vector<std::string>& args) {
+  if (args.size() != 2) {
+    return interp.WrongNumArgs("print string");
+  }
+  std::cout << args[1];
+  std::cout.flush();
+  interp.ResetResult();
+  return Code::kOk;
+}
+
+Code SourceCmd(Interp& interp, std::vector<std::string>& args) {
+  if (args.size() != 2) {
+    return interp.WrongNumArgs("source fileName");
+  }
+  std::ifstream file(args[1]);
+  if (!file) {
+    return interp.Error("couldn't read file \"" + args[1] + "\"");
+  }
+  std::ostringstream contents;
+  contents << file.rdbuf();
+  Code code = interp.Eval(contents.str());
+  if (code == Code::kReturn) {
+    code = Code::kOk;
+  }
+  if (code == Code::kError) {
+    interp.AddErrorInfo("\n    (file \"" + args[1] + "\")");
+  }
+  return code;
+}
+
+Code ExecCmd(Interp& interp, std::vector<std::string>& args) {
+  if (args.size() < 2) {
+    return interp.WrongNumArgs("exec arg ?arg ...?");
+  }
+  // Build a shell command line; each argument is single-quoted.
+  std::string command;
+  bool background = false;
+  for (size_t i = 1; i < args.size(); ++i) {
+    if (i == args.size() - 1 && args[i] == "&") {
+      background = true;
+      break;
+    }
+    if (!command.empty()) {
+      command.push_back(' ');
+    }
+    command.push_back('\'');
+    for (char c : args[i]) {
+      if (c == '\'') {
+        command += "'\\''";
+      } else {
+        command.push_back(c);
+      }
+    }
+    command.push_back('\'');
+  }
+  if (background) {
+    command += " &";
+    int rc = std::system(command.c_str());
+    (void)rc;
+    interp.ResetResult();
+    return Code::kOk;
+  }
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) {
+    return interp.Error("couldn't execute \"" + args[1] + "\"");
+  }
+  std::string output;
+  std::array<char, 4096> buffer;
+  size_t n = 0;
+  while ((n = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    output.append(buffer.data(), n);
+  }
+  int status = pclose(pipe);
+  // Strip a single trailing newline, as Tcl does.
+  if (!output.empty() && output.back() == '\n') {
+    output.pop_back();
+  }
+  if (status != 0) {
+    interp.SetResult(std::move(output));
+    interp.AddErrorInfo("\n    (command \"" + command + "\" returned non-zero status)");
+    return Code::kError;
+  }
+  interp.SetResult(std::move(output));
+  return Code::kOk;
+}
+
+Code FileSubcommand(Interp& interp, const std::string& option, const std::string& name) {
+  std::error_code ec;
+  if (option == "exists") {
+    interp.SetResult(fs::exists(name, ec) ? "1" : "0");
+    return Code::kOk;
+  }
+  if (option == "isdirectory") {
+    interp.SetResult(fs::is_directory(name, ec) ? "1" : "0");
+    return Code::kOk;
+  }
+  if (option == "isfile") {
+    interp.SetResult(fs::is_regular_file(name, ec) ? "1" : "0");
+    return Code::kOk;
+  }
+  if (option == "readable" || option == "writable" || option == "executable") {
+    fs::file_status status = fs::status(name, ec);
+    if (ec) {
+      interp.SetResult("0");
+      return Code::kOk;
+    }
+    fs::perms perms = status.permissions();
+    bool ok = false;
+    if (option == "readable") {
+      ok = (perms & fs::perms::owner_read) != fs::perms::none;
+    } else if (option == "writable") {
+      ok = (perms & fs::perms::owner_write) != fs::perms::none;
+    } else {
+      ok = (perms & fs::perms::owner_exec) != fs::perms::none;
+    }
+    interp.SetResult(ok ? "1" : "0");
+    return Code::kOk;
+  }
+  if (option == "dirname") {
+    fs::path path(name);
+    std::string dir = path.parent_path().string();
+    interp.SetResult(dir.empty() ? "." : dir);
+    return Code::kOk;
+  }
+  if (option == "tail") {
+    interp.SetResult(fs::path(name).filename().string());
+    return Code::kOk;
+  }
+  if (option == "rootname") {
+    fs::path path(name);
+    interp.SetResult((path.parent_path() / path.stem()).string());
+    return Code::kOk;
+  }
+  if (option == "extension") {
+    interp.SetResult(fs::path(name).extension().string());
+    return Code::kOk;
+  }
+  if (option == "size") {
+    uintmax_t size = fs::file_size(name, ec);
+    if (ec) {
+      return interp.Error("couldn't stat \"" + name + "\"");
+    }
+    interp.SetResult(FormatInt(static_cast<int64_t>(size)));
+    return Code::kOk;
+  }
+  if (option == "type") {
+    fs::file_status status = fs::symlink_status(name, ec);
+    if (ec) {
+      return interp.Error("couldn't stat \"" + name + "\"");
+    }
+    switch (status.type()) {
+      case fs::file_type::regular:
+        interp.SetResult("file");
+        break;
+      case fs::file_type::directory:
+        interp.SetResult("directory");
+        break;
+      case fs::file_type::symlink:
+        interp.SetResult("link");
+        break;
+      default:
+        interp.SetResult("other");
+        break;
+    }
+    return Code::kOk;
+  }
+  return interp.Error("bad option \"" + option + "\" for file command");
+}
+
+const char* const kFileOptions[] = {"exists",   "isdirectory", "isfile",    "readable",
+                                    "writable", "executable",  "dirname",   "tail",
+                                    "rootname", "extension",   "size",      "type"};
+
+bool IsFileOption(const std::string& text) {
+  for (const char* option : kFileOptions) {
+    if (text == option) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Code FileCmd(Interp& interp, std::vector<std::string>& args) {
+  if (args.size() != 3) {
+    return interp.WrongNumArgs("file option name (or: file name option)");
+  }
+  // Modern order: `file isdirectory $name`.  Pre-7.0 order (used in the
+  // paper's Figure 9): `file $name isdirectory`.
+  if (IsFileOption(args[1])) {
+    return FileSubcommand(interp, args[1], args[2]);
+  }
+  if (IsFileOption(args[2])) {
+    return FileSubcommand(interp, args[2], args[1]);
+  }
+  return interp.Error("bad file option: neither \"" + args[1] + "\" nor \"" + args[2] +
+                      "\" is a known subcommand");
+}
+
+Code GlobCmd(Interp& interp, std::vector<std::string>& args) {
+  if (args.size() < 2) {
+    return interp.WrongNumArgs("glob ?-nocomplain? pattern ?pattern ...?");
+  }
+  size_t i = 1;
+  bool nocomplain = false;
+  if (args[i] == "-nocomplain") {
+    nocomplain = true;
+    ++i;
+  }
+  std::vector<std::string> matches;
+  std::error_code ec;
+  for (; i < args.size(); ++i) {
+    const std::string& pattern = args[i];
+    fs::path pattern_path(pattern);
+    fs::path dir = pattern_path.parent_path();
+    std::string leaf = pattern_path.filename().string();
+    if (dir.empty()) {
+      dir = ".";
+    }
+    for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+      std::string name = entry.path().filename().string();
+      if (StringMatch(leaf, name)) {
+        if (pattern_path.parent_path().empty()) {
+          matches.push_back(name);
+        } else {
+          matches.push_back((pattern_path.parent_path() / name).string());
+        }
+      }
+    }
+  }
+  if (matches.empty() && !nocomplain) {
+    return interp.Error("no files matched glob patterns");
+  }
+  interp.SetResult(MergeList(matches));
+  return Code::kOk;
+}
+
+Code PwdCmd(Interp& interp, std::vector<std::string>& args) {
+  if (args.size() != 1) {
+    return interp.WrongNumArgs("pwd");
+  }
+  std::error_code ec;
+  interp.SetResult(fs::current_path(ec).string());
+  return Code::kOk;
+}
+
+Code CdCmd(Interp& interp, std::vector<std::string>& args) {
+  if (args.size() > 2) {
+    return interp.WrongNumArgs("cd ?dirName?");
+  }
+  std::error_code ec;
+  fs::current_path(args.size() == 2 ? fs::path(args[1]) : fs::path("/"), ec);
+  if (ec) {
+    return interp.Error("couldn't change working directory to \"" +
+                        (args.size() == 2 ? args[1] : std::string("/")) + "\"");
+  }
+  interp.ResetResult();
+  return Code::kOk;
+}
+
+Code ExitCmd([[maybe_unused]] Interp& interp, std::vector<std::string>& args) {
+  int status = 0;
+  if (args.size() == 2) {
+    status = static_cast<int>(ParseInt(args[1]).value_or(0));
+  }
+  std::exit(status);
+}
+
+// The `history` command.  State is captured per-interpreter in the closure.
+//
+//   history                  -- numbered listing of recorded events
+//   history add command      -- record an event (the REPL does this)
+//   history event ?n?        -- the text of event n (default: latest);
+//                               negative n counts back from the latest
+//   history keep ?n?         -- query/set the retention limit
+struct HistoryState {
+  std::vector<std::string> events;
+  size_t keep = 20;
+  int first_serial = 1;  // Event number of events[0].
+};
+
+Code HistoryCmd(std::shared_ptr<HistoryState> state, Interp& interp,
+                std::vector<std::string>& args) {
+  if (args.size() == 1) {
+    std::string out;
+    for (size_t i = 0; i < state->events.size(); ++i) {
+      out += std::to_string(state->first_serial + static_cast<int>(i)) + "\t" +
+             state->events[i] + "\n";
+    }
+    interp.SetResult(std::move(out));
+    return Code::kOk;
+  }
+  const std::string& option = args[1];
+  if (option == "add") {
+    if (args.size() != 3) {
+      return interp.WrongNumArgs("history add command");
+    }
+    state->events.push_back(args[2]);
+    while (state->events.size() > state->keep) {
+      state->events.erase(state->events.begin());
+      ++state->first_serial;
+    }
+    interp.ResetResult();
+    return Code::kOk;
+  }
+  if (option == "event") {
+    if (state->events.empty()) {
+      return interp.Error("no history events");
+    }
+    int64_t index = -1;  // Latest.
+    if (args.size() == 3) {
+      std::optional<int64_t> parsed = ParseInt(args[2]);
+      if (!parsed) {
+        return interp.Error("expected integer but got \"" + args[2] + "\"");
+      }
+      index = *parsed;
+    }
+    int64_t slot;
+    if (index < 0) {
+      slot = static_cast<int64_t>(state->events.size()) + index;
+    } else {
+      slot = index - state->first_serial;
+    }
+    if (slot < 0 || slot >= static_cast<int64_t>(state->events.size())) {
+      return interp.Error("event \"" + (args.size() == 3 ? args[2] : std::string("-1")) +
+                          "\" is not in the history");
+    }
+    interp.SetResult(state->events[slot]);
+    return Code::kOk;
+  }
+  if (option == "keep") {
+    if (args.size() == 2) {
+      interp.SetResult(FormatInt(static_cast<int64_t>(state->keep)));
+      return Code::kOk;
+    }
+    std::optional<int64_t> n = ParseInt(args[2]);
+    if (!n || *n < 0) {
+      return interp.Error("illegal keep count \"" + args[2] + "\"");
+    }
+    state->keep = static_cast<size_t>(*n);
+    while (state->events.size() > state->keep) {
+      state->events.erase(state->events.begin());
+      ++state->first_serial;
+    }
+    interp.ResetResult();
+    return Code::kOk;
+  }
+  return interp.Error("bad option \"" + option + "\": must be add, event, or keep");
+}
+
+}  // namespace
+
+void RegisterIoCommands(Interp& interp) {
+  interp.RegisterCommand("puts", PutsCmd);
+  interp.RegisterCommand("print", PrintCmd);
+  interp.RegisterCommand("source", SourceCmd);
+  interp.RegisterCommand("exec", ExecCmd);
+  interp.RegisterCommand("file", FileCmd);
+  interp.RegisterCommand("glob", GlobCmd);
+  interp.RegisterCommand("pwd", PwdCmd);
+  interp.RegisterCommand("cd", CdCmd);
+  interp.RegisterCommand("exit", ExitCmd);
+  auto history = std::make_shared<HistoryState>();
+  interp.RegisterCommand("history", [history](Interp& i, std::vector<std::string>& args) {
+    return HistoryCmd(history, i, args);
+  });
+}
+
+}  // namespace tcl

@@ -1,0 +1,377 @@
+// List commands: list, lindex, llength, lrange, lappend, linsert, lreplace,
+// lsearch, lsort, concat, split, join.  Also registers `index` as an alias
+// for lindex (the pre-7.0 name used in the paper's Figure 9 browser script).
+
+#include <algorithm>
+
+#include "src/tcl/interp.h"
+#include "src/tcl/list.h"
+#include "src/tcl/utils.h"
+
+namespace tcl {
+namespace {
+
+// Parses a list index: a number, or "end" (optionally "end-N").
+Code ParseIndex(Interp& interp, const std::string& text, size_t list_size, int64_t* out) {
+  if (text == "end") {
+    *out = static_cast<int64_t>(list_size) - 1;
+    return Code::kOk;
+  }
+  if (text.rfind("end-", 0) == 0) {
+    std::optional<int64_t> offset = ParseInt(text.substr(4));
+    if (!offset) {
+      return interp.Error("bad index \"" + text + "\": must be integer or end?-integer?");
+    }
+    *out = static_cast<int64_t>(list_size) - 1 - *offset;
+    return Code::kOk;
+  }
+  std::optional<int64_t> value = ParseInt(text);
+  if (!value) {
+    return interp.Error("bad index \"" + text + "\": must be integer or end?-integer?");
+  }
+  *out = *value;
+  return Code::kOk;
+}
+
+Code RequireList(Interp& interp, const std::string& text, std::vector<std::string>* out) {
+  std::string error;
+  std::optional<std::vector<std::string>> list = SplitList(text, &error);
+  if (!list) {
+    return interp.Error(error);
+  }
+  *out = std::move(*list);
+  return Code::kOk;
+}
+
+Code ListCmd(Interp& interp, std::vector<std::string>& args) {
+  std::vector<std::string> elements(args.begin() + 1, args.end());
+  interp.SetResult(MergeList(elements));
+  return Code::kOk;
+}
+
+Code LindexCmd(Interp& interp, std::vector<std::string>& args) {
+  if (args.size() != 3) {
+    return interp.WrongNumArgs(args[0] + " list index");
+  }
+  std::vector<std::string> list;
+  Code code = RequireList(interp, args[1], &list);
+  if (code != Code::kOk) {
+    return code;
+  }
+  int64_t index = 0;
+  code = ParseIndex(interp, args[2], list.size(), &index);
+  if (code != Code::kOk) {
+    return code;
+  }
+  if (index < 0 || index >= static_cast<int64_t>(list.size())) {
+    interp.ResetResult();
+    return Code::kOk;
+  }
+  interp.SetResult(list[index]);
+  return Code::kOk;
+}
+
+Code LlengthCmd(Interp& interp, std::vector<std::string>& args) {
+  if (args.size() != 2) {
+    return interp.WrongNumArgs("llength list");
+  }
+  std::vector<std::string> list;
+  Code code = RequireList(interp, args[1], &list);
+  if (code != Code::kOk) {
+    return code;
+  }
+  interp.SetResult(FormatInt(static_cast<int64_t>(list.size())));
+  return Code::kOk;
+}
+
+Code LrangeCmd(Interp& interp, std::vector<std::string>& args) {
+  if (args.size() != 4) {
+    return interp.WrongNumArgs("lrange list first last");
+  }
+  std::vector<std::string> list;
+  Code code = RequireList(interp, args[1], &list);
+  if (code != Code::kOk) {
+    return code;
+  }
+  int64_t first = 0;
+  int64_t last = 0;
+  code = ParseIndex(interp, args[2], list.size(), &first);
+  if (code != Code::kOk) {
+    return code;
+  }
+  code = ParseIndex(interp, args[3], list.size(), &last);
+  if (code != Code::kOk) {
+    return code;
+  }
+  first = std::max<int64_t>(first, 0);
+  last = std::min<int64_t>(last, static_cast<int64_t>(list.size()) - 1);
+  std::vector<std::string> slice;
+  for (int64_t i = first; i <= last; ++i) {
+    slice.push_back(list[i]);
+  }
+  interp.SetResult(MergeList(slice));
+  return Code::kOk;
+}
+
+Code LappendCmd(Interp& interp, std::vector<std::string>& args) {
+  if (args.size() < 2) {
+    return interp.WrongNumArgs("lappend varName ?value value ...?");
+  }
+  const std::string* existing = interp.GetVarQuiet(args[1]);
+  std::string value = existing != nullptr ? *existing : "";
+  for (size_t i = 2; i < args.size(); ++i) {
+    if (!value.empty()) {
+      value.push_back(' ');
+    }
+    value += QuoteListElement(args[i]);
+  }
+  Code code = interp.SetVar(args[1], value);
+  if (code != Code::kOk) {
+    return code;
+  }
+  interp.SetResult(std::move(value));
+  return Code::kOk;
+}
+
+Code LinsertCmd(Interp& interp, std::vector<std::string>& args) {
+  if (args.size() < 4) {
+    return interp.WrongNumArgs("linsert list index element ?element ...?");
+  }
+  std::vector<std::string> list;
+  Code code = RequireList(interp, args[1], &list);
+  if (code != Code::kOk) {
+    return code;
+  }
+  int64_t index = 0;
+  code = ParseIndex(interp, args[2], list.size() + 1, &index);
+  if (code != Code::kOk) {
+    return code;
+  }
+  if (args[2] == "end") {
+    index = static_cast<int64_t>(list.size());
+  }
+  index = std::clamp<int64_t>(index, 0, static_cast<int64_t>(list.size()));
+  list.insert(list.begin() + index, args.begin() + 3, args.end());
+  interp.SetResult(MergeList(list));
+  return Code::kOk;
+}
+
+Code LreplaceCmd(Interp& interp, std::vector<std::string>& args) {
+  if (args.size() < 4) {
+    return interp.WrongNumArgs("lreplace list first last ?element element ...?");
+  }
+  std::vector<std::string> list;
+  Code code = RequireList(interp, args[1], &list);
+  if (code != Code::kOk) {
+    return code;
+  }
+  int64_t first = 0;
+  int64_t last = 0;
+  code = ParseIndex(interp, args[2], list.size(), &first);
+  if (code != Code::kOk) {
+    return code;
+  }
+  code = ParseIndex(interp, args[3], list.size(), &last);
+  if (code != Code::kOk) {
+    return code;
+  }
+  first = std::clamp<int64_t>(first, 0, static_cast<int64_t>(list.size()));
+  last = std::min<int64_t>(last, static_cast<int64_t>(list.size()) - 1);
+  std::vector<std::string> out(list.begin(), list.begin() + first);
+  out.insert(out.end(), args.begin() + 4, args.end());
+  if (last + 1 < static_cast<int64_t>(list.size()) && last + 1 >= 0) {
+    out.insert(out.end(), list.begin() + last + 1, list.end());
+  } else if (last < first) {
+    out.insert(out.end(), list.begin() + first, list.end());
+  }
+  interp.SetResult(MergeList(out));
+  return Code::kOk;
+}
+
+Code LsearchCmd(Interp& interp, std::vector<std::string>& args) {
+  size_t i = 1;
+  enum class Mode { kExact, kGlob };
+  Mode mode = Mode::kGlob;
+  if (args.size() == 4) {
+    if (args[1] == "-exact") {
+      mode = Mode::kExact;
+    } else if (args[1] == "-glob") {
+      mode = Mode::kGlob;
+    } else {
+      return interp.Error("bad search mode \"" + args[1] + "\": must be -exact or -glob");
+    }
+    ++i;
+  }
+  if (args.size() - i != 2) {
+    return interp.WrongNumArgs("lsearch ?mode? list pattern");
+  }
+  std::vector<std::string> list;
+  Code code = RequireList(interp, args[i], &list);
+  if (code != Code::kOk) {
+    return code;
+  }
+  const std::string& pattern = args[i + 1];
+  for (size_t idx = 0; idx < list.size(); ++idx) {
+    bool matched = mode == Mode::kExact ? list[idx] == pattern : StringMatch(pattern, list[idx]);
+    if (matched) {
+      interp.SetResult(FormatInt(static_cast<int64_t>(idx)));
+      return Code::kOk;
+    }
+  }
+  interp.SetResult("-1");
+  return Code::kOk;
+}
+
+Code LsortCmd(Interp& interp, std::vector<std::string>& args) {
+  size_t i = 1;
+  enum class Mode { kAscii, kInteger, kReal, kCommand };
+  Mode mode = Mode::kAscii;
+  bool decreasing = false;
+  std::string command;
+  while (i < args.size() - 1) {
+    if (args[i] == "-ascii") {
+      mode = Mode::kAscii;
+    } else if (args[i] == "-integer") {
+      mode = Mode::kInteger;
+    } else if (args[i] == "-real") {
+      mode = Mode::kReal;
+    } else if (args[i] == "-increasing") {
+      decreasing = false;
+    } else if (args[i] == "-decreasing") {
+      decreasing = true;
+    } else if (args[i] == "-command" && i + 1 < args.size() - 1) {
+      mode = Mode::kCommand;
+      command = args[i + 1];
+      ++i;
+    } else {
+      return interp.Error("bad lsort option \"" + args[i] + "\"");
+    }
+    ++i;
+  }
+  if (i != args.size() - 1) {
+    return interp.WrongNumArgs("lsort ?options? list");
+  }
+  std::vector<std::string> list;
+  Code code = RequireList(interp, args[i], &list);
+  if (code != Code::kOk) {
+    return code;
+  }
+  Code compare_error = Code::kOk;
+  auto compare = [&](const std::string& a, const std::string& b) -> bool {
+    if (compare_error != Code::kOk) {
+      return false;
+    }
+    int cmp = 0;
+    switch (mode) {
+      case Mode::kAscii:
+        cmp = a.compare(b);
+        break;
+      case Mode::kInteger: {
+        int64_t av = ParseInt(a).value_or(0);
+        int64_t bv = ParseInt(b).value_or(0);
+        cmp = av < bv ? -1 : (av > bv ? 1 : 0);
+        break;
+      }
+      case Mode::kReal: {
+        double av = ParseDouble(a).value_or(0.0);
+        double bv = ParseDouble(b).value_or(0.0);
+        cmp = av < bv ? -1 : (av > bv ? 1 : 0);
+        break;
+      }
+      case Mode::kCommand: {
+        std::string script = command;
+        script.push_back(' ');
+        script += QuoteListElement(a);
+        script.push_back(' ');
+        script += QuoteListElement(b);
+        if (interp.Eval(script) != Code::kOk) {
+          compare_error = Code::kError;
+          return false;
+        }
+        cmp = static_cast<int>(ParseInt(interp.result()).value_or(0));
+        break;
+      }
+    }
+    return decreasing ? cmp > 0 : cmp < 0;
+  };
+  std::stable_sort(list.begin(), list.end(), compare);
+  if (compare_error != Code::kOk) {
+    return compare_error;
+  }
+  interp.SetResult(MergeList(list));
+  return Code::kOk;
+}
+
+Code ConcatCmd(Interp& interp, std::vector<std::string>& args) {
+  std::vector<std::string> parts(args.begin() + 1, args.end());
+  interp.SetResult(ConcatStrings(parts));
+  return Code::kOk;
+}
+
+Code SplitCmd(Interp& interp, std::vector<std::string>& args) {
+  if (args.size() != 2 && args.size() != 3) {
+    return interp.WrongNumArgs("split string ?splitChars?");
+  }
+  const std::string& text = args[1];
+  std::string seps = args.size() == 3 ? args[2] : " \t\n\r";
+  std::vector<std::string> out;
+  if (seps.empty()) {
+    for (char c : text) {
+      out.emplace_back(1, c);
+    }
+  } else {
+    std::string current;
+    for (char c : text) {
+      if (seps.find(c) != std::string::npos) {
+        out.push_back(std::move(current));
+        current.clear();
+      } else {
+        current.push_back(c);
+      }
+    }
+    out.push_back(std::move(current));
+  }
+  interp.SetResult(MergeList(out));
+  return Code::kOk;
+}
+
+Code JoinCmd(Interp& interp, std::vector<std::string>& args) {
+  if (args.size() != 2 && args.size() != 3) {
+    return interp.WrongNumArgs("join list ?joinString?");
+  }
+  std::vector<std::string> list;
+  Code code = RequireList(interp, args[1], &list);
+  if (code != Code::kOk) {
+    return code;
+  }
+  std::string sep = args.size() == 3 ? args[2] : " ";
+  std::string out;
+  for (size_t i = 0; i < list.size(); ++i) {
+    if (i > 0) {
+      out += sep;
+    }
+    out += list[i];
+  }
+  interp.SetResult(std::move(out));
+  return Code::kOk;
+}
+
+}  // namespace
+
+void RegisterListCommands(Interp& interp) {
+  interp.RegisterCommand("list", ListCmd);
+  interp.RegisterCommand("lindex", LindexCmd);
+  interp.RegisterCommand("index", LindexCmd);  // Pre-7.0 alias (paper, Fig. 9).
+  interp.RegisterCommand("llength", LlengthCmd);
+  interp.RegisterCommand("lrange", LrangeCmd);
+  interp.RegisterCommand("lappend", LappendCmd);
+  interp.RegisterCommand("linsert", LinsertCmd);
+  interp.RegisterCommand("lreplace", LreplaceCmd);
+  interp.RegisterCommand("lsearch", LsearchCmd);
+  interp.RegisterCommand("lsort", LsortCmd);
+  interp.RegisterCommand("concat", ConcatCmd);
+  interp.RegisterCommand("split", SplitCmd);
+  interp.RegisterCommand("join", JoinCmd);
+}
+
+}  // namespace tcl

@@ -1,0 +1,209 @@
+// The regexp and regsub commands (present in Tcl since 6.0) plus the
+// Tcl-level `trace` command for variable traces.
+
+#include "src/tcl/interp.h"
+#include "src/tcl/list.h"
+#include "src/tcl/regexp.h"
+#include "src/tcl/utils.h"
+
+namespace tcl {
+namespace {
+
+// regexp ?-nocase? ?-indices? exp string ?matchVar? ?subVar subVar ...?
+Code RegexpCmd(Interp& interp, std::vector<std::string>& args) {
+  size_t i = 1;
+  bool nocase = false;
+  bool indices = false;
+  while (i < args.size() && !args[i].empty() && args[i][0] == '-') {
+    if (args[i] == "-nocase") {
+      nocase = true;
+    } else if (args[i] == "-indices") {
+      indices = true;
+    } else if (args[i] == "--") {
+      ++i;
+      break;
+    } else {
+      return interp.Error("bad switch \"" + args[i] + "\": must be -indices, -nocase, or --");
+    }
+    ++i;
+  }
+  if (args.size() - i < 2) {
+    return interp.WrongNumArgs(
+        "regexp ?switches? exp string ?matchVar? ?subMatchVar subMatchVar ...?");
+  }
+  std::string error;
+  std::unique_ptr<Regexp> re = Regexp::Compile(args[i], nocase, &error);
+  if (re == nullptr) {
+    return interp.Error("couldn't compile regular expression pattern: " + error);
+  }
+  const std::string& subject = args[i + 1];
+  std::vector<RegexpRange> ranges;
+  bool matched = re->Search(subject, 0, &ranges);
+  if (matched) {
+    // Bind match variables.
+    size_t var_index = i + 2;
+    for (size_t r = 0; r < ranges.size() && var_index < args.size(); ++r, ++var_index) {
+      std::string value;
+      if (ranges[r].begin >= 0) {
+        if (indices) {
+          value = FormatInt(ranges[r].begin) + " " + FormatInt(ranges[r].end - 1);
+        } else {
+          value = subject.substr(ranges[r].begin, ranges[r].end - ranges[r].begin);
+        }
+      } else if (indices) {
+        value = "-1 -1";
+      }
+      Code code = interp.SetVar(args[var_index], std::move(value));
+      if (code != Code::kOk) {
+        return code;
+      }
+    }
+    // Unmatched trailing variables get empty values.
+    for (size_t var_index2 = i + 2 + ranges.size(); var_index2 < args.size(); ++var_index2) {
+      interp.SetVar(args[var_index2], indices ? "-1 -1" : "");
+    }
+  }
+  interp.SetResult(matched ? "1" : "0");
+  return Code::kOk;
+}
+
+// regsub ?-nocase? ?-all? exp string subSpec varName
+Code RegsubCmd(Interp& interp, std::vector<std::string>& args) {
+  size_t i = 1;
+  bool nocase = false;
+  bool all = false;
+  while (i < args.size() && !args[i].empty() && args[i][0] == '-') {
+    if (args[i] == "-nocase") {
+      nocase = true;
+    } else if (args[i] == "-all") {
+      all = true;
+    } else if (args[i] == "--") {
+      ++i;
+      break;
+    } else {
+      return interp.Error("bad switch \"" + args[i] + "\": must be -all, -nocase, or --");
+    }
+    ++i;
+  }
+  if (args.size() - i != 4) {
+    return interp.WrongNumArgs("regsub ?switches? exp string subSpec varName");
+  }
+  std::string error;
+  std::unique_ptr<Regexp> re = Regexp::Compile(args[i], nocase, &error);
+  if (re == nullptr) {
+    return interp.Error("couldn't compile regular expression pattern: " + error);
+  }
+  const std::string& subject = args[i + 1];
+  const std::string& spec = args[i + 2];
+  const std::string& var_name = args[i + 3];
+
+  std::string out;
+  size_t pos = 0;
+  int64_t count = 0;
+  std::vector<RegexpRange> ranges;
+  while (pos <= subject.size() && re->Search(subject, pos, &ranges)) {
+    const RegexpRange& whole = ranges[0];
+    out.append(subject, pos, whole.begin - pos);
+    // Expand subSpec: '&' -> whole match, \0..\9 -> groups, \& literal.
+    for (size_t s = 0; s < spec.size(); ++s) {
+      char c = spec[s];
+      if (c == '&') {
+        out.append(subject, whole.begin, whole.end - whole.begin);
+        continue;
+      }
+      if (c == '\\' && s + 1 < spec.size()) {
+        char next = spec[s + 1];
+        if (next >= '0' && next <= '9') {
+          size_t group = static_cast<size_t>(next - '0');
+          if (group < ranges.size() && ranges[group].begin >= 0) {
+            out.append(subject, ranges[group].begin,
+                       ranges[group].end - ranges[group].begin);
+          }
+          ++s;
+          continue;
+        }
+        if (next == '&' || next == '\\') {
+          out.push_back(next);
+          ++s;
+          continue;
+        }
+      }
+      out.push_back(c);
+    }
+    ++count;
+    size_t next_pos = static_cast<size_t>(whole.end);
+    if (whole.end == whole.begin) {
+      // Empty match: copy one char forward to guarantee progress.
+      if (next_pos < subject.size()) {
+        out.push_back(subject[next_pos]);
+      }
+      ++next_pos;
+    }
+    pos = next_pos;
+    if (!all) {
+      break;
+    }
+  }
+  if (pos <= subject.size()) {
+    out.append(subject, pos, subject.size() - pos);
+  }
+  Code code = interp.SetVar(var_name, count > 0 ? out : subject);
+  if (code != Code::kOk) {
+    return code;
+  }
+  interp.SetResult(FormatInt(count));
+  return Code::kOk;
+}
+
+// trace variable name ops command | trace vdelete ... | trace vinfo name
+//
+// Supported ops: any combination of "w" (write) and "u" (unset); the trace
+// command is invoked as `command name1 name2 op`.
+Code TraceCmd(Interp& interp, std::vector<std::string>& args) {
+  if (args.size() < 3) {
+    return interp.WrongNumArgs("trace variable name ops command");
+  }
+  const std::string& option = args[1];
+  if (option == "variable" || option == "w") {
+    if (args.size() != 5) {
+      return interp.WrongNumArgs("trace variable name ops command");
+    }
+    const std::string& ops = args[2 + 1];
+    bool on_write = ops.find('w') != std::string::npos;
+    bool on_unset = ops.find('u') != std::string::npos;
+    if (!on_write && !on_unset) {
+      return interp.Error("bad operations \"" + ops + "\": should be one or more of w or u");
+    }
+    std::string command = args[4];
+    interp.TraceVar(args[2], [command, on_write, on_unset](
+                                 Interp& i, std::string_view name, std::string_view,
+                                 bool unset) {
+      if ((unset && !on_unset) || (!unset && !on_write)) {
+        return;
+      }
+      std::string base(name);
+      std::string index;
+      size_t paren = base.find('(');
+      if (paren != std::string::npos && base.back() == ')') {
+        index = base.substr(paren + 1, base.size() - paren - 2);
+        base = base.substr(0, paren);
+      }
+      std::string script = command + " " + QuoteListElement(base) + " " +
+                           QuoteListElement(index) + " " + (unset ? "u" : "w");
+      i.Eval(script);
+    });
+    interp.ResetResult();
+    return Code::kOk;
+  }
+  return interp.Error("bad option \"" + option + "\": only \"trace variable\" is supported");
+}
+
+}  // namespace
+
+void RegisterRegexpCommands(Interp& interp) {
+  interp.RegisterCommand("regexp", RegexpCmd);
+  interp.RegisterCommand("regsub", RegsubCmd);
+  interp.RegisterCommand("trace", TraceCmd);
+}
+
+}  // namespace tcl

@@ -1,0 +1,460 @@
+// String commands: the `string` ensemble, `format`, and `scan`.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/tcl/interp.h"
+#include "src/tcl/list.h"
+#include "src/tcl/utils.h"
+
+namespace tcl {
+namespace {
+
+Code StringCmd(Interp& interp, std::vector<std::string>& args) {
+  if (args.size() < 3) {
+    return interp.WrongNumArgs("string option arg ?arg ...?");
+  }
+  const std::string& option = args[1];
+  auto arity = [&](size_t n, const char* usage) -> bool {
+    if (args.size() != n) {
+      interp.WrongNumArgs(usage);
+      return false;
+    }
+    return true;
+  };
+  if (option == "compare") {
+    if (!arity(4, "string compare string1 string2")) {
+      return Code::kError;
+    }
+    int cmp = args[2].compare(args[3]);
+    interp.SetResult(FormatInt(cmp < 0 ? -1 : (cmp > 0 ? 1 : 0)));
+    return Code::kOk;
+  }
+  if (option == "match") {
+    if (!arity(4, "string match pattern string")) {
+      return Code::kError;
+    }
+    interp.SetResult(StringMatch(args[2], args[3]) ? "1" : "0");
+    return Code::kOk;
+  }
+  if (option == "length") {
+    if (!arity(3, "string length string")) {
+      return Code::kError;
+    }
+    interp.SetResult(FormatInt(static_cast<int64_t>(args[2].size())));
+    return Code::kOk;
+  }
+  if (option == "index") {
+    if (!arity(4, "string index string charIndex")) {
+      return Code::kError;
+    }
+    std::optional<int64_t> index = ParseInt(args[3]);
+    int64_t idx = 0;
+    if (args[3] == "end") {
+      idx = static_cast<int64_t>(args[2].size()) - 1;
+    } else if (index) {
+      idx = *index;
+    } else {
+      return interp.Error("bad index \"" + args[3] + "\": must be integer or end");
+    }
+    if (idx < 0 || idx >= static_cast<int64_t>(args[2].size())) {
+      interp.ResetResult();
+    } else {
+      interp.SetResult(std::string(1, args[2][idx]));
+    }
+    return Code::kOk;
+  }
+  if (option == "range") {
+    if (!arity(5, "string range string first last")) {
+      return Code::kError;
+    }
+    const std::string& text = args[2];
+    auto parse_end_index = [&](const std::string& spec, int64_t* out) -> bool {
+      if (spec == "end") {
+        *out = static_cast<int64_t>(text.size()) - 1;
+        return true;
+      }
+      std::optional<int64_t> v = ParseInt(spec);
+      if (!v) {
+        return false;
+      }
+      *out = *v;
+      return true;
+    };
+    int64_t first = 0;
+    int64_t last = 0;
+    if (!parse_end_index(args[3], &first) || !parse_end_index(args[4], &last)) {
+      return interp.Error("expected integer or \"end\"");
+    }
+    first = std::max<int64_t>(first, 0);
+    last = std::min<int64_t>(last, static_cast<int64_t>(text.size()) - 1);
+    if (first > last) {
+      interp.ResetResult();
+    } else {
+      interp.SetResult(text.substr(first, last - first + 1));
+    }
+    return Code::kOk;
+  }
+  if (option == "first" || option == "last") {
+    if (args.size() != 4) {
+      return interp.WrongNumArgs("string " + option + " string1 string2");
+    }
+    size_t pos = option == "first" ? args[3].find(args[2]) : args[3].rfind(args[2]);
+    interp.SetResult(
+        FormatInt(pos == std::string::npos ? -1 : static_cast<int64_t>(pos)));
+    return Code::kOk;
+  }
+  if (option == "tolower") {
+    if (!arity(3, "string tolower string")) {
+      return Code::kError;
+    }
+    interp.SetResult(ToLowerAscii(args[2]));
+    return Code::kOk;
+  }
+  if (option == "toupper") {
+    if (!arity(3, "string toupper string")) {
+      return Code::kError;
+    }
+    interp.SetResult(ToUpperAscii(args[2]));
+    return Code::kOk;
+  }
+  if (option == "trim" || option == "trimleft" || option == "trimright") {
+    if (args.size() != 3 && args.size() != 4) {
+      return interp.WrongNumArgs("string " + option + " string ?chars?");
+    }
+    std::string chars = args.size() == 4 ? args[3] : " \t\n\r\f\v";
+    std::string text = args[2];
+    size_t begin = 0;
+    size_t end = text.size();
+    if (option != "trimright") {
+      while (begin < end && chars.find(text[begin]) != std::string::npos) {
+        ++begin;
+      }
+    }
+    if (option != "trimleft") {
+      while (end > begin && chars.find(text[end - 1]) != std::string::npos) {
+        --end;
+      }
+    }
+    interp.SetResult(text.substr(begin, end - begin));
+    return Code::kOk;
+  }
+  if (option == "wordstart" || option == "wordend") {
+    if (!arity(4, "string wordstart string index")) {
+      return Code::kError;
+    }
+    const std::string& text = args[2];
+    std::optional<int64_t> parsed = ParseInt(args[3]);
+    if (!parsed) {
+      return interp.Error("expected integer but got \"" + args[3] + "\"");
+    }
+    int64_t idx = std::clamp<int64_t>(*parsed, 0,
+                                      std::max<int64_t>(0, static_cast<int64_t>(text.size()) - 1));
+    auto is_word = [](char c) {
+      return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+    };
+    if (option == "wordstart") {
+      while (idx > 0 && !text.empty() && is_word(text[idx]) && is_word(text[idx - 1])) {
+        --idx;
+      }
+      interp.SetResult(FormatInt(idx));
+    } else {
+      int64_t end = idx;
+      while (end < static_cast<int64_t>(text.size()) && is_word(text[end])) {
+        ++end;
+      }
+      if (end == idx && end < static_cast<int64_t>(text.size())) {
+        ++end;  // Non-word char: the "word" is that single character.
+      }
+      interp.SetResult(FormatInt(end));
+    }
+    return Code::kOk;
+  }
+  return interp.Error(
+      "bad option \"" + option +
+      "\": should be compare, first, index, last, length, match, range, tolower, toupper, "
+      "trim, trimleft, trimright, wordend, or wordstart");
+}
+
+// `format spec arg arg ...` -- a faithful subset of sprintf.
+Code FormatCmd(Interp& interp, std::vector<std::string>& args) {
+  if (args.size() < 2) {
+    return interp.WrongNumArgs("format formatString ?arg arg ...?");
+  }
+  const std::string& spec = args[1];
+  std::string out;
+  size_t arg_index = 2;
+  size_t i = 0;
+  while (i < spec.size()) {
+    char c = spec[i];
+    if (c != '%') {
+      out.push_back(c);
+      ++i;
+      continue;
+    }
+    ++i;
+    if (i < spec.size() && spec[i] == '%') {
+      out.push_back('%');
+      ++i;
+      continue;
+    }
+    // Collect the conversion spec: flags, width, precision.
+    std::string conv = "%";
+    while (i < spec.size() && std::strchr("-+ #0", spec[i]) != nullptr) {
+      conv.push_back(spec[i]);
+      ++i;
+    }
+    auto fetch_arg = [&](std::string* value) -> bool {
+      if (arg_index >= args.size()) {
+        return false;
+      }
+      *value = args[arg_index];
+      ++arg_index;
+      return true;
+    };
+    // Width (possibly '*').
+    if (i < spec.size() && spec[i] == '*') {
+      std::string width_arg;
+      if (!fetch_arg(&width_arg)) {
+        return interp.Error("not enough arguments for all format specifiers");
+      }
+      conv += FormatInt(ParseInt(width_arg).value_or(0));
+      ++i;
+    } else {
+      while (i < spec.size() && std::isdigit(static_cast<unsigned char>(spec[i]))) {
+        conv.push_back(spec[i]);
+        ++i;
+      }
+    }
+    if (i < spec.size() && spec[i] == '.') {
+      conv.push_back('.');
+      ++i;
+      if (i < spec.size() && spec[i] == '*') {
+        std::string prec_arg;
+        if (!fetch_arg(&prec_arg)) {
+          return interp.Error("not enough arguments for all format specifiers");
+        }
+        conv += FormatInt(ParseInt(prec_arg).value_or(0));
+        ++i;
+      } else {
+        while (i < spec.size() && std::isdigit(static_cast<unsigned char>(spec[i]))) {
+          conv.push_back(spec[i]);
+          ++i;
+        }
+      }
+    }
+    // Skip length modifiers (h, l) -- we always use the widest type.
+    while (i < spec.size() && (spec[i] == 'h' || spec[i] == 'l')) {
+      ++i;
+    }
+    if (i >= spec.size()) {
+      return interp.Error("format string ended in middle of field specifier");
+    }
+    char kind = spec[i];
+    ++i;
+    std::string value;
+    if (!fetch_arg(&value)) {
+      return interp.Error("not enough arguments for all format specifiers");
+    }
+    char buf[512];
+    switch (kind) {
+      case 'd':
+      case 'i':
+      case 'o':
+      case 'u':
+      case 'x':
+      case 'X': {
+        std::optional<int64_t> v = ParseInt(value);
+        if (!v) {
+          if (std::optional<double> dv = ParseDouble(value)) {
+            v = static_cast<int64_t>(*dv);
+          } else {
+            return interp.Error("expected integer but got \"" + value + "\"");
+          }
+        }
+        conv += "ll";
+        conv.push_back(kind == 'i' ? 'd' : kind);
+        std::snprintf(buf, sizeof(buf), conv.c_str(), static_cast<long long>(*v));
+        out += buf;
+        break;
+      }
+      case 'c': {
+        std::optional<int64_t> v = ParseInt(value);
+        if (!v) {
+          return interp.Error("expected integer but got \"" + value + "\"");
+        }
+        conv.push_back('c');
+        std::snprintf(buf, sizeof(buf), conv.c_str(), static_cast<int>(*v));
+        out += buf;
+        break;
+      }
+      case 'e':
+      case 'E':
+      case 'f':
+      case 'g':
+      case 'G': {
+        std::optional<double> v = ParseDouble(value);
+        if (!v) {
+          return interp.Error("expected floating-point number but got \"" + value + "\"");
+        }
+        conv.push_back(kind);
+        std::snprintf(buf, sizeof(buf), conv.c_str(), *v);
+        out += buf;
+        break;
+      }
+      case 's': {
+        conv.push_back('s');
+        // Strings can exceed the stack buffer; use the dynamic overload.
+        int needed = std::snprintf(nullptr, 0, conv.c_str(), value.c_str());
+        std::string formatted(needed > 0 ? needed : 0, '\0');
+        std::snprintf(formatted.data(), formatted.size() + 1, conv.c_str(), value.c_str());
+        out += formatted;
+        break;
+      }
+      default:
+        return interp.Error(std::string("bad field specifier \"") + kind + "\"");
+    }
+  }
+  interp.SetResult(std::move(out));
+  return Code::kOk;
+}
+
+// `scan string format var var ...`
+Code ScanCmd(Interp& interp, std::vector<std::string>& args) {
+  if (args.size() < 3) {
+    return interp.WrongNumArgs("scan string format ?varName varName ...?");
+  }
+  const std::string& input = args[1];
+  const std::string& spec = args[2];
+  size_t var_index = 3;
+  size_t ipos = 0;
+  int64_t conversions = 0;
+  size_t s = 0;
+  auto skip_space = [&]() {
+    while (ipos < input.size() && std::isspace(static_cast<unsigned char>(input[ipos]))) {
+      ++ipos;
+    }
+  };
+  while (s < spec.size()) {
+    char c = spec[s];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      skip_space();
+      ++s;
+      continue;
+    }
+    if (c != '%') {
+      if (ipos < input.size() && input[ipos] == c) {
+        ++ipos;
+        ++s;
+        continue;
+      }
+      break;
+    }
+    ++s;
+    if (s >= spec.size()) {
+      break;
+    }
+    // Optional width.
+    size_t width = 0;
+    while (s < spec.size() && std::isdigit(static_cast<unsigned char>(spec[s]))) {
+      width = width * 10 + (spec[s] - '0');
+      ++s;
+    }
+    if (s >= spec.size()) {
+      break;
+    }
+    char kind = spec[s];
+    ++s;
+    std::string token;
+    if (kind == 'c') {
+      if (ipos >= input.size()) {
+        break;
+      }
+      token = std::string(1, input[ipos]);
+      ++ipos;
+      if (var_index >= args.size()) {
+        return interp.Error("not enough variables for all conversions");
+      }
+      interp.SetVar(args[var_index], FormatInt(static_cast<unsigned char>(token[0])));
+      ++var_index;
+      ++conversions;
+      continue;
+    }
+    skip_space();
+    size_t start = ipos;
+    size_t limit = width > 0 ? std::min(input.size(), ipos + width) : input.size();
+    if (kind == 'd' || kind == 'o' || kind == 'x') {
+      if (ipos < limit && (input[ipos] == '-' || input[ipos] == '+')) {
+        ++ipos;
+      }
+      auto is_digit_for = [&](char ch) {
+        if (kind == 'x') {
+          return std::isxdigit(static_cast<unsigned char>(ch)) != 0;
+        }
+        if (kind == 'o') {
+          return ch >= '0' && ch <= '7';
+        }
+        return std::isdigit(static_cast<unsigned char>(ch)) != 0;
+      };
+      while (ipos < limit && is_digit_for(input[ipos])) {
+        ++ipos;
+      }
+      if (ipos == start) {
+        break;
+      }
+      token = input.substr(start, ipos - start);
+      int base = kind == 'd' ? 10 : (kind == 'o' ? 8 : 16);
+      long long value = std::strtoll(token.c_str(), nullptr, base);
+      if (var_index >= args.size()) {
+        return interp.Error("not enough variables for all conversions");
+      }
+      interp.SetVar(args[var_index], FormatInt(value));
+    } else if (kind == 'f' || kind == 'e' || kind == 'g') {
+      while (ipos < limit &&
+             (std::isdigit(static_cast<unsigned char>(input[ipos])) ||
+              std::strchr("+-.eE", input[ipos]) != nullptr)) {
+        ++ipos;
+      }
+      if (ipos == start) {
+        break;
+      }
+      token = input.substr(start, ipos - start);
+      std::optional<double> value = ParseDouble(token);
+      if (!value) {
+        break;
+      }
+      if (var_index >= args.size()) {
+        return interp.Error("not enough variables for all conversions");
+      }
+      interp.SetVar(args[var_index], FormatDouble(*value));
+    } else if (kind == 's') {
+      while (ipos < limit && !std::isspace(static_cast<unsigned char>(input[ipos]))) {
+        ++ipos;
+      }
+      token = input.substr(start, ipos - start);
+      if (var_index >= args.size()) {
+        return interp.Error("not enough variables for all conversions");
+      }
+      interp.SetVar(args[var_index], token);
+    } else {
+      return interp.Error(std::string("bad scan conversion character \"") + kind + "\"");
+    }
+    ++var_index;
+    ++conversions;
+  }
+  interp.SetResult(FormatInt(conversions));
+  return Code::kOk;
+}
+
+}  // namespace
+
+void RegisterStringCommands(Interp& interp) {
+  interp.RegisterCommand("string", StringCmd);
+  interp.RegisterCommand("format", FormatCmd);
+  interp.RegisterCommand("scan", ScanCmd);
+}
+
+}  // namespace tcl

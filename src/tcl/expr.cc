@@ -1,0 +1,845 @@
+#include "src/tcl/expr.h"
+
+#include <cctype>
+#include <cmath>
+#include <optional>
+
+#include "src/tcl/interp.h"
+#include "src/tcl/parser.h"
+#include "src/tcl/utils.h"
+
+namespace tcl {
+namespace {
+
+// A value flowing through the expression evaluator.  The original string
+// form is kept for string comparison operators.
+struct Value {
+  enum class Type { kInt, kDouble, kString };
+  Type type = Type::kInt;
+  int64_t i = 0;
+  double d = 0.0;
+  std::string s;
+
+  static Value Int(int64_t v) {
+    Value out;
+    out.type = Type::kInt;
+    out.i = v;
+    return out;
+  }
+  static Value Double(double v) {
+    Value out;
+    out.type = Type::kDouble;
+    out.d = v;
+    return out;
+  }
+  static Value String(std::string v) {
+    Value out;
+    out.type = Type::kString;
+    out.s = std::move(v);
+    return out;
+  }
+  // Classifies a raw string: integer if it parses fully as one, then double,
+  // else string.
+  static Value Classify(std::string v) {
+    if (std::optional<int64_t> as_int = ParseInt(v)) {
+      Value out = Int(*as_int);
+      out.s = std::move(v);
+      return out;
+    }
+    if (std::optional<double> as_double = ParseDouble(v)) {
+      Value out = Double(*as_double);
+      out.s = std::move(v);
+      return out;
+    }
+    return String(std::move(v));
+  }
+
+  bool IsNumeric() const { return type != Type::kString; }
+  double AsDouble() const { return type == Type::kInt ? static_cast<double>(i) : d; }
+  std::string Print() const {
+    switch (type) {
+      case Type::kInt:
+        return FormatInt(i);
+      case Type::kDouble:
+        return FormatDouble(d);
+      case Type::kString:
+        return s;
+    }
+    return "";
+  }
+  std::string AsComparableString() const {
+    // For string comparisons, prefer the original spelling when we have one.
+    if (!s.empty() || type == Type::kString) {
+      return s;
+    }
+    return Print();
+  }
+};
+
+class ExprParser {
+ public:
+  ExprParser(Interp& interp, std::string_view text) : interp_(interp), text_(text) {}
+
+  Code Parse(Value* out) {
+    Code code = ParseTernary(/*evaluate=*/true, out);
+    if (code != Code::kOk) {
+      return code;
+    }
+    SkipSpace();
+    if (pos_ < text_.size()) {
+      return Syntax();
+    }
+    return Code::kOk;
+  }
+
+ private:
+  Code Syntax() {
+    return interp_.Error("syntax error in expression \"" + std::string(text_) + "\"");
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  // ternary: lor ('?' ternary ':' ternary)?
+  Code ParseTernary(bool evaluate, Value* out) {
+    Code code = ParseBinary(0, evaluate, out);
+    if (code != Code::kOk) {
+      return code;
+    }
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '?') {
+      ++pos_;
+      bool cond = false;
+      if (evaluate) {
+        if (!ToBoolean(*out, &cond)) {
+          return NonNumeric(*out);
+        }
+      }
+      Value then_value;
+      Value else_value;
+      code = ParseTernary(evaluate && cond, &then_value);
+      if (code != Code::kOk) {
+        return code;
+      }
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Syntax();
+      }
+      ++pos_;
+      code = ParseTernary(evaluate && !cond, &else_value);
+      if (code != Code::kOk) {
+        return code;
+      }
+      if (evaluate) {
+        *out = cond ? then_value : else_value;
+      }
+    }
+    return Code::kOk;
+  }
+
+  struct OpInfo {
+    std::string_view token;
+    int precedence;
+  };
+
+  // Binary operators from lowest (0) to highest precedence level.
+  static constexpr int kMaxPrecedence = 10;
+
+  // Returns the operator at the current position with precedence == level, or
+  // empty if none.
+  std::string_view MatchBinaryOp(int level) {
+    static const OpInfo kOps[] = {
+        {"||", 0}, {"&&", 1}, {"|", 2},  {"^", 3},  {"&", 4},  {"==", 5}, {"!=", 5},
+        {"<=", 6}, {">=", 6}, {"<<", 7}, {">>", 7}, {"<", 6},  {">", 6},  {"+", 8},
+        {"-", 8},  {"*", 9},  {"/", 9},  {"%", 9},
+    };
+    SkipSpace();
+    for (const OpInfo& op : kOps) {
+      if (op.precedence != level) {
+        continue;
+      }
+      if (text_.substr(pos_, op.token.size()) == op.token) {
+        // Avoid matching '<' when the text is '<<' or '<=' (those appear
+        // earlier in the table but have different precedence levels).
+        if (op.token == "<" || op.token == ">") {
+          char next = pos_ + 1 < text_.size() ? text_[pos_ + 1] : '\0';
+          if (next == '<' || next == '>' || next == '=') {
+            continue;
+          }
+        }
+        if (op.token == "|" && pos_ + 1 < text_.size() && text_[pos_ + 1] == '|') {
+          continue;
+        }
+        if (op.token == "&" && pos_ + 1 < text_.size() && text_[pos_ + 1] == '&') {
+          continue;
+        }
+        return op.token;
+      }
+    }
+    return {};
+  }
+
+  Code ParseBinary(int level, bool evaluate, Value* out) {
+    if (level > kMaxPrecedence) {
+      return ParseUnary(evaluate, out);
+    }
+    Code code = ParseBinary(level + 1, evaluate, out);
+    if (code != Code::kOk) {
+      return code;
+    }
+    while (true) {
+      std::string_view op = MatchBinaryOp(level);
+      if (op.empty()) {
+        return Code::kOk;
+      }
+      pos_ += op.size();
+      bool rhs_evaluate = evaluate;
+      bool short_circuited = false;
+      if (evaluate && (op == "&&" || op == "||")) {
+        bool lhs_bool = false;
+        if (!ToBoolean(*out, &lhs_bool)) {
+          return NonNumeric(*out);
+        }
+        if ((op == "&&" && !lhs_bool) || (op == "||" && lhs_bool)) {
+          rhs_evaluate = false;
+          short_circuited = true;
+          *out = Value::Int(lhs_bool ? 1 : 0);
+        }
+      }
+      Value rhs;
+      code = ParseBinary(level + 1, rhs_evaluate, &rhs);
+      if (code != Code::kOk) {
+        return code;
+      }
+      if (!evaluate || short_circuited) {
+        continue;
+      }
+      code = ApplyBinary(op, *out, rhs, out);
+      if (code != Code::kOk) {
+        return code;
+      }
+    }
+  }
+
+  Code ParseUnary(bool evaluate, Value* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return Syntax();
+    }
+    char c = text_[pos_];
+    if (c == '-' || c == '+' || c == '!' || c == '~') {
+      ++pos_;
+      Code code = ParseUnary(evaluate, out);
+      if (code != Code::kOk) {
+        return code;
+      }
+      if (!evaluate) {
+        return Code::kOk;
+      }
+      switch (c) {
+        case '-':
+          if (out->type == Value::Type::kInt) {
+            *out = Value::Int(-out->i);
+          } else if (out->type == Value::Type::kDouble) {
+            *out = Value::Double(-out->d);
+          } else {
+            return NonNumeric(*out);
+          }
+          return Code::kOk;
+        case '+':
+          if (!out->IsNumeric()) {
+            return NonNumeric(*out);
+          }
+          return Code::kOk;
+        case '!': {
+          bool b = false;
+          if (!ToBoolean(*out, &b)) {
+            return NonNumeric(*out);
+          }
+          *out = Value::Int(b ? 0 : 1);
+          return Code::kOk;
+        }
+        case '~':
+          if (out->type != Value::Type::kInt) {
+            return interp_.Error("can't use non-integer operand with \"~\"");
+          }
+          *out = Value::Int(~out->i);
+          return Code::kOk;
+      }
+    }
+    return ParsePrimary(evaluate, out);
+  }
+
+  Code ParsePrimary(bool evaluate, Value* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return Syntax();
+    }
+    char c = text_[pos_];
+    if (c == '(') {
+      ++pos_;
+      Code code = ParseTernary(evaluate, out);
+      if (code != Code::kOk) {
+        return code;
+      }
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ')') {
+        return interp_.Error("unbalanced parentheses in expression");
+      }
+      ++pos_;
+      return Code::kOk;
+    }
+    if (c == '$') {
+      std::string value;
+      if (evaluate) {
+        Code code = SubstVar(interp_, text_, &pos_, &value);
+        if (code != Code::kOk) {
+          return code;
+        }
+        *out = Value::Classify(std::move(value));
+      } else {
+        SkipVariable();
+      }
+      return Code::kOk;
+    }
+    if (c == '[') {
+      if (evaluate) {
+        ++pos_;
+        Code code = EvalScript(interp_, text_, ']', &pos_);
+        if (code != Code::kOk) {
+          return code;
+        }
+        *out = Value::Classify(interp_.result());
+      } else {
+        SkipBracketedCommand();
+      }
+      return Code::kOk;
+    }
+    if (c == '"') {
+      ++pos_;
+      std::string value;
+      while (pos_ < text_.size() && text_[pos_] != '"') {
+        char qc = text_[pos_];
+        if (qc == '\\') {
+          BackslashSubst(text_, &pos_, &value);
+          continue;
+        }
+        if (qc == '$') {
+          if (evaluate) {
+            Code code = SubstVar(interp_, text_, &pos_, &value);
+            if (code != Code::kOk) {
+              return code;
+            }
+          } else {
+            SkipVariable();
+          }
+          continue;
+        }
+        if (qc == '[') {
+          if (evaluate) {
+            ++pos_;
+            Code code = EvalScript(interp_, text_, ']', &pos_);
+            if (code != Code::kOk) {
+              return code;
+            }
+            value.append(interp_.result());
+          } else {
+            SkipBracketedCommand();
+          }
+          continue;
+        }
+        value.push_back(qc);
+        ++pos_;
+      }
+      if (pos_ >= text_.size()) {
+        return interp_.Error("missing \" in expression");
+      }
+      ++pos_;
+      if (evaluate) {
+        *out = Value::Classify(std::move(value));
+        // A quoted operand is always treated as a string for comparisons but
+        // retains numeric value; keep original spelling in s.
+      }
+      return Code::kOk;
+    }
+    if (c == '{') {
+      std::string value;
+      Code code = ParseBracedWord(interp_, text_, &pos_, &value);
+      if (code != Code::kOk) {
+        return code;
+      }
+      if (evaluate) {
+        *out = Value::Classify(std::move(value));
+      }
+      return Code::kOk;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+      return ParseNumber(evaluate, out);
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return ParseFunctionCall(evaluate, out);
+    }
+    return Syntax();
+  }
+
+  Code ParseNumber(bool evaluate, Value* out) {
+    size_t start = pos_;
+    // Scan the longest run that could be part of a number.
+    bool saw_dot = false;
+    bool saw_exp = false;
+    bool is_hex = false;
+    if (text_.substr(pos_, 2) == "0x" || text_.substr(pos_, 2) == "0X") {
+      is_hex = true;
+      pos_ += 2;
+      while (pos_ < text_.size() && std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    } else {
+      while (pos_ < text_.size()) {
+        char c = text_[pos_];
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+          ++pos_;
+        } else if (c == '.' && !saw_dot && !saw_exp) {
+          saw_dot = true;
+          ++pos_;
+        } else if ((c == 'e' || c == 'E') && !saw_exp && pos_ > start) {
+          // Lookahead: must be followed by digits or sign+digits.
+          size_t next = pos_ + 1;
+          if (next < text_.size() && (text_[next] == '+' || text_[next] == '-')) {
+            ++next;
+          }
+          if (next < text_.size() && std::isdigit(static_cast<unsigned char>(text_[next]))) {
+            saw_exp = true;
+            pos_ = next + 1;
+          } else {
+            break;
+          }
+        } else {
+          break;
+        }
+      }
+    }
+    std::string_view token = text_.substr(start, pos_ - start);
+    if (!evaluate) {
+      return Code::kOk;
+    }
+    if (!saw_dot && !saw_exp) {
+      if (std::optional<int64_t> v = ParseInt(token)) {
+        *out = Value::Int(*v);
+        return Code::kOk;
+      }
+    }
+    if (!is_hex) {
+      if (std::optional<double> v = ParseDouble(token)) {
+        *out = Value::Double(*v);
+        return Code::kOk;
+      }
+    }
+    return Syntax();
+  }
+
+  Code ParseFunctionCall(bool evaluate, Value* out) {
+    size_t start = pos_;
+    while (pos_ < text_.size() && (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                                   text_[pos_] == '_')) {
+      ++pos_;
+    }
+    std::string name(text_.substr(start, pos_ - start));
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '(') {
+      // Bare words like `true`/`false` read as booleans.
+      if (std::optional<bool> b = ParseBool(name)) {
+        if (evaluate) {
+          *out = Value::Int(*b ? 1 : 0);
+        }
+        return Code::kOk;
+      }
+      return interp_.Error("unknown operator or function \"" + name + "\" in expression");
+    }
+    ++pos_;
+    std::vector<Value> args;
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ')') {
+      ++pos_;
+    } else {
+      while (true) {
+        Value arg;
+        Code code = ParseTernary(evaluate, &arg);
+        if (code != Code::kOk) {
+          return code;
+        }
+        args.push_back(std::move(arg));
+        SkipSpace();
+        if (pos_ < text_.size() && text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (pos_ < text_.size() && text_[pos_] == ')') {
+          ++pos_;
+          break;
+        }
+        return Syntax();
+      }
+    }
+    if (!evaluate) {
+      return Code::kOk;
+    }
+    return ApplyFunction(name, args, out);
+  }
+
+  void SkipVariable() {
+    ++pos_;  // '$'
+    if (pos_ < text_.size() && text_[pos_] == '{') {
+      while (pos_ < text_.size() && text_[pos_] != '}') {
+        ++pos_;
+      }
+      if (pos_ < text_.size()) {
+        ++pos_;
+      }
+      return;
+    }
+    while (pos_ < text_.size() && (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                                   text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '(') {
+      int depth = 1;
+      ++pos_;
+      while (pos_ < text_.size() && depth > 0) {
+        if (text_[pos_] == '(') {
+          ++depth;
+        } else if (text_[pos_] == ')') {
+          --depth;
+        }
+        ++pos_;
+      }
+    }
+  }
+
+  void SkipBracketedCommand() {
+    int depth = 1;
+    ++pos_;
+    while (pos_ < text_.size() && depth > 0) {
+      char c = text_[pos_];
+      if (c == '\\' && pos_ + 1 < text_.size()) {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '[') {
+        ++depth;
+      } else if (c == ']') {
+        --depth;
+      }
+      ++pos_;
+    }
+  }
+
+  bool ToBoolean(const Value& v, bool* out) {
+    switch (v.type) {
+      case Value::Type::kInt:
+        *out = v.i != 0;
+        return true;
+      case Value::Type::kDouble:
+        *out = v.d != 0.0;
+        return true;
+      case Value::Type::kString: {
+        if (std::optional<bool> b = ParseBool(v.s)) {
+          *out = *b;
+          return true;
+        }
+        return false;
+      }
+    }
+    return false;
+  }
+
+  Code NonNumeric(const Value& v) {
+    return interp_.Error("expected boolean or numeric value but got \"" +
+                         v.AsComparableString() + "\"");
+  }
+
+  Code ApplyBinary(std::string_view op, const Value& lhs, const Value& rhs, Value* out) {
+    // Comparison operators handle strings.
+    bool is_comparison = (op == "==" || op == "!=" || op == "<" || op == ">" || op == "<=" ||
+                          op == ">=");
+    if (is_comparison && (!lhs.IsNumeric() || !rhs.IsNumeric())) {
+      int cmp = lhs.AsComparableString().compare(rhs.AsComparableString());
+      bool result = false;
+      if (op == "==") {
+        result = cmp == 0;
+      } else if (op == "!=") {
+        result = cmp != 0;
+      } else if (op == "<") {
+        result = cmp < 0;
+      } else if (op == ">") {
+        result = cmp > 0;
+      } else if (op == "<=") {
+        result = cmp <= 0;
+      } else {
+        result = cmp >= 0;
+      }
+      *out = Value::Int(result ? 1 : 0);
+      return Code::kOk;
+    }
+    if (op == "&&" || op == "||") {
+      bool lb = false;
+      bool rb = false;
+      if (!ToBoolean(lhs, &lb)) {
+        return NonNumeric(lhs);
+      }
+      if (!ToBoolean(rhs, &rb)) {
+        return NonNumeric(rhs);
+      }
+      *out = Value::Int(op == "&&" ? (lb && rb) : (lb || rb));
+      return Code::kOk;
+    }
+    bool int_only = (op == "%" || op == "<<" || op == ">>" || op == "&" || op == "|" ||
+                     op == "^");
+    if (int_only) {
+      if (lhs.type != Value::Type::kInt || rhs.type != Value::Type::kInt) {
+        return interp_.Error("can't use non-integer operand with \"" + std::string(op) + "\"");
+      }
+      int64_t a = lhs.i;
+      int64_t b = rhs.i;
+      if (op == "%") {
+        if (b == 0) {
+          return interp_.Error("divide by zero");
+        }
+        // Tcl defines % so the remainder has the sign of the divisor.
+        int64_t rem = a % b;
+        if (rem != 0 && ((rem < 0) != (b < 0))) {
+          rem += b;
+        }
+        *out = Value::Int(rem);
+      } else if (op == "<<") {
+        *out = Value::Int(static_cast<int64_t>(static_cast<uint64_t>(a)
+                                               << (static_cast<uint64_t>(b) & 63)));
+      } else if (op == ">>") {
+        *out = Value::Int(a >> (static_cast<uint64_t>(b) & 63));
+      } else if (op == "&") {
+        *out = Value::Int(a & b);
+      } else if (op == "|") {
+        *out = Value::Int(a | b);
+      } else {
+        *out = Value::Int(a ^ b);
+      }
+      return Code::kOk;
+    }
+    if (!lhs.IsNumeric()) {
+      return NonNumeric(lhs);
+    }
+    if (!rhs.IsNumeric()) {
+      return NonNumeric(rhs);
+    }
+    bool use_double = lhs.type == Value::Type::kDouble || rhs.type == Value::Type::kDouble;
+    if (is_comparison) {
+      bool result = false;
+      if (use_double) {
+        double a = lhs.AsDouble();
+        double b = rhs.AsDouble();
+        result = op == "==" ? a == b
+                 : op == "!=" ? a != b
+                 : op == "<"  ? a < b
+                 : op == ">"  ? a > b
+                 : op == "<=" ? a <= b
+                              : a >= b;
+      } else {
+        int64_t a = lhs.i;
+        int64_t b = rhs.i;
+        result = op == "==" ? a == b
+                 : op == "!=" ? a != b
+                 : op == "<"  ? a < b
+                 : op == ">"  ? a > b
+                 : op == "<=" ? a <= b
+                              : a >= b;
+      }
+      *out = Value::Int(result ? 1 : 0);
+      return Code::kOk;
+    }
+    if (use_double) {
+      double a = lhs.AsDouble();
+      double b = rhs.AsDouble();
+      if (op == "+") {
+        *out = Value::Double(a + b);
+      } else if (op == "-") {
+        *out = Value::Double(a - b);
+      } else if (op == "*") {
+        *out = Value::Double(a * b);
+      } else if (op == "/") {
+        if (b == 0.0) {
+          return interp_.Error("divide by zero");
+        }
+        *out = Value::Double(a / b);
+      } else {
+        return Syntax();
+      }
+      return Code::kOk;
+    }
+    int64_t a = lhs.i;
+    int64_t b = rhs.i;
+    if (op == "+") {
+      *out = Value::Int(a + b);
+    } else if (op == "-") {
+      *out = Value::Int(a - b);
+    } else if (op == "*") {
+      *out = Value::Int(a * b);
+    } else if (op == "/") {
+      if (b == 0) {
+        return interp_.Error("divide by zero");
+      }
+      // Tcl division truncates toward negative infinity.
+      int64_t quot = a / b;
+      if ((a % b != 0) && ((a < 0) != (b < 0))) {
+        --quot;
+      }
+      *out = Value::Int(quot);
+    } else {
+      return Syntax();
+    }
+    return Code::kOk;
+  }
+
+  Code ApplyFunction(const std::string& name, const std::vector<Value>& args, Value* out) {
+    auto need = [&](size_t n) -> bool { return args.size() == n; };
+    auto arg_double = [&](size_t idx) { return args[idx].AsDouble(); };
+    auto numeric_args = [&]() {
+      for (const Value& v : args) {
+        if (!v.IsNumeric()) {
+          return false;
+        }
+      }
+      return true;
+    };
+    if (!numeric_args()) {
+      return interp_.Error("argument to math function didn't have numeric value");
+    }
+    if (name == "abs" && need(1)) {
+      if (args[0].type == Value::Type::kInt) {
+        *out = Value::Int(args[0].i < 0 ? -args[0].i : args[0].i);
+      } else {
+        *out = Value::Double(std::fabs(args[0].d));
+      }
+      return Code::kOk;
+    }
+    if (name == "int" && need(1)) {
+      *out = Value::Int(static_cast<int64_t>(arg_double(0)));
+      return Code::kOk;
+    }
+    if (name == "double" && need(1)) {
+      *out = Value::Double(arg_double(0));
+      return Code::kOk;
+    }
+    if (name == "round" && need(1)) {
+      *out = Value::Int(static_cast<int64_t>(std::llround(arg_double(0))));
+      return Code::kOk;
+    }
+    struct UnaryFn {
+      const char* name;
+      double (*fn)(double);
+    };
+    static const UnaryFn kUnary[] = {
+        {"sin", std::sin},     {"cos", std::cos},   {"tan", std::tan},   {"asin", std::asin},
+        {"acos", std::acos},   {"atan", std::atan}, {"sinh", std::sinh}, {"cosh", std::cosh},
+        {"tanh", std::tanh},   {"exp", std::exp},   {"log", std::log},   {"log10", std::log10},
+        {"sqrt", std::sqrt},   {"floor", std::floor}, {"ceil", std::ceil},
+    };
+    for (const UnaryFn& fn : kUnary) {
+      if (name == fn.name) {
+        if (!need(1)) {
+          return interp_.Error("too many arguments for math function");
+        }
+        double result = fn.fn(arg_double(0));
+        if (std::isnan(result)) {
+          return interp_.Error("domain error: argument not in valid range");
+        }
+        *out = Value::Double(result);
+        return Code::kOk;
+      }
+    }
+    if (name == "pow" && need(2)) {
+      *out = Value::Double(std::pow(arg_double(0), arg_double(1)));
+      return Code::kOk;
+    }
+    if (name == "atan2" && need(2)) {
+      *out = Value::Double(std::atan2(arg_double(0), arg_double(1)));
+      return Code::kOk;
+    }
+    if (name == "hypot" && need(2)) {
+      *out = Value::Double(std::hypot(arg_double(0), arg_double(1)));
+      return Code::kOk;
+    }
+    if (name == "fmod" && need(2)) {
+      if (arg_double(1) == 0.0) {
+        return interp_.Error("divide by zero");
+      }
+      *out = Value::Double(std::fmod(arg_double(0), arg_double(1)));
+      return Code::kOk;
+    }
+    return interp_.Error("unknown math function \"" + name + "\"");
+  }
+
+  Interp& interp_;
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Code ExprEval(Interp& interp, std::string_view text, std::string* result) {
+  ExprParser parser(interp, text);
+  Value value;
+  Code code = parser.Parse(&value);
+  if (code != Code::kOk) {
+    return code;
+  }
+  *result = value.Print();
+  return Code::kOk;
+}
+
+Code ExprBoolean(Interp& interp, std::string_view text, bool* out) {
+  std::string result;
+  Code code = ExprEval(interp, text, &result);
+  if (code != Code::kOk) {
+    return code;
+  }
+  if (std::optional<bool> b = ParseBool(result)) {
+    *out = *b;
+    return Code::kOk;
+  }
+  return interp.Error("expected boolean value but got \"" + result + "\"");
+}
+
+Code ExprInt(Interp& interp, std::string_view text, int64_t* out) {
+  std::string result;
+  Code code = ExprEval(interp, text, &result);
+  if (code != Code::kOk) {
+    return code;
+  }
+  if (std::optional<int64_t> v = ParseInt(result)) {
+    *out = *v;
+    return Code::kOk;
+  }
+  if (std::optional<double> v = ParseDouble(result)) {
+    *out = static_cast<int64_t>(*v);
+    return Code::kOk;
+  }
+  return interp.Error("expected integer but got \"" + result + "\"");
+}
+
+Code ExprDoubleValue(Interp& interp, std::string_view text, double* out) {
+  std::string result;
+  Code code = ExprEval(interp, text, &result);
+  if (code != Code::kOk) {
+    return code;
+  }
+  if (std::optional<double> v = ParseDouble(result)) {
+    *out = *v;
+    return Code::kOk;
+  }
+  return interp.Error("expected floating-point number but got \"" + result + "\"");
+}
+
+}  // namespace tcl

@@ -1,0 +1,39 @@
+// The Tcl arithmetic expression engine (the `expr` command and the
+// conditions of `if`, `while` and `for`).
+//
+// Expressions follow C syntax and precedence, operate on integers, doubles
+// and strings, and perform their own $variable / [command] substitution so
+// that short-circuit operators (&&, ||, ?:) only evaluate the operands they
+// need -- exactly the semantics scripts in the paper rely on, e.g.
+// `if {[string compare $dir "."] != 0} ...` (Figure 9, line 6).
+
+#ifndef SRC_TCL_EXPR_H_
+#define SRC_TCL_EXPR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/tcl/types.h"
+
+namespace tcl {
+
+class Interp;
+
+// Evaluates `text` and stores the printed result (int, double or string) in
+// *result.  On error, the message is left in the interp result.
+Code ExprEval(Interp& interp, std::string_view text, std::string* result);
+
+// Evaluates `text` and coerces the result to a boolean (numeric non-zero, or
+// one of true/false/yes/no/on/off).
+Code ExprBoolean(Interp& interp, std::string_view text, bool* out);
+
+// Evaluates `text` and requires an integer result.
+Code ExprInt(Interp& interp, std::string_view text, int64_t* out);
+
+// Evaluates `text` and coerces the result to a double.
+Code ExprDoubleValue(Interp& interp, std::string_view text, double* out);
+
+}  // namespace tcl
+
+#endif  // SRC_TCL_EXPR_H_

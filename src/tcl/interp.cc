@@ -1,0 +1,516 @@
+#include "src/tcl/interp.h"
+
+#include <cassert>
+#include <cctype>
+#include <optional>
+
+#include "src/tcl/expr.h"
+#include "src/tcl/list.h"
+#include "src/tcl/parser.h"
+#include "src/tcl/utils.h"
+
+namespace tcl {
+namespace {
+
+// Splits "a(i)" into base name and index; returns false for plain scalars.
+bool SplitArrayName(std::string_view name, std::string_view* base, std::string_view* index) {
+  if (name.empty() || name.back() != ')') {
+    return false;
+  }
+  size_t open = name.find('(');
+  if (open == std::string_view::npos) {
+    return false;
+  }
+  *base = name.substr(0, open);
+  *index = name.substr(open + 1, name.size() - open - 2);
+  return true;
+}
+
+}  // namespace
+
+Interp::Interp() {
+  auto global = std::make_unique<CallFrame>();
+  global->level = 0;
+  global->caller_index = -1;
+  frames_.push_back(std::move(global));
+  RegisterBuiltins(*this);
+}
+
+Interp::~Interp() = default;
+
+// ---------------------------------------------------------------------------
+// Frame management.
+
+void Interp::PushFrame(std::string invocation) {
+  auto frame = std::make_unique<CallFrame>();
+  frame->level = current_frame().level + 1;
+  frame->caller_index = static_cast<int>(active_index_);
+  frame->invocation = std::move(invocation);
+  frames_.push_back(std::move(frame));
+  active_index_ = frames_.size() - 1;
+}
+
+void Interp::PopFrame() {
+  assert(frames_.size() > 1);
+  int caller = frames_.back()->caller_index;
+  frames_.pop_back();
+  active_index_ = caller >= 0 ? static_cast<size_t>(caller) : frames_.size() - 1;
+  if (active_index_ >= frames_.size()) {
+    active_index_ = frames_.size() - 1;
+  }
+}
+
+int Interp::current_level() const { return frames_[active_index_]->level; }
+
+CallFrame* Interp::ResolveLevel(std::string_view level_spec, bool* explicit_spec) {
+  *explicit_spec = false;
+  int steps = 1;
+  bool absolute = false;
+  int target_level = 0;
+  if (!level_spec.empty() && level_spec[0] == '#') {
+    std::optional<int64_t> n = ParseInt(level_spec.substr(1));
+    if (!n || *n < 0) {
+      return nullptr;
+    }
+    absolute = true;
+    target_level = static_cast<int>(*n);
+    *explicit_spec = true;
+  } else if (!level_spec.empty() &&
+             std::isdigit(static_cast<unsigned char>(level_spec[0]))) {
+    std::optional<int64_t> n = ParseInt(level_spec);
+    if (!n || *n < 0) {
+      return nullptr;
+    }
+    steps = static_cast<int>(*n);
+    *explicit_spec = true;
+  } else if (!level_spec.empty()) {
+    return nullptr;
+  }
+
+  CallFrame* frame = frames_[active_index_].get();
+  if (absolute) {
+    while (frame != nullptr && frame->level != target_level) {
+      frame = frame->caller_index >= 0 ? frames_[frame->caller_index].get() : nullptr;
+    }
+    return frame;
+  }
+  for (int i = 0; i < steps && frame != nullptr; ++i) {
+    frame = frame->caller_index >= 0 ? frames_[frame->caller_index].get() : frames_[0].get();
+    if (frame == frames_[0].get() && i + 1 < steps) {
+      // Can't go above the global frame.
+      return i + 1 == steps ? frame : frames_[0].get();
+    }
+  }
+  return frame;
+}
+
+// RAII helper that re-targets the active frame for uplevel-style evaluation.
+class FrameGuard {
+ public:
+  FrameGuard(Interp& interp, size_t new_active) : interp_(interp) {
+    saved_ = interp_.active_index_;
+    interp_.active_index_ = new_active;
+  }
+  ~FrameGuard() { interp_.active_index_ = saved_; }
+
+ private:
+  Interp& interp_;
+  size_t saved_;
+};
+
+Code Interp::EvalAtLevel(std::string_view level_spec, std::string_view script) {
+  bool explicit_spec = false;
+  CallFrame* frame = ResolveLevel(level_spec, &explicit_spec);
+  if (frame == nullptr) {
+    return Error("bad level \"" + std::string(level_spec) + "\"");
+  }
+  size_t index = 0;
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    if (frames_[i].get() == frame) {
+      index = i;
+      break;
+    }
+  }
+  FrameGuard guard(*this, index);
+  return Eval(script);
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation.
+
+Code Interp::Eval(std::string_view script) {
+  if (nesting_depth_ == 0) {
+    error_in_progress_ = false;
+    error_info_.clear();
+  }
+  if (nesting_depth_ >= max_nesting_depth_) {
+    return Error("too many nested calls to Tcl_Eval (infinite loop?)");
+  }
+  ++nesting_depth_;
+  size_t pos = 0;
+  Code code = EvalScript(*this, script, '\0', &pos);
+  --nesting_depth_;
+  if (code == Code::kError && nesting_depth_ == 0) {
+    SetVar("errorInfo", error_info_);
+  }
+  return code;
+}
+
+Code Interp::EvalWords(std::vector<std::string>& words) {
+  if (words.empty()) {
+    return Code::kOk;
+  }
+  ++command_count_;
+  auto it = commands_.find(words[0]);
+  if (it == commands_.end()) {
+    auto unknown = commands_.find("unknown");
+    if (unknown != commands_.end()) {
+      std::vector<std::string> fallback;
+      fallback.reserve(words.size() + 1);
+      fallback.emplace_back("unknown");
+      for (std::string& w : words) {
+        fallback.push_back(w);
+      }
+      ResetResult();
+      return unknown->second.proc(*this, fallback);
+    }
+    return Error("invalid command name \"" + words[0] + "\"");
+  }
+  ResetResult();
+  // Copy the handle: the command may delete or redefine itself.
+  CommandProc proc = it->second.proc;
+  return proc(*this, words);
+}
+
+Code Interp::EvalBool(std::string_view expr_text, bool* out) {
+  return ExprBoolean(*this, expr_text, out);
+}
+
+// ---------------------------------------------------------------------------
+// Results and errors.
+
+void Interp::AppendElement(std::string_view element) {
+  if (!result_.empty()) {
+    result_.push_back(' ');
+  }
+  result_.append(QuoteListElement(element));
+}
+
+Code Interp::Error(std::string message) {
+  result_ = std::move(message);
+  return Code::kError;
+}
+
+Code Interp::WrongNumArgs(std::string_view usage) {
+  return Error("wrong # args: should be \"" + std::string(usage) + "\"");
+}
+
+void Interp::AddErrorInfo(std::string_view info) {
+  if (!error_in_progress_) {
+    error_info_ = result_;
+    error_in_progress_ = true;
+  }
+  error_info_.append(info);
+}
+
+void Interp::AddCommandTrace(std::string_view command_text) {
+  constexpr size_t kMaxShown = 150;
+  std::string shown(command_text.substr(0, kMaxShown));
+  if (command_text.size() > kMaxShown) {
+    shown += "...";
+  }
+  if (!error_in_progress_) {
+    error_info_ = result_;
+    error_in_progress_ = true;
+    error_info_ += "\n    while executing\n\"" + shown + "\"";
+  } else {
+    error_info_ += "\n    invoked from within\n\"" + shown + "\"";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Commands.
+
+void Interp::RegisterCommand(std::string name, CommandProc proc) {
+  commands_[std::move(name)] = CommandEntry{std::move(proc)};
+}
+
+bool Interp::DeleteCommand(std::string_view name) {
+  auto it = commands_.find(name);
+  if (it == commands_.end()) {
+    return false;
+  }
+  commands_.erase(it);
+  procs_.erase(std::string(name));
+  return true;
+}
+
+bool Interp::RenameCommand(std::string_view old_name, std::string_view new_name) {
+  auto it = commands_.find(old_name);
+  if (it == commands_.end()) {
+    return false;
+  }
+  CommandEntry entry = std::move(it->second);
+  commands_.erase(it);
+  auto proc_it = procs_.find(std::string(old_name));
+  if (proc_it != procs_.end()) {
+    Proc body = std::move(proc_it->second);
+    procs_.erase(proc_it);
+    if (!new_name.empty()) {
+      procs_[std::string(new_name)] = std::move(body);
+    }
+  }
+  if (!new_name.empty()) {
+    commands_[std::string(new_name)] = std::move(entry);
+  }
+  return true;
+}
+
+bool Interp::HasCommand(std::string_view name) const {
+  return commands_.find(name) != commands_.end();
+}
+
+std::vector<std::string> Interp::CommandNames(std::string_view pattern) const {
+  std::vector<std::string> names;
+  for (const auto& [name, entry] : commands_) {
+    if (pattern.empty() || StringMatch(pattern, name)) {
+      names.push_back(name);
+    }
+  }
+  return names;
+}
+
+const Proc* Interp::FindProc(std::string_view name) const {
+  auto it = procs_.find(std::string(name));
+  return it == procs_.end() ? nullptr : &it->second;
+}
+
+void Interp::DefineProc(std::string name, Proc proc) {
+  procs_[name] = std::move(proc);
+}
+
+std::vector<std::string> Interp::ProcNames(std::string_view pattern) const {
+  std::vector<std::string> names;
+  for (const auto& [name, proc] : procs_) {
+    if (pattern.empty() || StringMatch(pattern, name)) {
+      names.push_back(name);
+    }
+  }
+  return names;
+}
+
+// ---------------------------------------------------------------------------
+// Variables.
+
+std::shared_ptr<Var> Interp::LookupVar(CallFrame& frame, std::string_view base, bool create) {
+  auto it = frame.vars.find(std::string(base));
+  if (it != frame.vars.end()) {
+    return it->second;
+  }
+  if (!create) {
+    return nullptr;
+  }
+  auto var = std::make_shared<Var>();
+  frame.vars[std::string(base)] = var;
+  return var;
+}
+
+const std::string* Interp::GetVar(std::string_view name) {
+  const std::string* value = GetVarQuiet(name);
+  if (value == nullptr) {
+    Error("can't read \"" + std::string(name) + "\": no such variable");
+  }
+  return value;
+}
+
+const std::string* Interp::GetVarQuiet(std::string_view name) {
+  std::string_view base = name;
+  std::string_view index;
+  bool is_element = SplitArrayName(name, &base, &index);
+  std::shared_ptr<Var> var = LookupVar(current_frame(), base, /*create=*/false);
+  if (var == nullptr) {
+    return nullptr;
+  }
+  if (is_element) {
+    if (!var->is_array) {
+      return nullptr;
+    }
+    auto it = var->array.find(std::string(index));
+    return it == var->array.end() ? nullptr : &it->second;
+  }
+  if (var->is_array || !var->defined) {
+    return nullptr;
+  }
+  return &var->scalar;
+}
+
+Code Interp::SetVar(std::string_view name, std::string value) {
+  std::string_view base = name;
+  std::string_view index;
+  bool is_element = SplitArrayName(name, &base, &index);
+  std::shared_ptr<Var> var = LookupVar(current_frame(), base, /*create=*/true);
+  if (is_element) {
+    if (var->defined && !var->is_array) {
+      return Error("can't set \"" + std::string(name) + "\": variable isn't array");
+    }
+    var->defined = true;
+    var->is_array = true;
+    var->array[std::string(index)] = std::move(value);
+  } else {
+    if (var->defined && var->is_array) {
+      return Error("can't set \"" + std::string(name) + "\": variable is array");
+    }
+    var->defined = true;
+    var->scalar = std::move(value);
+  }
+  if (!var->traces.empty()) {
+    const std::string* stored = GetVarQuiet(name);
+    std::string current = stored != nullptr ? *stored : std::string();
+    // Copy: a trace may add further traces.
+    std::vector<VarTraceProc> traces = var->traces;
+    for (const VarTraceProc& trace : traces) {
+      trace(*this, name, current, /*unset=*/false);
+    }
+  }
+  return Code::kOk;
+}
+
+Code Interp::UnsetVar(std::string_view name) {
+  std::string_view base = name;
+  std::string_view index;
+  bool is_element = SplitArrayName(name, &base, &index);
+  auto it = current_frame().vars.find(std::string(base));
+  if (it == current_frame().vars.end() || !it->second->defined) {
+    return Error("can't unset \"" + std::string(name) + "\": no such variable");
+  }
+  std::shared_ptr<Var> var = it->second;
+  if (is_element) {
+    if (!var->is_array || var->array.erase(std::string(index)) == 0) {
+      return Error("can't unset \"" + std::string(name) + "\": no such element in array");
+    }
+  } else {
+    current_frame().vars.erase(it);
+    var->defined = false;
+    var->scalar.clear();
+    var->array.clear();
+  }
+  std::vector<VarTraceProc> traces = var->traces;
+  for (const VarTraceProc& trace : traces) {
+    trace(*this, name, "", /*unset=*/true);
+  }
+  return Code::kOk;
+}
+
+bool Interp::VarExists(std::string_view name) { return GetVarQuiet(name) != nullptr; }
+
+void Interp::TraceVar(std::string_view name, VarTraceProc trace) {
+  std::string_view base = name;
+  std::string_view index;
+  SplitArrayName(name, &base, &index);
+  std::shared_ptr<Var> var = LookupVar(current_frame(), base, /*create=*/true);
+  var->traces.push_back(std::move(trace));
+}
+
+const std::map<std::string, std::string>* Interp::GetArray(std::string_view name) {
+  std::shared_ptr<Var> var = LookupVar(current_frame(), name, /*create=*/false);
+  if (var == nullptr || !var->is_array) {
+    return nullptr;
+  }
+  return &var->array;
+}
+
+std::vector<std::string> Interp::LocalVarNames(std::string_view pattern) {
+  std::vector<std::string> names;
+  for (const auto& [name, var] : current_frame().vars) {
+    if (var->defined && (pattern.empty() || StringMatch(pattern, name))) {
+      names.push_back(name);
+    }
+  }
+  return names;
+}
+
+std::vector<std::string> Interp::GlobalVarNames(std::string_view pattern) {
+  std::vector<std::string> names;
+  for (const auto& [name, var] : global_frame().vars) {
+    if (var->defined && (pattern.empty() || StringMatch(pattern, name))) {
+      names.push_back(name);
+    }
+  }
+  return names;
+}
+
+Code Interp::LinkGlobal(std::string_view name) {
+  if (&current_frame() == &global_frame()) {
+    return Code::kOk;  // Already global: no-op.
+  }
+  std::shared_ptr<Var> target = LookupVar(global_frame(), name, /*create=*/true);
+  current_frame().vars[std::string(name)] = target;
+  return Code::kOk;
+}
+
+Code Interp::LinkUpvar(std::string_view level_spec, std::string_view other,
+                       std::string_view my_name) {
+  bool explicit_spec = false;
+  CallFrame* frame = ResolveLevel(level_spec, &explicit_spec);
+  if (frame == nullptr) {
+    return Error("bad level \"" + std::string(level_spec) + "\"");
+  }
+  std::shared_ptr<Var> target = LookupVar(*frame, other, /*create=*/true);
+  current_frame().vars[std::string(my_name)] = target;
+  return Code::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// Procedure invocation (shared with cmd_core.cc's `proc`).
+
+Code ProcInvoke(Interp& interp, const std::string& name, const Proc& proc,
+                std::vector<std::string>& args) {
+  interp.PushFrame(args[0]);
+  Code code = Code::kOk;
+  size_t arg_index = 1;
+  for (size_t i = 0; i < proc.formals.size(); ++i) {
+    const Proc::Formal& formal = proc.formals[i];
+    if (formal.name == "args" && i == proc.formals.size() - 1) {
+      std::vector<std::string> rest(args.begin() + arg_index, args.end());
+      interp.SetVar("args", MergeList(rest));
+      arg_index = args.size();
+      break;
+    }
+    if (arg_index < args.size()) {
+      interp.SetVar(formal.name, args[arg_index]);
+      ++arg_index;
+    } else if (formal.has_default) {
+      interp.SetVar(formal.name, formal.default_value);
+    } else {
+      interp.PopFrame();
+      return interp.Error("no value given for parameter \"" + formal.name + "\" to \"" + name +
+                          "\"");
+    }
+  }
+  if (arg_index < args.size()) {
+    interp.PopFrame();
+    return interp.Error("called \"" + name + "\" with too many arguments");
+  }
+  code = interp.Eval(proc.body);
+  if (code == Code::kReturn) {
+    code = Code::kOk;
+  } else if (code == Code::kError) {
+    interp.AddErrorInfo("\n    (procedure \"" + name + "\" body)");
+  } else if (code == Code::kBreak || code == Code::kContinue) {
+    code = interp.Error("invoked \"" + std::string(code == Code::kBreak ? "break" : "continue") +
+                        "\" outside of a loop");
+  }
+  interp.PopFrame();
+  return code;
+}
+
+void RegisterBuiltins(Interp& interp) {
+  RegisterCoreCommands(interp);
+  RegisterListCommands(interp);
+  RegisterStringCommands(interp);
+  RegisterInfoCommands(interp);
+  RegisterIoCommands(interp);
+  RegisterRegexpCommands(interp);
+}
+
+}  // namespace tcl

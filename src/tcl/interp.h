@@ -1,0 +1,249 @@
+// The Tcl interpreter.
+//
+// This is a faithful C++ re-implementation of the interpreter described in
+// "Tcl: An Embeddable Command Language" (Ousterhout, USENIX Winter 1990) and
+// used as the substrate for Tk in the 1991 paper.  The interpreter:
+//
+//   * parses command strings (fields separated by white space, commands
+//     separated by newlines or semicolons),
+//   * performs `$var`, `[command]` and backslash substitution,
+//   * dispatches the first field to a registered command procedure,
+//   * returns a string result plus a completion Code.
+//
+// Applications extend the language by registering their own command
+// procedures (Tk registers `button`, `bind`, `pack`, `send`, ...); built-in
+// and application commands are indistinguishable, exactly as in the paper.
+//
+// Usage:
+//   tcl::Interp interp;
+//   interp.RegisterCommand("greet", [](tcl::Interp& i, std::vector<std::string>& args) {
+//     i.SetResult("hello " + args[1]);
+//     return tcl::Code::kOk;
+//   });
+//   interp.Eval("greet world");   // interp.result() == "hello world"
+
+#ifndef SRC_TCL_INTERP_H_
+#define SRC_TCL_INTERP_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/tcl/types.h"
+
+namespace tcl {
+
+class Interp;
+
+// A command procedure.  args[0] is the command name; the remaining entries
+// are the fully substituted argument fields.  The procedure reports its
+// result via Interp::SetResult / Interp::Error and returns a completion code.
+using CommandProc = std::function<Code(Interp&, std::vector<std::string>& args)>;
+
+// Callback invoked when a variable is written or unset (`trace`-lite; used by
+// Tk's checkbutton/radiobutton -variable plumbing).
+using VarTraceProc =
+    std::function<void(Interp&, std::string_view name, std::string_view new_value, bool unset)>;
+
+// A Tcl variable: either a scalar or an array of scalars.  Variables are
+// heap-allocated and shared so that `upvar`/`global` links remain valid even
+// if the defining frame goes away first.
+struct Var {
+  bool defined = false;  // A link target may exist before ever being set.
+  bool is_array = false;
+  std::string scalar;
+  std::map<std::string, std::string> array;
+  std::vector<VarTraceProc> traces;
+};
+
+// One procedure call frame (or the global frame, at level 0).
+struct CallFrame {
+  int level = 0;
+  // Index (into the interp's frame stack) of the frame that was active when
+  // this frame was pushed; used to resolve uplevel/upvar level specs.
+  int caller_index = -1;
+  std::map<std::string, std::shared_ptr<Var>> vars;
+  // The command + arguments that created this frame, for error traces.
+  std::string invocation;
+};
+
+// User-defined procedure created by `proc`.
+struct Proc {
+  // Pairs of (formal name, default value); has_default marks which formals
+  // carry defaults.  A trailing formal named "args" collects the rest.
+  struct Formal {
+    std::string name;
+    std::string default_value;
+    bool has_default = false;
+  };
+  std::vector<Formal> formals;
+  std::string body;
+};
+
+class Interp {
+ public:
+  Interp();
+  ~Interp();
+
+  Interp(const Interp&) = delete;
+  Interp& operator=(const Interp&) = delete;
+
+  // --- Evaluation -----------------------------------------------------------
+
+  // Parses and executes `script` (a sequence of commands).  The result of the
+  // last command executed is left in result().
+  Code Eval(std::string_view script);
+
+  // Executes a single already-parsed command (no further substitution).
+  Code EvalWords(std::vector<std::string>& words);
+
+  // Evaluates `script` as a boolean expression (via the expr engine).
+  Code EvalBool(std::string_view expr_text, bool* out);
+
+  // --- Results --------------------------------------------------------------
+
+  const std::string& result() const { return result_; }
+  void SetResult(std::string value) { result_ = std::move(value); }
+  void ResetResult() { result_.clear(); }
+  // Appends `element` to result() as a proper list element.
+  void AppendElement(std::string_view element);
+
+  // Sets the result to `message` and returns Code::kError.
+  Code Error(std::string message);
+  // Convenience: "wrong # args: should be \"usage\"".
+  Code WrongNumArgs(std::string_view usage);
+
+  // Accumulated stack trace for the error currently being propagated
+  // (mirrors the errorInfo global variable, which is also maintained).
+  const std::string& error_info() const { return error_info_; }
+  void AddErrorInfo(std::string_view info);
+  // Appends a "while executing/invoked from within" frame naming the command
+  // whose evaluation produced the error.  Called by the parser.
+  void AddCommandTrace(std::string_view command_text);
+  // Clears the in-progress error trace (used by `catch` after absorbing an
+  // error).
+  void ResetErrorState() {
+    error_in_progress_ = false;
+    error_info_.clear();
+  }
+
+  // --- Commands --------------------------------------------------------------
+
+  void RegisterCommand(std::string name, CommandProc proc);
+  bool DeleteCommand(std::string_view name);
+  bool RenameCommand(std::string_view old_name, std::string_view new_name);
+  bool HasCommand(std::string_view name) const;
+  // All registered command names matching a glob pattern (empty = all).
+  std::vector<std::string> CommandNames(std::string_view pattern = "") const;
+
+  // User-defined procedures (managed by the `proc` command but exposed for
+  // `info body` / `info args`).
+  const Proc* FindProc(std::string_view name) const;
+  void DefineProc(std::string name, Proc proc);
+  std::vector<std::string> ProcNames(std::string_view pattern = "") const;
+
+  // --- Variables --------------------------------------------------------------
+  //
+  // `name` may be a scalar name ("x") or an array element ("a(i)").
+
+  // Returns nullptr (and sets an error result) if the variable is undefined.
+  const std::string* GetVar(std::string_view name);
+  // Variant that does not disturb the result on failure.
+  const std::string* GetVarQuiet(std::string_view name);
+  Code SetVar(std::string_view name, std::string value);
+  Code UnsetVar(std::string_view name);
+  bool VarExists(std::string_view name);
+  // Registers a write/unset trace on a (scalar or whole-array) variable.
+  void TraceVar(std::string_view name, VarTraceProc trace);
+
+  // Direct access to array storage, for `array names` etc.  Returns nullptr
+  // if `name` is not an array variable.
+  const std::map<std::string, std::string>* GetArray(std::string_view name);
+
+  // Names of variables visible in the current frame / the global frame.
+  std::vector<std::string> LocalVarNames(std::string_view pattern = "");
+  std::vector<std::string> GlobalVarNames(std::string_view pattern = "");
+
+  // `global name`: links `name` in the current frame to the global variable.
+  Code LinkGlobal(std::string_view name);
+  // `upvar level other my`: links `my` in the current frame to `other` in the
+  // frame denoted by `level` ("#0", "1", ...).
+  Code LinkUpvar(std::string_view level_spec, std::string_view other, std::string_view my_name);
+
+  // --- Frames ------------------------------------------------------------------
+
+  int current_level() const;
+  // Evaluates `script` in the frame denoted by `level_spec` (for `uplevel`).
+  Code EvalAtLevel(std::string_view level_spec, std::string_view script);
+
+  // --- Misc ---------------------------------------------------------------------
+
+  // Nesting limit guard (prevents runaway recursion in scripts).
+  int max_nesting_depth() const { return max_nesting_depth_; }
+  void set_max_nesting_depth(int depth) { max_nesting_depth_ = depth; }
+
+  // Number of commands executed so far (for `info cmdcount` and benchmarks).
+  uint64_t command_count() const { return command_count_; }
+
+ private:
+  friend class Parser;
+  friend Code ProcInvoke(Interp& interp, const std::string& name, const Proc& proc,
+                         std::vector<std::string>& args);
+  friend class FrameGuard;
+
+  struct CommandEntry {
+    CommandProc proc;
+  };
+
+  CallFrame& current_frame() { return *frames_[active_index_]; }
+  CallFrame& global_frame() { return *frames_.front(); }
+
+  // Locates (optionally creating) the Var for `name` in `frame`.
+  std::shared_ptr<Var> LookupVar(CallFrame& frame, std::string_view base, bool create);
+
+  // Resolves a frame from an uplevel/upvar level spec relative to the
+  // current frame.  Returns nullptr on a bad spec.
+  CallFrame* ResolveLevel(std::string_view level_spec, bool* explicit_spec);
+
+  void PushFrame(std::string invocation);
+  void PopFrame();
+
+  std::map<std::string, CommandEntry, std::less<>> commands_;
+  std::map<std::string, Proc, std::less<>> procs_;
+  std::vector<std::unique_ptr<CallFrame>> frames_;
+  // Index of the frame used for variable lookups; normally the top of
+  // frames_, but uplevel temporarily re-targets it.
+  size_t active_index_ = 0;
+
+  std::string result_;
+  std::string error_info_;
+  bool error_in_progress_ = false;
+
+  int nesting_depth_ = 0;
+  int max_nesting_depth_ = 1000;
+  uint64_t command_count_ = 0;
+};
+
+// Invokes a user-defined procedure: pushes a call frame, binds formals to
+// args (args[0] is the command name), evaluates the body, and maps `return`
+// to a normal completion.
+Code ProcInvoke(Interp& interp, const std::string& name, const Proc& proc,
+                std::vector<std::string>& args);
+
+// Registers every built-in command (set, if, while, proc, string, list ops,
+// expr, info, array, file/exec emulation, ...).  Called by the constructor.
+void RegisterBuiltins(Interp& interp);
+void RegisterCoreCommands(Interp& interp);
+void RegisterListCommands(Interp& interp);
+void RegisterStringCommands(Interp& interp);
+void RegisterInfoCommands(Interp& interp);
+void RegisterIoCommands(Interp& interp);
+void RegisterRegexpCommands(Interp& interp);
+
+}  // namespace tcl
+
+#endif  // SRC_TCL_INTERP_H_

@@ -1,0 +1,277 @@
+#include "src/tcl/list.h"
+
+#include <cctype>
+
+#include "src/tcl/utils.h"
+
+namespace tcl {
+namespace {
+
+bool IsListSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' || c == '\v';
+}
+
+// Appends a backslash sequence from a list element to `out` (lists support
+// the same backslash forms as command parsing).
+void ListBackslash(std::string_view text, size_t* pos, std::string* out) {
+  ++*pos;
+  if (*pos >= text.size()) {
+    out->push_back('\\');
+    return;
+  }
+  char c = text[*pos];
+  ++*pos;
+  switch (c) {
+    case 'n':
+      out->push_back('\n');
+      return;
+    case 't':
+      out->push_back('\t');
+      return;
+    case 'r':
+      out->push_back('\r');
+      return;
+    case 'b':
+      out->push_back('\b');
+      return;
+    case 'f':
+      out->push_back('\f');
+      return;
+    case 'v':
+      out->push_back('\v');
+      return;
+    default:
+      out->push_back(c);
+      return;
+  }
+}
+
+}  // namespace
+
+std::optional<std::vector<std::string>> SplitList(std::string_view list, std::string* error) {
+  std::vector<std::string> elements;
+  size_t pos = 0;
+  while (pos < list.size()) {
+    while (pos < list.size() && IsListSpace(list[pos])) {
+      ++pos;
+    }
+    if (pos >= list.size()) {
+      break;
+    }
+    std::string element;
+    if (list[pos] == '{') {
+      int depth = 1;
+      ++pos;
+      while (pos < list.size() && depth > 0) {
+        char c = list[pos];
+        if (c == '\\' && pos + 1 < list.size()) {
+          element.push_back(c);
+          element.push_back(list[pos + 1]);
+          pos += 2;
+          continue;
+        }
+        if (c == '{') {
+          ++depth;
+        } else if (c == '}') {
+          --depth;
+          if (depth == 0) {
+            ++pos;
+            break;
+          }
+        }
+        element.push_back(c);
+        ++pos;
+      }
+      if (depth != 0) {
+        if (error != nullptr) {
+          *error = "unmatched open brace in list";
+        }
+        return std::nullopt;
+      }
+      if (pos < list.size() && !IsListSpace(list[pos])) {
+        if (error != nullptr) {
+          *error = "list element in braces followed by \"" + std::string(1, list[pos]) +
+                   "\" instead of space";
+        }
+        return std::nullopt;
+      }
+    } else if (list[pos] == '"') {
+      ++pos;
+      bool closed = false;
+      while (pos < list.size()) {
+        char c = list[pos];
+        if (c == '\\') {
+          ListBackslash(list, &pos, &element);
+          continue;
+        }
+        if (c == '"') {
+          ++pos;
+          closed = true;
+          break;
+        }
+        element.push_back(c);
+        ++pos;
+      }
+      if (!closed) {
+        if (error != nullptr) {
+          *error = "unmatched open quote in list";
+        }
+        return std::nullopt;
+      }
+      if (pos < list.size() && !IsListSpace(list[pos])) {
+        if (error != nullptr) {
+          *error = "list element in quotes followed by \"" + std::string(1, list[pos]) +
+                   "\" instead of space";
+        }
+        return std::nullopt;
+      }
+    } else {
+      while (pos < list.size() && !IsListSpace(list[pos])) {
+        if (list[pos] == '\\') {
+          ListBackslash(list, &pos, &element);
+          continue;
+        }
+        element.push_back(list[pos]);
+        ++pos;
+      }
+    }
+    elements.push_back(std::move(element));
+  }
+  return elements;
+}
+
+std::string QuoteListElement(std::string_view element) {
+  if (element.empty()) {
+    return "{}";
+  }
+  bool needs_braces = false;
+  int depth = 0;
+  bool unbalanced = false;
+  bool has_backslash = false;
+  for (size_t i = 0; i < element.size(); ++i) {
+    char c = element[i];
+    switch (c) {
+      case ' ':
+      case '\t':
+      case '\n':
+      case '\r':
+      case '\f':
+      case '\v':
+      case ';':
+      case '$':
+      case '[':
+      case ']':
+      case '"':
+        needs_braces = true;
+        break;
+      case '{':
+        needs_braces = true;
+        ++depth;
+        break;
+      case '}':
+        needs_braces = true;
+        --depth;
+        if (depth < 0) {
+          unbalanced = true;
+        }
+        break;
+      case '\\':
+        has_backslash = true;
+        needs_braces = true;
+        break;
+      default:
+        break;
+    }
+  }
+  if (depth != 0) {
+    unbalanced = true;
+  }
+  if (element.front() == '#') {
+    needs_braces = true;  // Protect against comment interpretation.
+  }
+  if (!needs_braces) {
+    return std::string(element);
+  }
+  if (!unbalanced && !has_backslash) {
+    std::string out;
+    out.reserve(element.size() + 2);
+    out.push_back('{');
+    out.append(element);
+    out.push_back('}');
+    return out;
+  }
+  // Fall back to backslash quoting.
+  std::string out;
+  out.reserve(element.size() * 2);
+  for (char c : element) {
+    switch (c) {
+      case ' ':
+      case '\t':
+      case ';':
+      case '$':
+      case '[':
+      case ']':
+      case '"':
+      case '{':
+      case '}':
+      case '\\':
+        out.push_back('\\');
+        out.push_back(c);
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      case '\r':
+        out.append("\\r");
+        break;
+      case '\f':
+        out.append("\\f");
+        break;
+      case '\v':
+        out.append("\\v");
+        break;
+      default:
+        out.push_back(c);
+        break;
+    }
+  }
+  return out;
+}
+
+std::string MergeList(const std::vector<std::string>& elements) {
+  std::string out;
+  for (size_t i = 0; i < elements.size(); ++i) {
+    if (i > 0) {
+      out.push_back(' ');
+    }
+    out.append(QuoteListElement(elements[i]));
+  }
+  return out;
+}
+
+std::string ConcatStrings(const std::vector<std::string>& parts) {
+  std::string out;
+  for (const std::string& part : parts) {
+    size_t begin = 0;
+    size_t end = part.size();
+    while (begin < end && IsTclSpace(part[begin])) {
+      ++begin;
+    }
+    while (begin < end && std::isspace(static_cast<unsigned char>(part[end - 1]))) {
+      --end;
+    }
+    while (begin < end && std::isspace(static_cast<unsigned char>(part[begin]))) {
+      ++begin;
+    }
+    if (begin == end) {
+      continue;
+    }
+    if (!out.empty()) {
+      out.push_back(' ');
+    }
+    out.append(part, begin, end - begin);
+  }
+  return out;
+}
+
+}  // namespace tcl

@@ -1,0 +1,38 @@
+// Tcl list machinery.
+//
+// Lists are just strings with a quoting convention: elements are separated by
+// white space, and elements containing special characters are wrapped in
+// braces (or backslash-escaped when braces won't do).  These helpers convert
+// between the string form and std::vector<std::string>, and are used by every
+// list command (list, lindex, foreach, ...) as well as by Tk (pack options,
+// bind scripts, listbox contents).
+
+#ifndef SRC_TCL_LIST_H_
+#define SRC_TCL_LIST_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tcl {
+
+// Splits a Tcl list into its elements.  Returns std::nullopt if the string is
+// not a well-formed list (unmatched brace or quote); `error` (if non-null)
+// receives a description.
+std::optional<std::vector<std::string>> SplitList(std::string_view list, std::string* error);
+
+// Quotes a single element so it can be embedded in a list and later recovered
+// by SplitList.
+std::string QuoteListElement(std::string_view element);
+
+// Builds a list string from elements (the inverse of SplitList).
+std::string MergeList(const std::vector<std::string>& elements);
+
+// Joins strings with a single space *without* list quoting, trimming leading
+// and trailing blanks of each part -- the semantics of the `concat` command.
+std::string ConcatStrings(const std::vector<std::string>& parts);
+
+}  // namespace tcl
+
+#endif  // SRC_TCL_LIST_H_

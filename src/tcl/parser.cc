@@ -1,0 +1,433 @@
+#include "src/tcl/parser.h"
+
+#include <cctype>
+
+#include "src/tcl/interp.h"
+#include "src/tcl/utils.h"
+
+namespace tcl {
+namespace {
+
+bool IsVarNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsCommandSeparator(char c) { return c == '\n' || c == ';'; }
+
+// Parses one word of a command.  Returns kOk and appends the word to *out;
+// *pos is left on the first character after the word.
+Code ParseWord(Interp& interp, std::string_view script, size_t* pos, char terminator,
+               std::string* out);
+
+// Parses a double-quoted word; *pos is on the opening quote.
+Code ParseQuotedWord(Interp& interp, std::string_view script, size_t* pos, std::string* out) {
+  ++*pos;  // Skip the opening quote.
+  while (*pos < script.size()) {
+    char c = script[*pos];
+    if (c == '"') {
+      ++*pos;
+      if (*pos < script.size()) {
+        char next = script[*pos];
+        if (!IsTclSpace(next) && !IsCommandSeparator(next) && next != ']') {
+          return interp.Error("extra characters after close-quote");
+        }
+      }
+      return Code::kOk;
+    }
+    if (c == '$') {
+      Code code = SubstVar(interp, script, pos, out);
+      if (code != Code::kOk) {
+        return code;
+      }
+      continue;
+    }
+    if (c == '[') {
+      ++*pos;
+      Code code = EvalScript(interp, script, ']', pos);
+      if (code != Code::kOk) {
+        return code;
+      }
+      out->append(interp.result());
+      continue;
+    }
+    if (c == '\\') {
+      BackslashSubst(script, pos, out);
+      continue;
+    }
+    out->push_back(c);
+    ++*pos;
+  }
+  return interp.Error("missing \"");
+}
+
+Code ParseWord(Interp& interp, std::string_view script, size_t* pos, char terminator,
+               std::string* out) {
+  char first = script[*pos];
+  if (first == '{') {
+    Code code = ParseBracedWord(interp, script, pos, out);
+    if (code != Code::kOk) {
+      return code;
+    }
+    if (*pos < script.size()) {
+      char next = script[*pos];
+      if (!IsTclSpace(next) && !IsCommandSeparator(next) &&
+          !(terminator != '\0' && next == terminator)) {
+        return interp.Error("extra characters after close-brace");
+      }
+    }
+    return Code::kOk;
+  }
+  if (first == '"') {
+    return ParseQuotedWord(interp, script, pos, out);
+  }
+  // Bare word with substitutions.
+  while (*pos < script.size()) {
+    char c = script[*pos];
+    if (IsTclSpace(c) || IsCommandSeparator(c) || (terminator != '\0' && c == terminator)) {
+      break;
+    }
+    if (c == '$') {
+      Code code = SubstVar(interp, script, pos, out);
+      if (code != Code::kOk) {
+        return code;
+      }
+      continue;
+    }
+    if (c == '[') {
+      ++*pos;
+      Code code = EvalScript(interp, script, ']', pos);
+      if (code != Code::kOk) {
+        return code;
+      }
+      out->append(interp.result());
+      continue;
+    }
+    if (c == '\\') {
+      BackslashSubst(script, pos, out);
+      continue;
+    }
+    out->push_back(c);
+    ++*pos;
+  }
+  return Code::kOk;
+}
+
+// Skips a comment line; honours backslash-newline continuation.
+void SkipComment(std::string_view script, size_t* pos) {
+  while (*pos < script.size()) {
+    char c = script[*pos];
+    if (c == '\\' && *pos + 1 < script.size()) {
+      *pos += 2;
+      continue;
+    }
+    ++*pos;
+    if (c == '\n') {
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+void BackslashSubst(std::string_view script, size_t* pos, std::string* out) {
+  ++*pos;  // Skip the backslash.
+  if (*pos >= script.size()) {
+    out->push_back('\\');
+    return;
+  }
+  char c = script[*pos];
+  ++*pos;
+  switch (c) {
+    case 'b':
+      out->push_back('\b');
+      return;
+    case 'f':
+      out->push_back('\f');
+      return;
+    case 'n':
+      out->push_back('\n');
+      return;
+    case 'r':
+      out->push_back('\r');
+      return;
+    case 't':
+      out->push_back('\t');
+      return;
+    case 'v':
+      out->push_back('\v');
+      return;
+    case 'e':
+      out->push_back('\x1b');
+      return;
+    case '\n': {
+      // Backslash-newline (plus following blanks) collapses to one space.
+      while (*pos < script.size() && IsTclSpace(script[*pos])) {
+        ++*pos;
+      }
+      out->push_back(' ');
+      return;
+    }
+    case 'x': {
+      int value = 0;
+      int digits = 0;
+      while (*pos < script.size() && digits < 2 &&
+             std::isxdigit(static_cast<unsigned char>(script[*pos]))) {
+        char h = script[*pos];
+        value = value * 16 + (std::isdigit(static_cast<unsigned char>(h))
+                                  ? h - '0'
+                                  : std::tolower(static_cast<unsigned char>(h)) - 'a' + 10);
+        ++*pos;
+        ++digits;
+      }
+      if (digits == 0) {
+        out->push_back('x');
+      } else {
+        out->push_back(static_cast<char>(value));
+      }
+      return;
+    }
+    default:
+      if (c >= '0' && c <= '7') {
+        int value = c - '0';
+        int digits = 1;
+        while (*pos < script.size() && digits < 3 && script[*pos] >= '0' && script[*pos] <= '7') {
+          value = value * 8 + (script[*pos] - '0');
+          ++*pos;
+          ++digits;
+        }
+        out->push_back(static_cast<char>(value));
+        return;
+      }
+      out->push_back(c);
+      return;
+  }
+}
+
+Code SubstVar(Interp& interp, std::string_view script, size_t* pos, std::string* out) {
+  ++*pos;  // Skip '$'.
+  if (*pos >= script.size()) {
+    out->push_back('$');
+    return Code::kOk;
+  }
+  std::string name;
+  if (script[*pos] == '{') {
+    ++*pos;
+    size_t start = *pos;
+    while (*pos < script.size() && script[*pos] != '}') {
+      ++*pos;
+    }
+    if (*pos >= script.size()) {
+      return interp.Error("missing close-brace for variable name");
+    }
+    name.assign(script.substr(start, *pos - start));
+    ++*pos;  // Skip '}'.
+  } else {
+    size_t start = *pos;
+    while (*pos < script.size() && IsVarNameChar(script[*pos])) {
+      ++*pos;
+    }
+    if (*pos == start) {
+      // Bare '$' with no name: literal dollar sign.
+      out->push_back('$');
+      return Code::kOk;
+    }
+    name.assign(script.substr(start, *pos - start));
+    if (*pos < script.size() && script[*pos] == '(') {
+      // Array element: substitutions are performed inside the index.
+      ++*pos;
+      std::string index;
+      while (*pos < script.size() && script[*pos] != ')') {
+        char c = script[*pos];
+        if (c == '$') {
+          Code code = SubstVar(interp, script, pos, &index);
+          if (code != Code::kOk) {
+            return code;
+          }
+          continue;
+        }
+        if (c == '[') {
+          ++*pos;
+          Code code = EvalScript(interp, script, ']', pos);
+          if (code != Code::kOk) {
+            return code;
+          }
+          index.append(interp.result());
+          continue;
+        }
+        if (c == '\\') {
+          BackslashSubst(script, pos, &index);
+          continue;
+        }
+        index.push_back(c);
+        ++*pos;
+      }
+      if (*pos >= script.size()) {
+        return interp.Error("missing )");
+      }
+      ++*pos;  // Skip ')'.
+      name.push_back('(');
+      name.append(index);
+      name.push_back(')');
+    }
+  }
+  const std::string* value = interp.GetVar(name);
+  if (value == nullptr) {
+    return Code::kError;  // GetVar left the message in the result.
+  }
+  out->append(*value);
+  return Code::kOk;
+}
+
+Code ParseBracedWord(Interp& interp, std::string_view script, size_t* pos, std::string* out) {
+  ++*pos;  // Skip '{'.
+  int depth = 1;
+  size_t out_start = out->size();
+  while (*pos < script.size()) {
+    char c = script[*pos];
+    if (c == '\\') {
+      if (*pos + 1 < script.size() && script[*pos + 1] == '\n') {
+        BackslashSubst(script, pos, out);
+        continue;
+      }
+      // Other backslash sequences are passed through verbatim but protect
+      // the following character from brace counting.
+      out->push_back(c);
+      ++*pos;
+      if (*pos < script.size()) {
+        out->push_back(script[*pos]);
+        ++*pos;
+      }
+      continue;
+    }
+    if (c == '{') {
+      ++depth;
+    } else if (c == '}') {
+      --depth;
+      if (depth == 0) {
+        ++*pos;
+        return Code::kOk;
+      }
+    }
+    out->push_back(c);
+    ++*pos;
+  }
+  out->resize(out_start);
+  return interp.Error("missing close-brace");
+}
+
+Code SubstString(Interp& interp, std::string_view text, std::string* out) {
+  size_t pos = 0;
+  while (pos < text.size()) {
+    char c = text[pos];
+    if (c == '$') {
+      Code code = SubstVar(interp, text, &pos, out);
+      if (code != Code::kOk) {
+        return code;
+      }
+      continue;
+    }
+    if (c == '[') {
+      ++pos;
+      Code code = EvalScript(interp, text, ']', &pos);
+      if (code != Code::kOk) {
+        return code;
+      }
+      out->append(interp.result());
+      continue;
+    }
+    if (c == '\\') {
+      BackslashSubst(text, &pos, out);
+      continue;
+    }
+    out->push_back(c);
+    ++pos;
+  }
+  return Code::kOk;
+}
+
+Code EvalScript(Interp& interp, std::string_view script, char terminator, size_t* pos) {
+  interp.ResetResult();
+  bool found_terminator = (terminator == '\0');
+  Code code = Code::kOk;
+  while (*pos <= script.size()) {
+    // Skip blank space and command separators before a command.
+    while (*pos < script.size() &&
+           (IsTclSpace(script[*pos]) || IsCommandSeparator(script[*pos]))) {
+      ++*pos;
+    }
+    if (*pos >= script.size()) {
+      break;
+    }
+    if (terminator != '\0' && script[*pos] == terminator) {
+      ++*pos;
+      found_terminator = true;
+      break;
+    }
+    if (script[*pos] == '#') {
+      SkipComment(script, pos);
+      continue;
+    }
+    // Parse the words of one command.
+    size_t command_start = *pos;
+    std::vector<std::string> words;
+    bool end_of_command = false;
+    bool hit_terminator = false;
+    while (!end_of_command) {
+      while (*pos < script.size() && IsTclSpace(script[*pos])) {
+        ++*pos;
+      }
+      if (*pos >= script.size()) {
+        break;
+      }
+      char c = script[*pos];
+      if (IsCommandSeparator(c)) {
+        ++*pos;
+        end_of_command = true;
+        break;
+      }
+      if (terminator != '\0' && c == terminator) {
+        ++*pos;
+        hit_terminator = true;
+        break;
+      }
+      if (c == '\\' && *pos + 1 < script.size() && script[*pos + 1] == '\n') {
+        // Backslash-newline between words: acts as white space.
+        *pos += 2;
+        continue;
+      }
+      std::string word;
+      code = ParseWord(interp, script, pos, terminator, &word);
+      if (code != Code::kOk) {
+        return code;
+      }
+      words.push_back(std::move(word));
+    }
+    size_t command_end = *pos;
+    if (!words.empty()) {
+      code = interp.EvalWords(words);
+      if (code != Code::kOk) {
+        if (code == Code::kError) {
+          std::string_view text = script.substr(command_start, command_end - command_start);
+          // Trim trailing separator/space from the reported source text.
+          while (!text.empty() &&
+                 (IsTclSpace(text.back()) || IsCommandSeparator(text.back()) ||
+                  (terminator != '\0' && text.back() == terminator))) {
+            text.remove_suffix(1);
+          }
+          interp.AddCommandTrace(text);
+        }
+        return code;
+      }
+    }
+    if (hit_terminator) {
+      found_terminator = true;
+      break;
+    }
+  }
+  if (!found_terminator) {
+    return interp.Error("missing close-bracket");
+  }
+  return code;
+}
+
+}  // namespace tcl

@@ -1,0 +1,51 @@
+// The Tcl command parser: splits scripts into commands and words, performing
+// the $variable, [command] and backslash substitutions of Figures 1-5 of the
+// 1991 Tk paper (and the 1990 Tcl paper).
+//
+// These functions are the engine behind Interp::Eval; they are exposed so
+// that the expr engine can reuse the same substitution rules and so tests
+// can probe the parser in isolation.
+
+#ifndef SRC_TCL_PARSER_H_
+#define SRC_TCL_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/tcl/types.h"
+
+namespace tcl {
+
+class Interp;
+
+// Evaluates a script: a sequence of commands separated by newlines or
+// semicolons.  If `terminator` is ']' the script is a nested [command]
+// substitution and evaluation stops at the matching unquoted ']'; pass '\0'
+// for top-level scripts.  `*pos` is advanced past everything consumed
+// (including the terminator, when present).
+Code EvalScript(Interp& interp, std::string_view script, char terminator, size_t* pos);
+
+// Appends the backslash sequence starting at script[*pos] (which must be a
+// '\\') to `out`, advancing *pos past it.  Implements \n \t \r \b \f \v \e,
+// octal \ddd, hex \xhh, backslash-newline -> space, and identity for
+// everything else.
+void BackslashSubst(std::string_view script, size_t* pos, std::string* out);
+
+// Substitutes a $variable reference starting at script[*pos] (which must be
+// the '$').  Supports $name, ${name} and $name(index) with substitutions
+// performed inside the index.  Appends the value to `out`.
+Code SubstVar(Interp& interp, std::string_view script, size_t* pos, std::string* out);
+
+// Performs a full substitution pass over `text` (as the `subst` command and
+// double-quoted words do) and returns the result in `out`.
+Code SubstString(Interp& interp, std::string_view text, std::string* out);
+
+// Parses a braced word whose opening '{' is at script[*pos].  On success the
+// raw contents (with backslash-newline collapsed) are stored in `out` and
+// *pos points just past the closing '}'.
+Code ParseBracedWord(Interp& interp, std::string_view script, size_t* pos, std::string* out);
+
+}  // namespace tcl
+
+#endif  // SRC_TCL_PARSER_H_

@@ -1,0 +1,385 @@
+#include "src/tcl/regexp.h"
+
+#include <array>
+#include <cctype>
+#include <functional>
+
+namespace tcl {
+namespace {
+
+char Fold(char c, bool nocase) {
+  return nocase ? static_cast<char>(std::tolower(static_cast<unsigned char>(c))) : c;
+}
+
+}  // namespace
+
+struct Regexp::Node {
+  enum class Kind {
+    kAlt,     // children = branches
+    kConcat,  // children in sequence
+    kRepeat,  // children[0], min..max (max -1 = unbounded)
+    kChar,    // ch
+    kAny,     // .
+    kClass,   // cls bitmap (+ negate folded in at build time)
+    kGroup,   // children[0], capture index `group`
+    kBol,     // ^
+    kEol,     // $
+  };
+  Kind kind;
+  std::vector<std::unique_ptr<Node>> children;
+  char ch = 0;
+  std::array<bool, 256> cls{};
+  int min = 0;
+  int max = -1;
+  int group = 0;
+};
+
+namespace {
+
+using Node = Regexp::Node;
+
+// Recursive-descent parser over the pattern.
+class Parser {
+ public:
+  Parser(std::string_view pattern, bool nocase) : pattern_(pattern), nocase_(nocase) {}
+
+  std::unique_ptr<Node> Parse(std::string* error, int* group_count) {
+    std::unique_ptr<Node> root = ParseAlt();
+    if (!error_.empty()) {
+      *error = error_;
+      return nullptr;
+    }
+    if (pos_ != pattern_.size()) {
+      *error = "unmatched () in regular expression";
+      return nullptr;
+    }
+    *group_count = next_group_ - 1;
+    return root;
+  }
+
+ private:
+  std::unique_ptr<Node> MakeNode(Node::Kind kind) {
+    auto node = std::make_unique<Node>();
+    node->kind = kind;
+    return node;
+  }
+
+  std::unique_ptr<Node> ParseAlt() {
+    auto alt = MakeNode(Node::Kind::kAlt);
+    alt->children.push_back(ParseConcat());
+    while (pos_ < pattern_.size() && pattern_[pos_] == '|') {
+      ++pos_;
+      alt->children.push_back(ParseConcat());
+    }
+    if (alt->children.size() == 1) {
+      return std::move(alt->children[0]);
+    }
+    return alt;
+  }
+
+  std::unique_ptr<Node> ParseConcat() {
+    auto concat = MakeNode(Node::Kind::kConcat);
+    while (pos_ < pattern_.size() && pattern_[pos_] != '|' && pattern_[pos_] != ')') {
+      std::unique_ptr<Node> atom = ParseRepeat();
+      if (atom == nullptr) {
+        break;
+      }
+      concat->children.push_back(std::move(atom));
+    }
+    return concat;
+  }
+
+  std::unique_ptr<Node> ParseRepeat() {
+    std::unique_ptr<Node> atom = ParseAtom();
+    if (atom == nullptr) {
+      return nullptr;
+    }
+    while (pos_ < pattern_.size()) {
+      char c = pattern_[pos_];
+      int min = 0;
+      int max = -1;
+      if (c == '*') {
+        min = 0;
+      } else if (c == '+') {
+        min = 1;
+      } else if (c == '?') {
+        min = 0;
+        max = 1;
+      } else {
+        break;
+      }
+      ++pos_;
+      if (atom->kind == Node::Kind::kBol || atom->kind == Node::Kind::kEol) {
+        error_ = "quantifier applied to anchor";
+        return nullptr;
+      }
+      auto repeat = MakeNode(Node::Kind::kRepeat);
+      repeat->min = min;
+      repeat->max = max;
+      repeat->children.push_back(std::move(atom));
+      atom = std::move(repeat);
+    }
+    return atom;
+  }
+
+  std::unique_ptr<Node> ParseAtom() {
+    if (pos_ >= pattern_.size()) {
+      return nullptr;
+    }
+    char c = pattern_[pos_];
+    switch (c) {
+      case '(': {
+        ++pos_;
+        int index = next_group_++;
+        auto group = MakeNode(Node::Kind::kGroup);
+        group->group = index;
+        group->children.push_back(ParseAlt());
+        if (pos_ >= pattern_.size() || pattern_[pos_] != ')') {
+          error_ = "unmatched ( in regular expression";
+          return nullptr;
+        }
+        ++pos_;
+        return group;
+      }
+      case ')':
+        return nullptr;
+      case '[':
+        return ParseClass();
+      case '.':
+        ++pos_;
+        return MakeNode(Node::Kind::kAny);
+      case '^':
+        ++pos_;
+        return MakeNode(Node::Kind::kBol);
+      case '$':
+        ++pos_;
+        return MakeNode(Node::Kind::kEol);
+      case '*':
+      case '+':
+      case '?':
+        error_ = std::string("quantifier \"") + c + "\" with nothing to repeat";
+        return nullptr;
+      case '\\': {
+        ++pos_;
+        if (pos_ >= pattern_.size()) {
+          error_ = "trailing backslash in regular expression";
+          return nullptr;
+        }
+        char escaped = pattern_[pos_];
+        ++pos_;
+        auto node = MakeNode(Node::Kind::kChar);
+        switch (escaped) {
+          case 'n':
+            node->ch = '\n';
+            break;
+          case 't':
+            node->ch = '\t';
+            break;
+          case 'r':
+            node->ch = '\r';
+            break;
+          default:
+            node->ch = Fold(escaped, nocase_);
+            break;
+        }
+        return node;
+      }
+      default: {
+        ++pos_;
+        auto node = MakeNode(Node::Kind::kChar);
+        node->ch = Fold(c, nocase_);
+        return node;
+      }
+    }
+  }
+
+  std::unique_ptr<Node> ParseClass() {
+    ++pos_;  // Skip '['.
+    auto node = MakeNode(Node::Kind::kClass);
+    bool negate = false;
+    if (pos_ < pattern_.size() && pattern_[pos_] == '^') {
+      negate = true;
+      ++pos_;
+    }
+    bool first = true;
+    while (pos_ < pattern_.size() && (pattern_[pos_] != ']' || first)) {
+      first = false;
+      unsigned char lo = static_cast<unsigned char>(pattern_[pos_]);
+      if (lo == '\\' && pos_ + 1 < pattern_.size()) {
+        ++pos_;
+        lo = static_cast<unsigned char>(pattern_[pos_]);
+      }
+      ++pos_;
+      unsigned char hi = lo;
+      if (pos_ + 1 < pattern_.size() && pattern_[pos_] == '-' && pattern_[pos_ + 1] != ']') {
+        ++pos_;
+        hi = static_cast<unsigned char>(pattern_[pos_]);
+        ++pos_;
+      }
+      if (lo > hi) {
+        std::swap(lo, hi);
+      }
+      for (unsigned int ch = lo; ch <= hi; ++ch) {
+        node->cls[ch] = true;
+        if (nocase_) {
+          node->cls[static_cast<unsigned char>(std::tolower(ch))] = true;
+          node->cls[static_cast<unsigned char>(std::toupper(ch))] = true;
+        }
+      }
+    }
+    if (pos_ >= pattern_.size()) {
+      error_ = "unmatched [] in regular expression";
+      return nullptr;
+    }
+    ++pos_;  // Skip ']'.
+    if (negate) {
+      for (bool& bit : node->cls) {
+        bit = !bit;
+      }
+    }
+    return node;
+  }
+
+  std::string_view pattern_;
+  bool nocase_;
+  size_t pos_ = 0;
+  int next_group_ = 1;
+  std::string error_;
+};
+
+// Backtracking matcher using explicit continuations.
+class Matcher {
+ public:
+  Matcher(std::string_view text, bool nocase, std::vector<RegexpRange>* ranges)
+      : text_(text), nocase_(nocase), ranges_(ranges) {}
+
+  using Cont = std::function<bool(size_t)>;
+
+  bool Match(const Node* node, size_t pos, const Cont& k) {
+    switch (node->kind) {
+      case Node::Kind::kChar:
+        if (pos < text_.size() && Fold(text_[pos], nocase_) == node->ch) {
+          return k(pos + 1);
+        }
+        return false;
+      case Node::Kind::kAny:
+        if (pos < text_.size() && text_[pos] != '\n') {
+          return k(pos + 1);
+        }
+        return false;
+      case Node::Kind::kClass:
+        if (pos < text_.size() && node->cls[static_cast<unsigned char>(text_[pos])]) {
+          return k(pos + 1);
+        }
+        return false;
+      case Node::Kind::kBol:
+        return pos == 0 ? k(pos) : false;
+      case Node::Kind::kEol:
+        return pos == text_.size() ? k(pos) : false;
+      case Node::Kind::kConcat:
+        return MatchSeq(node, 0, pos, k);
+      case Node::Kind::kAlt: {
+        for (const auto& branch : node->children) {
+          if (Match(branch.get(), pos, k)) {
+            return true;
+          }
+        }
+        return false;
+      }
+      case Node::Kind::kGroup: {
+        int index = node->group;
+        RegexpRange saved = (*ranges_)[index];
+        bool ok = Match(node->children[0].get(), pos, [&, index, pos](size_t end) {
+          RegexpRange prev = (*ranges_)[index];
+          (*ranges_)[index] = {static_cast<int>(pos), static_cast<int>(end)};
+          if (k(end)) {
+            return true;
+          }
+          (*ranges_)[index] = prev;
+          return false;
+        });
+        if (!ok) {
+          (*ranges_)[index] = saved;
+        }
+        return ok;
+      }
+      case Node::Kind::kRepeat:
+        return MatchRepeat(node, 0, pos, k);
+    }
+    return false;
+  }
+
+ private:
+  bool MatchSeq(const Node* node, size_t index, size_t pos, const Cont& k) {
+    if (index == node->children.size()) {
+      return k(pos);
+    }
+    return Match(node->children[index].get(), pos,
+                 [&](size_t next) { return MatchSeq(node, index + 1, next, k); });
+  }
+
+  bool MatchRepeat(const Node* node, int count, size_t pos, const Cont& k) {
+    const Node* child = node->children[0].get();
+    // Greedy: try one more iteration first (unless at max), then fall back
+    // to the continuation once the minimum is satisfied.
+    if (node->max < 0 || count < node->max) {
+      bool advanced = Match(child, pos, [&](size_t next) {
+        if (next == pos) {
+          return false;  // Empty iteration: stop to avoid infinite loops.
+        }
+        return MatchRepeat(node, count + 1, next, k);
+      });
+      if (advanced) {
+        return true;
+      }
+    }
+    if (count >= node->min) {
+      return k(pos);
+    }
+    return false;
+  }
+
+  std::string_view text_;
+  bool nocase_;
+  std::vector<RegexpRange>* ranges_;
+};
+
+}  // namespace
+
+Regexp::~Regexp() = default;
+
+std::unique_ptr<Regexp> Regexp::Compile(std::string_view pattern, bool nocase,
+                                        std::string* error) {
+  Parser parser(pattern, nocase);
+  int group_count = 0;
+  std::unique_ptr<Node> root = parser.Parse(error, &group_count);
+  if (root == nullptr) {
+    return nullptr;
+  }
+  auto compiled = std::unique_ptr<Regexp>(new Regexp());
+  compiled->root_ = std::move(root);
+  compiled->group_count_ = group_count;
+  compiled->nocase_ = nocase;
+  return compiled;
+}
+
+bool Regexp::Search(std::string_view text, size_t start,
+                    std::vector<RegexpRange>* ranges) const {
+  ranges->assign(static_cast<size_t>(group_count_) + 1, RegexpRange());
+  for (size_t pos = start; pos <= text.size(); ++pos) {
+    Matcher matcher(text, nocase_, ranges);
+    size_t match_end = 0;
+    bool found = matcher.Match(root_.get(), pos, [&](size_t end) {
+      match_end = end;
+      return true;
+    });
+    if (found) {
+      (*ranges)[0] = {static_cast<int>(pos), static_cast<int>(match_end)};
+      return true;
+    }
+    ranges->assign(static_cast<size_t>(group_count_) + 1, RegexpRange());
+  }
+  return false;
+}
+
+}  // namespace tcl

@@ -1,0 +1,55 @@
+// A compact regular-expression engine for the `regexp` and `regsub`
+// commands, covering the dialect of the original Tcl (Henry Spencer's
+// library): literals, '.', '*', '+', '?', bracket classes with ranges and
+// negation, anchors '^' and '$', capture groups '(...)' and alternation '|'.
+// Matching is backtracking with leftmost-first semantics.
+
+#ifndef SRC_TCL_REGEXP_H_
+#define SRC_TCL_REGEXP_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tcl {
+
+// One capture: [begin, end) offsets into the subject, or (-1, -1) if the
+// group did not participate in the match.
+struct RegexpRange {
+  int begin = -1;
+  int end = -1;
+};
+
+class Regexp {
+ public:
+  // Compiles `pattern`; returns nullptr and sets *error on bad syntax.
+  static std::unique_ptr<Regexp> Compile(std::string_view pattern, bool nocase,
+                                         std::string* error);
+  ~Regexp();
+
+  Regexp(const Regexp&) = delete;
+  Regexp& operator=(const Regexp&) = delete;
+
+  // Searches `text` starting at `start`.  On a match, ranges[0] is the whole
+  // match and ranges[i] is capture group i.  ranges is sized to
+  // 1 + group_count().
+  bool Search(std::string_view text, size_t start, std::vector<RegexpRange>* ranges) const;
+
+  int group_count() const { return group_count_; }
+
+  // Opaque AST node (defined in the implementation).
+  struct Node;
+
+ private:
+  Regexp() = default;
+
+  std::unique_ptr<Node> root_;
+  int group_count_ = 0;
+  bool nocase_ = false;
+};
+
+}  // namespace tcl
+
+#endif  // SRC_TCL_REGEXP_H_

@@ -1,0 +1,29 @@
+// Core shared types for the Tcl interpreter library.
+//
+// Tcl has exactly one data type -- the string -- so the interfaces in this
+// library traffic exclusively in std::string / std::string_view.  Commands
+// communicate success or failure (and the non-local control flow used by
+// `return`, `break` and `continue`) through the Code enumeration, mirroring
+// the TCL_OK / TCL_ERROR / ... completion codes of the original C library.
+
+#ifndef SRC_TCL_TYPES_H_
+#define SRC_TCL_TYPES_H_
+
+namespace tcl {
+
+// Command completion codes.  kOk and kError are ordinary results; the other
+// three are pseudo-errors used to unwind loops and procedure bodies.
+enum class Code {
+  kOk = 0,
+  kError = 1,
+  kReturn = 2,
+  kBreak = 3,
+  kContinue = 4,
+};
+
+// Human-readable name for a completion code ("ok", "error", ...).
+const char* CodeName(Code code);
+
+}  // namespace tcl
+
+#endif  // SRC_TCL_TYPES_H_

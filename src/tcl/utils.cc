@@ -1,0 +1,204 @@
+#include "src/tcl/utils.h"
+
+#include "src/tcl/types.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace tcl {
+namespace {
+
+std::string_view TrimWhitespace(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  size_t end = text.size();
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+}  // namespace
+
+std::optional<int64_t> ParseInt(std::string_view text) {
+  std::string_view trimmed = TrimWhitespace(text);
+  if (trimmed.empty()) {
+    return std::nullopt;
+  }
+  std::string buf(trimmed);
+  errno = 0;
+  char* end = nullptr;
+  long long value = std::strtoll(buf.c_str(), &end, 0);
+  if (errno == ERANGE || end != buf.c_str() + buf.size() || end == buf.c_str()) {
+    return std::nullopt;
+  }
+  return static_cast<int64_t>(value);
+}
+
+std::optional<double> ParseDouble(std::string_view text) {
+  std::string_view trimmed = TrimWhitespace(text);
+  if (trimmed.empty()) {
+    return std::nullopt;
+  }
+  std::string buf(trimmed);
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size() || end == buf.c_str()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::optional<bool> ParseBool(std::string_view text) {
+  std::string lowered = ToLowerAscii(TrimWhitespace(text));
+  if (lowered == "true" || lowered == "yes" || lowered == "on" || lowered == "1" ||
+      lowered == "t" || lowered == "y") {
+    return true;
+  }
+  if (lowered == "false" || lowered == "no" || lowered == "off" || lowered == "0" ||
+      lowered == "f" || lowered == "n") {
+    return false;
+  }
+  if (std::optional<int64_t> as_int = ParseInt(lowered)) {
+    return *as_int != 0;
+  }
+  if (std::optional<double> as_double = ParseDouble(lowered)) {
+    return *as_double != 0.0;
+  }
+  return std::nullopt;
+}
+
+std::string FormatInt(int64_t value) { return std::to_string(value); }
+
+std::string FormatDouble(double value) {
+  if (std::isnan(value)) {
+    return "NaN";
+  }
+  if (std::isinf(value)) {
+    return value > 0 ? "Inf" : "-Inf";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  // Make sure the result still looks like a double so that round-tripping
+  // through the string representation preserves the type.
+  if (std::strpbrk(buf, ".eEnN") == nullptr) {
+    std::strcat(buf, ".0");
+  }
+  return buf;
+}
+
+bool StringMatch(std::string_view pattern, std::string_view text) {
+  size_t p = 0;
+  size_t t = 0;
+  while (p < pattern.size()) {
+    char pc = pattern[p];
+    if (pc == '*') {
+      // Collapse consecutive stars; then try every suffix of `text`.
+      while (p < pattern.size() && pattern[p] == '*') {
+        ++p;
+      }
+      if (p == pattern.size()) {
+        return true;
+      }
+      for (size_t skip = t; skip <= text.size(); ++skip) {
+        if (StringMatch(pattern.substr(p), text.substr(skip))) {
+          return true;
+        }
+      }
+      return false;
+    }
+    if (t >= text.size()) {
+      return false;
+    }
+    if (pc == '?') {
+      ++p;
+      ++t;
+      continue;
+    }
+    if (pc == '[') {
+      ++p;
+      bool matched = false;
+      bool negate = false;
+      if (p < pattern.size() && (pattern[p] == '^' || pattern[p] == '!')) {
+        negate = true;
+        ++p;
+      }
+      char ch = text[t];
+      while (p < pattern.size() && pattern[p] != ']') {
+        char lo = pattern[p];
+        char hi = lo;
+        if (p + 2 < pattern.size() && pattern[p + 1] == '-' && pattern[p + 2] != ']') {
+          hi = pattern[p + 2];
+          p += 3;
+        } else {
+          ++p;
+        }
+        if (lo > hi) {
+          std::swap(lo, hi);
+        }
+        if (ch >= lo && ch <= hi) {
+          matched = true;
+        }
+      }
+      if (p < pattern.size()) {
+        ++p;  // Skip ']'.
+      }
+      if (matched == negate) {
+        return false;
+      }
+      ++t;
+      continue;
+    }
+    if (pc == '\\' && p + 1 < pattern.size()) {
+      ++p;
+      pc = pattern[p];
+    }
+    if (pc != text[t]) {
+      return false;
+    }
+    ++p;
+    ++t;
+  }
+  return t == text.size();
+}
+
+std::string ToLowerAscii(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::string ToUpperAscii(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+const char* CodeName(Code code) {
+  switch (code) {
+    case Code::kOk:
+      return "ok";
+    case Code::kError:
+      return "error";
+    case Code::kReturn:
+      return "return";
+    case Code::kBreak:
+      return "break";
+    case Code::kContinue:
+      return "continue";
+  }
+  return "?";
+}
+
+}  // namespace tcl

@@ -1,0 +1,47 @@
+// Small string and numeric helpers shared across the Tcl library.
+
+#ifndef SRC_TCL_UTILS_H_
+#define SRC_TCL_UTILS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace tcl {
+
+// Parses `text` as a Tcl integer (decimal, 0x hex, or 0 octal prefix with an
+// optional sign).  The entire string, modulo surrounding whitespace, must be
+// consumed.  Returns std::nullopt on failure.
+std::optional<int64_t> ParseInt(std::string_view text);
+
+// Parses `text` as a floating point number (whole string, modulo whitespace).
+std::optional<double> ParseDouble(std::string_view text);
+
+// Parses a Tcl boolean: 0/1, true/false, yes/no, on/off (case-insensitive),
+// or any numeric value (non-zero => true).
+std::optional<bool> ParseBool(std::string_view text);
+
+// Formats an integer the way Tcl prints expr results.
+std::string FormatInt(int64_t value);
+
+// Formats a double the way Tcl prints expr results: %g with enough precision
+// to round-trip, always containing a '.' or exponent so the value stays
+// "floating" when re-parsed.
+std::string FormatDouble(double value);
+
+// Tcl's glob-style pattern matcher (the engine behind `string match` and the
+// option database): `*` matches any run, `?` one char, `[a-z]` a char class,
+// `\x` escapes x.
+bool StringMatch(std::string_view pattern, std::string_view text);
+
+// ASCII case conversions (Tcl is byte-oriented; no locale surprises).
+std::string ToLowerAscii(std::string_view text);
+std::string ToUpperAscii(std::string_view text);
+
+// True if `c` is a Tcl word separator (space or tab).
+inline bool IsTclSpace(char c) { return c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v'; }
+
+}  // namespace tcl
+
+#endif  // SRC_TCL_UTILS_H_

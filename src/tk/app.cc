@@ -1,0 +1,311 @@
+#include "src/tk/app.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "src/tk/pack.h"
+#include "src/tk/selection.h"
+#include "src/tk/send.h"
+#include "src/tk/widget.h"
+#include "src/tk/widgets/frame.h"
+
+namespace tk {
+namespace {
+
+std::vector<App*>& MutableAppRegistry() {
+  static std::vector<App*> apps;
+  return apps;
+}
+
+}  // namespace
+
+const std::vector<App*>& App::AllApps() { return MutableAppRegistry(); }
+
+App::App(xsim::Server& server, std::string name) {
+  interp_ = std::make_unique<tcl::Interp>();
+  display_ = xsim::Display::Open(server, name);
+  resources_ = std::make_unique<ResourceCache>(*display_);
+  options_ = std::make_unique<OptionDb>();
+  bindings_ = std::make_unique<BindingTable>(*this);
+  packer_ = std::make_unique<Packer>(*this);
+  placer_ = std::make_unique<Placer>(*this);
+  selection_ = std::make_unique<SelectionManager>(*this);
+  send_ = std::make_unique<SendChannel>(*this);
+
+  MutableAppRegistry().push_back(this);
+
+  // The main window "." -- a frame covering the application's top level.
+  // The simulated window manager cascades top-levels so that concurrent
+  // applications don't overlap (as twm would place them).
+  auto main = std::make_unique<Frame>(*this, ".");
+  Widget* main_ptr = AddWidget(std::move(main));
+  size_t app_index = MutableAppRegistry().size() - 1;
+  int wm_x = static_cast<int>((app_index % 5) * 250);
+  int wm_y = static_cast<int>(((app_index / 5) % 4) * 250);
+  main_ptr->SetAssignedGeometry(wm_x, wm_y, 200, 200);
+  main_ptr->Map();
+
+  RegisterCommands();  // Defined in commands.cc.
+
+  name_ = send_->Register(name);
+  interp_->SetVar("tk_appname", name_);
+}
+
+App::~App() {
+  // Mark teardown: widgets skip per-window X cleanup; the display connection
+  // close below releases everything server-side in one sweep.
+  closing_ = true;
+  std::vector<std::string> paths = WidgetPaths();
+  std::sort(paths.begin(), paths.end(), [](const std::string& a, const std::string& b) {
+    return a.size() > b.size();
+  });
+  for (const std::string& path : paths) {
+    widgets_.erase(path);
+  }
+  send_->Unregister();
+  auto& registry = MutableAppRegistry();
+  registry.erase(std::remove(registry.begin(), registry.end(), this), registry.end());
+}
+
+// ---------------------------------------------------------------------------
+// Widget registry.
+
+Widget* App::FindWidget(std::string_view path) {
+  auto it = widgets_.find(path);
+  return it == widgets_.end() ? nullptr : it->second.get();
+}
+
+Widget* App::AddWidget(std::unique_ptr<Widget> widget) {
+  Widget* ptr = widget.get();
+  const std::string path = ptr->path();
+  widgets_[path] = std::move(widget);
+  window_to_widget_[ptr->window()] = ptr;
+  // The widget command: manipulating the widget via its path name
+  // (Section 4 of the paper).
+  interp_->RegisterCommand(path, [this](tcl::Interp& interp,
+                                        std::vector<std::string>& args) {
+    Widget* target = FindWidget(args[0]);
+    if (target == nullptr) {
+      return interp.Error("bad window path name \"" + args[0] + "\"");
+    }
+    return target->WidgetCommand(args);
+  });
+  return ptr;
+}
+
+bool App::DestroyWidget(std::string_view path) {
+  if (FindWidget(path) == nullptr) {
+    return false;
+  }
+  // Collect the subtree (path itself plus everything under "path.").
+  std::string prefix = std::string(path);
+  if (prefix != ".") {
+    prefix += ".";
+  }
+  std::vector<std::string> doomed;
+  for (const auto& [widget_path, widget] : widgets_) {
+    if (widget_path == path || widget_path.rfind(prefix, 0) == 0) {
+      doomed.push_back(widget_path);
+    }
+  }
+  std::sort(doomed.begin(), doomed.end(), [](const std::string& a, const std::string& b) {
+    return a.size() > b.size();
+  });
+  for (const std::string& widget_path : doomed) {
+    Widget* widget = FindWidget(widget_path);
+    if (widget == nullptr) {
+      continue;
+    }
+    if (widget->manager() != nullptr) {
+      widget->manager()->WidgetGone(widget);
+    }
+    packer_->WidgetGone(widget);
+    placer_->WidgetGone(widget);
+    bindings_->RemoveTag(widget_path);
+    interp_->DeleteCommand(widget_path);
+    window_to_widget_.erase(widget->window());
+    redraw_queue_.erase(std::remove(redraw_queue_.begin(), redraw_queue_.end(), widget),
+                        redraw_queue_.end());
+    repack_queue_.erase(std::remove(repack_queue_.begin(), repack_queue_.end(), widget),
+                        repack_queue_.end());
+    widgets_.erase(widget_path);
+  }
+  return true;
+}
+
+std::vector<std::string> App::WidgetPaths() const {
+  std::vector<std::string> paths;
+  paths.reserve(widgets_.size());
+  for (const auto& [path, widget] : widgets_) {
+    paths.push_back(path);
+  }
+  return paths;
+}
+
+std::vector<std::string> App::ChildPaths(std::string_view path) const {
+  std::string prefix = std::string(path);
+  if (prefix != ".") {
+    prefix += ".";
+  }
+  std::vector<std::string> children;
+  for (const auto& [widget_path, widget] : widgets_) {
+    if (widget_path.size() > prefix.size() && widget_path.rfind(prefix, 0) == 0 &&
+        widget_path.find('.', prefix.size()) == std::string::npos && widget_path != path) {
+      children.push_back(widget_path);
+    }
+  }
+  return children;
+}
+
+// ---------------------------------------------------------------------------
+// Event loop.
+
+void App::DispatchEvent(const xsim::Event& event) {
+  // Protocol handlers first (send comm window, selection traffic).
+  if (send_->HandleEvent(event)) {
+    return;
+  }
+  if (selection_->HandleEvent(event)) {
+    return;
+  }
+  auto it = window_to_widget_.find(event.window);
+  if (it == window_to_widget_.end()) {
+    return;
+  }
+  Widget* widget = it->second;
+  const std::string path = widget->path();
+  const std::string clazz = widget->clazz();
+  // Class behaviour (C handlers), then user bindings -- mirroring Tk, where
+  // widget internals and bind scripts both see events.
+  widget->HandleEvent(event);
+  // The widget may have been destroyed by its own handler.
+  if (FindWidget(path) != widget) {
+    return;
+  }
+  bindings_->Dispatch(event, path, clazz);
+}
+
+bool App::DoOneEvent() {
+  xsim::Event event;
+  if (display_->PollEvent(&event)) {
+    DispatchEvent(event);
+    return true;
+  }
+  // Timers that have come due.
+  auto now = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < timers_.size(); ++i) {
+    if (timers_[i].due <= now) {
+      std::function<void()> callback = std::move(timers_[i].callback);
+      timers_.erase(timers_.begin() + i);
+      callback();
+      return true;
+    }
+  }
+  // Idle work: layout, redraw, when-idle handlers.
+  if (!repack_queue_.empty() || !redraw_queue_.empty() || !idle_.empty()) {
+    ProcessIdle();
+    return true;
+  }
+  return false;
+}
+
+void App::Update() {
+  // Bounded: a redraw that schedules another redraw must not spin forever.
+  for (int i = 0; i < 10000 && DoOneEvent(); ++i) {
+  }
+}
+
+void App::UpdateIdleTasks() { ProcessIdle(); }
+
+void App::ProcessIdle() {
+  // Layout first (it may move/resize windows and trigger redraws), then
+  // paint, then generic idle callbacks.
+  int guard = 0;
+  while (!repack_queue_.empty() && guard++ < 1000) {
+    Widget* parent = repack_queue_.front();
+    repack_queue_.erase(repack_queue_.begin());
+    packer_->Arrange(parent);
+    placer_->Arrange(parent);
+  }
+  std::vector<Widget*> to_draw;
+  to_draw.swap(redraw_queue_);
+  for (Widget* widget : to_draw) {
+    widget->Draw();
+  }
+  std::deque<std::function<void()>> idle;
+  idle.swap(idle_);
+  for (const std::function<void()>& callback : idle) {
+    callback();
+  }
+}
+
+uint64_t App::CreateTimerMs(int64_t ms, std::function<void()> callback) {
+  TimerHandler handler;
+  handler.id = next_timer_id_++;
+  handler.due = std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  handler.callback = std::move(callback);
+  timers_.push_back(std::move(handler));
+  return timers_.back().id;
+}
+
+void App::DeleteTimer(uint64_t id) {
+  timers_.erase(std::remove_if(timers_.begin(), timers_.end(),
+                               [id](const TimerHandler& t) { return t.id == id; }),
+                timers_.end());
+}
+
+void App::DoWhenIdle(std::function<void()> callback) { idle_.push_back(std::move(callback)); }
+
+bool App::WaitFor(const std::function<bool()>& done) {
+  int quiet_rounds = 0;
+  while (!done()) {
+    bool progress = false;
+    for (App* app : MutableAppRegistry()) {
+      if (app->DoOneEvent()) {
+        progress = true;
+      }
+    }
+    if (progress) {
+      quiet_rounds = 0;
+      continue;
+    }
+    ++quiet_rounds;
+    if (quiet_rounds > 1000) {
+      return false;
+    }
+    // Nothing pending anywhere: let wall-clock timers advance.
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  return true;
+}
+
+void App::BackgroundError(const std::string& message) {
+  if (interp_->HasCommand("tkerror")) {
+    std::vector<std::string> call = {"tkerror", message};
+    if (interp_->EvalWords(call) == tcl::Code::kOk) {
+      return;
+    }
+    // Fall through if tkerror itself failed.
+  }
+  fprintf(stderr, "%s: background error: %s\n", name_.c_str(), message.c_str());
+}
+
+void App::ScheduleRedraw(Widget* widget) {
+  if (closing_) {
+    return;
+  }
+  if (std::find(redraw_queue_.begin(), redraw_queue_.end(), widget) == redraw_queue_.end()) {
+    redraw_queue_.push_back(widget);
+  }
+}
+
+void App::ScheduleRepack(Widget* parent) {
+  if (closing_) {
+    return;
+  }
+  if (std::find(repack_queue_.begin(), repack_queue_.end(), parent) == repack_queue_.end()) {
+    repack_queue_.push_back(parent);
+  }
+}
+
+}  // namespace tk

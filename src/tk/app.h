@@ -1,0 +1,158 @@
+// tk::App -- one Tk-based application: a Tcl interpreter wired to an X
+// display, a tree of widgets rooted at ".", an event loop, and a name
+// registered on the display so other applications can `send` to it.
+//
+// Multiple Apps can share one xsim::Server; each opens its own Display
+// connection.  That reproduces the paper's environment where independent
+// processes cooperate on one display: the `send` command, ICCCM selection
+// transfers and the interpreter registry all flow through server-side state
+// exactly as they would between real processes.
+
+#ifndef SRC_TK_APP_H_
+#define SRC_TK_APP_H_
+
+#include <chrono>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/tcl/interp.h"
+#include "src/xsim/display.h"
+#include "src/tk/bind.h"
+#include "src/tk/option_db.h"
+#include "src/tk/resource_cache.h"
+
+namespace tk {
+
+class Widget;
+class Packer;
+class Placer;
+class SendChannel;
+class SelectionManager;
+
+// A scheduled `after` timer.
+struct TimerHandler {
+  uint64_t id = 0;
+  std::chrono::steady_clock::time_point due;
+  std::function<void()> callback;
+};
+
+class App {
+ public:
+  // Creates the application: opens a display connection, creates the main
+  // window ".", registers all Tk commands in a fresh interpreter, and
+  // registers `name` in the display's interpreter registry (uniquified with
+  // " #2" style suffixes if taken).
+  App(xsim::Server& server, std::string name);
+  ~App();
+
+  App(const App&) = delete;
+  App& operator=(const App&) = delete;
+
+  tcl::Interp& interp() { return *interp_; }
+  xsim::Display& display() { return *display_; }
+  xsim::Server& server() { return display_->server(); }
+  const std::string& name() const { return name_; }
+
+  ResourceCache& resources() { return *resources_; }
+  OptionDb& options() { return *options_; }
+  BindingTable& bindings() { return *bindings_; }
+  Packer& packer() { return *packer_; }
+  Placer& placer() { return *placer_; }
+  SendChannel& send_channel() { return *send_; }
+  SelectionManager& selection() { return *selection_; }
+
+  // --- Widget registry (Section 3.1: window path names) -----------------------
+
+  Widget* main_window() { return FindWidget("."); }
+  Widget* FindWidget(std::string_view path);
+  // Takes ownership; registers the widget command named after the path.
+  Widget* AddWidget(std::unique_ptr<Widget> widget);
+  // Destroys `path` and its whole subtree (deepest first).
+  bool DestroyWidget(std::string_view path);
+  std::vector<std::string> WidgetPaths() const;
+  // Children paths of `path`, in creation order.
+  std::vector<std::string> ChildPaths(std::string_view path) const;
+
+  // --- Event loop (Section 3.2) -------------------------------------------------
+
+  // Processes one pending X event, due timer, or idle handler.  Returns
+  // false if nothing was ready.
+  bool DoOneEvent();
+  // Processes events until none are pending (the `update` command).
+  void Update();
+  // Runs only idle callbacks (the `update idletasks` command).
+  void UpdateIdleTasks();
+
+  uint64_t CreateTimerMs(int64_t ms, std::function<void()> callback);
+  void DeleteTimer(uint64_t id);
+  void DoWhenIdle(std::function<void()> callback);
+
+  // Dispatches an X event to widget handlers and the binding table.  Public
+  // so tests can synthesize events without the server.
+  void DispatchEvent(const xsim::Event& event);
+
+  // Pumps the event loops of every App registered in this process until
+  // `done` returns true (used by send and selection retrieval, standing in
+  // for the blocking-with-dispatch loops of real Tk).  Returns false on
+  // timeout (a bounded number of idle rounds with no progress).
+  bool WaitFor(const std::function<bool()>& done);
+
+  // All live Apps in this process (the in-process stand-in for "all clients
+  // of the display").
+  static const std::vector<App*>& AllApps();
+
+  // Reports an error from a callback with no caller to return it to (a
+  // binding, an `after` script, a scrollbar command): invokes the Tcl
+  // `tkerror` procedure if the application defined one, else prints to
+  // stderr -- Tk's background-error convention.
+  void BackgroundError(const std::string& message);
+
+  // Schedules `widget` for a redraw at idle time (coalesced).
+  void ScheduleRedraw(Widget* widget);
+  // Schedules a relayout of geometry management in `parent` at idle time.
+  void ScheduleRepack(Widget* parent);
+
+  // True once the destructor has begun (widgets check this to skip X calls
+  // during teardown).
+  bool closing() const { return closing_; }
+
+  // Storage for `wm title` (the simulated window manager's title bars).
+  std::map<std::string, std::string>& wm_titles() { return wm_titles_; }
+
+ private:
+  void RegisterCommands();
+  void ProcessIdle();
+
+  std::unique_ptr<tcl::Interp> interp_;
+  std::unique_ptr<xsim::Display> display_;
+  std::string name_;
+
+  std::map<std::string, std::unique_ptr<Widget>, std::less<>> widgets_;
+  std::map<xsim::WindowId, Widget*> window_to_widget_;
+
+  std::unique_ptr<ResourceCache> resources_;
+  std::unique_ptr<OptionDb> options_;
+  std::unique_ptr<BindingTable> bindings_;
+  std::unique_ptr<Packer> packer_;
+  std::unique_ptr<Placer> placer_;
+  std::unique_ptr<SendChannel> send_;
+  std::unique_ptr<SelectionManager> selection_;
+
+  std::vector<TimerHandler> timers_;
+  uint64_t next_timer_id_ = 1;
+  std::deque<std::function<void()>> idle_;
+  std::vector<Widget*> redraw_queue_;
+  std::vector<Widget*> repack_queue_;
+  std::map<std::string, std::string> wm_titles_;  // Per-toplevel `wm title`.
+  bool closing_ = false;
+
+  friend class Widget;
+};
+
+}  // namespace tk
+
+#endif  // SRC_TK_APP_H_

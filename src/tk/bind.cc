@@ -1,0 +1,491 @@
+#include "src/tk/bind.h"
+
+#include <cctype>
+#include <cstdio>
+
+#include "src/tcl/interp.h"
+#include "src/tk/app.h"
+
+namespace tk {
+namespace {
+
+// Max time between presses (server ticks) for Double-/Triple- matching.
+constexpr xsim::Timestamp kMultiClickTime = 500;
+// How much event history to keep per window.
+constexpr size_t kHistoryLimit = 32;
+
+struct TypeName {
+  const char* name;
+  xsim::EventType type;
+};
+
+constexpr TypeName kTypeNames[] = {
+    {"Key", xsim::EventType::kKeyPress},
+    {"KeyPress", xsim::EventType::kKeyPress},
+    {"KeyRelease", xsim::EventType::kKeyRelease},
+    {"Button", xsim::EventType::kButtonPress},
+    {"ButtonPress", xsim::EventType::kButtonPress},
+    {"ButtonRelease", xsim::EventType::kButtonRelease},
+    {"Motion", xsim::EventType::kMotionNotify},
+    {"Enter", xsim::EventType::kEnterNotify},
+    {"Leave", xsim::EventType::kLeaveNotify},
+    {"FocusIn", xsim::EventType::kFocusIn},
+    {"FocusOut", xsim::EventType::kFocusOut},
+    {"Expose", xsim::EventType::kExpose},
+    {"Configure", xsim::EventType::kConfigureNotify},
+    {"Map", xsim::EventType::kMapNotify},
+    {"Unmap", xsim::EventType::kUnmapNotify},
+    {"Destroy", xsim::EventType::kDestroyNotify},
+    {"Property", xsim::EventType::kPropertyNotify},
+};
+
+struct ModName {
+  const char* name;
+  uint32_t mask;
+};
+
+constexpr ModName kModNames[] = {
+    {"Control", xsim::kControlMask}, {"Shift", xsim::kShiftMask},
+    {"Lock", xsim::kLockMask},       {"Meta", xsim::kMod1Mask},
+    {"M", xsim::kMod1Mask},          {"Alt", xsim::kMod1Mask},
+    {"Mod1", xsim::kMod1Mask},       {"B1", xsim::kButton1Mask},
+    {"Button1", xsim::kButton1Mask}, {"B2", xsim::kButton2Mask},
+    {"Button2", xsim::kButton2Mask}, {"B3", xsim::kButton3Mask},
+    {"Button3", xsim::kButton3Mask}, {"B4", xsim::kButton4Mask},
+    {"Button4", xsim::kButton4Mask}, {"B5", xsim::kButton5Mask},
+    {"Button5", xsim::kButton5Mask},
+};
+
+// Splits the inside of <...> on '-'.
+std::vector<std::string> SplitFields(const std::string& text) {
+  std::vector<std::string> fields;
+  std::string current;
+  for (char c : text) {
+    if (c == '-' && !current.empty()) {
+      fields.push_back(current);
+      current.clear();
+    } else if (c != '-') {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) {
+    fields.push_back(current);
+  }
+  return fields;
+}
+
+// Parses the contents of one <...> token.
+bool ParseAngleToken(const std::string& contents, EventPattern* out, std::string* error) {
+  EventPattern pattern;
+  std::vector<std::string> fields = SplitFields(contents);
+  if (fields.empty()) {
+    *error = "empty event specification";
+    return false;
+  }
+  bool have_type = false;
+  size_t i = 0;
+  for (; i < fields.size(); ++i) {
+    const std::string& field = fields[i];
+    // Repeat counts.
+    if (field == "Double") {
+      pattern.repeat = 2;
+      continue;
+    }
+    if (field == "Triple") {
+      pattern.repeat = 3;
+      continue;
+    }
+    if (field == "Any") {
+      pattern.any_modifiers = true;
+      continue;
+    }
+    // Modifiers.
+    bool is_mod = false;
+    for (const ModName& mod : kModNames) {
+      if (field == mod.name) {
+        pattern.modifiers |= mod.mask;
+        is_mod = true;
+        break;
+      }
+    }
+    if (is_mod) {
+      continue;
+    }
+    // Event type.
+    bool is_type = false;
+    for (const TypeName& type : kTypeNames) {
+      if (field == type.name) {
+        pattern.type = type.type;
+        have_type = true;
+        is_type = true;
+        break;
+      }
+    }
+    if (is_type) {
+      ++i;
+      break;  // Whatever follows is the detail.
+    }
+    break;  // Not a modifier or type: must be the detail.
+  }
+  // Remaining field (if any) is the detail.
+  if (i < fields.size()) {
+    const std::string& detail = fields[i];
+    if (i + 1 < fields.size()) {
+      *error = "extra fields in event specification \"" + contents + "\"";
+      return false;
+    }
+    bool all_digits = !detail.empty();
+    for (char c : detail) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) {
+        all_digits = false;
+        break;
+      }
+    }
+    if (all_digits &&
+        (!have_type || pattern.type == xsim::EventType::kButtonPress ||
+         pattern.type == xsim::EventType::kButtonRelease)) {
+      // <1>, <Double-1>, <ButtonRelease-2>: button detail.
+      if (!have_type) {
+        pattern.type = xsim::EventType::kButtonPress;
+      }
+      pattern.detail = static_cast<uint32_t>(std::stoul(detail));
+    } else {
+      // Keysym detail.
+      std::optional<xsim::KeySym> keysym = xsim::KeySymFromName(detail);
+      if (!keysym) {
+        *error = "bad event type or keysym \"" + detail + "\"";
+        return false;
+      }
+      if (!have_type) {
+        pattern.type = xsim::EventType::kKeyPress;
+      }
+      pattern.detail = *keysym;
+    }
+  } else if (!have_type) {
+    *error = "no event type or button # or keysym in \"" + contents + "\"";
+    return false;
+  }
+  *out = pattern;
+  return true;
+}
+
+bool EventMatches(const EventPattern& pattern, const xsim::Event& event) {
+  if (pattern.type != event.type) {
+    return false;
+  }
+  if (pattern.detail != 0 && pattern.detail != event.detail) {
+    return false;
+  }
+  if (!pattern.any_modifiers && (event.state & pattern.modifiers) != pattern.modifiers) {
+    return false;
+  }
+  return true;
+}
+
+// Events that may sit between the presses of a sequence without breaking it.
+bool IsIgnorableBetween(const xsim::Event& event) {
+  switch (event.type) {
+    case xsim::EventType::kKeyRelease:
+    case xsim::EventType::kButtonRelease:
+    case xsim::EventType::kMotionNotify:
+    case xsim::EventType::kEnterNotify:
+    case xsim::EventType::kLeaveNotify:
+    case xsim::EventType::kExpose:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::optional<std::vector<EventPattern>> ParseEventSequence(const std::string& text,
+                                                            std::string* error) {
+  std::vector<EventPattern> sequence;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    char c = text[pos];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+      continue;
+    }
+    if (c == '<') {
+      size_t close = text.find('>', pos);
+      if (close == std::string::npos) {
+        *error = "missing \">\" in binding";
+        return std::nullopt;
+      }
+      EventPattern pattern;
+      if (!ParseAngleToken(text.substr(pos + 1, close - pos - 1), &pattern, error)) {
+        return std::nullopt;
+      }
+      sequence.push_back(pattern);
+      pos = close + 1;
+      continue;
+    }
+    // A bare character: KeyPress of that keysym.
+    std::optional<xsim::KeySym> keysym = xsim::KeySymFromName(text.substr(pos, 1));
+    if (!keysym) {
+      *error = std::string("bad character \"") + c + "\" in binding";
+      return std::nullopt;
+    }
+    EventPattern pattern;
+    pattern.type = xsim::EventType::kKeyPress;
+    pattern.detail = *keysym;
+    sequence.push_back(pattern);
+    ++pos;
+  }
+  if (sequence.empty()) {
+    *error = "empty binding";
+    return std::nullopt;
+  }
+  return sequence;
+}
+
+std::string ExpandPercents(const std::string& script, const xsim::Event& event,
+                           const std::string& widget_path) {
+  std::string out;
+  out.reserve(script.size() + 16);
+  for (size_t i = 0; i < script.size(); ++i) {
+    char c = script[i];
+    if (c != '%' || i + 1 >= script.size()) {
+      out.push_back(c);
+      continue;
+    }
+    ++i;
+    char kind = script[i];
+    switch (kind) {
+      case '%':
+        out.push_back('%');
+        break;
+      case 'x':
+        out += std::to_string(event.x);
+        break;
+      case 'y':
+        out += std::to_string(event.y);
+        break;
+      case 'X':
+        out += std::to_string(event.x_root);
+        break;
+      case 'Y':
+        out += std::to_string(event.y_root);
+        break;
+      case 'b':
+        out += std::to_string(event.detail);
+        break;
+      case 'k':
+        out += std::to_string(event.detail);
+        break;
+      case 'K':
+        out += xsim::KeySymName(event.detail);
+        break;
+      case 'A': {
+        // The ASCII string the keystroke produces, list-quoted so scripts
+        // can insert it safely.
+        std::string ascii =
+            xsim::KeySymToString(event.detail, (event.state & xsim::kShiftMask) != 0);
+        if (ascii.empty() || ascii == " " || ascii == "\n" || ascii == "\t" ||
+            ascii.find_first_of("\\{}[]$\";") != std::string::npos) {
+          out += "{" + ascii + "}";
+        } else {
+          out += ascii;
+        }
+        break;
+      }
+      case 'W':
+        out += widget_path;
+        break;
+      case 'w':
+        out += std::to_string(event.area.width);
+        break;
+      case 'h':
+        out += std::to_string(event.area.height);
+        break;
+      case 's':
+        out += std::to_string(event.state);
+        break;
+      case 't':
+        out += std::to_string(event.time);
+        break;
+      case 'T':
+        out += xsim::EventTypeName(event.type);
+        break;
+      default:
+        out.push_back('%');
+        out.push_back(kind);
+        break;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// BindingTable.
+
+tcl::Code BindingTable::Bind(const std::string& tag, const std::string& pattern,
+                             const std::string& script) {
+  std::string error;
+  std::optional<std::vector<EventPattern>> sequence = ParseEventSequence(pattern, &error);
+  if (!sequence) {
+    return app_.interp().Error(error);
+  }
+  std::vector<Binding>& list = bindings_[tag];
+  for (size_t i = 0; i < list.size(); ++i) {
+    if (list[i].pattern_text == pattern) {
+      if (script.empty()) {
+        list.erase(list.begin() + i);
+      } else {
+        list[i].script = script;
+        list[i].sequence = *sequence;
+      }
+      return tcl::Code::kOk;
+    }
+  }
+  if (script.empty()) {
+    return tcl::Code::kOk;
+  }
+  Binding binding;
+  binding.sequence = std::move(*sequence);
+  binding.script = script;
+  binding.pattern_text = pattern;
+  list.push_back(std::move(binding));
+  return tcl::Code::kOk;
+}
+
+std::string BindingTable::GetBinding(const std::string& tag, const std::string& pattern) const {
+  auto it = bindings_.find(tag);
+  if (it == bindings_.end()) {
+    return "";
+  }
+  for (const Binding& binding : it->second) {
+    if (binding.pattern_text == pattern) {
+      return binding.script;
+    }
+  }
+  return "";
+}
+
+std::vector<std::string> BindingTable::BoundPatterns(const std::string& tag) const {
+  std::vector<std::string> out;
+  auto it = bindings_.find(tag);
+  if (it == bindings_.end()) {
+    return out;
+  }
+  for (const Binding& binding : it->second) {
+    out.push_back(binding.pattern_text);
+  }
+  return out;
+}
+
+void BindingTable::RemoveTag(const std::string& tag) {
+  bindings_.erase(tag);
+  histories_.erase(tag);
+}
+
+bool BindingTable::MatchesSequence(const Binding& binding, const History& history,
+                                   const xsim::Event& event) {
+  // Match the pattern sequence against the tail of the history; the last
+  // pattern element must match the current event.
+  int hist_index = static_cast<int>(history.events.size()) - 1;
+  for (int p = static_cast<int>(binding.sequence.size()) - 1; p >= 0; --p) {
+    const EventPattern& pattern = binding.sequence[p];
+    int need = pattern.repeat;
+    xsim::Timestamp last_time = 0;
+    bool matched_current = false;
+    while (need > 0) {
+      if (hist_index < 0) {
+        return false;
+      }
+      const xsim::Event& candidate = history.events[hist_index];
+      bool is_current = static_cast<size_t>(hist_index) == history.events.size() - 1;
+      if (EventMatches(pattern, candidate)) {
+        if (last_time != 0 && last_time - candidate.time > kMultiClickTime) {
+          return false;  // Presses too far apart for Double/Triple.
+        }
+        last_time = candidate.time;
+        --need;
+        --hist_index;
+        if (is_current) {
+          matched_current = true;
+        }
+        continue;
+      }
+      if (is_current) {
+        return false;  // The triggering event must match the final pattern.
+      }
+      if (IsIgnorableBetween(candidate)) {
+        --hist_index;
+        continue;
+      }
+      return false;
+    }
+    if (p == static_cast<int>(binding.sequence.size()) - 1 && !matched_current) {
+      return false;
+    }
+    (void)event;
+  }
+  return true;
+}
+
+const Binding* BindingTable::FindBestMatch(const std::string& tag, const History& history,
+                                           const xsim::Event& event) const {
+  auto it = bindings_.find(tag);
+  if (it == bindings_.end()) {
+    return nullptr;
+  }
+  const Binding* best = nullptr;
+  auto score = [](const Binding& b) {
+    // Longer sequences are more specific; then higher repeat counts; then
+    // more modifiers; then a concrete detail.
+    uint64_t s = b.sequence.size() * 1000000;
+    const EventPattern& last = b.sequence.back();
+    s += static_cast<uint64_t>(last.repeat) * 10000;
+    s += static_cast<uint64_t>(__builtin_popcount(last.modifiers)) * 100;
+    if (last.detail != 0) {
+      s += 10;
+    }
+    return s;
+  };
+  for (const Binding& binding : it->second) {
+    if (!MatchesSequence(binding, history, event)) {
+      continue;
+    }
+    if (best == nullptr || score(binding) > score(*best)) {
+      best = &binding;
+    }
+  }
+  return best;
+}
+
+int BindingTable::Dispatch(const xsim::Event& event, const std::string& widget_path,
+                           const std::string& widget_class) {
+  History& history = histories_[widget_path];
+  history.events.push_back(event);
+  if (history.events.size() > kHistoryLimit) {
+    history.events.pop_front();
+  }
+  int fired = 0;
+  // Per Tk: the widget's own bindings fire, and so do its class bindings --
+  // one (the most specific) per tag.
+  std::string scripts[2];
+  size_t count = 0;
+  for (const std::string& tag : {widget_path, widget_class}) {
+    const Binding* binding = FindBestMatch(tag, history, event);
+    if (binding != nullptr) {
+      scripts[count++] = ExpandPercents(binding->script, event, widget_path);
+    }
+  }
+  // Execute after lookup: a script may mutate the binding table.
+  for (size_t i = 0; i < count; ++i) {
+    tcl::Code code = app_.interp().Eval(scripts[i]);
+    ++fired;
+    if (code == tcl::Code::kError) {
+      // Background errors: report on stderr like tkerror.
+      app_.BackgroundError("binding error (" + widget_path + "): " +
+                           app_.interp().result());
+    }
+  }
+  return fired;
+}
+
+}  // namespace tk

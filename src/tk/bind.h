@@ -1,0 +1,86 @@
+// Event bindings (Section 3.2, Figure 7): the `bind` command's pattern
+// language, sequence matching with per-window event history (for
+// <Double-Button-1> and <Escape>q style sequences), and %-substitution.
+
+#ifndef SRC_TK_BIND_H_
+#define SRC_TK_BIND_H_
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/tcl/types.h"
+#include "src/xsim/event.h"
+#include "src/xsim/keysym.h"
+
+namespace tk {
+
+class App;
+
+// One event pattern within a sequence, e.g. the <Double-Button-1> in a
+// binding.
+struct EventPattern {
+  xsim::EventType type = xsim::EventType::kNone;
+  uint32_t detail = 0;      // Keysym or button number; 0 = any.
+  uint32_t modifiers = 0;   // Required modifier mask.
+  int repeat = 1;           // 2 for Double-, 3 for Triple-.
+  bool any_modifiers = false;
+};
+
+// A full binding: a sequence of patterns plus the script to run.
+struct Binding {
+  std::vector<EventPattern> sequence;
+  std::string script;
+  std::string pattern_text;  // Original spelling, for `bind` introspection.
+};
+
+// Parses a bind pattern like "<Double-Button-1>", "<Escape>q" or "abc".
+// Returns std::nullopt (with a message in *error) on bad syntax.
+std::optional<std::vector<EventPattern>> ParseEventSequence(const std::string& text,
+                                                            std::string* error);
+
+// Performs Figure 7's %-substitution on a binding script given the
+// triggering event.
+std::string ExpandPercents(const std::string& script, const xsim::Event& event,
+                           const std::string& widget_path);
+
+// Binding tables keyed by tag (a widget path or a widget class name).
+class BindingTable {
+ public:
+  explicit BindingTable(App& app) : app_(app) {}
+
+  // Adds/replaces the binding for (tag, pattern).  Empty script deletes.
+  tcl::Code Bind(const std::string& tag, const std::string& pattern, const std::string& script);
+  // The script bound to (tag, pattern), or "" if none.
+  std::string GetBinding(const std::string& tag, const std::string& pattern) const;
+  // All pattern texts bound for a tag.
+  std::vector<std::string> BoundPatterns(const std::string& tag) const;
+  void RemoveTag(const std::string& tag);
+
+  // Feeds an event through the table: records it in the window's history,
+  // finds the most specific matching binding for each of the widget's tags
+  // (path first, then class), and executes the scripts.  Returns the number
+  // of scripts run.
+  int Dispatch(const xsim::Event& event, const std::string& widget_path,
+               const std::string& widget_class);
+
+ private:
+  struct History {
+    std::deque<xsim::Event> events;  // Most recent last.
+  };
+
+  const Binding* FindBestMatch(const std::string& tag, const History& history,
+                               const xsim::Event& event) const;
+  static bool MatchesSequence(const Binding& binding, const History& history,
+                              const xsim::Event& event);
+
+  App& app_;
+  std::map<std::string, std::vector<Binding>> bindings_;
+  std::map<std::string, History> histories_;  // Keyed by widget path.
+};
+
+}  // namespace tk
+
+#endif  // SRC_TK_BIND_H_

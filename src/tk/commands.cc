@@ -1,0 +1,754 @@
+// Tcl commands exposing the Tk intrinsics: widget creation commands, bind,
+// pack, place, destroy, winfo, focus, option, selection, send, after,
+// update, tkwait, wm.  This is what makes "virtually all of the intrinsics
+// accessible from Tcl" (Section 3 of the paper).
+
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+#include "src/tcl/list.h"
+#include "src/tcl/utils.h"
+#include "src/tk/app.h"
+#include "src/tk/bind.h"
+#include "src/tk/pack.h"
+#include "src/tk/selection.h"
+#include "src/tk/send.h"
+#include "src/tk/widget.h"
+#include "src/tk/widgets/button.h"
+#include "src/tk/widgets/canvas.h"
+#include "src/tk/widgets/entry.h"
+#include "src/tk/widgets/frame.h"
+#include "src/tk/widgets/listbox.h"
+#include "src/tk/widgets/menu.h"
+#include "src/tk/widgets/message.h"
+#include "src/tk/widgets/scale.h"
+#include "src/tk/widgets/scrollbar.h"
+
+namespace tk {
+namespace {
+
+using WidgetFactory = std::function<std::unique_ptr<Widget>(App&, std::string path)>;
+
+// Checks that `path` is a legal, not-yet-used window path whose parent
+// exists.
+tcl::Code ValidateNewPath(App& app, const std::string& path) {
+  tcl::Interp& interp = app.interp();
+  if (path.empty() || path[0] != '.') {
+    return interp.Error("bad window path name \"" + path + "\"");
+  }
+  if (app.FindWidget(path) != nullptr) {
+    return interp.Error("window name \"" + path + "\" already exists");
+  }
+  size_t dot = path.rfind('.');
+  std::string parent = dot == 0 ? "." : path.substr(0, dot);
+  if (path != "." && app.FindWidget(parent) == nullptr) {
+    return interp.Error("bad window path name \"" + path + "\" (parent \"" + parent +
+                        "\" doesn't exist)");
+  }
+  if (path.find("..") != std::string::npos || path.back() == '.') {
+    return interp.Error("bad window path name \"" + path + "\"");
+  }
+  return tcl::Code::kOk;
+}
+
+// Registers one widget-creation command (e.g. `button .b -text Hi`).
+void RegisterWidgetClass(App& app, const std::string& command, WidgetFactory factory) {
+  App* app_ptr = &app;
+  app.interp().RegisterCommand(
+      command, [app_ptr, factory, command](tcl::Interp& interp,
+                                           std::vector<std::string>& args) {
+        if (args.size() < 2) {
+          return interp.WrongNumArgs(command + " pathName ?options?");
+        }
+        const std::string path = args[1];
+        tcl::Code code = ValidateNewPath(*app_ptr, path);
+        if (code != tcl::Code::kOk) {
+          return code;
+        }
+        std::unique_ptr<Widget> widget = factory(*app_ptr, path);
+        Widget* ptr = app_ptr->AddWidget(std::move(widget));
+        code = ptr->ConfigureFromArgs(args, 2);
+        if (code == tcl::Code::kOk) {
+          code = ptr->ApplyDefaults();
+        }
+        if (code != tcl::Code::kOk) {
+          std::string message = interp.result();
+          app_ptr->DestroyWidget(path);
+          return interp.Error(message);
+        }
+        interp.SetResult(path);
+        return tcl::Code::kOk;
+      });
+}
+
+// --- bind ----------------------------------------------------------------------
+
+tcl::Code BindCmd(App& app, std::vector<std::string>& args) {
+  tcl::Interp& interp = app.interp();
+  if (args.size() < 2 || args.size() > 4) {
+    return interp.WrongNumArgs("bind window ?pattern? ?command?");
+  }
+  const std::string& tag = args[1];
+  if (args.size() == 2) {
+    interp.SetResult(tcl::MergeList(app.bindings().BoundPatterns(tag)));
+    return tcl::Code::kOk;
+  }
+  if (args.size() == 3) {
+    interp.SetResult(app.bindings().GetBinding(tag, args[2]));
+    return tcl::Code::kOk;
+  }
+  return app.bindings().Bind(tag, args[2], args[3]);
+}
+
+// --- pack ----------------------------------------------------------------------
+
+tcl::Code PackCmd(App& app, std::vector<std::string>& args) {
+  tcl::Interp& interp = app.interp();
+  if (args.size() < 2) {
+    return interp.WrongNumArgs("pack option window ?options?");
+  }
+  const std::string& option = args[1];
+  if (option == "append" || option == "before" || option == "after") {
+    if (args.size() < 3) {
+      return interp.WrongNumArgs("pack append parent window options ?window options ...?");
+    }
+    Widget* anchor = app.FindWidget(args[2]);
+    if (anchor == nullptr) {
+      return interp.Error("bad window path name \"" + args[2] + "\"");
+    }
+    Widget* parent = anchor;
+    if (option != "append") {
+      parent = app.FindWidget(anchor->parent_path());
+      if (parent == nullptr || !app.packer().Manages(anchor)) {
+        return interp.Error("window \"" + args[2] + "\" isn't packed");
+      }
+    }
+    if ((args.size() - 3) % 2 != 0) {
+      return interp.Error("wrong # args: window \"" + args.back() + "\" has no options");
+    }
+    for (size_t i = 3; i + 1 < args.size(); i += 2) {
+      Widget* slave = app.FindWidget(args[i]);
+      if (slave == nullptr) {
+        return interp.Error("bad window path name \"" + args[i] + "\"");
+      }
+      PackOptions options;
+      tcl::Code code = Packer::ParseOptions(interp, args[i + 1], &options);
+      if (code != tcl::Code::kOk) {
+        return code;
+      }
+      if (option == "append") {
+        code = app.packer().Append(parent, slave, options);
+      } else {
+        code = app.packer().InsertRelative(parent, anchor, option == "after", slave, options);
+      }
+      if (code != tcl::Code::kOk) {
+        return code;
+      }
+    }
+    interp.ResetResult();
+    return tcl::Code::kOk;
+  }
+  if (option == "unpack" || option == "forget") {
+    for (size_t i = 2; i < args.size(); ++i) {
+      Widget* slave = app.FindWidget(args[i]);
+      if (slave == nullptr) {
+        return interp.Error("bad window path name \"" + args[i] + "\"");
+      }
+      app.packer().Unpack(slave);
+    }
+    interp.ResetResult();
+    return tcl::Code::kOk;
+  }
+  if (option == "info" || option == "slaves") {
+    if (args.size() != 3) {
+      return interp.WrongNumArgs("pack info parent");
+    }
+    Widget* parent = app.FindWidget(args[2]);
+    if (parent == nullptr) {
+      return interp.Error("bad window path name \"" + args[2] + "\"");
+    }
+    interp.SetResult(tcl::MergeList(app.packer().Slaves(parent)));
+    return tcl::Code::kOk;
+  }
+  if (option == "propagate") {
+    if (args.size() != 4) {
+      return interp.WrongNumArgs("pack propagate parent boolean");
+    }
+    Widget* parent = app.FindWidget(args[2]);
+    if (parent == nullptr) {
+      return interp.Error("bad window path name \"" + args[2] + "\"");
+    }
+    std::optional<bool> value = tcl::ParseBool(args[3]);
+    if (!value) {
+      return interp.Error("expected boolean value but got \"" + args[3] + "\"");
+    }
+    app.packer().SetPropagate(parent, *value);
+    interp.ResetResult();
+    return tcl::Code::kOk;
+  }
+  return interp.Error("bad option \"" + option +
+                      "\": should be append, after, before, forget, info, propagate, "
+                      "slaves, or unpack");
+}
+
+// --- place ---------------------------------------------------------------------
+
+tcl::Code PlaceCmd(App& app, std::vector<std::string>& args) {
+  tcl::Interp& interp = app.interp();
+  if (args.size() < 3) {
+    return interp.WrongNumArgs("place window|forget window ?options?");
+  }
+  if (args[1] == "forget") {
+    Widget* slave = app.FindWidget(args[2]);
+    if (slave == nullptr) {
+      return interp.Error("bad window path name \"" + args[2] + "\"");
+    }
+    return app.placer().Forget(slave);
+  }
+  Widget* slave = app.FindWidget(args[1]);
+  if (slave == nullptr) {
+    return interp.Error("bad window path name \"" + args[1] + "\"");
+  }
+  Widget* parent = app.FindWidget(slave->parent_path());
+  if (parent == nullptr) {
+    return interp.Error("can't place the main window");
+  }
+  Placer::Placement placement;
+  for (size_t i = 2; i + 1 < args.size(); i += 2) {
+    const std::string& flag = args[i];
+    const std::string& value = args[i + 1];
+    if (flag == "-x" || flag == "-y" || flag == "-width" || flag == "-height") {
+      std::optional<int64_t> parsed = tcl::ParseInt(value);
+      if (!parsed) {
+        return interp.Error("expected integer but got \"" + value + "\"");
+      }
+      if (flag == "-x") {
+        placement.x = static_cast<int>(*parsed);
+      } else if (flag == "-y") {
+        placement.y = static_cast<int>(*parsed);
+      } else if (flag == "-width") {
+        placement.width = static_cast<int>(*parsed);
+      } else {
+        placement.height = static_cast<int>(*parsed);
+      }
+    } else if (flag == "-relwidth" || flag == "-relheight") {
+      std::optional<double> parsed = tcl::ParseDouble(value);
+      if (!parsed) {
+        return interp.Error("expected floating-point number but got \"" + value + "\"");
+      }
+      if (flag == "-relwidth") {
+        placement.rel_width = *parsed;
+      } else {
+        placement.rel_height = *parsed;
+      }
+    } else {
+      return interp.Error("unknown place option \"" + flag + "\"");
+    }
+  }
+  return app.placer().Place(parent, slave, placement);
+}
+
+// --- destroy -------------------------------------------------------------------
+
+tcl::Code DestroyCmd(App& app, std::vector<std::string>& args) {
+  for (size_t i = 1; i < args.size(); ++i) {
+    app.DestroyWidget(args[i]);  // Destroying a nonexistent window is a no-op.
+  }
+  app.interp().ResetResult();
+  return tcl::Code::kOk;
+}
+
+// --- winfo ---------------------------------------------------------------------
+
+tcl::Code WinfoCmd(App& app, std::vector<std::string>& args) {
+  tcl::Interp& interp = app.interp();
+  if (args.size() < 2) {
+    return interp.WrongNumArgs("winfo option ?window?");
+  }
+  const std::string& option = args[1];
+  if (option == "interps") {
+    interp.SetResult(tcl::MergeList(app.send_channel().RegisteredNames()));
+    return tcl::Code::kOk;
+  }
+  if (option == "containing") {
+    if (args.size() != 4) {
+      return interp.WrongNumArgs("winfo containing rootX rootY");
+    }
+    std::optional<int64_t> x = tcl::ParseInt(args[2]);
+    std::optional<int64_t> y = tcl::ParseInt(args[3]);
+    if (!x || !y) {
+      return interp.Error("expected integer coordinates");
+    }
+    xsim::WindowId window =
+        app.server().WindowAt(static_cast<int>(*x), static_cast<int>(*y));
+    for (const std::string& candidate : app.WidgetPaths()) {
+      Widget* widget = app.FindWidget(candidate);
+      if (widget != nullptr && widget->window() == window) {
+        interp.SetResult(candidate);
+        return tcl::Code::kOk;
+      }
+    }
+    interp.ResetResult();
+    return tcl::Code::kOk;
+  }
+  if (args.size() < 3) {
+    return interp.WrongNumArgs("winfo " + option + " window");
+  }
+  const std::string& path = args[2];
+  if (option == "exists") {
+    interp.SetResult(app.FindWidget(path) != nullptr ? "1" : "0");
+    return tcl::Code::kOk;
+  }
+  Widget* widget = app.FindWidget(path);
+  if (widget == nullptr) {
+    return interp.Error("bad window path name \"" + path + "\"");
+  }
+  if (option == "children") {
+    interp.SetResult(tcl::MergeList(app.ChildPaths(path)));
+  } else if (option == "class") {
+    interp.SetResult(widget->clazz());
+  } else if (option == "name") {
+    interp.SetResult(widget->name());
+  } else if (option == "parent") {
+    interp.SetResult(widget->parent_path());
+  } else if (option == "width") {
+    interp.SetResult(std::to_string(widget->width()));
+  } else if (option == "height") {
+    interp.SetResult(std::to_string(widget->height()));
+  } else if (option == "x") {
+    interp.SetResult(std::to_string(widget->x()));
+  } else if (option == "y") {
+    interp.SetResult(std::to_string(widget->y()));
+  } else if (option == "reqwidth") {
+    interp.SetResult(std::to_string(widget->req_width()));
+  } else if (option == "reqheight") {
+    interp.SetResult(std::to_string(widget->req_height()));
+  } else if (option == "rootx" || option == "rooty") {
+    std::optional<xsim::Point> abs = app.server().AbsolutePosition(widget->window());
+    interp.SetResult(std::to_string(abs ? (option == "rootx" ? abs->x : abs->y) : 0));
+  } else if (option == "geometry") {
+    interp.SetResult(std::to_string(widget->width()) + "x" + std::to_string(widget->height()) +
+                     "+" + std::to_string(widget->x()) + "+" + std::to_string(widget->y()));
+  } else if (option == "ismapped") {
+    interp.SetResult(app.server().IsMapped(widget->window()) ? "1" : "0");
+  } else if (option == "id") {
+    interp.SetResult(std::to_string(widget->window()));
+  } else {
+    return interp.Error("bad option \"" + option +
+                        "\": must be children, class, exists, geometry, height, id, "
+                        "interps, ismapped, name, parent, reqheight, reqwidth, rootx, "
+                        "rooty, width, x, or y");
+  }
+  return tcl::Code::kOk;
+}
+
+// --- focus ----------------------------------------------------------------------
+
+tcl::Code FocusCmd(App& app, std::vector<std::string>& args) {
+  tcl::Interp& interp = app.interp();
+  if (args.size() == 1) {
+    xsim::WindowId focus = app.server().GetInputFocus();
+    for (const std::string& path : app.WidgetPaths()) {
+      Widget* widget = app.FindWidget(path);
+      if (widget != nullptr && widget->window() == focus) {
+        interp.SetResult(path);
+        return tcl::Code::kOk;
+      }
+    }
+    interp.SetResult("none");
+    return tcl::Code::kOk;
+  }
+  if (args.size() != 2) {
+    return interp.WrongNumArgs("focus ?window?");
+  }
+  if (args[1] == "none") {
+    app.display().SetInputFocus(xsim::kNone);
+    interp.ResetResult();
+    return tcl::Code::kOk;
+  }
+  Widget* widget = app.FindWidget(args[1]);
+  if (widget == nullptr) {
+    return interp.Error("bad window path name \"" + args[1] + "\"");
+  }
+  app.display().SetInputFocus(widget->window());
+  interp.ResetResult();
+  return tcl::Code::kOk;
+}
+
+// --- option ---------------------------------------------------------------------
+
+tcl::Code OptionCmd(App& app, std::vector<std::string>& args) {
+  tcl::Interp& interp = app.interp();
+  if (args.size() < 2) {
+    return interp.WrongNumArgs("option cmd arg ?arg ...?");
+  }
+  const std::string& option = args[1];
+  if (option == "add") {
+    if (args.size() != 4 && args.size() != 5) {
+      return interp.WrongNumArgs("option add pattern value ?priority?");
+    }
+    int priority = OptionDb::kInteractive;
+    if (args.size() == 5) {
+      if (args[4] == "widgetDefault") {
+        priority = OptionDb::kWidgetDefault;
+      } else if (args[4] == "startupFile") {
+        priority = OptionDb::kStartupFile;
+      } else if (args[4] == "userDefault") {
+        priority = OptionDb::kUserDefault;
+      } else if (args[4] == "interactive") {
+        priority = OptionDb::kInteractive;
+      } else if (std::optional<int64_t> n = tcl::ParseInt(args[4])) {
+        priority = static_cast<int>(*n);
+      } else {
+        return interp.Error("bad priority level \"" + args[4] + "\"");
+      }
+    }
+    app.options().Add(args[2], args[3], priority);
+    interp.ResetResult();
+    return tcl::Code::kOk;
+  }
+  if (option == "get") {
+    if (args.size() != 5) {
+      return interp.WrongNumArgs("option get window name class");
+    }
+    Widget* widget = app.FindWidget(args[2]);
+    if (widget == nullptr) {
+      return interp.Error("bad window path name \"" + args[2] + "\"");
+    }
+    // Build name/class chains for the widget.
+    std::vector<std::string> names = {app.name()};
+    std::vector<std::string> classes = {"Tk"};
+    if (args[2] != ".") {
+      std::string rest = args[2].substr(1);
+      std::string prefix;
+      size_t start = 0;
+      while (start <= rest.size()) {
+        size_t dot = rest.find('.', start);
+        std::string component =
+            dot == std::string::npos ? rest.substr(start) : rest.substr(start, dot - start);
+        names.push_back(component);
+        prefix = "." + rest.substr(0, dot == std::string::npos ? rest.size() : dot);
+        Widget* ancestor = app.FindWidget(prefix);
+        classes.push_back(ancestor != nullptr ? ancestor->clazz() : "");
+        if (dot == std::string::npos) {
+          break;
+        }
+        start = dot + 1;
+      }
+    }
+    names.push_back(args[3]);
+    classes.push_back(args[4]);
+    std::optional<std::string> value = app.options().Get(names, classes);
+    interp.SetResult(value ? *value : "");
+    return tcl::Code::kOk;
+  }
+  if (option == "clear") {
+    app.options().Clear();
+    interp.ResetResult();
+    return tcl::Code::kOk;
+  }
+  if (option == "readfile") {
+    if (args.size() != 3 && args.size() != 4) {
+      return interp.WrongNumArgs("option readfile fileName ?priority?");
+    }
+    std::ifstream file(args[2]);
+    if (!file) {
+      return interp.Error("couldn't read file \"" + args[2] + "\"");
+    }
+    std::ostringstream contents;
+    contents << file.rdbuf();
+    app.options().LoadString(contents.str(), OptionDb::kStartupFile);
+    interp.ResetResult();
+    return tcl::Code::kOk;
+  }
+  return interp.Error("bad option \"" + option +
+                      "\": must be add, clear, get, or readfile");
+}
+
+// --- selection ------------------------------------------------------------------
+
+tcl::Code SelectionCmd(App& app, std::vector<std::string>& args) {
+  tcl::Interp& interp = app.interp();
+  if (args.size() < 2) {
+    return interp.WrongNumArgs("selection option ?arg ...?");
+  }
+  const std::string& option = args[1];
+  if (option == "get") {
+    std::string value;
+    tcl::Code code = app.selection().Retrieve(&value);
+    if (code != tcl::Code::kOk) {
+      return code;
+    }
+    interp.SetResult(std::move(value));
+    return tcl::Code::kOk;
+  }
+  if (option == "own") {
+    if (args.size() == 2) {
+      std::optional<std::string> owner = app.selection().OwnerPath();
+      interp.SetResult(owner ? *owner : "");
+      return tcl::Code::kOk;
+    }
+    Widget* widget = app.FindWidget(args[2]);
+    if (widget == nullptr) {
+      return interp.Error("bad window path name \"" + args[2] + "\"");
+    }
+    std::string script = app.selection().GetHandlerScript(args[2]);
+    if (args.size() == 4) {
+      script = args[3];
+    }
+    app.selection().ClaimScript(widget, script);
+    interp.ResetResult();
+    return tcl::Code::kOk;
+  }
+  if (option == "handle") {
+    if (args.size() != 4) {
+      return interp.WrongNumArgs("selection handle window command");
+    }
+    if (app.FindWidget(args[2]) == nullptr) {
+      return interp.Error("bad window path name \"" + args[2] + "\"");
+    }
+    app.selection().SetHandlerScript(args[2], args[3]);
+    interp.ResetResult();
+    return tcl::Code::kOk;
+  }
+  if (option == "clear") {
+    app.selection().Release();
+    interp.ResetResult();
+    return tcl::Code::kOk;
+  }
+  return interp.Error("bad option \"" + option +
+                      "\": must be clear, get, handle, or own");
+}
+
+// --- send -----------------------------------------------------------------------
+
+tcl::Code SendCmd(App& app, std::vector<std::string>& args) {
+  tcl::Interp& interp = app.interp();
+  if (args.size() < 3) {
+    return interp.WrongNumArgs("send interpName arg ?arg ...?");
+  }
+  std::string script;
+  if (args.size() == 3) {
+    script = args[2];
+  } else {
+    std::vector<std::string> parts(args.begin() + 2, args.end());
+    script = tcl::ConcatStrings(parts);
+  }
+  std::string result;
+  tcl::Code code = app.send_channel().Send(args[1], script, &result);
+  interp.SetResult(std::move(result));
+  return code;
+}
+
+// --- after / update / tkwait ------------------------------------------------------
+
+tcl::Code AfterCmd(App& app, std::vector<std::string>& args) {
+  tcl::Interp& interp = app.interp();
+  if (args.size() < 2) {
+    return interp.WrongNumArgs("after ms ?command?");
+  }
+  if (args[1] == "cancel") {
+    if (args.size() != 3) {
+      return interp.WrongNumArgs("after cancel id");
+    }
+    // Ids look like "after#N".
+    size_t hash = args[2].find('#');
+    std::optional<int64_t> id =
+        hash == std::string::npos ? std::nullopt : tcl::ParseInt(args[2].substr(hash + 1));
+    if (id) {
+      app.DeleteTimer(static_cast<uint64_t>(*id));
+    }
+    interp.ResetResult();
+    return tcl::Code::kOk;
+  }
+  std::optional<int64_t> ms = tcl::ParseInt(args[1]);
+  if (!ms || *ms < 0) {
+    return interp.Error("bad milliseconds value \"" + args[1] + "\"");
+  }
+  if (args.size() == 2) {
+    // Synchronous delay, pumping the event loop (as Tk's after does not --
+    // it sleeps -- but blocking without dispatch would deadlock in-process
+    // siblings, so we dispatch like `tkwait` would).
+    auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(*ms);
+    app.WaitFor([deadline]() { return std::chrono::steady_clock::now() >= deadline; });
+    interp.ResetResult();
+    return tcl::Code::kOk;
+  }
+  std::vector<std::string> parts(args.begin() + 2, args.end());
+  std::string script = parts.size() == 1 ? parts[0] : tcl::ConcatStrings(parts);
+  App* app_ptr = &app;
+  uint64_t id = app.CreateTimerMs(*ms, [app_ptr, script]() {
+    if (app_ptr->interp().Eval(script) == tcl::Code::kError) {
+      app_ptr->BackgroundError("after script error: " + app_ptr->interp().result());
+    }
+  });
+  interp.SetResult("after#" + std::to_string(id));
+  return tcl::Code::kOk;
+}
+
+tcl::Code UpdateCmd(App& app, std::vector<std::string>& args) {
+  if (args.size() == 2 && args[1] == "idletasks") {
+    app.UpdateIdleTasks();
+  } else {
+    app.Update();
+  }
+  app.interp().ResetResult();
+  return tcl::Code::kOk;
+}
+
+tcl::Code TkwaitCmd(App& app, std::vector<std::string>& args) {
+  tcl::Interp& interp = app.interp();
+  if (args.size() != 3) {
+    return interp.WrongNumArgs("tkwait variable|window name");
+  }
+  App* app_ptr = &app;
+  if (args[1] == "variable") {
+    std::string name = args[2];
+    const std::string* initial = interp.GetVarQuiet(name);
+    std::string before = initial != nullptr ? *initial : "\0unset";
+    bool ok = app.WaitFor([app_ptr, name, before]() {
+      const std::string* now = app_ptr->interp().GetVarQuiet(name);
+      std::string current = now != nullptr ? *now : "\0unset";
+      return current != before;
+    });
+    if (!ok) {
+      return interp.Error("tkwait timed out waiting for variable \"" + name + "\"");
+    }
+    interp.ResetResult();
+    return tcl::Code::kOk;
+  }
+  if (args[1] == "window") {
+    std::string path = args[2];
+    bool ok = app.WaitFor([app_ptr, path]() { return app_ptr->FindWidget(path) == nullptr; });
+    if (!ok) {
+      return interp.Error("tkwait timed out waiting for window \"" + path + "\"");
+    }
+    interp.ResetResult();
+    return tcl::Code::kOk;
+  }
+  return interp.Error("bad option \"" + args[1] + "\": must be variable or window");
+}
+
+// --- wm (minimal window-manager interaction) ---------------------------------------
+
+tcl::Code WmCmd(App& app, std::vector<std::string>& args) {
+  tcl::Interp& interp = app.interp();
+  if (args.size() < 3) {
+    return interp.WrongNumArgs("wm option window ?arg?");
+  }
+  const std::string& option = args[1];
+  Widget* widget = app.FindWidget(args[2]);
+  if (widget == nullptr) {
+    return interp.Error("bad window path name \"" + args[2] + "\"");
+  }
+  if (option == "title") {
+    std::map<std::string, std::string>& titles = app.wm_titles();
+    if (args.size() == 4) {
+      titles[args[2]] = args[3];
+      interp.ResetResult();
+    } else {
+      auto it = titles.find(args[2]);
+      interp.SetResult(it != titles.end() ? it->second : app.name());
+    }
+    return tcl::Code::kOk;
+  }
+  if (option == "geometry") {
+    if (args.size() == 4) {
+      int w = 0;
+      int h = 0;
+      int x = widget->x();
+      int y = widget->y();
+      int fields = std::sscanf(args[3].c_str(), "%dx%d+%d+%d", &w, &h, &x, &y);
+      if (fields < 2) {
+        return interp.Error("bad geometry specifier \"" + args[3] + "\"");
+      }
+      widget->SetAssignedGeometry(x, y, w, h);
+      interp.ResetResult();
+    } else {
+      interp.SetResult(std::to_string(widget->width()) + "x" +
+                       std::to_string(widget->height()) + "+" + std::to_string(widget->x()) +
+                       "+" + std::to_string(widget->y()));
+    }
+    return tcl::Code::kOk;
+  }
+  if (option == "withdraw") {
+    widget->Unmap();
+    interp.ResetResult();
+    return tcl::Code::kOk;
+  }
+  if (option == "deiconify") {
+    widget->Map();
+    interp.ResetResult();
+    return tcl::Code::kOk;
+  }
+  return interp.Error("bad wm option \"" + option +
+                      "\": supported options are title, geometry, withdraw, deiconify");
+}
+
+}  // namespace
+
+void App::RegisterCommands() {
+  App* app = this;
+  auto cmd = [this](const char* name, tcl::Code (*fn)(App&, std::vector<std::string>&)) {
+    App* self = this;
+    interp_->RegisterCommand(name, [self, fn](tcl::Interp&, std::vector<std::string>& args) {
+      return fn(*self, args);
+    });
+  };
+  cmd("bind", BindCmd);
+  cmd("pack", PackCmd);
+  cmd("place", PlaceCmd);
+  cmd("destroy", DestroyCmd);
+  cmd("winfo", WinfoCmd);
+  cmd("focus", FocusCmd);
+  cmd("option", OptionCmd);
+  cmd("selection", SelectionCmd);
+  cmd("send", SendCmd);
+  cmd("after", AfterCmd);
+  cmd("update", UpdateCmd);
+  cmd("tkwait", TkwaitCmd);
+  cmd("wm", WmCmd);
+
+  RegisterWidgetClass(*app, "frame", [](App& a, std::string path) {
+    return std::make_unique<Frame>(a, std::move(path));
+  });
+  RegisterWidgetClass(*app, "label", [](App& a, std::string path) {
+    return std::make_unique<Label>(a, std::move(path));
+  });
+  RegisterWidgetClass(*app, "button", [](App& a, std::string path) {
+    return std::make_unique<Button>(a, std::move(path));
+  });
+  RegisterWidgetClass(*app, "checkbutton", [](App& a, std::string path) {
+    return std::make_unique<CheckButton>(a, std::move(path));
+  });
+  RegisterWidgetClass(*app, "radiobutton", [](App& a, std::string path) {
+    return std::make_unique<RadioButton>(a, std::move(path));
+  });
+  RegisterWidgetClass(*app, "message", [](App& a, std::string path) {
+    return std::make_unique<Message>(a, std::move(path));
+  });
+  RegisterWidgetClass(*app, "listbox", [](App& a, std::string path) {
+    return std::make_unique<Listbox>(a, std::move(path));
+  });
+  RegisterWidgetClass(*app, "scrollbar", [](App& a, std::string path) {
+    return std::make_unique<Scrollbar>(a, std::move(path));
+  });
+  RegisterWidgetClass(*app, "scale", [](App& a, std::string path) {
+    return std::make_unique<Scale>(a, std::move(path));
+  });
+  RegisterWidgetClass(*app, "entry", [](App& a, std::string path) {
+    return std::make_unique<Entry>(a, std::move(path));
+  });
+  RegisterWidgetClass(*app, "menu", [](App& a, std::string path) {
+    return std::make_unique<Menu>(a, std::move(path));
+  });
+  RegisterWidgetClass(*app, "menubutton", [](App& a, std::string path) {
+    return std::make_unique<MenuButton>(a, std::move(path));
+  });
+  RegisterWidgetClass(*app, "canvas", [](App& a, std::string path) {
+    return std::make_unique<Canvas>(a, std::move(path));
+  });
+}
+
+}  // namespace tk

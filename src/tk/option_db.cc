@@ -1,0 +1,174 @@
+#include "src/tk/option_db.h"
+
+#include <algorithm>
+
+namespace tk {
+namespace {
+
+// Specificity weights per matched element: name beats class beats wildcard,
+// tight binding beats loose.  Later elements (closer to the leaf) use the
+// same weights; the lexicographic effect comes from accumulating per level.
+constexpr uint64_t kNameWeight = 8;
+constexpr uint64_t kClassWeight = 4;
+constexpr uint64_t kTightWeight = 2;
+
+}  // namespace
+
+void OptionDb::Add(std::string_view pattern, std::string_view value, int priority) {
+  Entry entry;
+  entry.value = std::string(value);
+  entry.priority = priority;
+  entry.sequence = next_sequence_++;
+  bool pending_loose = false;
+  std::string current;
+  auto flush = [&]() {
+    if (!current.empty()) {
+      entry.elements.push_back(current);
+      entry.loose.push_back(pending_loose);
+      current.clear();
+      pending_loose = false;
+    }
+  };
+  for (char c : pattern) {
+    if (c == '.') {
+      flush();
+    } else if (c == '*') {
+      flush();
+      pending_loose = true;
+    } else {
+      current.push_back(c);
+    }
+  }
+  flush();
+  if (entry.elements.empty()) {
+    return;
+  }
+  entries_.push_back(std::move(entry));
+}
+
+bool OptionDb::MatchElements(const Entry& entry, size_t ei,
+                             const std::vector<std::string>& names,
+                             const std::vector<std::string>& classes, size_t ki,
+                             uint64_t* score) {
+  if (ei == entry.elements.size()) {
+    return ki == names.size();
+  }
+  if (ki == names.size()) {
+    return false;
+  }
+  const std::string& element = entry.elements[ei];
+  bool loose = entry.loose[ei];
+  // Candidate key positions: just ki for tight binding, any >= ki for loose.
+  size_t max_skip = loose ? names.size() - ki : 1;
+  for (size_t skip = 0; skip < max_skip; ++skip) {
+    size_t pos = ki + skip;
+    uint64_t element_score = 0;
+    if (element == names[pos]) {
+      element_score = kNameWeight;
+    } else if (element == classes[pos]) {
+      element_score = kClassWeight;
+    } else if (element == "?") {
+      element_score = 1;
+    } else {
+      continue;
+    }
+    if (!loose) {
+      element_score += kTightWeight;
+    }
+    uint64_t rest = 0;
+    if (MatchElements(entry, ei + 1, names, classes, pos + 1, &rest)) {
+      // Earlier (closer to root) elements dominate, as in Xrm.
+      *score = element_score * (1ull << (4 * (names.size() - pos))) + rest;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<std::string> OptionDb::Get(const std::vector<std::string>& names,
+                                         const std::vector<std::string>& classes) const {
+  const Entry* best = nullptr;
+  uint64_t best_score = 0;
+  for (const Entry& entry : entries_) {
+    // The final element must address the option itself (name or class) --
+    // enforced by requiring full consumption in MatchElements.
+    uint64_t score = 0;
+    // A leading loose binding is implied when the pattern starts with '*'.
+    if (!MatchElements(entry, 0, names, classes, 0, &score)) {
+      // Patterns not anchored at the application name: allow an implicit
+      // loose start (standard Xrm behaviour for "*Button.background").
+      if (!entry.loose[0]) {
+        continue;
+      }
+      bool matched = false;
+      for (size_t start = 1; start < names.size() && !matched; ++start) {
+        matched = MatchElements(entry, 0, names, classes, start, &score);
+      }
+      if (!matched) {
+        continue;
+      }
+    }
+    if (best == nullptr || entry.priority > best->priority ||
+        (entry.priority == best->priority &&
+         (score > best_score ||
+          (score == best_score && entry.sequence > best->sequence)))) {
+      best = &entry;
+      best_score = score;
+    }
+  }
+  if (best == nullptr) {
+    return std::nullopt;
+  }
+  return best->value;
+}
+
+int OptionDb::LoadString(std::string_view text, int priority) {
+  int added = 0;
+  size_t pos = 0;
+  std::string line;
+  auto process = [&]() {
+    // Trim.
+    size_t begin = line.find_first_not_of(" \t");
+    if (begin == std::string::npos || line[begin] == '!' || line[begin] == '#') {
+      line.clear();
+      return;
+    }
+    size_t colon = line.find(':', begin);
+    if (colon == std::string::npos) {
+      line.clear();
+      return;
+    }
+    std::string pattern = line.substr(begin, colon - begin);
+    while (!pattern.empty() && (pattern.back() == ' ' || pattern.back() == '\t')) {
+      pattern.pop_back();
+    }
+    size_t value_begin = line.find_first_not_of(" \t", colon + 1);
+    std::string value = value_begin == std::string::npos ? "" : line.substr(value_begin);
+    Add(pattern, value, priority);
+    ++added;
+    line.clear();
+  };
+  while (pos < text.size()) {
+    char c = text[pos];
+    if (c == '\\' && pos + 1 < text.size() && text[pos + 1] == '\n') {
+      pos += 2;  // Continuation.
+      continue;
+    }
+    if (c == '\n') {
+      process();
+      ++pos;
+      continue;
+    }
+    line.push_back(c);
+    ++pos;
+  }
+  process();
+  return added;
+}
+
+void OptionDb::Clear() {
+  entries_.clear();
+  next_sequence_ = 0;
+}
+
+}  // namespace tk

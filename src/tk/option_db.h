@@ -1,0 +1,69 @@
+// The option database (Section 3.5): user preferences like
+// "*Button.background: red", matched against a widget's name/class chain --
+// the same mechanism as Xt's resource manager, with Tcl access through the
+// `option` command.
+
+#ifndef SRC_TK_OPTION_DB_H_
+#define SRC_TK_OPTION_DB_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tk {
+
+class OptionDb {
+ public:
+  // Priority levels, lowest to highest (Tk's widgetDefault .. interactive).
+  enum Priority {
+    kWidgetDefault = 20,
+    kStartupFile = 40,
+    kUserDefault = 60,
+    kInteractive = 80,
+  };
+
+  // Adds "pattern: value".  Patterns are sequences of names/classes
+  // separated by '.' (tight binding) or '*' (loose binding), ending in an
+  // option name or class, e.g. "*Button.background" or "myapp.frame.b.text".
+  void Add(std::string_view pattern, std::string_view value, int priority = kInteractive);
+
+  // Looks up the option `name`/`clazz` for a widget whose window path
+  // produced `names` (application name + path components + option name) and
+  // `classes` (application class + widget classes + option class).  Returns
+  // the best match: higher priority wins, then specificity (tight binding
+  // beats loose, name beats class, later elements matter more).
+  std::optional<std::string> Get(const std::vector<std::string>& names,
+                                 const std::vector<std::string>& classes) const;
+
+  // Parses .Xdefaults-style text: one "pattern: value" per line, '!'
+  // comments, backslash-newline continuation.  Returns the number of
+  // entries added.
+  int LoadString(std::string_view text, int priority = kStartupFile);
+
+  void Clear();
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    // Parsed pattern: elements_[i] matched against names/classes; a "*"
+    // element is stored as loose binding on the following element.
+    std::vector<std::string> elements;
+    std::vector<bool> loose;  // loose[i]: element i is preceded by '*'.
+    std::string value;
+    int priority = 0;
+    int sequence = 0;  // Insertion order breaks ties (later wins).
+  };
+
+  static bool MatchElements(const Entry& entry, size_t ei,
+                            const std::vector<std::string>& names,
+                            const std::vector<std::string>& classes, size_t ki,
+                            uint64_t* score);
+
+  std::vector<Entry> entries_;
+  int next_sequence_ = 0;
+};
+
+}  // namespace tk
+
+#endif  // SRC_TK_OPTION_DB_H_

@@ -1,0 +1,489 @@
+#include "src/tk/pack.h"
+
+#include <algorithm>
+
+#include "src/tcl/list.h"
+#include "src/tcl/utils.h"
+#include "src/tk/app.h"
+
+namespace tk {
+
+// ---------------------------------------------------------------------------
+// Option parsing: "{left expand fill padx 5 frame n}".
+
+tcl::Code Packer::ParseOptions(tcl::Interp& interp, const std::string& list,
+                               PackOptions* out) {
+  std::string error;
+  std::optional<std::vector<std::string>> words = tcl::SplitList(list, &error);
+  if (!words) {
+    return interp.Error(error);
+  }
+  PackOptions options;
+  for (size_t i = 0; i < words->size(); ++i) {
+    const std::string& word = (*words)[i];
+    if (word == "top") {
+      options.side = Side::kTop;
+    } else if (word == "bottom") {
+      options.side = Side::kBottom;
+    } else if (word == "left") {
+      options.side = Side::kLeft;
+    } else if (word == "right") {
+      options.side = Side::kRight;
+    } else if (word == "expand" || word == "e") {
+      options.expand = true;
+    } else if (word == "fill") {
+      options.fill_x = true;
+      options.fill_y = true;
+    } else if (word == "fillx") {
+      options.fill_x = true;
+    } else if (word == "filly") {
+      options.fill_y = true;
+    } else if (word == "padx" || word == "pady") {
+      if (i + 1 >= words->size()) {
+        return interp.Error("missing amount for \"" + word + "\" option");
+      }
+      std::optional<int64_t> amount = tcl::ParseInt((*words)[i + 1]);
+      if (!amount || *amount < 0) {
+        return interp.Error("bad pad amount \"" + (*words)[i + 1] + "\"");
+      }
+      if (word == "padx") {
+        options.pad_x = static_cast<int>(*amount);
+      } else {
+        options.pad_y = static_cast<int>(*amount);
+      }
+      ++i;
+    } else if (word == "frame") {
+      if (i + 1 >= words->size()) {
+        return interp.Error("missing anchor for \"frame\" option");
+      }
+      Anchor anchor = Anchor::kCenter;
+      if (!ParseAnchor((*words)[i + 1], &anchor)) {
+        return interp.Error("bad anchor \"" + (*words)[i + 1] + "\"");
+      }
+      options.anchor = anchor;
+      ++i;
+    } else {
+      return interp.Error("bad option \"" + word +
+                          "\": should be top, bottom, left, right, expand, fill, fillx, "
+                          "filly, padx, pady, or frame");
+    }
+  }
+  *out = options;
+  return tcl::Code::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// List management.
+
+tcl::Code Packer::Append(Widget* parent, Widget* slave, const PackOptions& options) {
+  if (slave->path() == parent->path() ||
+      slave->parent_path() != parent->path()) {
+    return app_.interp().Error("can't pack " + slave->path() + " inside " + parent->path() +
+                               ": not its parent");
+  }
+  // Claim management (Section 3.4: one manager per window at a time).
+  if (slave->manager() != nullptr && slave->manager() != this) {
+    slave->manager()->WidgetGone(slave);
+  }
+  Unpack(slave);  // Re-appending moves to the end.
+  Master& master = masters_[parent->path()];
+  Slave entry;
+  entry.widget = slave;
+  entry.options = options;
+  master.slaves.push_back(entry);
+  slave_parent_[slave->path()] = parent->path();
+  slave->set_manager(this);
+  slave->Map();
+  PropagateRequest(parent, master);
+  app_.ScheduleRepack(parent);
+  return tcl::Code::kOk;
+}
+
+tcl::Code Packer::InsertRelative(Widget* parent, Widget* anchor_slave, bool after,
+                                 Widget* slave, const PackOptions& options) {
+  tcl::Code code = Append(parent, slave, options);
+  if (code != tcl::Code::kOk) {
+    return code;
+  }
+  Master& master = masters_[parent->path()];
+  // Move the just-appended slave next to the anchor.
+  auto self = std::find_if(master.slaves.begin(), master.slaves.end(),
+                           [&](const Slave& s) { return s.widget == slave; });
+  Slave moved = *self;
+  master.slaves.erase(self);
+  auto anchor = std::find_if(master.slaves.begin(), master.slaves.end(),
+                             [&](const Slave& s) { return s.widget == anchor_slave; });
+  if (anchor == master.slaves.end()) {
+    master.slaves.push_back(moved);
+  } else {
+    master.slaves.insert(after ? anchor + 1 : anchor, moved);
+  }
+  app_.ScheduleRepack(parent);
+  return tcl::Code::kOk;
+}
+
+tcl::Code Packer::Unpack(Widget* slave) {
+  auto it = slave_parent_.find(slave->path());
+  if (it == slave_parent_.end()) {
+    return tcl::Code::kOk;
+  }
+  const std::string parent_path = it->second;
+  slave_parent_.erase(it);
+  auto master_it = masters_.find(parent_path);
+  if (master_it != masters_.end()) {
+    std::vector<Slave>& slaves = master_it->second.slaves;
+    slaves.erase(std::remove_if(slaves.begin(), slaves.end(),
+                                [&](const Slave& s) { return s.widget == slave; }),
+                 slaves.end());
+  }
+  if (slave->manager() == this) {
+    slave->set_manager(nullptr);
+    slave->Unmap();
+  }
+  Widget* parent = app_.FindWidget(parent_path);
+  if (parent != nullptr && master_it != masters_.end()) {
+    PropagateRequest(parent, master_it->second);
+    app_.ScheduleRepack(parent);
+  }
+  return tcl::Code::kOk;
+}
+
+std::vector<std::string> Packer::Slaves(const Widget* parent) const {
+  std::vector<std::string> out;
+  auto it = masters_.find(parent->path());
+  if (it == masters_.end()) {
+    return out;
+  }
+  for (const Slave& slave : it->second.slaves) {
+    out.push_back(slave.widget->path());
+  }
+  return out;
+}
+
+const PackOptions* Packer::OptionsFor(const Widget* slave) const {
+  auto it = slave_parent_.find(slave->path());
+  if (it == slave_parent_.end()) {
+    return nullptr;
+  }
+  auto master_it = masters_.find(it->second);
+  if (master_it == masters_.end()) {
+    return nullptr;
+  }
+  for (const Slave& entry : master_it->second.slaves) {
+    if (entry.widget == slave) {
+      return &entry.options;
+    }
+  }
+  return nullptr;
+}
+
+bool Packer::Manages(const Widget* slave) const {
+  return slave_parent_.find(slave->path()) != slave_parent_.end();
+}
+
+void Packer::SetPropagate(Widget* parent, bool propagate) {
+  masters_[parent->path()].propagate = propagate;
+  if (propagate) {
+    PropagateRequest(parent, masters_[parent->path()]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The cavity algorithm (Tk 3.x tkPack.c, transcribed).
+
+int Packer::XExpansion(const std::vector<Slave>& slaves, size_t first, int cavity_width) {
+  int min_expand = cavity_width;
+  int num_expand = 0;
+  for (size_t i = first; i < slaves.size(); ++i) {
+    const Slave& slave = slaves[i];
+    int child_width = slave.widget->req_width() + 2 * slave.options.pad_x;
+    if (slave.options.side == Side::kTop || slave.options.side == Side::kBottom) {
+      if (num_expand > 0) {
+        int cur = (cavity_width - child_width) / num_expand;
+        min_expand = std::min(min_expand, cur);
+      }
+    } else {
+      cavity_width -= child_width;
+      if (slave.options.expand) {
+        ++num_expand;
+      }
+    }
+  }
+  if (num_expand > 0) {
+    min_expand = std::min(min_expand, cavity_width / num_expand);
+  }
+  return min_expand < 0 ? 0 : min_expand;
+}
+
+int Packer::YExpansion(const std::vector<Slave>& slaves, size_t first, int cavity_height) {
+  int min_expand = cavity_height;
+  int num_expand = 0;
+  for (size_t i = first; i < slaves.size(); ++i) {
+    const Slave& slave = slaves[i];
+    int child_height = slave.widget->req_height() + 2 * slave.options.pad_y;
+    if (slave.options.side == Side::kLeft || slave.options.side == Side::kRight) {
+      if (num_expand > 0) {
+        int cur = (cavity_height - child_height) / num_expand;
+        min_expand = std::min(min_expand, cur);
+      }
+    } else {
+      cavity_height -= child_height;
+      if (slave.options.expand) {
+        ++num_expand;
+      }
+    }
+  }
+  if (num_expand > 0) {
+    min_expand = std::min(min_expand, cavity_height / num_expand);
+  }
+  return min_expand < 0 ? 0 : min_expand;
+}
+
+void Packer::Arrange(Widget* parent) {
+  auto it = masters_.find(parent->path());
+  if (it == masters_.end() || it->second.slaves.empty()) {
+    return;
+  }
+  const std::vector<Slave>& slaves = it->second.slaves;
+  int border = parent->internal_border();
+  int cavity_x = border;
+  int cavity_y = border;
+  int cavity_width = parent->width() - 2 * border;
+  int cavity_height = parent->height() - 2 * border;
+  for (size_t i = 0; i < slaves.size(); ++i) {
+    const Slave& slave = slaves[i];
+    const PackOptions& options = slave.options;
+    int frame_x;
+    int frame_y;
+    int frame_width;
+    int frame_height;
+    if (options.side == Side::kTop || options.side == Side::kBottom) {
+      frame_width = cavity_width;
+      frame_height = slave.widget->req_height() + 2 * options.pad_y;
+      if (options.expand) {
+        frame_height += YExpansion(slaves, i, cavity_height);
+      }
+      cavity_height -= frame_height;
+      if (cavity_height < 0) {
+        frame_height += cavity_height;
+        cavity_height = 0;
+      }
+      frame_x = cavity_x;
+      if (options.side == Side::kTop) {
+        frame_y = cavity_y;
+        cavity_y += frame_height;
+      } else {
+        frame_y = cavity_y + cavity_height;
+      }
+    } else {
+      frame_height = cavity_height;
+      frame_width = slave.widget->req_width() + 2 * options.pad_x;
+      if (options.expand) {
+        frame_width += XExpansion(slaves, i, cavity_width);
+      }
+      cavity_width -= frame_width;
+      if (cavity_width < 0) {
+        frame_width += cavity_width;
+        cavity_width = 0;
+      }
+      frame_y = cavity_y;
+      if (options.side == Side::kLeft) {
+        frame_x = cavity_x;
+        cavity_x += frame_width;
+      } else {
+        frame_x = cavity_x + cavity_width;
+      }
+    }
+    // Size the window within its frame: requested size, stretched by fill,
+    // clipped to the frame (Figure 8: "each widget must make do with
+    // whatever size it is assigned").
+    int width = slave.widget->req_width();
+    int height = slave.widget->req_height();
+    if (options.fill_x) {
+      width = frame_width - 2 * options.pad_x;
+    }
+    if (options.fill_y) {
+      height = frame_height - 2 * options.pad_y;
+    }
+    width = std::min(width, frame_width - 2 * options.pad_x);
+    height = std::min(height, frame_height - 2 * options.pad_y);
+    width = std::max(width, 1);
+    height = std::max(height, 1);
+    // Position within the frame by anchor.
+    int free_x = frame_width - width - 2 * options.pad_x;
+    int free_y = frame_height - height - 2 * options.pad_y;
+    int off_x = free_x / 2;
+    int off_y = free_y / 2;
+    switch (options.anchor) {
+      case Anchor::kN:
+        off_y = 0;
+        break;
+      case Anchor::kS:
+        off_y = free_y;
+        break;
+      case Anchor::kW:
+        off_x = 0;
+        break;
+      case Anchor::kE:
+        off_x = free_x;
+        break;
+      case Anchor::kNw:
+        off_x = 0;
+        off_y = 0;
+        break;
+      case Anchor::kNe:
+        off_x = free_x;
+        off_y = 0;
+        break;
+      case Anchor::kSw:
+        off_x = 0;
+        off_y = free_y;
+        break;
+      case Anchor::kSe:
+        off_x = free_x;
+        off_y = free_y;
+        break;
+      case Anchor::kCenter:
+        break;
+    }
+    slave.widget->SetAssignedGeometry(frame_x + options.pad_x + off_x,
+                                      frame_y + options.pad_y + off_y, width, height);
+    slave.widget->Map();
+    // Nested masters re-arrange with their new size.
+    app_.ScheduleRepack(slave.widget);
+  }
+}
+
+void Packer::PropagateRequest(Widget* parent, Master& master) {
+  if (!master.propagate) {
+    return;
+  }
+  // Compute the size needed to satisfy every slave's request (tkPack.c's
+  // request computation).
+  int width = 0;
+  int height = 0;
+  int max_width = 0;
+  int max_height = 0;
+  for (const Slave& slave : master.slaves) {
+    const PackOptions& options = slave.options;
+    if (options.side == Side::kTop || options.side == Side::kBottom) {
+      int w = slave.widget->req_width() + 2 * options.pad_x + width;
+      max_width = std::max(max_width, w);
+      height += slave.widget->req_height() + 2 * options.pad_y;
+    } else {
+      int h = slave.widget->req_height() + 2 * options.pad_y + height;
+      max_height = std::max(max_height, h);
+      width += slave.widget->req_width() + 2 * options.pad_x;
+    }
+  }
+  max_width = std::max(max_width, width) + 2 * parent->internal_border();
+  max_height = std::max(max_height, height) + 2 * parent->internal_border();
+  parent->RequestSize(max_width, max_height);
+  // If nobody manages the parent, grant its own request (top-levels).
+  if (parent->manager() == nullptr) {
+    parent->SetAssignedGeometry(parent->x(), parent->y(), max_width, max_height);
+  }
+  app_.ScheduleRepack(parent);
+}
+
+void Packer::RequestChanged(Widget* widget) {
+  // A slave's preferred size changed: recompute the parent's request chain
+  // and re-layout.
+  auto it = slave_parent_.find(widget->path());
+  if (it == slave_parent_.end()) {
+    return;
+  }
+  Widget* parent = app_.FindWidget(it->second);
+  if (parent == nullptr) {
+    return;
+  }
+  PropagateRequest(parent, masters_[parent->path()]);
+  app_.ScheduleRepack(parent);
+}
+
+void Packer::WidgetGone(Widget* widget) {
+  Unpack(widget);
+  // If the widget was itself a master, forget its slaves.
+  auto it = masters_.find(widget->path());
+  if (it != masters_.end()) {
+    for (const Slave& slave : it->second.slaves) {
+      slave_parent_.erase(slave.widget->path());
+      if (slave.widget->manager() == this) {
+        slave.widget->set_manager(nullptr);
+      }
+    }
+    masters_.erase(it);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Placer.
+
+tcl::Code Placer::Place(Widget* parent, Widget* slave, const Placement& placement) {
+  if (slave->manager() != nullptr && slave->manager() != this) {
+    slave->manager()->WidgetGone(slave);
+  }
+  Forget(slave);
+  masters_[parent->path()].push_back(Slave{slave, placement});
+  slave_parent_[slave->path()] = parent->path();
+  slave->set_manager(this);
+  slave->Map();
+  app_.ScheduleRepack(parent);
+  return tcl::Code::kOk;
+}
+
+tcl::Code Placer::Forget(Widget* slave) {
+  auto it = slave_parent_.find(slave->path());
+  if (it == slave_parent_.end()) {
+    return tcl::Code::kOk;
+  }
+  auto master_it = masters_.find(it->second);
+  if (master_it != masters_.end()) {
+    std::vector<Slave>& slaves = master_it->second;
+    slaves.erase(std::remove_if(slaves.begin(), slaves.end(),
+                                [&](const Slave& s) { return s.widget == slave; }),
+                 slaves.end());
+  }
+  slave_parent_.erase(it);
+  if (slave->manager() == this) {
+    slave->set_manager(nullptr);
+    slave->Unmap();
+  }
+  return tcl::Code::kOk;
+}
+
+void Placer::Arrange(Widget* parent) {
+  auto it = masters_.find(parent->path());
+  if (it == masters_.end()) {
+    return;
+  }
+  for (const Slave& slave : it->second) {
+    const Placement& p = slave.placement;
+    int width = p.width > 0 ? p.width
+                : p.rel_width > 0 ? static_cast<int>(p.rel_width * parent->width())
+                                  : slave.widget->req_width();
+    int height = p.height > 0 ? p.height
+                 : p.rel_height > 0 ? static_cast<int>(p.rel_height * parent->height())
+                                    : slave.widget->req_height();
+    slave.widget->SetAssignedGeometry(p.x, p.y, width, height);
+    slave.widget->Map();
+  }
+}
+
+void Placer::RequestChanged(Widget* widget) {
+  auto it = slave_parent_.find(widget->path());
+  if (it == slave_parent_.end()) {
+    return;
+  }
+  Widget* parent = app_.FindWidget(it->second);
+  if (parent != nullptr) {
+    app_.ScheduleRepack(parent);
+  }
+}
+
+void Placer::WidgetGone(Widget* widget) {
+  Forget(widget);
+  masters_.erase(widget->path());
+}
+
+}  // namespace tk

@@ -1,0 +1,129 @@
+// The packer geometry manager (Section 3.4, Figure 8) plus a simple placer.
+//
+// The packer implements the Tk 3.x cavity algorithm: slaves are processed in
+// order, each carving a parcel off one side of the remaining cavity.
+// Syntax (as in the paper):
+//
+//   pack append .x .x.a top .x.b top .x.c top
+//   pack append . .scroll {right filly} .list {left expand fill}
+//
+// The option list per window understands: top/bottom/left/right, expand,
+// fill, fillx, filly, padx N, pady N, frame <anchor>.  `pack unpack` forgets
+// a window; `pack info` reports the slave list.  Geometry propagation sizes
+// the parent to fit its slaves.
+
+#ifndef SRC_TK_PACK_H_
+#define SRC_TK_PACK_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/tk/widget.h"
+
+namespace tk {
+
+class App;
+
+enum class Side { kTop, kBottom, kLeft, kRight };
+
+struct PackOptions {
+  Side side = Side::kTop;
+  bool expand = false;
+  bool fill_x = false;
+  bool fill_y = false;
+  int pad_x = 0;
+  int pad_y = 0;
+  Anchor anchor = Anchor::kCenter;
+};
+
+class Packer : public GeometryManager {
+ public:
+  explicit Packer(App& app) : app_(app) {}
+
+  const char* name() const override { return "pack"; }
+
+  // Parses an option list ("{left expand fill}") into PackOptions.
+  static tcl::Code ParseOptions(tcl::Interp& interp, const std::string& list,
+                                PackOptions* out);
+
+  // Appends `slave` to `parent`'s pack list (claiming management).
+  tcl::Code Append(Widget* parent, Widget* slave, const PackOptions& options);
+  // Inserts before/after an existing slave.
+  tcl::Code InsertRelative(Widget* parent, Widget* anchor_slave, bool after, Widget* slave,
+                           const PackOptions& options);
+  // Removes `slave` from its parent's pack list and unmaps it.
+  tcl::Code Unpack(Widget* slave);
+  // The slave paths packed in `parent`, in order.
+  std::vector<std::string> Slaves(const Widget* parent) const;
+  const PackOptions* OptionsFor(const Widget* slave) const;
+  bool Manages(const Widget* slave) const;
+
+  // Recomputes the layout of `parent` now (normally done at idle time).
+  void Arrange(Widget* parent);
+
+  // Geometry propagation: resize the parent to fit its slaves' requests
+  // (on by default, as in Tk).
+  void SetPropagate(Widget* parent, bool propagate);
+
+  // GeometryManager:
+  void RequestChanged(Widget* widget) override;
+  void WidgetGone(Widget* widget) override;
+
+ private:
+  struct Slave {
+    Widget* widget = nullptr;
+    PackOptions options;
+  };
+  struct Master {
+    std::vector<Slave> slaves;
+    bool propagate = true;
+  };
+
+  // Extra width/height the expandable slaves from index `first` can share.
+  static int XExpansion(const std::vector<Slave>& slaves, size_t first, int cavity_width);
+  static int YExpansion(const std::vector<Slave>& slaves, size_t first, int cavity_height);
+  void PropagateRequest(Widget* parent, Master& master);
+
+  App& app_;
+  std::map<std::string, Master> masters_;            // Keyed by parent path.
+  std::map<std::string, std::string> slave_parent_;  // Slave path -> parent path.
+};
+
+// The `place` manager: absolute/relative placement, as a second manager to
+// demonstrate the framework's manager-independence.
+class Placer : public GeometryManager {
+ public:
+  explicit Placer(App& app) : app_(app) {}
+  const char* name() const override { return "place"; }
+
+  struct Placement {
+    int x = 0;
+    int y = 0;
+    double rel_width = 0.0;   // 0 = use requested size.
+    double rel_height = 0.0;
+    int width = 0;            // 0 = use requested size.
+    int height = 0;
+  };
+
+  tcl::Code Place(Widget* parent, Widget* slave, const Placement& placement);
+  tcl::Code Forget(Widget* slave);
+  void Arrange(Widget* parent);
+
+  void RequestChanged(Widget* widget) override;
+  void WidgetGone(Widget* widget) override;
+
+ private:
+  struct Slave {
+    Widget* widget = nullptr;
+    Placement placement;
+  };
+
+  App& app_;
+  std::map<std::string, std::vector<Slave>> masters_;
+  std::map<std::string, std::string> slave_parent_;
+};
+
+}  // namespace tk
+
+#endif  // SRC_TK_PACK_H_

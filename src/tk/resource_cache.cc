@@ -1,0 +1,121 @@
+#include "src/tk/resource_cache.h"
+
+namespace tk {
+
+std::optional<xsim::Pixel> ResourceCache::GetColor(const std::string& name) {
+  if (caching_enabled_) {
+    auto it = colors_.find(name);
+    if (it != colors_.end()) {
+      ++hits_;
+      return it->second;
+    }
+  }
+  ++misses_;
+  std::optional<xsim::Pixel> pixel = display_.AllocNamedColor(name);
+  if (!pixel) {
+    return std::nullopt;
+  }
+  if (caching_enabled_) {
+    colors_[name] = *pixel;
+  }
+  return pixel;
+}
+
+std::optional<std::string> ResourceCache::NameOfColor(xsim::Pixel pixel) const {
+  // Prefer the name the application actually used (cache reverse lookup),
+  // falling back to the server database name.
+  for (const auto& [name, cached] : colors_) {
+    if (cached == pixel) {
+      return name;
+    }
+  }
+  return xsim::ColorName(xsim::UnpackPixel(pixel));
+}
+
+std::optional<xsim::FontId> ResourceCache::GetFont(const std::string& name) {
+  if (caching_enabled_) {
+    auto it = fonts_.find(name);
+    if (it != fonts_.end()) {
+      ++hits_;
+      return it->second;
+    }
+  }
+  ++misses_;
+  std::optional<xsim::FontId> font = display_.LoadFont(name);
+  if (!font) {
+    return std::nullopt;
+  }
+  if (caching_enabled_) {
+    fonts_[name] = *font;
+  }
+  return font;
+}
+
+std::optional<std::string> ResourceCache::NameOfFont(xsim::FontId font) const {
+  for (const auto& [name, cached] : fonts_) {
+    if (cached == font) {
+      return name;
+    }
+  }
+  const xsim::FontMetrics* metrics = display_.QueryFont(font);
+  if (metrics == nullptr) {
+    return std::nullopt;
+  }
+  return metrics->name;
+}
+
+xsim::CursorId ResourceCache::GetCursor(const std::string& name) {
+  if (caching_enabled_) {
+    auto it = cursors_.find(name);
+    if (it != cursors_.end()) {
+      ++hits_;
+      return it->second;
+    }
+  }
+  ++misses_;
+  xsim::CursorId cursor = display_.CreateNamedCursor(name);
+  if (caching_enabled_) {
+    cursors_[name] = cursor;
+  }
+  return cursor;
+}
+
+std::optional<std::string> ResourceCache::NameOfCursor(xsim::CursorId cursor) const {
+  for (const auto& [name, cached] : cursors_) {
+    if (cached == cursor) {
+      return name;
+    }
+  }
+  return display_.server().CursorName(cursor);
+}
+
+std::optional<xsim::BitmapId> ResourceCache::GetBitmap(const std::string& name) {
+  if (caching_enabled_) {
+    auto it = bitmaps_.find(name);
+    if (it != bitmaps_.end()) {
+      ++hits_;
+      return it->second;
+    }
+  }
+  ++misses_;
+  // "@file" names a bitmap file (Section 3.3's "@star"); built-in names get
+  // a nominal 16x16 cell.  Either way the server records it by name.
+  int width = 16;
+  int height = 16;
+  xsim::BitmapId bitmap = display_.CreateBitmap(name, width, height);
+  if (caching_enabled_) {
+    bitmaps_[name] = bitmap;
+  }
+  return bitmap;
+}
+
+std::optional<std::string> ResourceCache::NameOfBitmap(xsim::BitmapId bitmap) const {
+  for (const auto& [name, cached] : bitmaps_) {
+    if (cached == bitmap) {
+      return name;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace tk

@@ -1,0 +1,65 @@
+// Resource caches (Section 3.3): colors, fonts, cursors and bitmaps are
+// cached by *textual name* so that repeated requests are satisfied without
+// server traffic, and so that resources can be named in Tcl commands and
+// mapped back to readable names.  Caching can be disabled to measure the
+// traffic it saves (bench/ablation_resource_cache).
+
+#ifndef SRC_TK_RESOURCE_CACHE_H_
+#define SRC_TK_RESOURCE_CACHE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "src/xsim/display.h"
+
+namespace tk {
+
+class ResourceCache {
+ public:
+  explicit ResourceCache(xsim::Display& display) : display_(display) {}
+
+  // Colors: "MediumSeaGreen", "#rgb", ... -> pixel.
+  std::optional<xsim::Pixel> GetColor(const std::string& name);
+  // Reverse: the textual name a pixel was allocated under (Section 3.3:
+  // "given an X resource identifier, Tk will return the textual name").
+  std::optional<std::string> NameOfColor(xsim::Pixel pixel) const;
+
+  // Fonts: "fixed", "8x13", XLFD -> font id (metrics via display).
+  std::optional<xsim::FontId> GetFont(const std::string& name);
+  std::optional<std::string> NameOfFont(xsim::FontId font) const;
+
+  // Cursors: "coffee_mug", "arrow", ...
+  xsim::CursorId GetCursor(const std::string& name);
+  std::optional<std::string> NameOfCursor(xsim::CursorId cursor) const;
+
+  // Bitmaps: "@star" loads from file "star"; "gray50" etc. are built-in.
+  std::optional<xsim::BitmapId> GetBitmap(const std::string& name);
+  std::optional<std::string> NameOfBitmap(xsim::BitmapId bitmap) const;
+
+  // Disables sharing (every request goes to the server) -- the ablation
+  // knob for the Section 3.3 measurement.
+  void set_caching_enabled(bool enabled) { caching_enabled_ = enabled; }
+  bool caching_enabled() const { return caching_enabled_; }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  void ResetStats() {
+    hits_ = 0;
+    misses_ = 0;
+  }
+
+ private:
+  xsim::Display& display_;
+  bool caching_enabled_ = true;
+  std::map<std::string, xsim::Pixel> colors_;
+  std::map<std::string, xsim::FontId> fonts_;
+  std::map<std::string, xsim::CursorId> cursors_;
+  std::map<std::string, xsim::BitmapId> bitmaps_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace tk
+
+#endif  // SRC_TK_RESOURCE_CACHE_H_

@@ -1,0 +1,133 @@
+#include "src/tk/selection.h"
+
+#include "src/tk/app.h"
+#include "src/tk/widget.h"
+
+namespace tk {
+namespace {
+
+constexpr char kPrimary[] = "PRIMARY";
+constexpr char kString[] = "STRING";
+constexpr char kReplyProperty[] = "TK_SELECTION";
+
+}  // namespace
+
+SelectionManager::SelectionManager(App& app) : app_(app) {}
+
+void SelectionManager::Claim(Widget* owner, SelectionHandler handler) {
+  // Claiming within the same application: the previous owner is notified
+  // directly (the server only generates SelectionClear across clients).
+  if (owner_ != nullptr && owner_ != owner && lost_callback_) {
+    lost_callback_();
+  }
+  owner_ = owner;
+  handler_ = std::move(handler);
+  xsim::Atom primary = app_.display().InternAtom(kPrimary);
+  // The ICCCM dance: the server notifies the previous owner (possibly in
+  // another application) with SelectionClear.
+  app_.display().SetSelectionOwner(primary, owner->window());
+}
+
+void SelectionManager::ClaimScript(Widget* owner, const std::string& handler_script) {
+  std::string script = handler_script;
+  App* app = &app_;
+  Claim(owner, [app, script](const std::string&) -> std::string {
+    if (app->interp().Eval(script) != tcl::Code::kOk) {
+      return "";
+    }
+    return app->interp().result();
+  });
+}
+
+void SelectionManager::Release() {
+  if (owner_ == nullptr) {
+    return;
+  }
+  xsim::Atom primary = app_.display().InternAtom(kPrimary);
+  if (app_.display().GetSelectionOwner(primary) == owner_->window()) {
+    app_.display().SetSelectionOwner(primary, xsim::kNone);
+  }
+  owner_ = nullptr;
+  handler_ = nullptr;
+}
+
+std::optional<std::string> SelectionManager::OwnerPath() const {
+  if (owner_ == nullptr) {
+    return std::nullopt;
+  }
+  return owner_->path();
+}
+
+tcl::Code SelectionManager::Retrieve(std::string* out) {
+  xsim::Atom primary = app_.display().InternAtom(kPrimary);
+  xsim::Atom string_atom = app_.display().InternAtom(kString);
+  xsim::Atom property = app_.display().InternAtom(kReplyProperty);
+  Widget* main = app_.FindWidget(".");
+  if (main == nullptr) {
+    return app_.interp().Error("no main window for selection retrieval");
+  }
+  reply_pending_ = true;
+  reply_ok_ = false;
+  reply_value_.clear();
+  app_.display().ConvertSelection(primary, string_atom, property, main->window());
+  bool finished = app_.WaitFor([this]() { return !reply_pending_; });
+  if (!finished) {
+    reply_pending_ = false;
+    return app_.interp().Error("selection retrieval timed out");
+  }
+  if (!reply_ok_) {
+    return app_.interp().Error("PRIMARY selection doesn't exist or form \"STRING\" not defined");
+  }
+  *out = reply_value_;
+  return tcl::Code::kOk;
+}
+
+bool SelectionManager::HandleEvent(const xsim::Event& event) {
+  switch (event.type) {
+    case xsim::EventType::kSelectionClear: {
+      if (owner_ != nullptr && event.window == owner_->window()) {
+        owner_ = nullptr;
+        handler_ = nullptr;
+        if (lost_callback_) {
+          lost_callback_();
+        }
+        return true;
+      }
+      return false;
+    }
+    case xsim::EventType::kSelectionRequest: {
+      if (owner_ == nullptr || event.window != owner_->window()) {
+        return false;
+      }
+      std::string target = app_.display().AtomName(event.target);
+      std::string value = handler_ ? handler_(target) : "";
+      // Write the converted value on the requestor, then notify it.
+      app_.display().ChangeProperty(event.requestor, event.property, value);
+      app_.display().SendSelectionNotify(event.requestor, event.atom, event.target,
+                                         event.property);
+      return true;
+    }
+    case xsim::EventType::kSelectionNotify: {
+      if (!reply_pending_) {
+        return false;
+      }
+      reply_pending_ = false;
+      if (event.property == xsim::kAtomNone) {
+        reply_ok_ = false;
+        return true;
+      }
+      std::optional<std::string> value = app_.display().GetProperty(event.window,
+                                                                    event.property);
+      reply_ok_ = value.has_value();
+      if (value) {
+        reply_value_ = *value;
+      }
+      app_.display().DeleteProperty(event.window, event.property);
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace tk

@@ -1,0 +1,81 @@
+// Selection support (Section 3.6): Tk's wrapper over the ICCCM selection
+// protocols.  A widget (or a Tcl script) registers a handler; claiming the
+// selection notifies the previous owner via SelectionClear; retrieval runs
+// the ConvertSelection / SelectionRequest / SelectionNotify round trip
+// through the xsim server -- including across applications.
+
+#ifndef SRC_TK_SELECTION_H_
+#define SRC_TK_SELECTION_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "src/tcl/types.h"
+#include "src/xsim/event.h"
+
+namespace tk {
+
+class App;
+class Widget;
+
+// Produces the selection contents for a conversion request.  `target` is
+// the requested type (usually STRING).
+using SelectionHandler = std::function<std::string(const std::string& target)>;
+
+class SelectionManager {
+ public:
+  explicit SelectionManager(App& app);
+
+  // Claims the PRIMARY selection for `owner`, with `handler` answering
+  // conversion requests.  The previous owner (possibly in another
+  // application) receives a lost-selection notification.
+  void Claim(Widget* owner, SelectionHandler handler);
+  // Tcl-level claim: `handler_script` is evaluated to produce the value.
+  void ClaimScript(Widget* owner, const std::string& handler_script);
+  // Voluntarily gives up the selection.
+  void Release();
+
+  // The path of the owning widget in *this* application, if any.
+  std::optional<std::string> OwnerPath() const;
+
+  // Retrieves the current selection (possibly from another application).
+  // Blocks by pumping event loops until the reply arrives.
+  tcl::Code Retrieve(std::string* out);
+
+  // Called from App's event dispatch for selection protocol events on the
+  // app's windows.
+  bool HandleEvent(const xsim::Event& event);
+
+  // Callback invoked when this app's ownership is lost to someone else.
+  void set_lost_callback(std::function<void()> callback) {
+    lost_callback_ = std::move(callback);
+  }
+
+  // Tcl-script handlers registered with `selection handle window script`;
+  // consulted when `selection own window` claims ownership.
+  void SetHandlerScript(const std::string& path, const std::string& script) {
+    script_handlers_[path] = script;
+  }
+  std::string GetHandlerScript(const std::string& path) const {
+    auto it = script_handlers_.find(path);
+    return it == script_handlers_.end() ? "" : it->second;
+  }
+
+ private:
+  App& app_;
+  Widget* owner_ = nullptr;
+  SelectionHandler handler_;
+  std::function<void()> lost_callback_;
+  std::map<std::string, std::string> script_handlers_;
+
+  // Retrieval state.
+  bool reply_pending_ = false;
+  bool reply_ok_ = false;
+  std::string reply_value_;
+};
+
+}  // namespace tk
+
+#endif  // SRC_TK_SELECTION_H_

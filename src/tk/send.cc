@@ -1,0 +1,256 @@
+#include "src/tk/send.h"
+
+#include "src/tcl/list.h"
+#include "src/tcl/utils.h"
+#include "src/tk/app.h"
+
+namespace tk {
+namespace {
+
+constexpr char kRegistryProperty[] = "InterpRegistry";
+constexpr char kRequestProperty[] = "TkSendRequest";
+constexpr char kReplyProperty[] = "TkSendReply";
+
+}  // namespace
+
+SendChannel::SendChannel(App& app) : app_(app) {
+  registry_atom_ = app_.display().InternAtom(kRegistryProperty);
+  request_atom_ = app_.display().InternAtom(kRequestProperty);
+  reply_atom_ = app_.display().InternAtom(kReplyProperty);
+  // The communication window: an unmapped child of the root window whose
+  // properties carry send traffic (as in real Tk).
+  comm_window_ = app_.display().CreateWindow(app_.display().root(), 0, 0, 1, 1);
+  app_.display().SelectInput(comm_window_, xsim::kPropertyChangeMask);
+}
+
+SendChannel::~SendChannel() = default;
+
+// ---------------------------------------------------------------------------
+// Registry management (a property on the root window, Section 6).
+
+SendChannel::Registry SendChannel::ReadRegistry() const {
+  Registry registry;
+  std::optional<std::string> raw =
+      app_.display().GetProperty(app_.display().root(), registry_atom_);
+  if (!raw) {
+    return registry;
+  }
+  std::optional<std::vector<std::string>> records = tcl::SplitList(*raw, nullptr);
+  if (!records) {
+    return registry;
+  }
+  for (const std::string& record : *records) {
+    std::optional<std::vector<std::string>> fields = tcl::SplitList(record, nullptr);
+    if (!fields || fields->size() != 2) {
+      continue;
+    }
+    std::optional<int64_t> window = tcl::ParseInt((*fields)[1]);
+    if (!window) {
+      continue;
+    }
+    registry.entries.emplace_back((*fields)[0], static_cast<xsim::WindowId>(*window));
+  }
+  return registry;
+}
+
+void SendChannel::WriteRegistry(const Registry& registry) {
+  std::vector<std::string> records;
+  for (const auto& [name, window] : registry.entries) {
+    records.push_back(tcl::MergeList({name, std::to_string(window)}));
+  }
+  app_.display().ChangeProperty(app_.display().root(), registry_atom_,
+                                tcl::MergeList(records));
+}
+
+std::string SendChannel::Register(const std::string& desired_name) {
+  Registry registry = ReadRegistry();
+  // Drop stale entries whose comm windows no longer exist.
+  auto& entries = registry.entries;
+  for (size_t i = 0; i < entries.size();) {
+    if (!app_.server().WindowExists(entries[i].second)) {
+      entries.erase(entries.begin() + i);
+    } else {
+      ++i;
+    }
+  }
+  std::string name = desired_name;
+  int suffix = 2;
+  auto taken = [&](const std::string& candidate) {
+    for (const auto& [existing, window] : entries) {
+      if (existing == candidate) {
+        return true;
+      }
+    }
+    return false;
+  };
+  while (taken(name)) {
+    name = desired_name + " #" + std::to_string(suffix++);
+  }
+  entries.emplace_back(name, comm_window_);
+  WriteRegistry(registry);
+  name_ = name;
+  return name;
+}
+
+void SendChannel::Unregister() {
+  if (name_.empty()) {
+    return;
+  }
+  Registry registry = ReadRegistry();
+  auto& entries = registry.entries;
+  for (size_t i = 0; i < entries.size();) {
+    if (entries[i].first == name_) {
+      entries.erase(entries.begin() + i);
+    } else {
+      ++i;
+    }
+  }
+  WriteRegistry(registry);
+  name_.clear();
+}
+
+std::vector<std::string> SendChannel::RegisteredNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, window] : ReadRegistry().entries) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+// ---------------------------------------------------------------------------
+// The send protocol.
+
+tcl::Code SendChannel::Send(const std::string& target, const std::string& script,
+                            std::string* result) {
+  // Locate the target's comm window via the registry.
+  xsim::WindowId target_window = xsim::kNone;
+  for (const auto& [name, window] : ReadRegistry().entries) {
+    if (name == target) {
+      target_window = window;
+      break;
+    }
+  }
+  if (target_window == xsim::kNone || !app_.server().WindowExists(target_window)) {
+    *result = "no registered interpreter named \"" + target + "\"";
+    return tcl::Code::kError;
+  }
+  uint64_t serial = next_serial_++;
+  std::string record = tcl::MergeList(
+      {std::to_string(serial), std::to_string(comm_window_), script});
+  // Append to the target's request property (multiple requests may pile up
+  // before the target runs its event loop).
+  std::optional<std::string> existing =
+      app_.display().GetProperty(target_window, request_atom_);
+  std::string payload = existing ? *existing + " " + tcl::QuoteListElement(record)
+                                 : tcl::QuoteListElement(record);
+  pending_.push_back(Pending{serial, false, true, ""});
+  app_.display().ChangeProperty(target_window, request_atom_, payload);
+  // Block until the reply lands -- pumping every in-process application's
+  // event loop, which stands in for the X scheduler interleaving processes.
+  bool finished = app_.WaitFor([this, serial]() {
+    for (const Pending& pending : pending_) {
+      if (pending.serial == serial) {
+        return pending.done;
+      }
+    }
+    return true;
+  });
+  bool ok = true;
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    if (pending_[i].serial == serial) {
+      if (!finished) {
+        *result = "target application died or is unresponsive";
+        ok = false;
+      } else {
+        *result = pending_[i].result;
+        ok = pending_[i].ok;
+      }
+      pending_.erase(pending_.begin() + i);
+      break;
+    }
+  }
+  return ok ? tcl::Code::kOk : tcl::Code::kError;
+}
+
+bool SendChannel::HandleEvent(const xsim::Event& event) {
+  if (event.type != xsim::EventType::kPropertyNotify || event.window != comm_window_) {
+    return false;
+  }
+  if (event.atom == request_atom_) {
+    std::optional<std::string> payload = app_.display().GetProperty(comm_window_,
+                                                                    request_atom_);
+    if (payload && !payload->empty()) {
+      app_.display().DeleteProperty(comm_window_, request_atom_);
+      std::optional<std::vector<std::string>> records = tcl::SplitList(*payload, nullptr);
+      if (records) {
+        for (const std::string& record : *records) {
+          ProcessRequest(record);
+        }
+      }
+    }
+    return true;
+  }
+  if (event.atom == reply_atom_) {
+    std::optional<std::string> payload = app_.display().GetProperty(comm_window_,
+                                                                    reply_atom_);
+    if (payload && !payload->empty()) {
+      app_.display().DeleteProperty(comm_window_, reply_atom_);
+      std::optional<std::vector<std::string>> records = tcl::SplitList(*payload, nullptr);
+      if (records) {
+        for (const std::string& record : *records) {
+          ProcessReply(record);
+        }
+      }
+    }
+    return true;
+  }
+  return false;
+}
+
+void SendChannel::ProcessRequest(const std::string& record) {
+  std::optional<std::vector<std::string>> fields = tcl::SplitList(record, nullptr);
+  if (!fields || fields->size() != 3) {
+    return;
+  }
+  std::optional<int64_t> serial = tcl::ParseInt((*fields)[0]);
+  std::optional<int64_t> sender = tcl::ParseInt((*fields)[1]);
+  if (!serial || !sender) {
+    return;
+  }
+  const std::string& script = (*fields)[2];
+  // Execute the command in this application's interpreter -- the remote
+  // procedure call of Section 6.
+  tcl::Code code = app_.interp().Eval(script);
+  std::string reply_record =
+      tcl::MergeList({std::to_string(*serial), code == tcl::Code::kOk ? "0" : "1",
+                      app_.interp().result()});
+  xsim::WindowId sender_window = static_cast<xsim::WindowId>(*sender);
+  if (!app_.server().WindowExists(sender_window)) {
+    return;  // Sender died while we were executing.
+  }
+  std::optional<std::string> existing = app_.display().GetProperty(sender_window, reply_atom_);
+  std::string payload = existing ? *existing + " " + tcl::QuoteListElement(reply_record)
+                                 : tcl::QuoteListElement(reply_record);
+  app_.display().ChangeProperty(sender_window, reply_atom_, payload);
+}
+
+void SendChannel::ProcessReply(const std::string& record) {
+  std::optional<std::vector<std::string>> fields = tcl::SplitList(record, nullptr);
+  if (!fields || fields->size() != 3) {
+    return;
+  }
+  std::optional<int64_t> serial = tcl::ParseInt((*fields)[0]);
+  if (!serial) {
+    return;
+  }
+  for (Pending& pending : pending_) {
+    if (pending.serial == static_cast<uint64_t>(*serial)) {
+      pending.done = true;
+      pending.ok = (*fields)[1] == "0";
+      pending.result = (*fields)[2];
+      return;
+    }
+  }
+}
+
+}  // namespace tk

@@ -1,0 +1,83 @@
+// The `send` command (Section 6): remote procedure call between Tk
+// applications on the same display.
+//
+// Exactly as in the paper: every application registers (name, comm window)
+// in a registry property on the *root window*; `send name command` looks the
+// target up in the registry, forwards the command through properties on the
+// target's comm window, the target executes it in its own interpreter, and
+// the result (or error) travels back through a property on the sender's comm
+// window.
+
+#ifndef SRC_TK_SEND_H_
+#define SRC_TK_SEND_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/tcl/types.h"
+#include "src/xsim/event.h"
+#include "src/xsim/types.h"
+
+namespace tk {
+
+class App;
+
+class SendChannel {
+ public:
+  explicit SendChannel(App& app);
+  ~SendChannel();
+
+  // Registers `desired_name` in the display registry, uniquifying with
+  // " #2", " #3", ... if taken (real Tk behaviour).  Returns the name
+  // actually registered.
+  std::string Register(const std::string& desired_name);
+  void Unregister();
+
+  const std::string& registered_name() const { return name_; }
+  xsim::WindowId comm_window() const { return comm_window_; }
+
+  // Sends `script` to the application registered as `target`; blocks
+  // (pumping all in-process event loops) until the result arrives.  The
+  // remote result or error message is stored in *result.
+  tcl::Code Send(const std::string& target, const std::string& script, std::string* result);
+
+  // All application names currently in the registry (`winfo interps`).
+  std::vector<std::string> RegisteredNames() const;
+
+  // Handles PropertyNotify events on the comm window (incoming requests and
+  // replies).  Returns true if the event was consumed.
+  bool HandleEvent(const xsim::Event& event);
+
+ private:
+  struct Registry {
+    std::vector<std::pair<std::string, xsim::WindowId>> entries;
+  };
+  Registry ReadRegistry() const;
+  void WriteRegistry(const Registry& registry);
+  void ProcessRequest(const std::string& payload);
+  void ProcessReply(const std::string& payload);
+
+  App& app_;
+  std::string name_;
+  xsim::WindowId comm_window_ = xsim::kNone;
+  xsim::Atom registry_atom_ = xsim::kAtomNone;
+  xsim::Atom request_atom_ = xsim::kAtomNone;
+  xsim::Atom reply_atom_ = xsim::kAtomNone;
+
+  uint64_t next_serial_ = 1;
+  // State of the in-flight outgoing send (sends can nest: a remote command
+  // may send back to us, so this is a stack).
+  struct Pending {
+    uint64_t serial = 0;
+    bool done = false;
+    bool ok = true;
+    std::string result;
+  };
+  std::vector<Pending> pending_;
+};
+
+}  // namespace tk
+
+#endif  // SRC_TK_SEND_H_

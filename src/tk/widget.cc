@@ -1,0 +1,549 @@
+#include "src/tk/widget.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/tcl/list.h"
+#include "src/tcl/utils.h"
+#include "src/tk/app.h"
+#include "src/tk/bind.h"
+#include "src/tk/pack.h"
+#include "src/tk/resource_cache.h"
+
+namespace tk {
+
+const char* ReliefName(Relief relief) {
+  switch (relief) {
+    case Relief::kFlat:
+      return "flat";
+    case Relief::kRaised:
+      return "raised";
+    case Relief::kSunken:
+      return "sunken";
+    case Relief::kGroove:
+      return "groove";
+    case Relief::kRidge:
+      return "ridge";
+  }
+  return "?";
+}
+
+bool ParseRelief(const std::string& text, Relief* out) {
+  if (text == "flat") {
+    *out = Relief::kFlat;
+  } else if (text == "raised") {
+    *out = Relief::kRaised;
+  } else if (text == "sunken") {
+    *out = Relief::kSunken;
+  } else if (text == "groove") {
+    *out = Relief::kGroove;
+  } else if (text == "ridge") {
+    *out = Relief::kRidge;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* AnchorName(Anchor anchor) {
+  switch (anchor) {
+    case Anchor::kN:
+      return "n";
+    case Anchor::kNe:
+      return "ne";
+    case Anchor::kE:
+      return "e";
+    case Anchor::kSe:
+      return "se";
+    case Anchor::kS:
+      return "s";
+    case Anchor::kSw:
+      return "sw";
+    case Anchor::kW:
+      return "w";
+    case Anchor::kNw:
+      return "nw";
+    case Anchor::kCenter:
+      return "center";
+  }
+  return "?";
+}
+
+bool ParseAnchor(const std::string& text, Anchor* out) {
+  if (text == "n") {
+    *out = Anchor::kN;
+  } else if (text == "ne") {
+    *out = Anchor::kNe;
+  } else if (text == "e") {
+    *out = Anchor::kE;
+  } else if (text == "se") {
+    *out = Anchor::kSe;
+  } else if (text == "s") {
+    *out = Anchor::kS;
+  } else if (text == "sw") {
+    *out = Anchor::kSw;
+  } else if (text == "w") {
+    *out = Anchor::kW;
+  } else if (text == "nw") {
+    *out = Anchor::kNw;
+  } else if (text == "center") {
+    *out = Anchor::kCenter;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+
+Widget::Widget(App& app, std::string path, std::string clazz, bool override_redirect)
+    : app_(app), path_(std::move(path)), clazz_(std::move(clazz)) {
+  xsim::WindowId parent_window = app_.display().root();
+  if (path_ != "." && !override_redirect) {
+    Widget* parent = app_.FindWidget(parent_path());
+    if (parent != nullptr) {
+      parent_window = parent->window();
+    }
+  }
+  window_ = app_.display().CreateWindow(parent_window, 0, 0, 1, 1);
+  app_.display().SelectInput(
+      window_, xsim::kExposureMask | xsim::kStructureNotifyMask | xsim::kKeyPressMask |
+                   xsim::kKeyReleaseMask | xsim::kButtonPressMask | xsim::kButtonReleaseMask |
+                   xsim::kEnterWindowMask | xsim::kLeaveWindowMask | xsim::kPointerMotionMask |
+                   xsim::kButtonMotionMask | xsim::kFocusChangeMask);
+}
+
+Widget::~Widget() {
+  if (!app_.closing() && window_ != xsim::kNone) {
+    if (gc_ != xsim::kNone) {
+      app_.display().FreeGc(gc_);
+    }
+    app_.display().DestroyWindow(window_);
+  }
+}
+
+std::string Widget::name() const {
+  if (path_ == ".") {
+    return ".";
+  }
+  size_t dot = path_.rfind('.');
+  return path_.substr(dot + 1);
+}
+
+std::string Widget::parent_path() const {
+  if (path_ == ".") {
+    return "";
+  }
+  size_t dot = path_.rfind('.');
+  if (dot == 0) {
+    return ".";
+  }
+  return path_.substr(0, dot);
+}
+
+xsim::Display& Widget::display() { return app_.display(); }
+
+tcl::Interp& Widget::interp() { return app_.interp(); }
+
+xsim::GcId Widget::gc() {
+  if (gc_ == xsim::kNone) {
+    gc_ = app_.display().CreateGc();
+  }
+  return gc_;
+}
+
+// ---------------------------------------------------------------------------
+// Geometry.
+
+void Widget::RequestSize(int width, int height) {
+  if (width == req_width_ && height == req_height_) {
+    return;
+  }
+  req_width_ = std::max(1, width);
+  req_height_ = std::max(1, height);
+  // Tell whoever manages this window; the manager decides the actual size
+  // (Section 3.4: "Tk acts as intermediary for geometry management").
+  if (manager_ != nullptr) {
+    manager_->RequestChanged(this);
+  } else if (path_ == ".") {
+    // The main window has no manager above it; in the simulator the window
+    // manager grants its requests directly.
+    SetAssignedGeometry(x_, y_, req_width_, req_height_);
+  }
+}
+
+void Widget::SetAssignedGeometry(int x, int y, int width, int height) {
+  width = std::max(1, width);
+  height = std::max(1, height);
+  bool changed = x != x_ || y != y_ || width != width_ || height != height_;
+  x_ = x;
+  y_ = y;
+  width_ = width;
+  height_ = height;
+  if (changed && !app_.closing()) {
+    app_.display().MoveResizeWindow(window_, x, y, width, height);
+    ScheduleRedraw();
+  }
+}
+
+void Widget::Map() {
+  if (mapped_) {
+    return;
+  }
+  mapped_ = true;
+  app_.display().MapWindow(window_);
+}
+
+void Widget::Unmap() {
+  if (!mapped_) {
+    return;
+  }
+  mapped_ = false;
+  app_.display().UnmapWindow(window_);
+}
+
+// ---------------------------------------------------------------------------
+// Configuration framework.
+
+void Widget::AddOption(OptionSpec spec) {
+  specs_.push_back(std::move(spec));
+  explicitly_set_.push_back(false);
+}
+
+tcl::Code Widget::ConfigureFromArgs(const std::vector<std::string>& args, size_t first) {
+  for (size_t i = first; i < args.size(); i += 2) {
+    if (i + 1 >= args.size()) {
+      return interp().Error("value for \"" + args[i] + "\" missing");
+    }
+    const std::string& flag = args[i];
+    bool found = false;
+    for (size_t s = 0; s < specs_.size(); ++s) {
+      OptionSpec& spec = specs_[s];
+      bool matches = spec.flag == flag;
+      if (!matches) {
+        matches = std::find(spec.aliases.begin(), spec.aliases.end(), flag) !=
+                  spec.aliases.end();
+      }
+      if (matches) {
+        tcl::Code code = spec.set(args[i + 1]);
+        if (code != tcl::Code::kOk) {
+          return code;
+        }
+        explicitly_set_[s] = true;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return interp().Error("unknown option \"" + flag + "\"");
+    }
+  }
+  OnConfigured();
+  ScheduleRedraw();
+  return tcl::Code::kOk;
+}
+
+tcl::Code Widget::ApplyDefaults() {
+  // Build the name/class chains for the option database lookup: application
+  // name + path components, application class + widget class.
+  std::vector<std::string> names;
+  std::vector<std::string> classes;
+  names.push_back(app_.name());
+  classes.push_back("Tk");
+  if (path_ != ".") {
+    std::string rest = path_.substr(1);
+    size_t start = 0;
+    while (start <= rest.size()) {
+      size_t dot = rest.find('.', start);
+      std::string component =
+          dot == std::string::npos ? rest.substr(start) : rest.substr(start, dot - start);
+      names.push_back(component);
+      Widget* ancestor = nullptr;
+      std::string sub = "." + rest.substr(0, dot == std::string::npos ? rest.size() : dot);
+      ancestor = app_.FindWidget(sub);
+      classes.push_back(ancestor != nullptr ? ancestor->clazz() : "");
+      if (dot == std::string::npos) {
+        break;
+      }
+      start = dot + 1;
+    }
+  }
+  for (size_t s = 0; s < specs_.size(); ++s) {
+    if (explicitly_set_[s]) {
+      continue;
+    }
+    OptionSpec& spec = specs_[s];
+    std::vector<std::string> option_names = names;
+    std::vector<std::string> option_classes = classes;
+    option_names.push_back(spec.db_name);
+    option_classes.push_back(spec.db_class);
+    std::optional<std::string> db_value = app_.options().Get(option_names, option_classes);
+    const std::string& value = db_value ? *db_value : spec.default_value;
+    if (value.empty() && !db_value) {
+      continue;  // No default at all: leave the field as constructed.
+    }
+    tcl::Code code = spec.set(value);
+    if (code != tcl::Code::kOk) {
+      return code;
+    }
+  }
+  OnConfigured();
+  ScheduleRedraw();
+  return tcl::Code::kOk;
+}
+
+tcl::Code Widget::ConfigureCommand(std::vector<std::string>& args, size_t first) {
+  tcl::Interp& tcl = interp();
+  if (args.size() == first) {
+    // Full introspection: a list of {flag dbName dbClass default current}.
+    tcl.ResetResult();
+    std::string out;
+    for (const OptionSpec& spec : specs_) {
+      std::vector<std::string> record = {spec.flag, spec.db_name, spec.db_class,
+                                         spec.default_value, spec.get()};
+      if (!out.empty()) {
+        out.push_back(' ');
+      }
+      out += tcl::QuoteListElement(tcl::MergeList(record));
+    }
+    tcl.SetResult(std::move(out));
+    return tcl::Code::kOk;
+  }
+  if (args.size() == first + 1) {
+    // Introspect one option.
+    const std::string& flag = args[first];
+    for (const OptionSpec& spec : specs_) {
+      bool matches = spec.flag == flag ||
+                     std::find(spec.aliases.begin(), spec.aliases.end(), flag) !=
+                         spec.aliases.end();
+      if (matches) {
+        std::vector<std::string> record = {spec.flag, spec.db_name, spec.db_class,
+                                           spec.default_value, spec.get()};
+        tcl.SetResult(tcl::MergeList(record));
+        return tcl::Code::kOk;
+      }
+    }
+    return tcl.Error("unknown option \"" + flag + "\"");
+  }
+  return ConfigureFromArgs(args, first);
+}
+
+// ---------------------------------------------------------------------------
+// Option factories.
+
+OptionSpec Widget::ColorOption(const std::string& flag, const std::string& db_name,
+                               const std::string& db_class, const std::string& default_value,
+                               xsim::Pixel* field, std::string* name_field) {
+  OptionSpec spec;
+  spec.flag = flag;
+  spec.db_name = db_name;
+  spec.db_class = db_class;
+  spec.default_value = default_value;
+  spec.set = [this, field, name_field](const std::string& value) {
+    std::optional<xsim::Pixel> pixel = app_.resources().GetColor(value);
+    if (!pixel) {
+      return interp().Error("unknown color name \"" + value + "\"");
+    }
+    *field = *pixel;
+    if (name_field != nullptr) {
+      *name_field = value;
+    }
+    ScheduleRedraw();
+    return tcl::Code::kOk;
+  };
+  spec.get = [field, name_field]() {
+    if (name_field != nullptr && !name_field->empty()) {
+      return *name_field;
+    }
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "#%06x", *field);
+    return std::string(buf);
+  };
+  return spec;
+}
+
+OptionSpec Widget::IntOption(const std::string& flag, const std::string& db_name,
+                             const std::string& db_class, const std::string& default_value,
+                             int* field) {
+  OptionSpec spec;
+  spec.flag = flag;
+  spec.db_name = db_name;
+  spec.db_class = db_class;
+  spec.default_value = default_value;
+  spec.set = [this, field](const std::string& value) {
+    std::optional<int64_t> parsed = tcl::ParseInt(value);
+    if (!parsed) {
+      return interp().Error("bad screen distance \"" + value + "\"");
+    }
+    *field = static_cast<int>(*parsed);
+    OnConfigured();
+    ScheduleRedraw();
+    return tcl::Code::kOk;
+  };
+  spec.get = [field]() { return std::to_string(*field); };
+  return spec;
+}
+
+OptionSpec Widget::StringOption(const std::string& flag, const std::string& db_name,
+                                const std::string& db_class, const std::string& default_value,
+                                std::string* field) {
+  OptionSpec spec;
+  spec.flag = flag;
+  spec.db_name = db_name;
+  spec.db_class = db_class;
+  spec.default_value = default_value;
+  spec.set = [this, field](const std::string& value) {
+    *field = value;
+    OnConfigured();
+    ScheduleRedraw();
+    return tcl::Code::kOk;
+  };
+  spec.get = [field]() { return *field; };
+  return spec;
+}
+
+OptionSpec Widget::ReliefOption(const std::string& default_value, Relief* field) {
+  OptionSpec spec;
+  spec.flag = "-relief";
+  spec.db_name = "relief";
+  spec.db_class = "Relief";
+  spec.default_value = default_value;
+  spec.set = [this, field](const std::string& value) {
+    if (!ParseRelief(value, field)) {
+      return interp().Error("bad relief type \"" + value +
+                            "\": must be flat, groove, raised, ridge, or sunken");
+    }
+    ScheduleRedraw();
+    return tcl::Code::kOk;
+  };
+  spec.get = [field]() { return std::string(ReliefName(*field)); };
+  return spec;
+}
+
+OptionSpec Widget::FontOption(const std::string& default_value, xsim::FontId* field,
+                              std::string* name_field) {
+  OptionSpec spec;
+  spec.flag = "-font";
+  spec.db_name = "font";
+  spec.db_class = "Font";
+  spec.default_value = default_value;
+  spec.set = [this, field, name_field](const std::string& value) {
+    std::optional<xsim::FontId> font = app_.resources().GetFont(value);
+    if (!font) {
+      return interp().Error("font \"" + value + "\" doesn't exist");
+    }
+    *field = *font;
+    if (name_field != nullptr) {
+      *name_field = value;
+    }
+    OnConfigured();
+    ScheduleRedraw();
+    return tcl::Code::kOk;
+  };
+  spec.get = [name_field]() { return name_field != nullptr ? *name_field : std::string(); };
+  return spec;
+}
+
+OptionSpec Widget::AnchorOption(const std::string& default_value, Anchor* field) {
+  OptionSpec spec;
+  spec.flag = "-anchor";
+  spec.db_name = "anchor";
+  spec.db_class = "Anchor";
+  spec.default_value = default_value;
+  spec.set = [this, field](const std::string& value) {
+    if (!ParseAnchor(value, field)) {
+      return interp().Error("bad anchor position \"" + value + "\"");
+    }
+    ScheduleRedraw();
+    return tcl::Code::kOk;
+  };
+  spec.get = [field]() { return std::string(AnchorName(*field)); };
+  return spec;
+}
+
+OptionSpec Widget::BoolOption(const std::string& flag, const std::string& db_name,
+                              const std::string& db_class, const std::string& default_value,
+                              bool* field) {
+  OptionSpec spec;
+  spec.flag = flag;
+  spec.db_name = db_name;
+  spec.db_class = db_class;
+  spec.default_value = default_value;
+  spec.set = [this, field](const std::string& value) {
+    std::optional<bool> parsed = tcl::ParseBool(value);
+    if (!parsed) {
+      return interp().Error("expected boolean value but got \"" + value + "\"");
+    }
+    *field = *parsed;
+    ScheduleRedraw();
+    return tcl::Code::kOk;
+  };
+  spec.get = [field]() { return std::string(*field ? "1" : "0"); };
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Behaviour.
+
+tcl::Code Widget::WidgetCommand(std::vector<std::string>& args) {
+  tcl::Interp& tcl = interp();
+  if (args.size() < 2) {
+    return tcl.WrongNumArgs(path_ + " option ?arg arg ...?");
+  }
+  if (args[1] == "configure") {
+    return ConfigureCommand(args, 2);
+  }
+  return tcl.Error("bad option \"" + args[1] + "\" for " + clazz_ + " widget");
+}
+
+void Widget::HandleEvent(const xsim::Event& event) {
+  switch (event.type) {
+    case xsim::EventType::kExpose:
+      Draw();
+      break;
+    case xsim::EventType::kConfigureNotify:
+      // Record geometry assigned behind our back (e.g. direct X resize).
+      x_ = event.area.x;
+      y_ = event.area.y;
+      width_ = event.area.width;
+      height_ = event.area.height;
+      break;
+    default:
+      break;
+  }
+}
+
+void Widget::ScheduleRedraw() { app_.ScheduleRedraw(this); }
+
+void Widget::ClearWindow(xsim::Pixel background) {
+  display().SetWindowBackground(window_, background);
+  display().ClearWindow(window_);
+}
+
+void Widget::DrawRelief(xsim::Pixel background, Relief relief, int border_width) {
+  if (border_width <= 0 || relief == Relief::kFlat) {
+    return;
+  }
+  xsim::Rgb base = xsim::UnpackPixel(background);
+  xsim::Pixel light = xsim::PackPixel(xsim::LightShade(base));
+  xsim::Pixel dark = xsim::PackPixel(xsim::DarkShade(base));
+  xsim::Pixel top = light;
+  xsim::Pixel bottom = dark;
+  if (relief == Relief::kSunken || relief == Relief::kGroove) {
+    std::swap(top, bottom);
+  }
+  xsim::GcId context = gc();
+  xsim::Server::Gc values;
+  for (int i = 0; i < border_width; ++i) {
+    values.foreground = top;
+    display().ChangeGc(context, values);
+    display().DrawLine(window_, context, i, i, width_ - 1 - i, i);
+    display().DrawLine(window_, context, i, i, i, height_ - 1 - i);
+    values.foreground = bottom;
+    display().ChangeGc(context, values);
+    display().DrawLine(window_, context, i, height_ - 1 - i, width_ - 1 - i, height_ - 1 - i);
+    display().DrawLine(window_, context, width_ - 1 - i, i, width_ - 1 - i, height_ - 1 - i);
+  }
+}
+
+}  // namespace tk

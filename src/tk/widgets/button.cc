@@ -1,0 +1,468 @@
+#include "src/tk/widgets/button.h"
+
+#include <algorithm>
+
+#include "src/tk/app.h"
+
+namespace tk {
+namespace {
+
+constexpr char kDefaultFont[] = "8x13";
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Label.
+
+Label::Label(App& app, std::string path) : Label(app, std::move(path), "Label") {}
+
+Label::Label(App& app, std::string path, std::string clazz)
+    : Widget(app, std::move(path), std::move(clazz)) {
+  AddOption(StringOption("-text", "text", "Text", "", &text_));
+  AddOption(StringOption("-textvariable", "textVariable", "Variable", "", &text_variable_));
+  AddOption(ColorOption("-background", "background", "Background", "#c0c0c0", &background_,
+                        &background_name_));
+  last_option().aliases.push_back("-bg");
+  AddOption(ColorOption("-foreground", "foreground", "Foreground", "black", &foreground_,
+                        &foreground_name_));
+  last_option().aliases.push_back("-fg");
+  AddOption(ColorOption("-activebackground", "activeBackground", "Foreground", "#d0d0d0",
+                        &active_background_, &active_background_name_));
+  AddOption(ColorOption("-activeforeground", "activeForeground", "Background", "black",
+                        &active_foreground_, &active_foreground_name_));
+  AddOption(FontOption(kDefaultFont, &font_, &font_name_));
+  AddOption(IntOption("-borderwidth", "borderWidth", "BorderWidth", "2", &border_width_));
+  last_option().aliases.push_back("-bd");
+  AddOption(ReliefOption("flat", &relief_));
+  AddOption(IntOption("-padx", "padX", "Pad", "2", &pad_x_));
+  AddOption(IntOption("-pady", "padY", "Pad", "1", &pad_y_));
+  AddOption(AnchorOption("center", &anchor_));
+  AddOption(IntOption("-width", "width", "Width", "0", &width_chars_));
+  AddOption(IntOption("-height", "height", "Height", "0", &height_lines_));
+  AddOption(StringOption("-state", "state", "State", "normal", &state_));
+}
+
+void Label::OnConfigured() {
+  // -textvariable: display (and track) a variable's value.
+  if (!text_variable_.empty()) {
+    const std::string* value = interp().GetVarQuiet(text_variable_);
+    if (value != nullptr) {
+      text_ = *value;
+    } else {
+      interp().SetVar(text_variable_, text_);
+    }
+    if (!trace_installed_) {
+      trace_installed_ = true;
+      interp().TraceVar(text_variable_,
+                        [this](tcl::Interp&, std::string_view, std::string_view value,
+                               bool unset) {
+                          if (!unset) {
+                            text_ = std::string(value);
+                            OnConfigured();
+                            ScheduleRedraw();
+                          }
+                        });
+    }
+  }
+  const xsim::FontMetrics* metrics = display().QueryFont(font_);
+  xsim::FontMetrics fallback;
+  if (metrics == nullptr) {
+    metrics = &fallback;
+  }
+  int text_width = width_chars_ > 0 ? width_chars_ * metrics->char_width
+                                    : metrics->TextWidth(text_);
+  int lines = std::max(1, height_lines_);
+  int text_height = lines * metrics->line_height();
+  RequestSize(text_width + 2 * (pad_x_ + border_width_) + IndicatorSpace(),
+              text_height + 2 * (pad_y_ + border_width_));
+}
+
+xsim::Pixel Label::CurrentBackground() const {
+  return state_ == "active" ? active_background_ : background_;
+}
+
+void Label::Draw() {
+  xsim::Pixel bg = CurrentBackground();
+  ClearWindow(bg);
+  Relief relief = relief_;
+  if (pressed_) {
+    relief = Relief::kSunken;
+  }
+  DrawRelief(bg, relief, border_width_);
+  DrawIndicator();
+  const xsim::FontMetrics* metrics = display().QueryFont(font_);
+  xsim::FontMetrics fallback;
+  if (metrics == nullptr) {
+    metrics = &fallback;
+  }
+  // Position the text within the free area by anchor.
+  int text_width = metrics->TextWidth(text_);
+  int free_x = width() - text_width - 2 * (pad_x_ + border_width_) - IndicatorSpace();
+  int free_y = height() - metrics->line_height() - 2 * (pad_y_ + border_width_);
+  int tx = border_width_ + pad_x_ + IndicatorSpace() + free_x / 2;
+  int ty = border_width_ + pad_y_ + free_y / 2;
+  switch (anchor_) {
+    case Anchor::kW:
+    case Anchor::kNw:
+    case Anchor::kSw:
+      tx = border_width_ + pad_x_ + IndicatorSpace();
+      break;
+    case Anchor::kE:
+    case Anchor::kNe:
+    case Anchor::kSe:
+      tx = border_width_ + pad_x_ + IndicatorSpace() + free_x;
+      break;
+    default:
+      break;
+  }
+  switch (anchor_) {
+    case Anchor::kN:
+    case Anchor::kNw:
+    case Anchor::kNe:
+      ty = border_width_ + pad_y_;
+      break;
+    case Anchor::kS:
+    case Anchor::kSw:
+    case Anchor::kSe:
+      ty = border_width_ + pad_y_ + free_y;
+      break;
+    default:
+      break;
+  }
+  xsim::Server::Gc values;
+  values.foreground = state_ == "active" ? active_foreground_ : foreground_;
+  values.font = font_;
+  display().ChangeGc(gc(), values);
+  display().DrawString(window(), gc(), tx, ty + metrics->ascent, text_);
+}
+
+tcl::Code Label::WidgetCommand(std::vector<std::string>& args) {
+  if (args.size() >= 2 && args[1] == "configure") {
+    return ConfigureCommand(args, 2);
+  }
+  return Widget::WidgetCommand(args);
+}
+
+// ---------------------------------------------------------------------------
+// Button.
+
+Button::Button(App& app, std::string path) : Button(app, std::move(path), "Button") {}
+
+Button::Button(App& app, std::string path, std::string clazz)
+    : Label(app, std::move(path), std::move(clazz)) {
+  relief_ = Relief::kRaised;
+  AddOption(StringOption("-command", "command", "Command", "", &command_));
+  // Buttons default to a raised relief.
+  for (OptionSpec& spec : mutable_options()) {
+    if (spec.flag == "-relief") {
+      spec.default_value = "raised";
+    }
+  }
+}
+
+tcl::Code Button::Invoke() {
+  if (state_ == "disabled" || command_.empty()) {
+    interp().ResetResult();
+    return tcl::Code::kOk;
+  }
+  return interp().Eval(command_);
+}
+
+void Button::Flash() {
+  // Alternate active/normal colors a few times; each toggle redraws
+  // immediately so the flashes actually reach the (simulated) screen.
+  for (int i = 0; i < 4; ++i) {
+    state_ = (i % 2 == 0) ? "active" : "normal";
+    Draw();
+  }
+  state_ = "normal";
+  Draw();
+}
+
+tcl::Code Button::WidgetCommand(std::vector<std::string>& args) {
+  tcl::Interp& tcl = interp();
+  if (args.size() < 2) {
+    return tcl.WrongNumArgs(path() + " option ?arg arg ...?");
+  }
+  const std::string& option = args[1];
+  if (option == "configure") {
+    return ConfigureCommand(args, 2);
+  }
+  if (option == "invoke") {
+    return Invoke();
+  }
+  if (option == "flash") {
+    if (state_ == "disabled") {
+      return tcl.Error("can't flash disabled button \"" + path() + "\"");
+    }
+    Flash();
+    tcl.ResetResult();
+    return tcl::Code::kOk;
+  }
+  if (option == "activate") {
+    state_ = "active";
+    ScheduleRedraw();
+    tcl.ResetResult();
+    return tcl::Code::kOk;
+  }
+  if (option == "deactivate") {
+    state_ = "normal";
+    ScheduleRedraw();
+    tcl.ResetResult();
+    return tcl::Code::kOk;
+  }
+  return tcl.Error("bad option \"" + option +
+                   "\": must be activate, configure, deactivate, flash, or invoke");
+}
+
+void Button::HandleEvent(const xsim::Event& event) {
+  Widget::HandleEvent(event);
+  if (state_ == "disabled") {
+    return;
+  }
+  switch (event.type) {
+    case xsim::EventType::kEnterNotify:
+      if (state_ == "normal") {
+        state_ = "active";
+        ScheduleRedraw();
+      }
+      break;
+    case xsim::EventType::kLeaveNotify:
+      if (state_ == "active") {
+        state_ = "normal";
+      }
+      pressed_ = false;
+      ScheduleRedraw();
+      break;
+    case xsim::EventType::kButtonPress:
+      if (event.detail == 1) {
+        pressed_ = true;
+        ScheduleRedraw();
+      }
+      break;
+    case xsim::EventType::kButtonRelease:
+      if (event.detail == 1 && pressed_) {
+        pressed_ = false;
+        ScheduleRedraw();
+        // Invoke only if the release happened over the button.
+        if (event.x >= 0 && event.y >= 0 && event.x < width() && event.y < height()) {
+          Invoke();
+        }
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CheckButton.
+
+CheckButton::CheckButton(App& app, std::string path)
+    : Button(app, std::move(path), "CheckButton") {
+  relief_ = Relief::kFlat;
+  for (OptionSpec& spec : mutable_options()) {
+    if (spec.flag == "-relief") {
+      spec.default_value = "flat";
+    }
+  }
+  variable_ = name() == "." ? "checkVar" : name();
+  AddOption(StringOption("-variable", "variable", "Variable", "", &variable_));
+  AddOption(StringOption("-onvalue", "onValue", "Value", "1", &on_value_));
+  AddOption(StringOption("-offvalue", "offValue", "Value", "0", &off_value_));
+  AddOption(ColorOption("-selector", "selector", "Foreground", "#b03060", &selector_color_,
+                        &selector_name_));
+}
+
+void CheckButton::OnConfigured() {
+  if (!variable_.empty() && !var_trace_installed_) {
+    var_trace_installed_ = true;
+    interp().TraceVar(variable_, [this](tcl::Interp&, std::string_view, std::string_view,
+                                        bool) { ScheduleRedraw(); });
+  }
+  Label::OnConfigured();
+}
+
+int CheckButton::IndicatorSpace() const { return 18; }
+
+bool CheckButton::IsSelected() {
+  const std::string* value = interp().GetVarQuiet(variable_);
+  return value != nullptr && *value == on_value_;
+}
+
+void CheckButton::DrawIndicator() {
+  // A small square, filled with the selector color when on.
+  const int size = 12;
+  int ix = border_width_ + 2;
+  int iy = (height() - size) / 2;
+  xsim::Server::Gc values;
+  values.foreground = foreground_;
+  display().ChangeGc(gc(), values);
+  display().DrawRectangle(window(), gc(), xsim::Rect{ix, iy, size, size});
+  if (IsSelected()) {
+    values.foreground = selector_color_;
+    display().ChangeGc(gc(), values);
+    display().FillRectangle(window(), gc(), xsim::Rect{ix + 2, iy + 2, size - 4, size - 4});
+  }
+}
+
+tcl::Code CheckButton::Select() {
+  tcl::Code code = interp().SetVar(variable_, on_value_);
+  ScheduleRedraw();
+  return code;
+}
+
+tcl::Code CheckButton::Deselect() {
+  tcl::Code code = interp().SetVar(variable_, off_value_);
+  ScheduleRedraw();
+  return code;
+}
+
+tcl::Code CheckButton::Toggle() { return IsSelected() ? Deselect() : Select(); }
+
+tcl::Code CheckButton::InvokeCheck() {
+  tcl::Code code = Toggle();
+  if (code != tcl::Code::kOk) {
+    return code;
+  }
+  return Invoke();
+}
+
+tcl::Code CheckButton::WidgetCommand(std::vector<std::string>& args) {
+  tcl::Interp& tcl = interp();
+  if (args.size() < 2) {
+    return tcl.WrongNumArgs(path() + " option ?arg arg ...?");
+  }
+  const std::string& option = args[1];
+  if (option == "select") {
+    return Select();
+  }
+  if (option == "deselect") {
+    return Deselect();
+  }
+  if (option == "toggle") {
+    return Toggle();
+  }
+  if (option == "invoke") {
+    return InvokeCheck();
+  }
+  return Button::WidgetCommand(args);
+}
+
+void CheckButton::HandleEvent(const xsim::Event& event) {
+  if (event.type == xsim::EventType::kButtonRelease && event.detail == 1 && pressed_ &&
+      state_ != "disabled") {
+    pressed_ = false;
+    if (event.x >= 0 && event.y >= 0 && event.x < width() && event.y < height()) {
+      InvokeCheck();
+    }
+    ScheduleRedraw();
+    return;
+  }
+  Button::HandleEvent(event);
+}
+
+// ---------------------------------------------------------------------------
+// RadioButton.
+
+RadioButton::RadioButton(App& app, std::string path)
+    : Button(app, std::move(path), "RadioButton") {
+  relief_ = Relief::kFlat;
+  for (OptionSpec& spec : mutable_options()) {
+    if (spec.flag == "-relief") {
+      spec.default_value = "flat";
+    }
+  }
+  value_ = name();
+  AddOption(StringOption("-variable", "variable", "Variable", "selectedButton", &variable_));
+  AddOption(StringOption("-value", "value", "Value", "", &value_));
+  AddOption(ColorOption("-selector", "selector", "Foreground", "#b03060", &selector_color_,
+                        &selector_name_));
+}
+
+void RadioButton::OnConfigured() {
+  if (!variable_.empty() && !var_trace_installed_) {
+    var_trace_installed_ = true;
+    interp().TraceVar(variable_, [this](tcl::Interp&, std::string_view, std::string_view,
+                                        bool) { ScheduleRedraw(); });
+  }
+  Label::OnConfigured();
+}
+
+int RadioButton::IndicatorSpace() const { return 18; }
+
+bool RadioButton::IsSelected() {
+  const std::string* value = interp().GetVarQuiet(variable_);
+  return value != nullptr && *value == value_;
+}
+
+void RadioButton::DrawIndicator() {
+  // A diamond, filled when selected.
+  const int size = 12;
+  int ix = border_width_ + 2;
+  int iy = (height() - size) / 2;
+  int cx = ix + size / 2;
+  int cy = iy + size / 2;
+  xsim::Server::Gc values;
+  values.foreground = foreground_;
+  display().ChangeGc(gc(), values);
+  display().DrawLine(window(), gc(), cx, iy, ix + size, cy);
+  display().DrawLine(window(), gc(), ix + size, cy, cx, iy + size);
+  display().DrawLine(window(), gc(), cx, iy + size, ix, cy);
+  display().DrawLine(window(), gc(), ix, cy, cx, iy);
+  if (IsSelected()) {
+    values.foreground = selector_color_;
+    display().ChangeGc(gc(), values);
+    display().FillRectangle(window(), gc(),
+                            xsim::Rect{cx - size / 4, cy - size / 4, size / 2, size / 2});
+  }
+}
+
+tcl::Code RadioButton::Select() {
+  tcl::Code code = interp().SetVar(variable_, value_);
+  ScheduleRedraw();
+  return code;
+}
+
+tcl::Code RadioButton::InvokeRadio() {
+  tcl::Code code = Select();
+  if (code != tcl::Code::kOk) {
+    return code;
+  }
+  return Invoke();
+}
+
+tcl::Code RadioButton::WidgetCommand(std::vector<std::string>& args) {
+  tcl::Interp& tcl = interp();
+  if (args.size() < 2) {
+    return tcl.WrongNumArgs(path() + " option ?arg arg ...?");
+  }
+  const std::string& option = args[1];
+  if (option == "select") {
+    return Select();
+  }
+  if (option == "invoke") {
+    return InvokeRadio();
+  }
+  if (option == "deselect") {
+    tcl::Code code = interp().SetVar(variable_, "");
+    ScheduleRedraw();
+    return code;
+  }
+  return Button::WidgetCommand(args);
+}
+
+void RadioButton::HandleEvent(const xsim::Event& event) {
+  if (event.type == xsim::EventType::kButtonRelease && event.detail == 1 && pressed_ &&
+      state_ != "disabled") {
+    pressed_ = false;
+    if (event.x >= 0 && event.y >= 0 && event.x < width() && event.y < height()) {
+      InvokeRadio();
+    }
+    ScheduleRedraw();
+    return;
+  }
+  Button::HandleEvent(event);
+}
+
+}  // namespace tk

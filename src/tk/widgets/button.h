@@ -1,0 +1,129 @@
+// The button family: Label, Button, CheckButton, RadioButton.  As in Tk (and
+// as Table I of the paper notes), a single module implements all four.
+
+#ifndef SRC_TK_WIDGETS_BUTTON_H_
+#define SRC_TK_WIDGETS_BUTTON_H_
+
+#include <string>
+
+#include "src/tk/widget.h"
+
+namespace tk {
+
+// Label: displays a text string (or bitmap); no behaviour.
+class Label : public Widget {
+ public:
+  Label(App& app, std::string path);
+
+  void Draw() override;
+  tcl::Code WidgetCommand(std::vector<std::string>& args) override;
+
+  const std::string& text() const { return text_; }
+
+ protected:
+  Label(App& app, std::string path, std::string clazz);
+
+  void OnConfigured() override;
+  // Size of the indicator square/diamond (checkbuttons and radiobuttons).
+  virtual int IndicatorSpace() const { return 0; }
+  virtual void DrawIndicator() {}
+  // Extra stateful colors.
+  xsim::Pixel CurrentBackground() const;
+
+  std::string text_;
+  std::string text_variable_;  // -textvariable: mirror a Tcl variable.
+  xsim::Pixel background_ = 0xc0c0c0;
+  std::string background_name_;
+  xsim::Pixel foreground_ = 0x000000;
+  std::string foreground_name_;
+  xsim::Pixel active_background_ = 0xd0d0d0;
+  std::string active_background_name_;
+  xsim::Pixel active_foreground_ = 0x000000;
+  std::string active_foreground_name_;
+  xsim::FontId font_ = xsim::kNone;
+  std::string font_name_;
+  int border_width_ = 2;
+  Relief relief_ = Relief::kFlat;
+  int pad_x_ = 2;
+  int pad_y_ = 1;
+  Anchor anchor_ = Anchor::kCenter;
+  int width_chars_ = 0;   // -width: in characters (0 = fit text).
+  int height_lines_ = 0;  // -height: in lines.
+  std::string state_ = "normal";  // normal | active | disabled.
+  bool pressed_ = false;
+  bool trace_installed_ = false;
+};
+
+// Button: a label that invokes a Tcl command when clicked (Section 4).
+class Button : public Label {
+ public:
+  Button(App& app, std::string path);
+
+  tcl::Code WidgetCommand(std::vector<std::string>& args) override;
+  void HandleEvent(const xsim::Event& event) override;
+
+  // Executes the button's -command.
+  tcl::Code Invoke();
+  // Changes colors back and forth a few times (the `flash` subcommand).
+  void Flash();
+
+ protected:
+  Button(App& app, std::string path, std::string clazz);
+
+  std::string command_;
+};
+
+// CheckButton: toggles a Tcl variable between -onvalue and -offvalue.
+class CheckButton : public Button {
+ public:
+  CheckButton(App& app, std::string path);
+
+  tcl::Code WidgetCommand(std::vector<std::string>& args) override;
+
+  tcl::Code Select();
+  tcl::Code Deselect();
+  tcl::Code Toggle();
+  tcl::Code InvokeCheck();
+  bool IsSelected();
+
+ protected:
+  int IndicatorSpace() const override;
+  void DrawIndicator() override;
+  void HandleEvent(const xsim::Event& event) override;
+  void OnConfigured() override;
+
+  std::string variable_;
+  std::string on_value_ = "1";
+  std::string off_value_ = "0";
+  xsim::Pixel selector_color_ = 0xb03060;
+  std::string selector_name_;
+  bool var_trace_installed_ = false;
+};
+
+// RadioButton: sets a shared variable to this button's -value.
+class RadioButton : public Button {
+ public:
+  RadioButton(App& app, std::string path);
+
+  tcl::Code WidgetCommand(std::vector<std::string>& args) override;
+
+  tcl::Code Select();
+  tcl::Code InvokeRadio();
+  bool IsSelected();
+
+ protected:
+  int IndicatorSpace() const override;
+  void DrawIndicator() override;
+  void HandleEvent(const xsim::Event& event) override;
+  void OnConfigured() override;
+
+  std::string variable_ = "selectedButton";
+  std::string value_;
+  xsim::Pixel selector_color_ = 0xb03060;
+  std::string selector_name_;
+  bool var_trace_installed_ = false;
+};
+
+}  // namespace tk
+
+#endif  // SRC_TK_WIDGETS_BUTTON_H_

@@ -1,0 +1,414 @@
+#include "src/tk/widgets/canvas.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/tcl/list.h"
+#include "src/tcl/utils.h"
+#include "src/tk/app.h"
+#include "src/tk/bind.h"
+
+namespace tk {
+
+Canvas::Canvas(App& app, std::string path) : Widget(app, std::move(path), "Canvas") {
+  AddOption(ColorOption("-background", "background", "Background", "white", &background_,
+                        &background_name_));
+  last_option().aliases.push_back("-bg");
+  AddOption(IntOption("-borderwidth", "borderWidth", "BorderWidth", "2", &border_width_));
+  last_option().aliases.push_back("-bd");
+  AddOption(ReliefOption("sunken", &relief_));
+  AddOption(IntOption("-width", "width", "Width", "200", &width_option_));
+  AddOption(IntOption("-height", "height", "Height", "150", &height_option_));
+  AddOption(FontOption("8x13", &font_, &font_name_));
+}
+
+void Canvas::OnConfigured() {
+  RequestSize(width_option_ + 2 * border_width_, height_option_ + 2 * border_width_);
+}
+
+const Canvas::Item* Canvas::FindItem(int id) const {
+  for (const Item& item : items_) {
+    if (item.id == id) {
+      return &item;
+    }
+  }
+  return nullptr;
+}
+
+int Canvas::ItemAt(int x, int y) const {
+  for (auto it = items_.rbegin(); it != items_.rend(); ++it) {
+    if (it->coords.size() < 2) {
+      continue;
+    }
+    int min_x = it->coords[0];
+    int max_x = it->coords[0];
+    int min_y = it->coords[1];
+    int max_y = it->coords[1];
+    for (size_t i = 0; i + 1 < it->coords.size(); i += 2) {
+      min_x = std::min(min_x, it->coords[i]);
+      max_x = std::max(max_x, it->coords[i]);
+      min_y = std::min(min_y, it->coords[i + 1]);
+      max_y = std::max(max_y, it->coords[i + 1]);
+    }
+    if (it->type == Item::Type::kText) {
+      // Text extends right and down from its anchor point.
+      const xsim::FontMetrics* metrics =
+          const_cast<Canvas*>(this)->display().QueryFont(font_);
+      int cw = metrics != nullptr ? metrics->char_width : 6;
+      int lh = metrics != nullptr ? metrics->line_height() : 13;
+      max_x = min_x + cw * static_cast<int>(it->text.size());
+      max_y = min_y + lh;
+    }
+    if (x >= min_x && x <= max_x && y >= min_y && y <= max_y) {
+      return it->id;
+    }
+  }
+  return 0;
+}
+
+void Canvas::Draw() {
+  ClearWindow(background_);
+  DrawRelief(background_, relief_, border_width_);
+  xsim::Server::Gc values;
+  values.font = font_;
+  const xsim::FontMetrics* metrics = display().QueryFont(font_);
+  xsim::FontMetrics fallback;
+  if (metrics == nullptr) {
+    metrics = &fallback;
+  }
+  for (const Item& item : items_) {
+    if (item.coords.size() < 2) {
+      continue;
+    }
+    values.foreground = item.fill;
+    display().ChangeGc(gc(), values);
+    switch (item.type) {
+      case Item::Type::kRectangle: {
+        if (item.coords.size() < 4) {
+          break;
+        }
+        xsim::Rect rect;
+        rect.x = std::min(item.coords[0], item.coords[2]);
+        rect.y = std::min(item.coords[1], item.coords[3]);
+        rect.width = std::abs(item.coords[2] - item.coords[0]);
+        rect.height = std::abs(item.coords[3] - item.coords[1]);
+        if (item.filled) {
+          display().FillRectangle(window(), gc(), rect);
+        } else {
+          display().DrawRectangle(window(), gc(), rect);
+        }
+        break;
+      }
+      case Item::Type::kOval: {
+        if (item.coords.size() < 4) {
+          break;
+        }
+        // Rendered as a diamond inscribed in the bounding box (the raster
+        // has no curve primitive; the bounding-box geometry is what layout
+        // and hit-testing care about).
+        int x0 = std::min(item.coords[0], item.coords[2]);
+        int y0 = std::min(item.coords[1], item.coords[3]);
+        int x1 = std::max(item.coords[0], item.coords[2]);
+        int y1 = std::max(item.coords[1], item.coords[3]);
+        int cx = (x0 + x1) / 2;
+        int cy = (y0 + y1) / 2;
+        display().DrawLine(window(), gc(), cx, y0, x1, cy);
+        display().DrawLine(window(), gc(), x1, cy, cx, y1);
+        display().DrawLine(window(), gc(), cx, y1, x0, cy);
+        display().DrawLine(window(), gc(), x0, cy, cx, y0);
+        break;
+      }
+      case Item::Type::kLine: {
+        for (size_t i = 0; i + 3 < item.coords.size(); i += 2) {
+          display().DrawLine(window(), gc(), item.coords[i], item.coords[i + 1],
+                             item.coords[i + 2], item.coords[i + 3]);
+        }
+        break;
+      }
+      case Item::Type::kText: {
+        display().DrawString(window(), gc(), item.coords[0],
+                             item.coords[1] + metrics->ascent, item.text);
+        break;
+      }
+    }
+  }
+}
+
+std::vector<int> Canvas::ResolveItems(const std::string& spec) const {
+  std::vector<int> out;
+  if (spec == "all") {
+    for (const Item& item : items_) {
+      out.push_back(item.id);
+    }
+    return out;
+  }
+  if (std::optional<int64_t> id = tcl::ParseInt(spec)) {
+    if (FindItem(static_cast<int>(*id)) != nullptr) {
+      out.push_back(static_cast<int>(*id));
+    }
+    return out;
+  }
+  for (const Item& item : items_) {
+    if (std::find(item.tags.begin(), item.tags.end(), spec) != item.tags.end()) {
+      out.push_back(item.id);
+    }
+  }
+  return out;
+}
+
+tcl::Code Canvas::ConfigureItem(Item* item, const std::vector<std::string>& args,
+                                size_t first) {
+  tcl::Interp& tcl = interp();
+  for (size_t i = first; i + 1 < args.size(); i += 2) {
+    const std::string& flag = args[i];
+    const std::string& value = args[i + 1];
+    if (flag == "-fill" || flag == "-outline") {
+      std::optional<xsim::Pixel> pixel = app().resources().GetColor(value);
+      if (!pixel) {
+        return tcl.Error("unknown color name \"" + value + "\"");
+      }
+      item->fill = *pixel;
+      item->fill_name = value;
+      item->filled = flag == "-fill";
+    } else if (flag == "-text") {
+      item->text = value;
+    } else if (flag == "-width") {
+      std::optional<int64_t> width = tcl::ParseInt(value);
+      if (!width) {
+        return tcl.Error("expected integer but got \"" + value + "\"");
+      }
+      item->line_width = static_cast<int>(*width);
+    } else if (flag == "-tags") {
+      std::string error;
+      std::optional<std::vector<std::string>> tags = tcl::SplitList(value, &error);
+      if (!tags) {
+        return tcl.Error(error);
+      }
+      item->tags = *tags;
+    } else if (flag == "-command") {
+      item->bind_script = value;
+    } else {
+      return tcl.Error("unknown canvas item option \"" + flag + "\"");
+    }
+  }
+  ScheduleRedraw();
+  return tcl::Code::kOk;
+}
+
+tcl::Code Canvas::CreateItem(std::vector<std::string>& args) {
+  tcl::Interp& tcl = interp();
+  // .c create type x1 y1 ?x2 y2 ...? ?options?
+  if (args.size() < 5) {
+    return tcl.WrongNumArgs(path() + " create type coords ?options?");
+  }
+  Item item;
+  item.id = next_item_id_++;
+  const std::string& type = args[2];
+  size_t min_coords = 0;
+  if (type == "rectangle") {
+    item.type = Item::Type::kRectangle;
+    min_coords = 4;
+  } else if (type == "oval") {
+    item.type = Item::Type::kOval;
+    min_coords = 4;
+  } else if (type == "line") {
+    item.type = Item::Type::kLine;
+    min_coords = 4;
+  } else if (type == "text") {
+    item.type = Item::Type::kText;
+    min_coords = 2;
+  } else {
+    return tcl.Error("unknown canvas item type \"" + type +
+                     "\": must be line, oval, rectangle, or text");
+  }
+  size_t i = 3;
+  while (i < args.size() && (args[i].empty() || args[i][0] != '-' ||
+                             tcl::ParseInt(args[i]).has_value())) {
+    std::optional<int64_t> coord = tcl::ParseInt(args[i]);
+    if (!coord) {
+      return tcl.Error("expected integer coordinate but got \"" + args[i] + "\"");
+    }
+    item.coords.push_back(static_cast<int>(*coord));
+    ++i;
+  }
+  if (item.coords.size() < min_coords || item.coords.size() % 2 != 0) {
+    return tcl.Error("wrong # coordinates for " + type + " item");
+  }
+  tcl::Code code = ConfigureItem(&item, args, i);
+  if (code != tcl::Code::kOk) {
+    return code;
+  }
+  items_.push_back(std::move(item));
+  tcl.SetResult(std::to_string(items_.back().id));
+  return tcl::Code::kOk;
+}
+
+tcl::Code Canvas::WidgetCommand(std::vector<std::string>& args) {
+  tcl::Interp& tcl = interp();
+  if (args.size() < 2) {
+    return tcl.WrongNumArgs(path() + " option ?arg arg ...?");
+  }
+  const std::string& option = args[1];
+  if (option == "configure") {
+    return ConfigureCommand(args, 2);
+  }
+  if (option == "create") {
+    return CreateItem(args);
+  }
+  if (option == "delete") {
+    for (size_t i = 2; i < args.size(); ++i) {
+      for (int id : ResolveItems(args[i])) {
+        items_.erase(std::remove_if(items_.begin(), items_.end(),
+                                    [id](const Item& item) { return item.id == id; }),
+                     items_.end());
+      }
+    }
+    ScheduleRedraw();
+    tcl.ResetResult();
+    return tcl::Code::kOk;
+  }
+  if (option == "move") {
+    if (args.size() != 5) {
+      return tcl.WrongNumArgs(path() + " move tagOrId dx dy");
+    }
+    std::optional<int64_t> dx = tcl::ParseInt(args[3]);
+    std::optional<int64_t> dy = tcl::ParseInt(args[4]);
+    if (!dx || !dy) {
+      return tcl.Error("expected integer offsets");
+    }
+    for (int id : ResolveItems(args[2])) {
+      for (Item& item : items_) {
+        if (item.id != id) {
+          continue;
+        }
+        for (size_t i = 0; i + 1 < item.coords.size(); i += 2) {
+          item.coords[i] += static_cast<int>(*dx);
+          item.coords[i + 1] += static_cast<int>(*dy);
+        }
+      }
+    }
+    ScheduleRedraw();
+    tcl.ResetResult();
+    return tcl::Code::kOk;
+  }
+  if (option == "coords") {
+    if (args.size() < 3) {
+      return tcl.WrongNumArgs(path() + " coords tagOrId ?x y ...?");
+    }
+    std::vector<int> ids = ResolveItems(args[2]);
+    if (ids.empty()) {
+      return tcl.Error("no item matching \"" + args[2] + "\"");
+    }
+    for (Item& item : items_) {
+      if (item.id != ids[0]) {
+        continue;
+      }
+      if (args.size() == 3) {
+        std::string out;
+        for (int coord : item.coords) {
+          if (!out.empty()) {
+            out.push_back(' ');
+          }
+          out += std::to_string(coord);
+        }
+        tcl.SetResult(std::move(out));
+        return tcl::Code::kOk;
+      }
+      std::vector<int> coords;
+      for (size_t i = 3; i < args.size(); ++i) {
+        std::optional<int64_t> coord = tcl::ParseInt(args[i]);
+        if (!coord) {
+          return tcl.Error("expected integer coordinate but got \"" + args[i] + "\"");
+        }
+        coords.push_back(static_cast<int>(*coord));
+      }
+      if (coords.size() % 2 != 0) {
+        return tcl.Error("odd number of coordinates");
+      }
+      item.coords = std::move(coords);
+      ScheduleRedraw();
+      tcl.ResetResult();
+      return tcl::Code::kOk;
+    }
+    return tcl.Error("no item matching \"" + args[2] + "\"");
+  }
+  if (option == "itemconfigure") {
+    if (args.size() < 3) {
+      return tcl.WrongNumArgs(path() + " itemconfigure tagOrId ?option value ...?");
+    }
+    for (int id : ResolveItems(args[2])) {
+      for (Item& item : items_) {
+        if (item.id == id) {
+          tcl::Code code = ConfigureItem(&item, args, 3);
+          if (code != tcl::Code::kOk) {
+            return code;
+          }
+        }
+      }
+    }
+    tcl.ResetResult();
+    return tcl::Code::kOk;
+  }
+  if (option == "find") {
+    // find withtag <tag> | find overlapping x y
+    if (args.size() == 4 && args[2] == "withtag") {
+      std::string out;
+      for (int id : ResolveItems(args[3])) {
+        if (!out.empty()) {
+          out.push_back(' ');
+        }
+        out += std::to_string(id);
+      }
+      tcl.SetResult(std::move(out));
+      return tcl::Code::kOk;
+    }
+    if (args.size() == 5 && args[2] == "overlapping") {
+      std::optional<int64_t> x = tcl::ParseInt(args[3]);
+      std::optional<int64_t> y = tcl::ParseInt(args[4]);
+      if (!x || !y) {
+        return tcl.Error("expected integer coordinates");
+      }
+      int id = ItemAt(static_cast<int>(*x), static_cast<int>(*y));
+      tcl.SetResult(id > 0 ? std::to_string(id) : "");
+      return tcl::Code::kOk;
+    }
+    return tcl.WrongNumArgs(path() + " find withtag tag | find overlapping x y");
+  }
+  if (option == "bind") {
+    // .c bind tagOrId script -- runs script when button 1 is pressed on the
+    // item (the hypertext pattern of Section 6 applied to graphics).
+    if (args.size() != 4) {
+      return tcl.WrongNumArgs(path() + " bind tagOrId script");
+    }
+    for (int id : ResolveItems(args[2])) {
+      for (Item& item : items_) {
+        if (item.id == id) {
+          item.bind_script = args[3];
+        }
+      }
+    }
+    tcl.ResetResult();
+    return tcl::Code::kOk;
+  }
+  return tcl.Error("bad option \"" + option +
+                   "\": must be bind, configure, coords, create, delete, find, "
+                   "itemconfigure, or move");
+}
+
+void Canvas::HandleEvent(const xsim::Event& event) {
+  Widget::HandleEvent(event);
+  if (event.type == xsim::EventType::kButtonPress && event.detail == 1) {
+    int id = ItemAt(event.x, event.y);
+    if (id > 0) {
+      const Item* item = FindItem(id);
+      if (item != nullptr && !item->bind_script.empty()) {
+        std::string script = ExpandPercents(item->bind_script, event, path());
+        if (interp().Eval(script) == tcl::Code::kError) {
+          app().BackgroundError("canvas item binding error: " + interp().result());
+        }
+      }
+    }
+  }
+}
+
+}  // namespace tk

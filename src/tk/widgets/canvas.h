@@ -1,0 +1,73 @@
+// Canvas widget: structured graphics -- the extension the paper announces
+// for wish in Section 5 ("I plan to enhance wish with drawing commands for
+// shapes and text; once this is done it will be possible to code a large
+// class of interesting applications entirely in Tcl").
+//
+// Items (rectangle, oval, line, text) are created, configured, moved and
+// deleted from Tcl; every item gets an integer id and can carry tags.  Tcl
+// commands can be bound to items, so the hypertext pattern of Section 6
+// works on graphics too.
+
+#ifndef SRC_TK_WIDGETS_CANVAS_H_
+#define SRC_TK_WIDGETS_CANVAS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/tk/widget.h"
+
+namespace tk {
+
+class Canvas : public Widget {
+ public:
+  Canvas(App& app, std::string path);
+
+  struct Item {
+    enum class Type { kRectangle, kOval, kLine, kText };
+    int id = 0;
+    Type type;
+    std::vector<int> coords;  // Pairs of x,y.
+    xsim::Pixel fill = 0x000000;
+    std::string fill_name = "black";
+    bool filled = true;
+    std::string text;
+    int line_width = 1;
+    std::vector<std::string> tags;
+    std::string bind_script;  // Tcl command run when button 1 hits the item.
+  };
+
+  void Draw() override;
+  tcl::Code WidgetCommand(std::vector<std::string>& args) override;
+  void HandleEvent(const xsim::Event& event) override;
+
+  const Item* FindItem(int id) const;
+  int item_count() const { return static_cast<int>(items_.size()); }
+  // Topmost item whose bounding box contains (x, y); 0 if none.
+  int ItemAt(int x, int y) const;
+
+ protected:
+  void OnConfigured() override;
+
+ private:
+  tcl::Code CreateItem(std::vector<std::string>& args);
+  tcl::Code ConfigureItem(Item* item, const std::vector<std::string>& args, size_t first);
+  // Resolves an id or tag to matching item ids.
+  std::vector<int> ResolveItems(const std::string& spec) const;
+
+  std::vector<Item> items_;  // In display (creation) order.
+  int next_item_id_ = 1;
+
+  xsim::Pixel background_ = 0xffffff;
+  std::string background_name_;
+  int border_width_ = 2;
+  Relief relief_ = Relief::kSunken;
+  int width_option_ = 200;
+  int height_option_ = 150;
+  xsim::FontId font_ = xsim::kNone;
+  std::string font_name_;
+};
+
+}  // namespace tk
+
+#endif  // SRC_TK_WIDGETS_CANVAS_H_

@@ -1,0 +1,383 @@
+#include "src/tk/widgets/entry.h"
+
+#include <algorithm>
+
+#include "src/tcl/utils.h"
+#include "src/tk/app.h"
+#include "src/tk/selection.h"
+
+namespace tk {
+
+Entry::Entry(App& app, std::string path) : Widget(app, std::move(path), "Entry") {
+  AddOption(ColorOption("-background", "background", "Background", "white", &background_,
+                        &background_name_));
+  last_option().aliases.push_back("-bg");
+  AddOption(ColorOption("-foreground", "foreground", "Foreground", "black", &foreground_,
+                        &foreground_name_));
+  last_option().aliases.push_back("-fg");
+  AddOption(ColorOption("-selectbackground", "selectBackground", "Background", "#b0b0ff",
+                        &select_background_, &select_background_name_));
+  AddOption(FontOption("8x13", &font_, &font_name_));
+  AddOption(IntOption("-borderwidth", "borderWidth", "BorderWidth", "2", &border_width_));
+  last_option().aliases.push_back("-bd");
+  AddOption(ReliefOption("sunken", &relief_));
+  AddOption(IntOption("-width", "width", "Width", "20", &width_chars_));
+  AddOption(StringOption("-textvariable", "textVariable", "Variable", "", &text_variable_));
+  AddOption(StringOption("-scroll", "scrollCommand", "ScrollCommand", "", &scroll_command_));
+  last_option().aliases.push_back("-xscroll");
+  last_option().aliases.push_back("-xscrollcommand");
+}
+
+int Entry::VisibleChars() const {
+  const xsim::FontMetrics* metrics =
+      const_cast<Entry*>(this)->display().QueryFont(font_);
+  int char_width = metrics != nullptr ? metrics->char_width : 6;
+  return std::max(1, (width() - 2 * border_width_ - 6) / char_width);
+}
+
+void Entry::NotifyScroll() {
+  if (scroll_command_.empty()) {
+    return;
+  }
+  int total = static_cast<int>(text_.size());
+  int window_chars = VisibleChars();
+  int last = std::min(total - 1, view_offset_ + window_chars - 1);
+  std::string script = scroll_command_ + " " + std::to_string(total) + " " +
+                       std::to_string(window_chars) + " " + std::to_string(view_offset_) +
+                       " " + std::to_string(last);
+  if (interp().Eval(script) == tcl::Code::kError) {
+    app().BackgroundError("entry scroll command error: " + interp().result());
+  }
+}
+
+void Entry::OnConfigured() {
+  if (!text_variable_.empty()) {
+    const std::string* value = interp().GetVarQuiet(text_variable_);
+    if (value != nullptr) {
+      text_ = *value;
+      cursor_ = std::min<int>(cursor_, static_cast<int>(text_.size()));
+    } else {
+      interp().SetVar(text_variable_, text_);
+    }
+    if (!trace_installed_) {
+      trace_installed_ = true;
+      interp().TraceVar(text_variable_, [this](tcl::Interp&, std::string_view,
+                                               std::string_view value, bool unset) {
+        if (!unset && !updating_variable_) {
+          text_ = std::string(value);
+          cursor_ = std::min<int>(cursor_, static_cast<int>(text_.size()));
+          ScheduleRedraw();
+        }
+      });
+    }
+  }
+  const xsim::FontMetrics* metrics = display().QueryFont(font_);
+  xsim::FontMetrics fallback;
+  if (metrics == nullptr) {
+    metrics = &fallback;
+  }
+  RequestSize(width_chars_ * metrics->char_width + 2 * border_width_ + 6,
+              metrics->line_height() + 2 * border_width_ + 4);
+}
+
+void Entry::SyncVariable() {
+  if (text_variable_.empty()) {
+    return;
+  }
+  updating_variable_ = true;
+  interp().SetVar(text_variable_, text_);
+  updating_variable_ = false;
+}
+
+void Entry::Draw() {
+  ClearWindow(background_);
+  DrawRelief(background_, relief_, border_width_);
+  const xsim::FontMetrics* metrics = display().QueryFont(font_);
+  xsim::FontMetrics fallback;
+  if (metrics == nullptr) {
+    metrics = &fallback;
+  }
+  // Keep the cursor visible: adjust the view offset.  The offset is also
+  // clamped to the real scrollable range so that a draw at a transient
+  // (pre-layout) size cannot leave the view stuck scrolled.
+  int visible = std::max(1, (width() - 2 * border_width_ - 6) / metrics->char_width);
+  view_offset_ = std::min(view_offset_,
+                          std::max(0, static_cast<int>(text_.size()) - visible));
+  if (cursor_ < view_offset_) {
+    view_offset_ = cursor_;
+  }
+  if (cursor_ > view_offset_ + visible) {
+    view_offset_ = cursor_ - visible;
+  }
+  std::string shown = text_.substr(std::min<size_t>(view_offset_, text_.size()));
+  if (static_cast<int>(shown.size()) > visible) {
+    shown.resize(visible);
+  }
+  xsim::Server::Gc values;
+  values.font = font_;
+  // Selection highlight.
+  if (select_first_ >= 0) {
+    int sel_begin = std::max(select_first_ - view_offset_, 0);
+    int sel_end = std::min<int>(select_last_ + 1 - view_offset_,
+                                static_cast<int>(shown.size()));
+    if (sel_end > sel_begin) {
+      values.foreground = select_background_;
+      display().ChangeGc(gc(), values);
+      display().FillRectangle(
+          window(), gc(),
+          xsim::Rect{border_width_ + 3 + sel_begin * metrics->char_width, border_width_ + 2,
+                     (sel_end - sel_begin) * metrics->char_width, metrics->line_height()});
+    }
+  }
+  values.foreground = foreground_;
+  display().ChangeGc(gc(), values);
+  display().DrawString(window(), gc(), border_width_ + 3,
+                       border_width_ + 2 + metrics->ascent, shown);
+  // Insertion cursor.
+  int cursor_x = border_width_ + 3 + (cursor_ - view_offset_) * metrics->char_width;
+  display().DrawLine(window(), gc(), cursor_x, border_width_ + 2, cursor_x,
+                     border_width_ + 2 + metrics->line_height());
+}
+
+tcl::Code Entry::InsertAt(int index, const std::string& value) {
+  index = std::clamp<int>(index, 0, static_cast<int>(text_.size()));
+  text_.insert(static_cast<size_t>(index), value);
+  if (cursor_ >= index) {
+    cursor_ += static_cast<int>(value.size());
+  }
+  SyncVariable();
+  NotifyScroll();
+  ScheduleRedraw();
+  return tcl::Code::kOk;
+}
+
+tcl::Code Entry::DeleteRange(int first, int last) {
+  first = std::clamp<int>(first, 0, static_cast<int>(text_.size()));
+  last = std::clamp<int>(last, -1, static_cast<int>(text_.size()) - 1);
+  if (last < first) {
+    return tcl::Code::kOk;
+  }
+  text_.erase(static_cast<size_t>(first), static_cast<size_t>(last - first + 1));
+  if (cursor_ > last) {
+    cursor_ -= last - first + 1;
+  } else if (cursor_ > first) {
+    cursor_ = first;
+  }
+  select_first_ = select_last_ = -1;
+  SyncVariable();
+  NotifyScroll();
+  ScheduleRedraw();
+  return tcl::Code::kOk;
+}
+
+tcl::Code Entry::ParseEntryIndex(const std::string& spec, int* out) {
+  if (spec == "end") {
+    *out = static_cast<int>(text_.size());
+    return tcl::Code::kOk;
+  }
+  if (spec == "insert" || spec == "cursor") {
+    *out = cursor_;
+    return tcl::Code::kOk;
+  }
+  if (spec == "sel.first") {
+    if (select_first_ < 0) {
+      return interp().Error("selection isn't in entry " + path());
+    }
+    *out = select_first_;
+    return tcl::Code::kOk;
+  }
+  if (spec == "sel.last") {
+    if (select_last_ < 0) {
+      return interp().Error("selection isn't in entry " + path());
+    }
+    *out = select_last_;
+    return tcl::Code::kOk;
+  }
+  std::optional<int64_t> parsed = tcl::ParseInt(spec);
+  if (!parsed) {
+    return interp().Error("bad entry index \"" + spec + "\"");
+  }
+  *out = static_cast<int>(*parsed);
+  return tcl::Code::kOk;
+}
+
+tcl::Code Entry::WidgetCommand(std::vector<std::string>& args) {
+  tcl::Interp& tcl = interp();
+  if (args.size() < 2) {
+    return tcl.WrongNumArgs(path() + " option ?arg arg ...?");
+  }
+  const std::string& option = args[1];
+  if (option == "configure") {
+    return ConfigureCommand(args, 2);
+  }
+  if (option == "get") {
+    tcl.SetResult(text_);
+    return tcl::Code::kOk;
+  }
+  if (option == "insert") {
+    if (args.size() != 4) {
+      return tcl.WrongNumArgs(path() + " insert index string");
+    }
+    int index = 0;
+    tcl::Code code = ParseEntryIndex(args[2], &index);
+    if (code != tcl::Code::kOk) {
+      return code;
+    }
+    return InsertAt(index, args[3]);
+  }
+  if (option == "delete") {
+    if (args.size() != 3 && args.size() != 4) {
+      return tcl.WrongNumArgs(path() + " delete first ?last?");
+    }
+    int first = 0;
+    tcl::Code code = ParseEntryIndex(args[2], &first);
+    if (code != tcl::Code::kOk) {
+      return code;
+    }
+    int last = first;
+    if (args.size() == 4) {
+      code = ParseEntryIndex(args[3], &last);
+      if (code != tcl::Code::kOk) {
+        return code;
+      }
+      --last;  // `delete first last` deletes up to but not including last.
+    }
+    return DeleteRange(first, last);
+  }
+  if (option == "icursor") {
+    if (args.size() != 3) {
+      return tcl.WrongNumArgs(path() + " icursor index");
+    }
+    int index = 0;
+    tcl::Code code = ParseEntryIndex(args[2], &index);
+    if (code != tcl::Code::kOk) {
+      return code;
+    }
+    cursor_ = std::clamp<int>(index, 0, static_cast<int>(text_.size()));
+    ScheduleRedraw();
+    tcl.ResetResult();
+    return tcl::Code::kOk;
+  }
+  if (option == "index") {
+    if (args.size() != 3) {
+      return tcl.WrongNumArgs(path() + " index index");
+    }
+    int index = 0;
+    tcl::Code code = ParseEntryIndex(args[2], &index);
+    if (code != tcl::Code::kOk) {
+      return code;
+    }
+    tcl.SetResult(std::to_string(index));
+    return tcl::Code::kOk;
+  }
+  if (option == "select") {
+    if (args.size() < 3) {
+      return tcl.WrongNumArgs(path() + " select option ?index?");
+    }
+    if (args[2] == "clear") {
+      select_first_ = select_last_ = -1;
+      ScheduleRedraw();
+      tcl.ResetResult();
+      return tcl::Code::kOk;
+    }
+    if (args.size() != 4) {
+      return tcl.WrongNumArgs(path() + " select from|to index");
+    }
+    int index = 0;
+    tcl::Code code = ParseEntryIndex(args[3], &index);
+    if (code != tcl::Code::kOk) {
+      return code;
+    }
+    if (args[2] == "from") {
+      select_first_ = select_last_ = index;
+    } else if (args[2] == "to") {
+      if (select_first_ < 0) {
+        select_first_ = index;
+      }
+      select_last_ = std::max(select_first_, index - 1);
+      // Export through the X selection.
+      app().selection().Claim(this, [this](const std::string&) {
+        if (select_first_ < 0) {
+          return std::string();
+        }
+        int end = std::min<int>(select_last_ + 1, static_cast<int>(text_.size()));
+        return text_.substr(select_first_, end - select_first_);
+      });
+    } else {
+      return tcl.Error("bad select option \"" + args[2] + "\": must be clear, from, or to");
+    }
+    ScheduleRedraw();
+    tcl.ResetResult();
+    return tcl::Code::kOk;
+  }
+  if (option == "view") {
+    if (args.size() != 3) {
+      return tcl.WrongNumArgs(path() + " view index");
+    }
+    int index = 0;
+    tcl::Code code = ParseEntryIndex(args[2], &index);
+    if (code != tcl::Code::kOk) {
+      return code;
+    }
+    view_offset_ = std::clamp<int>(index, 0, static_cast<int>(text_.size()));
+    NotifyScroll();
+    ScheduleRedraw();
+    tcl.ResetResult();
+    return tcl::Code::kOk;
+  }
+  return tcl.Error("bad option \"" + option +
+                   "\": must be configure, delete, get, icursor, index, insert, select, "
+                   "or view");
+}
+
+void Entry::HandleEvent(const xsim::Event& event) {
+  Widget::HandleEvent(event);
+  switch (event.type) {
+    case xsim::EventType::kConfigureNotify:
+      NotifyScroll();
+      break;
+    case xsim::EventType::kKeyPress: {
+      xsim::KeySym keysym = event.detail;
+      if (keysym == xsim::kKeyBackSpace || keysym == xsim::kKeyDelete) {
+        if (cursor_ > 0) {
+          DeleteRange(cursor_ - 1, cursor_ - 1);
+        }
+        break;
+      }
+      if (keysym == xsim::kKeyLeft) {
+        cursor_ = std::max(0, cursor_ - 1);
+        ScheduleRedraw();
+        break;
+      }
+      if (keysym == xsim::kKeyRight) {
+        cursor_ = std::min<int>(static_cast<int>(text_.size()), cursor_ + 1);
+        ScheduleRedraw();
+        break;
+      }
+      if ((event.state & xsim::kControlMask) != 0) {
+        break;  // Control combinations are left to user bindings.
+      }
+      std::string ascii =
+          xsim::KeySymToString(keysym, (event.state & xsim::kShiftMask) != 0);
+      if (!ascii.empty() && ascii != "\n" && ascii != "\t" && ascii != "\b" &&
+          ascii[0] >= 0x20) {
+        InsertAt(cursor_, ascii);
+      }
+      break;
+    }
+    case xsim::EventType::kButtonPress:
+      if (event.detail == 1) {
+        const xsim::FontMetrics* metrics = display().QueryFont(font_);
+        int char_width = metrics != nullptr ? metrics->char_width : 6;
+        int index = view_offset_ + (event.x - border_width_ - 3) / std::max(1, char_width);
+        cursor_ = std::clamp<int>(index, 0, static_cast<int>(text_.size()));
+        app().display().SetInputFocus(window());
+        ScheduleRedraw();
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace tk

@@ -1,0 +1,66 @@
+// Entry widget: one-line editable text.  Class behaviour implements typing,
+// backspace, cursor motion and mouse positioning; the paper's Section 5
+// example (binding Control-w to backspace-over-word *without modifying the
+// widget*) works because the contents are fully readable and writable from
+// Tcl via the widget command.
+
+#ifndef SRC_TK_WIDGETS_ENTRY_H_
+#define SRC_TK_WIDGETS_ENTRY_H_
+
+#include <string>
+
+#include "src/tk/widget.h"
+
+namespace tk {
+
+class Entry : public Widget {
+ public:
+  Entry(App& app, std::string path);
+
+  void Draw() override;
+  tcl::Code WidgetCommand(std::vector<std::string>& args) override;
+  void HandleEvent(const xsim::Event& event) override;
+
+  const std::string& text() const { return text_; }
+  int icursor() const { return cursor_; }
+
+  tcl::Code InsertAt(int index, const std::string& value);
+  tcl::Code DeleteRange(int first, int last);
+
+ protected:
+  void OnConfigured() override;
+
+ private:
+  tcl::Code ParseEntryIndex(const std::string& spec, int* out);
+  void SyncVariable();
+  // Reports the visible character range through -scroll (the same
+  // "cmd total window first last" protocol the listbox speaks).
+  void NotifyScroll();
+  int VisibleChars() const;
+
+  std::string text_;
+  std::string text_variable_;
+  int cursor_ = 0;  // Insertion point, in characters.
+  int select_first_ = -1;
+  int select_last_ = -1;
+  int view_offset_ = 0;  // First visible character.
+
+  xsim::Pixel background_ = 0xffffff;
+  std::string background_name_;
+  xsim::Pixel foreground_ = 0x000000;
+  std::string foreground_name_;
+  xsim::Pixel select_background_ = 0xb0b0ff;
+  std::string select_background_name_;
+  xsim::FontId font_ = xsim::kNone;
+  std::string font_name_;
+  int border_width_ = 2;
+  Relief relief_ = Relief::kSunken;
+  int width_chars_ = 20;
+  std::string scroll_command_;  // -scroll: horizontal scrollbar protocol.
+  bool trace_installed_ = false;
+  bool updating_variable_ = false;
+};
+
+}  // namespace tk
+
+#endif  // SRC_TK_WIDGETS_ENTRY_H_

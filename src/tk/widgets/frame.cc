@@ -1,0 +1,44 @@
+#include "src/tk/widgets/frame.h"
+
+#include <cstdio>
+
+#include "src/tk/app.h"
+
+namespace tk {
+
+Frame::Frame(App& app, std::string path) : Widget(app, std::move(path), "Frame") {
+  AddOption(ColorOption("-background", "background", "Background", "#c0c0c0", &background_,
+                        &background_name_));
+  last_option().aliases.push_back("-bg");
+  AddOption(IntOption("-borderwidth", "borderWidth", "BorderWidth", "0", &border_width_));
+  last_option().aliases.push_back("-bd");
+  AddOption(ReliefOption("flat", &relief_));
+  AddOption(StringOption("-geometry", "geometry", "Geometry", "", &geometry_));
+  AddOption(StringOption("-cursor", "cursor", "Cursor", "", &cursor_name_));
+  AddOption(IntOption("-width", "width", "Width", "0", &width_option_));
+  AddOption(IntOption("-height", "height", "Height", "0", &height_option_));
+}
+
+void Frame::OnConfigured() {
+  set_internal_border(border_width_);
+  if (!geometry_.empty()) {
+    // "WxH" pixel geometry.
+    int w = 0;
+    int h = 0;
+    if (std::sscanf(geometry_.c_str(), "%dx%d", &w, &h) == 2 && w > 0 && h > 0) {
+      RequestSize(w, h);
+      return;
+    }
+  }
+  if (width_option_ > 0 || height_option_ > 0) {
+    RequestSize(width_option_ > 0 ? width_option_ : req_width(),
+                height_option_ > 0 ? height_option_ : req_height());
+  }
+}
+
+void Frame::Draw() {
+  ClearWindow(background_);
+  DrawRelief(background_, relief_, border_width_);
+}
+
+}  // namespace tk

@@ -1,0 +1,36 @@
+// Frame widget: a rectangular container used for grouping and spacing (and
+// for the main window "."), with a background and 3-D border.
+
+#ifndef SRC_TK_WIDGETS_FRAME_H_
+#define SRC_TK_WIDGETS_FRAME_H_
+
+#include <string>
+
+#include "src/tk/widget.h"
+
+namespace tk {
+
+class Frame : public Widget {
+ public:
+  Frame(App& app, std::string path);
+
+  void Draw() override;
+  xsim::Pixel background() const { return background_; }
+
+ protected:
+  void OnConfigured() override;
+
+ private:
+  xsim::Pixel background_ = 0xc0c0c0;
+  std::string background_name_;
+  int border_width_ = 0;
+  Relief relief_ = Relief::kFlat;
+  std::string geometry_;  // "WxH" in pixels; empty = size to children.
+  std::string cursor_name_;
+  int width_option_ = 0;
+  int height_option_ = 0;
+};
+
+}  // namespace tk
+
+#endif  // SRC_TK_WIDGETS_FRAME_H_

@@ -1,0 +1,380 @@
+#include "src/tk/widgets/listbox.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/tcl/list.h"
+#include "src/tcl/utils.h"
+#include "src/tk/app.h"
+#include "src/tk/selection.h"
+
+namespace tk {
+
+Listbox::Listbox(App& app, std::string path) : Widget(app, std::move(path), "Listbox") {
+  AddOption(StringOption("-geometry", "geometry", "Geometry", "15x10", &geometry_));
+  AddOption(ColorOption("-background", "background", "Background", "white", &background_,
+                        &background_name_));
+  last_option().aliases.push_back("-bg");
+  AddOption(ColorOption("-foreground", "foreground", "Foreground", "black", &foreground_,
+                        &foreground_name_));
+  last_option().aliases.push_back("-fg");
+  AddOption(ColorOption("-selectbackground", "selectBackground", "Background", "#b0b0ff",
+                        &select_background_, &select_background_name_));
+  AddOption(FontOption("8x13", &font_, &font_name_));
+  AddOption(IntOption("-borderwidth", "borderWidth", "BorderWidth", "2", &border_width_));
+  last_option().aliases.push_back("-bd");
+  AddOption(ReliefOption("sunken", &relief_));
+  AddOption(StringOption("-scroll", "scrollCommand", "ScrollCommand", "", &scroll_command_));
+  last_option().aliases.push_back("-yscroll");
+  last_option().aliases.push_back("-yscrollcommand");
+}
+
+void Listbox::OnConfigured() {
+  int w = 0;
+  int h = 0;
+  if (std::sscanf(geometry_.c_str(), "%dx%d", &w, &h) == 2 && w > 0 && h > 0) {
+    width_chars_ = w;
+    height_lines_ = h;
+  }
+  const xsim::FontMetrics* metrics = display().QueryFont(font_);
+  xsim::FontMetrics fallback;
+  if (metrics == nullptr) {
+    metrics = &fallback;
+  }
+  RequestSize(width_chars_ * metrics->char_width + 2 * border_width_ + 6,
+              height_lines_ * metrics->line_height() + 2 * border_width_ + 4);
+}
+
+int Listbox::visible_lines() const {
+  const xsim::FontMetrics* metrics =
+      const_cast<Listbox*>(this)->display().QueryFont(font_);
+  int line_height = metrics != nullptr ? metrics->line_height() : 13;
+  int inner = height() - 2 * border_width_ - 4;
+  return std::max(1, inner / std::max(1, line_height));
+}
+
+void Listbox::Draw() {
+  ClearWindow(background_);
+  DrawRelief(background_, relief_, border_width_);
+  const xsim::FontMetrics* metrics = display().QueryFont(font_);
+  xsim::FontMetrics fallback;
+  if (metrics == nullptr) {
+    metrics = &fallback;
+  }
+  int lines = visible_lines();
+  int y = border_width_ + 2;
+  xsim::Server::Gc values;
+  values.font = font_;
+  for (int i = top_; i < size() && i < top_ + lines; ++i) {
+    bool selected = i >= select_first_ && i <= select_last_;
+    if (selected) {
+      values.foreground = select_background_;
+      display().ChangeGc(gc(), values);
+      display().FillRectangle(window(), gc(),
+                              xsim::Rect{border_width_, y, width() - 2 * border_width_,
+                                         metrics->line_height()});
+    }
+    values.foreground = foreground_;
+    display().ChangeGc(gc(), values);
+    display().DrawString(window(), gc(), border_width_ + 3, y + metrics->ascent,
+                         elements_[i]);
+    y += metrics->line_height();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Programmatic interface.
+
+tcl::Code Listbox::Insert(int index, const std::vector<std::string>& elements) {
+  index = std::clamp(index, 0, size());
+  elements_.insert(elements_.begin() + index, elements.begin(), elements.end());
+  if (select_first_ >= index) {
+    select_first_ += static_cast<int>(elements.size());
+    select_last_ += static_cast<int>(elements.size());
+  }
+  NotifyScroll();
+  ScheduleRedraw();
+  return tcl::Code::kOk;
+}
+
+tcl::Code Listbox::Delete(int first, int last) {
+  first = std::clamp(first, 0, size());
+  last = std::clamp(last, -1, size() - 1);
+  if (last < first) {
+    return tcl::Code::kOk;
+  }
+  elements_.erase(elements_.begin() + first, elements_.begin() + last + 1);
+  ClearSelection();
+  top_ = std::clamp(top_, 0, std::max(0, size() - 1));
+  NotifyScroll();
+  ScheduleRedraw();
+  return tcl::Code::kOk;
+}
+
+const std::string* Listbox::Get(int index) const {
+  if (index < 0 || index >= size()) {
+    return nullptr;
+  }
+  return &elements_[index];
+}
+
+void Listbox::SetView(int index) {
+  top_ = std::clamp(index, 0, std::max(0, size() - 1));
+  NotifyScroll();
+  ScheduleRedraw();
+}
+
+int Listbox::Nearest(int y) const {
+  const xsim::FontMetrics* metrics =
+      const_cast<Listbox*>(this)->display().QueryFont(font_);
+  int line_height = metrics != nullptr ? metrics->line_height() : 13;
+  int line = (y - border_width_ - 2) / std::max(1, line_height);
+  return std::clamp(top_ + line, 0, std::max(0, size() - 1));
+}
+
+void Listbox::SelectRange(int first, int last) {
+  if (size() == 0) {
+    return;
+  }
+  select_first_ = std::clamp(std::min(first, last), 0, size() - 1);
+  select_last_ = std::clamp(std::max(first, last), 0, size() - 1);
+  ClaimSelection();
+  ScheduleRedraw();
+}
+
+void Listbox::ClearSelection() {
+  select_first_ = -1;
+  select_last_ = -1;
+  select_anchor_ = -1;
+  ScheduleRedraw();
+}
+
+std::vector<int> Listbox::SelectedIndices() const {
+  std::vector<int> out;
+  if (select_first_ < 0) {
+    return out;
+  }
+  for (int i = select_first_; i <= select_last_ && i < size(); ++i) {
+    out.push_back(i);
+  }
+  return out;
+}
+
+std::string Listbox::SelectedText() const {
+  std::string out;
+  for (int index : SelectedIndices()) {
+    if (!out.empty()) {
+      out.push_back('\n');
+    }
+    out += elements_[index];
+  }
+  return out;
+}
+
+void Listbox::ClaimSelection() {
+  // Export the selection via the ICCCM machinery (Section 3.6): other
+  // widgets -- or other applications -- can now retrieve it.
+  app().selection().Claim(this, [this](const std::string&) { return SelectedText(); });
+  app().selection().set_lost_callback([this]() { ClearSelection(); });
+}
+
+void Listbox::NotifyScroll() {
+  if (scroll_command_.empty()) {
+    return;
+  }
+  // The Tk 3.x scrollbar protocol: set totalUnits windowUnits first last.
+  int lines = visible_lines();
+  int last = std::min(size() - 1, top_ + lines - 1);
+  std::string script = scroll_command_ + " " + std::to_string(size()) + " " +
+                       std::to_string(lines) + " " + std::to_string(top_) + " " +
+                       std::to_string(last);
+  if (interp().Eval(script) == tcl::Code::kError) {
+    app().BackgroundError("listbox scroll command error: " + interp().result());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Widget command.
+
+tcl::Code Listbox::ParseIndex(const std::string& text, int* out) {
+  if (text == "end") {
+    *out = size();
+    return tcl::Code::kOk;
+  }
+  std::optional<int64_t> parsed = tcl::ParseInt(text);
+  if (!parsed) {
+    return interp().Error("bad listbox index \"" + text + "\"");
+  }
+  *out = static_cast<int>(*parsed);
+  return tcl::Code::kOk;
+}
+
+tcl::Code Listbox::WidgetCommand(std::vector<std::string>& args) {
+  tcl::Interp& tcl = interp();
+  if (args.size() < 2) {
+    return tcl.WrongNumArgs(path() + " option ?arg arg ...?");
+  }
+  const std::string& option = args[1];
+  if (option == "configure") {
+    return ConfigureCommand(args, 2);
+  }
+  if (option == "insert") {
+    if (args.size() < 3) {
+      return tcl.WrongNumArgs(path() + " insert index ?element element ...?");
+    }
+    int index = 0;
+    tcl::Code code = ParseIndex(args[2], &index);
+    if (code != tcl::Code::kOk) {
+      return code;
+    }
+    std::vector<std::string> elements(args.begin() + 3, args.end());
+    return Insert(index, elements);
+  }
+  if (option == "delete") {
+    if (args.size() != 3 && args.size() != 4) {
+      return tcl.WrongNumArgs(path() + " delete first ?last?");
+    }
+    int first = 0;
+    tcl::Code code = ParseIndex(args[2], &first);
+    if (code != tcl::Code::kOk) {
+      return code;
+    }
+    int last = first;
+    if (args.size() == 4) {
+      code = ParseIndex(args[3], &last);
+      if (code != tcl::Code::kOk) {
+        return code;
+      }
+      if (args[3] == "end") {
+        last = size() - 1;
+      }
+    }
+    if (args[2] == "end") {
+      first = size() - 1;
+      if (args.size() == 3) {
+        last = first;
+      }
+    }
+    return Delete(first, last);
+  }
+  if (option == "get") {
+    if (args.size() != 3) {
+      return tcl.WrongNumArgs(path() + " get index");
+    }
+    int index = 0;
+    tcl::Code code = ParseIndex(args[2], &index);
+    if (code != tcl::Code::kOk) {
+      return code;
+    }
+    if (args[2] == "end") {
+      index = size() - 1;
+    }
+    const std::string* element = Get(index);
+    if (element == nullptr) {
+      return tcl.Error("listbox index \"" + args[2] + "\" out of range");
+    }
+    tcl.SetResult(*element);
+    return tcl::Code::kOk;
+  }
+  if (option == "size") {
+    tcl.SetResult(std::to_string(size()));
+    return tcl::Code::kOk;
+  }
+  if (option == "view" || option == "yview") {
+    if (args.size() == 2) {
+      tcl.SetResult(std::to_string(top_));
+      return tcl::Code::kOk;
+    }
+    int index = 0;
+    tcl::Code code = ParseIndex(args[2], &index);
+    if (code != tcl::Code::kOk) {
+      return code;
+    }
+    SetView(index);
+    tcl.ResetResult();
+    return tcl::Code::kOk;
+  }
+  if (option == "nearest") {
+    if (args.size() != 3) {
+      return tcl.WrongNumArgs(path() + " nearest y");
+    }
+    std::optional<int64_t> y = tcl::ParseInt(args[2]);
+    if (!y) {
+      return tcl.Error("expected integer but got \"" + args[2] + "\"");
+    }
+    tcl.SetResult(std::to_string(Nearest(static_cast<int>(*y))));
+    return tcl::Code::kOk;
+  }
+  if (option == "curselection") {
+    std::string out;
+    for (int index : SelectedIndices()) {
+      if (!out.empty()) {
+        out.push_back(' ');
+      }
+      out += std::to_string(index);
+    }
+    tcl.SetResult(std::move(out));
+    return tcl::Code::kOk;
+  }
+  if (option == "select") {
+    if (args.size() < 3) {
+      return tcl.WrongNumArgs(path() + " select option ?index?");
+    }
+    if (args[2] == "clear") {
+      ClearSelection();
+      tcl.ResetResult();
+      return tcl::Code::kOk;
+    }
+    if (args.size() != 4) {
+      return tcl.WrongNumArgs(path() + " select from|to|adjust index");
+    }
+    int index = 0;
+    tcl::Code code = ParseIndex(args[3], &index);
+    if (code != tcl::Code::kOk) {
+      return code;
+    }
+    if (args[2] == "from") {
+      select_anchor_ = index;
+      SelectRange(index, index);
+    } else if (args[2] == "to" || args[2] == "adjust") {
+      if (select_anchor_ < 0) {
+        select_anchor_ = index;
+      }
+      SelectRange(select_anchor_, index);
+    } else {
+      return tcl.Error("bad select option \"" + args[2] +
+                       "\": must be adjust, clear, from, or to");
+    }
+    tcl.ResetResult();
+    return tcl::Code::kOk;
+  }
+  return tcl.Error("bad option \"" + option +
+                   "\": must be configure, curselection, delete, get, insert, nearest, "
+                   "select, size, view, or yview");
+}
+
+void Listbox::HandleEvent(const xsim::Event& event) {
+  Widget::HandleEvent(event);
+  switch (event.type) {
+    case xsim::EventType::kConfigureNotify:
+      // The number of visible lines changed: re-report to the scrollbar.
+      NotifyScroll();
+      break;
+    case xsim::EventType::kButtonPress:
+      if (event.detail == 1 && size() > 0) {
+        int index = Nearest(event.y);
+        select_anchor_ = index;
+        SelectRange(index, index);
+      }
+      break;
+    case xsim::EventType::kMotionNotify:
+      if ((event.state & xsim::kButton1Mask) != 0 && select_anchor_ >= 0 && size() > 0) {
+        SelectRange(select_anchor_, Nearest(event.y));
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace tk

@@ -1,0 +1,80 @@
+// Listbox widget: a scrollable list of text items with selection support.
+//
+// This is the widget on the left of Figure 10's browser.  It cooperates with
+// a scrollbar through Tcl commands (Section 4): whenever its view changes it
+// evaluates "<scrollcommand> totalUnits windowUnits firstUnit lastUnit", and
+// the scrollbar scrolls it back by evaluating "<its command> index" -- which
+// the application wires to this widget's `view` subcommand.  Selected items
+// are exported through the X selection.
+
+#ifndef SRC_TK_WIDGETS_LISTBOX_H_
+#define SRC_TK_WIDGETS_LISTBOX_H_
+
+#include <string>
+#include <vector>
+
+#include "src/tk/widget.h"
+
+namespace tk {
+
+class Listbox : public Widget {
+ public:
+  Listbox(App& app, std::string path);
+
+  void Draw() override;
+  tcl::Code WidgetCommand(std::vector<std::string>& args) override;
+  void HandleEvent(const xsim::Event& event) override;
+
+  // --- Programmatic interface (also reachable via the widget command) --------
+
+  tcl::Code Insert(int index, const std::vector<std::string>& elements);
+  tcl::Code Delete(int first, int last);
+  int size() const { return static_cast<int>(elements_.size()); }
+  const std::string* Get(int index) const;
+  // Scrolls so that element `index` is at the top of the window.
+  void SetView(int index);
+  int top_index() const { return top_; }
+  // Index of the element at window y coordinate.
+  int Nearest(int y) const;
+  // Selection.
+  void SelectRange(int first, int last);
+  void ClearSelection();
+  std::vector<int> SelectedIndices() const;
+  std::string SelectedText() const;  // Newline-joined, for the X selection.
+
+  int visible_lines() const;
+
+ protected:
+  void OnConfigured() override;
+
+ private:
+  // Parses a listbox index ("3", "end").
+  tcl::Code ParseIndex(const std::string& text, int* out);
+  void NotifyScroll();
+  void ClaimSelection();
+
+  std::vector<std::string> elements_;
+  int top_ = 0;
+  int select_anchor_ = -1;
+  int select_first_ = -1;
+  int select_last_ = -1;
+
+  std::string geometry_ = "15x10";  // Chars x lines.
+  int width_chars_ = 15;
+  int height_lines_ = 10;
+  xsim::Pixel background_ = 0xffffff;
+  std::string background_name_;
+  xsim::Pixel foreground_ = 0x000000;
+  std::string foreground_name_;
+  xsim::Pixel select_background_ = 0xb0b0ff;
+  std::string select_background_name_;
+  xsim::FontId font_ = xsim::kNone;
+  std::string font_name_;
+  int border_width_ = 2;
+  Relief relief_ = Relief::kSunken;
+  std::string scroll_command_;  // -scroll / -yscrollcommand.
+};
+
+}  // namespace tk
+
+#endif  // SRC_TK_WIDGETS_LISTBOX_H_

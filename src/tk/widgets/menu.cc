@@ -1,0 +1,398 @@
+#include "src/tk/widgets/menu.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/tcl/utils.h"
+#include "src/tk/app.h"
+
+namespace tk {
+namespace {
+
+constexpr int kSeparatorHeight = 6;
+
+}  // namespace
+
+Menu::Menu(App& app, std::string path)
+    : Widget(app, std::move(path), "Menu", /*override_redirect=*/true) {
+  AddOption(ColorOption("-background", "background", "Background", "#c0c0c0", &background_,
+                        &background_name_));
+  last_option().aliases.push_back("-bg");
+  AddOption(ColorOption("-foreground", "foreground", "Foreground", "black", &foreground_,
+                        &foreground_name_));
+  last_option().aliases.push_back("-fg");
+  AddOption(ColorOption("-activebackground", "activeBackground", "Background", "#d0d0d0",
+                        &active_background_, &active_background_name_));
+  AddOption(FontOption("8x13", &font_, &font_name_));
+  AddOption(IntOption("-borderwidth", "borderWidth", "BorderWidth", "2", &border_width_));
+  last_option().aliases.push_back("-bd");
+}
+
+const Menu::Entry* Menu::entry(int index) const {
+  if (index < 0 || index >= entry_count()) {
+    return nullptr;
+  }
+  return &entries_[index];
+}
+
+void Menu::OnConfigured() {
+  const xsim::FontMetrics* metrics = display().QueryFont(font_);
+  xsim::FontMetrics fallback;
+  if (metrics == nullptr) {
+    metrics = &fallback;
+  }
+  int width = 12 * metrics->char_width;
+  int height = 2 * border_width_;
+  for (const Entry& entry : entries_) {
+    if (entry.type == Entry::Type::kSeparator) {
+      height += kSeparatorHeight;
+    } else {
+      height += metrics->line_height() + 4;
+      width = std::max(width, metrics->TextWidth(entry.label) + 24);
+    }
+  }
+  RequestSize(width + 2 * border_width_, std::max(height, 10));
+}
+
+int Menu::EntryAt(int y) const {
+  const xsim::FontMetrics* metrics = const_cast<Menu*>(this)->display().QueryFont(font_);
+  int line = metrics != nullptr ? metrics->line_height() + 4 : 17;
+  int current = border_width_;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    int h = entries_[i].type == Entry::Type::kSeparator ? kSeparatorHeight : line;
+    if (y >= current && y < current + h) {
+      return entries_[i].type == Entry::Type::kSeparator ? -1 : static_cast<int>(i);
+    }
+    current += h;
+  }
+  return -1;
+}
+
+void Menu::Draw() {
+  ClearWindow(background_);
+  DrawRelief(background_, Relief::kRaised, border_width_);
+  const xsim::FontMetrics* metrics = display().QueryFont(font_);
+  xsim::FontMetrics fallback;
+  if (metrics == nullptr) {
+    metrics = &fallback;
+  }
+  int line = metrics->line_height() + 4;
+  int y = border_width_;
+  xsim::Server::Gc values;
+  values.font = font_;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& entry = entries_[i];
+    if (entry.type == Entry::Type::kSeparator) {
+      values.foreground = foreground_;
+      display().ChangeGc(gc(), values);
+      display().DrawLine(window(), gc(), border_width_ + 2, y + kSeparatorHeight / 2,
+                         width() - border_width_ - 2, y + kSeparatorHeight / 2);
+      y += kSeparatorHeight;
+      continue;
+    }
+    if (static_cast<int>(i) == active_entry_) {
+      values.foreground = active_background_;
+      display().ChangeGc(gc(), values);
+      display().FillRectangle(window(), gc(),
+                              xsim::Rect{border_width_, y, width() - 2 * border_width_,
+                                         line});
+    }
+    // Indicator state for check/radio entries.
+    std::string prefix;
+    if (entry.type == Entry::Type::kCheckButton || entry.type == Entry::Type::kRadioButton) {
+      const std::string* value = interp().GetVarQuiet(entry.variable);
+      bool on = value != nullptr &&
+                ((entry.type == Entry::Type::kCheckButton && *value == entry.on_value) ||
+                 (entry.type == Entry::Type::kRadioButton && *value == entry.value));
+      prefix = on ? "[*] " : "[ ] ";
+    }
+    values.foreground = foreground_;
+    display().ChangeGc(gc(), values);
+    display().DrawString(window(), gc(), border_width_ + 6, y + 2 + metrics->ascent,
+                         prefix + entry.label);
+    y += line;
+  }
+}
+
+tcl::Code Menu::Post(int x, int y) {
+  // Menus are children of "." but get placed at an absolute position and
+  // raised above everything else (a real Tk menu is an override-redirect
+  // top-level).
+  SetAssignedGeometry(x, y, req_width(), req_height());
+  Map();
+  display().RaiseWindow(window());
+  posted_ = true;
+  ScheduleRedraw();
+  return tcl::Code::kOk;
+}
+
+tcl::Code Menu::Unpost() {
+  Unmap();
+  posted_ = false;
+  active_entry_ = -1;
+  return tcl::Code::kOk;
+}
+
+tcl::Code Menu::InvokeEntry(int index) {
+  const Entry* e = entry(index);
+  if (e == nullptr || e->type == Entry::Type::kSeparator) {
+    interp().ResetResult();
+    return tcl::Code::kOk;
+  }
+  if (e->type == Entry::Type::kCheckButton) {
+    const std::string* value = interp().GetVarQuiet(e->variable);
+    bool on = value != nullptr && *value == e->on_value;
+    interp().SetVar(e->variable, on ? e->off_value : e->on_value);
+  } else if (e->type == Entry::Type::kRadioButton) {
+    interp().SetVar(e->variable, e->value);
+  }
+  ScheduleRedraw();
+  if (e->command.empty()) {
+    interp().ResetResult();
+    return tcl::Code::kOk;
+  }
+  return interp().Eval(e->command);
+}
+
+tcl::Code Menu::ParseMenuIndex(const std::string& spec, int* out) {
+  if (spec == "last") {
+    *out = entry_count() - 1;
+    return tcl::Code::kOk;
+  }
+  if (spec == "active") {
+    *out = active_entry_;
+    return tcl::Code::kOk;
+  }
+  if (std::optional<int64_t> parsed = tcl::ParseInt(spec)) {
+    *out = static_cast<int>(*parsed);
+    return tcl::Code::kOk;
+  }
+  // Match by label.
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].label == spec) {
+      *out = static_cast<int>(i);
+      return tcl::Code::kOk;
+    }
+  }
+  return interp().Error("bad menu entry index \"" + spec + "\"");
+}
+
+tcl::Code Menu::WidgetCommand(std::vector<std::string>& args) {
+  tcl::Interp& tcl = interp();
+  if (args.size() < 2) {
+    return tcl.WrongNumArgs(path() + " option ?arg arg ...?");
+  }
+  const std::string& option = args[1];
+  if (option == "configure") {
+    return ConfigureCommand(args, 2);
+  }
+  if (option == "add") {
+    if (args.size() < 3) {
+      return tcl.WrongNumArgs(path() + " add type ?options?");
+    }
+    Entry entry;
+    if (args[2] == "command") {
+      entry.type = Entry::Type::kCommand;
+    } else if (args[2] == "checkbutton") {
+      entry.type = Entry::Type::kCheckButton;
+    } else if (args[2] == "radiobutton") {
+      entry.type = Entry::Type::kRadioButton;
+    } else if (args[2] == "separator") {
+      entry.type = Entry::Type::kSeparator;
+    } else {
+      return tcl.Error("bad menu entry type \"" + args[2] +
+                       "\": must be command, checkbutton, radiobutton, or separator");
+    }
+    for (size_t i = 3; i + 1 < args.size(); i += 2) {
+      const std::string& flag = args[i];
+      const std::string& value = args[i + 1];
+      if (flag == "-label") {
+        entry.label = value;
+      } else if (flag == "-command") {
+        entry.command = value;
+      } else if (flag == "-variable") {
+        entry.variable = value;
+      } else if (flag == "-value") {
+        entry.value = value;
+      } else if (flag == "-onvalue") {
+        entry.on_value = value;
+      } else if (flag == "-offvalue") {
+        entry.off_value = value;
+      } else {
+        return tcl.Error("unknown menu entry option \"" + flag + "\"");
+      }
+    }
+    if (entry.variable.empty() && entry.type == Entry::Type::kCheckButton) {
+      entry.variable = entry.label;
+    }
+    if (entry.variable.empty() && entry.type == Entry::Type::kRadioButton) {
+      entry.variable = "selectedButton";
+      if (entry.value.empty()) {
+        entry.value = entry.label;
+      }
+    }
+    entries_.push_back(std::move(entry));
+    OnConfigured();
+    ScheduleRedraw();
+    tcl.ResetResult();
+    return tcl::Code::kOk;
+  }
+  if (option == "delete") {
+    if (args.size() != 3 && args.size() != 4) {
+      return tcl.WrongNumArgs(path() + " delete first ?last?");
+    }
+    int first = 0;
+    tcl::Code code = ParseMenuIndex(args[2], &first);
+    if (code != tcl::Code::kOk) {
+      return code;
+    }
+    int last = first;
+    if (args.size() == 4) {
+      code = ParseMenuIndex(args[3], &last);
+      if (code != tcl::Code::kOk) {
+        return code;
+      }
+    }
+    first = std::clamp(first, 0, entry_count());
+    last = std::clamp(last, -1, entry_count() - 1);
+    if (last >= first) {
+      entries_.erase(entries_.begin() + first, entries_.begin() + last + 1);
+      OnConfigured();
+      ScheduleRedraw();
+    }
+    tcl.ResetResult();
+    return tcl::Code::kOk;
+  }
+  if (option == "invoke") {
+    if (args.size() != 3) {
+      return tcl.WrongNumArgs(path() + " invoke index");
+    }
+    int index = 0;
+    tcl::Code code = ParseMenuIndex(args[2], &index);
+    if (code != tcl::Code::kOk) {
+      return code;
+    }
+    return InvokeEntry(index);
+  }
+  if (option == "post") {
+    if (args.size() != 4) {
+      return tcl.WrongNumArgs(path() + " post x y");
+    }
+    std::optional<int64_t> x = tcl::ParseInt(args[2]);
+    std::optional<int64_t> y = tcl::ParseInt(args[3]);
+    if (!x || !y) {
+      return tcl.Error("expected integer coordinates");
+    }
+    return Post(static_cast<int>(*x), static_cast<int>(*y));
+  }
+  if (option == "unpost") {
+    return Unpost();
+  }
+  if (option == "activate") {
+    if (args.size() != 3) {
+      return tcl.WrongNumArgs(path() + " activate index");
+    }
+    int index = 0;
+    tcl::Code code = ParseMenuIndex(args[2], &index);
+    if (code != tcl::Code::kOk) {
+      return code;
+    }
+    active_entry_ = index;
+    ScheduleRedraw();
+    tcl.ResetResult();
+    return tcl::Code::kOk;
+  }
+  if (option == "index") {
+    if (args.size() != 3) {
+      return tcl.WrongNumArgs(path() + " index spec");
+    }
+    int index = 0;
+    tcl::Code code = ParseMenuIndex(args[2], &index);
+    if (code != tcl::Code::kOk) {
+      return code;
+    }
+    tcl.SetResult(std::to_string(index));
+    return tcl::Code::kOk;
+  }
+  if (option == "entrycount") {
+    tcl.SetResult(std::to_string(entry_count()));
+    return tcl::Code::kOk;
+  }
+  return tcl.Error("bad option \"" + option +
+                   "\": must be activate, add, configure, delete, entrycount, index, "
+                   "invoke, post, or unpost");
+}
+
+void Menu::HandleEvent(const xsim::Event& event) {
+  Widget::HandleEvent(event);
+  switch (event.type) {
+    case xsim::EventType::kMotionNotify: {
+      int index = EntryAt(event.y);
+      if (index != active_entry_) {
+        active_entry_ = index;
+        ScheduleRedraw();
+      }
+      break;
+    }
+    case xsim::EventType::kButtonPress:
+      if (event.detail == 1) {
+        int index = EntryAt(event.y);
+        if (index >= 0) {
+          Unpost();
+          InvokeEntry(index);
+        } else {
+          Unpost();
+        }
+      }
+      break;
+    case xsim::EventType::kLeaveNotify:
+      active_entry_ = -1;
+      ScheduleRedraw();
+      break;
+    default:
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MenuButton.
+
+MenuButton::MenuButton(App& app, std::string path)
+    : Label(app, std::move(path), "MenuButton") {
+  AddOption(StringOption("-menu", "menu", "Menu", "", &menu_path_));
+}
+
+tcl::Code MenuButton::WidgetCommand(std::vector<std::string>& args) {
+  tcl::Interp& tcl = interp();
+  if (args.size() >= 2 && args[1] == "post") {
+    Widget* menu = app().FindWidget(menu_path_);
+    if (menu == nullptr) {
+      return tcl.Error("menubutton " + path() + " has no -menu");
+    }
+    std::optional<xsim::Point> abs = app().server().AbsolutePosition(window());
+    std::vector<std::string> post_args = {menu_path_, "post",
+                                          std::to_string(abs ? abs->x : 0),
+                                          std::to_string((abs ? abs->y : 0) + height())};
+    return menu->WidgetCommand(post_args);
+  }
+  if (args.size() >= 2 && args[1] == "unpost") {
+    Widget* menu = app().FindWidget(menu_path_);
+    if (menu != nullptr) {
+      std::vector<std::string> unpost_args = {menu_path_, "unpost"};
+      return menu->WidgetCommand(unpost_args);
+    }
+    tcl.ResetResult();
+    return tcl::Code::kOk;
+  }
+  return Label::WidgetCommand(args);
+}
+
+void MenuButton::HandleEvent(const xsim::Event& event) {
+  Widget::HandleEvent(event);
+  if (event.type == xsim::EventType::kButtonPress && event.detail == 1) {
+    std::vector<std::string> args = {path(), "post"};
+    WidgetCommand(args);
+  }
+}
+
+}  // namespace tk

@@ -1,0 +1,85 @@
+// Menu and MenuButton widgets.
+//
+// A menu is an (initially unmapped) window of entries -- commands,
+// checkbuttons, radiobuttons and separators -- that `post`s at a screen
+// position.  A menubutton posts its associated menu while pressed.
+
+#ifndef SRC_TK_WIDGETS_MENU_H_
+#define SRC_TK_WIDGETS_MENU_H_
+
+#include <string>
+#include <vector>
+
+#include "src/tk/widgets/button.h"
+
+namespace tk {
+
+class Menu : public Widget {
+ public:
+  Menu(App& app, std::string path);
+
+  void Draw() override;
+  tcl::Code WidgetCommand(std::vector<std::string>& args) override;
+  void HandleEvent(const xsim::Event& event) override;
+
+  struct Entry {
+    enum class Type { kCommand, kCheckButton, kRadioButton, kSeparator };
+    Type type = Type::kCommand;
+    std::string label;
+    std::string command;
+    std::string variable;
+    std::string value;      // Radiobutton value.
+    std::string on_value = "1";
+    std::string off_value = "0";
+    bool active = false;
+  };
+
+  int entry_count() const { return static_cast<int>(entries_.size()); }
+  const Entry* entry(int index) const;
+
+  // Maps the menu at root coordinates (x, y).
+  tcl::Code Post(int x, int y);
+  tcl::Code Unpost();
+  bool posted() const { return posted_; }
+  tcl::Code InvokeEntry(int index);
+  // Index of the entry at window y coordinate; -1 if none.
+  int EntryAt(int y) const;
+
+ protected:
+  void OnConfigured() override;
+
+ private:
+  tcl::Code ParseMenuIndex(const std::string& spec, int* out);
+
+  std::vector<Entry> entries_;
+  int active_entry_ = -1;
+  bool posted_ = false;
+
+  xsim::Pixel background_ = 0xc0c0c0;
+  std::string background_name_;
+  xsim::Pixel foreground_ = 0x000000;
+  std::string foreground_name_;
+  xsim::Pixel active_background_ = 0xd0d0d0;
+  std::string active_background_name_;
+  xsim::FontId font_ = xsim::kNone;
+  std::string font_name_;
+  int border_width_ = 2;
+};
+
+// MenuButton: a label that posts a menu while button 1 is held over it.
+class MenuButton : public Label {
+ public:
+  MenuButton(App& app, std::string path);
+
+  tcl::Code WidgetCommand(std::vector<std::string>& args) override;
+  void HandleEvent(const xsim::Event& event) override;
+
+  const std::string& menu_path() const { return menu_path_; }
+
+ private:
+  std::string menu_path_;
+};
+
+}  // namespace tk
+
+#endif  // SRC_TK_WIDGETS_MENU_H_

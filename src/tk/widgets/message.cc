@@ -1,0 +1,118 @@
+#include "src/tk/widgets/message.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/tk/app.h"
+
+namespace tk {
+
+Message::Message(App& app, std::string path) : Widget(app, std::move(path), "Message") {
+  AddOption(StringOption("-text", "text", "Text", "", &text_));
+  AddOption(ColorOption("-background", "background", "Background", "#c0c0c0", &background_,
+                        &background_name_));
+  last_option().aliases.push_back("-bg");
+  AddOption(ColorOption("-foreground", "foreground", "Foreground", "black", &foreground_,
+                        &foreground_name_));
+  last_option().aliases.push_back("-fg");
+  AddOption(FontOption("8x13", &font_, &font_name_));
+  AddOption(IntOption("-borderwidth", "borderWidth", "BorderWidth", "2", &border_width_));
+  last_option().aliases.push_back("-bd");
+  AddOption(ReliefOption("flat", &relief_));
+  AddOption(IntOption("-aspect", "aspect", "Aspect", "150", &aspect_));
+  AddOption(IntOption("-width", "width", "Width", "0", &width_pixels_));
+  AddOption(IntOption("-padx", "padX", "Pad", "2", &pad_x_));
+  AddOption(IntOption("-pady", "padY", "Pad", "2", &pad_y_));
+}
+
+void Message::Rewrap() {
+  lines_.clear();
+  const xsim::FontMetrics* metrics = display().QueryFont(font_);
+  xsim::FontMetrics fallback;
+  if (metrics == nullptr) {
+    metrics = &fallback;
+  }
+  int wrap_width;
+  if (width_pixels_ > 0) {
+    wrap_width = width_pixels_;
+  } else {
+    // Pick a wrap width that approximates the aspect ratio: for text of
+    // total area A and aspect a = 100*w/h, w = sqrt(A * a / 100).
+    int total_width = metrics->TextWidth(text_);
+    double area = static_cast<double>(total_width) * metrics->line_height();
+    wrap_width = static_cast<int>(std::sqrt(area * aspect_ / 100.0));
+    wrap_width = std::max(wrap_width, 10 * metrics->char_width);
+  }
+  // Word wrap; explicit newlines always break.
+  std::string current;
+  std::string word;
+  auto flush_word = [&]() {
+    if (word.empty()) {
+      return;
+    }
+    std::string candidate = current.empty() ? word : current + " " + word;
+    if (metrics->TextWidth(candidate) <= wrap_width || current.empty()) {
+      current = candidate;
+    } else {
+      lines_.push_back(current);
+      current = word;
+    }
+    word.clear();
+  };
+  for (char c : text_) {
+    if (c == '\n') {
+      flush_word();
+      lines_.push_back(current);
+      current.clear();
+    } else if (c == ' ' || c == '\t') {
+      flush_word();
+    } else {
+      word.push_back(c);
+    }
+  }
+  flush_word();
+  if (!current.empty() || lines_.empty()) {
+    lines_.push_back(current);
+  }
+}
+
+void Message::OnConfigured() {
+  Rewrap();
+  const xsim::FontMetrics* metrics = display().QueryFont(font_);
+  xsim::FontMetrics fallback;
+  if (metrics == nullptr) {
+    metrics = &fallback;
+  }
+  int max_width = 0;
+  for (const std::string& line : lines_) {
+    max_width = std::max(max_width, metrics->TextWidth(line));
+  }
+  RequestSize(max_width + 2 * (pad_x_ + border_width_),
+              static_cast<int>(lines_.size()) * metrics->line_height() +
+                  2 * (pad_y_ + border_width_));
+}
+
+void Message::Draw() {
+  ClearWindow(background_);
+  DrawRelief(background_, relief_, border_width_);
+  const xsim::FontMetrics* metrics = display().QueryFont(font_);
+  xsim::FontMetrics fallback;
+  if (metrics == nullptr) {
+    metrics = &fallback;
+  }
+  xsim::Server::Gc values;
+  values.foreground = foreground_;
+  values.font = font_;
+  display().ChangeGc(gc(), values);
+  int y = border_width_ + pad_y_ + metrics->ascent;
+  for (const std::string& line : lines_) {
+    display().DrawString(window(), gc(), border_width_ + pad_x_, y, line);
+    y += metrics->line_height();
+  }
+}
+
+tcl::Code Message::WidgetCommand(std::vector<std::string>& args) {
+  return Widget::WidgetCommand(args);
+}
+
+}  // namespace tk

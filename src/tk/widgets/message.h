@@ -1,0 +1,48 @@
+// Message widget: displays multi-line text, word-wrapped to a given width or
+// to the aspect ratio given by -aspect (100 * width / height).
+
+#ifndef SRC_TK_WIDGETS_MESSAGE_H_
+#define SRC_TK_WIDGETS_MESSAGE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/tk/widget.h"
+
+namespace tk {
+
+class Message : public Widget {
+ public:
+  Message(App& app, std::string path);
+
+  void Draw() override;
+  tcl::Code WidgetCommand(std::vector<std::string>& args) override;
+
+  // The wrapped lines as laid out (exposed for tests).
+  const std::vector<std::string>& lines() const { return lines_; }
+
+ protected:
+  void OnConfigured() override;
+
+ private:
+  void Rewrap();
+
+  std::string text_;
+  xsim::Pixel background_ = 0xc0c0c0;
+  std::string background_name_;
+  xsim::Pixel foreground_ = 0x000000;
+  std::string foreground_name_;
+  xsim::FontId font_ = xsim::kNone;
+  std::string font_name_;
+  int border_width_ = 2;
+  Relief relief_ = Relief::kFlat;
+  int aspect_ = 150;
+  int width_pixels_ = 0;  // Nonzero: wrap at this width.
+  int pad_x_ = 2;
+  int pad_y_ = 2;
+  std::vector<std::string> lines_;
+};
+
+}  // namespace tk
+
+#endif  // SRC_TK_WIDGETS_MESSAGE_H_

@@ -1,0 +1,169 @@
+#include "src/tk/widgets/scale.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/tcl/utils.h"
+#include "src/tk/app.h"
+
+namespace tk {
+
+Scale::Scale(App& app, std::string path) : Widget(app, std::move(path), "Scale") {
+  AddOption(StringOption("-command", "command", "Command", "", &command_));
+  AddOption(StringOption("-label", "label", "Label", "", &label_));
+  AddOption(StringOption("-orient", "orient", "Orient", "horizontal", &orient_));
+  AddOption(IntOption("-from", "from", "From", "0", &from_));
+  AddOption(IntOption("-to", "to", "To", "100", &to_));
+  AddOption(IntOption("-length", "length", "Length", "100", &length_));
+  AddOption(IntOption("-sliderlength", "sliderLength", "SliderLength", "25",
+                      &slider_length_));
+  AddOption(IntOption("-width", "width", "Width", "15", &bar_width_));
+  AddOption(BoolOption("-showvalue", "showValue", "ShowValue", "1", &show_value_));
+  AddOption(ColorOption("-background", "background", "Background", "#c0c0c0", &background_,
+                        &background_name_));
+  last_option().aliases.push_back("-bg");
+  AddOption(ColorOption("-foreground", "foreground", "Foreground", "black", &foreground_,
+                        &foreground_name_));
+  last_option().aliases.push_back("-fg");
+  AddOption(ColorOption("-sliderforeground", "sliderForeground", "Foreground", "#909090",
+                        &slider_color_, &slider_name_));
+  AddOption(FontOption("8x13", &font_, &font_name_));
+  AddOption(IntOption("-borderwidth", "borderWidth", "BorderWidth", "2", &border_width_));
+  last_option().aliases.push_back("-bd");
+  value_ = from_;
+}
+
+void Scale::OnConfigured() {
+  value_ = std::clamp(value_, std::min(from_, to_), std::max(from_, to_));
+  const xsim::FontMetrics* metrics = display().QueryFont(font_);
+  int text_height = metrics != nullptr ? metrics->line_height() : 13;
+  int extra = (show_value_ ? text_height : 0) + (!label_.empty() ? text_height : 0);
+  if (vertical()) {
+    RequestSize(bar_width_ + extra + 2 * border_width_ + 4, length_ + 2 * border_width_);
+  } else {
+    RequestSize(length_ + 2 * border_width_, bar_width_ + extra + 2 * border_width_ + 4);
+  }
+}
+
+int Scale::ValueAt(int pixel) const {
+  int span = (vertical() ? height() : width()) - 2 * border_width_ - slider_length_;
+  span = std::max(span, 1);
+  int lo = std::min(from_, to_);
+  int hi = std::max(from_, to_);
+  int range = hi - lo;
+  if (range == 0) {
+    return from_;
+  }
+  double fraction = static_cast<double>(pixel - border_width_ - slider_length_ / 2) / span;
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  // -from may exceed -to (inverted scales).
+  int value = from_ < to_ ? from_ + static_cast<int>(fraction * range + 0.5)
+                          : from_ - static_cast<int>(fraction * range + 0.5);
+  return std::clamp(value, lo, hi);
+}
+
+void Scale::SetValue(int value, bool invoke_command) {
+  int lo = std::min(from_, to_);
+  int hi = std::max(from_, to_);
+  value = std::clamp(value, lo, hi);
+  bool changed = value != value_;
+  value_ = value;
+  ScheduleRedraw();
+  if (changed && invoke_command && !command_.empty()) {
+    std::string script = command_ + " " + std::to_string(value_);
+    if (interp().Eval(script) == tcl::Code::kError) {
+      app().BackgroundError("scale command error: " + interp().result());
+    }
+  }
+}
+
+void Scale::Draw() {
+  ClearWindow(background_);
+  DrawRelief(background_, Relief::kRaised, border_width_);
+  const xsim::FontMetrics* metrics = display().QueryFont(font_);
+  xsim::FontMetrics fallback;
+  if (metrics == nullptr) {
+    metrics = &fallback;
+  }
+  xsim::Server::Gc values;
+  values.font = font_;
+  values.foreground = foreground_;
+  display().ChangeGc(gc(), values);
+  int text_y = border_width_ + metrics->ascent;
+  if (!label_.empty()) {
+    display().DrawString(window(), gc(), border_width_ + 2, text_y, label_);
+    text_y += metrics->line_height();
+  }
+  if (show_value_) {
+    display().DrawString(window(), gc(), border_width_ + 2, text_y,
+                         std::to_string(value_));
+  }
+  // Trough + slider.
+  int span = (vertical() ? height() : width()) - 2 * border_width_ - slider_length_;
+  span = std::max(span, 1);
+  int lo = std::min(from_, to_);
+  int hi = std::max(from_, to_);
+  double fraction = hi == lo ? 0.0
+                    : from_ < to_ ? static_cast<double>(value_ - from_) / (to_ - from_)
+                                  : static_cast<double>(from_ - value_) / (from_ - to_);
+  int slider_pos = border_width_ + static_cast<int>(fraction * span);
+  values.foreground = slider_color_;
+  display().ChangeGc(gc(), values);
+  if (vertical()) {
+    display().FillRectangle(window(), gc(),
+                            xsim::Rect{width() - border_width_ - bar_width_, slider_pos,
+                                       bar_width_, slider_length_});
+  } else {
+    display().FillRectangle(window(), gc(),
+                            xsim::Rect{slider_pos, height() - border_width_ - bar_width_,
+                                       slider_length_, bar_width_});
+  }
+}
+
+tcl::Code Scale::WidgetCommand(std::vector<std::string>& args) {
+  tcl::Interp& tcl = interp();
+  if (args.size() < 2) {
+    return tcl.WrongNumArgs(path() + " option ?arg arg ...?");
+  }
+  const std::string& option = args[1];
+  if (option == "configure") {
+    return ConfigureCommand(args, 2);
+  }
+  if (option == "get") {
+    tcl.SetResult(std::to_string(value_));
+    return tcl::Code::kOk;
+  }
+  if (option == "set") {
+    if (args.size() != 3) {
+      return tcl.WrongNumArgs(path() + " set value");
+    }
+    std::optional<int64_t> value = tcl::ParseInt(args[2]);
+    if (!value) {
+      return tcl.Error("expected integer but got \"" + args[2] + "\"");
+    }
+    SetValue(static_cast<int>(*value), /*invoke_command=*/false);
+    tcl.ResetResult();
+    return tcl::Code::kOk;
+  }
+  return tcl.Error("bad option \"" + option + "\": must be configure, get, or set");
+}
+
+void Scale::HandleEvent(const xsim::Event& event) {
+  Widget::HandleEvent(event);
+  switch (event.type) {
+    case xsim::EventType::kButtonPress:
+      if (event.detail == 1) {
+        SetValue(ValueAt(vertical() ? event.y : event.x), /*invoke_command=*/true);
+      }
+      break;
+    case xsim::EventType::kMotionNotify:
+      if ((event.state & xsim::kButton1Mask) != 0) {
+        SetValue(ValueAt(vertical() ? event.y : event.x), /*invoke_command=*/true);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace tk

@@ -1,0 +1,55 @@
+// Scale widget: a slider selecting an integer value in [-from, -to],
+// invoking a Tcl command with the value whenever it changes.
+
+#ifndef SRC_TK_WIDGETS_SCALE_H_
+#define SRC_TK_WIDGETS_SCALE_H_
+
+#include <string>
+
+#include "src/tk/widget.h"
+
+namespace tk {
+
+class Scale : public Widget {
+ public:
+  Scale(App& app, std::string path);
+
+  void Draw() override;
+  tcl::Code WidgetCommand(std::vector<std::string>& args) override;
+  void HandleEvent(const xsim::Event& event) override;
+
+  int value() const { return value_; }
+  // Sets the value (clamped) and runs -command if it changed.
+  void SetValue(int value, bool invoke_command);
+
+ protected:
+  void OnConfigured() override;
+
+ private:
+  bool vertical() const { return orient_ == "vertical"; }
+  int ValueAt(int pixel) const;
+
+  std::string command_;
+  std::string label_;
+  std::string orient_ = "horizontal";
+  int from_ = 0;
+  int to_ = 100;
+  int length_ = 100;
+  int slider_length_ = 25;
+  int bar_width_ = 15;
+  bool show_value_ = true;
+  xsim::Pixel background_ = 0xc0c0c0;
+  std::string background_name_;
+  xsim::Pixel foreground_ = 0x000000;
+  std::string foreground_name_;
+  xsim::Pixel slider_color_ = 0x909090;
+  std::string slider_name_;
+  xsim::FontId font_ = xsim::kNone;
+  std::string font_name_;
+  int border_width_ = 2;
+  int value_ = 0;
+};
+
+}  // namespace tk
+
+#endif  // SRC_TK_WIDGETS_SCALE_H_

@@ -1,0 +1,192 @@
+#include "src/tk/widgets/scrollbar.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/tcl/utils.h"
+#include "src/tk/app.h"
+
+namespace tk {
+
+Scrollbar::Scrollbar(App& app, std::string path) : Widget(app, std::move(path), "Scrollbar") {
+  AddOption(StringOption("-command", "command", "Command", "", &command_));
+  AddOption(StringOption("-orient", "orient", "Orient", "vertical", &orient_));
+  AddOption(IntOption("-width", "width", "Width", "15", &bar_width_));
+  AddOption(ColorOption("-background", "background", "Background", "#c0c0c0", &background_,
+                        &background_name_));
+  last_option().aliases.push_back("-bg");
+  AddOption(ColorOption("-sliderforeground", "sliderForeground", "Foreground", "#909090",
+                        &slider_color_, &slider_name_));
+  AddOption(IntOption("-borderwidth", "borderWidth", "BorderWidth", "2", &border_width_));
+  last_option().aliases.push_back("-bd");
+  AddOption(ReliefOption("sunken", &relief_));
+}
+
+void Scrollbar::OnConfigured() {
+  if (vertical()) {
+    RequestSize(bar_width_ + 2 * border_width_, 100);
+  } else {
+    RequestSize(100, bar_width_ + 2 * border_width_);
+  }
+}
+
+void Scrollbar::SliderRange(int* slider_start, int* slider_end) const {
+  int arrow = bar_width_;  // Square arrow boxes at each end.
+  int span = (vertical() ? height() : width()) - 2 * (border_width_ + arrow);
+  span = std::max(span, 1);
+  if (total_ <= 0) {
+    *slider_start = border_width_ + arrow;
+    *slider_end = border_width_ + arrow + span;
+    return;
+  }
+  double per_unit = static_cast<double>(span) / total_;
+  *slider_start = border_width_ + arrow + static_cast<int>(first_ * per_unit);
+  *slider_end = border_width_ + arrow + static_cast<int>((last_ + 1) * per_unit);
+  *slider_end = std::max(*slider_end, *slider_start + 4);
+}
+
+int Scrollbar::UnitAt(int pixel) const {
+  int arrow = bar_width_;
+  int span = (vertical() ? height() : width()) - 2 * (border_width_ + arrow);
+  span = std::max(span, 1);
+  if (total_ <= 0) {
+    return 0;
+  }
+  double per_unit = static_cast<double>(span) / total_;
+  int unit = static_cast<int>((pixel - border_width_ - arrow) / per_unit);
+  return std::clamp(unit, 0, std::max(0, total_ - 1));
+}
+
+void Scrollbar::Draw() {
+  ClearWindow(background_);
+  DrawRelief(background_, relief_, border_width_);
+  int arrow = bar_width_;
+  xsim::Server::Gc values;
+  values.foreground = slider_color_;
+  display().ChangeGc(gc(), values);
+  if (vertical()) {
+    // Arrow boxes.
+    display().FillRectangle(window(), gc(),
+                            xsim::Rect{border_width_ + 2, border_width_ + 2,
+                                       width() - 2 * border_width_ - 4, arrow - 4});
+    display().FillRectangle(window(), gc(),
+                            xsim::Rect{border_width_ + 2, height() - border_width_ - arrow + 2,
+                                       width() - 2 * border_width_ - 4, arrow - 4});
+    int start = 0;
+    int end = 0;
+    SliderRange(&start, &end);
+    display().FillRectangle(window(), gc(),
+                            xsim::Rect{border_width_ + 2, start,
+                                       width() - 2 * border_width_ - 4, end - start});
+  } else {
+    display().FillRectangle(window(), gc(),
+                            xsim::Rect{border_width_ + 2, border_width_ + 2, arrow - 4,
+                                       height() - 2 * border_width_ - 4});
+    display().FillRectangle(window(), gc(),
+                            xsim::Rect{width() - border_width_ - arrow + 2, border_width_ + 2,
+                                       arrow - 4, height() - 2 * border_width_ - 4});
+    int start = 0;
+    int end = 0;
+    SliderRange(&start, &end);
+    display().FillRectangle(window(), gc(),
+                            xsim::Rect{start, border_width_ + 2, end - start,
+                                       height() - 2 * border_width_ - 4});
+  }
+}
+
+void Scrollbar::ScrollTo(int unit) {
+  if (command_.empty()) {
+    return;
+  }
+  // The widget augments the user-supplied command with the unit number
+  // (Section 4: ".list view" becomes ".list view 40").
+  std::string script = command_ + " " + std::to_string(unit);
+  if (interp().Eval(script) == tcl::Code::kError) {
+    app().BackgroundError("scrollbar command error: " + interp().result());
+  }
+}
+
+tcl::Code Scrollbar::WidgetCommand(std::vector<std::string>& args) {
+  tcl::Interp& tcl = interp();
+  if (args.size() < 2) {
+    return tcl.WrongNumArgs(path() + " option ?arg arg ...?");
+  }
+  const std::string& option = args[1];
+  if (option == "configure") {
+    return ConfigureCommand(args, 2);
+  }
+  if (option == "set") {
+    if (args.size() != 6) {
+      return tcl.WrongNumArgs(path() + " set totalUnits windowUnits firstUnit lastUnit");
+    }
+    int values[4];
+    for (int i = 0; i < 4; ++i) {
+      std::optional<int64_t> parsed = tcl::ParseInt(args[i + 2]);
+      if (!parsed) {
+        return tcl.Error("expected integer but got \"" + args[i + 2] + "\"");
+      }
+      values[i] = static_cast<int>(*parsed);
+    }
+    total_ = values[0];
+    window_units_ = values[1];
+    first_ = values[2];
+    last_ = values[3];
+    ScheduleRedraw();
+    tcl.ResetResult();
+    return tcl::Code::kOk;
+  }
+  if (option == "get") {
+    tcl.SetResult(std::to_string(total_) + " " + std::to_string(window_units_) + " " +
+                  std::to_string(first_) + " " + std::to_string(last_));
+    return tcl::Code::kOk;
+  }
+  return tcl.Error("bad option \"" + option + "\": must be configure, get, or set");
+}
+
+void Scrollbar::HandleEvent(const xsim::Event& event) {
+  Widget::HandleEvent(event);
+  int pos = vertical() ? event.y : event.x;
+  int extent = vertical() ? height() : width();
+  int arrow = bar_width_;
+  switch (event.type) {
+    case xsim::EventType::kButtonPress: {
+      if (event.detail != 1) {
+        break;
+      }
+      if (pos < border_width_ + arrow) {
+        ScrollTo(first_ - 1);  // Up/left arrow: one unit back.
+        break;
+      }
+      if (pos >= extent - border_width_ - arrow) {
+        ScrollTo(first_ + 1);  // Down/right arrow: one unit forward.
+        break;
+      }
+      int start = 0;
+      int end = 0;
+      SliderRange(&start, &end);
+      if (pos < start) {
+        ScrollTo(first_ - std::max(1, window_units_ - 1));  // Page back.
+      } else if (pos >= end) {
+        ScrollTo(first_ + std::max(1, window_units_ - 1));  // Page forward.
+      } else {
+        dragging_ = true;
+        drag_offset_units_ = UnitAt(pos) - first_;
+      }
+      break;
+    }
+    case xsim::EventType::kMotionNotify:
+      if (dragging_ && (event.state & xsim::kButton1Mask) != 0) {
+        ScrollTo(UnitAt(pos) - drag_offset_units_);
+      }
+      break;
+    case xsim::EventType::kButtonRelease:
+      if (event.detail == 1) {
+        dragging_ = false;
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace tk

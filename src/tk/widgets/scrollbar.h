@@ -1,0 +1,63 @@
+// Scrollbar widget.
+//
+// The Tk 3.x protocol (Section 4 of the paper): the associated widget calls
+// "<thisScrollbar> set totalUnits windowUnits firstUnit lastUnit" to report
+// its view, and the scrollbar responds to clicks and drags by evaluating
+// "<command> unit" -- e.g. ".list view 40" -- to change that view.
+
+#ifndef SRC_TK_WIDGETS_SCROLLBAR_H_
+#define SRC_TK_WIDGETS_SCROLLBAR_H_
+
+#include <string>
+
+#include "src/tk/widget.h"
+
+namespace tk {
+
+class Scrollbar : public Widget {
+ public:
+  Scrollbar(App& app, std::string path);
+
+  void Draw() override;
+  tcl::Code WidgetCommand(std::vector<std::string>& args) override;
+  void HandleEvent(const xsim::Event& event) override;
+
+  int total_units() const { return total_; }
+  int window_units() const { return window_units_; }
+  int first_unit() const { return first_; }
+  int last_unit() const { return last_; }
+
+  // Evaluates the -command with the given target unit.
+  void ScrollTo(int unit);
+
+ protected:
+  void OnConfigured() override;
+
+ private:
+  bool vertical() const { return orient_ != "horizontal"; }
+  // Pixel span of the slider within the trough.
+  void SliderRange(int* slider_start, int* slider_end) const;
+  // Converts a trough pixel position to a unit.
+  int UnitAt(int pixel) const;
+
+  std::string command_;
+  std::string orient_ = "vertical";
+  int bar_width_ = 15;
+  xsim::Pixel background_ = 0xc0c0c0;
+  std::string background_name_;
+  xsim::Pixel slider_color_ = 0x909090;
+  std::string slider_name_;
+  int border_width_ = 2;
+  Relief relief_ = Relief::kSunken;
+
+  int total_ = 0;
+  int window_units_ = 1;
+  int first_ = 0;
+  int last_ = 0;
+  bool dragging_ = false;
+  int drag_offset_units_ = 0;
+};
+
+}  // namespace tk
+
+#endif  // SRC_TK_WIDGETS_SCROLLBAR_H_

@@ -1,0 +1,121 @@
+// wish -- the windowing shell (Section 5 of the paper).
+//
+// Reads Tcl commands from a script file (-f) or standard input and executes
+// them against a Tk application.  Entire windowing applications can be
+// written as wish scripts, e.g. the 21-line directory browser of Figure 9
+// (examples/browse.tcl in this repository).
+//
+// Because the display is simulated in-process, wish adds two flags that
+// replace "look at the screen":
+//   -dump       print the window tree (the Figure 10 stand-in) on exit
+//   -ppm FILE   write the framebuffer as a PPM image on exit
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/tcl/list.h"
+#include "src/tk/app.h"
+#include "src/xsim/server.h"
+
+namespace {
+
+void Repl(tk::App& app) {
+  std::string command;
+  std::string line;
+  std::printf("%% ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    command += line;
+    command.push_back('\n');
+    // Only evaluate complete commands (balanced braces/brackets/quotes).
+    std::vector<std::string> check = {"info", "complete", command};
+    app.interp().EvalWords(check);
+    if (app.interp().result() == "1") {
+      std::vector<std::string> record = {"history", "add", command};
+      app.interp().EvalWords(record);
+      tcl::Code code = app.interp().Eval(command);
+      if (!app.interp().result().empty()) {
+        std::printf("%s%s\n", code == tcl::Code::kError ? "error: " : "",
+                    app.interp().result().c_str());
+      }
+      command.clear();
+      app.Update();
+      std::printf("%% ");
+    } else {
+      std::printf("> ");
+    }
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string script_file;
+  std::string app_name = "wish";
+  bool dump_tree = false;
+  std::string ppm_file;
+  std::vector<std::string> script_args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-f") == 0 && i + 1 < argc) {
+      script_file = argv[++i];
+    } else if (std::strcmp(argv[i], "-name") == 0 && i + 1 < argc) {
+      app_name = argv[++i];
+    } else if (std::strcmp(argv[i], "-dump") == 0) {
+      dump_tree = true;
+    } else if (std::strcmp(argv[i], "-ppm") == 0 && i + 1 < argc) {
+      ppm_file = argv[++i];
+    } else if (std::strcmp(argv[i], "-help") == 0) {
+      std::printf("usage: wish ?-f script? ?-name appName? ?-dump? ?-ppm file? ?arg ...?\n");
+      return 0;
+    } else {
+      script_args.emplace_back(argv[i]);
+    }
+  }
+
+  xsim::Server server;
+  tk::App app(server, app_name);
+  tcl::Interp& interp = app.interp();
+
+  // Expose the script arguments, as wish does.
+  interp.SetVar("argv0", script_file.empty() ? "wish" : script_file);
+  interp.SetVar("argc", std::to_string(script_args.size()));
+  interp.SetVar("argv", tcl::MergeList(script_args));
+
+  int exit_code = 0;
+  if (!script_file.empty()) {
+    std::ifstream file(script_file);
+    if (!file) {
+      std::fprintf(stderr, "wish: couldn't read file \"%s\"\n", script_file.c_str());
+      return 1;
+    }
+    std::ostringstream contents;
+    contents << file.rdbuf();
+    tcl::Code code = interp.Eval(contents.str());
+    if (code == tcl::Code::kError) {
+      std::fprintf(stderr, "wish: %s\n", interp.result().c_str());
+      const std::string* info = interp.GetVarQuiet("errorInfo");
+      if (info != nullptr) {
+        std::fprintf(stderr, "%s\n", info->c_str());
+      }
+      exit_code = 1;
+    }
+    app.Update();
+  } else {
+    Repl(app);
+  }
+
+  if (dump_tree) {
+    std::printf("%s", server.DumpTree().c_str());
+  }
+  if (!ppm_file.empty()) {
+    std::ofstream out(ppm_file, std::ios::binary);
+    out << server.raster().ToPpm();
+  }
+  return exit_code;
+}

@@ -1,0 +1,202 @@
+#include "src/xsim/color.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace xsim {
+namespace {
+
+struct NamedColor {
+  const char* name;  // Stored lowercase without spaces.
+  uint8_t r;
+  uint8_t g;
+  uint8_t b;
+};
+
+// A representative slice of the X11 rgb.txt database (every color the paper,
+// the Tk defaults, and the examples mention, plus the common families).
+constexpr NamedColor kColors[] = {
+    {"black", 0, 0, 0},
+    {"white", 255, 255, 255},
+    {"red", 255, 0, 0},
+    {"green", 0, 255, 0},
+    {"blue", 0, 0, 255},
+    {"yellow", 255, 255, 0},
+    {"cyan", 0, 255, 255},
+    {"magenta", 255, 0, 255},
+    {"gray", 190, 190, 190},
+    {"grey", 190, 190, 190},
+    {"lightgray", 211, 211, 211},
+    {"lightgrey", 211, 211, 211},
+    {"darkgray", 169, 169, 169},
+    {"darkgrey", 169, 169, 169},
+    {"dimgray", 105, 105, 105},
+    {"gray25", 64, 64, 64},
+    {"gray50", 127, 127, 127},
+    {"gray75", 191, 191, 191},
+    {"gray90", 229, 229, 229},
+    {"lightblue", 173, 216, 230},
+    {"lightyellow", 255, 255, 224},
+    {"lightpink", 255, 182, 193},
+    {"palepink1", 255, 204, 204},  // Used in Section 4's configure example.
+    {"pink", 255, 192, 203},
+    {"orange", 255, 165, 0},
+    {"purple", 160, 32, 240},
+    {"brown", 165, 42, 42},
+    {"maroon", 176, 48, 96},
+    {"navy", 0, 0, 128},
+    {"navyblue", 0, 0, 128},
+    {"skyblue", 135, 206, 235},
+    {"steelblue", 70, 130, 180},
+    {"royalblue", 65, 105, 225},
+    {"cornflowerblue", 100, 149, 237},
+    {"cadetblue", 95, 158, 160},
+    {"aquamarine", 127, 255, 212},
+    {"seagreen", 46, 139, 87},
+    {"mediumseagreen", 60, 179, 113},  // The paper's Section 3.3 example.
+    {"darkseagreen", 143, 188, 143},
+    {"lightseagreen", 32, 178, 170},
+    {"forestgreen", 34, 139, 34},
+    {"darkgreen", 0, 100, 0},
+    {"limegreen", 50, 205, 50},
+    {"palegreen", 152, 251, 152},
+    {"springgreen", 0, 255, 127},
+    {"olivedrab", 107, 142, 35},
+    {"khaki", 240, 230, 140},
+    {"gold", 255, 215, 0},
+    {"goldenrod", 218, 165, 32},
+    {"salmon", 250, 128, 114},
+    {"coral", 255, 127, 80},
+    {"tomato", 255, 99, 71},
+    {"orangered", 255, 69, 0},
+    {"firebrick", 178, 34, 34},
+    {"indianred", 205, 92, 92},
+    {"violetred", 208, 32, 144},
+    {"hotpink", 255, 105, 180},
+    {"deeppink", 255, 20, 147},
+    {"orchid", 218, 112, 214},
+    {"plum", 221, 160, 221},
+    {"violet", 238, 130, 238},
+    {"blueviolet", 138, 43, 226},
+    {"slateblue", 106, 90, 205},
+    {"mediumblue", 0, 0, 205},
+    {"dodgerblue", 30, 144, 255},
+    {"deepskyblue", 0, 191, 255},
+    {"turquoise", 64, 224, 208},
+    {"wheat", 245, 222, 179},
+    {"tan", 210, 180, 140},
+    {"chocolate", 210, 105, 30},
+    {"sienna", 160, 82, 45},
+    {"peru", 205, 133, 63},
+    {"beige", 245, 245, 220},
+    {"ivory", 255, 255, 240},
+    {"snow", 255, 250, 250},
+    {"seashell", 255, 245, 238},
+    {"bisque", 255, 228, 196},
+    {"antiquewhite", 250, 235, 215},
+    {"lavender", 230, 230, 250},
+    {"thistle", 216, 191, 216},
+    {"ghostwhite", 248, 248, 255},
+    {"whitesmoke", 245, 245, 245},
+};
+
+std::string NormalizeName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    if (c == ' ') {
+      continue;
+    }
+    out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+std::optional<int> HexDigit(char c) {
+  if (c >= '0' && c <= '9') {
+    return c - '0';
+  }
+  if (c >= 'a' && c <= 'f') {
+    return c - 'a' + 10;
+  }
+  if (c >= 'A' && c <= 'F') {
+    return c - 'A' + 10;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Rgb> LookupColor(std::string_view name) {
+  if (name.empty()) {
+    return std::nullopt;
+  }
+  if (name[0] == '#') {
+    std::string_view digits = name.substr(1);
+    if (digits.size() != 3 && digits.size() != 6 && digits.size() != 12) {
+      return std::nullopt;
+    }
+    size_t per = digits.size() / 3;
+    uint32_t components[3];
+    for (int i = 0; i < 3; ++i) {
+      uint32_t value = 0;
+      for (size_t j = 0; j < per; ++j) {
+        std::optional<int> digit = HexDigit(digits[i * per + j]);
+        if (!digit) {
+          return std::nullopt;
+        }
+        value = value * 16 + static_cast<uint32_t>(*digit);
+      }
+      // Scale to 8 bits.
+      if (per == 1) {
+        value = value * 17;
+      } else if (per == 4) {
+        value = value >> 8;
+      }
+      components[i] = value;
+    }
+    Rgb rgb;
+    rgb.r = static_cast<uint8_t>(components[0]);
+    rgb.g = static_cast<uint8_t>(components[1]);
+    rgb.b = static_cast<uint8_t>(components[2]);
+    return rgb;
+  }
+  std::string normalized = NormalizeName(name);
+  for (const NamedColor& color : kColors) {
+    if (normalized == color.name) {
+      Rgb rgb;
+      rgb.r = color.r;
+      rgb.g = color.g;
+      rgb.b = color.b;
+      return rgb;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> ColorName(Rgb rgb) {
+  for (const NamedColor& color : kColors) {
+    if (color.r == rgb.r && color.g == rgb.g && color.b == rgb.b) {
+      return std::string(color.name);
+    }
+  }
+  return std::nullopt;
+}
+
+Rgb LightShade(Rgb base) {
+  Rgb out;
+  out.r = static_cast<uint8_t>(std::min(255, base.r + (255 - base.r) * 4 / 10 + 25));
+  out.g = static_cast<uint8_t>(std::min(255, base.g + (255 - base.g) * 4 / 10 + 25));
+  out.b = static_cast<uint8_t>(std::min(255, base.b + (255 - base.b) * 4 / 10 + 25));
+  return out;
+}
+
+Rgb DarkShade(Rgb base) {
+  Rgb out;
+  out.r = static_cast<uint8_t>(base.r * 6 / 10);
+  out.g = static_cast<uint8_t>(base.g * 6 / 10);
+  out.b = static_cast<uint8_t>(base.b * 6 / 10);
+  return out;
+}
+
+}  // namespace xsim

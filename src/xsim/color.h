@@ -1,0 +1,52 @@
+// The server-side color database (the rgb.txt of a real X server) and pixel
+// packing.  Tk's resource cache asks the server to resolve textual color
+// names like "MediumSeaGreen" (Section 3.3 of the paper); this module
+// provides that lookup plus #rgb/#rrggbb parsing.
+
+#ifndef SRC_XSIM_COLOR_H_
+#define SRC_XSIM_COLOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/xsim/types.h"
+
+namespace xsim {
+
+struct Rgb {
+  uint8_t r = 0;
+  uint8_t g = 0;
+  uint8_t b = 0;
+};
+
+inline Pixel PackPixel(Rgb rgb) {
+  return (static_cast<Pixel>(rgb.r) << 16) | (static_cast<Pixel>(rgb.g) << 8) |
+         static_cast<Pixel>(rgb.b);
+}
+
+inline Rgb UnpackPixel(Pixel pixel) {
+  Rgb rgb;
+  rgb.r = static_cast<uint8_t>((pixel >> 16) & 0xff);
+  rgb.g = static_cast<uint8_t>((pixel >> 8) & 0xff);
+  rgb.b = static_cast<uint8_t>(pixel & 0xff);
+  return rgb;
+}
+
+// Resolves a color specification: a database name (case-insensitive,
+// ignoring embedded spaces: "medium sea green" == "MediumSeaGreen") or a
+// numeric "#rgb" / "#rrggbb" form.
+std::optional<Rgb> LookupColor(std::string_view name);
+
+// Reverse lookup: the database name for an exact RGB triple, if any
+// (supports Tk's "return the textual name for a resource" feature).
+std::optional<std::string> ColorName(Rgb rgb);
+
+// Lightened/darkened shades used for 3-D borders (raised/sunken reliefs).
+Rgb LightShade(Rgb base);
+Rgb DarkShade(Rgb base);
+
+}  // namespace xsim
+
+#endif  // SRC_XSIM_COLOR_H_

@@ -1,0 +1,12 @@
+#include "src/xsim/display.h"
+
+namespace xsim {
+
+std::unique_ptr<Display> Display::Open(Server& server, std::string client_name) {
+  ClientId id = server.RegisterClient(std::move(client_name));
+  return std::unique_ptr<Display>(new Display(server, id));
+}
+
+Display::~Display() { server_.UnregisterClient(client_); }
+
+}  // namespace xsim

@@ -1,0 +1,133 @@
+// Display: the client-side connection handle, shaped like Xlib's Display*.
+//
+// Each Tk application opens its own Display on a shared Server, which is how
+// multiple "applications" coexist on one display for the `send` command and
+// the ICCCM selection protocol, exactly as in the paper's environment.
+
+#ifndef SRC_XSIM_DISPLAY_H_
+#define SRC_XSIM_DISPLAY_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/xsim/event.h"
+#include "src/xsim/server.h"
+#include "src/xsim/types.h"
+
+namespace xsim {
+
+class Display {
+ public:
+  // Opens a connection to `server`.  The server must outlive the Display.
+  static std::unique_ptr<Display> Open(Server& server, std::string client_name);
+  ~Display();
+
+  Display(const Display&) = delete;
+  Display& operator=(const Display&) = delete;
+
+  Server& server() { return server_; }
+  ClientId client_id() const { return client_; }
+  WindowId root() const { return server_.root(); }
+
+  // Windows.
+  WindowId CreateWindow(WindowId parent, int x, int y, int width, int height,
+                        int border_width = 0) {
+    return server_.CreateWindow(client_, parent, x, y, width, height, border_width);
+  }
+  bool DestroyWindow(WindowId w) { return server_.DestroyWindow(client_, w); }
+  bool MapWindow(WindowId w) { return server_.MapWindow(client_, w); }
+  bool UnmapWindow(WindowId w) { return server_.UnmapWindow(client_, w); }
+  bool MoveResizeWindow(WindowId w, int x, int y, int width, int height) {
+    return server_.ConfigureWindow(client_, w, x, y, width, height, -1);
+  }
+  bool ResizeWindow(WindowId w, int width, int height) {
+    return server_.ConfigureWindow(client_, w, -1, -1, width, height, -1);
+  }
+  bool RaiseWindow(WindowId w) { return server_.RaiseWindow(client_, w); }
+  void SelectInput(WindowId w, uint32_t mask) { server_.SelectInput(client_, w, mask); }
+  bool SetWindowBackground(WindowId w, Pixel p) {
+    return server_.SetWindowBackground(client_, w, p);
+  }
+
+  // Atoms and properties.
+  Atom InternAtom(std::string_view name) { return server_.InternAtom(name); }
+  std::string AtomName(Atom atom) { return server_.AtomName(atom); }
+  bool ChangeProperty(WindowId w, Atom property, std::string value) {
+    return server_.ChangeProperty(client_, w, property, std::move(value));
+  }
+  std::optional<std::string> GetProperty(WindowId w, Atom property) {
+    return server_.GetProperty(client_, w, property);
+  }
+  bool DeleteProperty(WindowId w, Atom property) {
+    return server_.DeleteProperty(client_, w, property);
+  }
+
+  // Resources.
+  std::optional<Pixel> AllocNamedColor(std::string_view name) {
+    return server_.AllocNamedColor(client_, name);
+  }
+  Pixel AllocColor(Rgb rgb) { return server_.AllocColor(client_, rgb); }
+  std::optional<FontId> LoadFont(std::string_view name) {
+    return server_.LoadFont(client_, name);
+  }
+  const FontMetrics* QueryFont(FontId font) { return server_.QueryFont(font); }
+  CursorId CreateNamedCursor(std::string_view name) {
+    return server_.CreateNamedCursor(client_, name);
+  }
+  BitmapId CreateBitmap(std::string_view name, int width, int height) {
+    return server_.CreateBitmap(client_, name, width, height);
+  }
+
+  // GCs and drawing.
+  GcId CreateGc() { return server_.CreateGc(client_); }
+  void FreeGc(GcId gc) { server_.FreeGc(client_, gc); }
+  bool ChangeGc(GcId gc, const Server::Gc& values) {
+    return server_.ChangeGc(client_, gc, values);
+  }
+  void ClearWindow(WindowId w) { server_.ClearWindow(client_, w); }
+  void FillRectangle(WindowId w, GcId gc, const Rect& rect) {
+    server_.FillRectangle(client_, w, gc, rect);
+  }
+  void DrawRectangle(WindowId w, GcId gc, const Rect& rect) {
+    server_.DrawRectangle(client_, w, gc, rect);
+  }
+  void DrawLine(WindowId w, GcId gc, int x0, int y0, int x1, int y1) {
+    server_.DrawLine(client_, w, gc, x0, y0, x1, y1);
+  }
+  void DrawString(WindowId w, GcId gc, int x, int y, std::string_view text) {
+    server_.DrawString(client_, w, gc, x, y, text);
+  }
+
+  // Focus and selections.
+  void SetInputFocus(WindowId w) { server_.SetInputFocus(client_, w); }
+  void SetSelectionOwner(Atom selection, WindowId owner) {
+    server_.SetSelectionOwner(client_, selection, owner);
+  }
+  WindowId GetSelectionOwner(Atom selection) {
+    return server_.GetSelectionOwner(client_, selection);
+  }
+  void ConvertSelection(Atom selection, Atom target, Atom property, WindowId requestor) {
+    server_.ConvertSelection(client_, selection, target, property, requestor);
+  }
+  void SendSelectionNotify(WindowId requestor, Atom selection, Atom target, Atom property) {
+    server_.SendSelectionNotify(client_, requestor, selection, target, property);
+  }
+  void SendEvent(WindowId destination, const Event& event, uint32_t mask = 0) {
+    server_.SendEvent(client_, destination, event, mask);
+  }
+
+  // Events.
+  bool Pending() const { return server_.HasPendingEvents(client_); }
+  bool PollEvent(Event* out) { return server_.NextEvent(client_, out); }
+
+ private:
+  Display(Server& server, ClientId client) : server_(server), client_(client) {}
+
+  Server& server_;
+  ClientId client_;
+};
+
+}  // namespace xsim
+
+#endif  // SRC_XSIM_DISPLAY_H_

@@ -1,0 +1,72 @@
+// X event structures delivered by the xsim server to its clients.
+
+#ifndef SRC_XSIM_EVENT_H_
+#define SRC_XSIM_EVENT_H_
+
+#include <string>
+
+#include "src/xsim/types.h"
+
+namespace xsim {
+
+enum class EventType {
+  kNone = 0,
+  kKeyPress,
+  kKeyRelease,
+  kButtonPress,
+  kButtonRelease,
+  kMotionNotify,
+  kEnterNotify,
+  kLeaveNotify,
+  kFocusIn,
+  kFocusOut,
+  kExpose,
+  kConfigureNotify,
+  kMapNotify,
+  kUnmapNotify,
+  kDestroyNotify,
+  kCreateNotify,
+  kPropertyNotify,
+  kSelectionClear,
+  kSelectionRequest,
+  kSelectionNotify,
+  kClientMessage,
+};
+
+// Human-readable event type name ("KeyPress", "Expose", ...).
+const char* EventTypeName(EventType type);
+
+// A single event.  This is a "fat struct" rather than a union: only the
+// fields relevant to `type` are meaningful, as in XEvent.
+struct Event {
+  EventType type = EventType::kNone;
+  WindowId window = kNone;  // The window the event is reported relative to.
+  Timestamp time = 0;
+
+  // Key/button/motion/crossing fields.
+  int x = 0;        // Pointer position relative to `window`.
+  int y = 0;
+  int x_root = 0;   // Pointer position relative to the root window.
+  int y_root = 0;
+  uint32_t state = 0;   // Modifier and button mask in effect.
+  uint32_t detail = 0;  // Keysym for key events, button number for buttons.
+
+  // Expose / configure fields.
+  Rect area;            // Exposed region, or new geometry for configure.
+  int border_width = 0;
+  int count = 0;        // Remaining exposes in this batch.
+
+  // Property / selection fields.
+  Atom atom = kAtomNone;       // Property atom, or selection atom.
+  Atom target = kAtomNone;     // Conversion target for selection events.
+  Atom property = kAtomNone;   // Reply property for selection events.
+  WindowId requestor = kNone;  // Requesting window for SelectionRequest.
+
+  // ClientMessage payload.
+  Atom message_type = kAtomNone;
+  std::string data;
+};
+
+}  // namespace xsim
+
+#endif  // SRC_XSIM_EVENT_H_

@@ -1,0 +1,102 @@
+#include "src/xsim/font.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <vector>
+
+namespace xsim {
+namespace {
+
+// Splits an XLFD name on '-'.  "-misc-fixed-medium-r-normal--13-120-..."
+std::vector<std::string> SplitDashes(std::string_view name) {
+  std::vector<std::string> fields;
+  std::string current;
+  for (char c : name) {
+    if (c == '-') {
+      fields.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(current);
+  return fields;
+}
+
+bool ParseCellName(std::string_view name, int* width, int* height) {
+  size_t x = name.find('x');
+  if (x == std::string_view::npos || x == 0 || x + 1 >= name.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < name.size(); ++i) {
+    if (i == x) {
+      continue;
+    }
+    if (!std::isdigit(static_cast<unsigned char>(name[i]))) {
+      return false;
+    }
+  }
+  *width = std::atoi(std::string(name.substr(0, x)).c_str());
+  *height = std::atoi(std::string(name.substr(x + 1)).c_str());
+  return *width > 0 && *height > 0;
+}
+
+FontMetrics MakeMetrics(std::string name, int char_width, int height) {
+  FontMetrics metrics;
+  metrics.name = std::move(name);
+  metrics.char_width = char_width;
+  metrics.ascent = height * 4 / 5;
+  metrics.descent = height - metrics.ascent;
+  return metrics;
+}
+
+}  // namespace
+
+int FontMetrics::TextWidth(std::string_view text) const {
+  int width = 0;
+  for (char c : text) {
+    width += (c == '\t') ? char_width * 8 : char_width;
+  }
+  return width;
+}
+
+std::optional<FontMetrics> ResolveFont(std::string_view name) {
+  if (name.empty()) {
+    return std::nullopt;
+  }
+  int cell_w = 0;
+  int cell_h = 0;
+  if (ParseCellName(name, &cell_w, &cell_h)) {
+    return MakeMetrics(std::string(name), cell_w, cell_h);
+  }
+  if (name.find('-') != std::string_view::npos) {
+    // XLFD: field 7 is pixel size, field 8 is point size in tenths; a '*'
+    // pixel size defers to the point size.
+    std::vector<std::string> fields = SplitDashes(name);
+    if (fields.size() < 8) {
+      return std::nullopt;
+    }
+    int height = 0;
+    const std::string& pixel_field = fields.size() > 7 ? fields[7] : "";
+    if (!pixel_field.empty() && pixel_field != "*") {
+      height = std::atoi(pixel_field.c_str());
+    } else if (fields.size() > 8 && !fields[8].empty() && fields[8] != "*") {
+      height = std::atoi(fields[8].c_str()) / 10;
+    }
+    if (height <= 0) {
+      height = 13;
+    }
+    // Bold fonts are slightly wider; the width heuristic keeps layout
+    // deterministic without rasterizing glyphs.
+    bool bold = fields.size() > 3 && fields[3] == "bold";
+    int char_width = height / 2 + (bold ? 1 : 0);
+    if (char_width < 4) {
+      char_width = 4;
+    }
+    return MakeMetrics(std::string(name), char_width, height);
+  }
+  // Simple alias ("fixed", "variable", anything else): 6x13.
+  return MakeMetrics(std::string(name), 6, 13);
+}
+
+}  // namespace xsim

@@ -1,0 +1,40 @@
+// Synthetic font provider.
+//
+// A real X server rasterizes fonts; xsim instead provides deterministic
+// metrics derived from the font name, so that text layout (button sizing,
+// listbox rows, entry cursor positions) is exercised exactly as it would be
+// with server-supplied metrics.  Supported name forms:
+//
+//   "fixed"                          -> 6x13 cell font
+//   "8x13", "9x15", ...              -> cell fonts of that size
+//   "*-helvetica-bold-r-*-120-*"     -> XLFD-ish: point size / 10 = pixel
+//                                       height; width derived from height.
+
+#ifndef SRC_XSIM_FONT_H_
+#define SRC_XSIM_FONT_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace xsim {
+
+struct FontMetrics {
+  std::string name;
+  int char_width = 6;  // Fixed-pitch advance per character.
+  int ascent = 10;
+  int descent = 3;
+
+  int line_height() const { return ascent + descent; }
+  // Width of a string in pixels (fixed pitch; tabs count as 8 chars).
+  int TextWidth(std::string_view text) const;
+};
+
+// Parses a font name into metrics; std::nullopt if the name is malformed
+// (unparseable XLFD).  Unknown simple names fall back to "fixed" metrics,
+// mirroring a server's aliasing behaviour.
+std::optional<FontMetrics> ResolveFont(std::string_view name);
+
+}  // namespace xsim
+
+#endif  // SRC_XSIM_FONT_H_

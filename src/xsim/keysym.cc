@@ -1,0 +1,208 @@
+#include "src/xsim/keysym.h"
+
+#include <cctype>
+#include <map>
+
+namespace xsim {
+namespace {
+
+struct NamedKey {
+  const char* name;
+  KeySym keysym;
+};
+
+constexpr NamedKey kNamedKeys[] = {
+    {"space", ' '},
+    {"exclam", '!'},
+    {"quotedbl", '"'},
+    {"numbersign", '#'},
+    {"dollar", '$'},
+    {"percent", '%'},
+    {"ampersand", '&'},
+    {"apostrophe", '\''},
+    {"parenleft", '('},
+    {"parenright", ')'},
+    {"asterisk", '*'},
+    {"plus", '+'},
+    {"comma", ','},
+    {"minus", '-'},
+    {"period", '.'},
+    {"slash", '/'},
+    {"colon", ':'},
+    {"semicolon", ';'},
+    {"less", '<'},
+    {"equal", '='},
+    {"greater", '>'},
+    {"question", '?'},
+    {"at", '@'},
+    {"bracketleft", '['},
+    {"backslash", '\\'},
+    {"bracketright", ']'},
+    {"asciicircum", '^'},
+    {"underscore", '_'},
+    {"grave", '`'},
+    {"braceleft", '{'},
+    {"bar", '|'},
+    {"braceright", '}'},
+    {"asciitilde", '~'},
+    {"BackSpace", kKeyBackSpace},
+    {"Tab", kKeyTab},
+    {"Return", kKeyReturn},
+    {"Enter", kKeyReturn},
+    {"Escape", kKeyEscape},
+    {"Delete", kKeyDelete},
+    {"Home", kKeyHome},
+    {"End", kKeyEnd},
+    {"Left", kKeyLeft},
+    {"Up", kKeyUp},
+    {"Right", kKeyRight},
+    {"Down", kKeyDown},
+    {"Prior", kKeyPrior},
+    {"Next", kKeyNext},
+    {"Shift_L", kKeyShiftL},
+    {"Shift_R", kKeyShiftR},
+    {"Control_L", kKeyControlL},
+    {"Control_R", kKeyControlR},
+    {"Meta_L", kKeyMetaL},
+    {"Meta_R", kKeyMetaR},
+    {"Alt_L", kKeyAltL},
+    {"Alt_R", kKeyAltR},
+    {"F1", kKeyF1},
+    {"F2", kKeyF2},
+    {"F3", kKeyF3},
+    {"F4", kKeyF4},
+    {"F5", kKeyF5},
+    {"F6", kKeyF6},
+    {"F7", kKeyF7},
+    {"F8", kKeyF8},
+    {"F9", kKeyF9},
+    {"F10", kKeyF10},
+};
+
+// Shifted forms of the US keyboard layout for %A substitution.
+char ShiftedChar(char c) {
+  if (std::islower(static_cast<unsigned char>(c))) {
+    return static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  switch (c) {
+    case '1':
+      return '!';
+    case '2':
+      return '@';
+    case '3':
+      return '#';
+    case '4':
+      return '$';
+    case '5':
+      return '%';
+    case '6':
+      return '^';
+    case '7':
+      return '&';
+    case '8':
+      return '*';
+    case '9':
+      return '(';
+    case '0':
+      return ')';
+    case '-':
+      return '_';
+    case '=':
+      return '+';
+    case '[':
+      return '{';
+    case ']':
+      return '}';
+    case '\\':
+      return '|';
+    case ';':
+      return ':';
+    case '\'':
+      return '"';
+    case ',':
+      return '<';
+    case '.':
+      return '>';
+    case '/':
+      return '?';
+    case '`':
+      return '~';
+    default:
+      return c;
+  }
+}
+
+}  // namespace
+
+std::optional<KeySym> KeySymFromName(std::string_view name) {
+  if (name.size() == 1) {
+    unsigned char c = static_cast<unsigned char>(name[0]);
+    if (c >= 0x20 && c < 0x7f) {
+      return static_cast<KeySym>(c);
+    }
+    return std::nullopt;
+  }
+  for (const NamedKey& key : kNamedKeys) {
+    if (name == key.name) {
+      return key.keysym;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string KeySymName(KeySym keysym) {
+  if (keysym >= 0x20 && keysym < 0x7f) {
+    // Prefer the multi-character names for non-alphanumerics, as X does.
+    for (const NamedKey& key : kNamedKeys) {
+      if (key.keysym == keysym) {
+        return key.name;
+      }
+    }
+    return std::string(1, static_cast<char>(keysym));
+  }
+  for (const NamedKey& key : kNamedKeys) {
+    if (key.keysym == keysym) {
+      return key.name;
+    }
+  }
+  return "<keysym-" + std::to_string(keysym) + ">";
+}
+
+std::string KeySymToString(KeySym keysym, bool shift) {
+  if (keysym >= 0x20 && keysym < 0x7f) {
+    char c = static_cast<char>(keysym);
+    return std::string(1, shift ? ShiftedChar(c) : c);
+  }
+  switch (keysym) {
+    case kKeyReturn:
+      return "\n";
+    case kKeyTab:
+      return "\t";
+    case kKeyBackSpace:
+      return "\b";
+    case kKeyEscape:
+      return "\x1b";
+    case kKeyDelete:
+      return "\x7f";
+    default:
+      return "";
+  }
+}
+
+bool IsModifierKey(KeySym keysym) {
+  switch (keysym) {
+    case kKeyShiftL:
+    case kKeyShiftR:
+    case kKeyControlL:
+    case kKeyControlR:
+    case kKeyMetaL:
+    case kKeyMetaR:
+    case kKeyAltL:
+    case kKeyAltR:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace xsim

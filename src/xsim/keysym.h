@@ -1,0 +1,72 @@
+// Keysym table: symbolic key names <-> keysym codes, as used by key events
+// and Tk's bind command (<Escape>, <Return>, plain letters, ...).
+
+#ifndef SRC_XSIM_KEYSYM_H_
+#define SRC_XSIM_KEYSYM_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace xsim {
+
+using KeySym = uint32_t;
+
+inline constexpr KeySym kNoSymbol = 0;
+
+// Printable ASCII characters are their own keysyms (as in real X11, where
+// XK_a == 'a').  Named function keys live above 0xff00.
+enum : KeySym {
+  kKeyBackSpace = 0xff08,
+  kKeyTab = 0xff09,
+  kKeyReturn = 0xff0d,
+  kKeyEscape = 0xff1b,
+  kKeyDelete = 0xffff,
+  kKeyHome = 0xff50,
+  kKeyLeft = 0xff51,
+  kKeyUp = 0xff52,
+  kKeyRight = 0xff53,
+  kKeyDown = 0xff54,
+  kKeyPrior = 0xff55,  // Page Up.
+  kKeyNext = 0xff56,   // Page Down.
+  kKeyEnd = 0xff57,
+  kKeyShiftL = 0xffe1,
+  kKeyShiftR = 0xffe2,
+  kKeyControlL = 0xffe3,
+  kKeyControlR = 0xffe4,
+  kKeyMetaL = 0xffe7,
+  kKeyMetaR = 0xffe8,
+  kKeyAltL = 0xffe9,
+  kKeyAltR = 0xffea,
+  kKeyF1 = 0xffbe,
+  kKeyF2 = 0xffbf,
+  kKeyF3 = 0xffc0,
+  kKeyF4 = 0xffc1,
+  kKeyF5 = 0xffc2,
+  kKeyF6 = 0xffc3,
+  kKeyF7 = 0xffc4,
+  kKeyF8 = 0xffc5,
+  kKeyF9 = 0xffc6,
+  kKeyF10 = 0xffc7,
+};
+
+// Parses a keysym name: single characters name themselves ("a", "%"), and
+// multi-character names use the X names ("space", "Escape", "Return",
+// "comma", "F1", ...).  Returns std::nullopt for unknown names.
+std::optional<KeySym> KeySymFromName(std::string_view name);
+
+// Inverse of KeySymFromName.  Unknown keysyms format as "<keysym-N>".
+std::string KeySymName(KeySym keysym);
+
+// The ASCII string a key event produces (bind's %A substitution): the
+// character for printable keysyms (shift-adjusted), "\n" for Return, "\t"
+// for Tab, etc.; empty for pure modifiers and function keys.
+std::string KeySymToString(KeySym keysym, bool shift);
+
+// True for modifier keys (Shift, Control, Meta, Alt).
+bool IsModifierKey(KeySym keysym);
+
+}  // namespace xsim
+
+#endif  // SRC_XSIM_KEYSYM_H_

@@ -1,0 +1,102 @@
+#include "src/xsim/raster.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace xsim {
+
+Raster::Raster(int width, int height, Pixel fill)
+    : width_(width), height_(height), pixels_(static_cast<size_t>(width) * height, fill) {}
+
+Pixel Raster::At(int x, int y) const {
+  if (x < 0 || y < 0 || x >= width_ || y >= height_) {
+    return 0;
+  }
+  return pixels_[static_cast<size_t>(y) * width_ + x];
+}
+
+void Raster::Set(int x, int y, Pixel pixel, const Rect& clip) {
+  if (x < 0 || y < 0 || x >= width_ || y >= height_ || !clip.Contains(x, y)) {
+    return;
+  }
+  pixels_[static_cast<size_t>(y) * width_ + x] = pixel;
+}
+
+void Raster::FillRect(const Rect& rect, Pixel pixel, const Rect& clip) {
+  Rect bounded;
+  bounded.x = 0;
+  bounded.y = 0;
+  bounded.width = width_;
+  bounded.height = height_;
+  Rect target = rect.Intersection(clip).Intersection(bounded);
+  for (int y = target.y; y < target.y + target.height; ++y) {
+    size_t row = static_cast<size_t>(y) * width_;
+    for (int x = target.x; x < target.x + target.width; ++x) {
+      pixels_[row + x] = pixel;
+    }
+  }
+}
+
+void Raster::DrawRectOutline(const Rect& rect, Pixel pixel, const Rect& clip) {
+  for (int x = rect.x; x < rect.x + rect.width; ++x) {
+    Set(x, rect.y, pixel, clip);
+    Set(x, rect.y + rect.height - 1, pixel, clip);
+  }
+  for (int y = rect.y; y < rect.y + rect.height; ++y) {
+    Set(rect.x, y, pixel, clip);
+    Set(rect.x + rect.width - 1, y, pixel, clip);
+  }
+}
+
+void Raster::DrawLine(int x0, int y0, int x1, int y1, Pixel pixel, const Rect& clip) {
+  int dx = std::abs(x1 - x0);
+  int dy = -std::abs(y1 - y0);
+  int sx = x0 < x1 ? 1 : -1;
+  int sy = y0 < y1 ? 1 : -1;
+  int err = dx + dy;
+  while (true) {
+    Set(x0, y0, pixel, clip);
+    if (x0 == x1 && y0 == y1) {
+      break;
+    }
+    int e2 = 2 * err;
+    if (e2 >= dy) {
+      err += dy;
+      x0 += sx;
+    }
+    if (e2 <= dx) {
+      err += dx;
+      y0 += sy;
+    }
+  }
+}
+
+void Raster::DrawTextBlock(int x, int baseline_y, int char_width, int ascent, int descent,
+                           int char_count, Pixel pixel, const Rect& clip) {
+  // Leave a 1-pixel gap between character cells so adjacent glyph blocks are
+  // distinguishable in dumps.
+  for (int i = 0; i < char_count; ++i) {
+    Rect cell;
+    cell.x = x + i * char_width;
+    cell.y = baseline_y - ascent + 1;
+    cell.width = char_width > 1 ? char_width - 1 : 1;
+    cell.height = ascent + descent - 2;
+    if (cell.height < 1) {
+      cell.height = 1;
+    }
+    FillRect(cell, pixel, clip);
+  }
+}
+
+std::string Raster::ToPpm() const {
+  std::string out = "P6\n" + std::to_string(width_) + " " + std::to_string(height_) + "\n255\n";
+  out.reserve(out.size() + pixels_.size() * 3);
+  for (Pixel p : pixels_) {
+    out.push_back(static_cast<char>((p >> 16) & 0xff));
+    out.push_back(static_cast<char>((p >> 8) & 0xff));
+    out.push_back(static_cast<char>(p & 0xff));
+  }
+  return out;
+}
+
+}  // namespace xsim

@@ -1,0 +1,47 @@
+// A 32-bit framebuffer with clipped drawing primitives.  The xsim server
+// renders all window contents into one of these, replacing the physical
+// screen of the paper's DECstation; tests and the Figure 10 "screen dump"
+// read it back as PPM or sample individual pixels.
+
+#ifndef SRC_XSIM_RASTER_H_
+#define SRC_XSIM_RASTER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/xsim/types.h"
+
+namespace xsim {
+
+class Raster {
+ public:
+  Raster(int width, int height, Pixel fill = 0x00000000);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  Pixel At(int x, int y) const;
+
+  // All drawing is clipped to `clip` (already in raster coordinates).
+  void FillRect(const Rect& rect, Pixel pixel, const Rect& clip);
+  void DrawRectOutline(const Rect& rect, Pixel pixel, const Rect& clip);
+  void DrawLine(int x0, int y0, int x1, int y1, Pixel pixel, const Rect& clip);
+  // Text is drawn as a filled block per character cell (glyph shapes don't
+  // matter for layout verification, coverage does).
+  void DrawTextBlock(int x, int baseline_y, int char_width, int ascent, int descent,
+                     int char_count, Pixel pixel, const Rect& clip);
+
+  // Serializes as binary PPM (P6).
+  std::string ToPpm() const;
+
+ private:
+  void Set(int x, int y, Pixel pixel, const Rect& clip);
+
+  int width_;
+  int height_;
+  std::vector<Pixel> pixels_;
+};
+
+}  // namespace xsim
+
+#endif  // SRC_XSIM_RASTER_H_

@@ -1,0 +1,1150 @@
+#include "src/xsim/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+namespace xsim {
+
+Server::Server(int width, int height) : raster_(width, height, 0x00c0c0c0) {
+  auto root = std::make_unique<WindowRec>();
+  root->id = kRootWindow;
+  root->parent = kNone;
+  root->geometry = Rect{0, 0, width, height};
+  root->mapped = true;
+  root->background = 0x00c0c0c0;
+  windows_[kRootWindow] = std::move(root);
+}
+
+
+// ---------------------------------------------------------------------------
+// Request accounting with optional simulated transport latency.
+
+namespace {
+
+void BusyWaitNs(uint64_t ns) {
+  if (ns == 0) {
+    return;
+  }
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::nanoseconds(ns);
+  while (std::chrono::steady_clock::now() < deadline) {
+  }
+}
+
+}  // namespace
+
+void Server::CountRequest() {
+  ++counters_.total;
+  BusyWaitNs(request_latency_ns_);
+}
+
+void Server::CountRoundTrip() {
+  ++counters_.round_trips;
+  BusyWaitNs(round_trip_latency_ns_);
+}
+
+Server::~Server() = default;
+
+
+// ---------------------------------------------------------------------------
+// Lookup helpers.
+
+Server::WindowRec* Server::FindWindow(WindowId id) {
+  auto it = windows_.find(id);
+  return it == windows_.end() ? nullptr : it->second.get();
+}
+
+const Server::WindowRec* Server::FindWindow(WindowId id) const {
+  auto it = windows_.find(id);
+  return it == windows_.end() ? nullptr : it->second.get();
+}
+
+Server::ClientRec* Server::FindClient(ClientId id) {
+  auto it = clients_.find(id);
+  return it == clients_.end() ? nullptr : it->second.get();
+}
+
+// ---------------------------------------------------------------------------
+// Clients.
+
+ClientId Server::RegisterClient(std::string name) {
+  ClientId id = next_client_++;
+  auto client = std::make_unique<ClientRec>();
+  client->id = id;
+  client->name = std::move(name);
+  clients_[id] = std::move(client);
+  return id;
+}
+
+void Server::UnregisterClient(ClientId client) {
+  // Destroy windows owned by the client (top-level ones; descendants go with
+  // them), release selections, drop the queue.
+  std::vector<WindowId> owned;
+  for (const auto& [id, rec] : windows_) {
+    if (rec->owner == client && rec->parent != kNone) {
+      const WindowRec* parent = FindWindow(rec->parent);
+      if (parent == nullptr || parent->owner != client) {
+        owned.push_back(id);
+      }
+    }
+  }
+  for (WindowId id : owned) {
+    if (WindowRec* rec = FindWindow(id)) {
+      DestroyWindowInternal(rec);
+    }
+  }
+  for (auto it = selections_.begin(); it != selections_.end();) {
+    if (it->second.second == client) {
+      it = selections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  clients_.erase(client);
+}
+
+bool Server::HasPendingEvents(ClientId client) const {
+  auto it = clients_.find(client);
+  return it != clients_.end() && !it->second->queue.empty();
+}
+
+bool Server::NextEvent(ClientId client, Event* out) {
+  ClientRec* rec = FindClient(client);
+  if (rec == nullptr || rec->queue.empty()) {
+    return false;
+  }
+  *out = rec->queue.front();
+  rec->queue.pop_front();
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Event delivery.
+
+void Server::Deliver(WindowId window, const Event& event, uint32_t mask) {
+  const WindowRec* rec = FindWindow(window);
+  if (rec == nullptr) {
+    return;
+  }
+  for (const auto& [client_id, selected] : rec->event_masks) {
+    if ((selected & mask) == 0) {
+      continue;
+    }
+    if (ClientRec* client = FindClient(client_id)) {
+      client->queue.push_back(event);
+    }
+  }
+}
+
+WindowId Server::DeliverWithPropagation(WindowId window, Event event, uint32_t mask) {
+  WindowId current = window;
+  while (current != kNone) {
+    const WindowRec* rec = FindWindow(current);
+    if (rec == nullptr) {
+      return kNone;
+    }
+    bool selected = false;
+    for (const auto& [client_id, selected_mask] : rec->event_masks) {
+      if ((selected_mask & mask) != 0) {
+        selected = true;
+        break;
+      }
+    }
+    if (selected) {
+      // Re-express coordinates relative to the delivery window.
+      std::optional<Point> abs = AbsolutePosition(current);
+      if (abs) {
+        event.x = event.x_root - abs->x;
+        event.y = event.y_root - abs->y;
+      }
+      event.window = current;
+      Deliver(current, event, mask);
+      return current;
+    }
+    current = rec->parent;
+  }
+  return kNone;
+}
+
+// ---------------------------------------------------------------------------
+// Windows.
+
+WindowId Server::CreateWindow(ClientId client, WindowId parent, int x, int y, int width,
+                              int height, int border_width) {
+  CountRequest();
+  ++counters_.create_window;
+  WindowRec* parent_rec = FindWindow(parent);
+  if (parent_rec == nullptr) {
+    return kNone;
+  }
+  WindowId id = next_id_++;
+  auto rec = std::make_unique<WindowRec>();
+  rec->id = id;
+  rec->parent = parent;
+  rec->owner = client;
+  rec->geometry = Rect{x, y, std::max(1, width), std::max(1, height)};
+  rec->border_width = border_width;
+  windows_[id] = std::move(rec);
+  parent_rec->children.push_back(id);
+  return id;
+}
+
+void Server::DestroyWindowInternal(WindowRec* rec) {
+  // Children first, depth-first (X destroys subtrees bottom-up).
+  std::vector<WindowId> children = rec->children;
+  for (WindowId child : children) {
+    if (WindowRec* child_rec = FindWindow(child)) {
+      DestroyWindowInternal(child_rec);
+    }
+  }
+  Event event;
+  event.type = EventType::kDestroyNotify;
+  event.window = rec->id;
+  event.time = Tick();
+  Deliver(rec->id, event, kStructureNotifyMask);
+  if (WindowRec* parent = FindWindow(rec->parent)) {
+    parent->children.erase(std::remove(parent->children.begin(), parent->children.end(),
+                                       rec->id),
+                           parent->children.end());
+    Deliver(parent->id, event, kSubstructureNotifyMask);
+  }
+  // Release selections owned via this window.
+  for (auto it = selections_.begin(); it != selections_.end();) {
+    if (it->second.first == rec->id) {
+      it = selections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (focus_window_ == rec->id) {
+    focus_window_ = kNone;
+  }
+  if (pointer_window_ == rec->id) {
+    pointer_window_ = kRootWindow;
+  }
+  if (grab_window_ == rec->id) {
+    grab_window_ = kNone;
+  }
+  windows_.erase(rec->id);
+}
+
+bool Server::DestroyWindow(ClientId, WindowId window) {
+  CountRequest();
+  ++counters_.destroy_window;
+  WindowRec* rec = FindWindow(window);
+  if (rec == nullptr || window == kRootWindow) {
+    return false;
+  }
+  DestroyWindowInternal(rec);
+  return true;
+}
+
+bool Server::MapWindow(ClientId, WindowId window) {
+  CountRequest();
+  ++counters_.map_window;
+  WindowRec* rec = FindWindow(window);
+  if (rec == nullptr) {
+    return false;
+  }
+  if (rec->mapped) {
+    return true;
+  }
+  rec->mapped = true;
+  Event event;
+  event.type = EventType::kMapNotify;
+  event.window = window;
+  event.time = Tick();
+  Deliver(window, event, kStructureNotifyMask);
+  if (IsViewable(window)) {
+    PaintBackground(*rec);
+    GenerateExpose(window);
+    // Mapping may reveal already-mapped children.
+    for (WindowId child : rec->children) {
+      if (IsViewable(child)) {
+        GenerateExpose(child);
+      }
+    }
+  }
+  return true;
+}
+
+bool Server::UnmapWindow(ClientId, WindowId window) {
+  CountRequest();
+  WindowRec* rec = FindWindow(window);
+  if (rec == nullptr || !rec->mapped) {
+    return false;
+  }
+  rec->mapped = false;
+  Event event;
+  event.type = EventType::kUnmapNotify;
+  event.window = window;
+  event.time = Tick();
+  Deliver(window, event, kStructureNotifyMask);
+  return true;
+}
+
+bool Server::ConfigureWindow(ClientId, WindowId window, int x, int y, int width, int height,
+                             int border_width) {
+  CountRequest();
+  ++counters_.configure_window;
+  WindowRec* rec = FindWindow(window);
+  if (rec == nullptr) {
+    return false;
+  }
+  Rect old = rec->geometry;
+  if (x != -1 || y != -1) {
+    if (x != -1) {
+      rec->geometry.x = x;
+    }
+    if (y != -1) {
+      rec->geometry.y = y;
+    }
+  }
+  bool resized = false;
+  if (width > 0 && width != rec->geometry.width) {
+    rec->geometry.width = width;
+    resized = true;
+  }
+  if (height > 0 && height != rec->geometry.height) {
+    rec->geometry.height = height;
+    resized = true;
+  }
+  if (border_width >= 0) {
+    rec->border_width = border_width;
+  }
+  bool moved = rec->geometry.x != old.x || rec->geometry.y != old.y;
+  if (!moved && !resized && border_width < 0) {
+    return true;
+  }
+  Event event;
+  event.type = EventType::kConfigureNotify;
+  event.window = window;
+  event.area = rec->geometry;
+  event.border_width = rec->border_width;
+  event.time = Tick();
+  Deliver(window, event, kStructureNotifyMask);
+  if (WindowRec* parent = FindWindow(rec->parent)) {
+    Deliver(parent->id, event, kSubstructureNotifyMask);
+  }
+  if ((resized || moved) && IsViewable(window)) {
+    PaintBackground(*rec);
+    GenerateExpose(window);
+  }
+  return true;
+}
+
+bool Server::RaiseWindow(ClientId, WindowId window) {
+  CountRequest();
+  WindowRec* rec = FindWindow(window);
+  if (rec == nullptr) {
+    return false;
+  }
+  WindowRec* parent = FindWindow(rec->parent);
+  if (parent == nullptr) {
+    return true;
+  }
+  auto it = std::find(parent->children.begin(), parent->children.end(), window);
+  if (it != parent->children.end()) {
+    parent->children.erase(it);
+    parent->children.push_back(window);
+  }
+  if (IsViewable(window)) {
+    GenerateExpose(window);
+  }
+  return true;
+}
+
+void Server::SelectInput(ClientId client, WindowId window, uint32_t mask) {
+  CountRequest();
+  WindowRec* rec = FindWindow(window);
+  if (rec == nullptr) {
+    return;
+  }
+  if (mask == 0) {
+    rec->event_masks.erase(client);
+  } else {
+    rec->event_masks[client] = mask;
+  }
+}
+
+bool Server::SetWindowBackground(ClientId, WindowId window, Pixel pixel) {
+  CountRequest();
+  WindowRec* rec = FindWindow(window);
+  if (rec == nullptr) {
+    return false;
+  }
+  rec->background = pixel;
+  return true;
+}
+
+bool Server::WindowExists(WindowId window) const { return FindWindow(window) != nullptr; }
+
+std::optional<Rect> Server::WindowGeometry(WindowId window) const {
+  const WindowRec* rec = FindWindow(window);
+  if (rec == nullptr) {
+    return std::nullopt;
+  }
+  return rec->geometry;
+}
+
+std::optional<WindowId> Server::WindowParent(WindowId window) const {
+  const WindowRec* rec = FindWindow(window);
+  if (rec == nullptr) {
+    return std::nullopt;
+  }
+  return rec->parent;
+}
+
+std::vector<WindowId> Server::WindowChildren(WindowId window) const {
+  const WindowRec* rec = FindWindow(window);
+  return rec == nullptr ? std::vector<WindowId>() : rec->children;
+}
+
+bool Server::IsMapped(WindowId window) const {
+  const WindowRec* rec = FindWindow(window);
+  return rec != nullptr && rec->mapped;
+}
+
+bool Server::IsViewable(WindowId window) const {
+  const WindowRec* rec = FindWindow(window);
+  while (rec != nullptr) {
+    if (!rec->mapped) {
+      return false;
+    }
+    if (rec->parent == kNone) {
+      return true;
+    }
+    rec = FindWindow(rec->parent);
+  }
+  return false;
+}
+
+std::optional<Point> Server::AbsolutePosition(WindowId window) const {
+  const WindowRec* rec = FindWindow(window);
+  if (rec == nullptr) {
+    return std::nullopt;
+  }
+  Point point;
+  while (rec != nullptr) {
+    point.x += rec->geometry.x;
+    point.y += rec->geometry.y;
+    rec = FindWindow(rec->parent);
+  }
+  return point;
+}
+
+Rect Server::AbsoluteRect(const WindowRec& rec) const {
+  std::optional<Point> abs = AbsolutePosition(rec.id);
+  Rect out = rec.geometry;
+  out.x = abs ? abs->x : 0;
+  out.y = abs ? abs->y : 0;
+  return out;
+}
+
+Rect Server::VisibleRegion(const WindowRec& rec) const {
+  Rect region = AbsoluteRect(rec);
+  const WindowRec* current = FindWindow(rec.parent);
+  while (current != nullptr) {
+    region = region.Intersection(AbsoluteRect(*current));
+    current = FindWindow(current->parent);
+  }
+  return region;
+}
+
+void Server::GenerateExpose(WindowId window) {
+  const WindowRec* rec = FindWindow(window);
+  if (rec == nullptr) {
+    return;
+  }
+  Event event;
+  event.type = EventType::kExpose;
+  event.window = window;
+  event.area = Rect{0, 0, rec->geometry.width, rec->geometry.height};
+  event.count = 0;
+  event.time = Tick();
+  Deliver(window, event, kExposureMask);
+}
+
+// ---------------------------------------------------------------------------
+// Atoms and properties.
+
+Atom Server::InternAtom(std::string_view name) {
+  CountRequest();
+  CountRoundTrip();
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (atoms_[i] == name) {
+      return static_cast<Atom>(i + 1);
+    }
+  }
+  atoms_.emplace_back(name);
+  return static_cast<Atom>(atoms_.size());
+}
+
+std::string Server::AtomName(Atom atom) const {
+  if (atom == 0 || atom > atoms_.size()) {
+    return "";
+  }
+  return atoms_[atom - 1];
+}
+
+bool Server::ChangeProperty(ClientId, WindowId window, Atom property, std::string value) {
+  CountRequest();
+  ++counters_.change_property;
+  WindowRec* rec = FindWindow(window);
+  if (rec == nullptr || property == kAtomNone) {
+    return false;
+  }
+  rec->properties[property] = std::move(value);
+  Event event;
+  event.type = EventType::kPropertyNotify;
+  event.window = window;
+  event.atom = property;
+  event.time = Tick();
+  Deliver(window, event, kPropertyChangeMask);
+  return true;
+}
+
+std::optional<std::string> Server::GetProperty(ClientId, WindowId window, Atom property) {
+  CountRequest();
+  ++counters_.get_property;
+  CountRoundTrip();
+  const WindowRec* rec = FindWindow(window);
+  if (rec == nullptr) {
+    return std::nullopt;
+  }
+  auto it = rec->properties.find(property);
+  if (it == rec->properties.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+bool Server::DeleteProperty(ClientId, WindowId window, Atom property) {
+  CountRequest();
+  WindowRec* rec = FindWindow(window);
+  if (rec == nullptr || rec->properties.erase(property) == 0) {
+    return false;
+  }
+  Event event;
+  event.type = EventType::kPropertyNotify;
+  event.window = window;
+  event.atom = property;
+  event.time = Tick();
+  Deliver(window, event, kPropertyChangeMask);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Colors, fonts, cursors, bitmaps.
+
+std::optional<Pixel> Server::AllocNamedColor(ClientId, std::string_view name) {
+  CountRequest();
+  ++counters_.alloc_color;
+  CountRoundTrip();
+  std::optional<Rgb> rgb = LookupColor(name);
+  if (!rgb) {
+    return std::nullopt;
+  }
+  return PackPixel(*rgb);
+}
+
+Pixel Server::AllocColor(ClientId, Rgb rgb) {
+  CountRequest();
+  ++counters_.alloc_color;
+  CountRoundTrip();
+  return PackPixel(rgb);
+}
+
+std::optional<FontId> Server::LoadFont(ClientId, std::string_view name) {
+  CountRequest();
+  ++counters_.load_font;
+  CountRoundTrip();
+  auto it = font_ids_.find(name);
+  if (it != font_ids_.end()) {
+    return it->second;
+  }
+  std::optional<FontMetrics> metrics = ResolveFont(name);
+  if (!metrics) {
+    return std::nullopt;
+  }
+  FontId id = next_id_++;
+  fonts_[id] = *metrics;
+  font_ids_[std::string(name)] = id;
+  return id;
+}
+
+const FontMetrics* Server::QueryFont(FontId font) const {
+  auto it = fonts_.find(font);
+  return it == fonts_.end() ? nullptr : &it->second;
+}
+
+CursorId Server::CreateNamedCursor(ClientId, std::string_view name) {
+  CountRequest();
+  CountRoundTrip();
+  CursorId id = next_id_++;
+  cursors_[id] = std::string(name);
+  return id;
+}
+
+std::optional<std::string> Server::CursorName(CursorId cursor) const {
+  auto it = cursors_.find(cursor);
+  if (it == cursors_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+BitmapId Server::CreateBitmap(ClientId, std::string_view name, int width, int height) {
+  CountRequest();
+  CountRoundTrip();
+  BitmapId id = next_id_++;
+  bitmaps_[id] = {std::string(name), Rect{0, 0, width, height}};
+  return id;
+}
+
+std::optional<Rect> Server::BitmapSize(BitmapId bitmap) const {
+  auto it = bitmaps_.find(bitmap);
+  if (it == bitmaps_.end()) {
+    return std::nullopt;
+  }
+  return it->second.second;
+}
+
+// ---------------------------------------------------------------------------
+// GCs and drawing.
+
+GcId Server::CreateGc(ClientId) {
+  CountRequest();
+  GcId id = next_id_++;
+  gcs_[id] = Gc();
+  return id;
+}
+
+void Server::FreeGc(ClientId, GcId gc) {
+  CountRequest();
+  gcs_.erase(gc);
+}
+
+bool Server::ChangeGc(ClientId, GcId gc, const Gc& values) {
+  CountRequest();
+  auto it = gcs_.find(gc);
+  if (it == gcs_.end()) {
+    return false;
+  }
+  it->second = values;
+  return true;
+}
+
+const Server::Gc* Server::GetGc(GcId gc) const {
+  auto it = gcs_.find(gc);
+  return it == gcs_.end() ? nullptr : &it->second;
+}
+
+void Server::PaintBackground(WindowRec& rec) {
+  Rect clip = VisibleRegion(rec);
+  raster_.FillRect(AbsoluteRect(rec), rec.background, clip);
+}
+
+void Server::ClearWindow(ClientId, WindowId window) {
+  CountRequest();
+  ++counters_.draw;
+  WindowRec* rec = FindWindow(window);
+  if (rec == nullptr) {
+    return;
+  }
+  rec->text_items.clear();
+  if (IsViewable(window)) {
+    PaintBackground(*rec);
+  }
+}
+
+void Server::FillRectangle(ClientId, WindowId window, GcId gc, const Rect& rect) {
+  CountRequest();
+  ++counters_.draw;
+  WindowRec* rec = FindWindow(window);
+  const Gc* context = GetGc(gc);
+  if (rec == nullptr || context == nullptr || !IsViewable(window)) {
+    return;
+  }
+  std::optional<Point> abs = AbsolutePosition(window);
+  Rect target = rect;
+  target.x += abs->x;
+  target.y += abs->y;
+  raster_.FillRect(target, context->foreground, VisibleRegion(*rec));
+}
+
+void Server::DrawRectangle(ClientId, WindowId window, GcId gc, const Rect& rect) {
+  CountRequest();
+  ++counters_.draw;
+  WindowRec* rec = FindWindow(window);
+  const Gc* context = GetGc(gc);
+  if (rec == nullptr || context == nullptr || !IsViewable(window)) {
+    return;
+  }
+  std::optional<Point> abs = AbsolutePosition(window);
+  Rect target = rect;
+  target.x += abs->x;
+  target.y += abs->y;
+  raster_.DrawRectOutline(target, context->foreground, VisibleRegion(*rec));
+}
+
+void Server::DrawLine(ClientId, WindowId window, GcId gc, int x0, int y0, int x1, int y1) {
+  CountRequest();
+  ++counters_.draw;
+  WindowRec* rec = FindWindow(window);
+  const Gc* context = GetGc(gc);
+  if (rec == nullptr || context == nullptr || !IsViewable(window)) {
+    return;
+  }
+  std::optional<Point> abs = AbsolutePosition(window);
+  raster_.DrawLine(x0 + abs->x, y0 + abs->y, x1 + abs->x, y1 + abs->y, context->foreground,
+                   VisibleRegion(*rec));
+}
+
+void Server::DrawString(ClientId, WindowId window, GcId gc, int x, int y,
+                        std::string_view text) {
+  CountRequest();
+  ++counters_.draw;
+  WindowRec* rec = FindWindow(window);
+  const Gc* context = GetGc(gc);
+  if (rec == nullptr || context == nullptr) {
+    return;
+  }
+  TextItem item;
+  item.x = x;
+  item.y = y;
+  item.text = std::string(text);
+  item.pixel = context->foreground;
+  item.font = context->font;
+  rec->text_items.push_back(item);
+  if (!IsViewable(window)) {
+    return;
+  }
+  const FontMetrics* metrics = QueryFont(context->font);
+  FontMetrics fallback;
+  if (metrics == nullptr) {
+    metrics = &fallback;
+  }
+  std::optional<Point> abs = AbsolutePosition(window);
+  raster_.DrawTextBlock(x + abs->x, y + abs->y, metrics->char_width, metrics->ascent,
+                        metrics->descent, static_cast<int>(text.size()), context->foreground,
+                        VisibleRegion(*rec));
+}
+
+std::vector<TextItem> Server::WindowText(WindowId window) const {
+  const WindowRec* rec = FindWindow(window);
+  return rec == nullptr ? std::vector<TextItem>() : rec->text_items;
+}
+
+// ---------------------------------------------------------------------------
+// Focus.
+
+void Server::SetInputFocus(ClientId, WindowId window) {
+  CountRequest();
+  if (window == focus_window_) {
+    return;
+  }
+  if (focus_window_ != kNone) {
+    Event event;
+    event.type = EventType::kFocusOut;
+    event.window = focus_window_;
+    event.time = Tick();
+    Deliver(focus_window_, event, kFocusChangeMask);
+  }
+  focus_window_ = window;
+  if (window != kNone) {
+    Event event;
+    event.type = EventType::kFocusIn;
+    event.window = window;
+    event.time = Tick();
+    Deliver(window, event, kFocusChangeMask);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Selections (ICCCM shape).
+
+void Server::SetSelectionOwner(ClientId client, Atom selection, WindowId owner) {
+  CountRequest();
+  auto it = selections_.find(selection);
+  if (it != selections_.end() && it->second.first != owner) {
+    // Notify the previous owner that it has lost the selection.
+    Event event;
+    event.type = EventType::kSelectionClear;
+    event.window = it->second.first;
+    event.atom = selection;
+    event.time = Tick();
+    if (ClientRec* old_client = FindClient(it->second.second)) {
+      old_client->queue.push_back(event);
+    }
+  }
+  if (owner == kNone) {
+    selections_.erase(selection);
+  } else {
+    selections_[selection] = {owner, client};
+  }
+}
+
+WindowId Server::GetSelectionOwner(ClientId, Atom selection) {
+  CountRequest();
+  CountRoundTrip();
+  auto it = selections_.find(selection);
+  return it == selections_.end() ? kNone : it->second.first;
+}
+
+void Server::ConvertSelection(ClientId client, Atom selection, Atom target, Atom property,
+                              WindowId requestor) {
+  CountRequest();
+  auto it = selections_.find(selection);
+  if (it == selections_.end()) {
+    // No owner: refuse with property None.
+    Event event;
+    event.type = EventType::kSelectionNotify;
+    event.window = requestor;
+    event.atom = selection;
+    event.target = target;
+    event.property = kAtomNone;
+    event.time = Tick();
+    if (ClientRec* rec = FindClient(client)) {
+      rec->queue.push_back(event);
+    }
+    return;
+  }
+  Event event;
+  event.type = EventType::kSelectionRequest;
+  event.window = it->second.first;
+  event.atom = selection;
+  event.target = target;
+  event.property = property;
+  event.requestor = requestor;
+  event.time = Tick();
+  if (ClientRec* owner = FindClient(it->second.second)) {
+    owner->queue.push_back(event);
+  }
+}
+
+void Server::SendSelectionNotify(ClientId, WindowId requestor, Atom selection, Atom target,
+                                 Atom property) {
+  CountRequest();
+  ++counters_.send_event;
+  Event event;
+  event.type = EventType::kSelectionNotify;
+  event.window = requestor;
+  event.atom = selection;
+  event.target = target;
+  event.property = property;
+  event.time = Tick();
+  const WindowRec* rec = FindWindow(requestor);
+  if (rec != nullptr) {
+    if (ClientRec* owner = FindClient(rec->owner)) {
+      owner->queue.push_back(event);
+    }
+  }
+}
+
+void Server::SendEvent(ClientId, WindowId destination, const Event& event, uint32_t mask) {
+  CountRequest();
+  ++counters_.send_event;
+  const WindowRec* rec = FindWindow(destination);
+  if (rec == nullptr) {
+    return;
+  }
+  Event adjusted = event;
+  adjusted.window = destination;
+  adjusted.time = Tick();
+  if (mask == 0) {
+    // X11: mask 0 targets the window's creating client.
+    if (ClientRec* owner = FindClient(rec->owner)) {
+      owner->queue.push_back(adjusted);
+    }
+    return;
+  }
+  Deliver(destination, adjusted, mask);
+}
+
+// ---------------------------------------------------------------------------
+// Input injection.
+
+WindowId Server::WindowAt(int x, int y) const {
+  const WindowRec* current = FindWindow(kRootWindow);
+  if (current == nullptr || !current->geometry.Contains(x, y)) {
+    return kRootWindow;
+  }
+  // Descend into the topmost mapped child containing the point.
+  while (true) {
+    const WindowRec* next = nullptr;
+    for (auto it = current->children.rbegin(); it != current->children.rend(); ++it) {
+      const WindowRec* child = FindWindow(*it);
+      if (child == nullptr || !child->mapped) {
+        continue;
+      }
+      Rect abs = AbsoluteRect(*child);
+      if (abs.Contains(x, y)) {
+        next = child;
+        break;
+      }
+    }
+    if (next == nullptr) {
+      return current->id;
+    }
+    current = next;
+  }
+}
+
+std::vector<WindowId> Server::AncestorChain(WindowId window) const {
+  std::vector<WindowId> chain;
+  const WindowRec* rec = FindWindow(window);
+  while (rec != nullptr) {
+    chain.push_back(rec->id);
+    rec = FindWindow(rec->parent);
+  }
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+void Server::UpdateCrossing(WindowId old_window, WindowId new_window) {
+  if (old_window == new_window) {
+    return;
+  }
+  std::vector<WindowId> old_chain = AncestorChain(old_window);
+  std::vector<WindowId> new_chain = AncestorChain(new_window);
+  // Windows being left: in the old chain but not the new one, deepest first.
+  for (auto it = old_chain.rbegin(); it != old_chain.rend(); ++it) {
+    if (std::find(new_chain.begin(), new_chain.end(), *it) == new_chain.end()) {
+      Event event;
+      event.type = EventType::kLeaveNotify;
+      event.window = *it;
+      event.x_root = pointer_.x;
+      event.y_root = pointer_.y;
+      event.state = modifier_state_ | button_state_;
+      event.time = Tick();
+      Deliver(*it, event, kLeaveWindowMask);
+    }
+  }
+  // Windows being entered: in the new chain but not the old one, top-down.
+  for (WindowId id : new_chain) {
+    if (std::find(old_chain.begin(), old_chain.end(), id) == old_chain.end()) {
+      Event event;
+      event.type = EventType::kEnterNotify;
+      event.window = id;
+      event.x_root = pointer_.x;
+      event.y_root = pointer_.y;
+      event.state = modifier_state_ | button_state_;
+      event.time = Tick();
+      std::optional<Point> abs = AbsolutePosition(id);
+      if (abs) {
+        event.x = pointer_.x - abs->x;
+        event.y = pointer_.y - abs->y;
+      }
+      Deliver(id, event, kEnterWindowMask);
+    }
+  }
+}
+
+void Server::InjectPointerMove(int x, int y) {
+  pointer_.x = x;
+  pointer_.y = y;
+  WindowId new_window = WindowAt(x, y);
+  WindowId old_window = pointer_window_;
+  pointer_window_ = new_window;
+  if (grab_window_ == kNone) {
+    UpdateCrossing(old_window, new_window);
+  }
+  Event event;
+  event.type = EventType::kMotionNotify;
+  event.x_root = x;
+  event.y_root = y;
+  event.state = modifier_state_ | button_state_;
+  event.time = Tick();
+  uint32_t mask = kPointerMotionMask;
+  if (button_state_ != 0) {
+    mask |= kButtonMotionMask;
+  }
+  if (grab_window_ != kNone) {
+    // Implicit grab: motion goes to the grab window regardless of position.
+    std::optional<Point> abs = AbsolutePosition(grab_window_);
+    if (abs) {
+      event.x = x - abs->x;
+      event.y = y - abs->y;
+    }
+    event.window = grab_window_;
+    Deliver(grab_window_, event, mask);
+    return;
+  }
+  event.window = new_window;
+  DeliverWithPropagation(new_window, event, mask);
+}
+
+void Server::InjectButton(int button, bool press) {
+  uint32_t bit = kButton1Mask << (button - 1);
+  Event event;
+  event.type = press ? EventType::kButtonPress : EventType::kButtonRelease;
+  event.x_root = pointer_.x;
+  event.y_root = pointer_.y;
+  event.detail = static_cast<uint32_t>(button);
+  event.state = modifier_state_ | button_state_;  // State *before* the transition.
+  event.time = Tick();
+  if (press) {
+    button_state_ |= bit;
+  } else {
+    button_state_ &= ~bit;
+  }
+  WindowId target = grab_window_ != kNone ? grab_window_ : WindowAt(pointer_.x, pointer_.y);
+  if (grab_window_ != kNone) {
+    std::optional<Point> abs = AbsolutePosition(grab_window_);
+    if (abs) {
+      event.x = pointer_.x - abs->x;
+      event.y = pointer_.y - abs->y;
+    }
+    event.window = grab_window_;
+    Deliver(grab_window_, event, press ? kButtonPressMask : kButtonReleaseMask);
+  } else {
+    target = DeliverWithPropagation(target, event,
+                                    press ? kButtonPressMask : kButtonReleaseMask);
+  }
+  if (press && grab_window_ == kNone && target != kNone) {
+    grab_window_ = target;  // Implicit pointer grab until all buttons release.
+  }
+  if (!press && button_state_ == 0 && grab_window_ != kNone) {
+    WindowId grabbed = grab_window_;
+    grab_window_ = kNone;
+    // Releasing the grab may reveal that the pointer moved elsewhere.
+    (void)grabbed;
+    UpdateCrossing(pointer_window_, WindowAt(pointer_.x, pointer_.y));
+    pointer_window_ = WindowAt(pointer_.x, pointer_.y);
+  }
+}
+
+void Server::InjectKey(KeySym keysym, bool press) {
+  uint32_t bit = 0;
+  switch (keysym) {
+    case kKeyShiftL:
+    case kKeyShiftR:
+      bit = kShiftMask;
+      break;
+    case kKeyControlL:
+    case kKeyControlR:
+      bit = kControlMask;
+      break;
+    case kKeyMetaL:
+    case kKeyMetaR:
+    case kKeyAltL:
+    case kKeyAltR:
+      bit = kMod1Mask;
+      break;
+    default:
+      break;
+  }
+  Event event;
+  event.type = press ? EventType::kKeyPress : EventType::kKeyRelease;
+  event.detail = keysym;
+  event.state = modifier_state_ | button_state_;
+  event.x_root = pointer_.x;
+  event.y_root = pointer_.y;
+  event.time = Tick();
+  if (bit != 0) {
+    if (press) {
+      modifier_state_ |= bit;
+    } else {
+      modifier_state_ &= ~bit;
+    }
+  }
+  WindowId target = focus_window_ != kNone ? focus_window_ : WindowAt(pointer_.x, pointer_.y);
+  std::optional<Point> abs = AbsolutePosition(target);
+  if (abs) {
+    event.x = pointer_.x - abs->x;
+    event.y = pointer_.y - abs->y;
+  }
+  event.window = target;
+  DeliverWithPropagation(target, event, press ? kKeyPressMask : kKeyReleaseMask);
+}
+
+// ---------------------------------------------------------------------------
+// Introspection.
+
+namespace {
+
+void DumpWindow(const Server& server, WindowId id, int depth, std::ostringstream& out) {
+  std::optional<Rect> geometry = server.WindowGeometry(id);
+  if (!geometry) {
+    return;
+  }
+  for (int i = 0; i < depth; ++i) {
+    out << "  ";
+  }
+  out << "window " << id << " [" << geometry->width << "x" << geometry->height << "+"
+      << geometry->x << "+" << geometry->y << "]" << (server.IsMapped(id) ? "" : " unmapped");
+  std::vector<TextItem> text = server.WindowText(id);
+  if (!text.empty()) {
+    out << " text={";
+    for (size_t i = 0; i < text.size(); ++i) {
+      if (i > 0) {
+        out << ", ";
+      }
+      out << "\"" << text[i].text << "\"";
+    }
+    out << "}";
+  }
+  out << "\n";
+  for (WindowId child : server.WindowChildren(id)) {
+    DumpWindow(server, child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string Server::DumpTree() const {
+  std::ostringstream out;
+  DumpWindow(*this, kRootWindow, 0, out);
+  return out.str();
+}
+
+const char* EventTypeName(EventType type) {
+  switch (type) {
+    case EventType::kNone:
+      return "None";
+    case EventType::kKeyPress:
+      return "KeyPress";
+    case EventType::kKeyRelease:
+      return "KeyRelease";
+    case EventType::kButtonPress:
+      return "ButtonPress";
+    case EventType::kButtonRelease:
+      return "ButtonRelease";
+    case EventType::kMotionNotify:
+      return "MotionNotify";
+    case EventType::kEnterNotify:
+      return "EnterNotify";
+    case EventType::kLeaveNotify:
+      return "LeaveNotify";
+    case EventType::kFocusIn:
+      return "FocusIn";
+    case EventType::kFocusOut:
+      return "FocusOut";
+    case EventType::kExpose:
+      return "Expose";
+    case EventType::kConfigureNotify:
+      return "ConfigureNotify";
+    case EventType::kMapNotify:
+      return "MapNotify";
+    case EventType::kUnmapNotify:
+      return "UnmapNotify";
+    case EventType::kDestroyNotify:
+      return "DestroyNotify";
+    case EventType::kCreateNotify:
+      return "CreateNotify";
+    case EventType::kPropertyNotify:
+      return "PropertyNotify";
+    case EventType::kSelectionClear:
+      return "SelectionClear";
+    case EventType::kSelectionRequest:
+      return "SelectionRequest";
+    case EventType::kSelectionNotify:
+      return "SelectionNotify";
+    case EventType::kClientMessage:
+      return "ClientMessage";
+  }
+  return "?";
+}
+
+}  // namespace xsim

@@ -1,0 +1,286 @@
+// The xsim X server: the authoritative window tree, resource stores, event
+// router and framebuffer shared by every in-process client (Display).
+//
+// The server implements the protocol-visible behaviour Tk depends on:
+//
+//   * hierarchical windows with geometry, stacking, map state;
+//   * per-(window, client) event selection and per-client event queues;
+//   * properties on any window, including the root window (this is where
+//     Tk's `send` keeps its interpreter registry);
+//   * atoms, named colors, synthetic fonts, cursors, bitmaps, GCs;
+//   * ICCCM-shaped selections (ownership, SelectionClear/Request/Notify);
+//   * input: pointer/keyboard injection, crossing (Enter/Leave) event
+//     generation, implicit pointer grab on button press, input focus;
+//   * drawing into an in-memory raster plus a per-window text journal that
+//     replaces Figure 10's screen dump;
+//   * request counters, so the traffic-saving claims of Section 3.3 can be
+//     measured rather than asserted.
+
+#ifndef SRC_XSIM_SERVER_H_
+#define SRC_XSIM_SERVER_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/xsim/color.h"
+#include "src/xsim/event.h"
+#include "src/xsim/font.h"
+#include "src/xsim/keysym.h"
+#include "src/xsim/raster.h"
+#include "src/xsim/types.h"
+
+namespace xsim {
+
+// A string drawn into a window; kept so tests and dumps can inspect
+// rendered text without glyph recognition.
+struct TextItem {
+  int x = 0;
+  int y = 0;  // Baseline.
+  std::string text;
+  Pixel pixel = 0;
+  FontId font = kNone;
+};
+
+// Per-request-category traffic counters.
+struct RequestCounters {
+  uint64_t total = 0;
+  uint64_t round_trips = 0;  // Requests that block for a server reply.
+  uint64_t create_window = 0;
+  uint64_t destroy_window = 0;
+  uint64_t map_window = 0;
+  uint64_t configure_window = 0;
+  uint64_t alloc_color = 0;
+  uint64_t load_font = 0;
+  uint64_t change_property = 0;
+  uint64_t get_property = 0;
+  uint64_t draw = 0;
+  uint64_t send_event = 0;
+};
+
+class Server {
+ public:
+  // Creates a server with a root window of the given size.
+  explicit Server(int width = 1280, int height = 1024);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  WindowId root() const { return kRootWindow; }
+
+  // --- Clients ---------------------------------------------------------------
+
+  ClientId RegisterClient(std::string name);
+  void UnregisterClient(ClientId client);
+  bool HasPendingEvents(ClientId client) const;
+  // Pops the next queued event for `client`; false if the queue is empty.
+  bool NextEvent(ClientId client, Event* out);
+
+  // --- Windows -----------------------------------------------------------------
+
+  WindowId CreateWindow(ClientId client, WindowId parent, int x, int y, int width, int height,
+                        int border_width);
+  bool DestroyWindow(ClientId client, WindowId window);
+  bool MapWindow(ClientId client, WindowId window);
+  bool UnmapWindow(ClientId client, WindowId window);
+  // Negative fields mean "leave unchanged".
+  bool ConfigureWindow(ClientId client, WindowId window, int x, int y, int width, int height,
+                       int border_width);
+  bool RaiseWindow(ClientId client, WindowId window);
+  void SelectInput(ClientId client, WindowId window, uint32_t mask);
+  bool SetWindowBackground(ClientId client, WindowId window, Pixel pixel);
+
+  bool WindowExists(WindowId window) const;
+  // Geometry in parent coordinates; nullopt for unknown windows.
+  std::optional<Rect> WindowGeometry(WindowId window) const;
+  std::optional<WindowId> WindowParent(WindowId window) const;
+  std::vector<WindowId> WindowChildren(WindowId window) const;
+  bool IsMapped(WindowId window) const;
+  bool IsViewable(WindowId window) const;  // Mapped, with all ancestors mapped.
+  // Absolute (root-relative) position of the window's origin.
+  std::optional<Point> AbsolutePosition(WindowId window) const;
+
+  // --- Atoms and properties ------------------------------------------------------
+
+  Atom InternAtom(std::string_view name);
+  std::string AtomName(Atom atom) const;
+  bool ChangeProperty(ClientId client, WindowId window, Atom property, std::string value);
+  std::optional<std::string> GetProperty(ClientId client, WindowId window, Atom property);
+  bool DeleteProperty(ClientId client, WindowId window, Atom property);
+
+  // --- Colors, fonts, cursors, bitmaps ---------------------------------------------
+
+  std::optional<Pixel> AllocNamedColor(ClientId client, std::string_view name);
+  Pixel AllocColor(ClientId client, Rgb rgb);
+  std::optional<FontId> LoadFont(ClientId client, std::string_view name);
+  const FontMetrics* QueryFont(FontId font) const;
+  CursorId CreateNamedCursor(ClientId client, std::string_view name);
+  std::optional<std::string> CursorName(CursorId cursor) const;
+  BitmapId CreateBitmap(ClientId client, std::string_view name, int width, int height);
+  std::optional<Rect> BitmapSize(BitmapId bitmap) const;
+
+  // --- Graphics contexts and drawing --------------------------------------------------
+
+  struct Gc {
+    Pixel foreground = 0x000000;
+    Pixel background = 0xffffff;
+    FontId font = kNone;
+    int line_width = 1;
+  };
+  GcId CreateGc(ClientId client);
+  void FreeGc(ClientId client, GcId gc);
+  bool ChangeGc(ClientId client, GcId gc, const Gc& values);
+  const Gc* GetGc(GcId gc) const;
+
+  void ClearWindow(ClientId client, WindowId window);
+  void FillRectangle(ClientId client, WindowId window, GcId gc, const Rect& rect);
+  void DrawRectangle(ClientId client, WindowId window, GcId gc, const Rect& rect);
+  void DrawLine(ClientId client, WindowId window, GcId gc, int x0, int y0, int x1, int y1);
+  void DrawString(ClientId client, WindowId window, GcId gc, int x, int y,
+                  std::string_view text);
+  // The text journal of a window (most recent draws last).
+  std::vector<TextItem> WindowText(WindowId window) const;
+
+  // --- Focus and selections --------------------------------------------------------------
+
+  void SetInputFocus(ClientId client, WindowId window);
+  WindowId GetInputFocus() const { return focus_window_; }
+
+  void SetSelectionOwner(ClientId client, Atom selection, WindowId owner);
+  WindowId GetSelectionOwner(ClientId client, Atom selection);
+  // Asks the selection owner to convert; the reply arrives as a
+  // SelectionNotify event on `requestor`.
+  void ConvertSelection(ClientId client, Atom selection, Atom target, Atom property,
+                        WindowId requestor);
+  // Used by owners replying to a SelectionRequest.
+  void SendSelectionNotify(ClientId client, WindowId requestor, Atom selection, Atom target,
+                           Atom property);
+
+  // --- Events ------------------------------------------------------------------------------
+
+  // Sends `event` to the clients selecting `mask` on `destination`; with
+  // mask 0, to the client that created the window (X11 SendEvent semantics).
+  void SendEvent(ClientId client, WindowId destination, const Event& event, uint32_t mask);
+
+  // --- Input injection (the test/benchmark stand-in for a physical user) -------------------
+
+  void InjectPointerMove(int x, int y);
+  void InjectButton(int button, bool press);
+  void InjectKey(KeySym keysym, bool press);
+  // Convenience: press+release.
+  void InjectClick(int button) {
+    InjectButton(button, true);
+    InjectButton(button, false);
+  }
+  void InjectKeystroke(KeySym keysym) {
+    InjectKey(keysym, true);
+    InjectKey(keysym, false);
+  }
+  Point pointer_position() const { return pointer_; }
+  // Deepest viewable window containing the point.
+  WindowId WindowAt(int x, int y) const;
+
+  // --- Introspection -----------------------------------------------------------------------
+
+  const RequestCounters& counters() const { return counters_; }
+  void ResetCounters() { counters_ = RequestCounters(); }
+
+  // Simulated transport cost: every request costs `request_ns` and every
+  // synchronous round trip an additional `round_trip_ns` of busy-waiting.
+  // Models the inter-process X connection of the paper's environment (a few
+  // hundred microseconds per round trip on 1990 hardware); zero by default.
+  void SetSimulatedLatency(uint64_t request_ns, uint64_t round_trip_ns) {
+    request_latency_ns_ = request_ns;
+    round_trip_latency_ns_ = round_trip_ns;
+  }
+  const Raster& raster() const { return raster_; }
+  Timestamp now() const { return time_; }
+
+  // Multi-line dump of the window tree with geometry, map state and text
+  // content -- the reproduction's version of Figure 10's screen dump.
+  std::string DumpTree() const;
+
+ private:
+  static constexpr WindowId kRootWindow = 1;
+
+  struct WindowRec {
+    WindowId id = kNone;
+    WindowId parent = kNone;
+    ClientId owner = 0;
+    Rect geometry;
+    int border_width = 0;
+    bool mapped = false;
+    Pixel background = 0xffffff;
+    std::vector<WindowId> children;  // Bottom-to-top stacking order.
+    std::map<ClientId, uint32_t> event_masks;
+    std::map<Atom, std::string> properties;
+    std::vector<TextItem> text_items;
+  };
+
+  struct ClientRec {
+    ClientId id = 0;
+    std::string name;
+    std::deque<Event> queue;
+  };
+
+  WindowRec* FindWindow(WindowId id);
+  const WindowRec* FindWindow(WindowId id) const;
+  ClientRec* FindClient(ClientId id);
+
+  // Delivers `event` to every client that selected `mask` on `window`.
+  void Deliver(WindowId window, const Event& event, uint32_t mask);
+  // Walks from `window` towards the root, delivering to the first window
+  // with a client selecting `mask` (pointer-event propagation).  Adjusts
+  // coordinates to the delivery window.  Returns the delivery window.
+  WindowId DeliverWithPropagation(WindowId window, Event event, uint32_t mask);
+
+  void DestroyWindowInternal(WindowRec* rec);
+  void GenerateExpose(WindowId window);
+  // Ancestor chain root->window inclusive.
+  std::vector<WindowId> AncestorChain(WindowId window) const;
+  void UpdateCrossing(WindowId old_window, WindowId new_window);
+  // The visible region of a window in root coordinates (intersection of its
+  // rect with all ancestors').
+  Rect VisibleRegion(const WindowRec& rec) const;
+  Rect AbsoluteRect(const WindowRec& rec) const;
+  void PaintBackground(WindowRec& rec);
+  Timestamp Tick() { return ++time_; }
+  // Counter bumps, with simulated transport latency applied.
+  void CountRequest();
+  void CountRoundTrip();
+
+  std::map<WindowId, std::unique_ptr<WindowRec>> windows_;
+  std::map<ClientId, std::unique_ptr<ClientRec>> clients_;
+  std::map<GcId, Gc> gcs_;
+  std::map<FontId, FontMetrics> fonts_;
+  std::map<std::string, FontId, std::less<>> font_ids_;
+  std::map<CursorId, std::string> cursors_;
+  std::map<BitmapId, std::pair<std::string, Rect>> bitmaps_;
+  std::vector<std::string> atoms_;  // atoms_[atom - 1] == name.
+  std::map<Atom, std::pair<WindowId, ClientId>> selections_;
+
+  XId next_id_ = 2;  // 1 is the root window.
+  ClientId next_client_ = 1;
+  Timestamp time_ = 0;
+
+  // Input state.
+  Point pointer_;
+  uint32_t modifier_state_ = 0;
+  uint32_t button_state_ = 0;
+  WindowId pointer_window_ = kRootWindow;
+  WindowId grab_window_ = kNone;  // Implicit grab while a button is down.
+  WindowId focus_window_ = kNone;
+
+  RequestCounters counters_;
+  uint64_t request_latency_ns_ = 0;
+  uint64_t round_trip_latency_ns_ = 0;
+  Raster raster_;
+};
+
+}  // namespace xsim
+
+#endif  // SRC_XSIM_SERVER_H_

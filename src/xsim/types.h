@@ -1,0 +1,98 @@
+// Core protocol types for the xsim X11 server simulator.
+//
+// xsim stands in for the X11R4 server + Xlib of the paper's environment: an
+// in-process server that implements the protocol-visible behaviour Tk
+// depends on (window tree, properties, selections, resource allocation,
+// events) so that the toolkit logic runs against the same abstractions it
+// would against a real display.
+
+#ifndef SRC_XSIM_TYPES_H_
+#define SRC_XSIM_TYPES_H_
+
+#include <cstdint>
+
+namespace xsim {
+
+using XId = uint32_t;
+using WindowId = XId;
+using FontId = XId;
+using GcId = XId;
+using CursorId = XId;
+using BitmapId = XId;
+using Atom = uint32_t;
+using Pixel = uint32_t;  // Packed 0x00RRGGBB.
+using ClientId = uint32_t;
+using Timestamp = uint64_t;
+
+inline constexpr XId kNone = 0;
+inline constexpr Atom kAtomNone = 0;
+
+// Event selection masks (a client receives an event on a window only if it
+// selected the corresponding mask there), mirroring X11's input masks.
+enum EventMask : uint32_t {
+  kNoEventMask = 0,
+  kKeyPressMask = 1u << 0,
+  kKeyReleaseMask = 1u << 1,
+  kButtonPressMask = 1u << 2,
+  kButtonReleaseMask = 1u << 3,
+  kEnterWindowMask = 1u << 4,
+  kLeaveWindowMask = 1u << 5,
+  kPointerMotionMask = 1u << 6,
+  kButtonMotionMask = 1u << 7,
+  kExposureMask = 1u << 8,
+  kStructureNotifyMask = 1u << 9,
+  kSubstructureNotifyMask = 1u << 10,
+  kFocusChangeMask = 1u << 11,
+  kPropertyChangeMask = 1u << 12,
+  kAllEventsMask = 0xffffffffu,
+};
+
+// Keyboard/button modifier state bits (the `state` field of key/button
+// events).
+enum ModMask : uint32_t {
+  kShiftMask = 1u << 0,
+  kLockMask = 1u << 1,
+  kControlMask = 1u << 2,
+  kMod1Mask = 1u << 3,  // Alt/Meta.
+  kButton1Mask = 1u << 8,
+  kButton2Mask = 1u << 9,
+  kButton3Mask = 1u << 10,
+  kButton4Mask = 1u << 11,
+  kButton5Mask = 1u << 12,
+};
+
+struct Point {
+  int x = 0;
+  int y = 0;
+};
+
+struct Rect {
+  int x = 0;
+  int y = 0;
+  int width = 0;
+  int height = 0;
+
+  bool Contains(int px, int py) const {
+    return px >= x && py >= y && px < x + width && py < y + height;
+  }
+  bool Intersects(const Rect& other) const {
+    return x < other.x + other.width && other.x < x + width && y < other.y + other.height &&
+           other.y < y + height;
+  }
+  Rect Intersection(const Rect& other) const {
+    int nx = x > other.x ? x : other.x;
+    int ny = y > other.y ? y : other.y;
+    int nr = (x + width < other.x + other.width) ? x + width : other.x + other.width;
+    int nb = (y + height < other.y + other.height) ? y + height : other.y + other.height;
+    Rect out;
+    out.x = nx;
+    out.y = ny;
+    out.width = nr > nx ? nr - nx : 0;
+    out.height = nb > ny ? nb - ny : 0;
+    return out;
+  }
+};
+
+}  // namespace xsim
+
+#endif  // SRC_XSIM_TYPES_H_

@@ -1,0 +1,249 @@
+// Parser and interpreter edge cases: error traces, deep nesting, unusual
+// substitutions, scope-manipulation corners, and the history command.
+
+#include <gtest/gtest.h>
+
+#include "src/tcl/interp.h"
+
+namespace tcl {
+namespace {
+
+class EdgeCaseTest : public ::testing::Test {
+ protected:
+  std::string Ok(const std::string& script) {
+    Code code = interp_.Eval(script);
+    EXPECT_EQ(code, Code::kOk) << script << " -> " << interp_.result();
+    return interp_.result();
+  }
+  std::string Err(const std::string& script) {
+    Code code = interp_.Eval(script);
+    EXPECT_EQ(code, Code::kError) << script;
+    return interp_.result();
+  }
+  Interp interp_;
+};
+
+// --- Parser stress ---------------------------------------------------------------
+
+TEST_F(EdgeCaseTest, DeeplyNestedBrackets) {
+  std::string script = "set x ";
+  for (int i = 0; i < 50; ++i) {
+    script += "[concat ";
+  }
+  script += "core";
+  for (int i = 0; i < 50; ++i) {
+    script += "]";
+  }
+  EXPECT_EQ(Ok(script), "core");
+}
+
+TEST_F(EdgeCaseTest, DeeplyNestedBraces) {
+  std::string inner = "x";
+  for (int i = 0; i < 50; ++i) {
+    inner = "{" + inner + "}";
+  }
+  Ok("set v " + inner);
+  EXPECT_EQ(interp_.result().size(), 1 + 2 * 49);
+}
+
+TEST_F(EdgeCaseTest, LongWord) {
+  std::string big(10000, 'a');
+  EXPECT_EQ(Ok("string length " + big), "10000");
+}
+
+TEST_F(EdgeCaseTest, EmptyScriptAndSeparators) {
+  EXPECT_EQ(Ok(""), "");
+  EXPECT_EQ(Ok(";;;\n\n;"), "");
+  EXPECT_EQ(Ok("   \t  "), "");
+}
+
+TEST_F(EdgeCaseTest, TrailingBackslashInWord) {
+  // A lone backslash at end of script stays literal.
+  Ok("set x a\\");
+  EXPECT_EQ(interp_.result(), "a\\");
+}
+
+TEST_F(EdgeCaseTest, DollarWithoutName) {
+  EXPECT_EQ(Ok("set x $"), "$");
+  EXPECT_EQ(Ok("set y a$-b"), "a$-b");
+}
+
+TEST_F(EdgeCaseTest, SemicolonInsideBrackets) {
+  EXPECT_EQ(Ok("set x [set a 1; set b 2]"), "2");
+}
+
+TEST_F(EdgeCaseTest, NewlineInsideBracketsSeparatesCommands) {
+  // As in real Tcl: a bracketed script is a full script, so newlines
+  // separate commands and the last command's result is substituted.
+  EXPECT_EQ(Ok("set x [set a 1\nset b 2]"), "2");
+  Err("set x [expr \n 1+1]");  // `expr` alone on the first line: error.
+}
+
+TEST_F(EdgeCaseTest, CommentOnlyInsideNestedScript) {
+  EXPECT_EQ(Ok("if 1 {\n  # just a comment\n  set x 5\n}"), "5");
+}
+
+TEST_F(EdgeCaseTest, HashAfterSemicolonIsComment) {
+  EXPECT_EQ(Ok("set x 1; # trailing comment\nset x"), "1");
+}
+
+TEST_F(EdgeCaseTest, VariableNameWithBraces) {
+  Ok("set {weird name} 7");
+  EXPECT_EQ(Ok("set x ${weird name}"), "7");
+}
+
+TEST_F(EdgeCaseTest, NestedArrayIndexSubstitution) {
+  Ok("set inner key");
+  Ok("set a(key) 42");
+  EXPECT_EQ(Ok("set x $a($inner)"), "42");
+  Ok("set b(2) two");
+  EXPECT_EQ(Ok("set x $b([expr 1+1])"), "two");
+}
+
+// --- errorInfo and error propagation --------------------------------------------------
+
+TEST_F(EdgeCaseTest, ErrorInfoShowsCallChain) {
+  Ok("proc inner {} {error deep-trouble}");
+  Ok("proc outer {} {inner}");
+  Err("outer");
+  const std::string* info = interp_.GetVarQuiet("errorInfo");
+  ASSERT_NE(info, nullptr);
+  EXPECT_NE(info->find("deep-trouble"), std::string::npos);
+  EXPECT_NE(info->find("inner"), std::string::npos);
+  EXPECT_NE(info->find("outer"), std::string::npos);
+}
+
+TEST_F(EdgeCaseTest, CatchResetsErrorState) {
+  Ok("catch {error first}");
+  Err("error second");
+  const std::string* info = interp_.GetVarQuiet("errorInfo");
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->find("first"), std::string::npos);
+  EXPECT_NE(info->find("second"), std::string::npos);
+}
+
+TEST_F(EdgeCaseTest, CatchCapturesAllCodes) {
+  EXPECT_EQ(Ok("catch {set x ok} v"), "0");
+  EXPECT_EQ(Ok("catch {error e} v"), "1");
+  EXPECT_EQ(Ok("proc f {} {catch {return r} v; set v}; f"), "r");
+  EXPECT_EQ(Ok("catch {break} v"), "3");
+  EXPECT_EQ(Ok("catch {continue} v"), "4");
+}
+
+TEST_F(EdgeCaseTest, BreakOutsideLoopIsError) {
+  Ok("proc f {} {break}");
+  std::string message = Err("f");
+  EXPECT_NE(message.find("break"), std::string::npos);
+}
+
+TEST_F(EdgeCaseTest, ErrorWithCustomErrorInfo) {
+  Err("error msg {custom trace}");
+  const std::string* info = interp_.GetVarQuiet("errorInfo");
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->rfind("custom trace", 0), 0u);
+}
+
+// --- Scope manipulation corners -------------------------------------------------------
+
+TEST_F(EdgeCaseTest, UplevelSharpZeroFromDeepNesting) {
+  Ok("proc l3 {} {uplevel #0 {set g deep}}");
+  Ok("proc l2 {} {l3}");
+  Ok("proc l1 {} {l2}");
+  Ok("l1");
+  EXPECT_EQ(Ok("set g"), "deep");
+}
+
+TEST_F(EdgeCaseTest, UpvarChainsThroughLevels) {
+  Ok("proc middle {vn} {upvar $vn v; helper v}");
+  Ok("proc helper {vn} {upvar $vn v; set v changed}");
+  Ok("set target original");
+  Ok("middle target");
+  EXPECT_EQ(Ok("set target"), "changed");
+}
+
+TEST_F(EdgeCaseTest, UpvarSurvivesFrameExit) {
+  // The linked variable persists after the proc that created the link dies.
+  Ok("proc setlink {} {upvar #0 gvar local; set local 99}");
+  Ok("setlink");
+  EXPECT_EQ(Ok("set gvar"), "99");
+}
+
+TEST_F(EdgeCaseTest, BadUplevelLevel) { Err("uplevel #notanumber {set x 1}"); }
+
+TEST_F(EdgeCaseTest, GlobalInsideGlobalScopeIsNoop) {
+  EXPECT_EQ(interp_.Eval("global anything"), Code::kOk);
+}
+
+TEST_F(EdgeCaseTest, ProcRedefinedWhileExecuting) {
+  Ok("proc f {} {proc f {} {return second}; return first}");
+  EXPECT_EQ(Ok("f"), "first");
+  EXPECT_EQ(Ok("f"), "second");
+}
+
+TEST_F(EdgeCaseTest, ProcShadowsBuiltin) {
+  Ok("rename set original_set");
+  Ok("proc set {args} {uplevel original_set $args}");
+  EXPECT_EQ(Ok("set x 5"), "5");
+  Ok("rename set {}");
+  Ok("rename original_set set");
+  EXPECT_EQ(Ok("set x"), "5");
+}
+
+TEST_F(EdgeCaseTest, UnknownCommandHook) {
+  Ok("proc unknown {args} {return \"caught: $args\"}");
+  EXPECT_EQ(Ok("definitely_not_a_command a b"), "caught: definitely_not_a_command a b");
+}
+
+// --- history ----------------------------------------------------------------------------
+
+TEST_F(EdgeCaseTest, HistoryRecordsAndRecalls) {
+  Ok("history add {set x 1}");
+  Ok("history add {set y 2}");
+  EXPECT_EQ(Ok("history event"), "set y 2");
+  EXPECT_EQ(Ok("history event 1"), "set x 1");
+  std::string listing = Ok("history");
+  EXPECT_NE(listing.find("set x 1"), std::string::npos);
+  EXPECT_NE(listing.find("set y 2"), std::string::npos);
+}
+
+TEST_F(EdgeCaseTest, HistoryKeepLimit) {
+  Ok("history keep 2");
+  Ok("history add one");
+  Ok("history add two");
+  Ok("history add three");
+  Err("history event 1");  // Evicted.
+  EXPECT_EQ(Ok("history event 3"), "three");
+  EXPECT_EQ(Ok("history keep"), "2");
+}
+
+TEST_F(EdgeCaseTest, HistoryEmptyEventIsError) { Err("history event"); }
+
+// --- Result/semantics invariants -------------------------------------------------------
+
+TEST_F(EdgeCaseTest, ResultOfLastCommandWins) {
+  EXPECT_EQ(Ok("set a 1\nset b 2\nset c 3"), "3");
+}
+
+TEST_F(EdgeCaseTest, EmptyCommandPreservesResult) {
+  EXPECT_EQ(Ok("set x 9;"), "9");
+  EXPECT_EQ(Ok("set x 9\n\n"), "9");
+}
+
+TEST_F(EdgeCaseTest, SelfModifyingScript) {
+  // Programs as data (Section 2's Lisp comparison): build and run code.
+  Ok("set prog {}");
+  Ok("foreach i {1 2 3} {append prog \"lappend out $i;\"}");
+  Ok("set out {}");
+  Ok("eval $prog");
+  EXPECT_EQ(Ok("set out"), "1 2 3");
+}
+
+TEST_F(EdgeCaseTest, InfoCmdCountIncreases) {
+  Ok("set before [info cmdcount]");
+  Ok("set a 1; set b 2");
+  Ok("set after [info cmdcount]");
+  EXPECT_EQ(Ok("expr $after > $before"), "1");
+}
+
+}  // namespace
+}  // namespace tcl

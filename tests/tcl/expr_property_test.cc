@@ -1,0 +1,129 @@
+// Property-based checks on the expression engine: algebraic identities that
+// must hold for every operand pair, including Tcl's specific definitions of
+// integer division and remainder.
+
+#include <gtest/gtest.h>
+
+#include "src/tcl/expr.h"
+#include "src/tcl/interp.h"
+
+namespace tcl {
+namespace {
+
+class ExprPropertyTest : public ::testing::TestWithParam<std::tuple<int64_t, int64_t>> {
+ protected:
+  int64_t EvalInt(const std::string& text) {
+    int64_t out = 0;
+    Code code = ExprInt(interp_, text, &out);
+    EXPECT_EQ(code, Code::kOk) << text << " -> " << interp_.result();
+    return out;
+  }
+  bool EvalBool(const std::string& text) {
+    bool out = false;
+    EXPECT_EQ(ExprBoolean(interp_, text, &out), Code::kOk) << text;
+    return out;
+  }
+  Interp interp_;
+};
+
+TEST_P(ExprPropertyTest, AdditionInverts) {
+  auto [a, b] = GetParam();
+  std::string sa = std::to_string(a);
+  std::string sb = std::to_string(b);
+  EXPECT_EQ(EvalInt("(" + sa + " + " + sb + ") - " + sb), a);
+}
+
+TEST_P(ExprPropertyTest, DivisionIdentity) {
+  auto [a, b] = GetParam();
+  if (b == 0) {
+    return;
+  }
+  std::string sa = std::to_string(a);
+  std::string sb = std::to_string(b);
+  // Tcl guarantees a == b*(a/b) + a%b even with its floor-division rules.
+  EXPECT_EQ(EvalInt(sb + " * (" + sa + " / " + sb + ") + (" + sa + " % " + sb + ")"), a)
+      << a << " / " << b;
+}
+
+TEST_P(ExprPropertyTest, RemainderSignMatchesDivisor) {
+  auto [a, b] = GetParam();
+  if (b == 0) {
+    return;
+  }
+  int64_t rem = EvalInt(std::to_string(a) + " % " + std::to_string(b));
+  if (rem != 0) {
+    EXPECT_EQ(rem < 0, b < 0) << a << " % " << b;
+  }
+  EXPECT_LT(std::abs(rem), std::abs(b));
+}
+
+TEST_P(ExprPropertyTest, ComparisonTrichotomy) {
+  auto [a, b] = GetParam();
+  std::string sa = std::to_string(a);
+  std::string sb = std::to_string(b);
+  int trues = (EvalBool(sa + " < " + sb) ? 1 : 0) + (EvalBool(sa + " == " + sb) ? 1 : 0) +
+              (EvalBool(sa + " > " + sb) ? 1 : 0);
+  EXPECT_EQ(trues, 1);
+}
+
+TEST_P(ExprPropertyTest, DeMorgan) {
+  auto [a, b] = GetParam();
+  std::string sa = std::to_string(a);
+  std::string sb = std::to_string(b);
+  EXPECT_EQ(EvalBool("!(" + sa + " && " + sb + ")"),
+            EvalBool("!" + sa + " || !" + sb));
+}
+
+TEST_P(ExprPropertyTest, BitwiseRoundTrip) {
+  auto [a, b] = GetParam();
+  std::string sa = std::to_string(a);
+  std::string sb = std::to_string(b);
+  // (a ^ b) ^ b == a
+  EXPECT_EQ(EvalInt("(" + sa + " ^ " + sb + ") ^ " + sb), a);
+  // (a & b) | (a & ~b) == a
+  EXPECT_EQ(EvalInt("(" + sa + " & " + sb + ") | (" + sa + " & ~" + sb + ")"), a);
+}
+
+TEST_P(ExprPropertyTest, TernarySelects) {
+  auto [a, b] = GetParam();
+  std::string sa = std::to_string(a);
+  std::string sb = std::to_string(b);
+  int64_t expected = a < b ? a : b;
+  EXPECT_EQ(EvalInt(sa + " < " + sb + " ? " + sa + " : " + sb), expected);
+}
+
+TEST_P(ExprPropertyTest, StringAndNumericComparisonAgreeOnEquality) {
+  auto [a, b] = GetParam();
+  // Decimal spellings compare equal numerically iff the values are equal.
+  bool numeric = EvalBool(std::to_string(a) + " == " + std::to_string(b));
+  EXPECT_EQ(numeric, a == b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, ExprPropertyTest,
+    ::testing::Combine(::testing::Values(-17, -3, -1, 0, 1, 2, 7, 100, 12345),
+                       ::testing::Values(-5, -2, -1, 1, 3, 10, 997)));
+
+// Round-trip through the printed representation.
+class ExprFormatRoundTrip : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(ExprFormatRoundTrip, PrintParseIdentity) {
+  Interp interp;
+  int64_t value = GetParam();
+  std::string printed;
+  ASSERT_EQ(ExprEval(interp, std::to_string(value), &printed), Code::kOk);
+  int64_t back = 0;
+  ASSERT_EQ(ExprInt(interp, printed, &back), Code::kOk);
+  EXPECT_EQ(back, value);
+}
+
+// INT64_MIN is excluded: its literal spelling lexes as unary minus applied
+// to 2^63, which doesn't fit in int64 -- the same C-semantics quirk the
+// original (pre-bignum) Tcl had.
+INSTANTIATE_TEST_SUITE_P(Values, ExprFormatRoundTrip,
+                         ::testing::Values(0, 1, -1, 42, -42, 1ll << 40, -(1ll << 40),
+                                           9223372036854775807ll,
+                                           -9223372036854775807ll));
+
+}  // namespace
+}  // namespace tcl

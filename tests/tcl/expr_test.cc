@@ -1,0 +1,175 @@
+// Expression engine tests: C-style arithmetic, precedence, short-circuit
+// evaluation, string comparison, math functions, error cases.
+
+#include "src/tcl/expr.h"
+
+#include <gtest/gtest.h>
+
+#include "src/tcl/interp.h"
+
+namespace tcl {
+namespace {
+
+class ExprTest : public ::testing::Test {
+ protected:
+  std::string Eval(const std::string& text) {
+    std::string result;
+    Code code = ExprEval(interp_, text, &result);
+    EXPECT_EQ(code, Code::kOk) << text << " -> " << interp_.result();
+    return result;
+  }
+  std::string EvalErr(const std::string& text) {
+    std::string result;
+    Code code = ExprEval(interp_, text, &result);
+    EXPECT_EQ(code, Code::kError) << text;
+    return interp_.result();
+  }
+
+  Interp interp_;
+};
+
+// Table-driven basic expressions.
+struct Case {
+  const char* expr;
+  const char* expected;
+};
+
+class ExprCases : public ExprTest, public ::testing::WithParamInterface<Case> {};
+
+TEST_P(ExprCases, Evaluates) { EXPECT_EQ(Eval(GetParam().expr), GetParam().expected); }
+
+INSTANTIATE_TEST_SUITE_P(
+    Arithmetic, ExprCases,
+    ::testing::Values(Case{"1+2", "3"}, Case{"2*3+4", "10"}, Case{"2+3*4", "14"},
+                      Case{"(2+3)*4", "20"}, Case{"10/3", "3"}, Case{"10%3", "1"},
+                      Case{"-7/2", "-4"},   // Truncates toward negative infinity.
+                      Case{"-7%2", "1"},    // Remainder has the divisor's sign.
+                      Case{"7%-2", "-1"}, Case{"2*-3", "-6"}, Case{"--5", "5"},
+                      Case{"1.5+1.5", "3.0"}, Case{"1/2.0", "0.5"},
+                      Case{"0x10", "16"}, Case{"010", "8"}, Case{"1e2", "100.0"},
+                      Case{"3.0*2", "6.0"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Comparison, ExprCases,
+    ::testing::Values(Case{"1<2", "1"}, Case{"2<1", "0"}, Case{"2<=2", "1"},
+                      Case{"3>=4", "0"}, Case{"1==1.0", "1"}, Case{"1!=2", "1"},
+                      Case{"\"abc\" == \"abc\"", "1"}, Case{"\"abc\" < \"abd\"", "1"},
+                      Case{"\"b\" > \"a\"", "1"}, Case{"\"10\" == 10", "1"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Logical, ExprCases,
+    ::testing::Values(Case{"1&&1", "1"}, Case{"1&&0", "0"}, Case{"0||1", "1"},
+                      Case{"0||0", "0"}, Case{"!1", "0"}, Case{"!0", "1"},
+                      Case{"!!5", "1"}, Case{"1&&2", "1"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Bitwise, ExprCases,
+    ::testing::Values(Case{"5&3", "1"}, Case{"5|3", "7"}, Case{"5^3", "6"},
+                      Case{"1<<4", "16"}, Case{"16>>2", "4"}, Case{"~0", "-1"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Ternary, ExprCases,
+    ::testing::Values(Case{"1 ? 10 : 20", "10"}, Case{"0 ? 10 : 20", "20"},
+                      Case{"1 ? 2 ? 3 : 4 : 5", "3"}, Case{"2 > 1 ? \"yes\" : \"no\"",
+                                                           "yes"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    MathFunctions, ExprCases,
+    ::testing::Values(Case{"abs(-4)", "4"}, Case{"abs(4.5)", "4.5"}, Case{"int(3.9)", "3"},
+                      Case{"round(3.5)", "4"}, Case{"round(-3.5)", "-4"},
+                      Case{"double(2)", "2.0"}, Case{"sqrt(16)", "4.0"},
+                      Case{"pow(2, 10)", "1024.0"}, Case{"hypot(3, 4)", "5.0"},
+                      Case{"floor(3.7)", "3.0"}, Case{"ceil(3.2)", "4.0"},
+                      Case{"fmod(7.5, 2)", "1.5"}));
+
+TEST_F(ExprTest, VariableSubstitution) {
+  interp_.SetVar("n", "21");
+  EXPECT_EQ(Eval("$n*2"), "42");
+  EXPECT_EQ(Eval("{$literal}"), "$literal");
+}
+
+TEST_F(ExprTest, CommandSubstitution) {
+  interp_.Eval("proc five {} {return 5}");
+  EXPECT_EQ(Eval("[five]+1"), "6");
+}
+
+TEST_F(ExprTest, ShortCircuitAndSkipsEvaluation) {
+  // The right side would be a divide-by-zero if evaluated.
+  EXPECT_EQ(Eval("0 && (1/0)"), "0");
+  EXPECT_EQ(Eval("1 || (1/0)"), "1");
+}
+
+TEST_F(ExprTest, ShortCircuitSkipsCommandExecution) {
+  interp_.Eval("set hits 0");
+  interp_.Eval("proc bump {} {global hits; incr hits; return 1}");
+  EXPECT_EQ(Eval("0 && [bump]"), "0");
+  EXPECT_EQ(*interp_.GetVarQuiet("hits"), "0");
+  EXPECT_EQ(Eval("1 && [bump]"), "1");
+  EXPECT_EQ(*interp_.GetVarQuiet("hits"), "1");
+}
+
+TEST_F(ExprTest, TernarySkipsUntakenBranch) {
+  interp_.Eval("set hits 0");
+  interp_.Eval("proc bump {} {global hits; incr hits; return 7}");
+  EXPECT_EQ(Eval("1 ? 3 : [bump]"), "3");
+  EXPECT_EQ(*interp_.GetVarQuiet("hits"), "0");
+}
+
+TEST_F(ExprTest, DivideByZeroIsError) {
+  EXPECT_EQ(EvalErr("1/0"), "divide by zero");
+  EXPECT_EQ(EvalErr("1%0"), "divide by zero");
+  EXPECT_EQ(EvalErr("1.0/0.0"), "divide by zero");
+}
+
+TEST_F(ExprTest, NonIntegerOperandErrors) {
+  EvalErr("1.5 % 2");
+  EvalErr("1.5 << 1");
+  EvalErr("\"abc\" + 1");
+}
+
+TEST_F(ExprTest, SyntaxErrors) {
+  EvalErr("1 +");
+  EvalErr("(1");
+  EvalErr("1 ? 2");
+  EvalErr("nosuchfunc(1)");
+  EvalErr("");
+}
+
+TEST_F(ExprTest, UndefinedVariableIsError) { EvalErr("$nosuchvar + 1"); }
+
+TEST_F(ExprTest, BooleanWords) {
+  EXPECT_EQ(Eval("true"), "1");
+  EXPECT_EQ(Eval("false || true"), "1");
+}
+
+TEST_F(ExprTest, PaperFigure9Expression) {
+  // Line 6 of the browser: [string compare $dir "."] != 0
+  interp_.SetVar("dir", "/tmp");
+  EXPECT_EQ(Eval("[string compare $dir \".\"] != 0"), "1");
+  interp_.SetVar("dir", ".");
+  EXPECT_EQ(Eval("[string compare $dir \".\"] != 0"), "0");
+}
+
+TEST_F(ExprTest, DeeplyNestedParentheses) {
+  EXPECT_EQ(Eval("((((((1+1))))))"), "2");
+}
+
+TEST_F(ExprTest, IntegerOverflowWraps) {
+  // 64-bit two's complement semantics; no crash.
+  std::string result = Eval("9223372036854775807 + 1");
+  EXPECT_EQ(result, "-9223372036854775808");
+}
+
+TEST_F(ExprTest, MixedPromotion) {
+  EXPECT_EQ(Eval("1 + 2.5"), "3.5");
+  EXPECT_EQ(Eval("3 * 0.5 > 1"), "1");
+}
+
+TEST_F(ExprTest, ViaExprCommandMultipleArgs) {
+  // `expr 1 + 2` concatenates its arguments.
+  interp_.Eval("expr 1 + 2");
+  EXPECT_EQ(interp_.result(), "3");
+}
+
+}  // namespace
+}  // namespace tcl

@@ -1,0 +1,452 @@
+// Core interpreter tests: parsing, substitution, variables, control flow.
+// The "SyntaxFigures" tests mirror Figures 1-5 of the 1991 Tk paper.
+
+#include "src/tcl/interp.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace tcl {
+namespace {
+
+class InterpTest : public ::testing::Test {
+ protected:
+  // Evaluates `script` expecting success; returns the result.
+  std::string Ok(const std::string& script) {
+    Code code = interp_.Eval(script);
+    EXPECT_EQ(code, Code::kOk) << "script: " << script << "\nresult: " << interp_.result();
+    return interp_.result();
+  }
+  // Evaluates `script` expecting an error; returns the message.
+  std::string Err(const std::string& script) {
+    Code code = interp_.Eval(script);
+    EXPECT_EQ(code, Code::kError) << "script: " << script;
+    return interp_.result();
+  }
+
+  Interp interp_;
+};
+
+// --- Figure 1: simple commands ------------------------------------------------
+
+TEST_F(InterpTest, SimpleCommand) {
+  EXPECT_EQ(Ok("set a 1000"), "1000");
+  EXPECT_EQ(Ok("set a"), "1000");
+}
+
+TEST_F(InterpTest, SemicolonSeparatesCommands) {
+  Ok("set x 1; set y 2");
+  EXPECT_EQ(Ok("set x"), "1");
+  EXPECT_EQ(Ok("set y"), "2");
+}
+
+TEST_F(InterpTest, NewlineSeparatesCommands) {
+  Ok("set x 3\nset y 4");
+  EXPECT_EQ(Ok("set x"), "3");
+  EXPECT_EQ(Ok("set y"), "4");
+}
+
+// --- Figure 2: quotes and braces ----------------------------------------------
+
+TEST_F(InterpTest, DoubleQuotedArgument) {
+  EXPECT_EQ(Ok("set msg \"Hello, world\""), "Hello, world");
+}
+
+TEST_F(InterpTest, BracedArgumentIsLiteral) {
+  EXPECT_EQ(Ok("set x {a b {x1 x2}}"), "a b {x1 x2}");
+}
+
+TEST_F(InterpTest, BracesSuppressSubstitution) {
+  Ok("set v 5");
+  EXPECT_EQ(Ok("set x {$v [set v]}"), "$v [set v]");
+}
+
+TEST_F(InterpTest, QuotesAllowSubstitution) {
+  Ok("set v 5");
+  EXPECT_EQ(Ok("set x \"v is $v\""), "v is 5");
+}
+
+TEST_F(InterpTest, BracesHideSeparators) {
+  EXPECT_EQ(Ok("set x {a;b\nc}"), "a;b\nc");
+}
+
+// --- Figure 3: variable substitution --------------------------------------------
+
+TEST_F(InterpTest, DollarSubstitution) {
+  Ok("set msg hello");
+  EXPECT_EQ(Ok("set copy $msg"), "hello");
+}
+
+TEST_F(InterpTest, BracedVariableName) {
+  Ok("set msg hello");
+  EXPECT_EQ(Ok("set copy ${msg}world"), "helloworld");
+}
+
+TEST_F(InterpTest, UndefinedVariableIsError) {
+  EXPECT_EQ(Err("set x $nosuchvar"), "can't read \"nosuchvar\": no such variable");
+}
+
+TEST_F(InterpTest, ArrayElementSubstitution) {
+  Ok("set a(1) one");
+  Ok("set i 1");
+  EXPECT_EQ(Ok("set x $a($i)"), "one");
+}
+
+// --- Figure 4: command substitution ---------------------------------------------
+
+TEST_F(InterpTest, BracketSubstitution) {
+  Ok("set x 10");
+  EXPECT_EQ(Ok("set msg [format \"x is %s\" $x]"), "x is 10");
+}
+
+TEST_F(InterpTest, NestedBrackets) {
+  EXPECT_EQ(Ok("set x [expr [expr 1+2]*3]"), "9");
+}
+
+TEST_F(InterpTest, BracketInsideQuotes) {
+  EXPECT_EQ(Ok("set x \"ans: [expr 2+2]\""), "ans: 4");
+}
+
+// --- Figure 5: backslash substitution --------------------------------------------
+
+TEST_F(InterpTest, BackslashSpecialChars) {
+  EXPECT_EQ(Ok("set msg \"\\{ and \\[ are special\""), "{ and [ are special");
+}
+
+TEST_F(InterpTest, BackslashNewlineChar) {
+  EXPECT_EQ(Ok("set x Hello!\\n"), "Hello!\n");
+}
+
+TEST_F(InterpTest, BackslashLineContinuation) {
+  EXPECT_EQ(Ok("set x \"a\\\nb\""), "a b");
+}
+
+TEST_F(InterpTest, BackslashOctalAndHex) {
+  EXPECT_EQ(Ok("set x \\101"), "A");
+  EXPECT_EQ(Ok("set x \\x42"), "B");
+}
+
+// --- Comments --------------------------------------------------------------------
+
+TEST_F(InterpTest, CommentsAtCommandStart) {
+  EXPECT_EQ(Ok("# this is a comment\nset x 7"), "7");
+}
+
+TEST_F(InterpTest, HashInsideWordIsNotComment) {
+  EXPECT_EQ(Ok("set x a#b"), "a#b");
+}
+
+// --- Errors -----------------------------------------------------------------------
+
+TEST_F(InterpTest, InvalidCommandName) {
+  EXPECT_EQ(Err("nosuchcommand"), "invalid command name \"nosuchcommand\"");
+}
+
+TEST_F(InterpTest, MissingCloseBrace) { Err("set x {abc"); }
+
+TEST_F(InterpTest, MissingCloseBracket) { Err("set x [expr 1"); }
+
+TEST_F(InterpTest, ExtraCharsAfterCloseBrace) { Err("set x {a}b"); }
+
+TEST_F(InterpTest, ErrorInfoAccumulates) {
+  Err("proc f {} {nosuchcmd}\nf");
+  const std::string* info = interp_.GetVarQuiet("errorInfo");
+  ASSERT_NE(info, nullptr);
+  EXPECT_NE(info->find("while executing"), std::string::npos);
+  EXPECT_NE(info->find("nosuchcmd"), std::string::npos);
+}
+
+// --- Variables and scopes ------------------------------------------------------------
+
+TEST_F(InterpTest, ProcLocalScope) {
+  Ok("set g 1");
+  Ok("proc f {} {set g 2; return $g}");
+  EXPECT_EQ(Ok("f"), "2");
+  EXPECT_EQ(Ok("set g"), "1");
+}
+
+TEST_F(InterpTest, GlobalCommand) {
+  Ok("set g 1");
+  Ok("proc f {} {global g; set g 2}");
+  Ok("f");
+  EXPECT_EQ(Ok("set g"), "2");
+}
+
+TEST_F(InterpTest, UpvarLinksCallerVariable) {
+  Ok("proc addone {name} {upvar $name v; incr v}");
+  Ok("set counter 5");
+  EXPECT_EQ(Ok("addone counter"), "6");
+  EXPECT_EQ(Ok("set counter"), "6");
+}
+
+TEST_F(InterpTest, UplevelEvaluatesInCallerScope) {
+  Ok("proc setx {} {uplevel {set x 42}}");
+  Ok("proc caller {} {setx; return $x}");
+  EXPECT_EQ(Ok("caller"), "42");
+}
+
+TEST_F(InterpTest, UnsetRemovesVariable) {
+  Ok("set x 1");
+  Ok("unset x");
+  EXPECT_EQ(Ok("info exists x"), "0");
+  Err("set y $x");
+}
+
+TEST_F(InterpTest, ArraySetAndGet) {
+  Ok("set a(x) 1; set a(y) 2");
+  EXPECT_EQ(Ok("array size a"), "2");
+  EXPECT_EQ(Ok("lsort [array names a]"), "x y");
+}
+
+TEST_F(InterpTest, ScalarArrayCollision) {
+  Ok("set s 1");
+  Err("set s(x) 2");
+  Ok("set a(x) 2");
+  Err("set a 1");
+}
+
+// --- Procedures -------------------------------------------------------------------------
+
+TEST_F(InterpTest, ProcWithDefaults) {
+  Ok("proc greet {name {greeting hi}} {return \"$greeting $name\"}");
+  EXPECT_EQ(Ok("greet bob"), "hi bob");
+  EXPECT_EQ(Ok("greet bob hello"), "hello bob");
+}
+
+TEST_F(InterpTest, ProcVarArgs) {
+  Ok("proc count {args} {llength $args}");
+  EXPECT_EQ(Ok("count a b c"), "3");
+  EXPECT_EQ(Ok("count"), "0");
+}
+
+TEST_F(InterpTest, ProcTooManyArgs) {
+  Ok("proc f {a} {return $a}");
+  Err("f 1 2");
+}
+
+TEST_F(InterpTest, ProcMissingArg) {
+  Ok("proc f {a b} {return $a$b}");
+  Err("f 1");
+}
+
+TEST_F(InterpTest, RecursiveProc) {
+  Ok("proc fact {n} {if {$n <= 1} {return 1}; expr {$n * [fact [expr $n-1]]}}");
+  EXPECT_EQ(Ok("fact 5"), "120");
+}
+
+TEST_F(InterpTest, RenameProc) {
+  Ok("proc f {} {return original}");
+  Ok("rename f g");
+  EXPECT_EQ(Ok("g"), "original");
+  Err("f");
+}
+
+TEST_F(InterpTest, DeleteCommandViaRename) {
+  Ok("proc f {} {return x}");
+  Ok("rename f {}");
+  Err("f");
+}
+
+// --- Control flow ----------------------------------------------------------------------------
+
+TEST_F(InterpTest, IfElse) {
+  EXPECT_EQ(Ok("if 1 {set x yes} else {set x no}"), "yes");
+  EXPECT_EQ(Ok("if 0 {set x yes} else {set x no}"), "no");
+}
+
+TEST_F(InterpTest, IfElseif) {
+  Ok("set v 2");
+  EXPECT_EQ(Ok("if {$v == 1} {set r one} elseif {$v == 2} {set r two} else {set r many}"),
+            "two");
+}
+
+TEST_F(InterpTest, IfWithThenKeyword) {
+  EXPECT_EQ(Ok("if 1 then {set x 5}"), "5");
+}
+
+TEST_F(InterpTest, PaperStyleUnbracedCondition) {
+  // From Figure 3 of the paper: `if $i<2 {set j 43}`.
+  Ok("set i 1");
+  EXPECT_EQ(Ok("if $i<2 {set j 43}"), "43");
+}
+
+TEST_F(InterpTest, WhileLoop) {
+  EXPECT_EQ(Ok("set i 0; set sum 0; while {$i < 5} {incr sum $i; incr i}; set sum"), "10");
+}
+
+TEST_F(InterpTest, ForLoop) {
+  EXPECT_EQ(Ok("set sum 0; for {set i 1} {$i <= 4} {incr i} {incr sum $i}; set sum"), "10");
+}
+
+TEST_F(InterpTest, ForeachLoop) {
+  EXPECT_EQ(Ok("set out {}; foreach x {a b c} {append out $x}; set out"), "abc");
+}
+
+TEST_F(InterpTest, ForeachMultipleVars) {
+  EXPECT_EQ(Ok("set out {}; foreach {k v} {a 1 b 2} {append out $k=$v,}; set out"),
+            "a=1,b=2,");
+}
+
+TEST_F(InterpTest, BreakExitsLoop) {
+  EXPECT_EQ(Ok("set i 0; while 1 {incr i; if {$i >= 3} break}; set i"), "3");
+}
+
+TEST_F(InterpTest, ContinueSkipsIteration) {
+  EXPECT_EQ(
+      Ok("set out {}; foreach x {1 2 3 4} {if {$x == 2} continue; append out $x}; set out"),
+      "134");
+}
+
+TEST_F(InterpTest, SwitchGlob) {
+  EXPECT_EQ(Ok("switch abc {a* {set r glob} default {set r none}}"), "glob");
+}
+
+TEST_F(InterpTest, SwitchExact) {
+  EXPECT_EQ(Ok("switch -exact a* {a* {set r yes} default {set r no}}"), "yes");
+  EXPECT_EQ(Ok("switch -exact abc {a* {set r yes} default {set r no}}"), "no");
+}
+
+TEST_F(InterpTest, SwitchFallthrough) {
+  EXPECT_EQ(Ok("switch b {a - b {set r ab} default {set r other}}"), "ab");
+}
+
+TEST_F(InterpTest, CaseCommand) {
+  EXPECT_EQ(Ok("case foo in {{f*} {set r f} default {set r d}}"), "f");
+}
+
+TEST_F(InterpTest, CatchReturnsCode) {
+  EXPECT_EQ(Ok("catch {nosuchcmd} msg"), "1");
+  EXPECT_EQ(Ok("set msg"), "invalid command name \"nosuchcmd\"");
+  EXPECT_EQ(Ok("catch {set x 1} msg"), "0");
+  EXPECT_EQ(Ok("set msg"), "1");
+}
+
+TEST_F(InterpTest, ErrorCommand) {
+  EXPECT_EQ(Err("error \"boom\""), "boom");
+}
+
+TEST_F(InterpTest, ReturnStopsProc) {
+  Ok("proc f {} {return early; set never 1}");
+  EXPECT_EQ(Ok("f"), "early");
+  EXPECT_EQ(Ok("info exists never"), "0");
+}
+
+TEST_F(InterpTest, ReturnWithCodeError) {
+  Ok("proc f {} {return -code error oops}");
+  EXPECT_EQ(Err("f"), "oops");
+}
+
+TEST_F(InterpTest, EvalConcatenates) {
+  EXPECT_EQ(Ok("eval set x 77"), "77");
+  EXPECT_EQ(Ok("eval {set y 88}"), "88");
+}
+
+TEST_F(InterpTest, InfiniteRecursionCaught) {
+  Ok("proc loop {} {loop}");
+  std::string msg = Err("loop");
+  EXPECT_NE(msg.find("too many nested"), std::string::npos);
+}
+
+// --- Dynamic command creation (the Lisp-like property from Section 2) ------------------
+
+TEST_F(InterpTest, SynthesizedScriptExecution) {
+  Ok("set cmd {set q 9}");
+  EXPECT_EQ(Ok("eval $cmd"), "9");
+  EXPECT_EQ(Ok("set q"), "9");
+}
+
+TEST_F(InterpTest, CommandBuiltFromList) {
+  Ok("set x {a b}");
+  EXPECT_EQ(Ok("set cmd [list set out $x]"), "set out {a b}");
+  Ok("eval $cmd");
+  EXPECT_EQ(Ok("set out"), "a b");
+}
+
+// --- Application-specific commands (Figure 6) -----------------------------------------
+
+TEST_F(InterpTest, RegisteredCommandIndistinguishable) {
+  interp_.RegisterCommand("double", [](Interp& i, std::vector<std::string>& args) {
+    if (args.size() != 2) {
+      return i.WrongNumArgs("double value");
+    }
+    i.SetResult(std::to_string(std::stoll(args[1]) * 2));
+    return Code::kOk;
+  });
+  EXPECT_EQ(Ok("double 21"), "42");
+  EXPECT_EQ(Ok("expr [double 4] + 1"), "9");
+  std::string commands = Ok("info commands d*");
+  EXPECT_NE(commands.find("double"), std::string::npos);
+}
+
+TEST_F(InterpTest, CommandsCreatedAndDeletedAtRuntime) {
+  interp_.RegisterCommand("temp", [](Interp& i, std::vector<std::string>&) {
+    i.SetResult("here");
+    return Code::kOk;
+  });
+  EXPECT_EQ(Ok("temp"), "here");
+  interp_.DeleteCommand("temp");
+  Err("temp");
+}
+
+// --- info ---------------------------------------------------------------------------------
+
+TEST_F(InterpTest, InfoBodyAndArgs) {
+  Ok("proc f {a {b 2}} {return $a$b}");
+  EXPECT_EQ(Ok("info body f"), "return $a$b");
+  EXPECT_EQ(Ok("info args f"), "a b");
+  EXPECT_EQ(Ok("info default f b val"), "1");
+  EXPECT_EQ(Ok("set val"), "2");
+}
+
+TEST_F(InterpTest, InfoLevel) {
+  EXPECT_EQ(Ok("info level"), "0");
+  Ok("proc f {} {info level}");
+  EXPECT_EQ(Ok("f"), "1");
+  Ok("proc g {} {f}");
+  // f is called from g, so f sees level 2.
+  Ok("proc f {} {info level}");
+  EXPECT_EQ(Ok("g"), "2");
+}
+
+TEST_F(InterpTest, InfoComplete) {
+  EXPECT_EQ(Ok("info complete {set x 1}"), "1");
+  EXPECT_EQ(Ok("info complete \"set x \\{\""), "0");
+}
+
+// --- Misc commands -----------------------------------------------------------------------
+
+TEST_F(InterpTest, SubstCommand) {
+  Ok("set x 5");
+  EXPECT_EQ(Ok("subst {x is $x}"), "x is 5");
+}
+
+TEST_F(InterpTest, IncrDefaultsToOne) {
+  Ok("set n 5");
+  EXPECT_EQ(Ok("incr n"), "6");
+  EXPECT_EQ(Ok("incr n -2"), "4");
+}
+
+TEST_F(InterpTest, AppendBuildsStrings) {
+  EXPECT_EQ(Ok("set s a; append s b c; set s"), "abc");
+}
+
+TEST_F(InterpTest, TimeCommand) {
+  std::string out = Ok("time {set x 1} 10");
+  EXPECT_NE(out.find("microseconds per iteration"), std::string::npos);
+}
+
+TEST_F(InterpTest, VariableTraceFires) {
+  int fires = 0;
+  Ok("set watched 0");
+  interp_.TraceVar("watched", [&fires](Interp&, std::string_view, std::string_view, bool) {
+    ++fires;
+  });
+  Ok("set watched 1");
+  Ok("set watched 2");
+  EXPECT_EQ(fires, 2);
+}
+
+}  // namespace
+}  // namespace tcl

@@ -1,0 +1,244 @@
+// List machinery tests: SplitList/MergeList round-trips (property-style),
+// quoting rules, and every list command.
+
+#include "src/tcl/list.h"
+
+#include <gtest/gtest.h>
+
+#include "src/tcl/interp.h"
+
+namespace tcl {
+namespace {
+
+TEST(SplitListTest, SimpleElements) {
+  auto list = SplitList("a b c", nullptr);
+  ASSERT_TRUE(list);
+  EXPECT_EQ(*list, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitListTest, BracedElements) {
+  auto list = SplitList("a {b c} d", nullptr);
+  ASSERT_TRUE(list);
+  EXPECT_EQ(*list, (std::vector<std::string>{"a", "b c", "d"}));
+}
+
+TEST(SplitListTest, NestedBraces) {
+  auto list = SplitList("{a {b {c d}}}", nullptr);
+  ASSERT_TRUE(list);
+  EXPECT_EQ(*list, (std::vector<std::string>{"a {b {c d}}"}));
+}
+
+TEST(SplitListTest, QuotedElements) {
+  auto list = SplitList("\"a b\" c", nullptr);
+  ASSERT_TRUE(list);
+  EXPECT_EQ(*list, (std::vector<std::string>{"a b", "c"}));
+}
+
+TEST(SplitListTest, EmptyListAndWhitespace) {
+  EXPECT_TRUE(SplitList("", nullptr)->empty());
+  EXPECT_TRUE(SplitList("   \t\n  ", nullptr)->empty());
+}
+
+TEST(SplitListTest, EmptyElement) {
+  auto list = SplitList("a {} b", nullptr);
+  ASSERT_TRUE(list);
+  EXPECT_EQ(*list, (std::vector<std::string>{"a", "", "b"}));
+}
+
+TEST(SplitListTest, UnmatchedBraceFails) {
+  std::string error;
+  EXPECT_FALSE(SplitList("a {b", &error));
+  EXPECT_NE(error.find("brace"), std::string::npos);
+}
+
+TEST(SplitListTest, BraceFollowedByGarbageFails) {
+  std::string error;
+  EXPECT_FALSE(SplitList("{a}b", &error));
+}
+
+TEST(SplitListTest, BackslashEscapes) {
+  auto list = SplitList("a\\ b c", nullptr);
+  ASSERT_TRUE(list);
+  EXPECT_EQ(*list, (std::vector<std::string>{"a b", "c"}));
+}
+
+TEST(QuoteElementTest, PlainStaysPlain) { EXPECT_EQ(QuoteListElement("abc"), "abc"); }
+
+TEST(QuoteElementTest, EmptyBecomesBraces) { EXPECT_EQ(QuoteListElement(""), "{}"); }
+
+TEST(QuoteElementTest, SpacesGetBraces) { EXPECT_EQ(QuoteListElement("a b"), "{a b}"); }
+
+TEST(QuoteElementTest, SpecialCharsGetBraces) {
+  EXPECT_EQ(QuoteListElement("$x"), "{$x}");
+  EXPECT_EQ(QuoteListElement("[cmd]"), "{[cmd]}");
+  EXPECT_EQ(QuoteListElement("a;b"), "{a;b}");
+}
+
+TEST(QuoteElementTest, UnbalancedBraceUsesBackslashes) {
+  std::string quoted = QuoteListElement("a{b");
+  auto round = SplitList(quoted, nullptr);
+  ASSERT_TRUE(round);
+  ASSERT_EQ(round->size(), 1u);
+  EXPECT_EQ((*round)[0], "a{b");
+}
+
+// Property-style round trip: MergeList then SplitList must reproduce the
+// original elements exactly, for a corpus of nasty inputs.
+class ListRoundTrip : public ::testing::TestWithParam<std::vector<std::string>> {};
+
+TEST_P(ListRoundTrip, MergeSplitIsIdentity) {
+  const std::vector<std::string>& elements = GetParam();
+  std::string merged = MergeList(elements);
+  auto split = SplitList(merged, nullptr);
+  ASSERT_TRUE(split) << merged;
+  EXPECT_EQ(*split, elements) << merged;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, ListRoundTrip,
+    ::testing::Values(std::vector<std::string>{},
+                      std::vector<std::string>{"a"},
+                      std::vector<std::string>{"a", "b", "c"},
+                      std::vector<std::string>{""},
+                      std::vector<std::string>{"", "", ""},
+                      std::vector<std::string>{"a b", "c d"},
+                      std::vector<std::string>{"$var", "[cmd]", "\"quoted\""},
+                      std::vector<std::string>{"{", "}", "{}"},
+                      std::vector<std::string>{"a{b", "c}d"},
+                      std::vector<std::string>{"back\\slash"},
+                      std::vector<std::string>{"new\nline", "tab\there"},
+                      std::vector<std::string>{"semi;colon", "#comment"},
+                      std::vector<std::string>{"nested {brace} pair"},
+                      std::vector<std::string>{" leading", "trailing "},
+                      std::vector<std::string>{"a", "", "{x y}", "$", "\\"}));
+
+// Double round trip: for already-valid lists, split-merge-split is stable.
+TEST(ListRoundTrip2, SplitMergeSplitStable) {
+  const char* lists[] = {"a b c", "a {b c} d", "{a} {} c", "x"};
+  for (const char* text : lists) {
+    auto first = SplitList(text, nullptr);
+    ASSERT_TRUE(first);
+    std::string merged = MergeList(*first);
+    auto second = SplitList(merged, nullptr);
+    ASSERT_TRUE(second);
+    EXPECT_EQ(*first, *second);
+  }
+}
+
+TEST(ConcatTest, TrimsAndJoins) {
+  EXPECT_EQ(ConcatStrings({"a b", " c  ", "", "d"}), "a b c d");
+}
+
+// --- List commands through the interpreter ----------------------------------------
+
+class ListCmdTest : public ::testing::Test {
+ protected:
+  std::string Ok(const std::string& script) {
+    Code code = interp_.Eval(script);
+    EXPECT_EQ(code, Code::kOk) << script << " -> " << interp_.result();
+    return interp_.result();
+  }
+  std::string Err(const std::string& script) {
+    Code code = interp_.Eval(script);
+    EXPECT_EQ(code, Code::kError) << script;
+    return interp_.result();
+  }
+  Interp interp_;
+};
+
+TEST_F(ListCmdTest, ListQuotesElements) {
+  EXPECT_EQ(Ok("list a {b c} d"), "a {b c} d");
+  Ok("set x {hello world}");
+  EXPECT_EQ(Ok("list q r $x"), "q r {hello world}");
+}
+
+TEST_F(ListCmdTest, Lindex) {
+  EXPECT_EQ(Ok("lindex {a b c} 1"), "b");
+  EXPECT_EQ(Ok("lindex {a b c} end"), "c");
+  EXPECT_EQ(Ok("lindex {a b c} 10"), "");
+  EXPECT_EQ(Ok("lindex {a {b1 b2} c} 1"), "b1 b2");
+}
+
+TEST_F(ListCmdTest, IndexAliasFromPaper) {
+  // Figure 9 line 16: `index $argv 0`.
+  Ok("set argv {/usr/tmp}");
+  EXPECT_EQ(Ok("index $argv 0"), "/usr/tmp");
+}
+
+TEST_F(ListCmdTest, Llength) {
+  EXPECT_EQ(Ok("llength {}"), "0");
+  EXPECT_EQ(Ok("llength {a b {c d}}"), "3");
+}
+
+TEST_F(ListCmdTest, Lrange) {
+  EXPECT_EQ(Ok("lrange {a b c d e} 1 3"), "b c d");
+  EXPECT_EQ(Ok("lrange {a b c d e} 3 end"), "d e");
+  EXPECT_EQ(Ok("lrange {a b c} 2 1"), "");
+}
+
+TEST_F(ListCmdTest, Lappend) {
+  Ok("set l {a}");
+  EXPECT_EQ(Ok("lappend l b {c d}"), "a b {c d}");
+  EXPECT_EQ(Ok("llength $l"), "3");
+  // lappend creates the variable if needed.
+  EXPECT_EQ(Ok("lappend fresh x"), "x");
+}
+
+TEST_F(ListCmdTest, Linsert) {
+  EXPECT_EQ(Ok("linsert {a c} 1 b"), "a b c");
+  EXPECT_EQ(Ok("linsert {a b} 0 z"), "z a b");
+  EXPECT_EQ(Ok("linsert {a b} end c"), "a b c");
+}
+
+TEST_F(ListCmdTest, Lreplace) {
+  EXPECT_EQ(Ok("lreplace {a b c d} 1 2 X Y Z"), "a X Y Z d");
+  EXPECT_EQ(Ok("lreplace {a b c} 0 0"), "b c");
+  EXPECT_EQ(Ok("lreplace {a b c} 2 2"), "a b");
+}
+
+TEST_F(ListCmdTest, Lsearch) {
+  EXPECT_EQ(Ok("lsearch {a b c} b"), "1");
+  EXPECT_EQ(Ok("lsearch {a b c} z"), "-1");
+  EXPECT_EQ(Ok("lsearch {foo bar baz} b*"), "1");
+  EXPECT_EQ(Ok("lsearch -exact {foo b* baz} b*"), "1");
+}
+
+TEST_F(ListCmdTest, Lsort) {
+  EXPECT_EQ(Ok("lsort {banana apple cherry}"), "apple banana cherry");
+  EXPECT_EQ(Ok("lsort -integer {10 9 100}"), "9 10 100");
+  EXPECT_EQ(Ok("lsort -real {2.5 1.5 10.1}"), "1.5 2.5 10.1");
+  EXPECT_EQ(Ok("lsort -decreasing {a c b}"), "c b a");
+  Ok("proc bylen {a b} {expr [string length $a] - [string length $b]}");
+  EXPECT_EQ(Ok("lsort -command bylen {aaa a aa}"), "a aa aaa");
+}
+
+TEST_F(ListCmdTest, SplitAndJoin) {
+  EXPECT_EQ(Ok("split a:b:c :"), "a b c");
+  EXPECT_EQ(Ok("split {a b}"), "a b");
+  EXPECT_EQ(Ok("split abc {}"), "a b c");
+  EXPECT_EQ(Ok("split a::b :"), "a {} b");
+  EXPECT_EQ(Ok("join {a b c} -"), "a-b-c");
+  EXPECT_EQ(Ok("join {a {b c}} /"), "a/b c");
+}
+
+TEST_F(ListCmdTest, ConcatCommand) {
+  EXPECT_EQ(Ok("concat a {b c} d"), "a b c d");
+  EXPECT_EQ(Ok("concat {a b} {}"), "a b");
+}
+
+TEST_F(ListCmdTest, BadListReportsError) {
+  Err("llength \"{unbalanced\"");
+  Err("lindex \"{unbalanced\" 0");
+}
+
+TEST_F(ListCmdTest, ForeachOverGeneratedList) {
+  // Lists produced by `list` always re-parse correctly -- the property the
+  // paper's programs-as-data model depends on.
+  Ok("set l [list {a b} \\$x \"q r\"]");
+  Ok("set n 0");
+  Ok("foreach e $l {incr n}");
+  EXPECT_EQ(Ok("set n"), "3");
+}
+
+}  // namespace
+}  // namespace tcl

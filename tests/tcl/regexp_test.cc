@@ -1,0 +1,237 @@
+// Tests for the regular-expression engine and the regexp/regsub/trace
+// commands.
+
+#include "src/tcl/regexp.h"
+
+#include <gtest/gtest.h>
+
+#include "src/tcl/interp.h"
+
+namespace tcl {
+namespace {
+
+// --- Engine-level matching ------------------------------------------------------
+
+struct ReCase {
+  const char* pattern;
+  const char* text;
+  bool match;
+  const char* whole;  // Expected ranges[0] text when matched.
+};
+
+class RegexpEngine : public ::testing::TestWithParam<ReCase> {};
+
+TEST_P(RegexpEngine, Matches) {
+  const ReCase& c = GetParam();
+  std::string error;
+  std::unique_ptr<Regexp> re = Regexp::Compile(c.pattern, /*nocase=*/false, &error);
+  ASSERT_NE(re, nullptr) << c.pattern << ": " << error;
+  std::vector<RegexpRange> ranges;
+  bool matched = re->Search(c.text, 0, &ranges);
+  EXPECT_EQ(matched, c.match) << c.pattern << " vs " << c.text;
+  if (matched && c.whole != nullptr) {
+    std::string whole(c.text + ranges[0].begin, c.text + ranges[0].end);
+    EXPECT_EQ(whole, c.whole);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Basics, RegexpEngine,
+    ::testing::Values(ReCase{"abc", "xabcx", true, "abc"},
+                      ReCase{"abc", "ab", false, nullptr},
+                      ReCase{"a.c", "axc", true, "axc"},
+                      ReCase{"a.c", "a\nc", false, nullptr},  // '.' excludes newline.
+                      ReCase{"^abc", "abcd", true, "abc"},
+                      ReCase{"^abc", "xabc", false, nullptr},
+                      ReCase{"abc$", "xabc", true, "abc"},
+                      ReCase{"abc$", "abcx", false, nullptr},
+                      ReCase{"^$", "", true, ""},
+                      ReCase{"a*", "aaa", true, "aaa"},
+                      ReCase{"a*b", "b", true, "b"},
+                      ReCase{"a+b", "b", false, nullptr},
+                      ReCase{"a+b", "aab", true, "aab"},
+                      ReCase{"ab?c", "ac", true, "ac"},
+                      ReCase{"ab?c", "abc", true, "abc"},
+                      ReCase{"[abc]+", "xxbcax", true, "bca"},
+                      ReCase{"[a-z]+", "ABCdefGH", true, "def"},
+                      ReCase{"[^0-9]+", "123abc", true, "abc"},
+                      ReCase{"a|b", "xbx", true, "b"},
+                      ReCase{"ab|cd", "xcdx", true, "cd"},
+                      ReCase{"(a|b)+", "abba", true, "abba"},
+                      ReCase{"x(y|z)*x", "xx", true, "xx"},
+                      ReCase{"\\.", "a.b", true, "."},
+                      ReCase{"a\\*b", "a*b", true, "a*b"}));
+
+TEST(RegexpEngineTest, GreedyWithBacktracking) {
+  std::string error;
+  auto re = Regexp::Compile("a.*c", false, &error);
+  ASSERT_NE(re, nullptr);
+  std::vector<RegexpRange> ranges;
+  ASSERT_TRUE(re->Search("abcabc", 0, &ranges));
+  // Greedy: matches to the last c.
+  EXPECT_EQ(ranges[0].begin, 0);
+  EXPECT_EQ(ranges[0].end, 6);
+}
+
+TEST(RegexpEngineTest, CaptureGroups) {
+  std::string error;
+  auto re = Regexp::Compile("(a+)(b+)", false, &error);
+  ASSERT_NE(re, nullptr);
+  EXPECT_EQ(re->group_count(), 2);
+  std::vector<RegexpRange> ranges;
+  ASSERT_TRUE(re->Search("xxaaabbyy", 0, &ranges));
+  EXPECT_EQ(ranges[1].begin, 2);
+  EXPECT_EQ(ranges[1].end, 5);
+  EXPECT_EQ(ranges[2].begin, 5);
+  EXPECT_EQ(ranges[2].end, 7);
+}
+
+TEST(RegexpEngineTest, UnmatchedGroupHasNegativeRange) {
+  std::string error;
+  auto re = Regexp::Compile("(a)|(b)", false, &error);
+  ASSERT_NE(re, nullptr);
+  std::vector<RegexpRange> ranges;
+  ASSERT_TRUE(re->Search("b", 0, &ranges));
+  EXPECT_EQ(ranges[1].begin, -1);
+  EXPECT_EQ(ranges[2].begin, 0);
+}
+
+TEST(RegexpEngineTest, NocaseMatching) {
+  std::string error;
+  auto re = Regexp::Compile("h[aeiou]llo", true, &error);
+  ASSERT_NE(re, nullptr);
+  std::vector<RegexpRange> ranges;
+  EXPECT_TRUE(re->Search("HELLO", 0, &ranges));
+  EXPECT_TRUE(re->Search("HaLLo", 0, &ranges));
+}
+
+TEST(RegexpEngineTest, BadPatternsRejected) {
+  std::string error;
+  EXPECT_EQ(Regexp::Compile("(abc", false, &error), nullptr);
+  EXPECT_EQ(Regexp::Compile("abc)", false, &error), nullptr);
+  EXPECT_EQ(Regexp::Compile("[abc", false, &error), nullptr);
+  EXPECT_EQ(Regexp::Compile("*x", false, &error), nullptr);
+  EXPECT_EQ(Regexp::Compile("x\\", false, &error), nullptr);
+}
+
+TEST(RegexpEngineTest, EmptyRepeatTerminates) {
+  std::string error;
+  auto re = Regexp::Compile("(a*)*b", false, &error);
+  ASSERT_NE(re, nullptr);
+  std::vector<RegexpRange> ranges;
+  EXPECT_TRUE(re->Search("aab", 0, &ranges));
+  EXPECT_FALSE(re->Search("ccc", 0, &ranges));
+}
+
+// --- Tcl command level -------------------------------------------------------------
+
+class RegexpCmdTest : public ::testing::Test {
+ protected:
+  std::string Ok(const std::string& script) {
+    Code code = interp_.Eval(script);
+    EXPECT_EQ(code, Code::kOk) << script << " -> " << interp_.result();
+    return interp_.result();
+  }
+  std::string Err(const std::string& script) {
+    Code code = interp_.Eval(script);
+    EXPECT_EQ(code, Code::kError) << script;
+    return interp_.result();
+  }
+  Interp interp_;
+};
+
+TEST_F(RegexpCmdTest, BasicMatch) {
+  EXPECT_EQ(Ok("regexp {a+} baaad"), "1");
+  EXPECT_EQ(Ok("regexp {z+} baaad"), "0");
+}
+
+TEST_F(RegexpCmdTest, MatchVariable) {
+  Ok("regexp {a+} baaad m");
+  EXPECT_EQ(Ok("set m"), "aaa");
+}
+
+TEST_F(RegexpCmdTest, SubmatchVariables) {
+  Ok("regexp {(\\w+)... wait, no classes} x x");
+  // Groups via explicit classes (the engine has no \w):
+  Ok("regexp {([a-z]+)=([0-9]+)} {key=42} whole k v");
+  EXPECT_EQ(Ok("set whole"), "key=42");
+  EXPECT_EQ(Ok("set k"), "key");
+  EXPECT_EQ(Ok("set v"), "42");
+}
+
+TEST_F(RegexpCmdTest, NocaseFlag) {
+  EXPECT_EQ(Ok("regexp -nocase {abc} XABCX"), "1");
+  EXPECT_EQ(Ok("regexp {abc} XABCX"), "0");
+}
+
+TEST_F(RegexpCmdTest, IndicesFlag) {
+  Ok("regexp -indices {b+} abbbc m");
+  EXPECT_EQ(Ok("set m"), "1 3");
+}
+
+TEST_F(RegexpCmdTest, BadPatternError) {
+  std::string msg = Err("regexp {(} x");
+  EXPECT_NE(msg.find("couldn't compile"), std::string::npos);
+}
+
+TEST_F(RegexpCmdTest, RegsubBasic) {
+  EXPECT_EQ(Ok("regsub {o} {foo} {0} out"), "1");
+  EXPECT_EQ(Ok("set out"), "f0o");
+}
+
+TEST_F(RegexpCmdTest, RegsubAll) {
+  EXPECT_EQ(Ok("regsub -all {o} {foo} {0} out"), "2");
+  EXPECT_EQ(Ok("set out"), "f00");
+}
+
+TEST_F(RegexpCmdTest, RegsubAmpersand) {
+  Ok("regsub {b+} {abbbc} {<&>} out");
+  EXPECT_EQ(Ok("set out"), "a<bbb>c");
+}
+
+TEST_F(RegexpCmdTest, RegsubGroupReference) {
+  Ok("regsub {([a-z]+)=([0-9]+)} {key=42} {\\2=\\1} out");
+  EXPECT_EQ(Ok("set out"), "42=key");
+}
+
+TEST_F(RegexpCmdTest, RegsubNoMatchLeavesOriginal) {
+  EXPECT_EQ(Ok("regsub {zzz} {hello} {x} out"), "0");
+  EXPECT_EQ(Ok("set out"), "hello");
+}
+
+TEST_F(RegexpCmdTest, RegsubAllWithEmptyMatches) {
+  // Must terminate and process each position once.
+  EXPECT_EQ(Ok("regsub -all {x*} {ab} {-} out"), "3");
+}
+
+// --- trace command ---------------------------------------------------------------------
+
+TEST_F(RegexpCmdTest, TraceVariableWrite) {
+  Ok("set log {}");
+  Ok("proc logger {name index op} {global log; lappend log $name $op}");
+  Ok("trace variable watched w logger");
+  Ok("set watched 1");
+  Ok("set watched 2");
+  EXPECT_EQ(Ok("set log"), "watched w watched w");
+}
+
+TEST_F(RegexpCmdTest, TraceVariableUnset) {
+  Ok("set log {}");
+  Ok("proc logger {name index op} {global log; lappend log $op}");
+  Ok("set doomed 1");
+  Ok("trace variable doomed u logger");
+  Ok("set doomed 2");   // Write: not traced.
+  Ok("unset doomed");
+  EXPECT_EQ(Ok("set log"), "u");
+}
+
+TEST_F(RegexpCmdTest, TraceArrayElement) {
+  Ok("set log {}");
+  Ok("proc logger {name index op} {global log; lappend log $name $index}");
+  Ok("trace variable arr w logger");
+  Ok("set arr(key) 5");
+  EXPECT_EQ(Ok("set log"), "arr key");
+}
+
+}  // namespace
+}  // namespace tcl

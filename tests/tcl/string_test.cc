@@ -1,0 +1,180 @@
+// String command tests: the `string` ensemble, format, scan, and the glob
+// matcher that backs `string match` and the option database.
+
+#include <gtest/gtest.h>
+
+#include "src/tcl/interp.h"
+#include "src/tcl/utils.h"
+
+namespace tcl {
+namespace {
+
+class StringTest : public ::testing::Test {
+ protected:
+  std::string Ok(const std::string& script) {
+    Code code = interp_.Eval(script);
+    EXPECT_EQ(code, Code::kOk) << script << " -> " << interp_.result();
+    return interp_.result();
+  }
+  std::string Err(const std::string& script) {
+    Code code = interp_.Eval(script);
+    EXPECT_EQ(code, Code::kError) << script;
+    return interp_.result();
+  }
+  Interp interp_;
+};
+
+TEST_F(StringTest, Compare) {
+  EXPECT_EQ(Ok("string compare abc abc"), "0");
+  EXPECT_EQ(Ok("string compare abc abd"), "-1");
+  EXPECT_EQ(Ok("string compare abd abc"), "1");
+}
+
+TEST_F(StringTest, Length) {
+  EXPECT_EQ(Ok("string length {}"), "0");
+  EXPECT_EQ(Ok("string length hello"), "5");
+}
+
+TEST_F(StringTest, IndexAndRange) {
+  EXPECT_EQ(Ok("string index hello 1"), "e");
+  EXPECT_EQ(Ok("string index hello end"), "o");
+  EXPECT_EQ(Ok("string index hello 99"), "");
+  EXPECT_EQ(Ok("string range hello 1 3"), "ell");
+  EXPECT_EQ(Ok("string range hello 2 end"), "llo");
+  EXPECT_EQ(Ok("string range hello 3 1"), "");
+}
+
+TEST_F(StringTest, FirstAndLast) {
+  EXPECT_EQ(Ok("string first ll hello"), "2");
+  EXPECT_EQ(Ok("string first z hello"), "-1");
+  EXPECT_EQ(Ok("string last l hello"), "3");
+}
+
+TEST_F(StringTest, CaseConversion) {
+  EXPECT_EQ(Ok("string tolower MiXeD"), "mixed");
+  EXPECT_EQ(Ok("string toupper MiXeD"), "MIXED");
+}
+
+TEST_F(StringTest, Trim) {
+  EXPECT_EQ(Ok("string trim {  hi  }"), "hi");
+  EXPECT_EQ(Ok("string trimleft {  hi  }"), "hi  ");
+  EXPECT_EQ(Ok("string trimright {  hi  }"), "  hi");
+  EXPECT_EQ(Ok("string trim xxhixx x"), "hi");
+}
+
+TEST_F(StringTest, Match) {
+  EXPECT_EQ(Ok("string match f* foo"), "1");
+  EXPECT_EQ(Ok("string match f?o foo"), "1");
+  EXPECT_EQ(Ok("string match {[a-c]*} baz"), "1");
+  EXPECT_EQ(Ok("string match f* bar"), "0");
+}
+
+TEST_F(StringTest, BadOption) { Err("string frobnicate x"); }
+
+// --- format -----------------------------------------------------------------
+
+TEST_F(StringTest, FormatBasics) {
+  EXPECT_EQ(Ok("format {x is %s} 10"), "x is 10");
+  EXPECT_EQ(Ok("format %d 42"), "42");
+  EXPECT_EQ(Ok("format %5d 42"), "   42");
+  EXPECT_EQ(Ok("format %-5d| 42"), "42   |");
+  EXPECT_EQ(Ok("format %05d 42"), "00042");
+  EXPECT_EQ(Ok("format %x 255"), "ff");
+  EXPECT_EQ(Ok("format %X 255"), "FF");
+  EXPECT_EQ(Ok("format %o 8"), "10");
+  EXPECT_EQ(Ok("format %c 65"), "A");
+  EXPECT_EQ(Ok("format %% "), "%");
+}
+
+TEST_F(StringTest, FormatFloats) {
+  EXPECT_EQ(Ok("format %.2f 3.14159"), "3.14");
+  EXPECT_EQ(Ok("format %g 0.0001"), "0.0001");
+  EXPECT_EQ(Ok("format %e 12345.0").substr(0, 7), "1.23450");
+}
+
+TEST_F(StringTest, FormatStarWidth) {
+  EXPECT_EQ(Ok("format %*d 6 42"), "    42");
+  EXPECT_EQ(Ok("format %.*f 1 3.14159"), "3.1");
+}
+
+TEST_F(StringTest, FormatErrors) {
+  Err("format %d notanumber");
+  Err("format %d");       // Missing argument.
+  Err("format %q 1");     // Bad specifier.
+}
+
+TEST_F(StringTest, FormatMultipleArgs) {
+  EXPECT_EQ(Ok("format {%s=%d (%x)} answer 42 42"), "answer=42 (2a)");
+}
+
+// --- scan -------------------------------------------------------------------
+
+TEST_F(StringTest, ScanBasics) {
+  EXPECT_EQ(Ok("scan {42 hello 3.5} {%d %s %f} a b c"), "3");
+  EXPECT_EQ(Ok("set a"), "42");
+  EXPECT_EQ(Ok("set b"), "hello");
+  EXPECT_EQ(Ok("set c"), "3.5");
+}
+
+TEST_F(StringTest, ScanHexAndOctal) {
+  Ok("scan ff %x h");
+  EXPECT_EQ(Ok("set h"), "255");
+  Ok("scan 17 %o o");
+  EXPECT_EQ(Ok("set o"), "15");
+}
+
+TEST_F(StringTest, ScanChar) {
+  Ok("scan A %c code");
+  EXPECT_EQ(Ok("set code"), "65");
+}
+
+TEST_F(StringTest, ScanStopsOnMismatch) {
+  EXPECT_EQ(Ok("scan {12 abc} {%d %d} a b"), "1");
+  EXPECT_EQ(Ok("set a"), "12");
+}
+
+TEST_F(StringTest, ScanLiteralMatching) {
+  EXPECT_EQ(Ok("scan {x=5} {x=%d} v"), "1");
+  EXPECT_EQ(Ok("set v"), "5");
+  EXPECT_EQ(Ok("scan {y=5} {x=%d} v2"), "0");
+}
+
+TEST_F(StringTest, ScanWidth) {
+  Ok("scan 123456 %3d v");
+  EXPECT_EQ(Ok("set v"), "123");
+}
+
+// --- StringMatch engine directly (property sweep) ----------------------------
+
+struct MatchCase {
+  const char* pattern;
+  const char* text;
+  bool expected;
+};
+
+class MatchSweep : public ::testing::TestWithParam<MatchCase> {};
+
+TEST_P(MatchSweep, Matches) {
+  EXPECT_EQ(StringMatch(GetParam().pattern, GetParam().text), GetParam().expected)
+      << GetParam().pattern << " vs " << GetParam().text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, MatchSweep,
+    ::testing::Values(MatchCase{"", "", true}, MatchCase{"", "a", false},
+                      MatchCase{"*", "", true}, MatchCase{"*", "anything", true},
+                      MatchCase{"a*", "a", true}, MatchCase{"a*", "abc", true},
+                      MatchCase{"a*", "ba", false}, MatchCase{"*c", "abc", true},
+                      MatchCase{"a*c", "abbbc", true}, MatchCase{"a*c", "ab", false},
+                      MatchCase{"a**b", "ab", true}, MatchCase{"?", "x", true},
+                      MatchCase{"?", "", false}, MatchCase{"a?c", "abc", true},
+                      MatchCase{"[abc]", "b", true}, MatchCase{"[abc]", "d", false},
+                      MatchCase{"[a-z]x", "qx", true}, MatchCase{"[^a-z]", "A", true},
+                      MatchCase{"[^a-z]", "q", false}, MatchCase{"\\*", "*", true},
+                      MatchCase{"\\*", "x", false}, MatchCase{"*.*", "file.txt", true},
+                      MatchCase{"*Button*", "myButtonWidget", true},
+                      MatchCase{"x[0-9]y", "x5y", true},
+                      MatchCase{"*[0-9]", "abc", false}));
+
+}  // namespace
+}  // namespace tcl

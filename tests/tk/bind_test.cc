@@ -1,0 +1,241 @@
+// Binding tests: the Figure 7 examples, sequences, %-substitution, class vs
+// widget bindings.
+
+#include <gtest/gtest.h>
+
+#include "src/tk/bind.h"
+#include "tests/tk/tk_test_util.h"
+
+namespace tk {
+namespace {
+
+class BindTest : public TkTest {
+ protected:
+  void SetUp() override {
+    Ok("frame .x -geometry 60x40");
+    Ok("pack append . .x {top}");
+    Pump();
+  }
+};
+
+// Figure 7, binding 1: bind .x <Enter> {...}
+TEST_F(BindTest, EnterBinding) {
+  Ok("bind .x <Enter> {set entered 1}");
+  MoveToWidget(".x");
+  EXPECT_EQ(Ok("set entered"), "1");
+}
+
+// Figure 7, binding 2: bind .x a {...}
+TEST_F(BindTest, PlainKeyBinding) {
+  Ok("bind .x a {set typed a}");
+  MoveToWidget(".x");
+  TypeKey('a');
+  EXPECT_EQ(Ok("set typed"), "a");
+  // Other keys don't trigger it.
+  Ok("set typed none");
+  TypeKey('b');
+  EXPECT_EQ(Ok("set typed"), "none");
+}
+
+// Figure 7, binding 3: bind .x <Escape>q {...} -- a two-event sequence.
+TEST_F(BindTest, EscapeQSequence) {
+  Ok("bind .x <Escape>q {set seq 1}");
+  MoveToWidget(".x");
+  TypeKey('q');
+  EXPECT_EQ(Ok("info exists seq"), "0");  // q alone: no match.
+  TypeKey(xsim::kKeyEscape);
+  EXPECT_EQ(Ok("info exists seq"), "0");  // escape alone: no match.
+  TypeKey('q');
+  EXPECT_EQ(Ok("set seq"), "1");  // escape then q: match.
+}
+
+// Figure 7, binding 4: bind .x <Double-Button-1> {print "mouse at %x %y"}
+TEST_F(BindTest, DoubleClickWithPercentSubstitution) {
+  Ok("bind .x <Double-Button-1> {set where \"%x %y\"}");
+  MoveToWidget(".x");
+  server_.InjectClick(1);
+  Pump();
+  EXPECT_EQ(Ok("info exists where"), "0");  // Single click: no match.
+  server_.InjectClick(1);
+  Pump();
+  EXPECT_EQ(Ok("set where"), "30 20");  // Center of the 60x40 widget.
+}
+
+TEST_F(BindTest, ButtonNumberMatters) {
+  Ok("bind .x <Button-2> {set b 2}");
+  MoveToWidget(".x");
+  server_.InjectClick(1);
+  Pump();
+  EXPECT_EQ(Ok("info exists b"), "0");
+  server_.InjectClick(2);
+  Pump();
+  EXPECT_EQ(Ok("set b"), "2");
+}
+
+TEST_F(BindTest, ControlModifier) {
+  Ok("bind .x <Control-q> {set quit 1}");
+  MoveToWidget(".x");
+  TypeKey('q');
+  EXPECT_EQ(Ok("info exists quit"), "0");
+  server_.InjectKey(xsim::kKeyControlL, true);
+  TypeKey('q');
+  server_.InjectKey(xsim::kKeyControlL, false);
+  Pump();
+  EXPECT_EQ(Ok("set quit"), "1");
+}
+
+TEST_F(BindTest, MoreSpecificBindingWins) {
+  Ok("bind .x <Key> {lappend log any}");
+  Ok("bind .x a {lappend log exact}");
+  MoveToWidget(".x");
+  TypeKey('a');
+  // Only the most specific binding for the tag fires.
+  EXPECT_EQ(Ok("set log"), "exact");
+}
+
+TEST_F(BindTest, ClassAndWidgetBindingsBothFire) {
+  Ok("bind Frame <Enter> {lappend log class}");
+  Ok("bind .x <Enter> {lappend log widget}");
+  MoveToWidget(".x");
+  std::string log = Ok("set log");
+  EXPECT_NE(log.find("class"), std::string::npos);
+  EXPECT_NE(log.find("widget"), std::string::npos);
+}
+
+TEST_F(BindTest, BindIntrospection) {
+  Ok("bind .x <Enter> {set x 1}");
+  Ok("bind .x a {set y 2}");
+  std::string patterns = Ok("bind .x");
+  EXPECT_NE(patterns.find("<Enter>"), std::string::npos);
+  EXPECT_NE(patterns.find("a"), std::string::npos);
+  EXPECT_EQ(Ok("bind .x <Enter>"), "set x 1");
+}
+
+TEST_F(BindTest, EmptyScriptDeletesBinding) {
+  Ok("bind .x <Enter> {set x 1}");
+  Ok("bind .x <Enter> {}");
+  EXPECT_EQ(Ok("bind .x <Enter>"), "");
+  MoveToWidget(".x");
+  EXPECT_EQ(Ok("info exists x"), "0");
+}
+
+TEST_F(BindTest, BadPatternRejected) {
+  Err("bind .x <NoSuchEvent> {set x 1}");
+  Err("bind .x <Enter {set x 1}");
+}
+
+TEST_F(BindTest, PercentWAndPercentK) {
+  Ok("bind .x <Key> {set info \"%W %K\"}");
+  MoveToWidget(".x");
+  TypeKey('z');
+  EXPECT_EQ(Ok("set info"), ".x z");
+}
+
+TEST_F(BindTest, PercentASubstitutesAscii) {
+  Ok("bind .x <Key> {append typed %A}");
+  MoveToWidget(".x");
+  TypeKey('h');
+  TypeKey('i');
+  EXPECT_EQ(Ok("set typed"), "hi");
+}
+
+TEST_F(BindTest, LeaveBinding) {
+  Ok("bind .x <Leave> {set left 1}");
+  MoveToWidget(".x");
+  server_.InjectPointerMove(500, 500);
+  Pump();
+  EXPECT_EQ(Ok("set left"), "1");
+}
+
+TEST_F(BindTest, ButtonReleaseBinding) {
+  Ok("bind .x <ButtonRelease-1> {set released 1}");
+  MoveToWidget(".x");
+  server_.InjectButton(1, true);
+  Pump();
+  EXPECT_EQ(Ok("info exists released"), "0");
+  server_.InjectButton(1, false);
+  Pump();
+  EXPECT_EQ(Ok("set released"), "1");
+}
+
+TEST_F(BindTest, MotionWithButtonModifier) {
+  Ok("bind .x <B1-Motion> {set dragged %x}");
+  MoveToWidget(".x");
+  server_.InjectPointerMove(10, 10);
+  Pump();
+  EXPECT_EQ(Ok("info exists dragged"), "0");  // Motion without button: no.
+  server_.InjectButton(1, true);
+  server_.InjectPointerMove(20, 10);
+  server_.InjectButton(1, false);
+  Pump();
+  EXPECT_EQ(Ok("set dragged"), "20");
+}
+
+// Section 5's example: add a new keystroke binding to an existing widget
+// without modifying the application -- backspace a whole word on Control-w.
+TEST_F(BindTest, ControlWBackspacesWordInEntry) {
+  Ok("entry .e");
+  Ok("pack append . .e {top}");
+  Ok(".e insert 0 {hello brave world}");
+  Ok(".e icursor end");
+  Ok("focus .e");
+  Ok("bind .e <Control-w> {"
+     "  set s [.e get];"
+     "  set i [.e index insert];"
+     "  while {$i > 0 && [string index $s [expr $i-1]] == \" \"} {incr i -1};"
+     "  while {$i > 0 && [string index $s [expr $i-1]] != \" \"} {incr i -1};"
+     "  .e delete $i [.e index insert]"
+     "}");
+  Pump();
+  server_.InjectKey(xsim::kKeyControlL, true);
+  TypeKey('w');
+  server_.InjectKey(xsim::kKeyControlL, false);
+  Pump();
+  EXPECT_EQ(Ok(".e get"), "hello brave ");
+}
+
+// The parser itself, in isolation.
+TEST(EventSequenceParser, ParsesPaperPatterns) {
+  std::string error;
+  auto enter = ParseEventSequence("<Enter>", &error);
+  ASSERT_TRUE(enter);
+  EXPECT_EQ(enter->size(), 1u);
+  EXPECT_EQ((*enter)[0].type, xsim::EventType::kEnterNotify);
+
+  auto plain = ParseEventSequence("a", &error);
+  ASSERT_TRUE(plain);
+  EXPECT_EQ((*plain)[0].type, xsim::EventType::kKeyPress);
+  EXPECT_EQ((*plain)[0].detail, static_cast<uint32_t>('a'));
+
+  auto seq = ParseEventSequence("<Escape>q", &error);
+  ASSERT_TRUE(seq);
+  EXPECT_EQ(seq->size(), 2u);
+  EXPECT_EQ((*seq)[0].detail, xsim::kKeyEscape);
+  EXPECT_EQ((*seq)[1].detail, static_cast<uint32_t>('q'));
+
+  auto dbl = ParseEventSequence("<Double-Button-1>", &error);
+  ASSERT_TRUE(dbl);
+  EXPECT_EQ((*dbl)[0].type, xsim::EventType::kButtonPress);
+  EXPECT_EQ((*dbl)[0].detail, 1u);
+  EXPECT_EQ((*dbl)[0].repeat, 2);
+
+  auto ctrl = ParseEventSequence("<Control-Shift-x>", &error);
+  ASSERT_TRUE(ctrl);
+  EXPECT_EQ((*ctrl)[0].modifiers, xsim::kControlMask | xsim::kShiftMask);
+
+  EXPECT_FALSE(ParseEventSequence("<>", &error));
+  EXPECT_FALSE(ParseEventSequence("", &error));
+}
+
+TEST(EventSequenceParser, NamedKeysyms) {
+  std::string error;
+  auto space = ParseEventSequence("<space>", &error);
+  ASSERT_TRUE(space);
+  EXPECT_EQ((*space)[0].detail, static_cast<uint32_t>(' '));
+  auto f1 = ParseEventSequence("<F1>", &error);
+  ASSERT_TRUE(f1);
+  EXPECT_EQ((*f1)[0].detail, xsim::kKeyF1);
+}
+
+}  // namespace
+}  // namespace tk

@@ -1,0 +1,166 @@
+// Canvas widget tests: item creation, manipulation, hit testing, bindings.
+
+#include "src/tk/widgets/canvas.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/tk/tk_test_util.h"
+
+namespace tk {
+namespace {
+
+class CanvasTest : public TkTest {
+ protected:
+  void SetUp() override {
+    Ok("canvas .c -width 200 -height 150");
+    Ok("pack append . .c {top}");
+    Pump();
+    canvas_ = static_cast<Canvas*>(app_->FindWidget(".c"));
+  }
+  Canvas* canvas_ = nullptr;
+};
+
+TEST_F(CanvasTest, CreateReturnsIncreasingIds) {
+  EXPECT_EQ(Ok(".c create rectangle 10 10 50 40"), "1");
+  EXPECT_EQ(Ok(".c create line 0 0 100 100"), "2");
+  EXPECT_EQ(Ok(".c create text 5 5 -text hello"), "3");
+  EXPECT_EQ(canvas_->item_count(), 3);
+}
+
+TEST_F(CanvasTest, CreateValidatesTypeAndCoords) {
+  Err(".c create blob 1 2 3 4");
+  Err(".c create rectangle 1 2");       // Too few coordinates.
+  Err(".c create rectangle 1 2 3");     // Odd count.
+  Err(".c create rectangle a b c d");   // Non-numeric.
+}
+
+TEST_F(CanvasTest, ItemOptions) {
+  Ok(".c create rectangle 10 10 50 40 -fill red -tags {box primary}");
+  const Canvas::Item* item = canvas_->FindItem(1);
+  ASSERT_NE(item, nullptr);
+  EXPECT_EQ(item->fill_name, "red");
+  ASSERT_EQ(item->tags.size(), 2u);
+  EXPECT_EQ(item->tags[0], "box");
+}
+
+TEST_F(CanvasTest, CoordsQueryAndUpdate) {
+  Ok(".c create line 0 0 10 10");
+  EXPECT_EQ(Ok(".c coords 1"), "0 0 10 10");
+  Ok(".c coords 1 5 5 20 20");
+  EXPECT_EQ(Ok(".c coords 1"), "5 5 20 20");
+}
+
+TEST_F(CanvasTest, MoveShiftsCoords) {
+  Ok(".c create rectangle 10 10 30 30");
+  Ok(".c move 1 5 -3");
+  EXPECT_EQ(Ok(".c coords 1"), "15 7 35 27");
+}
+
+TEST_F(CanvasTest, MoveByTag) {
+  Ok(".c create rectangle 0 0 10 10 -tags shape");
+  Ok(".c create line 0 0 5 5 -tags shape");
+  Ok(".c create text 50 50 -text static");
+  Ok(".c move shape 100 0");
+  EXPECT_EQ(Ok(".c coords 1"), "100 0 110 10");
+  EXPECT_EQ(Ok(".c coords 2"), "100 0 105 5");
+  EXPECT_EQ(Ok(".c coords 3"), "50 50");
+}
+
+TEST_F(CanvasTest, DeleteRemovesItems) {
+  Ok(".c create rectangle 0 0 10 10");
+  Ok(".c create line 0 0 5 5");
+  Ok(".c delete 1");
+  EXPECT_EQ(canvas_->item_count(), 1);
+  Ok(".c delete all");
+  EXPECT_EQ(canvas_->item_count(), 0);
+}
+
+TEST_F(CanvasTest, FindWithtagAndOverlapping) {
+  Ok(".c create rectangle 10 10 50 40 -tags box");
+  Ok(".c create rectangle 100 100 120 120");
+  EXPECT_EQ(Ok(".c find withtag box"), "1");
+  EXPECT_EQ(Ok(".c find overlapping 20 20"), "1");
+  EXPECT_EQ(Ok(".c find overlapping 110 110"), "2");
+  EXPECT_EQ(Ok(".c find overlapping 90 90"), "");
+}
+
+TEST_F(CanvasTest, TopmostItemWins) {
+  Ok(".c create rectangle 10 10 60 60");
+  Ok(".c create rectangle 20 20 50 50");  // Drawn later = on top.
+  EXPECT_EQ(Ok(".c find overlapping 30 30"), "2");
+}
+
+TEST_F(CanvasTest, ItemconfigureChangesFill) {
+  Ok(".c create rectangle 0 0 10 10 -fill red");
+  Ok(".c itemconfigure 1 -fill blue");
+  EXPECT_EQ(canvas_->FindItem(1)->fill_name, "blue");
+}
+
+TEST_F(CanvasTest, ItemBindingFiresOnClick) {
+  Ok(".c create rectangle 20 20 60 60");
+  Ok(".c bind 1 {set clicked {%x %y}}");
+  Pump();
+  std::optional<xsim::Point> abs = server_.AbsolutePosition(canvas_->window());
+  server_.InjectPointerMove(abs->x + 30, abs->y + 30);
+  server_.InjectClick(1);
+  Pump();
+  EXPECT_EQ(Ok("set clicked"), "30 30");
+  // Clicking empty canvas does not fire.
+  Ok("set clicked none");
+  server_.InjectPointerMove(abs->x + 150, abs->y + 100);
+  server_.InjectClick(1);
+  Pump();
+  EXPECT_EQ(Ok("set clicked"), "none");
+}
+
+TEST_F(CanvasTest, GraphicalHypertextLink) {
+  // Section 6's hypertext idea on graphics: a command attached to a shape.
+  Ok(".c create rectangle 10 10 40 30 -fill blue -tags link");
+  Ok(".c create text 12 12 -text Open -tags link");
+  Ok("foreach id [.c find withtag link] {.c bind $id {set action open-document}}");
+  Pump();
+  std::optional<xsim::Point> abs = server_.AbsolutePosition(canvas_->window());
+  server_.InjectPointerMove(abs->x + 20, abs->y + 20);
+  server_.InjectClick(1);
+  Pump();
+  EXPECT_EQ(Ok("set action"), "open-document");
+}
+
+TEST_F(CanvasTest, DrawsIntoRaster) {
+  Ok(".c create rectangle 10 10 50 40 -fill red");
+  Pump();
+  std::optional<xsim::Point> abs = server_.AbsolutePosition(canvas_->window());
+  EXPECT_EQ(server_.raster().At(abs->x + 20, abs->y + 20), 0xff0000u);
+  EXPECT_NE(server_.raster().At(abs->x + 100, abs->y + 100), 0xff0000u);
+}
+
+TEST_F(CanvasTest, TextItemsJournal) {
+  Ok(".c create text 5 5 -text {canvas label}");
+  Pump();
+  std::vector<xsim::TextItem> text = server_.WindowText(canvas_->window());
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back().text, "canvas label");
+}
+
+TEST_F(CanvasTest, RequestedSizeFollowsOptions) {
+  Ok("canvas .c2 -width 320 -height 240");
+  Pump();
+  Widget* c2 = app_->FindWidget(".c2");
+  EXPECT_GE(c2->req_width(), 320);
+  EXPECT_GE(c2->req_height(), 240);
+}
+
+TEST_F(CanvasTest, BindByTagAppliesToAllTaggedItems) {
+  Ok(".c create rectangle 10 10 40 40 -tags hot");
+  Ok(".c create rectangle 100 10 130 40 -tags hot");
+  Ok(".c bind hot {set hit %x}");
+  Pump();
+  std::optional<xsim::Point> abs = server_.AbsolutePosition(canvas_->window());
+  server_.InjectPointerMove(abs->x + 110, abs->y + 20);
+  server_.InjectClick(1);
+  Pump();
+  EXPECT_EQ(Ok("set hit"), "110");
+}
+
+}  // namespace
+}  // namespace tk

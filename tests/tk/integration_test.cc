@@ -1,0 +1,237 @@
+// End-to-end integration tests: the full Figure 9 browser script, the wish
+// binary, and multi-application scenarios combining every subsystem.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/tk/app.h"
+#include "src/tk/widgets/listbox.h"
+#include "tests/tk/tk_test_util.h"
+
+namespace tk {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream file(path);
+  std::ostringstream out;
+  out << file.rdbuf();
+  return out.str();
+}
+
+class BrowserIntegrationTest : public TkTest {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() / "tclk_browser_it";
+    fs::remove_all(root_);
+    fs::create_directories(root_ / "subdir");
+    std::ofstream(root_ / "alpha.txt") << "a\n";
+    std::ofstream(root_ / "beta.txt") << "b\n";
+
+    script_ = ReadFile(fs::path(TCLK_SOURCE_DIR) / "examples" / "browse.tcl");
+    ASSERT_FALSE(script_.empty());
+    interp().SetVar("argc", "1");
+    interp().SetVar("argv", root_.string());
+    ASSERT_EQ(interp().Eval(script_), tcl::Code::kOk) << interp().result();
+    Pump();
+    list_ = static_cast<Listbox*>(app_->FindWidget(".list"));
+    ASSERT_NE(list_, nullptr);
+  }
+
+  void TearDown() override { fs::remove_all(root_); }
+
+  int IndexOf(const std::string& name) {
+    for (int i = 0; i < list_->size(); ++i) {
+      if (*list_->Get(i) == name) {
+        return i;
+      }
+    }
+    return -1;
+  }
+
+  fs::path root_;
+  std::string script_;
+  Listbox* list_ = nullptr;
+};
+
+TEST_F(BrowserIntegrationTest, ScriptBuildsInterface) {
+  EXPECT_NE(app_->FindWidget(".scroll"), nullptr);
+  EXPECT_NE(app_->FindWidget(".list"), nullptr);
+  // `exec ls -a` listed ".", "..", both files and the subdirectory.
+  EXPECT_GE(list_->size(), 5);
+  EXPECT_GE(IndexOf("alpha.txt"), 0);
+  EXPECT_GE(IndexOf("subdir"), 0);
+}
+
+TEST_F(BrowserIntegrationTest, SpaceDescendsIntoDirectory) {
+  int index = IndexOf("subdir");
+  ASSERT_GE(index, 0);
+  Ok(".list select from " + std::to_string(index));
+  MoveToWidget(".list");
+  TypeKey(' ');
+  // The listing was replaced by subdir's (which only has . and ..).
+  EXPECT_LT(list_->size(), 4);
+  EXPECT_EQ(Ok("set current_dir"), (root_ / "subdir").string());
+}
+
+TEST_F(BrowserIntegrationTest, SpaceOpensFileViewer) {
+  int index = IndexOf("alpha.txt");
+  ASSERT_GE(index, 0);
+  Ok(".list select from " + std::to_string(index));
+  MoveToWidget(".list");
+  TypeKey(' ');
+  ASSERT_NE(app_->FindWidget(".view"), nullptr);
+  // The viewer shows the file name and its Dismiss button works.
+  Ok(".view.dismiss invoke");
+  Pump();
+  EXPECT_EQ(app_->FindWidget(".view"), nullptr);
+}
+
+TEST_F(BrowserIntegrationTest, ControlQDestroysInterface) {
+  MoveToWidget(".list");
+  server_.InjectKey(xsim::kKeyControlL, true);
+  TypeKey('q');
+  server_.InjectKey(xsim::kKeyControlL, false);
+  Pump();
+  EXPECT_EQ(app_->FindWidget(".list"), nullptr);
+  EXPECT_EQ(app_->FindWidget("."), nullptr);
+}
+
+// --- The wish binary itself -------------------------------------------------------
+
+class WishBinaryTest : public ::testing::Test {
+ protected:
+  // Runs wish with `script` on stdin; returns stdout.
+  std::string RunWish(const std::string& script, const std::string& extra_args = "") {
+    fs::path script_file = fs::temp_directory_path() / "tclk_wish_test.tcl";
+    std::ofstream(script_file) << script;
+    std::string binary = fs::path(TCLK_BINARY_DIR) / "src" / "wish" / "wish";
+    std::string command = binary + " -f " + script_file.string() + " " + extra_args + " 2>&1";
+    FILE* pipe = popen(command.c_str(), "r");
+    EXPECT_NE(pipe, nullptr);
+    std::string output;
+    char buffer[4096];
+    size_t n = 0;
+    while ((n = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+      output.append(buffer, n);
+    }
+    pclose(pipe);
+    fs::remove(script_file);
+    return output;
+  }
+};
+
+TEST_F(WishBinaryTest, RunsScriptFile) {
+  std::string out = RunWish("print \"hello from wish\\n\"");
+  EXPECT_NE(out.find("hello from wish"), std::string::npos);
+}
+
+TEST_F(WishBinaryTest, DumpShowsWindowTree) {
+  std::string out = RunWish(
+      "button .b -text Pressme\npack append . .b {top}\nupdate\n", "-dump");
+  EXPECT_NE(out.find("Pressme"), std::string::npos);
+  EXPECT_NE(out.find("window"), std::string::npos);
+}
+
+TEST_F(WishBinaryTest, ScriptArgsAvailable) {
+  std::string out = RunWish("print \"$argc [index $argv 0]\\n\"", "firstarg");
+  EXPECT_NE(out.find("1 firstarg"), std::string::npos);
+}
+
+TEST_F(WishBinaryTest, ErrorsReported) {
+  std::string out = RunWish("nosuchcommand\n");
+  EXPECT_NE(out.find("invalid command name"), std::string::npos);
+}
+
+
+TEST_F(WishBinaryTest, WidgetTourRunsClean) {
+  std::string binary = fs::path(TCLK_BINARY_DIR) / "src" / "wish" / "wish";
+  std::string script = fs::path(TCLK_SOURCE_DIR) / "examples" / "widget_tour.tcl";
+  std::string command = binary + " -f " + script + " -dump 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  std::string output;
+  char buffer[4096];
+  size_t n = 0;
+  while ((n = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    output.append(buffer, n);
+  }
+  int status = pclose(pipe);
+  EXPECT_EQ(status, 0) << output;
+  // Every widget family made it onto the (simulated) screen.
+  for (const char* marker :
+       {"File", "Options", "A tour of every widget class", "Button", "Check",
+        "frame widget", "canvas!", "ready"}) {
+    EXPECT_NE(output.find(marker), std::string::npos) << marker;
+  }
+  EXPECT_EQ(output.find("error"), std::string::npos);
+}
+
+
+TEST_F(WishBinaryTest, ReplReadsStdin) {
+  std::string binary = fs::path(TCLK_BINARY_DIR) / "src" / "wish" / "wish";
+  // Multi-line command: the REPL waits for balanced braces before running.
+  std::string command = "printf 'proc f {} {\nreturn from-repl\n}\nprint [f]\n' | " +
+                        binary + " 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  std::string output;
+  char buffer[4096];
+  size_t n = 0;
+  while ((n = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    output.append(buffer, n);
+  }
+  pclose(pipe);
+  EXPECT_NE(output.find("from-repl"), std::string::npos) << output;
+}
+
+TEST_F(WishBinaryTest, ReplHistoryRecordsCommands) {
+  std::string binary = fs::path(TCLK_BINARY_DIR) / "src" / "wish" / "wish";
+  std::string command =
+      "printf 'set marker alpha\nprint [history event 1]\n' | " + binary + " 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  std::string output;
+  char buffer[4096];
+  size_t n = 0;
+  while ((n = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    output.append(buffer, n);
+  }
+  pclose(pipe);
+  EXPECT_NE(output.find("set marker alpha"), std::string::npos) << output;
+}
+
+TEST_F(BrowserIntegrationTest, DumpTreeShowsListingText) {
+  // The Figure 10 stand-in carries the rendered text of the listbox.
+  std::string dump = server_.DumpTree();
+  EXPECT_NE(dump.find("alpha.txt"), std::string::npos);
+  EXPECT_NE(dump.find("subdir"), std::string::npos);
+}
+
+// --- Full-stack scenario ------------------------------------------------------------
+
+
+
+TEST_F(BrowserIntegrationTest, SelectionVisibleToSecondApplication) {
+  // While the browser has a selection, another application on the display
+  // can read it -- the Section 6 "work together" promise in one test.
+  int index = IndexOf("beta.txt");
+  ASSERT_GE(index, 0);
+  Ok(".list select from " + std::to_string(index));
+  App other(server_, "observer");
+  ASSERT_EQ(other.interp().Eval("selection get"), tcl::Code::kOk)
+      << other.interp().result();
+  EXPECT_EQ(other.interp().result(), "beta.txt");
+  // And it can drive the browser remotely.
+  ASSERT_EQ(other.interp().Eval("send test {.list view 1}"), tcl::Code::kOk)
+      << other.interp().result();
+  EXPECT_EQ(list_->top_index(), 1);
+}
+
+}  // namespace
+}  // namespace tk

@@ -1,0 +1,154 @@
+// The listbox <-> scrollbar cooperation of Section 4: two independent
+// widgets wired together purely through Tcl commands.
+
+#include <gtest/gtest.h>
+
+#include "src/tk/widgets/listbox.h"
+#include "src/tk/widgets/scrollbar.h"
+#include "tests/tk/tk_test_util.h"
+
+namespace tk {
+namespace {
+
+class ListboxScrollbarTest : public TkTest {
+ protected:
+  void SetUp() override {
+    // The paper's wiring (Figure 9 lines 2-4).
+    Ok("scrollbar .scroll -command \".list view\"");
+    Ok("listbox .list -scroll \".scroll set\" -relief raised -geometry 20x5");
+    Ok("pack append . .scroll {right filly} .list {left expand fill}");
+    for (int i = 0; i < 50; ++i) {
+      Ok(".list insert end item" + std::to_string(i));
+    }
+    Pump();
+    list_ = static_cast<Listbox*>(app_->FindWidget(".list"));
+    scroll_ = static_cast<Scrollbar*>(app_->FindWidget(".scroll"));
+  }
+
+  Listbox* list_ = nullptr;
+  Scrollbar* scroll_ = nullptr;
+};
+
+TEST_F(ListboxScrollbarTest, ListboxReportsViewToScrollbar) {
+  // Inserting elements invoked ".scroll set total window first last".
+  EXPECT_EQ(scroll_->total_units(), 50);
+  EXPECT_EQ(scroll_->first_unit(), 0);
+  EXPECT_GT(scroll_->window_units(), 0);
+}
+
+TEST_F(ListboxScrollbarTest, ScrollbarCommandAugmentedWithUnit) {
+  // Section 4: the scrollbar appends the unit, producing ".list view 40".
+  scroll_->ScrollTo(40);
+  Pump();
+  EXPECT_EQ(list_->top_index(), 40);
+  // And the listbox reported its new view back to the scrollbar.
+  EXPECT_EQ(scroll_->first_unit(), 40);
+}
+
+TEST_F(ListboxScrollbarTest, ViewCommandScrolls) {
+  Ok(".list view 10");
+  EXPECT_EQ(list_->top_index(), 10);
+  EXPECT_EQ(scroll_->first_unit(), 10);
+}
+
+TEST_F(ListboxScrollbarTest, ArrowClickScrollsOneUnit) {
+  Ok(".list view 10");
+  Pump();
+  // Click in the top arrow region of the scrollbar.
+  std::optional<xsim::Point> abs = server_.AbsolutePosition(scroll_->window());
+  ASSERT_TRUE(abs);
+  server_.InjectPointerMove(abs->x + scroll_->width() / 2, abs->y + 4);
+  server_.InjectClick(1);
+  Pump();
+  EXPECT_EQ(list_->top_index(), 9);
+  // Bottom arrow scrolls forward.
+  server_.InjectPointerMove(abs->x + scroll_->width() / 2, abs->y + scroll_->height() - 4);
+  server_.InjectClick(1);
+  Pump();
+  EXPECT_EQ(list_->top_index(), 10);
+}
+
+TEST_F(ListboxScrollbarTest, TroughClickPages) {
+  Ok(".list view 20");
+  Pump();
+  std::optional<xsim::Point> abs = server_.AbsolutePosition(scroll_->window());
+  ASSERT_TRUE(abs);
+  int window_units = scroll_->window_units();
+  // Click near the bottom of the trough (below the slider).
+  server_.InjectPointerMove(abs->x + scroll_->width() / 2,
+                            abs->y + scroll_->height() - scroll_->width() - 6);
+  server_.InjectClick(1);
+  Pump();
+  EXPECT_EQ(list_->top_index(), 20 + window_units - 1);
+}
+
+TEST_F(ListboxScrollbarTest, SliderDragScrollsContinuously) {
+  std::optional<xsim::Point> abs = server_.AbsolutePosition(scroll_->window());
+  ASSERT_TRUE(abs);
+  int cx = abs->x + scroll_->width() / 2;
+  // Press on the slider (top of trough since first=0) and drag down.
+  server_.InjectPointerMove(cx, abs->y + scroll_->width() + 4);
+  server_.InjectButton(1, true);
+  Pump();
+  server_.InjectPointerMove(cx, abs->y + scroll_->height() / 2);
+  Pump();
+  server_.InjectButton(1, false);
+  Pump();
+  EXPECT_GT(list_->top_index(), 5);
+}
+
+TEST_F(ListboxScrollbarTest, ClickSelectsItem) {
+  std::optional<xsim::Point> abs = server_.AbsolutePosition(list_->window());
+  ASSERT_TRUE(abs);
+  server_.InjectPointerMove(abs->x + 10, abs->y + 20);  // Second row or so.
+  server_.InjectClick(1);
+  Pump();
+  std::string selection = Ok(".list curselection");
+  EXPECT_FALSE(selection.empty());
+  EXPECT_EQ(selection, std::to_string(list_->Nearest(20)));
+}
+
+TEST_F(ListboxScrollbarTest, DragExtendsSelection) {
+  std::optional<xsim::Point> abs = server_.AbsolutePosition(list_->window());
+  ASSERT_TRUE(abs);
+  server_.InjectPointerMove(abs->x + 10, abs->y + 8);
+  server_.InjectButton(1, true);
+  Pump();
+  server_.InjectPointerMove(abs->x + 10, abs->y + 40);
+  server_.InjectButton(1, false);
+  Pump();
+  std::vector<int> selected = list_->SelectedIndices();
+  EXPECT_GT(selected.size(), 1u);
+}
+
+TEST_F(ListboxScrollbarTest, DeleteUpdatesScrollbar) {
+  Ok(".list delete 0 39");
+  EXPECT_EQ(Ok(".list size"), "10");
+  EXPECT_EQ(scroll_->total_units(), 10);
+}
+
+TEST_F(ListboxScrollbarTest, GetAndNearest) {
+  EXPECT_EQ(Ok(".list get 7"), "item7");
+  EXPECT_EQ(Ok(".list get end"), "item49");
+  Err(".list get 1000");
+  EXPECT_EQ(Ok(".list nearest 0"), "0");
+}
+
+TEST_F(ListboxScrollbarTest, OneScrollbarCanDriveTwoListboxes) {
+  // Section 4: "a single scrollbar could be made to control several
+  // windows" by writing a Tcl procedure as the command.
+  Ok("listbox .l2 -geometry 20x5");
+  Ok("pack append . .l2 {bottom}");
+  for (int i = 0; i < 50; ++i) {
+    Ok(".l2 insert end x" + std::to_string(i));
+  }
+  Ok("proc scrollboth {unit} {.list view $unit; .l2 view $unit}");
+  Ok(".scroll configure -command scrollboth");
+  scroll_->ScrollTo(12);
+  Pump();
+  EXPECT_EQ(list_->top_index(), 12);
+  EXPECT_EQ(static_cast<Listbox*>(app_->FindWidget(".l2"))->top_index(), 12);
+}
+
+}  // namespace
+}  // namespace tk

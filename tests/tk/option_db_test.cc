@@ -1,0 +1,138 @@
+// Option database tests (Section 3.5): pattern matching, priorities, Tcl
+// access, .Xdefaults parsing.
+
+#include "src/tk/option_db.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/tk/tk_test_util.h"
+
+namespace tk {
+namespace {
+
+class OptionDbTest : public ::testing::Test {
+ protected:
+  // Key chains for a widget ".f.b" of class Button inside a Frame, in an
+  // application named "app" of class Tk, looking up background/Background.
+  std::vector<std::string> names_ = {"app", "f", "b", "background"};
+  std::vector<std::string> classes_ = {"Tk", "Frame", "Button", "Background"};
+
+  OptionDb db_;
+};
+
+TEST_F(OptionDbTest, StarClassPattern) {
+  // The paper's example: *Button.background: red.
+  db_.Add("*Button.background", "red");
+  EXPECT_EQ(db_.Get(names_, classes_), "red");
+}
+
+TEST_F(OptionDbTest, StarNamePattern) {
+  db_.Add("*b.background", "blue");
+  EXPECT_EQ(db_.Get(names_, classes_), "blue");
+}
+
+TEST_F(OptionDbTest, FullyQualifiedPattern) {
+  db_.Add("app.f.b.background", "green");
+  EXPECT_EQ(db_.Get(names_, classes_), "green");
+}
+
+TEST_F(OptionDbTest, NoMatchReturnsNullopt) {
+  db_.Add("*Scrollbar.background", "gray");
+  EXPECT_FALSE(db_.Get(names_, classes_));
+}
+
+TEST_F(OptionDbTest, NameBeatsClass) {
+  db_.Add("*Button.background", "class-value");
+  db_.Add("*b.background", "name-value");
+  EXPECT_EQ(db_.Get(names_, classes_), "name-value");
+}
+
+TEST_F(OptionDbTest, TightBindingBeatsLoose) {
+  db_.Add("*background", "loose");
+  db_.Add("app.f.b.background", "tight");
+  EXPECT_EQ(db_.Get(names_, classes_), "tight");
+}
+
+TEST_F(OptionDbTest, HigherPriorityWins) {
+  db_.Add("*background", "low", OptionDb::kWidgetDefault);
+  db_.Add("*background", "high", OptionDb::kInteractive);
+  EXPECT_EQ(db_.Get(names_, classes_), "high");
+  // Even if the lower-priority entry is more specific.
+  db_.Add("app.f.b.background", "specific-low", OptionDb::kWidgetDefault);
+  EXPECT_EQ(db_.Get(names_, classes_), "high");
+}
+
+TEST_F(OptionDbTest, LaterEntryBreaksTies) {
+  db_.Add("*Button.background", "first");
+  db_.Add("*Button.background", "second");
+  EXPECT_EQ(db_.Get(names_, classes_), "second");
+}
+
+TEST_F(OptionDbTest, StarMatchesMultipleLevels) {
+  db_.Add("app*background", "spanning");
+  EXPECT_EQ(db_.Get(names_, classes_), "spanning");
+}
+
+TEST_F(OptionDbTest, OptionClassLookup) {
+  db_.Add("*Background", "via-class");
+  EXPECT_EQ(db_.Get(names_, classes_), "via-class");
+}
+
+TEST_F(OptionDbTest, LoadStringParsesXdefaults) {
+  int added = db_.LoadString(
+      "! comment line\n"
+      "*Button.background: red\n"
+      "app.f.b.foreground:   white  \n"
+      "\n"
+      "*font: 8x13\n");
+  EXPECT_EQ(added, 3);
+  EXPECT_EQ(db_.Get(names_, classes_), "red");
+}
+
+TEST_F(OptionDbTest, LoadStringContinuationLines) {
+  db_.LoadString("*Button.background: \\\nred\n");
+  EXPECT_EQ(db_.Get(names_, classes_), "red");
+}
+
+TEST_F(OptionDbTest, ClearEmptiesDatabase) {
+  db_.Add("*background", "x");
+  db_.Clear();
+  EXPECT_EQ(db_.size(), 0u);
+  EXPECT_FALSE(db_.Get(names_, classes_));
+}
+
+// Tcl-level access through the `option` command.
+class OptionCmdTest : public TkTest {};
+
+TEST_F(OptionCmdTest, AddAndGet) {
+  Ok("frame .f");
+  Ok("button .f.b");
+  Ok("option add *Button.background red");
+  EXPECT_EQ(Ok("option get .f.b background Background"), "red");
+  EXPECT_EQ(Ok("option get .f background Background"), "");
+}
+
+TEST_F(OptionCmdTest, PriorityNames) {
+  Ok("frame .f");
+  Ok("option add *x low widgetDefault");
+  Ok("option add *x high userDefault");
+  EXPECT_EQ(Ok("option get .f x X"), "high");
+}
+
+TEST_F(OptionCmdTest, ClearCommand) {
+  Ok("frame .f");
+  Ok("option add *x v");
+  Ok("option clear");
+  EXPECT_EQ(Ok("option get .f x X"), "");
+}
+
+TEST_F(OptionCmdTest, NewWidgetsPickUpOptions) {
+  Ok("option add *Listbox.geometry 30x4");
+  Ok("listbox .l");
+  Pump();
+  // 30 chars * 8 px + borders.
+  EXPECT_GT(app_->FindWidget(".l")->req_width(), 30 * 8 - 1);
+}
+
+}  // namespace
+}  // namespace tk

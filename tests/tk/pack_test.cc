@@ -1,0 +1,270 @@
+// Packer tests, including the exact Figure 8 scenario from the paper.
+
+#include <gtest/gtest.h>
+
+#include "src/tk/pack.h"
+#include "tests/tk/tk_test_util.h"
+
+namespace tk {
+namespace {
+
+using PackTest = TkTest;
+
+// Figure 8: four windows A-D with requested sizes packed all-in-a-column
+// into a parent that is too small; C gets squeezed in width, D in height.
+TEST_F(PackTest, Figure8AllInAColumn) {
+  // Requested sizes (approximating the figure's proportions).
+  Ok("frame .parent -geometry 100x120");
+  Ok("frame .parent.a -geometry 60x30");
+  Ok("frame .parent.b -geometry 40x30");
+  Ok("frame .parent.c -geometry 140x30");  // Wider than the parent.
+  Ok("frame .parent.d -geometry 60x60");   // Doesn't fit vertically.
+  Ok("pack append . .parent {top}");
+  // Parent must keep its own size for the squeeze to happen.
+  Ok("pack propagate .parent 0");
+  Ok("pack append .parent .parent.a top .parent.b top .parent.c top .parent.d top");
+  Pump();
+  Widget* parent = app_->FindWidget(".parent");
+  ASSERT_EQ(parent->width(), 100);
+  ASSERT_EQ(parent->height(), 120);
+  Widget* a = app_->FindWidget(".parent.a");
+  Widget* b = app_->FindWidget(".parent.b");
+  Widget* c = app_->FindWidget(".parent.c");
+  Widget* d = app_->FindWidget(".parent.d");
+  // A and B get their requested sizes.
+  EXPECT_EQ(a->width(), 60);
+  EXPECT_EQ(a->height(), 30);
+  EXPECT_EQ(b->width(), 40);
+  EXPECT_EQ(b->height(), 30);
+  // C wanted 140 wide but the parent is only 100: squeezed in width.
+  EXPECT_EQ(c->width(), 100);
+  EXPECT_EQ(c->height(), 30);
+  // D wanted 60 tall but only 120-90=30 remains: squeezed in height.
+  EXPECT_EQ(d->height(), 30);
+  EXPECT_EQ(d->width(), 60);
+  // Stacked top-down in order.
+  EXPECT_EQ(a->y(), 0);
+  EXPECT_EQ(b->y(), 30);
+  EXPECT_EQ(c->y(), 60);
+  EXPECT_EQ(d->y(), 90);
+}
+
+// The paper's Section 3.4 example: pack append .x .x.a top .x.b top .x.c top
+TEST_F(PackTest, PaperColumnExample) {
+  Ok("frame .x");
+  Ok("frame .x.a -geometry 30x10");
+  Ok("frame .x.b -geometry 30x10");
+  Ok("frame .x.c -geometry 30x10");
+  Ok("pack append . .x {top}");
+  Ok("pack append .x .x.a top .x.b top .x.c top");
+  Pump();
+  EXPECT_EQ(app_->FindWidget(".x.a")->y(), 0);
+  EXPECT_EQ(app_->FindWidget(".x.b")->y(), 10);
+  EXPECT_EQ(app_->FindWidget(".x.c")->y(), 20);
+  // Geometry propagation sized .x to fit the column.
+  EXPECT_EQ(app_->FindWidget(".x")->height(), 30);
+  EXPECT_EQ(app_->FindWidget(".x")->width(), 30);
+}
+
+// The browser layout (Figure 9, line 4):
+// pack append . .scroll {right filly} .list {left expand fill}
+TEST_F(PackTest, BrowserLayout) {
+  Ok("scrollbar .scroll");
+  Ok("listbox .list -geometry 20x20");
+  Ok("pack append . .scroll {right filly} .list {left expand fill}");
+  Pump();
+  Widget* scroll = app_->FindWidget(".scroll");
+  Widget* list = app_->FindWidget(".list");
+  Widget* main = app_->FindWidget(".");
+  // Scrollbar on the right edge, full height.
+  EXPECT_EQ(scroll->x() + scroll->width(), main->width());
+  EXPECT_EQ(scroll->height(), main->height());
+  // Listbox fills the rest.
+  EXPECT_EQ(list->x(), 0);
+  EXPECT_EQ(list->width(), main->width() - scroll->width());
+  EXPECT_EQ(list->height(), main->height());
+}
+
+TEST_F(PackTest, SideLeftRowLayout) {
+  Ok("frame .f -geometry 100x20");
+  Ok("pack propagate .f 0");
+  Ok("frame .f.a -geometry 20x20");
+  Ok("frame .f.b -geometry 20x20");
+  Ok("pack append . .f {top}");
+  Ok("pack append .f .f.a left .f.b left");
+  Pump();
+  EXPECT_EQ(app_->FindWidget(".f.a")->x(), 0);
+  EXPECT_EQ(app_->FindWidget(".f.b")->x(), 20);
+}
+
+TEST_F(PackTest, SideBottomAndRight) {
+  Ok("frame .f -geometry 100x100");
+  Ok("pack propagate .f 0");
+  Ok("frame .f.a -geometry 20x20");
+  Ok("frame .f.b -geometry 20x20");
+  Ok("pack append . .f {top}");
+  Ok("pack append .f .f.a bottom .f.b right");
+  Pump();
+  Widget* a = app_->FindWidget(".f.a");
+  Widget* b = app_->FindWidget(".f.b");
+  EXPECT_EQ(a->y() + a->height(), 100);  // Bottom edge.
+  EXPECT_EQ(b->x() + b->width(), 100);   // Right edge of remaining cavity.
+}
+
+TEST_F(PackTest, ExpandDistributesExtraSpace) {
+  Ok("frame .f -geometry 120x30");
+  Ok("pack propagate .f 0");
+  Ok("frame .f.a -geometry 20x30");
+  Ok("frame .f.b -geometry 20x30");
+  Ok("pack append . .f {top}");
+  Ok("pack append .f .f.a {left expand fill} .f.b {left expand fill}");
+  Pump();
+  // 120 split between two equal expanders.
+  EXPECT_EQ(app_->FindWidget(".f.a")->width(), 60);
+  EXPECT_EQ(app_->FindWidget(".f.b")->width(), 60);
+}
+
+TEST_F(PackTest, FillWithoutExpandUsesFrameOnly) {
+  Ok("frame .f -geometry 100x60");
+  Ok("pack propagate .f 0");
+  Ok("frame .f.a -geometry 20x10");
+  Ok("pack append . .f {top}");
+  Ok("pack append .f .f.a {top fillx}");
+  Pump();
+  Widget* a = app_->FindWidget(".f.a");
+  EXPECT_EQ(a->width(), 100);  // fillx stretches across the parcel.
+  EXPECT_EQ(a->height(), 10);  // Height still as requested.
+}
+
+TEST_F(PackTest, PadAddsSpace) {
+  Ok("frame .f -geometry 100x100");
+  Ok("pack propagate .f 0");
+  Ok("frame .f.a -geometry 20x20");
+  Ok("pack append . .f {top}");
+  Ok("pack append .f .f.a {top padx 10 pady 5}");
+  Pump();
+  Widget* a = app_->FindWidget(".f.a");
+  EXPECT_EQ(a->y(), 5);
+  // Centered horizontally in the padded frame.
+  EXPECT_EQ(a->x(), 40);
+}
+
+TEST_F(PackTest, FrameAnchorPositionsWindow) {
+  Ok("frame .f -geometry 100x40");
+  Ok("pack propagate .f 0");
+  Ok("frame .f.a -geometry 20x20");
+  Ok("pack append . .f {top}");
+  Ok("pack append .f .f.a {top frame w}");
+  Pump();
+  EXPECT_EQ(app_->FindWidget(".f.a")->x(), 0);  // Anchored west.
+}
+
+TEST_F(PackTest, UnpackRemovesAndUnmaps) {
+  Ok("frame .a -geometry 30x30");
+  Ok("pack append . .a {top}");
+  Pump();
+  EXPECT_TRUE(server_.IsMapped(app_->FindWidget(".a")->window()));
+  Ok("pack unpack .a");
+  Pump();
+  EXPECT_FALSE(server_.IsMapped(app_->FindWidget(".a")->window()));
+  EXPECT_EQ(Ok("pack info ."), "");
+}
+
+TEST_F(PackTest, RepackMovesToEnd) {
+  Ok("frame .a -geometry 10x10");
+  Ok("frame .b -geometry 10x10");
+  Ok("pack append . .a {top} .b {top}");
+  EXPECT_EQ(Ok("pack info ."), ".a .b");
+  Ok("pack append . .a {top}");
+  EXPECT_EQ(Ok("pack info ."), ".b .a");
+}
+
+TEST_F(PackTest, PackBeforeAndAfter) {
+  Ok("frame .a -geometry 10x10");
+  Ok("frame .b -geometry 10x10");
+  Ok("frame .c -geometry 10x10");
+  Ok("pack append . .a {top} .b {top}");
+  Ok("pack before .b .c {top}");
+  EXPECT_EQ(Ok("pack info ."), ".a .c .b");
+  Ok("pack unpack .c");
+  Ok("pack after .a .c {top}");
+  EXPECT_EQ(Ok("pack info ."), ".a .c .b");
+}
+
+TEST_F(PackTest, GeometryPropagationFollowsRequestChanges) {
+  Ok("button .b -text short");
+  Ok("pack append . .b {top}");
+  Pump();
+  int narrow = app_->FindWidget(".")->width();
+  Ok(".b configure -text {a considerably longer label}");
+  Pump();
+  EXPECT_GT(app_->FindWidget(".")->width(), narrow);
+}
+
+TEST_F(PackTest, DestroyedSlaveLeavesList) {
+  Ok("frame .a -geometry 10x10");
+  Ok("frame .b -geometry 10x10");
+  Ok("pack append . .a {top} .b {top}");
+  Ok("destroy .a");
+  Pump();
+  EXPECT_EQ(Ok("pack info ."), ".b");
+}
+
+TEST_F(PackTest, CannotPackNonChild) {
+  Ok("frame .f");
+  Ok("frame .g");
+  Ok("frame .g.x");
+  Err("pack append .f .g.x {top}");
+}
+
+TEST_F(PackTest, BadOptionRejected) {
+  Ok("frame .a");
+  Err("pack append . .a {sideways}");
+}
+
+TEST_F(PackTest, NestedPackersArrangeRecursively) {
+  Ok("frame .row");
+  Ok("button .row.x -text X");
+  Ok("button .row.y -text Y");
+  Ok("pack append .row .row.x left .row.y left");
+  Ok("button .below -text Below");
+  Ok("pack append . .row {top fillx} .below {top}");
+  Pump();
+  Widget* x = app_->FindWidget(".row.x");
+  Widget* y = app_->FindWidget(".row.y");
+  EXPECT_EQ(x->x(), 0);
+  EXPECT_EQ(y->x(), x->width());
+  EXPECT_GE(app_->FindWidget(".below")->y(), app_->FindWidget(".row")->height());
+}
+
+// Property-style sweep: for any number of equally-sized top-packed slaves,
+// each is placed directly below its predecessor and the parent request is
+// the sum of heights.
+class PackColumnSweep : public TkTest, public ::testing::WithParamInterface<int> {};
+
+TEST_P(PackColumnSweep, ColumnStacksWithoutGapsOrOverlap) {
+  int n = GetParam();
+  Ok("frame .col");
+  Ok("pack append . .col {top}");
+  std::string names;
+  for (int i = 0; i < n; ++i) {
+    std::string path = ".col.w" + std::to_string(i);
+    Ok("frame " + path + " -geometry 40x12");
+    Ok("pack append .col " + path + " top");
+  }
+  Pump();
+  int expected_y = 0;
+  for (int i = 0; i < n; ++i) {
+    Widget* w = app_->FindWidget(".col.w" + std::to_string(i));
+    ASSERT_NE(w, nullptr);
+    EXPECT_EQ(w->y(), expected_y) << "slave " << i;
+    EXPECT_EQ(w->height(), 12);
+    expected_y += 12;
+  }
+  EXPECT_EQ(app_->FindWidget(".col")->height(), n * 12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Columns, PackColumnSweep, ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+}  // namespace
+}  // namespace tk

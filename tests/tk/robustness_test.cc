@@ -1,0 +1,183 @@
+// Failure-injection and lifetime-hazard tests: callbacks that destroy their
+// own widgets, background errors, dying send peers, selection owners
+// vanishing, reentrant scripts.  These pin down the invariants that make the
+// "everything is scriptable at any time" model safe.
+
+#include <gtest/gtest.h>
+
+#include "src/tk/send.h"
+#include "tests/tk/tk_test_util.h"
+
+namespace tk {
+namespace {
+
+using RobustnessTest = TkTest;
+
+TEST_F(RobustnessTest, ButtonCommandDestroysItsOwnWidget) {
+  Ok("button .b -text Close -command {destroy .b}");
+  Ok("pack append . .b {top}");
+  ClickWidget(".b");
+  EXPECT_EQ(app_->FindWidget(".b"), nullptr);
+  EXPECT_EQ(Ok("winfo exists .b"), "0");
+  // The loop keeps running fine afterwards.
+  Ok("button .b2 -text Again");
+  Pump();
+}
+
+TEST_F(RobustnessTest, BindingDestroysItsOwnWidget) {
+  Ok("frame .f -geometry 40x40");
+  Ok("pack append . .f {top}");
+  Ok("bind .f <Enter> {destroy .f}");
+  MoveToWidget(".f");
+  EXPECT_EQ(app_->FindWidget(".f"), nullptr);
+}
+
+TEST_F(RobustnessTest, BindingDestroysParentSubtree) {
+  Ok("frame .f -geometry 60x60");
+  Ok("button .f.b -text X -command {destroy .f}");
+  Ok("pack append . .f {top}");
+  Ok("pack append .f .f.b {top}");
+  ClickWidget(".f.b");
+  EXPECT_EQ(app_->FindWidget(".f"), nullptr);
+  EXPECT_EQ(app_->FindWidget(".f.b"), nullptr);
+}
+
+TEST_F(RobustnessTest, CommandErrorGoesToTkerror) {
+  Ok("set errors {}");
+  Ok("proc tkerror {msg} {global errors; lappend errors $msg}");
+  Ok("button .b -text Boom -command {error kaboom}");
+  Ok("pack append . .b {top}");
+  Ok("bind .b <Enter> {nosuchcommand}");
+  ClickWidget(".b");  // Moves onto the widget (Enter error) and clicks.
+  std::string errors = Ok("set errors");
+  EXPECT_NE(errors.find("nosuchcommand"), std::string::npos);
+}
+
+TEST_F(RobustnessTest, AfterScriptErrorGoesToTkerror) {
+  Ok("set errors {}");
+  Ok("proc tkerror {msg} {global errors; lappend errors $msg}");
+  Ok("after 1 {nosuchcmd}");
+  Ok("after 5");
+  std::string errors = Ok("set errors");
+  EXPECT_NE(errors.find("nosuchcmd"), std::string::npos);
+}
+
+TEST_F(RobustnessTest, SendToDeadApplicationFails) {
+  {
+    App doomed(server_, "doomed");
+  }
+  std::string message = Err("send doomed {set x 1}");
+  EXPECT_NE(message.find("no registered interpreter"), std::string::npos);
+}
+
+TEST_F(RobustnessTest, StaleRegistryEntryCleanedOnRegister) {
+  // Simulate a crashed app: registry entry pointing at a dead window.
+  xsim::Atom registry = app_->display().InternAtom("InterpRegistry");
+  std::optional<std::string> value =
+      app_->display().GetProperty(app_->display().root(), registry);
+  ASSERT_TRUE(value);
+  app_->display().ChangeProperty(app_->display().root(), registry,
+                                 *value + " {ghost 99999}");
+  // A new app registering prunes the stale entry.
+  App fresh(server_, "fresh");
+  std::string interps = Ok("winfo interps");
+  EXPECT_EQ(interps.find("ghost"), std::string::npos);
+  EXPECT_NE(interps.find("fresh"), std::string::npos);
+}
+
+TEST_F(RobustnessTest, RemoteErrorDoesNotPoisonLocalInterp) {
+  App other(server_, "other");
+  Err("send other {error remote-boom}");
+  // Local interpreter still healthy.
+  EXPECT_EQ(Ok("expr 1+1"), "2");
+  EXPECT_EQ(Ok("set x ok"), "ok");
+}
+
+TEST_F(RobustnessTest, SelectionOwnerWidgetDestroyed) {
+  Ok("listbox .l");
+  Ok("pack append . .l {top}");
+  Ok(".l insert end data");
+  Ok(".l select from 0");
+  EXPECT_EQ(Ok("selection own"), ".l");
+  Ok("destroy .l");
+  Pump();
+  // Retrieval now reports no selection rather than crashing.
+  Err("selection get");
+}
+
+TEST_F(RobustnessTest, ScrollCommandErrorSurvives) {
+  Ok("set errors {}");
+  Ok("proc tkerror {msg} {global errors; lappend errors $msg}");
+  Ok("listbox .l -scroll {nosuchscrollbar set}");
+  Ok("pack append . .l {top}");
+  Ok(".l insert end a b c");  // Triggers the scroll command -> error.
+  Pump();
+  EXPECT_NE(Ok("set errors").find("nosuchscrollbar"), std::string::npos);
+  // The listbox still works.
+  EXPECT_EQ(Ok(".l size"), "3");
+}
+
+TEST_F(RobustnessTest, ReentrantUpdateFromCallback) {
+  // A binding that calls `update` re-enters the event loop; must not
+  // deadlock or double-dispatch.
+  Ok("set count 0");
+  Ok("button .b -text X -command {incr count; update}");
+  Ok("pack append . .b {top}");
+  ClickWidget(".b");
+  EXPECT_EQ(Ok("set count"), "1");
+}
+
+TEST_F(RobustnessTest, DestroyDotKillsEverything) {
+  Ok("button .a; frame .f; button .f.b");
+  Ok("destroy .");
+  EXPECT_EQ(app_->FindWidget("."), nullptr);
+  EXPECT_EQ(app_->FindWidget(".a"), nullptr);
+  EXPECT_EQ(app_->FindWidget(".f.b"), nullptr);
+  // Widget commands are gone too.
+  Err(".a invoke");
+}
+
+TEST_F(RobustnessTest, WidgetCreationFailureRollsBack) {
+  Err("button .b -bg NoSuchColor42");
+  EXPECT_EQ(app_->FindWidget(".b"), nullptr);
+  EXPECT_FALSE(interp().HasCommand(".b"));
+  // The path is reusable.
+  Ok("button .b -text fine");
+}
+
+TEST_F(RobustnessTest, RecursiveSendChainTerminates) {
+  App other(server_, "other");
+  Ok("proc ping {n} {if {$n <= 0} {return done}; send other [list pong $n]}");
+  ASSERT_EQ(other.interp().Eval(
+                "proc pong {n} {send test [list ping [expr $n-1]]}"),
+            tcl::Code::kOk);
+  EXPECT_EQ(Ok("ping 5"), "done");
+}
+
+TEST_F(RobustnessTest, TimerFiringDuringSendWait) {
+  // Timers keep running while a send blocks for its reply.
+  App other(server_, "other");
+  ASSERT_EQ(other.interp().Eval("proc slow {} {after 10; return done}"), tcl::Code::kOk);
+  Ok("set ticked 0");
+  Ok("after 2 {set ticked 1}");
+  EXPECT_EQ(Ok("send other slow"), "done");
+  EXPECT_EQ(Ok("set ticked"), "1");
+}
+
+TEST_F(RobustnessTest, PackUnknownWindowErrors) {
+  Err("pack append . .ghost {top}");
+  Err("pack info .ghost");
+}
+
+TEST_F(RobustnessTest, ConfigureAfterUnpackStillWorks) {
+  Ok("button .b -text x");
+  Ok("pack append . .b {top}");
+  Ok("pack unpack .b");
+  Ok(".b configure -text y");
+  Ok("pack append . .b {top}");
+  Pump();
+  EXPECT_TRUE(server_.IsMapped(app_->FindWidget(".b")->window()));
+}
+
+}  // namespace
+}  // namespace tk

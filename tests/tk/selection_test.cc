@@ -1,0 +1,115 @@
+// Selection tests (Section 3.6): claim, lose, retrieve -- within one
+// application and across applications, over the ICCCM-shaped protocol.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/tk/app.h"
+#include "src/tk/selection.h"
+#include "src/tk/widgets/listbox.h"
+#include "tests/tk/tk_test_util.h"
+
+namespace tk {
+namespace {
+
+using SelectionTest = TkTest;
+
+TEST_F(SelectionTest, ScriptHandlerProvidesSelection) {
+  Ok("frame .f");
+  Ok("selection handle .f {set selValue}");
+  Ok("set selValue {the selected text}");
+  Ok("selection own .f");
+  EXPECT_EQ(Ok("selection own"), ".f");
+  EXPECT_EQ(Ok("selection get"), "the selected text");
+}
+
+TEST_F(SelectionTest, NoSelectionIsError) {
+  std::string message = Err("selection get");
+  EXPECT_NE(message.find("selection"), std::string::npos);
+}
+
+TEST_F(SelectionTest, ListboxExportsSelection) {
+  Ok("listbox .l");
+  Ok("pack append . .l {top}");
+  Ok("foreach i {alpha beta gamma} {.l insert end $i}");
+  Ok(".l select from 1");
+  Ok(".l select to 2");
+  EXPECT_EQ(Ok("selection get"), "beta\ngamma");
+}
+
+TEST_F(SelectionTest, FigureNineSpaceBinding) {
+  // Figure 9, line 20: bind .list <space> {foreach i [selection get] ...}.
+  Ok("listbox .list");
+  Ok("pack append . .list {top}");
+  Ok("foreach i {one two three} {.list insert end $i}");
+  Ok(".list select from 0");
+  Ok("bind .list <space> {set picked [selection get]}");
+  MoveToWidget(".list");
+  TypeKey(' ');
+  EXPECT_EQ(Ok("set picked"), "one");
+}
+
+TEST_F(SelectionTest, ClaimNotifiesPreviousOwnerInSameApp) {
+  Ok("listbox .a; listbox .b");
+  Ok("pack append . .a {top} .b {top}");
+  Ok(".a insert end x; .b insert end y");
+  Ok(".a select from 0");
+  EXPECT_EQ(Ok("selection own"), ".a");
+  Ok(".b select from 0");
+  Pump();
+  EXPECT_EQ(Ok("selection own"), ".b");
+  // .a's highlight was cleared when it lost the selection.
+  EXPECT_EQ(Ok(".a curselection"), "");
+}
+
+TEST_F(SelectionTest, CrossApplicationSelectionTransfer) {
+  App other(server_, "other");
+  // Claim in this app.
+  Ok("listbox .l");
+  Ok("pack append . .l {top}");
+  Ok(".l insert end {shared data}");
+  Ok(".l select from 0");
+  // Retrieve from the other application: the request travels through the
+  // server to this app's handler.
+  tcl::Code code = other.interp().Eval("selection get");
+  ASSERT_EQ(code, tcl::Code::kOk) << other.interp().result();
+  EXPECT_EQ(other.interp().result(), "shared data");
+}
+
+TEST_F(SelectionTest, CrossApplicationOwnershipSteal) {
+  App other(server_, "other");
+  Ok("listbox .l; pack append . .l {top}; .l insert end mine; .l select from 0");
+  EXPECT_EQ(Ok("selection own"), ".l");
+  // The other application claims the selection.
+  ASSERT_EQ(other.interp().Eval("frame .f; selection handle .f {concat theirs};"
+                                "selection own .f"),
+            tcl::Code::kOk);
+  // Our app processes the SelectionClear and clears its highlight.
+  Pump();
+  EXPECT_EQ(Ok("selection own"), "");
+  EXPECT_EQ(Ok(".l curselection"), "");
+  // And retrieval now yields the other app's value.
+  EXPECT_EQ(Ok("selection get"), "theirs");
+}
+
+TEST_F(SelectionTest, SelectionClearReleases) {
+  Ok("frame .f");
+  Ok("selection handle .f {concat v}");
+  Ok("selection own .f");
+  Ok("selection clear");
+  EXPECT_EQ(Ok("selection own"), "");
+  Err("selection get");
+}
+
+TEST_F(SelectionTest, EntrySelectionExport) {
+  Ok("entry .e");
+  Ok("pack append . .e {top}");
+  Ok(".e insert 0 {hello world}");
+  Ok(".e select from 0");
+  Ok(".e select to 5");
+  EXPECT_EQ(Ok("selection get"), "hello");
+}
+
+}  // namespace
+}  // namespace tk

@@ -1,0 +1,142 @@
+// Tests for `send` (Section 6): cross-application RPC through the display.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/tk/app.h"
+#include "src/tk/send.h"
+#include "src/xsim/server.h"
+
+namespace tk {
+namespace {
+
+class SendTest : public ::testing::Test {
+ protected:
+  SendTest() {
+    app1_ = std::make_unique<App>(server_, "editor");
+    app2_ = std::make_unique<App>(server_, "debugger");
+  }
+
+  std::string Ok(App& app, const std::string& script) {
+    tcl::Code code = app.interp().Eval(script);
+    EXPECT_EQ(code, tcl::Code::kOk) << script << " -> " << app.interp().result();
+    return app.interp().result();
+  }
+
+  xsim::Server server_;
+  std::unique_ptr<App> app1_;
+  std::unique_ptr<App> app2_;
+};
+
+TEST_F(SendTest, NamesRegisteredOnRootWindow) {
+  std::string interps = Ok(*app1_, "winfo interps");
+  EXPECT_NE(interps.find("editor"), std::string::npos);
+  EXPECT_NE(interps.find("debugger"), std::string::npos);
+  // Both applications read the same registry.
+  EXPECT_EQ(interps, Ok(*app2_, "winfo interps"));
+}
+
+TEST_F(SendTest, DuplicateNamesUniquified) {
+  App third(server_, "editor");
+  EXPECT_EQ(third.name(), "editor #2");
+  std::string interps = Ok(*app1_, "winfo interps");
+  EXPECT_NE(interps.find("editor #2"), std::string::npos);
+}
+
+TEST_F(SendTest, SendEvaluatesInTargetInterp) {
+  Ok(*app1_, "send debugger {set x 42}");
+  // The variable lives in the *debugger's* interpreter.
+  EXPECT_EQ(Ok(*app2_, "set x"), "42");
+  EXPECT_EQ(app1_->interp().GetVarQuiet("x"), nullptr);
+}
+
+TEST_F(SendTest, SendReturnsRemoteResult) {
+  Ok(*app2_, "proc double {n} {expr $n*2}");
+  EXPECT_EQ(Ok(*app1_, "send debugger {double 21}"), "42");
+}
+
+TEST_F(SendTest, SendConcatenatesArgs) {
+  EXPECT_EQ(Ok(*app1_, "send debugger set y 7"), "7");
+  EXPECT_EQ(Ok(*app2_, "set y"), "7");
+}
+
+TEST_F(SendTest, SendPropagatesErrors) {
+  tcl::Code code = app1_->interp().Eval("send debugger {nosuchcommand}");
+  EXPECT_EQ(code, tcl::Code::kError);
+  EXPECT_NE(app1_->interp().result().find("invalid command name"), std::string::npos);
+}
+
+TEST_F(SendTest, SendToUnknownInterpFails) {
+  tcl::Code code = app1_->interp().Eval("send ghost {set x 1}");
+  EXPECT_EQ(code, tcl::Code::kError);
+  EXPECT_NE(app1_->interp().result().find("no registered interpreter"), std::string::npos);
+}
+
+TEST_F(SendTest, NestedSendBothDirections) {
+  // The remote command sends back to the originator mid-execution.
+  Ok(*app1_, "set local before");
+  EXPECT_EQ(Ok(*app1_, "send debugger {send editor {set local after}}"), "after");
+  EXPECT_EQ(Ok(*app1_, "set local"), "after");
+}
+
+TEST_F(SendTest, SendCanManipulateRemoteWidgets) {
+  // Section 6: any command may be invoked remotely, including commands that
+  // manipulate the application's interface.
+  Ok(*app1_, "send debugger {button .b -text Remote -command {set hit 1}}");
+  EXPECT_NE(app2_->FindWidget(".b"), nullptr);
+  Ok(*app1_, "send debugger {.b invoke}");
+  EXPECT_EQ(Ok(*app2_, "set hit"), "1");
+}
+
+TEST_F(SendTest, DebuggerEditorScenario) {
+  // The paper's running example: a debugger highlights the current line in
+  // an independent editor, and the editor sets breakpoints in the debugger.
+  Ok(*app1_, "listbox .code; pack append . .code {top}");
+  Ok(*app1_, "foreach line {{int main} {  int x = 1;} {  return x;}} {.code insert end $line}");
+  Ok(*app1_, "proc highlight {line} {.code select from $line; .code select to $line}");
+  Ok(*app2_, "set breakpoints {}");
+  Ok(*app2_, "proc break_at {line} {global breakpoints; lappend breakpoints $line}");
+  // Debugger -> editor.
+  Ok(*app2_, "send editor {highlight 1}");
+  EXPECT_EQ(Ok(*app1_, ".code curselection"), "1");
+  // Editor -> debugger.
+  Ok(*app1_, "send debugger {break_at 2}");
+  EXPECT_EQ(Ok(*app2_, "set breakpoints"), "2");
+}
+
+TEST_F(SendTest, UnregisterRemovesName) {
+  {
+    App transient(server_, "transient");
+    EXPECT_NE(Ok(*app1_, "winfo interps").find("transient"), std::string::npos);
+  }
+  EXPECT_EQ(Ok(*app1_, "winfo interps").find("transient"), std::string::npos);
+}
+
+TEST_F(SendTest, ManySequentialSends) {
+  Ok(*app2_, "set counter 0");
+  for (int i = 0; i < 50; ++i) {
+    Ok(*app1_, "send debugger {incr counter}");
+  }
+  EXPECT_EQ(Ok(*app2_, "set counter"), "50");
+}
+
+TEST_F(SendTest, SendResultWithSpecialCharacters) {
+  Ok(*app2_, "proc weird {} {return \"a b {c d} \\$x \\[cmd]\"}");
+  EXPECT_EQ(Ok(*app1_, "send debugger weird"), "a b {c d} $x [cmd]");
+}
+
+TEST_F(SendTest, RemoteInterfaceEditing) {
+  // Section 6's interface-editor scenario: query and modify a live
+  // application's interface from outside.
+  Ok(*app2_, "button .save -text Save");
+  Ok(*app2_, "pack append . .save {top}");
+  std::string clazz = Ok(*app1_, "send debugger {winfo class .save}");
+  EXPECT_EQ(clazz, "Button");
+  Ok(*app1_, "send debugger {.save configure -text Commit}");
+  std::string text = Ok(*app1_, "send debugger {lindex [.save configure -text] 4}");
+  EXPECT_EQ(text, "Commit");
+}
+
+}  // namespace
+}  // namespace tk

@@ -1,0 +1,75 @@
+// Shared fixture for Tk tests: one server, one app, Tcl eval helpers and
+// input-injection helpers.
+
+#ifndef TESTS_TK_TK_TEST_UTIL_H_
+#define TESTS_TK_TK_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/tk/app.h"
+#include "src/tk/widget.h"
+#include "src/xsim/server.h"
+
+namespace tk {
+
+class TkTest : public ::testing::Test {
+ protected:
+  TkTest() : app_(std::make_unique<App>(server_, "test")) {}
+
+  tcl::Interp& interp() { return app_->interp(); }
+
+  std::string Ok(const std::string& script) {
+    tcl::Code code = interp().Eval(script);
+    EXPECT_EQ(code, tcl::Code::kOk) << "script: " << script
+                                    << "\nresult: " << interp().result();
+    return interp().result();
+  }
+
+  std::string Err(const std::string& script) {
+    tcl::Code code = interp().Eval(script);
+    EXPECT_EQ(code, tcl::Code::kError) << "script: " << script;
+    return interp().result();
+  }
+
+  // Processes all pending work (events, layout, redraw).
+  void Pump() { app_->Update(); }
+
+  // Injects a click at the center of a widget (after pumping layout).
+  void ClickWidget(const std::string& path, int button = 1) {
+    Pump();
+    Widget* widget = app_->FindWidget(path);
+    ASSERT_NE(widget, nullptr) << path;
+    std::optional<xsim::Point> abs = server_.AbsolutePosition(widget->window());
+    ASSERT_TRUE(abs);
+    server_.InjectPointerMove(abs->x + widget->width() / 2, abs->y + widget->height() / 2);
+    Pump();
+    server_.InjectClick(button);
+    Pump();
+  }
+
+  void MoveToWidget(const std::string& path, int dx = 0, int dy = 0) {
+    Pump();
+    Widget* widget = app_->FindWidget(path);
+    ASSERT_NE(widget, nullptr) << path;
+    std::optional<xsim::Point> abs = server_.AbsolutePosition(widget->window());
+    ASSERT_TRUE(abs);
+    server_.InjectPointerMove(abs->x + widget->width() / 2 + dx,
+                              abs->y + widget->height() / 2 + dy);
+    Pump();
+  }
+
+  void TypeKey(xsim::KeySym keysym) {
+    server_.InjectKeystroke(keysym);
+    Pump();
+  }
+
+  xsim::Server server_;
+  std::unique_ptr<App> app_;
+};
+
+}  // namespace tk
+
+#endif  // TESTS_TK_TK_TEST_UTIL_H_

@@ -1,0 +1,302 @@
+// Widget interaction tests: rendering into the raster, scale dragging, menu
+// posting via the mouse, the place manager, entry selection, and button
+// visual feedback.
+
+#include <gtest/gtest.h>
+
+#include "src/tk/widgets/button.h"
+#include "src/tk/widgets/menu.h"
+#include "src/tk/widgets/scale.h"
+#include "src/tk/widgets/scrollbar.h"
+#include "tests/tk/tk_test_util.h"
+
+namespace tk {
+namespace {
+
+using InteractionTest = TkTest;
+
+// --- Rendering checks against the framebuffer ---------------------------------
+
+TEST_F(InteractionTest, LabelBackgroundReachesRaster) {
+  Ok("label .l -text XX -bg red");
+  Ok("pack append . .l {top}");
+  Pump();
+  Widget* label = app_->FindWidget(".l");
+  std::optional<xsim::Point> abs = server_.AbsolutePosition(label->window());
+  // A corner pixel inside the border area carries the background red.
+  EXPECT_EQ(server_.raster().At(abs->x + label->width() / 2, abs->y + 1), 0xff0000u);
+}
+
+TEST_F(InteractionTest, RaisedReliefHasLightTopDarkBottom) {
+  Ok("frame .f -geometry 50x30 -relief raised -borderwidth 2 -bg gray50");
+  Ok("pack append . .f {top}");
+  Pump();
+  Widget* frame = app_->FindWidget(".f");
+  std::optional<xsim::Point> abs = server_.AbsolutePosition(frame->window());
+  xsim::Pixel top = server_.raster().At(abs->x + 10, abs->y);
+  xsim::Pixel bottom = server_.raster().At(abs->x + 10, abs->y + frame->height() - 1);
+  xsim::Rgb top_rgb = xsim::UnpackPixel(top);
+  xsim::Rgb bottom_rgb = xsim::UnpackPixel(bottom);
+  EXPECT_GT(top_rgb.r, bottom_rgb.r);  // Light above, dark below = raised.
+}
+
+TEST_F(InteractionTest, SunkenReliefInverts) {
+  Ok("frame .f -geometry 50x30 -relief sunken -borderwidth 2 -bg gray50");
+  Ok("pack append . .f {top}");
+  Pump();
+  Widget* frame = app_->FindWidget(".f");
+  std::optional<xsim::Point> abs = server_.AbsolutePosition(frame->window());
+  xsim::Rgb top = xsim::UnpackPixel(server_.raster().At(abs->x + 10, abs->y));
+  xsim::Rgb bottom =
+      xsim::UnpackPixel(server_.raster().At(abs->x + 10, abs->y + frame->height() - 1));
+  EXPECT_LT(top.r, bottom.r);
+}
+
+TEST_F(InteractionTest, ButtonTextJournaled) {
+  Ok("button .b -text {Press me}");
+  Ok("pack append . .b {top}");
+  Pump();
+  std::vector<xsim::TextItem> text = server_.WindowText(app_->FindWidget(".b")->window());
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back().text, "Press me");
+}
+
+TEST_F(InteractionTest, ActiveStateChangesOnHover) {
+  Ok("button .b -text hi -bg gray50 -activebackground white");
+  Ok("pack append . .b {top}");
+  MoveToWidget(".b");
+  Widget* button = app_->FindWidget(".b");
+  std::optional<xsim::Point> abs = server_.AbsolutePosition(button->window());
+  // Hovered: active background (white) fills the interior.
+  EXPECT_EQ(server_.raster().At(abs->x + button->width() / 2, abs->y + 3), 0xffffffu);
+  server_.InjectPointerMove(1000, 1000);
+  Pump();
+  EXPECT_NE(server_.raster().At(abs->x + button->width() / 2, abs->y + 3), 0xffffffu);
+}
+
+// --- Scale interaction ----------------------------------------------------------
+
+TEST_F(InteractionTest, ScaleClickSetsValueAndRunsCommand) {
+  Ok("scale .s -from 0 -to 100 -length 100 -orient horizontal -command {set got}");
+  Ok("pack append . .s {top}");
+  Pump();
+  Scale* scale = static_cast<Scale*>(app_->FindWidget(".s"));
+  std::optional<xsim::Point> abs = server_.AbsolutePosition(scale->window());
+  // Click near the right end.
+  server_.InjectPointerMove(abs->x + scale->width() - 5, abs->y + scale->height() - 5);
+  server_.InjectClick(1);
+  Pump();
+  EXPECT_GT(scale->value(), 80);
+  EXPECT_EQ(Ok("set got"), std::to_string(scale->value()));
+}
+
+TEST_F(InteractionTest, ScaleDragSweepsValues) {
+  Ok("scale .s -from 0 -to 10 -length 100 -orient horizontal -command {lappend seen}");
+  Ok("pack append . .s {top}");
+  Pump();
+  Scale* scale = static_cast<Scale*>(app_->FindWidget(".s"));
+  std::optional<xsim::Point> abs = server_.AbsolutePosition(scale->window());
+  int y = abs->y + scale->height() - 5;
+  server_.InjectPointerMove(abs->x + 15, y);
+  server_.InjectButton(1, true);
+  Pump();
+  for (int x = 20; x < 90; x += 10) {
+    server_.InjectPointerMove(abs->x + x, y);
+    Pump();
+  }
+  server_.InjectButton(1, false);
+  Pump();
+  std::string seen = Ok("set seen");
+  EXPECT_GT(seen.size(), 3u);  // Multiple values reported during the drag.
+  EXPECT_GT(scale->value(), 5);
+}
+
+TEST_F(InteractionTest, InvertedScaleRange) {
+  Ok("scale .s -from 100 -to 0 -length 100 -orient horizontal");
+  Ok(".s set 30");
+  EXPECT_EQ(Ok(".s get"), "30");
+  Ok(".s set 150");  // Clamped.
+  EXPECT_EQ(Ok(".s get"), "100");
+}
+
+// --- Menus via the mouse -----------------------------------------------------------
+
+TEST_F(InteractionTest, MenubuttonPressPostsMenu) {
+  Ok("menubutton .mb -text File -menu .m");
+  Ok("menu .m");
+  Ok(".m add command -label Quit -command {set chose quit}");
+  Ok("pack append . .mb {top}");
+  ClickWidget(".mb");
+  Menu* menu = static_cast<Menu*>(app_->FindWidget(".m"));
+  EXPECT_TRUE(menu->posted());
+  // Click the first entry.
+  std::optional<xsim::Point> abs = server_.AbsolutePosition(menu->window());
+  server_.InjectPointerMove(abs->x + 10, abs->y + 8);
+  server_.InjectClick(1);
+  Pump();
+  EXPECT_FALSE(menu->posted());
+  EXPECT_EQ(Ok("set chose"), "quit");
+}
+
+TEST_F(InteractionTest, MenuMotionHighlightsEntries) {
+  Ok("menu .m");
+  Ok(".m add command -label A");
+  Ok(".m add command -label B");
+  Ok(".m post 10 10");
+  Pump();
+  Menu* menu = static_cast<Menu*>(app_->FindWidget(".m"));
+  std::optional<xsim::Point> abs = server_.AbsolutePosition(menu->window());
+  server_.InjectPointerMove(abs->x + 10, abs->y + 25);  // Over the second entry.
+  Pump();
+  EXPECT_EQ(menu->EntryAt(25), 1);
+}
+
+TEST_F(InteractionTest, MenuRadioEntriesShareVariable) {
+  Ok("menu .m");
+  Ok(".m add radiobutton -label Small -variable size -value small");
+  Ok(".m add radiobutton -label Large -variable size -value large");
+  Ok(".m invoke Small");
+  EXPECT_EQ(Ok("set size"), "small");
+  Ok(".m invoke Large");
+  EXPECT_EQ(Ok("set size"), "large");
+}
+
+// --- Place manager -------------------------------------------------------------------
+
+TEST_F(InteractionTest, PlaceAbsolutePosition) {
+  Ok("frame .f -geometry 100x100");
+  Ok("pack append . .f {top}");
+  Ok("frame .f.dot -geometry 10x10");
+  Ok("place .f.dot -x 30 -y 40");
+  Pump();
+  Widget* dot = app_->FindWidget(".f.dot");
+  EXPECT_EQ(dot->x(), 30);
+  EXPECT_EQ(dot->y(), 40);
+  EXPECT_EQ(dot->width(), 10);
+}
+
+TEST_F(InteractionTest, PlaceRelativeSize) {
+  Ok("frame .f -geometry 100x100");
+  Ok("pack propagate .f 0");
+  Ok("pack append . .f {top}");
+  Ok("frame .f.half");
+  Ok("place .f.half -x 0 -y 0 -relwidth 0.5 -relheight 1.0");
+  Pump();
+  Widget* half = app_->FindWidget(".f.half");
+  EXPECT_EQ(half->width(), 50);
+  EXPECT_EQ(half->height(), 100);
+}
+
+TEST_F(InteractionTest, PlaceForgetUnmaps) {
+  Ok("frame .f -geometry 50x50");
+  Ok("pack append . .f {top}");
+  Ok("frame .f.x -geometry 10x10");
+  Ok("place .f.x -x 1 -y 1");
+  Pump();
+  EXPECT_TRUE(server_.IsMapped(app_->FindWidget(".f.x")->window()));
+  Ok("place forget .f.x");
+  Pump();
+  EXPECT_FALSE(server_.IsMapped(app_->FindWidget(".f.x")->window()));
+}
+
+TEST_F(InteractionTest, ManagersAreExclusive) {
+  // Claiming a widget with place steals it from the packer (Section 3.4:
+  // one geometry manager per window at a time).
+  Ok("frame .f -geometry 80x80");
+  Ok("pack propagate .f 0");
+  Ok("pack append . .f {top}");
+  Ok("frame .f.w -geometry 10x10");
+  Ok("pack append .f .f.w {top}");
+  Pump();
+  EXPECT_EQ(Ok("pack info .f"), ".f.w");
+  Ok("place .f.w -x 60 -y 60");
+  Pump();
+  EXPECT_EQ(Ok("pack info .f"), "");
+  EXPECT_EQ(app_->FindWidget(".f.w")->x(), 60);
+}
+
+// --- Entry details ----------------------------------------------------------------------
+
+TEST_F(InteractionTest, EntryIndexForms) {
+  Ok("entry .e");
+  Ok(".e insert 0 abcdef");
+  Ok(".e icursor 3");
+  EXPECT_EQ(Ok(".e index insert"), "3");
+  EXPECT_EQ(Ok(".e index end"), "6");
+  Ok(".e select from 1");
+  Ok(".e select to 4");
+  EXPECT_EQ(Ok(".e index sel.first"), "1");
+  EXPECT_EQ(Ok(".e index sel.last"), "3");
+}
+
+TEST_F(InteractionTest, EntryClickPositionsCursor) {
+  Ok("entry .e -width 20");
+  Ok("pack append . .e {top}");
+  Ok(".e insert 0 {hello world}");
+  Pump();
+  Widget* entry = app_->FindWidget(".e");
+  std::optional<xsim::Point> abs = server_.AbsolutePosition(entry->window());
+  // Click at roughly the 4th character cell (8x13 font, border 2 + pad 3).
+  server_.InjectPointerMove(abs->x + 5 + 4 * 8, abs->y + entry->height() / 2);
+  server_.InjectClick(1);
+  Pump();
+  EXPECT_EQ(Ok(".e index insert"), "4");
+  // The click focused the entry.
+  EXPECT_EQ(Ok("focus"), ".e");
+}
+
+TEST_F(InteractionTest, EntryTextVariableSync) {
+  Ok("set name initial");
+  Ok("entry .e -textvariable name");
+  EXPECT_EQ(Ok(".e get"), "initial");
+  Ok(".e delete 0 end");
+  Ok(".e insert 0 typed");
+  EXPECT_EQ(Ok("set name"), "typed");
+  Ok("set name external");
+  EXPECT_EQ(Ok(".e get"), "external");
+}
+
+TEST_F(InteractionTest, FocusFollowsCommand) {
+  Ok("entry .a; entry .b");
+  Ok("pack append . .a {top} .b {top}");
+  Pump();
+  Ok("focus .a");
+  EXPECT_EQ(Ok("focus"), ".a");
+  Ok("focus .b");
+  EXPECT_EQ(Ok("focus"), ".b");
+  Ok("focus none");
+  EXPECT_EQ(Ok("focus"), "none");
+}
+
+TEST_F(InteractionTest, KeystrokesFollowFocusNotPointer) {
+  Ok("entry .a; entry .b");
+  Ok("pack append . .a {top} .b {top}");
+  Ok("focus .b");
+  MoveToWidget(".a");  // Pointer over .a, focus on .b.
+  TypeKey('z');
+  EXPECT_EQ(Ok(".a get"), "");
+  EXPECT_EQ(Ok(".b get"), "z");
+}
+
+TEST_F(InteractionTest, EntryHorizontalScrollbarProtocol) {
+  // The entry speaks the same scroll protocol as the listbox, so a
+  // horizontal scrollbar wires up identically (Section 4's composition).
+  Ok("entry .e -width 10 -scroll {.sb set}");
+  Ok("scrollbar .sb -orient horizontal -command {.e view}");
+  Ok("pack append . .e {top fillx} .sb {top fillx}");
+  Pump();
+  Ok(".e insert 0 {abcdefghijklmnopqrstuvwxyz0123456789}");
+  Pump();
+  // The scrollbar learned the entry's total and window sizes.
+  std::string state = Ok(".sb get");
+  EXPECT_EQ(state.substr(0, 2), "36");
+  // Driving the scrollbar scrolls the entry view.
+  Scrollbar* sb = static_cast<Scrollbar*>(app_->FindWidget(".sb"));
+  sb->ScrollTo(12);
+  Pump();
+  EXPECT_EQ(Ok(".e view 12; set dummy 0; .sb get"), Ok(".sb get"));
+  EXPECT_EQ(sb->first_unit(), 12);
+}
+
+}  // namespace
+}  // namespace tk

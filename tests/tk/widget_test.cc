@@ -1,0 +1,309 @@
+// Widget framework tests: creation commands, widget commands, path names,
+// configure, option database fallback, destruction (Sections 3.1 and 4).
+
+#include <gtest/gtest.h>
+
+#include "src/tk/widgets/button.h"
+#include "src/tk/widgets/frame.h"
+#include "tests/tk/tk_test_util.h"
+
+namespace tk {
+namespace {
+
+using WidgetTest = TkTest;
+
+TEST_F(WidgetTest, MainWindowExists) {
+  ASSERT_NE(app_->FindWidget("."), nullptr);
+  EXPECT_EQ(app_->FindWidget(".")->clazz(), "Frame");
+}
+
+// Section 4's example: button .hello -bg Red -text "Hello, world" ...
+TEST_F(WidgetTest, PaperButtonCreationExample) {
+  Ok("button .hello -bg red -text \"Hello, world\" -command \"set invoked 1\"");
+  Widget* widget = app_->FindWidget(".hello");
+  ASSERT_NE(widget, nullptr);
+  EXPECT_EQ(widget->clazz(), "Button");
+  // Creation registered a widget command named after the path.
+  EXPECT_TRUE(interp().HasCommand(".hello"));
+  Ok(".hello invoke");
+  EXPECT_EQ(Ok("set invoked"), "1");
+}
+
+TEST_F(WidgetTest, CreationReturnsPath) { EXPECT_EQ(Ok("frame .f"), ".f"); }
+
+TEST_F(WidgetTest, NestedPathNames) {
+  Ok("frame .a");
+  Ok("frame .a.b");
+  Ok("button .a.b.c -text deep");
+  EXPECT_NE(app_->FindWidget(".a.b.c"), nullptr);
+  EXPECT_EQ(Ok("winfo parent .a.b.c"), ".a.b");
+  EXPECT_EQ(Ok("winfo name .a.b.c"), "c");
+}
+
+TEST_F(WidgetTest, CreateWithMissingParentFails) {
+  Err("button .noparent.b -text x");
+}
+
+TEST_F(WidgetTest, DuplicatePathFails) {
+  Ok("frame .f");
+  Err("frame .f");
+}
+
+TEST_F(WidgetTest, BadPathFails) { Err("frame noleadingdot"); }
+
+// Section 4: ".hello configure -bg PalePink1 -relief sunken".
+TEST_F(WidgetTest, ConfigureChangesOptions) {
+  Ok("button .hello -bg red -text hi");
+  Ok(".hello configure -bg PalePink1 -relief sunken");
+  std::string relief = Ok(".hello configure -relief");
+  EXPECT_NE(relief.find("sunken"), std::string::npos);
+  std::string bg = Ok(".hello configure -background");
+  EXPECT_NE(bg.find("PalePink1"), std::string::npos);
+}
+
+TEST_F(WidgetTest, ConfigureIntrospectionListsAllOptions) {
+  Ok("button .b -text hi");
+  std::string all = Ok(".b configure");
+  EXPECT_NE(all.find("-text"), std::string::npos);
+  EXPECT_NE(all.find("-background"), std::string::npos);
+  EXPECT_NE(all.find("-command"), std::string::npos);
+}
+
+TEST_F(WidgetTest, UnknownOptionFails) {
+  Ok("button .b");
+  Err(".b configure -nosuchoption 1");
+}
+
+TEST_F(WidgetTest, UnknownColorFails) { Err("button .b -bg NotAColor999"); }
+
+TEST_F(WidgetTest, AbbreviatedFlagsWork) {
+  Ok("label .l -bg blue -fg white -bd 3");
+  std::string bg = Ok(".l configure -background");
+  EXPECT_NE(bg.find("blue"), std::string::npos);
+}
+
+// Section 4: "For unspecified options, the widget checks in the option
+// database for a value; if none is found then it uses a default."
+TEST_F(WidgetTest, OptionDatabaseSuppliesDefaults) {
+  Ok("option add *Button.background green");
+  Ok("button .b1 -text x");
+  std::string bg = Ok(".b1 configure -background");
+  EXPECT_NE(bg.find("green"), std::string::npos);
+  // Explicit options still win.
+  Ok("button .b2 -text x -bg red");
+  bg = Ok(".b2 configure -background");
+  EXPECT_NE(bg.find("red"), std::string::npos);
+  // Other classes are unaffected.
+  Ok("label .l1");
+  bg = Ok(".l1 configure -background");
+  EXPECT_EQ(bg.find("green"), std::string::npos);
+}
+
+TEST_F(WidgetTest, DestroyRemovesWidgetAndCommand) {
+  Ok("button .b -text bye");
+  Ok("destroy .b");
+  EXPECT_EQ(app_->FindWidget(".b"), nullptr);
+  EXPECT_FALSE(interp().HasCommand(".b"));
+  EXPECT_EQ(Ok("winfo exists .b"), "0");
+}
+
+TEST_F(WidgetTest, DestroySubtree) {
+  Ok("frame .f");
+  Ok("button .f.a");
+  Ok("frame .f.g");
+  Ok("button .f.g.b");
+  Ok("destroy .f");
+  EXPECT_EQ(app_->FindWidget(".f"), nullptr);
+  EXPECT_EQ(app_->FindWidget(".f.a"), nullptr);
+  EXPECT_EQ(app_->FindWidget(".f.g.b"), nullptr);
+}
+
+TEST_F(WidgetTest, WinfoChildren) {
+  Ok("frame .f");
+  Ok("button .f.a");
+  Ok("button .f.b");
+  Ok("frame .f.c");
+  Ok("button .f.c.inner");
+  std::string children = Ok("winfo children .f");
+  EXPECT_NE(children.find(".f.a"), std::string::npos);
+  EXPECT_NE(children.find(".f.b"), std::string::npos);
+  EXPECT_NE(children.find(".f.c"), std::string::npos);
+  EXPECT_EQ(children.find(".f.c.inner"), std::string::npos);
+}
+
+TEST_F(WidgetTest, WinfoClass) {
+  Ok("scrollbar .s");
+  EXPECT_EQ(Ok("winfo class .s"), "Scrollbar");
+  Ok("listbox .l");
+  EXPECT_EQ(Ok("winfo class .l"), "Listbox");
+}
+
+TEST_F(WidgetTest, ButtonRequestsSizeForText) {
+  Ok("button .small -text A");
+  Ok("button .big -text {A much longer label}");
+  Pump();
+  Widget* small = app_->FindWidget(".small");
+  Widget* big = app_->FindWidget(".big");
+  EXPECT_GT(big->req_width(), small->req_width());
+}
+
+TEST_F(WidgetTest, FlashAndInvokeSubcommands) {
+  Ok("button .b -text hi -command {set x pressed}");
+  Ok(".b flash");
+  Ok(".b invoke");
+  EXPECT_EQ(Ok("set x"), "pressed");
+}
+
+TEST_F(WidgetTest, BadWidgetSubcommandFails) {
+  Ok("button .b");
+  Err(".b nosuchsubcommand");
+}
+
+// --- Checkbutton / radiobutton state (Section 4 widget actions) ---------------------
+
+TEST_F(WidgetTest, CheckbuttonTogglesVariable) {
+  Ok("checkbutton .c -variable flag -text Check");
+  Ok(".c select");
+  EXPECT_EQ(Ok("set flag"), "1");
+  Ok(".c deselect");
+  EXPECT_EQ(Ok("set flag"), "0");
+  Ok(".c toggle");
+  EXPECT_EQ(Ok("set flag"), "1");
+}
+
+TEST_F(WidgetTest, CheckbuttonCustomValues) {
+  Ok("checkbutton .c -variable mode -onvalue fast -offvalue slow");
+  Ok(".c invoke");
+  EXPECT_EQ(Ok("set mode"), "fast");
+  Ok(".c invoke");
+  EXPECT_EQ(Ok("set mode"), "slow");
+}
+
+TEST_F(WidgetTest, RadiobuttonsShareVariable) {
+  Ok("radiobutton .r1 -variable choice -value one");
+  Ok("radiobutton .r2 -variable choice -value two");
+  Ok(".r1 select");
+  EXPECT_EQ(Ok("set choice"), "one");
+  Ok(".r2 invoke");
+  EXPECT_EQ(Ok("set choice"), "two");
+}
+
+TEST_F(WidgetTest, CheckbuttonInvokeRunsCommand) {
+  Ok("checkbutton .c -variable v -command {lappend log $v}");
+  Ok(".c invoke");
+  Ok(".c invoke");
+  EXPECT_EQ(Ok("set log"), "1 0");
+}
+
+// --- Label -textvariable -----------------------------------------------------------
+
+TEST_F(WidgetTest, LabelTracksTextVariable) {
+  Ok("set status Ready");
+  Ok("label .status -textvariable status");
+  Label* label = static_cast<Label*>(app_->FindWidget(".status"));
+  EXPECT_EQ(label->text(), "Ready");
+  Ok("set status Busy");
+  EXPECT_EQ(label->text(), "Busy");
+}
+
+// --- Mouse behaviour (class bindings in C, Section 4) --------------------------------
+
+TEST_F(WidgetTest, ClickInvokesButtonCommand) {
+  Ok("button .b -text Press -command {set hit 1}");
+  Ok("pack append . .b {top}");
+  ClickWidget(".b");
+  EXPECT_EQ(Ok("set hit"), "1");
+}
+
+TEST_F(WidgetTest, ClickTogglesCheckbutton) {
+  Ok("checkbutton .c -variable flag -text Tick");
+  Ok("pack append . .c {top}");
+  ClickWidget(".c");
+  EXPECT_EQ(Ok("set flag"), "1");
+  ClickWidget(".c");
+  EXPECT_EQ(Ok("set flag"), "0");
+}
+
+TEST_F(WidgetTest, MessageWrapsText) {
+  Ok("message .m -width 80 -text {one two three four five six seven eight}");
+  Pump();
+  Widget* widget = app_->FindWidget(".m");
+  // Wrapped: taller than a single line, narrower than the unwrapped text.
+  EXPECT_GT(widget->req_height(), 20);
+  EXPECT_LT(widget->req_width(), 8 * 40);
+}
+
+TEST_F(WidgetTest, ScaleSetAndGet) {
+  Ok("scale .s -from 0 -to 50 -command {set val}");
+  Ok(".s set 20");
+  EXPECT_EQ(Ok(".s get"), "20");
+  // `set` does not invoke the command (matching Tk).
+  EXPECT_EQ(Ok("info exists val"), "0");
+}
+
+TEST_F(WidgetTest, EntryInsertDeleteGet) {
+  Ok("entry .e");
+  Ok(".e insert 0 hello");
+  EXPECT_EQ(Ok(".e get"), "hello");
+  Ok(".e insert end !");
+  EXPECT_EQ(Ok(".e get"), "hello!");
+  Ok(".e delete 0 2");
+  EXPECT_EQ(Ok(".e get"), "llo!");
+}
+
+TEST_F(WidgetTest, EntryTypingViaKeyboard) {
+  Ok("entry .e");
+  Ok("pack append . .e {top}");
+  Ok("focus .e");
+  Pump();
+  TypeKey('h');
+  TypeKey('i');
+  EXPECT_EQ(Ok(".e get"), "hi");
+  TypeKey(xsim::kKeyBackSpace);
+  EXPECT_EQ(Ok(".e get"), "h");
+}
+
+TEST_F(WidgetTest, MenuAddAndInvoke) {
+  Ok("menu .m");
+  Ok(".m add command -label Open -command {set action open}");
+  Ok(".m add separator");
+  Ok(".m add checkbutton -label Bold -variable bold");
+  EXPECT_EQ(Ok(".m entrycount"), "3");
+  Ok(".m invoke 0");
+  EXPECT_EQ(Ok("set action"), "open");
+  Ok(".m invoke Bold");
+  EXPECT_EQ(Ok("set bold"), "1");
+}
+
+TEST_F(WidgetTest, MenuPostUnpost) {
+  Ok("menu .m");
+  Ok(".m add command -label X");
+  Ok(".m post 50 60");
+  Pump();
+  Widget* menu = app_->FindWidget(".m");
+  EXPECT_TRUE(server_.IsMapped(menu->window()));
+  Ok(".m unpost");
+  Pump();
+  EXPECT_FALSE(server_.IsMapped(menu->window()));
+}
+
+TEST_F(WidgetTest, DynamicInterfaceModification) {
+  // Section 5: Tcl can modify the widget configuration at any time --
+  // create, reconfigure, rearrange and delete widgets dynamically.
+  Ok("button .b1 -text One");
+  Ok("pack append . .b1 {top}");
+  Pump();
+  Ok("button .b2 -text Two");
+  Ok("pack append . .b2 {top}");
+  Pump();
+  EXPECT_EQ(Ok("pack info ."), ".b1 .b2");
+  Ok("pack unpack .b1");
+  EXPECT_EQ(Ok("pack info ."), ".b2");
+  Ok("destroy .b1");
+  Ok(".b2 configure -text Renamed");
+  Pump();
+  EXPECT_EQ(static_cast<Label*>(app_->FindWidget(".b2"))->text(), "Renamed");
+}
+
+}  // namespace
+}  // namespace tk

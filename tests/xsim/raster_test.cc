@@ -1,0 +1,186 @@
+// Raster, keysym, color and font unit tests for the xsim substrate.
+
+#include <gtest/gtest.h>
+
+#include "src/xsim/color.h"
+#include "src/xsim/font.h"
+#include "src/xsim/keysym.h"
+#include "src/xsim/raster.h"
+
+namespace xsim {
+namespace {
+
+Rect Full(const Raster& raster) { return Rect{0, 0, raster.width(), raster.height()}; }
+
+TEST(RasterTest, FillClipsToClipRect) {
+  Raster raster(20, 20, 0);
+  Rect clip{5, 5, 5, 5};
+  raster.FillRect(Rect{0, 0, 20, 20}, 0xffffff, clip);
+  EXPECT_EQ(raster.At(4, 4), 0u);
+  EXPECT_EQ(raster.At(5, 5), 0xffffffu);
+  EXPECT_EQ(raster.At(9, 9), 0xffffffu);
+  EXPECT_EQ(raster.At(10, 10), 0u);
+}
+
+TEST(RasterTest, FillClipsToBounds) {
+  Raster raster(10, 10, 0);
+  raster.FillRect(Rect{-5, -5, 30, 30}, 0x123456, Full(raster));
+  EXPECT_EQ(raster.At(0, 0), 0x123456u);
+  EXPECT_EQ(raster.At(9, 9), 0x123456u);
+  EXPECT_EQ(raster.At(10, 10), 0u);  // Out of bounds reads as 0.
+}
+
+TEST(RasterTest, OutlineDrawsBorderOnly) {
+  Raster raster(20, 20, 0);
+  raster.DrawRectOutline(Rect{2, 2, 6, 6}, 0xff, Full(raster));
+  EXPECT_EQ(raster.At(2, 2), 0xffu);
+  EXPECT_EQ(raster.At(7, 7), 0xffu);
+  EXPECT_EQ(raster.At(4, 4), 0u);  // Interior untouched.
+}
+
+TEST(RasterTest, LineEndpoints) {
+  Raster raster(20, 20, 0);
+  raster.DrawLine(1, 1, 10, 10, 0xff, Full(raster));
+  EXPECT_EQ(raster.At(1, 1), 0xffu);
+  EXPECT_EQ(raster.At(10, 10), 0xffu);
+  EXPECT_EQ(raster.At(5, 5), 0xffu);  // Diagonal passes through.
+}
+
+TEST(RasterTest, HorizontalAndVerticalLines) {
+  Raster raster(20, 20, 0);
+  raster.DrawLine(0, 5, 19, 5, 0x1, Full(raster));
+  raster.DrawLine(7, 0, 7, 19, 0x2, Full(raster));
+  EXPECT_EQ(raster.At(15, 5), 0x1u);
+  EXPECT_EQ(raster.At(7, 15), 0x2u);
+}
+
+TEST(RasterTest, TextBlockCoversCells) {
+  Raster raster(100, 20, 0);
+  raster.DrawTextBlock(2, 12, 6, 10, 3, 4, 0xff0000, Full(raster));
+  // Four glyph cells starting at x=2, baseline 12, ascent 10.
+  EXPECT_EQ(raster.At(3, 8), 0xff0000u);
+  EXPECT_EQ(raster.At(3 + 6, 8), 0xff0000u);
+  EXPECT_EQ(raster.At(3 + 3 * 6, 8), 0xff0000u);
+  EXPECT_EQ(raster.At(3 + 4 * 6 + 2, 8), 0u);  // Past the last cell.
+}
+
+TEST(RasterTest, PpmHeaderAndSize) {
+  Raster raster(4, 3, 0x112233);
+  std::string ppm = raster.ToPpm();
+  EXPECT_EQ(ppm.substr(0, 11), "P6\n4 3\n255\n");
+  EXPECT_EQ(ppm.size(), 11u + 4 * 3 * 3);
+  // First pixel bytes.
+  EXPECT_EQ(static_cast<unsigned char>(ppm[11]), 0x11);
+  EXPECT_EQ(static_cast<unsigned char>(ppm[12]), 0x22);
+  EXPECT_EQ(static_cast<unsigned char>(ppm[13]), 0x33);
+}
+
+// --- Keysyms -----------------------------------------------------------------
+
+TEST(KeysymTest, SingleCharsNameThemselves) {
+  EXPECT_EQ(KeySymFromName("a"), static_cast<KeySym>('a'));
+  EXPECT_EQ(KeySymFromName("Z"), static_cast<KeySym>('Z'));
+  EXPECT_EQ(KeySymFromName("%"), static_cast<KeySym>('%'));
+}
+
+TEST(KeysymTest, NamedKeys) {
+  EXPECT_EQ(KeySymFromName("space"), static_cast<KeySym>(' '));
+  EXPECT_EQ(KeySymFromName("Escape"), kKeyEscape);
+  EXPECT_EQ(KeySymFromName("Return"), kKeyReturn);
+  EXPECT_EQ(KeySymFromName("BackSpace"), kKeyBackSpace);
+  EXPECT_EQ(KeySymFromName("comma"), static_cast<KeySym>(','));
+  EXPECT_FALSE(KeySymFromName("NoSuchKey"));
+}
+
+TEST(KeysymTest, NameRoundTrip) {
+  for (const char* name : {"a", "space", "Escape", "F5", "bracketleft", "Control_L"}) {
+    std::optional<KeySym> keysym = KeySymFromName(name);
+    ASSERT_TRUE(keysym) << name;
+    EXPECT_EQ(KeySymName(*keysym), name);
+  }
+}
+
+TEST(KeysymTest, ToStringShiftHandling) {
+  EXPECT_EQ(KeySymToString('a', false), "a");
+  EXPECT_EQ(KeySymToString('a', true), "A");
+  EXPECT_EQ(KeySymToString('1', true), "!");
+  EXPECT_EQ(KeySymToString(kKeyReturn, false), "\n");
+  EXPECT_EQ(KeySymToString(kKeyShiftL, false), "");
+}
+
+TEST(KeysymTest, ModifierClassification) {
+  EXPECT_TRUE(IsModifierKey(kKeyShiftL));
+  EXPECT_TRUE(IsModifierKey(kKeyControlR));
+  EXPECT_FALSE(IsModifierKey('a'));
+  EXPECT_FALSE(IsModifierKey(kKeyReturn));
+}
+
+// --- Colors ------------------------------------------------------------------
+
+TEST(ColorTest, PixelPackRoundTrip) {
+  Rgb rgb{12, 34, 56};
+  Rgb back = UnpackPixel(PackPixel(rgb));
+  EXPECT_EQ(back.r, 12);
+  EXPECT_EQ(back.g, 34);
+  EXPECT_EQ(back.b, 56);
+}
+
+TEST(ColorTest, HexForms) {
+  EXPECT_EQ(PackPixel(*LookupColor("#102030")), 0x102030u);
+  EXPECT_EQ(PackPixel(*LookupColor("#fff")), 0xffffffu);
+  EXPECT_FALSE(LookupColor("#12345"));   // Bad length.
+  EXPECT_FALSE(LookupColor("#xyz"));     // Bad digits.
+}
+
+TEST(ColorTest, ReverseLookup) {
+  Rgb green = *LookupColor("MediumSeaGreen");
+  EXPECT_EQ(ColorName(green), "mediumseagreen");
+  EXPECT_FALSE(ColorName(Rgb{1, 2, 3}));
+}
+
+TEST(ColorTest, ShadesPreserveOrdering) {
+  Rgb base{100, 150, 200};
+  Rgb light = LightShade(base);
+  Rgb dark = DarkShade(base);
+  EXPECT_GT(light.r, base.r);
+  EXPECT_LT(dark.r, base.r);
+  EXPECT_GT(light.g, base.g);
+  EXPECT_LT(dark.b, base.b);
+}
+
+// --- Fonts -------------------------------------------------------------------
+
+TEST(FontTest, CellFontNames) {
+  FontMetrics metrics = *ResolveFont("9x15");
+  EXPECT_EQ(metrics.char_width, 9);
+  EXPECT_EQ(metrics.line_height(), 15);
+}
+
+TEST(FontTest, SimpleAliasDefaults) {
+  FontMetrics fixed = *ResolveFont("fixed");
+  EXPECT_EQ(fixed.char_width, 6);
+  EXPECT_EQ(fixed.line_height(), 13);
+}
+
+TEST(FontTest, XlfdPointSizeFallback) {
+  // Pixel field '*', point size 140 -> 14 px.
+  FontMetrics metrics = *ResolveFont("-adobe-times-medium-r-normal--*-140-75-75-p-74-iso8859-1");
+  EXPECT_EQ(metrics.line_height(), 14);
+}
+
+TEST(FontTest, BoldIsWider) {
+  FontMetrics regular = *ResolveFont("-x-helvetica-medium-r-normal--12-120-0-0-0-0-0-0");
+  FontMetrics bold = *ResolveFont("-x-helvetica-bold-r-normal--12-120-0-0-0-0-0-0");
+  EXPECT_GT(bold.char_width, regular.char_width);
+}
+
+TEST(FontTest, TextWidthCountsTabs) {
+  FontMetrics metrics = *ResolveFont("8x13");
+  EXPECT_EQ(metrics.TextWidth("ab"), 16);
+  EXPECT_EQ(metrics.TextWidth("\t"), 8 * 8);
+}
+
+TEST(FontTest, MalformedXlfdRejected) { EXPECT_FALSE(ResolveFont("-only-three-fields")); }
+
+}  // namespace
+}  // namespace xsim

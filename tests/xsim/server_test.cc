@@ -1,0 +1,458 @@
+// Tests for the xsim X server simulator: window tree, properties, events,
+// selections, input injection, resource allocation.
+
+#include "src/xsim/server.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "src/xsim/display.h"
+
+namespace xsim {
+namespace {
+
+class ServerTest : public ::testing::Test {
+ protected:
+  ServerTest() : display_(Display::Open(server_, "test")) {}
+
+  // Drains all pending events into a vector.
+  std::vector<Event> Drain() {
+    std::vector<Event> events;
+    Event event;
+    while (display_->PollEvent(&event)) {
+      events.push_back(event);
+    }
+    return events;
+  }
+  // Finds the first event of `type` in the queue (draining).
+  std::optional<Event> FindEvent(EventType type) {
+    for (const Event& event : Drain()) {
+      if (event.type == type) {
+        return event;
+      }
+    }
+    return std::nullopt;
+  }
+
+  Server server_;
+  std::unique_ptr<Display> display_;
+};
+
+TEST_F(ServerTest, RootWindowExists) {
+  EXPECT_TRUE(server_.WindowExists(server_.root()));
+  EXPECT_TRUE(server_.IsMapped(server_.root()));
+  std::optional<Rect> geometry = server_.WindowGeometry(server_.root());
+  ASSERT_TRUE(geometry);
+  EXPECT_EQ(geometry->width, 1280);
+  EXPECT_EQ(geometry->height, 1024);
+}
+
+TEST_F(ServerTest, CreateWindowHierarchy) {
+  WindowId a = display_->CreateWindow(display_->root(), 10, 10, 100, 100);
+  WindowId b = display_->CreateWindow(a, 5, 5, 50, 50);
+  EXPECT_NE(a, kNone);
+  EXPECT_NE(b, kNone);
+  EXPECT_EQ(server_.WindowParent(b), a);
+  std::vector<WindowId> children = server_.WindowChildren(a);
+  ASSERT_EQ(children.size(), 1u);
+  EXPECT_EQ(children[0], b);
+}
+
+TEST_F(ServerTest, CreateWindowBadParentFails) {
+  EXPECT_EQ(display_->CreateWindow(99999, 0, 0, 10, 10), kNone);
+}
+
+TEST_F(ServerTest, DestroyWindowRemovesSubtree) {
+  WindowId a = display_->CreateWindow(display_->root(), 0, 0, 100, 100);
+  WindowId b = display_->CreateWindow(a, 0, 0, 50, 50);
+  WindowId c = display_->CreateWindow(b, 0, 0, 25, 25);
+  EXPECT_TRUE(display_->DestroyWindow(a));
+  EXPECT_FALSE(server_.WindowExists(a));
+  EXPECT_FALSE(server_.WindowExists(b));
+  EXPECT_FALSE(server_.WindowExists(c));
+}
+
+TEST_F(ServerTest, CannotDestroyRoot) {
+  EXPECT_FALSE(display_->DestroyWindow(display_->root()));
+}
+
+TEST_F(ServerTest, MapNotifyDelivered) {
+  WindowId w = display_->CreateWindow(display_->root(), 0, 0, 10, 10);
+  display_->SelectInput(w, kStructureNotifyMask);
+  display_->MapWindow(w);
+  std::optional<Event> event = FindEvent(EventType::kMapNotify);
+  ASSERT_TRUE(event);
+  EXPECT_EQ(event->window, w);
+}
+
+TEST_F(ServerTest, ExposeOnMap) {
+  WindowId w = display_->CreateWindow(display_->root(), 0, 0, 40, 30);
+  display_->SelectInput(w, kExposureMask);
+  display_->MapWindow(w);
+  std::optional<Event> event = FindEvent(EventType::kExpose);
+  ASSERT_TRUE(event);
+  EXPECT_EQ(event->area.width, 40);
+  EXPECT_EQ(event->area.height, 30);
+}
+
+TEST_F(ServerTest, NoExposeWhenNotViewable) {
+  WindowId parent = display_->CreateWindow(display_->root(), 0, 0, 100, 100);
+  WindowId child = display_->CreateWindow(parent, 0, 0, 10, 10);
+  display_->SelectInput(child, kExposureMask);
+  display_->MapWindow(child);  // Parent still unmapped.
+  EXPECT_FALSE(FindEvent(EventType::kExpose));
+  EXPECT_FALSE(server_.IsViewable(child));
+  display_->MapWindow(parent);
+  EXPECT_TRUE(server_.IsViewable(child));
+}
+
+TEST_F(ServerTest, ConfigureNotifyOnResize) {
+  WindowId w = display_->CreateWindow(display_->root(), 0, 0, 10, 10);
+  display_->SelectInput(w, kStructureNotifyMask);
+  display_->MoveResizeWindow(w, 5, 6, 70, 80);
+  std::optional<Event> event = FindEvent(EventType::kConfigureNotify);
+  ASSERT_TRUE(event);
+  EXPECT_EQ(event->area.x, 5);
+  EXPECT_EQ(event->area.y, 6);
+  EXPECT_EQ(event->area.width, 70);
+  EXPECT_EQ(event->area.height, 80);
+}
+
+TEST_F(ServerTest, EventMaskFiltering) {
+  WindowId w = display_->CreateWindow(display_->root(), 0, 0, 10, 10);
+  display_->SelectInput(w, kExposureMask);  // No StructureNotify.
+  display_->MapWindow(w);
+  EXPECT_FALSE(FindEvent(EventType::kMapNotify));
+}
+
+TEST_F(ServerTest, AbsolutePositionAccumulates) {
+  WindowId a = display_->CreateWindow(display_->root(), 10, 20, 100, 100);
+  WindowId b = display_->CreateWindow(a, 5, 6, 50, 50);
+  std::optional<Point> abs = server_.AbsolutePosition(b);
+  ASSERT_TRUE(abs);
+  EXPECT_EQ(abs->x, 15);
+  EXPECT_EQ(abs->y, 26);
+}
+
+// --- Properties and atoms ------------------------------------------------------
+
+TEST_F(ServerTest, AtomInterningIsIdempotent) {
+  Atom a = display_->InternAtom("FOO");
+  Atom b = display_->InternAtom("FOO");
+  Atom c = display_->InternAtom("BAR");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(display_->AtomName(a), "FOO");
+}
+
+TEST_F(ServerTest, PropertyRoundTrip) {
+  Atom prop = display_->InternAtom("MY_PROP");
+  WindowId w = display_->CreateWindow(display_->root(), 0, 0, 10, 10);
+  EXPECT_FALSE(display_->GetProperty(w, prop));
+  display_->ChangeProperty(w, prop, "hello");
+  EXPECT_EQ(display_->GetProperty(w, prop), "hello");
+  display_->DeleteProperty(w, prop);
+  EXPECT_FALSE(display_->GetProperty(w, prop));
+}
+
+TEST_F(ServerTest, RootWindowPropertiesShared) {
+  // Two clients see the same root property -- the basis of the send
+  // registry.
+  auto other = Display::Open(server_, "other");
+  Atom prop = display_->InternAtom("REGISTRY");
+  display_->ChangeProperty(display_->root(), prop, "data");
+  EXPECT_EQ(other->GetProperty(other->root(), prop), "data");
+}
+
+TEST_F(ServerTest, PropertyNotifyDelivered) {
+  Atom prop = display_->InternAtom("P");
+  WindowId w = display_->CreateWindow(display_->root(), 0, 0, 10, 10);
+  display_->SelectInput(w, kPropertyChangeMask);
+  display_->ChangeProperty(w, prop, "x");
+  std::optional<Event> event = FindEvent(EventType::kPropertyNotify);
+  ASSERT_TRUE(event);
+  EXPECT_EQ(event->atom, prop);
+}
+
+// --- Colors and fonts ------------------------------------------------------------
+
+TEST_F(ServerTest, NamedColorLookup) {
+  std::optional<Pixel> green = display_->AllocNamedColor("MediumSeaGreen");
+  ASSERT_TRUE(green);
+  Rgb rgb = UnpackPixel(*green);
+  EXPECT_EQ(rgb.r, 60);
+  EXPECT_EQ(rgb.g, 179);
+  EXPECT_EQ(rgb.b, 113);
+}
+
+TEST_F(ServerTest, ColorNameVariants) {
+  EXPECT_EQ(display_->AllocNamedColor("medium sea green"),
+            display_->AllocNamedColor("MediumSeaGreen"));
+  EXPECT_TRUE(display_->AllocNamedColor("#ff0000"));
+  EXPECT_EQ(display_->AllocNamedColor("#f00"), display_->AllocNamedColor("red"));
+  EXPECT_FALSE(display_->AllocNamedColor("no-such-color"));
+}
+
+TEST_F(ServerTest, FontMetricsDeterministic) {
+  std::optional<FontId> font = display_->LoadFont("8x13");
+  ASSERT_TRUE(font);
+  const FontMetrics* metrics = display_->QueryFont(*font);
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(metrics->char_width, 8);
+  EXPECT_EQ(metrics->line_height(), 13);
+  EXPECT_EQ(metrics->TextWidth("hello"), 40);
+}
+
+TEST_F(ServerTest, XlfdFontParsing) {
+  std::optional<FontId> font = display_->LoadFont("-adobe-helvetica-bold-r-normal--12-120-75-75-p-70-iso8859-1");
+  ASSERT_TRUE(font);
+  const FontMetrics* metrics = display_->QueryFont(*font);
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(metrics->line_height(), 12);
+}
+
+TEST_F(ServerTest, FontIdsSharedByName) {
+  EXPECT_EQ(display_->LoadFont("fixed"), display_->LoadFont("fixed"));
+}
+
+// --- Input injection ------------------------------------------------------------
+
+TEST_F(ServerTest, ButtonPressDeliveredToContainingWindow) {
+  WindowId w = display_->CreateWindow(display_->root(), 100, 100, 50, 50);
+  display_->MapWindow(w);
+  display_->SelectInput(w, kButtonPressMask | kButtonReleaseMask);
+  Drain();
+  server_.InjectPointerMove(120, 110);
+  server_.InjectClick(1);
+  std::vector<Event> events = Drain();
+  ASSERT_GE(events.size(), 2u);
+  EXPECT_EQ(events[0].type, EventType::kButtonPress);
+  EXPECT_EQ(events[0].window, w);
+  EXPECT_EQ(events[0].x, 20);
+  EXPECT_EQ(events[0].y, 10);
+  EXPECT_EQ(events[0].detail, 1u);
+}
+
+TEST_F(ServerTest, EnterLeaveOnPointerCrossing) {
+  WindowId a = display_->CreateWindow(display_->root(), 0, 0, 50, 50);
+  WindowId b = display_->CreateWindow(display_->root(), 100, 0, 50, 50);
+  display_->MapWindow(a);
+  display_->MapWindow(b);
+  display_->SelectInput(a, kEnterWindowMask | kLeaveWindowMask);
+  display_->SelectInput(b, kEnterWindowMask | kLeaveWindowMask);
+  Drain();
+  server_.InjectPointerMove(10, 10);  // Enter a.
+  server_.InjectPointerMove(110, 10);  // Leave a, enter b.
+  std::vector<Event> events = Drain();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].type, EventType::kEnterNotify);
+  EXPECT_EQ(events[0].window, a);
+  EXPECT_EQ(events[1].type, EventType::kLeaveNotify);
+  EXPECT_EQ(events[1].window, a);
+  EXPECT_EQ(events[2].type, EventType::kEnterNotify);
+  EXPECT_EQ(events[2].window, b);
+}
+
+TEST_F(ServerTest, KeyEventsGoToFocusWindow) {
+  WindowId w = display_->CreateWindow(display_->root(), 0, 0, 50, 50);
+  display_->MapWindow(w);
+  display_->SelectInput(w, kKeyPressMask);
+  display_->SetInputFocus(w);
+  Drain();
+  server_.InjectPointerMove(500, 500);  // Pointer far away.
+  server_.InjectKey('a', true);
+  std::optional<Event> event = FindEvent(EventType::kKeyPress);
+  ASSERT_TRUE(event);
+  EXPECT_EQ(event->window, w);
+  EXPECT_EQ(event->detail, static_cast<uint32_t>('a'));
+}
+
+TEST_F(ServerTest, ModifierStateTracked) {
+  WindowId w = display_->CreateWindow(display_->root(), 0, 0, 50, 50);
+  display_->MapWindow(w);
+  display_->SelectInput(w, kKeyPressMask);
+  display_->SetInputFocus(w);
+  Drain();
+  server_.InjectKey(kKeyControlL, true);
+  server_.InjectKey('q', true);
+  std::vector<Event> events = Drain();
+  bool found = false;
+  for (const Event& event : events) {
+    if (event.detail == 'q') {
+      EXPECT_TRUE(event.state & kControlMask);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  server_.InjectKey('q', false);
+  server_.InjectKey(kKeyControlL, false);
+}
+
+TEST_F(ServerTest, ImplicitGrabDuringDrag) {
+  WindowId a = display_->CreateWindow(display_->root(), 0, 0, 50, 50);
+  WindowId b = display_->CreateWindow(display_->root(), 100, 0, 50, 50);
+  display_->MapWindow(a);
+  display_->MapWindow(b);
+  display_->SelectInput(a, kButtonPressMask | kButtonReleaseMask | kButtonMotionMask);
+  display_->SelectInput(b, kButtonPressMask | kButtonReleaseMask | kButtonMotionMask);
+  Drain();
+  server_.InjectPointerMove(10, 10);
+  server_.InjectButton(1, true);
+  server_.InjectPointerMove(110, 10);  // Drag over b...
+  server_.InjectButton(1, false);
+  for (const Event& event : Drain()) {
+    // ...but everything is reported to a (the grab window).
+    if (event.type == EventType::kMotionNotify ||
+        event.type == EventType::kButtonRelease) {
+      EXPECT_EQ(event.window, a);
+    }
+  }
+}
+
+TEST_F(ServerTest, WindowAtFindsDeepestChild) {
+  WindowId a = display_->CreateWindow(display_->root(), 0, 0, 100, 100);
+  WindowId b = display_->CreateWindow(a, 10, 10, 50, 50);
+  display_->MapWindow(a);
+  display_->MapWindow(b);
+  EXPECT_EQ(server_.WindowAt(15, 15), b);
+  EXPECT_EQ(server_.WindowAt(80, 80), a);
+  EXPECT_EQ(server_.WindowAt(500, 500), server_.root());
+}
+
+TEST_F(ServerTest, StackingOrderAffectsWindowAt) {
+  WindowId a = display_->CreateWindow(display_->root(), 0, 0, 100, 100);
+  WindowId b = display_->CreateWindow(display_->root(), 0, 0, 100, 100);
+  display_->MapWindow(a);
+  display_->MapWindow(b);
+  EXPECT_EQ(server_.WindowAt(50, 50), b);  // b is on top (created later).
+  display_->RaiseWindow(a);
+  EXPECT_EQ(server_.WindowAt(50, 50), a);
+}
+
+// --- Selections -------------------------------------------------------------------
+
+TEST_F(ServerTest, SelectionOwnershipTransfer) {
+  auto other = Display::Open(server_, "other");
+  Atom primary = display_->InternAtom("PRIMARY");
+  WindowId w1 = display_->CreateWindow(display_->root(), 0, 0, 10, 10);
+  WindowId w2 = other->CreateWindow(other->root(), 0, 0, 10, 10);
+  display_->SetSelectionOwner(primary, w1);
+  EXPECT_EQ(display_->GetSelectionOwner(primary), w1);
+  other->SetSelectionOwner(primary, w2);
+  EXPECT_EQ(display_->GetSelectionOwner(primary), w2);
+  // The first owner got a SelectionClear.
+  std::optional<Event> event = FindEvent(EventType::kSelectionClear);
+  ASSERT_TRUE(event);
+  EXPECT_EQ(event->window, w1);
+}
+
+TEST_F(ServerTest, ConvertSelectionWithNoOwnerRefuses) {
+  Atom primary = display_->InternAtom("PRIMARY");
+  Atom target = display_->InternAtom("STRING");
+  Atom prop = display_->InternAtom("REPLY");
+  WindowId w = display_->CreateWindow(display_->root(), 0, 0, 10, 10);
+  display_->ConvertSelection(primary, target, prop, w);
+  std::optional<Event> event = FindEvent(EventType::kSelectionNotify);
+  ASSERT_TRUE(event);
+  EXPECT_EQ(event->property, kAtomNone);
+}
+
+TEST_F(ServerTest, SelectionRequestRoutedToOwner) {
+  auto requestor_display = Display::Open(server_, "req");
+  Atom primary = display_->InternAtom("PRIMARY");
+  Atom target = display_->InternAtom("STRING");
+  Atom prop = display_->InternAtom("REPLY");
+  WindowId owner = display_->CreateWindow(display_->root(), 0, 0, 10, 10);
+  WindowId requestor = requestor_display->CreateWindow(requestor_display->root(), 0, 0, 10, 10);
+  display_->SetSelectionOwner(primary, owner);
+  requestor_display->ConvertSelection(primary, target, prop, requestor);
+  std::optional<Event> event = FindEvent(EventType::kSelectionRequest);
+  ASSERT_TRUE(event);
+  EXPECT_EQ(event->window, owner);
+  EXPECT_EQ(event->requestor, requestor);
+}
+
+// --- Drawing and counters --------------------------------------------------------
+
+TEST_F(ServerTest, FillRectangleHitsRaster) {
+  WindowId w = display_->CreateWindow(display_->root(), 100, 100, 50, 50);
+  display_->MapWindow(w);
+  GcId gc = display_->CreateGc();
+  Server::Gc values;
+  values.foreground = 0xff0000;
+  display_->ChangeGc(gc, values);
+  display_->FillRectangle(w, gc, Rect{0, 0, 10, 10});
+  EXPECT_EQ(server_.raster().At(105, 105), 0xff0000u);
+  // Clipped: outside the window nothing is drawn.
+  display_->FillRectangle(w, gc, Rect{45, 45, 20, 20});
+  EXPECT_EQ(server_.raster().At(160, 160), 0x00c0c0c0u);
+}
+
+TEST_F(ServerTest, DrawStringJournaled) {
+  WindowId w = display_->CreateWindow(display_->root(), 0, 0, 100, 20);
+  display_->MapWindow(w);
+  GcId gc = display_->CreateGc();
+  display_->DrawString(w, gc, 2, 12, "hello");
+  std::vector<TextItem> text = server_.WindowText(w);
+  ASSERT_EQ(text.size(), 1u);
+  EXPECT_EQ(text[0].text, "hello");
+  display_->ClearWindow(w);
+  EXPECT_TRUE(server_.WindowText(w).empty());
+}
+
+TEST_F(ServerTest, RequestCountersTrackTraffic) {
+  server_.ResetCounters();
+  display_->AllocNamedColor("red");
+  display_->AllocNamedColor("red");
+  EXPECT_EQ(server_.counters().alloc_color, 2u);
+  EXPECT_GE(server_.counters().round_trips, 2u);
+  uint64_t total = server_.counters().total;
+  display_->CreateWindow(display_->root(), 0, 0, 10, 10);
+  EXPECT_EQ(server_.counters().total, total + 1);
+  EXPECT_EQ(server_.counters().create_window, 1u);
+}
+
+TEST_F(ServerTest, SendEventToWindowOwner) {
+  auto other = Display::Open(server_, "other");
+  WindowId w = other->CreateWindow(other->root(), 0, 0, 10, 10);
+  Event event;
+  event.type = EventType::kClientMessage;
+  event.data = "ping";
+  display_->SendEvent(w, event, 0);
+  Event received;
+  ASSERT_TRUE(other->PollEvent(&received));
+  EXPECT_EQ(received.type, EventType::kClientMessage);
+  EXPECT_EQ(received.data, "ping");
+  EXPECT_EQ(received.window, w);
+}
+
+TEST_F(ServerTest, ClientDisconnectCleansUp) {
+  WindowId w = kNone;
+  {
+    auto other = Display::Open(server_, "transient");
+    w = other->CreateWindow(other->root(), 0, 0, 10, 10);
+    EXPECT_TRUE(server_.WindowExists(w));
+  }
+  EXPECT_FALSE(server_.WindowExists(w));
+}
+
+TEST_F(ServerTest, SimulatedLatencySlowsRoundTrips) {
+  auto measure = [&]() {
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < 50; ++i) {
+      display_->GetProperty(display_->root(), 1);
+    }
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  };
+  int64_t fast = measure();
+  server_.SetSimulatedLatency(0, 100000);  // 100us per round trip.
+  int64_t slow = measure();
+  server_.SetSimulatedLatency(0, 0);
+  EXPECT_GE(slow, fast + 4000);  // 50 round trips x 100us >> baseline.
+}
+
+}  // namespace
+}  // namespace xsim
