@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_resource_cache"
+  "../bench/ablation_resource_cache.pdb"
+  "CMakeFiles/ablation_resource_cache.dir/ablation_resource_cache.cc.o"
+  "CMakeFiles/ablation_resource_cache.dir/ablation_resource_cache.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_resource_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

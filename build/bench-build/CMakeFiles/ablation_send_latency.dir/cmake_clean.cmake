@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_send_latency"
+  "../bench/ablation_send_latency.pdb"
+  "CMakeFiles/ablation_send_latency.dir/ablation_send_latency.cc.o"
+  "CMakeFiles/ablation_send_latency.dir/ablation_send_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_send_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

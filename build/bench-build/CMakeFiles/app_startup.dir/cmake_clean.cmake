@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/app_startup"
+  "../bench/app_startup.pdb"
+  "CMakeFiles/app_startup.dir/app_startup.cc.o"
+  "CMakeFiles/app_startup.dir/app_startup.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_startup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

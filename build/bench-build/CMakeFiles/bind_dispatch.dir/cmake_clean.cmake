@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bind_dispatch"
+  "../bench/bind_dispatch.pdb"
+  "CMakeFiles/bind_dispatch.dir/bind_dispatch.cc.o"
+  "CMakeFiles/bind_dispatch.dir/bind_dispatch.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bind_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

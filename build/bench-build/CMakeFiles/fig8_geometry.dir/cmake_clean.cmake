@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_geometry"
+  "../bench/fig8_geometry.pdb"
+  "CMakeFiles/fig8_geometry.dir/fig8_geometry.cc.o"
+  "CMakeFiles/fig8_geometry.dir/fig8_geometry.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

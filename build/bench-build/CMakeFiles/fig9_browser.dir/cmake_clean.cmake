@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_browser"
+  "../bench/fig9_browser.pdb"
+  "CMakeFiles/fig9_browser.dir/fig9_browser.cc.o"
+  "CMakeFiles/fig9_browser.dir/fig9_browser.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

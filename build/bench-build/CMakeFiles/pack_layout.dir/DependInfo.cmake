@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/pack_layout.cc" "bench-build/CMakeFiles/pack_layout.dir/pack_layout.cc.o" "gcc" "bench-build/CMakeFiles/pack_layout.dir/pack_layout.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tk/CMakeFiles/tclk_tk.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcl/CMakeFiles/tclk_tcl.dir/DependInfo.cmake"
+  "/root/repo/build/src/xsim/CMakeFiles/tclk_xsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/pack_layout"
+  "../bench/pack_layout.pdb"
+  "CMakeFiles/pack_layout.dir/pack_layout.cc.o"
+  "CMakeFiles/pack_layout.dir/pack_layout.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pack_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/parser_throughput"
+  "../bench/parser_throughput.pdb"
+  "CMakeFiles/parser_throughput.dir/parser_throughput.cc.o"
+  "CMakeFiles/parser_throughput.dir/parser_throughput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parser_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

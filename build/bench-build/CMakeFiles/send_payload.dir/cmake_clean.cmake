@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/send_payload"
+  "../bench/send_payload.pdb"
+  "CMakeFiles/send_payload.dir/send_payload.cc.o"
+  "CMakeFiles/send_payload.dir/send_payload.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/send_payload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_operations"
+  "../bench/table2_operations.pdb"
+  "CMakeFiles/table2_operations.dir/table2_operations.cc.o"
+  "CMakeFiles/table2_operations.dir/table2_operations.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_operations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/browser.dir/browser.cpp.o"
+  "CMakeFiles/browser.dir/browser.cpp.o.d"
+  "browser"
+  "browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debugger_editor.dir/debugger_editor.cpp.o"
+  "CMakeFiles/debugger_editor.dir/debugger_editor.cpp.o.d"
+  "debugger_editor"
+  "debugger_editor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debugger_editor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

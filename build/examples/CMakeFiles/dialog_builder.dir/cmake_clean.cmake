@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dialog_builder.dir/dialog_builder.cpp.o"
+  "CMakeFiles/dialog_builder.dir/dialog_builder.cpp.o.d"
+  "dialog_builder"
+  "dialog_builder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dialog_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

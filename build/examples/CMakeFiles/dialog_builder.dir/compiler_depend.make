@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dialog_builder.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypertext.dir/hypertext.cpp.o"
+  "CMakeFiles/hypertext.dir/hypertext.cpp.o.d"
+  "hypertext"
+  "hypertext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypertext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

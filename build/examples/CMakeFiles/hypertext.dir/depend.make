@@ -1,0 +1,2 @@
+# Empty dependencies file for hypertext.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interface_editor.dir/interface_editor.cpp.o"
+  "CMakeFiles/interface_editor.dir/interface_editor.cpp.o.d"
+  "interface_editor"
+  "interface_editor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interface_editor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcl/cmd_core.cc" "src/tcl/CMakeFiles/tclk_tcl.dir/cmd_core.cc.o" "gcc" "src/tcl/CMakeFiles/tclk_tcl.dir/cmd_core.cc.o.d"
+  "/root/repo/src/tcl/cmd_info.cc" "src/tcl/CMakeFiles/tclk_tcl.dir/cmd_info.cc.o" "gcc" "src/tcl/CMakeFiles/tclk_tcl.dir/cmd_info.cc.o.d"
+  "/root/repo/src/tcl/cmd_io.cc" "src/tcl/CMakeFiles/tclk_tcl.dir/cmd_io.cc.o" "gcc" "src/tcl/CMakeFiles/tclk_tcl.dir/cmd_io.cc.o.d"
+  "/root/repo/src/tcl/cmd_list.cc" "src/tcl/CMakeFiles/tclk_tcl.dir/cmd_list.cc.o" "gcc" "src/tcl/CMakeFiles/tclk_tcl.dir/cmd_list.cc.o.d"
+  "/root/repo/src/tcl/cmd_regexp.cc" "src/tcl/CMakeFiles/tclk_tcl.dir/cmd_regexp.cc.o" "gcc" "src/tcl/CMakeFiles/tclk_tcl.dir/cmd_regexp.cc.o.d"
+  "/root/repo/src/tcl/cmd_string.cc" "src/tcl/CMakeFiles/tclk_tcl.dir/cmd_string.cc.o" "gcc" "src/tcl/CMakeFiles/tclk_tcl.dir/cmd_string.cc.o.d"
+  "/root/repo/src/tcl/expr.cc" "src/tcl/CMakeFiles/tclk_tcl.dir/expr.cc.o" "gcc" "src/tcl/CMakeFiles/tclk_tcl.dir/expr.cc.o.d"
+  "/root/repo/src/tcl/interp.cc" "src/tcl/CMakeFiles/tclk_tcl.dir/interp.cc.o" "gcc" "src/tcl/CMakeFiles/tclk_tcl.dir/interp.cc.o.d"
+  "/root/repo/src/tcl/list.cc" "src/tcl/CMakeFiles/tclk_tcl.dir/list.cc.o" "gcc" "src/tcl/CMakeFiles/tclk_tcl.dir/list.cc.o.d"
+  "/root/repo/src/tcl/parser.cc" "src/tcl/CMakeFiles/tclk_tcl.dir/parser.cc.o" "gcc" "src/tcl/CMakeFiles/tclk_tcl.dir/parser.cc.o.d"
+  "/root/repo/src/tcl/regexp.cc" "src/tcl/CMakeFiles/tclk_tcl.dir/regexp.cc.o" "gcc" "src/tcl/CMakeFiles/tclk_tcl.dir/regexp.cc.o.d"
+  "/root/repo/src/tcl/utils.cc" "src/tcl/CMakeFiles/tclk_tcl.dir/utils.cc.o" "gcc" "src/tcl/CMakeFiles/tclk_tcl.dir/utils.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

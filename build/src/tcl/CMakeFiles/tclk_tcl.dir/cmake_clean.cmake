@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tclk_tcl.dir/cmd_core.cc.o"
+  "CMakeFiles/tclk_tcl.dir/cmd_core.cc.o.d"
+  "CMakeFiles/tclk_tcl.dir/cmd_info.cc.o"
+  "CMakeFiles/tclk_tcl.dir/cmd_info.cc.o.d"
+  "CMakeFiles/tclk_tcl.dir/cmd_io.cc.o"
+  "CMakeFiles/tclk_tcl.dir/cmd_io.cc.o.d"
+  "CMakeFiles/tclk_tcl.dir/cmd_list.cc.o"
+  "CMakeFiles/tclk_tcl.dir/cmd_list.cc.o.d"
+  "CMakeFiles/tclk_tcl.dir/cmd_regexp.cc.o"
+  "CMakeFiles/tclk_tcl.dir/cmd_regexp.cc.o.d"
+  "CMakeFiles/tclk_tcl.dir/cmd_string.cc.o"
+  "CMakeFiles/tclk_tcl.dir/cmd_string.cc.o.d"
+  "CMakeFiles/tclk_tcl.dir/expr.cc.o"
+  "CMakeFiles/tclk_tcl.dir/expr.cc.o.d"
+  "CMakeFiles/tclk_tcl.dir/interp.cc.o"
+  "CMakeFiles/tclk_tcl.dir/interp.cc.o.d"
+  "CMakeFiles/tclk_tcl.dir/list.cc.o"
+  "CMakeFiles/tclk_tcl.dir/list.cc.o.d"
+  "CMakeFiles/tclk_tcl.dir/parser.cc.o"
+  "CMakeFiles/tclk_tcl.dir/parser.cc.o.d"
+  "CMakeFiles/tclk_tcl.dir/regexp.cc.o"
+  "CMakeFiles/tclk_tcl.dir/regexp.cc.o.d"
+  "CMakeFiles/tclk_tcl.dir/utils.cc.o"
+  "CMakeFiles/tclk_tcl.dir/utils.cc.o.d"
+  "libtclk_tcl.a"
+  "libtclk_tcl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tclk_tcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tk/app.cc" "src/tk/CMakeFiles/tclk_tk.dir/app.cc.o" "gcc" "src/tk/CMakeFiles/tclk_tk.dir/app.cc.o.d"
+  "/root/repo/src/tk/bind.cc" "src/tk/CMakeFiles/tclk_tk.dir/bind.cc.o" "gcc" "src/tk/CMakeFiles/tclk_tk.dir/bind.cc.o.d"
+  "/root/repo/src/tk/commands.cc" "src/tk/CMakeFiles/tclk_tk.dir/commands.cc.o" "gcc" "src/tk/CMakeFiles/tclk_tk.dir/commands.cc.o.d"
+  "/root/repo/src/tk/option_db.cc" "src/tk/CMakeFiles/tclk_tk.dir/option_db.cc.o" "gcc" "src/tk/CMakeFiles/tclk_tk.dir/option_db.cc.o.d"
+  "/root/repo/src/tk/pack.cc" "src/tk/CMakeFiles/tclk_tk.dir/pack.cc.o" "gcc" "src/tk/CMakeFiles/tclk_tk.dir/pack.cc.o.d"
+  "/root/repo/src/tk/resource_cache.cc" "src/tk/CMakeFiles/tclk_tk.dir/resource_cache.cc.o" "gcc" "src/tk/CMakeFiles/tclk_tk.dir/resource_cache.cc.o.d"
+  "/root/repo/src/tk/selection.cc" "src/tk/CMakeFiles/tclk_tk.dir/selection.cc.o" "gcc" "src/tk/CMakeFiles/tclk_tk.dir/selection.cc.o.d"
+  "/root/repo/src/tk/send.cc" "src/tk/CMakeFiles/tclk_tk.dir/send.cc.o" "gcc" "src/tk/CMakeFiles/tclk_tk.dir/send.cc.o.d"
+  "/root/repo/src/tk/widget.cc" "src/tk/CMakeFiles/tclk_tk.dir/widget.cc.o" "gcc" "src/tk/CMakeFiles/tclk_tk.dir/widget.cc.o.d"
+  "/root/repo/src/tk/widgets/button.cc" "src/tk/CMakeFiles/tclk_tk.dir/widgets/button.cc.o" "gcc" "src/tk/CMakeFiles/tclk_tk.dir/widgets/button.cc.o.d"
+  "/root/repo/src/tk/widgets/canvas.cc" "src/tk/CMakeFiles/tclk_tk.dir/widgets/canvas.cc.o" "gcc" "src/tk/CMakeFiles/tclk_tk.dir/widgets/canvas.cc.o.d"
+  "/root/repo/src/tk/widgets/entry.cc" "src/tk/CMakeFiles/tclk_tk.dir/widgets/entry.cc.o" "gcc" "src/tk/CMakeFiles/tclk_tk.dir/widgets/entry.cc.o.d"
+  "/root/repo/src/tk/widgets/frame.cc" "src/tk/CMakeFiles/tclk_tk.dir/widgets/frame.cc.o" "gcc" "src/tk/CMakeFiles/tclk_tk.dir/widgets/frame.cc.o.d"
+  "/root/repo/src/tk/widgets/listbox.cc" "src/tk/CMakeFiles/tclk_tk.dir/widgets/listbox.cc.o" "gcc" "src/tk/CMakeFiles/tclk_tk.dir/widgets/listbox.cc.o.d"
+  "/root/repo/src/tk/widgets/menu.cc" "src/tk/CMakeFiles/tclk_tk.dir/widgets/menu.cc.o" "gcc" "src/tk/CMakeFiles/tclk_tk.dir/widgets/menu.cc.o.d"
+  "/root/repo/src/tk/widgets/message.cc" "src/tk/CMakeFiles/tclk_tk.dir/widgets/message.cc.o" "gcc" "src/tk/CMakeFiles/tclk_tk.dir/widgets/message.cc.o.d"
+  "/root/repo/src/tk/widgets/scale.cc" "src/tk/CMakeFiles/tclk_tk.dir/widgets/scale.cc.o" "gcc" "src/tk/CMakeFiles/tclk_tk.dir/widgets/scale.cc.o.d"
+  "/root/repo/src/tk/widgets/scrollbar.cc" "src/tk/CMakeFiles/tclk_tk.dir/widgets/scrollbar.cc.o" "gcc" "src/tk/CMakeFiles/tclk_tk.dir/widgets/scrollbar.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tcl/CMakeFiles/tclk_tcl.dir/DependInfo.cmake"
+  "/root/repo/build/src/xsim/CMakeFiles/tclk_xsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtclk_tk.a"
+)

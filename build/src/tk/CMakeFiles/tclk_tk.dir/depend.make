@@ -1,0 +1,2 @@
+# Empty dependencies file for tclk_tk.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wish.dir/wish_main.cc.o"
+  "CMakeFiles/wish.dir/wish_main.cc.o.d"
+  "wish"
+  "wish.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wish.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

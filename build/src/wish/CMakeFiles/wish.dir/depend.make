@@ -1,0 +1,2 @@
+# Empty dependencies file for wish.
+# This may be replaced when dependencies are built.

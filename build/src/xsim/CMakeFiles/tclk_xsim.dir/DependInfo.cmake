@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xsim/color.cc" "src/xsim/CMakeFiles/tclk_xsim.dir/color.cc.o" "gcc" "src/xsim/CMakeFiles/tclk_xsim.dir/color.cc.o.d"
+  "/root/repo/src/xsim/display.cc" "src/xsim/CMakeFiles/tclk_xsim.dir/display.cc.o" "gcc" "src/xsim/CMakeFiles/tclk_xsim.dir/display.cc.o.d"
+  "/root/repo/src/xsim/font.cc" "src/xsim/CMakeFiles/tclk_xsim.dir/font.cc.o" "gcc" "src/xsim/CMakeFiles/tclk_xsim.dir/font.cc.o.d"
+  "/root/repo/src/xsim/keysym.cc" "src/xsim/CMakeFiles/tclk_xsim.dir/keysym.cc.o" "gcc" "src/xsim/CMakeFiles/tclk_xsim.dir/keysym.cc.o.d"
+  "/root/repo/src/xsim/raster.cc" "src/xsim/CMakeFiles/tclk_xsim.dir/raster.cc.o" "gcc" "src/xsim/CMakeFiles/tclk_xsim.dir/raster.cc.o.d"
+  "/root/repo/src/xsim/server.cc" "src/xsim/CMakeFiles/tclk_xsim.dir/server.cc.o" "gcc" "src/xsim/CMakeFiles/tclk_xsim.dir/server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tclk_xsim.dir/color.cc.o"
+  "CMakeFiles/tclk_xsim.dir/color.cc.o.d"
+  "CMakeFiles/tclk_xsim.dir/display.cc.o"
+  "CMakeFiles/tclk_xsim.dir/display.cc.o.d"
+  "CMakeFiles/tclk_xsim.dir/font.cc.o"
+  "CMakeFiles/tclk_xsim.dir/font.cc.o.d"
+  "CMakeFiles/tclk_xsim.dir/keysym.cc.o"
+  "CMakeFiles/tclk_xsim.dir/keysym.cc.o.d"
+  "CMakeFiles/tclk_xsim.dir/raster.cc.o"
+  "CMakeFiles/tclk_xsim.dir/raster.cc.o.d"
+  "CMakeFiles/tclk_xsim.dir/server.cc.o"
+  "CMakeFiles/tclk_xsim.dir/server.cc.o.d"
+  "libtclk_xsim.a"
+  "libtclk_xsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tclk_xsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

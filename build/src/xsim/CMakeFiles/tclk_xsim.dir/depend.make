@@ -1,0 +1,2 @@
+# Empty dependencies file for tclk_xsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcl_edge_cases_test.dir/edge_cases_test.cc.o"
+  "CMakeFiles/tcl_edge_cases_test.dir/edge_cases_test.cc.o.d"
+  "tcl_edge_cases_test"
+  "tcl_edge_cases_test.pdb"
+  "tcl_edge_cases_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcl_edge_cases_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

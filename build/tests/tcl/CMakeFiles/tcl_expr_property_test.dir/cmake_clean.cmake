@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcl_expr_property_test.dir/expr_property_test.cc.o"
+  "CMakeFiles/tcl_expr_property_test.dir/expr_property_test.cc.o.d"
+  "tcl_expr_property_test"
+  "tcl_expr_property_test.pdb"
+  "tcl_expr_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcl_expr_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcl_expr_test.dir/expr_test.cc.o"
+  "CMakeFiles/tcl_expr_test.dir/expr_test.cc.o.d"
+  "tcl_expr_test"
+  "tcl_expr_test.pdb"
+  "tcl_expr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcl_expr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcl_interp_test.dir/interp_test.cc.o"
+  "CMakeFiles/tcl_interp_test.dir/interp_test.cc.o.d"
+  "tcl_interp_test"
+  "tcl_interp_test.pdb"
+  "tcl_interp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcl_interp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcl_list_test.dir/list_test.cc.o"
+  "CMakeFiles/tcl_list_test.dir/list_test.cc.o.d"
+  "tcl_list_test"
+  "tcl_list_test.pdb"
+  "tcl_list_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcl_list_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcl_regexp_test.dir/regexp_test.cc.o"
+  "CMakeFiles/tcl_regexp_test.dir/regexp_test.cc.o.d"
+  "tcl_regexp_test"
+  "tcl_regexp_test.pdb"
+  "tcl_regexp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcl_regexp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcl_string_test.dir/string_test.cc.o"
+  "CMakeFiles/tcl_string_test.dir/string_test.cc.o.d"
+  "tcl_string_test"
+  "tcl_string_test.pdb"
+  "tcl_string_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcl_string_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

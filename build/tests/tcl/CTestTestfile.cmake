@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/tcl
+# Build directory: /root/repo/build/tests/tcl
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tcl/tcl_interp_test[1]_include.cmake")
+include("/root/repo/build/tests/tcl/tcl_expr_test[1]_include.cmake")
+include("/root/repo/build/tests/tcl/tcl_list_test[1]_include.cmake")
+include("/root/repo/build/tests/tcl/tcl_string_test[1]_include.cmake")
+include("/root/repo/build/tests/tcl/tcl_regexp_test[1]_include.cmake")
+include("/root/repo/build/tests/tcl/tcl_edge_cases_test[1]_include.cmake")
+include("/root/repo/build/tests/tcl/tcl_expr_property_test[1]_include.cmake")

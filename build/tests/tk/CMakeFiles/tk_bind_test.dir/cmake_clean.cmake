@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tk_bind_test.dir/bind_test.cc.o"
+  "CMakeFiles/tk_bind_test.dir/bind_test.cc.o.d"
+  "tk_bind_test"
+  "tk_bind_test.pdb"
+  "tk_bind_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tk_bind_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tk_bind_test.
+# This may be replaced when dependencies are built.

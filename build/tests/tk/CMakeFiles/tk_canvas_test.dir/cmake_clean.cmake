@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tk_canvas_test.dir/canvas_test.cc.o"
+  "CMakeFiles/tk_canvas_test.dir/canvas_test.cc.o.d"
+  "tk_canvas_test"
+  "tk_canvas_test.pdb"
+  "tk_canvas_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tk_canvas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

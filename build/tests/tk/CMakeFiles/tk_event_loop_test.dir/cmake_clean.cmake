@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tk_event_loop_test.dir/event_loop_test.cc.o"
+  "CMakeFiles/tk_event_loop_test.dir/event_loop_test.cc.o.d"
+  "tk_event_loop_test"
+  "tk_event_loop_test.pdb"
+  "tk_event_loop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tk_event_loop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tk_integration_test.dir/integration_test.cc.o"
+  "CMakeFiles/tk_integration_test.dir/integration_test.cc.o.d"
+  "tk_integration_test"
+  "tk_integration_test.pdb"
+  "tk_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tk_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tk_listbox_scrollbar_test.dir/listbox_scrollbar_test.cc.o"
+  "CMakeFiles/tk_listbox_scrollbar_test.dir/listbox_scrollbar_test.cc.o.d"
+  "tk_listbox_scrollbar_test"
+  "tk_listbox_scrollbar_test.pdb"
+  "tk_listbox_scrollbar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tk_listbox_scrollbar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

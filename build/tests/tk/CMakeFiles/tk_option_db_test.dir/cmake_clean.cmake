@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tk_option_db_test.dir/option_db_test.cc.o"
+  "CMakeFiles/tk_option_db_test.dir/option_db_test.cc.o.d"
+  "tk_option_db_test"
+  "tk_option_db_test.pdb"
+  "tk_option_db_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tk_option_db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

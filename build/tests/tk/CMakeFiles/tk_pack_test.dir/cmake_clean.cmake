@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tk_pack_test.dir/pack_test.cc.o"
+  "CMakeFiles/tk_pack_test.dir/pack_test.cc.o.d"
+  "tk_pack_test"
+  "tk_pack_test.pdb"
+  "tk_pack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tk_pack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

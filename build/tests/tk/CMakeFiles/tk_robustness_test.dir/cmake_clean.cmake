@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tk_robustness_test.dir/robustness_test.cc.o"
+  "CMakeFiles/tk_robustness_test.dir/robustness_test.cc.o.d"
+  "tk_robustness_test"
+  "tk_robustness_test.pdb"
+  "tk_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tk_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

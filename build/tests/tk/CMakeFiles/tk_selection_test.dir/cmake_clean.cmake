@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tk_selection_test.dir/selection_test.cc.o"
+  "CMakeFiles/tk_selection_test.dir/selection_test.cc.o.d"
+  "tk_selection_test"
+  "tk_selection_test.pdb"
+  "tk_selection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tk_selection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tk_send_test.dir/send_test.cc.o"
+  "CMakeFiles/tk_send_test.dir/send_test.cc.o.d"
+  "tk_send_test"
+  "tk_send_test.pdb"
+  "tk_send_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tk_send_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tk_widget_test.dir/widget_test.cc.o"
+  "CMakeFiles/tk_widget_test.dir/widget_test.cc.o.d"
+  "tk_widget_test"
+  "tk_widget_test.pdb"
+  "tk_widget_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tk_widget_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

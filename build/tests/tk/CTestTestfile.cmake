@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/tk
+# Build directory: /root/repo/build/tests/tk
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tk/tk_widget_test[1]_include.cmake")
+include("/root/repo/build/tests/tk/tk_pack_test[1]_include.cmake")
+include("/root/repo/build/tests/tk/tk_bind_test[1]_include.cmake")
+include("/root/repo/build/tests/tk/tk_send_test[1]_include.cmake")
+include("/root/repo/build/tests/tk/tk_selection_test[1]_include.cmake")
+include("/root/repo/build/tests/tk/tk_listbox_scrollbar_test[1]_include.cmake")
+include("/root/repo/build/tests/tk/tk_option_db_test[1]_include.cmake")
+include("/root/repo/build/tests/tk/tk_event_loop_test[1]_include.cmake")
+include("/root/repo/build/tests/tk/tk_canvas_test[1]_include.cmake")
+include("/root/repo/build/tests/tk/tk_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/tk/tk_widget_interaction_test[1]_include.cmake")
+include("/root/repo/build/tests/tk/tk_robustness_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsim_raster_test.dir/raster_test.cc.o"
+  "CMakeFiles/xsim_raster_test.dir/raster_test.cc.o.d"
+  "xsim_raster_test"
+  "xsim_raster_test.pdb"
+  "xsim_raster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsim_raster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

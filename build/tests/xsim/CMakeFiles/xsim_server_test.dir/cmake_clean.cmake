@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsim_server_test.dir/server_test.cc.o"
+  "CMakeFiles/xsim_server_test.dir/server_test.cc.o.d"
+  "xsim_server_test"
+  "xsim_server_test.pdb"
+  "xsim_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsim_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

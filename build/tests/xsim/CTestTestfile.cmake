@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/xsim
+# Build directory: /root/repo/build/tests/xsim
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/xsim/xsim_server_test[1]_include.cmake")
+include("/root/repo/build/tests/xsim/xsim_raster_test[1]_include.cmake")
