@@ -1,0 +1,72 @@
+// Tiny machine-readable results writer for the benches: each bench emits a
+// flat BENCH_<name>.json next to its human-readable output so CI can archive
+// and diff runs without scraping stdout.
+
+#ifndef BENCH_BENCH_JSON_H_
+#define BENCH_BENCH_JSON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace benchjson {
+
+class Writer {
+ public:
+  explicit Writer(std::string name) : name_(std::move(name)) {
+    AddString("name", name_);
+  }
+
+  void AddString(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, "\"" + Escape(value) + "\"");
+  }
+
+  void AddNumber(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", value);
+    fields_.emplace_back(key, buf);
+  }
+
+  void AddInteger(const std::string& key, uint64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+
+  // Writes BENCH_<name>.json into the current working directory.  Returns
+  // false (after printing a warning) on IO failure; benches keep going.
+  bool WriteFile() const {
+    std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fputs("{\n", out);
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      std::fprintf(out, "  \"%s\": %s%s\n", fields_[i].first.c_str(),
+                   fields_[i].second.c_str(), i + 1 < fields_.size() ? "," : "");
+    }
+    std::fputs("}\n", out);
+    std::fclose(out);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  static std::string Escape(const std::string& in) {
+    std::string out;
+    for (char c : in) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+}  // namespace benchjson
+
+#endif  // BENCH_BENCH_JSON_H_

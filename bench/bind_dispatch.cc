@@ -7,6 +7,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_json.h"
 #include "src/tk/app.h"
 #include "src/tk/bind.h"
 #include "src/tk/widget.h"
@@ -70,6 +74,78 @@ void BM_FullClickDispatch(benchmark::State& state) {
 }
 BENCHMARK(BM_FullClickDispatch);
 
+void BM_FullClickDispatchUncached(benchmark::State& state) {
+  xsim::Server server;
+  tk::App app(server, "bench");
+  app.interp().set_eval_cache_enabled(false);
+  app.interp().Eval("set clicks 0");
+  app.interp().Eval("frame .f -geometry 50x50");
+  app.interp().Eval("pack append . .f {top}");
+  app.interp().Eval("bind .f <Button-1> {incr clicks}");
+  app.Update();
+  server.InjectPointerMove(25, 25);
+  app.Update();
+  for (auto _ : state) {
+    server.InjectClick(1);
+    app.Update();
+  }
+}
+BENCHMARK(BM_FullClickDispatchUncached);
+
+// Machine-readable summary: binding scripts are prime eval-cache customers
+// (the same handler runs on every event), so report dispatch throughput with
+// the cache on and off plus the counters from the cached run.
+void WriteDispatchJson() {
+  const int kClicks = 5000;
+  auto run = [](bool cached, tcl::EvalCacheStats* stats_out) {
+    xsim::Server server;
+    tk::App app(server, "bench");
+    app.interp().set_eval_cache_enabled(cached);
+    app.interp().Eval("set clicks 0");
+    app.interp().Eval("frame .f -geometry 50x50");
+    app.interp().Eval("pack append . .f {top}");
+    app.interp().Eval(
+        "bind .f <Button-1> {incr clicks; set last \"click $clicks handled\"}");
+    app.Update();
+    server.InjectPointerMove(25, 25);
+    app.Update();
+    app.interp().ClearEvalCache();
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kClicks; ++i) {
+      server.InjectClick(1);
+      app.Update();
+    }
+    double seconds = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now() - start)
+                         .count() /
+                     1e9;
+    if (stats_out != nullptr) {
+      *stats_out = app.interp().eval_cache_stats();
+    }
+    return kClicks / seconds;
+  };
+
+  double uncached_ops = run(false, nullptr);
+  tcl::EvalCacheStats stats;
+  double cached_ops = run(true, &stats);
+  std::printf("\nFull click dispatch: %.0f/sec cached, %.0f/sec uncached (%.2fx)\n",
+              cached_ops, uncached_ops, cached_ops / uncached_ops);
+
+  benchjson::Writer json("bind_dispatch");
+  json.AddNumber("ops_per_sec", cached_ops);
+  json.AddNumber("ops_per_sec_uncached", uncached_ops);
+  json.AddNumber("speedup", cached_ops / uncached_ops);
+  json.AddInteger("cache_hits", stats.hits);
+  json.AddInteger("cache_misses", stats.misses);
+  json.WriteFile();
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  WriteDispatchJson();
+  return 0;
+}

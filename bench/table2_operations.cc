@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench/bench_json.h"
 #include "src/tk/app.h"
 #include "src/xsim/server.h"
 
@@ -30,6 +31,16 @@ void BM_SimpleTclCommand(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimpleTclCommand);
+
+void BM_SimpleTclCommandUncached(benchmark::State& state) {
+  tcl::Interp interp;
+  interp.set_eval_cache_enabled(false);
+  for (auto _ : state) {
+    interp.Eval("set a 1");
+    benchmark::DoNotOptimize(interp.result());
+  }
+}
+BENCHMARK(BM_SimpleTclCommandUncached);
 
 void BM_SendEmptyCommand(benchmark::State& state) {
   xsim::Server server;
@@ -74,9 +85,19 @@ double MeasureUs(int iterations, Fn&& fn) {
 
 void PrintPaperTable() {
   double set_us = 0;
+  uint64_t set_hits = 0;
+  uint64_t set_misses = 0;
   {
     tcl::Interp interp;
     set_us = MeasureUs(20000, [&]() { interp.Eval("set a 1"); });
+    set_hits = interp.eval_cache_stats().hits;
+    set_misses = interp.eval_cache_stats().misses;
+  }
+  double set_uncached_us = 0;
+  {
+    tcl::Interp interp;
+    interp.set_eval_cache_enabled(false);
+    set_uncached_us = MeasureUs(20000, [&]() { interp.Eval("set a 1"); });
   }
   double send_us = 0;
   {
@@ -109,11 +130,21 @@ void PrintPaperTable() {
                 paper_us / measured_us);
   };
   row("Simple Tcl command (set a 1)", 68, set_us);
+  row("  ... with eval cache disabled", 68, set_uncached_us);
   row("Send empty command", 15000, send_us);
   row("Create, display, delete 50 buttons", 440000, buttons_us);
   std::printf("\n  Shape check: send/set = %.0fx (paper: %.0fx), buttons/send = %.1fx "
               "(paper: %.1fx)\n",
               send_us / set_us, 15000.0 / 68.0, buttons_us / send_us, 440.0 / 15.0);
+
+  benchjson::Writer json("table2_operations");
+  json.AddNumber("ops_per_sec", 1e6 / set_us);
+  json.AddNumber("ops_per_sec_uncached", 1e6 / set_uncached_us);
+  json.AddInteger("cache_hits", set_hits);
+  json.AddInteger("cache_misses", set_misses);
+  json.AddNumber("send_empty_us", send_us);
+  json.AddNumber("create_50_buttons_us", buttons_us);
+  json.WriteFile();
 }
 
 }  // namespace

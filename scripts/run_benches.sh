@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Runs every bench binary and collects the BENCH_*.json results in one place.
+#
+# Usage: scripts/run_benches.sh [build-dir] [output-dir]
+set -euo pipefail
+
+BUILD_DIR="$(cd "${1:-build}" && pwd)"
+OUT_DIR="${2:-${BUILD_DIR}/bench-results}"
+BENCH_DIR="${BUILD_DIR}/bench"
+
+if [[ ! -d "${BENCH_DIR}" ]]; then
+  echo "error: ${BENCH_DIR} not found; build first: cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+mkdir -p "${OUT_DIR}"
+OUT_DIR="$(cd "${OUT_DIR}" && pwd)"
+
+status=0
+for bench in "${BENCH_DIR}"/*; do
+  [[ -f "${bench}" && -x "${bench}" ]] || continue
+  name="$(basename "${bench}")"
+  echo "=== ${name} ==="
+  # Benches write BENCH_<name>.json into the cwd; run from OUT_DIR so the
+  # JSON lands there.  A short min_time keeps CI wall-clock reasonable.
+  if ! (cd "${OUT_DIR}" && "${bench}" --benchmark_min_time=0.05s); then
+    echo "bench ${name} FAILED" >&2
+    status=1
+  fi
+done
+
+echo
+echo "JSON results in ${OUT_DIR}:"
+ls -1 "${OUT_DIR}"/BENCH_*.json 2>/dev/null || echo "  (none)"
+exit "${status}"

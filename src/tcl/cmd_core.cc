@@ -414,7 +414,15 @@ Code ProcCmd(Interp& interp, std::vector<std::string>& args) {
   }
   proc.body = args[3];
   const std::string name = args[1];
+  // Redefining an existing proc keeps the registered trampoline (it
+  // dispatches by invoked name), so only the body table changes; DefineProc
+  // flushes the eval cache in that case.
+  bool already_proc = interp.FindProc(name) != nullptr && interp.HasCommand(name);
   interp.DefineProc(name, proc);
+  if (already_proc) {
+    interp.ResetResult();
+    return Code::kOk;
+  }
   // Look the body up by the *invoked* name (args[0]) so `rename` keeps
   // working: RenameCommand moves the proc entry along with the command.
   interp.RegisterCommand(name, [](Interp& i, std::vector<std::string>& call_args) {

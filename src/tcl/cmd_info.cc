@@ -114,6 +114,68 @@ Code InfoCmd(Interp& interp, std::vector<std::string>& args) {
     interp.SetResult(FormatInt(static_cast<int64_t>(interp.command_count())));
     return Code::kOk;
   }
+  if (option == "evalcache") {
+    // info evalcache                 -> stats as a key/value list
+    // info evalcache clear           -> drop entries, zero counters
+    // info evalcache limit ?n?       -> get/set the LRU capacity
+    // info evalcache enabled ?bool?  -> get/set whether Eval uses the cache
+    if (args.size() == 2) {
+      const EvalCacheStats& stats = interp.eval_cache_stats();
+      std::vector<std::string> kv = {
+          "hits",          FormatInt(static_cast<int64_t>(stats.hits)),
+          "misses",        FormatInt(static_cast<int64_t>(stats.misses)),
+          "invalidations", FormatInt(static_cast<int64_t>(stats.invalidations)),
+          "fallbacks",     FormatInt(static_cast<int64_t>(stats.fallbacks)),
+          "entries",       FormatInt(static_cast<int64_t>(interp.eval_cache_size())),
+          "limit",         FormatInt(static_cast<int64_t>(interp.eval_cache_capacity())),
+          "enabled",       interp.eval_cache_enabled() ? "1" : "0"};
+      interp.SetResult(MergeList(kv));
+      return Code::kOk;
+    }
+    const std::string& action = args[2];
+    if (action == "clear") {
+      if (args.size() != 3) {
+        return interp.WrongNumArgs("info evalcache clear");
+      }
+      interp.ClearEvalCache();
+      interp.ResetResult();
+      return Code::kOk;
+    }
+    if (action == "limit") {
+      if (args.size() == 3) {
+        interp.SetResult(FormatInt(static_cast<int64_t>(interp.eval_cache_capacity())));
+        return Code::kOk;
+      }
+      if (args.size() != 4) {
+        return interp.WrongNumArgs("info evalcache limit ?size?");
+      }
+      std::optional<int64_t> limit = ParseInt(args[3]);
+      if (!limit || *limit < 0) {
+        return interp.Error("expected non-negative integer but got \"" + args[3] + "\"");
+      }
+      interp.set_eval_cache_capacity(static_cast<size_t>(*limit));
+      interp.ResetResult();
+      return Code::kOk;
+    }
+    if (action == "enabled") {
+      if (args.size() == 3) {
+        interp.SetResult(interp.eval_cache_enabled() ? "1" : "0");
+        return Code::kOk;
+      }
+      if (args.size() != 4) {
+        return interp.WrongNumArgs("info evalcache enabled ?boolean?");
+      }
+      std::optional<bool> enabled = ParseBool(args[3]);
+      if (!enabled) {
+        return interp.Error("expected boolean value but got \"" + args[3] + "\"");
+      }
+      interp.set_eval_cache_enabled(*enabled);
+      interp.ResetResult();
+      return Code::kOk;
+    }
+    return interp.Error("bad evalcache option \"" + action +
+                        "\": should be clear, enabled, or limit");
+  }
   if (option == "tclversion") {
     interp.SetResult(kTclVersion);
     return Code::kOk;
@@ -164,7 +226,7 @@ Code InfoCmd(Interp& interp, std::vector<std::string>& args) {
   }
   return interp.Error("bad option \"" + option +
                       "\": should be args, body, cmdcount, commands, complete, default, "
-                      "exists, globals, level, locals, procs, tclversion, or vars");
+                      "evalcache, exists, globals, level, locals, procs, tclversion, or vars");
 }
 
 Code ArrayCmd(Interp& interp, std::vector<std::string>& args) {

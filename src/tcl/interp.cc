@@ -147,13 +147,80 @@ Code Interp::Eval(std::string_view script) {
     return Error("too many nested calls to Tcl_Eval (infinite loop?)");
   }
   ++nesting_depth_;
-  size_t pos = 0;
-  Code code = EvalScript(*this, script, '\0', &pos);
+  Code code;
+  if (eval_cache_enabled_) {
+    // Hold a shared reference: the entry may be evicted or invalidated by
+    // commands the script itself runs.
+    std::shared_ptr<const ParsedScript> parsed = EvalCacheLookup(script);
+    if (parsed->ok) {
+      code = EvalParsed(*this, *parsed);
+    } else {
+      // The static tokenizer rejected the script: take the classic
+      // parse-while-evaluating path, which reproduces the original error
+      // behaviour exactly.
+      size_t pos = 0;
+      code = EvalScript(*this, script, '\0', &pos);
+    }
+  } else {
+    size_t pos = 0;
+    code = EvalScript(*this, script, '\0', &pos);
+  }
   --nesting_depth_;
   if (code == Code::kError && nesting_depth_ == 0) {
     SetVar("errorInfo", error_info_);
   }
   return code;
+}
+
+// ---------------------------------------------------------------------------
+// Eval cache.
+
+std::shared_ptr<const ParsedScript> Interp::EvalCacheLookup(std::string_view script) {
+  auto it = eval_cache_.find(script);
+  if (it != eval_cache_.end()) {
+    ++eval_cache_stats_.hits;
+    eval_cache_lru_.splice(eval_cache_lru_.begin(), eval_cache_lru_, it->second.lru_it);
+    return it->second.parsed;
+  }
+  ++eval_cache_stats_.misses;
+  std::shared_ptr<const ParsedScript> parsed = ParseScript(script);
+  if (!parsed->ok) {
+    ++eval_cache_stats_.fallbacks;
+  }
+  if (eval_cache_capacity_ == 0) {
+    return parsed;
+  }
+  // Key and LRU entry are views into the parse's owned source copy.
+  std::string_view key(parsed->source);
+  eval_cache_lru_.push_front(key);
+  eval_cache_.emplace(key, EvalCacheEntry{parsed, eval_cache_lru_.begin()});
+  while (eval_cache_.size() > eval_cache_capacity_) {
+    std::string_view victim = eval_cache_lru_.back();
+    eval_cache_.erase(victim);
+    eval_cache_lru_.pop_back();
+  }
+  return parsed;
+}
+
+void Interp::set_eval_cache_capacity(size_t capacity) {
+  eval_cache_capacity_ = capacity;
+  while (eval_cache_.size() > capacity) {
+    std::string_view victim = eval_cache_lru_.back();
+    eval_cache_.erase(victim);
+    eval_cache_lru_.pop_back();
+  }
+}
+
+void Interp::ClearEvalCache() {
+  eval_cache_.clear();
+  eval_cache_lru_.clear();
+  eval_cache_stats_ = EvalCacheStats();
+}
+
+void Interp::InvalidateEvalCache() {
+  eval_cache_stats_.invalidations += eval_cache_.size();
+  eval_cache_.clear();
+  eval_cache_lru_.clear();
 }
 
 Code Interp::EvalWords(std::vector<std::string>& words) {
@@ -242,6 +309,7 @@ bool Interp::DeleteCommand(std::string_view name) {
   }
   commands_.erase(it);
   procs_.erase(std::string(name));
+  InvalidateEvalCache();
   return true;
 }
 
@@ -263,6 +331,7 @@ bool Interp::RenameCommand(std::string_view old_name, std::string_view new_name)
   if (!new_name.empty()) {
     commands_[std::string(new_name)] = std::move(entry);
   }
+  InvalidateEvalCache();
   return true;
 }
 
@@ -286,7 +355,14 @@ const Proc* Interp::FindProc(std::string_view name) const {
 }
 
 void Interp::DefineProc(std::string name, Proc proc) {
+  // Redefinition invalidates cached parses; a first definition cannot (the
+  // cache is syntactic, and no cached script can have specialized on a
+  // command that did not exist yet).
+  bool redefinition = procs_.find(name) != procs_.end();
   procs_[name] = std::move(proc);
+  if (redefinition) {
+    InvalidateEvalCache();
+  }
 }
 
 std::vector<std::string> Interp::ProcNames(std::string_view pattern) const {

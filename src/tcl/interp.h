@@ -27,10 +27,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <list>
 #include <map>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "src/tcl/types.h"
@@ -38,6 +40,15 @@
 namespace tcl {
 
 class Interp;
+struct ParsedScript;
+
+// Counters for the parsed-script eval cache (exposed as `info evalcache`).
+struct EvalCacheStats {
+  uint64_t hits = 0;           // Evals served from a cached parse.
+  uint64_t misses = 0;         // Evals that had to parse.
+  uint64_t invalidations = 0;  // Entries dropped by invalidation hooks.
+  uint64_t fallbacks = 0;      // Scripts the static tokenizer rejected.
+};
 
 // A command procedure.  args[0] is the command name; the remaining entries
 // are the fully substituted argument fields.  The procedure reports its
@@ -180,6 +191,29 @@ class Interp {
   // Evaluates `script` in the frame denoted by `level_spec` (for `uplevel`).
   Code EvalAtLevel(std::string_view level_spec, std::string_view script);
 
+  // --- Eval cache -----------------------------------------------------------
+  //
+  // Interp::Eval keeps an LRU cache mapping script text to its pre-parsed
+  // command/word structure (see ParsedScript in parser.h), so loop bodies,
+  // proc bodies and event-binding scripts are tokenized once and executed
+  // many times.  The cache is purely syntactic -- command dispatch and
+  // variable lookup stay dynamic -- but `proc` redefinition, `rename` and
+  // command deletion flush it anyway (belt and braces, and it makes the
+  // invalidation counters observable for tests).
+
+  bool eval_cache_enabled() const { return eval_cache_enabled_; }
+  void set_eval_cache_enabled(bool enabled) { eval_cache_enabled_ = enabled; }
+  size_t eval_cache_capacity() const { return eval_cache_capacity_; }
+  // Shrinking the capacity evicts least-recently-used entries immediately.
+  void set_eval_cache_capacity(size_t capacity);
+  size_t eval_cache_size() const { return eval_cache_.size(); }
+  const EvalCacheStats& eval_cache_stats() const { return eval_cache_stats_; }
+  // Drops all entries and zeroes the counters.
+  void ClearEvalCache();
+  // Invalidation hook: drops all entries (counted in stats().invalidations).
+  // Called on proc redefinition, rename and command deletion.
+  void InvalidateEvalCache();
+
   // --- Misc ---------------------------------------------------------------------
 
   // Nesting limit guard (prevents runaway recursion in scripts).
@@ -212,8 +246,27 @@ class Interp {
   void PushFrame(std::string invocation);
   void PopFrame();
 
+  struct EvalCacheEntry {
+    std::shared_ptr<const ParsedScript> parsed;
+    std::list<std::string_view>::iterator lru_it;
+  };
+
+  // Looks `script` up in the eval cache, parsing and inserting on a miss.
+  // The returned ParsedScript is shared so an entry evicted or invalidated
+  // mid-execution stays alive until the execution finishes.
+  std::shared_ptr<const ParsedScript> EvalCacheLookup(std::string_view script);
+
   std::map<std::string, CommandEntry, std::less<>> commands_;
   std::map<std::string, Proc, std::less<>> procs_;
+
+  // Eval cache state.  Map keys and LRU entries are views into the owned
+  // ParsedScript::source of each entry (std::list iterators are stable).
+  std::unordered_map<std::string_view, EvalCacheEntry> eval_cache_;
+  std::list<std::string_view> eval_cache_lru_;  // Front = most recently used.
+  EvalCacheStats eval_cache_stats_;
+  size_t eval_cache_capacity_ = 256;
+  bool eval_cache_enabled_ = true;
+
   std::vector<std::unique_ptr<CallFrame>> frames_;
   // Index of the frame used for variable lookups; normally the top of
   // frames_, but uplevel temporarily re-targets it.

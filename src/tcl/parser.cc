@@ -127,6 +127,363 @@ void SkipComment(std::string_view script, size_t* pos) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Static tokenizer.
+//
+// Mirrors the dynamic functions above step for step, but records structure
+// instead of substituting.  Any deviation from what the dynamic parser would
+// accept (unbalanced constructs, extra characters after a close brace/quote)
+// makes the parse fail, and the script then always takes the dynamic path --
+// so scripts with tokenization errors keep their classic error behaviour.
+
+class StaticParser {
+ public:
+  explicit StaticParser(std::string_view script) : script_(script) {}
+
+  bool ParseTop(std::vector<ParsedCommand>* out) { return ParseBody('\0', out); }
+
+ private:
+  // Accumulates the parts of one word, coalescing adjacent literal text.
+  struct PartBuilder {
+    explicit PartBuilder(ParsedWord* w) : word(w) {}
+
+    std::string* text_buf() { return &pending; }
+    void Text(char c) { pending.push_back(c); }
+
+    void Part(WordPart::Kind kind, std::string text) {
+      Flush();
+      word->parts.push_back(WordPart{kind, std::move(text)});
+      has_special = true;
+    }
+
+    void Flush() {
+      if (!pending.empty()) {
+        word->parts.push_back(WordPart{WordPart::Kind::kText, std::move(pending)});
+        pending.clear();
+      }
+    }
+
+    void Finish() {
+      if (!has_special) {
+        word->is_literal = true;
+        word->literal = std::move(pending);
+      } else {
+        Flush();
+        word->is_literal = false;
+      }
+    }
+
+    ParsedWord* word;
+    std::string pending;
+    bool has_special = false;
+  };
+
+  // Mirrors EvalScript's command loop.  `out == nullptr` scans a nested
+  // [command] span without recording commands.
+  bool ParseBody(char terminator, std::vector<ParsedCommand>* out) {
+    bool found_terminator = (terminator == '\0');
+    while (pos_ <= script_.size()) {
+      while (pos_ < script_.size() &&
+             (IsTclSpace(script_[pos_]) || IsCommandSeparator(script_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ >= script_.size()) {
+        break;
+      }
+      if (terminator != '\0' && script_[pos_] == terminator) {
+        ++pos_;
+        found_terminator = true;
+        break;
+      }
+      if (script_[pos_] == '#') {
+        SkipComment(script_, &pos_);
+        continue;
+      }
+      size_t command_start = pos_;
+      ParsedCommand cmd;
+      bool end_of_command = false;
+      bool hit_terminator = false;
+      while (!end_of_command) {
+        while (pos_ < script_.size() && IsTclSpace(script_[pos_])) {
+          ++pos_;
+        }
+        if (pos_ >= script_.size()) {
+          break;
+        }
+        char c = script_[pos_];
+        if (IsCommandSeparator(c)) {
+          ++pos_;
+          end_of_command = true;
+          break;
+        }
+        if (terminator != '\0' && c == terminator) {
+          ++pos_;
+          hit_terminator = true;
+          break;
+        }
+        if (c == '\\' && pos_ + 1 < script_.size() && script_[pos_ + 1] == '\n') {
+          pos_ += 2;
+          continue;
+        }
+        ParsedWord word;
+        if (!ParseOneWord(terminator, &word)) {
+          return false;
+        }
+        cmd.words.push_back(std::move(word));
+      }
+      if (!cmd.words.empty() && out != nullptr) {
+        // Trim trailing separators from the recorded source span, matching
+        // the dynamic parser's error-trace text.
+        size_t command_end = pos_;
+        while (command_end > command_start &&
+               (IsTclSpace(script_[command_end - 1]) ||
+                IsCommandSeparator(script_[command_end - 1]) ||
+                (terminator != '\0' && script_[command_end - 1] == terminator))) {
+          --command_end;
+        }
+        cmd.src_begin = command_start;
+        cmd.src_end = command_end;
+        out->push_back(std::move(cmd));
+      }
+      if (hit_terminator) {
+        found_terminator = true;
+        break;
+      }
+    }
+    return found_terminator;
+  }
+
+  // Mirrors ParseWord.
+  bool ParseOneWord(char terminator, ParsedWord* word) {
+    char first = script_[pos_];
+    if (first == '{') {
+      std::string text;
+      if (!ParseBraced(&text)) {
+        return false;
+      }
+      if (pos_ < script_.size()) {
+        char next = script_[pos_];
+        if (!IsTclSpace(next) && !IsCommandSeparator(next) &&
+            !(terminator != '\0' && next == terminator)) {
+          return false;  // "extra characters after close-brace"
+        }
+      }
+      word->is_literal = true;
+      word->literal = std::move(text);
+      return true;
+    }
+    PartBuilder builder(word);
+    if (first == '"') {
+      if (!ParseQuoted(&builder)) {
+        return false;
+      }
+    } else {
+      if (!ParseBare(terminator, &builder)) {
+        return false;
+      }
+    }
+    builder.Finish();
+    return true;
+  }
+
+  // Mirrors ParseBracedWord.
+  bool ParseBraced(std::string* out) {
+    ++pos_;  // Skip '{'.
+    int depth = 1;
+    while (pos_ < script_.size()) {
+      char c = script_[pos_];
+      if (c == '\\') {
+        if (pos_ + 1 < script_.size() && script_[pos_ + 1] == '\n') {
+          BackslashSubst(script_, &pos_, out);
+          continue;
+        }
+        out->push_back(c);
+        ++pos_;
+        if (pos_ < script_.size()) {
+          out->push_back(script_[pos_]);
+          ++pos_;
+        }
+        continue;
+      }
+      if (c == '{') {
+        ++depth;
+      } else if (c == '}') {
+        --depth;
+        if (depth == 0) {
+          ++pos_;
+          return true;
+        }
+      }
+      out->push_back(c);
+      ++pos_;
+    }
+    return false;  // "missing close-brace"
+  }
+
+  // Mirrors ParseQuotedWord.
+  bool ParseQuoted(PartBuilder* builder) {
+    ++pos_;  // Skip the opening quote.
+    while (pos_ < script_.size()) {
+      char c = script_[pos_];
+      if (c == '"') {
+        ++pos_;
+        if (pos_ < script_.size()) {
+          char next = script_[pos_];
+          if (!IsTclSpace(next) && !IsCommandSeparator(next) && next != ']') {
+            return false;  // "extra characters after close-quote"
+          }
+        }
+        return true;
+      }
+      if (!ParseSpecialOrChar(builder)) {
+        return false;
+      }
+    }
+    return false;  // missing "
+  }
+
+  bool ParseBare(char terminator, PartBuilder* builder) {
+    while (pos_ < script_.size()) {
+      char c = script_[pos_];
+      if (IsTclSpace(c) || IsCommandSeparator(c) ||
+          (terminator != '\0' && c == terminator)) {
+        break;
+      }
+      if (!ParseSpecialOrChar(builder)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool ParseSpecialOrChar(PartBuilder* builder) {
+    char c = script_[pos_];
+    if (c == '$') {
+      return ParseVar(builder);
+    }
+    if (c == '[') {
+      return ParseNested(builder);
+    }
+    if (c == '\\') {
+      // Backslash sequences are position-independent: resolve them now.
+      BackslashSubst(script_, &pos_, builder->text_buf());
+      return true;
+    }
+    builder->Text(c);
+    ++pos_;
+    return true;
+  }
+
+  // Mirrors SubstVar's consumption.  With builder == nullptr, just validates
+  // and advances (used to scan over vars nested inside an array index).
+  bool ParseVar(PartBuilder* builder) {
+    size_t dollar = pos_;
+    ++pos_;  // Skip '$'.
+    if (pos_ >= script_.size()) {
+      if (builder != nullptr) {
+        builder->Text('$');
+      }
+      return true;
+    }
+    if (script_[pos_] == '{') {
+      ++pos_;
+      size_t start = pos_;
+      while (pos_ < script_.size() && script_[pos_] != '}') {
+        ++pos_;
+      }
+      if (pos_ >= script_.size()) {
+        return false;  // "missing close-brace for variable name"
+      }
+      std::string name(script_.substr(start, pos_ - start));
+      ++pos_;  // Skip '}'.
+      if (builder != nullptr) {
+        builder->Part(WordPart::Kind::kVar, std::move(name));
+      }
+      return true;
+    }
+    size_t start = pos_;
+    while (pos_ < script_.size() && IsVarNameChar(script_[pos_])) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      // Bare '$' with no name: literal dollar sign.
+      if (builder != nullptr) {
+        builder->Text('$');
+      }
+      return true;
+    }
+    std::string name(script_.substr(start, pos_ - start));
+    if (pos_ < script_.size() && script_[pos_] == '(') {
+      ++pos_;
+      std::string index;
+      bool complex_index = false;
+      while (pos_ < script_.size() && script_[pos_] != ')') {
+        char c = script_[pos_];
+        if (c == '$') {
+          complex_index = true;
+          if (!ParseVar(nullptr)) {
+            return false;
+          }
+          continue;
+        }
+        if (c == '[') {
+          complex_index = true;
+          ++pos_;
+          if (!ParseBody(']', nullptr)) {
+            return false;
+          }
+          continue;
+        }
+        if (c == '\\') {
+          BackslashSubst(script_, &pos_, &index);
+          continue;
+        }
+        index.push_back(c);
+        ++pos_;
+      }
+      if (pos_ >= script_.size()) {
+        return false;  // "missing )"
+      }
+      ++pos_;  // Skip ')'.
+      if (builder == nullptr) {
+        return true;
+      }
+      if (complex_index) {
+        // The index needs per-execution substitution: keep the raw $... span
+        // and re-run SubstVar on it each time.
+        builder->Part(WordPart::Kind::kComplexVar,
+                      std::string(script_.substr(dollar, pos_ - dollar)));
+      } else {
+        name.push_back('(');
+        name.append(index);
+        name.push_back(')');
+        builder->Part(WordPart::Kind::kVar, std::move(name));
+      }
+      return true;
+    }
+    if (builder != nullptr) {
+      builder->Part(WordPart::Kind::kVar, std::move(name));
+    }
+    return true;
+  }
+
+  // At an unquoted '[': records the inner script span as a kCommand part.
+  bool ParseNested(PartBuilder* builder) {
+    ++pos_;  // Skip '['.
+    size_t start = pos_;
+    if (!ParseBody(']', nullptr)) {
+      return false;  // "missing close-bracket"
+    }
+    // pos_ is just past the matching ']'.
+    builder->Part(WordPart::Kind::kCommand,
+                  std::string(script_.substr(start, pos_ - 1 - start)));
+    return true;
+  }
+
+  std::string_view script_;
+  size_t pos_ = 0;
+};
+
 }  // namespace
 
 void BackslashSubst(std::string_view script, size_t* pos, std::string* out) {
@@ -426,6 +783,79 @@ Code EvalScript(Interp& interp, std::string_view script, char terminator, size_t
   }
   if (!found_terminator) {
     return interp.Error("missing close-bracket");
+  }
+  return code;
+}
+
+std::shared_ptr<const ParsedScript> ParseScript(std::string_view script) {
+  auto parsed = std::make_shared<ParsedScript>();
+  parsed->source.assign(script);
+  // Parse against the owned copy so the recorded source spans stay valid for
+  // the lifetime of the ParsedScript.
+  StaticParser parser(parsed->source);
+  parsed->ok = parser.ParseTop(&parsed->commands);
+  if (!parsed->ok) {
+    parsed->commands.clear();
+  }
+  return parsed;
+}
+
+Code EvalParsed(Interp& interp, const ParsedScript& parsed) {
+  interp.ResetResult();
+  Code code = Code::kOk;
+  std::vector<std::string> words;
+  for (const ParsedCommand& cmd : parsed.commands) {
+    words.clear();
+    words.reserve(cmd.words.size());
+    for (const ParsedWord& parsed_word : cmd.words) {
+      if (parsed_word.is_literal) {
+        words.push_back(parsed_word.literal);
+        continue;
+      }
+      std::string out;
+      for (const WordPart& part : parsed_word.parts) {
+        switch (part.kind) {
+          case WordPart::Kind::kText:
+            out.append(part.text);
+            break;
+          case WordPart::Kind::kVar: {
+            const std::string* value = interp.GetVar(part.text);
+            if (value == nullptr) {
+              return Code::kError;  // GetVar left the message in the result.
+            }
+            out.append(*value);
+            break;
+          }
+          case WordPart::Kind::kComplexVar: {
+            size_t pos = 0;
+            Code part_code = SubstVar(interp, part.text, &pos, &out);
+            if (part_code != Code::kOk) {
+              return part_code;
+            }
+            break;
+          }
+          case WordPart::Kind::kCommand: {
+            // Goes back through Interp::Eval, so nested scripts hit the
+            // cache too.
+            Code part_code = interp.Eval(part.text);
+            if (part_code != Code::kOk) {
+              return part_code;
+            }
+            out.append(interp.result());
+            break;
+          }
+        }
+      }
+      words.push_back(std::move(out));
+    }
+    code = interp.EvalWords(words);
+    if (code != Code::kOk) {
+      if (code == Code::kError) {
+        interp.AddCommandTrace(
+            std::string_view(parsed.source).substr(cmd.src_begin, cmd.src_end - cmd.src_begin));
+      }
+      return code;
+    }
   }
   return code;
 }

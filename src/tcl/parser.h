@@ -9,6 +9,7 @@
 #ifndef SRC_TCL_PARSER_H_
 #define SRC_TCL_PARSER_H_
 
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -18,6 +19,66 @@
 namespace tcl {
 
 class Interp;
+
+// ---------------------------------------------------------------------------
+// Pre-parsed scripts (the eval cache's payload).
+//
+// Tcl's tokenization is context-independent: word boundaries, brace/bracket
+// nesting and substitution spans depend only on the script text, never on
+// variable values.  ParseScript exploits that to tokenize a script once into
+// a ParsedScript; EvalParsed then executes it any number of times performing
+// only the per-execution work (variable/command substitution and dispatch).
+// Scripts the static parser cannot prove well-formed fall back to the
+// classic interleaved EvalScript path so error reporting is unchanged.
+
+// One piece of a word that needs per-execution substitution.
+struct WordPart {
+  enum class Kind {
+    kText,        // Literal text; backslash sequences already resolved.
+    kVar,         // Simple $name or ${name} or $name(literal-index): `text`
+                  //   holds the final variable name, looked up directly.
+    kComplexVar,  // $name(index-with-substitutions): `text` holds the raw
+                  //   source span starting at '$'; re-run SubstVar on it.
+    kCommand,     // [script]: `text` holds the inner script, evaluated via
+                  //   Interp::Eval (which consults the cache recursively).
+  };
+  Kind kind = Kind::kText;
+  std::string text;
+};
+
+// One word of a command: either a fully literal string (braced words, and
+// bare/quoted words without substitutions) or a list of parts concatenated
+// per execution.
+struct ParsedWord {
+  bool is_literal = true;
+  std::string literal;           // Valid when is_literal.
+  std::vector<WordPart> parts;   // Valid otherwise.
+};
+
+struct ParsedCommand {
+  std::vector<ParsedWord> words;
+  // Span of the command in ParsedScript::source (already trimmed of trailing
+  // separators), used for "while executing" error traces.
+  size_t src_begin = 0;
+  size_t src_end = 0;
+};
+
+struct ParsedScript {
+  std::string source;  // Owned copy of the script text.
+  std::vector<ParsedCommand> commands;
+  // False when the static parser could not tokenize the script (unbalanced
+  // braces/brackets/quotes, ...).  Such scripts always take the dynamic
+  // EvalScript path, which reproduces the classic error behaviour.
+  bool ok = false;
+};
+
+// Statically tokenizes `script`.  Never touches an Interp and performs no
+// substitution; on any structural problem the result has ok == false.
+std::shared_ptr<const ParsedScript> ParseScript(std::string_view script);
+
+// Executes a pre-parsed script against `interp`.  Semantically equivalent to
+// EvalScript(interp, parsed.source, '\0', &pos) for scripts with ok == true.
+Code EvalParsed(Interp& interp, const ParsedScript& parsed);
 
 // Evaluates a script: a sequence of commands separated by newlines or
 // semicolons.  If `terminator` is ']' the script is a nested [command]

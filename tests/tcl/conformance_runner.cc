@@ -1,0 +1,123 @@
+// A tcltest-style conformance runner.
+//
+// Loads a `.test` file and evaluates it with the library's own interpreter,
+// after registering two extra commands:
+//
+//   test <name> <script> <expected>        -- eval <script>, expect Code::kOk
+//                                             and result == <expected>
+//   testerror <name> <script> <expected>   -- eval <script>, expect
+//                                             Code::kError and the exact
+//                                             error message <expected>
+//
+// Cases in one file share interpreter state (like tcltest), so files may
+// build on earlier definitions.  The `--no-cache` flag disables the parsed
+// script eval cache; each file is registered with ctest twice (cached and
+// uncached) to prove cached evaluation is semantics-preserving.
+//
+// Exit status: 0 when every case passes, 1 on any failure, 2 on usage or
+// I/O problems.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/tcl/interp.h"
+
+namespace {
+
+struct Counters {
+  int passed = 0;
+  int failed = 0;
+};
+
+void Fail(Counters& counters, const std::string& name, const std::string& detail) {
+  ++counters.failed;
+  std::printf("FAIL %s: %s\n", name.c_str(), detail.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  bool use_cache = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-cache") == 0) {
+      use_cache = false;
+    } else if (path.empty()) {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr, "usage: conformance_runner [--no-cache] file.test\n");
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: conformance_runner [--no-cache] file.test\n");
+    return 2;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "conformance_runner: cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string file_script = buffer.str();
+
+  tcl::Interp interp;
+  interp.set_eval_cache_enabled(use_cache);
+  Counters counters;
+
+  interp.RegisterCommand("test",
+                         [&counters](tcl::Interp& i, std::vector<std::string>& args) {
+    if (args.size() != 4) {
+      return i.WrongNumArgs("test name script expected");
+    }
+    tcl::Code code = i.Eval(args[2]);
+    if (code != tcl::Code::kOk && code != tcl::Code::kReturn) {
+      Fail(counters, args[1],
+           "script returned " + std::string(tcl::CodeName(code)) + ": " + i.result());
+    } else if (i.result() != args[3]) {
+      Fail(counters, args[1],
+           "expected \"" + args[3] + "\" but got \"" + i.result() + "\"");
+    } else {
+      ++counters.passed;
+    }
+    i.ResetErrorState();
+    i.ResetResult();
+    return tcl::Code::kOk;
+  });
+
+  interp.RegisterCommand("testerror",
+                         [&counters](tcl::Interp& i, std::vector<std::string>& args) {
+    if (args.size() != 4) {
+      return i.WrongNumArgs("testerror name script expectedError");
+    }
+    tcl::Code code = i.Eval(args[2]);
+    if (code != tcl::Code::kError) {
+      Fail(counters, args[1],
+           "expected an error but got " + std::string(tcl::CodeName(code)) + ": " + i.result());
+    } else if (i.result() != args[3]) {
+      Fail(counters, args[1],
+           "expected error \"" + args[3] + "\" but got \"" + i.result() + "\"");
+    } else {
+      ++counters.passed;
+    }
+    i.ResetErrorState();
+    i.ResetResult();
+    return tcl::Code::kOk;
+  });
+
+  tcl::Code code = interp.Eval(file_script);
+  if (code != tcl::Code::kOk) {
+    std::printf("FAIL (driver): evaluating %s returned %s: %s\n", path.c_str(),
+                tcl::CodeName(code), interp.result().c_str());
+    return 1;
+  }
+  std::printf("%s: %d passed, %d failed, %d total (eval cache %s)\n", path.c_str(),
+              counters.passed, counters.failed, counters.passed + counters.failed,
+              use_cache ? "on" : "off");
+  return counters.failed == 0 ? 0 : 1;
+}

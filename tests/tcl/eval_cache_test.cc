@@ -1,0 +1,214 @@
+// Regression tests for the parsed-script eval cache: hit/miss accounting,
+// LRU bounding, and the invalidation hooks (`proc` redefinition, `rename`,
+// command deletion).  The conformance harness checks cached-vs-uncached
+// semantics case by case; this file checks the cache machinery itself.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/tcl/interp.h"
+
+namespace tcl {
+namespace {
+
+class EvalCacheTest : public ::testing::Test {
+ protected:
+  std::string Ok(const std::string& script) {
+    Code code = interp_.Eval(script);
+    EXPECT_EQ(code, Code::kOk) << "script: " << script << "\nresult: " << interp_.result();
+    return interp_.result();
+  }
+
+  Interp interp_;
+};
+
+TEST_F(EvalCacheTest, RepeatEvalHitsCache) {
+  interp_.ClearEvalCache();
+  Ok("set x 1");
+  Ok("set x 1");
+  Ok("set x 1");
+  const EvalCacheStats& stats = interp_.eval_cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 2u);
+}
+
+TEST_F(EvalCacheTest, LoopBodyParsedOnce) {
+  interp_.ClearEvalCache();
+  Ok("set i 0");
+  Ok("while {$i < 1000} {incr i}");
+  EXPECT_EQ(Ok("set i"), "1000");
+  const EvalCacheStats& stats = interp_.eval_cache_stats();
+  // 1000 body evaluations, a handful of distinct scripts parsed.
+  EXPECT_GE(stats.hits, 999u);
+  EXPECT_LE(stats.misses, 5u);
+  double hit_rate =
+      static_cast<double>(stats.hits) / static_cast<double>(stats.hits + stats.misses);
+  EXPECT_GT(hit_rate, 0.95);
+}
+
+TEST_F(EvalCacheTest, ProcRedefinitionInvalidates) {
+  Ok("proc f {} {return A}");
+  EXPECT_EQ(Ok("f"), "A");
+  interp_.ClearEvalCache();
+  Ok("f");  // Populate the cache again post-clear.
+  EXPECT_GT(interp_.eval_cache_size(), 0u);
+  uint64_t before = interp_.eval_cache_stats().invalidations;
+  Ok("proc f {} {return B}");
+  EXPECT_GT(interp_.eval_cache_stats().invalidations, before);
+  EXPECT_EQ(Ok("f"), "B");
+}
+
+TEST_F(EvalCacheTest, FirstProcDefinitionDoesNotInvalidate) {
+  interp_.ClearEvalCache();
+  Ok("set warmup 1");
+  uint64_t before = interp_.eval_cache_stats().invalidations;
+  Ok("proc fresh {} {return ok}");
+  EXPECT_EQ(interp_.eval_cache_stats().invalidations, before);
+}
+
+TEST_F(EvalCacheTest, RedefiningProcMidLoopTakesEffect) {
+  // The classic would-be staleness bug: a cached loop body redefines the
+  // proc it calls; later iterations must see the new definition.
+  Ok("proc f {} {return A}");
+  Ok("set out {}");
+  Ok("set i 0");
+  Ok("while {$i < 4} {lappend out [f]; if {$i == 1} {proc f {} {return B}}; incr i}");
+  EXPECT_EQ(Ok("set out"), "A A B B");
+}
+
+TEST_F(EvalCacheTest, RenameInvalidatesAndRenamedProcWorks) {
+  Ok("proc orig {} {return here}");
+  Ok("orig");
+  EXPECT_GT(interp_.eval_cache_size(), 0u);
+  uint64_t before = interp_.eval_cache_stats().invalidations;
+  Ok("rename orig moved");
+  EXPECT_GT(interp_.eval_cache_stats().invalidations, before);
+  EXPECT_EQ(Ok("moved"), "here");
+  EXPECT_EQ(interp_.Eval("orig"), Code::kError);
+}
+
+TEST_F(EvalCacheTest, CommandDeletionInvalidates) {
+  Ok("proc doomed {} {return x}");
+  Ok("doomed");
+  EXPECT_GT(interp_.eval_cache_size(), 0u);
+  uint64_t before = interp_.eval_cache_stats().invalidations;
+  Ok("rename doomed {}");  // rename to "" deletes.
+  EXPECT_GT(interp_.eval_cache_stats().invalidations, before);
+  EXPECT_EQ(interp_.Eval("doomed"), Code::kError);
+}
+
+TEST_F(EvalCacheTest, LruCapEvictsLeastRecentlyUsed) {
+  interp_.set_eval_cache_capacity(4);
+  interp_.ClearEvalCache();
+  for (int i = 0; i < 10; ++i) {
+    Ok("set v" + std::to_string(i) + " " + std::to_string(i));
+  }
+  EXPECT_LE(interp_.eval_cache_size(), 4u);
+  uint64_t misses_before = interp_.eval_cache_stats().misses;
+  Ok("set v0 0");  // Long evicted: must be a miss, and must still work.
+  EXPECT_EQ(interp_.eval_cache_stats().misses, misses_before + 1);
+  // Most recent scripts are still cached.
+  uint64_t hits_before = interp_.eval_cache_stats().hits;
+  Ok("set v9 9");
+  EXPECT_EQ(interp_.eval_cache_stats().hits, hits_before + 1);
+}
+
+TEST_F(EvalCacheTest, ShrinkingCapacityEvictsImmediately) {
+  interp_.set_eval_cache_capacity(64);
+  interp_.ClearEvalCache();
+  for (int i = 0; i < 20; ++i) {
+    Ok("set s" + std::to_string(i) + " x");
+  }
+  EXPECT_GT(interp_.eval_cache_size(), 2u);
+  interp_.set_eval_cache_capacity(2);
+  EXPECT_LE(interp_.eval_cache_size(), 2u);
+}
+
+TEST_F(EvalCacheTest, DisabledCacheBypassesEntirely) {
+  interp_.set_eval_cache_enabled(false);
+  interp_.ClearEvalCache();
+  Ok("set x 1");
+  Ok("set x 1");
+  const EvalCacheStats& stats = interp_.eval_cache_stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(interp_.eval_cache_size(), 0u);
+  EXPECT_EQ(Ok("set x"), "1");
+}
+
+TEST_F(EvalCacheTest, UnparseableScriptFallsBackAndKeepsClassicError) {
+  interp_.ClearEvalCache();
+  EXPECT_EQ(interp_.Eval("set x {unclosed"), Code::kError);
+  std::string cached_message = interp_.result();
+  EXPECT_GE(interp_.eval_cache_stats().fallbacks, 1u);
+
+  Interp plain;
+  plain.set_eval_cache_enabled(false);
+  EXPECT_EQ(plain.Eval("set x {unclosed"), Code::kError);
+  EXPECT_EQ(cached_message, plain.result());
+}
+
+TEST_F(EvalCacheTest, CachedErrorTraceMatchesUncached) {
+  const std::string script = "proc outer {} {inner_missing 1 2}\nouter";
+  Code cached_code = interp_.Eval(script);
+  std::string cached_result = interp_.result();
+  std::string cached_info = interp_.error_info();
+
+  Interp plain;
+  plain.set_eval_cache_enabled(false);
+  Code plain_code = plain.Eval(script);
+  EXPECT_EQ(cached_code, plain_code);
+  EXPECT_EQ(cached_result, plain.result());
+  EXPECT_EQ(cached_info, plain.error_info());
+}
+
+TEST_F(EvalCacheTest, InfoEvalcacheReportsCounters) {
+  interp_.ClearEvalCache();
+  Ok("set i 0");
+  Ok("while {$i < 50} {incr i}");
+  std::string stats = Ok("info evalcache");
+  EXPECT_NE(stats.find("hits"), std::string::npos);
+  EXPECT_NE(stats.find("misses"), std::string::npos);
+  EXPECT_NE(stats.find("invalidations"), std::string::npos);
+  EXPECT_EQ(Ok("llength [info evalcache]"), "14");
+  EXPECT_EQ(Ok("expr {[lindex [info evalcache] 1] >= 49}"), "1");
+}
+
+TEST_F(EvalCacheTest, InfoEvalcacheLimitAndEnabledRoundTrip) {
+  Ok("info evalcache limit 8");
+  EXPECT_EQ(Ok("info evalcache limit"), "8");
+  EXPECT_EQ(interp_.eval_cache_capacity(), 8u);
+  Ok("info evalcache enabled 0");
+  EXPECT_EQ(Ok("info evalcache enabled"), "0");
+  EXPECT_FALSE(interp_.eval_cache_enabled());
+  Ok("info evalcache enabled 1");
+  EXPECT_TRUE(interp_.eval_cache_enabled());
+}
+
+TEST_F(EvalCacheTest, InfoEvalcacheClearZeroesCounters) {
+  Ok("set a 1");
+  Ok("set a 1");
+  Ok("info evalcache clear");
+  const EvalCacheStats& stats = interp_.eval_cache_stats();
+  // The `info evalcache clear` eval itself may be counted after the clear;
+  // everything before it must be gone.
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_LE(stats.misses, 0u);
+  EXPECT_EQ(stats.invalidations, 0u);
+}
+
+TEST_F(EvalCacheTest, EntryEvictedMidExecutionStaysAlive) {
+  // A running script whose cache entry is evicted (capacity 1 forces every
+  // nested eval to evict the outer script) must finish correctly off its
+  // pinned parse.
+  interp_.set_eval_cache_capacity(1);
+  interp_.ClearEvalCache();
+  Ok("set out {}");
+  Ok("set i 0; while {$i < 10} {lappend out $i; incr i}; set done yes");
+  EXPECT_EQ(Ok("set done"), "yes");
+  EXPECT_EQ(Ok("llength $out"), "10");
+}
+
+}  // namespace
+}  // namespace tcl

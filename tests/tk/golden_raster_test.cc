@@ -1,0 +1,96 @@
+// Golden-image regression test: packs a small button/label/scrollbar layout,
+// pumps the app to idle, and compares an FNV-1a hash of the xsim framebuffer
+// against a checked-in golden value.  Rendering in xsim is fully deterministic,
+// so any layout or drawing change shows up as a hash mismatch.
+//
+// To regenerate the golden after an intentional rendering change:
+//   ./tk_golden_raster_test --update
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "tests/tk/tk_test_util.h"
+
+namespace tk {
+namespace {
+
+bool g_update_golden = false;
+
+const char kGoldenPath[] = TCLK_SOURCE_DIR "/tests/tk/golden/packed_widgets.hash";
+
+// FNV-1a over the framebuffer contents plus its dimensions, so a resize with
+// identical pixel prefix still changes the hash.
+uint64_t HashRaster(const xsim::Raster& raster) {
+  uint64_t hash = 14695981039346656037ull;
+  auto mix = [&hash](uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (value >> (i * 8)) & 0xff;
+      hash *= 1099511628211ull;
+    }
+  };
+  mix(static_cast<uint64_t>(raster.width()));
+  mix(static_cast<uint64_t>(raster.height()));
+  for (int y = 0; y < raster.height(); ++y) {
+    for (int x = 0; x < raster.width(); ++x) {
+      mix(static_cast<uint64_t>(raster.At(x, y)));
+    }
+  }
+  return hash;
+}
+
+std::string ReadGolden() {
+  std::ifstream in(kGoldenPath);
+  std::string line;
+  std::getline(in, line);
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r' || line.back() == ' ')) {
+    line.pop_back();
+  }
+  return line;
+}
+
+class GoldenRasterTest : public TkTest {};
+
+TEST_F(GoldenRasterTest, PackedWidgetsMatchGolden) {
+  Ok("button .b -text Press -command {set pressed 1}");
+  Ok("label .l -text {Status: idle}");
+  Ok("scrollbar .s -command {}");
+  Ok("pack append . .s {right filly} .b {top} .l {top expand fill}");
+  Pump();
+  Pump();
+
+  std::ostringstream actual;
+  actual << std::hex << HashRaster(server_.raster());
+
+  if (g_update_golden) {
+    std::ofstream out(kGoldenPath);
+    ASSERT_TRUE(out.good()) << "cannot write " << kGoldenPath;
+    out << actual.str() << "\n";
+    SUCCEED() << "golden updated: " << actual.str();
+    return;
+  }
+
+  std::string expected = ReadGolden();
+  ASSERT_FALSE(expected.empty())
+      << "missing golden file " << kGoldenPath
+      << "; run with --update to create it";
+  EXPECT_EQ(actual.str(), expected)
+      << "framebuffer hash changed; if the rendering change is intentional, "
+         "regenerate with: tk_golden_raster_test --update";
+}
+
+}  // namespace
+}  // namespace tk
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--update") {
+      tk::g_update_golden = true;
+    }
+  }
+  return RUN_ALL_TESTS();
+}
