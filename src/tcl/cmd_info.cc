@@ -224,6 +224,11 @@ Code InfoCmd(Interp& interp, std::vector<std::string>& args) {
     interp.SetResult((braces <= 0 && brackets <= 0 && !in_quote) ? "1" : "0");
     return Code::kOk;
   }
+  // Layers above the core (Tk) can add their own `info` subcommands; see
+  // Interp::RegisterInfoExtension.
+  if (const CommandProc* extension = interp.FindInfoExtension(option)) {
+    return (*extension)(interp, args);
+  }
   return interp.Error("bad option \"" + option +
                       "\": should be args, body, cmdcount, commands, complete, default, "
                       "evalcache, exists, globals, level, locals, procs, tclversion, or vars");

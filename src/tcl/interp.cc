@@ -302,6 +302,15 @@ void Interp::RegisterCommand(std::string name, CommandProc proc) {
   commands_[std::move(name)] = CommandEntry{std::move(proc)};
 }
 
+void Interp::RegisterInfoExtension(std::string name, CommandProc proc) {
+  info_extensions_[std::move(name)] = std::move(proc);
+}
+
+const CommandProc* Interp::FindInfoExtension(std::string_view name) const {
+  auto it = info_extensions_.find(name);
+  return it == info_extensions_.end() ? nullptr : &it->second;
+}
+
 bool Interp::DeleteCommand(std::string_view name) {
   auto it = commands_.find(name);
   if (it == commands_.end()) {

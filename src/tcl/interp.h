@@ -145,6 +145,12 @@ class Interp {
   // --- Commands --------------------------------------------------------------
 
   void RegisterCommand(std::string name, CommandProc proc);
+  // Registers an extra `info <name>` subcommand.  Layers above the core
+  // interpreter (Tk) use this to surface their own introspection data --
+  // e.g. `info faults` -- without the core knowing about them.  The proc is
+  // invoked with the full `info ...` argument vector.
+  void RegisterInfoExtension(std::string name, CommandProc proc);
+  const CommandProc* FindInfoExtension(std::string_view name) const;
   bool DeleteCommand(std::string_view name);
   bool RenameCommand(std::string_view old_name, std::string_view new_name);
   bool HasCommand(std::string_view name) const;
@@ -257,6 +263,7 @@ class Interp {
   std::shared_ptr<const ParsedScript> EvalCacheLookup(std::string_view script);
 
   std::map<std::string, CommandEntry, std::less<>> commands_;
+  std::map<std::string, CommandProc, std::less<>> info_extensions_;
   std::map<std::string, Proc, std::less<>> procs_;
 
   // Eval cache state.  Map keys and LRU entries are views into the owned

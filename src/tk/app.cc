@@ -256,8 +256,11 @@ void App::DeleteTimer(uint64_t id) {
 
 void App::DoWhenIdle(std::function<void()> callback) { idle_.push_back(std::move(callback)); }
 
-bool App::WaitFor(const std::function<bool()>& done) {
-  int quiet_rounds = 0;
+bool App::WaitFor(const std::function<bool()>& done, int64_t timeout_ms) {
+  if (timeout_ms < 0) {
+    timeout_ms = kDefaultWaitTimeoutMs;
+  }
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
   while (!done()) {
     bool progress = false;
     for (App* app : MutableAppRegistry()) {
@@ -266,23 +269,44 @@ bool App::WaitFor(const std::function<bool()>& done) {
       }
     }
     if (progress) {
-      quiet_rounds = 0;
       continue;
     }
-    ++quiet_rounds;
-    if (quiet_rounds > 1000) {
+    auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
       return false;
     }
-    // Nothing pending anywhere: let wall-clock timers advance.
-    std::this_thread::sleep_for(std::chrono::microseconds(100));
+    // Nothing pending anywhere: sleep until the earliest timer anywhere
+    // comes due (capped by the deadline and a 1ms re-check tick) instead of
+    // burning the CPU.
+    auto wake = now + std::chrono::milliseconds(1);
+    for (App* app : MutableAppRegistry()) {
+      for (const TimerHandler& timer : app->timers_) {
+        if (timer.due < wake) {
+          wake = timer.due;
+        }
+      }
+    }
+    if (wake > deadline) {
+      wake = deadline;
+    }
+    if (wake > now) {
+      std::this_thread::sleep_until(wake);
+    }
   }
   return true;
 }
 
 void App::BackgroundError(const std::string& message) {
-  if (interp_->HasCommand("tkerror")) {
+  ++background_errors_;
+  // A tkerror that provokes another background error (directly or through a
+  // nested callback) must not recurse forever; report the inner error the
+  // plain way.
+  if (!in_background_error_ && interp_->HasCommand("tkerror")) {
+    in_background_error_ = true;
     std::vector<std::string> call = {"tkerror", message};
-    if (interp_->EvalWords(call) == tcl::Code::kOk) {
+    tcl::Code code = interp_->EvalWords(call);
+    in_background_error_ = false;
+    if (code == tcl::Code::kOk) {
       return;
     }
     // Fall through if tkerror itself failed.

@@ -97,9 +97,12 @@ class App {
 
   // Pumps the event loops of every App registered in this process until
   // `done` returns true (used by send and selection retrieval, standing in
-  // for the blocking-with-dispatch loops of real Tk).  Returns false on
-  // timeout (a bounded number of idle rounds with no progress).
-  bool WaitFor(const std::function<bool()>& done);
+  // for the blocking-with-dispatch loops of real Tk).  Returns false once
+  // `timeout_ms` of wall-clock time passes without `done` becoming true
+  // (negative = kDefaultWaitTimeoutMs).  While nothing is pending anywhere
+  // the loop sleeps until the next timer is due instead of spinning.
+  static constexpr int64_t kDefaultWaitTimeoutMs = 2000;
+  bool WaitFor(const std::function<bool()>& done, int64_t timeout_ms = -1);
 
   // All live Apps in this process (the in-process stand-in for "all clients
   // of the display").
@@ -108,8 +111,12 @@ class App {
   // Reports an error from a callback with no caller to return it to (a
   // binding, an `after` script, a scrollbar command): invokes the Tcl
   // `tkerror` procedure if the application defined one, else prints to
-  // stderr -- Tk's background-error convention.
+  // stderr -- Tk's background-error convention.  Guards against recursion
+  // (a tkerror that itself errors falls back to stderr) and counts every
+  // report for `info faults`.
   void BackgroundError(const std::string& message);
+  uint64_t background_error_count() const { return background_errors_; }
+  void reset_background_error_count() { background_errors_ = 0; }
 
   // Schedules `widget` for a redraw at idle time (coalesced).
   void ScheduleRedraw(Widget* widget);
@@ -149,6 +156,8 @@ class App {
   std::vector<Widget*> repack_queue_;
   std::map<std::string, std::string> wm_titles_;  // Per-toplevel `wm title`.
   bool closing_ = false;
+  uint64_t background_errors_ = 0;
+  bool in_background_error_ = false;
 
   friend class Widget;
 };

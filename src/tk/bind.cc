@@ -480,7 +480,8 @@ int BindingTable::Dispatch(const xsim::Event& event, const std::string& widget_p
     tcl::Code code = app_.interp().Eval(scripts[i]);
     ++fired;
     if (code == tcl::Code::kError) {
-      // Background errors: report on stderr like tkerror.
+      // A binding has no caller to return the error to; hand it to the
+      // application's shared background-error path (tkerror or stderr).
       app_.BackgroundError("binding error (" + widget_path + "): " +
                            app_.interp().result());
     }

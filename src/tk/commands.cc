@@ -475,8 +475,18 @@ tcl::Code SelectionCmd(App& app, std::vector<std::string>& args) {
   }
   const std::string& option = args[1];
   if (option == "get") {
+    int64_t timeout_ms = -1;
+    if (args.size() == 4 && args[2] == "-timeout") {
+      std::optional<int64_t> ms = tcl::ParseInt(args[3]);
+      if (!ms || *ms < 0) {
+        return interp.Error("bad timeout value \"" + args[3] + "\"");
+      }
+      timeout_ms = *ms;
+    } else if (args.size() != 2) {
+      return interp.WrongNumArgs("selection get ?-timeout ms?");
+    }
     std::string value;
-    tcl::Code code = app.selection().Retrieve(&value);
+    tcl::Code code = app.selection().Retrieve(&value, timeout_ms);
     if (code != tcl::Code::kOk) {
       return code;
     }
@@ -525,18 +535,28 @@ tcl::Code SelectionCmd(App& app, std::vector<std::string>& args) {
 
 tcl::Code SendCmd(App& app, std::vector<std::string>& args) {
   tcl::Interp& interp = app.interp();
-  if (args.size() < 3) {
-    return interp.WrongNumArgs("send interpName arg ?arg ...?");
+  int64_t timeout_ms = -1;
+  size_t first = 1;
+  if (args.size() >= 3 && args[1] == "-timeout") {
+    std::optional<int64_t> ms = tcl::ParseInt(args[2]);
+    if (!ms || *ms < 0) {
+      return interp.Error("bad timeout value \"" + args[2] + "\"");
+    }
+    timeout_ms = *ms;
+    first = 3;
+  }
+  if (args.size() < first + 2) {
+    return interp.WrongNumArgs("send ?-timeout ms? interpName arg ?arg ...?");
   }
   std::string script;
-  if (args.size() == 3) {
-    script = args[2];
+  if (args.size() == first + 2) {
+    script = args[first + 1];
   } else {
-    std::vector<std::string> parts(args.begin() + 2, args.end());
+    std::vector<std::string> parts(args.begin() + first + 1, args.end());
     script = tcl::ConcatStrings(parts);
   }
   std::string result;
-  tcl::Code code = app.send_channel().Send(args[1], script, &result);
+  tcl::Code code = app.send_channel().Send(args[first], script, &result, timeout_ms);
   interp.SetResult(std::move(result));
   return code;
 }
@@ -569,9 +589,11 @@ tcl::Code AfterCmd(App& app, std::vector<std::string>& args) {
   if (args.size() == 2) {
     // Synchronous delay, pumping the event loop (as Tk's after does not --
     // it sleeps -- but blocking without dispatch would deadlock in-process
-    // siblings, so we dispatch like `tkwait` would).
+    // siblings, so we dispatch like `tkwait` would).  The WaitFor timeout
+    // must exceed the delay itself or the wait would be cut short.
     auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(*ms);
-    app.WaitFor([deadline]() { return std::chrono::steady_clock::now() >= deadline; });
+    app.WaitFor([deadline]() { return std::chrono::steady_clock::now() >= deadline; },
+                *ms + 1000);
     interp.ResetResult();
     return tcl::Code::kOk;
   }
@@ -686,6 +708,45 @@ tcl::Code WmCmd(App& app, std::vector<std::string>& args) {
                       "\": supported options are title, geometry, withdraw, deiconify");
 }
 
+// --- info faults (failure observability) --------------------------------------------
+//
+// Registered as an `info` extension (see Interp::RegisterInfoExtension):
+//   info faults        -> key/value list of fault and degradation counters
+//   info faults reset  -> zero all of them
+tcl::Code InfoFaultsCmd(App& app, std::vector<std::string>& args) {
+  tcl::Interp& interp = app.interp();
+  const xsim::FaultCounters& server = app.server().fault_counters();
+  if (args.size() == 2) {
+    auto u = [](uint64_t value) { return tcl::FormatInt(static_cast<int64_t>(value)); };
+    std::vector<std::string> kv = {
+        "errors",             u(server.errors_generated),
+        "injected-failures",  u(server.injected_failures),
+        "injected-drops",     u(server.injected_drops),
+        "injected-delays",    u(server.injected_delays),
+        "killed-clients",     u(server.killed_clients),
+        "x-errors",           u(app.display().error_count()),
+        "background-errors",  u(app.background_error_count()),
+        "send-timeouts",      u(app.send_channel().stats().timeouts),
+        "dead-peer-sends",    u(app.send_channel().stats().dead_peers),
+        "stale-replies",      u(app.send_channel().stats().stale_replies),
+        "selection-timeouts", u(app.selection().timeout_count()),
+        "degraded-colors",    u(app.resources().degraded())};
+    interp.SetResult(tcl::MergeList(kv));
+    return tcl::Code::kOk;
+  }
+  if (args.size() == 3 && args[2] == "reset") {
+    app.server().ResetFaultCounters();
+    app.display().reset_error_count();
+    app.reset_background_error_count();
+    app.send_channel().ResetStats();
+    app.selection().reset_timeout_count();
+    app.resources().reset_degraded();
+    interp.ResetResult();
+    return tcl::Code::kOk;
+  }
+  return interp.WrongNumArgs("info faults ?reset?");
+}
+
 }  // namespace
 
 void App::RegisterCommands() {
@@ -709,6 +770,12 @@ void App::RegisterCommands() {
   cmd("update", UpdateCmd);
   cmd("tkwait", TkwaitCmd);
   cmd("wm", WmCmd);
+
+  // Tk-level introspection grafted onto the core `info` command.
+  interp_->RegisterInfoExtension("faults",
+                                 [app](tcl::Interp&, std::vector<std::string>& args) {
+                                   return InfoFaultsCmd(*app, args);
+                                 });
 
   RegisterWidgetClass(*app, "frame", [](App& a, std::string path) {
     return std::make_unique<Frame>(a, std::move(path));

@@ -1,8 +1,26 @@
 #include "src/tk/resource_cache.h"
 
-namespace tk {
+#include <cctype>
 
-std::optional<xsim::Pixel> ResourceCache::GetColor(const std::string& name) {
+namespace tk {
+namespace {
+
+// The monochrome fallback when a color cannot be allocated: keep light
+// colors visible on dark backgrounds and vice versa.
+xsim::Pixel FallbackPixel(const std::string& name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  bool light = lower.find("white") != std::string::npos ||
+               lower.find("light") != std::string::npos;
+  return light ? 0xffffff : 0x000000;
+}
+
+}  // namespace
+
+xsim::Pixel ResourceCache::GetColor(const std::string& name) {
   if (caching_enabled_) {
     auto it = colors_.find(name);
     if (it != colors_.end()) {
@@ -11,12 +29,16 @@ std::optional<xsim::Pixel> ResourceCache::GetColor(const std::string& name) {
     }
   }
   ++misses_;
-  std::optional<xsim::Pixel> pixel = display_.AllocNamedColor(name);
-  if (!pixel) {
-    return std::nullopt;
+  std::optional<xsim::Pixel> allocated = display_.AllocNamedColor(name);
+  xsim::Pixel pixel;
+  if (allocated) {
+    pixel = *allocated;
+  } else {
+    ++degraded_;
+    pixel = FallbackPixel(name);
   }
-  if (caching_enabled_) {
-    colors_[name] = *pixel;
+  if (caching_enabled_ && allocated) {
+    colors_[name] = pixel;
   }
   return pixel;
 }

@@ -19,8 +19,11 @@ class ResourceCache {
  public:
   explicit ResourceCache(xsim::Display& display) : display_(display) {}
 
-  // Colors: "MediumSeaGreen", "#rgb", ... -> pixel.
-  std::optional<xsim::Pixel> GetColor(const std::string& name);
+  // Colors: "MediumSeaGreen", "#rgb", ... -> pixel.  Color allocation never
+  // fails: a name the server cannot resolve degrades to monochrome (white
+  // for light-sounding names, black otherwise) the way Tk falls back on a
+  // depleted colormap, and the degradation is counted for `info faults`.
+  xsim::Pixel GetColor(const std::string& name);
   // Reverse: the textual name a pixel was allocated under (Section 3.3:
   // "given an X resource identifier, Tk will return the textual name").
   std::optional<std::string> NameOfColor(xsim::Pixel pixel) const;
@@ -44,6 +47,9 @@ class ResourceCache {
 
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
+  // Color allocations that fell back to monochrome.
+  uint64_t degraded() const { return degraded_; }
+  void reset_degraded() { degraded_ = 0; }
   void ResetStats() {
     hits_ = 0;
     misses_ = 0;
@@ -58,6 +64,7 @@ class ResourceCache {
   std::map<std::string, xsim::BitmapId> bitmaps_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t degraded_ = 0;
 };
 
 }  // namespace tk

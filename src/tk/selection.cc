@@ -58,7 +58,10 @@ std::optional<std::string> SelectionManager::OwnerPath() const {
   return owner_->path();
 }
 
-tcl::Code SelectionManager::Retrieve(std::string* out) {
+tcl::Code SelectionManager::Retrieve(std::string* out, int64_t timeout_ms) {
+  if (timeout_ms < 0) {
+    timeout_ms = timeout_ms_;
+  }
   xsim::Atom primary = app_.display().InternAtom(kPrimary);
   xsim::Atom string_atom = app_.display().InternAtom(kString);
   xsim::Atom property = app_.display().InternAtom(kReplyProperty);
@@ -70,8 +73,12 @@ tcl::Code SelectionManager::Retrieve(std::string* out) {
   reply_ok_ = false;
   reply_value_.clear();
   app_.display().ConvertSelection(primary, string_atom, property, main->window());
-  bool finished = app_.WaitFor([this]() { return !reply_pending_; });
+  bool finished = app_.WaitFor([this]() { return !reply_pending_; }, timeout_ms);
   if (!finished) {
+    // The owner never answered (it is wedged, or the ConvertSelection
+    // request was lost).  Give up with a catchable error instead of
+    // blocking the application forever.
+    ++timeouts_;
     reply_pending_ = false;
     return app_.interp().Error("selection retrieval timed out");
   }

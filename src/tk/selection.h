@@ -41,8 +41,17 @@ class SelectionManager {
   std::optional<std::string> OwnerPath() const;
 
   // Retrieves the current selection (possibly from another application).
-  // Blocks by pumping event loops until the reply arrives.
-  tcl::Code Retrieve(std::string* out);
+  // Blocks by pumping event loops until the reply arrives or `timeout_ms`
+  // elapses (negative = the configured timeout).
+  tcl::Code Retrieve(std::string* out, int64_t timeout_ms = -1);
+
+  // How long Retrieve waits for the owner's reply by default.
+  int64_t timeout_ms() const { return timeout_ms_; }
+  void set_timeout_ms(int64_t ms) { timeout_ms_ = ms; }
+
+  // Retrievals that hit the deadline (for `info faults`).
+  uint64_t timeout_count() const { return timeouts_; }
+  void reset_timeout_count() { timeouts_ = 0; }
 
   // Called from App's event dispatch for selection protocol events on the
   // app's windows.
@@ -74,6 +83,8 @@ class SelectionManager {
   bool reply_pending_ = false;
   bool reply_ok_ = false;
   std::string reply_value_;
+  int64_t timeout_ms_ = 2000;
+  uint64_t timeouts_ = 0;
 };
 
 }  // namespace tk

@@ -28,27 +28,36 @@ SendChannel::~SendChannel() = default;
 // ---------------------------------------------------------------------------
 // Registry management (a property on the root window, Section 6).
 
-SendChannel::Registry SendChannel::ReadRegistry() const {
+SendChannel::Registry SendChannel::ReadRegistry() {
   Registry registry;
   std::optional<std::string> raw =
       app_.display().GetProperty(app_.display().root(), registry_atom_);
   if (!raw) {
     return registry;
   }
+  bool dirty = false;
   std::optional<std::vector<std::string>> records = tcl::SplitList(*raw, nullptr);
   if (!records) {
+    // The whole property is corrupt; replace it with an empty registry.
+    WriteRegistry(registry);
     return registry;
   }
   for (const std::string& record : *records) {
     std::optional<std::vector<std::string>> fields = tcl::SplitList(record, nullptr);
     if (!fields || fields->size() != 2) {
+      dirty = true;
       continue;
     }
     std::optional<int64_t> window = tcl::ParseInt((*fields)[1]);
-    if (!window) {
+    if (!window || *window <= 0 ||
+        !app_.server().WindowExists(static_cast<xsim::WindowId>(*window))) {
+      dirty = true;  // Malformed window id, or the application is gone.
       continue;
     }
     registry.entries.emplace_back((*fields)[0], static_cast<xsim::WindowId>(*window));
+  }
+  if (dirty) {
+    WriteRegistry(registry);
   }
   return registry;
 }
@@ -63,16 +72,9 @@ void SendChannel::WriteRegistry(const Registry& registry) {
 }
 
 std::string SendChannel::Register(const std::string& desired_name) {
+  // ReadRegistry already healed away stale and malformed records.
   Registry registry = ReadRegistry();
-  // Drop stale entries whose comm windows no longer exist.
   auto& entries = registry.entries;
-  for (size_t i = 0; i < entries.size();) {
-    if (!app_.server().WindowExists(entries[i].second)) {
-      entries.erase(entries.begin() + i);
-    } else {
-      ++i;
-    }
-  }
   std::string name = desired_name;
   int suffix = 2;
   auto taken = [&](const std::string& candidate) {
@@ -109,7 +111,7 @@ void SendChannel::Unregister() {
   name_.clear();
 }
 
-std::vector<std::string> SendChannel::RegisteredNames() const {
+std::vector<std::string> SendChannel::RegisteredNames() {
   std::vector<std::string> names;
   for (const auto& [name, window] : ReadRegistry().entries) {
     names.push_back(name);
@@ -121,7 +123,10 @@ std::vector<std::string> SendChannel::RegisteredNames() const {
 // The send protocol.
 
 tcl::Code SendChannel::Send(const std::string& target, const std::string& script,
-                            std::string* result) {
+                            std::string* result, int64_t timeout_ms) {
+  if (timeout_ms < 0) {
+    timeout_ms = timeout_ms_;
+  }
   // Locate the target's comm window via the registry.
   xsim::WindowId target_window = xsim::kNone;
   for (const auto& [name, window] : ReadRegistry().entries) {
@@ -147,23 +152,40 @@ tcl::Code SendChannel::Send(const std::string& target, const std::string& script
   app_.display().ChangeProperty(target_window, request_atom_, payload);
   // Block until the reply lands -- pumping every in-process application's
   // event loop, which stands in for the X scheduler interleaving processes.
-  bool finished = app_.WaitFor([this, serial]() {
-    for (const Pending& pending : pending_) {
-      if (pending.serial == serial) {
-        return pending.done;
-      }
-    }
-    return true;
-  });
+  // The wait also ends when the target's comm window disappears (the
+  // application crashed or exited mid-send) or the timeout expires; both
+  // become ordinary catchable Tcl errors instead of a hang.
+  xsim::Server& server = app_.server();
+  app_.WaitFor(
+      [this, serial, &server, target_window]() {
+        if (!server.WindowExists(target_window)) {
+          return true;
+        }
+        for (const Pending& pending : pending_) {
+          if (pending.serial == serial) {
+            return pending.done;
+          }
+        }
+        return true;
+      },
+      timeout_ms);
   bool ok = true;
   for (size_t i = 0; i < pending_.size(); ++i) {
     if (pending_[i].serial == serial) {
-      if (!finished) {
-        *result = "target application died or is unresponsive";
-        ok = false;
-      } else {
+      if (pending_[i].done) {
         *result = pending_[i].result;
         ok = pending_[i].ok;
+      } else if (!server.WindowExists(target_window)) {
+        ++stats_.dead_peers;
+        *result = "target application died";
+        ok = false;
+        // Prune the dead application's registry entry right away so the
+        // next `winfo interps` / send doesn't trip over it.
+        ReadRegistry();
+      } else {
+        ++stats_.timeouts;
+        *result = "send to \"" + target + "\" timed out";
+        ok = false;
       }
       pending_.erase(pending_.begin() + i);
       break;
@@ -251,6 +273,9 @@ void SendChannel::ProcessReply(const std::string& record) {
       return;
     }
   }
+  // A reply for a send that already gave up (timed out, or the serial never
+  // existed): ignore it rather than corrupt a later send's state.
+  ++stats_.stale_replies;
 }
 
 }  // namespace tk

@@ -39,12 +39,28 @@ class SendChannel {
   xsim::WindowId comm_window() const { return comm_window_; }
 
   // Sends `script` to the application registered as `target`; blocks
-  // (pumping all in-process event loops) until the result arrives.  The
-  // remote result or error message is stored in *result.
-  tcl::Code Send(const std::string& target, const std::string& script, std::string* result);
+  // (pumping all in-process event loops) until the result arrives, the
+  // target's comm window disappears ("target application died"), or
+  // `timeout_ms` elapses (negative = the channel's configured timeout).
+  // The remote result or error message is stored in *result.
+  tcl::Code Send(const std::string& target, const std::string& script, std::string* result,
+                 int64_t timeout_ms = -1);
+
+  // How long Send waits for a reply by default, in milliseconds.
+  int64_t timeout_ms() const { return timeout_ms_; }
+  void set_timeout_ms(int64_t ms) { timeout_ms_ = ms; }
+
+  // Failure observability for `info faults`.
+  struct SendStats {
+    uint64_t timeouts = 0;       // Sends that hit the reply deadline.
+    uint64_t dead_peers = 0;     // Sends aborted because the target died.
+    uint64_t stale_replies = 0;  // Replies whose serial matched no pending send.
+  };
+  const SendStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = SendStats(); }
 
   // All application names currently in the registry (`winfo interps`).
-  std::vector<std::string> RegisteredNames() const;
+  std::vector<std::string> RegisteredNames();
 
   // Handles PropertyNotify events on the comm window (incoming requests and
   // replies).  Returns true if the event was consumed.
@@ -54,7 +70,10 @@ class SendChannel {
   struct Registry {
     std::vector<std::pair<std::string, xsim::WindowId>> entries;
   };
-  Registry ReadRegistry() const;
+  // Reads the root-window registry property, dropping malformed records and
+  // records whose comm window no longer exists; when anything was dropped
+  // the healed registry is written back so later readers see a clean list.
+  Registry ReadRegistry();
   void WriteRegistry(const Registry& registry);
   void ProcessRequest(const std::string& payload);
   void ProcessReply(const std::string& payload);
@@ -76,6 +95,8 @@ class SendChannel {
     std::string result;
   };
   std::vector<Pending> pending_;
+  int64_t timeout_ms_ = 2000;
+  SendStats stats_;
 };
 
 }  // namespace tk

@@ -340,11 +340,9 @@ OptionSpec Widget::ColorOption(const std::string& flag, const std::string& db_na
   spec.db_class = db_class;
   spec.default_value = default_value;
   spec.set = [this, field, name_field](const std::string& value) {
-    std::optional<xsim::Pixel> pixel = app_.resources().GetColor(value);
-    if (!pixel) {
-      return interp().Error("unknown color name \"" + value + "\"");
-    }
-    *field = *pixel;
+    // GetColor degrades unknown names to monochrome rather than failing, so
+    // a bad color in a config never aborts widget creation.
+    *field = app_.resources().GetColor(value);
     if (name_field != nullptr) {
       *name_field = value;
     }

@@ -163,11 +163,7 @@ tcl::Code Canvas::ConfigureItem(Item* item, const std::vector<std::string>& args
     const std::string& flag = args[i];
     const std::string& value = args[i + 1];
     if (flag == "-fill" || flag == "-outline") {
-      std::optional<xsim::Pixel> pixel = app().resources().GetColor(value);
-      if (!pixel) {
-        return tcl.Error("unknown color name \"" + value + "\"");
-      }
-      item->fill = *pixel;
+      item->fill = app().resources().GetColor(value);
       item->fill_name = value;
       item->filled = flag == "-fill";
     } else if (flag == "-text") {

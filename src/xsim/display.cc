@@ -4,9 +4,21 @@ namespace xsim {
 
 std::unique_ptr<Display> Display::Open(Server& server, std::string client_name) {
   ClientId id = server.RegisterClient(std::move(client_name));
-  return std::unique_ptr<Display>(new Display(server, id));
+  auto display = std::unique_ptr<Display>(new Display(server, id));
+  server.SetErrorSink(id, [raw = display.get()](const XError& error) {
+    raw->HandleError(error);
+  });
+  return display;
 }
 
 Display::~Display() { server_.UnregisterClient(client_); }
+
+void Display::HandleError(const XError& error) {
+  last_error_ = error;
+  ++error_count_;
+  if (error_handler_) {
+    error_handler_(error);
+  }
+}
 
 }  // namespace xsim

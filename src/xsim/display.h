@@ -7,10 +7,13 @@
 #ifndef SRC_XSIM_DISPLAY_H_
 #define SRC_XSIM_DISPLAY_H_
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 
+#include "src/xsim/error.h"
 #include "src/xsim/event.h"
 #include "src/xsim/server.h"
 #include "src/xsim/types.h"
@@ -29,6 +32,20 @@ class Display {
   Server& server() { return server_; }
   ClientId client_id() const { return client_; }
   WindowId root() const { return server_.root(); }
+
+  // --- Error handling ---
+  //
+  // The server delivers X errors for this connection here (the Display
+  // installs itself as the client's error sink on Open).  Without a handler
+  // the Display just records the error, mirroring Xlib's default of not
+  // crashing the client for non-fatal errors.
+  using ErrorHandler = std::function<void(const XError&)>;
+  void set_error_handler(ErrorHandler handler) { error_handler_ = std::move(handler); }
+  const XError& last_error() const { return last_error_; }
+  uint64_t error_count() const { return error_count_; }
+  void reset_error_count() { error_count_ = 0; }
+  // Sequence number of the most recent request on this connection.
+  uint64_t request_sequence() const { return server_.ClientSequence(client_); }
 
   // Windows.
   WindowId CreateWindow(WindowId parent, int x, int y, int width, int height,
@@ -51,7 +68,7 @@ class Display {
   }
 
   // Atoms and properties.
-  Atom InternAtom(std::string_view name) { return server_.InternAtom(name); }
+  Atom InternAtom(std::string_view name) { return server_.InternAtom(client_, name); }
   std::string AtomName(Atom atom) { return server_.AtomName(atom); }
   bool ChangeProperty(WindowId w, Atom property, std::string value) {
     return server_.ChangeProperty(client_, w, property, std::move(value));
@@ -124,8 +141,13 @@ class Display {
  private:
   Display(Server& server, ClientId client) : server_(server), client_(client) {}
 
+  void HandleError(const XError& error);
+
   Server& server_;
   ClientId client_;
+  ErrorHandler error_handler_;
+  XError last_error_;
+  uint64_t error_count_ = 0;
 };
 
 }  // namespace xsim

@@ -1,0 +1,151 @@
+// X protocol errors.
+//
+// Real Xlib reports request failures asynchronously: the server attaches the
+// offending request's sequence number and resource id to an error event and
+// the client's error handler sees it some time after the call returned.  The
+// reproduction keeps the same shape -- every request a client issues gets a
+// sequence number, invalid resource ids generate an XError delivered to the
+// owning Display's error handler -- but delivery is synchronous because the
+// "connection" is a function call.
+
+#ifndef SRC_XSIM_ERROR_H_
+#define SRC_XSIM_ERROR_H_
+
+#include <string_view>
+
+#include "src/xsim/types.h"
+
+namespace xsim {
+
+// Xlib-style error codes for the failures Tk can provoke.
+enum class ErrorCode : uint8_t {
+  kSuccess = 0,
+  kBadValue,           // Parameter out of range (zero-sized window, ...).
+  kBadWindow,          // Window id names no live window.
+  kBadAtom,            // Atom id is None or was never interned.
+  kBadColor,           // Color name/spec the server cannot resolve.
+  kBadGC,              // GC id names no graphics context.
+  kBadFont,            // Font name the server cannot resolve.
+  kBadImplementation,  // The server failed the request (fault injection).
+};
+
+// The request categories the server distinguishes for sequence accounting,
+// error reporting and fault-injection policies.
+enum class RequestType : uint8_t {
+  kOther = 0,
+  kCreateWindow,
+  kDestroyWindow,
+  kMapWindow,
+  kUnmapWindow,
+  kConfigureWindow,
+  kSelectInput,
+  kChangeProperty,
+  kGetProperty,
+  kDeleteProperty,
+  kInternAtom,
+  kAllocColor,
+  kLoadFont,
+  kCreateCursor,
+  kCreateBitmap,
+  kCreateGc,
+  kChangeGc,
+  kDraw,
+  kSetInputFocus,
+  kSetSelectionOwner,
+  kConvertSelection,
+  kSendEvent,
+  kRequestTypeCount,  // Sentinel; keep last.
+};
+
+inline constexpr size_t kRequestTypeCount =
+    static_cast<size_t>(RequestType::kRequestTypeCount);
+
+// One error event, as a client's error handler sees it.
+struct XError {
+  ErrorCode code = ErrorCode::kSuccess;
+  uint64_t sequence = 0;     // Sequence number of the failing request.
+  XId resource = kNone;      // The offending resource id, if any.
+  RequestType request = RequestType::kOther;
+};
+
+inline const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kSuccess:
+      return "Success";
+    case ErrorCode::kBadValue:
+      return "BadValue";
+    case ErrorCode::kBadWindow:
+      return "BadWindow";
+    case ErrorCode::kBadAtom:
+      return "BadAtom";
+    case ErrorCode::kBadColor:
+      return "BadColor";
+    case ErrorCode::kBadGC:
+      return "BadGC";
+    case ErrorCode::kBadFont:
+      return "BadFont";
+    case ErrorCode::kBadImplementation:
+      return "BadImplementation";
+  }
+  return "?";
+}
+
+inline const char* RequestTypeName(RequestType type) {
+  switch (type) {
+    case RequestType::kOther:
+      return "other";
+    case RequestType::kCreateWindow:
+      return "create-window";
+    case RequestType::kDestroyWindow:
+      return "destroy-window";
+    case RequestType::kMapWindow:
+      return "map-window";
+    case RequestType::kUnmapWindow:
+      return "unmap-window";
+    case RequestType::kConfigureWindow:
+      return "configure-window";
+    case RequestType::kSelectInput:
+      return "select-input";
+    case RequestType::kChangeProperty:
+      return "change-property";
+    case RequestType::kGetProperty:
+      return "get-property";
+    case RequestType::kDeleteProperty:
+      return "delete-property";
+    case RequestType::kInternAtom:
+      return "intern-atom";
+    case RequestType::kAllocColor:
+      return "alloc-color";
+    case RequestType::kLoadFont:
+      return "load-font";
+    case RequestType::kCreateCursor:
+      return "create-cursor";
+    case RequestType::kCreateBitmap:
+      return "create-bitmap";
+    case RequestType::kCreateGc:
+      return "create-gc";
+    case RequestType::kChangeGc:
+      return "change-gc";
+    case RequestType::kDraw:
+      return "draw";
+    case RequestType::kSetInputFocus:
+      return "set-input-focus";
+    case RequestType::kSetSelectionOwner:
+      return "set-selection-owner";
+    case RequestType::kConvertSelection:
+      return "convert-selection";
+    case RequestType::kSendEvent:
+      return "send-event";
+    case RequestType::kRequestTypeCount:
+      break;
+  }
+  return "?";
+}
+
+// Reverse of RequestTypeName; returns kRequestTypeCount for unknown names
+// (used by the Tcl-visible fault-injection controls in tests).
+RequestType RequestTypeFromName(std::string_view name);
+
+}  // namespace xsim
+
+#endif  // SRC_XSIM_ERROR_H_

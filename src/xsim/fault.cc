@@ -1,0 +1,89 @@
+#include "src/xsim/fault.h"
+
+#include <string>
+
+namespace xsim {
+
+RequestType RequestTypeFromName(std::string_view name) {
+  for (size_t i = 0; i < kRequestTypeCount; ++i) {
+    RequestType type = static_cast<RequestType>(i);
+    if (name == RequestTypeName(type)) {
+      return type;
+    }
+  }
+  return RequestType::kRequestTypeCount;
+}
+
+void FaultInjector::SetPolicy(RequestType type, const Policy& policy) {
+  size_t index = static_cast<size_t>(type);
+  if (index >= kRequestTypeCount) {
+    return;
+  }
+  policies_[index] = policy;
+  RecomputeActive();
+}
+
+void FaultInjector::SetPolicyAll(const Policy& policy) {
+  catch_all_ = policy;
+  RecomputeActive();
+}
+
+void FaultInjector::Clear() {
+  for (Policy& policy : policies_) {
+    policy = Policy();
+  }
+  catch_all_ = Policy();
+  active_ = false;
+}
+
+void FaultInjector::RecomputeActive() {
+  active_ = !catch_all_.empty();
+  for (const Policy& policy : policies_) {
+    active_ = active_ || !policy.empty();
+  }
+}
+
+double FaultInjector::NextUniform() {
+  // xorshift64*: deterministic, cheap, good enough for fault scheduling.
+  uint64_t x = state_;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  state_ = x;
+  return static_cast<double>((x * 0x2545f4914f6cdd1dull) >> 11) /
+         static_cast<double>(1ull << 53);
+}
+
+void FaultInjector::Apply(Policy& policy, Decision* decision) {
+  if (policy.fail_next > 0) {
+    --policy.fail_next;
+    decision->fail = true;
+  } else if (policy.fail_probability > 0.0 && NextUniform() < policy.fail_probability) {
+    decision->fail = true;
+  }
+  if (policy.drop_next > 0) {
+    --policy.drop_next;
+    decision->drop = true;
+  } else if (policy.drop_probability > 0.0 && NextUniform() < policy.drop_probability) {
+    decision->drop = true;
+  }
+  decision->delay_ns += policy.delay_ns;
+}
+
+FaultInjector::Decision FaultInjector::Decide(RequestType type) {
+  Decision decision;
+  if (!active_) {
+    return decision;
+  }
+  size_t index = static_cast<size_t>(type);
+  if (index < kRequestTypeCount) {
+    Apply(policies_[index], &decision);
+  }
+  Apply(catch_all_, &decision);
+  // One-shot counters may have drained: keep active() accurate so the next
+  // request takes the fast path again.
+  RecomputeActive();
+  return decision;
+}
+
+}  // namespace xsim

@@ -1,0 +1,78 @@
+// Fault injection for the xsim server.
+//
+// Tests and benchmarks script failures the way a chaos harness would against
+// a real display connection: a per-request-type policy can fail requests
+// (the client sees a BadImplementation error), drop them silently (the
+// request is lost in transit), or delay them.  Decisions are driven by a
+// deterministic xorshift PRNG so a seeded run is exactly reproducible, and
+// one-shot counters (`fail_next`, `drop_next`) allow scripting "the next
+// ChangeProperty is lost" without probabilities.
+
+#ifndef SRC_XSIM_FAULT_H_
+#define SRC_XSIM_FAULT_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/xsim/error.h"
+
+namespace xsim {
+
+class FaultInjector {
+ public:
+  struct Policy {
+    double fail_probability = 0.0;  // Request fails with BadImplementation.
+    double drop_probability = 0.0;  // Request is silently lost.
+    uint64_t delay_ns = 0;          // Extra transport delay per request.
+    // Deterministic one-shots: fail/drop exactly the next N matching
+    // requests, independent of the probabilities above.
+    int fail_next = 0;
+    int drop_next = 0;
+
+    bool empty() const {
+      return fail_probability == 0.0 && drop_probability == 0.0 && delay_ns == 0 &&
+             fail_next == 0 && drop_next == 0;
+    }
+  };
+
+  // What the server should do with one request.
+  struct Decision {
+    bool fail = false;
+    bool drop = false;
+    uint64_t delay_ns = 0;
+  };
+
+  // Reseeds the PRNG; a given (seed, request sequence) always produces the
+  // same decisions.
+  void set_seed(uint64_t seed) { state_ = seed != 0 ? seed : kDefaultSeed; }
+
+  // Installs `policy` for one request type, or for every type at once via
+  // SetPolicyAll.  Policies are merged: a type-specific policy and the
+  // catch-all both apply.
+  void SetPolicy(RequestType type, const Policy& policy);
+  void SetPolicyAll(const Policy& policy);
+  void Clear();
+
+  // True when any policy is installed (lets the server skip the hook on the
+  // hot path).
+  bool active() const { return active_; }
+
+  // Consumes one decision for a request of `type`.
+  Decision Decide(RequestType type);
+
+ private:
+  static constexpr uint64_t kDefaultSeed = 0x9e3779b97f4a7c15ull;
+
+  double NextUniform();
+  void Apply(Policy& policy, Decision* decision);
+  void RecomputeActive();
+
+  uint64_t state_ = kDefaultSeed;
+  bool active_ = false;
+  std::array<Policy, kRequestTypeCount> policies_;
+  Policy catch_all_;
+};
+
+}  // namespace xsim
+
+#endif  // SRC_XSIM_FAULT_H_

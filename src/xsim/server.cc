@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <sstream>
+#include <thread>
 
 namespace xsim {
 
@@ -18,12 +19,21 @@ Server::Server(int width, int height) : raster_(width, height, 0x00c0c0c0) {
 
 
 // ---------------------------------------------------------------------------
-// Request accounting with optional simulated transport latency.
+// Request accounting with optional simulated transport latency, sequence
+// numbering, error generation and fault injection.
 
 namespace {
 
-void BusyWaitNs(uint64_t ns) {
+// Short waits (sub-50us simulated wire latency) spin, because OS sleep
+// granularity would distort the latency model; anything longer sleeps so
+// that fault-injection delays and slow-transport tests don't burn a core.
+void WaitNs(uint64_t ns) {
   if (ns == 0) {
+    return;
+  }
+  constexpr uint64_t kSpinThresholdNs = 50000;
+  if (ns >= kSpinThresholdNs) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
     return;
   }
   auto deadline = std::chrono::steady_clock::now() + std::chrono::nanoseconds(ns);
@@ -33,14 +43,52 @@ void BusyWaitNs(uint64_t ns) {
 
 }  // namespace
 
-void Server::CountRequest() {
+bool Server::BeginRequest(ClientId client, RequestType type) {
+  ClientRec* rec = FindClient(client);
+  if (rec != nullptr && rec->dead) {
+    return false;  // Requests from a crashed client vanish.
+  }
   ++counters_.total;
-  BusyWaitNs(request_latency_ns_);
+  if (rec != nullptr) {
+    ++rec->sequence;
+  }
+  WaitNs(request_latency_ns_);
+  if (fault_injector_.active()) {
+    FaultInjector::Decision decision = fault_injector_.Decide(type);
+    if (decision.delay_ns != 0) {
+      ++fault_counters_.injected_delays;
+      WaitNs(decision.delay_ns);
+    }
+    if (decision.drop) {
+      ++fault_counters_.injected_drops;
+      return false;
+    }
+    if (decision.fail) {
+      ++fault_counters_.injected_failures;
+      RaiseError(client, ErrorCode::kBadImplementation, kNone, type);
+      return false;
+    }
+  }
+  return true;
 }
 
 void Server::CountRoundTrip() {
   ++counters_.round_trips;
-  BusyWaitNs(round_trip_latency_ns_);
+  WaitNs(round_trip_latency_ns_);
+}
+
+void Server::RaiseError(ClientId client, ErrorCode code, XId resource, RequestType request) {
+  ++fault_counters_.errors_generated;
+  ClientRec* rec = FindClient(client);
+  if (rec == nullptr || rec->dead || !rec->error_sink) {
+    return;
+  }
+  XError error;
+  error.code = code;
+  error.sequence = rec->sequence;
+  error.resource = resource;
+  error.request = request;
+  rec->error_sink(error);
 }
 
 Server::~Server() = default;
@@ -64,6 +112,11 @@ Server::ClientRec* Server::FindClient(ClientId id) {
   return it == clients_.end() ? nullptr : it->second.get();
 }
 
+const Server::ClientRec* Server::FindClient(ClientId id) const {
+  auto it = clients_.find(id);
+  return it == clients_.end() ? nullptr : it->second.get();
+}
+
 // ---------------------------------------------------------------------------
 // Clients.
 
@@ -76,21 +129,22 @@ ClientId Server::RegisterClient(std::string name) {
   return id;
 }
 
-void Server::UnregisterClient(ClientId client) {
+void Server::CloseDownClient(ClientRec* rec) {
   // Destroy windows owned by the client (top-level ones; descendants go with
   // them), release selections, drop the queue.
+  ClientId client = rec->id;
   std::vector<WindowId> owned;
-  for (const auto& [id, rec] : windows_) {
-    if (rec->owner == client && rec->parent != kNone) {
-      const WindowRec* parent = FindWindow(rec->parent);
+  for (const auto& [id, window] : windows_) {
+    if (window->owner == client && window->parent != kNone) {
+      const WindowRec* parent = FindWindow(window->parent);
       if (parent == nullptr || parent->owner != client) {
         owned.push_back(id);
       }
     }
   }
   for (WindowId id : owned) {
-    if (WindowRec* rec = FindWindow(id)) {
-      DestroyWindowInternal(rec);
+    if (WindowRec* window = FindWindow(id)) {
+      DestroyWindowInternal(window);
     }
   }
   for (auto it = selections_.begin(); it != selections_.end();) {
@@ -100,7 +154,43 @@ void Server::UnregisterClient(ClientId client) {
       ++it;
     }
   }
-  clients_.erase(client);
+  rec->queue.clear();
+  rec->error_sink = nullptr;
+}
+
+void Server::UnregisterClient(ClientId client) {
+  if (ClientRec* rec = FindClient(client)) {
+    if (!rec->dead) {
+      CloseDownClient(rec);
+    }
+    clients_.erase(client);
+  }
+}
+
+void Server::KillClient(ClientId client) {
+  ClientRec* rec = FindClient(client);
+  if (rec == nullptr || rec->dead) {
+    return;
+  }
+  ++fault_counters_.killed_clients;
+  CloseDownClient(rec);
+  rec->dead = true;
+}
+
+bool Server::ClientAlive(ClientId client) const {
+  const ClientRec* rec = FindClient(client);
+  return rec != nullptr && !rec->dead;
+}
+
+void Server::SetErrorSink(ClientId client, ErrorSink sink) {
+  if (ClientRec* rec = FindClient(client)) {
+    rec->error_sink = std::move(sink);
+  }
+}
+
+uint64_t Server::ClientSequence(ClientId client) const {
+  const ClientRec* rec = FindClient(client);
+  return rec == nullptr ? 0 : rec->sequence;
 }
 
 bool Server::HasPendingEvents(ClientId client) const {
@@ -130,7 +220,8 @@ void Server::Deliver(WindowId window, const Event& event, uint32_t mask) {
     if ((selected & mask) == 0) {
       continue;
     }
-    if (ClientRec* client = FindClient(client_id)) {
+    ClientRec* client = FindClient(client_id);
+    if (client != nullptr && !client->dead) {
       client->queue.push_back(event);
     }
   }
@@ -171,11 +262,19 @@ WindowId Server::DeliverWithPropagation(WindowId window, Event event, uint32_t m
 
 WindowId Server::CreateWindow(ClientId client, WindowId parent, int x, int y, int width,
                               int height, int border_width) {
-  CountRequest();
+  if (!BeginRequest(client, RequestType::kCreateWindow)) {
+    return kNone;
+  }
   ++counters_.create_window;
   WindowRec* parent_rec = FindWindow(parent);
   if (parent_rec == nullptr) {
+    RaiseError(client, ErrorCode::kBadWindow, parent, RequestType::kCreateWindow);
     return kNone;
+  }
+  if (width <= 0 || height <= 0) {
+    // X would refuse with BadValue; the simulator degrades to a 1x1 window
+    // but still reports the error so misbehaving callers are observable.
+    RaiseError(client, ErrorCode::kBadValue, parent, RequestType::kCreateWindow);
   }
   WindowId id = next_id_++;
   auto rec = std::make_unique<WindowRec>();
@@ -228,22 +327,28 @@ void Server::DestroyWindowInternal(WindowRec* rec) {
   windows_.erase(rec->id);
 }
 
-bool Server::DestroyWindow(ClientId, WindowId window) {
-  CountRequest();
+bool Server::DestroyWindow(ClientId client, WindowId window) {
+  if (!BeginRequest(client, RequestType::kDestroyWindow)) {
+    return false;
+  }
   ++counters_.destroy_window;
   WindowRec* rec = FindWindow(window);
   if (rec == nullptr || window == kRootWindow) {
+    RaiseError(client, ErrorCode::kBadWindow, window, RequestType::kDestroyWindow);
     return false;
   }
   DestroyWindowInternal(rec);
   return true;
 }
 
-bool Server::MapWindow(ClientId, WindowId window) {
-  CountRequest();
+bool Server::MapWindow(ClientId client, WindowId window) {
+  if (!BeginRequest(client, RequestType::kMapWindow)) {
+    return false;
+  }
   ++counters_.map_window;
   WindowRec* rec = FindWindow(window);
   if (rec == nullptr) {
+    RaiseError(client, ErrorCode::kBadWindow, window, RequestType::kMapWindow);
     return false;
   }
   if (rec->mapped) {
@@ -268,11 +373,17 @@ bool Server::MapWindow(ClientId, WindowId window) {
   return true;
 }
 
-bool Server::UnmapWindow(ClientId, WindowId window) {
-  CountRequest();
-  WindowRec* rec = FindWindow(window);
-  if (rec == nullptr || !rec->mapped) {
+bool Server::UnmapWindow(ClientId client, WindowId window) {
+  if (!BeginRequest(client, RequestType::kUnmapWindow)) {
     return false;
+  }
+  WindowRec* rec = FindWindow(window);
+  if (rec == nullptr) {
+    RaiseError(client, ErrorCode::kBadWindow, window, RequestType::kUnmapWindow);
+    return false;
+  }
+  if (!rec->mapped) {
+    return false;  // Unmapping an unmapped window is not an X error.
   }
   rec->mapped = false;
   Event event;
@@ -283,12 +394,15 @@ bool Server::UnmapWindow(ClientId, WindowId window) {
   return true;
 }
 
-bool Server::ConfigureWindow(ClientId, WindowId window, int x, int y, int width, int height,
-                             int border_width) {
-  CountRequest();
+bool Server::ConfigureWindow(ClientId client, WindowId window, int x, int y, int width,
+                             int height, int border_width) {
+  if (!BeginRequest(client, RequestType::kConfigureWindow)) {
+    return false;
+  }
   ++counters_.configure_window;
   WindowRec* rec = FindWindow(window);
   if (rec == nullptr) {
+    RaiseError(client, ErrorCode::kBadWindow, window, RequestType::kConfigureWindow);
     return false;
   }
   Rect old = rec->geometry;
@@ -333,10 +447,13 @@ bool Server::ConfigureWindow(ClientId, WindowId window, int x, int y, int width,
   return true;
 }
 
-bool Server::RaiseWindow(ClientId, WindowId window) {
-  CountRequest();
+bool Server::RaiseWindow(ClientId client, WindowId window) {
+  if (!BeginRequest(client, RequestType::kConfigureWindow)) {
+    return false;
+  }
   WindowRec* rec = FindWindow(window);
   if (rec == nullptr) {
+    RaiseError(client, ErrorCode::kBadWindow, window, RequestType::kConfigureWindow);
     return false;
   }
   WindowRec* parent = FindWindow(rec->parent);
@@ -355,9 +472,12 @@ bool Server::RaiseWindow(ClientId, WindowId window) {
 }
 
 void Server::SelectInput(ClientId client, WindowId window, uint32_t mask) {
-  CountRequest();
+  if (!BeginRequest(client, RequestType::kSelectInput)) {
+    return;
+  }
   WindowRec* rec = FindWindow(window);
   if (rec == nullptr) {
+    RaiseError(client, ErrorCode::kBadWindow, window, RequestType::kSelectInput);
     return;
   }
   if (mask == 0) {
@@ -367,10 +487,13 @@ void Server::SelectInput(ClientId client, WindowId window, uint32_t mask) {
   }
 }
 
-bool Server::SetWindowBackground(ClientId, WindowId window, Pixel pixel) {
-  CountRequest();
+bool Server::SetWindowBackground(ClientId client, WindowId window, Pixel pixel) {
+  if (!BeginRequest(client, RequestType::kConfigureWindow)) {
+    return false;
+  }
   WindowRec* rec = FindWindow(window);
   if (rec == nullptr) {
+    RaiseError(client, ErrorCode::kBadWindow, window, RequestType::kConfigureWindow);
     return false;
   }
   rec->background = pixel;
@@ -468,8 +591,10 @@ void Server::GenerateExpose(WindowId window) {
 // ---------------------------------------------------------------------------
 // Atoms and properties.
 
-Atom Server::InternAtom(std::string_view name) {
-  CountRequest();
+Atom Server::InternAtom(ClientId client, std::string_view name) {
+  if (!BeginRequest(client, RequestType::kInternAtom)) {
+    return kAtomNone;
+  }
   CountRoundTrip();
   for (size_t i = 0; i < atoms_.size(); ++i) {
     if (atoms_[i] == name) {
@@ -487,11 +612,19 @@ std::string Server::AtomName(Atom atom) const {
   return atoms_[atom - 1];
 }
 
-bool Server::ChangeProperty(ClientId, WindowId window, Atom property, std::string value) {
-  CountRequest();
+bool Server::ChangeProperty(ClientId client, WindowId window, Atom property,
+                            std::string value) {
+  if (!BeginRequest(client, RequestType::kChangeProperty)) {
+    return false;
+  }
   ++counters_.change_property;
   WindowRec* rec = FindWindow(window);
-  if (rec == nullptr || property == kAtomNone) {
+  if (rec == nullptr) {
+    RaiseError(client, ErrorCode::kBadWindow, window, RequestType::kChangeProperty);
+    return false;
+  }
+  if (property == kAtomNone || property > atoms_.size()) {
+    RaiseError(client, ErrorCode::kBadAtom, property, RequestType::kChangeProperty);
     return false;
   }
   rec->properties[property] = std::move(value);
@@ -504,12 +637,16 @@ bool Server::ChangeProperty(ClientId, WindowId window, Atom property, std::strin
   return true;
 }
 
-std::optional<std::string> Server::GetProperty(ClientId, WindowId window, Atom property) {
-  CountRequest();
+std::optional<std::string> Server::GetProperty(ClientId client, WindowId window,
+                                               Atom property) {
+  if (!BeginRequest(client, RequestType::kGetProperty)) {
+    return std::nullopt;
+  }
   ++counters_.get_property;
   CountRoundTrip();
   const WindowRec* rec = FindWindow(window);
   if (rec == nullptr) {
+    RaiseError(client, ErrorCode::kBadWindow, window, RequestType::kGetProperty);
     return std::nullopt;
   }
   auto it = rec->properties.find(property);
@@ -519,10 +656,16 @@ std::optional<std::string> Server::GetProperty(ClientId, WindowId window, Atom p
   return it->second;
 }
 
-bool Server::DeleteProperty(ClientId, WindowId window, Atom property) {
-  CountRequest();
+bool Server::DeleteProperty(ClientId client, WindowId window, Atom property) {
+  if (!BeginRequest(client, RequestType::kDeleteProperty)) {
+    return false;
+  }
   WindowRec* rec = FindWindow(window);
-  if (rec == nullptr || rec->properties.erase(property) == 0) {
+  if (rec == nullptr) {
+    RaiseError(client, ErrorCode::kBadWindow, window, RequestType::kDeleteProperty);
+    return false;
+  }
+  if (rec->properties.erase(property) == 0) {
     return false;
   }
   Event event;
@@ -537,26 +680,33 @@ bool Server::DeleteProperty(ClientId, WindowId window, Atom property) {
 // ---------------------------------------------------------------------------
 // Colors, fonts, cursors, bitmaps.
 
-std::optional<Pixel> Server::AllocNamedColor(ClientId, std::string_view name) {
-  CountRequest();
+std::optional<Pixel> Server::AllocNamedColor(ClientId client, std::string_view name) {
+  if (!BeginRequest(client, RequestType::kAllocColor)) {
+    return std::nullopt;
+  }
   ++counters_.alloc_color;
   CountRoundTrip();
   std::optional<Rgb> rgb = LookupColor(name);
   if (!rgb) {
+    RaiseError(client, ErrorCode::kBadColor, kNone, RequestType::kAllocColor);
     return std::nullopt;
   }
   return PackPixel(*rgb);
 }
 
-Pixel Server::AllocColor(ClientId, Rgb rgb) {
-  CountRequest();
+Pixel Server::AllocColor(ClientId client, Rgb rgb) {
+  if (!BeginRequest(client, RequestType::kAllocColor)) {
+    return 0;
+  }
   ++counters_.alloc_color;
   CountRoundTrip();
   return PackPixel(rgb);
 }
 
-std::optional<FontId> Server::LoadFont(ClientId, std::string_view name) {
-  CountRequest();
+std::optional<FontId> Server::LoadFont(ClientId client, std::string_view name) {
+  if (!BeginRequest(client, RequestType::kLoadFont)) {
+    return std::nullopt;
+  }
   ++counters_.load_font;
   CountRoundTrip();
   auto it = font_ids_.find(name);
@@ -565,6 +715,7 @@ std::optional<FontId> Server::LoadFont(ClientId, std::string_view name) {
   }
   std::optional<FontMetrics> metrics = ResolveFont(name);
   if (!metrics) {
+    RaiseError(client, ErrorCode::kBadFont, kNone, RequestType::kLoadFont);
     return std::nullopt;
   }
   FontId id = next_id_++;
@@ -578,8 +729,10 @@ const FontMetrics* Server::QueryFont(FontId font) const {
   return it == fonts_.end() ? nullptr : &it->second;
 }
 
-CursorId Server::CreateNamedCursor(ClientId, std::string_view name) {
-  CountRequest();
+CursorId Server::CreateNamedCursor(ClientId client, std::string_view name) {
+  if (!BeginRequest(client, RequestType::kCreateCursor)) {
+    return kNone;
+  }
   CountRoundTrip();
   CursorId id = next_id_++;
   cursors_[id] = std::string(name);
@@ -594,8 +747,11 @@ std::optional<std::string> Server::CursorName(CursorId cursor) const {
   return it->second;
 }
 
-BitmapId Server::CreateBitmap(ClientId, std::string_view name, int width, int height) {
-  CountRequest();
+BitmapId Server::CreateBitmap(ClientId client, std::string_view name, int width,
+                              int height) {
+  if (!BeginRequest(client, RequestType::kCreateBitmap)) {
+    return kNone;
+  }
   CountRoundTrip();
   BitmapId id = next_id_++;
   bitmaps_[id] = {std::string(name), Rect{0, 0, width, height}};
@@ -613,22 +769,31 @@ std::optional<Rect> Server::BitmapSize(BitmapId bitmap) const {
 // ---------------------------------------------------------------------------
 // GCs and drawing.
 
-GcId Server::CreateGc(ClientId) {
-  CountRequest();
+GcId Server::CreateGc(ClientId client) {
+  if (!BeginRequest(client, RequestType::kCreateGc)) {
+    return kNone;
+  }
   GcId id = next_id_++;
   gcs_[id] = Gc();
   return id;
 }
 
-void Server::FreeGc(ClientId, GcId gc) {
-  CountRequest();
-  gcs_.erase(gc);
+void Server::FreeGc(ClientId client, GcId gc) {
+  if (!BeginRequest(client, RequestType::kChangeGc)) {
+    return;
+  }
+  if (gcs_.erase(gc) == 0) {
+    RaiseError(client, ErrorCode::kBadGC, gc, RequestType::kChangeGc);
+  }
 }
 
-bool Server::ChangeGc(ClientId, GcId gc, const Gc& values) {
-  CountRequest();
+bool Server::ChangeGc(ClientId client, GcId gc, const Gc& values) {
+  if (!BeginRequest(client, RequestType::kChangeGc)) {
+    return false;
+  }
   auto it = gcs_.find(gc);
   if (it == gcs_.end()) {
+    RaiseError(client, ErrorCode::kBadGC, gc, RequestType::kChangeGc);
     return false;
   }
   it->second = values;
@@ -640,16 +805,32 @@ const Server::Gc* Server::GetGc(GcId gc) const {
   return it == gcs_.end() ? nullptr : &it->second;
 }
 
+bool Server::CheckDrawable(ClientId client, WindowId window, const WindowRec* rec, GcId gc,
+                           const Gc* context) {
+  if (rec == nullptr) {
+    RaiseError(client, ErrorCode::kBadWindow, window, RequestType::kDraw);
+    return false;
+  }
+  if (context == nullptr) {
+    RaiseError(client, ErrorCode::kBadGC, gc, RequestType::kDraw);
+    return false;
+  }
+  return true;
+}
+
 void Server::PaintBackground(WindowRec& rec) {
   Rect clip = VisibleRegion(rec);
   raster_.FillRect(AbsoluteRect(rec), rec.background, clip);
 }
 
-void Server::ClearWindow(ClientId, WindowId window) {
-  CountRequest();
+void Server::ClearWindow(ClientId client, WindowId window) {
+  if (!BeginRequest(client, RequestType::kDraw)) {
+    return;
+  }
   ++counters_.draw;
   WindowRec* rec = FindWindow(window);
   if (rec == nullptr) {
+    RaiseError(client, ErrorCode::kBadWindow, window, RequestType::kDraw);
     return;
   }
   rec->text_items.clear();
@@ -658,12 +839,14 @@ void Server::ClearWindow(ClientId, WindowId window) {
   }
 }
 
-void Server::FillRectangle(ClientId, WindowId window, GcId gc, const Rect& rect) {
-  CountRequest();
+void Server::FillRectangle(ClientId client, WindowId window, GcId gc, const Rect& rect) {
+  if (!BeginRequest(client, RequestType::kDraw)) {
+    return;
+  }
   ++counters_.draw;
   WindowRec* rec = FindWindow(window);
   const Gc* context = GetGc(gc);
-  if (rec == nullptr || context == nullptr || !IsViewable(window)) {
+  if (!CheckDrawable(client, window, rec, gc, context) || !IsViewable(window)) {
     return;
   }
   std::optional<Point> abs = AbsolutePosition(window);
@@ -673,12 +856,14 @@ void Server::FillRectangle(ClientId, WindowId window, GcId gc, const Rect& rect)
   raster_.FillRect(target, context->foreground, VisibleRegion(*rec));
 }
 
-void Server::DrawRectangle(ClientId, WindowId window, GcId gc, const Rect& rect) {
-  CountRequest();
+void Server::DrawRectangle(ClientId client, WindowId window, GcId gc, const Rect& rect) {
+  if (!BeginRequest(client, RequestType::kDraw)) {
+    return;
+  }
   ++counters_.draw;
   WindowRec* rec = FindWindow(window);
   const Gc* context = GetGc(gc);
-  if (rec == nullptr || context == nullptr || !IsViewable(window)) {
+  if (!CheckDrawable(client, window, rec, gc, context) || !IsViewable(window)) {
     return;
   }
   std::optional<Point> abs = AbsolutePosition(window);
@@ -688,12 +873,15 @@ void Server::DrawRectangle(ClientId, WindowId window, GcId gc, const Rect& rect)
   raster_.DrawRectOutline(target, context->foreground, VisibleRegion(*rec));
 }
 
-void Server::DrawLine(ClientId, WindowId window, GcId gc, int x0, int y0, int x1, int y1) {
-  CountRequest();
+void Server::DrawLine(ClientId client, WindowId window, GcId gc, int x0, int y0, int x1,
+                      int y1) {
+  if (!BeginRequest(client, RequestType::kDraw)) {
+    return;
+  }
   ++counters_.draw;
   WindowRec* rec = FindWindow(window);
   const Gc* context = GetGc(gc);
-  if (rec == nullptr || context == nullptr || !IsViewable(window)) {
+  if (!CheckDrawable(client, window, rec, gc, context) || !IsViewable(window)) {
     return;
   }
   std::optional<Point> abs = AbsolutePosition(window);
@@ -701,13 +889,15 @@ void Server::DrawLine(ClientId, WindowId window, GcId gc, int x0, int y0, int x1
                    VisibleRegion(*rec));
 }
 
-void Server::DrawString(ClientId, WindowId window, GcId gc, int x, int y,
+void Server::DrawString(ClientId client, WindowId window, GcId gc, int x, int y,
                         std::string_view text) {
-  CountRequest();
+  if (!BeginRequest(client, RequestType::kDraw)) {
+    return;
+  }
   ++counters_.draw;
   WindowRec* rec = FindWindow(window);
   const Gc* context = GetGc(gc);
-  if (rec == nullptr || context == nullptr) {
+  if (!CheckDrawable(client, window, rec, gc, context)) {
     return;
   }
   TextItem item;
@@ -739,8 +929,14 @@ std::vector<TextItem> Server::WindowText(WindowId window) const {
 // ---------------------------------------------------------------------------
 // Focus.
 
-void Server::SetInputFocus(ClientId, WindowId window) {
-  CountRequest();
+void Server::SetInputFocus(ClientId client, WindowId window) {
+  if (!BeginRequest(client, RequestType::kSetInputFocus)) {
+    return;
+  }
+  if (window != kNone && FindWindow(window) == nullptr) {
+    RaiseError(client, ErrorCode::kBadWindow, window, RequestType::kSetInputFocus);
+    return;
+  }
   if (window == focus_window_) {
     return;
   }
@@ -765,7 +961,13 @@ void Server::SetInputFocus(ClientId, WindowId window) {
 // Selections (ICCCM shape).
 
 void Server::SetSelectionOwner(ClientId client, Atom selection, WindowId owner) {
-  CountRequest();
+  if (!BeginRequest(client, RequestType::kSetSelectionOwner)) {
+    return;
+  }
+  if (owner != kNone && FindWindow(owner) == nullptr) {
+    RaiseError(client, ErrorCode::kBadWindow, owner, RequestType::kSetSelectionOwner);
+    return;
+  }
   auto it = selections_.find(selection);
   if (it != selections_.end() && it->second.first != owner) {
     // Notify the previous owner that it has lost the selection.
@@ -785,8 +987,10 @@ void Server::SetSelectionOwner(ClientId client, Atom selection, WindowId owner) 
   }
 }
 
-WindowId Server::GetSelectionOwner(ClientId, Atom selection) {
-  CountRequest();
+WindowId Server::GetSelectionOwner(ClientId client, Atom selection) {
+  if (!BeginRequest(client, RequestType::kOther)) {
+    return kNone;
+  }
   CountRoundTrip();
   auto it = selections_.find(selection);
   return it == selections_.end() ? kNone : it->second.first;
@@ -794,7 +998,13 @@ WindowId Server::GetSelectionOwner(ClientId, Atom selection) {
 
 void Server::ConvertSelection(ClientId client, Atom selection, Atom target, Atom property,
                               WindowId requestor) {
-  CountRequest();
+  if (!BeginRequest(client, RequestType::kConvertSelection)) {
+    return;
+  }
+  if (FindWindow(requestor) == nullptr) {
+    RaiseError(client, ErrorCode::kBadWindow, requestor, RequestType::kConvertSelection);
+    return;
+  }
   auto it = selections_.find(selection);
   if (it == selections_.end()) {
     // No owner: refuse with property None.
@@ -823,9 +1033,11 @@ void Server::ConvertSelection(ClientId client, Atom selection, Atom target, Atom
   }
 }
 
-void Server::SendSelectionNotify(ClientId, WindowId requestor, Atom selection, Atom target,
-                                 Atom property) {
-  CountRequest();
+void Server::SendSelectionNotify(ClientId client, WindowId requestor, Atom selection,
+                                 Atom target, Atom property) {
+  if (!BeginRequest(client, RequestType::kSendEvent)) {
+    return;
+  }
   ++counters_.send_event;
   Event event;
   event.type = EventType::kSelectionNotify;
@@ -842,11 +1054,15 @@ void Server::SendSelectionNotify(ClientId, WindowId requestor, Atom selection, A
   }
 }
 
-void Server::SendEvent(ClientId, WindowId destination, const Event& event, uint32_t mask) {
-  CountRequest();
+void Server::SendEvent(ClientId client, WindowId destination, const Event& event,
+                       uint32_t mask) {
+  if (!BeginRequest(client, RequestType::kSendEvent)) {
+    return;
+  }
   ++counters_.send_event;
   const WindowRec* rec = FindWindow(destination);
   if (rec == nullptr) {
+    RaiseError(client, ErrorCode::kBadWindow, destination, RequestType::kSendEvent);
     return;
   }
   Event adjusted = event;

@@ -20,6 +20,7 @@
 #define SRC_XSIM_SERVER_H_
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -27,7 +28,9 @@
 #include <vector>
 
 #include "src/xsim/color.h"
+#include "src/xsim/error.h"
 #include "src/xsim/event.h"
+#include "src/xsim/fault.h"
 #include "src/xsim/font.h"
 #include "src/xsim/keysym.h"
 #include "src/xsim/raster.h"
@@ -61,6 +64,15 @@ struct RequestCounters {
   uint64_t send_event = 0;
 };
 
+// Counters for generated errors and injected faults (`info faults`).
+struct FaultCounters {
+  uint64_t errors_generated = 0;   // X error events raised by validation.
+  uint64_t injected_failures = 0;  // Requests failed by the FaultInjector.
+  uint64_t injected_drops = 0;     // Requests silently dropped.
+  uint64_t injected_delays = 0;    // Requests delayed.
+  uint64_t killed_clients = 0;     // KillClient calls (simulated crashes).
+};
+
 class Server {
  public:
   // Creates a server with a root window of the given size.
@@ -79,6 +91,21 @@ class Server {
   bool HasPendingEvents(ClientId client) const;
   // Pops the next queued event for `client`; false if the queue is empty.
   bool NextEvent(ClientId client, Event* out);
+
+  // Simulates an application crash: the client's windows, selections and
+  // event queue are torn down exactly as if the connection closed, and all
+  // further requests from the client are silently dropped.  The ClientRec
+  // itself survives (marked dead) so a Display handle held by the "crashed"
+  // application stays safe to use.
+  void KillClient(ClientId client);
+  bool ClientAlive(ClientId client) const;
+
+  // Registers the callback that receives X error events for `client`
+  // (installed by Display::Open; one sink per client).
+  using ErrorSink = std::function<void(const XError&)>;
+  void SetErrorSink(ClientId client, ErrorSink sink);
+  // Sequence number of the last request the client issued.
+  uint64_t ClientSequence(ClientId client) const;
 
   // --- Windows -----------------------------------------------------------------
 
@@ -106,7 +133,7 @@ class Server {
 
   // --- Atoms and properties ------------------------------------------------------
 
-  Atom InternAtom(std::string_view name);
+  Atom InternAtom(ClientId client, std::string_view name);
   std::string AtomName(Atom atom) const;
   bool ChangeProperty(ClientId client, WindowId window, Atom property, std::string value);
   std::optional<std::string> GetProperty(ClientId client, WindowId window, Atom property);
@@ -189,6 +216,11 @@ class Server {
   const RequestCounters& counters() const { return counters_; }
   void ResetCounters() { counters_ = RequestCounters(); }
 
+  // Fault injection and failure observability.
+  FaultInjector& fault_injector() { return fault_injector_; }
+  const FaultCounters& fault_counters() const { return fault_counters_; }
+  void ResetFaultCounters() { fault_counters_ = FaultCounters(); }
+
   // Simulated transport cost: every request costs `request_ns` and every
   // synchronous round trip an additional `round_trip_ns` of busy-waiting.
   // Models the inter-process X connection of the paper's environment (a few
@@ -225,11 +257,18 @@ class Server {
     ClientId id = 0;
     std::string name;
     std::deque<Event> queue;
+    uint64_t sequence = 0;  // Number of requests issued so far.
+    bool dead = false;      // KillClient was called; requests are dropped.
+    ErrorSink error_sink;
   };
 
   WindowRec* FindWindow(WindowId id);
   const WindowRec* FindWindow(WindowId id) const;
   ClientRec* FindClient(ClientId id);
+  const ClientRec* FindClient(ClientId id) const;
+  // Shared teardown for UnregisterClient and KillClient: destroys the
+  // client's windows, releases its selections, clears its queue.
+  void CloseDownClient(ClientRec* rec);
 
   // Delivers `event` to every client that selected `mask` on `window`.
   void Deliver(WindowId window, const Event& event, uint32_t mask);
@@ -247,11 +286,21 @@ class Server {
   // rect with all ancestors').
   Rect VisibleRegion(const WindowRec& rec) const;
   Rect AbsoluteRect(const WindowRec& rec) const;
+  // Validates the window/GC pair of a drawing request, raising BadWindow or
+  // BadGC as appropriate.  True when both resources exist.
+  bool CheckDrawable(ClientId client, WindowId window, const WindowRec* rec, GcId gc,
+                     const Gc* context);
   void PaintBackground(WindowRec& rec);
   Timestamp Tick() { return ++time_; }
-  // Counter bumps, with simulated transport latency applied.
-  void CountRequest();
+  // Per-request bookkeeping: bumps the total counter and the client's
+  // sequence number, applies simulated transport latency, and consults the
+  // fault injector.  Returns false when the request must not execute (the
+  // client is dead, or the injector failed/dropped it); an injected failure
+  // also raises a BadImplementation error on the client.
+  bool BeginRequest(ClientId client, RequestType type);
   void CountRoundTrip();
+  // Generates an X error event on `client` for the request in flight.
+  void RaiseError(ClientId client, ErrorCode code, XId resource, RequestType request);
 
   std::map<WindowId, std::unique_ptr<WindowRec>> windows_;
   std::map<ClientId, std::unique_ptr<ClientRec>> clients_;
@@ -276,6 +325,8 @@ class Server {
   WindowId focus_window_ = kNone;
 
   RequestCounters counters_;
+  FaultCounters fault_counters_;
+  FaultInjector fault_injector_;
   uint64_t request_latency_ns_ = 0;
   uint64_t round_trip_latency_ns_ = 0;
   Raster raster_;

@@ -14,17 +14,40 @@
 // script eval cache; each file is registered with ctest twice (cached and
 // uncached) to prove cached evaluation is semantics-preserving.
 //
+// The `--tk` flag runs the file inside a full Tk application ("conformance")
+// on an in-process xsim server, alongside a second application ("peer"), so
+// .test files can exercise send, selections and the fault-injection stack.
+// Three extra commands are registered in that mode:
+//
+//   peer eval <script>    -- evaluate <script> in the peer application
+//   peer kill             -- kill the peer's server connection (simulated
+//                            crash); the peer interp also gets a `die`
+//                            command that does the same from inside a send
+//   inject fail-next|drop-next <request-type> ?count?
+//   inject delay <request-type> <ns>
+//   inject seed <n>
+//   inject clear          -- drive the server's fault injector; request
+//                            types use the names from RequestTypeName()
+//                            ("change-property", ...) or "all"
+//
 // Exit status: 0 when every case passes, 1 on any failure, 2 on usage or
 // I/O problems.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "src/tcl/interp.h"
+#include "src/tcl/utils.h"
+#include "src/tk/app.h"
+#include "src/xsim/fault.h"
+#include "src/xsim/server.h"
 
 namespace {
 
@@ -38,38 +61,7 @@ void Fail(Counters& counters, const std::string& name, const std::string& detail
   std::printf("FAIL %s: %s\n", name.c_str(), detail.c_str());
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  std::string path;
-  bool use_cache = true;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--no-cache") == 0) {
-      use_cache = false;
-    } else if (path.empty()) {
-      path = argv[i];
-    } else {
-      std::fprintf(stderr, "usage: conformance_runner [--no-cache] file.test\n");
-      return 2;
-    }
-  }
-  if (path.empty()) {
-    std::fprintf(stderr, "usage: conformance_runner [--no-cache] file.test\n");
-    return 2;
-  }
-  std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "conformance_runner: cannot open %s\n", path.c_str());
-    return 2;
-  }
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  const std::string file_script = buffer.str();
-
-  tcl::Interp interp;
-  interp.set_eval_cache_enabled(use_cache);
-  Counters counters;
-
+void RegisterTestCommands(tcl::Interp& interp, Counters& counters) {
   interp.RegisterCommand("test",
                          [&counters](tcl::Interp& i, std::vector<std::string>& args) {
     if (args.size() != 4) {
@@ -109,11 +101,147 @@ int main(int argc, char** argv) {
     i.ResetResult();
     return tcl::Code::kOk;
   });
+}
 
-  tcl::Code code = interp.Eval(file_script);
+// `peer eval <script>` / `peer kill` in the driving application.
+void RegisterPeerCommand(tcl::Interp& interp, xsim::Server& server, tk::App& peer) {
+  interp.RegisterCommand("peer",
+                         [&server, &peer](tcl::Interp& i, std::vector<std::string>& args) {
+    if (args.size() >= 2 && args[1] == "kill") {
+      server.KillClient(peer.display().client_id());
+      i.ResetResult();
+      return tcl::Code::kOk;
+    }
+    if (args.size() == 3 && args[1] == "eval") {
+      tcl::Code code = peer.interp().Eval(args[2]);
+      i.SetResult(peer.interp().result());
+      return code;
+    }
+    return i.Error("bad peer invocation: should be \"peer eval script\" or \"peer kill\"");
+  });
+}
+
+// `inject ...` drives the server's fault injector from test scripts.
+void RegisterInjectCommand(tcl::Interp& interp, xsim::Server& server) {
+  interp.RegisterCommand("inject",
+                         [&server](tcl::Interp& i, std::vector<std::string>& args) {
+    xsim::FaultInjector& injector = server.fault_injector();
+    if (args.size() == 2 && args[1] == "clear") {
+      injector.Clear();
+      i.ResetResult();
+      return tcl::Code::kOk;
+    }
+    if (args.size() == 3 && args[1] == "seed") {
+      std::optional<int64_t> seed = tcl::ParseInt(args[2]);
+      if (!seed) {
+        return i.Error("bad seed \"" + args[2] + "\"");
+      }
+      injector.set_seed(static_cast<uint64_t>(*seed));
+      i.ResetResult();
+      return tcl::Code::kOk;
+    }
+    if (args.size() < 3) {
+      return i.WrongNumArgs("inject option requestType ?value?");
+    }
+    xsim::RequestType type = xsim::RequestType::kRequestTypeCount;
+    bool all = args[2] == "all";
+    if (!all) {
+      type = xsim::RequestTypeFromName(args[2]);
+      if (type == xsim::RequestType::kRequestTypeCount) {
+        return i.Error("bad request type \"" + args[2] + "\"");
+      }
+    }
+    xsim::FaultInjector::Policy policy;
+    std::optional<int64_t> value = 1;
+    if (args.size() > 3) {
+      value = tcl::ParseInt(args[3]);
+      if (!value) {
+        return i.Error("bad count \"" + args[3] + "\"");
+      }
+    }
+    if (args[1] == "fail-next") {
+      policy.fail_next = static_cast<int>(*value);
+    } else if (args[1] == "drop-next") {
+      policy.drop_next = static_cast<int>(*value);
+    } else if (args[1] == "delay") {
+      policy.delay_ns = static_cast<uint64_t>(*value);
+    } else {
+      return i.Error("bad inject option \"" + args[1] +
+                     "\": should be fail-next, drop-next, delay, seed, or clear");
+    }
+    if (all) {
+      injector.SetPolicyAll(policy);
+    } else {
+      injector.SetPolicy(type, policy);
+    }
+    i.ResetResult();
+    return tcl::Code::kOk;
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  bool use_cache = true;
+  bool use_tk = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-cache") == 0) {
+      use_cache = false;
+    } else if (std::strcmp(argv[i], "--tk") == 0) {
+      use_tk = true;
+    } else if (path.empty()) {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr, "usage: conformance_runner [--no-cache] [--tk] file.test\n");
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: conformance_runner [--no-cache] [--tk] file.test\n");
+    return 2;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "conformance_runner: cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string file_script = buffer.str();
+
+  std::unique_ptr<tcl::Interp> plain_interp;
+  std::unique_ptr<xsim::Server> server;
+  std::unique_ptr<tk::App> app;
+  std::unique_ptr<tk::App> peer;
+  tcl::Interp* interp = nullptr;
+  if (use_tk) {
+    server = std::make_unique<xsim::Server>();
+    app = std::make_unique<tk::App>(*server, "conformance");
+    peer = std::make_unique<tk::App>(*server, "peer");
+    interp = &app->interp();
+    RegisterPeerCommand(*interp, *server, *peer);
+    RegisterInjectCommand(*interp, *server);
+    tk::App* peer_raw = peer.get();
+    xsim::Server* server_raw = server.get();
+    peer->interp().RegisterCommand(
+        "die", [peer_raw, server_raw](tcl::Interp& i, std::vector<std::string>&) {
+          server_raw->KillClient(peer_raw->display().client_id());
+          i.ResetResult();
+          return tcl::Code::kOk;
+        });
+  } else {
+    plain_interp = std::make_unique<tcl::Interp>();
+    interp = plain_interp.get();
+  }
+  interp->set_eval_cache_enabled(use_cache);
+  Counters counters;
+  RegisterTestCommands(*interp, counters);
+
+  tcl::Code code = interp->Eval(file_script);
   if (code != tcl::Code::kOk) {
     std::printf("FAIL (driver): evaluating %s returned %s: %s\n", path.c_str(),
-                tcl::CodeName(code), interp.result().c_str());
+                tcl::CodeName(code), interp->result().c_str());
     return 1;
   }
   std::printf("%s: %d passed, %d failed, %d total (eval cache %s)\n", path.c_str(),

@@ -1,0 +1,236 @@
+// Fault-tolerance tests: send to dying/dead peers, send and selection
+// timeouts under fault injection, stale-reply rejection, registry healing,
+// color-allocation degradation, the tkerror recursion guard and the
+// `info faults` counters.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/tcl/list.h"
+#include "src/tk/app.h"
+#include "src/tk/selection.h"
+#include "src/tk/send.h"
+#include "src/xsim/fault.h"
+#include "src/xsim/server.h"
+
+namespace tk {
+namespace {
+
+class FaultToleranceTest : public ::testing::Test {
+ protected:
+  FaultToleranceTest() {
+    app_ = std::make_unique<App>(server_, "main");
+    peer_ = std::make_unique<App>(server_, "peer");
+    // `die` simulates the peer crashing while handling a request: the
+    // server tears its connection down exactly as if the process exited.
+    App* peer = peer_.get();
+    xsim::Server* server = &server_;
+    peer_->interp().RegisterCommand(
+        "die", [peer, server](tcl::Interp& interp, std::vector<std::string>&) {
+          server->KillClient(peer->display().client_id());
+          interp.ResetResult();
+          return tcl::Code::kOk;
+        });
+  }
+
+  std::string Ok(const std::string& script) {
+    tcl::Code code = app_->interp().Eval(script);
+    EXPECT_EQ(code, tcl::Code::kOk) << script << " -> " << app_->interp().result();
+    return app_->interp().result();
+  }
+
+  std::string Err(const std::string& script) {
+    tcl::Code code = app_->interp().Eval(script);
+    EXPECT_EQ(code, tcl::Code::kError) << script << " -> " << app_->interp().result();
+    return app_->interp().result();
+  }
+
+  // Value of `key` in the `info faults` key/value list.
+  std::string Fault(const std::string& key) {
+    std::string kv = Ok("info faults");
+    std::optional<std::vector<std::string>> fields = tcl::SplitList(kv, nullptr);
+    EXPECT_TRUE(fields);
+    for (size_t i = 0; i + 1 < fields->size(); i += 2) {
+      if ((*fields)[i] == key) {
+        return (*fields)[i + 1];
+      }
+    }
+    return "<missing>";
+  }
+
+  xsim::Server server_;
+  std::unique_ptr<App> app_;
+  std::unique_ptr<App> peer_;
+};
+
+TEST_F(FaultToleranceTest, SendWorksBeforeAnyFault) {
+  EXPECT_EQ(Ok("send peer {expr 6*7}"), "42");
+}
+
+TEST_F(FaultToleranceTest, PeerDyingMidSendIsACatchableError) {
+  // The acceptance scenario: the peer is killed while servicing the send;
+  // the sender unblocks with a catchable Tcl error well within the timeout.
+  EXPECT_EQ(Ok("catch {send -timeout 1000 peer {die}} msg"), "1");
+  EXPECT_EQ(Ok("set msg"), "target application died");
+  EXPECT_EQ(Fault("dead-peer-sends"), "1");
+  EXPECT_EQ(Fault("killed-clients"), "1");
+  // The dead peer was pruned from the registry.
+  EXPECT_EQ(Ok("winfo interps"), "main");
+}
+
+TEST_F(FaultToleranceTest, SendToAlreadyDeadPeerFailsFast) {
+  server_.KillClient(peer_->display().client_id());
+  std::string msg = Err("send peer {set x 1}");
+  EXPECT_NE(msg.find("no registered interpreter"), std::string::npos);
+}
+
+TEST_F(FaultToleranceTest, SendTimesOutWhenRequestIsLost) {
+  // Drop the next ChangeProperty: the request never reaches the peer's comm
+  // window, so no reply ever comes and the timeout must fire.
+  xsim::FaultInjector::Policy policy;
+  policy.drop_next = 1;
+  server_.fault_injector().SetPolicy(xsim::RequestType::kChangeProperty, policy);
+  std::string msg = Err("send -timeout 50 peer {set x 1}");
+  EXPECT_NE(msg.find("timed out"), std::string::npos) << msg;
+  EXPECT_EQ(Fault("send-timeouts"), "1");
+  EXPECT_EQ(Fault("injected-drops"), "1");
+  server_.fault_injector().Clear();
+  // The channel recovers: the next send works.
+  EXPECT_EQ(Ok("send peer {expr 1+1}"), "2");
+}
+
+TEST_F(FaultToleranceTest, StaleReplyIsIgnoredAndCounted) {
+  // Fabricate a reply whose serial matches no pending send (as if a send
+  // timed out and the reply arrived late).
+  xsim::Atom reply_atom = app_->display().InternAtom("TkSendReply");
+  std::string record = tcl::MergeList({"9999", "0", "ghost result"});
+  app_->display().ChangeProperty(app_->send_channel().comm_window(), reply_atom,
+                                 tcl::QuoteListElement(record));
+  app_->Update();
+  EXPECT_EQ(Fault("stale-replies"), "1");
+  // Later sends are unaffected by the stale reply.
+  EXPECT_EQ(Ok("send peer {expr 2+2}"), "4");
+}
+
+TEST_F(FaultToleranceTest, SelectionRetrievalTimesOutWhenConversionIsLost) {
+  Ok("frame .f");
+  Ok("selection handle .f {concat secret}");
+  Ok("selection own .f");
+  xsim::FaultInjector::Policy policy;
+  policy.drop_next = 1;
+  server_.fault_injector().SetPolicy(xsim::RequestType::kConvertSelection, policy);
+  std::string msg = Err("selection get -timeout 50");
+  EXPECT_NE(msg.find("timed out"), std::string::npos) << msg;
+  EXPECT_EQ(Fault("selection-timeouts"), "1");
+  server_.fault_injector().Clear();
+  EXPECT_EQ(Ok("selection get"), "secret");
+}
+
+TEST_F(FaultToleranceTest, SelectionFromDeadOwnerFailsFast) {
+  // The peer owns the selection, then dies: the server released the
+  // selection, so retrieval refuses immediately instead of timing out.
+  ASSERT_EQ(peer_->interp().Eval("frame .f; selection handle .f {concat peer-data};"
+                                 "selection own .f"),
+            tcl::Code::kOk);
+  EXPECT_EQ(Ok("selection get"), "peer-data");
+  server_.KillClient(peer_->display().client_id());
+  std::string msg = Err("selection get");
+  EXPECT_NE(msg.find("doesn't exist"), std::string::npos) << msg;
+}
+
+TEST_F(FaultToleranceTest, UnknownColorDegradesInsteadOfFailing) {
+  // A bad color no longer aborts widget configuration.
+  Ok("button .b -text hi -background definitely-not-a-color");
+  EXPECT_EQ(Fault("degraded-colors"), "1");
+  EXPECT_EQ(app_->resources().GetColor("another-bogus-color"), 0x000000u);
+  EXPECT_EQ(app_->resources().GetColor("lightbogus"), 0xffffffu);
+  EXPECT_EQ(Fault("degraded-colors"), "3");
+  // Real colors still resolve exactly.
+  Ok(".b configure -background red");
+  EXPECT_EQ(Fault("degraded-colors"), "3");
+}
+
+TEST_F(FaultToleranceTest, XErrorsAreCountedPerDisplay) {
+  EXPECT_EQ(Fault("x-errors"), "0");
+  app_->display().MapWindow(0xdead);
+  EXPECT_EQ(Fault("x-errors"), "1");
+  EXPECT_EQ(Fault("errors"), "1");
+  EXPECT_EQ(app_->display().last_error().code, xsim::ErrorCode::kBadWindow);
+}
+
+TEST_F(FaultToleranceTest, InfoFaultsResetZeroesEverything) {
+  app_->display().MapWindow(0xdead);
+  app_->resources().GetColor("bogus-color");
+  Ok("catch {send -timeout 1000 peer {die}}");
+  EXPECT_NE(Fault("x-errors"), "0");
+  EXPECT_NE(Fault("degraded-colors"), "0");
+  EXPECT_NE(Fault("dead-peer-sends"), "0");
+  Ok("info faults reset");
+  for (const char* key : {"errors", "injected-failures", "injected-drops",
+                          "injected-delays", "killed-clients", "x-errors",
+                          "background-errors", "send-timeouts", "dead-peer-sends",
+                          "stale-replies", "selection-timeouts", "degraded-colors"}) {
+    EXPECT_EQ(Fault(key), "0") << key;
+  }
+}
+
+TEST_F(FaultToleranceTest, TkerrorReceivesBackgroundErrors) {
+  Ok("proc tkerror {msg} {global seen; set seen $msg}");
+  app_->BackgroundError("synthetic failure");
+  EXPECT_EQ(Ok("set seen"), "synthetic failure");
+  EXPECT_EQ(Fault("background-errors"), "1");
+}
+
+TEST_F(FaultToleranceTest, FailingTkerrorDoesNotRecurse) {
+  // A tkerror that itself errors must fall back to stderr, not loop.
+  Ok("proc tkerror {msg} {error \"tkerror exploded\"}");
+  app_->BackgroundError("first");
+  app_->BackgroundError("second");
+  EXPECT_EQ(Fault("background-errors"), "2");
+}
+
+TEST_F(FaultToleranceTest, RegistryHealsMalformedAndStaleRecords) {
+  xsim::Atom registry = app_->display().InternAtom("InterpRegistry");
+  std::optional<std::string> raw =
+      app_->display().GetProperty(app_->display().root(), registry);
+  ASSERT_TRUE(raw);
+  // Corrupt the registry the way a crashed or buggy app would: a stale
+  // record pointing at a destroyed window, a record with a non-numeric
+  // window id, and a one-field record.
+  std::string corrupted = *raw + " {zombie 999999} {ghost abc} {onlyname}";
+  app_->display().ChangeProperty(app_->display().root(), registry, corrupted);
+  std::string interps = Ok("winfo interps");
+  EXPECT_NE(interps.find("main"), std::string::npos);
+  EXPECT_NE(interps.find("peer"), std::string::npos);
+  EXPECT_EQ(interps.find("zombie"), std::string::npos);
+  EXPECT_EQ(interps.find("ghost"), std::string::npos);
+  // Reading healed the stored property, not just the parsed view.
+  std::optional<std::string> healed =
+      app_->display().GetProperty(app_->display().root(), registry);
+  ASSERT_TRUE(healed);
+  EXPECT_EQ(healed->find("zombie"), std::string::npos);
+  EXPECT_EQ(healed->find("ghost"), std::string::npos);
+}
+
+TEST_F(FaultToleranceTest, CrashedPeerNameCanBeReused) {
+  server_.KillClient(peer_->display().client_id());
+  // A replacement application can take the crashed one's name instead of
+  // being uniquified against the stale registry record.
+  App replacement(server_, "peer");
+  EXPECT_EQ(replacement.name(), "peer");
+  EXPECT_EQ(Ok("send peer {expr 3*3}"), "9");
+}
+
+TEST_F(FaultToleranceTest, InjectedDelayIsCountedAndSurvivable) {
+  xsim::FaultInjector::Policy policy;
+  policy.delay_ns = 100000;  // 0.1ms on every request: slow, not broken.
+  server_.fault_injector().SetPolicyAll(policy);
+  EXPECT_EQ(Ok("send peer {expr 5+5}"), "10");
+  server_.fault_injector().Clear();
+  EXPECT_NE(Fault("injected-delays"), "0");
+}
+
+}  // namespace
+}  // namespace tk

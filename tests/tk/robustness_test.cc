@@ -138,7 +138,9 @@ TEST_F(RobustnessTest, DestroyDotKillsEverything) {
 }
 
 TEST_F(RobustnessTest, WidgetCreationFailureRollsBack) {
-  Err("button .b -bg NoSuchColor42");
+  // Bad colors now degrade instead of failing, so use an invalid integer
+  // option to provoke a creation error.
+  Err("button .b -borderwidth notanumber");
   EXPECT_EQ(app_->FindWidget(".b"), nullptr);
   EXPECT_FALSE(interp().HasCommand(".b"));
   // The path is reusable.

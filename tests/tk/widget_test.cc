@@ -74,7 +74,12 @@ TEST_F(WidgetTest, UnknownOptionFails) {
   Err(".b configure -nosuchoption 1");
 }
 
-TEST_F(WidgetTest, UnknownColorFails) { Err("button .b -bg NotAColor999"); }
+TEST_F(WidgetTest, UnknownColorDegradesToFallback) {
+  // Unknown colors no longer abort creation; they fall back to black (or
+  // white for light shades) and are counted for `info faults`.
+  Ok("button .b -bg NotAColor999");
+  EXPECT_EQ(app_->resources().degraded(), 1u);
+}
 
 TEST_F(WidgetTest, AbbreviatedFlagsWork) {
   Ok("label .l -bg blue -fg white -bd 3");

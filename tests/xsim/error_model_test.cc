@@ -1,0 +1,238 @@
+// Tests for the xsim error model and fault injector: sequence numbers,
+// error-event generation for invalid resource ids, per-Display error
+// handlers, deterministic fault-injection policies, and KillClient.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/xsim/display.h"
+#include "src/xsim/error.h"
+#include "src/xsim/fault.h"
+#include "src/xsim/server.h"
+
+namespace xsim {
+namespace {
+
+constexpr WindowId kBogusWindow = 0xdead;
+
+class ErrorModelTest : public ::testing::Test {
+ protected:
+  ErrorModelTest() : display_(Display::Open(server_, "error-test")) {
+    display_->set_error_handler([this](const XError& error) {
+      errors_.push_back(error);
+    });
+  }
+
+  Server server_;
+  std::unique_ptr<Display> display_;
+  std::vector<XError> errors_;
+};
+
+TEST_F(ErrorModelTest, RequestsAreSequenceNumbered) {
+  uint64_t before = display_->request_sequence();
+  display_->CreateWindow(display_->root(), 0, 0, 10, 10);
+  EXPECT_EQ(display_->request_sequence(), before + 1);
+  display_->InternAtom("SEQ_TEST");
+  EXPECT_EQ(display_->request_sequence(), before + 2);
+}
+
+TEST_F(ErrorModelTest, BadWindowOnMapOfUnknownId) {
+  display_->MapWindow(kBogusWindow);
+  ASSERT_EQ(errors_.size(), 1u);
+  EXPECT_EQ(errors_[0].code, ErrorCode::kBadWindow);
+  EXPECT_EQ(errors_[0].resource, kBogusWindow);
+  EXPECT_EQ(errors_[0].request, RequestType::kMapWindow);
+  EXPECT_EQ(errors_[0].sequence, display_->request_sequence());
+}
+
+TEST_F(ErrorModelTest, BadWindowOnDestroyedWindowOperations) {
+  WindowId w = display_->CreateWindow(display_->root(), 0, 0, 10, 10);
+  display_->DestroyWindow(w);
+  display_->MoveResizeWindow(w, 1, 1, 5, 5);
+  display_->ChangeProperty(w, display_->InternAtom("P"), "v");
+  ASSERT_EQ(errors_.size(), 2u);
+  EXPECT_EQ(errors_[0].code, ErrorCode::kBadWindow);
+  EXPECT_EQ(errors_[0].request, RequestType::kConfigureWindow);
+  EXPECT_EQ(errors_[1].code, ErrorCode::kBadWindow);
+  EXPECT_EQ(errors_[1].request, RequestType::kChangeProperty);
+}
+
+TEST_F(ErrorModelTest, BadValueOnZeroSizedWindowStillCreates) {
+  WindowId w = display_->CreateWindow(display_->root(), 0, 0, 0, -5);
+  EXPECT_NE(w, kNone);  // Degrades to 1x1 rather than failing outright.
+  ASSERT_EQ(errors_.size(), 1u);
+  EXPECT_EQ(errors_[0].code, ErrorCode::kBadValue);
+  std::optional<Rect> geometry = server_.WindowGeometry(w);
+  ASSERT_TRUE(geometry);
+  EXPECT_EQ(geometry->width, 1);
+  EXPECT_EQ(geometry->height, 1);
+}
+
+TEST_F(ErrorModelTest, BadAtomOnChangePropertyWithNoneAtom) {
+  WindowId w = display_->CreateWindow(display_->root(), 0, 0, 10, 10);
+  EXPECT_FALSE(display_->ChangeProperty(w, kAtomNone, "value"));
+  ASSERT_EQ(errors_.size(), 1u);
+  EXPECT_EQ(errors_[0].code, ErrorCode::kBadAtom);
+}
+
+TEST_F(ErrorModelTest, BadGcOnChangeOfUnknownGc) {
+  display_->ChangeGc(0xbeef, Server::Gc());
+  ASSERT_EQ(errors_.size(), 1u);
+  EXPECT_EQ(errors_[0].code, ErrorCode::kBadGC);
+  EXPECT_EQ(errors_[0].resource, 0xbeefu);
+}
+
+TEST_F(ErrorModelTest, BadGcOnDrawWithFreedGc) {
+  WindowId w = display_->CreateWindow(display_->root(), 0, 0, 50, 50);
+  display_->MapWindow(w);
+  GcId gc = display_->CreateGc();
+  display_->FreeGc(gc);
+  display_->FillRectangle(w, gc, Rect{0, 0, 10, 10});
+  ASSERT_EQ(errors_.size(), 1u);
+  EXPECT_EQ(errors_[0].code, ErrorCode::kBadGC);
+  EXPECT_EQ(errors_[0].request, RequestType::kDraw);
+}
+
+TEST_F(ErrorModelTest, BadColorOnUnknownName) {
+  EXPECT_FALSE(display_->AllocNamedColor("no-such-color-anywhere"));
+  ASSERT_EQ(errors_.size(), 1u);
+  EXPECT_EQ(errors_[0].code, ErrorCode::kBadColor);
+}
+
+TEST_F(ErrorModelTest, BadFontOnUnresolvableName) {
+  EXPECT_FALSE(display_->LoadFont(""));
+  ASSERT_EQ(errors_.size(), 1u);
+  EXPECT_EQ(errors_[0].code, ErrorCode::kBadFont);
+}
+
+TEST_F(ErrorModelTest, DefaultHandlerRecordsWithoutCrashing) {
+  // A fresh display with no user handler still records errors.
+  auto other = Display::Open(server_, "no-handler");
+  other->MapWindow(kBogusWindow);
+  EXPECT_EQ(other->error_count(), 1u);
+  EXPECT_EQ(other->last_error().code, ErrorCode::kBadWindow);
+  EXPECT_TRUE(errors_.empty());  // Not delivered to the other client.
+}
+
+TEST_F(ErrorModelTest, ErrorsCountedInFaultCounters) {
+  display_->MapWindow(kBogusWindow);
+  display_->UnmapWindow(kBogusWindow);
+  EXPECT_EQ(server_.fault_counters().errors_generated, 2u);
+  server_.ResetFaultCounters();
+  EXPECT_EQ(server_.fault_counters().errors_generated, 0u);
+}
+
+TEST_F(ErrorModelTest, InjectedFailureRaisesBadImplementation) {
+  FaultInjector::Policy policy;
+  policy.fail_next = 1;
+  server_.fault_injector().SetPolicy(RequestType::kCreateWindow, policy);
+  WindowId w = display_->CreateWindow(display_->root(), 0, 0, 10, 10);
+  EXPECT_EQ(w, kNone);
+  ASSERT_EQ(errors_.size(), 1u);
+  EXPECT_EQ(errors_[0].code, ErrorCode::kBadImplementation);
+  EXPECT_EQ(errors_[0].request, RequestType::kCreateWindow);
+  EXPECT_EQ(server_.fault_counters().injected_failures, 1u);
+  // The one-shot is consumed: the next request succeeds.
+  EXPECT_NE(display_->CreateWindow(display_->root(), 0, 0, 10, 10), kNone);
+}
+
+TEST_F(ErrorModelTest, InjectedDropLosesRequestSilently) {
+  WindowId w = display_->CreateWindow(display_->root(), 0, 0, 10, 10);
+  FaultInjector::Policy policy;
+  policy.drop_next = 1;
+  server_.fault_injector().SetPolicy(RequestType::kMapWindow, policy);
+  EXPECT_FALSE(display_->MapWindow(w));
+  EXPECT_TRUE(errors_.empty());  // Drops generate no error event.
+  EXPECT_FALSE(server_.IsMapped(w));
+  EXPECT_EQ(server_.fault_counters().injected_drops, 1u);
+  EXPECT_TRUE(display_->MapWindow(w));
+}
+
+TEST_F(ErrorModelTest, PolicyOnlyAffectsItsRequestType) {
+  FaultInjector::Policy policy;
+  policy.fail_next = 5;
+  server_.fault_injector().SetPolicy(RequestType::kAllocColor, policy);
+  // Window requests sail through.
+  WindowId w = display_->CreateWindow(display_->root(), 0, 0, 10, 10);
+  EXPECT_NE(w, kNone);
+  EXPECT_TRUE(display_->MapWindow(w));
+  // Color allocation fails.
+  EXPECT_FALSE(display_->AllocNamedColor("red"));
+  EXPECT_EQ(server_.fault_counters().injected_failures, 1u);
+}
+
+TEST_F(ErrorModelTest, ProbabilisticInjectionIsDeterministicForSeed) {
+  auto run = [this](uint64_t seed) {
+    server_.fault_injector().Clear();
+    server_.fault_injector().set_seed(seed);
+    FaultInjector::Policy policy;
+    policy.fail_probability = 0.5;
+    server_.fault_injector().SetPolicyAll(policy);
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 64; ++i) {
+      outcomes.push_back(display_->InternAtom("ATOM_" + std::to_string(i)) != kAtomNone);
+    }
+    server_.fault_injector().Clear();
+    return outcomes;
+  };
+  std::vector<bool> first = run(1234);
+  std::vector<bool> second = run(1234);
+  std::vector<bool> third = run(99);
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first, third);  // Overwhelmingly likely for 64 coin flips.
+  // A 50% policy should actually fail some and pass some.
+  size_t failures = 0;
+  for (bool ok : first) {
+    failures += ok ? 0 : 1;
+  }
+  EXPECT_GT(failures, 0u);
+  EXPECT_LT(failures, first.size());
+}
+
+TEST_F(ErrorModelTest, ClearDisablesInjection) {
+  FaultInjector::Policy policy;
+  policy.fail_probability = 1.0;
+  server_.fault_injector().SetPolicyAll(policy);
+  EXPECT_TRUE(server_.fault_injector().active());
+  server_.fault_injector().Clear();
+  EXPECT_FALSE(server_.fault_injector().active());
+  EXPECT_NE(display_->CreateWindow(display_->root(), 0, 0, 10, 10), kNone);
+}
+
+TEST_F(ErrorModelTest, KillClientTearsDownAndSilencesClient) {
+  auto victim = Display::Open(server_, "victim");
+  WindowId w = victim->CreateWindow(victim->root(), 0, 0, 10, 10);
+  ASSERT_TRUE(server_.WindowExists(w));
+  server_.KillClient(victim->client_id());
+  EXPECT_FALSE(server_.ClientAlive(victim->client_id()));
+  EXPECT_FALSE(server_.WindowExists(w));
+  EXPECT_EQ(server_.fault_counters().killed_clients, 1u);
+  // The dead client's Display handle stays safe: requests are dropped, no
+  // events or errors are delivered.
+  EXPECT_EQ(victim->CreateWindow(victim->root(), 0, 0, 10, 10), kNone);
+  Event event;
+  EXPECT_FALSE(victim->PollEvent(&event));
+  EXPECT_EQ(victim->error_count(), 0u);
+}
+
+TEST_F(ErrorModelTest, KillClientReleasesSelections) {
+  auto victim = Display::Open(server_, "victim");
+  Atom primary = victim->InternAtom("PRIMARY");
+  WindowId w = victim->CreateWindow(victim->root(), 0, 0, 10, 10);
+  victim->SetSelectionOwner(primary, w);
+  ASSERT_EQ(display_->GetSelectionOwner(primary), w);
+  server_.KillClient(victim->client_id());
+  EXPECT_EQ(display_->GetSelectionOwner(primary), kNone);
+}
+
+TEST_F(ErrorModelTest, RequestTypeNamesRoundTrip) {
+  for (size_t i = 0; i < kRequestTypeCount; ++i) {
+    RequestType type = static_cast<RequestType>(i);
+    EXPECT_EQ(RequestTypeFromName(RequestTypeName(type)), type);
+  }
+  EXPECT_EQ(RequestTypeFromName("not-a-request"), RequestType::kRequestTypeCount);
+}
+
+}  // namespace
+}  // namespace xsim
