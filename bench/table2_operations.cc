@@ -20,8 +20,26 @@
 #include "bench/bench_json.h"
 #include "src/tk/app.h"
 #include "src/xsim/server.h"
+#include "src/xsim/trace.h"
 
 namespace {
+
+// Emits the per-type request counts of one traced operation as
+// "req_<prefix>_<type>" integers (plus a "_total"), the observed form of the
+// paper's Section 3.3 traffic claims.  CI diffs these against
+// bench/baselines/table2_requests.json.
+void AddRequestCounts(benchjson::Writer& json, const std::string& prefix,
+                      const xsim::TraceBuffer& trace) {
+  json.AddInteger("req_" + prefix + "_total", trace.total_requests());
+  json.AddInteger("req_" + prefix + "_round_trips", trace.round_trips());
+  for (size_t i = 0; i < xsim::kRequestTypeCount; ++i) {
+    xsim::RequestType type = static_cast<xsim::RequestType>(i);
+    uint64_t count = trace.RequestCount(type);
+    if (count != 0) {
+      json.AddInteger("req_" + prefix + "_" + xsim::RequestTypeName(type), count);
+    }
+  }
+}
 
 void BM_SimpleTclCommand(benchmark::State& state) {
   tcl::Interp interp;
@@ -99,17 +117,24 @@ void PrintPaperTable() {
     interp.set_eval_cache_enabled(false);
     set_uncached_us = MeasureUs(20000, [&]() { interp.Eval("set a 1"); });
   }
+  benchjson::Writer json("table2_operations");
   double send_us = 0;
   {
     xsim::Server server;
     tk::App sender(server, "sender");
     tk::App receiver(server, "receiver");
     send_us = MeasureUs(2000, [&]() { sender.interp().Eval("send receiver {}"); });
+    // Trace one steady-state send to see what the operation costs in
+    // requests, not just microseconds.
+    server.trace().Start();
+    sender.interp().Eval("send receiver {}");
+    server.trace().Stop();
+    AddRequestCounts(json, "send_empty", server.trace());
   }
   double buttons_us = 0;
   {
     xsim::Server server;
-    buttons_us = MeasureUs(20, [&]() {
+    auto cycle = [&server]() {
       tk::App app(server, "buttons");
       for (int i = 0; i < 50; ++i) {
         app.interp().Eval("button .b" + std::to_string(i) + " -text B" + std::to_string(i));
@@ -120,7 +145,13 @@ void PrintPaperTable() {
         app.interp().Eval("destroy .b" + std::to_string(i));
       }
       app.Update();
-    });
+    };
+    buttons_us = MeasureUs(20, cycle);
+    // Trace one full cycle (the same unit of work the timing measured).
+    server.trace().Start();
+    cycle();
+    server.trace().Stop();
+    AddRequestCounts(json, "create_50_buttons", server.trace());
   }
   std::printf("\nTable II reproduction (paper: DECstation 3100 / Ultrix / X11R4;\n");
   std::printf("here: this machine / xsim in-process display)\n\n");
@@ -137,7 +168,6 @@ void PrintPaperTable() {
               "(paper: %.1fx)\n",
               send_us / set_us, 15000.0 / 68.0, buttons_us / send_us, 440.0 / 15.0);
 
-  benchjson::Writer json("table2_operations");
   json.AddNumber("ops_per_sec", 1e6 / set_us);
   json.AddNumber("ops_per_sec_uncached", 1e6 / set_uncached_us);
   json.AddInteger("cache_hits", set_hits);

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Traffic-regression gate for the benches.
+
+Compares the per-operation X request counts that bench binaries record from
+the protocol trace (the "req_*" keys in BENCH_*.json) against checked-in
+baselines under bench/baselines/.  Request counts are deterministic -- unlike
+timings -- so any growth is a real change in server traffic, and growth
+beyond the threshold fails the build (Section 3.3's efficiency claims,
+enforced).
+
+Usage: check_bench_regression.py <results-dir> [--threshold 0.10]
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+# baseline file -> the BENCH_*.json it gates.
+BASELINES = {
+    "table2_requests.json": "BENCH_table2_operations.json",
+}
+
+
+def check(baseline_path, results_path, threshold):
+    baseline = json.loads(baseline_path.read_text())
+    results = json.loads(results_path.read_text())
+    failures = []
+    for key, expected in sorted(baseline.items()):
+        actual = results.get(key)
+        if actual is None:
+            failures.append(f"{key}: missing from {results_path.name} "
+                            f"(baseline {expected})")
+            continue
+        if expected == 0:
+            if actual != 0:
+                failures.append(f"{key}: {expected} -> {actual} (was zero)")
+            continue
+        growth = (actual - expected) / expected
+        marker = "FAIL" if growth > threshold else "ok"
+        print(f"  {marker:4} {key}: {expected} -> {actual} ({growth:+.1%})")
+        if growth > threshold:
+            failures.append(f"{key}: {expected} -> {actual} ({growth:+.1%} "
+                            f"> {threshold:.0%} allowed)")
+    new_keys = sorted(k for k in results if k.startswith("req_") and k not in baseline)
+    for key in new_keys:
+        print(f"  note {key}: {results[key]} (not in baseline; add it there)")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("results_dir", type=pathlib.Path,
+                        help="directory holding BENCH_*.json (scripts/run_benches.sh output)")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="allowed fractional growth per counter (default 0.10)")
+    args = parser.parse_args()
+
+    baseline_dir = pathlib.Path(__file__).resolve().parent.parent / "bench" / "baselines"
+    failures = []
+    checked = 0
+    for baseline_name, results_name in BASELINES.items():
+        baseline_path = baseline_dir / baseline_name
+        results_path = args.results_dir / results_name
+        if not baseline_path.exists():
+            print(f"warning: no baseline {baseline_path}, skipping")
+            continue
+        if not results_path.exists():
+            failures.append(f"{results_name}: not produced (expected in {args.results_dir})")
+            continue
+        print(f"{results_name} vs baselines/{baseline_name}:")
+        failures += check(baseline_path, results_path, args.threshold)
+        checked += 1
+
+    if failures:
+        print("\nTraffic regressions:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\n{checked} baseline file(s) checked, no traffic regressions.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

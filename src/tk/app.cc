@@ -161,6 +161,18 @@ std::vector<std::string> App::ChildPaths(std::string_view path) const {
 // Event loop.
 
 void App::DispatchEvent(const xsim::Event& event) {
+  // Time the whole dispatch (protocol handlers, widget handler, bindings)
+  // regardless of which early-return path it takes.
+  struct DispatchTimer {
+    App* app;
+    std::chrono::steady_clock::time_point start;
+    ~DispatchTimer() {
+      app->loop_stats_.RecordDispatch(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count()));
+    }
+  } timer{this, std::chrono::steady_clock::now()};
   // Protocol handlers first (send comm window, selection traffic).
   if (send_->HandleEvent(event)) {
     return;
@@ -186,6 +198,7 @@ void App::DispatchEvent(const xsim::Event& event) {
 }
 
 bool App::DoOneEvent() {
+  loop_stats_.NoteQueueDepth(display_->PendingCount());
   xsim::Event event;
   if (display_->PollEvent(&event)) {
     DispatchEvent(event);
@@ -197,6 +210,7 @@ bool App::DoOneEvent() {
     if (timers_[i].due <= now) {
       std::function<void()> callback = std::move(timers_[i].callback);
       timers_.erase(timers_.begin() + i);
+      ++loop_stats_.timers_fired;
       callback();
       return true;
     }
@@ -226,16 +240,19 @@ void App::ProcessIdle() {
     repack_queue_.erase(repack_queue_.begin());
     packer_->Arrange(parent);
     placer_->Arrange(parent);
+    ++loop_stats_.repacks_done;
   }
   std::vector<Widget*> to_draw;
   to_draw.swap(redraw_queue_);
   for (Widget* widget : to_draw) {
     widget->Draw();
+    ++loop_stats_.redraws_drawn;
   }
   std::deque<std::function<void()>> idle;
   idle.swap(idle_);
   for (const std::function<void()>& callback : idle) {
     callback();
+    ++loop_stats_.idle_handlers_run;
   }
 }
 

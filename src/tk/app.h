@@ -40,6 +40,47 @@ struct TimerHandler {
   std::function<void()> callback;
 };
 
+// Event-loop observability: where the loop's time goes and how much work each
+// kind of handler did.  Read from Tcl via `info latency`; reset with
+// `info latency reset`.
+struct EventLoopStats {
+  // Dispatch-latency histogram buckets (upper bounds, exponential):
+  // <1us, <4us, <16us, <64us, <256us, <1ms, <4ms, >=4ms.
+  static constexpr size_t kHistogramBuckets = 8;
+  static constexpr uint64_t kBucketBoundsNs[kHistogramBuckets - 1] = {
+      1'000, 4'000, 16'000, 64'000, 256'000, 1'000'000, 4'000'000};
+
+  uint64_t histogram[kHistogramBuckets] = {};
+  uint64_t events_dispatched = 0;
+  uint64_t dispatch_total_ns = 0;
+  uint64_t dispatch_max_ns = 0;
+  uint64_t timers_fired = 0;
+  uint64_t idle_handlers_run = 0;
+  uint64_t redraws_drawn = 0;
+  uint64_t repacks_done = 0;
+  // Deepest the client's event queue has been when the loop looked at it.
+  size_t queue_depth_high_water = 0;
+
+  void RecordDispatch(uint64_t ns) {
+    ++events_dispatched;
+    dispatch_total_ns += ns;
+    if (ns > dispatch_max_ns) {
+      dispatch_max_ns = ns;
+    }
+    size_t bucket = 0;
+    while (bucket < kHistogramBuckets - 1 && ns >= kBucketBoundsNs[bucket]) {
+      ++bucket;
+    }
+    ++histogram[bucket];
+  }
+
+  void NoteQueueDepth(size_t depth) {
+    if (depth > queue_depth_high_water) {
+      queue_depth_high_water = depth;
+    }
+  }
+};
+
 class App {
  public:
   // Creates the application: opens a display connection, creates the main
@@ -130,6 +171,10 @@ class App {
   // Storage for `wm title` (the simulated window manager's title bars).
   std::map<std::string, std::string>& wm_titles() { return wm_titles_; }
 
+  EventLoopStats& loop_stats() { return loop_stats_; }
+  const EventLoopStats& loop_stats() const { return loop_stats_; }
+  void ResetLoopStats() { loop_stats_ = EventLoopStats(); }
+
  private:
   void RegisterCommands();
   void ProcessIdle();
@@ -158,6 +203,7 @@ class App {
   bool closing_ = false;
   uint64_t background_errors_ = 0;
   bool in_background_error_ = false;
+  EventLoopStats loop_stats_;
 
   friend class Widget;
 };

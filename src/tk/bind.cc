@@ -479,6 +479,7 @@ int BindingTable::Dispatch(const xsim::Event& event, const std::string& widget_p
   for (size_t i = 0; i < count; ++i) {
     tcl::Code code = app_.interp().Eval(scripts[i]);
     ++fired;
+    ++match_count_;
     if (code == tcl::Code::kError) {
       // A binding has no caller to return the error to; hand it to the
       // application's shared background-error path (tkerror or stderr).

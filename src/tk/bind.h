@@ -66,6 +66,10 @@ class BindingTable {
   int Dispatch(const xsim::Event& event, const std::string& widget_path,
                const std::string& widget_class);
 
+  // Binding scripts run by Dispatch since the last reset (`info latency`).
+  uint64_t match_count() const { return match_count_; }
+  void reset_match_count() { match_count_ = 0; }
+
  private:
   struct History {
     std::deque<xsim::Event> events;  // Most recent last.
@@ -79,6 +83,7 @@ class BindingTable {
   App& app_;
   std::map<std::string, std::vector<Binding>> bindings_;
   std::map<std::string, History> histories_;  // Keyed by widget path.
+  uint64_t match_count_ = 0;
 };
 
 }  // namespace tk

@@ -14,6 +14,7 @@
 #include "src/tk/pack.h"
 #include "src/tk/selection.h"
 #include "src/tk/send.h"
+#include "src/tk/trace_cmd.h"
 #include "src/tk/widget.h"
 #include "src/tk/widgets/button.h"
 #include "src/tk/widgets/canvas.h"
@@ -776,6 +777,9 @@ void App::RegisterCommands() {
                                  [app](tcl::Interp&, std::vector<std::string>& args) {
                                    return InfoFaultsCmd(*app, args);
                                  });
+
+  // `xtrace` and `info latency` (trace_cmd.cc).
+  RegisterTraceCommands(*app);
 
   RegisterWidgetClass(*app, "frame", [](App& a, std::string path) {
     return std::make_unique<Frame>(a, std::move(path));

@@ -24,11 +24,11 @@ xsim::Pixel ResourceCache::GetColor(const std::string& name) {
   if (caching_enabled_) {
     auto it = colors_.find(name);
     if (it != colors_.end()) {
-      ++hits_;
+      CountHit(color_stats_);
       return it->second;
     }
   }
-  ++misses_;
+  CountMiss(color_stats_);
   std::optional<xsim::Pixel> allocated = display_.AllocNamedColor(name);
   xsim::Pixel pixel;
   if (allocated) {
@@ -58,11 +58,11 @@ std::optional<xsim::FontId> ResourceCache::GetFont(const std::string& name) {
   if (caching_enabled_) {
     auto it = fonts_.find(name);
     if (it != fonts_.end()) {
-      ++hits_;
+      CountHit(font_stats_);
       return it->second;
     }
   }
-  ++misses_;
+  CountMiss(font_stats_);
   std::optional<xsim::FontId> font = display_.LoadFont(name);
   if (!font) {
     return std::nullopt;
@@ -90,11 +90,11 @@ xsim::CursorId ResourceCache::GetCursor(const std::string& name) {
   if (caching_enabled_) {
     auto it = cursors_.find(name);
     if (it != cursors_.end()) {
-      ++hits_;
+      CountHit(cursor_stats_);
       return it->second;
     }
   }
-  ++misses_;
+  CountMiss(cursor_stats_);
   xsim::CursorId cursor = display_.CreateNamedCursor(name);
   if (caching_enabled_) {
     cursors_[name] = cursor;
@@ -115,11 +115,11 @@ std::optional<xsim::BitmapId> ResourceCache::GetBitmap(const std::string& name) 
   if (caching_enabled_) {
     auto it = bitmaps_.find(name);
     if (it != bitmaps_.end()) {
-      ++hits_;
+      CountHit(bitmap_stats_);
       return it->second;
     }
   }
-  ++misses_;
+  CountMiss(bitmap_stats_);
   // "@file" names a bitmap file (Section 3.3's "@star"); built-in names get
   // a nominal 16x16 cell.  Either way the server records it by name.
   int width = 16;

@@ -45,17 +45,42 @@ class ResourceCache {
   void set_caching_enabled(bool enabled) { caching_enabled_ = enabled; }
   bool caching_enabled() const { return caching_enabled_; }
 
+  // Hit/miss counts for one cache kind; aggregate totals remain available
+  // via hits()/misses() for callers that don't care which cache was hot.
+  struct CacheStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
+  const CacheStats& color_stats() const { return color_stats_; }
+  const CacheStats& font_stats() const { return font_stats_; }
+  const CacheStats& cursor_stats() const { return cursor_stats_; }
+  const CacheStats& bitmap_stats() const { return bitmap_stats_; }
   // Color allocations that fell back to monochrome.
   uint64_t degraded() const { return degraded_; }
   void reset_degraded() { degraded_ = 0; }
   void ResetStats() {
     hits_ = 0;
     misses_ = 0;
+    color_stats_ = CacheStats();
+    font_stats_ = CacheStats();
+    cursor_stats_ = CacheStats();
+    bitmap_stats_ = CacheStats();
   }
 
  private:
+  // Bumps the per-kind and aggregate counters together.
+  void CountHit(CacheStats& stats) {
+    ++stats.hits;
+    ++hits_;
+  }
+  void CountMiss(CacheStats& stats) {
+    ++stats.misses;
+    ++misses_;
+  }
+
   xsim::Display& display_;
   bool caching_enabled_ = true;
   std::map<std::string, xsim::Pixel> colors_;
@@ -64,6 +89,10 @@ class ResourceCache {
   std::map<std::string, xsim::BitmapId> bitmaps_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  CacheStats color_stats_;
+  CacheStats font_stats_;
+  CacheStats cursor_stats_;
+  CacheStats bitmap_stats_;
   uint64_t degraded_ = 0;
 };
 

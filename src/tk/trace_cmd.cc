@@ -1,0 +1,268 @@
+#include "src/tk/trace_cmd.h"
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/tcl/list.h"
+#include "src/tcl/utils.h"
+#include "src/tk/app.h"
+#include "src/tk/bind.h"
+#include "src/xsim/trace.h"
+
+namespace tk {
+namespace {
+
+std::string U(uint64_t value) { return tcl::FormatInt(static_cast<int64_t>(value)); }
+
+// Parses a request-type name, reporting the valid spellings on failure.
+tcl::Code ParseRequestType(tcl::Interp& interp, const std::string& name,
+                           xsim::RequestType* out) {
+  xsim::RequestType type = xsim::RequestTypeFromName(name);
+  if (type == xsim::RequestType::kRequestTypeCount) {
+    return interp.Error("unknown request type \"" + name + "\"");
+  }
+  *out = type;
+  return tcl::Code::kOk;
+}
+
+// xtrace summary -> kv list: totals first, then one entry per request type
+// that was seen (cumulative counts, unaffected by the ring filter).
+tcl::Code SummaryCmd(App& app) {
+  const xsim::TraceBuffer& trace = app.server().trace();
+  std::vector<std::string> kv = {
+      "requests",    U(trace.total_requests()),
+      "events",      U(trace.total_events()),
+      "round-trips", U(trace.round_trips()),
+      "recorded",    U(trace.total_recorded()),
+      "retained",    U(trace.size())};
+  for (size_t i = 0; i < xsim::kRequestTypeCount; ++i) {
+    xsim::RequestType type = static_cast<xsim::RequestType>(i);
+    uint64_t count = trace.RequestCount(type);
+    if (count != 0) {
+      kv.push_back(xsim::RequestTypeName(type));
+      kv.push_back(U(count));
+    }
+  }
+  app.interp().SetResult(tcl::MergeList(kv));
+  return tcl::Code::kOk;
+}
+
+// xtrace expect type max script: evaluates script and fails if it issued
+// more than max requests of the given type (the Section 3.3 assertion
+// primitive -- "this operation costs at most N requests").
+tcl::Code ExpectCmd(App& app, std::vector<std::string>& args) {
+  tcl::Interp& interp = app.interp();
+  xsim::RequestType type;
+  if (ParseRequestType(interp, args[2], &type) != tcl::Code::kOk) {
+    return tcl::Code::kError;
+  }
+  std::optional<int64_t> max = tcl::ParseInt(args[3]);
+  if (!max || *max < 0) {
+    return interp.Error("expected non-negative count but got \"" + args[3] + "\"");
+  }
+  xsim::TraceBuffer& trace = app.server().trace();
+  // The assertion works whether or not a trace is already running; if not,
+  // count with a temporarily-started trace and stop it again afterwards.
+  const bool was_active = trace.active();
+  if (!was_active) {
+    trace.Start();
+  }
+  const uint64_t before = trace.RequestCount(type);
+  tcl::Code code = interp.Eval(args[4]);
+  const uint64_t delta = trace.RequestCount(type) - before;
+  if (!was_active) {
+    trace.Stop();
+  }
+  if (code == tcl::Code::kError) {
+    return code;
+  }
+  if (delta > static_cast<uint64_t>(*max)) {
+    return interp.Error("expected at most " + args[3] + " " + args[2] +
+                        " request(s), script issued " + U(delta));
+  }
+  interp.SetResult(U(delta));
+  return tcl::Code::kOk;
+}
+
+tcl::Code XtraceCmd(App& app, std::vector<std::string>& args) {
+  tcl::Interp& interp = app.interp();
+  if (args.size() < 2) {
+    return interp.WrongNumArgs(
+        "xtrace on|off|status|clear|limit|count|filter|events|summary|dump|expect ?arg ...?");
+  }
+  xsim::TraceBuffer& trace = app.server().trace();
+  const std::string& option = args[1];
+  if (option == "on" && args.size() == 2) {
+    trace.Start();
+    interp.ResetResult();
+    return tcl::Code::kOk;
+  }
+  if (option == "off" && args.size() == 2) {
+    trace.Stop();
+    interp.ResetResult();
+    return tcl::Code::kOk;
+  }
+  if (option == "status" && args.size() == 2) {
+    interp.SetResult(trace.active() ? "on" : "off");
+    return tcl::Code::kOk;
+  }
+  if (option == "clear" && args.size() == 2) {
+    trace.Clear();
+    interp.ResetResult();
+    return tcl::Code::kOk;
+  }
+  if (option == "limit") {
+    if (args.size() == 2) {
+      interp.SetResult(U(trace.capacity()));
+      return tcl::Code::kOk;
+    }
+    if (args.size() == 3) {
+      std::optional<int64_t> limit = tcl::ParseInt(args[2]);
+      if (!limit || *limit < 1) {
+        return interp.Error("expected positive capacity but got \"" + args[2] + "\"");
+      }
+      trace.set_capacity(static_cast<size_t>(*limit));
+      interp.ResetResult();
+      return tcl::Code::kOk;
+    }
+    return interp.WrongNumArgs("xtrace limit ?capacity?");
+  }
+  if (option == "count") {
+    if (args.size() != 3) {
+      return interp.WrongNumArgs("xtrace count requestType");
+    }
+    xsim::RequestType type;
+    if (ParseRequestType(interp, args[2], &type) != tcl::Code::kOk) {
+      return tcl::Code::kError;
+    }
+    interp.SetResult(U(trace.RequestCount(type)));
+    return tcl::Code::kOk;
+  }
+  if (option == "filter") {
+    if (args.size() == 2) {
+      std::vector<std::string> names;
+      for (xsim::RequestType type : trace.RequestFilter()) {
+        names.push_back(xsim::RequestTypeName(type));
+      }
+      interp.SetResult(tcl::MergeList(names));
+      return tcl::Code::kOk;
+    }
+    if (args.size() == 3 && args[2] == "clear") {
+      trace.ClearRequestFilter();
+      interp.ResetResult();
+      return tcl::Code::kOk;
+    }
+    std::vector<xsim::RequestType> types;
+    for (size_t i = 2; i < args.size(); ++i) {
+      xsim::RequestType type;
+      if (ParseRequestType(interp, args[i], &type) != tcl::Code::kOk) {
+        return tcl::Code::kError;
+      }
+      types.push_back(type);
+    }
+    trace.SetRequestFilter(types);
+    interp.ResetResult();
+    return tcl::Code::kOk;
+  }
+  if (option == "events") {
+    if (args.size() != 3 || (args[2] != "on" && args[2] != "off")) {
+      return interp.WrongNumArgs("xtrace events on|off");
+    }
+    trace.set_record_events(args[2] == "on");
+    interp.ResetResult();
+    return tcl::Code::kOk;
+  }
+  if (option == "summary" && args.size() == 2) {
+    return SummaryCmd(app);
+  }
+  if (option == "dump") {
+    if (args.size() == 2) {
+      interp.SetResult(trace.ToJsonl());
+      return tcl::Code::kOk;
+    }
+    if (args.size() == 3) {
+      std::ofstream out(args[2]);
+      if (!out) {
+        return interp.Error("couldn't open \"" + args[2] + "\" for writing");
+      }
+      out << trace.ToJsonl();
+      interp.ResetResult();
+      return tcl::Code::kOk;
+    }
+    return interp.WrongNumArgs("xtrace dump ?file?");
+  }
+  if (option == "expect") {
+    if (args.size() != 5) {
+      return interp.WrongNumArgs("xtrace expect requestType max script");
+    }
+    return ExpectCmd(app, args);
+  }
+  return interp.Error(
+      "bad xtrace option \"" + option +
+      "\": must be on, off, status, clear, limit, count, filter, events, summary, dump, "
+      "or expect");
+}
+
+// info latency ?reset? -- the event-loop side of the observability story:
+// dispatch latencies, queue depth, handler work counters and per-cache
+// hit/miss attribution.
+tcl::Code InfoLatencyCmd(App& app, std::vector<std::string>& args) {
+  tcl::Interp& interp = app.interp();
+  if (args.size() == 3 && args[2] == "reset") {
+    app.ResetLoopStats();
+    app.bindings().reset_match_count();
+    app.resources().ResetStats();
+    interp.ResetResult();
+    return tcl::Code::kOk;
+  }
+  if (args.size() != 2) {
+    return interp.WrongNumArgs("info latency ?reset?");
+  }
+  const EventLoopStats& stats = app.loop_stats();
+  std::vector<std::string> histogram;
+  for (uint64_t bucket : stats.histogram) {
+    histogram.push_back(U(bucket));
+  }
+  const ResourceCache& resources = app.resources();
+  uint64_t avg_ns =
+      stats.events_dispatched == 0 ? 0 : stats.dispatch_total_ns / stats.events_dispatched;
+  std::vector<std::string> kv = {
+      "dispatches",          U(stats.events_dispatched),
+      "dispatch-total-us",   U(stats.dispatch_total_ns / 1000),
+      "dispatch-max-us",     U(stats.dispatch_max_ns / 1000),
+      "dispatch-avg-us",     U(avg_ns / 1000),
+      "histogram",           tcl::MergeList(histogram),
+      "queue-high-water",    U(stats.queue_depth_high_water),
+      "timers",              U(stats.timers_fired),
+      "idle",                U(stats.idle_handlers_run),
+      "redraws",             U(stats.redraws_drawn),
+      "repacks",             U(stats.repacks_done),
+      "binding-matches",     U(app.bindings().match_count()),
+      "cache-color-hits",    U(resources.color_stats().hits),
+      "cache-color-misses",  U(resources.color_stats().misses),
+      "cache-font-hits",     U(resources.font_stats().hits),
+      "cache-font-misses",   U(resources.font_stats().misses),
+      "cache-cursor-hits",   U(resources.cursor_stats().hits),
+      "cache-cursor-misses", U(resources.cursor_stats().misses),
+      "cache-bitmap-hits",   U(resources.bitmap_stats().hits),
+      "cache-bitmap-misses", U(resources.bitmap_stats().misses)};
+  interp.SetResult(tcl::MergeList(kv));
+  return tcl::Code::kOk;
+}
+
+}  // namespace
+
+void RegisterTraceCommands(App& app) {
+  App* self = &app;
+  app.interp().RegisterCommand("xtrace",
+                               [self](tcl::Interp&, std::vector<std::string>& args) {
+                                 return XtraceCmd(*self, args);
+                               });
+  app.interp().RegisterInfoExtension("latency",
+                                     [self](tcl::Interp&, std::vector<std::string>& args) {
+                                       return InfoLatencyCmd(*self, args);
+                                     });
+}
+
+}  // namespace tk

@@ -1,0 +1,18 @@
+// The `xtrace` command and the `info latency` extension: scripting access to
+// the server's protocol trace (src/xsim/trace.h) and the application's
+// event-loop statistics (tk::EventLoopStats).  See docs/observability.md.
+
+#ifndef SRC_TK_TRACE_CMD_H_
+#define SRC_TK_TRACE_CMD_H_
+
+namespace tk {
+
+class App;
+
+// Registers `xtrace` and the `info latency` extension on app's interpreter.
+// Called from App::RegisterCommands.
+void RegisterTraceCommands(App& app);
+
+}  // namespace tk
+
+#endif  // SRC_TK_TRACE_CMD_H_

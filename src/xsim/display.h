@@ -136,6 +136,7 @@ class Display {
 
   // Events.
   bool Pending() const { return server_.HasPendingEvents(client_); }
+  size_t PendingCount() const { return server_.PendingEventCount(client_); }
   bool PollEvent(Event* out) { return server_.NextEvent(client_, out); }
 
  private:

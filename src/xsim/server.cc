@@ -43,42 +43,67 @@ void WaitNs(uint64_t ns) {
 
 }  // namespace
 
-bool Server::BeginRequest(ClientId client, RequestType type) {
+bool Server::BeginRequest(ClientId client, RequestType type, XId resource) {
   ClientRec* rec = FindClient(client);
   if (rec != nullptr && rec->dead) {
-    return false;  // Requests from a crashed client vanish.
+    return false;  // Requests from a crashed client vanish (and go untraced).
   }
   ++counters_.total;
   if (rec != nullptr) {
     ++rec->sequence;
   }
+  const bool tracing = trace_.active();
+  std::chrono::steady_clock::time_point start;
+  if (tracing) {
+    start = std::chrono::steady_clock::now();
+  }
+  TraceOutcome outcome = TraceOutcome::kOk;
+  bool execute = true;
+  in_begin_request_ = true;
   WaitNs(request_latency_ns_);
   if (fault_injector_.active()) {
     FaultInjector::Decision decision = fault_injector_.Decide(type);
     if (decision.delay_ns != 0) {
       ++fault_counters_.injected_delays;
       WaitNs(decision.delay_ns);
+      outcome = TraceOutcome::kDelayed;
     }
     if (decision.drop) {
       ++fault_counters_.injected_drops;
-      return false;
-    }
-    if (decision.fail) {
+      outcome = TraceOutcome::kDropped;
+      execute = false;
+    } else if (decision.fail) {
       ++fault_counters_.injected_failures;
       RaiseError(client, ErrorCode::kBadImplementation, kNone, type);
-      return false;
+      outcome = TraceOutcome::kFailed;
+      execute = false;
     }
   }
-  return true;
+  if (tracing) {
+    uint64_t duration_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                             start)
+            .count());
+    trace_.RecordRequest(client, type, resource, duration_ns, outcome);
+  }
+  in_begin_request_ = false;
+  return execute;
 }
 
 void Server::CountRoundTrip() {
   ++counters_.round_trips;
   WaitNs(round_trip_latency_ns_);
+  trace_.MarkLastRequestRoundTrip(round_trip_latency_ns_);
 }
 
 void Server::RaiseError(ClientId client, ErrorCode code, XId resource, RequestType request) {
   ++fault_counters_.errors_generated;
+  // A validation error discovered after the request was admitted rewrites
+  // the in-flight trace record; an injected failure is recorded by
+  // BeginRequest itself.
+  if (!in_begin_request_) {
+    trace_.MarkLastRequestError();
+  }
   ClientRec* rec = FindClient(client);
   if (rec == nullptr || rec->dead || !rec->error_sink) {
     return;
@@ -198,6 +223,11 @@ bool Server::HasPendingEvents(ClientId client) const {
   return it != clients_.end() && !it->second->queue.empty();
 }
 
+size_t Server::PendingEventCount(ClientId client) const {
+  const ClientRec* rec = FindClient(client);
+  return rec == nullptr ? 0 : rec->queue.size();
+}
+
 bool Server::NextEvent(ClientId client, Event* out) {
   ClientRec* rec = FindClient(client);
   if (rec == nullptr || rec->queue.empty()) {
@@ -211,6 +241,14 @@ bool Server::NextEvent(ClientId client, Event* out) {
 // ---------------------------------------------------------------------------
 // Event delivery.
 
+void Server::EnqueueEvent(ClientRec* rec, const Event& event) {
+  if (rec == nullptr || rec->dead) {
+    return;
+  }
+  rec->queue.push_back(event);
+  trace_.RecordEvent(rec->id, event.type, event.window);
+}
+
 void Server::Deliver(WindowId window, const Event& event, uint32_t mask) {
   const WindowRec* rec = FindWindow(window);
   if (rec == nullptr) {
@@ -220,10 +258,7 @@ void Server::Deliver(WindowId window, const Event& event, uint32_t mask) {
     if ((selected & mask) == 0) {
       continue;
     }
-    ClientRec* client = FindClient(client_id);
-    if (client != nullptr && !client->dead) {
-      client->queue.push_back(event);
-    }
+    EnqueueEvent(FindClient(client_id), event);
   }
 }
 
@@ -262,7 +297,7 @@ WindowId Server::DeliverWithPropagation(WindowId window, Event event, uint32_t m
 
 WindowId Server::CreateWindow(ClientId client, WindowId parent, int x, int y, int width,
                               int height, int border_width) {
-  if (!BeginRequest(client, RequestType::kCreateWindow)) {
+  if (!BeginRequest(client, RequestType::kCreateWindow, parent)) {
     return kNone;
   }
   ++counters_.create_window;
@@ -328,7 +363,7 @@ void Server::DestroyWindowInternal(WindowRec* rec) {
 }
 
 bool Server::DestroyWindow(ClientId client, WindowId window) {
-  if (!BeginRequest(client, RequestType::kDestroyWindow)) {
+  if (!BeginRequest(client, RequestType::kDestroyWindow, window)) {
     return false;
   }
   ++counters_.destroy_window;
@@ -342,7 +377,7 @@ bool Server::DestroyWindow(ClientId client, WindowId window) {
 }
 
 bool Server::MapWindow(ClientId client, WindowId window) {
-  if (!BeginRequest(client, RequestType::kMapWindow)) {
+  if (!BeginRequest(client, RequestType::kMapWindow, window)) {
     return false;
   }
   ++counters_.map_window;
@@ -374,7 +409,7 @@ bool Server::MapWindow(ClientId client, WindowId window) {
 }
 
 bool Server::UnmapWindow(ClientId client, WindowId window) {
-  if (!BeginRequest(client, RequestType::kUnmapWindow)) {
+  if (!BeginRequest(client, RequestType::kUnmapWindow, window)) {
     return false;
   }
   WindowRec* rec = FindWindow(window);
@@ -396,7 +431,7 @@ bool Server::UnmapWindow(ClientId client, WindowId window) {
 
 bool Server::ConfigureWindow(ClientId client, WindowId window, int x, int y, int width,
                              int height, int border_width) {
-  if (!BeginRequest(client, RequestType::kConfigureWindow)) {
+  if (!BeginRequest(client, RequestType::kConfigureWindow, window)) {
     return false;
   }
   ++counters_.configure_window;
@@ -448,7 +483,7 @@ bool Server::ConfigureWindow(ClientId client, WindowId window, int x, int y, int
 }
 
 bool Server::RaiseWindow(ClientId client, WindowId window) {
-  if (!BeginRequest(client, RequestType::kConfigureWindow)) {
+  if (!BeginRequest(client, RequestType::kConfigureWindow, window)) {
     return false;
   }
   WindowRec* rec = FindWindow(window);
@@ -472,7 +507,7 @@ bool Server::RaiseWindow(ClientId client, WindowId window) {
 }
 
 void Server::SelectInput(ClientId client, WindowId window, uint32_t mask) {
-  if (!BeginRequest(client, RequestType::kSelectInput)) {
+  if (!BeginRequest(client, RequestType::kSelectInput, window)) {
     return;
   }
   WindowRec* rec = FindWindow(window);
@@ -488,7 +523,7 @@ void Server::SelectInput(ClientId client, WindowId window, uint32_t mask) {
 }
 
 bool Server::SetWindowBackground(ClientId client, WindowId window, Pixel pixel) {
-  if (!BeginRequest(client, RequestType::kConfigureWindow)) {
+  if (!BeginRequest(client, RequestType::kConfigureWindow, window)) {
     return false;
   }
   WindowRec* rec = FindWindow(window);
@@ -614,7 +649,7 @@ std::string Server::AtomName(Atom atom) const {
 
 bool Server::ChangeProperty(ClientId client, WindowId window, Atom property,
                             std::string value) {
-  if (!BeginRequest(client, RequestType::kChangeProperty)) {
+  if (!BeginRequest(client, RequestType::kChangeProperty, window)) {
     return false;
   }
   ++counters_.change_property;
@@ -639,7 +674,7 @@ bool Server::ChangeProperty(ClientId client, WindowId window, Atom property,
 
 std::optional<std::string> Server::GetProperty(ClientId client, WindowId window,
                                                Atom property) {
-  if (!BeginRequest(client, RequestType::kGetProperty)) {
+  if (!BeginRequest(client, RequestType::kGetProperty, window)) {
     return std::nullopt;
   }
   ++counters_.get_property;
@@ -657,7 +692,7 @@ std::optional<std::string> Server::GetProperty(ClientId client, WindowId window,
 }
 
 bool Server::DeleteProperty(ClientId client, WindowId window, Atom property) {
-  if (!BeginRequest(client, RequestType::kDeleteProperty)) {
+  if (!BeginRequest(client, RequestType::kDeleteProperty, window)) {
     return false;
   }
   WindowRec* rec = FindWindow(window);
@@ -779,7 +814,7 @@ GcId Server::CreateGc(ClientId client) {
 }
 
 void Server::FreeGc(ClientId client, GcId gc) {
-  if (!BeginRequest(client, RequestType::kChangeGc)) {
+  if (!BeginRequest(client, RequestType::kChangeGc, gc)) {
     return;
   }
   if (gcs_.erase(gc) == 0) {
@@ -788,7 +823,7 @@ void Server::FreeGc(ClientId client, GcId gc) {
 }
 
 bool Server::ChangeGc(ClientId client, GcId gc, const Gc& values) {
-  if (!BeginRequest(client, RequestType::kChangeGc)) {
+  if (!BeginRequest(client, RequestType::kChangeGc, gc)) {
     return false;
   }
   auto it = gcs_.find(gc);
@@ -824,7 +859,7 @@ void Server::PaintBackground(WindowRec& rec) {
 }
 
 void Server::ClearWindow(ClientId client, WindowId window) {
-  if (!BeginRequest(client, RequestType::kDraw)) {
+  if (!BeginRequest(client, RequestType::kDraw, window)) {
     return;
   }
   ++counters_.draw;
@@ -840,7 +875,7 @@ void Server::ClearWindow(ClientId client, WindowId window) {
 }
 
 void Server::FillRectangle(ClientId client, WindowId window, GcId gc, const Rect& rect) {
-  if (!BeginRequest(client, RequestType::kDraw)) {
+  if (!BeginRequest(client, RequestType::kDraw, window)) {
     return;
   }
   ++counters_.draw;
@@ -857,7 +892,7 @@ void Server::FillRectangle(ClientId client, WindowId window, GcId gc, const Rect
 }
 
 void Server::DrawRectangle(ClientId client, WindowId window, GcId gc, const Rect& rect) {
-  if (!BeginRequest(client, RequestType::kDraw)) {
+  if (!BeginRequest(client, RequestType::kDraw, window)) {
     return;
   }
   ++counters_.draw;
@@ -875,7 +910,7 @@ void Server::DrawRectangle(ClientId client, WindowId window, GcId gc, const Rect
 
 void Server::DrawLine(ClientId client, WindowId window, GcId gc, int x0, int y0, int x1,
                       int y1) {
-  if (!BeginRequest(client, RequestType::kDraw)) {
+  if (!BeginRequest(client, RequestType::kDraw, window)) {
     return;
   }
   ++counters_.draw;
@@ -891,7 +926,7 @@ void Server::DrawLine(ClientId client, WindowId window, GcId gc, int x0, int y0,
 
 void Server::DrawString(ClientId client, WindowId window, GcId gc, int x, int y,
                         std::string_view text) {
-  if (!BeginRequest(client, RequestType::kDraw)) {
+  if (!BeginRequest(client, RequestType::kDraw, window)) {
     return;
   }
   ++counters_.draw;
@@ -930,7 +965,7 @@ std::vector<TextItem> Server::WindowText(WindowId window) const {
 // Focus.
 
 void Server::SetInputFocus(ClientId client, WindowId window) {
-  if (!BeginRequest(client, RequestType::kSetInputFocus)) {
+  if (!BeginRequest(client, RequestType::kSetInputFocus, window)) {
     return;
   }
   if (window != kNone && FindWindow(window) == nullptr) {
@@ -961,7 +996,7 @@ void Server::SetInputFocus(ClientId client, WindowId window) {
 // Selections (ICCCM shape).
 
 void Server::SetSelectionOwner(ClientId client, Atom selection, WindowId owner) {
-  if (!BeginRequest(client, RequestType::kSetSelectionOwner)) {
+  if (!BeginRequest(client, RequestType::kSetSelectionOwner, owner)) {
     return;
   }
   if (owner != kNone && FindWindow(owner) == nullptr) {
@@ -976,9 +1011,7 @@ void Server::SetSelectionOwner(ClientId client, Atom selection, WindowId owner) 
     event.window = it->second.first;
     event.atom = selection;
     event.time = Tick();
-    if (ClientRec* old_client = FindClient(it->second.second)) {
-      old_client->queue.push_back(event);
-    }
+    EnqueueEvent(FindClient(it->second.second), event);
   }
   if (owner == kNone) {
     selections_.erase(selection);
@@ -998,7 +1031,7 @@ WindowId Server::GetSelectionOwner(ClientId client, Atom selection) {
 
 void Server::ConvertSelection(ClientId client, Atom selection, Atom target, Atom property,
                               WindowId requestor) {
-  if (!BeginRequest(client, RequestType::kConvertSelection)) {
+  if (!BeginRequest(client, RequestType::kConvertSelection, requestor)) {
     return;
   }
   if (FindWindow(requestor) == nullptr) {
@@ -1015,9 +1048,7 @@ void Server::ConvertSelection(ClientId client, Atom selection, Atom target, Atom
     event.target = target;
     event.property = kAtomNone;
     event.time = Tick();
-    if (ClientRec* rec = FindClient(client)) {
-      rec->queue.push_back(event);
-    }
+    EnqueueEvent(FindClient(client), event);
     return;
   }
   Event event;
@@ -1028,14 +1059,12 @@ void Server::ConvertSelection(ClientId client, Atom selection, Atom target, Atom
   event.property = property;
   event.requestor = requestor;
   event.time = Tick();
-  if (ClientRec* owner = FindClient(it->second.second)) {
-    owner->queue.push_back(event);
-  }
+  EnqueueEvent(FindClient(it->second.second), event);
 }
 
 void Server::SendSelectionNotify(ClientId client, WindowId requestor, Atom selection,
                                  Atom target, Atom property) {
-  if (!BeginRequest(client, RequestType::kSendEvent)) {
+  if (!BeginRequest(client, RequestType::kSendEvent, requestor)) {
     return;
   }
   ++counters_.send_event;
@@ -1048,15 +1077,13 @@ void Server::SendSelectionNotify(ClientId client, WindowId requestor, Atom selec
   event.time = Tick();
   const WindowRec* rec = FindWindow(requestor);
   if (rec != nullptr) {
-    if (ClientRec* owner = FindClient(rec->owner)) {
-      owner->queue.push_back(event);
-    }
+    EnqueueEvent(FindClient(rec->owner), event);
   }
 }
 
 void Server::SendEvent(ClientId client, WindowId destination, const Event& event,
                        uint32_t mask) {
-  if (!BeginRequest(client, RequestType::kSendEvent)) {
+  if (!BeginRequest(client, RequestType::kSendEvent, destination)) {
     return;
   }
   ++counters_.send_event;
@@ -1070,9 +1097,7 @@ void Server::SendEvent(ClientId client, WindowId destination, const Event& event
   adjusted.time = Tick();
   if (mask == 0) {
     // X11: mask 0 targets the window's creating client.
-    if (ClientRec* owner = FindClient(rec->owner)) {
-      owner->queue.push_back(adjusted);
-    }
+    EnqueueEvent(FindClient(rec->owner), adjusted);
     return;
   }
   Deliver(destination, adjusted, mask);

@@ -34,6 +34,7 @@
 #include "src/xsim/font.h"
 #include "src/xsim/keysym.h"
 #include "src/xsim/raster.h"
+#include "src/xsim/trace.h"
 #include "src/xsim/types.h"
 
 namespace xsim {
@@ -89,6 +90,8 @@ class Server {
   ClientId RegisterClient(std::string name);
   void UnregisterClient(ClientId client);
   bool HasPendingEvents(ClientId client) const;
+  // Depth of the client's event queue (event-loop observability).
+  size_t PendingEventCount(ClientId client) const;
   // Pops the next queued event for `client`; false if the queue is empty.
   bool NextEvent(ClientId client, Event* out);
 
@@ -214,12 +217,25 @@ class Server {
   // --- Introspection -----------------------------------------------------------------------
 
   const RequestCounters& counters() const { return counters_; }
-  void ResetCounters() { counters_ = RequestCounters(); }
+  // Unified reset: a measurement window starts clean across *all* counter
+  // families.  (Regression fix: fault counters used to survive
+  // ResetCounters, so traffic measurements taken after a reset still saw
+  // stale fault totals.)
+  void ResetCounters() {
+    counters_ = RequestCounters();
+    ResetFaultCounters();
+  }
 
   // Fault injection and failure observability.
   FaultInjector& fault_injector() { return fault_injector_; }
   const FaultCounters& fault_counters() const { return fault_counters_; }
   void ResetFaultCounters() { fault_counters_ = FaultCounters(); }
+
+  // Protocol trace (xscope-style): start/stop/filter/export via the
+  // TraceBuffer itself; the server records into it on every request it
+  // admits and every event it queues.
+  TraceBuffer& trace() { return trace_; }
+  const TraceBuffer& trace() const { return trace_; }
 
   // Simulated transport cost: every request costs `request_ns` and every
   // synchronous round trip an additional `round_trip_ns` of busy-waiting.
@@ -270,6 +286,9 @@ class Server {
   // client's windows, releases its selections, clears its queue.
   void CloseDownClient(ClientRec* rec);
 
+  // Queues `event` on a client (skipping dead clients) and traces the
+  // delivery; every path that feeds a client queue goes through here.
+  void EnqueueEvent(ClientRec* rec, const Event& event);
   // Delivers `event` to every client that selected `mask` on `window`.
   void Deliver(WindowId window, const Event& event, uint32_t mask);
   // Walks from `window` towards the root, delivering to the first window
@@ -293,11 +312,13 @@ class Server {
   void PaintBackground(WindowRec& rec);
   Timestamp Tick() { return ++time_; }
   // Per-request bookkeeping: bumps the total counter and the client's
-  // sequence number, applies simulated transport latency, and consults the
-  // fault injector.  Returns false when the request must not execute (the
-  // client is dead, or the injector failed/dropped it); an injected failure
-  // also raises a BadImplementation error on the client.
-  bool BeginRequest(ClientId client, RequestType type);
+  // sequence number, applies simulated transport latency, consults the
+  // fault injector, and appends a trace record when tracing is active
+  // (`resource` is the request's primary resource id, for the record).
+  // Returns false when the request must not execute (the client is dead, or
+  // the injector failed/dropped it); an injected failure also raises a
+  // BadImplementation error on the client.
+  bool BeginRequest(ClientId client, RequestType type, XId resource = kNone);
   void CountRoundTrip();
   // Generates an X error event on `client` for the request in flight.
   void RaiseError(ClientId client, ErrorCode code, XId resource, RequestType request);
@@ -327,6 +348,10 @@ class Server {
   RequestCounters counters_;
   FaultCounters fault_counters_;
   FaultInjector fault_injector_;
+  TraceBuffer trace_;
+  // True while BeginRequest is running: an injected failure's RaiseError
+  // must not re-mark the previous request's trace record.
+  bool in_begin_request_ = false;
   uint64_t request_latency_ns_ = 0;
   uint64_t round_trip_latency_ns_ = 0;
   Raster raster_;

@@ -1,0 +1,291 @@
+#include "src/xsim/trace.h"
+
+#include <charconv>
+#include <sstream>
+
+namespace xsim {
+
+const char* TraceOutcomeName(TraceOutcome outcome) {
+  switch (outcome) {
+    case TraceOutcome::kOk:
+      return "ok";
+    case TraceOutcome::kDelayed:
+      return "delayed";
+    case TraceOutcome::kDropped:
+      return "dropped";
+    case TraceOutcome::kFailed:
+      return "failed";
+    case TraceOutcome::kError:
+      return "error";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr EventType kLastEventType = EventType::kClientMessage;
+
+std::optional<TraceOutcome> TraceOutcomeFromName(std::string_view name) {
+  for (uint8_t i = 0; i <= static_cast<uint8_t>(TraceOutcome::kError); ++i) {
+    TraceOutcome outcome = static_cast<TraceOutcome>(i);
+    if (name == TraceOutcomeName(outcome)) {
+      return outcome;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<EventType> EventTypeFromName(std::string_view name) {
+  for (int i = 0; i <= static_cast<int>(kLastEventType); ++i) {
+    EventType type = static_cast<EventType>(i);
+    if (name == EventTypeName(type)) {
+      return type;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+TraceBuffer::TraceBuffer(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.resize(capacity_);
+}
+
+void TraceBuffer::Clear() {
+  head_ = 0;
+  size_ = 0;
+  last_request_serial_ = 0;
+  request_counts_.fill(0);
+  total_requests_ = 0;
+  total_events_ = 0;
+  round_trips_ = 0;
+  total_recorded_ = 0;
+}
+
+void TraceBuffer::set_capacity(size_t capacity) {
+  capacity_ = capacity == 0 ? 1 : capacity;
+  ring_.assign(capacity_, TraceRecord());
+  head_ = 0;
+  size_ = 0;
+  last_request_serial_ = 0;
+}
+
+void TraceBuffer::SetRequestFilter(const std::vector<RequestType>& types) {
+  filter_mask_ = 0;
+  for (RequestType type : types) {
+    if (type != RequestType::kRequestTypeCount) {
+      filter_mask_ |= 1u << static_cast<size_t>(type);
+    }
+  }
+}
+
+std::vector<RequestType> TraceBuffer::RequestFilter() const {
+  std::vector<RequestType> types;
+  for (size_t i = 0; i < kRequestTypeCount; ++i) {
+    if ((filter_mask_ & (1u << i)) != 0) {
+      types.push_back(static_cast<RequestType>(i));
+    }
+  }
+  return types;
+}
+
+void TraceBuffer::Append(const TraceRecord& record, bool is_request) {
+  ring_[head_] = record;
+  if (is_request) {
+    last_request_slot_ = head_;
+    last_request_serial_ = record.serial;
+  }
+  head_ = (head_ + 1) % capacity_;
+  if (size_ < capacity_) {
+    ++size_;
+  }
+  ++total_recorded_;
+}
+
+void TraceBuffer::RecordRequest(ClientId client, RequestType type, XId resource,
+                                uint64_t duration_ns, TraceOutcome outcome) {
+  if (!active_) {
+    return;
+  }
+  ++request_counts_[static_cast<size_t>(type)];
+  ++total_requests_;
+  TraceRecord record;
+  record.serial = next_serial_++;
+  record.client = client;
+  record.request = type;
+  record.resource = resource;
+  record.duration_ns = duration_ns;
+  record.outcome = outcome;
+  if (!FilterAccepts(type)) {
+    // Counted above but not retained; invalidate MarkLastRequest* targets so
+    // they cannot touch an older record.
+    last_request_serial_ = 0;
+    return;
+  }
+  Append(record, /*is_request=*/true);
+}
+
+void TraceBuffer::RecordEvent(ClientId client, EventType type, WindowId window) {
+  if (!active_) {
+    return;
+  }
+  ++total_events_;
+  if (!record_events_ || HasRequestFilter()) {
+    return;  // A request filter implies a request-only trace.
+  }
+  TraceRecord record;
+  record.serial = next_serial_++;
+  record.client = client;
+  record.is_event = true;
+  record.event = type;
+  record.resource = window;
+  Append(record, /*is_request=*/false);
+}
+
+void TraceBuffer::MarkLastRequestRoundTrip(uint64_t extra_ns) {
+  if (!active_) {
+    return;
+  }
+  ++round_trips_;
+  if (last_request_serial_ != 0 && ring_[last_request_slot_].serial == last_request_serial_) {
+    ring_[last_request_slot_].round_trip = true;
+    ring_[last_request_slot_].duration_ns += extra_ns;
+  }
+}
+
+void TraceBuffer::MarkLastRequestError() {
+  if (!active_) {
+    return;
+  }
+  if (last_request_serial_ != 0 && ring_[last_request_slot_].serial == last_request_serial_) {
+    ring_[last_request_slot_].outcome = TraceOutcome::kError;
+  }
+}
+
+std::vector<TraceRecord> TraceBuffer::Snapshot() const {
+  std::vector<TraceRecord> out;
+  out.reserve(size_);
+  size_t start = (head_ + capacity_ - size_) % capacity_;
+  for (size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % capacity_]);
+  }
+  return out;
+}
+
+std::string TraceBuffer::ToJsonl() const {
+  std::ostringstream out;
+  for (const TraceRecord& record : Snapshot()) {
+    out << "{\"serial\":" << record.serial << ",\"kind\":\""
+        << (record.is_event ? "event" : "request") << "\",\"client\":" << record.client
+        << ",\"type\":\""
+        << (record.is_event ? EventTypeName(record.event) : RequestTypeName(record.request))
+        << "\",\"resource\":" << record.resource << ",\"duration_ns\":" << record.duration_ns
+        << ",\"round_trip\":" << (record.round_trip ? "true" : "false") << ",\"outcome\":\""
+        << TraceOutcomeName(record.outcome) << "\"}\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+// Minimal field extraction for the flat, known-key objects ToJsonl writes.
+// Returns the raw value text after `"key":` up to the next ',' or '}'
+// (quotes stripped for string values).
+std::optional<std::string> JsonField(const std::string& line, const std::string& key) {
+  std::string needle = "\"" + key + "\":";
+  size_t at = line.find(needle);
+  if (at == std::string::npos) {
+    return std::nullopt;
+  }
+  size_t start = at + needle.size();
+  if (start < line.size() && line[start] == '"') {
+    size_t end = line.find('"', start + 1);
+    if (end == std::string::npos) {
+      return std::nullopt;
+    }
+    return line.substr(start + 1, end - start - 1);
+  }
+  size_t end = start;
+  while (end < line.size() && line[end] != ',' && line[end] != '}') {
+    ++end;
+  }
+  return line.substr(start, end - start);
+}
+
+std::optional<uint64_t> JsonUint(const std::string& line, const std::string& key) {
+  std::optional<std::string> raw = JsonField(line, key);
+  if (!raw) {
+    return std::nullopt;
+  }
+  uint64_t value = 0;
+  auto [ptr, ec] = std::from_chars(raw->data(), raw->data() + raw->size(), value);
+  if (ec != std::errc() || ptr != raw->data() + raw->size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+}  // namespace
+
+std::optional<std::vector<TraceRecord>> TraceBuffer::FromJsonl(const std::string& text,
+                                                               std::string* error) {
+  std::vector<TraceRecord> records;
+  std::istringstream in(text);
+  std::string line;
+  int line_number = 0;
+  auto fail = [error, &line_number](const std::string& what) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line_number) + ": " + what;
+    }
+    return std::nullopt;
+  };
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) {
+      continue;
+    }
+    TraceRecord record;
+    std::optional<uint64_t> serial = JsonUint(line, "serial");
+    std::optional<std::string> kind = JsonField(line, "kind");
+    std::optional<uint64_t> client = JsonUint(line, "client");
+    std::optional<std::string> type = JsonField(line, "type");
+    std::optional<uint64_t> resource = JsonUint(line, "resource");
+    std::optional<uint64_t> duration = JsonUint(line, "duration_ns");
+    std::optional<std::string> round_trip = JsonField(line, "round_trip");
+    std::optional<std::string> outcome_name = JsonField(line, "outcome");
+    if (!serial || !kind || !client || !type || !resource || !duration || !round_trip ||
+        !outcome_name) {
+      return fail("missing or malformed field");
+    }
+    record.serial = *serial;
+    record.client = static_cast<ClientId>(*client);
+    record.resource = static_cast<XId>(*resource);
+    record.duration_ns = *duration;
+    record.round_trip = *round_trip == "true";
+    if (*kind == "event") {
+      record.is_event = true;
+      std::optional<EventType> event = EventTypeFromName(*type);
+      if (!event) {
+        return fail("unknown event type \"" + *type + "\"");
+      }
+      record.event = *event;
+    } else if (*kind == "request") {
+      RequestType request = RequestTypeFromName(*type);
+      if (request == RequestType::kRequestTypeCount) {
+        return fail("unknown request type \"" + *type + "\"");
+      }
+      record.request = request;
+    } else {
+      return fail("unknown kind \"" + *kind + "\"");
+    }
+    std::optional<TraceOutcome> outcome = TraceOutcomeFromName(*outcome_name);
+    if (!outcome) {
+      return fail("unknown outcome \"" + *outcome_name + "\"");
+    }
+    record.outcome = *outcome;
+    records.push_back(record);
+  }
+  return records;
+}
+
+}  // namespace xsim

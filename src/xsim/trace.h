@@ -1,0 +1,161 @@
+// Protocol-level tracing (the xscope/xmon of the reproduction).
+//
+// Section 3.3's efficiency argument is a *traffic* argument: resource caching
+// and idle-time batching are justified by how few requests actually reach the
+// server.  The aggregate RequestCounters can say "N requests happened" but
+// not *which* requests a given script issued, so the paper's per-operation
+// traffic numbers were asserted rather than observed.  TraceBuffer closes
+// that gap: while active, every request the server executes and every event
+// it delivers is appended to a fixed-capacity ring as a structured record
+// (monotonic serial, client, request/event type, resource id, transport
+// duration, fault-injection outcome).  Traces are inspected programmatically
+// (per-type counts for `xtrace expect` assertions), dumped as JSONL for CI
+// archiving, and parsed back for round-trip tests.
+//
+// `duration_ns` is the time the request spent in the simulated transport:
+// per-request latency, injected fault delays, and (via MarkLastRoundTrip)
+// the round-trip wait of synchronous requests.  Client-side dispatch latency
+// lives in tk::EventLoopStats, not here.
+
+#ifndef SRC_XSIM_TRACE_H_
+#define SRC_XSIM_TRACE_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/xsim/error.h"
+#include "src/xsim/event.h"
+#include "src/xsim/types.h"
+
+namespace xsim {
+
+// What happened to a traced request after fault injection and validation.
+enum class TraceOutcome : uint8_t {
+  kOk = 0,
+  kDelayed,  // Executed, but an injected delay stalled it first.
+  kDropped,  // Silently lost by the fault injector.
+  kFailed,   // Failed by the fault injector (BadImplementation).
+  kError,    // Executed but validation raised an X error (BadWindow, ...).
+};
+
+const char* TraceOutcomeName(TraceOutcome outcome);
+
+// One traced request or delivered event.
+struct TraceRecord {
+  uint64_t serial = 0;       // Monotonic over the buffer's lifetime.
+  ClientId client = 0;       // Issuing client (requests) / receiver (events).
+  bool is_event = false;
+  RequestType request = RequestType::kOther;  // Valid when !is_event.
+  EventType event = EventType::kNone;         // Valid when is_event.
+  XId resource = kNone;      // Primary resource id of the request/event.
+  uint64_t duration_ns = 0;  // Simulated transport time (see file comment).
+  bool round_trip = false;   // Request blocked for a server reply.
+  TraceOutcome outcome = TraceOutcome::kOk;
+
+  bool operator==(const TraceRecord&) const = default;
+};
+
+class TraceBuffer {
+ public:
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  explicit TraceBuffer(size_t capacity = kDefaultCapacity);
+
+  // Start/stop recording.  Stopping keeps the buffer contents (so a trace
+  // can be dumped after the workload finished); Clear drops them.
+  void Start() { active_ = true; }
+  void Stop() { active_ = false; }
+  bool active() const { return active_; }
+
+  // Drops all records and zeroes the cumulative counters.  Serial numbers
+  // keep counting up so records never repeat a serial across a Clear.
+  void Clear();
+
+  size_t capacity() const { return capacity_; }
+  // Resizing drops current records (the ring is re-laid-out).
+  void set_capacity(size_t capacity);
+  size_t size() const { return size_; }
+
+  // --- Filtering -----------------------------------------------------------
+  //
+  // With a request filter installed, only the named request types are stored
+  // in the ring; cumulative counters still count every request so that
+  // `xtrace expect` and summaries stay exact regardless of the filter.
+  void SetRequestFilter(const std::vector<RequestType>& types);
+  void ClearRequestFilter() { filter_mask_ = 0; }
+  bool HasRequestFilter() const { return filter_mask_ != 0; }
+  bool FilterAccepts(RequestType type) const {
+    return filter_mask_ == 0 || (filter_mask_ & (1u << static_cast<size_t>(type))) != 0;
+  }
+  std::vector<RequestType> RequestFilter() const;
+
+  // Event records can be suppressed wholesale (request-only traces).
+  void set_record_events(bool enabled) { record_events_ = enabled; }
+  bool record_events() const { return record_events_; }
+
+  // --- Recording (called by the Server; no-ops while inactive) -------------
+
+  void RecordRequest(ClientId client, RequestType type, XId resource, uint64_t duration_ns,
+                     TraceOutcome outcome);
+  void RecordEvent(ClientId client, EventType type, WindowId window);
+  // Flags the most recent request record as a synchronous round trip and
+  // adds the round-trip wait to its duration.
+  void MarkLastRequestRoundTrip(uint64_t extra_ns);
+  // Rewrites the most recent request record's outcome to kError (validation
+  // failure discovered after the request was admitted).
+  void MarkLastRequestError();
+
+  // --- Cumulative counters (survive ring wraparound) -----------------------
+
+  uint64_t RequestCount(RequestType type) const {
+    return request_counts_[static_cast<size_t>(type)];
+  }
+  uint64_t total_requests() const { return total_requests_; }
+  uint64_t total_events() const { return total_events_; }
+  uint64_t round_trips() const { return round_trips_; }
+  // Records appended over the buffer's lifetime, including overwritten ones.
+  uint64_t total_recorded() const { return total_recorded_; }
+
+  // --- Export --------------------------------------------------------------
+
+  // Records oldest-first.
+  std::vector<TraceRecord> Snapshot() const;
+  // One JSON object per line, oldest-first.
+  std::string ToJsonl() const;
+  // Parses the exact subset of JSON that ToJsonl emits; nullopt (with a
+  // message in *error) on malformed input.
+  static std::optional<std::vector<TraceRecord>> FromJsonl(const std::string& text,
+                                                           std::string* error);
+
+ private:
+  void Append(const TraceRecord& record, bool is_request);
+
+  std::vector<TraceRecord> ring_;
+  size_t capacity_;
+  size_t head_ = 0;  // Next write slot.
+  size_t size_ = 0;
+  bool active_ = false;
+  bool record_events_ = true;
+  uint32_t filter_mask_ = 0;  // Bit per RequestType; 0 = accept everything.
+  static_assert(kRequestTypeCount <= 32, "filter mask is a uint32_t");
+
+  uint64_t next_serial_ = 1;
+  // Slot/serial of the most recent *request* record, for MarkLastRequest*.
+  // The serial double-check guards against the slot having been overwritten
+  // by later records after a wraparound.
+  size_t last_request_slot_ = 0;
+  uint64_t last_request_serial_ = 0;
+
+  std::array<uint64_t, kRequestTypeCount> request_counts_{};
+  uint64_t total_requests_ = 0;
+  uint64_t total_events_ = 0;
+  uint64_t round_trips_ = 0;
+  uint64_t total_recorded_ = 0;
+};
+
+}  // namespace xsim
+
+#endif  // SRC_XSIM_TRACE_H_

@@ -1,9 +1,9 @@
-// Golden-image regression test: packs a small button/label/scrollbar layout,
+// Golden-image regression tests: each case builds a small widget scene,
 // pumps the app to idle, and compares an FNV-1a hash of the xsim framebuffer
-// against a checked-in golden value.  Rendering in xsim is fully deterministic,
-// so any layout or drawing change shows up as a hash mismatch.
+// against a checked-in golden value.  Rendering in xsim is fully
+// deterministic, so any layout or drawing change shows up as a hash mismatch.
 //
-// To regenerate the golden after an intentional rendering change:
+// To regenerate the goldens after an intentional rendering change:
 //   ./tk_golden_raster_test --update
 
 #include <gtest/gtest.h>
@@ -19,8 +19,6 @@ namespace tk {
 namespace {
 
 bool g_update_golden = false;
-
-const char kGoldenPath[] = TCLK_SOURCE_DIR "/tests/tk/golden/packed_widgets.hash";
 
 // FNV-1a over the framebuffer contents plus its dimensions, so a resize with
 // identical pixel prefix still changes the hash.
@@ -42,8 +40,12 @@ uint64_t HashRaster(const xsim::Raster& raster) {
   return hash;
 }
 
-std::string ReadGolden() {
-  std::ifstream in(kGoldenPath);
+std::string GoldenPath(const std::string& name) {
+  return std::string(TCLK_SOURCE_DIR "/tests/tk/golden/") + name + ".hash";
+}
+
+std::string ReadGolden(const std::string& path) {
+  std::ifstream in(path);
   std::string line;
   std::getline(in, line);
   while (!line.empty() && (line.back() == '\n' || line.back() == '\r' || line.back() == ' ')) {
@@ -52,34 +54,74 @@ std::string ReadGolden() {
   return line;
 }
 
-class GoldenRasterTest : public TkTest {};
+class GoldenRasterTest : public TkTest {
+ protected:
+  // Builds the scene with `script`, settles the app, then hashes the
+  // framebuffer and compares against (or, with --update, rewrites) the
+  // golden stored as tests/tk/golden/<name>.hash.
+  void CheckScene(const std::string& name, const std::string& script) {
+    Ok(script);
+    Pump();
+    Pump();
+
+    std::ostringstream actual;
+    actual << std::hex << HashRaster(server_.raster());
+    const std::string path = GoldenPath(name);
+
+    if (g_update_golden) {
+      std::ofstream out(path);
+      ASSERT_TRUE(out.good()) << "cannot write " << path;
+      out << actual.str() << "\n";
+      SUCCEED() << "golden updated: " << actual.str();
+      return;
+    }
+
+    std::string expected = ReadGolden(path);
+    ASSERT_FALSE(expected.empty())
+        << "missing golden file " << path << "; run with --update to create it";
+    EXPECT_EQ(actual.str(), expected)
+        << "framebuffer hash changed for scene \"" << name
+        << "\"; if the rendering change is intentional, regenerate with: "
+           "tk_golden_raster_test --update";
+  }
+};
 
 TEST_F(GoldenRasterTest, PackedWidgetsMatchGolden) {
-  Ok("button .b -text Press -command {set pressed 1}");
-  Ok("label .l -text {Status: idle}");
-  Ok("scrollbar .s -command {}");
-  Ok("pack append . .s {right filly} .b {top} .l {top expand fill}");
-  Pump();
-  Pump();
+  CheckScene("packed_widgets",
+             "button .b -text Press -command {set pressed 1}\n"
+             "label .l -text {Status: idle}\n"
+             "scrollbar .s -command {}\n"
+             "pack append . .s {right filly} .b {top} .l {top expand fill}");
+}
 
-  std::ostringstream actual;
-  actual << std::hex << HashRaster(server_.raster());
+TEST_F(GoldenRasterTest, MenuMatchesGolden) {
+  CheckScene("menu_widgets",
+             "menubutton .mb -text File -menu .mb.m\n"
+             "menu .mb.m\n"
+             ".mb.m add command -label Open -command {}\n"
+             ".mb.m add checkbutton -label Wrap -variable wrap\n"
+             ".mb.m add separator\n"
+             ".mb.m add radiobutton -label Left -variable just -value left\n"
+             "pack append . .mb {top}\n"
+             "update\n"
+             ".mb.m post 40 30");
+}
 
-  if (g_update_golden) {
-    std::ofstream out(kGoldenPath);
-    ASSERT_TRUE(out.good()) << "cannot write " << kGoldenPath;
-    out << actual.str() << "\n";
-    SUCCEED() << "golden updated: " << actual.str();
-    return;
-  }
+TEST_F(GoldenRasterTest, MessageMatchesGolden) {
+  CheckScene("message_widget",
+             "message .msg -text {You have made a mistake in your form.  "
+             "Correct it and try again.} -width 120\n"
+             "pack append . .msg {top expand fill}");
+}
 
-  std::string expected = ReadGolden();
-  ASSERT_FALSE(expected.empty())
-      << "missing golden file " << kGoldenPath
-      << "; run with --update to create it";
-  EXPECT_EQ(actual.str(), expected)
-      << "framebuffer hash changed; if the rendering change is intentional, "
-         "regenerate with: tk_golden_raster_test --update";
+TEST_F(GoldenRasterTest, EntryMatchesGolden) {
+  CheckScene("entry_widgets",
+             "entry .e1\n"
+             ".e1 insert 0 {hello world}\n"
+             "entry .e2\n"
+             ".e2 insert 0 {second line}\n"
+             "label .l -text Name:\n"
+             "pack append . .l {top} .e1 {top fillx} .e2 {top fillx}");
 }
 
 }  // namespace

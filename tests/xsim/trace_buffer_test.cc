@@ -1,0 +1,300 @@
+// Tests for the protocol trace layer: TraceBuffer ring semantics (wraparound,
+// serial monotonicity, filtering, JSONL round-trip) and its integration with
+// the Server (per-request records, round-trip and error marking, fault
+// outcomes, ResetCounters unification).
+
+#include "src/xsim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "src/xsim/display.h"
+#include "src/xsim/server.h"
+
+namespace xsim {
+namespace {
+
+TraceRecord MakeRequest(uint64_t client, RequestType type) {
+  TraceRecord record;
+  record.client = client;
+  record.request = type;
+  return record;
+}
+
+TEST(TraceBufferTest, InactiveBufferRecordsNothing) {
+  TraceBuffer trace;
+  trace.RecordRequest(1, RequestType::kCreateWindow, 5, 10, TraceOutcome::kOk);
+  trace.RecordEvent(1, EventType::kExpose, 5);
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.total_requests(), 0u);
+  EXPECT_EQ(trace.total_events(), 0u);
+}
+
+TEST(TraceBufferTest, RecordsRequestFields) {
+  TraceBuffer trace;
+  trace.Start();
+  trace.RecordRequest(7, RequestType::kAllocColor, 42, 1500, TraceOutcome::kDelayed);
+  ASSERT_EQ(trace.size(), 1u);
+  TraceRecord record = trace.Snapshot()[0];
+  EXPECT_EQ(record.serial, 1u);
+  EXPECT_EQ(record.client, 7u);
+  EXPECT_FALSE(record.is_event);
+  EXPECT_EQ(record.request, RequestType::kAllocColor);
+  EXPECT_EQ(record.resource, 42u);
+  EXPECT_EQ(record.duration_ns, 1500u);
+  EXPECT_EQ(record.outcome, TraceOutcome::kDelayed);
+}
+
+TEST(TraceBufferTest, WraparoundKeepsNewestRecords) {
+  TraceBuffer trace(4);
+  trace.Start();
+  for (int i = 0; i < 10; ++i) {
+    trace.RecordRequest(1, RequestType::kDraw, 0, 0, TraceOutcome::kOk);
+  }
+  EXPECT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace.total_recorded(), 10u);
+  EXPECT_EQ(trace.total_requests(), 10u);
+  std::vector<TraceRecord> records = trace.Snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  // Oldest-first snapshot of the 4 newest records.
+  EXPECT_EQ(records[0].serial, 7u);
+  EXPECT_EQ(records[3].serial, 10u);
+}
+
+TEST(TraceBufferTest, SerialsStayMonotonicAcrossClear) {
+  TraceBuffer trace;
+  trace.Start();
+  trace.RecordRequest(1, RequestType::kDraw, 0, 0, TraceOutcome::kOk);
+  trace.RecordRequest(1, RequestType::kDraw, 0, 0, TraceOutcome::kOk);
+  EXPECT_EQ(trace.Snapshot()[1].serial, 2u);
+  trace.Clear();
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.total_requests(), 0u);
+  trace.RecordRequest(1, RequestType::kDraw, 0, 0, TraceOutcome::kOk);
+  // Serials never restart: a record is globally identifiable per buffer.
+  EXPECT_EQ(trace.Snapshot()[0].serial, 3u);
+}
+
+TEST(TraceBufferTest, SerialsInterleaveRequestsAndEvents) {
+  TraceBuffer trace;
+  trace.Start();
+  trace.RecordRequest(1, RequestType::kMapWindow, 9, 0, TraceOutcome::kOk);
+  trace.RecordEvent(1, EventType::kMapNotify, 9);
+  trace.RecordRequest(1, RequestType::kDraw, 9, 0, TraceOutcome::kOk);
+  std::vector<TraceRecord> records = trace.Snapshot();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].serial, 1u);
+  EXPECT_TRUE(records[1].is_event);
+  EXPECT_EQ(records[1].serial, 2u);
+  EXPECT_EQ(records[1].event, EventType::kMapNotify);
+  EXPECT_EQ(records[2].serial, 3u);
+}
+
+TEST(TraceBufferTest, FilterRetainsOnlyNamedTypesButCountsAll) {
+  TraceBuffer trace;
+  trace.Start();
+  trace.SetRequestFilter({RequestType::kAllocColor, RequestType::kLoadFont});
+  trace.RecordRequest(1, RequestType::kAllocColor, 0, 0, TraceOutcome::kOk);
+  trace.RecordRequest(1, RequestType::kDraw, 0, 0, TraceOutcome::kOk);
+  trace.RecordRequest(1, RequestType::kLoadFont, 0, 0, TraceOutcome::kOk);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.Snapshot()[0].request, RequestType::kAllocColor);
+  EXPECT_EQ(trace.Snapshot()[1].request, RequestType::kLoadFont);
+  // Cumulative counters see through the filter (xtrace expect stays exact).
+  EXPECT_EQ(trace.total_requests(), 3u);
+  EXPECT_EQ(trace.RequestCount(RequestType::kDraw), 1u);
+  // A request filter implies a request-only trace.
+  trace.RecordEvent(1, EventType::kExpose, 5);
+  EXPECT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.total_events(), 1u);
+  // Introspection round-trips the filter set.
+  std::vector<RequestType> filter = trace.RequestFilter();
+  ASSERT_EQ(filter.size(), 2u);
+  trace.ClearRequestFilter();
+  EXPECT_FALSE(trace.HasRequestFilter());
+}
+
+TEST(TraceBufferTest, MarkLastRequestSurvivesInterleavedEvents) {
+  TraceBuffer trace;
+  trace.Start();
+  trace.RecordRequest(1, RequestType::kGetProperty, 3, 100, TraceOutcome::kOk);
+  trace.RecordEvent(1, EventType::kExpose, 3);
+  trace.MarkLastRequestRoundTrip(50);
+  std::vector<TraceRecord> records = trace.Snapshot();
+  EXPECT_TRUE(records[0].round_trip);
+  EXPECT_EQ(records[0].duration_ns, 150u);
+  EXPECT_FALSE(records[1].round_trip);
+  EXPECT_EQ(trace.round_trips(), 1u);
+}
+
+TEST(TraceBufferTest, MarkLastRequestRefusesOverwrittenSlot) {
+  TraceBuffer trace(2);
+  trace.Start();
+  trace.RecordRequest(1, RequestType::kGetProperty, 3, 100, TraceOutcome::kOk);
+  // Two events overwrite the whole ring, including the request's slot.
+  trace.RecordEvent(1, EventType::kExpose, 3);
+  trace.RecordEvent(1, EventType::kExpose, 3);
+  trace.MarkLastRequestRoundTrip(50);
+  trace.MarkLastRequestError();
+  for (const TraceRecord& record : trace.Snapshot()) {
+    EXPECT_TRUE(record.is_event);
+    EXPECT_FALSE(record.round_trip);
+    EXPECT_EQ(record.outcome, TraceOutcome::kOk);
+  }
+  // The round trip still counts even though the record is gone.
+  EXPECT_EQ(trace.round_trips(), 1u);
+}
+
+TEST(TraceBufferTest, SetCapacityDropsRecords) {
+  TraceBuffer trace(8);
+  trace.Start();
+  trace.RecordRequest(1, RequestType::kDraw, 0, 0, TraceOutcome::kOk);
+  trace.set_capacity(16);
+  EXPECT_EQ(trace.capacity(), 16u);
+  EXPECT_EQ(trace.size(), 0u);
+  // Cumulative counters survive the resize.
+  EXPECT_EQ(trace.total_requests(), 1u);
+}
+
+TEST(TraceBufferTest, JsonlRoundTrip) {
+  TraceBuffer trace;
+  trace.Start();
+  trace.RecordRequest(2, RequestType::kAllocColor, 17, 2000, TraceOutcome::kOk);
+  trace.MarkLastRequestRoundTrip(500);
+  trace.RecordEvent(3, EventType::kButtonPress, 9);
+  trace.RecordRequest(2, RequestType::kCreateWindow, 21, 0, TraceOutcome::kFailed);
+  std::string jsonl = trace.ToJsonl();
+  std::string error;
+  std::optional<std::vector<TraceRecord>> parsed = TraceBuffer::FromJsonl(jsonl, &error);
+  ASSERT_TRUE(parsed) << error;
+  EXPECT_EQ(*parsed, trace.Snapshot());
+}
+
+TEST(TraceBufferTest, FromJsonlRejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(TraceBuffer::FromJsonl("{\"serial\":1}", &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+  EXPECT_FALSE(TraceBuffer::FromJsonl(
+      "{\"serial\":1,\"kind\":\"request\",\"client\":1,\"type\":\"no-such\","
+      "\"resource\":0,\"duration_ns\":0,\"round_trip\":false,\"outcome\":\"ok\"}",
+      &error));
+  EXPECT_NE(error.find("unknown request type"), std::string::npos);
+  // Blank lines are tolerated (trailing newline from ToJsonl).
+  std::optional<std::vector<TraceRecord>> parsed = TraceBuffer::FromJsonl("\n\n", &error);
+  ASSERT_TRUE(parsed);
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(TraceBufferTest, OutcomeNamesRoundTripThroughJsonl) {
+  TraceBuffer trace;
+  trace.Start();
+  const TraceOutcome outcomes[] = {TraceOutcome::kOk, TraceOutcome::kDelayed,
+                                   TraceOutcome::kDropped, TraceOutcome::kFailed,
+                                   TraceOutcome::kError};
+  for (TraceOutcome outcome : outcomes) {
+    trace.RecordRequest(1, RequestType::kOther, 0, 0, outcome);
+  }
+  std::string error;
+  std::optional<std::vector<TraceRecord>> parsed =
+      TraceBuffer::FromJsonl(trace.ToJsonl(), &error);
+  ASSERT_TRUE(parsed) << error;
+  for (size_t i = 0; i < std::size(outcomes); ++i) {
+    EXPECT_EQ((*parsed)[i].outcome, outcomes[i]);
+  }
+}
+
+// --- Server integration -----------------------------------------------------
+
+class TraceServerTest : public ::testing::Test {
+ protected:
+  TraceServerTest() : display_(Display::Open(server_, "trace-test")) {}
+
+  Server server_;
+  std::unique_ptr<Display> display_;
+};
+
+TEST_F(TraceServerTest, ServerRecordsRequestsWhileActive) {
+  server_.trace().Start();
+  WindowId w = display_->CreateWindow(display_->root(), 0, 0, 50, 50);
+  display_->MapWindow(w);
+  server_.trace().Stop();
+  display_->AllocNamedColor("red");  // Not traced: buffer stopped.
+  EXPECT_EQ(server_.trace().RequestCount(RequestType::kCreateWindow), 1u);
+  EXPECT_EQ(server_.trace().RequestCount(RequestType::kMapWindow), 1u);
+  EXPECT_EQ(server_.trace().RequestCount(RequestType::kAllocColor), 0u);
+  // The created window's id is attached to the map request record.
+  for (const TraceRecord& record : server_.trace().Snapshot()) {
+    if (!record.is_event && record.request == RequestType::kMapWindow) {
+      EXPECT_EQ(record.resource, w);
+    }
+  }
+}
+
+TEST_F(TraceServerTest, SynchronousRequestsAreMarkedRoundTrip) {
+  server_.trace().Start();
+  display_->AllocNamedColor("red");
+  std::vector<TraceRecord> records = server_.trace().Snapshot();
+  ASSERT_FALSE(records.empty());
+  EXPECT_TRUE(records.back().round_trip);
+  EXPECT_EQ(server_.trace().round_trips(), 1u);
+}
+
+TEST_F(TraceServerTest, DeliveredEventsAreTraced) {
+  WindowId w = display_->CreateWindow(display_->root(), 0, 0, 50, 50);
+  display_->SelectInput(w, kExposureMask | kStructureNotifyMask);
+  server_.trace().Start();
+  display_->MapWindow(w);
+  uint64_t events = 0;
+  for (const TraceRecord& record : server_.trace().Snapshot()) {
+    if (record.is_event) {
+      ++events;
+      EXPECT_EQ(record.resource, w);
+    }
+  }
+  EXPECT_GT(events, 0u);
+  EXPECT_EQ(server_.trace().total_events(), events);
+}
+
+TEST_F(TraceServerTest, InjectedFaultOutcomesAreRecorded) {
+  FaultInjector::Policy policy;
+  policy.fail_next = 1;
+  server_.fault_injector().SetPolicy(RequestType::kMapWindow, policy);
+  policy.fail_next = 0;
+  policy.drop_next = 1;
+  server_.fault_injector().SetPolicy(RequestType::kUnmapWindow, policy);
+
+  WindowId w = display_->CreateWindow(display_->root(), 0, 0, 50, 50);
+  server_.trace().Start();
+  display_->MapWindow(w);    // Injected failure.
+  display_->UnmapWindow(w);  // Injected drop.
+  std::vector<TraceRecord> records = server_.trace().Snapshot();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].outcome, TraceOutcome::kFailed);
+  EXPECT_EQ(records[1].outcome, TraceOutcome::kDropped);
+}
+
+TEST_F(TraceServerTest, ValidationErrorsRewriteOutcome) {
+  server_.trace().Start();
+  display_->MapWindow(0xdeadbeef);  // No such window -> BadWindow.
+  std::vector<TraceRecord> records = server_.trace().Snapshot();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].outcome, TraceOutcome::kError);
+}
+
+// Regression: ResetCounters used to leave FaultCounters untouched, so
+// `info faults` reported stale injection counts after a counter reset.
+TEST_F(TraceServerTest, ResetCountersAlsoResetsFaultCounters) {
+  FaultInjector::Policy policy;
+  policy.fail_next = 1;
+  server_.fault_injector().SetPolicy(RequestType::kMapWindow, policy);
+  WindowId w = display_->CreateWindow(display_->root(), 0, 0, 50, 50);
+  display_->MapWindow(w);
+  EXPECT_EQ(server_.fault_counters().injected_failures, 1u);
+  EXPECT_GT(server_.counters().total, 0u);
+  server_.ResetCounters();
+  EXPECT_EQ(server_.counters().total, 0u);
+  EXPECT_EQ(server_.fault_counters().injected_failures, 0u);
+  EXPECT_EQ(server_.fault_counters().errors_generated, 0u);
+}
+
+}  // namespace
+}  // namespace xsim
