@@ -15,7 +15,9 @@
 
 #include <chrono>
 #include <cstdio>
+#include <functional>
 #include <memory>
+#include <string>
 
 #include "bench/bench_json.h"
 #include "src/tk/app.h"
@@ -32,6 +34,7 @@ void AddRequestCounts(benchjson::Writer& json, const std::string& prefix,
                       const xsim::TraceBuffer& trace) {
   json.AddInteger("req_" + prefix + "_total", trace.total_requests());
   json.AddInteger("req_" + prefix + "_round_trips", trace.round_trips());
+  json.AddInteger("req_" + prefix + "_flushes", trace.total_flushes());
   for (size_t i = 0; i < xsim::kRequestTypeCount; ++i) {
     xsim::RequestType type = static_cast<xsim::RequestType>(i);
     uint64_t count = trace.RequestCount(type);
@@ -100,6 +103,8 @@ double MeasureUs(int iterations, Fn&& fn) {
                      .count();
   return static_cast<double>(elapsed) / iterations / 1000.0;
 }
+
+void PrintPipelineTable(benchjson::Writer& json);
 
 void PrintPaperTable() {
   double set_us = 0;
@@ -174,7 +179,117 @@ void PrintPaperTable() {
   json.AddInteger("cache_misses", set_misses);
   json.AddNumber("send_empty_us", send_us);
   json.AddNumber("create_50_buttons_us", buttons_us);
+  PrintPipelineTable(json);
   json.WriteFile();
+}
+
+// --- Buffered pipeline vs synchronous, under simulated latency --------------
+//
+// The reason Xlib buffers requests: on a real network every round trip costs
+// a full RTT, so interactive redraw traffic (almost all one-way) must not
+// block per request.  Each redraw-heavy operation below runs twice on a
+// server configured with a simulated 200us round-trip latency -- once with
+// the Display in its default buffered mode and once in XSynchronize mode,
+// where every request is its own round trip.  The request counts come from
+// the protocol trace, so they are deterministic and CI-gateable; the
+// microsecond columns show the wall-clock consequence.
+
+struct RedrawOp {
+  const char* name;
+  std::string setup;                    // Evaluated once, then settled.
+  std::function<std::string(int)> step;  // Per-iteration script.
+};
+
+struct RedrawRun {
+  uint64_t round_trips = 0;
+  uint64_t flushes = 0;
+  double us = 0;  // Wall-clock for all iterations, with simulated latency.
+};
+
+constexpr int kRedrawIterations = 20;
+constexpr uint64_t kSimulatedRoundTripNs = 200 * 1000;  // 200us RTT.
+
+RedrawRun RunRedrawOp(const RedrawOp& op, bool synchronous) {
+  xsim::Server server;
+  server.SetSimulatedLatency(0, kSimulatedRoundTripNs);
+  tk::App app(server, "pipeline");
+  app.display().SetSynchronous(synchronous);
+  app.interp().Eval(op.setup);
+  app.Update();  // Settle: setup traffic stays out of the trace.
+
+  server.trace().Start();
+  RedrawRun run;
+  run.us = MeasureUs(1, [&]() {
+    for (int i = 0; i < kRedrawIterations; ++i) {
+      app.interp().Eval(op.step(i));
+      app.Update();
+    }
+  });
+  server.trace().Stop();
+  run.round_trips = server.trace().round_trips();
+  run.flushes = server.trace().total_flushes();
+  return run;
+}
+
+void PrintPipelineTable(benchjson::Writer& json) {
+  std::string buttons_setup;
+  for (int i = 0; i < 10; ++i) {
+    buttons_setup += "button .b" + std::to_string(i) + " -text B" + std::to_string(i) + "\n";
+    buttons_setup += "pack append . .b" + std::to_string(i) + " {top}\n";
+  }
+  std::string listbox_setup = "listbox .l -geometry 20x8\npack append . .l {top}\n";
+  for (int i = 0; i < 100; ++i) {
+    listbox_setup += ".l insert end item" + std::to_string(i) + "\n";
+  }
+  const RedrawOp ops[] = {
+      {"buttons_relabel", buttons_setup,
+       [](int i) {
+         std::string script;
+         for (int b = 0; b < 10; ++b) {
+           script += ".b" + std::to_string(b) + " configure -text R" +
+                     std::to_string(i * 10 + b) + "\n";
+         }
+         return script;
+       }},
+      {"scale_drag",
+       "scale .s -from 0 -to 100 -length 120 -orient horizontal\n"
+       "pack append . .s {top}\n",
+       [](int i) { return ".s set " + std::to_string(i * 5); }},
+      {"listbox_scroll", listbox_setup,
+       [](int i) { return ".l view " + std::to_string(i * 4); }},
+      {"canvas_lines",
+       "canvas .c -width 160 -height 90 -bg white\npack append . .c {top}\n",
+       [](int i) {
+         return ".c create line " + std::to_string(4 + i * 7) + " 5 " +
+                std::to_string(150 - i * 7) + " 85";
+       }},
+  };
+
+  std::printf("\nBuffered pipeline vs XSynchronize, simulated %.0fus round trip\n"
+              "(%d iterations per operation)\n\n",
+              kSimulatedRoundTripNs / 1000.0, kRedrawIterations);
+  std::printf("  %-18s %11s %11s %7s %9s %11s %11s\n", "Operation", "sync trips",
+              "buf trips", "ratio", "flushes", "sync us", "buffered us");
+  for (const RedrawOp& op : ops) {
+    RedrawRun sync = RunRedrawOp(op, /*synchronous=*/true);
+    RedrawRun buffered = RunRedrawOp(op, /*synchronous=*/false);
+    double ratio = buffered.round_trips == 0
+                       ? static_cast<double>(sync.round_trips)
+                       : static_cast<double>(sync.round_trips) /
+                             static_cast<double>(buffered.round_trips);
+    std::printf("  %-18s %11llu %11llu %6.1fx %9llu %11.0f %11.0f\n", op.name,
+                static_cast<unsigned long long>(sync.round_trips),
+                static_cast<unsigned long long>(buffered.round_trips), ratio,
+                static_cast<unsigned long long>(buffered.flushes), sync.us,
+                buffered.us);
+    std::string prefix = std::string("req_redraw_") + op.name;
+    json.AddInteger(prefix + "_round_trips", buffered.round_trips);
+    json.AddInteger(prefix + "_flushes", buffered.flushes);
+    json.AddInteger(prefix + "_sync_round_trips", sync.round_trips);
+    json.AddNumber("redraw_" + std::string(op.name) + "_round_trip_ratio", ratio);
+    json.AddNumber("redraw_" + std::string(op.name) + "_sync_us", sync.us);
+    json.AddNumber("redraw_" + std::string(op.name) + "_buffered_us", buffered.us);
+  }
 }
 
 }  // namespace

@@ -45,6 +45,35 @@ def check(baseline_path, results_path, threshold):
     new_keys = sorted(k for k in results if k.startswith("req_") and k not in baseline)
     for key in new_keys:
         print(f"  note {key}: {results[key]} (not in baseline; add it there)")
+    failures += check_pipeline_ratios(results)
+    return failures
+
+
+# The buffered request pipeline must keep paying off: for every operation
+# that reports both buffered and synchronous round-trip counts, buffering
+# has to save at least this factor.
+MIN_ROUND_TRIP_RATIO = 5
+
+
+def check_pipeline_ratios(results):
+    failures = []
+    for key in sorted(results):
+        if not key.endswith("_sync_round_trips"):
+            continue
+        buffered_key = key.replace("_sync_round_trips", "_round_trips")
+        sync = results[key]
+        buffered = results.get(buffered_key)
+        if buffered is None:
+            failures.append(f"{buffered_key}: missing (have {key})")
+            continue
+        if sync < MIN_ROUND_TRIP_RATIO * max(buffered, 1):
+            failures.append(
+                f"{buffered_key}: buffering saves only {sync}/{max(buffered, 1)} "
+                f"round trips (< {MIN_ROUND_TRIP_RATIO}x)")
+        else:
+            ratio = sync / max(buffered, 1)
+            print(f"  ok   {buffered_key}: {sync} sync -> {buffered} buffered "
+                  f"round trips ({ratio:.0f}x saved)")
     return failures
 
 

@@ -49,6 +49,9 @@ App::App(xsim::Server& server, std::string name) {
 
   name_ = send_->Register(name);
   interp_->SetVar("tk_appname", name_);
+  // Make the comm window and registry entry visible to other applications
+  // before this app ever pumps its own queue (they may `send` to us first).
+  display_->Flush();
 }
 
 App::~App() {
@@ -124,8 +127,10 @@ bool App::DestroyWidget(std::string_view path) {
     bindings_->RemoveTag(widget_path);
     interp_->DeleteCommand(widget_path);
     window_to_widget_.erase(widget->window());
-    redraw_queue_.erase(std::remove(redraw_queue_.begin(), redraw_queue_.end(), widget),
-                        redraw_queue_.end());
+    redraw_queue_.erase(
+        std::remove_if(redraw_queue_.begin(), redraw_queue_.end(),
+                       [widget](const DamageEntry& entry) { return entry.widget == widget; }),
+        redraw_queue_.end());
     repack_queue_.erase(std::remove(repack_queue_.begin(), repack_queue_.end(), widget),
                         repack_queue_.end());
     widgets_.erase(widget_path);
@@ -242,10 +247,13 @@ void App::ProcessIdle() {
     placer_->Arrange(parent);
     ++loop_stats_.repacks_done;
   }
-  std::vector<Widget*> to_draw;
+  std::vector<DamageEntry> to_draw;
   to_draw.swap(redraw_queue_);
-  for (Widget* widget : to_draw) {
-    widget->Draw();
+  for (const DamageEntry& damage : to_draw) {
+    xsim::Rect area = damage.full
+                          ? xsim::Rect{0, 0, damage.widget->width(), damage.widget->height()}
+                          : damage.area;
+    damage.widget->Draw(area);
     ++loop_stats_.redraws_drawn;
   }
   std::deque<std::function<void()>> idle;
@@ -254,6 +262,9 @@ void App::ProcessIdle() {
     callback();
     ++loop_stats_.idle_handlers_run;
   }
+  // One flush covers the whole idle pass: every repaint above went into the
+  // output buffer, and `update idletasks` promises the display is current.
+  display_->Flush();
 }
 
 uint64_t App::CreateTimerMs(int64_t ms, std::function<void()> callback) {
@@ -287,6 +298,12 @@ bool App::WaitFor(const std::function<bool()>& done, int64_t timeout_ms) {
     }
     if (progress) {
       continue;
+    }
+    // About to block: flush every connection's output buffer first, like
+    // Xlib before waiting for events -- a request this client buffered may
+    // be exactly what another app's `done` condition is waiting on.
+    for (App* app : MutableAppRegistry()) {
+      app->display_->Flush();
     }
     auto now = std::chrono::steady_clock::now();
     if (now >= deadline) {
@@ -335,9 +352,31 @@ void App::ScheduleRedraw(Widget* widget) {
   if (closing_) {
     return;
   }
-  if (std::find(redraw_queue_.begin(), redraw_queue_.end(), widget) == redraw_queue_.end()) {
-    redraw_queue_.push_back(widget);
+  for (DamageEntry& entry : redraw_queue_) {
+    if (entry.widget == widget) {
+      entry.full = true;  // Whole-window damage subsumes any partial rects.
+      return;
+    }
   }
+  redraw_queue_.push_back(DamageEntry{widget, xsim::Rect{}, true});
+}
+
+void App::ScheduleRedraw(Widget* widget, const xsim::Rect& area) {
+  if (closing_) {
+    return;
+  }
+  if (area.Empty()) {
+    return;
+  }
+  for (DamageEntry& entry : redraw_queue_) {
+    if (entry.widget == widget) {
+      if (!entry.full) {
+        entry.area = entry.area.Union(area);
+      }
+      return;
+    }
+  }
+  redraw_queue_.push_back(DamageEntry{widget, area, false});
 }
 
 void App::ScheduleRepack(Widget* parent) {

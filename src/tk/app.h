@@ -159,8 +159,12 @@ class App {
   uint64_t background_error_count() const { return background_errors_; }
   void reset_background_error_count() { background_errors_ = 0; }
 
-  // Schedules `widget` for a redraw at idle time (coalesced).
+  // Schedules `widget` for a full-window redraw at idle time (coalesced).
   void ScheduleRedraw(Widget* widget);
+  // Schedules a partial redraw: `area` (window coordinates) is unioned into
+  // the widget's pending damage, so however many rects arrive before the
+  // idle pass the widget repaints its damaged region exactly once.
+  void ScheduleRedraw(Widget* widget, const xsim::Rect& area);
   // Schedules a relayout of geometry management in `parent` at idle time.
   void ScheduleRepack(Widget* parent);
 
@@ -176,6 +180,15 @@ class App {
   void ResetLoopStats() { loop_stats_ = EventLoopStats(); }
 
  private:
+  // One pending redraw: the widget plus the bounding box of all damage
+  // reported for it since the last idle pass (`full` overrides the box with
+  // a whole-window repaint).
+  struct DamageEntry {
+    Widget* widget = nullptr;
+    xsim::Rect area;
+    bool full = false;
+  };
+
   void RegisterCommands();
   void ProcessIdle();
 
@@ -197,7 +210,7 @@ class App {
   std::vector<TimerHandler> timers_;
   uint64_t next_timer_id_ = 1;
   std::deque<std::function<void()>> idle_;
-  std::vector<Widget*> redraw_queue_;
+  std::vector<DamageEntry> redraw_queue_;
   std::vector<Widget*> repack_queue_;
   std::map<std::string, std::string> wm_titles_;  // Per-toplevel `wm title`.
   bool closing_ = false;

@@ -349,7 +349,7 @@ tcl::Code WinfoCmd(App& app, std::vector<std::string>& args) {
 tcl::Code FocusCmd(App& app, std::vector<std::string>& args) {
   tcl::Interp& interp = app.interp();
   if (args.size() == 1) {
-    xsim::WindowId focus = app.server().GetInputFocus();
+    xsim::WindowId focus = app.display().GetInputFocus();
     for (const std::string& path : app.WidgetPaths()) {
       Widget* widget = app.FindWidget(path);
       if (widget != nullptr && widget->window() == focus) {
@@ -716,6 +716,9 @@ tcl::Code WmCmd(App& app, std::vector<std::string>& args) {
 //   info faults reset  -> zero all of them
 tcl::Code InfoFaultsCmd(App& app, std::vector<std::string>& args) {
   tcl::Interp& interp = app.interp();
+  // Fault counters must reflect every request this app has issued, including
+  // ones still sitting in the output buffer: drain it first.
+  app.display().Flush();
   const xsim::FaultCounters& server = app.server().fault_counters();
   if (args.size() == 2) {
     auto u = [](uint64_t value) { return tcl::FormatInt(static_cast<int64_t>(value)); };

@@ -26,6 +26,10 @@ void SelectionManager::Claim(Widget* owner, SelectionHandler handler) {
   // The ICCCM dance: the server notifies the previous owner (possibly in
   // another application) with SelectionClear.
   app_.display().SetSelectionOwner(primary, owner->window());
+  // ICCCM requires verifying acquisition with GetSelectionOwner; the query
+  // also flushes the buffered SetSelectionOwner so other applications see
+  // the new owner immediately.
+  app_.display().GetSelectionOwner(primary);
 }
 
 void SelectionManager::ClaimScript(Widget* owner, const std::string& handler_script) {

@@ -34,6 +34,7 @@ tcl::Code SummaryCmd(App& app) {
       "requests",    U(trace.total_requests()),
       "events",      U(trace.total_events()),
       "round-trips", U(trace.round_trips()),
+      "flushes",     U(trace.total_flushes()),
       "recorded",    U(trace.total_recorded()),
       "retained",    U(trace.size())};
   for (size_t i = 0; i < xsim::kRequestTypeCount; ++i) {
@@ -48,19 +49,49 @@ tcl::Code SummaryCmd(App& app) {
   return tcl::Code::kOk;
 }
 
-// xtrace expect type max script: evaluates script and fails if it issued
-// more than max requests of the given type (the Section 3.3 assertion
-// primitive -- "this operation costs at most N requests").
+// xtrace expect ?type max? ?-roundtrips max? script: evaluates script and
+// fails if it issued more than `max` requests of the given type, or more
+// than the bounded number of round trips (the Section 3.3 assertion
+// primitive -- "this operation costs at most N requests / N round trips").
+// Returns the request delta, or the round-trip delta when only -roundtrips
+// was given.
 tcl::Code ExpectCmd(App& app, std::vector<std::string>& args) {
   tcl::Interp& interp = app.interp();
-  xsim::RequestType type;
-  if (ParseRequestType(interp, args[2], &type) != tcl::Code::kOk) {
-    return tcl::Code::kError;
+  // Parse the optional forms:
+  //   xtrace expect type max script
+  //   xtrace expect -roundtrips max script
+  //   xtrace expect type max -roundtrips max script
+  bool count_requests = false;
+  xsim::RequestType type = xsim::RequestType::kRequestTypeCount;
+  int64_t max_requests = 0;
+  bool bound_round_trips = false;
+  int64_t max_round_trips = 0;
+  size_t at = 2;
+  if (args[at] != "-roundtrips") {
+    count_requests = true;
+    if (ParseRequestType(interp, args[at], &type) != tcl::Code::kOk) {
+      return tcl::Code::kError;
+    }
+    std::optional<int64_t> max = tcl::ParseInt(args[at + 1]);
+    if (!max || *max < 0) {
+      return interp.Error("expected non-negative count but got \"" + args[at + 1] + "\"");
+    }
+    max_requests = *max;
+    at += 2;
   }
-  std::optional<int64_t> max = tcl::ParseInt(args[3]);
-  if (!max || *max < 0) {
-    return interp.Error("expected non-negative count but got \"" + args[3] + "\"");
+  if (at + 2 < args.size() && args[at] == "-roundtrips") {
+    std::optional<int64_t> max = tcl::ParseInt(args[at + 1]);
+    if (!max || *max < 0) {
+      return interp.Error("expected non-negative count but got \"" + args[at + 1] + "\"");
+    }
+    bound_round_trips = true;
+    max_round_trips = *max;
+    at += 2;
   }
+  if (at + 1 != args.size() || (!count_requests && !bound_round_trips)) {
+    return interp.WrongNumArgs("xtrace expect ?requestType max? ?-roundtrips max? script");
+  }
+  const std::string& script = args[at];
   xsim::TraceBuffer& trace = app.server().trace();
   // The assertion works whether or not a trace is already running; if not,
   // count with a temporarily-started trace and stop it again afterwards.
@@ -68,20 +99,30 @@ tcl::Code ExpectCmd(App& app, std::vector<std::string>& args) {
   if (!was_active) {
     trace.Start();
   }
-  const uint64_t before = trace.RequestCount(type);
-  tcl::Code code = interp.Eval(args[4]);
-  const uint64_t delta = trace.RequestCount(type) - before;
+  // Both samples sit on flush boundaries so buffered requests are charged to
+  // the script that issued them, not to whoever flushes later.
+  app.display().Flush();
+  const uint64_t requests_before = count_requests ? trace.RequestCount(type) : 0;
+  const uint64_t round_trips_before = trace.round_trips();
+  tcl::Code code = interp.Eval(script);
+  app.display().Flush();
+  const uint64_t request_delta = count_requests ? trace.RequestCount(type) - requests_before : 0;
+  const uint64_t round_trip_delta = trace.round_trips() - round_trips_before;
   if (!was_active) {
     trace.Stop();
   }
   if (code == tcl::Code::kError) {
     return code;
   }
-  if (delta > static_cast<uint64_t>(*max)) {
-    return interp.Error("expected at most " + args[3] + " " + args[2] +
-                        " request(s), script issued " + U(delta));
+  if (count_requests && request_delta > static_cast<uint64_t>(max_requests)) {
+    return interp.Error("expected at most " + U(max_requests) + " " + args[2] +
+                        " request(s), script issued " + U(request_delta));
   }
-  interp.SetResult(U(delta));
+  if (bound_round_trips && round_trip_delta > static_cast<uint64_t>(max_round_trips)) {
+    return interp.Error("expected at most " + U(max_round_trips) +
+                        " round trip(s), script performed " + U(round_trip_delta));
+  }
+  interp.SetResult(U(count_requests ? request_delta : round_trip_delta));
   return tcl::Code::kOk;
 }
 
@@ -193,8 +234,8 @@ tcl::Code XtraceCmd(App& app, std::vector<std::string>& args) {
     return interp.WrongNumArgs("xtrace dump ?file?");
   }
   if (option == "expect") {
-    if (args.size() != 5) {
-      return interp.WrongNumArgs("xtrace expect requestType max script");
+    if (args.size() != 5 && args.size() != 7) {
+      return interp.WrongNumArgs("xtrace expect ?requestType max? ?-roundtrips max? script");
     }
     return ExpectCmd(app, args);
   }
@@ -202,6 +243,33 @@ tcl::Code XtraceCmd(App& app, std::vector<std::string>& args) {
       "bad xtrace option \"" + option +
       "\": must be on, off, status, clear, limit, count, filter, events, summary, dump, "
       "or expect");
+}
+
+// info pipeline -- the request-pipeline side of the observability story:
+// the Display's output queue, flush counters, the server's batch totals and
+// the most recently delivered deferred error.
+tcl::Code InfoPipelineCmd(App& app, std::vector<std::string>& args) {
+  tcl::Interp& interp = app.interp();
+  if (args.size() != 2) {
+    return interp.WrongNumArgs("info pipeline");
+  }
+  xsim::Display& display = app.display();
+  const xsim::RequestCounters& counters = app.server().counters();
+  std::vector<std::string> kv = {
+      "pending",          U(display.pending_requests()),
+      "capacity",         U(display.output_capacity()),
+      "synchronous",      display.synchronous() ? "1" : "0",
+      "flushes",          U(display.flush_count()),
+      "auto-flushes",     U(display.auto_flush_count()),
+      "server-flushes",   U(counters.flushes),
+      "batched-requests", U(counters.batched_requests),
+      "max-batch",        U(counters.max_batch),
+      "round-trips",      U(counters.round_trips),
+      "errors",           U(display.error_count()),
+      "last-error-seq",   U(display.last_error().sequence),
+      "last-error-code",  xsim::ErrorCodeName(display.last_error().code)};
+  interp.SetResult(tcl::MergeList(kv));
+  return tcl::Code::kOk;
 }
 
 // info latency ?reset? -- the event-loop side of the observability story:
@@ -259,9 +327,32 @@ void RegisterTraceCommands(App& app) {
                                [self](tcl::Interp&, std::vector<std::string>& args) {
                                  return XtraceCmd(*self, args);
                                });
+  // Explicit XFlush/XSync for scripts that reason about the output queue.
+  app.interp().RegisterCommand("xflush",
+                               [self](tcl::Interp& interp, std::vector<std::string>& args) {
+                                 if (args.size() != 1) {
+                                   return interp.WrongNumArgs("xflush");
+                                 }
+                                 self->display().Flush();
+                                 interp.ResetResult();
+                                 return tcl::Code::kOk;
+                               });
+  app.interp().RegisterCommand("xsync",
+                               [self](tcl::Interp& interp, std::vector<std::string>& args) {
+                                 if (args.size() != 1) {
+                                   return interp.WrongNumArgs("xsync");
+                                 }
+                                 self->display().Sync();
+                                 interp.ResetResult();
+                                 return tcl::Code::kOk;
+                               });
   app.interp().RegisterInfoExtension("latency",
                                      [self](tcl::Interp&, std::vector<std::string>& args) {
                                        return InfoLatencyCmd(*self, args);
+                                     });
+  app.interp().RegisterInfoExtension("pipeline",
+                                     [self](tcl::Interp&, std::vector<std::string>& args) {
+                                       return InfoPipelineCmd(*self, args);
                                      });
 }
 

@@ -497,7 +497,13 @@ tcl::Code Widget::WidgetCommand(std::vector<std::string>& args) {
 void Widget::HandleEvent(const xsim::Event& event) {
   switch (event.type) {
     case xsim::EventType::kExpose:
-      Draw();
+      // Deferred: exposures queue damage and the idle pass repaints once,
+      // however many Expose events arrived (Tk's DoWhenIdle redraw model).
+      if (event.area.Empty()) {
+        ScheduleRedraw();  // Synthetic Expose without an area: repaint all.
+      } else {
+        ScheduleRedraw(event.area);
+      }
       break;
     case xsim::EventType::kConfigureNotify:
       // Record geometry assigned behind our back (e.g. direct X resize).
@@ -512,6 +518,8 @@ void Widget::HandleEvent(const xsim::Event& event) {
 }
 
 void Widget::ScheduleRedraw() { app_.ScheduleRedraw(this); }
+
+void Widget::ScheduleRedraw(const xsim::Rect& area) { app_.ScheduleRedraw(this, area); }
 
 void Widget::ClearWindow(xsim::Pixel background) {
   display().SetWindowBackground(window_, background);

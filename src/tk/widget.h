@@ -113,13 +113,19 @@ class Widget {
 
   // The widget command (".hello flash ...").  args[0] is the path.
   virtual tcl::Code WidgetCommand(std::vector<std::string>& args);
-  // Redraws window contents (called on Expose and after configure).
-  virtual void Draw() {}
+  // Repaints window contents, called from the idle-time redraw pass with the
+  // coalesced damage region (window coordinates).  Most widgets repaint in
+  // full regardless; widgets with structured content (listbox) repaint only
+  // the damaged region via ClearArea instead of a full-window clear.
+  virtual void Draw(const xsim::Rect& damage) { (void)damage; }
   // C-level event handling for the widget's class behaviour.
   virtual void HandleEvent(const xsim::Event& event);
 
-  // Schedules Draw() at idle time.
+  // Schedules a full-window Draw() at idle time.
   void ScheduleRedraw();
+  // Schedules a partial redraw; damage rects coalesce per widget (bounding
+  // box) until the idle pass runs.
+  void ScheduleRedraw(const xsim::Rect& area);
 
  protected:
   // Registers an option; widgets call this from their constructors.

@@ -81,7 +81,8 @@ xsim::Pixel Label::CurrentBackground() const {
   return state_ == "active" ? active_background_ : background_;
 }
 
-void Label::Draw() {
+void Label::Draw(const xsim::Rect& damage) {
+  (void)damage;
   xsim::Pixel bg = CurrentBackground();
   ClearWindow(bg);
   Relief relief = relief_;
@@ -169,14 +170,18 @@ tcl::Code Button::Invoke() {
 }
 
 void Button::Flash() {
-  // Alternate active/normal colors a few times; each toggle redraws
-  // immediately so the flashes actually reach the (simulated) screen.
+  // Alternate active/normal colors a few times; each toggle draws and
+  // flushes immediately so the flashes actually reach the (simulated)
+  // screen instead of coalescing into one buffered repaint.
+  xsim::Rect all{0, 0, width(), height()};
   for (int i = 0; i < 4; ++i) {
     state_ = (i % 2 == 0) ? "active" : "normal";
-    Draw();
+    Draw(all);
+    display().Flush();
   }
   state_ = "normal";
-  Draw();
+  Draw(all);
+  display().Flush();
 }
 
 tcl::Code Button::WidgetCommand(std::vector<std::string>& args) {

@@ -15,7 +15,7 @@ class Label : public Widget {
  public:
   Label(App& app, std::string path);
 
-  void Draw() override;
+  void Draw(const xsim::Rect& damage) override;
   tcl::Code WidgetCommand(std::vector<std::string>& args) override;
 
   const std::string& text() const { return text_; }

@@ -66,7 +66,8 @@ int Canvas::ItemAt(int x, int y) const {
   return 0;
 }
 
-void Canvas::Draw() {
+void Canvas::Draw(const xsim::Rect& damage) {
+  (void)damage;
   ClearWindow(background_);
   DrawRelief(background_, relief_, border_width_);
   xsim::Server::Gc values;

@@ -37,7 +37,7 @@ class Canvas : public Widget {
     std::string bind_script;  // Tcl command run when button 1 hits the item.
   };
 
-  void Draw() override;
+  void Draw(const xsim::Rect& damage) override;
   tcl::Code WidgetCommand(std::vector<std::string>& args) override;
   void HandleEvent(const xsim::Event& event) override;
 

@@ -89,7 +89,8 @@ void Entry::SyncVariable() {
   updating_variable_ = false;
 }
 
-void Entry::Draw() {
+void Entry::Draw(const xsim::Rect& damage) {
+  (void)damage;
   ClearWindow(background_);
   DrawRelief(background_, relief_, border_width_);
   const xsim::FontMetrics* metrics = display().QueryFont(font_);

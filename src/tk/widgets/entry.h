@@ -17,7 +17,7 @@ class Entry : public Widget {
  public:
   Entry(App& app, std::string path);
 
-  void Draw() override;
+  void Draw(const xsim::Rect& damage) override;
   tcl::Code WidgetCommand(std::vector<std::string>& args) override;
   void HandleEvent(const xsim::Event& event) override;
 

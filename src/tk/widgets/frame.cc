@@ -36,7 +36,8 @@ void Frame::OnConfigured() {
   }
 }
 
-void Frame::Draw() {
+void Frame::Draw(const xsim::Rect& damage) {
+  (void)damage;
   ClearWindow(background_);
   DrawRelief(background_, relief_, border_width_);
 }

@@ -14,7 +14,7 @@ class Frame : public Widget {
  public:
   Frame(App& app, std::string path);
 
-  void Draw() override;
+  void Draw(const xsim::Rect& damage) override;
   xsim::Pixel background() const { return background_; }
 
  protected:

@@ -53,33 +53,71 @@ int Listbox::visible_lines() const {
   return std::max(1, inner / std::max(1, line_height));
 }
 
-void Listbox::Draw() {
-  ClearWindow(background_);
-  DrawRelief(background_, relief_, border_width_);
+void Listbox::Draw(const xsim::Rect& damage) {
   const xsim::FontMetrics* metrics = display().QueryFont(font_);
   xsim::FontMetrics fallback;
   if (metrics == nullptr) {
     metrics = &fallback;
   }
-  int lines = visible_lines();
-  int y = border_width_ + 2;
+  bool covers_all = damage.x <= 0 && damage.y <= 0 && damage.x + damage.width >= width() &&
+                    damage.y + damage.height >= height();
+  if (covers_all) {
+    ClearWindow(background_);
+    DrawRelief(background_, relief_, border_width_);
+    DrawLines(top_, top_ + visible_lines() - 1, *metrics);
+    return;
+  }
+  // Partial repaint: clear and redraw only the rows the damage touches
+  // (expanded to whole rows) instead of a full-window clear.  The border
+  // and the rows outside the damage keep their pixels.
+  int line_height = metrics->line_height();
+  int y0 = border_width_ + 2;
+  int first = top_ + std::max(0, (damage.y - y0) / line_height);
+  int last = top_ + std::max(0, (damage.y + damage.height - 1 - y0) / line_height);
+  first = std::max(first, top_);
+  last = std::min(last, top_ + visible_lines() - 1);
+  if (last < first) {
+    return;  // Damage lies entirely in the row-free padding.
+  }
+  display().ClearArea(window(),
+                      xsim::Rect{border_width_, y0 + (first - top_) * line_height,
+                                 width() - 2 * border_width_,
+                                 (last - first + 1) * line_height});
+  DrawLines(first, last, *metrics);
+}
+
+void Listbox::DrawLines(int first, int last, const xsim::FontMetrics& metrics) {
+  int y = border_width_ + 2 + (first - top_) * metrics.line_height();
   xsim::Server::Gc values;
   values.font = font_;
-  for (int i = top_; i < size() && i < top_ + lines; ++i) {
+  for (int i = first; i <= last && i < size(); ++i) {
     bool selected = i >= select_first_ && i <= select_last_;
     if (selected) {
       values.foreground = select_background_;
       display().ChangeGc(gc(), values);
       display().FillRectangle(window(), gc(),
                               xsim::Rect{border_width_, y, width() - 2 * border_width_,
-                                         metrics->line_height()});
+                                         metrics.line_height()});
     }
     values.foreground = foreground_;
     display().ChangeGc(gc(), values);
-    display().DrawString(window(), gc(), border_width_ + 3, y + metrics->ascent,
+    display().DrawString(window(), gc(), border_width_ + 3, y + metrics.ascent,
                          elements_[i]);
-    y += metrics->line_height();
+    y += metrics.line_height();
   }
+}
+
+void Listbox::DamageLines(int first, int last) {
+  const xsim::FontMetrics* metrics = display().QueryFont(font_);
+  int line_height = metrics != nullptr ? metrics->line_height() : 13;
+  first = std::max(first, top_);
+  last = std::min(last, top_ + visible_lines() - 1);
+  if (last < first) {
+    return;  // Nothing in the changed range is on screen.
+  }
+  int y0 = border_width_ + 2;
+  ScheduleRedraw(xsim::Rect{border_width_, y0 + (first - top_) * line_height,
+                            width() - 2 * border_width_, (last - first + 1) * line_height});
 }
 
 // ---------------------------------------------------------------------------
@@ -136,17 +174,29 @@ void Listbox::SelectRange(int first, int last) {
   if (size() == 0) {
     return;
   }
+  int old_first = select_first_;
+  int old_last = select_last_;
   select_first_ = std::clamp(std::min(first, last), 0, size() - 1);
   select_last_ = std::clamp(std::max(first, last), 0, size() - 1);
   ClaimSelection();
-  ScheduleRedraw();
+  // Damage only the rows whose highlight changed (old range union new
+  // range), not the whole window.
+  if (old_first < 0) {
+    DamageLines(select_first_, select_last_);
+  } else {
+    DamageLines(std::min(old_first, select_first_), std::max(old_last, select_last_));
+  }
 }
 
 void Listbox::ClearSelection() {
+  int old_first = select_first_;
+  int old_last = select_last_;
   select_first_ = -1;
   select_last_ = -1;
   select_anchor_ = -1;
-  ScheduleRedraw();
+  if (old_first >= 0) {
+    DamageLines(old_first, old_last);
+  }
 }
 
 std::vector<int> Listbox::SelectedIndices() const {

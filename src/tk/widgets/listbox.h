@@ -21,7 +21,7 @@ class Listbox : public Widget {
  public:
   Listbox(App& app, std::string path);
 
-  void Draw() override;
+  void Draw(const xsim::Rect& damage) override;
   tcl::Code WidgetCommand(std::vector<std::string>& args) override;
   void HandleEvent(const xsim::Event& event) override;
 
@@ -52,6 +52,10 @@ class Listbox : public Widget {
   tcl::Code ParseIndex(const std::string& text, int* out);
   void NotifyScroll();
   void ClaimSelection();
+  // Draws elements [first, last] (absolute indices) at their on-screen rows.
+  void DrawLines(int first, int last, const xsim::FontMetrics& metrics);
+  // Schedules a partial redraw of the on-screen rows for [first, last].
+  void DamageLines(int first, int last);
 
   std::vector<std::string> elements_;
   int top_ = 0;

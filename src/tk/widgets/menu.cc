@@ -68,7 +68,8 @@ int Menu::EntryAt(int y) const {
   return -1;
 }
 
-void Menu::Draw() {
+void Menu::Draw(const xsim::Rect& damage) {
+  (void)damage;
   ClearWindow(background_);
   DrawRelief(background_, Relief::kRaised, border_width_);
   const xsim::FontMetrics* metrics = display().QueryFont(font_);

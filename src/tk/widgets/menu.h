@@ -18,7 +18,7 @@ class Menu : public Widget {
  public:
   Menu(App& app, std::string path);
 
-  void Draw() override;
+  void Draw(const xsim::Rect& damage) override;
   tcl::Code WidgetCommand(std::vector<std::string>& args) override;
   void HandleEvent(const xsim::Event& event) override;
 

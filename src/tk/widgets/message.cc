@@ -92,7 +92,8 @@ void Message::OnConfigured() {
                   2 * (pad_y_ + border_width_));
 }
 
-void Message::Draw() {
+void Message::Draw(const xsim::Rect& damage) {
+  (void)damage;
   ClearWindow(background_);
   DrawRelief(background_, relief_, border_width_);
   const xsim::FontMetrics* metrics = display().QueryFont(font_);

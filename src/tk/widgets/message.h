@@ -15,7 +15,7 @@ class Message : public Widget {
  public:
   Message(App& app, std::string path);
 
-  void Draw() override;
+  void Draw(const xsim::Rect& damage) override;
   tcl::Code WidgetCommand(std::vector<std::string>& args) override;
 
   // The wrapped lines as laid out (exposed for tests).

@@ -77,7 +77,8 @@ void Scale::SetValue(int value, bool invoke_command) {
   }
 }
 
-void Scale::Draw() {
+void Scale::Draw(const xsim::Rect& damage) {
+  (void)damage;
   ClearWindow(background_);
   DrawRelief(background_, Relief::kRaised, border_width_);
   const xsim::FontMetrics* metrics = display().QueryFont(font_);

@@ -14,7 +14,7 @@ class Scale : public Widget {
  public:
   Scale(App& app, std::string path);
 
-  void Draw() override;
+  void Draw(const xsim::Rect& damage) override;
   tcl::Code WidgetCommand(std::vector<std::string>& args) override;
   void HandleEvent(const xsim::Event& event) override;
 

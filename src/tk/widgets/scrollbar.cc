@@ -57,7 +57,8 @@ int Scrollbar::UnitAt(int pixel) const {
   return std::clamp(unit, 0, std::max(0, total_ - 1));
 }
 
-void Scrollbar::Draw() {
+void Scrollbar::Draw(const xsim::Rect& damage) {
+  (void)damage;
   ClearWindow(background_);
   DrawRelief(background_, relief_, border_width_);
   int arrow = bar_width_;

@@ -2,6 +2,12 @@
 
 namespace xsim {
 
+namespace {
+// Each connection owns a disjoint client-side resource-id range, like the
+// resource-id-base/mask the real server hands Xlib at connection setup.
+constexpr XId kResourceIdRange = 0x00100000;
+}  // namespace
+
 std::unique_ptr<Display> Display::Open(Server& server, std::string client_name) {
   ClientId id = server.RegisterClient(std::move(client_name));
   auto display = std::unique_ptr<Display>(new Display(server, id));
@@ -11,7 +17,16 @@ std::unique_ptr<Display> Display::Open(Server& server, std::string client_name) 
   return display;
 }
 
-Display::~Display() { server_.UnregisterClient(client_); }
+Display::Display(Server& server, ClientId client)
+    : server_(server),
+      client_(client),
+      next_sequence_(server.ClientSequence(client)),
+      resource_id_base_(client * kResourceIdRange) {}
+
+Display::~Display() {
+  Flush();  // Xlib flushes the output buffer as part of XCloseDisplay.
+  server_.UnregisterClient(client_);
+}
 
 void Display::HandleError(const XError& error) {
   last_error_ = error;
@@ -19,6 +34,378 @@ void Display::HandleError(const XError& error) {
   if (error_handler_) {
     error_handler_(error);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Output buffer.
+
+void Display::Flush() {
+  if (queue_.empty() || flushing_) {
+    return;
+  }
+  flushing_ = true;
+  // Swap out the queue first: the batch may deliver errors whose handlers
+  // issue fresh requests, which then land in a clean queue.
+  std::vector<Request> batch;
+  batch.swap(queue_);
+  server_.ApplyBatch(client_, batch);
+  ++flush_count_;
+  flushing_ = false;
+}
+
+void Display::Sync() {
+  Flush();
+  // The no-op query is the round trip: once it returns, every request ahead
+  // of it has been processed and its errors delivered (XSync semantics; real
+  // Xlib uses GetInputFocus as the throwaway request).
+  server_.GetSelectionOwner(client_, kAtomNone);
+  Resync();
+}
+
+void Display::SetSynchronous(bool on) {
+  if (on) {
+    Flush();  // Preserve ordering across the mode switch.
+  }
+  synchronous_ = on;
+}
+
+bool Display::Enqueue(Request&& request) {
+  if (!server_.ClientAlive(client_)) {
+    return false;  // A dead connection swallows requests (KillClient model).
+  }
+  request.sequence = ++next_sequence_;
+  if (synchronous_) {
+    return server_.ApplyRequest(client_, request, /*synchronous=*/true);
+  }
+  queue_.push_back(std::move(request));
+  MaybeAutoFlush();
+  return true;
+}
+
+void Display::MaybeAutoFlush() {
+  if (!flushing_ && queue_.size() >= output_capacity_) {
+    ++auto_flush_count_;
+    Flush();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Windows (one-way: buffered).
+
+WindowId Display::CreateWindow(WindowId parent, int x, int y, int width, int height,
+                               int border_width) {
+  WindowId id = AllocResourceId();
+  Request request;
+  request.op = RequestOpcode::kCreateWindow;
+  request.window = parent;
+  request.resource = id;
+  request.x = x;
+  request.y = y;
+  request.width = width;
+  request.height = height;
+  request.border_width = border_width;
+  return Enqueue(std::move(request)) ? id : kNone;
+}
+
+bool Display::DestroyWindow(WindowId w) {
+  Request request;
+  request.op = RequestOpcode::kDestroyWindow;
+  request.window = w;
+  return Enqueue(std::move(request));
+}
+
+bool Display::MapWindow(WindowId w) {
+  Request request;
+  request.op = RequestOpcode::kMapWindow;
+  request.window = w;
+  return Enqueue(std::move(request));
+}
+
+bool Display::UnmapWindow(WindowId w) {
+  Request request;
+  request.op = RequestOpcode::kUnmapWindow;
+  request.window = w;
+  return Enqueue(std::move(request));
+}
+
+bool Display::MoveResizeWindow(WindowId w, int x, int y, int width, int height) {
+  Request request;
+  request.op = RequestOpcode::kConfigureWindow;
+  request.window = w;
+  request.x = x;
+  request.y = y;
+  request.width = width;
+  request.height = height;
+  request.border_width = -1;
+  return Enqueue(std::move(request));
+}
+
+bool Display::ResizeWindow(WindowId w, int width, int height) {
+  Request request;
+  request.op = RequestOpcode::kConfigureWindow;
+  request.window = w;
+  request.x = -1;
+  request.y = -1;
+  request.width = width;
+  request.height = height;
+  request.border_width = -1;
+  return Enqueue(std::move(request));
+}
+
+bool Display::RaiseWindow(WindowId w) {
+  Request request;
+  request.op = RequestOpcode::kRaiseWindow;
+  request.window = w;
+  return Enqueue(std::move(request));
+}
+
+void Display::SelectInput(WindowId w, uint32_t mask) {
+  Request request;
+  request.op = RequestOpcode::kSelectInput;
+  request.window = w;
+  request.mask = mask;
+  Enqueue(std::move(request));
+}
+
+bool Display::SetWindowBackground(WindowId w, Pixel p) {
+  Request request;
+  request.op = RequestOpcode::kSetWindowBackground;
+  request.window = w;
+  request.pixel = p;
+  return Enqueue(std::move(request));
+}
+
+// ---------------------------------------------------------------------------
+// Atoms and properties.
+
+Atom Display::InternAtom(std::string_view name) {
+  Flush();
+  Atom atom = server_.InternAtom(client_, name);
+  Resync();
+  return atom;
+}
+
+bool Display::ChangeProperty(WindowId w, Atom property, std::string value) {
+  Request request;
+  request.op = RequestOpcode::kChangeProperty;
+  request.window = w;
+  request.atom = property;
+  request.text = std::move(value);
+  return Enqueue(std::move(request));
+}
+
+std::optional<std::string> Display::GetProperty(WindowId w, Atom property) {
+  Flush();
+  std::optional<std::string> value = server_.GetProperty(client_, w, property);
+  Resync();
+  return value;
+}
+
+bool Display::DeleteProperty(WindowId w, Atom property) {
+  Request request;
+  request.op = RequestOpcode::kDeleteProperty;
+  request.window = w;
+  request.atom = property;
+  return Enqueue(std::move(request));
+}
+
+// ---------------------------------------------------------------------------
+// Resources (queries).
+
+std::optional<Pixel> Display::AllocNamedColor(std::string_view name) {
+  Flush();
+  std::optional<Pixel> pixel = server_.AllocNamedColor(client_, name);
+  Resync();
+  return pixel;
+}
+
+Pixel Display::AllocColor(Rgb rgb) {
+  Flush();
+  Pixel pixel = server_.AllocColor(client_, rgb);
+  Resync();
+  return pixel;
+}
+
+std::optional<FontId> Display::LoadFont(std::string_view name) {
+  Flush();
+  std::optional<FontId> font = server_.LoadFont(client_, name);
+  Resync();
+  return font;
+}
+
+CursorId Display::CreateNamedCursor(std::string_view name) {
+  Flush();
+  CursorId cursor = server_.CreateNamedCursor(client_, name);
+  Resync();
+  return cursor;
+}
+
+BitmapId Display::CreateBitmap(std::string_view name, int width, int height) {
+  Flush();
+  BitmapId bitmap = server_.CreateBitmap(client_, name, width, height);
+  Resync();
+  return bitmap;
+}
+
+// ---------------------------------------------------------------------------
+// GCs and drawing (one-way: buffered).
+
+GcId Display::CreateGc() {
+  GcId id = AllocResourceId();
+  Request request;
+  request.op = RequestOpcode::kCreateGc;
+  request.resource = id;
+  return Enqueue(std::move(request)) ? id : kNone;
+}
+
+void Display::FreeGc(GcId gc) {
+  Request request;
+  request.op = RequestOpcode::kFreeGc;
+  request.gc = gc;
+  Enqueue(std::move(request));
+}
+
+bool Display::ChangeGc(GcId gc, const Server::Gc& values) {
+  Request request;
+  request.op = RequestOpcode::kChangeGc;
+  request.gc = gc;
+  request.gc_values = values;
+  return Enqueue(std::move(request));
+}
+
+void Display::ClearWindow(WindowId w) {
+  Request request;
+  request.op = RequestOpcode::kClearWindow;
+  request.window = w;
+  Enqueue(std::move(request));
+}
+
+void Display::ClearArea(WindowId w, const Rect& area) {
+  Request request;
+  request.op = RequestOpcode::kClearArea;
+  request.window = w;
+  request.rect = area;
+  Enqueue(std::move(request));
+}
+
+void Display::FillRectangle(WindowId w, GcId gc, const Rect& rect) {
+  Request request;
+  request.op = RequestOpcode::kFillRectangle;
+  request.window = w;
+  request.gc = gc;
+  request.rect = rect;
+  Enqueue(std::move(request));
+}
+
+void Display::DrawRectangle(WindowId w, GcId gc, const Rect& rect) {
+  Request request;
+  request.op = RequestOpcode::kDrawRectangle;
+  request.window = w;
+  request.gc = gc;
+  request.rect = rect;
+  Enqueue(std::move(request));
+}
+
+void Display::DrawLine(WindowId w, GcId gc, int x0, int y0, int x1, int y1) {
+  Request request;
+  request.op = RequestOpcode::kDrawLine;
+  request.window = w;
+  request.gc = gc;
+  request.x = x0;
+  request.y = y0;
+  request.x1 = x1;
+  request.y1 = y1;
+  Enqueue(std::move(request));
+}
+
+void Display::DrawString(WindowId w, GcId gc, int x, int y, std::string_view text) {
+  Request request;
+  request.op = RequestOpcode::kDrawString;
+  request.window = w;
+  request.gc = gc;
+  request.x = x;
+  request.y = y;
+  request.text = std::string(text);
+  Enqueue(std::move(request));
+}
+
+// ---------------------------------------------------------------------------
+// Focus, selections, events.
+
+void Display::SetInputFocus(WindowId w) {
+  Request request;
+  request.op = RequestOpcode::kSetInputFocus;
+  request.window = w;
+  Enqueue(std::move(request));
+}
+
+WindowId Display::GetInputFocus() {
+  Flush();
+  return server_.GetInputFocus();
+}
+
+void Display::SetSelectionOwner(Atom selection, WindowId owner) {
+  Request request;
+  request.op = RequestOpcode::kSetSelectionOwner;
+  request.atom = selection;
+  request.window = owner;
+  Enqueue(std::move(request));
+}
+
+WindowId Display::GetSelectionOwner(Atom selection) {
+  Flush();
+  WindowId owner = server_.GetSelectionOwner(client_, selection);
+  Resync();
+  return owner;
+}
+
+void Display::ConvertSelection(Atom selection, Atom target, Atom property,
+                               WindowId requestor) {
+  Request request;
+  request.op = RequestOpcode::kConvertSelection;
+  request.atom = selection;
+  request.target = target;
+  request.property = property;
+  request.requestor = requestor;
+  Enqueue(std::move(request));
+}
+
+void Display::SendSelectionNotify(WindowId requestor, Atom selection, Atom target,
+                                  Atom property) {
+  Request request;
+  request.op = RequestOpcode::kSendSelectionNotify;
+  request.requestor = requestor;
+  request.atom = selection;
+  request.target = target;
+  request.property = property;
+  Enqueue(std::move(request));
+}
+
+void Display::SendEvent(WindowId destination, const Event& event, uint32_t mask) {
+  Request request;
+  request.op = RequestOpcode::kSendEvent;
+  request.window = destination;
+  request.event = event;
+  request.mask = mask;
+  Enqueue(std::move(request));
+}
+
+// ---------------------------------------------------------------------------
+// Events.
+
+bool Display::Pending() {
+  Flush();
+  return server_.HasPendingEvents(client_);
+}
+
+size_t Display::PendingCount() {
+  Flush();
+  return server_.PendingEventCount(client_);
+}
+
+bool Display::PollEvent(Event* out) {
+  Flush();
+  return server_.NextEvent(client_, out);
 }
 
 }  // namespace xsim

@@ -3,6 +3,20 @@
 // Each Tk application opens its own Display on a shared Server, which is how
 // multiple "applications" coexist on one display for the `send` command and
 // the ICCCM selection protocol, exactly as in the paper's environment.
+//
+// Like Xlib, the Display buffers one-way requests in an output queue instead
+// of delivering them to the server immediately.  The queue drains into
+// Server::ApplyBatch when:
+//   * Flush() or Sync() is called explicitly,
+//   * the queue reaches its capacity (automatic flush),
+//   * a reply-bearing query is issued (InternAtom, GetProperty, ...), or
+//   * the client asks for events (Pending/PollEvent -- XPending semantics).
+// Only queries block for a reply, so only queries (and Sync) count as round
+// trips.  Errors raised by buffered requests surface at the next flush, each
+// tagged with the sequence number the client assigned at enqueue time --
+// Xlib's deferred asynchronous error model.  SetSynchronous(true) restores
+// the old call-through behaviour (XSynchronize): every request applies
+// immediately, returns its real status, and costs a full round trip.
 
 #ifndef SRC_XSIM_DISPLAY_H_
 #define SRC_XSIM_DISPLAY_H_
@@ -12,9 +26,11 @@
 #include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "src/xsim/error.h"
 #include "src/xsim/event.h"
+#include "src/xsim/request.h"
 #include "src/xsim/server.h"
 #include "src/xsim/types.h"
 
@@ -22,6 +38,9 @@ namespace xsim {
 
 class Display {
  public:
+  // Default output-queue capacity before an automatic flush.
+  static constexpr size_t kDefaultOutputCapacity = 64;
+
   // Opens a connection to `server`.  The server must outlive the Display.
   static std::unique_ptr<Display> Open(Server& server, std::string client_name);
   ~Display();
@@ -33,122 +52,130 @@ class Display {
   ClientId client_id() const { return client_; }
   WindowId root() const { return server_.root(); }
 
+  // --- Output buffer (XFlush / XSync / XSynchronize) ---
+
+  // Ships every queued request to the server as one batch.
+  void Flush();
+  // Flush, then one no-op round trip so the client has seen the server
+  // process (and report errors for) everything it sent.
+  void Sync();
+  // XSynchronize: apply each request immediately with a per-request round
+  // trip; buffered methods then return real statuses instead of optimism.
+  void SetSynchronous(bool on);
+  bool synchronous() const { return synchronous_; }
+  size_t pending_requests() const { return queue_.size(); }
+  size_t output_capacity() const { return output_capacity_; }
+  void set_output_capacity(size_t capacity) {
+    output_capacity_ = capacity == 0 ? 1 : capacity;
+    MaybeAutoFlush();
+  }
+  uint64_t flush_count() const { return flush_count_; }
+  uint64_t auto_flush_count() const { return auto_flush_count_; }
+
   // --- Error handling ---
   //
   // The server delivers X errors for this connection here (the Display
-  // installs itself as the client's error sink on Open).  Without a handler
-  // the Display just records the error, mirroring Xlib's default of not
+  // installs itself as the client's error sink on Open).  With buffering,
+  // delivery happens while a flush or query drains the queue; the error's
+  // `sequence` identifies the offending request.  Without a handler the
+  // Display just records the error, mirroring Xlib's default of not
   // crashing the client for non-fatal errors.
   using ErrorHandler = std::function<void(const XError&)>;
   void set_error_handler(ErrorHandler handler) { error_handler_ = std::move(handler); }
   const XError& last_error() const { return last_error_; }
   uint64_t error_count() const { return error_count_; }
   void reset_error_count() { error_count_ = 0; }
-  // Sequence number of the most recent request on this connection.
-  uint64_t request_sequence() const { return server_.ClientSequence(client_); }
+  // Sequence number of the most recent request on this connection
+  // (including requests still sitting in the output queue).
+  uint64_t request_sequence() const { return next_sequence_; }
 
   // Windows.
   WindowId CreateWindow(WindowId parent, int x, int y, int width, int height,
-                        int border_width = 0) {
-    return server_.CreateWindow(client_, parent, x, y, width, height, border_width);
-  }
-  bool DestroyWindow(WindowId w) { return server_.DestroyWindow(client_, w); }
-  bool MapWindow(WindowId w) { return server_.MapWindow(client_, w); }
-  bool UnmapWindow(WindowId w) { return server_.UnmapWindow(client_, w); }
-  bool MoveResizeWindow(WindowId w, int x, int y, int width, int height) {
-    return server_.ConfigureWindow(client_, w, x, y, width, height, -1);
-  }
-  bool ResizeWindow(WindowId w, int width, int height) {
-    return server_.ConfigureWindow(client_, w, -1, -1, width, height, -1);
-  }
-  bool RaiseWindow(WindowId w) { return server_.RaiseWindow(client_, w); }
-  void SelectInput(WindowId w, uint32_t mask) { server_.SelectInput(client_, w, mask); }
-  bool SetWindowBackground(WindowId w, Pixel p) {
-    return server_.SetWindowBackground(client_, w, p);
-  }
+                        int border_width = 0);
+  bool DestroyWindow(WindowId w);
+  bool MapWindow(WindowId w);
+  bool UnmapWindow(WindowId w);
+  bool MoveResizeWindow(WindowId w, int x, int y, int width, int height);
+  bool ResizeWindow(WindowId w, int width, int height);
+  bool RaiseWindow(WindowId w);
+  void SelectInput(WindowId w, uint32_t mask);
+  bool SetWindowBackground(WindowId w, Pixel p);
 
-  // Atoms and properties.
-  Atom InternAtom(std::string_view name) { return server_.InternAtom(client_, name); }
+  // Atoms and properties.  InternAtom and GetProperty need replies: they
+  // flush and go to the server directly (one round trip each).
+  Atom InternAtom(std::string_view name);
   std::string AtomName(Atom atom) { return server_.AtomName(atom); }
-  bool ChangeProperty(WindowId w, Atom property, std::string value) {
-    return server_.ChangeProperty(client_, w, property, std::move(value));
-  }
-  std::optional<std::string> GetProperty(WindowId w, Atom property) {
-    return server_.GetProperty(client_, w, property);
-  }
-  bool DeleteProperty(WindowId w, Atom property) {
-    return server_.DeleteProperty(client_, w, property);
-  }
+  bool ChangeProperty(WindowId w, Atom property, std::string value);
+  std::optional<std::string> GetProperty(WindowId w, Atom property);
+  bool DeleteProperty(WindowId w, Atom property);
 
-  // Resources.
-  std::optional<Pixel> AllocNamedColor(std::string_view name) {
-    return server_.AllocNamedColor(client_, name);
-  }
-  Pixel AllocColor(Rgb rgb) { return server_.AllocColor(client_, rgb); }
-  std::optional<FontId> LoadFont(std::string_view name) {
-    return server_.LoadFont(client_, name);
-  }
+  // Resources (reply-bearing queries: flush + round trip).
+  std::optional<Pixel> AllocNamedColor(std::string_view name);
+  Pixel AllocColor(Rgb rgb);
+  std::optional<FontId> LoadFont(std::string_view name);
   const FontMetrics* QueryFont(FontId font) { return server_.QueryFont(font); }
-  CursorId CreateNamedCursor(std::string_view name) {
-    return server_.CreateNamedCursor(client_, name);
-  }
-  BitmapId CreateBitmap(std::string_view name, int width, int height) {
-    return server_.CreateBitmap(client_, name, width, height);
-  }
+  CursorId CreateNamedCursor(std::string_view name);
+  BitmapId CreateBitmap(std::string_view name, int width, int height);
 
-  // GCs and drawing.
-  GcId CreateGc() { return server_.CreateGc(client_); }
-  void FreeGc(GcId gc) { server_.FreeGc(client_, gc); }
-  bool ChangeGc(GcId gc, const Server::Gc& values) {
-    return server_.ChangeGc(client_, gc, values);
-  }
-  void ClearWindow(WindowId w) { server_.ClearWindow(client_, w); }
-  void FillRectangle(WindowId w, GcId gc, const Rect& rect) {
-    server_.FillRectangle(client_, w, gc, rect);
-  }
-  void DrawRectangle(WindowId w, GcId gc, const Rect& rect) {
-    server_.DrawRectangle(client_, w, gc, rect);
-  }
-  void DrawLine(WindowId w, GcId gc, int x0, int y0, int x1, int y1) {
-    server_.DrawLine(client_, w, gc, x0, y0, x1, y1);
-  }
-  void DrawString(WindowId w, GcId gc, int x, int y, std::string_view text) {
-    server_.DrawString(client_, w, gc, x, y, text);
-  }
+  // GCs and drawing (one-way: buffered).  CreateGc allocates the id
+  // client-side, so it needs no reply -- as in Xlib.
+  GcId CreateGc();
+  void FreeGc(GcId gc);
+  bool ChangeGc(GcId gc, const Server::Gc& values);
+  void ClearWindow(WindowId w);
+  void ClearArea(WindowId w, const Rect& area);
+  void FillRectangle(WindowId w, GcId gc, const Rect& rect);
+  void DrawRectangle(WindowId w, GcId gc, const Rect& rect);
+  void DrawLine(WindowId w, GcId gc, int x0, int y0, int x1, int y1);
+  void DrawString(WindowId w, GcId gc, int x, int y, std::string_view text);
 
   // Focus and selections.
-  void SetInputFocus(WindowId w) { server_.SetInputFocus(client_, w); }
-  void SetSelectionOwner(Atom selection, WindowId owner) {
-    server_.SetSelectionOwner(client_, selection, owner);
-  }
-  WindowId GetSelectionOwner(Atom selection) {
-    return server_.GetSelectionOwner(client_, selection);
-  }
-  void ConvertSelection(Atom selection, Atom target, Atom property, WindowId requestor) {
-    server_.ConvertSelection(client_, selection, target, property, requestor);
-  }
-  void SendSelectionNotify(WindowId requestor, Atom selection, Atom target, Atom property) {
-    server_.SendSelectionNotify(client_, requestor, selection, target, property);
-  }
-  void SendEvent(WindowId destination, const Event& event, uint32_t mask = 0) {
-    server_.SendEvent(client_, destination, event, mask);
-  }
+  void SetInputFocus(WindowId w);
+  WindowId GetInputFocus();  // Query: flush + round trip.
+  void SetSelectionOwner(Atom selection, WindowId owner);
+  WindowId GetSelectionOwner(Atom selection);  // Query: flush + round trip.
+  void ConvertSelection(Atom selection, Atom target, Atom property, WindowId requestor);
+  void SendSelectionNotify(WindowId requestor, Atom selection, Atom target, Atom property);
+  void SendEvent(WindowId destination, const Event& event, uint32_t mask = 0);
 
-  // Events.
-  bool Pending() const { return server_.HasPendingEvents(client_); }
-  size_t PendingCount() const { return server_.PendingEventCount(client_); }
-  bool PollEvent(Event* out) { return server_.NextEvent(client_, out); }
+  // Events.  Asking for events flushes the output queue first (XPending /
+  // XNextEvent semantics: the request buffer never starves the server while
+  // the client waits for a response to work it hasn't sent).
+  bool Pending();
+  size_t PendingCount();
+  bool PollEvent(Event* out);
 
  private:
-  Display(Server& server, ClientId client) : server_(server), client_(client) {}
+  Display(Server& server, ClientId client);
 
   void HandleError(const XError& error);
+  // Assigns the next sequence number and either queues the request or (in
+  // synchronous mode) applies it immediately.  Returns the request's status
+  // in synchronous mode; true (optimistically, like Xlib) when buffered.
+  bool Enqueue(Request&& request);
+  void MaybeAutoFlush();
+  // After a direct server call (a query), the server-side sequence counter
+  // has advanced past the client's; adopt it.
+  void Resync() { next_sequence_ = server_.ClientSequence(client_); }
+  XId AllocResourceId() { return resource_id_base_ + next_resource_offset_++; }
 
   Server& server_;
   ClientId client_;
   ErrorHandler error_handler_;
   XError last_error_;
   uint64_t error_count_ = 0;
+
+  std::vector<Request> queue_;
+  size_t output_capacity_ = kDefaultOutputCapacity;
+  bool synchronous_ = false;
+  bool flushing_ = false;  // Re-entrancy guard (error handlers may issue requests).
+  uint64_t next_sequence_ = 0;
+  uint64_t flush_count_ = 0;
+  uint64_t auto_flush_count_ = 0;
+  // Client-side resource-id allocation (Xlib's XAllocID): each connection
+  // owns a disjoint id range, so CreateWindow/CreateGc need no reply.
+  XId resource_id_base_ = 0;
+  XId next_resource_offset_ = 0;
 };
 
 }  // namespace xsim

@@ -1,0 +1,90 @@
+// The wire format of the simulated X connection: one encoded Request record
+// per one-way Server entry point.  Display buffers these in an output queue
+// (Xlib-style) and ships them to Server::ApplyBatch on flush; reply-bearing
+// queries bypass the queue (after forcing a flush) and are the only requests
+// that count as round trips.
+
+#ifndef SRC_XSIM_REQUEST_H_
+#define SRC_XSIM_REQUEST_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/xsim/event.h"
+#include "src/xsim/types.h"
+
+namespace xsim {
+
+// Graphics-context attributes (XGCValues).  Lives here rather than inside
+// Server so an encoded ChangeGc request can carry it by value.
+struct GcValues {
+  Pixel foreground = 0x000000;
+  Pixel background = 0xffffff;
+  FontId font = kNone;
+  int line_width = 1;
+};
+
+// One opcode per buffered (one-way) Server entry point.  Queries such as
+// InternAtom or GetProperty have no opcode: they need a reply, so the client
+// flushes and calls the Server directly instead of encoding a record.
+enum class RequestOpcode : uint8_t {
+  kCreateWindow,
+  kDestroyWindow,
+  kMapWindow,
+  kUnmapWindow,
+  kConfigureWindow,
+  kRaiseWindow,
+  kSelectInput,
+  kSetWindowBackground,
+  kChangeProperty,
+  kDeleteProperty,
+  kCreateGc,
+  kFreeGc,
+  kChangeGc,
+  kClearWindow,
+  kClearArea,
+  kFillRectangle,
+  kDrawRectangle,
+  kDrawLine,
+  kDrawString,
+  kSetInputFocus,
+  kSetSelectionOwner,
+  kConvertSelection,
+  kSendSelectionNotify,
+  kSendEvent,
+};
+
+// A fat encoded request.  Only the fields the opcode's dispatch reads are
+// meaningful; the rest stay at their defaults.
+struct Request {
+  RequestOpcode op = RequestOpcode::kClearWindow;
+  // Client-assigned sequence number; deferred errors are tagged with it.
+  uint64_t sequence = 0;
+
+  WindowId window = kNone;    // Primary window operand (parent for Create).
+  XId resource = kNone;       // Client-allocated id for CreateWindow/CreateGc.
+  GcId gc = kNone;
+  Atom atom = kAtomNone;      // Property / selection atom.
+  Atom target = kAtomNone;
+  Atom property = kAtomNone;
+  WindowId requestor = kNone;
+  Pixel pixel = 0;
+  uint32_t mask = 0;
+
+  int x = 0;
+  int y = 0;
+  int width = 0;
+  int height = 0;
+  int border_width = 0;
+  int x1 = 0;                 // Second endpoint for DrawLine.
+  int y1 = 0;
+  Rect rect;                  // Fill/Draw/Clear rectangle.
+
+  std::string text;           // DrawString text or ChangeProperty value.
+  GcValues gc_values;         // ChangeGc payload.
+  Event event;                // SendEvent payload.
+};
+
+}  // namespace xsim
+
+#endif  // SRC_XSIM_REQUEST_H_

@@ -218,6 +218,125 @@ uint64_t Server::ClientSequence(ClientId client) const {
   return rec == nullptr ? 0 : rec->sequence;
 }
 
+// ---------------------------------------------------------------------------
+// Buffered request pipeline: decoding the output queue a Display flushes.
+
+bool Server::ApplyRequest(ClientId client, const Request& request, bool synchronous) {
+  ClientRec* rec = FindClient(client);
+  if (rec == nullptr || rec->dead) {
+    return false;
+  }
+  // The request carries the sequence number the client assigned at enqueue
+  // time; BeginRequest's increment must land exactly on it so a deferred
+  // error identifies the offending request.
+  if (request.sequence != 0) {
+    rec->sequence = request.sequence - 1;
+  }
+  bool ok = true;
+  switch (request.op) {
+    case RequestOpcode::kCreateWindow:
+      ok = CreateWindow(client, request.window, request.x, request.y, request.width,
+                        request.height, request.border_width, request.resource) != kNone;
+      break;
+    case RequestOpcode::kDestroyWindow:
+      ok = DestroyWindow(client, request.window);
+      break;
+    case RequestOpcode::kMapWindow:
+      ok = MapWindow(client, request.window);
+      break;
+    case RequestOpcode::kUnmapWindow:
+      ok = UnmapWindow(client, request.window);
+      break;
+    case RequestOpcode::kConfigureWindow:
+      ok = ConfigureWindow(client, request.window, request.x, request.y, request.width,
+                           request.height, request.border_width);
+      break;
+    case RequestOpcode::kRaiseWindow:
+      ok = RaiseWindow(client, request.window);
+      break;
+    case RequestOpcode::kSelectInput:
+      SelectInput(client, request.window, request.mask);
+      break;
+    case RequestOpcode::kSetWindowBackground:
+      ok = SetWindowBackground(client, request.window, request.pixel);
+      break;
+    case RequestOpcode::kChangeProperty:
+      ok = ChangeProperty(client, request.window, request.atom, request.text);
+      break;
+    case RequestOpcode::kDeleteProperty:
+      ok = DeleteProperty(client, request.window, request.atom);
+      break;
+    case RequestOpcode::kCreateGc:
+      ok = CreateGc(client, request.resource) != kNone;
+      break;
+    case RequestOpcode::kFreeGc:
+      FreeGc(client, request.gc);
+      break;
+    case RequestOpcode::kChangeGc:
+      ok = ChangeGc(client, request.gc, request.gc_values);
+      break;
+    case RequestOpcode::kClearWindow:
+      ClearWindow(client, request.window);
+      break;
+    case RequestOpcode::kClearArea:
+      ClearArea(client, request.window, request.rect);
+      break;
+    case RequestOpcode::kFillRectangle:
+      FillRectangle(client, request.window, request.gc, request.rect);
+      break;
+    case RequestOpcode::kDrawRectangle:
+      DrawRectangle(client, request.window, request.gc, request.rect);
+      break;
+    case RequestOpcode::kDrawLine:
+      DrawLine(client, request.window, request.gc, request.x, request.y, request.x1, request.y1);
+      break;
+    case RequestOpcode::kDrawString:
+      DrawString(client, request.window, request.gc, request.x, request.y, request.text);
+      break;
+    case RequestOpcode::kSetInputFocus:
+      SetInputFocus(client, request.window);
+      break;
+    case RequestOpcode::kSetSelectionOwner:
+      SetSelectionOwner(client, request.atom, request.window);
+      break;
+    case RequestOpcode::kConvertSelection:
+      ConvertSelection(client, request.atom, request.target, request.property,
+                       request.requestor);
+      break;
+    case RequestOpcode::kSendSelectionNotify:
+      SendSelectionNotify(client, request.requestor, request.atom, request.target,
+                          request.property);
+      break;
+    case RequestOpcode::kSendEvent:
+      SendEvent(client, request.window, request.event, request.mask);
+      break;
+  }
+  if (synchronous) {
+    // XSynchronize: the client waits out a full round trip per request to
+    // learn its status immediately.
+    CountRoundTrip();
+  }
+  return ok;
+}
+
+size_t Server::ApplyBatch(ClientId client, const std::vector<Request>& requests) {
+  size_t applied = 0;
+  for (const Request& request : requests) {
+    if (ApplyRequest(client, request)) {
+      ++applied;
+    }
+  }
+  ++counters_.flushes;
+  counters_.batched_requests += requests.size();
+  if (requests.size() > counters_.max_batch) {
+    counters_.max_batch = requests.size();
+  }
+  // The flush marker lands after the batch's request records, mirroring the
+  // order things hit the wire.
+  trace_.RecordFlush(client, requests.size());
+  return applied;
+}
+
 bool Server::HasPendingEvents(ClientId client) const {
   auto it = clients_.find(client);
   return it != clients_.end() && !it->second->queue.empty();
@@ -296,7 +415,7 @@ WindowId Server::DeliverWithPropagation(WindowId window, Event event, uint32_t m
 // Windows.
 
 WindowId Server::CreateWindow(ClientId client, WindowId parent, int x, int y, int width,
-                              int height, int border_width) {
+                              int height, int border_width, WindowId id) {
   if (!BeginRequest(client, RequestType::kCreateWindow, parent)) {
     return kNone;
   }
@@ -306,12 +425,20 @@ WindowId Server::CreateWindow(ClientId client, WindowId parent, int x, int y, in
     RaiseError(client, ErrorCode::kBadWindow, parent, RequestType::kCreateWindow);
     return kNone;
   }
+  if (id != kNone && FindWindow(id) != nullptr) {
+    // X raises BadIDChoice for a reused client-allocated id; BadValue is the
+    // closest code the simulator has.
+    RaiseError(client, ErrorCode::kBadValue, id, RequestType::kCreateWindow);
+    return kNone;
+  }
   if (width <= 0 || height <= 0) {
     // X would refuse with BadValue; the simulator degrades to a 1x1 window
     // but still reports the error so misbehaving callers are observable.
     RaiseError(client, ErrorCode::kBadValue, parent, RequestType::kCreateWindow);
   }
-  WindowId id = next_id_++;
+  if (id == kNone) {
+    id = next_id_++;
+  }
   auto rec = std::make_unique<WindowRec>();
   rec->id = id;
   rec->parent = parent;
@@ -804,11 +931,17 @@ std::optional<Rect> Server::BitmapSize(BitmapId bitmap) const {
 // ---------------------------------------------------------------------------
 // GCs and drawing.
 
-GcId Server::CreateGc(ClientId client) {
+GcId Server::CreateGc(ClientId client, GcId id) {
   if (!BeginRequest(client, RequestType::kCreateGc)) {
     return kNone;
   }
-  GcId id = next_id_++;
+  if (id != kNone && gcs_.count(id) != 0) {
+    RaiseError(client, ErrorCode::kBadValue, id, RequestType::kCreateGc);
+    return kNone;
+  }
+  if (id == kNone) {
+    id = next_id_++;
+  }
   gcs_[id] = Gc();
   return id;
 }
@@ -871,6 +1004,32 @@ void Server::ClearWindow(ClientId client, WindowId window) {
   rec->text_items.clear();
   if (IsViewable(window)) {
     PaintBackground(*rec);
+  }
+}
+
+void Server::ClearArea(ClientId client, WindowId window, const Rect& area) {
+  if (!BeginRequest(client, RequestType::kDraw, window)) {
+    return;
+  }
+  ++counters_.draw;
+  WindowRec* rec = FindWindow(window);
+  if (rec == nullptr) {
+    RaiseError(client, ErrorCode::kBadWindow, window, RequestType::kDraw);
+    return;
+  }
+  // The journal anchors each string at its baseline origin; strings anchored
+  // inside the cleared area are erased with it.
+  rec->text_items.erase(std::remove_if(rec->text_items.begin(), rec->text_items.end(),
+                                       [&area](const TextItem& item) {
+                                         return area.Contains(item.x, item.y);
+                                       }),
+                        rec->text_items.end());
+  if (IsViewable(window)) {
+    std::optional<Point> abs = AbsolutePosition(window);
+    Rect target = area;
+    target.x += abs->x;
+    target.y += abs->y;
+    raster_.FillRect(target, rec->background, VisibleRegion(*rec));
   }
 }
 

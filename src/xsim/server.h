@@ -34,6 +34,7 @@
 #include "src/xsim/font.h"
 #include "src/xsim/keysym.h"
 #include "src/xsim/raster.h"
+#include "src/xsim/request.h"
 #include "src/xsim/trace.h"
 #include "src/xsim/types.h"
 
@@ -63,6 +64,10 @@ struct RequestCounters {
   uint64_t get_property = 0;
   uint64_t draw = 0;
   uint64_t send_event = 0;
+  // Batch-apply traffic (the buffered request pipeline).
+  uint64_t flushes = 0;           // ApplyBatch calls (client-side flushes).
+  uint64_t batched_requests = 0;  // Requests that arrived inside a batch.
+  uint64_t max_batch = 0;         // Largest single batch seen.
 };
 
 // Counters for generated errors and injected faults (`info faults`).
@@ -110,10 +115,27 @@ class Server {
   // Sequence number of the last request the client issued.
   uint64_t ClientSequence(ClientId client) const;
 
+  // --- Buffered request pipeline -----------------------------------------------
+
+  // Applies one encoded request immediately (the path behind a synchronous
+  // Display, and the per-record step of ApplyBatch).  The request's
+  // client-assigned sequence number is honoured, so errors raised during
+  // dispatch carry it.  With `synchronous` set the request additionally
+  // costs a full round trip (XSynchronize semantics: every request waits
+  // for the server's reply).  Returns the entry point's success status.
+  bool ApplyRequest(ClientId client, const Request& request, bool synchronous = false);
+  // Applies a whole output-buffer flush: every request in order, then one
+  // per-batch flush record in the trace.  Returns how many requests
+  // executed successfully.
+  size_t ApplyBatch(ClientId client, const std::vector<Request>& requests);
+
   // --- Windows -----------------------------------------------------------------
 
+  // With `id` == kNone the server allocates the window id; otherwise the
+  // client-chosen id is used (Xlib allocates ids client-side so CreateWindow
+  // needs no reply).  A duplicate id raises BadValue.
   WindowId CreateWindow(ClientId client, WindowId parent, int x, int y, int width, int height,
-                        int border_width);
+                        int border_width, WindowId id = kNone);
   bool DestroyWindow(ClientId client, WindowId window);
   bool MapWindow(ClientId client, WindowId window);
   bool UnmapWindow(ClientId client, WindowId window);
@@ -155,18 +177,18 @@ class Server {
 
   // --- Graphics contexts and drawing --------------------------------------------------
 
-  struct Gc {
-    Pixel foreground = 0x000000;
-    Pixel background = 0xffffff;
-    FontId font = kNone;
-    int line_width = 1;
-  };
-  GcId CreateGc(ClientId client);
+  using Gc = GcValues;  // Declared in request.h so requests can carry it.
+  // As with CreateWindow, `id` lets the client allocate the GC id itself.
+  GcId CreateGc(ClientId client, GcId id = kNone);
   void FreeGc(ClientId client, GcId gc);
   bool ChangeGc(ClientId client, GcId gc, const Gc& values);
   const Gc* GetGc(GcId gc) const;
 
   void ClearWindow(ClientId client, WindowId window);
+  // Clears `area` (window coordinates) to the window background and drops
+  // journal text whose baseline anchor lies inside it -- the primitive
+  // behind damage-coalesced partial repaints.
+  void ClearArea(ClientId client, WindowId window, const Rect& area);
   void FillRectangle(ClientId client, WindowId window, GcId gc, const Rect& rect);
   void DrawRectangle(ClientId client, WindowId window, GcId gc, const Rect& rect);
   void DrawLine(ClientId client, WindowId window, GcId gc, int x0, int y0, int x1, int y1);

@@ -59,6 +59,7 @@ void TraceBuffer::Clear() {
   total_requests_ = 0;
   total_events_ = 0;
   round_trips_ = 0;
+  total_flushes_ = 0;
   total_recorded_ = 0;
 }
 
@@ -142,6 +143,19 @@ void TraceBuffer::RecordEvent(ClientId client, EventType type, WindowId window) 
   Append(record, /*is_request=*/false);
 }
 
+void TraceBuffer::RecordFlush(ClientId client, size_t batch_size) {
+  if (!active_) {
+    return;
+  }
+  ++total_flushes_;
+  TraceRecord record;
+  record.serial = next_serial_++;
+  record.client = client;
+  record.is_flush = true;
+  record.batch_size = static_cast<uint32_t>(batch_size);
+  Append(record, /*is_request=*/false);
+}
+
 void TraceBuffer::MarkLastRequestRoundTrip(uint64_t extra_ns) {
   if (!active_) {
     return;
@@ -175,13 +189,19 @@ std::vector<TraceRecord> TraceBuffer::Snapshot() const {
 std::string TraceBuffer::ToJsonl() const {
   std::ostringstream out;
   for (const TraceRecord& record : Snapshot()) {
-    out << "{\"serial\":" << record.serial << ",\"kind\":\""
-        << (record.is_event ? "event" : "request") << "\",\"client\":" << record.client
-        << ",\"type\":\""
-        << (record.is_event ? EventTypeName(record.event) : RequestTypeName(record.request))
+    const char* kind = record.is_flush ? "flush" : record.is_event ? "event" : "request";
+    const char* type = record.is_flush
+                           ? "flush"
+                           : record.is_event ? EventTypeName(record.event)
+                                             : RequestTypeName(record.request);
+    out << "{\"serial\":" << record.serial << ",\"kind\":\"" << kind
+        << "\",\"client\":" << record.client << ",\"type\":\"" << type
         << "\",\"resource\":" << record.resource << ",\"duration_ns\":" << record.duration_ns
-        << ",\"round_trip\":" << (record.round_trip ? "true" : "false") << ",\"outcome\":\""
-        << TraceOutcomeName(record.outcome) << "\"}\n";
+        << ",\"round_trip\":" << (record.round_trip ? "true" : "false");
+    if (record.is_flush) {
+      out << ",\"batch_size\":" << record.batch_size;
+    }
+    out << ",\"outcome\":\"" << TraceOutcomeName(record.outcome) << "\"}\n";
   }
   return out.str();
 }
@@ -269,6 +289,13 @@ std::optional<std::vector<TraceRecord>> TraceBuffer::FromJsonl(const std::string
         return fail("unknown event type \"" + *type + "\"");
       }
       record.event = *event;
+    } else if (*kind == "flush") {
+      record.is_flush = true;
+      std::optional<uint64_t> batch = JsonUint(line, "batch_size");
+      if (!batch) {
+        return fail("flush record missing batch_size");
+      }
+      record.batch_size = static_cast<uint32_t>(*batch);
     } else if (*kind == "request") {
       RequestType request = RequestTypeFromName(*type);
       if (request == RequestType::kRequestTypeCount) {

@@ -43,16 +43,18 @@ enum class TraceOutcome : uint8_t {
 
 const char* TraceOutcomeName(TraceOutcome outcome);
 
-// One traced request or delivered event.
+// One traced request, delivered event, or output-buffer flush.
 struct TraceRecord {
   uint64_t serial = 0;       // Monotonic over the buffer's lifetime.
   ClientId client = 0;       // Issuing client (requests) / receiver (events).
   bool is_event = false;
-  RequestType request = RequestType::kOther;  // Valid when !is_event.
+  bool is_flush = false;     // Per-batch flush marker (Server::ApplyBatch).
+  RequestType request = RequestType::kOther;  // Valid when !is_event/!is_flush.
   EventType event = EventType::kNone;         // Valid when is_event.
   XId resource = kNone;      // Primary resource id of the request/event.
   uint64_t duration_ns = 0;  // Simulated transport time (see file comment).
   bool round_trip = false;   // Request blocked for a server reply.
+  uint32_t batch_size = 0;   // Requests in the flushed batch (is_flush only).
   TraceOutcome outcome = TraceOutcome::kOk;
 
   bool operator==(const TraceRecord&) const = default;
@@ -101,6 +103,10 @@ class TraceBuffer {
   void RecordRequest(ClientId client, RequestType type, XId resource, uint64_t duration_ns,
                      TraceOutcome outcome);
   void RecordEvent(ClientId client, EventType type, WindowId window);
+  // One output-buffer flush of `batch_size` requests reached the server.
+  // Recorded after the batch's request records (wire order); retained even
+  // under a request filter so batching stays observable in filtered dumps.
+  void RecordFlush(ClientId client, size_t batch_size);
   // Flags the most recent request record as a synchronous round trip and
   // adds the round-trip wait to its duration.
   void MarkLastRequestRoundTrip(uint64_t extra_ns);
@@ -116,6 +122,7 @@ class TraceBuffer {
   uint64_t total_requests() const { return total_requests_; }
   uint64_t total_events() const { return total_events_; }
   uint64_t round_trips() const { return round_trips_; }
+  uint64_t total_flushes() const { return total_flushes_; }
   // Records appended over the buffer's lifetime, including overwritten ones.
   uint64_t total_recorded() const { return total_recorded_; }
 
@@ -153,6 +160,7 @@ class TraceBuffer {
   uint64_t total_requests_ = 0;
   uint64_t total_events_ = 0;
   uint64_t round_trips_ = 0;
+  uint64_t total_flushes_ = 0;
   uint64_t total_recorded_ = 0;
 };
 

@@ -79,6 +79,27 @@ struct Rect {
     return x < other.x + other.width && other.x < x + width && y < other.y + other.height &&
            other.y < y + height;
   }
+  bool Empty() const { return width <= 0 || height <= 0; }
+  // Bounding box of the two rects (damage coalescing); an empty rect is the
+  // identity element.
+  Rect Union(const Rect& other) const {
+    if (Empty()) {
+      return other;
+    }
+    if (other.Empty()) {
+      return *this;
+    }
+    int nx = x < other.x ? x : other.x;
+    int ny = y < other.y ? y : other.y;
+    int nr = (x + width > other.x + other.width) ? x + width : other.x + other.width;
+    int nb = (y + height > other.y + other.height) ? y + height : other.y + other.height;
+    Rect out;
+    out.x = nx;
+    out.y = ny;
+    out.width = nr - nx;
+    out.height = nb - ny;
+    return out;
+  }
   Rect Intersection(const Rect& other) const {
     int nx = x > other.x ? x : other.x;
     int ny = y > other.y ? y : other.y;

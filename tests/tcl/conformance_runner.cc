@@ -222,6 +222,17 @@ int main(int argc, char** argv) {
     interp = &app->interp();
     RegisterPeerCommand(*interp, *server, *peer);
     RegisterInjectCommand(*interp, *server);
+    // `xbadreq`: buffer a MapWindow on a window id that names nothing and
+    // return the sequence number the Display assigned at enqueue time.
+    // Scripts use it to prove the deferred X error, delivered at the next
+    // flush, still carries this sequence (tk_flush.test).
+    tk::App* app_raw = app.get();
+    interp->RegisterCommand(
+        "xbadreq", [app_raw](tcl::Interp& i, std::vector<std::string>&) {
+          app_raw->display().MapWindow(0xdead);
+          i.SetResult(std::to_string(app_raw->display().request_sequence()));
+          return tcl::Code::kOk;
+        });
     tk::App* peer_raw = peer.get();
     xsim::Server* server_raw = server.get();
     peer->interp().RegisterCommand(

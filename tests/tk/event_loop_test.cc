@@ -14,14 +14,16 @@ using EventLoopTest = TkTest;
 TEST_F(EventLoopTest, AfterSchedulesScript) {
   Ok("after 1 {set fired 1}");
   EXPECT_EQ(Ok("info exists fired"), "0");
-  Ok("after 5");  // Synchronous wait pumps the loop past the timer.
+  Ok("after 50");  // Synchronous wait pumps the loop past the timer (with
+                   // margin: under a loaded ctest -j run, wall-clock timers
+                   // a few ms apart can land in either order).
   EXPECT_EQ(Ok("set fired"), "1");
 }
 
 TEST_F(EventLoopTest, AfterOrdering) {
   Ok("after 1 {lappend log first}");
   Ok("after 10 {lappend log second}");
-  Ok("after 30");
+  Ok("after 100");  // Generous margin for loaded parallel test runs.
   EXPECT_EQ(Ok("set log"), "first second");
 }
 

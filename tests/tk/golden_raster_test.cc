@@ -114,6 +114,53 @@ TEST_F(GoldenRasterTest, MessageMatchesGolden) {
              "pack append . .msg {top expand fill}");
 }
 
+TEST_F(GoldenRasterTest, ScaleMatchesGolden) {
+  CheckScene("scale_widget",
+             "scale .vol -from 0 -to 10 -length 90 -orient horizontal "
+             "-command {set level}\n"
+             "scale .bal -from -5 -to 5 -length 70 -orient vertical\n"
+             "pack append . .vol {top padx 4} .bal {top}\n"
+             "update\n"
+             ".vol set 7\n"
+             ".bal set 2");
+}
+
+TEST_F(GoldenRasterTest, ScrollbarMatchesGolden) {
+  // A scrollbar tracking a listbox it only half-covers, so the slider is
+  // drawn at an interior position rather than full-length.
+  CheckScene("scrollbar_widget",
+             "scrollbar .s -command {.l view}\n"
+             "listbox .l -scroll {.s set} -geometry 12x3\n"
+             "pack append . .s {right filly} .l {left expand fill}\n"
+             "foreach item {a b c d e f g h} {.l insert end $item}\n"
+             "update\n"
+             ".l view 2");
+}
+
+TEST_F(GoldenRasterTest, ListboxMatchesGolden) {
+  // Exercises both the full and the damage-coalesced partial repaint paths:
+  // the selection change after the first update only redraws the touched
+  // rows, and the result must be pixel-identical to a full repaint.
+  CheckScene("listbox_widget",
+             "listbox .l -geometry 16x5\n"
+             "pack append . .l {top expand fill}\n"
+             "foreach f {alpha.txt beta.txt gamma.c delta.h epsilon.o} "
+             "{.l insert end $f}\n"
+             "update\n"
+             ".l select from 1\n"
+             ".l select to 3");
+}
+
+TEST_F(GoldenRasterTest, CanvasMatchesGolden) {
+  CheckScene("canvas_widget",
+             "canvas .c -width 200 -height 80 -bg white\n"
+             "pack append . .c {top}\n"
+             ".c create rectangle 10 10 50 50 -fill SteelBlue\n"
+             ".c create oval 60 10 100 50 -fill gold\n"
+             ".c create line 110 40 150 10\n"
+             ".c create text 155 30 -text pipeline");
+}
+
 TEST_F(GoldenRasterTest, EntryMatchesGolden) {
   CheckScene("entry_widgets",
              "entry .e1\n"

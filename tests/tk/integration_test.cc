@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <unistd.h>
 #include <sstream>
 
 #include "src/tk/app.h"
@@ -27,7 +28,9 @@ std::string ReadFile(const fs::path& path) {
 class BrowserIntegrationTest : public TkTest {
  protected:
   void SetUp() override {
-    root_ = fs::temp_directory_path() / "tclk_browser_it";
+    // Per-process path: ctest runs test cases concurrently and each gets its
+    // own process, so a shared fixed directory would race.
+    root_ = fs::temp_directory_path() / ("tclk_browser_it_" + std::to_string(getpid()));
     fs::remove_all(root_);
     fs::create_directories(root_ / "subdir");
     std::ofstream(root_ / "alpha.txt") << "a\n";
@@ -108,7 +111,8 @@ class WishBinaryTest : public ::testing::Test {
  protected:
   // Runs wish with `script` on stdin; returns stdout.
   std::string RunWish(const std::string& script, const std::string& extra_args = "") {
-    fs::path script_file = fs::temp_directory_path() / "tclk_wish_test.tcl";
+    fs::path script_file = fs::temp_directory_path() /
+                           ("tclk_wish_test_" + std::to_string(getpid()) + ".tcl");
     std::ofstream(script_file) << script;
     std::string binary = fs::path(TCLK_BINARY_DIR) / "src" / "wish" / "wish";
     std::string command = binary + " -f " + script_file.string() + " " + extra_args + " 2>&1";

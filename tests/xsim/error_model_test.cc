@@ -18,7 +18,11 @@ constexpr WindowId kBogusWindow = 0xdead;
 
 class ErrorModelTest : public ::testing::Test {
  protected:
+  // Synchronous mode: these tests assert immediate statuses and error
+  // delivery; the buffered pipeline's deferred behaviour has its own tests
+  // in pipeline_test.cc.
   ErrorModelTest() : display_(Display::Open(server_, "error-test")) {
+    display_->SetSynchronous(true);
     display_->set_error_handler([this](const XError& error) {
       errors_.push_back(error);
     });
@@ -109,6 +113,7 @@ TEST_F(ErrorModelTest, BadFontOnUnresolvableName) {
 TEST_F(ErrorModelTest, DefaultHandlerRecordsWithoutCrashing) {
   // A fresh display with no user handler still records errors.
   auto other = Display::Open(server_, "no-handler");
+  other->SetSynchronous(true);
   other->MapWindow(kBogusWindow);
   EXPECT_EQ(other->error_count(), 1u);
   EXPECT_EQ(other->last_error().code, ErrorCode::kBadWindow);
@@ -202,6 +207,7 @@ TEST_F(ErrorModelTest, ClearDisablesInjection) {
 
 TEST_F(ErrorModelTest, KillClientTearsDownAndSilencesClient) {
   auto victim = Display::Open(server_, "victim");
+  victim->SetSynchronous(true);
   WindowId w = victim->CreateWindow(victim->root(), 0, 0, 10, 10);
   ASSERT_TRUE(server_.WindowExists(w));
   server_.KillClient(victim->client_id());
@@ -218,6 +224,7 @@ TEST_F(ErrorModelTest, KillClientTearsDownAndSilencesClient) {
 
 TEST_F(ErrorModelTest, KillClientReleasesSelections) {
   auto victim = Display::Open(server_, "victim");
+  victim->SetSynchronous(true);
   Atom primary = victim->InternAtom("PRIMARY");
   WindowId w = victim->CreateWindow(victim->root(), 0, 0, 10, 10);
   victim->SetSelectionOwner(primary, w);

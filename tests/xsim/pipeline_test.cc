@@ -1,0 +1,241 @@
+// Buffered request pipeline tests: output-queue visibility, flush triggers
+// (explicit, capacity, query, event read), deferred error delivery with
+// enqueue-time sequence numbers, Sync/SetSynchronous round-trip accounting,
+// and the server-side batch counters with their reset paths.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/xsim/display.h"
+#include "src/xsim/server.h"
+#include "src/xsim/trace.h"
+
+namespace xsim {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  // A mapped window the tests can draw into without extra setup.
+  WindowId MakeWindow() {
+    WindowId w = display_->CreateWindow(display_->root(), 0, 0, 50, 40);
+    display_->MapWindow(w);
+    display_->Flush();
+    return w;
+  }
+
+  Server server_;
+  std::unique_ptr<Display> display_ = Display::Open(server_, "pipeline");
+};
+
+TEST_F(PipelineTest, BufferedRequestInvisibleUntilFlush) {
+  // CreateWindow allocates its id client-side (XAllocID), so even creation
+  // is a buffered one-way request: the server has no trace of the window
+  // until the queue drains.
+  WindowId w = display_->CreateWindow(display_->root(), 0, 0, 30, 30);
+  EXPECT_NE(w, kNone);
+  EXPECT_FALSE(server_.WindowExists(w));
+  EXPECT_EQ(display_->pending_requests(), 1u);
+
+  display_->MapWindow(w);
+  EXPECT_FALSE(server_.WindowExists(w));
+  EXPECT_EQ(display_->pending_requests(), 2u);
+
+  display_->Flush();
+  EXPECT_EQ(display_->pending_requests(), 0u);
+  EXPECT_TRUE(server_.WindowExists(w));
+  EXPECT_TRUE(server_.IsMapped(w));
+}
+
+TEST_F(PipelineTest, FlushPreservesRequestOrder) {
+  WindowId w = MakeWindow();
+  // Map / unmap / map must land in order; the final state proves it.
+  display_->UnmapWindow(w);
+  display_->MapWindow(w);
+  display_->UnmapWindow(w);
+  display_->Flush();
+  EXPECT_FALSE(server_.IsMapped(w));
+}
+
+TEST_F(PipelineTest, AutoFlushWhenQueueReachesCapacity) {
+  WindowId w = MakeWindow();
+  display_->set_output_capacity(4);
+  display_->UnmapWindow(w);
+  display_->MapWindow(w);
+  display_->UnmapWindow(w);
+  EXPECT_EQ(display_->pending_requests(), 3u);
+  EXPECT_EQ(display_->auto_flush_count(), 0u);
+  display_->MapWindow(w);  // Fourth request hits the capacity.
+  EXPECT_EQ(display_->pending_requests(), 0u);
+  EXPECT_EQ(display_->auto_flush_count(), 1u);
+  EXPECT_TRUE(server_.IsMapped(w));
+}
+
+TEST_F(PipelineTest, QueryFlushesOutputQueueFirst) {
+  WindowId w = MakeWindow();
+  display_->UnmapWindow(w);
+  ASSERT_EQ(display_->pending_requests(), 1u);
+  uint64_t trips_before = server_.counters().round_trips;
+
+  // InternAtom needs a reply, so it must push the buffered unmap ahead of
+  // itself -- the server answers having seen everything the client sent.
+  display_->InternAtom("PIPELINE_TEST");
+  EXPECT_EQ(display_->pending_requests(), 0u);
+  EXPECT_FALSE(server_.IsMapped(w));
+  // Only the query itself counted as a round trip.
+  EXPECT_EQ(server_.counters().round_trips, trips_before + 1);
+}
+
+TEST_F(PipelineTest, ReadingEventsFlushesOutputQueue) {
+  WindowId w = MakeWindow();
+  display_->UnmapWindow(w);
+  ASSERT_EQ(display_->pending_requests(), 1u);
+  // XPending semantics: asking for events never leaves requests stranded in
+  // the output buffer.
+  display_->Pending();
+  EXPECT_EQ(display_->pending_requests(), 0u);
+  EXPECT_FALSE(server_.IsMapped(w));
+}
+
+TEST_F(PipelineTest, OneWayRequestsCostNoRoundTrips) {
+  WindowId w = MakeWindow();
+  GcId gc = display_->CreateGc();
+  uint64_t trips_before = server_.counters().round_trips;
+  display_->FillRectangle(w, gc, Rect{0, 0, 10, 10});
+  display_->DrawLine(w, gc, 0, 0, 9, 9);
+  display_->DrawString(w, gc, 2, 12, "hi");
+  display_->Flush();
+  EXPECT_EQ(server_.counters().round_trips, trips_before);
+}
+
+TEST_F(PipelineTest, DeferredErrorCarriesEnqueueSequence) {
+  // A bad request buffered now fails later: the error must name the
+  // sequence number assigned at enqueue time, not whatever the connection
+  // was up to when the queue finally drained.
+  display_->MapWindow(0xdead);  // No such window.
+  uint64_t bad_sequence = display_->request_sequence();
+  WindowId w = display_->CreateWindow(display_->root(), 0, 0, 20, 20);
+  display_->MapWindow(w);
+  EXPECT_EQ(display_->error_count(), 0u) << "error delivered before flush";
+
+  display_->Flush();
+  EXPECT_EQ(display_->error_count(), 1u);
+  EXPECT_EQ(display_->last_error().code, ErrorCode::kBadWindow);
+  EXPECT_EQ(display_->last_error().sequence, bad_sequence);
+  EXPECT_EQ(display_->last_error().resource, 0xdeadu);
+  // The requests after the bad one still applied (non-fatal error).
+  EXPECT_TRUE(server_.IsMapped(w));
+}
+
+TEST_F(PipelineTest, ErrorHandlerSeesEachDeferredError) {
+  std::vector<XError> seen;
+  display_->set_error_handler([&seen](const XError& e) { seen.push_back(e); });
+  display_->MapWindow(0xdead);
+  uint64_t first = display_->request_sequence();
+  display_->UnmapWindow(0xbeef);
+  uint64_t second = display_->request_sequence();
+  display_->Sync();
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].sequence, first);
+  EXPECT_EQ(seen[1].sequence, second);
+  EXPECT_LT(first, second);
+}
+
+TEST_F(PipelineTest, SyncFlushesAndCostsExactlyOneRoundTrip) {
+  WindowId w = MakeWindow();
+  display_->UnmapWindow(w);
+  uint64_t trips_before = server_.counters().round_trips;
+  display_->Sync();
+  EXPECT_EQ(display_->pending_requests(), 0u);
+  EXPECT_FALSE(server_.IsMapped(w));
+  EXPECT_EQ(server_.counters().round_trips, trips_before + 1);
+}
+
+TEST_F(PipelineTest, SynchronousModeAppliesImmediatelyWithRealStatus) {
+  display_->SetSynchronous(true);
+  uint64_t trips_before = server_.counters().round_trips;
+  // Real statuses come back instead of buffered optimism.
+  EXPECT_FALSE(display_->MapWindow(0xdead));
+  WindowId w = display_->CreateWindow(display_->root(), 0, 0, 20, 20);
+  EXPECT_TRUE(display_->MapWindow(w));
+  EXPECT_TRUE(server_.IsMapped(w));
+  EXPECT_EQ(display_->pending_requests(), 0u);
+  // XSynchronize price: every request is its own round trip.
+  EXPECT_EQ(server_.counters().round_trips, trips_before + 3);
+}
+
+TEST_F(PipelineTest, BatchCountersTrackFlushSizes) {
+  WindowId w = MakeWindow();
+  server_.ResetCounters();
+
+  display_->UnmapWindow(w);
+  display_->MapWindow(w);
+  display_->UnmapWindow(w);
+  display_->Flush();  // Batch of 3.
+  display_->MapWindow(w);
+  display_->Flush();  // Batch of 1.
+  display_->Flush();  // Empty: no batch at all.
+
+  EXPECT_EQ(server_.counters().flushes, 2u);
+  EXPECT_EQ(server_.counters().batched_requests, 4u);
+  EXPECT_EQ(server_.counters().max_batch, 3u);
+}
+
+TEST_F(PipelineTest, TraceRecordsFlushBoundaries) {
+  WindowId w = MakeWindow();
+  server_.trace().Start();
+  display_->UnmapWindow(w);
+  display_->MapWindow(w);
+  display_->Flush();
+  server_.trace().Stop();
+  EXPECT_EQ(server_.trace().total_flushes(), 1u);
+
+  // The flush record sits after the batch it closed, with its size.
+  std::string dump = server_.trace().ToJsonl();
+  EXPECT_NE(dump.find("\"kind\":\"flush\""), std::string::npos);
+  EXPECT_NE(dump.find("\"batch_size\":2"), std::string::npos);
+}
+
+// Regression: ResetCounters must zero the batch/flush counters introduced by
+// the buffered pipeline, and TraceBuffer::Clear must zero its flush total --
+// both were easy to miss when the fields were added.
+TEST_F(PipelineTest, ResetCountersClearsBatchAndFlushCounters) {
+  WindowId w = MakeWindow();
+  server_.trace().Start();
+  display_->UnmapWindow(w);
+  display_->MapWindow(w);
+  display_->Flush();
+  ASSERT_GT(server_.counters().flushes, 0u);
+  ASSERT_GT(server_.counters().batched_requests, 0u);
+  ASSERT_GT(server_.counters().max_batch, 0u);
+  ASSERT_GT(server_.trace().total_flushes(), 0u);
+
+  server_.ResetCounters();
+  EXPECT_EQ(server_.counters().flushes, 0u);
+  EXPECT_EQ(server_.counters().batched_requests, 0u);
+  EXPECT_EQ(server_.counters().max_batch, 0u);
+
+  server_.trace().Clear();
+  EXPECT_EQ(server_.trace().total_flushes(), 0u);
+  EXPECT_EQ(server_.trace().size(), 0u);
+}
+
+TEST_F(PipelineTest, DestructorFlushesPendingRequests) {
+  // Close-down destroys the client's own windows, so use a root property:
+  // it outlives the connection, proving the buffered write was flushed by
+  // ~Display (XCloseDisplay semantics) rather than dropped.
+  Atom marker = display_->InternAtom("PIPELINE_DTOR_MARKER");
+  {
+    std::unique_ptr<Display> other = Display::Open(server_, "transient");
+    other->InternAtom("PIPELINE_DTOR_MARKER");  // Query: queue is now empty.
+    other->ChangeProperty(other->root(), marker, "flushed");
+    EXPECT_FALSE(display_->GetProperty(display_->root(), marker).has_value());
+  }
+  std::optional<std::string> value = display_->GetProperty(display_->root(), marker);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(*value, "flushed");
+}
+
+}  // namespace
+}  // namespace xsim

@@ -14,7 +14,11 @@ namespace {
 
 class ServerTest : public ::testing::Test {
  protected:
-  ServerTest() : display_(Display::Open(server_, "test")) {}
+  // Synchronous mode: these tests assert server-side state right after each
+  // call, without the flush a buffered connection would need.
+  ServerTest() : display_(Display::Open(server_, "test")) {
+    display_->SetSynchronous(true);
+  }
 
   // Drains all pending events into a vector.
   std::vector<Event> Drain() {
@@ -334,6 +338,7 @@ TEST_F(ServerTest, StackingOrderAffectsWindowAt) {
 
 TEST_F(ServerTest, SelectionOwnershipTransfer) {
   auto other = Display::Open(server_, "other");
+  other->SetSynchronous(true);
   Atom primary = display_->InternAtom("PRIMARY");
   WindowId w1 = display_->CreateWindow(display_->root(), 0, 0, 10, 10);
   WindowId w2 = other->CreateWindow(other->root(), 0, 0, 10, 10);
@@ -360,6 +365,7 @@ TEST_F(ServerTest, ConvertSelectionWithNoOwnerRefuses) {
 
 TEST_F(ServerTest, SelectionRequestRoutedToOwner) {
   auto requestor_display = Display::Open(server_, "req");
+  requestor_display->SetSynchronous(true);
   Atom primary = display_->InternAtom("PRIMARY");
   Atom target = display_->InternAtom("STRING");
   Atom prop = display_->InternAtom("REPLY");
@@ -415,6 +421,7 @@ TEST_F(ServerTest, RequestCountersTrackTraffic) {
 
 TEST_F(ServerTest, SendEventToWindowOwner) {
   auto other = Display::Open(server_, "other");
+  other->SetSynchronous(true);
   WindowId w = other->CreateWindow(other->root(), 0, 0, 10, 10);
   Event event;
   event.type = EventType::kClientMessage;
@@ -431,6 +438,7 @@ TEST_F(ServerTest, ClientDisconnectCleansUp) {
   WindowId w = kNone;
   {
     auto other = Display::Open(server_, "transient");
+    other->SetSynchronous(true);
     w = other->CreateWindow(other->root(), 0, 0, 10, 10);
     EXPECT_TRUE(server_.WindowExists(w));
   }

@@ -206,7 +206,9 @@ TEST(TraceBufferTest, OutcomeNamesRoundTripThroughJsonl) {
 
 class TraceServerTest : public ::testing::Test {
  protected:
-  TraceServerTest() : display_(Display::Open(server_, "trace-test")) {}
+  TraceServerTest() : display_(Display::Open(server_, "trace-test")) {
+    display_->SetSynchronous(true);  // Trace assertions follow each call directly.
+  }
 
   Server server_;
   std::unique_ptr<Display> display_;
