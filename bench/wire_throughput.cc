@@ -1,0 +1,194 @@
+// Wire-transport throughput: K concurrent clients replay a Table-2-style
+// operation mix over real socketpair connections into the threaded
+// WireServer, and the bench reports aggregate request throughput, wire
+// bytes, and round-trip latency percentiles.
+//
+// Each client iteration mirrors the paper's operation rows: a buffered
+// widget-build burst (create/map/configure/draw, one flush = one kBatch
+// frame), a couple of reply-bearing queries (InternAtom / GetProperty), and
+// one timed no-op round trip (XSync), whose latency samples feed the
+// p50/p95/p99 numbers.
+//
+// Results land in BENCH_wire.json.  The req_* keys are deterministic
+// request/frame counts (per-client workload times client count), gated by
+// scripts/check_bench_regression.py against bench/baselines/
+// wire_throughput.json; the timing keys (req_per_sec, p99_us, ...) are
+// informational.
+//
+// Flags: --clients=K (default 8), --ops=N iterations per client (default
+// 2000); --benchmark_* flags from run_benches.sh are accepted and ignored.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "src/xsim/display.h"
+#include "src/xsim/server.h"
+#include "src/xsim/wire/transport.h"
+
+namespace {
+
+struct ClientResult {
+  std::vector<uint64_t> rtt_ns;  // One sample per timed Sync round trip.
+};
+
+void RunClient(xsim::Display& display, int client_index, int ops,
+               std::atomic<int>& start_gate, ClientResult& result) {
+  // Spin until every thread is built; the timed window starts together.
+  start_gate.fetch_sub(1, std::memory_order_acq_rel);
+  while (start_gate.load(std::memory_order_acquire) > 0) {
+  }
+
+  result.rtt_ns.reserve(static_cast<size_t>(ops));
+  xsim::Atom props[2] = {display.InternAtom("WIRE_BENCH_A"),
+                         display.InternAtom("WIRE_BENCH_B")};
+  xsim::GcId gc = display.CreateGc();
+
+  for (int i = 0; i < ops; ++i) {
+    // Buffered burst (one kBatch frame at the flush inside Sync/queries):
+    // the "create, display, delete a button" shape of Table 2's third row.
+    xsim::WindowId w =
+        display.CreateWindow(display.root(), client_index, i % 64, 24, 16);
+    display.MapWindow(w);
+    display.SelectInput(w, 0x3);
+    display.ChangeProperty(w, props[i % 2], "op " + std::to_string(i));
+    display.FillRectangle(w, gc, xsim::Rect{0, 0, 24, 16});
+    display.DrawString(w, gc, 2, 12, "wire");
+
+    // Reply-bearing queries (protocol round trips, like InternAtom in the
+    // paper's startup path).
+    display.InternAtom(i % 2 == 0 ? "WIRE_BENCH_A" : "WIRE_BENCH_B");
+    display.GetProperty(w, props[i % 2]);
+
+    // Timed no-op round trip: the purest wire RTT measurement.
+    auto begin = std::chrono::steady_clock::now();
+    display.Sync();
+    auto end = std::chrono::steady_clock::now();
+    result.rtt_ns.push_back(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin)
+            .count()));
+
+    display.DestroyWindow(w);
+  }
+  display.FreeGc(gc);
+  display.Sync();
+}
+
+double PercentileUs(const std::vector<uint64_t>& sorted_ns, double p) {
+  if (sorted_ns.empty()) {
+    return 0.0;
+  }
+  size_t index = static_cast<size_t>(p * static_cast<double>(sorted_ns.size() - 1));
+  return static_cast<double>(sorted_ns[index]) / 1000.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Strips --benchmark_* flags (run_benches.sh passes them to every bench).
+  benchmark::Initialize(&argc, argv);
+
+  int clients = 8;
+  int ops = 2000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--clients=", 10) == 0) {
+      clients = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--ops=", 6) == 0) {
+      ops = std::atoi(argv[i] + 6);
+    }
+  }
+  if (clients < 1) clients = 1;
+  if (ops < 1) ops = 1;
+
+  xsim::Server server;
+  std::vector<std::unique_ptr<xsim::Display>> displays;
+  displays.reserve(static_cast<size_t>(clients));
+  for (int i = 0; i < clients; ++i) {
+    displays.push_back(xsim::Display::Open(server, "wire-bench-" + std::to_string(i),
+                                           xsim::wire::TransportKind::kWire));
+  }
+  server.ResetCounters();  // Handshakes excluded from the measured window.
+
+  std::vector<ClientResult> results(static_cast<size_t>(clients));
+  std::atomic<int> start_gate{clients};
+  auto begin = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  for (int i = 0; i < clients; ++i) {
+    threads.emplace_back(RunClient, std::ref(*displays[i]), i, ops,
+                         std::ref(start_gate), std::ref(results[static_cast<size_t>(i)]));
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  auto end = std::chrono::steady_clock::now();
+  double elapsed_s =
+      std::chrono::duration_cast<std::chrono::duration<double>>(end - begin).count();
+
+  const xsim::RequestCounters counters = server.counters();
+  const xsim::WireCounters wire = server.wire_counters();
+  displays.clear();  // Orderly kBye disconnects, outside the window.
+
+  std::vector<uint64_t> rtt;
+  for (const ClientResult& result : results) {
+    rtt.insert(rtt.end(), result.rtt_ns.begin(), result.rtt_ns.end());
+  }
+  std::sort(rtt.begin(), rtt.end());
+
+  double req_per_sec = static_cast<double>(counters.total) / elapsed_s;
+  uint64_t wire_bytes = wire.bytes_in + wire.bytes_out;
+  double bytes_per_sec = static_cast<double>(wire_bytes) / elapsed_s;
+  double bytes_per_req =
+      counters.total == 0 ? 0.0
+                          : static_cast<double>(wire_bytes) /
+                                static_cast<double>(counters.total);
+  double p50 = PercentileUs(rtt, 0.50);
+  double p95 = PercentileUs(rtt, 0.95);
+  double p99 = PercentileUs(rtt, 0.99);
+
+  std::printf("\nwire_throughput: %d clients x %d ops over the wire transport\n\n",
+              clients, ops);
+  std::printf("  requests      %llu (%.0f req/sec)\n",
+              static_cast<unsigned long long>(counters.total), req_per_sec);
+  std::printf("  round trips   %llu\n",
+              static_cast<unsigned long long>(counters.round_trips));
+  std::printf("  wire frames   %llu in / %llu out (%llu batches)\n",
+              static_cast<unsigned long long>(wire.frames_in),
+              static_cast<unsigned long long>(wire.frames_out),
+              static_cast<unsigned long long>(wire.batches));
+  std::printf("  wire bytes    %llu (%.0f bytes/sec, %.1f bytes/req)\n",
+              static_cast<unsigned long long>(wire_bytes), bytes_per_sec,
+              bytes_per_req);
+  std::printf("  sync RTT us   p50 %.1f   p95 %.1f   p99 %.1f   (%zu samples)\n",
+              p50, p95, p99, rtt.size());
+
+  benchjson::Writer json("wire");
+  json.AddInteger("clients", static_cast<uint64_t>(clients));
+  json.AddInteger("ops_per_client", static_cast<uint64_t>(ops));
+  json.AddNumber("elapsed_s", elapsed_s);
+  json.AddNumber("req_per_sec", req_per_sec);
+  json.AddNumber("bytes_per_sec", bytes_per_sec);
+  json.AddNumber("bytes_per_req", bytes_per_req);
+  json.AddNumber("p50_us", p50);
+  json.AddNumber("p95_us", p95);
+  json.AddNumber("p99_us", p99);
+  // Deterministic traffic counts (the regression-gated keys).
+  json.AddInteger("req_wire_total", counters.total);
+  json.AddInteger("req_wire_round_trips", counters.round_trips);
+  json.AddInteger("req_wire_frames_in", wire.frames_in);
+  json.AddInteger("req_wire_batches", wire.batches);
+  json.AddInteger("req_wire_malformed", wire.malformed_frames);
+  json.WriteFile();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -19,6 +19,10 @@ import sys
 # baseline file -> the BENCH_*.json it gates.
 BASELINES = {
     "table2_requests.json": "BENCH_table2_operations.json",
+    # Wire-transport frame/request counts at the default 8 clients x 2000
+    # ops: any growth means each operation started costing more frames or
+    # round trips on the wire.
+    "wire_throughput.json": "BENCH_wire.json",
 }
 
 
@@ -42,7 +46,11 @@ def check(baseline_path, results_path, threshold):
         if growth > threshold:
             failures.append(f"{key}: {expected} -> {actual} ({growth:+.1%} "
                             f"> {threshold:.0%} allowed)")
-    new_keys = sorted(k for k in results if k.startswith("req_") and k not in baseline)
+    # Only integer req_* keys are counters; floats like req_per_sec are
+    # timings and never belong in a baseline.
+    new_keys = sorted(k for k in results
+                      if k.startswith("req_") and k not in baseline
+                      and isinstance(results[k], int))
     for key in new_keys:
         print(f"  note {key}: {results[key]} (not in baseline; add it there)")
     failures += check_pipeline_ratios(results)

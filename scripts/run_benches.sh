@@ -22,8 +22,10 @@ for bench in "${BENCH_DIR}"/*; do
   name="$(basename "${bench}")"
   echo "=== ${name} ==="
   # Benches write BENCH_<name>.json into the cwd; run from OUT_DIR so the
-  # JSON lands there.  A short min_time keeps CI wall-clock reasonable.
-  if ! (cd "${OUT_DIR}" && "${bench}" --benchmark_min_time=0.05s); then
+  # JSON lands there.  A short min_time keeps CI wall-clock reasonable; it
+  # must be a bare double -- the pinned benchmark library rejects the newer
+  # "0.05s" suffix form, and BENCHMARK_MAIN()-style benches exit on it.
+  if ! (cd "${OUT_DIR}" && "${bench}" --benchmark_min_time=0.05); then
     echo "bench ${name} FAILED" >&2
     status=1
   fi

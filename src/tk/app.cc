@@ -21,9 +21,12 @@ std::vector<App*>& MutableAppRegistry() {
 
 const std::vector<App*>& App::AllApps() { return MutableAppRegistry(); }
 
-App::App(xsim::Server& server, std::string name) {
+App::App(xsim::Server& server, std::string name)
+    : App(server, std::move(name), xsim::wire::TransportKindFromEnv()) {}
+
+App::App(xsim::Server& server, std::string name, xsim::wire::TransportKind transport) {
   interp_ = std::make_unique<tcl::Interp>();
-  display_ = xsim::Display::Open(server, name);
+  display_ = xsim::Display::Open(server, name, transport);
   resources_ = std::make_unique<ResourceCache>(*display_);
   options_ = std::make_unique<OptionDb>();
   bindings_ = std::make_unique<BindingTable>(*this);

@@ -88,6 +88,9 @@ class App {
   // registers `name` in the display's interpreter registry (uniquified with
   // " #2" style suffixes if taken).
   App(xsim::Server& server, std::string name);
+  // Same, but with an explicit transport choice; the two-argument form picks
+  // it from the TCLK_TRANSPORT environment variable (direct by default).
+  App(xsim::Server& server, std::string name, xsim::wire::TransportKind transport);
   ~App();
 
   App(const App&) = delete;

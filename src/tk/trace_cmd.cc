@@ -36,7 +36,9 @@ tcl::Code SummaryCmd(App& app) {
       "round-trips", U(trace.round_trips()),
       "flushes",     U(trace.total_flushes()),
       "recorded",    U(trace.total_recorded()),
-      "retained",    U(trace.size())};
+      "retained",    U(trace.size()),
+      "wire-frames", U(trace.total_wire_frames()),
+      "wire-bytes",  U(trace.total_wire_bytes())};
   for (size_t i = 0; i < xsim::kRequestTypeCount; ++i) {
     xsim::RequestType type = static_cast<xsim::RequestType>(i);
     uint64_t count = trace.RequestCount(type);
@@ -254,7 +256,8 @@ tcl::Code InfoPipelineCmd(App& app, std::vector<std::string>& args) {
     return interp.WrongNumArgs("info pipeline");
   }
   xsim::Display& display = app.display();
-  const xsim::RequestCounters& counters = app.server().counters();
+  const xsim::RequestCounters counters = app.server().counters();
+  const xsim::WireCounters wire = app.server().wire_counters();
   std::vector<std::string> kv = {
       "pending",          U(display.pending_requests()),
       "capacity",         U(display.output_capacity()),
@@ -267,7 +270,14 @@ tcl::Code InfoPipelineCmd(App& app, std::vector<std::string>& args) {
       "round-trips",      U(counters.round_trips),
       "errors",           U(display.error_count()),
       "last-error-seq",   U(display.last_error().sequence),
-      "last-error-code",  xsim::ErrorCodeName(display.last_error().code)};
+      "last-error-code",  xsim::ErrorCodeName(display.last_error().code),
+      "transport",        display.transport_name(),
+      "wire-frames-in",   U(wire.frames_in),
+      "wire-frames-out",  U(wire.frames_out),
+      "wire-bytes-in",    U(wire.bytes_in),
+      "wire-bytes-out",   U(wire.bytes_out),
+      "wire-batches",     U(wire.batches),
+      "wire-malformed",   U(wire.malformed_frames)};
   interp.SetResult(tcl::MergeList(kv));
   return tcl::Code::kOk;
 }

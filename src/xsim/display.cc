@@ -1,5 +1,7 @@
 #include "src/xsim/display.h"
 
+#include "src/xsim/color.h"
+
 namespace xsim {
 
 namespace {
@@ -9,23 +11,28 @@ constexpr XId kResourceIdRange = 0x00100000;
 }  // namespace
 
 std::unique_ptr<Display> Display::Open(Server& server, std::string client_name) {
-  ClientId id = server.RegisterClient(std::move(client_name));
-  auto display = std::unique_ptr<Display>(new Display(server, id));
-  server.SetErrorSink(id, [raw = display.get()](const XError& error) {
-    raw->HandleError(error);
-  });
-  return display;
+  return Open(server, std::move(client_name), wire::TransportKindFromEnv());
 }
 
-Display::Display(Server& server, ClientId client)
-    : server_(server),
-      client_(client),
-      next_sequence_(server.ClientSequence(client)),
-      resource_id_base_(client * kResourceIdRange) {}
+std::unique_ptr<Display> Display::Open(Server& server, std::string client_name,
+                                       wire::TransportKind transport) {
+  return std::unique_ptr<Display>(
+      new Display(server, std::move(client_name), transport));
+}
+
+Display::Display(Server& server, std::string client_name, wire::TransportKind kind)
+    : server_(server) {
+  transport_ = wire::Connect(server, kind, std::move(client_name),
+                             [this](const XError& error) { HandleError(error); });
+  client_ = transport_->client_id();
+  root_ = transport_->root();
+  next_sequence_ = transport_->SequenceSync();
+  resource_id_base_ = client_ * kResourceIdRange;
+}
 
 Display::~Display() {
   Flush();  // Xlib flushes the output buffer as part of XCloseDisplay.
-  server_.UnregisterClient(client_);
+  transport_->Close();
 }
 
 void Display::HandleError(const XError& error) {
@@ -48,7 +55,7 @@ void Display::Flush() {
   // issue fresh requests, which then land in a clean queue.
   std::vector<Request> batch;
   batch.swap(queue_);
-  server_.ApplyBatch(client_, batch);
+  transport_->SendBatch(batch);
   ++flush_count_;
   flushing_ = false;
 }
@@ -58,7 +65,9 @@ void Display::Sync() {
   // The no-op query is the round trip: once it returns, every request ahead
   // of it has been processed and its errors delivered (XSync semantics; real
   // Xlib uses GetInputFocus as the throwaway request).
-  server_.GetSelectionOwner(client_, kAtomNone);
+  wire::WireQuery query;
+  query.op = wire::QueryOpcode::kNoOpRoundTrip;
+  transport_->Query(query);
   Resync();
 }
 
@@ -70,12 +79,12 @@ void Display::SetSynchronous(bool on) {
 }
 
 bool Display::Enqueue(Request&& request) {
-  if (!server_.ClientAlive(client_)) {
+  if (!transport_->Alive()) {
     return false;  // A dead connection swallows requests (KillClient model).
   }
   request.sequence = ++next_sequence_;
   if (synchronous_) {
-    return server_.ApplyRequest(client_, request, /*synchronous=*/true);
+    return transport_->SendRequestSync(request);
   }
   queue_.push_back(std::move(request));
   MaybeAutoFlush();
@@ -87,6 +96,13 @@ void Display::MaybeAutoFlush() {
     ++auto_flush_count_;
     Flush();
   }
+}
+
+wire::WireReply Display::RoundTrip(const wire::WireQuery& query) {
+  Flush();
+  wire::WireReply reply = transport_->Query(query);
+  Resync();
+  return reply;
 }
 
 // ---------------------------------------------------------------------------
@@ -179,10 +195,20 @@ bool Display::SetWindowBackground(WindowId w, Pixel p) {
 // Atoms and properties.
 
 Atom Display::InternAtom(std::string_view name) {
-  Flush();
-  Atom atom = server_.InternAtom(client_, name);
-  Resync();
-  return atom;
+  wire::WireQuery query;
+  query.op = wire::QueryOpcode::kInternAtom;
+  query.text = std::string(name);
+  return static_cast<Atom>(RoundTrip(query).value);
+}
+
+std::string Display::AtomName(Atom atom) {
+  // Free introspection in the direct path, so no flush and no round-trip
+  // accounting; the wire path pays a frame exchange that only the wire
+  // counters see.
+  wire::WireQuery query;
+  query.op = wire::QueryOpcode::kAtomName;
+  query.a = atom;
+  return transport_->Query(query).text;
 }
 
 bool Display::ChangeProperty(WindowId w, Atom property, std::string value) {
@@ -195,10 +221,15 @@ bool Display::ChangeProperty(WindowId w, Atom property, std::string value) {
 }
 
 std::optional<std::string> Display::GetProperty(WindowId w, Atom property) {
-  Flush();
-  std::optional<std::string> value = server_.GetProperty(client_, w, property);
-  Resync();
-  return value;
+  wire::WireQuery query;
+  query.op = wire::QueryOpcode::kGetProperty;
+  query.a = w;
+  query.b = property;
+  wire::WireReply reply = RoundTrip(query);
+  if (!reply.ok) {
+    return std::nullopt;
+  }
+  return std::move(reply.text);
 }
 
 bool Display::DeleteProperty(WindowId w, Atom property) {
@@ -213,38 +244,69 @@ bool Display::DeleteProperty(WindowId w, Atom property) {
 // Resources (queries).
 
 std::optional<Pixel> Display::AllocNamedColor(std::string_view name) {
-  Flush();
-  std::optional<Pixel> pixel = server_.AllocNamedColor(client_, name);
-  Resync();
-  return pixel;
+  wire::WireQuery query;
+  query.op = wire::QueryOpcode::kAllocNamedColor;
+  query.text = std::string(name);
+  wire::WireReply reply = RoundTrip(query);
+  if (!reply.ok) {
+    return std::nullopt;
+  }
+  return static_cast<Pixel>(reply.value);
 }
 
 Pixel Display::AllocColor(Rgb rgb) {
-  Flush();
-  Pixel pixel = server_.AllocColor(client_, rgb);
-  Resync();
-  return pixel;
+  wire::WireQuery query;
+  query.op = wire::QueryOpcode::kAllocColor;
+  query.a = PackPixel(rgb);
+  return static_cast<Pixel>(RoundTrip(query).value);
 }
 
 std::optional<FontId> Display::LoadFont(std::string_view name) {
-  Flush();
-  std::optional<FontId> font = server_.LoadFont(client_, name);
-  Resync();
-  return font;
+  wire::WireQuery query;
+  query.op = wire::QueryOpcode::kLoadFont;
+  query.text = std::string(name);
+  wire::WireReply reply = RoundTrip(query);
+  if (!reply.ok) {
+    return std::nullopt;
+  }
+  return static_cast<FontId>(reply.value);
+}
+
+const FontMetrics* Display::QueryFont(FontId font) {
+  auto it = font_cache_.find(font);
+  if (it != font_cache_.end()) {
+    return &it->second;
+  }
+  // Like AtomName: free introspection, no flush, no round-trip accounting.
+  wire::WireQuery query;
+  query.op = wire::QueryOpcode::kQueryFont;
+  query.a = font;
+  wire::WireReply reply = transport_->Query(query);
+  if (!reply.ok) {
+    return nullptr;
+  }
+  FontMetrics metrics;
+  metrics.name = std::move(reply.text);
+  metrics.char_width = static_cast<int>(reply.value);
+  metrics.ascent = reply.c;
+  metrics.descent = reply.d;
+  return &font_cache_.emplace(font, std::move(metrics)).first->second;
 }
 
 CursorId Display::CreateNamedCursor(std::string_view name) {
-  Flush();
-  CursorId cursor = server_.CreateNamedCursor(client_, name);
-  Resync();
-  return cursor;
+  wire::WireQuery query;
+  query.op = wire::QueryOpcode::kCreateCursor;
+  query.text = std::string(name);
+  return static_cast<CursorId>(RoundTrip(query).value);
 }
 
 BitmapId Display::CreateBitmap(std::string_view name, int width, int height) {
-  Flush();
-  BitmapId bitmap = server_.CreateBitmap(client_, name, width, height);
-  Resync();
-  return bitmap;
+  wire::WireQuery query;
+  query.op = wire::QueryOpcode::kCreateBitmap;
+  query.text = std::string(name);
+  query.c = width;
+  query.d = height;
+  return static_cast<BitmapId>(RoundTrip(query).value);
 }
 
 // ---------------------------------------------------------------------------
@@ -341,7 +403,11 @@ void Display::SetInputFocus(WindowId w) {
 
 WindowId Display::GetInputFocus() {
   Flush();
-  return server_.GetInputFocus();
+  // Focus introspection has never counted a round trip (no Resync either);
+  // keep that shape on both transports.
+  wire::WireQuery query;
+  query.op = wire::QueryOpcode::kGetInputFocus;
+  return static_cast<WindowId>(transport_->Query(query).value);
 }
 
 void Display::SetSelectionOwner(Atom selection, WindowId owner) {
@@ -353,10 +419,10 @@ void Display::SetSelectionOwner(Atom selection, WindowId owner) {
 }
 
 WindowId Display::GetSelectionOwner(Atom selection) {
-  Flush();
-  WindowId owner = server_.GetSelectionOwner(client_, selection);
-  Resync();
-  return owner;
+  wire::WireQuery query;
+  query.op = wire::QueryOpcode::kGetSelectionOwner;
+  query.a = selection;
+  return static_cast<WindowId>(RoundTrip(query).value);
 }
 
 void Display::ConvertSelection(Atom selection, Atom target, Atom property,
@@ -395,17 +461,17 @@ void Display::SendEvent(WindowId destination, const Event& event, uint32_t mask)
 
 bool Display::Pending() {
   Flush();
-  return server_.HasPendingEvents(client_);
+  return transport_->HasPendingEvents();
 }
 
 size_t Display::PendingCount() {
   Flush();
-  return server_.PendingEventCount(client_);
+  return transport_->PendingEventCount();
 }
 
 bool Display::PollEvent(Event* out) {
   Flush();
-  return server_.NextEvent(client_, out);
+  return transport_->NextEvent(out);
 }
 
 }  // namespace xsim

@@ -6,7 +6,7 @@
 //
 // Like Xlib, the Display buffers one-way requests in an output queue instead
 // of delivering them to the server immediately.  The queue drains into
-// Server::ApplyBatch when:
+// the transport when:
 //   * Flush() or Sync() is called explicitly,
 //   * the queue reaches its capacity (automatic flush),
 //   * a reply-bearing query is issued (InternAtom, GetProperty, ...), or
@@ -17,11 +17,17 @@
 // Xlib's deferred asynchronous error model.  SetSynchronous(true) restores
 // the old call-through behaviour (XSynchronize): every request applies
 // immediately, returns its real status, and costs a full round trip.
+//
+// Since PR 5 the delivery step itself is a wire::Transport: either the
+// in-process direct path or a real byte stream of encoded frames to the
+// threaded wire server (TCLK_TRANSPORT=wire).  The Display's observable
+// behaviour is identical on both.
 
 #ifndef SRC_XSIM_DISPLAY_H_
 #define SRC_XSIM_DISPLAY_H_
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -33,6 +39,7 @@
 #include "src/xsim/request.h"
 #include "src/xsim/server.h"
 #include "src/xsim/types.h"
+#include "src/xsim/wire/transport.h"
 
 namespace xsim {
 
@@ -42,15 +49,23 @@ class Display {
   static constexpr size_t kDefaultOutputCapacity = 64;
 
   // Opens a connection to `server`.  The server must outlive the Display.
+  // The two-argument form picks the transport from TCLK_TRANSPORT.
   static std::unique_ptr<Display> Open(Server& server, std::string client_name);
+  static std::unique_ptr<Display> Open(Server& server, std::string client_name,
+                                       wire::TransportKind transport);
   ~Display();
 
   Display(const Display&) = delete;
   Display& operator=(const Display&) = delete;
 
+  // The shared server object.  Tests and the Tk test harness use this for
+  // input injection and raster inspection; protocol traffic goes through the
+  // transport.
   Server& server() { return server_; }
   ClientId client_id() const { return client_; }
-  WindowId root() const { return server_.root(); }
+  WindowId root() const { return root_; }
+  wire::TransportKind transport_kind() const { return transport_->kind(); }
+  const char* transport_name() const { return wire::TransportKindName(transport_->kind()); }
 
   // --- Output buffer (XFlush / XSync / XSynchronize) ---
 
@@ -75,10 +90,10 @@ class Display {
   // --- Error handling ---
   //
   // The server delivers X errors for this connection here (the Display
-  // installs itself as the client's error sink on Open).  With buffering,
-  // delivery happens while a flush or query drains the queue; the error's
-  // `sequence` identifies the offending request.  Without a handler the
-  // Display just records the error, mirroring Xlib's default of not
+  // installs itself as the connection's error sink on Open).  With
+  // buffering, delivery happens while a flush or query drains the queue; the
+  // error's `sequence` identifies the offending request.  Without a handler
+  // the Display just records the error, mirroring Xlib's default of not
   // crashing the client for non-fatal errors.
   using ErrorHandler = std::function<void(const XError&)>;
   void set_error_handler(ErrorHandler handler) { error_handler_ = std::move(handler); }
@@ -102,9 +117,9 @@ class Display {
   bool SetWindowBackground(WindowId w, Pixel p);
 
   // Atoms and properties.  InternAtom and GetProperty need replies: they
-  // flush and go to the server directly (one round trip each).
+  // flush and block for the reply (one round trip each).
   Atom InternAtom(std::string_view name);
-  std::string AtomName(Atom atom) { return server_.AtomName(atom); }
+  std::string AtomName(Atom atom);
   bool ChangeProperty(WindowId w, Atom property, std::string value);
   std::optional<std::string> GetProperty(WindowId w, Atom property);
   bool DeleteProperty(WindowId w, Atom property);
@@ -113,7 +128,9 @@ class Display {
   std::optional<Pixel> AllocNamedColor(std::string_view name);
   Pixel AllocColor(Rgb rgb);
   std::optional<FontId> LoadFont(std::string_view name);
-  const FontMetrics* QueryFont(FontId font) { return server_.QueryFont(font); }
+  // Metrics live in a per-connection cache (over the wire the reply is
+  // copied into it), so the pointer stays valid for the Display's lifetime.
+  const FontMetrics* QueryFont(FontId font);
   CursorId CreateNamedCursor(std::string_view name);
   BitmapId CreateBitmap(std::string_view name, int width, int height);
 
@@ -146,7 +163,7 @@ class Display {
   bool PollEvent(Event* out);
 
  private:
-  Display(Server& server, ClientId client);
+  Display(Server& server, std::string client_name, wire::TransportKind kind);
 
   void HandleError(const XError& error);
   // Assigns the next sequence number and either queues the request or (in
@@ -154,13 +171,17 @@ class Display {
   // in synchronous mode; true (optimistically, like Xlib) when buffered.
   bool Enqueue(Request&& request);
   void MaybeAutoFlush();
-  // After a direct server call (a query), the server-side sequence counter
-  // has advanced past the client's; adopt it.
-  void Resync() { next_sequence_ = server_.ClientSequence(client_); }
+  // Flush + query + resync: the shape of every reply-bearing call.
+  wire::WireReply RoundTrip(const wire::WireQuery& query);
+  // After a query the server-side sequence counter has advanced past the
+  // client's; adopt it.
+  void Resync() { next_sequence_ = transport_->SequenceSync(); }
   XId AllocResourceId() { return resource_id_base_ + next_resource_offset_++; }
 
   Server& server_;
-  ClientId client_;
+  std::unique_ptr<wire::Transport> transport_;
+  ClientId client_ = 0;
+  WindowId root_ = kNone;
   ErrorHandler error_handler_;
   XError last_error_;
   uint64_t error_count_ = 0;
@@ -172,6 +193,7 @@ class Display {
   uint64_t next_sequence_ = 0;
   uint64_t flush_count_ = 0;
   uint64_t auto_flush_count_ = 0;
+  std::map<FontId, FontMetrics> font_cache_;
   // Client-side resource-id allocation (Xlib's XAllocID): each connection
   // owns a disjoint id range, so CreateWindow/CreateGc need no reply.
   XId resource_id_base_ = 0;

@@ -27,6 +27,8 @@ enum class ErrorCode : uint8_t {
   kBadGC,              // GC id names no graphics context.
   kBadFont,            // Font name the server cannot resolve.
   kBadImplementation,  // The server failed the request (fault injection).
+  kBadLength,          // Wire frame structurally damaged (truncated/oversized).
+  kBadRequest,         // Wire frame named an opcode the server doesn't speak.
 };
 
 // The request categories the server distinguishes for sequence accounting,
@@ -86,6 +88,10 @@ inline const char* ErrorCodeName(ErrorCode code) {
       return "BadFont";
     case ErrorCode::kBadImplementation:
       return "BadImplementation";
+    case ErrorCode::kBadLength:
+      return "BadLength";
+    case ErrorCode::kBadRequest:
+      return "BadRequest";
   }
   return "?";
 }

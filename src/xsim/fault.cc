@@ -14,33 +14,51 @@ RequestType RequestTypeFromName(std::string_view name) {
   return RequestType::kRequestTypeCount;
 }
 
+void FaultInjector::set_seed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  state_ = seed != 0 ? seed : kDefaultSeed;
+}
+
 void FaultInjector::SetPolicy(RequestType type, const Policy& policy) {
   size_t index = static_cast<size_t>(type);
   if (index >= kRequestTypeCount) {
     return;
   }
+  std::lock_guard<std::mutex> lock(mu_);
   policies_[index] = policy;
   RecomputeActive();
 }
 
 void FaultInjector::SetPolicyAll(const Policy& policy) {
+  std::lock_guard<std::mutex> lock(mu_);
   catch_all_ = policy;
   RecomputeActive();
 }
 
+void FaultInjector::SetFramePolicy(const Policy& policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  frame_policy_ = policy;
+  frame_active_.store(!policy.empty(), std::memory_order_relaxed);
+}
+
 void FaultInjector::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (Policy& policy : policies_) {
     policy = Policy();
   }
   catch_all_ = Policy();
-  active_ = false;
+  frame_policy_ = Policy();
+  active_.store(false, std::memory_order_relaxed);
+  frame_active_.store(false, std::memory_order_relaxed);
 }
 
+// Caller holds mu_.
 void FaultInjector::RecomputeActive() {
-  active_ = !catch_all_.empty();
+  bool active = !catch_all_.empty();
   for (const Policy& policy : policies_) {
-    active_ = active_ || !policy.empty();
+    active = active || !policy.empty();
   }
+  active_.store(active, std::memory_order_relaxed);
 }
 
 double FaultInjector::NextUniform() {
@@ -72,9 +90,10 @@ void FaultInjector::Apply(Policy& policy, Decision* decision) {
 
 FaultInjector::Decision FaultInjector::Decide(RequestType type) {
   Decision decision;
-  if (!active_) {
+  if (!active()) {
     return decision;
   }
+  std::lock_guard<std::mutex> lock(mu_);
   size_t index = static_cast<size_t>(type);
   if (index < kRequestTypeCount) {
     Apply(policies_[index], &decision);
@@ -83,6 +102,17 @@ FaultInjector::Decision FaultInjector::Decide(RequestType type) {
   // One-shot counters may have drained: keep active() accurate so the next
   // request takes the fast path again.
   RecomputeActive();
+  return decision;
+}
+
+FaultInjector::Decision FaultInjector::DecideFrame() {
+  Decision decision;
+  if (!frame_active()) {
+    return decision;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  Apply(frame_policy_, &decision);
+  frame_active_.store(!frame_policy_.empty(), std::memory_order_relaxed);
   return decision;
 }
 

@@ -7,12 +7,23 @@
 // deterministic xorshift PRNG so a seeded run is exactly reproducible, and
 // one-shot counters (`fail_next`, `drop_next`) allow scripting "the next
 // ChangeProperty is lost" without probabilities.
+//
+// The wire transport adds a second, lower layer: SetFramePolicy installs the
+// same Policy shape against whole frames, where `drop` loses a frame in
+// transit, `fail` truncates its payload (the decoder then reports BadLength),
+// and `delay_ns` stalls delivery.
+//
+// Thread safety: policies are installed from the interpreter thread while
+// wire server threads consume decisions, so every entry point locks an
+// internal mutex; the active() fast-path flags are atomics.
 
 #ifndef SRC_XSIM_FAULT_H_
 #define SRC_XSIM_FAULT_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 
 #include "src/xsim/error.h"
 
@@ -35,7 +46,8 @@ class FaultInjector {
     }
   };
 
-  // What the server should do with one request.
+  // What the server should do with one request (or, at the frame layer, one
+  // frame: `fail` then means truncate).
   struct Decision {
     bool fail = false;
     bool drop = false;
@@ -44,21 +56,28 @@ class FaultInjector {
 
   // Reseeds the PRNG; a given (seed, request sequence) always produces the
   // same decisions.
-  void set_seed(uint64_t seed) { state_ = seed != 0 ? seed : kDefaultSeed; }
+  void set_seed(uint64_t seed);
 
   // Installs `policy` for one request type, or for every type at once via
   // SetPolicyAll.  Policies are merged: a type-specific policy and the
   // catch-all both apply.
   void SetPolicy(RequestType type, const Policy& policy);
   void SetPolicyAll(const Policy& policy);
+  // Installs the frame-layer policy consumed by DecideFrame.
+  void SetFramePolicy(const Policy& policy);
+  // Drops every policy, the frame-layer one included.
   void Clear();
 
-  // True when any policy is installed (lets the server skip the hook on the
-  // hot path).
-  bool active() const { return active_; }
+  // True when any request policy is installed (lets the server skip the hook
+  // on the hot path).  frame_active() is the same fast-path flag for the
+  // frame layer.
+  bool active() const { return active_.load(std::memory_order_relaxed); }
+  bool frame_active() const { return frame_active_.load(std::memory_order_relaxed); }
 
   // Consumes one decision for a request of `type`.
   Decision Decide(RequestType type);
+  // Consumes one frame-layer decision (fail = truncate the frame).
+  Decision DecideFrame();
 
  private:
   static constexpr uint64_t kDefaultSeed = 0x9e3779b97f4a7c15ull;
@@ -67,10 +86,13 @@ class FaultInjector {
   void Apply(Policy& policy, Decision* decision);
   void RecomputeActive();
 
+  mutable std::mutex mu_;
   uint64_t state_ = kDefaultSeed;
-  bool active_ = false;
+  std::atomic<bool> active_{false};
+  std::atomic<bool> frame_active_{false};
   std::array<Policy, kRequestTypeCount> policies_;
   Policy catch_all_;
+  Policy frame_policy_;
 };
 
 }  // namespace xsim

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <thread>
 
+#include "src/xsim/wire/wire_server.h"
+
 namespace xsim {
 
 Server::Server(int width, int height) : raster_(width, height, 0x00c0c0c0) {
@@ -116,7 +118,83 @@ void Server::RaiseError(ClientId client, ErrorCode code, XId resource, RequestTy
   rec->error_sink(error);
 }
 
+// wire_server_ is the last-declared member, so the default destructor tears
+// it down first: its connection threads join while the server they call back
+// into is still whole.
 Server::~Server() = default;
+
+// ---------------------------------------------------------------------------
+// Wire transport plumbing.
+
+wire::WireServer& Server::wire() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (wire_server_ == nullptr) {
+    wire_server_ = std::make_unique<wire::WireServer>(*this);
+  }
+  return *wire_server_;
+}
+
+bool Server::has_wire() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return wire_server_ != nullptr;
+}
+
+void Server::CountWireConnection() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  ++wire_counters_.connections;
+}
+
+void Server::CountWireFrameIn(uint64_t bytes) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  ++wire_counters_.frames_in;
+  wire_counters_.bytes_in += bytes;
+  trace_.RecordWireTraffic(1, bytes);
+}
+
+void Server::CountWireFrameOut(uint64_t bytes) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  ++wire_counters_.frames_out;
+  wire_counters_.bytes_out += bytes;
+  trace_.RecordWireTraffic(1, bytes);
+}
+
+void Server::CountWireBatch() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  ++wire_counters_.batches;
+}
+
+void Server::CountWireMalformed() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  ++wire_counters_.malformed_frames;
+}
+
+void Server::RaiseTransportError(ClientId client, ErrorCode code) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  ClientRec* rec = FindClient(client);
+  if (rec == nullptr || rec->dead || !rec->error_sink) {
+    return;
+  }
+  ++fault_counters_.errors_generated;
+  XError error;
+  error.code = code;
+  error.sequence = rec->sequence;
+  error.resource = kNone;
+  error.request = RequestType::kOther;
+  rec->error_sink(error);
+}
+
+void Server::CountWireFault(bool dropped, bool truncated, bool delayed) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (dropped) {
+    ++wire_counters_.dropped_frames;
+  }
+  if (truncated) {
+    ++wire_counters_.truncated_frames;
+  }
+  if (delayed) {
+    ++wire_counters_.delayed_frames;
+  }
+}
 
 
 // ---------------------------------------------------------------------------
@@ -146,6 +224,7 @@ const Server::ClientRec* Server::FindClient(ClientId id) const {
 // Clients.
 
 ClientId Server::RegisterClient(std::string name) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   ClientId id = next_client_++;
   auto client = std::make_unique<ClientRec>();
   client->id = id;
@@ -184,6 +263,7 @@ void Server::CloseDownClient(ClientRec* rec) {
 }
 
 void Server::UnregisterClient(ClientId client) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (ClientRec* rec = FindClient(client)) {
     if (!rec->dead) {
       CloseDownClient(rec);
@@ -193,6 +273,7 @@ void Server::UnregisterClient(ClientId client) {
 }
 
 void Server::KillClient(ClientId client) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   ClientRec* rec = FindClient(client);
   if (rec == nullptr || rec->dead) {
     return;
@@ -203,17 +284,20 @@ void Server::KillClient(ClientId client) {
 }
 
 bool Server::ClientAlive(ClientId client) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   const ClientRec* rec = FindClient(client);
   return rec != nullptr && !rec->dead;
 }
 
 void Server::SetErrorSink(ClientId client, ErrorSink sink) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (ClientRec* rec = FindClient(client)) {
     rec->error_sink = std::move(sink);
   }
 }
 
 uint64_t Server::ClientSequence(ClientId client) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   const ClientRec* rec = FindClient(client);
   return rec == nullptr ? 0 : rec->sequence;
 }
@@ -222,6 +306,7 @@ uint64_t Server::ClientSequence(ClientId client) const {
 // Buffered request pipeline: decoding the output queue a Display flushes.
 
 bool Server::ApplyRequest(ClientId client, const Request& request, bool synchronous) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   ClientRec* rec = FindClient(client);
   if (rec == nullptr || rec->dead) {
     return false;
@@ -320,6 +405,7 @@ bool Server::ApplyRequest(ClientId client, const Request& request, bool synchron
 }
 
 size_t Server::ApplyBatch(ClientId client, const std::vector<Request>& requests) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   size_t applied = 0;
   for (const Request& request : requests) {
     if (ApplyRequest(client, request)) {
@@ -338,16 +424,19 @@ size_t Server::ApplyBatch(ClientId client, const std::vector<Request>& requests)
 }
 
 bool Server::HasPendingEvents(ClientId client) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto it = clients_.find(client);
   return it != clients_.end() && !it->second->queue.empty();
 }
 
 size_t Server::PendingEventCount(ClientId client) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   const ClientRec* rec = FindClient(client);
   return rec == nullptr ? 0 : rec->queue.size();
 }
 
 bool Server::NextEvent(ClientId client, Event* out) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   ClientRec* rec = FindClient(client);
   if (rec == nullptr || rec->queue.empty()) {
     return false;
@@ -416,6 +505,7 @@ WindowId Server::DeliverWithPropagation(WindowId window, Event event, uint32_t m
 
 WindowId Server::CreateWindow(ClientId client, WindowId parent, int x, int y, int width,
                               int height, int border_width, WindowId id) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!BeginRequest(client, RequestType::kCreateWindow, parent)) {
     return kNone;
   }
@@ -490,6 +580,7 @@ void Server::DestroyWindowInternal(WindowRec* rec) {
 }
 
 bool Server::DestroyWindow(ClientId client, WindowId window) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!BeginRequest(client, RequestType::kDestroyWindow, window)) {
     return false;
   }
@@ -504,6 +595,7 @@ bool Server::DestroyWindow(ClientId client, WindowId window) {
 }
 
 bool Server::MapWindow(ClientId client, WindowId window) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!BeginRequest(client, RequestType::kMapWindow, window)) {
     return false;
   }
@@ -536,6 +628,7 @@ bool Server::MapWindow(ClientId client, WindowId window) {
 }
 
 bool Server::UnmapWindow(ClientId client, WindowId window) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!BeginRequest(client, RequestType::kUnmapWindow, window)) {
     return false;
   }
@@ -558,6 +651,7 @@ bool Server::UnmapWindow(ClientId client, WindowId window) {
 
 bool Server::ConfigureWindow(ClientId client, WindowId window, int x, int y, int width,
                              int height, int border_width) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!BeginRequest(client, RequestType::kConfigureWindow, window)) {
     return false;
   }
@@ -610,6 +704,7 @@ bool Server::ConfigureWindow(ClientId client, WindowId window, int x, int y, int
 }
 
 bool Server::RaiseWindow(ClientId client, WindowId window) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!BeginRequest(client, RequestType::kConfigureWindow, window)) {
     return false;
   }
@@ -634,6 +729,7 @@ bool Server::RaiseWindow(ClientId client, WindowId window) {
 }
 
 void Server::SelectInput(ClientId client, WindowId window, uint32_t mask) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!BeginRequest(client, RequestType::kSelectInput, window)) {
     return;
   }
@@ -650,6 +746,7 @@ void Server::SelectInput(ClientId client, WindowId window, uint32_t mask) {
 }
 
 bool Server::SetWindowBackground(ClientId client, WindowId window, Pixel pixel) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!BeginRequest(client, RequestType::kConfigureWindow, window)) {
     return false;
   }
@@ -662,9 +759,13 @@ bool Server::SetWindowBackground(ClientId client, WindowId window, Pixel pixel) 
   return true;
 }
 
-bool Server::WindowExists(WindowId window) const { return FindWindow(window) != nullptr; }
+bool Server::WindowExists(WindowId window) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return FindWindow(window) != nullptr;
+}
 
 std::optional<Rect> Server::WindowGeometry(WindowId window) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   const WindowRec* rec = FindWindow(window);
   if (rec == nullptr) {
     return std::nullopt;
@@ -673,6 +774,7 @@ std::optional<Rect> Server::WindowGeometry(WindowId window) const {
 }
 
 std::optional<WindowId> Server::WindowParent(WindowId window) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   const WindowRec* rec = FindWindow(window);
   if (rec == nullptr) {
     return std::nullopt;
@@ -681,16 +783,19 @@ std::optional<WindowId> Server::WindowParent(WindowId window) const {
 }
 
 std::vector<WindowId> Server::WindowChildren(WindowId window) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   const WindowRec* rec = FindWindow(window);
   return rec == nullptr ? std::vector<WindowId>() : rec->children;
 }
 
 bool Server::IsMapped(WindowId window) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   const WindowRec* rec = FindWindow(window);
   return rec != nullptr && rec->mapped;
 }
 
 bool Server::IsViewable(WindowId window) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   const WindowRec* rec = FindWindow(window);
   while (rec != nullptr) {
     if (!rec->mapped) {
@@ -705,6 +810,7 @@ bool Server::IsViewable(WindowId window) const {
 }
 
 std::optional<Point> Server::AbsolutePosition(WindowId window) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   const WindowRec* rec = FindWindow(window);
   if (rec == nullptr) {
     return std::nullopt;
@@ -754,6 +860,7 @@ void Server::GenerateExpose(WindowId window) {
 // Atoms and properties.
 
 Atom Server::InternAtom(ClientId client, std::string_view name) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!BeginRequest(client, RequestType::kInternAtom)) {
     return kAtomNone;
   }
@@ -768,6 +875,7 @@ Atom Server::InternAtom(ClientId client, std::string_view name) {
 }
 
 std::string Server::AtomName(Atom atom) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (atom == 0 || atom > atoms_.size()) {
     return "";
   }
@@ -776,6 +884,7 @@ std::string Server::AtomName(Atom atom) const {
 
 bool Server::ChangeProperty(ClientId client, WindowId window, Atom property,
                             std::string value) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!BeginRequest(client, RequestType::kChangeProperty, window)) {
     return false;
   }
@@ -801,6 +910,7 @@ bool Server::ChangeProperty(ClientId client, WindowId window, Atom property,
 
 std::optional<std::string> Server::GetProperty(ClientId client, WindowId window,
                                                Atom property) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!BeginRequest(client, RequestType::kGetProperty, window)) {
     return std::nullopt;
   }
@@ -819,6 +929,7 @@ std::optional<std::string> Server::GetProperty(ClientId client, WindowId window,
 }
 
 bool Server::DeleteProperty(ClientId client, WindowId window, Atom property) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!BeginRequest(client, RequestType::kDeleteProperty, window)) {
     return false;
   }
@@ -843,6 +954,7 @@ bool Server::DeleteProperty(ClientId client, WindowId window, Atom property) {
 // Colors, fonts, cursors, bitmaps.
 
 std::optional<Pixel> Server::AllocNamedColor(ClientId client, std::string_view name) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!BeginRequest(client, RequestType::kAllocColor)) {
     return std::nullopt;
   }
@@ -857,6 +969,7 @@ std::optional<Pixel> Server::AllocNamedColor(ClientId client, std::string_view n
 }
 
 Pixel Server::AllocColor(ClientId client, Rgb rgb) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!BeginRequest(client, RequestType::kAllocColor)) {
     return 0;
   }
@@ -866,6 +979,7 @@ Pixel Server::AllocColor(ClientId client, Rgb rgb) {
 }
 
 std::optional<FontId> Server::LoadFont(ClientId client, std::string_view name) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!BeginRequest(client, RequestType::kLoadFont)) {
     return std::nullopt;
   }
@@ -887,11 +1001,13 @@ std::optional<FontId> Server::LoadFont(ClientId client, std::string_view name) {
 }
 
 const FontMetrics* Server::QueryFont(FontId font) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto it = fonts_.find(font);
   return it == fonts_.end() ? nullptr : &it->second;
 }
 
 CursorId Server::CreateNamedCursor(ClientId client, std::string_view name) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!BeginRequest(client, RequestType::kCreateCursor)) {
     return kNone;
   }
@@ -902,6 +1018,7 @@ CursorId Server::CreateNamedCursor(ClientId client, std::string_view name) {
 }
 
 std::optional<std::string> Server::CursorName(CursorId cursor) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto it = cursors_.find(cursor);
   if (it == cursors_.end()) {
     return std::nullopt;
@@ -911,6 +1028,7 @@ std::optional<std::string> Server::CursorName(CursorId cursor) const {
 
 BitmapId Server::CreateBitmap(ClientId client, std::string_view name, int width,
                               int height) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!BeginRequest(client, RequestType::kCreateBitmap)) {
     return kNone;
   }
@@ -921,6 +1039,7 @@ BitmapId Server::CreateBitmap(ClientId client, std::string_view name, int width,
 }
 
 std::optional<Rect> Server::BitmapSize(BitmapId bitmap) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto it = bitmaps_.find(bitmap);
   if (it == bitmaps_.end()) {
     return std::nullopt;
@@ -932,6 +1051,7 @@ std::optional<Rect> Server::BitmapSize(BitmapId bitmap) const {
 // GCs and drawing.
 
 GcId Server::CreateGc(ClientId client, GcId id) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!BeginRequest(client, RequestType::kCreateGc)) {
     return kNone;
   }
@@ -947,6 +1067,7 @@ GcId Server::CreateGc(ClientId client, GcId id) {
 }
 
 void Server::FreeGc(ClientId client, GcId gc) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!BeginRequest(client, RequestType::kChangeGc, gc)) {
     return;
   }
@@ -956,6 +1077,7 @@ void Server::FreeGc(ClientId client, GcId gc) {
 }
 
 bool Server::ChangeGc(ClientId client, GcId gc, const Gc& values) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!BeginRequest(client, RequestType::kChangeGc, gc)) {
     return false;
   }
@@ -969,6 +1091,7 @@ bool Server::ChangeGc(ClientId client, GcId gc, const Gc& values) {
 }
 
 const Server::Gc* Server::GetGc(GcId gc) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto it = gcs_.find(gc);
   return it == gcs_.end() ? nullptr : &it->second;
 }
@@ -992,6 +1115,7 @@ void Server::PaintBackground(WindowRec& rec) {
 }
 
 void Server::ClearWindow(ClientId client, WindowId window) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!BeginRequest(client, RequestType::kDraw, window)) {
     return;
   }
@@ -1008,6 +1132,7 @@ void Server::ClearWindow(ClientId client, WindowId window) {
 }
 
 void Server::ClearArea(ClientId client, WindowId window, const Rect& area) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!BeginRequest(client, RequestType::kDraw, window)) {
     return;
   }
@@ -1034,6 +1159,7 @@ void Server::ClearArea(ClientId client, WindowId window, const Rect& area) {
 }
 
 void Server::FillRectangle(ClientId client, WindowId window, GcId gc, const Rect& rect) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!BeginRequest(client, RequestType::kDraw, window)) {
     return;
   }
@@ -1051,6 +1177,7 @@ void Server::FillRectangle(ClientId client, WindowId window, GcId gc, const Rect
 }
 
 void Server::DrawRectangle(ClientId client, WindowId window, GcId gc, const Rect& rect) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!BeginRequest(client, RequestType::kDraw, window)) {
     return;
   }
@@ -1069,6 +1196,7 @@ void Server::DrawRectangle(ClientId client, WindowId window, GcId gc, const Rect
 
 void Server::DrawLine(ClientId client, WindowId window, GcId gc, int x0, int y0, int x1,
                       int y1) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!BeginRequest(client, RequestType::kDraw, window)) {
     return;
   }
@@ -1085,6 +1213,7 @@ void Server::DrawLine(ClientId client, WindowId window, GcId gc, int x0, int y0,
 
 void Server::DrawString(ClientId client, WindowId window, GcId gc, int x, int y,
                         std::string_view text) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!BeginRequest(client, RequestType::kDraw, window)) {
     return;
   }
@@ -1116,6 +1245,7 @@ void Server::DrawString(ClientId client, WindowId window, GcId gc, int x, int y,
 }
 
 std::vector<TextItem> Server::WindowText(WindowId window) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   const WindowRec* rec = FindWindow(window);
   return rec == nullptr ? std::vector<TextItem>() : rec->text_items;
 }
@@ -1124,6 +1254,7 @@ std::vector<TextItem> Server::WindowText(WindowId window) const {
 // Focus.
 
 void Server::SetInputFocus(ClientId client, WindowId window) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!BeginRequest(client, RequestType::kSetInputFocus, window)) {
     return;
   }
@@ -1155,6 +1286,7 @@ void Server::SetInputFocus(ClientId client, WindowId window) {
 // Selections (ICCCM shape).
 
 void Server::SetSelectionOwner(ClientId client, Atom selection, WindowId owner) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!BeginRequest(client, RequestType::kSetSelectionOwner, owner)) {
     return;
   }
@@ -1180,6 +1312,7 @@ void Server::SetSelectionOwner(ClientId client, Atom selection, WindowId owner) 
 }
 
 WindowId Server::GetSelectionOwner(ClientId client, Atom selection) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!BeginRequest(client, RequestType::kOther)) {
     return kNone;
   }
@@ -1190,6 +1323,7 @@ WindowId Server::GetSelectionOwner(ClientId client, Atom selection) {
 
 void Server::ConvertSelection(ClientId client, Atom selection, Atom target, Atom property,
                               WindowId requestor) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!BeginRequest(client, RequestType::kConvertSelection, requestor)) {
     return;
   }
@@ -1223,6 +1357,7 @@ void Server::ConvertSelection(ClientId client, Atom selection, Atom target, Atom
 
 void Server::SendSelectionNotify(ClientId client, WindowId requestor, Atom selection,
                                  Atom target, Atom property) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!BeginRequest(client, RequestType::kSendEvent, requestor)) {
     return;
   }
@@ -1242,6 +1377,7 @@ void Server::SendSelectionNotify(ClientId client, WindowId requestor, Atom selec
 
 void Server::SendEvent(ClientId client, WindowId destination, const Event& event,
                        uint32_t mask) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!BeginRequest(client, RequestType::kSendEvent, destination)) {
     return;
   }
@@ -1266,6 +1402,7 @@ void Server::SendEvent(ClientId client, WindowId destination, const Event& event
 // Input injection.
 
 WindowId Server::WindowAt(int x, int y) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   const WindowRec* current = FindWindow(kRootWindow);
   if (current == nullptr || !current->geometry.Contains(x, y)) {
     return kRootWindow;
@@ -1342,6 +1479,7 @@ void Server::UpdateCrossing(WindowId old_window, WindowId new_window) {
 }
 
 void Server::InjectPointerMove(int x, int y) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   pointer_.x = x;
   pointer_.y = y;
   WindowId new_window = WindowAt(x, y);
@@ -1376,6 +1514,7 @@ void Server::InjectPointerMove(int x, int y) {
 }
 
 void Server::InjectButton(int button, bool press) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   uint32_t bit = kButton1Mask << (button - 1);
   Event event;
   event.type = press ? EventType::kButtonPress : EventType::kButtonRelease;
@@ -1416,6 +1555,7 @@ void Server::InjectButton(int button, bool press) {
 }
 
 void Server::InjectKey(KeySym keysym, bool press) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   uint32_t bit = 0;
   switch (keysym) {
     case kKeyShiftL:
@@ -1494,6 +1634,7 @@ void DumpWindow(const Server& server, WindowId id, int depth, std::ostringstream
 }  // namespace
 
 std::string Server::DumpTree() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   std::ostringstream out;
   DumpWindow(*this, kRootWindow, 0, out);
   return out.str();

@@ -23,6 +23,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -78,6 +79,26 @@ struct FaultCounters {
   uint64_t injected_delays = 0;    // Requests delayed.
   uint64_t killed_clients = 0;     // KillClient calls (simulated crashes).
 };
+
+// Wire-transport traffic counters (always-on, like RequestCounters; reset by
+// Server::ResetCounters so a measurement window starts clean across every
+// counter family).
+struct WireCounters {
+  uint64_t connections = 0;       // Wire connections accepted.
+  uint64_t frames_in = 0;         // Frames received from wire clients.
+  uint64_t frames_out = 0;        // Frames sent to wire clients.
+  uint64_t bytes_in = 0;          // Payload+header bytes received.
+  uint64_t bytes_out = 0;         // Payload+header bytes sent.
+  uint64_t batches = 0;           // kBatch frames dispatched.
+  uint64_t malformed_frames = 0;  // Frames the decoder rejected.
+  uint64_t dropped_frames = 0;    // Frames lost to frame-layer faults.
+  uint64_t truncated_frames = 0;  // Frames truncated by frame-layer faults.
+  uint64_t delayed_frames = 0;    // Frames delayed by frame-layer faults.
+};
+
+namespace wire {
+class WireServer;
+}  // namespace wire
 
 class Server {
  public:
@@ -200,7 +221,10 @@ class Server {
   // --- Focus and selections --------------------------------------------------------------
 
   void SetInputFocus(ClientId client, WindowId window);
-  WindowId GetInputFocus() const { return focus_window_; }
+  WindowId GetInputFocus() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return focus_window_;
+  }
 
   void SetSelectionOwner(ClientId client, Atom selection, WindowId owner);
   WindowId GetSelectionOwner(ClientId client, Atom selection);
@@ -232,26 +256,68 @@ class Server {
     InjectKey(keysym, true);
     InjectKey(keysym, false);
   }
-  Point pointer_position() const { return pointer_; }
+  Point pointer_position() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return pointer_;
+  }
   // Deepest viewable window containing the point.
   WindowId WindowAt(int x, int y) const;
 
+  // --- Wire transport ----------------------------------------------------------------------
+
+  // The threaded socket front-end (created on first use).  Wire clients
+  // connect through it instead of calling the Server directly; see
+  // src/xsim/wire/wire_server.h.
+  wire::WireServer& wire();
+  bool has_wire() const;
+
+  // Traffic accounting called by the wire layer.  Frame traffic also feeds
+  // the TraceBuffer's cumulative wire counters while tracing is active.
+  void CountWireConnection();
+  // Raises an X error against `client` for a frame-layer failure that never
+  // became a request (malformed or truncated frame): BadLength/BadRequest
+  // with the client's current sequence number, since the damaged frame never
+  // earned one.
+  void RaiseTransportError(ClientId client, ErrorCode code);
+  void CountWireFrameIn(uint64_t bytes);
+  void CountWireFrameOut(uint64_t bytes);
+  void CountWireBatch();
+  void CountWireMalformed();
+  void CountWireFault(bool dropped, bool truncated, bool delayed);
+
   // --- Introspection -----------------------------------------------------------------------
 
-  const RequestCounters& counters() const { return counters_; }
+  // Counter accessors return by-value snapshots taken under the server lock:
+  // wire dispatch threads mutate these concurrently with script-side reads.
+  RequestCounters counters() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return counters_;
+  }
+  WireCounters wire_counters() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return wire_counters_;
+  }
   // Unified reset: a measurement window starts clean across *all* counter
   // families.  (Regression fix: fault counters used to survive
   // ResetCounters, so traffic measurements taken after a reset still saw
-  // stale fault totals.)
+  // stale fault totals; wire counters joined the same reset in PR 5.)
   void ResetCounters() {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     counters_ = RequestCounters();
-    ResetFaultCounters();
+    fault_counters_ = FaultCounters();
+    wire_counters_ = WireCounters();
   }
 
   // Fault injection and failure observability.
   FaultInjector& fault_injector() { return fault_injector_; }
-  const FaultCounters& fault_counters() const { return fault_counters_; }
-  void ResetFaultCounters() { fault_counters_ = FaultCounters(); }
+  FaultCounters fault_counters() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return fault_counters_;
+  }
+  void ResetFaultCounters() {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    fault_counters_ = FaultCounters();
+  }
 
   // Protocol trace (xscope-style): start/stop/filter/export via the
   // TraceBuffer itself; the server records into it on every request it
@@ -264,11 +330,18 @@ class Server {
   // Models the inter-process X connection of the paper's environment (a few
   // hundred microseconds per round trip on 1990 hardware); zero by default.
   void SetSimulatedLatency(uint64_t request_ns, uint64_t round_trip_ns) {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     request_latency_ns_ = request_ns;
     round_trip_latency_ns_ = round_trip_ns;
   }
+  // The raster is read without locking (golden-raster hashing); callers must
+  // quiesce wire clients first -- the synchronous batch acks make "my last
+  // flush returned" a sufficient barrier.
   const Raster& raster() const { return raster_; }
-  Timestamp now() const { return time_; }
+  Timestamp now() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return time_;
+  }
 
   // Multi-line dump of the window tree with geometry, map state and text
   // content -- the reproduction's version of Figure 10's screen dump.
@@ -369,6 +442,7 @@ class Server {
 
   RequestCounters counters_;
   FaultCounters fault_counters_;
+  WireCounters wire_counters_;
   FaultInjector fault_injector_;
   TraceBuffer trace_;
   // True while BeginRequest is running: an injected failure's RaiseError
@@ -377,6 +451,15 @@ class Server {
   uint64_t request_latency_ns_ = 0;
   uint64_t round_trip_latency_ns_ = 0;
   Raster raster_;
+
+  // Serializes all server state against concurrent wire dispatch threads.
+  // Recursive because public methods compose (ApplyRequest -> CreateWindow,
+  // DumpTree -> WindowGeometry) and error sinks may re-enter.
+  mutable std::recursive_mutex mu_;
+  // Declared last so ~Server tears the wire front-end down (joining its
+  // threads, which may still call public methods) while the rest of the
+  // server is intact.
+  std::unique_ptr<wire::WireServer> wire_server_;
 };
 
 }  // namespace xsim

@@ -52,18 +52,34 @@ TraceBuffer::TraceBuffer(size_t capacity) : capacity_(capacity == 0 ? 1 : capaci
 }
 
 void TraceBuffer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   head_ = 0;
   size_ = 0;
   last_request_serial_ = 0;
-  request_counts_.fill(0);
-  total_requests_ = 0;
-  total_events_ = 0;
-  round_trips_ = 0;
-  total_flushes_ = 0;
-  total_recorded_ = 0;
+  for (auto& count : request_counts_) {
+    count.store(0, std::memory_order_relaxed);
+  }
+  total_requests_.store(0, std::memory_order_relaxed);
+  total_events_.store(0, std::memory_order_relaxed);
+  round_trips_.store(0, std::memory_order_relaxed);
+  total_flushes_.store(0, std::memory_order_relaxed);
+  total_wire_frames_.store(0, std::memory_order_relaxed);
+  total_wire_bytes_.store(0, std::memory_order_relaxed);
+  total_recorded_.store(0, std::memory_order_relaxed);
+}
+
+size_t TraceBuffer::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+size_t TraceBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return size_;
 }
 
 void TraceBuffer::set_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
   capacity_ = capacity == 0 ? 1 : capacity;
   ring_.assign(capacity_, TraceRecord());
   head_ = 0;
@@ -72,24 +88,27 @@ void TraceBuffer::set_capacity(size_t capacity) {
 }
 
 void TraceBuffer::SetRequestFilter(const std::vector<RequestType>& types) {
-  filter_mask_ = 0;
+  uint32_t mask = 0;
   for (RequestType type : types) {
     if (type != RequestType::kRequestTypeCount) {
-      filter_mask_ |= 1u << static_cast<size_t>(type);
+      mask |= 1u << static_cast<size_t>(type);
     }
   }
+  filter_mask_.store(mask, std::memory_order_relaxed);
 }
 
 std::vector<RequestType> TraceBuffer::RequestFilter() const {
+  uint32_t mask = filter_mask_.load(std::memory_order_relaxed);
   std::vector<RequestType> types;
   for (size_t i = 0; i < kRequestTypeCount; ++i) {
-    if ((filter_mask_ & (1u << i)) != 0) {
+    if ((mask & (1u << i)) != 0) {
       types.push_back(static_cast<RequestType>(i));
     }
   }
   return types;
 }
 
+// Caller holds mu_.
 void TraceBuffer::Append(const TraceRecord& record, bool is_request) {
   ring_[head_] = record;
   if (is_request) {
@@ -100,16 +119,17 @@ void TraceBuffer::Append(const TraceRecord& record, bool is_request) {
   if (size_ < capacity_) {
     ++size_;
   }
-  ++total_recorded_;
+  total_recorded_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void TraceBuffer::RecordRequest(ClientId client, RequestType type, XId resource,
                                 uint64_t duration_ns, TraceOutcome outcome) {
-  if (!active_) {
+  if (!active()) {
     return;
   }
-  ++request_counts_[static_cast<size_t>(type)];
-  ++total_requests_;
+  request_counts_[static_cast<size_t>(type)].fetch_add(1, std::memory_order_relaxed);
+  total_requests_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
   TraceRecord record;
   record.serial = next_serial_++;
   record.client = client;
@@ -127,13 +147,14 @@ void TraceBuffer::RecordRequest(ClientId client, RequestType type, XId resource,
 }
 
 void TraceBuffer::RecordEvent(ClientId client, EventType type, WindowId window) {
-  if (!active_) {
+  if (!active()) {
     return;
   }
-  ++total_events_;
-  if (!record_events_ || HasRequestFilter()) {
+  total_events_.fetch_add(1, std::memory_order_relaxed);
+  if (!record_events() || HasRequestFilter()) {
     return;  // A request filter implies a request-only trace.
   }
+  std::lock_guard<std::mutex> lock(mu_);
   TraceRecord record;
   record.serial = next_serial_++;
   record.client = client;
@@ -144,10 +165,11 @@ void TraceBuffer::RecordEvent(ClientId client, EventType type, WindowId window) 
 }
 
 void TraceBuffer::RecordFlush(ClientId client, size_t batch_size) {
-  if (!active_) {
+  if (!active()) {
     return;
   }
-  ++total_flushes_;
+  total_flushes_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
   TraceRecord record;
   record.serial = next_serial_++;
   record.client = client;
@@ -156,11 +178,20 @@ void TraceBuffer::RecordFlush(ClientId client, size_t batch_size) {
   Append(record, /*is_request=*/false);
 }
 
-void TraceBuffer::MarkLastRequestRoundTrip(uint64_t extra_ns) {
-  if (!active_) {
+void TraceBuffer::RecordWireTraffic(uint64_t frames, uint64_t bytes) {
+  if (!active()) {
     return;
   }
-  ++round_trips_;
+  total_wire_frames_.fetch_add(frames, std::memory_order_relaxed);
+  total_wire_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void TraceBuffer::MarkLastRequestRoundTrip(uint64_t extra_ns) {
+  if (!active()) {
+    return;
+  }
+  round_trips_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
   if (last_request_serial_ != 0 && ring_[last_request_slot_].serial == last_request_serial_) {
     ring_[last_request_slot_].round_trip = true;
     ring_[last_request_slot_].duration_ns += extra_ns;
@@ -168,15 +199,17 @@ void TraceBuffer::MarkLastRequestRoundTrip(uint64_t extra_ns) {
 }
 
 void TraceBuffer::MarkLastRequestError() {
-  if (!active_) {
+  if (!active()) {
     return;
   }
+  std::lock_guard<std::mutex> lock(mu_);
   if (last_request_serial_ != 0 && ring_[last_request_slot_].serial == last_request_serial_) {
     ring_[last_request_slot_].outcome = TraceOutcome::kError;
   }
 }
 
 std::vector<TraceRecord> TraceBuffer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<TraceRecord> out;
   out.reserve(size_);
   size_t start = (head_ + capacity_ - size_) % capacity_;

@@ -16,12 +16,20 @@
 // per-request latency, injected fault delays, and (via MarkLastRoundTrip)
 // the round-trip wait of synchronous requests.  Client-side dispatch latency
 // lives in tk::EventLoopStats, not here.
+//
+// Thread safety: the wire transport records traffic from per-connection
+// server threads while scripts read summaries from the interpreter thread,
+// so every entry point is safe to call concurrently.  Flags and cumulative
+// counters are relaxed atomics (hot-path reads stay lock-free); the record
+// ring is guarded by an internal mutex.
 
 #ifndef SRC_XSIM_TRACE_H_
 #define SRC_XSIM_TRACE_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -68,18 +76,19 @@ class TraceBuffer {
 
   // Start/stop recording.  Stopping keeps the buffer contents (so a trace
   // can be dumped after the workload finished); Clear drops them.
-  void Start() { active_ = true; }
-  void Stop() { active_ = false; }
-  bool active() const { return active_; }
+  void Start() { active_.store(true, std::memory_order_relaxed); }
+  void Stop() { active_.store(false, std::memory_order_relaxed); }
+  bool active() const { return active_.load(std::memory_order_relaxed); }
 
-  // Drops all records and zeroes the cumulative counters.  Serial numbers
-  // keep counting up so records never repeat a serial across a Clear.
+  // Drops all records and zeroes the cumulative counters (wire traffic
+  // included).  Serial numbers keep counting up so records never repeat a
+  // serial across a Clear.
   void Clear();
 
-  size_t capacity() const { return capacity_; }
+  size_t capacity() const;
   // Resizing drops current records (the ring is re-laid-out).
   void set_capacity(size_t capacity);
-  size_t size() const { return size_; }
+  size_t size() const;
 
   // --- Filtering -----------------------------------------------------------
   //
@@ -87,16 +96,23 @@ class TraceBuffer {
   // in the ring; cumulative counters still count every request so that
   // `xtrace expect` and summaries stay exact regardless of the filter.
   void SetRequestFilter(const std::vector<RequestType>& types);
-  void ClearRequestFilter() { filter_mask_ = 0; }
-  bool HasRequestFilter() const { return filter_mask_ != 0; }
+  void ClearRequestFilter() { filter_mask_.store(0, std::memory_order_relaxed); }
+  bool HasRequestFilter() const {
+    return filter_mask_.load(std::memory_order_relaxed) != 0;
+  }
   bool FilterAccepts(RequestType type) const {
-    return filter_mask_ == 0 || (filter_mask_ & (1u << static_cast<size_t>(type))) != 0;
+    uint32_t mask = filter_mask_.load(std::memory_order_relaxed);
+    return mask == 0 || (mask & (1u << static_cast<size_t>(type))) != 0;
   }
   std::vector<RequestType> RequestFilter() const;
 
   // Event records can be suppressed wholesale (request-only traces).
-  void set_record_events(bool enabled) { record_events_ = enabled; }
-  bool record_events() const { return record_events_; }
+  void set_record_events(bool enabled) {
+    record_events_.store(enabled, std::memory_order_relaxed);
+  }
+  bool record_events() const {
+    return record_events_.load(std::memory_order_relaxed);
+  }
 
   // --- Recording (called by the Server; no-ops while inactive) -------------
 
@@ -107,6 +123,10 @@ class TraceBuffer {
   // Recorded after the batch's request records (wire order); retained even
   // under a request filter so batching stays observable in filtered dumps.
   void RecordFlush(ClientId client, size_t batch_size);
+  // `frames` wire frames totalling `bytes` crossed the transport (either
+  // direction).  Counted while active, like every other cumulative counter;
+  // no ring record (frame traffic would drown the request trace).
+  void RecordWireTraffic(uint64_t frames, uint64_t bytes);
   // Flags the most recent request record as a synchronous round trip and
   // adds the round-trip wait to its duration.
   void MarkLastRequestRoundTrip(uint64_t extra_ns);
@@ -117,14 +137,30 @@ class TraceBuffer {
   // --- Cumulative counters (survive ring wraparound) -----------------------
 
   uint64_t RequestCount(RequestType type) const {
-    return request_counts_[static_cast<size_t>(type)];
+    return request_counts_[static_cast<size_t>(type)].load(std::memory_order_relaxed);
   }
-  uint64_t total_requests() const { return total_requests_; }
-  uint64_t total_events() const { return total_events_; }
-  uint64_t round_trips() const { return round_trips_; }
-  uint64_t total_flushes() const { return total_flushes_; }
+  uint64_t total_requests() const {
+    return total_requests_.load(std::memory_order_relaxed);
+  }
+  uint64_t total_events() const {
+    return total_events_.load(std::memory_order_relaxed);
+  }
+  uint64_t round_trips() const {
+    return round_trips_.load(std::memory_order_relaxed);
+  }
+  uint64_t total_flushes() const {
+    return total_flushes_.load(std::memory_order_relaxed);
+  }
+  uint64_t total_wire_frames() const {
+    return total_wire_frames_.load(std::memory_order_relaxed);
+  }
+  uint64_t total_wire_bytes() const {
+    return total_wire_bytes_.load(std::memory_order_relaxed);
+  }
   // Records appended over the buffer's lifetime, including overwritten ones.
-  uint64_t total_recorded() const { return total_recorded_; }
+  uint64_t total_recorded() const {
+    return total_recorded_.load(std::memory_order_relaxed);
+  }
 
   // --- Export --------------------------------------------------------------
 
@@ -140,13 +176,15 @@ class TraceBuffer {
  private:
   void Append(const TraceRecord& record, bool is_request);
 
+  mutable std::mutex mu_;  // Guards the ring and its bookkeeping below.
   std::vector<TraceRecord> ring_;
   size_t capacity_;
   size_t head_ = 0;  // Next write slot.
   size_t size_ = 0;
-  bool active_ = false;
-  bool record_events_ = true;
-  uint32_t filter_mask_ = 0;  // Bit per RequestType; 0 = accept everything.
+  std::atomic<bool> active_{false};
+  std::atomic<bool> record_events_{true};
+  // Bit per RequestType; 0 = accept everything.
+  std::atomic<uint32_t> filter_mask_{0};
   static_assert(kRequestTypeCount <= 32, "filter mask is a uint32_t");
 
   uint64_t next_serial_ = 1;
@@ -156,12 +194,14 @@ class TraceBuffer {
   size_t last_request_slot_ = 0;
   uint64_t last_request_serial_ = 0;
 
-  std::array<uint64_t, kRequestTypeCount> request_counts_{};
-  uint64_t total_requests_ = 0;
-  uint64_t total_events_ = 0;
-  uint64_t round_trips_ = 0;
-  uint64_t total_flushes_ = 0;
-  uint64_t total_recorded_ = 0;
+  std::array<std::atomic<uint64_t>, kRequestTypeCount> request_counts_{};
+  std::atomic<uint64_t> total_requests_{0};
+  std::atomic<uint64_t> total_events_{0};
+  std::atomic<uint64_t> round_trips_{0};
+  std::atomic<uint64_t> total_flushes_{0};
+  std::atomic<uint64_t> total_wire_frames_{0};
+  std::atomic<uint64_t> total_wire_bytes_{0};
+  std::atomic<uint64_t> total_recorded_{0};
 };
 
 }  // namespace xsim

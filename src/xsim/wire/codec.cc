@@ -1,0 +1,538 @@
+#include "src/xsim/wire/codec.h"
+
+namespace xsim {
+namespace wire {
+
+namespace {
+
+// Last legitimate values of the enums the decoders accept; anything above is
+// kBadOpcode.  Keep in sync with request.h / event.h.
+constexpr uint8_t kMaxRequestOpcode = static_cast<uint8_t>(RequestOpcode::kSendEvent);
+constexpr uint32_t kMaxEventType = static_cast<uint32_t>(EventType::kClientMessage);
+constexpr uint8_t kMaxErrorCode = static_cast<uint8_t>(ErrorCode::kBadRequest);
+
+DecodeStatus Finish(const Reader& r) {
+  if (!r.ok()) {
+    return DecodeStatus::kTruncated;
+  }
+  if (!r.AtEnd()) {
+    return DecodeStatus::kTrailing;
+  }
+  return DecodeStatus::kOk;
+}
+
+}  // namespace
+
+const char* FrameKindName(FrameKind kind) {
+  switch (kind) {
+    case FrameKind::kHello:
+      return "Hello";
+    case FrameKind::kHelloAck:
+      return "HelloAck";
+    case FrameKind::kBatch:
+      return "Batch";
+    case FrameKind::kBatchAck:
+      return "BatchAck";
+    case FrameKind::kRequestSync:
+      return "RequestSync";
+    case FrameKind::kRequestAck:
+      return "RequestAck";
+    case FrameKind::kQuery:
+      return "Query";
+    case FrameKind::kReply:
+      return "Reply";
+    case FrameKind::kEvent:
+      return "Event";
+    case FrameKind::kError:
+      return "Error";
+    case FrameKind::kEventSync:
+      return "EventSync";
+    case FrameKind::kEventSyncAck:
+      return "EventSyncAck";
+    case FrameKind::kBye:
+      return "Bye";
+    case FrameKind::kByeAck:
+      return "ByeAck";
+    case FrameKind::kFrameKindCount:
+      break;
+  }
+  return "?";
+}
+
+const char* DecodeStatusName(DecodeStatus status) {
+  switch (status) {
+    case DecodeStatus::kOk:
+      return "ok";
+    case DecodeStatus::kBadMagic:
+      return "bad-magic";
+    case DecodeStatus::kBadVersion:
+      return "bad-version";
+    case DecodeStatus::kBadKind:
+      return "bad-kind";
+    case DecodeStatus::kOversized:
+      return "oversized";
+    case DecodeStatus::kTruncated:
+      return "truncated";
+    case DecodeStatus::kBadOpcode:
+      return "bad-opcode";
+    case DecodeStatus::kTrailing:
+      return "trailing";
+  }
+  return "?";
+}
+
+ErrorCode DecodeStatusToError(DecodeStatus status) {
+  switch (status) {
+    case DecodeStatus::kOk:
+      return ErrorCode::kSuccess;
+    case DecodeStatus::kBadOpcode:
+      return ErrorCode::kBadRequest;
+    default:
+      return ErrorCode::kBadLength;
+  }
+}
+
+// --- Writer -----------------------------------------------------------------
+
+void Writer::U16(uint16_t v) {
+  buf_.push_back(static_cast<uint8_t>(v & 0xff));
+  buf_.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void Writer::U32(uint32_t v) {
+  buf_.push_back(static_cast<uint8_t>(v & 0xff));
+  buf_.push_back(static_cast<uint8_t>((v >> 8) & 0xff));
+  buf_.push_back(static_cast<uint8_t>((v >> 16) & 0xff));
+  buf_.push_back(static_cast<uint8_t>((v >> 24) & 0xff));
+}
+
+void Writer::U64(uint64_t v) {
+  U32(static_cast<uint32_t>(v & 0xffffffffu));
+  U32(static_cast<uint32_t>(v >> 32));
+}
+
+void Writer::Str(const std::string& s) {
+  U32(static_cast<uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void Writer::Rect4(const Rect& r) {
+  I32(r.x);
+  I32(r.y);
+  I32(r.width);
+  I32(r.height);
+}
+
+// --- Reader -----------------------------------------------------------------
+
+uint8_t Reader::U8() {
+  if (at_ + 1 > size_) {
+    ok_ = false;
+    at_ = size_;
+    return 0;
+  }
+  return data_[at_++];
+}
+
+uint16_t Reader::U16() {
+  if (at_ + 2 > size_) {
+    ok_ = false;
+    at_ = size_;
+    return 0;
+  }
+  uint16_t v = static_cast<uint16_t>(data_[at_]) |
+               static_cast<uint16_t>(data_[at_ + 1]) << 8;
+  at_ += 2;
+  return v;
+}
+
+uint32_t Reader::U32() {
+  if (at_ + 4 > size_) {
+    ok_ = false;
+    at_ = size_;
+    return 0;
+  }
+  uint32_t v = static_cast<uint32_t>(data_[at_]) |
+               static_cast<uint32_t>(data_[at_ + 1]) << 8 |
+               static_cast<uint32_t>(data_[at_ + 2]) << 16 |
+               static_cast<uint32_t>(data_[at_ + 3]) << 24;
+  at_ += 4;
+  return v;
+}
+
+uint64_t Reader::U64() {
+  uint64_t lo = U32();
+  uint64_t hi = U32();
+  return lo | hi << 32;
+}
+
+std::string Reader::Str() {
+  uint32_t len = U32();
+  if (!ok_ || len > remaining()) {
+    ok_ = false;
+    at_ = size_;
+    return std::string();
+  }
+  std::string s(reinterpret_cast<const char*>(data_ + at_), len);
+  at_ += len;
+  return s;
+}
+
+Rect Reader::Rect4() {
+  Rect r;
+  r.x = I32();
+  r.y = I32();
+  r.width = I32();
+  r.height = I32();
+  return r;
+}
+
+// --- Frame assembly ---------------------------------------------------------
+
+std::vector<uint8_t> EncodeFrame(FrameKind kind, std::vector<uint8_t> payload) {
+  Writer w;
+  w.U32(kWireMagic);
+  w.U8(kWireVersion);
+  w.U8(static_cast<uint8_t>(kind));
+  w.U16(0);  // Reserved.
+  w.U32(static_cast<uint32_t>(payload.size()));
+  std::vector<uint8_t> frame = w.Take();
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+DecodeStatus DecodeFrameHeader(const uint8_t* data, size_t size, FrameHeader* out) {
+  Reader r(data, size);
+  uint32_t magic = r.U32();
+  uint8_t version = r.U8();
+  uint8_t kind = r.U8();
+  r.U16();  // Reserved; tolerated nonzero for forward compatibility.
+  uint32_t length = r.U32();
+  if (!r.ok()) {
+    return DecodeStatus::kTruncated;
+  }
+  if (magic != kWireMagic) {
+    return DecodeStatus::kBadMagic;
+  }
+  if (version != kWireVersion) {
+    return DecodeStatus::kBadVersion;
+  }
+  if (kind == 0 || kind >= static_cast<uint8_t>(FrameKind::kFrameKindCount)) {
+    return DecodeStatus::kBadKind;
+  }
+  if (length > kMaxFramePayload) {
+    return DecodeStatus::kOversized;
+  }
+  out->kind = static_cast<FrameKind>(kind);
+  out->payload_length = length;
+  return DecodeStatus::kOk;
+}
+
+DecodeStatus DecodeFrame(const std::vector<uint8_t>& bytes, Frame* out) {
+  if (bytes.size() < kFrameHeaderSize) {
+    return DecodeStatus::kTruncated;
+  }
+  FrameHeader header;
+  DecodeStatus status = DecodeFrameHeader(bytes.data(), bytes.size(), &header);
+  if (status != DecodeStatus::kOk) {
+    return status;
+  }
+  if (bytes.size() - kFrameHeaderSize < header.payload_length) {
+    return DecodeStatus::kTruncated;
+  }
+  if (bytes.size() - kFrameHeaderSize > header.payload_length) {
+    return DecodeStatus::kTrailing;
+  }
+  out->kind = header.kind;
+  out->payload.assign(bytes.begin() + kFrameHeaderSize, bytes.end());
+  return DecodeStatus::kOk;
+}
+
+// --- Request ----------------------------------------------------------------
+
+void EncodeRequest(Writer& w, const Request& request) {
+  w.U8(static_cast<uint8_t>(request.op));
+  w.U64(request.sequence);
+  w.U32(request.window);
+  w.U32(request.resource);
+  w.U32(request.gc);
+  w.U32(request.atom);
+  w.U32(request.target);
+  w.U32(request.property);
+  w.U32(request.requestor);
+  w.U32(request.pixel);
+  w.U32(request.mask);
+  w.I32(request.x);
+  w.I32(request.y);
+  w.I32(request.width);
+  w.I32(request.height);
+  w.I32(request.border_width);
+  w.I32(request.x1);
+  w.I32(request.y1);
+  w.Rect4(request.rect);
+  w.Str(request.text);
+  w.U32(request.gc_values.foreground);
+  w.U32(request.gc_values.background);
+  w.U32(request.gc_values.font);
+  w.I32(request.gc_values.line_width);
+  // SendEvent payload, inline.
+  w.U32(static_cast<uint32_t>(request.event.type));
+  w.U32(request.event.window);
+  w.U64(request.event.time);
+  w.I32(request.event.x);
+  w.I32(request.event.y);
+  w.U32(request.event.state);
+  w.U32(request.event.detail);
+  w.U32(request.event.atom);
+  w.U32(request.event.target);
+  w.U32(request.event.property);
+  w.U32(request.event.requestor);
+  w.U32(request.event.message_type);
+  w.Str(request.event.data);
+}
+
+DecodeStatus DecodeRequest(Reader& r, Request* out) {
+  uint8_t op = r.U8();
+  if (r.ok() && op > kMaxRequestOpcode) {
+    return DecodeStatus::kBadOpcode;
+  }
+  out->op = static_cast<RequestOpcode>(op);
+  out->sequence = r.U64();
+  out->window = r.U32();
+  out->resource = r.U32();
+  out->gc = r.U32();
+  out->atom = r.U32();
+  out->target = r.U32();
+  out->property = r.U32();
+  out->requestor = r.U32();
+  out->pixel = r.U32();
+  out->mask = r.U32();
+  out->x = r.I32();
+  out->y = r.I32();
+  out->width = r.I32();
+  out->height = r.I32();
+  out->border_width = r.I32();
+  out->x1 = r.I32();
+  out->y1 = r.I32();
+  out->rect = r.Rect4();
+  out->text = r.Str();
+  out->gc_values.foreground = r.U32();
+  out->gc_values.background = r.U32();
+  out->gc_values.font = r.U32();
+  out->gc_values.line_width = r.I32();
+  uint32_t event_type = r.U32();
+  if (r.ok() && event_type > kMaxEventType) {
+    return DecodeStatus::kBadOpcode;
+  }
+  out->event.type = static_cast<EventType>(event_type);
+  out->event.window = r.U32();
+  out->event.time = r.U64();
+  out->event.x = r.I32();
+  out->event.y = r.I32();
+  out->event.state = r.U32();
+  out->event.detail = r.U32();
+  out->event.atom = r.U32();
+  out->event.target = r.U32();
+  out->event.property = r.U32();
+  out->event.requestor = r.U32();
+  out->event.message_type = r.U32();
+  out->event.data = r.Str();
+  return r.ok() ? DecodeStatus::kOk : DecodeStatus::kTruncated;
+}
+
+std::vector<uint8_t> EncodeBatchPayload(const std::vector<Request>& batch) {
+  Writer w;
+  w.U32(static_cast<uint32_t>(batch.size()));
+  for (const Request& request : batch) {
+    EncodeRequest(w, request);
+  }
+  return w.Take();
+}
+
+DecodeStatus DecodeBatchPayload(const std::vector<uint8_t>& payload,
+                                std::vector<Request>* out) {
+  Reader r(payload);
+  uint32_t count = r.U32();
+  if (!r.ok()) {
+    return DecodeStatus::kTruncated;
+  }
+  if (count > kMaxBatchRequests) {
+    return DecodeStatus::kOversized;
+  }
+  out->clear();
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Request request;
+    DecodeStatus status = DecodeRequest(r, &request);
+    if (status != DecodeStatus::kOk) {
+      return status;
+    }
+    out->push_back(std::move(request));
+  }
+  return Finish(r);
+}
+
+// --- Event ------------------------------------------------------------------
+
+std::vector<uint8_t> EncodeEventPayload(const Event& event) {
+  Writer w;
+  w.U32(static_cast<uint32_t>(event.type));
+  w.U32(event.window);
+  w.U64(event.time);
+  w.I32(event.x);
+  w.I32(event.y);
+  w.I32(event.x_root);
+  w.I32(event.y_root);
+  w.U32(event.state);
+  w.U32(event.detail);
+  w.Rect4(event.area);
+  w.I32(event.border_width);
+  w.I32(event.count);
+  w.U32(event.atom);
+  w.U32(event.target);
+  w.U32(event.property);
+  w.U32(event.requestor);
+  w.U32(event.message_type);
+  w.Str(event.data);
+  return w.Take();
+}
+
+DecodeStatus DecodeEventPayload(const std::vector<uint8_t>& payload, Event* out) {
+  Reader r(payload);
+  uint32_t type = r.U32();
+  if (r.ok() && type > kMaxEventType) {
+    return DecodeStatus::kBadOpcode;
+  }
+  out->type = static_cast<EventType>(type);
+  out->window = r.U32();
+  out->time = r.U64();
+  out->x = r.I32();
+  out->y = r.I32();
+  out->x_root = r.I32();
+  out->y_root = r.I32();
+  out->state = r.U32();
+  out->detail = r.U32();
+  out->area = r.Rect4();
+  out->border_width = r.I32();
+  out->count = r.I32();
+  out->atom = r.U32();
+  out->target = r.U32();
+  out->property = r.U32();
+  out->requestor = r.U32();
+  out->message_type = r.U32();
+  out->data = r.Str();
+  return Finish(r);
+}
+
+// --- Error ------------------------------------------------------------------
+
+std::vector<uint8_t> EncodeErrorPayload(const XError& error) {
+  Writer w;
+  w.U8(static_cast<uint8_t>(error.code));
+  w.U64(error.sequence);
+  w.U32(error.resource);
+  w.U8(static_cast<uint8_t>(error.request));
+  return w.Take();
+}
+
+DecodeStatus DecodeErrorPayload(const std::vector<uint8_t>& payload, XError* out) {
+  Reader r(payload);
+  uint8_t code = r.U8();
+  if (r.ok() && code > kMaxErrorCode) {
+    return DecodeStatus::kBadOpcode;
+  }
+  out->code = static_cast<ErrorCode>(code);
+  out->sequence = r.U64();
+  out->resource = r.U32();
+  uint8_t request = r.U8();
+  if (r.ok() && request >= static_cast<uint8_t>(RequestType::kRequestTypeCount)) {
+    return DecodeStatus::kBadOpcode;
+  }
+  out->request = static_cast<RequestType>(request);
+  return Finish(r);
+}
+
+// --- Query / reply ----------------------------------------------------------
+
+std::vector<uint8_t> EncodeQueryPayload(const WireQuery& query) {
+  Writer w;
+  w.U8(static_cast<uint8_t>(query.op));
+  w.U32(query.a);
+  w.U32(query.b);
+  w.I32(query.c);
+  w.I32(query.d);
+  w.Str(query.text);
+  return w.Take();
+}
+
+DecodeStatus DecodeQueryPayload(const std::vector<uint8_t>& payload, WireQuery* out) {
+  Reader r(payload);
+  uint8_t op = r.U8();
+  if (r.ok() &&
+      (op == 0 || op >= static_cast<uint8_t>(QueryOpcode::kQueryOpcodeCount))) {
+    return DecodeStatus::kBadOpcode;
+  }
+  out->op = static_cast<QueryOpcode>(op);
+  out->a = r.U32();
+  out->b = r.U32();
+  out->c = r.I32();
+  out->d = r.I32();
+  out->text = r.Str();
+  return Finish(r);
+}
+
+std::vector<uint8_t> EncodeReplyPayload(const WireReply& reply) {
+  Writer w;
+  w.U8(reply.ok ? 1 : 0);
+  w.U64(reply.value);
+  w.U64(reply.sequence);
+  w.I32(reply.c);
+  w.I32(reply.d);
+  w.Str(reply.text);
+  return w.Take();
+}
+
+DecodeStatus DecodeReplyPayload(const std::vector<uint8_t>& payload, WireReply* out) {
+  Reader r(payload);
+  out->ok = r.U8() != 0;
+  out->value = r.U64();
+  out->sequence = r.U64();
+  out->c = r.I32();
+  out->d = r.I32();
+  out->text = r.Str();
+  return Finish(r);
+}
+
+// --- Hello / acks -----------------------------------------------------------
+
+std::vector<uint8_t> EncodeHelloPayload(const std::string& client_name) {
+  Writer w;
+  w.Str(client_name);
+  return w.Take();
+}
+
+DecodeStatus DecodeHelloPayload(const std::vector<uint8_t>& payload,
+                                std::string* client_name) {
+  Reader r(payload);
+  *client_name = r.Str();
+  return Finish(r);
+}
+
+std::vector<uint8_t> EncodeAckPayload(const WireAck& ack) {
+  Writer w;
+  w.U64(ack.value);
+  w.U64(ack.sequence);
+  w.U32(ack.extra);
+  return w.Take();
+}
+
+DecodeStatus DecodeAckPayload(const std::vector<uint8_t>& payload, WireAck* out) {
+  Reader r(payload);
+  out->value = r.U64();
+  out->sequence = r.U64();
+  out->extra = r.U32();
+  return Finish(r);
+}
+
+}  // namespace wire
+}  // namespace xsim

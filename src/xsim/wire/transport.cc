@@ -1,0 +1,402 @@
+#include "src/xsim/wire/transport.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "src/xsim/color.h"
+#include "src/xsim/server.h"
+#include "src/xsim/wire/wire_server.h"
+
+namespace xsim {
+namespace wire {
+
+const char* TransportKindName(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kDirect:
+      return "direct";
+    case TransportKind::kWire:
+      return "wire";
+  }
+  return "?";
+}
+
+TransportKind TransportKindFromEnv() {
+  const char* value = std::getenv("TCLK_TRANSPORT");
+  if (value != nullptr && std::strcmp(value, "wire") == 0) {
+    return TransportKind::kWire;
+  }
+  return TransportKind::kDirect;
+}
+
+std::unique_ptr<Transport> Connect(Server& server, TransportKind kind, std::string name,
+                                   Transport::ErrorSink sink) {
+  if (kind == TransportKind::kWire) {
+    int fd = server.wire().Connect();
+    return std::make_unique<WireTransport>(fd, std::move(name), std::move(sink));
+  }
+  return std::make_unique<DirectTransport>(server, std::move(name), std::move(sink));
+}
+
+// ---------------------------------------------------------------------------
+// DirectTransport: each call is the Server method Display used to make.
+
+DirectTransport::DirectTransport(Server& server, std::string name, ErrorSink sink)
+    : server_(server) {
+  client_ = server_.RegisterClient(std::move(name));
+  server_.SetErrorSink(client_, std::move(sink));
+}
+
+DirectTransport::~DirectTransport() { Close(); }
+
+WindowId DirectTransport::root() const { return server_.root(); }
+
+bool DirectTransport::Alive() { return !closed_ && server_.ClientAlive(client_); }
+
+uint64_t DirectTransport::SequenceSync() { return server_.ClientSequence(client_); }
+
+size_t DirectTransport::SendBatch(const std::vector<Request>& batch) {
+  return server_.ApplyBatch(client_, batch);
+}
+
+bool DirectTransport::SendRequestSync(const Request& request) {
+  return server_.ApplyRequest(client_, request, /*synchronous=*/true);
+}
+
+WireReply DirectTransport::Query(const WireQuery& query) {
+  WireReply reply;
+  switch (query.op) {
+    case QueryOpcode::kInternAtom: {
+      reply.value = server_.InternAtom(client_, query.text);
+      reply.ok = reply.value != kAtomNone;
+      break;
+    }
+    case QueryOpcode::kAtomName: {
+      reply.text = server_.AtomName(query.a);
+      reply.ok = !reply.text.empty();
+      break;
+    }
+    case QueryOpcode::kGetProperty: {
+      std::optional<std::string> value = server_.GetProperty(client_, query.a, query.b);
+      reply.ok = value.has_value();
+      if (value) {
+        reply.text = std::move(*value);
+      }
+      break;
+    }
+    case QueryOpcode::kAllocNamedColor: {
+      std::optional<Pixel> pixel = server_.AllocNamedColor(client_, query.text);
+      reply.ok = pixel.has_value();
+      reply.value = pixel.value_or(0);
+      break;
+    }
+    case QueryOpcode::kAllocColor: {
+      reply.value = server_.AllocColor(client_, UnpackPixel(query.a));
+      reply.ok = true;
+      break;
+    }
+    case QueryOpcode::kLoadFont: {
+      std::optional<FontId> font = server_.LoadFont(client_, query.text);
+      reply.ok = font.has_value();
+      reply.value = font.value_or(kNone);
+      break;
+    }
+    case QueryOpcode::kQueryFont: {
+      const FontMetrics* metrics = server_.QueryFont(query.a);
+      reply.ok = metrics != nullptr;
+      if (metrics != nullptr) {
+        reply.value = metrics->char_width;
+        reply.c = metrics->ascent;
+        reply.d = metrics->descent;
+        reply.text = metrics->name;
+      }
+      break;
+    }
+    case QueryOpcode::kCreateCursor: {
+      reply.value = server_.CreateNamedCursor(client_, query.text);
+      reply.ok = reply.value != kNone;
+      break;
+    }
+    case QueryOpcode::kCreateBitmap: {
+      reply.value = server_.CreateBitmap(client_, query.text, query.c, query.d);
+      reply.ok = reply.value != kNone;
+      break;
+    }
+    case QueryOpcode::kGetInputFocus: {
+      reply.value = server_.GetInputFocus();
+      reply.ok = true;
+      break;
+    }
+    case QueryOpcode::kGetSelectionOwner: {
+      reply.value = server_.GetSelectionOwner(client_, query.a);
+      reply.ok = reply.value != kNone;
+      break;
+    }
+    case QueryOpcode::kNoOpRoundTrip: {
+      server_.GetSelectionOwner(client_, kAtomNone);
+      reply.ok = true;
+      break;
+    }
+    case QueryOpcode::kQueryOpcodeCount:
+      break;
+  }
+  reply.sequence = server_.ClientSequence(client_);
+  return reply;
+}
+
+bool DirectTransport::HasPendingEvents() { return server_.HasPendingEvents(client_); }
+
+size_t DirectTransport::PendingEventCount() { return server_.PendingEventCount(client_); }
+
+bool DirectTransport::NextEvent(Event* out) { return server_.NextEvent(client_, out); }
+
+void DirectTransport::Close() {
+  if (closed_) {
+    return;
+  }
+  closed_ = true;
+  server_.UnregisterClient(client_);
+}
+
+// ---------------------------------------------------------------------------
+// WireTransport: the byte-stream path.
+
+namespace {
+
+bool ReadFull(int fd, uint8_t* data, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    ssize_t n = ::recv(fd, data + done, size - done, 0);
+    if (n > 0) {
+      done += static_cast<size_t>(n);
+    } else if (n < 0 && errno == EINTR) {
+      continue;
+    } else {
+      return false;  // EOF or hard error: the connection is gone.
+    }
+  }
+  return true;
+}
+
+bool WriteFull(int fd, const uint8_t* data, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    // MSG_NOSIGNAL: a peer that hung up must surface as EPIPE, not SIGPIPE.
+    ssize_t n = ::send(fd, data + done, size - done, MSG_NOSIGNAL);
+    if (n > 0) {
+      done += static_cast<size_t>(n);
+    } else if (n < 0 && errno == EINTR) {
+      continue;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+WireTransport::WireTransport(int fd, std::string name, ErrorSink sink)
+    : fd_(fd), sink_(std::move(sink)) {
+  if (fd_ < 0) {
+    closed_ = true;
+    alive_ = false;
+    return;
+  }
+  if (!SendFrame(FrameKind::kHello, EncodeHelloPayload(name))) {
+    return;
+  }
+  std::vector<uint8_t> payload;
+  WireAck ack;
+  if (!WaitFor(FrameKind::kHelloAck, &payload) ||
+      DecodeAckPayload(payload, &ack) != DecodeStatus::kOk) {
+    Close();
+    return;
+  }
+  client_ = static_cast<ClientId>(ack.value);
+  server_sequence_ = ack.sequence;
+  root_ = ack.extra;
+}
+
+WireTransport::~WireTransport() { Close(); }
+
+bool WireTransport::SendFrame(FrameKind kind, const std::vector<uint8_t>& payload) {
+  if (fd_ < 0 || closed_) {
+    return false;
+  }
+  std::vector<uint8_t> frame = EncodeFrame(kind, payload);
+  if (!WriteFull(fd_, frame.data(), frame.size())) {
+    closed_ = true;
+    alive_ = false;
+    return false;
+  }
+  return true;
+}
+
+bool WireTransport::ReadFrame(Frame* out) {
+  if (fd_ < 0 || closed_) {
+    return false;
+  }
+  uint8_t header[kFrameHeaderSize];
+  FrameHeader decoded;
+  if (!ReadFull(fd_, header, sizeof(header)) ||
+      DecodeFrameHeader(header, sizeof(header), &decoded) != DecodeStatus::kOk) {
+    closed_ = true;
+    alive_ = false;
+    return false;
+  }
+  out->kind = decoded.kind;
+  out->payload.resize(decoded.payload_length);
+  if (decoded.payload_length != 0 &&
+      !ReadFull(fd_, out->payload.data(), out->payload.size())) {
+    closed_ = true;
+    alive_ = false;
+    return false;
+  }
+  return true;
+}
+
+bool WireTransport::WaitFor(FrameKind kind, std::vector<uint8_t>* payload) {
+  // Events and errors may arrive ahead of the response we are waiting on
+  // (deferred errors from the batch being acked, fan-out from other clients'
+  // activity); absorb them in arrival order, exactly as Xlib's _XReply does.
+  while (true) {
+    Frame frame;
+    if (!ReadFrame(&frame)) {
+      return false;
+    }
+    if (frame.kind == kind) {
+      *payload = std::move(frame.payload);
+      return true;
+    }
+    switch (frame.kind) {
+      case FrameKind::kEvent: {
+        Event event;
+        if (DecodeEventPayload(frame.payload, &event) == DecodeStatus::kOk) {
+          events_.push_back(event);
+        }
+        break;
+      }
+      case FrameKind::kError: {
+        XError error;
+        if (DecodeErrorPayload(frame.payload, &error) == DecodeStatus::kOk && sink_) {
+          sink_(error);
+        }
+        break;
+      }
+      default:
+        // A response we did not ask for: the stream is out of sync.
+        Close();
+        return false;
+    }
+  }
+}
+
+void WireTransport::AdoptAck(const WireAck& ack) {
+  server_sequence_ = ack.sequence;
+  alive_ = ack.extra != 0;
+}
+
+size_t WireTransport::SendBatch(const std::vector<Request>& batch) {
+  if (!SendFrame(FrameKind::kBatch, EncodeBatchPayload(batch))) {
+    return 0;
+  }
+  std::vector<uint8_t> payload;
+  WireAck ack;
+  if (!WaitFor(FrameKind::kBatchAck, &payload) ||
+      DecodeAckPayload(payload, &ack) != DecodeStatus::kOk) {
+    return 0;
+  }
+  AdoptAck(ack);
+  return static_cast<size_t>(ack.value);
+}
+
+bool WireTransport::SendRequestSync(const Request& request) {
+  // A synchronous request travels as a batch of one; the ack carries its
+  // real status (XSynchronize semantics end-to-end).
+  std::vector<Request> batch(1, request);
+  if (!SendFrame(FrameKind::kRequestSync, EncodeBatchPayload(batch))) {
+    return false;
+  }
+  std::vector<uint8_t> payload;
+  WireAck ack;
+  if (!WaitFor(FrameKind::kRequestAck, &payload) ||
+      DecodeAckPayload(payload, &ack) != DecodeStatus::kOk) {
+    return false;
+  }
+  AdoptAck(ack);
+  return ack.value != 0;
+}
+
+WireReply WireTransport::Query(const WireQuery& query) {
+  WireReply reply;
+  if (!SendFrame(FrameKind::kQuery, EncodeQueryPayload(query))) {
+    return reply;
+  }
+  std::vector<uint8_t> payload;
+  if (!WaitFor(FrameKind::kReply, &payload) ||
+      DecodeReplyPayload(payload, &reply) != DecodeStatus::kOk) {
+    return WireReply();
+  }
+  server_sequence_ = reply.sequence;
+  return reply;
+}
+
+void WireTransport::SyncEvents() {
+  if (!SendFrame(FrameKind::kEventSync, {})) {
+    return;
+  }
+  std::vector<uint8_t> payload;
+  WireAck ack;
+  if (WaitFor(FrameKind::kEventSyncAck, &payload) &&
+      DecodeAckPayload(payload, &ack) == DecodeStatus::kOk) {
+    AdoptAck(ack);
+  }
+}
+
+bool WireTransport::HasPendingEvents() {
+  if (!events_.empty()) {
+    return true;
+  }
+  SyncEvents();
+  return !events_.empty();
+}
+
+size_t WireTransport::PendingEventCount() {
+  SyncEvents();
+  return events_.size();
+}
+
+bool WireTransport::NextEvent(Event* out) {
+  if (events_.empty()) {
+    SyncEvents();
+  }
+  if (events_.empty()) {
+    return false;
+  }
+  *out = events_.front();
+  events_.pop_front();
+  return true;
+}
+
+void WireTransport::Close() {
+  if (fd_ >= 0) {
+    if (!closed_ && SendFrame(FrameKind::kBye, {})) {
+      // Block until the server has unregistered us, so destruction is as
+      // synchronous as the direct path's UnregisterClient.
+      std::vector<uint8_t> payload;
+      WaitFor(FrameKind::kByeAck, &payload);
+    }
+    ::close(fd_);
+    fd_ = -1;
+  }
+  closed_ = true;
+  alive_ = false;
+}
+
+}  // namespace wire
+}  // namespace xsim

@@ -1,0 +1,179 @@
+// The client side of the xsim connection: how a Display reaches its Server.
+//
+// The paper's Tk talks to X through Xlib over a byte stream; PR 4 gave the
+// reproduction Xlib's output buffer but still delivered batches through an
+// in-process pointer.  Transport makes that delivery step swappable:
+//
+//   * DirectTransport   -- the original shortcut: method calls on Server.
+//   * WireTransport     -- a real byte stream (socketpair to the threaded
+//                          WireServer front-end), every batch/query/event
+//                          crossing as encoded frames.  XOpenDisplay's
+//                          connect(), in miniature.
+//
+// Both implement identical protocol semantics: batches apply in order,
+// queries are the only round trips the request counters see, errors arrive
+// deferred with their enqueue-time sequence numbers, and events drain through
+// the same Pending/PollEvent surface.  WireTransport keeps flushes
+// deterministic by waiting for a transport-level batch acknowledgement (like
+// TCP's ack, it is not an X round trip and is not counted as one), so every
+// direct-mode conformance assertion holds unchanged over the wire.
+//
+// Transport selection: pass a TransportKind to Display::Open, or set the
+// environment variable TCLK_TRANSPORT=wire to switch every Display in the
+// process (how the wire variants of the conformance suites run).
+
+#ifndef SRC_XSIM_WIRE_TRANSPORT_H_
+#define SRC_XSIM_WIRE_TRANSPORT_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/xsim/error.h"
+#include "src/xsim/event.h"
+#include "src/xsim/request.h"
+#include "src/xsim/types.h"
+#include "src/xsim/wire/codec.h"
+
+namespace xsim {
+
+class Server;
+
+namespace wire {
+
+enum class TransportKind : uint8_t {
+  kDirect = 0,  // In-process method calls (the PR 1-4 behaviour).
+  kWire,        // Length-prefixed frames over a socketpair.
+};
+
+const char* TransportKindName(TransportKind kind);
+
+// Reads TCLK_TRANSPORT ("direct"/"wire"); kDirect when unset or unknown.
+TransportKind TransportKindFromEnv();
+
+// What a Display needs from its connection.  One instance per Display; calls
+// come from the owning Display's thread only.
+class Transport {
+ public:
+  using ErrorSink = std::function<void(const XError&)>;
+
+  virtual ~Transport() = default;
+
+  virtual TransportKind kind() const = 0;
+  virtual ClientId client_id() const = 0;
+  virtual WindowId root() const = 0;
+
+  // Last known liveness of the connection's server-side client record (a
+  // KillClient'ed connection swallows requests, as in the direct path).
+  virtual bool Alive() = 0;
+  // Server-side sequence number of this client, for Display::Resync after a
+  // query.  Over the wire this is the sequence carried by the latest
+  // reply/ack rather than a fresh round trip.
+  virtual uint64_t SequenceSync() = 0;
+
+  // Ships one output-buffer flush; returns how many requests applied.
+  // Blocks until the server acknowledges the batch (see file comment).
+  virtual size_t SendBatch(const std::vector<Request>& batch) = 0;
+  // XSynchronize path: one request, applied immediately, real status back.
+  virtual bool SendRequestSync(const Request& request) = 0;
+  // Reply-bearing queries (the only protocol round trips).
+  virtual WireReply Query(const WireQuery& query) = 0;
+
+  // Event interface (XPending/XNextEvent shape).  Over the wire these drain
+  // the server-side queue through the connection first.
+  virtual bool HasPendingEvents() = 0;
+  virtual size_t PendingEventCount() = 0;
+  virtual bool NextEvent(Event* out) = 0;
+
+  // Orderly disconnect (idempotent; the destructor closes too).
+  virtual void Close() = 0;
+};
+
+// Connects a new client named `name` to `server` over the chosen transport,
+// with `sink` receiving this connection's X error events.  The server must
+// outlive the transport.
+std::unique_ptr<Transport> Connect(Server& server, TransportKind kind, std::string name,
+                                   Transport::ErrorSink sink);
+
+// --- Implementations --------------------------------------------------------
+
+// The in-process shortcut: every Transport call is the Server method the
+// Display used to make directly.
+class DirectTransport : public Transport {
+ public:
+  DirectTransport(Server& server, std::string name, ErrorSink sink);
+  ~DirectTransport() override;
+
+  TransportKind kind() const override { return TransportKind::kDirect; }
+  ClientId client_id() const override { return client_; }
+  WindowId root() const override;
+  bool Alive() override;
+  uint64_t SequenceSync() override;
+  size_t SendBatch(const std::vector<Request>& batch) override;
+  bool SendRequestSync(const Request& request) override;
+  WireReply Query(const WireQuery& query) override;
+  bool HasPendingEvents() override;
+  size_t PendingEventCount() override;
+  bool NextEvent(Event* out) override;
+  void Close() override;
+
+ private:
+  Server& server_;
+  ClientId client_ = 0;
+  bool closed_ = false;
+};
+
+// The byte-stream path: owns the client end of a socketpair to WireServer.
+// Single-threaded by design (the Display's thread): sends a frame, then
+// pumps incoming frames -- queueing events, delivering errors to the sink in
+// arrival order -- until the matching ack/reply appears.  A broken
+// connection degrades exactly like a dead client: sends are swallowed,
+// queries return empty replies, Alive() goes false.
+class WireTransport : public Transport {
+ public:
+  // Takes ownership of `fd` (the client end from WireServer::Connect) and
+  // performs the Hello handshake.
+  WireTransport(int fd, std::string name, ErrorSink sink);
+  ~WireTransport() override;
+
+  TransportKind kind() const override { return TransportKind::kWire; }
+  ClientId client_id() const override { return client_; }
+  WindowId root() const override { return root_; }
+  bool Alive() override { return !closed_ && alive_; }
+  uint64_t SequenceSync() override { return server_sequence_; }
+  size_t SendBatch(const std::vector<Request>& batch) override;
+  bool SendRequestSync(const Request& request) override;
+  WireReply Query(const WireQuery& query) override;
+  bool HasPendingEvents() override;
+  size_t PendingEventCount() override;
+  bool NextEvent(Event* out) override;
+  void Close() override;
+
+ private:
+  bool SendFrame(FrameKind kind, const std::vector<uint8_t>& payload);
+  // Reads one whole frame; false (and closed_) on EOF/damage.
+  bool ReadFrame(Frame* out);
+  // Pumps frames until one of kind `kind` arrives; events are queued and
+  // errors delivered along the way.  False when the connection died first.
+  bool WaitFor(FrameKind kind, std::vector<uint8_t>* payload);
+  // Issues a kEventSync round trip so every event the server holds for this
+  // client is in events_.
+  void SyncEvents();
+  void AdoptAck(const WireAck& ack);
+
+  int fd_ = -1;
+  ClientId client_ = 0;
+  WindowId root_ = kNone;
+  ErrorSink sink_;
+  bool closed_ = false;
+  bool alive_ = true;
+  uint64_t server_sequence_ = 0;
+  std::deque<Event> events_;
+};
+
+}  // namespace wire
+}  // namespace xsim
+
+#endif  // SRC_XSIM_WIRE_TRANSPORT_H_

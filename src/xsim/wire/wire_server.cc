@@ -1,0 +1,489 @@
+#include "src/xsim/wire/wire_server.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <utility>
+
+#include "src/xsim/color.h"
+#include "src/xsim/server.h"
+
+namespace xsim {
+namespace wire {
+
+namespace {
+
+bool ReadFull(int fd, uint8_t* data, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    ssize_t n = ::recv(fd, data + done, size - done, 0);
+    if (n > 0) {
+      done += static_cast<size_t>(n);
+    } else if (n < 0 && errno == EINTR) {
+      continue;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool WriteFull(int fd, const uint8_t* data, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    ssize_t n = ::send(fd, data + done, size - done, MSG_NOSIGNAL);
+    if (n > 0) {
+      done += static_cast<size_t>(n);
+    } else if (n < 0 && errno == EINTR) {
+      continue;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+WireServer::WireServer(Server& server) : server_(server) {}
+
+WireServer::~WireServer() {
+  std::vector<std::shared_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+    connections = connections_;
+  }
+  for (const auto& conn : connections) {
+    KillConnection(*conn);
+  }
+  for (const auto& conn : connections) {
+    if (conn->reader.joinable()) {
+      conn->reader.join();
+    }
+    if (conn->writer.joinable()) {
+      conn->writer.join();
+    }
+    if (conn->fd >= 0) {
+      ::close(conn->fd);
+      conn->fd = -1;
+    }
+  }
+}
+
+int WireServer::Connect() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    return -1;
+  }
+  auto conn = std::make_shared<Connection>();
+  conn->fd = fds[0];
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_) {
+      ::close(fds[0]);
+      ::close(fds[1]);
+      return -1;
+    }
+    connections_.push_back(conn);
+  }
+  server_.CountWireConnection();
+  conn->reader = std::thread(&WireServer::ReaderLoop, this, conn);
+  conn->writer = std::thread(&WireServer::WriterLoop, this, conn);
+  return fds[1];
+}
+
+size_t WireServer::connection_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return connections_.size();
+}
+
+void WireServer::set_outbound_capacity(size_t frames) {
+  std::lock_guard<std::mutex> lock(mu_);
+  outbound_capacity_ = frames == 0 ? 1 : frames;
+}
+
+void WireServer::set_backpressure_timeout_ms(uint64_t ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  backpressure_timeout_ms_ = ms;
+}
+
+// ---------------------------------------------------------------------------
+// Threads.
+
+void WireServer::ReaderLoop(std::shared_ptr<Connection> conn) {
+  while (true) {
+    uint8_t header[kFrameHeaderSize];
+    if (!ReadFull(conn->fd, header, sizeof(header))) {
+      break;  // EOF or shutdown: the client hung up.
+    }
+    FrameHeader decoded;
+    DecodeStatus status = DecodeFrameHeader(header, sizeof(header), &decoded);
+    if (status != DecodeStatus::kOk) {
+      // The byte stream itself is unsynchronized; all the server can do is
+      // name the damage and hang up.
+      server_.CountWireMalformed();
+      EnqueueError(*conn, DecodeStatusToError(status), 0);
+      break;
+    }
+    Frame frame;
+    frame.kind = decoded.kind;
+    frame.payload.resize(decoded.payload_length);
+    if (decoded.payload_length != 0 &&
+        !ReadFull(conn->fd, frame.payload.data(), frame.payload.size())) {
+      break;
+    }
+    server_.CountWireFrameIn(kFrameHeaderSize + decoded.payload_length);
+    if (!DispatchFrame(*conn, frame)) {
+      break;
+    }
+    // Push events this dispatch generated -- for every connection, not just
+    // this one: A's SendEvent must reach B without B asking.
+    FanOutEvents();
+  }
+  if (conn->client != 0) {
+    server_.UnregisterClient(conn->client);
+  }
+  // Let the writer drain whatever is queued (the farewell error frame, for
+  // one) and exit.
+  {
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    conn->closing = true;
+  }
+  conn->out_ready.notify_all();
+  conn->out_space.notify_all();
+}
+
+void WireServer::WriterLoop(std::shared_ptr<Connection> conn) {
+  while (true) {
+    std::vector<uint8_t> frame;
+    {
+      std::unique_lock<std::mutex> lock(conn->out_mu);
+      conn->out_ready.wait(lock, [&] { return !conn->out.empty() || conn->closing; });
+      if (conn->out.empty()) {
+        break;  // Closing with nothing left to send.
+      }
+      frame = std::move(conn->out.front());
+      conn->out.pop_front();
+    }
+    conn->out_space.notify_all();
+    if (!WriteFull(conn->fd, frame.data(), frame.size())) {
+      std::lock_guard<std::mutex> lock(conn->out_mu);
+      conn->out.clear();
+      conn->closing = true;
+      conn->out_space.notify_all();
+      break;
+    }
+    server_.CountWireFrameOut(frame.size());
+  }
+  // The queue is drained (farewell error frames included) and no more will
+  // be accepted: hang up so the client sees EOF rather than a silent stall.
+  // The fd itself is closed at join time.
+  ::shutdown(conn->fd, SHUT_RDWR);
+}
+
+// ---------------------------------------------------------------------------
+// Outbound queue.
+
+bool WireServer::EnqueueFrame(Connection& conn, std::vector<uint8_t> frame) {
+  size_t capacity;
+  uint64_t timeout_ms;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    capacity = outbound_capacity_;
+    timeout_ms = backpressure_timeout_ms_;
+  }
+  {
+    std::unique_lock<std::mutex> lock(conn.out_mu);
+    bool room = conn.out_space.wait_for(
+        lock, std::chrono::milliseconds(timeout_ms),
+        [&] { return conn.out.size() < capacity || conn.closing; });
+    if (conn.closing) {
+      return false;
+    }
+    if (!room) {
+      // The client stopped draining; a wedged connection must not stall the
+      // rest of the server.
+      lock.unlock();
+      KillConnection(conn);
+      return false;
+    }
+    conn.out.push_back(std::move(frame));
+  }
+  conn.out_ready.notify_one();
+  return true;
+}
+
+void WireServer::EnqueueError(Connection& conn, ErrorCode code, uint64_t sequence) {
+  XError error;
+  error.code = code;
+  error.sequence = sequence;
+  error.resource = kNone;
+  error.request = RequestType::kOther;
+  EnqueueFrame(conn, EncodeFrame(FrameKind::kError, EncodeErrorPayload(error)));
+}
+
+void WireServer::PumpEvents(Connection& conn) {
+  ClientId client = conn.client.load();
+  if (client == 0) {
+    return;
+  }
+  std::lock_guard<std::mutex> pump(conn.pump_mu);
+  // Drain under the pump lock only: NextEvent locks the Server internally,
+  // and EnqueueFrame must not run under the Server lock (backpressure can
+  // block there).
+  Event event;
+  while (server_.NextEvent(client, &event)) {
+    if (!EnqueueFrame(conn, EncodeFrame(FrameKind::kEvent, EncodeEventPayload(event)))) {
+      return;
+    }
+  }
+}
+
+void WireServer::FanOutEvents() {
+  std::vector<std::shared_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    connections = connections_;
+  }
+  for (const auto& conn : connections) {
+    PumpEvents(*conn);
+  }
+}
+
+void WireServer::KillConnection(Connection& conn) {
+  {
+    std::lock_guard<std::mutex> lock(conn.out_mu);
+    conn.closing = true;
+  }
+  conn.out_ready.notify_all();
+  conn.out_space.notify_all();
+  // Wakes the reader out of recv(); the fd itself is closed at join time.
+  ::shutdown(conn.fd, SHUT_RDWR);
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch.
+
+WireAck WireServer::MakeAck(ClientId client, uint64_t value) {
+  WireAck ack;
+  ack.value = value;
+  ack.sequence = server_.ClientSequence(client);
+  ack.extra = server_.ClientAlive(client) ? 1 : 0;
+  return ack;
+}
+
+bool WireServer::DispatchFrame(Connection& conn, const Frame& frame) {
+  switch (frame.kind) {
+    case FrameKind::kHello: {
+      std::string name;
+      if (conn.client != 0 ||
+          DecodeHelloPayload(frame.payload, &name) != DecodeStatus::kOk) {
+        server_.CountWireMalformed();
+        EnqueueError(conn, ErrorCode::kBadLength, 0);
+        return false;
+      }
+      conn.client = server_.RegisterClient(std::move(name));
+      // The sink outlives nothing: `conn` is owned by connections_, which
+      // ~WireServer clears only after every thread is joined, and the Server
+      // erases the sink when the client unregisters.
+      Connection* raw = &conn;
+      server_.SetErrorSink(conn.client, [this, raw](const XError& error) {
+        EnqueueFrame(*raw, EncodeFrame(FrameKind::kError, EncodeErrorPayload(error)));
+      });
+      WireAck ack = MakeAck(conn.client, conn.client);
+      ack.extra = server_.root();  // kHelloAck repurposes extra for the root.
+      return EnqueueFrame(conn, EncodeFrame(FrameKind::kHelloAck, EncodeAckPayload(ack)));
+    }
+    case FrameKind::kBatch:
+      if (conn.client == 0) {
+        return false;
+      }
+      return HandleBatch(conn, frame);
+    case FrameKind::kRequestSync: {
+      if (conn.client == 0) {
+        return false;
+      }
+      std::vector<Request> batch;
+      uint64_t applied = 0;
+      DecodeStatus status = DecodeBatchPayload(frame.payload, &batch);
+      if (status != DecodeStatus::kOk || batch.size() != 1) {
+        server_.CountWireMalformed();
+        server_.RaiseTransportError(conn.client, status == DecodeStatus::kOk
+                                                     ? ErrorCode::kBadLength
+                                                     : DecodeStatusToError(status));
+      } else {
+        applied = server_.ApplyRequest(conn.client, batch[0], /*synchronous=*/true) ? 1 : 0;
+      }
+      return EnqueueFrame(
+          conn, EncodeFrame(FrameKind::kRequestAck, EncodeAckPayload(MakeAck(conn.client, applied))));
+    }
+    case FrameKind::kQuery: {
+      if (conn.client == 0) {
+        return false;
+      }
+      WireQuery query;
+      WireReply reply;
+      DecodeStatus status = DecodeQueryPayload(frame.payload, &query);
+      if (status != DecodeStatus::kOk) {
+        server_.CountWireMalformed();
+        server_.RaiseTransportError(conn.client, DecodeStatusToError(status));
+        reply.sequence = server_.ClientSequence(conn.client);
+      } else {
+        reply = ExecuteQuery(conn.client, query);
+      }
+      return EnqueueFrame(conn,
+                          EncodeFrame(FrameKind::kReply, EncodeReplyPayload(reply)));
+    }
+    case FrameKind::kEventSync: {
+      if (conn.client == 0) {
+        return false;
+      }
+      PumpEvents(conn);
+      return EnqueueFrame(
+          conn,
+          EncodeFrame(FrameKind::kEventSyncAck, EncodeAckPayload(MakeAck(conn.client, 0))));
+    }
+    case FrameKind::kBye: {
+      // Orderly disconnect: unregister before acking so the client's
+      // destructor returning means its resources are already gone (the
+      // direct path's UnregisterClient is synchronous too).
+      if (conn.client != 0) {
+        server_.UnregisterClient(conn.client);
+        conn.client = 0;
+      }
+      EnqueueFrame(conn,
+                   EncodeFrame(FrameKind::kByeAck, EncodeAckPayload(WireAck())));
+      return false;
+    }
+    default:
+      // A server-to-client kind arriving at the server is a protocol
+      // violation; treat it like structural damage.
+      server_.CountWireMalformed();
+      EnqueueError(conn, ErrorCode::kBadRequest, 0);
+      return false;
+  }
+}
+
+bool WireServer::HandleBatch(Connection& conn, const Frame& frame) {
+  FaultInjector::Decision decision = server_.fault_injector().DecideFrame();
+  if (decision.delay_ns != 0) {
+    server_.CountWireFault(false, false, true);
+    std::this_thread::sleep_for(std::chrono::nanoseconds(decision.delay_ns));
+  }
+  if (decision.drop) {
+    // The batch is lost in transit.  The transport-level ack still flows
+    // (acking delivery of zero requests) so the client is not wedged.
+    server_.CountWireFault(true, false, false);
+    return EnqueueFrame(
+        conn, EncodeFrame(FrameKind::kBatchAck, EncodeAckPayload(MakeAck(conn.client, 0))));
+  }
+  std::vector<uint8_t> payload = frame.payload;
+  if (decision.fail) {
+    // Frame-layer "fail" = truncate: the decoder sees structural damage and
+    // the client gets BadLength, but the connection survives.
+    server_.CountWireFault(false, true, false);
+    payload.resize(payload.size() / 2);
+  }
+  std::vector<Request> batch;
+  size_t applied = 0;
+  DecodeStatus status = DecodeBatchPayload(payload, &batch);
+  if (status != DecodeStatus::kOk) {
+    server_.CountWireMalformed();
+    server_.RaiseTransportError(conn.client, DecodeStatusToError(status));
+  } else {
+    server_.CountWireBatch();
+    applied = server_.ApplyBatch(conn.client, batch);
+  }
+  // Deferred errors raised by the batch were enqueued by the error sink
+  // above; the ack goes out after them, so the client sees errors first --
+  // the ordering tk_flush's deferred-error tests assert.
+  return EnqueueFrame(
+      conn, EncodeFrame(FrameKind::kBatchAck, EncodeAckPayload(MakeAck(conn.client, applied))));
+}
+
+WireReply WireServer::ExecuteQuery(ClientId client, const WireQuery& query) {
+  WireReply reply;
+  switch (query.op) {
+    case QueryOpcode::kInternAtom: {
+      reply.value = server_.InternAtom(client, query.text);
+      reply.ok = reply.value != kAtomNone;
+      break;
+    }
+    case QueryOpcode::kAtomName: {
+      reply.text = server_.AtomName(query.a);
+      reply.ok = !reply.text.empty();
+      break;
+    }
+    case QueryOpcode::kGetProperty: {
+      std::optional<std::string> value = server_.GetProperty(client, query.a, query.b);
+      reply.ok = value.has_value();
+      if (value) {
+        reply.text = std::move(*value);
+      }
+      break;
+    }
+    case QueryOpcode::kAllocNamedColor: {
+      std::optional<Pixel> pixel = server_.AllocNamedColor(client, query.text);
+      reply.ok = pixel.has_value();
+      reply.value = pixel.value_or(0);
+      break;
+    }
+    case QueryOpcode::kAllocColor: {
+      reply.value = server_.AllocColor(client, UnpackPixel(query.a));
+      reply.ok = true;
+      break;
+    }
+    case QueryOpcode::kLoadFont: {
+      std::optional<FontId> font = server_.LoadFont(client, query.text);
+      reply.ok = font.has_value();
+      reply.value = font.value_or(kNone);
+      break;
+    }
+    case QueryOpcode::kQueryFont: {
+      const FontMetrics* metrics = server_.QueryFont(query.a);
+      reply.ok = metrics != nullptr;
+      if (metrics != nullptr) {
+        reply.value = metrics->char_width;
+        reply.c = metrics->ascent;
+        reply.d = metrics->descent;
+        reply.text = metrics->name;
+      }
+      break;
+    }
+    case QueryOpcode::kCreateCursor: {
+      reply.value = server_.CreateNamedCursor(client, query.text);
+      reply.ok = reply.value != kNone;
+      break;
+    }
+    case QueryOpcode::kCreateBitmap: {
+      reply.value = server_.CreateBitmap(client, query.text, query.c, query.d);
+      reply.ok = reply.value != kNone;
+      break;
+    }
+    case QueryOpcode::kGetInputFocus: {
+      reply.value = server_.GetInputFocus();
+      reply.ok = true;
+      break;
+    }
+    case QueryOpcode::kGetSelectionOwner: {
+      reply.value = server_.GetSelectionOwner(client, query.a);
+      reply.ok = reply.value != kNone;
+      break;
+    }
+    case QueryOpcode::kNoOpRoundTrip: {
+      server_.GetSelectionOwner(client, kAtomNone);
+      reply.ok = true;
+      break;
+    }
+    case QueryOpcode::kQueryOpcodeCount:
+      break;
+  }
+  reply.sequence = server_.ClientSequence(client);
+  return reply;
+}
+
+}  // namespace wire
+}  // namespace xsim

@@ -25,10 +25,14 @@
 //                            command that does the same from inside a send
 //   inject fail-next|drop-next <request-type> ?count?
 //   inject delay <request-type> <ns>
+//   inject frame-drop|frame-truncate ?count?
+//   inject frame-delay <ns>
 //   inject seed <n>
 //   inject clear          -- drive the server's fault injector; request
 //                            types use the names from RequestTypeName()
-//                            ("change-property", ...) or "all"
+//                            ("change-property", ...) or "all"; the frame-*
+//                            forms install the wire-transport frame policy
+//                            (no effect on the direct transport)
 //
 // Exit status: 0 when every case passes, 1 on any failure, 2 on usage or
 // I/O problems.
@@ -137,6 +141,31 @@ void RegisterInjectCommand(tcl::Interp& interp, xsim::Server& server) {
         return i.Error("bad seed \"" + args[2] + "\"");
       }
       injector.set_seed(static_cast<uint64_t>(*seed));
+      i.ResetResult();
+      return tcl::Code::kOk;
+    }
+    if (args[1].rfind("frame-", 0) == 0) {
+      std::optional<int64_t> value = 1;
+      if (args.size() == 3) {
+        value = tcl::ParseInt(args[2]);
+        if (!value) {
+          return i.Error("bad count \"" + args[2] + "\"");
+        }
+      } else if (args.size() != 2) {
+        return i.WrongNumArgs("inject frame-option ?value?");
+      }
+      xsim::FaultInjector::Policy policy;
+      if (args[1] == "frame-drop") {
+        policy.drop_next = static_cast<int>(*value);
+      } else if (args[1] == "frame-truncate") {
+        policy.fail_next = static_cast<int>(*value);
+      } else if (args[1] == "frame-delay") {
+        policy.delay_ns = static_cast<uint64_t>(*value);
+      } else {
+        return i.Error("bad inject option \"" + args[1] +
+                       "\": should be frame-drop, frame-truncate, or frame-delay");
+      }
+      injector.SetFramePolicy(policy);
       i.ResetResult();
       return tcl::Code::kOk;
     }

@@ -1,0 +1,422 @@
+// Robustness tests for the wire codec: every decoder must be total.  A
+// malformed byte buffer -- truncated, oversized, corrupted, unknown opcode,
+// trailing garbage -- yields a DecodeStatus, never a crash, hang or
+// out-of-bounds read.  Two layers of coverage:
+//
+//   1. A table of hand-built corruptions asserting the *specific* status
+//      each damage class maps to (and via DecodeStatusToError, the X error
+//      a wire server would raise: BadLength for structural damage,
+//      BadRequest for unknown opcodes).
+//   2. Seeded randomized fuzzing: valid frames of every kind are mutated
+//      (byte flips, truncations, extensions, splices) and pushed through
+//      every payload decoder.  The assertion is simply "returns"; ASan /
+//      UBSan in CI turn any memory error into a failure.
+
+#include "src/xsim/wire/codec.h"
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace xsim {
+namespace wire {
+namespace {
+
+// --- Builders for known-good inputs -----------------------------------------
+
+Request MakeRequest() {
+  Request request;
+  request.op = RequestOpcode::kDrawString;
+  request.sequence = 42;
+  request.window = 7;
+  request.gc = 3;
+  request.x = -5;
+  request.y = 11;
+  request.text = "fuzz me";
+  return request;
+}
+
+std::vector<Request> MakeBatch() {
+  std::vector<Request> batch;
+  batch.push_back(MakeRequest());
+  Request second;
+  second.op = RequestOpcode::kFillRectangle;
+  second.sequence = 43;
+  second.window = 7;
+  second.rect = Rect{1, 2, 30, 40};
+  batch.push_back(second);
+  Request third;
+  third.op = RequestOpcode::kChangeProperty;
+  third.sequence = 44;
+  third.window = 9;
+  third.atom = 12;
+  third.text = std::string(300, 'p');  // Multi-byte string payload.
+  batch.push_back(third);
+  return batch;
+}
+
+Event MakeEvent() {
+  Event event;
+  event.type = EventType::kExpose;
+  event.window = 5;
+  event.area = Rect{0, 0, 64, 48};
+  event.count = 1;
+  return event;
+}
+
+XError MakeError() {
+  XError error;
+  error.code = ErrorCode::kBadWindow;
+  error.sequence = 99;
+  error.resource = 0xdead;
+  error.request = RequestType::kOther;
+  return error;
+}
+
+WireQuery MakeQuery() {
+  WireQuery query;
+  query.op = QueryOpcode::kInternAtom;
+  query.a = 1;
+  query.text = "WM_NAME";
+  return query;
+}
+
+WireReply MakeReply() {
+  WireReply reply;
+  reply.ok = true;
+  reply.value = 17;
+  reply.sequence = 1234;
+  reply.text = "a reply string";
+  return reply;
+}
+
+WireAck MakeAck() {
+  WireAck ack;
+  ack.value = 3;
+  ack.sequence = 77;
+  ack.extra = 1;
+  return ack;
+}
+
+// Runs every payload decoder over `bytes`.  None may crash; statuses are
+// irrelevant here (randomly mutated bytes may even decode cleanly).
+void DecodeEverything(const std::vector<uint8_t>& bytes) {
+  {
+    Frame frame;
+    (void)DecodeFrame(bytes, &frame);
+  }
+  {
+    FrameHeader header;
+    (void)DecodeFrameHeader(bytes.data(), bytes.size(), &header);
+  }
+  {
+    std::vector<Request> batch;
+    (void)DecodeBatchPayload(bytes, &batch);
+  }
+  {
+    Event event;
+    (void)DecodeEventPayload(bytes, &event);
+  }
+  {
+    XError error;
+    (void)DecodeErrorPayload(bytes, &error);
+  }
+  {
+    WireQuery query;
+    (void)DecodeQueryPayload(bytes, &query);
+  }
+  {
+    WireReply reply;
+    (void)DecodeReplyPayload(bytes, &reply);
+  }
+  {
+    std::string name;
+    (void)DecodeHelloPayload(bytes, &name);
+  }
+  {
+    WireAck ack;
+    (void)DecodeAckPayload(bytes, &ack);
+  }
+}
+
+// --- Round trips (the "valid" baseline the fuzzer mutates from) -------------
+
+TEST(WireDecodeFuzzTest, RoundTripsSurviveEveryCodec) {
+  {
+    std::vector<Request> out;
+    ASSERT_EQ(DecodeBatchPayload(EncodeBatchPayload(MakeBatch()), &out),
+              DecodeStatus::kOk);
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0].text, "fuzz me");
+    EXPECT_EQ(out[1].rect.width, 30);
+    EXPECT_EQ(out[2].text.size(), 300u);
+  }
+  {
+    Event out;
+    ASSERT_EQ(DecodeEventPayload(EncodeEventPayload(MakeEvent()), &out),
+              DecodeStatus::kOk);
+    EXPECT_EQ(out.type, EventType::kExpose);
+    EXPECT_EQ(out.area.width, 64);
+  }
+  {
+    XError out;
+    ASSERT_EQ(DecodeErrorPayload(EncodeErrorPayload(MakeError()), &out),
+              DecodeStatus::kOk);
+    EXPECT_EQ(out.code, ErrorCode::kBadWindow);
+    EXPECT_EQ(out.resource, 0xdeadu);
+  }
+  {
+    WireQuery out;
+    ASSERT_EQ(DecodeQueryPayload(EncodeQueryPayload(MakeQuery()), &out),
+              DecodeStatus::kOk);
+    EXPECT_EQ(out.op, QueryOpcode::kInternAtom);
+    EXPECT_EQ(out.text, "WM_NAME");
+  }
+  {
+    WireReply out;
+    ASSERT_EQ(DecodeReplyPayload(EncodeReplyPayload(MakeReply()), &out),
+              DecodeStatus::kOk);
+    EXPECT_TRUE(out.ok);
+    EXPECT_EQ(out.sequence, 1234u);
+  }
+  {
+    std::string name;
+    ASSERT_EQ(DecodeHelloPayload(EncodeHelloPayload("fuzzer"), &name),
+              DecodeStatus::kOk);
+    EXPECT_EQ(name, "fuzzer");
+  }
+  {
+    WireAck out;
+    ASSERT_EQ(DecodeAckPayload(EncodeAckPayload(MakeAck()), &out),
+              DecodeStatus::kOk);
+    EXPECT_EQ(out.sequence, 77u);
+  }
+}
+
+// --- Table-driven header corruption ----------------------------------------
+
+TEST(WireDecodeFuzzTest, HeaderCorruptionTable) {
+  const std::vector<uint8_t> good =
+      EncodeFrame(FrameKind::kBatch, EncodeBatchPayload(MakeBatch()));
+
+  struct Case {
+    const char* name;
+    size_t offset;       // Byte to overwrite...
+    uint8_t value;       // ...with this.
+    size_t truncate_to;  // Or truncate the buffer (SIZE_MAX = don't).
+    DecodeStatus want;
+    ErrorCode want_error;
+  };
+  const Case kCases[] = {
+      {"bad magic", 0, 0x00, SIZE_MAX, DecodeStatus::kBadMagic,
+       ErrorCode::kBadLength},
+      {"bad version", 4, 0x7f, SIZE_MAX, DecodeStatus::kBadVersion,
+       ErrorCode::kBadLength},
+      {"zero kind", 5, 0x00, SIZE_MAX, DecodeStatus::kBadKind,
+       ErrorCode::kBadLength},
+      {"kind past count", 5, 0xee, SIZE_MAX, DecodeStatus::kBadKind,
+       ErrorCode::kBadLength},
+      {"oversized length", 11, 0xff, SIZE_MAX, DecodeStatus::kOversized,
+       ErrorCode::kBadLength},
+      {"header cut short", 0, 0x00, kFrameHeaderSize - 1,
+       DecodeStatus::kTruncated, ErrorCode::kBadLength},
+      {"empty buffer", 0, 0x00, 0, DecodeStatus::kTruncated,
+       ErrorCode::kBadLength},
+  };
+
+  for (const Case& c : kCases) {
+    SCOPED_TRACE(c.name);
+    std::vector<uint8_t> bytes = good;
+    if (c.truncate_to != SIZE_MAX) {
+      bytes.resize(c.truncate_to);
+    } else {
+      bytes[c.offset] = c.value;
+    }
+    FrameHeader header;
+    EXPECT_EQ(DecodeFrameHeader(bytes.data(), bytes.size(), &header), c.want);
+    EXPECT_EQ(DecodeStatusToError(c.want), c.want_error);
+  }
+}
+
+TEST(WireDecodeFuzzTest, WholeFrameLengthMismatch) {
+  std::vector<uint8_t> frame =
+      EncodeFrame(FrameKind::kEvent, EncodeEventPayload(MakeEvent()));
+  Frame out;
+
+  // Payload shorter than the header's declared length.
+  std::vector<uint8_t> cut(frame.begin(), frame.end() - 3);
+  EXPECT_EQ(DecodeFrame(cut, &out), DecodeStatus::kTruncated);
+
+  // Payload longer than declared.
+  std::vector<uint8_t> padded = frame;
+  padded.push_back(0xaa);
+  EXPECT_EQ(DecodeFrame(padded, &out), DecodeStatus::kTrailing);
+}
+
+// --- Table-driven payload corruption ---------------------------------------
+
+TEST(WireDecodeFuzzTest, BatchPayloadCorruptionTable) {
+  const std::vector<uint8_t> good = EncodeBatchPayload(MakeBatch());
+  std::vector<Request> out;
+
+  // Truncation anywhere inside the payload is kTruncated -- this is exactly
+  // the byte stream a frame-fault "truncate" produces, and what the wire
+  // server maps to a BadLength error instead of crashing.
+  for (size_t len : {size_t{0}, size_t{1}, size_t{3}, good.size() / 2,
+                     good.size() - 1}) {
+    SCOPED_TRACE(len);
+    std::vector<uint8_t> cut(good.begin(), good.begin() + len);
+    DecodeStatus status = DecodeBatchPayload(cut, &out);
+    EXPECT_EQ(status, DecodeStatus::kTruncated);
+    EXPECT_EQ(DecodeStatusToError(status), ErrorCode::kBadLength);
+  }
+
+  // Trailing garbage past the final request.
+  std::vector<uint8_t> padded = good;
+  padded.push_back(0x00);
+  EXPECT_EQ(DecodeBatchPayload(padded, &out), DecodeStatus::kTrailing);
+
+  // Unknown request opcode => BadRequest, the X11 status for "the server
+  // does not implement that majorOpcode".
+  std::vector<uint8_t> bad_op = good;
+  bad_op[4] = 0xfe;  // First request's opcode byte (after the u32 count).
+  DecodeStatus status = DecodeBatchPayload(bad_op, &out);
+  EXPECT_EQ(status, DecodeStatus::kBadOpcode);
+  EXPECT_EQ(DecodeStatusToError(status), ErrorCode::kBadRequest);
+
+  // A count claiming more requests than any frame may carry.
+  Writer w;
+  w.U32(kMaxBatchRequests + 1);
+  EXPECT_EQ(DecodeBatchPayload(w.Take(), &out), DecodeStatus::kOversized);
+
+  // A count claiming requests the bytes do not contain.
+  Writer w2;
+  w2.U32(5);
+  EXPECT_EQ(DecodeBatchPayload(w2.Take(), &out), DecodeStatus::kTruncated);
+}
+
+TEST(WireDecodeFuzzTest, StringLengthLiesAreCaught) {
+  // A string whose u32 length field claims more bytes than remain must not
+  // read past the buffer.  Build a hello payload and inflate the length.
+  std::vector<uint8_t> payload = EncodeHelloPayload("abc");
+  payload[0] = 0xff;  // Length 3 -> length 0x...ff.
+  payload[1] = 0xff;
+  std::string name;
+  EXPECT_EQ(DecodeHelloPayload(payload, &name), DecodeStatus::kTruncated);
+}
+
+TEST(WireDecodeFuzzTest, QueryAndEventOpcodeCorruption) {
+  {
+    std::vector<uint8_t> payload = EncodeQueryPayload(MakeQuery());
+    payload[0] = 0xcc;  // Query opcode byte.
+    WireQuery out;
+    DecodeStatus status = DecodeQueryPayload(payload, &out);
+    EXPECT_EQ(status, DecodeStatus::kBadOpcode);
+    EXPECT_EQ(DecodeStatusToError(status), ErrorCode::kBadRequest);
+  }
+  {
+    std::vector<uint8_t> payload = EncodeEventPayload(MakeEvent());
+    payload[0] = 0xcc;  // Event type byte.
+    Event out;
+    EXPECT_EQ(DecodeEventPayload(payload, &out), DecodeStatus::kBadOpcode);
+  }
+  {
+    std::vector<uint8_t> payload = EncodeErrorPayload(MakeError());
+    payload[0] = 0xcc;  // Error code byte.
+    XError out;
+    EXPECT_EQ(DecodeErrorPayload(payload, &out), DecodeStatus::kBadOpcode);
+  }
+}
+
+// --- Seeded randomized mutation fuzzing ------------------------------------
+
+TEST(WireDecodeFuzzTest, SeededMutationsNeverCrashAnyDecoder) {
+  // Valid payloads of every shape, plus whole frames, as mutation bases.
+  std::vector<std::vector<uint8_t>> bases = {
+      EncodeBatchPayload(MakeBatch()),
+      EncodeEventPayload(MakeEvent()),
+      EncodeErrorPayload(MakeError()),
+      EncodeQueryPayload(MakeQuery()),
+      EncodeReplyPayload(MakeReply()),
+      EncodeHelloPayload("mutation base"),
+      EncodeAckPayload(MakeAck()),
+      EncodeFrame(FrameKind::kBatch, EncodeBatchPayload(MakeBatch())),
+      EncodeFrame(FrameKind::kEventSync, {}),
+  };
+
+  std::mt19937_64 rng(20260806ull);  // Fixed seed: failures must reproduce.
+  std::uniform_int_distribution<size_t> base_pick(0, bases.size() - 1);
+  std::uniform_int_distribution<int> byte_pick(0, 255);
+  std::uniform_int_distribution<int> op_pick(0, 3);
+
+  for (int iteration = 0; iteration < 4000; ++iteration) {
+    std::vector<uint8_t> bytes = bases[base_pick(rng)];
+    int mutations = 1 + static_cast<int>(rng() % 4);
+    for (int m = 0; m < mutations; ++m) {
+      switch (op_pick(rng)) {
+        case 0:  // Flip a byte.
+          if (!bytes.empty()) {
+            bytes[rng() % bytes.size()] =
+                static_cast<uint8_t>(byte_pick(rng));
+          }
+          break;
+        case 1:  // Truncate.
+          if (!bytes.empty()) {
+            bytes.resize(rng() % bytes.size());
+          }
+          break;
+        case 2:  // Extend with garbage.
+          for (size_t n = rng() % 9; n > 0; --n) {
+            bytes.push_back(static_cast<uint8_t>(byte_pick(rng)));
+          }
+          break;
+        case 3: {  // Splice a chunk of another base into the middle.
+          const std::vector<uint8_t>& donor = bases[base_pick(rng)];
+          if (!bytes.empty() && !donor.empty()) {
+            size_t at = rng() % bytes.size();
+            size_t take = 1 + rng() % donor.size();
+            bytes.insert(bytes.begin() + static_cast<long>(at),
+                         donor.begin(),
+                         donor.begin() + static_cast<long>(take));
+          }
+          break;
+        }
+      }
+    }
+    DecodeEverything(bytes);
+  }
+}
+
+TEST(WireDecodeFuzzTest, PureNoiseNeverCrashesAnyDecoder) {
+  std::mt19937_64 rng(0x5eed5eedull);
+  for (int iteration = 0; iteration < 1000; ++iteration) {
+    std::vector<uint8_t> bytes(rng() % 256);
+    for (uint8_t& b : bytes) {
+      b = static_cast<uint8_t>(rng() & 0xff);
+    }
+    DecodeEverything(bytes);
+  }
+}
+
+// Every DecodeStatus has a printable name and an X error mapping that is one
+// of the two codes the protocol allows for rejected frames.
+TEST(WireDecodeFuzzTest, StatusNamesAndErrorMappingsAreTotal) {
+  for (uint8_t raw = 0; raw <= static_cast<uint8_t>(DecodeStatus::kTrailing);
+       ++raw) {
+    DecodeStatus status = static_cast<DecodeStatus>(raw);
+    EXPECT_NE(std::string(DecodeStatusName(status)), "");
+    if (status != DecodeStatus::kOk) {
+      ErrorCode code = DecodeStatusToError(status);
+      EXPECT_TRUE(code == ErrorCode::kBadLength ||
+                  code == ErrorCode::kBadRequest)
+          << DecodeStatusName(status);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wire
+}  // namespace xsim
