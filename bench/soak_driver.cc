@@ -1,0 +1,164 @@
+// Fleet-scale soak & chaos driver over the wire transport.
+//
+// Thin command-line front-end for soak::RunSoak (bench/soak_harness.h): N
+// scripted clients replay Table-2 / browser / send-selection traffic over
+// real wire connections while a seeded chaos schedule kills clients, injects
+// frame and request faults, and floods backpressure -- with the invariant
+// monitor watching throughout.  See soak::Invariants() or --list-invariants
+// for exactly what is asserted.
+//
+// Results land in BENCH_soak.json.  The req_soak_* keys are the gate:
+// invariant breaches, unrecovered kills and queue overflows must stay at
+// exactly zero (scripts/check_bench_regression.py enforces the zero
+// baseline in bench/baselines/soak_invariants.json).  Everything else
+// (req/sec, per-phase RTT percentiles, fault counts) is informational.
+//
+// Flags:
+//   --clients=N          worker clients (default 8)
+//   --duration=SECONDS   workload window (default 2)
+//   --seed=N             chaos + workload seed (default 0x50AC5EED)
+//   --chaos=0|1          enable the chaos schedule (default 1)
+//   --interval-ms=N      one chaos action per interval (default 50)
+//   --slo-ms=N           per-phase p99 RTT ceiling in ms (default 2000)
+//   --capacity=N         outbound queue capacity in frames (default 256)
+//   --backpressure-ms=N  wedged-client kill timeout (default 100)
+//   --artifact-dir=PATH  where breach artifacts go (default soak-artifacts)
+//   --list-invariants    print the monitored invariants and exit
+//   --force-breach       inject a synthetic breach (exercises the artifact
+//                        dump and the non-zero gate end to end)
+//   --benchmark_*        accepted and ignored (run_benches.sh passes them)
+//
+// On any breach the driver prints the seed and the exact reproduction
+// command, dumps artifacts, and exits 1.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench/bench_json.h"
+#include "bench/soak_harness.h"
+
+int main(int argc, char** argv) {
+  // Strips --benchmark_* flags (run_benches.sh passes them to every bench).
+  benchmark::Initialize(&argc, argv);
+
+  soak::SoakOptions opts;
+  bool list_invariants = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--clients=", 10) == 0) {
+      opts.clients = std::atoi(arg + 10);
+    } else if (std::strncmp(arg, "--duration=", 11) == 0) {
+      opts.duration_s = std::atof(arg + 11);
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      opts.seed = std::strtoull(arg + 7, nullptr, 0);
+    } else if (std::strncmp(arg, "--chaos=", 8) == 0) {
+      opts.chaos = std::atoi(arg + 8) != 0;
+    } else if (std::strncmp(arg, "--interval-ms=", 14) == 0) {
+      opts.chaos_interval_ms = std::strtoull(arg + 14, nullptr, 10);
+    } else if (std::strncmp(arg, "--slo-ms=", 9) == 0) {
+      opts.slo_p99_ms = std::atof(arg + 9);
+    } else if (std::strncmp(arg, "--capacity=", 11) == 0) {
+      opts.outbound_capacity = static_cast<size_t>(std::strtoull(arg + 11, nullptr, 10));
+    } else if (std::strncmp(arg, "--backpressure-ms=", 18) == 0) {
+      opts.backpressure_timeout_ms = std::strtoull(arg + 18, nullptr, 10);
+    } else if (std::strncmp(arg, "--artifact-dir=", 15) == 0) {
+      opts.artifact_dir = arg + 15;
+    } else if (std::strcmp(arg, "--list-invariants") == 0) {
+      list_invariants = true;
+    } else if (std::strcmp(arg, "--force-breach") == 0) {
+      opts.inject_synthetic_breach = true;
+    }
+  }
+
+  if (list_invariants) {
+    std::printf("soak invariants (asserted continuously while the fleet runs):\n\n");
+    for (const soak::Invariant& inv : soak::Invariants()) {
+      std::printf("  %-26s %s\n", inv.name, inv.description);
+    }
+    benchmark::Shutdown();
+    return 0;
+  }
+
+  const soak::SoakReport report = soak::RunSoak(opts);
+
+  std::printf("\nsoak_driver: %d clients x %.1fs over the wire transport (seed %llu, chaos %s)\n\n",
+              report.clients, report.elapsed_s,
+              static_cast<unsigned long long>(report.seed), opts.chaos ? "on" : "off");
+  std::printf("  requests       %llu (%.0f req/sec)\n",
+              static_cast<unsigned long long>(report.total_requests), report.req_per_sec);
+  for (const soak::PhaseStats& phase : report.phases) {
+    std::printf("  %-8s RTT us p50 %.1f   p95 %.1f   p99 %.1f   (%llu samples)\n",
+                phase.name.c_str(), phase.p50_us, phase.p95_us, phase.p99_us,
+                static_cast<unsigned long long>(phase.samples));
+  }
+  std::printf("  chaos          %llu events (%llu kills, %llu floods)\n",
+              static_cast<unsigned long long>(report.executed_chaos.size()),
+              static_cast<unsigned long long>(report.clients_killed),
+              static_cast<unsigned long long>(report.backpressure_floods));
+  std::printf("  faults         %llu injected / %llu survived\n",
+              static_cast<unsigned long long>(report.faults_injected),
+              static_cast<unsigned long long>(report.faults_survived));
+  std::printf("  recovery       %llu killed -> %llu reconnected\n",
+              static_cast<unsigned long long>(report.clients_killed),
+              static_cast<unsigned long long>(report.clients_recovered));
+  std::printf("  outbound queue peak %llu frames (%llu backpressure kills, %llu reaped)\n",
+              static_cast<unsigned long long>(report.peak_outbound_depth),
+              static_cast<unsigned long long>(report.backpressure_kills),
+              static_cast<unsigned long long>(report.reaped_connections));
+  std::printf("  monitor        %llu ticks, %zu breach(es)\n",
+              static_cast<unsigned long long>(report.monitor_ticks), report.breaches.size());
+
+  const uint64_t unrecovered =
+      report.clients_recovered >= report.clients_killed
+          ? 0
+          : report.clients_killed - report.clients_recovered;
+  const uint64_t queue_overflow =
+      report.peak_outbound_depth > opts.outbound_capacity && opts.outbound_capacity > 0 ? 1 : 0;
+
+  benchjson::Writer json("soak");
+  json.AddInteger("clients", static_cast<uint64_t>(report.clients));
+  json.AddNumber("duration_s", report.elapsed_s);
+  json.AddInteger("seed", report.seed);
+  json.AddNumber("req_per_sec", report.req_per_sec);
+  json.AddInteger("total_requests", report.total_requests);
+  for (const soak::PhaseStats& phase : report.phases) {
+    json.AddNumber(phase.name + "_p50_us", phase.p50_us);
+    json.AddNumber(phase.name + "_p95_us", phase.p95_us);
+    json.AddNumber(phase.name + "_p99_us", phase.p99_us);
+  }
+  json.AddInteger("faults_injected", report.faults_injected);
+  json.AddInteger("faults_survived", report.faults_survived);
+  json.AddInteger("clients_killed", report.clients_killed);
+  json.AddInteger("clients_recovered", report.clients_recovered);
+  json.AddInteger("peak_queue_depth", report.peak_outbound_depth);
+  json.AddInteger("backpressure_kills", report.backpressure_kills);
+  json.AddInteger("monitor_ticks", report.monitor_ticks);
+  // The regression-gated keys: all must stay exactly zero.
+  json.AddInteger("req_soak_invariant_breaches", static_cast<uint64_t>(report.breaches.size()));
+  json.AddInteger("req_soak_unrecovered_kills", unrecovered);
+  json.AddInteger("req_soak_queue_overflow", queue_overflow);
+  json.WriteFile();
+
+  if (!report.ok) {
+    std::fprintf(stderr, "\nsoak FAILED with %zu invariant breach(es):\n", report.breaches.size());
+    for (const std::string& breach : report.breaches) {
+      std::fprintf(stderr, "  BREACH %s\n", breach.c_str());
+    }
+    if (!report.artifact_trace_path.empty()) {
+      std::fprintf(stderr, "artifacts: %s\n           %s\n", report.artifact_trace_path.c_str(),
+                   report.artifact_counters_path.c_str());
+    }
+    std::fprintf(stderr,
+                 "reproduce with: soak_driver --clients=%d --duration=%.1f --chaos=%d --seed=%llu\n",
+                 report.clients, opts.duration_s, opts.chaos ? 1 : 0,
+                 static_cast<unsigned long long>(report.seed));
+    benchmark::Shutdown();
+    return 1;
+  }
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,747 @@
+#include "bench/soak_harness.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/xsim/display.h"
+#include "src/xsim/wire/codec.h"
+#include "src/xsim/wire/wire_server.h"
+
+namespace soak {
+namespace {
+
+using xsim::Atom;
+using xsim::ClientId;
+using xsim::Display;
+using xsim::Event;
+using xsim::EventType;
+using xsim::FaultInjector;
+using xsim::GcId;
+using xsim::Rect;
+using xsim::Server;
+using xsim::WindowId;
+using Clock = std::chrono::steady_clock;
+
+// A window id no client-side allocator will ever hand out; the probe maps it
+// to provoke a guaranteed BadWindow.
+constexpr WindowId kBogusWindow = 0xFFFFFFF0u;
+
+constexpr const char* kPhaseNames[kPhaseCount] = {"table2", "browser", "sendsel"};
+
+uint64_t ElapsedMs(Clock::time_point since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() - since).count());
+}
+
+double PercentileUs(std::vector<uint64_t> ns, double pct) {
+  if (ns.empty()) {
+    return 0.0;
+  }
+  std::sort(ns.begin(), ns.end());
+  const double rank = pct / 100.0 * static_cast<double>(ns.size() - 1);
+  const size_t idx = static_cast<size_t>(rank);
+  return static_cast<double>(ns[idx]) / 1000.0;
+}
+
+// Breach collector shared by the monitor, the workers and the end-of-run
+// checks.  Every entry is "<invariant-name>: <detail>".
+class BreachLog {
+ public:
+  void Add(const std::string& invariant, const std::string& detail) {
+    std::lock_guard<std::mutex> lock(mu_);
+    breaches_.push_back(invariant + ": " + detail);
+  }
+  std::vector<std::string> Take() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::move(breaches_);
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::string> breaches_;
+};
+
+// --- Workers -----------------------------------------------------------------
+
+struct WorkerContext {
+  Server* server = nullptr;
+  const SoakOptions* opts = nullptr;
+  int index = 0;
+  // Published for the chaos executor, which kills by current ClientId.
+  std::atomic<ClientId> client{0};
+  // The rest is worker-thread private until the thread is joined.
+  uint64_t recoveries = 0;
+  std::array<std::vector<uint64_t>, kPhaseCount> rtt_ns;
+  bool opened_once = false;
+  bool final_ok = false;
+};
+
+struct ConnState {
+  std::unique_ptr<Display> display;
+  GcId gc = xsim::kNone;
+  WindowId comm = xsim::kNone;  // Long-lived window for send/selection traffic.
+};
+
+bool OpenConnection(WorkerContext& ctx, ConnState& conn, bool is_recovery) {
+  conn.display.reset();  // Orderly bye for the previous connection first.
+  conn.display = Display::Open(*ctx.server, "soak-" + std::to_string(ctx.index),
+                               xsim::wire::TransportKind::kWire);
+  if (!conn.display) {
+    return false;
+  }
+  Display& d = *conn.display;
+  conn.gc = d.CreateGc();
+  conn.comm = d.CreateWindow(d.root(), 10 + (ctx.index % 40) * 30, 10, 24, 16);
+  d.SelectInput(conn.comm,
+                xsim::kPropertyChangeMask | xsim::kStructureNotifyMask | xsim::kExposureMask);
+  d.MapWindow(conn.comm);
+  d.Sync();
+  ctx.client.store(d.client_id(), std::memory_order_release);
+  ctx.opened_once = true;
+  if (is_recovery) {
+    ++ctx.recoveries;
+  }
+  return true;
+}
+
+void TimedSync(WorkerContext& ctx, Display& d, int phase) {
+  const auto t0 = Clock::now();
+  d.Sync();
+  ctx.rtt_ns[phase].push_back(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0).count()));
+}
+
+// Table 2 traffic: the widget-lifecycle burst (create / map / configure /
+// property / draw), two round trips, then a timed sync and teardown.
+void PhaseTable2(WorkerContext& ctx, ConnState& conn, std::mt19937_64& rng) {
+  Display& d = *conn.display;
+  WindowId w = d.CreateWindow(d.root(), static_cast<int>(rng() % 600),
+                              static_cast<int>(rng() % 400), 40 + static_cast<int>(rng() % 80),
+                              20 + static_cast<int>(rng() % 40));
+  d.SelectInput(w, xsim::kExposureMask | xsim::kStructureNotifyMask);
+  d.MapWindow(w);
+  d.MoveResizeWindow(w, static_cast<int>(rng() % 600), static_cast<int>(rng() % 400), 60, 30);
+  Atom tag = d.InternAtom("SOAK_TAG");
+  d.ChangeProperty(w, tag, "t2-" + std::to_string(rng() % 1000));
+  d.FillRectangle(w, conn.gc, Rect{2, 2, 16, 10});
+  d.DrawString(w, conn.gc, 4, 12, "soak");
+  (void)d.GetProperty(w, tag);
+  TimedSync(ctx, d, kPhaseTable2);
+  d.DestroyWindow(w);
+}
+
+// Figure 9 traffic: a browser panel of text lines, a partial clear plus
+// redraw (the damage-coalesced scroll), and a directory-property read.
+void PhaseBrowser(WorkerContext& ctx, ConnState& conn, std::mt19937_64& rng) {
+  Display& d = *conn.display;
+  WindowId panel = d.CreateWindow(d.root(), 40, 40, 200, 300);
+  d.SelectInput(panel, xsim::kExposureMask);
+  d.MapWindow(panel);
+  for (int i = 0; i < 16; ++i) {
+    d.DrawString(panel, conn.gc, 4, 14 * (i + 1), "entry-" + std::to_string(i));
+  }
+  d.ClearArea(panel, Rect{0, 0, 200, 140});
+  for (int i = 0; i < 8; ++i) {
+    d.DrawString(panel, conn.gc, 4, 14 * (i + 1), "scrolled-" + std::to_string(rng() % 100));
+  }
+  Atom dir = d.InternAtom("SOAK_DIR");
+  (void)d.GetProperty(d.root(), dir);
+  TimedSync(ctx, d, kPhaseBrowser);
+  d.DestroyWindow(panel);
+}
+
+// The protocol traffic behind `send` and the selection mechanism:
+// registry-style root/window properties, selection ownership and conversion,
+// SendEvent, and draining the event queue (answering SelectionRequests the
+// way a selection owner must).
+void PhaseSendSel(WorkerContext& ctx, ConnState& conn, std::mt19937_64& rng) {
+  Display& d = *conn.display;
+  Atom sel = d.InternAtom("SOAK_SEL_" + std::to_string(ctx.index % 4));
+  Atom target = d.InternAtom("STRING");
+  Atom prop = d.InternAtom("SOAK_PROP");
+  d.ChangeProperty(conn.comm, prop, "payload-" + std::to_string(rng() % 1000));
+  d.SetSelectionOwner(sel, conn.comm);
+  (void)d.GetSelectionOwner(sel);
+  d.ConvertSelection(sel, target, prop, conn.comm);
+  Event msg;
+  msg.type = EventType::kClientMessage;
+  msg.window = conn.comm;
+  msg.message_type = prop;
+  msg.data = "ping";
+  d.SendEvent(conn.comm, msg, 0);
+  Event e;
+  while (d.PollEvent(&e)) {
+    if (e.type == EventType::kSelectionRequest) {
+      d.SendSelectionNotify(e.requestor, e.atom, e.target, e.property);
+    }
+  }
+  TimedSync(ctx, d, kPhaseSendSel);
+}
+
+void WorkerMain(WorkerContext& ctx, std::atomic<bool>& stop, BreachLog& log) {
+  std::mt19937_64 rng(ctx.opts->seed * 1000003ull + static_cast<uint64_t>(ctx.index));
+  ConnState conn;
+  if (!OpenConnection(ctx, conn, false)) {
+    log.Add("workers-recover",
+            "worker " + std::to_string(ctx.index) + " could not open its first connection");
+    return;
+  }
+  uint64_t iteration = 0;
+  while (!stop.load(std::memory_order_acquire)) {
+    if (!ctx.server->ClientAlive(conn.display->client_id())) {
+      if (!OpenConnection(ctx, conn, true)) {
+        log.Add("workers-recover",
+                "worker " + std::to_string(ctx.index) + " could not reconnect after a kill");
+        return;
+      }
+    }
+    switch (iteration % kPhaseCount) {
+      case kPhaseTable2:
+        PhaseTable2(ctx, conn, rng);
+        break;
+      case kPhaseBrowser:
+        PhaseBrowser(ctx, conn, rng);
+        break;
+      default:
+        PhaseSendSel(ctx, conn, rng);
+        break;
+    }
+    Event e;
+    while (conn.display->PollEvent(&e)) {
+      // Drain stray events (exposes, notifies) so queues stay bounded.
+    }
+    ++iteration;
+  }
+  // Chaos has fully stopped by the time the stop flag is set (the executor
+  // is joined first), so one reconnect pass must yield a live client.
+  if (!ctx.server->ClientAlive(conn.display->client_id())) {
+    if (!OpenConnection(ctx, conn, true)) {
+      log.Add("workers-recover",
+              "worker " + std::to_string(ctx.index) + " could not reconnect at shutdown");
+      return;
+    }
+  }
+  conn.display->Sync();
+  ctx.final_ok = ctx.server->ClientAlive(conn.display->client_id());
+}
+
+// --- Chaos executor ----------------------------------------------------------
+
+bool RawWriteAll(int fd, const std::vector<uint8_t>& bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// A wedged client: connects, says hello, floods event-sync pings and never
+// reads a byte back.  The socket buffer fills, then the bounded outbound
+// queue, and the backpressure timeout kills the connection -- at which point
+// the send() fails and the flooder exits.  The iteration cap is a safety net
+// only; the kill is what normally ends the loop.
+void FlooderMain(Server* server) {
+  const int fd = server->wire().Connect();
+  if (fd < 0) {
+    return;
+  }
+  using xsim::wire::EncodeFrame;
+  using xsim::wire::FrameKind;
+  if (!RawWriteAll(fd, EncodeFrame(FrameKind::kHello,
+                                   xsim::wire::EncodeHelloPayload("soak-flooder")))) {
+    ::close(fd);
+    return;
+  }
+  const std::vector<uint8_t> ping = EncodeFrame(FrameKind::kEventSync, {});
+  for (int i = 0; i < 500000; ++i) {
+    if (!RawWriteAll(fd, ping)) {
+      break;
+    }
+  }
+  ::close(fd);
+}
+
+struct ChaosExec {
+  uint64_t clients_killed = 0;
+  uint64_t floods = 0;
+  std::vector<ChaosEvent> executed;
+};
+
+void ExecuteChaosEvent(Server& server, std::vector<std::unique_ptr<WorkerContext>>& workers,
+                       std::vector<std::thread>& flooders, const ChaosEvent& ev,
+                       ChaosExec& exec) {
+  FaultInjector& injector = server.fault_injector();
+  switch (ev.kind) {
+    case ChaosKind::kKillClient: {
+      WorkerContext& target = *workers[ev.target % workers.size()];
+      const ClientId id = target.client.load(std::memory_order_acquire);
+      if (id != 0 && server.ClientAlive(id)) {
+        // Count from the server's own counter delta: KillClient is a no-op
+        // on a client that died between the check and the call, and only the
+        // executor ever kills, so the delta is exact.
+        const uint64_t before = server.fault_counters().killed_clients;
+        server.KillClient(id);
+        exec.clients_killed += server.fault_counters().killed_clients - before;
+      }
+      break;
+    }
+    case ChaosKind::kFrameFaults: {
+      FaultInjector::Policy p;
+      switch (ev.param % 3) {
+        case 0:
+          p.drop_probability = 0.05;  // Batches lost in transit (acked as 0).
+          break;
+        case 1:
+          p.fail_probability = 0.05;  // Batches truncated (BadLength).
+          break;
+        default:
+          p.delay_ns = 200000;  // 200us stall per frame.
+          break;
+      }
+      injector.SetFramePolicy(p);
+      break;
+    }
+    case ChaosKind::kRequestFaults: {
+      FaultInjector::Policy p;
+      p.fail_probability = 0.02;
+      p.drop_probability = 0.02;
+      p.delay_ns = 20000 * (1 + ev.param % 4);
+      injector.SetPolicyAll(p);
+      break;
+    }
+    case ChaosKind::kClearFaults:
+      injector.ClearFramePolicy();
+      injector.SetPolicyAll(FaultInjector::Policy());
+      break;
+    case ChaosKind::kBackpressureFlood:
+      flooders.emplace_back(FlooderMain, &server);
+      ++exec.floods;
+      break;
+  }
+}
+
+void ChaosMain(Server& server, const SoakOptions& opts,
+               std::vector<std::unique_ptr<WorkerContext>>& workers, std::atomic<bool>& stop,
+               ChaosExec& exec) {
+  const std::vector<ChaosEvent> schedule = BuildChaosSchedule(opts);
+  std::vector<std::thread> flooders;
+  const auto t0 = Clock::now();
+  for (const ChaosEvent& ev : schedule) {
+    // Sleep until the event's deadline -- but once stop is requested, the
+    // rest of the schedule executes immediately, so the executed schedule is
+    // always exactly the built one and a seed reproduces its fault history
+    // even when wall time overruns.
+    while (!stop.load(std::memory_order_acquire) && ElapsedMs(t0) < ev.at_ms) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ExecuteChaosEvent(server, workers, flooders, ev, exec);
+    exec.executed.push_back(ev);
+  }
+  for (std::thread& t : flooders) {
+    t.join();
+  }
+  server.fault_injector().Clear();
+}
+
+// --- Invariant monitor -------------------------------------------------------
+
+void MonitorMain(Server& server, Display& control, Display& probe, const SoakOptions& opts,
+                 std::atomic<bool>& stop, BreachLog& log, uint64_t& ticks_out) {
+  const size_t capacity = server.wire().outbound_capacity();
+  xsim::WireCounters prev = server.wire_counters();
+  uint64_t ticks = 0;
+  // Each invariant is reported at most once per run; a breach repeats every
+  // tick and would otherwise drown the report.
+  bool reported_counters = false;
+  bool reported_depth = false;
+  bool reported_ordering = false;
+  while (!stop.load(std::memory_order_acquire)) {
+    ++ticks;
+    control.Sync();
+    if (!server.ClientAlive(control.client_id())) {
+      log.Add("server-survives-kills", "control client died while only workers were targeted");
+      break;
+    }
+    const xsim::WireCounters wc = server.wire_counters();
+    if (!reported_counters) {
+      std::ostringstream bad;
+      if (wc.frames_in < wc.batches) {
+        bad << "frames_in " << wc.frames_in << " < batches " << wc.batches << "; ";
+      }
+      if (wc.bytes_in < wc.frames_in * xsim::wire::kFrameHeaderSize) {
+        bad << "bytes_in " << wc.bytes_in << " < frames_in*header; ";
+      }
+      if (wc.bytes_out < wc.frames_out * xsim::wire::kFrameHeaderSize) {
+        bad << "bytes_out " << wc.bytes_out << " < frames_out*header; ";
+      }
+      if (wc.frames_in < prev.frames_in || wc.frames_out < prev.frames_out ||
+          wc.bytes_in < prev.bytes_in || wc.bytes_out < prev.bytes_out ||
+          wc.batches < prev.batches || wc.connections < prev.connections) {
+        bad << "counter went backwards; ";
+      }
+      if (!bad.str().empty()) {
+        log.Add("wire-counters-consistent", bad.str());
+        reported_counters = true;
+      }
+    }
+    prev = wc;
+    const auto st = server.wire().stats();
+    if (!reported_depth && st.peak_outbound_depth > capacity) {
+      log.Add("outbound-queue-bounded",
+              "peak depth " + std::to_string(st.peak_outbound_depth) + " exceeds capacity " +
+                  std::to_string(capacity));
+      reported_depth = true;
+    }
+    if (ticks % 4 == 0 && !reported_ordering) {
+      // Error-ordering probe: a bogus MapWindow must surface its error by
+      // the covering Sync (FIFO: the error frame precedes the batch ack).
+      // Chaos may legitimately swallow the batch (frame drop), so the check
+      // is one-sided: no error may first appear *after* its covering sync.
+      // The quiescent observation must be request-free -- a second Sync's
+      // own traffic can pick up a freshly injected request failure, which
+      // is a new error, not an ordering violation.  The reader thread keeps
+      // draining frames during the sleep, so a genuinely late error frame
+      // from the covered batch would still be counted.
+      probe.MapWindow(kBogusWindow);
+      probe.Sync();
+      const uint64_t after_sync = probe.error_count();
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      const uint64_t after_quiesce = probe.error_count();
+      if (after_quiesce != after_sync) {
+        log.Add("deferred-error-before-ack",
+                "an error surfaced after the sync covering its request (" +
+                    std::to_string(after_sync) + " -> " + std::to_string(after_quiesce) + ")");
+        reported_ordering = true;
+      }
+    }
+    (void)opts;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ticks_out = ticks;
+}
+
+// --- Reporting ---------------------------------------------------------------
+
+std::string CountersJson(const SoakReport& report) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"seed\": " << report.seed << ",\n";
+  os << "  \"clients\": " << report.clients << ",\n";
+  os << "  \"elapsed_s\": " << report.elapsed_s << ",\n";
+  os << "  \"total_requests\": " << report.total_requests << ",\n";
+  os << "  \"clients_killed\": " << report.clients_killed << ",\n";
+  os << "  \"clients_recovered\": " << report.clients_recovered << ",\n";
+  os << "  \"backpressure_floods\": " << report.backpressure_floods << ",\n";
+  os << "  \"peak_outbound_depth\": " << report.peak_outbound_depth << ",\n";
+  os << "  \"backpressure_kills\": " << report.backpressure_kills << ",\n";
+  os << "  \"reaped_connections\": " << report.reaped_connections << ",\n";
+  os << "  \"monitor_ticks\": " << report.monitor_ticks << ",\n";
+  os << "  \"wire\": {\"connections\": " << report.wire_counters.connections
+     << ", \"frames_in\": " << report.wire_counters.frames_in
+     << ", \"frames_out\": " << report.wire_counters.frames_out
+     << ", \"bytes_in\": " << report.wire_counters.bytes_in
+     << ", \"bytes_out\": " << report.wire_counters.bytes_out
+     << ", \"batches\": " << report.wire_counters.batches
+     << ", \"malformed\": " << report.wire_counters.malformed_frames
+     << ", \"dropped\": " << report.wire_counters.dropped_frames
+     << ", \"truncated\": " << report.wire_counters.truncated_frames
+     << ", \"delayed\": " << report.wire_counters.delayed_frames << "},\n";
+  os << "  \"faults\": {\"errors\": " << report.fault_counters.errors_generated
+     << ", \"failures\": " << report.fault_counters.injected_failures
+     << ", \"drops\": " << report.fault_counters.injected_drops
+     << ", \"delays\": " << report.fault_counters.injected_delays
+     << ", \"killed_clients\": " << report.fault_counters.killed_clients << "},\n";
+  os << "  \"executed_chaos\": " << report.executed_chaos.size() << ",\n";
+  os << "  \"breaches\": [";
+  for (size_t i = 0; i < report.breaches.size(); ++i) {
+    std::string escaped;
+    for (char c : report.breaches[i]) {
+      if (c == '"' || c == '\\') {
+        escaped += '\\';
+      }
+      escaped += c;
+    }
+    os << (i ? ", " : "") << '"' << escaped << '"';
+  }
+  os << "]\n}\n";
+  return os.str();
+}
+
+void DumpArtifacts(Server& server, const SoakOptions& opts, SoakReport& report) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(opts.artifact_dir, ec);
+  if (ec) {
+    return;  // Leave the paths empty; the breach report still stands.
+  }
+  const std::string base = opts.artifact_dir + "/soak_seed" + std::to_string(opts.seed);
+  const std::string trace_path = base + "_trace.jsonl";
+  const std::string counters_path = base + "_counters.json";
+  {
+    std::ofstream out(trace_path, std::ios::trunc);
+    out << server.trace().ToJsonl();
+  }
+  {
+    std::ofstream out(counters_path, std::ios::trunc);
+    out << CountersJson(report);
+  }
+  report.artifact_trace_path = trace_path;
+  report.artifact_counters_path = counters_path;
+}
+
+}  // namespace
+
+const char* ChaosKindName(ChaosKind kind) {
+  switch (kind) {
+    case ChaosKind::kKillClient:
+      return "kill-client";
+    case ChaosKind::kFrameFaults:
+      return "frame-faults";
+    case ChaosKind::kRequestFaults:
+      return "request-faults";
+    case ChaosKind::kClearFaults:
+      return "clear-faults";
+    case ChaosKind::kBackpressureFlood:
+      return "backpressure-flood";
+  }
+  return "?";
+}
+
+const std::vector<Invariant>& Invariants() {
+  static const std::vector<Invariant> kInvariants = {
+      {"server-survives-kills",
+       "The server keeps dispatching (control client syncs succeed) no matter how many "
+       "clients are killed mid-batch."},
+      {"wire-counters-consistent",
+       "Wire counters stay mutually consistent and monotonic: frames_in >= batches, bytes "
+       "cover at least the frame headers, and no counter moves backwards."},
+      {"outbound-queue-bounded",
+       "No connection's outbound queue ever exceeds the configured capacity; wedged clients "
+       "are disconnected instead of growing the queue."},
+      {"deferred-error-before-ack",
+       "A deferred error is delivered no later than the ack of the sync covering its "
+       "request; an error may never first surface after that sync returns."},
+      {"phase-p99-slo",
+       "Per-phase p99 client round-trip latency stays under the configured SLO."},
+      {"workers-recover",
+       "Every chaos kill is survived: each killed worker reconnects (recoveries >= kills) "
+       "and every worker's connection is live at the end of the run."},
+  };
+  return kInvariants;
+}
+
+std::vector<ChaosEvent> BuildChaosSchedule(const SoakOptions& options) {
+  std::vector<ChaosEvent> schedule;
+  if (!options.chaos) {
+    return schedule;
+  }
+  const uint64_t horizon_ms = static_cast<uint64_t>(options.duration_s * 1000.0);
+  const uint64_t interval = options.chaos_interval_ms ? options.chaos_interval_ms : 50;
+  std::mt19937_64 rng(options.seed);
+  for (uint64_t at = interval; at < horizon_ms; at += interval) {
+    ChaosEvent ev;
+    ev.at_ms = at;
+    // target and param are drawn for every event regardless of kind so the
+    // schedule shape is a pure function of the seed.
+    const uint64_t roll = rng() % 100;
+    ev.target = static_cast<uint32_t>(rng() % static_cast<uint64_t>(std::max(1, options.clients)));
+    ev.param = rng();
+    if (roll < 30) {
+      ev.kind = ChaosKind::kKillClient;
+    } else if (roll < 55) {
+      ev.kind = ChaosKind::kFrameFaults;
+    } else if (roll < 70) {
+      ev.kind = ChaosKind::kRequestFaults;
+    } else if (roll < 85) {
+      ev.kind = ChaosKind::kClearFaults;
+    } else {
+      ev.kind = ChaosKind::kBackpressureFlood;
+    }
+    schedule.push_back(ev);
+  }
+  return schedule;
+}
+
+SoakReport RunSoak(const SoakOptions& options) {
+  SoakOptions opts = options;
+  opts.clients = std::max(1, opts.clients);
+  opts.duration_s = std::max(0.05, opts.duration_s);
+
+  SoakReport report;
+  report.seed = opts.seed;
+  report.clients = opts.clients;
+
+  Server server;
+  xsim::wire::WireServer& ws = server.wire();
+  if (opts.outbound_capacity > 0) {
+    ws.set_outbound_capacity(opts.outbound_capacity);
+  }
+  ws.set_backpressure_timeout_ms(opts.backpressure_timeout_ms);
+  server.fault_injector().set_seed(opts.seed);
+
+  // Control and probe connections live outside the chaos target set: the
+  // monitor owns them exclusively once its thread starts.
+  auto control = Display::Open(server, "soak-control", xsim::wire::TransportKind::kWire);
+  auto probe = Display::Open(server, "soak-probe", xsim::wire::TransportKind::kWire);
+  if (!control || !probe) {
+    report.ok = false;
+    report.breaches.push_back("server-survives-kills: could not open control/probe connections");
+    return report;
+  }
+
+  server.ResetCounters();
+  ws.ResetStats();
+  server.trace().Clear();
+  server.trace().Start();
+
+  BreachLog log;
+  std::atomic<bool> worker_stop{false};
+  std::atomic<bool> monitor_stop{false};
+  std::atomic<bool> chaos_stop{false};
+
+  std::vector<std::unique_ptr<WorkerContext>> workers;
+  workers.reserve(static_cast<size_t>(opts.clients));
+  for (int i = 0; i < opts.clients; ++i) {
+    auto ctx = std::make_unique<WorkerContext>();
+    ctx->server = &server;
+    ctx->opts = &opts;
+    ctx->index = i;
+    workers.push_back(std::move(ctx));
+  }
+
+  const auto t0 = Clock::now();
+  std::vector<std::thread> worker_threads;
+  worker_threads.reserve(workers.size());
+  for (auto& ctx : workers) {
+    worker_threads.emplace_back(WorkerMain, std::ref(*ctx), std::ref(worker_stop), std::ref(log));
+  }
+
+  uint64_t monitor_ticks = 0;
+  std::thread monitor(MonitorMain, std::ref(server), std::ref(*control), std::ref(*probe),
+                      std::cref(opts), std::ref(monitor_stop), std::ref(log),
+                      std::ref(monitor_ticks));
+
+  ChaosExec chaos;
+  std::thread chaos_thread;
+  if (opts.chaos) {
+    chaos_thread = std::thread(ChaosMain, std::ref(server), std::cref(opts), std::ref(workers),
+                               std::ref(chaos_stop), std::ref(chaos));
+  }
+
+  std::this_thread::sleep_for(std::chrono::duration<double>(opts.duration_s));
+
+  // Shutdown order matters: chaos finishes (executing any remaining schedule
+  // entries immediately) and faults are cleared *before* workers run their
+  // final reconnect-and-sync pass, so "every worker ends alive" is a fair
+  // invariant.  The monitor outlives the workers to observe the tail.
+  chaos_stop.store(true, std::memory_order_release);
+  if (chaos_thread.joinable()) {
+    chaos_thread.join();
+  }
+  server.fault_injector().Clear();
+  worker_stop.store(true, std::memory_order_release);
+  for (std::thread& t : worker_threads) {
+    t.join();
+  }
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  monitor_stop.store(true, std::memory_order_release);
+  monitor.join();
+  server.trace().Stop();
+
+  // --- Collect -----------------------------------------------------------
+  report.elapsed_s = elapsed_s;
+  report.request_counters = server.counters();
+  report.fault_counters = server.fault_counters();
+  report.wire_counters = server.wire_counters();
+  const auto st = ws.stats();
+  report.peak_outbound_depth = st.peak_outbound_depth;
+  report.backpressure_kills = st.backpressure_kills;
+  report.reaped_connections = st.reaped_connections;
+  report.monitor_ticks = monitor_ticks;
+  report.total_requests = report.request_counters.total;
+  report.req_per_sec =
+      elapsed_s > 0.0 ? static_cast<double>(report.total_requests) / elapsed_s : 0.0;
+  report.clients_killed = chaos.clients_killed;
+  report.backpressure_floods = chaos.floods;
+  report.executed_chaos = std::move(chaos.executed);
+
+  for (int phase = 0; phase < kPhaseCount; ++phase) {
+    std::vector<uint64_t> merged;
+    for (const auto& ctx : workers) {
+      merged.insert(merged.end(), ctx->rtt_ns[phase].begin(), ctx->rtt_ns[phase].end());
+    }
+    PhaseStats stats;
+    stats.name = kPhaseNames[phase];
+    stats.samples = merged.size();
+    stats.p50_us = PercentileUs(merged, 50.0);
+    stats.p95_us = PercentileUs(merged, 95.0);
+    stats.p99_us = PercentileUs(std::move(merged), 99.0);
+    report.phases.push_back(std::move(stats));
+  }
+
+  uint64_t recovered = 0;
+  for (const auto& ctx : workers) {
+    recovered += ctx->recoveries;
+    if (ctx->opened_once && !ctx->final_ok) {
+      log.Add("workers-recover",
+              "worker " + std::to_string(ctx->index) + " ended with a dead connection");
+    }
+  }
+  report.clients_recovered = recovered;
+  if (recovered < report.clients_killed) {
+    log.Add("workers-recover", std::to_string(report.clients_killed) + " kills but only " +
+                                   std::to_string(recovered) + " recoveries");
+  }
+  if (monitor_ticks == 0) {
+    log.Add("server-survives-kills", "monitor never completed a tick (server unresponsive)");
+  }
+  const double slo_us = opts.slo_p99_ms * 1000.0;
+  for (const PhaseStats& phase : report.phases) {
+    if (phase.samples > 0 && phase.p99_us > slo_us) {
+      std::ostringstream msg;
+      msg << "phase " << phase.name << " p99 " << phase.p99_us << "us exceeds SLO " << slo_us
+          << "us";
+      log.Add("phase-p99-slo", msg.str());
+    }
+  }
+  if (opts.inject_synthetic_breach) {
+    log.Add("synthetic-breach", "injected by the inject_synthetic_breach test hook");
+  }
+
+  report.faults_injected = report.fault_counters.injected_failures +
+                           report.fault_counters.injected_drops +
+                           report.fault_counters.injected_delays +
+                           report.wire_counters.dropped_frames +
+                           report.wire_counters.truncated_frames +
+                           report.wire_counters.delayed_frames;
+  report.breaches = log.Take();
+  report.ok = report.breaches.empty();
+  const uint64_t blamed = std::min<uint64_t>(report.faults_injected, report.breaches.size());
+  report.faults_survived = report.faults_injected - blamed;
+
+  if (!report.ok && opts.dump_artifacts_on_breach) {
+    DumpArtifacts(server, opts, report);
+  }
+  return report;
+}
+
+}  // namespace soak

@@ -1,0 +1,148 @@
+// Fleet-scale soak & chaos harness over the wire transport.
+//
+// The paper's resilience story (Sections 3.3 and 6: a toolkit that stays
+// responsive and correct while applications come, go and crash on a shared
+// display) is asserted per-test elsewhere in the suite; this harness turns it
+// into a standing property.  RunSoak launches N scripted clients, each on its
+// own real wire connection (TCLK_TRANSPORT=wire semantics: socketpair +
+// threaded WireServer), replaying seeded mixes of the paper's traffic:
+//
+//   * table2   -- the widget-lifecycle burst of Table 2 (create / map /
+//                 configure / property / draw, then a timed sync);
+//   * browser  -- the Figure 9 directory browser (a panel of text lines,
+//                 partial clear + redraw, a property read);
+//   * sendsel  -- the protocol traffic behind `send` and the selection
+//                 mechanism (registry-style ChangeProperty, selection
+//                 ownership/conversion, SendEvent, event draining).
+//
+// While the fleet runs, a chaos scheduler executes a schedule derived purely
+// from (seed, duration, interval, clients): it kills clients mid-stream,
+// installs and retracts frame-layer faults (drop / truncate / delay),
+// injects request-level faults, and launches wedged raw-socket clients that
+// force backpressure disconnects.  The same seed always yields the same
+// schedule (BuildChaosSchedule is a pure function; the executor runs every
+// entry even if wall time overruns), so any failure reproduces exactly.
+//
+// An invariant monitor polls continuously -- see Invariants() for the list
+// -- and every violation lands in SoakReport::breaches.  On breach the
+// harness dumps the protocol trace (JSONL) and a counters snapshot into
+// artifact files so CI failures can be diagnosed offline.
+//
+// Clients speak raw xsim::Display rather than full tk::App: a Tk interpreter
+// is single-threaded by design, while the soak needs N concurrent clients.
+// The wire traffic is the same -- the phases replay exactly the request
+// shapes the toolkit layers emit.
+
+#ifndef BENCH_SOAK_HARNESS_H_
+#define BENCH_SOAK_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/xsim/server.h"
+
+namespace soak {
+
+struct SoakOptions {
+  int clients = 8;             // Worker clients (control + probe are extra).
+  double duration_s = 2.0;     // Workload window.
+  uint64_t seed = 0x50AC5EED;
+  bool chaos = true;
+  uint64_t chaos_interval_ms = 50;   // One chaos action per interval.
+  double slo_p99_ms = 2000.0;  // Per-phase p99 client RTT ceiling.
+  size_t outbound_capacity = 256;       // WireServer outbound queue frames.
+  uint64_t backpressure_timeout_ms = 100;
+  std::string artifact_dir = "soak-artifacts";
+  bool dump_artifacts_on_breach = true;
+  // Test hook: the monitor reports one synthetic breach so the artifact-dump
+  // path can be exercised without a real failure.
+  bool inject_synthetic_breach = false;
+};
+
+// One scheduled chaos action.  `target` picks a worker (kills), `param`
+// seeds the action's parameters; both are drawn for every action so the
+// schedule stays aligned regardless of kind.
+enum class ChaosKind : uint8_t {
+  kKillClient = 0,       // Server-side KillClient on a worker's connection.
+  kFrameFaults,          // Install a frame-layer drop/truncate/delay policy.
+  kRequestFaults,        // Install a request-level catch-all fault policy.
+  kClearFaults,          // Retract both fault layers.
+  kBackpressureFlood,    // Launch a wedged client that never reads.
+};
+
+const char* ChaosKindName(ChaosKind kind);
+
+struct ChaosEvent {
+  uint64_t at_ms = 0;
+  ChaosKind kind = ChaosKind::kClearFaults;
+  uint32_t target = 0;
+  uint64_t param = 0;
+
+  bool operator==(const ChaosEvent&) const = default;
+};
+
+// The deterministic schedule for `options`: a pure function of (seed,
+// duration, interval, clients, chaos).  RunSoak executes exactly this list.
+std::vector<ChaosEvent> BuildChaosSchedule(const SoakOptions& options);
+
+// The invariants the monitor asserts continuously; breach messages are
+// prefixed with the invariant name.
+struct Invariant {
+  const char* name;
+  const char* description;
+};
+const std::vector<Invariant>& Invariants();
+
+// Phase indices into SoakReport::phases (fixed order and names).
+inline constexpr int kPhaseTable2 = 0;
+inline constexpr int kPhaseBrowser = 1;
+inline constexpr int kPhaseSendSel = 2;
+inline constexpr int kPhaseCount = 3;
+
+struct PhaseStats {
+  std::string name;
+  uint64_t samples = 0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+};
+
+struct SoakReport {
+  bool ok = true;
+  std::vector<std::string> breaches;
+
+  uint64_t seed = 0;
+  int clients = 0;
+  double elapsed_s = 0.0;
+  uint64_t total_requests = 0;
+  double req_per_sec = 0.0;
+  std::vector<PhaseStats> phases;  // kPhaseCount entries, fixed order.
+
+  uint64_t faults_injected = 0;   // Frame + request faults that fired.
+  uint64_t faults_survived = 0;   // Of those, faults with no breach behind them.
+  uint64_t clients_killed = 0;    // Chaos kills that hit a live client.
+  uint64_t clients_recovered = 0; // Worker reconnects after a death.
+  uint64_t backpressure_floods = 0;
+  size_t peak_outbound_depth = 0;
+  uint64_t backpressure_kills = 0;
+  uint64_t reaped_connections = 0;
+  uint64_t monitor_ticks = 0;
+
+  xsim::RequestCounters request_counters;
+  xsim::FaultCounters fault_counters;
+  xsim::WireCounters wire_counters;
+  std::vector<ChaosEvent> executed_chaos;  // == BuildChaosSchedule(options).
+
+  // Set when a breach triggered an artifact dump.
+  std::string artifact_trace_path;
+  std::string artifact_counters_path;
+};
+
+// Runs the whole soak synchronously and returns the report.  Never throws;
+// every failure mode is a breach in the report.
+SoakReport RunSoak(const SoakOptions& options);
+
+}  // namespace soak
+
+#endif  // BENCH_SOAK_HARNESS_H_

@@ -23,6 +23,10 @@ BASELINES = {
     # ops: any growth means each operation started costing more frames or
     # round trips on the wire.
     "wire_throughput.json": "BENCH_wire.json",
+    # Soak & chaos invariants: every gated key has a zero baseline, and the
+    # was-zero rule above makes any non-zero value a hard failure -- one
+    # invariant breach, unrecovered kill or queue overflow fails the build.
+    "soak_invariants.json": "BENCH_soak.json",
 }
 
 

@@ -68,6 +68,8 @@ struct XError {
   uint64_t sequence = 0;     // Sequence number of the failing request.
   XId resource = kNone;      // The offending resource id, if any.
   RequestType request = RequestType::kOther;
+
+  bool operator==(const XError&) const = default;
 };
 
 inline const char* ErrorCodeName(ErrorCode code) {

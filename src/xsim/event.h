@@ -65,6 +65,10 @@ struct Event {
   // ClientMessage payload.
   Atom message_type = kAtomNone;
   std::string data;
+
+  // Field-wise equality; the wire codec serializes every field, so an
+  // encode->decode round trip must reproduce the event exactly.
+  bool operator==(const Event&) const = default;
 };
 
 }  // namespace xsim

@@ -41,6 +41,17 @@ void FaultInjector::SetFramePolicy(const Policy& policy) {
   frame_active_.store(!policy.empty(), std::memory_order_relaxed);
 }
 
+void FaultInjector::ClearFramePolicy() {
+  std::lock_guard<std::mutex> lock(mu_);
+  frame_policy_ = Policy();
+  frame_active_.store(false, std::memory_order_relaxed);
+}
+
+FaultInjector::Policy FaultInjector::frame_policy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return frame_policy_;
+}
+
 void FaultInjector::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   for (Policy& policy : policies_) {

@@ -65,6 +65,11 @@ class FaultInjector {
   void SetPolicyAll(const Policy& policy);
   // Installs the frame-layer policy consumed by DecideFrame.
   void SetFramePolicy(const Policy& policy);
+  // Retracts only the frame-layer policy, leaving request-level policies in
+  // place -- chaos schedules toggle the two layers independently.
+  void ClearFramePolicy();
+  // The frame-layer policy currently installed (for schedule logging).
+  Policy frame_policy() const;
   // Drops every policy, the frame-layer one included.
   void Clear();
 

@@ -22,6 +22,8 @@ struct GcValues {
   Pixel background = 0xffffff;
   FontId font = kNone;
   int line_width = 1;
+
+  bool operator==(const GcValues&) const = default;
 };
 
 // One opcode per buffered (one-way) Server entry point.  Queries such as
@@ -83,6 +85,10 @@ struct Request {
   std::string text;           // DrawString text or ChangeProperty value.
   GcValues gc_values;         // ChangeGc payload.
   Event event;                // SendEvent payload.
+
+  // Field-wise equality; the wire codec serializes every field, so an
+  // encode->decode round trip must reproduce the request exactly.
+  bool operator==(const Request&) const = default;
 };
 
 }  // namespace xsim

@@ -64,6 +64,8 @@ enum ModMask : uint32_t {
 struct Point {
   int x = 0;
   int y = 0;
+
+  bool operator==(const Point&) const = default;
 };
 
 struct Rect {
@@ -71,6 +73,8 @@ struct Rect {
   int y = 0;
   int width = 0;
   int height = 0;
+
+  bool operator==(const Rect&) const = default;
 
   bool Contains(int px, int py) const {
     return px >= x && py >= y && px < x + width && py < y + height;

@@ -275,14 +275,20 @@ void EncodeRequest(Writer& w, const Request& request) {
   w.U32(request.gc_values.background);
   w.U32(request.gc_values.font);
   w.I32(request.gc_values.line_width);
-  // SendEvent payload, inline.
+  // SendEvent payload, inline; same field order as EncodeEventPayload so the
+  // embedded event round-trips field-for-field like a standalone one.
   w.U32(static_cast<uint32_t>(request.event.type));
   w.U32(request.event.window);
   w.U64(request.event.time);
   w.I32(request.event.x);
   w.I32(request.event.y);
+  w.I32(request.event.x_root);
+  w.I32(request.event.y_root);
   w.U32(request.event.state);
   w.U32(request.event.detail);
+  w.Rect4(request.event.area);
+  w.I32(request.event.border_width);
+  w.I32(request.event.count);
   w.U32(request.event.atom);
   w.U32(request.event.target);
   w.U32(request.event.property);
@@ -329,8 +335,13 @@ DecodeStatus DecodeRequest(Reader& r, Request* out) {
   out->event.time = r.U64();
   out->event.x = r.I32();
   out->event.y = r.I32();
+  out->event.x_root = r.I32();
+  out->event.y_root = r.I32();
   out->event.state = r.U32();
   out->event.detail = r.U32();
+  out->event.area = r.Rect4();
+  out->event.border_width = r.I32();
+  out->event.count = r.I32();
   out->event.atom = r.U32();
   out->event.target = r.U32();
   out->event.property = r.U32();

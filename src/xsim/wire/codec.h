@@ -91,6 +91,8 @@ struct WireQuery {
   int32_t c = 0;
   int32_t d = 0;
   std::string text;
+
+  bool operator==(const WireQuery&) const = default;
 };
 
 // A fat reply record covering every query's result shape.
@@ -101,6 +103,8 @@ struct WireReply {
   int32_t c = 0;         // QueryFont ascent.
   int32_t d = 0;         // QueryFont descent.
   std::string text;      // String result (property value, atom name...).
+
+  bool operator==(const WireReply&) const = default;
 };
 
 // Acknowledgement payload for kBatchAck / kRequestAck / kEventSyncAck /
@@ -110,6 +114,8 @@ struct WireAck {
   uint64_t value = 0;
   uint64_t sequence = 0;
   uint32_t extra = 0;  // Root window id in kHelloAck.
+
+  bool operator==(const WireAck&) const = default;
 };
 
 // What a decoder thought of its input.

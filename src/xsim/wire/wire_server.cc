@@ -74,6 +74,7 @@ WireServer::~WireServer() {
 }
 
 int WireServer::Connect() {
+  ReapFinishedConnections();
   int fds[2];
   if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
     return -1;
@@ -108,6 +109,65 @@ void WireServer::set_outbound_capacity(size_t frames) {
 void WireServer::set_backpressure_timeout_ms(uint64_t ms) {
   std::lock_guard<std::mutex> lock(mu_);
   backpressure_timeout_ms_ = ms;
+}
+
+size_t WireServer::outbound_capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return outbound_capacity_;
+}
+
+WireServer::Stats WireServer::stats() const {
+  Stats stats;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& conn : connections_) {
+      if (!conn->reader_done.load(std::memory_order_acquire)) {
+        ++stats.live_connections;
+      }
+    }
+  }
+  stats.peak_outbound_depth = peak_outbound_depth_.load(std::memory_order_relaxed);
+  stats.backpressure_kills = backpressure_kills_.load(std::memory_order_relaxed);
+  stats.reaped_connections = reaped_connections_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void WireServer::ResetStats() {
+  peak_outbound_depth_.store(0, std::memory_order_relaxed);
+  backpressure_kills_.store(0, std::memory_order_relaxed);
+  reaped_connections_.store(0, std::memory_order_relaxed);
+}
+
+void WireServer::ReapFinishedConnections() {
+  std::vector<std::shared_ptr<Connection>> finished;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      const auto& conn = *it;
+      if (conn->reader_done.load(std::memory_order_acquire) &&
+          conn->writer_done.load(std::memory_order_acquire)) {
+        finished.push_back(conn);
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Join outside mu_ (the threads have already exited, so this is instant,
+  // but a join must never run under the lock their loops might want).
+  for (const auto& conn : finished) {
+    if (conn->reader.joinable()) {
+      conn->reader.join();
+    }
+    if (conn->writer.joinable()) {
+      conn->writer.join();
+    }
+    if (conn->fd >= 0) {
+      ::close(conn->fd);
+      conn->fd = -1;
+    }
+    reaped_connections_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -154,6 +214,7 @@ void WireServer::ReaderLoop(std::shared_ptr<Connection> conn) {
   }
   conn->out_ready.notify_all();
   conn->out_space.notify_all();
+  conn->reader_done.store(true, std::memory_order_release);
 }
 
 void WireServer::WriterLoop(std::shared_ptr<Connection> conn) {
@@ -182,6 +243,7 @@ void WireServer::WriterLoop(std::shared_ptr<Connection> conn) {
   // be accepted: hang up so the client sees EOF rather than a silent stall.
   // The fd itself is closed at join time.
   ::shutdown(conn->fd, SHUT_RDWR);
+  conn->writer_done.store(true, std::memory_order_release);
 }
 
 // ---------------------------------------------------------------------------
@@ -207,10 +269,16 @@ bool WireServer::EnqueueFrame(Connection& conn, std::vector<uint8_t> frame) {
       // The client stopped draining; a wedged connection must not stall the
       // rest of the server.
       lock.unlock();
+      backpressure_kills_.fetch_add(1, std::memory_order_relaxed);
       KillConnection(conn);
       return false;
     }
     conn.out.push_back(std::move(frame));
+    size_t depth = conn.out.size();
+    size_t peak = peak_outbound_depth_.load(std::memory_order_relaxed);
+    while (depth > peak && !peak_outbound_depth_.compare_exchange_weak(
+                               peak, depth, std::memory_order_relaxed)) {
+    }
   }
   conn.out_ready.notify_one();
   return true;

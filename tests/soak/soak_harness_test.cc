@@ -1,0 +1,175 @@
+// Tests for the soak & chaos harness itself (bench/soak_harness.h): schedule
+// determinism, the invariant registry, a tiny end-to-end chaos soak, seed
+// reproduction of the executed fault history, and the breach-artifact dump.
+//
+// The soak runs here are deliberately small (a few clients, well under two
+// seconds) so the suite stays fast even under TSan; the fleet-scale runs
+// live in CI's soak steps and the nightly sweep.
+
+#include "bench/soak_harness.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "src/xsim/trace.h"
+
+namespace soak {
+namespace {
+
+SoakOptions TinyOptions() {
+  SoakOptions opts;
+  opts.clients = 4;
+  opts.duration_s = 0.8;
+  opts.seed = 20260808;
+  opts.chaos = true;
+  opts.chaos_interval_ms = 40;
+  return opts;
+}
+
+// --- Schedule determinism ----------------------------------------------------
+
+TEST(ChaosSchedule, SameOptionsSameSchedule) {
+  SoakOptions opts = TinyOptions();
+  const auto a = BuildChaosSchedule(opts);
+  const auto b = BuildChaosSchedule(opts);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+TEST(ChaosSchedule, DifferentSeedDifferentSchedule) {
+  SoakOptions opts = TinyOptions();
+  const auto a = BuildChaosSchedule(opts);
+  opts.seed += 1;
+  const auto b = BuildChaosSchedule(opts);
+  ASSERT_EQ(a.size(), b.size());  // Same horizon, one event per interval.
+  EXPECT_NE(a, b);
+}
+
+TEST(ChaosSchedule, ChaosOffMeansEmptySchedule) {
+  SoakOptions opts = TinyOptions();
+  opts.chaos = false;
+  EXPECT_TRUE(BuildChaosSchedule(opts).empty());
+}
+
+TEST(ChaosSchedule, EventsAreOrderedAndNamed) {
+  const auto schedule = BuildChaosSchedule(TinyOptions());
+  uint64_t last = 0;
+  for (const ChaosEvent& ev : schedule) {
+    EXPECT_GE(ev.at_ms, last);
+    last = ev.at_ms;
+    EXPECT_STRNE(ChaosKindName(ev.kind), "?");
+  }
+}
+
+// --- Invariant registry ------------------------------------------------------
+
+TEST(Invariants, RegistryIsNonEmptyWithUniqueNames) {
+  const auto& invariants = Invariants();
+  ASSERT_GE(invariants.size(), 5u);
+  std::set<std::string> names;
+  for (const Invariant& inv : invariants) {
+    EXPECT_NE(inv.name, nullptr);
+    EXPECT_NE(inv.description, nullptr);
+    EXPECT_TRUE(names.insert(inv.name).second) << "duplicate invariant " << inv.name;
+  }
+}
+
+// --- End-to-end tiny soak ----------------------------------------------------
+
+TEST(SoakRun, TinyChaosSoakRunsClean) {
+  const SoakOptions opts = TinyOptions();
+  const SoakReport report = RunSoak(opts);
+  // Print the seed on any failure so a flake reproduces from the log alone.
+  SCOPED_TRACE("soak seed " + std::to_string(opts.seed));
+  for (const std::string& breach : report.breaches) {
+    ADD_FAILURE() << "invariant breach: " << breach;
+  }
+  EXPECT_TRUE(report.ok);
+  EXPECT_GT(report.total_requests, 0u);
+  EXPECT_GT(report.monitor_ticks, 0u);
+  ASSERT_EQ(report.phases.size(), static_cast<size_t>(kPhaseCount));
+  for (const PhaseStats& phase : report.phases) {
+    EXPECT_GT(phase.samples, 0u) << "phase " << phase.name << " never ran";
+  }
+  EXPECT_GE(report.clients_recovered, report.clients_killed);
+  EXPECT_EQ(report.clients_killed, report.fault_counters.killed_clients);
+  EXPECT_EQ(report.executed_chaos, BuildChaosSchedule(opts));
+}
+
+TEST(SoakRun, SeedReproducesFaultSchedule) {
+  SoakOptions opts = TinyOptions();
+  opts.duration_s = 0.4;
+  const SoakReport first = RunSoak(opts);
+  const SoakReport second = RunSoak(opts);
+  // The executed chaos history -- kind, timing slot, target and parameters
+  // of every action -- is identical run to run, even though wall-clock
+  // timing never is.
+  ASSERT_FALSE(first.executed_chaos.empty());
+  EXPECT_EQ(first.executed_chaos, second.executed_chaos);
+  EXPECT_EQ(first.seed, second.seed);
+}
+
+// --- Breach artifacts --------------------------------------------------------
+
+TEST(SoakRun, SyntheticBreachDumpsArtifacts) {
+  SoakOptions opts;
+  opts.clients = 2;
+  opts.duration_s = 0.2;
+  opts.seed = 99;
+  opts.chaos = false;  // The breach is synthetic; keep the run minimal.
+  opts.inject_synthetic_breach = true;
+  opts.artifact_dir =
+      (std::filesystem::temp_directory_path() / "tclk-soak-artifact-test").string();
+  std::filesystem::remove_all(opts.artifact_dir);
+
+  const SoakReport report = RunSoak(opts);
+  EXPECT_FALSE(report.ok);
+  ASSERT_EQ(report.breaches.size(), 1u);
+  EXPECT_NE(report.breaches[0].find("synthetic-breach"), std::string::npos);
+
+  ASSERT_FALSE(report.artifact_trace_path.empty());
+  ASSERT_FALSE(report.artifact_counters_path.empty());
+  ASSERT_TRUE(std::filesystem::exists(report.artifact_trace_path));
+  ASSERT_TRUE(std::filesystem::exists(report.artifact_counters_path));
+
+  // The trace artifact is valid JSONL: the TraceBuffer's own parser accepts
+  // it, so a breach can be replayed through the trace tooling.
+  std::ifstream trace_in(report.artifact_trace_path);
+  std::stringstream trace_text;
+  trace_text << trace_in.rdbuf();
+  std::string parse_error;
+  const auto records = xsim::TraceBuffer::FromJsonl(trace_text.str(), &parse_error);
+  ASSERT_TRUE(records.has_value()) << parse_error;
+  EXPECT_FALSE(records->empty());
+
+  // The counters snapshot names the seed and the breach.
+  std::ifstream counters_in(report.artifact_counters_path);
+  std::stringstream counters_text;
+  counters_text << counters_in.rdbuf();
+  EXPECT_NE(counters_text.str().find("\"seed\": 99"), std::string::npos);
+  EXPECT_NE(counters_text.str().find("synthetic-breach"), std::string::npos);
+
+  std::filesystem::remove_all(opts.artifact_dir);
+}
+
+TEST(SoakRun, CleanRunDumpsNoArtifacts) {
+  SoakOptions opts;
+  opts.clients = 2;
+  opts.duration_s = 0.2;
+  opts.chaos = false;
+  opts.artifact_dir =
+      (std::filesystem::temp_directory_path() / "tclk-soak-noartifact-test").string();
+  std::filesystem::remove_all(opts.artifact_dir);
+  const SoakReport report = RunSoak(opts);
+  EXPECT_TRUE(report.ok) << (report.breaches.empty() ? "" : report.breaches[0]);
+  EXPECT_TRUE(report.artifact_trace_path.empty());
+  EXPECT_FALSE(std::filesystem::exists(opts.artifact_dir));
+}
+
+}  // namespace
+}  // namespace soak

@@ -72,7 +72,7 @@ TEST_F(FaultToleranceTest, SendWorksBeforeAnyFault) {
 TEST_F(FaultToleranceTest, PeerDyingMidSendIsACatchableError) {
   // The acceptance scenario: the peer is killed while servicing the send;
   // the sender unblocks with a catchable Tcl error well within the timeout.
-  EXPECT_EQ(Ok("catch {send -timeout 1000 peer {die}} msg"), "1");
+  EXPECT_EQ(Ok("catch {send -timeout 10000 peer {die}} msg"), "1");
   EXPECT_EQ(Ok("set msg"), "target application died");
   EXPECT_EQ(Fault("dead-peer-sends"), "1");
   EXPECT_EQ(Fault("killed-clients"), "1");
@@ -163,7 +163,7 @@ TEST_F(FaultToleranceTest, XErrorsAreCountedPerDisplay) {
 TEST_F(FaultToleranceTest, InfoFaultsResetZeroesEverything) {
   app_->display().MapWindow(0xdead);
   app_->resources().GetColor("bogus-color");
-  Ok("catch {send -timeout 1000 peer {die}}");
+  Ok("catch {send -timeout 10000 peer {die}}");
   EXPECT_NE(Fault("x-errors"), "0");
   EXPECT_NE(Fault("degraded-colors"), "0");
   EXPECT_NE(Fault("dead-peer-sends"), "0");

@@ -16,6 +16,12 @@ class SendTest : public ::testing::Test {
   SendTest() {
     app1_ = std::make_unique<App>(server_, "editor");
     app2_ = std::make_unique<App>(server_, "debugger");
+    // Success-path sends complete in milliseconds; the generous ceiling only
+    // matters on heavily loaded machines (sanitizer CI), where the default
+    // 2s budget can spuriously expire.  Must-time-out cases override this
+    // per-call with `send -timeout`.
+    app1_->send_channel().set_timeout_ms(30000);
+    app2_->send_channel().set_timeout_ms(30000);
   }
 
   std::string Ok(App& app, const std::string& script) {

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <random>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -413,6 +414,266 @@ TEST(WireDecodeFuzzTest, StatusNamesAndErrorMappingsAreTotal) {
       EXPECT_TRUE(code == ErrorCode::kBadLength ||
                   code == ErrorCode::kBadRequest)
           << DecodeStatusName(status);
+    }
+  }
+}
+
+// --- Encode->decode round-trip properties ------------------------------------
+//
+// The builders above use one representative value per frame kind; these
+// property tests draw every payload field from a seeded RNG instead, so the
+// full field space of every codec round-trips with exact equality (the
+// structs' field-wise operator==).  The seed is in every failure message.
+
+std::string RandomText(std::mt19937_64& rng) {
+  std::string text(rng() % 64, '\0');
+  for (char& c : text) {
+    c = static_cast<char>(rng() & 0xff);  // Arbitrary bytes, not just ASCII.
+  }
+  return text;
+}
+
+Rect RandomRect(std::mt19937_64& rng) {
+  return Rect{static_cast<int>(static_cast<int32_t>(rng())),
+              static_cast<int>(static_cast<int32_t>(rng())),
+              static_cast<int>(static_cast<int32_t>(rng())),
+              static_cast<int>(static_cast<int32_t>(rng()))};
+}
+
+// Event type in [0, kClientMessage]; the decoder accepts the whole range,
+// zero (kNone) included.
+Event RandomEvent(std::mt19937_64& rng) {
+  Event event;
+  event.type = static_cast<EventType>(rng() % (static_cast<uint64_t>(EventType::kClientMessage) + 1));
+  event.window = static_cast<WindowId>(rng());
+  event.time = rng();
+  event.x = static_cast<int32_t>(rng());
+  event.y = static_cast<int32_t>(rng());
+  event.x_root = static_cast<int32_t>(rng());
+  event.y_root = static_cast<int32_t>(rng());
+  event.state = static_cast<uint32_t>(rng());
+  event.detail = static_cast<uint32_t>(rng());
+  event.area = RandomRect(rng);
+  event.border_width = static_cast<int32_t>(rng());
+  event.count = static_cast<int32_t>(rng());
+  event.atom = static_cast<Atom>(rng());
+  event.target = static_cast<Atom>(rng());
+  event.property = static_cast<Atom>(rng());
+  event.requestor = static_cast<WindowId>(rng());
+  event.message_type = static_cast<Atom>(rng());
+  event.data = RandomText(rng);
+  return event;
+}
+
+// Request opcode in [0, kSendEvent] -- the decoder's accepted range -- with
+// every field randomized, the embedded GcValues and Event included.
+Request RandomRequest(std::mt19937_64& rng) {
+  Request request;
+  request.op = static_cast<RequestOpcode>(rng() % (static_cast<uint64_t>(RequestOpcode::kSendEvent) + 1));
+  request.sequence = rng();
+  request.window = static_cast<WindowId>(rng());
+  request.resource = static_cast<XId>(rng());
+  request.gc = static_cast<GcId>(rng());
+  request.atom = static_cast<Atom>(rng());
+  request.target = static_cast<Atom>(rng());
+  request.property = static_cast<Atom>(rng());
+  request.requestor = static_cast<WindowId>(rng());
+  request.pixel = static_cast<Pixel>(rng());
+  request.mask = static_cast<uint32_t>(rng());
+  request.x = static_cast<int32_t>(rng());
+  request.y = static_cast<int32_t>(rng());
+  request.width = static_cast<int32_t>(rng());
+  request.height = static_cast<int32_t>(rng());
+  request.border_width = static_cast<int32_t>(rng());
+  request.x1 = static_cast<int32_t>(rng());
+  request.y1 = static_cast<int32_t>(rng());
+  request.rect = RandomRect(rng);
+  request.text = RandomText(rng);
+  request.gc_values.foreground = static_cast<Pixel>(rng());
+  request.gc_values.background = static_cast<Pixel>(rng());
+  request.gc_values.font = static_cast<FontId>(rng());
+  request.gc_values.line_width = static_cast<int32_t>(rng());
+  request.event = RandomEvent(rng);
+  return request;
+}
+
+std::vector<Request> RandomBatch(std::mt19937_64& rng, size_t max_size) {
+  std::vector<Request> batch(rng() % (max_size + 1));
+  for (Request& request : batch) {
+    request = RandomRequest(rng);
+  }
+  return batch;
+}
+
+// Error code in [0, kBadRequest], the decoder's accepted range.
+XError RandomError(std::mt19937_64& rng) {
+  XError error;
+  error.code = static_cast<ErrorCode>(rng() % (static_cast<uint64_t>(ErrorCode::kBadRequest) + 1));
+  error.sequence = rng();
+  error.resource = static_cast<XId>(rng());
+  error.request = static_cast<RequestType>(rng() % kRequestTypeCount);
+  return error;
+}
+
+// Query opcode in [1, kNoOpRoundTrip]; zero is not a query opcode.
+WireQuery RandomQuery(std::mt19937_64& rng) {
+  WireQuery query;
+  query.op = static_cast<QueryOpcode>(1 + rng() % static_cast<uint64_t>(QueryOpcode::kNoOpRoundTrip));
+  query.a = static_cast<uint32_t>(rng());
+  query.b = static_cast<uint32_t>(rng());
+  query.c = static_cast<int32_t>(rng());
+  query.d = static_cast<int32_t>(rng());
+  query.text = RandomText(rng);
+  return query;
+}
+
+WireReply RandomReply(std::mt19937_64& rng) {
+  WireReply reply;
+  reply.ok = (rng() & 1) != 0;
+  reply.value = rng();
+  reply.sequence = rng();
+  reply.c = static_cast<int32_t>(rng());
+  reply.d = static_cast<int32_t>(rng());
+  reply.text = RandomText(rng);
+  return reply;
+}
+
+WireAck RandomAck(std::mt19937_64& rng) {
+  WireAck ack;
+  ack.value = rng();
+  ack.sequence = rng();
+  ack.extra = static_cast<uint32_t>(rng());
+  return ack;
+}
+
+// Whole-frame round trip: EncodeFrame -> DecodeFrame must reproduce the kind
+// and the exact payload bytes for every frame kind.
+TEST(WireRoundTripProperty, EveryFrameKindRoundTripsThroughEncodeFrame) {
+  std::mt19937_64 rng(0x20260808ull);
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    SCOPED_TRACE("seed 0x20260808 iteration " + std::to_string(iteration));
+    for (uint8_t raw = 1; raw < static_cast<uint8_t>(FrameKind::kFrameKindCount); ++raw) {
+      const FrameKind kind = static_cast<FrameKind>(raw);
+      std::vector<uint8_t> payload;
+      switch (kind) {
+        case FrameKind::kHello:
+          payload = EncodeHelloPayload(RandomText(rng));
+          break;
+        case FrameKind::kBatch:
+        case FrameKind::kRequestSync:  // A synchronous request is a batch of one.
+          payload = EncodeBatchPayload(RandomBatch(rng, kind == FrameKind::kBatch ? 5 : 1));
+          break;
+        case FrameKind::kQuery:
+          payload = EncodeQueryPayload(RandomQuery(rng));
+          break;
+        case FrameKind::kReply:
+          payload = EncodeReplyPayload(RandomReply(rng));
+          break;
+        case FrameKind::kEvent:
+          payload = EncodeEventPayload(RandomEvent(rng));
+          break;
+        case FrameKind::kError:
+          payload = EncodeErrorPayload(RandomError(rng));
+          break;
+        case FrameKind::kHelloAck:
+        case FrameKind::kBatchAck:
+        case FrameKind::kRequestAck:
+        case FrameKind::kEventSyncAck:
+        case FrameKind::kByeAck:
+          payload = EncodeAckPayload(RandomAck(rng));
+          break;
+        case FrameKind::kEventSync:
+        case FrameKind::kBye:
+          break;  // Empty payloads on the wire.
+        case FrameKind::kFrameKindCount:
+          break;
+      }
+      Frame frame;
+      ASSERT_EQ(DecodeFrame(EncodeFrame(kind, payload), &frame), DecodeStatus::kOk)
+          << FrameKindName(kind);
+      EXPECT_EQ(frame.kind, kind);
+      EXPECT_EQ(frame.payload, payload) << FrameKindName(kind);
+    }
+  }
+}
+
+TEST(WireRoundTripProperty, RandomBatchesRoundTripFieldForField) {
+  std::mt19937_64 rng(0xB47C4ull);
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    SCOPED_TRACE("seed 0xB47C4 iteration " + std::to_string(iteration));
+    const std::vector<Request> batch = RandomBatch(rng, 8);
+    std::vector<Request> out;
+    ASSERT_EQ(DecodeBatchPayload(EncodeBatchPayload(batch), &out), DecodeStatus::kOk);
+    // Field-wise equality over every request, the embedded GcValues and
+    // Event included -- the codec may not lose or alter a single field.
+    EXPECT_EQ(out, batch);
+  }
+}
+
+TEST(WireRoundTripProperty, SendEventCarriesEveryEventFieldInline) {
+  // Regression: the inline event encoding inside EncodeRequest used to skip
+  // x_root/y_root/area/border_width/count, so a SendEvent crossing the wire
+  // silently zeroed them (found by RandomBatchesRoundTripFieldForField).
+  Request request;
+  request.op = RequestOpcode::kSendEvent;
+  request.window = 42;
+  request.event.type = EventType::kConfigureNotify;
+  request.event.x_root = -17;
+  request.event.y_root = 2100;
+  request.event.area = Rect{3, 4, 50, 60};
+  request.event.border_width = 5;
+  request.event.count = 7;
+  std::vector<Request> out;
+  ASSERT_EQ(DecodeBatchPayload(EncodeBatchPayload({request}), &out),
+            DecodeStatus::kOk);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].event.x_root, -17);
+  EXPECT_EQ(out[0].event.y_root, 2100);
+  EXPECT_EQ(out[0].event.area, (Rect{3, 4, 50, 60}));
+  EXPECT_EQ(out[0].event.border_width, 5);
+  EXPECT_EQ(out[0].event.count, 7);
+  EXPECT_EQ(out[0], request);
+}
+
+TEST(WireRoundTripProperty, RandomEventsErrorsQueriesRepliesAcksRoundTrip) {
+  std::mt19937_64 rng(0xE4E47ull);
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    SCOPED_TRACE("seed 0xE4E47 iteration " + std::to_string(iteration));
+    {
+      const Event event = RandomEvent(rng);
+      Event out;
+      ASSERT_EQ(DecodeEventPayload(EncodeEventPayload(event), &out), DecodeStatus::kOk);
+      EXPECT_EQ(out, event);
+    }
+    {
+      const XError error = RandomError(rng);
+      XError out;
+      ASSERT_EQ(DecodeErrorPayload(EncodeErrorPayload(error), &out), DecodeStatus::kOk);
+      EXPECT_EQ(out, error);
+    }
+    {
+      const WireQuery query = RandomQuery(rng);
+      WireQuery out;
+      ASSERT_EQ(DecodeQueryPayload(EncodeQueryPayload(query), &out), DecodeStatus::kOk);
+      EXPECT_EQ(out, query);
+    }
+    {
+      const WireReply reply = RandomReply(rng);
+      WireReply out;
+      ASSERT_EQ(DecodeReplyPayload(EncodeReplyPayload(reply), &out), DecodeStatus::kOk);
+      EXPECT_EQ(out, reply);
+    }
+    {
+      const WireAck ack = RandomAck(rng);
+      WireAck out;
+      ASSERT_EQ(DecodeAckPayload(EncodeAckPayload(ack), &out), DecodeStatus::kOk);
+      EXPECT_EQ(out, ack);
+    }
+    {
+      const std::string name = RandomText(rng);
+      std::string out;
+      ASSERT_EQ(DecodeHelloPayload(EncodeHelloPayload(name), &out), DecodeStatus::kOk);
+      EXPECT_EQ(out, name);
     }
   }
 }

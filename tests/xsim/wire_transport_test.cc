@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <thread>
@@ -265,7 +266,13 @@ TEST(WireTransportTest, ConcurrentClientsStressSharedServer) {
   EXPECT_GT(wire.frames_in, 0u);
   EXPECT_GT(wire.frames_out, 0u);
   EXPECT_GT(wire.batches, 0u);
-  EXPECT_EQ(server.wire().connection_count(), static_cast<size_t>(kClients));
+  // A client that disconnects before the last client's Connect() gets reaped
+  // from the live list, so the list plus the reaped tally must account for
+  // every connection ever accepted.
+  EXPECT_LE(server.wire().connection_count(), static_cast<size_t>(kClients));
+  EXPECT_EQ(server.wire().connection_count() +
+                static_cast<size_t>(server.wire().stats().reaped_connections),
+            static_cast<size_t>(kClients));
 }
 
 // --- Malformed frames against a live server ---------------------------------
@@ -457,6 +464,95 @@ TEST(WireTransportTest, TraceClearResetsCumulativeWireTotals) {
   display->MapWindow(w);
   display->Sync();
   EXPECT_GT(server.trace().total_wire_frames(), 0u);
+}
+
+// --- Stats and connection reaping --------------------------------------------
+
+TEST(WireTransportTest, StatsTrackPeakDepthAndBackpressureKills) {
+  Server server;
+  server.wire().set_outbound_capacity(4);
+  server.wire().set_backpressure_timeout_ms(50);
+
+  int fd = server.wire().Connect();
+  ASSERT_GE(fd, 0);
+  ASSERT_NE(RawHello(fd, "wedged-for-stats"), 0u);
+
+  std::vector<uint8_t> ping = EncodeFrame(FrameKind::kEventSync, {});
+  bool write_failed = false;
+  for (int i = 0; i < 200000 && !write_failed; ++i) {
+    write_failed = !RawWrite(fd, ping);
+  }
+  if (!write_failed) {
+    Frame frame;
+    while (RawReadFrame(fd, &frame)) {
+    }
+  }
+  ::close(fd);
+
+  const auto stats = server.wire().stats();
+  EXPECT_GE(stats.backpressure_kills, 1u);
+  EXPECT_GE(stats.peak_outbound_depth, 1u);
+  EXPECT_LE(stats.peak_outbound_depth, 4u);  // Capacity bounds the queue.
+
+  server.wire().ResetStats();
+  const auto reset = server.wire().stats();
+  EXPECT_EQ(reset.backpressure_kills, 0u);
+  EXPECT_EQ(reset.peak_outbound_depth, 0u);
+  EXPECT_EQ(reset.reaped_connections, 0u);
+}
+
+TEST(WireTransportTest, FinishedConnectionsAreReaped) {
+  Server server;
+  // Churn through short-lived clients; each destructor is an orderly bye,
+  // after which both connection threads wind down asynchronously.
+  for (int i = 0; i < 6; ++i) {
+    auto d = OpenWire(server, "churn-" + std::to_string(i));
+    d->Sync();
+  }
+
+  // Reaping happens on the next Connect().  Deadline-poll rather than sleep:
+  // the finished threads need a moment to set their done flags.
+  uint64_t reaped = 0;
+  size_t connections = 0;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (std::chrono::steady_clock::now() < deadline) {
+    {
+      auto probe = OpenWire(server, "reap-probe");
+      probe->Sync();
+    }
+    const auto stats = server.wire().stats();
+    reaped = stats.reaped_connections;
+    connections = server.wire().connection_count();
+    if (reaped >= 6) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(reaped, 6u) << "dead connections were never reaped";
+  // The record list holds only the not-yet-reaped tail, not all 6+ churned
+  // connections.
+  EXPECT_LE(connections, 3u);
+}
+
+TEST(WireTransportTest, StatsCountLiveConnections) {
+  Server server;
+  auto a = OpenWire(server, "live-a");
+  auto b = OpenWire(server, "live-b");
+  a->Sync();
+  b->Sync();
+  EXPECT_EQ(server.wire().stats().live_connections, 2u);
+
+  b.reset();  // Orderly bye; the reader exits after ByeAck.
+  size_t live = 99;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (std::chrono::steady_clock::now() < deadline) {
+    live = server.wire().stats().live_connections;
+    if (live == 1) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(live, 1u);
 }
 
 }  // namespace
