@@ -1,0 +1,237 @@
+// Reconnect storm: every client loses its connection at once (a server
+// bounce) and the whole fleet re-handshakes simultaneously through the
+// connection-resilience layer -- backoff dial, kResume session resumption or
+// fresh registration, and journal replay.  The bench reports per-client
+// time-to-recover percentiles and fleet recovery wall time per round.
+//
+// Each client builds a small session first (a window, a gc, a property, a
+// close-down mode spread across DestroyAll / RetainTemporary /
+// RetainPermanent like the soak fleet), so every round exercises both the
+// resume path (retained sessions reattach, replay upserts) and the
+// re-register path (DestroyAll sessions rebuild from the journal).
+//
+// Results land in BENCH_reconnect.json.  The req_reconnect_* keys are
+// deterministic -- recovery counts are a pure function of (clients, rounds)
+// because a bounce retains or destroys sessions strictly by close-down mode
+// -- and are gated by scripts/check_bench_regression.py against
+// bench/baselines/reconnect_storm.json: failed reconnects, failed resumes
+// and replay mismatches have zero baselines (any occurrence fails the
+// build), and total reconnects / resumes / replayed requests are growth-
+// checked so the recovery path cannot silently start costing more traffic.
+// Timing keys (recover_ms_*) are informational.
+//
+// Flags: --clients=K (default 24), --rounds=N bounces (default 3);
+// --benchmark_* flags from run_benches.sh are accepted and ignored.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "src/xsim/display.h"
+#include "src/xsim/server.h"
+#include "src/xsim/wire/transport.h"
+#include "src/xsim/wire/wire_server.h"
+
+namespace {
+
+xsim::CloseDownMode ModeFor(int index) {
+  switch (index % 3) {
+    case 1:
+      return xsim::CloseDownMode::kRetainTemporary;
+    case 2:
+      return xsim::CloseDownMode::kRetainPermanent;
+    default:
+      return xsim::CloseDownMode::kDestroyAll;
+  }
+}
+
+double PercentileMs(const std::vector<uint64_t>& sorted_ns, double p) {
+  if (sorted_ns.empty()) {
+    return 0.0;
+  }
+  size_t index = static_cast<size_t>(p * static_cast<double>(sorted_ns.size() - 1));
+  return static_cast<double>(sorted_ns[index]) / 1e6;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Strips --benchmark_* flags (run_benches.sh passes them to every bench).
+  benchmark::Initialize(&argc, argv);
+
+  int clients = 24;
+  int rounds = 3;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--clients=", 10) == 0) {
+      clients = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--rounds=", 9) == 0) {
+      rounds = std::atoi(argv[i] + 9);
+    }
+  }
+  if (clients < 1) clients = 1;
+  if (rounds < 1) rounds = 1;
+
+  xsim::Server server;
+  std::vector<std::unique_ptr<xsim::Display>> displays;
+  displays.reserve(static_cast<size_t>(clients));
+  for (int i = 0; i < clients; ++i) {
+    auto display = xsim::Display::Open(server, "storm-" + std::to_string(i),
+                                       xsim::wire::TransportKind::kWire);
+    display->set_backoff_base_ms(1);  // Recovery time, not sleep time.
+    display->SetCloseDownMode(ModeFor(i));
+    xsim::WindowId w = display->CreateWindow(display->root(), 8, 8, 64, 48);
+    display->MapWindow(w);
+    xsim::GcId gc = display->CreateGc();
+    display->ChangeProperty(w, display->InternAtom("STORM_TAG"),
+                            "client " + std::to_string(i));
+    display->FillRectangle(w, gc, xsim::Rect{0, 0, 64, 48});
+    display->Sync();
+    displays.push_back(std::move(display));
+  }
+
+  uint64_t failed = 0;
+  uint64_t replay_mismatches = 0;
+  std::vector<uint64_t> recover_ns;
+  std::vector<double> fleet_ms;
+  recover_ns.reserve(static_cast<size_t>(clients * rounds));
+
+  for (int round = 0; round < rounds; ++round) {
+    // Every connection dies at once; close-down modes decide what survives
+    // server-side.  By the time Bounce() returns the listener is back.
+    server.wire().Bounce();
+
+    std::atomic<int> start_gate{clients};
+    std::atomic<uint64_t> round_failed{0};
+    std::vector<uint64_t> round_ns(static_cast<size_t>(clients), 0);
+    auto fleet_begin = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(clients));
+    for (int i = 0; i < clients; ++i) {
+      threads.emplace_back([&, i] {
+        start_gate.fetch_sub(1, std::memory_order_acq_rel);
+        while (start_gate.load(std::memory_order_acquire) > 0) {
+        }
+        xsim::Display& d = *displays[static_cast<size_t>(i)];
+        auto begin = std::chrono::steady_clock::now();
+        bool ok = d.Reconnect();
+        if (ok) {
+          d.Sync();  // Recovery includes the replay being server-applied.
+          ok = !d.io_error();
+        }
+        auto end = std::chrono::steady_clock::now();
+        if (!ok) {
+          round_failed.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        round_ns[static_cast<size_t>(i)] = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin).count());
+      });
+    }
+    for (std::thread& thread : threads) {
+      thread.join();
+    }
+    auto fleet_end = std::chrono::steady_clock::now();
+    fleet_ms.push_back(
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+            fleet_end - fleet_begin)
+            .count());
+    failed += round_failed.load();
+    for (uint64_t ns : round_ns) {
+      if (ns != 0) {
+        recover_ns.push_back(ns);
+      }
+    }
+
+    // Post-storm census: the server must hold exactly what each client's
+    // journal says it re-asserted (replay rebuilds DestroyAll sessions and
+    // upserts resumed ones, so equality holds for both).
+    for (int i = 0; i < clients; ++i) {
+      const xsim::Display& d = *displays[static_cast<size_t>(i)];
+      xsim::ResourceCounts census = server.ClientResources(d.client_id());
+      if (census.windows != d.journal().window_count() ||
+          census.gcs != d.journal().gc_count()) {
+        ++replay_mismatches;
+      }
+    }
+  }
+
+  uint64_t reconnects = 0;
+  uint64_t resumes = 0;
+  uint64_t replayed = 0;
+  for (const auto& display : displays) {
+    reconnects += display->reconnects();
+    resumes += display->resumes();
+    replayed += display->replayed_requests();
+  }
+  const xsim::SessionCounters sessions = server.session_counters();
+  displays.clear();  // Orderly kBye disconnects.
+
+  std::sort(recover_ns.begin(), recover_ns.end());
+  double p50 = PercentileMs(recover_ns, 0.50);
+  double p95 = PercentileMs(recover_ns, 0.95);
+  double p99 = PercentileMs(recover_ns, 0.99);
+  double fleet_max = fleet_ms.empty() ? 0.0 : *std::max_element(fleet_ms.begin(), fleet_ms.end());
+
+  // Retain-mode clients resume; DestroyAll clients re-register.  Both count
+  // as reconnects, so the expected totals are pure arithmetic.
+  const uint64_t expected_reconnects =
+      static_cast<uint64_t>(clients) * static_cast<uint64_t>(rounds);
+  uint64_t retainers = 0;
+  for (int i = 0; i < clients; ++i) {
+    if (ModeFor(i) != xsim::CloseDownMode::kDestroyAll) {
+      ++retainers;
+    }
+  }
+  const uint64_t expected_resumes = retainers * static_cast<uint64_t>(rounds);
+  const uint64_t unresumed = resumes >= expected_resumes ? 0 : expected_resumes - resumes;
+
+  std::printf("\nreconnect_storm: %d clients x %d server bounces\n\n", clients, rounds);
+  std::printf("  reconnects    %llu (%llu resumed, %llu re-registered)\n",
+              static_cast<unsigned long long>(reconnects),
+              static_cast<unsigned long long>(resumes),
+              static_cast<unsigned long long>(reconnects - resumes));
+  std::printf("  replayed      %llu requests\n", static_cast<unsigned long long>(replayed));
+  std::printf("  recover ms    p50 %.2f   p95 %.2f   p99 %.2f   (%zu samples)\n", p50, p95,
+              p99, recover_ns.size());
+  std::printf("  fleet ms      worst round %.2f\n", fleet_max);
+  std::printf("  failures      %llu reconnects, %llu unresumed, %llu replay mismatches\n",
+              static_cast<unsigned long long>(failed),
+              static_cast<unsigned long long>(unresumed),
+              static_cast<unsigned long long>(replay_mismatches));
+
+  benchjson::Writer json("reconnect");
+  json.AddInteger("clients", static_cast<uint64_t>(clients));
+  json.AddInteger("rounds", static_cast<uint64_t>(rounds));
+  json.AddNumber("recover_ms_p50", p50);
+  json.AddNumber("recover_ms_p95", p95);
+  json.AddNumber("recover_ms_p99", p99);
+  json.AddNumber("fleet_recover_ms_max", fleet_max);
+  json.AddInteger("sessions_retained", sessions.retained);
+  json.AddInteger("sessions_resumed", sessions.resumed);
+  // Deterministic recovery counts (the regression-gated keys).
+  json.AddInteger("req_reconnect_total", reconnects);
+  json.AddInteger("req_reconnect_resumed", resumes);
+  json.AddInteger("req_reconnect_replayed", replayed);
+  json.AddInteger("req_reconnect_failed", failed);
+  json.AddInteger("req_reconnect_unresumed", unresumed);
+  json.AddInteger("req_reconnect_replay_mismatch", replay_mismatches);
+  json.WriteFile();
+  benchmark::Shutdown();
+  // Zero-baseline keys gate in CI, but a storm that cannot recover should
+  // fail loudly even when run by hand.
+  int rc = (failed != 0 || replay_mismatches != 0 ||
+            reconnects != expected_reconnects || unresumed != 0)
+               ? 1
+               : 0;
+  return rc;
+}

@@ -8,10 +8,11 @@
 // for exactly what is asserted.
 //
 // Results land in BENCH_soak.json.  The req_soak_* keys are the gate:
-// invariant breaches, unrecovered kills and queue overflows must stay at
-// exactly zero (scripts/check_bench_regression.py enforces the zero
-// baseline in bench/baselines/soak_invariants.json).  Everything else
-// (req/sec, per-phase RTT percentiles, fault counts) is informational.
+// invariant breaches, unrecovered kills, queue overflows, end-of-run orphan
+// resources and leftover retained sessions must stay at exactly zero
+// (scripts/check_bench_regression.py enforces the zero baseline in
+// bench/baselines/soak_invariants.json).  Everything else (req/sec,
+// per-phase RTT percentiles, fault counts) is informational.
 //
 // Flags:
 //   --clients=N          worker clients (default 8)
@@ -19,6 +20,8 @@
 //   --seed=N             chaos + workload seed (default 0x50AC5EED)
 //   --chaos=0|1          enable the chaos schedule (default 1)
 //   --interval-ms=N      one chaos action per interval (default 50)
+//   --bounces=N          server bounces forced at fixed fractions of the
+//                        horizon on top of rolled ones (default 3)
 //   --slo-ms=N           per-phase p99 RTT ceiling in ms (default 2000)
 //   --capacity=N         outbound queue capacity in frames (default 256)
 //   --backpressure-ms=N  wedged-client kill timeout (default 100)
@@ -59,6 +62,8 @@ int main(int argc, char** argv) {
       opts.chaos = std::atoi(arg + 8) != 0;
     } else if (std::strncmp(arg, "--interval-ms=", 14) == 0) {
       opts.chaos_interval_ms = std::strtoull(arg + 14, nullptr, 10);
+    } else if (std::strncmp(arg, "--bounces=", 10) == 0) {
+      opts.min_bounces = std::atoi(arg + 10);
     } else if (std::strncmp(arg, "--slo-ms=", 9) == 0) {
       opts.slo_p99_ms = std::atof(arg + 9);
     } else if (std::strncmp(arg, "--capacity=", 11) == 0) {
@@ -95,10 +100,28 @@ int main(int argc, char** argv) {
                 phase.name.c_str(), phase.p50_us, phase.p95_us, phase.p99_us,
                 static_cast<unsigned long long>(phase.samples));
   }
-  std::printf("  chaos          %llu events (%llu kills, %llu floods)\n",
+  std::printf("  chaos          %llu events (%llu kills, %llu floods, %llu bounces, "
+              "%llu half-closes, %llu blackholes)\n",
               static_cast<unsigned long long>(report.executed_chaos.size()),
               static_cast<unsigned long long>(report.clients_killed),
-              static_cast<unsigned long long>(report.backpressure_floods));
+              static_cast<unsigned long long>(report.backpressure_floods),
+              static_cast<unsigned long long>(report.server_bounces),
+              static_cast<unsigned long long>(report.half_closes),
+              static_cast<unsigned long long>(report.heartbeat_blackholes));
+  std::printf("  lifecycle      %llu reconnects (%llu resumed), %llu replayed requests, "
+              "%llu heartbeats, %llu replay checks\n",
+              static_cast<unsigned long long>(report.transport_reconnects),
+              static_cast<unsigned long long>(report.sessions_resumed),
+              static_cast<unsigned long long>(report.replayed_requests),
+              static_cast<unsigned long long>(report.heartbeats_sent),
+              static_cast<unsigned long long>(report.replay_checks));
+  std::printf("  sessions       %llu disconnects, %llu retained, %llu resumed, %llu reaped "
+              "(%llu swept at end)\n",
+              static_cast<unsigned long long>(report.session_counters.disconnects),
+              static_cast<unsigned long long>(report.session_counters.retained),
+              static_cast<unsigned long long>(report.session_counters.resumed),
+              static_cast<unsigned long long>(report.session_counters.reaped),
+              static_cast<unsigned long long>(report.retained_reaped_final));
   std::printf("  faults         %llu injected / %llu survived\n",
               static_cast<unsigned long long>(report.faults_injected),
               static_cast<unsigned long long>(report.faults_survived));
@@ -137,10 +160,22 @@ int main(int argc, char** argv) {
   json.AddInteger("peak_queue_depth", report.peak_outbound_depth);
   json.AddInteger("backpressure_kills", report.backpressure_kills);
   json.AddInteger("monitor_ticks", report.monitor_ticks);
+  json.AddInteger("server_bounces", report.server_bounces);
+  json.AddInteger("half_closes", report.half_closes);
+  json.AddInteger("heartbeat_blackholes", report.heartbeat_blackholes);
+  json.AddInteger("transport_reconnects", report.transport_reconnects);
+  json.AddInteger("sessions_resumed", report.sessions_resumed);
+  json.AddInteger("replayed_requests", report.replayed_requests);
+  json.AddInteger("heartbeats", report.heartbeats_sent);
+  json.AddInteger("replay_checks", report.replay_checks);
+  json.AddInteger("sessions_retained", report.session_counters.retained);
+  json.AddInteger("sessions_reaped", report.session_counters.reaped);
   // The regression-gated keys: all must stay exactly zero.
   json.AddInteger("req_soak_invariant_breaches", static_cast<uint64_t>(report.breaches.size()));
   json.AddInteger("req_soak_unrecovered_kills", unrecovered);
   json.AddInteger("req_soak_queue_overflow", queue_overflow);
+  json.AddInteger("req_soak_orphan_resources", report.orphan_resources_final);
+  json.AddInteger("req_soak_retained_leftover", report.retained_sessions_final);
   json.WriteFile();
 
   if (!report.ok) {

@@ -26,6 +26,7 @@ namespace {
 
 using xsim::Atom;
 using xsim::ClientId;
+using xsim::CloseDownMode;
 using xsim::Display;
 using xsim::Event;
 using xsim::EventType;
@@ -77,14 +78,34 @@ class BreachLog {
 
 // --- Workers -----------------------------------------------------------------
 
+// Fault-policy epoch shared between the chaos executor and the workers: the
+// replay-idempotent census is only trusted when no frame/request fault policy
+// was (or could have been) active across the whole reconnect-and-census
+// window, since a dropped replay batch makes server state diverge from the
+// journal without any invariant being at fault.
+struct FaultWindow {
+  std::atomic<uint64_t> generation{0};
+  std::atomic<bool> active{false};
+};
+
 struct WorkerContext {
   Server* server = nullptr;
   const SoakOptions* opts = nullptr;
+  const FaultWindow* faults = nullptr;
   int index = 0;
   // Published for the chaos executor, which kills by current ClientId.
   std::atomic<ClientId> client{0};
   // The rest is worker-thread private until the thread is joined.
   uint64_t recoveries = 0;
+  uint64_t transport_reconnects = 0;  // Harvested Display::reconnects().
+  uint64_t sessions_resumed = 0;
+  uint64_t replayed_requests = 0;
+  uint64_t heartbeats = 0;
+  uint64_t replay_checks = 0;
+  // Display counters already folded into the accumulators above (the display
+  // object is replaced on a fresh open, resetting its own counters).
+  uint64_t seen_reconnects = 0;
+  uint64_t seen_resumes = 0;
   std::array<std::vector<uint64_t>, kPhaseCount> rtt_ns;
   bool opened_once = false;
   bool final_ok = false;
@@ -96,7 +117,36 @@ struct ConnState {
   WindowId comm = xsim::kNone;  // Long-lived window for send/selection traffic.
 };
 
+// The close-down-mode mix: a third of the fleet runs each mode, so bounces
+// exercise both session resumption (Retain*) and re-register-plus-replay
+// (DestroyAll) concurrently.
+CloseDownMode WorkerCloseDownMode(int index) {
+  switch (index % 3) {
+    case 1:
+      return CloseDownMode::kRetainTemporary;
+    case 2:
+      return CloseDownMode::kRetainPermanent;
+    default:
+      return CloseDownMode::kDestroyAll;
+  }
+}
+
+// Folds the current display's lifecycle counters into the context before the
+// display goes away (or at the end of the run).
+void HarvestDisplayCounters(WorkerContext& ctx, ConnState& conn) {
+  if (!conn.display) {
+    return;
+  }
+  ctx.transport_reconnects += conn.display->reconnects();
+  ctx.sessions_resumed += conn.display->resumes();
+  ctx.replayed_requests += conn.display->replayed_requests();
+  ctx.heartbeats += conn.display->heartbeats_sent();
+  ctx.seen_reconnects = 0;
+  ctx.seen_resumes = 0;
+}
+
 bool OpenConnection(WorkerContext& ctx, ConnState& conn, bool is_recovery) {
+  HarvestDisplayCounters(ctx, conn);
   conn.display.reset();  // Orderly bye for the previous connection first.
   conn.display = Display::Open(*ctx.server, "soak-" + std::to_string(ctx.index),
                                xsim::wire::TransportKind::kWire);
@@ -104,6 +154,13 @@ bool OpenConnection(WorkerContext& ctx, ConnState& conn, bool is_recovery) {
     return false;
   }
   Display& d = *conn.display;
+  d.set_backoff_base_ms(1);
+  if (d.client_id() == 0 && !d.Reconnect()) {
+    // Opened into a server bounce and the whole backoff window passed
+    // without the listener coming back.
+    return false;
+  }
+  d.SetCloseDownMode(WorkerCloseDownMode(ctx.index));
   conn.gc = d.CreateGc();
   conn.comm = d.CreateWindow(d.root(), 10 + (ctx.index % 40) * 30, 10, 24, 16);
   d.SelectInput(conn.comm,
@@ -111,11 +168,55 @@ bool OpenConnection(WorkerContext& ctx, ConnState& conn, bool is_recovery) {
   d.MapWindow(conn.comm);
   d.Sync();
   ctx.client.store(d.client_id(), std::memory_order_release);
+  ctx.seen_reconnects = d.reconnects();
+  ctx.seen_resumes = d.resumes();
   ctx.opened_once = true;
   if (is_recovery) {
     ++ctx.recoveries;
   }
   return true;
+}
+
+// The replay-idempotent invariant: after a reconnect whose replay ran with no
+// fault policy anywhere in the window, the server-side resource census must
+// agree with the client's session journal -- exactly for a re-registered
+// session (the server started empty), as a superset for a resumed one (stale
+// retained resources are legal; replay is upsert-only).  Windows and GCs
+// only: properties and selections can be mutated cross-client (selection
+// stealing, ICCCM transfers), so their counts are not private to the worker.
+void ReplayCensusCheck(WorkerContext& ctx, Display& d, uint64_t gen_before, bool quiet_before,
+                       bool resumed_now, BreachLog& log) {
+  if (!quiet_before) {
+    return;
+  }
+  d.Sync();
+  if (d.io_error()) {
+    return;  // Died again under the check; the next iteration recovers.
+  }
+  const ClientId id = d.client_id();
+  const xsim::ResourceCounts census = ctx.server->ClientResources(id);
+  const size_t jw = d.journal().window_count();
+  const size_t jg = d.journal().gc_count();
+  if (ctx.faults->generation.load() != gen_before || ctx.faults->active.load()) {
+    return;  // A fault policy touched the window; the census proves nothing.
+  }
+  ++ctx.replay_checks;
+  const bool ok = resumed_now ? (census.windows >= jw && census.gcs >= jg)
+                              : (census.windows == jw && census.gcs == jg);
+  if (ok) {
+    return;
+  }
+  // Discount the races a concurrent kill or fresh wire loss can cause: a
+  // kill after the census read leaves the read intact, a kill before it is
+  // visible as a dead client now.
+  if (d.io_error() || !ctx.server->ClientAlive(id)) {
+    return;
+  }
+  log.Add("replay-idempotent",
+          "worker " + std::to_string(ctx.index) + (resumed_now ? " (resumed)" : " (replayed)") +
+              " journal windows=" + std::to_string(jw) + " gcs=" + std::to_string(jg) +
+              " vs server windows=" + std::to_string(census.windows) +
+              " gcs=" + std::to_string(census.gcs));
 }
 
 void TimedSync(WorkerContext& ctx, Display& d, int phase) {
@@ -201,11 +302,38 @@ void WorkerMain(WorkerContext& ctx, std::atomic<bool>& stop, BreachLog& log) {
     return;
   }
   uint64_t iteration = 0;
+  auto last_ping = Clock::now();
   while (!stop.load(std::memory_order_acquire)) {
-    if (!ctx.server->ClientAlive(conn.display->client_id())) {
+    // Snapshot the fault epoch before the iteration: any reconnect the
+    // iteration triggers (explicit below, or inline inside a phase) replays
+    // inside this window, so the census can tell chaos drops from real
+    // replay bugs.
+    const uint64_t gen_before = ctx.faults->generation.load();
+    const bool quiet_before = !ctx.faults->active.load();
+    if (conn.display->io_error()) {
+      // Broken wire (bounce, half-close, missed pong): recover through the
+      // resilience layer so the retained session resumes or the journal
+      // replays into a fresh registration.
+      if (conn.display->Reconnect()) {
+        // Counted through the display's own reconnect counter at harvest.
+        ctx.client.store(conn.display->client_id(), std::memory_order_release);
+      } else if (OpenConnection(ctx, conn, true)) {
+        // Backoff exhausted (a long bounce): a fresh session still counts
+        // as recovery, just not as resumption.
+      } else {
+        log.Add("reconnect-recovers",
+                "worker " + std::to_string(ctx.index) +
+                    " could not re-establish a connection after an io error");
+        HarvestDisplayCounters(ctx, conn);
+        return;
+      }
+    } else if (!ctx.server->ClientAlive(conn.display->client_id())) {
+      // Dead-but-connected: a deliberate KillClient, not a wire failure.
+      // The resilience layer stays down on purpose; open a fresh session.
       if (!OpenConnection(ctx, conn, true)) {
         log.Add("workers-recover",
                 "worker " + std::to_string(ctx.index) + " could not reconnect after a kill");
+        HarvestDisplayCounters(ctx, conn);
         return;
       }
     }
@@ -224,19 +352,60 @@ void WorkerMain(WorkerContext& ctx, std::atomic<bool>& stop, BreachLog& log) {
     while (conn.display->PollEvent(&e)) {
       // Drain stray events (exposes, notifies) so queues stay bounded.
     }
+    // Heartbeat: a liveness ping every ~25ms.  Under a blackhole the pong
+    // deadline trips and CheckLiveness reconnects inline.
+    if (ElapsedMs(last_ping) >= 25) {
+      last_ping = Clock::now();
+      conn.display->CheckLiveness(/*timeout_ms=*/100);
+      ctx.client.store(conn.display->client_id(), std::memory_order_release);
+    }
+    // A reconnect happened somewhere in this iteration (explicitly above or
+    // inline inside a phase/heartbeat): census the replayed session.
+    const uint64_t recon_now = conn.display->reconnects();
+    if (recon_now > ctx.seen_reconnects) {
+      const bool resumed_now = conn.display->resumes() > ctx.seen_resumes;
+      ctx.seen_reconnects = recon_now;
+      ctx.seen_resumes = conn.display->resumes();
+      ctx.client.store(conn.display->client_id(), std::memory_order_release);
+      ReplayCensusCheck(ctx, *conn.display, gen_before, quiet_before, resumed_now, log);
+    }
     ++iteration;
   }
   // Chaos has fully stopped by the time the stop flag is set (the executor
-  // is joined first), so one reconnect pass must yield a live client.
+  // is joined first, and it retracts every fault), so one recovery pass must
+  // yield a live client.
+  if (conn.display->io_error()) {
+    if (conn.display->Reconnect()) {
+      // Counted through the display's reconnect counter at harvest.
+    } else if (!OpenConnection(ctx, conn, true)) {
+      log.Add("reconnect-recovers",
+              "worker " + std::to_string(ctx.index) + " could not reconnect at shutdown");
+      HarvestDisplayCounters(ctx, conn);
+      return;
+    }
+  }
   if (!ctx.server->ClientAlive(conn.display->client_id())) {
     if (!OpenConnection(ctx, conn, true)) {
       log.Add("workers-recover",
               "worker " + std::to_string(ctx.index) + " could not reconnect at shutdown");
+      HarvestDisplayCounters(ctx, conn);
       return;
     }
   }
-  conn.display->Sync();
-  ctx.final_ok = ctx.server->ClientAlive(conn.display->client_id());
+  // Leave nothing retained behind: the orderly goodbye must tear the session
+  // down fully, whatever mode the worker ran under (and the mode switch
+  // itself is one more exercised request).
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    conn.display->SetCloseDownMode(CloseDownMode::kDestroyAll);
+    conn.display->Sync();
+    if (!conn.display->io_error()) {
+      break;
+    }
+    conn.display->Reconnect();
+  }
+  ctx.final_ok = ctx.server->ClientAlive(conn.display->client_id()) && !conn.display->io_error();
+  ctx.client.store(conn.display->client_id(), std::memory_order_release);
+  HarvestDisplayCounters(ctx, conn);
 }
 
 // --- Chaos executor ----------------------------------------------------------
@@ -282,12 +451,15 @@ void FlooderMain(Server* server) {
 struct ChaosExec {
   uint64_t clients_killed = 0;
   uint64_t floods = 0;
+  uint64_t bounces = 0;
+  uint64_t half_closes = 0;
+  uint64_t blackholes = 0;
   std::vector<ChaosEvent> executed;
 };
 
 void ExecuteChaosEvent(Server& server, std::vector<std::unique_ptr<WorkerContext>>& workers,
                        std::vector<std::thread>& flooders, const ChaosEvent& ev,
-                       ChaosExec& exec) {
+                       ChaosExec& exec, FaultWindow& faults) {
   FaultInjector& injector = server.fault_injector();
   switch (ev.kind) {
     case ChaosKind::kKillClient: {
@@ -304,6 +476,11 @@ void ExecuteChaosEvent(Server& server, std::vector<std::unique_ptr<WorkerContext
       break;
     }
     case ChaosKind::kFrameFaults: {
+      // The epoch bump happens before the policy lands: a worker that reads
+      // an unchanged generation after its census knows no policy could have
+      // touched its replay window.
+      faults.generation.fetch_add(1);
+      faults.active.store(true);
       FaultInjector::Policy p;
       switch (ev.param % 3) {
         case 0:
@@ -320,6 +497,8 @@ void ExecuteChaosEvent(Server& server, std::vector<std::unique_ptr<WorkerContext
       break;
     }
     case ChaosKind::kRequestFaults: {
+      faults.generation.fetch_add(1);
+      faults.active.store(true);
       FaultInjector::Policy p;
       p.fail_probability = 0.02;
       p.drop_probability = 0.02;
@@ -330,17 +509,34 @@ void ExecuteChaosEvent(Server& server, std::vector<std::unique_ptr<WorkerContext
     case ChaosKind::kClearFaults:
       injector.ClearFramePolicy();
       injector.SetPolicyAll(FaultInjector::Policy());
+      server.wire().set_blackhole_pings(false);
+      // Policies are gone before the window reads as quiet again.
+      faults.active.store(false);
+      faults.generation.fetch_add(1);
       break;
     case ChaosKind::kBackpressureFlood:
       flooders.emplace_back(FlooderMain, &server);
       ++exec.floods;
+      break;
+    case ChaosKind::kServerBounce:
+      server.wire().Bounce();
+      ++exec.bounces;
+      break;
+    case ChaosKind::kHalfClose:
+      if (server.wire().InjectHalfClose(ev.target)) {
+        ++exec.half_closes;
+      }
+      break;
+    case ChaosKind::kHeartbeatBlackhole:
+      server.wire().set_blackhole_pings(true);
+      ++exec.blackholes;
       break;
   }
 }
 
 void ChaosMain(Server& server, const SoakOptions& opts,
                std::vector<std::unique_ptr<WorkerContext>>& workers, std::atomic<bool>& stop,
-               ChaosExec& exec) {
+               ChaosExec& exec, FaultWindow& faults) {
   const std::vector<ChaosEvent> schedule = BuildChaosSchedule(opts);
   std::vector<std::thread> flooders;
   const auto t0 = Clock::now();
@@ -352,13 +548,16 @@ void ChaosMain(Server& server, const SoakOptions& opts,
     while (!stop.load(std::memory_order_acquire) && ElapsedMs(t0) < ev.at_ms) {
       std::this_thread::sleep_for(std::chrono::milliseconds(2));
     }
-    ExecuteChaosEvent(server, workers, flooders, ev, exec);
+    ExecuteChaosEvent(server, workers, flooders, ev, exec, faults);
     exec.executed.push_back(ev);
   }
   for (std::thread& t : flooders) {
     t.join();
   }
   server.fault_injector().Clear();
+  server.wire().set_blackhole_pings(false);
+  faults.active.store(false);
+  faults.generation.fetch_add(1);
 }
 
 // --- Invariant monitor -------------------------------------------------------
@@ -368,14 +567,36 @@ void MonitorMain(Server& server, Display& control, Display& probe, const SoakOpt
   const size_t capacity = server.wire().outbound_capacity();
   xsim::WireCounters prev = server.wire_counters();
   uint64_t ticks = 0;
+  uint64_t control_down_ticks = 0;
   // Each invariant is reported at most once per run; a breach repeats every
   // tick and would otherwise drown the report.
   bool reported_counters = false;
   bool reported_depth = false;
   bool reported_ordering = false;
+  bool reported_control = false;
   while (!stop.load(std::memory_order_acquire)) {
     ++ticks;
-    control.Sync();
+    // A server bounce severs the control connection too; that is chaos, not
+    // a breach.  What would be a breach is the control client *staying* down
+    // once reconnects are retried, or dying without a wire failure.
+    if (control.io_error()) {
+      control.Reconnect();
+    }
+    if (!control.io_error()) {
+      control.Sync();
+    }
+    if (control.io_error()) {
+      ++control_down_ticks;
+      if (control_down_ticks >= 50 && !reported_control) {  // ~1s of retries.
+        log.Add("reconnect-recovers",
+                "control client could not re-establish its connection after " +
+                    std::to_string(control_down_ticks) + " monitor ticks");
+        reported_control = true;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      continue;
+    }
+    control_down_ticks = 0;
     if (!server.ClientAlive(control.client_id())) {
       log.Add("server-survives-kills", "control client died while only workers were targeted");
       break;
@@ -410,7 +631,10 @@ void MonitorMain(Server& server, Display& control, Display& probe, const SoakOpt
                   std::to_string(capacity));
       reported_depth = true;
     }
-    if (ticks % 4 == 0 && !reported_ordering) {
+    if (probe.io_error()) {
+      probe.Reconnect();  // Same bounce recovery as the control client.
+    }
+    if (ticks % 4 == 0 && !reported_ordering && !probe.io_error()) {
       // Error-ordering probe: a bogus MapWindow must surface its error by
       // the covering Sync (FIFO: the error frame precedes the batch ack).
       // Chaos may legitimately swallow the batch (frame drop), so the check
@@ -450,6 +674,18 @@ std::string CountersJson(const SoakReport& report) {
   os << "  \"clients_killed\": " << report.clients_killed << ",\n";
   os << "  \"clients_recovered\": " << report.clients_recovered << ",\n";
   os << "  \"backpressure_floods\": " << report.backpressure_floods << ",\n";
+  os << "  \"server_bounces\": " << report.server_bounces << ",\n";
+  os << "  \"half_closes\": " << report.half_closes << ",\n";
+  os << "  \"heartbeat_blackholes\": " << report.heartbeat_blackholes << ",\n";
+  os << "  \"transport_reconnects\": " << report.transport_reconnects << ",\n";
+  os << "  \"sessions_resumed\": " << report.sessions_resumed << ",\n";
+  os << "  \"replayed_requests\": " << report.replayed_requests << ",\n";
+  os << "  \"heartbeats_sent\": " << report.heartbeats_sent << ",\n";
+  os << "  \"replay_checks\": " << report.replay_checks << ",\n";
+  os << "  \"sessions\": {\"disconnects\": " << report.session_counters.disconnects
+     << ", \"retained\": " << report.session_counters.retained
+     << ", \"resumed\": " << report.session_counters.resumed
+     << ", \"reaped\": " << report.session_counters.reaped << "},\n";
   os << "  \"peak_outbound_depth\": " << report.peak_outbound_depth << ",\n";
   os << "  \"backpressure_kills\": " << report.backpressure_kills << ",\n";
   os << "  \"reaped_connections\": " << report.reaped_connections << ",\n";
@@ -521,6 +757,12 @@ const char* ChaosKindName(ChaosKind kind) {
       return "clear-faults";
     case ChaosKind::kBackpressureFlood:
       return "backpressure-flood";
+    case ChaosKind::kServerBounce:
+      return "server-bounce";
+    case ChaosKind::kHalfClose:
+      return "half-close";
+    case ChaosKind::kHeartbeatBlackhole:
+      return "heartbeat-blackhole";
   }
   return "?";
 }
@@ -544,6 +786,18 @@ const std::vector<Invariant>& Invariants() {
       {"workers-recover",
        "Every chaos kill is survived: each killed worker reconnects (recoveries >= kills) "
        "and every worker's connection is live at the end of the run."},
+      {"reconnect-recovers",
+       "Every severed wire recovers: after each server bounce, half-close or heartbeat "
+       "blackhole, clients re-establish live connections through backoff reconnect, and the "
+       "server is accepting connections again by the end of the run."},
+      {"no-orphan-leak",
+       "No resource outlives its session unaccounted: orphaned resources stay at zero, and "
+       "a full end-of-run sweep (grace zero, permanent included) leaves no retained session "
+       "and no orphaned resource behind."},
+      {"replay-idempotent",
+       "A reconnect's journal replay converges: with no fault policy active across the "
+       "window, the server-side window/GC census equals the client journal for a "
+       "re-registered session and covers it for a resumed one."},
   };
   return kInvariants;
 }
@@ -564,19 +818,41 @@ std::vector<ChaosEvent> BuildChaosSchedule(const SoakOptions& options) {
     const uint64_t roll = rng() % 100;
     ev.target = static_cast<uint32_t>(rng() % static_cast<uint64_t>(std::max(1, options.clients)));
     ev.param = rng();
-    if (roll < 30) {
+    if (roll < 25) {
       ev.kind = ChaosKind::kKillClient;
-    } else if (roll < 55) {
+    } else if (roll < 45) {
       ev.kind = ChaosKind::kFrameFaults;
-    } else if (roll < 70) {
+    } else if (roll < 60) {
       ev.kind = ChaosKind::kRequestFaults;
-    } else if (roll < 85) {
+    } else if (roll < 78) {
       ev.kind = ChaosKind::kClearFaults;
-    } else {
+    } else if (roll < 86) {
       ev.kind = ChaosKind::kBackpressureFlood;
+    } else if (roll < 91) {
+      ev.kind = ChaosKind::kHalfClose;
+    } else if (roll < 96) {
+      ev.kind = ChaosKind::kHeartbeatBlackhole;
+    } else {
+      ev.kind = ChaosKind::kServerBounce;
     }
     schedule.push_back(ev);
   }
+  // Forced bounces: exactly min_bounces appended at fixed fractions of the
+  // horizon, on top of whatever the roll produced.  A fixed count (rather
+  // than topping up to a floor) keeps the schedule size a function of
+  // (duration, interval, min_bounces) alone, so different seeds still build
+  // same-shaped schedules.
+  const int forced = std::max(0, options.min_bounces);
+  for (int i = 0; i < forced; ++i) {
+    ChaosEvent ev;
+    ev.at_ms = horizon_ms * static_cast<uint64_t>(i + 1) / static_cast<uint64_t>(forced + 1);
+    ev.kind = ChaosKind::kServerBounce;
+    ev.target = 0;
+    ev.param = static_cast<uint64_t>(i);
+    schedule.push_back(ev);
+  }
+  std::stable_sort(schedule.begin(), schedule.end(),
+                   [](const ChaosEvent& a, const ChaosEvent& b) { return a.at_ms < b.at_ms; });
   return schedule;
 }
 
@@ -613,6 +889,7 @@ SoakReport RunSoak(const SoakOptions& options) {
   server.trace().Start();
 
   BreachLog log;
+  FaultWindow faults;
   std::atomic<bool> worker_stop{false};
   std::atomic<bool> monitor_stop{false};
   std::atomic<bool> chaos_stop{false};
@@ -623,6 +900,7 @@ SoakReport RunSoak(const SoakOptions& options) {
     auto ctx = std::make_unique<WorkerContext>();
     ctx->server = &server;
     ctx->opts = &opts;
+    ctx->faults = &faults;
     ctx->index = i;
     workers.push_back(std::move(ctx));
   }
@@ -643,7 +921,7 @@ SoakReport RunSoak(const SoakOptions& options) {
   std::thread chaos_thread;
   if (opts.chaos) {
     chaos_thread = std::thread(ChaosMain, std::ref(server), std::cref(opts), std::ref(workers),
-                               std::ref(chaos_stop), std::ref(chaos));
+                               std::ref(chaos_stop), std::ref(chaos), std::ref(faults));
   }
 
   std::this_thread::sleep_for(std::chrono::duration<double>(opts.duration_s));
@@ -682,6 +960,10 @@ SoakReport RunSoak(const SoakOptions& options) {
       elapsed_s > 0.0 ? static_cast<double>(report.total_requests) / elapsed_s : 0.0;
   report.clients_killed = chaos.clients_killed;
   report.backpressure_floods = chaos.floods;
+  report.server_bounces = chaos.bounces;
+  report.half_closes = chaos.half_closes;
+  report.heartbeat_blackholes = chaos.blackholes;
+  report.session_counters = server.session_counters();
   report.executed_chaos = std::move(chaos.executed);
 
   for (int phase = 0; phase < kPhaseCount; ++phase) {
@@ -701,15 +983,56 @@ SoakReport RunSoak(const SoakOptions& options) {
   uint64_t recovered = 0;
   for (const auto& ctx : workers) {
     recovered += ctx->recoveries;
+    report.transport_reconnects += ctx->transport_reconnects;
+    report.sessions_resumed += ctx->sessions_resumed;
+    report.replayed_requests += ctx->replayed_requests;
+    report.heartbeats_sent += ctx->heartbeats;
+    report.replay_checks += ctx->replay_checks;
     if (ctx->opened_once && !ctx->final_ok) {
       log.Add("workers-recover",
               "worker " + std::to_string(ctx->index) + " ended with a dead connection");
     }
   }
-  report.clients_recovered = recovered;
-  if (recovered < report.clients_killed) {
+  // A recovery is any re-established connection: a fresh session opened
+  // after a kill, or a transport-level reconnect (resume/replay) -- a killed
+  // worker can recover through either, depending on whether a bounce or
+  // half-close lands in the same window.
+  report.clients_recovered = recovered + report.transport_reconnects;
+  if (report.clients_recovered < report.clients_killed) {
     log.Add("workers-recover", std::to_string(report.clients_killed) + " kills but only " +
-                                   std::to_string(recovered) + " recoveries");
+                                   std::to_string(report.clients_recovered) + " recoveries");
+  }
+  // reconnect-recovers: bounces sever every connection, so a bounced run with
+  // no reconnect anywhere means the recovery machinery never engaged -- and
+  // the listener must be back up.
+  if (report.server_bounces > 0) {
+    if (!ws.listening()) {
+      log.Add("reconnect-recovers",
+              "server is not accepting connections at the end of the run");
+    }
+    if (report.transport_reconnects + recovered == 0) {
+      log.Add("reconnect-recovers",
+              std::to_string(report.server_bounces) +
+                  " server bounce(s) executed but no client ever reconnected");
+    }
+  }
+  // no-orphan-leak: nothing may be orphaned while sessions are live, and a
+  // full sweep (grace zero, permanent sessions included) must leave neither
+  // retained sessions nor orphaned resources behind.
+  if (const size_t orphans = server.OrphanResourceCount(); orphans != 0) {
+    log.Add("no-orphan-leak",
+            std::to_string(orphans) + " orphaned resource(s) before the final sweep");
+  }
+  report.retained_reaped_final = server.ReapRetainedSessions(0, /*include_permanent=*/true);
+  report.retained_sessions_final = server.RetainedSessionCount();
+  report.orphan_resources_final = server.OrphanResourceCount();
+  if (report.retained_sessions_final != 0) {
+    log.Add("no-orphan-leak", std::to_string(report.retained_sessions_final) +
+                                  " retained session(s) survived the full end-of-run sweep");
+  }
+  if (report.orphan_resources_final != 0) {
+    log.Add("no-orphan-leak", std::to_string(report.orphan_resources_final) +
+                                  " orphaned resource(s) after the final sweep");
   }
   if (monitor_ticks == 0) {
     log.Add("server-survives-kills", "monitor never completed a tick (server unresponsive)");

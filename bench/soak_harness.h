@@ -18,10 +18,22 @@
 // While the fleet runs, a chaos scheduler executes a schedule derived purely
 // from (seed, duration, interval, clients): it kills clients mid-stream,
 // installs and retracts frame-layer faults (drop / truncate / delay),
-// injects request-level faults, and launches wedged raw-socket clients that
-// force backpressure disconnects.  The same seed always yields the same
-// schedule (BuildChaosSchedule is a pure function; the executor runs every
-// entry even if wall time overruns), so any failure reproduces exactly.
+// injects request-level faults, launches wedged raw-socket clients that
+// force backpressure disconnects, half-closes live sockets, blackholes
+// heartbeat pings, and bounces the whole wire server (every connection dies,
+// the listener restarts).  The same seed always yields the same schedule
+// (BuildChaosSchedule is a pure function; the executor runs every entry even
+// if wall time overruns), so any failure reproduces exactly.  On top of the
+// rolled events, exactly `min_bounces` server bounces are forced at fixed
+// fractions of the horizon, so every chaotic run exercises full restarts.
+//
+// Workers recover through the connection-resilience layer: a broken wire
+// (bounce, half-close, missed pong) reconnects with backoff, resumes the
+// retained session or re-registers, and replays the session journal; only a
+// deliberate KillClient -- dead-but-connected, not an io error -- makes a
+// worker open a fresh session.  Workers spread their close-down modes
+// (DestroyAll / RetainTemporary / RetainPermanent by index) so both the
+// resume path and the re-register path run under chaos.
 //
 // An invariant monitor polls continuously -- see Invariants() for the list
 // -- and every violation lands in SoakReport::breaches.  On breach the
@@ -50,6 +62,9 @@ struct SoakOptions {
   uint64_t seed = 0x50AC5EED;
   bool chaos = true;
   uint64_t chaos_interval_ms = 50;   // One chaos action per interval.
+  // Server bounces forced into the schedule at fixed fractions of the
+  // horizon, on top of whatever the roll produces (0 disables forcing).
+  int min_bounces = 3;
   double slo_p99_ms = 2000.0;  // Per-phase p99 client RTT ceiling.
   size_t outbound_capacity = 256;       // WireServer outbound queue frames.
   uint64_t backpressure_timeout_ms = 100;
@@ -67,8 +82,11 @@ enum class ChaosKind : uint8_t {
   kKillClient = 0,       // Server-side KillClient on a worker's connection.
   kFrameFaults,          // Install a frame-layer drop/truncate/delay policy.
   kRequestFaults,        // Install a request-level catch-all fault policy.
-  kClearFaults,          // Retract both fault layers.
+  kClearFaults,          // Retract both fault layers and the ping blackhole.
   kBackpressureFlood,    // Launch a wedged client that never reads.
+  kServerBounce,         // Restart the wire server: every connection dies.
+  kHalfClose,            // shutdown(SHUT_WR) a live connection server-side.
+  kHeartbeatBlackhole,   // Swallow kPing frames until the next clear.
 };
 
 const char* ChaosKindName(ChaosKind kind);
@@ -122,12 +140,27 @@ struct SoakReport {
   uint64_t faults_injected = 0;   // Frame + request faults that fired.
   uint64_t faults_survived = 0;   // Of those, faults with no breach behind them.
   uint64_t clients_killed = 0;    // Chaos kills that hit a live client.
-  uint64_t clients_recovered = 0; // Worker reconnects after a death.
+  uint64_t clients_recovered = 0; // Re-established connections (fresh opens
+                                  // after kills + transport reconnects).
   uint64_t backpressure_floods = 0;
   size_t peak_outbound_depth = 0;
   uint64_t backpressure_kills = 0;
   uint64_t reaped_connections = 0;
   uint64_t monitor_ticks = 0;
+
+  // Connection-lifecycle chaos and recovery (PR 7).
+  uint64_t server_bounces = 0;        // Bounce() calls executed.
+  uint64_t half_closes = 0;           // Connections half-closed server-side.
+  uint64_t heartbeat_blackholes = 0;  // Blackhole windows opened.
+  uint64_t transport_reconnects = 0;  // Display-level reconnects (all workers).
+  uint64_t sessions_resumed = 0;      // Of those, resumes of retained sessions.
+  uint64_t replayed_requests = 0;     // Requests re-asserted by journal replay.
+  uint64_t heartbeats_sent = 0;       // Liveness pings issued by workers.
+  uint64_t replay_checks = 0;         // replay-idempotent censuses performed.
+  uint64_t retained_reaped_final = 0; // Sessions reaped by the end-of-run sweep.
+  uint64_t retained_sessions_final = 0;  // Retained sessions after the sweep.
+  uint64_t orphan_resources_final = 0;   // Orphaned resources after the sweep.
+  xsim::SessionCounters session_counters;
 
   xsim::RequestCounters request_counters;
   xsim::FaultCounters fault_counters;

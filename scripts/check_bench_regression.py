@@ -27,6 +27,12 @@ BASELINES = {
     # was-zero rule above makes any non-zero value a hard failure -- one
     # invariant breach, unrecovered kill or queue overflow fails the build.
     "soak_invariants.json": "BENCH_soak.json",
+    # Reconnect storm at the default 24 clients x 3 bounces: recovery counts
+    # are pure arithmetic of the fleet shape (failed / unresumed / mismatch
+    # keys are zero baselines; any occurrence is a hard failure), and the
+    # replayed-request total is growth-checked so journal replay cannot
+    # silently start re-asserting more traffic per session.
+    "reconnect_storm.json": "BENCH_reconnect.json",
 }
 
 

@@ -27,6 +27,8 @@ App::App(xsim::Server& server, std::string name)
 App::App(xsim::Server& server, std::string name, xsim::wire::TransportKind transport) {
   interp_ = std::make_unique<tcl::Interp>();
   display_ = xsim::Display::Open(server, name, transport);
+  display_->set_reconnect_handler([this] { HandleReconnect(); });
+  last_heartbeat_ = std::chrono::steady_clock::now();
   resources_ = std::make_unique<ResourceCache>(*display_);
   options_ = std::make_unique<OptionDb>();
   bindings_ = std::make_unique<BindingTable>(*this);
@@ -205,7 +207,33 @@ void App::DispatchEvent(const xsim::Event& event) {
   bindings_->Dispatch(event, path, clazz);
 }
 
+void App::MaybeHeartbeat() {
+  if (closing_ || heartbeat_interval_ms_ <= 0 ||
+      display_->transport_kind() != xsim::wire::TransportKind::kWire) {
+    return;
+  }
+  auto now = std::chrono::steady_clock::now();
+  if (now - last_heartbeat_ < std::chrono::milliseconds(heartbeat_interval_ms_)) {
+    return;
+  }
+  last_heartbeat_ = now;
+  display_->CheckLiveness(heartbeat_timeout_ms_);
+}
+
+void App::HandleReconnect() {
+  if (closing_) {
+    return;
+  }
+  ++reconnects_seen_;
+  // Replay restored the window tree and server-side state; the pixels are
+  // this side's job.  Repaint everything, exactly like a storm of exposes.
+  for (auto& [path, widget] : widgets_) {
+    ScheduleRedraw(widget.get());
+  }
+}
+
 bool App::DoOneEvent() {
+  MaybeHeartbeat();
   loop_stats_.NoteQueueDepth(display_->PendingCount());
   xsim::Event event;
   if (display_->PollEvent(&event)) {

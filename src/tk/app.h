@@ -175,6 +175,23 @@ class App {
   // during teardown).
   bool closing() const { return closing_; }
 
+  // --- Connection resilience (PR 7) ---------------------------------------
+  //
+  // The event loop heartbeats the display every `heartbeat_interval_ms`
+  // (wire transports only; 0 disables).  A missed pong trips the display's
+  // io-error path, which reconnects, replays the session journal, and then
+  // calls back into the App -- which schedules a full redraw of every
+  // widget, since replay restores structure but not pixels.
+  static constexpr int64_t kDefaultHeartbeatIntervalMs = 3000;
+  void set_heartbeat_interval_ms(int64_t ms) { heartbeat_interval_ms_ = ms; }
+  int64_t heartbeat_interval_ms() const { return heartbeat_interval_ms_; }
+  // Pong deadline for each heartbeat probe.
+  void set_heartbeat_timeout_ms(uint64_t ms) { heartbeat_timeout_ms_ = ms; }
+  uint64_t heartbeat_timeout_ms() const { return heartbeat_timeout_ms_; }
+  // Reconnects observed by this App (the display counts attempts; this
+  // counts recoveries that reached the redraw stage).
+  uint64_t reconnects_seen() const { return reconnects_seen_; }
+
   // Storage for `wm title` (the simulated window manager's title bars).
   std::map<std::string, std::string>& wm_titles() { return wm_titles_; }
 
@@ -194,6 +211,10 @@ class App {
 
   void RegisterCommands();
   void ProcessIdle();
+  // Installed as the display's reconnect handler: full redraw of the tree.
+  void HandleReconnect();
+  // Sends a heartbeat when the interval has elapsed.
+  void MaybeHeartbeat();
 
   std::unique_ptr<tcl::Interp> interp_;
   std::unique_ptr<xsim::Display> display_;
@@ -220,6 +241,10 @@ class App {
   uint64_t background_errors_ = 0;
   bool in_background_error_ = false;
   EventLoopStats loop_stats_;
+  int64_t heartbeat_interval_ms_ = kDefaultHeartbeatIntervalMs;
+  uint64_t heartbeat_timeout_ms_ = 1000;
+  std::chrono::steady_clock::time_point last_heartbeat_;
+  uint64_t reconnects_seen_ = 0;
 
   friend class Widget;
 };

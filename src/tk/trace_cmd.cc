@@ -38,7 +38,16 @@ tcl::Code SummaryCmd(App& app) {
       "recorded",    U(trace.total_recorded()),
       "retained",    U(trace.size()),
       "wire-frames", U(trace.total_wire_frames()),
-      "wire-bytes",  U(trace.total_wire_bytes())};
+      "wire-bytes",  U(trace.total_wire_bytes()),
+      "disconnects", U(trace.total_disconnects())};
+  for (size_t i = 0; i < xsim::kDisconnectReasonCount; ++i) {
+    xsim::DisconnectReason reason = static_cast<xsim::DisconnectReason>(i);
+    uint64_t count = trace.DisconnectCount(reason);
+    if (count != 0) {
+      kv.push_back(std::string("disconnect-") + xsim::DisconnectReasonName(reason));
+      kv.push_back(U(count));
+    }
+  }
   for (size_t i = 0; i < xsim::kRequestTypeCount; ++i) {
     xsim::RequestType type = static_cast<xsim::RequestType>(i);
     uint64_t count = trace.RequestCount(type);
@@ -282,6 +291,44 @@ tcl::Code InfoPipelineCmd(App& app, std::vector<std::string>& args) {
   return tcl::Code::kOk;
 }
 
+// info connection -- the connection-lifecycle side of the observability
+// story: transport state, heartbeat liveness, retry/backoff counters, the
+// session token and the last disconnect reason (PR 7).
+tcl::Code InfoConnectionCmd(App& app, std::vector<std::string>& args) {
+  tcl::Interp& interp = app.interp();
+  if (args.size() != 2) {
+    return interp.WrongNumArgs("info connection");
+  }
+  xsim::Display& display = app.display();
+  const xsim::SessionCounters sessions = app.server().session_counters();
+  const char* state = display.io_error() ? "io-error"
+                      : app.server().ClientAlive(display.client_id()) ? "connected"
+                                                                      : "dead";
+  std::vector<std::string> kv = {
+      "transport",          display.transport_name(),
+      "state",              state,
+      "client",             U(display.client_id()),
+      // The token is an opaque 64-bit id; print it unsigned so the full
+      // range reads as an identifier, not a negative count.
+      "session-token",      std::to_string(display.session_token()),
+      "resumed",            display.resumed() ? "1" : "0",
+      "heartbeats",         U(display.heartbeats_sent()),
+      "heartbeat-interval", U(static_cast<uint64_t>(app.heartbeat_interval_ms())),
+      "reconnect-attempts", U(display.reconnect_attempts()),
+      "reconnects",         U(display.reconnects()),
+      "resumes",            U(display.resumes()),
+      "replayed-requests",  U(display.replayed_requests()),
+      "last-disconnect",    display.last_disconnect_reason(),
+      "journal-windows",    U(display.journal().window_count()),
+      "journal-gcs",        U(display.journal().gc_count()),
+      "server-disconnects", U(sessions.disconnects),
+      "server-retained",    U(sessions.retained),
+      "server-resumed",     U(sessions.resumed),
+      "server-reaped",      U(sessions.reaped)};
+  interp.SetResult(tcl::MergeList(kv));
+  return tcl::Code::kOk;
+}
+
 // info latency ?reset? -- the event-loop side of the observability story:
 // dispatch latencies, queue depth, handler work counters and per-cache
 // hit/miss attribution.
@@ -363,6 +410,10 @@ void RegisterTraceCommands(App& app) {
   app.interp().RegisterInfoExtension("pipeline",
                                      [self](tcl::Interp&, std::vector<std::string>& args) {
                                        return InfoPipelineCmd(*self, args);
+                                     });
+  app.interp().RegisterInfoExtension("connection",
+                                     [self](tcl::Interp&, std::vector<std::string>& args) {
+                                       return InfoConnectionCmd(*self, args);
                                      });
 }
 

@@ -1,5 +1,8 @@
 #include "src/xsim/display.h"
 
+#include <chrono>
+#include <thread>
+
 #include "src/xsim/color.h"
 
 namespace xsim {
@@ -8,6 +11,16 @@ namespace {
 // Each connection owns a disjoint client-side resource-id range, like the
 // resource-id-base/mask the real server hands Xlib at connection setup.
 constexpr XId kResourceIdRange = 0x00100000;
+
+// splitmix64: the deterministic jitter source for reconnect backoff.  Keyed
+// by (client, attempt) so a storm of reconnecting clients de-synchronizes
+// reproducibly -- same seed, same schedule, run after run.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
 }  // namespace
 
 std::unique_ptr<Display> Display::Open(Server& server, std::string client_name) {
@@ -21,8 +34,8 @@ std::unique_ptr<Display> Display::Open(Server& server, std::string client_name,
 }
 
 Display::Display(Server& server, std::string client_name, wire::TransportKind kind)
-    : server_(server) {
-  transport_ = wire::Connect(server, kind, std::move(client_name),
+    : server_(server), client_name_(std::move(client_name)), kind_(kind) {
+  transport_ = wire::Connect(server, kind, client_name_,
                              [this](const XError& error) { HandleError(error); });
   client_ = transport_->client_id();
   root_ = transport_->root();
@@ -30,8 +43,24 @@ Display::Display(Server& server, std::string client_name, wire::TransportKind ki
   resource_id_base_ = client_ * kResourceIdRange;
 }
 
-Display::~Display() {
-  Flush();  // Xlib flushes the output buffer as part of XCloseDisplay.
+Display::~Display() { Disconnect(); }
+
+void Display::Disconnect() {
+  if (closing_) {
+    return;
+  }
+  // Drain to exhaustion, not just once: a deferred error delivered by the
+  // flush may run a handler that enqueues fresh requests (the re-entrancy
+  // guard parks them in the queue), and the farewell must not strand them.
+  // Bounded so a pathological handler that enqueues forever still ends.
+  for (int round = 0; round < 16 && !queue_.empty(); ++round) {
+    if (!transport_->Alive() || transport_->io_error()) {
+      break;
+    }
+    Flush();
+  }
+  closing_ = true;
+  last_disconnect_reason_ = "bye";
   transport_->Close();
 }
 
@@ -41,6 +70,128 @@ void Display::HandleError(const XError& error) {
   if (error_handler_) {
     error_handler_(error);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Connection lifecycle.
+
+bool Display::HandleIOError() {
+  if (closing_ || reconnecting_ || handling_io_error_) {
+    return false;
+  }
+  if (!transport_->io_error()) {
+    // Dead-but-connected (KillClient) is not an IO error; the connection
+    // stays down on purpose.
+    return false;
+  }
+  last_disconnect_reason_ = "io";
+  handling_io_error_ = true;
+  bool recovered = io_error_handler_ ? io_error_handler_(*this) : Reconnect();
+  handling_io_error_ = false;
+  return recovered;
+}
+
+uint64_t Display::BackoffDelayMs(int attempt) const {
+  // Exponential with a cap: base, 2*base, 4*base, ... up to 64*base.
+  int shift = attempt < 6 ? attempt : 6;
+  uint64_t base = backoff_base_ms_ << shift;
+  uint64_t jitter = Mix64((static_cast<uint64_t>(client_) << 16) |
+                          static_cast<uint64_t>(attempt));
+  return base + jitter % (base + 1);
+}
+
+bool Display::Reconnect() {
+  if (closing_ || reconnecting_ || kind_ == wire::TransportKind::kDirect) {
+    return false;
+  }
+  reconnecting_ = true;
+  uint64_t token = transport_->session_token();
+  bool dialed = false;
+  for (int attempt = 0; attempt < max_reconnect_attempts_; ++attempt) {
+    ++reconnect_attempts_;
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(BackoffDelayMs(attempt - 1)));
+    }
+    auto fresh = wire::Connect(server_, kind_, client_name_,
+                               [this](const XError& error) { HandleError(error); }, token);
+    if (fresh->client_id() != 0 && !fresh->io_error()) {
+      transport_ = std::move(fresh);
+      dialed = true;
+      break;
+    }
+  }
+  if (!dialed) {
+    reconnecting_ = false;
+    return false;
+  }
+  ++reconnects_;
+  if (transport_->resumed()) {
+    ++resumes_;
+  }
+  // A non-resumed handshake registered a fresh ClientId; adopt it, but keep
+  // the original resource-id range: every id in the journal (and in the
+  // toolkit's widgets) lives there, and the server accepts any client-chosen
+  // id that is free -- which they all are after a DestroyAll teardown.
+  client_ = transport_->client_id();
+  if (resource_id_base_ == 0) {
+    // The display never dialed successfully (opened while the server was
+    // bouncing): this is its first real client id, so adopt its range.
+    resource_id_base_ = client_ * kResourceIdRange;
+  }
+  root_ = transport_->root();
+  next_sequence_ = transport_->SequenceSync();
+  ReplayJournal();
+  // Requests queued before the drop were never delivered (their batch died
+  // with the old socket) but are already folded into the journal the replay
+  // just shipped; drop them rather than double-applying the non-idempotent
+  // ones.
+  queue_.clear();
+  reconnecting_ = false;
+  if (reconnect_handler_) {
+    reconnect_handler_();
+  }
+  return true;
+}
+
+void Display::ReplayJournal() {
+  std::vector<Request> batch = journal_.ReplayBatch(root_);
+  Request begin;
+  begin.op = RequestOpcode::kReplayMark;
+  begin.mask = 1;
+  batch.insert(batch.begin(), std::move(begin));
+  Request end;
+  end.op = RequestOpcode::kReplayMark;
+  end.mask = 0;
+  batch.push_back(std::move(end));
+  for (Request& request : batch) {
+    request.sequence = ++next_sequence_;
+  }
+  // Straight through the transport, not Enqueue: replay must not be
+  // re-journaled, re-counted, or batched behind anything else.
+  transport_->SendBatch(batch);
+  replayed_requests_ += batch.size() - 2;  // The marks are framing, not state.
+  Resync();
+}
+
+bool Display::CheckLiveness(uint64_t timeout_ms) {
+  if (closing_) {
+    return false;
+  }
+  if (transport_->io_error()) {
+    return HandleIOError();
+  }
+  ++heartbeats_sent_;
+  if (transport_->Ping(++ping_nonce_, timeout_ms)) {
+    return true;
+  }
+  return HandleIOError();
+}
+
+bool Display::SetCloseDownMode(CloseDownMode mode) {
+  Request request;
+  request.op = RequestOpcode::kSetCloseDownMode;
+  request.mask = static_cast<uint32_t>(mode);
+  return Enqueue(std::move(request));
 }
 
 // ---------------------------------------------------------------------------
@@ -58,6 +209,12 @@ void Display::Flush() {
   transport_->SendBatch(batch);
   ++flush_count_;
   flushing_ = false;
+  if (transport_->io_error()) {
+    // The connection died under the batch (server bounce, half-close).  The
+    // requests are already folded into the session journal, so the default
+    // reconnect handler re-asserts them via replay.
+    HandleIOError();
+  }
 }
 
 void Display::Sync() {
@@ -68,6 +225,9 @@ void Display::Sync() {
   wire::WireQuery query;
   query.op = wire::QueryOpcode::kNoOpRoundTrip;
   transport_->Query(query);
+  if (transport_->io_error()) {
+    HandleIOError();
+  }
   Resync();
 }
 
@@ -80,11 +240,23 @@ void Display::SetSynchronous(bool on) {
 
 bool Display::Enqueue(Request&& request) {
   if (!transport_->Alive()) {
-    return false;  // A dead connection swallows requests (KillClient model).
+    // Distinguish a broken wire (recoverable: reconnect and carry on) from a
+    // KillClient'ed connection (dead on purpose: swallow requests).
+    if (!(transport_->io_error() && HandleIOError() && transport_->Alive())) {
+      return false;
+    }
   }
   request.sequence = ++next_sequence_;
+  journal_.Note(request);
   if (synchronous_) {
-    return transport_->SendRequestSync(request);
+    bool ok = transport_->SendRequestSync(request);
+    if (!ok && transport_->io_error() && HandleIOError()) {
+      // The reconnect replayed the journal (this request included); one
+      // retry delivers its synchronous status.
+      request.sequence = ++next_sequence_;
+      ok = transport_->SendRequestSync(request);
+    }
+    return ok;
   }
   queue_.push_back(std::move(request));
   MaybeAutoFlush();
@@ -101,6 +273,9 @@ void Display::MaybeAutoFlush() {
 wire::WireReply Display::RoundTrip(const wire::WireQuery& query) {
   Flush();
   wire::WireReply reply = transport_->Query(query);
+  if (transport_->io_error() && HandleIOError()) {
+    reply = transport_->Query(query);  // Retry once on the fresh connection.
+  }
   Resync();
   return reply;
 }
@@ -461,17 +636,29 @@ void Display::SendEvent(WindowId destination, const Event& event, uint32_t mask)
 
 bool Display::Pending() {
   Flush();
-  return transport_->HasPendingEvents();
+  bool pending = transport_->HasPendingEvents();
+  if (transport_->io_error() && HandleIOError()) {
+    pending = transport_->HasPendingEvents();
+  }
+  return pending;
 }
 
 size_t Display::PendingCount() {
   Flush();
-  return transport_->PendingEventCount();
+  size_t count = transport_->PendingEventCount();
+  if (transport_->io_error() && HandleIOError()) {
+    count = transport_->PendingEventCount();
+  }
+  return count;
 }
 
 bool Display::PollEvent(Event* out) {
   Flush();
-  return transport_->NextEvent(out);
+  bool got = transport_->NextEvent(out);
+  if (!got && transport_->io_error() && HandleIOError()) {
+    got = transport_->NextEvent(out);
+  }
+  return got;
 }
 
 }  // namespace xsim

@@ -38,6 +38,7 @@
 #include "src/xsim/event.h"
 #include "src/xsim/request.h"
 #include "src/xsim/server.h"
+#include "src/xsim/session_journal.h"
 #include "src/xsim/types.h"
 #include "src/xsim/wire/transport.h"
 
@@ -104,6 +105,60 @@ class Display {
   // (including requests still sitting in the output queue).
   uint64_t request_sequence() const { return next_sequence_; }
 
+  // --- Connection lifecycle (PR 7) ---
+  //
+  // The XSetIOErrorHandler analogue -- except the handler may recover.  When
+  // the transport dies without an orderly Disconnect (EOF, server bounce,
+  // missed heartbeat), the Display invokes the handler; without one it
+  // attempts Reconnect() itself.  A handler returning false leaves the
+  // Display closed, Xlib's fatal behaviour.
+  using IOErrorHandler = std::function<bool(Display&)>;
+  void set_io_error_handler(IOErrorHandler handler) {
+    io_error_handler_ = std::move(handler);
+  }
+  // Invoked after every successful reconnect + journal replay; the toolkit
+  // hangs a full-redraw here (replay restores structure, not pixels).
+  void set_reconnect_handler(std::function<void()> handler) {
+    reconnect_handler_ = std::move(handler);
+  }
+
+  // Orderly close: drains the output queue to exhaustion (error handlers
+  // may enqueue fresh requests mid-flush, so one Flush is not enough), then
+  // sends the farewell.  Idempotent; the destructor calls it too.
+  void Disconnect();
+  // Re-dials the server with exponential backoff + deterministic jitter,
+  // resumes the retained session when the token still names one, and
+  // replays the session journal.  False when every attempt failed, the
+  // Display is closing, or the transport is direct (nothing to re-dial).
+  bool Reconnect();
+  // Heartbeat: pings the server and waits up to `timeout_ms` for the pong.
+  // On a missed deadline the connection is declared dead and the io-error
+  // path (reconnect by default) runs; returns the final liveness.
+  bool CheckLiveness(uint64_t timeout_ms = 1000);
+  // X11 SetCloseDownMode: what the server does with this client's resources
+  // when the connection drops.
+  bool SetCloseDownMode(CloseDownMode mode);
+
+  // Lifecycle introspection (surfaced by Tk's `info connection`).
+  bool io_error() const { return transport_->io_error(); }
+  uint64_t session_token() const { return transport_->session_token(); }
+  bool resumed() const { return transport_->resumed(); }
+  uint64_t heartbeats_sent() const { return heartbeats_sent_; }
+  uint64_t reconnect_attempts() const { return reconnect_attempts_; }
+  uint64_t reconnects() const { return reconnects_; }
+  uint64_t resumes() const { return resumes_; }
+  uint64_t replayed_requests() const { return replayed_requests_; }
+  const char* last_disconnect_reason() const { return last_disconnect_reason_; }
+  const SessionJournal& journal() const { return journal_; }
+
+  // Backoff tuning (tests dial these down; the jitter is a deterministic
+  // hash of (client, attempt), so reconnect storms stay reproducible).
+  void set_max_reconnect_attempts(int attempts) {
+    max_reconnect_attempts_ = attempts < 1 ? 1 : attempts;
+  }
+  void set_backoff_base_ms(uint64_t ms) { backoff_base_ms_ = ms; }
+  uint64_t BackoffDelayMs(int attempt) const;
+
   // Windows.
   WindowId CreateWindow(WindowId parent, int x, int y, int width, int height,
                         int border_width = 0);
@@ -166,6 +221,12 @@ class Display {
   Display(Server& server, std::string client_name, wire::TransportKind kind);
 
   void HandleError(const XError& error);
+  // Transport died outside an orderly Disconnect: run the io-error handler
+  // (default: Reconnect).  Returns true when the connection is usable again.
+  bool HandleIOError();
+  // Ships the session journal through the fresh transport, bracketed by
+  // kReplayMark so re-creates upsert instead of BadValue.
+  void ReplayJournal();
   // Assigns the next sequence number and either queues the request or (in
   // synchronous mode) applies it immediately.  Returns the request's status
   // in synchronous mode; true (optimistically, like Xlib) when buffered.
@@ -185,6 +246,25 @@ class Display {
   ErrorHandler error_handler_;
   XError last_error_;
   uint64_t error_count_ = 0;
+
+  // Connection lifecycle.
+  std::string client_name_;  // Kept for the reconnect re-handshake.
+  wire::TransportKind kind_ = wire::TransportKind::kDirect;
+  SessionJournal journal_;
+  IOErrorHandler io_error_handler_;
+  std::function<void()> reconnect_handler_;
+  bool closing_ = false;        // Orderly Disconnect in progress / done.
+  bool reconnecting_ = false;   // Re-entrancy guard for Reconnect.
+  bool handling_io_error_ = false;
+  int max_reconnect_attempts_ = 8;
+  uint64_t backoff_base_ms_ = 1;
+  uint64_t ping_nonce_ = 0;
+  uint64_t heartbeats_sent_ = 0;
+  uint64_t reconnect_attempts_ = 0;
+  uint64_t reconnects_ = 0;
+  uint64_t resumes_ = 0;
+  uint64_t replayed_requests_ = 0;
+  const char* last_disconnect_reason_ = "none";
 
   std::vector<Request> queue_;
   size_t output_capacity_ = kDefaultOutputCapacity;

@@ -54,7 +54,35 @@ enum class RequestOpcode : uint8_t {
   kConvertSelection,
   kSendSelectionNotify,
   kSendEvent,
+  // Connection lifecycle (PR 7).  kSetCloseDownMode carries the mode in
+  // `mask`; kReplayMark brackets a session-journal replay (mask 1 = begin,
+  // 0 = end) so resource re-creation is treated as an idempotent upsert.
+  kSetCloseDownMode,
+  kReplayMark,
 };
+
+// What happens to a client's resources when its connection goes away (the
+// X11 SetCloseDownMode triple).  DestroyAll tears everything down at once;
+// the Retain modes keep the session (windows, GCs, properties, selections)
+// for a kResume reattach -- Temporary until a grace-period reap, Permanent
+// until an explicit KillClient.
+enum class CloseDownMode : uint8_t {
+  kDestroyAll = 0,
+  kRetainTemporary = 1,
+  kRetainPermanent = 2,
+};
+
+inline const char* CloseDownModeName(CloseDownMode mode) {
+  switch (mode) {
+    case CloseDownMode::kDestroyAll:
+      return "destroy-all";
+    case CloseDownMode::kRetainTemporary:
+      return "retain-temporary";
+    case CloseDownMode::kRetainPermanent:
+      return "retain-permanent";
+  }
+  return "?";
+}
 
 // A fat encoded request.  Only the fields the opcode's dispatch reads are
 // meaningful; the rest stay at their defaults.

@@ -223,12 +223,26 @@ const Server::ClientRec* Server::FindClient(ClientId id) const {
 // ---------------------------------------------------------------------------
 // Clients.
 
+namespace {
+
+// splitmix64: deterministic, well-mixed session tokens (same registration
+// order, same tokens -- what the reconnect benches gate on).
+uint64_t MixToken(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
 ClientId Server::RegisterClient(std::string name) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   ClientId id = next_client_++;
   auto client = std::make_unique<ClientRec>();
   client->id = id;
   client->name = std::move(name);
+  client->session_token = MixToken(id);
   clients_[id] = std::move(client);
   return id;
 }
@@ -254,6 +268,15 @@ void Server::CloseDownClient(ClientRec* rec) {
   for (auto it = selections_.begin(); it != selections_.end();) {
     if (it->second.second == client) {
       it = selections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Free the client's GCs (pre-PR-7 they leaked: gcs_ had no owner map).
+  for (auto it = gc_owners_.begin(); it != gc_owners_.end();) {
+    if (it->second == client) {
+      gcs_.erase(it->first);
+      it = gc_owners_.erase(it);
     } else {
       ++it;
     }
@@ -287,6 +310,162 @@ bool Server::ClientAlive(ClientId client) const {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   const ClientRec* rec = FindClient(client);
   return rec != nullptr && !rec->dead;
+}
+
+// ---------------------------------------------------------------------------
+// Connection lifecycle: close-down modes, session retention, resumption.
+
+void Server::SetCloseDownMode(ClientId client, CloseDownMode mode) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (ClientRec* rec = FindClient(client)) {
+    rec->close_down = mode;
+  }
+}
+
+CloseDownMode Server::ClientCloseDownMode(ClientId client) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  const ClientRec* rec = FindClient(client);
+  return rec == nullptr ? CloseDownMode::kDestroyAll : rec->close_down;
+}
+
+uint64_t Server::ClientSessionToken(ClientId client) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  const ClientRec* rec = FindClient(client);
+  return rec == nullptr ? 0 : rec->session_token;
+}
+
+void Server::DisconnectClient(ClientId client, DisconnectReason reason) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  ClientRec* rec = FindClient(client);
+  if (rec == nullptr) {
+    return;
+  }
+  ++session_counters_.disconnects;
+  trace_.RecordDisconnect(client, reason);
+  // The connection is gone either way; the error sink captured it.
+  rec->error_sink = nullptr;
+  if (rec->dead || rec->close_down == CloseDownMode::kDestroyAll) {
+    if (!rec->dead) {
+      CloseDownClient(rec);
+    }
+    clients_.erase(client);
+    return;
+  }
+  rec->retained = true;
+  rec->retained_at = std::chrono::steady_clock::now();
+  ++session_counters_.retained;
+}
+
+ClientId Server::ResumeSession(uint64_t token) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (token == 0) {
+    return 0;
+  }
+  for (auto& [id, rec] : clients_) {
+    if (rec->session_token == token && !rec->dead) {
+      // The token proves identity, so a session that is still nominally
+      // connected is adoptable too: the client can redial a broken wire
+      // (half-open socket, blackholed pings) before the server's reader
+      // notices the old connection die.  Without adoption the re-register
+      // would collide with the live session's resource ids.  The wire layer
+      // tracks which connection owns the client, so the stale connection's
+      // eventual teardown no-ops instead of destroying the adopted session.
+      rec->retained = false;
+      ++session_counters_.resumed;
+      return id;
+    }
+  }
+  return 0;
+}
+
+bool Server::ClientRetained(ClientId client) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  const ClientRec* rec = FindClient(client);
+  return rec != nullptr && rec->retained;
+}
+
+size_t Server::RetainedSessionCount() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  size_t count = 0;
+  for (const auto& [id, rec] : clients_) {
+    if (rec->retained) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+size_t Server::ReapRetainedSessions(uint64_t grace_ms, bool include_permanent) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<ClientId> expired;
+  for (const auto& [id, rec] : clients_) {
+    if (!rec->retained) {
+      continue;
+    }
+    if (rec->close_down == CloseDownMode::kRetainPermanent && !include_permanent) {
+      continue;
+    }
+    const auto age =
+        std::chrono::duration_cast<std::chrono::milliseconds>(now - rec->retained_at);
+    if (static_cast<uint64_t>(age.count()) >= grace_ms) {
+      expired.push_back(id);
+    }
+  }
+  for (ClientId id : expired) {
+    if (ClientRec* rec = FindClient(id)) {
+      if (!rec->dead) {
+        CloseDownClient(rec);
+      }
+      clients_.erase(id);
+      ++session_counters_.reaped;
+    }
+  }
+  return expired.size();
+}
+
+ResourceCounts Server::ClientResources(ClientId client) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  ResourceCounts counts;
+  for (const auto& [id, window] : windows_) {
+    if (window->owner == client && id != kRootWindow) {
+      ++counts.windows;
+      counts.properties += window->properties.size();
+    }
+  }
+  for (const auto& [gc, owner] : gc_owners_) {
+    if (owner == client) {
+      ++counts.gcs;
+    }
+  }
+  for (const auto& [atom, owner] : selections_) {
+    if (owner.second == client) {
+      ++counts.selections;
+    }
+  }
+  return counts;
+}
+
+size_t Server::OrphanResourceCount() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  size_t orphans = 0;
+  for (const auto& [id, window] : windows_) {
+    if (id != kRootWindow && window->owner != 0 &&
+        clients_.find(window->owner) == clients_.end()) {
+      ++orphans;
+    }
+  }
+  for (const auto& [gc, owner] : gc_owners_) {
+    if (clients_.find(owner) == clients_.end()) {
+      ++orphans;
+    }
+  }
+  for (const auto& [atom, owner] : selections_) {
+    if (clients_.find(owner.second) == clients_.end()) {
+      ++orphans;
+    }
+  }
+  return orphans;
 }
 
 void Server::SetErrorSink(ClientId client, ErrorSink sink) {
@@ -395,6 +574,25 @@ bool Server::ApplyRequest(ClientId client, const Request& request, bool synchron
     case RequestOpcode::kSendEvent:
       SendEvent(client, request.window, request.event, request.mask);
       break;
+    case RequestOpcode::kSetCloseDownMode:
+      if (BeginRequest(client, RequestType::kOther)) {
+        if (request.mask <= static_cast<uint32_t>(CloseDownMode::kRetainPermanent)) {
+          rec->close_down = static_cast<CloseDownMode>(request.mask);
+        } else {
+          RaiseError(client, ErrorCode::kBadValue, kNone, RequestType::kOther);
+          ok = false;
+        }
+      } else {
+        ok = false;
+      }
+      break;
+    case RequestOpcode::kReplayMark:
+      if (BeginRequest(client, RequestType::kOther)) {
+        rec->replaying = request.mask != 0;
+      } else {
+        ok = false;
+      }
+      break;
   }
   if (synchronous) {
     // XSynchronize: the client waits out a full round trip per request to
@@ -452,6 +650,12 @@ bool Server::NextEvent(ClientId client, Event* out) {
 void Server::EnqueueEvent(ClientRec* rec, const Event& event) {
   if (rec == nullptr || rec->dead) {
     return;
+  }
+  // A retained session has nobody draining its queue; keep the most recent
+  // events but bound the memory a long disconnect can pin.
+  constexpr size_t kRetainedQueueCap = 1024;
+  if (rec->retained && rec->queue.size() >= kRetainedQueueCap) {
+    rec->queue.pop_front();
   }
   rec->queue.push_back(event);
   trace_.RecordEvent(rec->id, event.type, event.window);
@@ -516,6 +720,16 @@ WindowId Server::CreateWindow(ClientId client, WindowId parent, int x, int y, in
     return kNone;
   }
   if (id != kNone && FindWindow(id) != nullptr) {
+    // During a session-journal replay, re-creating a window the retained
+    // session still holds is an idempotent upsert, not an error: refresh the
+    // geometry and keep the existing record (children, properties, masks).
+    WindowRec* existing = FindWindow(id);
+    const ClientRec* owner_rec = FindClient(client);
+    if (existing->owner == client && owner_rec != nullptr && owner_rec->replaying) {
+      existing->geometry = Rect{x, y, std::max(1, width), std::max(1, height)};
+      existing->border_width = border_width;
+      return id;
+    }
     // X raises BadIDChoice for a reused client-allocated id; BadValue is the
     // closest code the simulator has.
     RaiseError(client, ErrorCode::kBadValue, id, RequestType::kCreateWindow);
@@ -1056,6 +1270,14 @@ GcId Server::CreateGc(ClientId client, GcId id) {
     return kNone;
   }
   if (id != kNone && gcs_.count(id) != 0) {
+    // Replay upsert, as in CreateWindow: the retained session still holds
+    // the GC; keep it (the journal replays its values right after).
+    auto owner_it = gc_owners_.find(id);
+    const ClientRec* owner_rec = FindClient(client);
+    if (owner_it != gc_owners_.end() && owner_it->second == client &&
+        owner_rec != nullptr && owner_rec->replaying) {
+      return id;
+    }
     RaiseError(client, ErrorCode::kBadValue, id, RequestType::kCreateGc);
     return kNone;
   }
@@ -1063,6 +1285,7 @@ GcId Server::CreateGc(ClientId client, GcId id) {
     id = next_id_++;
   }
   gcs_[id] = Gc();
+  gc_owners_[id] = client;
   return id;
 }
 
@@ -1074,6 +1297,7 @@ void Server::FreeGc(ClientId client, GcId gc) {
   if (gcs_.erase(gc) == 0) {
     RaiseError(client, ErrorCode::kBadGC, gc, RequestType::kChangeGc);
   }
+  gc_owners_.erase(gc);
 }
 
 bool Server::ChangeGc(ClientId client, GcId gc, const Gc& values) {

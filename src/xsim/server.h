@@ -19,6 +19,7 @@
 #ifndef SRC_XSIM_SERVER_H_
 #define SRC_XSIM_SERVER_H_
 
+#include <chrono>
 #include <deque>
 #include <functional>
 #include <map>
@@ -80,6 +81,25 @@ struct FaultCounters {
   uint64_t killed_clients = 0;     // KillClient calls (simulated crashes).
 };
 
+// Connection-lifecycle counters (session retention and resumption).
+struct SessionCounters {
+  uint64_t disconnects = 0;  // DisconnectClient calls (any reason).
+  uint64_t retained = 0;     // Disconnects that retained the session.
+  uint64_t resumed = 0;      // Successful ResumeSession reattaches.
+  uint64_t reaped = 0;       // Retained sessions torn down by the reaper.
+};
+
+// Per-client resource census, for replay-idempotence checks: a reconnect
+// that replays the session journal must land on exactly these counts.
+struct ResourceCounts {
+  size_t windows = 0;     // Windows owned by the client (root excluded).
+  size_t gcs = 0;         // GCs created by the client.
+  size_t properties = 0;  // Properties on the client's own windows.
+  size_t selections = 0;  // Selections the client owns.
+
+  bool operator==(const ResourceCounts&) const = default;
+};
+
 // Wire-transport traffic counters (always-on, like RequestCounters; reset by
 // Server::ResetCounters so a measurement window starts clean across every
 // counter family).
@@ -128,6 +148,48 @@ class Server {
   // application stays safe to use.
   void KillClient(ClientId client);
   bool ClientAlive(ClientId client) const;
+
+  // --- Connection lifecycle (close-down modes, sessions, resumption) ---------
+  //
+  // Every client gets a session token at registration (carried back in the
+  // kHelloAck).  When the client's *connection* dies -- rather than the
+  // client unregistering orderly with DestroyAll semantics -- the wire layer
+  // calls DisconnectClient, which applies the client's close-down mode: with
+  // kDestroyAll the session is torn down on the spot; with a Retain mode the
+  // ClientRec and every resource survive, waiting for a ResumeSession with
+  // the same token.  RetainTemporary sessions are reaped after a grace
+  // period; RetainPermanent sessions persist until KillClient.
+
+  void SetCloseDownMode(ClientId client, CloseDownMode mode);
+  CloseDownMode ClientCloseDownMode(ClientId client) const;
+  uint64_t ClientSessionToken(ClientId client) const;
+
+  // Connection teardown honoring the close-down mode.  Records the
+  // disconnect (with `reason`) in the trace.
+  void DisconnectClient(ClientId client, DisconnectReason reason);
+  // Reattaches to the session the token names -- retained, or still
+  // nominally connected (a client can redial a broken wire before the
+  // server's reader notices the old connection die; the token proves it is
+  // the same client).  0 when the token matches nothing alive (caller falls
+  // back to RegisterClient).
+  ClientId ResumeSession(uint64_t token);
+  bool ClientRetained(ClientId client) const;
+  size_t RetainedSessionCount() const;
+  // Tears down RetainTemporary sessions disconnected at least `grace_ms`
+  // ago; returns how many were reaped.  RetainPermanent sessions are
+  // untouched unless `include_permanent` forces a full sweep (end-of-run
+  // leak accounting).
+  size_t ReapRetainedSessions(uint64_t grace_ms, bool include_permanent = false);
+
+  SessionCounters session_counters() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return session_counters_;
+  }
+  // Census of the client's live server-side resources.
+  ResourceCounts ClientResources(ClientId client) const;
+  // Resources whose owning client no longer has a ClientRec -- the leak the
+  // no-orphan-leak soak invariant gates on.
+  size_t OrphanResourceCount() const;
 
   // Registers the callback that receives X error events for `client`
   // (installed by Display::Open; one sink per client).
@@ -306,6 +368,7 @@ class Server {
     counters_ = RequestCounters();
     fault_counters_ = FaultCounters();
     wire_counters_ = WireCounters();
+    session_counters_ = SessionCounters();
   }
 
   // Fault injection and failure observability.
@@ -371,6 +434,12 @@ class Server {
     uint64_t sequence = 0;  // Number of requests issued so far.
     bool dead = false;      // KillClient was called; requests are dropped.
     ErrorSink error_sink;
+    // Connection lifecycle (PR 7).
+    uint64_t session_token = 0;
+    CloseDownMode close_down = CloseDownMode::kDestroyAll;
+    bool retained = false;  // Disconnected with a Retain mode; resumable.
+    std::chrono::steady_clock::time_point retained_at{};
+    bool replaying = false;  // Inside a kReplayMark bracket: creates upsert.
   };
 
   WindowRec* FindWindow(WindowId id);
@@ -421,6 +490,9 @@ class Server {
   std::map<WindowId, std::unique_ptr<WindowRec>> windows_;
   std::map<ClientId, std::unique_ptr<ClientRec>> clients_;
   std::map<GcId, Gc> gcs_;
+  // GC ownership, so close-down can free a client's GCs (they used to leak)
+  // and the orphan census can attribute them.
+  std::map<GcId, ClientId> gc_owners_;
   std::map<FontId, FontMetrics> fonts_;
   std::map<std::string, FontId, std::less<>> font_ids_;
   std::map<CursorId, std::string> cursors_;
@@ -443,6 +515,7 @@ class Server {
   RequestCounters counters_;
   FaultCounters fault_counters_;
   WireCounters wire_counters_;
+  SessionCounters session_counters_;
   FaultInjector fault_injector_;
   TraceBuffer trace_;
   // True while BeginRequest is running: an injected failure's RaiseError

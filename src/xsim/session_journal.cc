@@ -1,0 +1,283 @@
+#include "src/xsim/session_journal.h"
+
+#include <algorithm>
+
+namespace xsim {
+
+void SessionJournal::Note(const Request& request) {
+  ++noted_;
+  switch (request.op) {
+    case RequestOpcode::kCreateWindow: {
+      WindowState state;
+      state.parent = request.window;
+      state.x = request.x;
+      state.y = request.y;
+      state.width = request.width;
+      state.height = request.height;
+      state.border_width = request.border_width;
+      if (windows_.emplace(request.resource, state).second) {
+        window_order_.push_back(request.resource);
+      }
+      break;
+    }
+    case RequestOpcode::kDestroyWindow:
+      EraseWindowTree(request.window);
+      break;
+    case RequestOpcode::kMapWindow:
+      if (auto it = windows_.find(request.window); it != windows_.end()) {
+        it->second.mapped = true;
+      }
+      break;
+    case RequestOpcode::kUnmapWindow:
+      if (auto it = windows_.find(request.window); it != windows_.end()) {
+        it->second.mapped = false;
+      }
+      break;
+    case RequestOpcode::kConfigureWindow:
+      if (auto it = windows_.find(request.window); it != windows_.end()) {
+        // The -1 convention mirrors Display::ResizeWindow: negative fields
+        // mean "leave alone".
+        if (request.x >= 0) {
+          it->second.x = request.x;
+        }
+        if (request.y >= 0) {
+          it->second.y = request.y;
+        }
+        if (request.width >= 0) {
+          it->second.width = request.width;
+        }
+        if (request.height >= 0) {
+          it->second.height = request.height;
+        }
+        if (request.border_width >= 0) {
+          it->second.border_width = request.border_width;
+        }
+      }
+      break;
+    case RequestOpcode::kRaiseWindow:
+      if (Knows(request.window)) {
+        raise_order_.erase(
+            std::remove(raise_order_.begin(), raise_order_.end(), request.window),
+            raise_order_.end());
+        raise_order_.push_back(request.window);
+      }
+      break;
+    case RequestOpcode::kSelectInput:
+      if (auto it = windows_.find(request.window); it != windows_.end()) {
+        it->second.has_mask = true;
+        it->second.mask = request.mask;
+      }
+      break;
+    case RequestOpcode::kSetWindowBackground:
+      if (auto it = windows_.find(request.window); it != windows_.end()) {
+        it->second.has_background = true;
+        it->second.background = request.pixel;
+      }
+      break;
+    case RequestOpcode::kCreateGc:
+      if (gcs_.emplace(request.resource, GcState()).second) {
+        gc_order_.push_back(request.resource);
+      }
+      break;
+    case RequestOpcode::kFreeGc:
+      if (gcs_.erase(request.gc) != 0) {
+        gc_order_.erase(std::remove(gc_order_.begin(), gc_order_.end(), request.gc),
+                        gc_order_.end());
+      }
+      break;
+    case RequestOpcode::kChangeGc:
+      if (auto it = gcs_.find(request.gc); it != gcs_.end()) {
+        it->second.changed = true;
+        it->second.values = request.gc_values;
+      }
+      break;
+    case RequestOpcode::kChangeProperty:
+      properties_[{request.window, request.atom}] = request.text;
+      break;
+    case RequestOpcode::kDeleteProperty:
+      properties_.erase({request.window, request.atom});
+      break;
+    case RequestOpcode::kSetSelectionOwner:
+      if (request.window == kNone) {
+        selections_.erase(request.atom);
+      } else {
+        selections_[request.atom] = request.window;
+      }
+      break;
+    case RequestOpcode::kSetInputFocus:
+      has_focus_ = true;
+      focus_ = request.window;
+      break;
+    case RequestOpcode::kSetCloseDownMode:
+      has_close_down_ = true;
+      close_down_ = request.mask;
+      break;
+    // Pixels and transient traffic: regenerated or irrelevant after replay.
+    case RequestOpcode::kClearWindow:
+    case RequestOpcode::kClearArea:
+    case RequestOpcode::kFillRectangle:
+    case RequestOpcode::kDrawRectangle:
+    case RequestOpcode::kDrawLine:
+    case RequestOpcode::kDrawString:
+    case RequestOpcode::kConvertSelection:
+    case RequestOpcode::kSendSelectionNotify:
+    case RequestOpcode::kSendEvent:
+    case RequestOpcode::kReplayMark:
+      break;
+  }
+}
+
+void SessionJournal::EraseWindowTree(WindowId window) {
+  if (!Knows(window)) {
+    return;
+  }
+  // Children first (the server destroys subtrees; keep the journal's view in
+  // step).  window_order_ guarantees parents precede children, so one reverse
+  // sweep collecting descendants terminates.
+  std::vector<WindowId> doomed{window};
+  for (size_t i = 0; i < doomed.size(); ++i) {
+    for (const auto& [id, state] : windows_) {
+      if (state.parent == doomed[i] && std::find(doomed.begin(), doomed.end(), id) == doomed.end()) {
+        doomed.push_back(id);
+      }
+    }
+  }
+  for (WindowId id : doomed) {
+    windows_.erase(id);
+    window_order_.erase(std::remove(window_order_.begin(), window_order_.end(), id),
+                        window_order_.end());
+    raise_order_.erase(std::remove(raise_order_.begin(), raise_order_.end(), id),
+                       raise_order_.end());
+    for (auto it = properties_.begin(); it != properties_.end();) {
+      it = it->first.first == id ? properties_.erase(it) : std::next(it);
+    }
+    for (auto it = selections_.begin(); it != selections_.end();) {
+      it = it->second == id ? selections_.erase(it) : std::next(it);
+    }
+    if (has_focus_ && focus_ == id) {
+      has_focus_ = false;
+    }
+  }
+}
+
+std::vector<Request> SessionJournal::ReplayBatch(WindowId root) const {
+  std::vector<Request> batch;
+  auto known_or_root = [&](WindowId w) { return w == root || Knows(w); };
+
+  // 0. Close-down mode first: if the replay itself is interrupted by another
+  //    drop, the half-rebuilt session is already retained under the right
+  //    mode.
+  if (has_close_down_) {
+    Request mode;
+    mode.op = RequestOpcode::kSetCloseDownMode;
+    mode.mask = close_down_;
+    batch.push_back(std::move(mode));
+  }
+
+  // 1. Windows, creation order (parents first), each followed by the
+  //    attributes that must be set before the map generates an expose.
+  for (WindowId id : window_order_) {
+    const WindowState& state = windows_.at(id);
+    Request create;
+    create.op = RequestOpcode::kCreateWindow;
+    create.window = state.parent;
+    create.resource = id;
+    create.x = state.x;
+    create.y = state.y;
+    create.width = state.width;
+    create.height = state.height;
+    create.border_width = state.border_width;
+    batch.push_back(std::move(create));
+    if (state.has_background) {
+      Request background;
+      background.op = RequestOpcode::kSetWindowBackground;
+      background.window = id;
+      background.pixel = state.background;
+      batch.push_back(std::move(background));
+    }
+    if (state.has_mask) {
+      Request select;
+      select.op = RequestOpcode::kSelectInput;
+      select.window = id;
+      select.mask = state.mask;
+      batch.push_back(std::move(select));
+    }
+  }
+  // 2. Maps, creation order, then the explicit raises on top.
+  for (WindowId id : window_order_) {
+    if (windows_.at(id).mapped) {
+      Request map;
+      map.op = RequestOpcode::kMapWindow;
+      map.window = id;
+      batch.push_back(std::move(map));
+    }
+  }
+  for (WindowId id : raise_order_) {
+    Request raise;
+    raise.op = RequestOpcode::kRaiseWindow;
+    raise.window = id;
+    batch.push_back(std::move(raise));
+  }
+  // 3. GCs and their accumulated values.
+  for (GcId id : gc_order_) {
+    const GcState& state = gcs_.at(id);
+    Request create;
+    create.op = RequestOpcode::kCreateGc;
+    create.resource = id;
+    batch.push_back(std::move(create));
+    if (state.changed) {
+      Request change;
+      change.op = RequestOpcode::kChangeGc;
+      change.gc = id;
+      change.gc_values = state.values;
+      batch.push_back(std::move(change));
+    }
+  }
+  // 4. Properties and selection ownership (windows all exist by now).  Skip
+  //    entries on windows the journal does not know (another client's window
+  //    may be gone after the bounce; replaying it would just raise BadWindow).
+  for (const auto& [key, value] : properties_) {
+    if (!known_or_root(key.first)) {
+      continue;
+    }
+    Request property;
+    property.op = RequestOpcode::kChangeProperty;
+    property.window = key.first;
+    property.atom = key.second;
+    property.text = value;
+    batch.push_back(std::move(property));
+  }
+  for (const auto& [selection, owner] : selections_) {
+    if (!known_or_root(owner)) {
+      continue;
+    }
+    Request own;
+    own.op = RequestOpcode::kSetSelectionOwner;
+    own.atom = selection;
+    own.window = owner;
+    batch.push_back(std::move(own));
+  }
+  if (has_focus_ && known_or_root(focus_)) {
+    Request focus;
+    focus.op = RequestOpcode::kSetInputFocus;
+    focus.window = focus_;
+    batch.push_back(std::move(focus));
+  }
+  return batch;
+}
+
+void SessionJournal::Clear() {
+  windows_.clear();
+  window_order_.clear();
+  raise_order_.clear();
+  gcs_.clear();
+  gc_order_.clear();
+  properties_.clear();
+  selections_.clear();
+  has_focus_ = false;
+  focus_ = kNone;
+  has_close_down_ = false;
+  close_down_ = 0;
+}
+
+}  // namespace xsim

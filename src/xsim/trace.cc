@@ -21,9 +21,35 @@ const char* TraceOutcomeName(TraceOutcome outcome) {
   return "?";
 }
 
+const char* DisconnectReasonName(DisconnectReason reason) {
+  switch (reason) {
+    case DisconnectReason::kBye:
+      return "bye";
+    case DisconnectReason::kBackpressure:
+      return "backpressure";
+    case DisconnectReason::kMalformed:
+      return "malformed";
+    case DisconnectReason::kIoError:
+      return "io";
+    case DisconnectReason::kDisconnectReasonCount:
+      break;
+  }
+  return "?";
+}
+
 namespace {
 
 constexpr EventType kLastEventType = EventType::kClientMessage;
+
+std::optional<DisconnectReason> DisconnectReasonFromName(std::string_view name) {
+  for (size_t i = 0; i < kDisconnectReasonCount; ++i) {
+    DisconnectReason reason = static_cast<DisconnectReason>(i);
+    if (name == DisconnectReasonName(reason)) {
+      return reason;
+    }
+  }
+  return std::nullopt;
+}
 
 std::optional<TraceOutcome> TraceOutcomeFromName(std::string_view name) {
   for (uint8_t i = 0; i <= static_cast<uint8_t>(TraceOutcome::kError); ++i) {
@@ -66,6 +92,10 @@ void TraceBuffer::Clear() {
   total_wire_frames_.store(0, std::memory_order_relaxed);
   total_wire_bytes_.store(0, std::memory_order_relaxed);
   total_recorded_.store(0, std::memory_order_relaxed);
+  for (auto& count : disconnect_counts_) {
+    count.store(0, std::memory_order_relaxed);
+  }
+  total_disconnects_.store(0, std::memory_order_relaxed);
 }
 
 size_t TraceBuffer::capacity() const {
@@ -186,6 +216,23 @@ void TraceBuffer::RecordWireTraffic(uint64_t frames, uint64_t bytes) {
   total_wire_bytes_.fetch_add(bytes, std::memory_order_relaxed);
 }
 
+void TraceBuffer::RecordDisconnect(ClientId client, DisconnectReason reason) {
+  // Cumulative counts are unconditional (see header): summaries must see
+  // every disconnect, recorded or not.
+  disconnect_counts_[static_cast<size_t>(reason)].fetch_add(1, std::memory_order_relaxed);
+  total_disconnects_.fetch_add(1, std::memory_order_relaxed);
+  if (!active()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceRecord record;
+  record.serial = next_serial_++;
+  record.client = client;
+  record.is_disconnect = true;
+  record.disconnect = reason;
+  Append(record, /*is_request=*/false);
+}
+
 void TraceBuffer::MarkLastRequestRoundTrip(uint64_t extra_ns) {
   if (!active()) {
     return;
@@ -222,11 +269,16 @@ std::vector<TraceRecord> TraceBuffer::Snapshot() const {
 std::string TraceBuffer::ToJsonl() const {
   std::ostringstream out;
   for (const TraceRecord& record : Snapshot()) {
-    const char* kind = record.is_flush ? "flush" : record.is_event ? "event" : "request";
-    const char* type = record.is_flush
-                           ? "flush"
-                           : record.is_event ? EventTypeName(record.event)
-                                             : RequestTypeName(record.request);
+    const char* kind = record.is_disconnect
+                           ? "disconnect"
+                           : record.is_flush ? "flush"
+                                             : record.is_event ? "event" : "request";
+    const char* type = record.is_disconnect
+                           ? DisconnectReasonName(record.disconnect)
+                           : record.is_flush
+                                 ? "flush"
+                                 : record.is_event ? EventTypeName(record.event)
+                                                   : RequestTypeName(record.request);
     out << "{\"serial\":" << record.serial << ",\"kind\":\"" << kind
         << "\",\"client\":" << record.client << ",\"type\":\"" << type
         << "\",\"resource\":" << record.resource << ",\"duration_ns\":" << record.duration_ns
@@ -315,7 +367,14 @@ std::optional<std::vector<TraceRecord>> TraceBuffer::FromJsonl(const std::string
     record.resource = static_cast<XId>(*resource);
     record.duration_ns = *duration;
     record.round_trip = *round_trip == "true";
-    if (*kind == "event") {
+    if (*kind == "disconnect") {
+      record.is_disconnect = true;
+      std::optional<DisconnectReason> reason = DisconnectReasonFromName(*type);
+      if (!reason) {
+        return fail("unknown disconnect reason \"" + *type + "\"");
+      }
+      record.disconnect = *reason;
+    } else if (*kind == "event") {
       record.is_event = true;
       std::optional<EventType> event = EventTypeFromName(*type);
       if (!event) {

@@ -51,12 +51,28 @@ enum class TraceOutcome : uint8_t {
 
 const char* TraceOutcomeName(TraceOutcome outcome);
 
-// One traced request, delivered event, or output-buffer flush.
+// Why a wire connection went away.  Backpressure kills used to vanish
+// without a trace; every disconnect now lands in the buffer with its reason.
+enum class DisconnectReason : uint8_t {
+  kBye = 0,          // Orderly kBye handshake.
+  kBackpressure,     // Outbound queue stayed full past the timeout.
+  kMalformed,        // Unsynchronized byte stream (bad header/frame kind).
+  kIoError,          // EOF or socket error (crash, half-close, bounce).
+  kDisconnectReasonCount,
+};
+
+const char* DisconnectReasonName(DisconnectReason reason);
+inline constexpr size_t kDisconnectReasonCount =
+    static_cast<size_t>(DisconnectReason::kDisconnectReasonCount);
+
+// One traced request, delivered event, output-buffer flush, or disconnect.
 struct TraceRecord {
   uint64_t serial = 0;       // Monotonic over the buffer's lifetime.
   ClientId client = 0;       // Issuing client (requests) / receiver (events).
   bool is_event = false;
   bool is_flush = false;     // Per-batch flush marker (Server::ApplyBatch).
+  bool is_disconnect = false;  // Wire connection teardown record.
+  DisconnectReason disconnect = DisconnectReason::kBye;  // Valid when is_disconnect.
   RequestType request = RequestType::kOther;  // Valid when !is_event/!is_flush.
   EventType event = EventType::kNone;         // Valid when is_event.
   XId resource = kNone;      // Primary resource id of the request/event.
@@ -127,6 +143,11 @@ class TraceBuffer {
   // direction).  Counted while active, like every other cumulative counter;
   // no ring record (frame traffic would drown the request trace).
   void RecordWireTraffic(uint64_t frames, uint64_t bytes);
+  // A wire connection for `client` went away.  Unlike the other Record*
+  // entry points this counts even while the trace is inactive: disconnect
+  // reasons are rare, load-bearing facts (`xtrace summary`, soak invariants)
+  // that must not depend on whether the ring happened to be recording.
+  void RecordDisconnect(ClientId client, DisconnectReason reason);
   // Flags the most recent request record as a synchronous round trip and
   // adds the round-trip wait to its duration.
   void MarkLastRequestRoundTrip(uint64_t extra_ns);
@@ -160,6 +181,12 @@ class TraceBuffer {
   // Records appended over the buffer's lifetime, including overwritten ones.
   uint64_t total_recorded() const {
     return total_recorded_.load(std::memory_order_relaxed);
+  }
+  uint64_t DisconnectCount(DisconnectReason reason) const {
+    return disconnect_counts_[static_cast<size_t>(reason)].load(std::memory_order_relaxed);
+  }
+  uint64_t total_disconnects() const {
+    return total_disconnects_.load(std::memory_order_relaxed);
   }
 
   // --- Export --------------------------------------------------------------
@@ -202,6 +229,8 @@ class TraceBuffer {
   std::atomic<uint64_t> total_wire_frames_{0};
   std::atomic<uint64_t> total_wire_bytes_{0};
   std::atomic<uint64_t> total_recorded_{0};
+  std::array<std::atomic<uint64_t>, kDisconnectReasonCount> disconnect_counts_{};
+  std::atomic<uint64_t> total_disconnects_{0};
 };
 
 }  // namespace xsim

@@ -7,7 +7,7 @@ namespace {
 
 // Last legitimate values of the enums the decoders accept; anything above is
 // kBadOpcode.  Keep in sync with request.h / event.h.
-constexpr uint8_t kMaxRequestOpcode = static_cast<uint8_t>(RequestOpcode::kSendEvent);
+constexpr uint8_t kMaxRequestOpcode = static_cast<uint8_t>(RequestOpcode::kReplayMark);
 constexpr uint32_t kMaxEventType = static_cast<uint32_t>(EventType::kClientMessage);
 constexpr uint8_t kMaxErrorCode = static_cast<uint8_t>(ErrorCode::kBadRequest);
 
@@ -53,6 +53,12 @@ const char* FrameKindName(FrameKind kind) {
       return "Bye";
     case FrameKind::kByeAck:
       return "ByeAck";
+    case FrameKind::kPing:
+      return "Ping";
+    case FrameKind::kPong:
+      return "Pong";
+    case FrameKind::kResume:
+      return "Resume";
     case FrameKind::kFrameKindCount:
       break;
   }
@@ -534,6 +540,8 @@ std::vector<uint8_t> EncodeAckPayload(const WireAck& ack) {
   w.U64(ack.value);
   w.U64(ack.sequence);
   w.U32(ack.extra);
+  w.U64(ack.token);
+  w.U32(ack.flags);
   return w.Take();
 }
 
@@ -542,6 +550,23 @@ DecodeStatus DecodeAckPayload(const std::vector<uint8_t>& payload, WireAck* out)
   out->value = r.U64();
   out->sequence = r.U64();
   out->extra = r.U32();
+  out->token = r.U64();
+  out->flags = r.U32();
+  return Finish(r);
+}
+
+std::vector<uint8_t> EncodeResumePayload(const std::string& client_name, uint64_t token) {
+  Writer w;
+  w.Str(client_name);
+  w.U64(token);
+  return w.Take();
+}
+
+DecodeStatus DecodeResumePayload(const std::vector<uint8_t>& payload,
+                                 std::string* client_name, uint64_t* token) {
+  Reader r(payload);
+  *client_name = r.Str();
+  *token = r.U64();
   return Finish(r);
 }
 

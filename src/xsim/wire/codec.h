@@ -38,7 +38,9 @@ namespace xsim {
 namespace wire {
 
 inline constexpr uint32_t kWireMagic = 0x52495758;  // "XWIR" on the wire.
-inline constexpr uint8_t kWireVersion = 1;
+// v2 added connection-lifecycle frames (kPing/kPong/kResume) and the session
+// token + flags fields in WireAck.
+inline constexpr uint8_t kWireVersion = 2;
 inline constexpr size_t kFrameHeaderSize = 12;
 inline constexpr uint32_t kMaxFramePayload = 1u << 20;  // 1 MiB.
 inline constexpr uint32_t kMaxBatchRequests = 1u << 16;
@@ -60,6 +62,9 @@ enum class FrameKind : uint8_t {
   kEventSyncAck,   // server -> client: queue drained up to this point.
   kBye,            // client -> server: orderly disconnect.
   kByeAck,         // server -> client: client unregistered; safe to close.
+  kPing,           // client -> server: heartbeat probe (nonce in ack.value).
+  kPong,           // server -> client: heartbeat echo (same nonce).
+  kResume,         // client -> server: reattach to a retained session by token.
   kFrameKindCount,
 };
 
@@ -107,13 +112,20 @@ struct WireReply {
   bool operator==(const WireReply&) const = default;
 };
 
+// kHelloAck.flags bit: the Hello/Resume reattached a retained session (the
+// client's server-side resources survived, so no journal replay is needed).
+inline constexpr uint32_t kAckFlagResumed = 1u << 0;
+
 // Acknowledgement payload for kBatchAck / kRequestAck / kEventSyncAck /
-// kHelloAck.  `value` is the applied-request count (batch), request status
-// (sync request), pending-event count (event sync) or ClientId (hello).
+// kHelloAck / kPing / kPong.  `value` is the applied-request count (batch),
+// request status (sync request), pending-event count (event sync), ClientId
+// (hello) or heartbeat nonce (ping/pong).
 struct WireAck {
   uint64_t value = 0;
   uint64_t sequence = 0;
-  uint32_t extra = 0;  // Root window id in kHelloAck.
+  uint32_t extra = 0;   // Root window id in kHelloAck; liveness elsewhere.
+  uint64_t token = 0;   // Session token issued in kHelloAck (v2).
+  uint32_t flags = 0;   // kAckFlag* bits (v2).
 
   bool operator==(const WireAck&) const = default;
 };
@@ -231,6 +243,12 @@ DecodeStatus DecodeHelloPayload(const std::vector<uint8_t>& payload,
 
 std::vector<uint8_t> EncodeAckPayload(const WireAck& ack);
 DecodeStatus DecodeAckPayload(const std::vector<uint8_t>& payload, WireAck* out);
+
+// kResume: reattach to the retained session `token`; `client_name` names the
+// connection if the server has to fall back to a fresh registration.
+std::vector<uint8_t> EncodeResumePayload(const std::string& client_name, uint64_t token);
+DecodeStatus DecodeResumePayload(const std::vector<uint8_t>& payload,
+                                 std::string* client_name, uint64_t* token);
 
 }  // namespace wire
 }  // namespace xsim

@@ -1,6 +1,7 @@
 #include "src/xsim/wire/transport.h"
 
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -34,10 +35,11 @@ TransportKind TransportKindFromEnv() {
 }
 
 std::unique_ptr<Transport> Connect(Server& server, TransportKind kind, std::string name,
-                                   Transport::ErrorSink sink) {
+                                   Transport::ErrorSink sink, uint64_t resume_token) {
   if (kind == TransportKind::kWire) {
     int fd = server.wire().Connect();
-    return std::make_unique<WireTransport>(fd, std::move(name), std::move(sink));
+    return std::make_unique<WireTransport>(fd, std::move(name), std::move(sink),
+                                           resume_token);
   }
   return std::make_unique<DirectTransport>(server, std::move(name), std::move(sink));
 }
@@ -159,7 +161,18 @@ void DirectTransport::Close() {
     return;
   }
   closed_ = true;
-  server_.UnregisterClient(client_);
+  // An orderly goodbye is an orderly goodbye regardless of transport: route
+  // through the same disconnect bookkeeping as a wire kBye, so close-down
+  // modes apply and `xtrace summary` counts the departure.
+  server_.DisconnectClient(client_, DisconnectReason::kBye);
+}
+
+bool DirectTransport::Ping(uint64_t nonce, uint64_t timeout_ms) {
+  (void)nonce;
+  (void)timeout_ms;
+  // No wire to lose: an open in-process connection is trivially live, even
+  // for a KillClient'ed (dead-but-connected) client.
+  return !closed_;
 }
 
 // ---------------------------------------------------------------------------
@@ -200,26 +213,35 @@ bool WriteFull(int fd, const uint8_t* data, size_t size) {
 
 }  // namespace
 
-WireTransport::WireTransport(int fd, std::string name, ErrorSink sink)
+WireTransport::WireTransport(int fd, std::string name, ErrorSink sink,
+                             uint64_t resume_token)
     : fd_(fd), sink_(std::move(sink)) {
   if (fd_ < 0) {
+    // The server refused the socket (bounce in progress / shut down): an IO
+    // failure, so the reconnect loop keeps retrying with backoff.
     closed_ = true;
     alive_ = false;
+    io_error_ = true;
     return;
   }
-  if (!SendFrame(FrameKind::kHello, EncodeHelloPayload(name))) {
+  bool sent = resume_token != 0
+                  ? SendFrame(FrameKind::kResume, EncodeResumePayload(name, resume_token))
+                  : SendFrame(FrameKind::kHello, EncodeHelloPayload(name));
+  if (!sent) {
     return;
   }
   std::vector<uint8_t> payload;
   WireAck ack;
   if (!WaitFor(FrameKind::kHelloAck, &payload) ||
       DecodeAckPayload(payload, &ack) != DecodeStatus::kOk) {
-    Close();
+    MarkIoError();
     return;
   }
   client_ = static_cast<ClientId>(ack.value);
   server_sequence_ = ack.sequence;
   root_ = ack.extra;
+  session_token_ = ack.token;
+  resumed_ = (ack.flags & kAckFlagResumed) != 0;
 }
 
 WireTransport::~WireTransport() { Close(); }
@@ -230,8 +252,7 @@ bool WireTransport::SendFrame(FrameKind kind, const std::vector<uint8_t>& payloa
   }
   std::vector<uint8_t> frame = EncodeFrame(kind, payload);
   if (!WriteFull(fd_, frame.data(), frame.size())) {
-    closed_ = true;
-    alive_ = false;
+    MarkIoError();
     return false;
   }
   return true;
@@ -245,16 +266,14 @@ bool WireTransport::ReadFrame(Frame* out) {
   FrameHeader decoded;
   if (!ReadFull(fd_, header, sizeof(header)) ||
       DecodeFrameHeader(header, sizeof(header), &decoded) != DecodeStatus::kOk) {
-    closed_ = true;
-    alive_ = false;
+    MarkIoError();
     return false;
   }
   out->kind = decoded.kind;
   out->payload.resize(decoded.payload_length);
   if (decoded.payload_length != 0 &&
       !ReadFull(fd_, out->payload.data(), out->payload.size())) {
-    closed_ = true;
-    alive_ = false;
+    MarkIoError();
     return false;
   }
   return true;
@@ -290,7 +309,7 @@ bool WireTransport::WaitFor(FrameKind kind, std::vector<uint8_t>* payload) {
       }
       default:
         // A response we did not ask for: the stream is out of sync.
-        Close();
+        MarkIoError();
         return false;
     }
   }
@@ -299,6 +318,56 @@ bool WireTransport::WaitFor(FrameKind kind, std::vector<uint8_t>* payload) {
 void WireTransport::AdoptAck(const WireAck& ack) {
   server_sequence_ = ack.sequence;
   alive_ = ack.extra != 0;
+}
+
+void WireTransport::MarkIoError() {
+  closed_ = true;
+  alive_ = false;
+  io_error_ = true;
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void WireTransport::SetReadTimeout(uint64_t timeout_ms) {
+  if (fd_ < 0) {
+    return;
+  }
+  struct timeval tv;
+  tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+bool WireTransport::Ping(uint64_t nonce, uint64_t timeout_ms) {
+  if (closed_ || fd_ < 0) {
+    return false;
+  }
+  WireAck probe;
+  probe.value = nonce;
+  if (!SendFrame(FrameKind::kPing, EncodeAckPayload(probe))) {
+    return false;
+  }
+  // The pong must land within the liveness deadline; a blackholed or wedged
+  // server shows up as a recv timeout, which ReadFull reports as failure and
+  // WaitFor turns into an IO error -- exactly what reconnect keys off.
+  if (timeout_ms != 0) {
+    SetReadTimeout(timeout_ms);
+  }
+  std::vector<uint8_t> payload;
+  WireAck pong;
+  bool ok = WaitFor(FrameKind::kPong, &payload) &&
+            DecodeAckPayload(payload, &pong) == DecodeStatus::kOk && pong.value == nonce;
+  if (timeout_ms != 0) {
+    SetReadTimeout(0);
+  }
+  if (ok) {
+    AdoptAck(pong);
+  } else {
+    MarkIoError();
+  }
+  return ok;
 }
 
 size_t WireTransport::SendBatch(const std::vector<Request>& batch) {

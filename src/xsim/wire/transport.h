@@ -89,13 +89,35 @@ class Transport {
 
   // Orderly disconnect (idempotent; the destructor closes too).
   virtual void Close() = 0;
+
+  // --- Connection-lifecycle surface (PR 7) ---------------------------------
+
+  // True when the connection died *without* an orderly Close(): EOF, socket
+  // error, unsynchronized stream, or a missed heartbeat.  This -- not
+  // !Alive() -- is what should trigger a reconnect: a KillClient'ed client
+  // is dead-but-connected and must stay dead.  Direct transports never
+  // suffer IO errors.
+  virtual bool io_error() const { return false; }
+  // Session token issued by the server in the handshake; 0 on the direct
+  // path (an in-process client cannot outlive its server).
+  virtual uint64_t session_token() const { return 0; }
+  // True when the handshake reattached to a retained session (kResume path)
+  // rather than registering fresh.
+  virtual bool resumed() const { return false; }
+  // Heartbeat: probes the connection and waits up to `timeout_ms` for the
+  // echo.  False (and io_error) when the pong never came -- the liveness
+  // deadline expired.  A pong from a KillClient'ed session still counts as
+  // alive wire.  Direct transports are trivially live while open.
+  virtual bool Ping(uint64_t nonce, uint64_t timeout_ms) = 0;
 };
 
 // Connects a new client named `name` to `server` over the chosen transport,
 // with `sink` receiving this connection's X error events.  The server must
-// outlive the transport.
+// outlive the transport.  A nonzero `resume_token` asks the wire path to
+// reattach to a retained session instead of registering fresh (ignored by
+// the direct path, which cannot lose a connection in the first place).
 std::unique_ptr<Transport> Connect(Server& server, TransportKind kind, std::string name,
-                                   Transport::ErrorSink sink);
+                                   Transport::ErrorSink sink, uint64_t resume_token = 0);
 
 // --- Implementations --------------------------------------------------------
 
@@ -118,6 +140,7 @@ class DirectTransport : public Transport {
   size_t PendingEventCount() override;
   bool NextEvent(Event* out) override;
   void Close() override;
+  bool Ping(uint64_t nonce, uint64_t timeout_ms) override;
 
  private:
   Server& server_;
@@ -134,8 +157,9 @@ class DirectTransport : public Transport {
 class WireTransport : public Transport {
  public:
   // Takes ownership of `fd` (the client end from WireServer::Connect) and
-  // performs the Hello handshake.
-  WireTransport(int fd, std::string name, ErrorSink sink);
+  // performs the handshake: kHello when `resume_token` is 0, kResume (with
+  // fresh-registration fallback server-side) otherwise.
+  WireTransport(int fd, std::string name, ErrorSink sink, uint64_t resume_token = 0);
   ~WireTransport() override;
 
   TransportKind kind() const override { return TransportKind::kWire; }
@@ -150,6 +174,10 @@ class WireTransport : public Transport {
   size_t PendingEventCount() override;
   bool NextEvent(Event* out) override;
   void Close() override;
+  bool io_error() const override { return io_error_; }
+  uint64_t session_token() const override { return session_token_; }
+  bool resumed() const override { return resumed_; }
+  bool Ping(uint64_t nonce, uint64_t timeout_ms) override;
 
  private:
   bool SendFrame(FrameKind kind, const std::vector<uint8_t>& payload);
@@ -162,6 +190,10 @@ class WireTransport : public Transport {
   // client is in events_.
   void SyncEvents();
   void AdoptAck(const WireAck& ack);
+  // Connection death that was not an orderly Close().
+  void MarkIoError();
+  // Sets/clears SO_RCVTIMEO on the socket (0 = block forever).
+  void SetReadTimeout(uint64_t timeout_ms);
 
   int fd_ = -1;
   ClientId client_ = 0;
@@ -169,6 +201,9 @@ class WireTransport : public Transport {
   ErrorSink sink_;
   bool closed_ = false;
   bool alive_ = true;
+  bool io_error_ = false;
+  bool resumed_ = false;
+  uint64_t session_token_ = 0;
   uint64_t server_sequence_ = 0;
   std::deque<Event> events_;
 };

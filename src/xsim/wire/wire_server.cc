@@ -60,21 +60,41 @@ WireServer::~WireServer() {
     KillConnection(*conn);
   }
   for (const auto& conn : connections) {
+    // A published connection's threads are attached moments later
+    // (unconditionally), so this wait is bounded; joining earlier would race
+    // the accept path's move-assignments.
+    while (!conn->threads_attached.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
     if (conn->reader.joinable()) {
       conn->reader.join();
     }
     if (conn->writer.joinable()) {
       conn->writer.join();
     }
-    if (conn->fd >= 0) {
-      ::close(conn->fd);
-      conn->fd = -1;
+    {
+      std::lock_guard<std::mutex> lock(conn->out_mu);
+      if (conn->fd >= 0) {
+        ::close(conn->fd);
+        conn->fd = -1;
+      }
     }
   }
 }
 
 int WireServer::Connect() {
   ReapFinishedConnections();
+  uint64_t grace;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_ || !listening_) {
+      return -1;
+    }
+    grace = retain_grace_ms_;
+  }
+  // Sweep retained sessions whose grace period lapsed while nobody was
+  // around to resume them -- the accept path is the natural periodic hook.
+  server_.ReapRetainedSessions(grace);
   int fds[2];
   if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
     return -1;
@@ -83,7 +103,7 @@ int WireServer::Connect() {
   conn->fd = fds[0];
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (shutting_down_) {
+    if (shutting_down_ || !listening_) {
       ::close(fds[0]);
       ::close(fds[1]);
       return -1;
@@ -93,12 +113,87 @@ int WireServer::Connect() {
   server_.CountWireConnection();
   conn->reader = std::thread(&WireServer::ReaderLoop, this, conn);
   conn->writer = std::thread(&WireServer::WriterLoop, this, conn);
+  conn->threads_attached.store(true, std::memory_order_release);
   return fds[1];
 }
 
 size_t WireServer::connection_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return connections_.size();
+}
+
+void WireServer::Bounce() {
+  std::vector<std::shared_ptr<Connection>> live;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_) {
+      return;
+    }
+    listening_ = false;
+    live = connections_;
+  }
+  for (const auto& conn : live) {
+    KillConnection(*conn);
+  }
+  // Wait for each connection's threads to run their teardown (the reader's
+  // exit applies the client's close-down mode), so by the time Bounce()
+  // returns the server's session table reflects the restart.
+  for (const auto& conn : live) {
+    while (!conn->reader_done.load(std::memory_order_acquire) ||
+           !conn->writer_done.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  ReapFinishedConnections();
+  bounces_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    listening_ = true;
+  }
+}
+
+bool WireServer::listening() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return listening_ && !shutting_down_;
+}
+
+bool WireServer::InjectHalfClose(size_t index) {
+  std::shared_ptr<Connection> target;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::shared_ptr<Connection>> live;
+    for (const auto& conn : connections_) {
+      if (!conn->reader_done.load(std::memory_order_acquire)) {
+        live.push_back(conn);
+      }
+    }
+    if (live.empty()) {
+      return false;
+    }
+    target = live[index % live.size()];
+  }
+  // Stop the server->client direction only.  The client sees EOF on its
+  // next read while its writes still reach the reader; the connection is
+  // fully torn down once a dispatched frame fails to ack (writer dead).
+  // out_mu keeps the shutdown off a reaped (closed, recyclable) fd if the
+  // target finished right after selection.
+  {
+    std::lock_guard<std::mutex> lock(target->out_mu);
+    if (target->fd >= 0) {
+      ::shutdown(target->fd, SHUT_WR);
+    }
+  }
+  return true;
+}
+
+void WireServer::set_retain_grace_ms(uint64_t ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  retain_grace_ms_ = ms;
+}
+
+uint64_t WireServer::retain_grace_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retain_grace_ms_;
 }
 
 void WireServer::set_outbound_capacity(size_t frames) {
@@ -129,6 +224,7 @@ WireServer::Stats WireServer::stats() const {
   stats.peak_outbound_depth = peak_outbound_depth_.load(std::memory_order_relaxed);
   stats.backpressure_kills = backpressure_kills_.load(std::memory_order_relaxed);
   stats.reaped_connections = reaped_connections_.load(std::memory_order_relaxed);
+  stats.bounces = bounces_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -136,6 +232,7 @@ void WireServer::ResetStats() {
   peak_outbound_depth_.store(0, std::memory_order_relaxed);
   backpressure_kills_.store(0, std::memory_order_relaxed);
   reaped_connections_.store(0, std::memory_order_relaxed);
+  bounces_.store(0, std::memory_order_relaxed);
 }
 
 void WireServer::ReapFinishedConnections() {
@@ -144,7 +241,8 @@ void WireServer::ReapFinishedConnections() {
     std::lock_guard<std::mutex> lock(mu_);
     for (auto it = connections_.begin(); it != connections_.end();) {
       const auto& conn = *it;
-      if (conn->reader_done.load(std::memory_order_acquire) &&
+      if (conn->threads_attached.load(std::memory_order_acquire) &&
+          conn->reader_done.load(std::memory_order_acquire) &&
           conn->writer_done.load(std::memory_order_acquire)) {
         finished.push_back(conn);
         it = connections_.erase(it);
@@ -162,9 +260,15 @@ void WireServer::ReapFinishedConnections() {
     if (conn->writer.joinable()) {
       conn->writer.join();
     }
-    if (conn->fd >= 0) {
-      ::close(conn->fd);
-      conn->fd = -1;
+    {
+      // Paired with KillConnection: the close and the kill's shutdown
+      // serialize on out_mu, so a late kill sees fd == -1 instead of a
+      // recycled descriptor.
+      std::lock_guard<std::mutex> lock(conn->out_mu);
+      if (conn->fd >= 0) {
+        ::close(conn->fd);
+        conn->fd = -1;
+      }
     }
     reaped_connections_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -184,6 +288,8 @@ void WireServer::ReaderLoop(std::shared_ptr<Connection> conn) {
     if (status != DecodeStatus::kOk) {
       // The byte stream itself is unsynchronized; all the server can do is
       // name the damage and hang up.
+      conn->disconnect_reason.store(DisconnectReason::kMalformed,
+                                    std::memory_order_relaxed);
       server_.CountWireMalformed();
       EnqueueError(*conn, DecodeStatusToError(status), 0);
       break;
@@ -203,8 +309,12 @@ void WireServer::ReaderLoop(std::shared_ptr<Connection> conn) {
     // this one: A's SendEvent must reach B without B asking.
     FanOutEvents();
   }
-  if (conn->client != 0) {
-    server_.UnregisterClient(conn->client);
+  if (ReleaseClient(*conn)) {
+    // Not an orderly kBye (that path already disconnected and zeroed the
+    // client) and still the owner -- a resume on a newer connection may have
+    // adopted the session: apply the close-down mode and record why.
+    server_.DisconnectClient(conn->client,
+                             conn->disconnect_reason.load(std::memory_order_relaxed));
   }
   // Let the writer drain whatever is queued (the farewell error frame, for
   // one) and exit.
@@ -269,6 +379,8 @@ bool WireServer::EnqueueFrame(Connection& conn, std::vector<uint8_t> frame) {
       // The client stopped draining; a wedged connection must not stall the
       // rest of the server.
       lock.unlock();
+      conn.disconnect_reason.store(DisconnectReason::kBackpressure,
+                                   std::memory_order_relaxed);
       backpressure_kills_.fetch_add(1, std::memory_order_relaxed);
       KillConnection(conn);
       return false;
@@ -321,15 +433,64 @@ void WireServer::FanOutEvents() {
   }
 }
 
+void WireServer::AdoptClient(Connection& conn, ClientId client) {
+  std::shared_ptr<Connection> self;
+  std::shared_ptr<Connection> stale;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& candidate : connections_) {
+      if (candidate.get() == &conn) {
+        self = candidate;
+        break;
+      }
+    }
+    if (self == nullptr) {
+      return;  // Shutting down; the connection is already being torn off.
+    }
+    auto it = client_owner_.find(client);
+    if (it != client_owner_.end() && it->second.get() != &conn) {
+      stale = it->second;
+    }
+    client_owner_[client] = std::move(self);
+  }
+  if (stale != nullptr) {
+    // The client redialed before the stale connection's EOF arrived.  Zero
+    // its client first so its reader-exit teardown and event pumping no-op,
+    // then hang it up -- any frames still buffered on it were sent before
+    // the client gave up on that wire.
+    stale->client.store(0);
+    KillConnection(*stale);
+  }
+}
+
+bool WireServer::ReleaseClient(Connection& conn) {
+  ClientId client = conn.client.load();
+  if (client == 0) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = client_owner_.find(client);
+  if (it == client_owner_.end() || it->second.get() != &conn) {
+    return false;  // Ownership was stolen by a resume on a newer connection.
+  }
+  client_owner_.erase(it);
+  return true;
+}
+
 void WireServer::KillConnection(Connection& conn) {
   {
     std::lock_guard<std::mutex> lock(conn.out_mu);
     conn.closing = true;
+    // Wakes the reader out of recv(); the fd itself is closed at reap time.
+    // Under out_mu so a kill aimed at an already-finished connection (a
+    // stale session stolen by AdoptClient, or a bounce racing a reap) can
+    // never shut down an fd the reaper has closed and the OS has recycled.
+    if (conn.fd >= 0) {
+      ::shutdown(conn.fd, SHUT_RDWR);
+    }
   }
   conn.out_ready.notify_all();
   conn.out_space.notify_all();
-  // Wakes the reader out of recv(); the fd itself is closed at join time.
-  ::shutdown(conn.fd, SHUT_RDWR);
 }
 
 // ---------------------------------------------------------------------------
@@ -349,11 +510,14 @@ bool WireServer::DispatchFrame(Connection& conn, const Frame& frame) {
       std::string name;
       if (conn.client != 0 ||
           DecodeHelloPayload(frame.payload, &name) != DecodeStatus::kOk) {
+        conn.disconnect_reason.store(DisconnectReason::kMalformed,
+                                     std::memory_order_relaxed);
         server_.CountWireMalformed();
         EnqueueError(conn, ErrorCode::kBadLength, 0);
         return false;
       }
       conn.client = server_.RegisterClient(std::move(name));
+      AdoptClient(conn, conn.client);
       // The sink outlives nothing: `conn` is owned by connections_, which
       // ~WireServer clears only after every thread is joined, and the Server
       // erases the sink when the client unregisters.
@@ -363,7 +527,53 @@ bool WireServer::DispatchFrame(Connection& conn, const Frame& frame) {
       });
       WireAck ack = MakeAck(conn.client, conn.client);
       ack.extra = server_.root();  // kHelloAck repurposes extra for the root.
+      ack.token = server_.ClientSessionToken(conn.client);
       return EnqueueFrame(conn, EncodeFrame(FrameKind::kHelloAck, EncodeAckPayload(ack)));
+    }
+    case FrameKind::kResume: {
+      std::string name;
+      uint64_t token = 0;
+      if (conn.client != 0 ||
+          DecodeResumePayload(frame.payload, &name, &token) != DecodeStatus::kOk) {
+        conn.disconnect_reason.store(DisconnectReason::kMalformed,
+                                     std::memory_order_relaxed);
+        server_.CountWireMalformed();
+        EnqueueError(conn, ErrorCode::kBadLength, 0);
+        return false;
+      }
+      // Reattach to the session the token names -- retained, or still
+      // nominally connected (the client redialed before this server noticed
+      // the old wire die; AdoptClient steals ownership from the stale
+      // connection).  Otherwise fall back to a fresh registration (the
+      // session was reaped, torn down by DestroyAll, or the token is from a
+      // previous server generation).  The ack's flags tell the client which
+      // happened.
+      ClientId resumed = server_.ResumeSession(token);
+      bool was_resumed = resumed != 0;
+      conn.client = was_resumed ? resumed : server_.RegisterClient(std::move(name));
+      AdoptClient(conn, conn.client);
+      Connection* raw = &conn;
+      server_.SetErrorSink(conn.client, [this, raw](const XError& error) {
+        EnqueueFrame(*raw, EncodeFrame(FrameKind::kError, EncodeErrorPayload(error)));
+      });
+      WireAck ack = MakeAck(conn.client, conn.client);
+      ack.extra = server_.root();
+      ack.token = server_.ClientSessionToken(conn.client);
+      ack.flags = was_resumed ? kAckFlagResumed : 0;
+      return EnqueueFrame(conn, EncodeFrame(FrameKind::kHelloAck, EncodeAckPayload(ack)));
+    }
+    case FrameKind::kPing: {
+      if (conn.client == 0) {
+        return false;
+      }
+      if (blackhole_pings_.load(std::memory_order_relaxed)) {
+        return true;  // Swallowed: the client's liveness deadline expires.
+      }
+      WireAck probe;
+      uint64_t nonce =
+          DecodeAckPayload(frame.payload, &probe) == DecodeStatus::kOk ? probe.value : 0;
+      return EnqueueFrame(
+          conn, EncodeFrame(FrameKind::kPong, EncodeAckPayload(MakeAck(conn.client, nonce))));
     }
     case FrameKind::kBatch:
       if (conn.client == 0) {
@@ -415,13 +625,15 @@ bool WireServer::DispatchFrame(Connection& conn, const Frame& frame) {
           EncodeFrame(FrameKind::kEventSyncAck, EncodeAckPayload(MakeAck(conn.client, 0))));
     }
     case FrameKind::kBye: {
-      // Orderly disconnect: unregister before acking so the client's
-      // destructor returning means its resources are already gone (the
-      // direct path's UnregisterClient is synchronous too).
-      if (conn.client != 0) {
-        server_.UnregisterClient(conn.client);
-        conn.client = 0;
+      // Orderly disconnect: apply the close-down mode before acking so the
+      // client's destructor returning means its resources are already gone
+      // (or retained) -- the direct path's teardown is synchronous too.
+      // The default DestroyAll mode makes this identical to the old
+      // unconditional UnregisterClient.
+      if (ReleaseClient(conn)) {
+        server_.DisconnectClient(conn.client, DisconnectReason::kBye);
       }
+      conn.client = 0;
       EnqueueFrame(conn,
                    EncodeFrame(FrameKind::kByeAck, EncodeAckPayload(WireAck())));
       return false;
@@ -429,6 +641,8 @@ bool WireServer::DispatchFrame(Connection& conn, const Frame& frame) {
     default:
       // A server-to-client kind arriving at the server is a protocol
       // violation; treat it like structural damage.
+      conn.disconnect_reason.store(DisconnectReason::kMalformed,
+                                   std::memory_order_relaxed);
       server_.CountWireMalformed();
       EnqueueError(conn, ErrorCode::kBadRequest, 0);
       return false;

@@ -66,6 +66,32 @@ TEST(ChaosSchedule, EventsAreOrderedAndNamed) {
   }
 }
 
+TEST(ChaosSchedule, MinBouncesAreAlwaysScheduled) {
+  SoakOptions opts = TinyOptions();
+  opts.min_bounces = 3;
+  const auto schedule = BuildChaosSchedule(opts);
+  int bounces = 0;
+  for (const ChaosEvent& ev : schedule) {
+    if (ev.kind == ChaosKind::kServerBounce) {
+      ++bounces;
+    }
+  }
+  EXPECT_GE(bounces, opts.min_bounces);
+  // Forced bounces are appended at fixed horizon fractions, so the schedule
+  // size depends only on (duration, interval, min_bounces) -- never on what
+  // the seed happened to roll.
+  SoakOptions reseeded = opts;
+  reseeded.seed += 17;
+  EXPECT_EQ(BuildChaosSchedule(reseeded).size(), schedule.size());
+}
+
+TEST(ChaosSchedule, LifecycleKindsHaveStableNames) {
+  // The artifact dumps and CI logs key off these strings.
+  EXPECT_STREQ(ChaosKindName(ChaosKind::kServerBounce), "server-bounce");
+  EXPECT_STREQ(ChaosKindName(ChaosKind::kHalfClose), "half-close");
+  EXPECT_STREQ(ChaosKindName(ChaosKind::kHeartbeatBlackhole), "heartbeat-blackhole");
+}
+
 // --- Invariant registry ------------------------------------------------------
 
 TEST(Invariants, RegistryIsNonEmptyWithUniqueNames) {

@@ -8,11 +8,14 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 
+#include "src/xsim/wire/wire_server.h"
 #include "tests/tk/tk_test_util.h"
 
 namespace tk {
@@ -169,6 +172,44 @@ TEST_F(GoldenRasterTest, EntryMatchesGolden) {
              ".e2 insert 0 {second line}\n"
              "label .l -text Name:\n"
              "pack append . .l {top} .e1 {top fillx} .e2 {top fillx}");
+}
+
+TEST_F(GoldenRasterTest, Fig9BrowserSceneSurvivesServerBounce) {
+  // The Figure 9 directory-browser scene, run over the wire transport so a
+  // live server bounce actually severs the connection.  After the bounce the
+  // heartbeat notices the dead wire, the display reconnects and replays its
+  // session journal, and the app repaints -- the framebuffer must come back
+  // pixel-for-pixel identical.
+  app_ = std::make_unique<App>(server_, "browse", xsim::wire::TransportKind::kWire);
+  app_->display().set_backoff_base_ms(1);
+  CheckScene("fig9_browser",
+             "scrollbar .scroll -command {.list view}\n"
+             "listbox .list -scroll {.scroll set} -geometry 20x10\n"
+             "button .quit -text Quit -command {destroy .}\n"
+             "pack append . .quit {bottom fillx} .scroll {right filly} "
+             ".list {left expand fill}\n"
+             "foreach f {Makefile README browse.tcl main.c tkButton.c "
+             "tkWm.c wish} {.list insert end $f}\n"
+             "update\n"
+             ".list select from 2\n"
+             ".list select to 4");
+  const uint64_t before = HashRaster(server_.raster());
+
+  server_.wire().Bounce();
+  app_->set_heartbeat_interval_ms(1);
+  app_->set_heartbeat_timeout_ms(200);
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (app_->reconnects_seen() == 0 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    Pump();
+  }
+  ASSERT_GE(app_->reconnects_seen(), 1u) << "app never reconnected after the bounce";
+  EXPECT_TRUE(app_->display().resumed() || app_->display().replayed_requests() > 0);
+
+  Pump();
+  Pump();
+  EXPECT_EQ(HashRaster(server_.raster()), before)
+      << "framebuffer changed across a server bounce";
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/xsim/display.h"
 #include "src/xsim/trace.h"
 #include "tests/tk/tk_test_util.h"
 
@@ -98,6 +99,38 @@ TEST_F(TraceIntegrationTest, XtraceSummaryReportsPerTypeCounts) {
   std::string summary = Ok("xtrace summary");
   EXPECT_NE(summary.find("create-window"), std::string::npos) << summary;
   EXPECT_NE(summary.find("requests"), std::string::npos) << summary;
+}
+
+TEST_F(TraceIntegrationTest, XtraceSummaryCountsDisconnectsByReason) {
+  // Open and close a second client: its farewell records one orderly (kBye)
+  // disconnect, which the summary reports both in the total and per reason.
+  {
+    auto extra = xsim::Display::Open(server_, "extra");
+    extra->Sync();
+  }
+  std::string summary = Ok("xtrace summary");
+  EXPECT_NE(summary.find("disconnects"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("disconnect-bye"), std::string::npos) << summary;
+  // The Tcl-visible count agrees with the trace buffer's.
+  EXPECT_GE(trace().DisconnectCount(xsim::DisconnectReason::kBye), 1u);
+}
+
+TEST_F(TraceIntegrationTest, InfoConnectionReportsLifecycleState) {
+  Ok("button .b -text hi");
+  Pump();
+  std::string info = Ok("info connection");
+  for (const char* key :
+       {"transport", "state", "session-token", "heartbeats", "reconnects",
+        "replayed-requests", "last-disconnect", "journal-windows",
+        "server-disconnects", "server-retained"}) {
+    EXPECT_NE(info.find(key), std::string::npos) << "missing " << key << " in: " << info;
+  }
+  // A live direct-transport app is connected and has never reconnected.
+  EXPECT_NE(info.find("state connected"), std::string::npos) << info;
+  EXPECT_EQ(Ok("set s [info connection]; lindex $s [expr [lsearch $s reconnects]+1]"), "0");
+  // The journal mirrors the widget tree: at least the root + .b windows.
+  EXPECT_NE(Ok("set s [info connection]; lindex $s [expr [lsearch $s journal-windows]+1]"),
+            "0");
 }
 
 TEST_F(TraceIntegrationTest, EventLoopStatsCountDispatchesAndIdleWork) {

@@ -1,0 +1,294 @@
+// Connection-lifecycle resilience: heartbeats, backoff reconnect, session
+// resumption and journal replay, close-down modes and retained-session
+// reaping -- the client half of the PR-7 robustness story, exercised over
+// the real wire transport against a bouncing WireServer.
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "src/xsim/display.h"
+#include "src/xsim/server.h"
+#include "src/xsim/wire/transport.h"
+#include "src/xsim/wire/wire_server.h"
+
+namespace xsim {
+namespace {
+
+using wire::TransportKind;
+
+std::unique_ptr<Display> OpenWire(Server& server, const std::string& name) {
+  auto display = Display::Open(server, name, TransportKind::kWire);
+  display->set_backoff_base_ms(1);  // Tests should not sleep for real.
+  return display;
+}
+
+// Census equality against the client's own journal: replay restores exactly
+// what the journal says the session holds.
+void ExpectCensusMatchesJournal(Server& server, const Display& display) {
+  ResourceCounts census = server.ClientResources(display.client_id());
+  EXPECT_EQ(census.windows, display.journal().window_count());
+  EXPECT_EQ(census.gcs, display.journal().gc_count());
+}
+
+// --- Satellite regression: Disconnect drains the output queue --------------
+
+TEST(ReconnectTest, DisconnectFlushesBufferedRequestsBeforeBye) {
+  Server server;
+  WindowId w;
+  {
+    auto display = OpenWire(server, "drainer");
+    w = display->CreateWindow(display->root(), 0, 0, 32, 32);
+    display->MapWindow(w);
+    // No Flush/Sync: the create and map are still sitting in the output
+    // queue when the Display is destroyed.  Disconnect must ship them before
+    // the farewell, or buffered work done right before exit silently
+    // vanishes.
+    EXPECT_GT(display->pending_requests(), 0u);
+  }
+  // DestroyAll close-down then removed the window -- but the map must have
+  // been applied first for the trace/window path to have seen it at all.
+  // The observable contract: the requests reached the server (its request
+  // counter moved) and the orderly teardown ran.
+  EXPECT_FALSE(server.WindowExists(w));
+  EXPECT_GE(server.counters().create_window, 1u);
+  EXPECT_GE(server.trace().DisconnectCount(DisconnectReason::kBye), 1u);
+}
+
+// --- Session resumption across a server bounce ------------------------------
+
+TEST(ReconnectTest, BounceRetainsSessionAndResumeReattaches) {
+  Server server;
+  auto display = OpenWire(server, "resumer");
+  display->SetCloseDownMode(CloseDownMode::kRetainPermanent);
+  WindowId w = display->CreateWindow(display->root(), 4, 4, 64, 48);
+  display->MapWindow(w);
+  GcId gc = display->CreateGc();
+  display->ChangeProperty(w, display->InternAtom("RESUME_TAG"), "alive");
+  display->Sync();
+  ClientId original = display->client_id();
+  uint64_t token = display->session_token();
+  ASSERT_NE(token, 0u);
+
+  server.wire().Bounce();
+  // The session survived the bounce server-side...
+  EXPECT_TRUE(server.ClientRetained(original));
+  EXPECT_TRUE(server.WindowExists(w));
+
+  // ...and the client reattaches to it: same id, same token, resources
+  // still there, replay upserted rather than duplicated.
+  ASSERT_TRUE(display->Reconnect());
+  EXPECT_TRUE(display->resumed());
+  EXPECT_EQ(display->client_id(), original);
+  EXPECT_EQ(display->session_token(), token);
+  EXPECT_GE(display->reconnects(), 1u);
+  EXPECT_GE(display->resumes(), 1u);
+  display->Sync();
+  EXPECT_TRUE(server.WindowExists(w));
+  ExpectCensusMatchesJournal(server, *display);
+
+  // The reattached session is fully usable.
+  display->FillRectangle(w, gc, Rect{0, 0, 8, 8});
+  display->Sync();
+  EXPECT_EQ(display->io_error(), false);
+}
+
+TEST(ReconnectTest, DestroyAllSessionIsReplayedIdempotently) {
+  Server server;
+  auto display = OpenWire(server, "replayer");
+  WindowId w = display->CreateWindow(display->root(), 0, 0, 40, 30);
+  display->MapWindow(w);
+  display->CreateGc();
+  display->Sync();
+  ClientId original = display->client_id();
+
+  // DestroyAll (the default): the bounce tears the session down entirely.
+  server.wire().Bounce();
+  EXPECT_FALSE(server.WindowExists(w));
+  EXPECT_FALSE(server.ClientAlive(original));
+
+  // Reconnect re-registers and the journal replay rebuilds the session
+  // under the same resource ids.
+  ASSERT_TRUE(display->Reconnect());
+  EXPECT_FALSE(display->resumed());
+  EXPECT_NE(display->client_id(), original);
+  EXPECT_GT(display->replayed_requests(), 0u);
+  display->Sync();
+  EXPECT_TRUE(server.WindowExists(w));
+  ExpectCensusMatchesJournal(server, *display);
+
+  // Idempotence: a second bounce + replay converges to the same census.
+  uint64_t replayed_once = display->replayed_requests();
+  server.wire().Bounce();
+  ASSERT_TRUE(display->Reconnect());
+  display->Sync();
+  EXPECT_TRUE(server.WindowExists(w));
+  ExpectCensusMatchesJournal(server, *display);
+  EXPECT_EQ(display->replayed_requests(), 2 * replayed_once);
+}
+
+TEST(ReconnectTest, RetainTemporaryIsReapedAfterGracePermanentIsKept) {
+  Server server;
+  auto temporary = OpenWire(server, "temp");
+  temporary->SetCloseDownMode(CloseDownMode::kRetainTemporary);
+  WindowId tw = temporary->CreateWindow(temporary->root(), 0, 0, 10, 10);
+  temporary->Sync();
+  auto permanent = OpenWire(server, "perm");
+  permanent->SetCloseDownMode(CloseDownMode::kRetainPermanent);
+  WindowId pw = permanent->CreateWindow(permanent->root(), 0, 0, 10, 10);
+  permanent->Sync();
+  ClientId temp_id = temporary->client_id();
+  ClientId perm_id = permanent->client_id();
+
+  server.wire().Bounce();
+  EXPECT_EQ(server.RetainedSessionCount(), 2u);
+
+  // Grace 0: every RetainTemporary session has aged out; permanent stays.
+  EXPECT_EQ(server.ReapRetainedSessions(0), 1u);
+  EXPECT_FALSE(server.ClientAlive(temp_id));
+  EXPECT_FALSE(server.WindowExists(tw));
+  EXPECT_TRUE(server.ClientRetained(perm_id));
+  EXPECT_TRUE(server.WindowExists(pw));
+
+  // The forced sweep (end-of-run leak accounting) takes permanent ones too.
+  EXPECT_EQ(server.ReapRetainedSessions(0, /*include_permanent=*/true), 1u);
+  EXPECT_EQ(server.RetainedSessionCount(), 0u);
+  EXPECT_FALSE(server.WindowExists(pw));
+  EXPECT_EQ(server.OrphanResourceCount(), 0u);
+}
+
+// --- Backoff -----------------------------------------------------------------
+
+TEST(ReconnectTest, BackoffIsDeterministicExponentialAndCapped) {
+  Server server;
+  auto display = OpenWire(server, "backoff");
+  display->set_backoff_base_ms(4);
+
+  // Deterministic: the jitter is a hash of (client, attempt), not entropy.
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    EXPECT_EQ(display->BackoffDelayMs(attempt), display->BackoffDelayMs(attempt));
+  }
+  // Exponential: attempt 6 is 64x the base, which dominates attempt 0's
+  // base + jitter (jitter is bounded by base + 1).
+  EXPECT_LE(display->BackoffDelayMs(0), 2 * 4u);
+  EXPECT_GE(display->BackoffDelayMs(6), 64 * 4u);
+  EXPECT_GT(display->BackoffDelayMs(6), display->BackoffDelayMs(0));
+  // Capped: attempts past 6 keep the 64x base (jitter still varies).
+  for (int attempt = 7; attempt < 12; ++attempt) {
+    EXPECT_LE(display->BackoffDelayMs(attempt), 2 * 64 * 4u);
+    EXPECT_GE(display->BackoffDelayMs(attempt), 64 * 4u);
+  }
+}
+
+// --- Heartbeats --------------------------------------------------------------
+
+TEST(ReconnectTest, MissedHeartbeatTriggersReconnect) {
+  Server server;
+  auto display = OpenWire(server, "heartbeat");
+  display->SetCloseDownMode(CloseDownMode::kRetainPermanent);
+  WindowId w = display->CreateWindow(display->root(), 0, 0, 20, 20);
+  display->Sync();
+
+  // Healthy: ping comes back, no reconnect.
+  EXPECT_TRUE(display->CheckLiveness(1000));
+  EXPECT_GE(display->heartbeats_sent(), 1u);
+  EXPECT_EQ(display->reconnects(), 0u);
+
+  // Blackholed: the TCP stream is fine but pongs stop.  The liveness
+  // deadline declares the connection dead and the io-error path redials
+  // (the handshake is not a ping, so the reconnect itself succeeds).
+  server.wire().set_blackhole_pings(true);
+  EXPECT_TRUE(display->CheckLiveness(50));
+  EXPECT_EQ(display->reconnects(), 1u);
+  EXPECT_TRUE(display->resumed());
+  server.wire().set_blackhole_pings(false);
+
+  display->Sync();
+  EXPECT_TRUE(server.WindowExists(w));
+  EXPECT_TRUE(display->CheckLiveness(1000));
+}
+
+// --- Fast redial: resume must adopt a still-connected session ---------------
+
+TEST(ReconnectTest, FastRedialAdoptsStillConnectedSession) {
+  Server server;
+  auto display = OpenWire(server, "fast-redial");
+  display->SetCloseDownMode(CloseDownMode::kRetainPermanent);
+  WindowId w = display->CreateWindow(display->root(), 0, 0, 24, 24);
+  display->MapWindow(w);
+  display->Sync();
+  ClientId original = display->client_id();
+
+  // Redial while the old connection is still up server-side -- the shape of
+  // a client detecting a wire problem (missed pong, half-close) before the
+  // server's reader sees EOF.  The token must adopt the live session rather
+  // than re-register into a resource-id collision.
+  ASSERT_TRUE(display->Reconnect());
+  EXPECT_TRUE(display->resumed());
+  EXPECT_EQ(display->client_id(), original);
+  display->Sync();
+  EXPECT_TRUE(server.WindowExists(w));
+  ExpectCensusMatchesJournal(server, *display);
+
+  // The stale connection is killed by the adoption; when its reader exits it
+  // must NOT apply the close-down mode to the session it no longer owns.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (std::chrono::steady_clock::now() < deadline &&
+         server.wire().stats().live_connections != 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(server.wire().stats().live_connections, 1u);
+  EXPECT_TRUE(server.ClientAlive(original));
+  EXPECT_FALSE(server.ClientRetained(original));
+  display->Sync();
+  EXPECT_TRUE(server.WindowExists(w));
+}
+
+// --- IO-error handler --------------------------------------------------------
+
+TEST(ReconnectTest, IoErrorHandlerReturningFalseIsFatal) {
+  Server server;
+  auto display = OpenWire(server, "fatalist");
+  display->CreateWindow(display->root(), 0, 0, 10, 10);
+  display->Sync();
+  int handler_calls = 0;
+  display->set_io_error_handler([&handler_calls](Display&) {
+    ++handler_calls;
+    return false;  // Xlib's fatal behaviour: do not recover.
+  });
+
+  server.wire().Bounce();
+  EXPECT_FALSE(display->CheckLiveness(50));
+  EXPECT_EQ(handler_calls, 1);
+  EXPECT_TRUE(display->io_error());
+  EXPECT_EQ(display->reconnects(), 0u);
+
+  // The handler can opt back in later: clearing it restores the default
+  // reconnect path.
+  display->set_io_error_handler(nullptr);
+  EXPECT_TRUE(display->CheckLiveness(50));
+  EXPECT_EQ(display->reconnects(), 1u);
+}
+
+// --- Disconnect reasons in the trace ----------------------------------------
+
+TEST(ReconnectTest, DisconnectReasonsAreRecordedPerCause) {
+  Server server;
+  {
+    auto orderly = OpenWire(server, "orderly");
+    orderly->Sync();
+  }  // kBye.
+  EXPECT_GE(server.trace().DisconnectCount(DisconnectReason::kBye), 1u);
+
+  auto victim = OpenWire(server, "bounced");
+  victim->Sync();
+  server.wire().Bounce();  // EOF teardown: kIoError.
+  EXPECT_GE(server.trace().DisconnectCount(DisconnectReason::kIoError), 1u);
+  EXPECT_GE(server.trace().total_disconnects(), 2u);
+  ASSERT_TRUE(victim->Reconnect());
+}
+
+}  // namespace
+}  // namespace xsim

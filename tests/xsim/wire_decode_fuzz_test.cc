@@ -543,6 +543,8 @@ WireAck RandomAck(std::mt19937_64& rng) {
   ack.value = rng();
   ack.sequence = rng();
   ack.extra = static_cast<uint32_t>(rng());
+  ack.token = rng();
+  ack.flags = static_cast<uint32_t>(rng());
   return ack;
 }
 
@@ -580,7 +582,12 @@ TEST(WireRoundTripProperty, EveryFrameKindRoundTripsThroughEncodeFrame) {
         case FrameKind::kRequestAck:
         case FrameKind::kEventSyncAck:
         case FrameKind::kByeAck:
+        case FrameKind::kPing:   // Heartbeats reuse the ack codec (nonce in
+        case FrameKind::kPong:   // value), so they fuzz the same way.
           payload = EncodeAckPayload(RandomAck(rng));
+          break;
+        case FrameKind::kResume:
+          payload = EncodeResumePayload(RandomText(rng), rng());
           break;
         case FrameKind::kEventSync:
         case FrameKind::kBye:

@@ -534,6 +534,197 @@ TEST(WireTransportTest, FinishedConnectionsAreReaped) {
   EXPECT_LE(connections, 3u);
 }
 
+// --- Half-open sockets and mid-handshake deaths -------------------------------
+//
+// Raw-socket driven: the tests cut the byte stream at precise offsets (mid
+// header, mid payload, mid handshake) and in each direction, then assert the
+// server applies the close-down teardown exactly once and keeps serving.
+
+// Deadline-polls until the window is gone (connection teardown runs on the
+// reader thread, asynchronously to the test).
+bool WaitWindowGone(Server& server, WindowId w) {
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (!server.WindowExists(w)) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return false;
+}
+
+// Builds one window over a raw connection and returns its id.
+WindowId RawCreateWindow(int fd, ClientId client, Server& server) {
+  Request create;
+  create.op = RequestOpcode::kCreateWindow;
+  create.sequence = 1;
+  create.window = server.root();
+  create.resource = client * 0x00100000 + 1;
+  create.width = 16;
+  create.height = 16;
+  if (!RawWrite(fd, EncodeFrame(FrameKind::kBatch, EncodeBatchPayload({create})))) {
+    return 0;
+  }
+  Frame frame;
+  if (!RawReadFrame(fd, &frame) || frame.kind != FrameKind::kBatchAck) {
+    return 0;
+  }
+  return create.resource;
+}
+
+TEST(WireTransportTest, EofMidHeaderAppliesCloseDown) {
+  Server server;
+  int fd = server.wire().Connect();
+  ASSERT_GE(fd, 0);
+  ClientId client = RawHello(fd, "mid-header");
+  ASSERT_NE(client, 0u);
+  WindowId w = RawCreateWindow(fd, client, server);
+  ASSERT_TRUE(server.WindowExists(w));
+
+  // Half a frame header, then the stream dies.  The reader is blocked inside
+  // ReadFull for the rest of the header; EOF there must still tear the
+  // session down (default DestroyAll).
+  std::vector<uint8_t> full = EncodeFrame(FrameKind::kEventSync, {});
+  std::vector<uint8_t> half(full.begin(), full.begin() + kFrameHeaderSize / 2);
+  ASSERT_TRUE(RawWrite(fd, half));
+  ::close(fd);
+
+  EXPECT_TRUE(WaitWindowGone(server, w));
+  EXPECT_FALSE(server.ClientAlive(client));
+}
+
+TEST(WireTransportTest, EofMidPayloadAppliesCloseDown) {
+  Server server;
+  int fd = server.wire().Connect();
+  ASSERT_GE(fd, 0);
+  ClientId client = RawHello(fd, "mid-payload");
+  ASSERT_NE(client, 0u);
+  WindowId w = RawCreateWindow(fd, client, server);
+  ASSERT_TRUE(server.WindowExists(w));
+
+  // A complete, well-formed header promising a batch payload, but only half
+  // the payload bytes arrive before EOF -- the reader dies waiting for the
+  // rest, mid-frame, with the stream synchronized up to the header.
+  Request request;
+  request.op = RequestOpcode::kMapWindow;
+  request.sequence = 2;
+  request.window = w;
+  std::vector<uint8_t> frame = EncodeFrame(FrameKind::kBatch, EncodeBatchPayload({request}));
+  frame.resize(kFrameHeaderSize + (frame.size() - kFrameHeaderSize) / 2);
+  ASSERT_TRUE(RawWrite(fd, frame));
+  ::close(fd);
+
+  EXPECT_TRUE(WaitWindowGone(server, w));
+  EXPECT_FALSE(server.ClientAlive(client));
+}
+
+TEST(WireTransportTest, DeathDuringHelloLeavesNoSession) {
+  Server server;
+  int fd = server.wire().Connect();
+  ASSERT_GE(fd, 0);
+
+  // The connection dies halfway through its very first frame -- the kHello
+  // itself.  No client was ever registered, so there must be no session to
+  // tear down and no disconnect recorded, just a reaped connection.
+  std::vector<uint8_t> hello = EncodeFrame(FrameKind::kHello, EncodeHelloPayload("casualty"));
+  hello.resize(hello.size() / 2);
+  ASSERT_TRUE(RawWrite(fd, hello));
+  ::close(fd);
+
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (std::chrono::steady_clock::now() < deadline &&
+         server.wire().stats().live_connections != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(server.wire().stats().live_connections, 0u);
+  EXPECT_EQ(server.session_counters().disconnects, 0u);
+
+  // The listener is unharmed.
+  auto display = OpenWire(server, "after-casualty");
+  WindowId w = display->CreateWindow(display->root(), 0, 0, 4, 4);
+  display->Sync();
+  EXPECT_TRUE(server.WindowExists(w));
+}
+
+TEST(WireTransportTest, ServerSideHalfCloseKeepsInboundDirectionAlive) {
+  Server server;
+  int fd = server.wire().Connect();
+  ASSERT_GE(fd, 0);
+  ClientId client = RawHello(fd, "half-closed");
+  ASSERT_NE(client, 0u);
+
+  // Retain mode first: the reader tears the connection down as soon as an
+  // ack fails to enqueue on the dead write side, so only a retained session
+  // keeps the evidence of the batch having been applied.
+  Request retain;
+  retain.op = RequestOpcode::kSetCloseDownMode;
+  retain.sequence = 1;
+  retain.mask = static_cast<uint32_t>(CloseDownMode::kRetainPermanent);
+  ASSERT_TRUE(RawWrite(fd, EncodeFrame(FrameKind::kBatch, EncodeBatchPayload({retain}))));
+  Frame frame;
+  ASSERT_TRUE(RawReadFrame(fd, &frame));
+  ASSERT_EQ(frame.kind, FrameKind::kBatchAck);
+
+  // Server shuts down its write side only: the classic half-open socket.
+  // The client's next read sees EOF...
+  ASSERT_TRUE(server.wire().InjectHalfClose(0));
+  EXPECT_FALSE(RawReadFrame(fd, &frame));
+
+  // ...but bytes the client writes still reach the reader: a batch sent into
+  // the half-open socket is applied.  (No ack can come back, so poll the
+  // server directly; the session is retained once the ack failure tears the
+  // connection down.)
+  Request create;
+  create.op = RequestOpcode::kCreateWindow;
+  create.sequence = 2;
+  create.window = server.root();
+  create.resource = client * 0x00100000 + 1;
+  create.width = 8;
+  create.height = 8;
+  ASSERT_TRUE(RawWrite(fd, EncodeFrame(FrameKind::kBatch, EncodeBatchPayload({create}))));
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (std::chrono::steady_clock::now() < deadline && !server.WindowExists(create.resource)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(server.WindowExists(create.resource));
+  ::close(fd);
+
+  // The half-open death retained the session rather than destroying it.
+  const auto retain_deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (std::chrono::steady_clock::now() < retain_deadline && !server.ClientRetained(client)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(server.ClientRetained(client));
+  EXPECT_TRUE(server.WindowExists(create.resource));
+  EXPECT_EQ(server.ReapRetainedSessions(0, /*include_permanent=*/true), 1u);
+  EXPECT_TRUE(WaitWindowGone(server, create.resource));
+}
+
+TEST(WireTransportTest, ClientSideHalfCloseStillDrainsServerFrames) {
+  Server server;
+  int fd = server.wire().Connect();
+  ASSERT_GE(fd, 0);
+  ClientId client = RawHello(fd, "shutdown-wr");
+  ASSERT_NE(client, 0u);
+  WindowId w = RawCreateWindow(fd, client, server);
+  ASSERT_TRUE(server.WindowExists(w));
+
+  // The client half-closes its write side (the other direction from the test
+  // above).  The server's reader sees EOF and tears the session down, but
+  // the writer drains outbound frames first, so the read side observes an
+  // orderly EOF rather than a reset.
+  ::shutdown(fd, SHUT_WR);
+  EXPECT_TRUE(WaitWindowGone(server, w));
+  EXPECT_FALSE(server.ClientAlive(client));
+  Frame frame;
+  while (RawReadFrame(fd, &frame)) {
+  }
+  ::close(fd);
+
+  // Exactly one disconnect for this session, recorded as an io-error.
+  EXPECT_EQ(server.session_counters().disconnects, 1u);
+}
+
 TEST(WireTransportTest, StatsCountLiveConnections) {
   Server server;
   auto a = OpenWire(server, "live-a");
