@@ -15,6 +15,8 @@
 // per-phase RTT percentiles, fault counts) is informational.
 //
 // Flags:
+//   --backend=NAME       WireServer front-end: threads | reactor (default:
+//                        whatever TCLK_WIRE_BACKEND says, else reactor)
 //   --clients=N          worker clients (default 8)
 //   --duration=SECONDS   workload window (default 2)
 //   --seed=N             chaos + workload seed (default 0x50AC5EED)
@@ -43,6 +45,7 @@
 
 #include "bench/bench_json.h"
 #include "bench/soak_harness.h"
+#include "src/xsim/wire/wire_server.h"
 
 int main(int argc, char** argv) {
   // Strips --benchmark_* flags (run_benches.sh passes them to every bench).
@@ -52,7 +55,11 @@ int main(int argc, char** argv) {
   bool list_invariants = false;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
-    if (std::strncmp(arg, "--clients=", 10) == 0) {
+    if (std::strncmp(arg, "--backend=", 10) == 0) {
+      // Every Server built by the harness (including bounce replacements)
+      // reads this at WireServer construction, so set it before RunSoak.
+      setenv("TCLK_WIRE_BACKEND", arg + 10, 1);
+    } else if (std::strncmp(arg, "--clients=", 10) == 0) {
       opts.clients = std::atoi(arg + 10);
     } else if (std::strncmp(arg, "--duration=", 11) == 0) {
       opts.duration_s = std::atof(arg + 11);
@@ -88,10 +95,12 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  const char* backend = xsim::wire::WireBackendName(xsim::wire::WireBackendFromEnv());
   const soak::SoakReport report = soak::RunSoak(opts);
 
-  std::printf("\nsoak_driver: %d clients x %.1fs over the wire transport (seed %llu, chaos %s)\n\n",
-              report.clients, report.elapsed_s,
+  std::printf("\nsoak_driver: %d clients x %.1fs over the wire transport "
+              "(%s backend, seed %llu, chaos %s)\n\n",
+              report.clients, report.elapsed_s, backend,
               static_cast<unsigned long long>(report.seed), opts.chaos ? "on" : "off");
   std::printf("  requests       %llu (%.0f req/sec)\n",
               static_cast<unsigned long long>(report.total_requests), report.req_per_sec);
@@ -143,6 +152,7 @@ int main(int argc, char** argv) {
       report.peak_outbound_depth > opts.outbound_capacity && opts.outbound_capacity > 0 ? 1 : 0;
 
   benchjson::Writer json("soak");
+  json.AddString("backend", backend);
   json.AddInteger("clients", static_cast<uint64_t>(report.clients));
   json.AddNumber("duration_s", report.elapsed_s);
   json.AddInteger("seed", report.seed);
@@ -188,8 +198,9 @@ int main(int argc, char** argv) {
                    report.artifact_counters_path.c_str());
     }
     std::fprintf(stderr,
-                 "reproduce with: soak_driver --clients=%d --duration=%.1f --chaos=%d --seed=%llu\n",
-                 report.clients, opts.duration_s, opts.chaos ? 1 : 0,
+                 "reproduce with: soak_driver --backend=%s --clients=%d --duration=%.1f "
+                 "--chaos=%d --seed=%llu\n",
+                 backend, report.clients, opts.duration_s, opts.chaos ? 1 : 0,
                  static_cast<unsigned long long>(report.seed));
     benchmark::Shutdown();
     return 1;

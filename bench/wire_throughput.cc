@@ -1,7 +1,16 @@
 // Wire-transport throughput: K concurrent clients replay a Table-2-style
-// operation mix over real socketpair connections into the threaded
-// WireServer, and the bench reports aggregate request throughput, wire
-// bytes, and round-trip latency percentiles.
+// operation mix over real socketpair connections into the WireServer, and
+// the bench reports aggregate request throughput, wire bytes, and round-trip
+// latency percentiles.
+//
+// Since the reactor front-end landed, the bench is a backend matrix: the
+// same client sweep (2 -> 256 connections by default) runs once over the
+// threaded per-connection reader/writer pairs and once over the epoll
+// reactor, selected per run via TCLK_WIRE_BACKEND before the Server is
+// built.  The deterministic traffic counters must come out identical on
+// both backends (same clients, same ops, same frames); the timing keys show
+// where the reactor pulls ahead as the connection count grows past the
+// thread-pair sweet spot.
 //
 // Each client iteration mirrors the paper's operation rows: a buffered
 // widget-build burst (create/map/configure/draw, one flush = one kBatch
@@ -9,14 +18,17 @@
 // one timed no-op round trip (XSync), whose latency samples feed the
 // p50/p95/p99 numbers.
 //
-// Results land in BENCH_wire.json.  The req_* keys are deterministic
-// request/frame counts (per-client workload times client count), gated by
+// Results land in BENCH_wire.json.  The req_wire_<backend>_* keys are
+// deterministic request/frame counts summed over the sweep, gated by
 // scripts/check_bench_regression.py against bench/baselines/
-// wire_throughput.json; the timing keys (req_per_sec, p99_us, ...) are
-// informational.
+// wire_throughput.json; the timing keys (<backend>_cK_req_per_sec, _p99_us,
+// _req_per_sec_per_core, parity ratios) are informational.
 //
-// Flags: --clients=K (default 8), --ops=N iterations per client (default
-// 2000); --benchmark_* flags from run_benches.sh are accepted and ignored.
+// Flags: --backend=threads|reactor|both (default both); --sweep=2,16,64,256
+// client counts; --clients=K collapses the sweep to one point; --ops=N
+// forces N iterations per client (default: 4096 / clients, so every sweep
+// point issues the same total traffic); --benchmark_* flags from
+// run_benches.sh are accepted and ignored.
 
 #include <benchmark/benchmark.h>
 
@@ -25,6 +37,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -35,11 +48,35 @@
 #include "src/xsim/display.h"
 #include "src/xsim/server.h"
 #include "src/xsim/wire/transport.h"
+#include "src/xsim/wire/wire_server.h"
 
 namespace {
 
+// Total iterations per sweep point; per-client ops = kOpsBudget / clients,
+// so every point puts the same deterministic traffic on the wire and the
+// gated counters do not depend on which sweep is configured.
+constexpr int kOpsBudget = 4096;
+
 struct ClientResult {
   std::vector<uint64_t> rtt_ns;  // One sample per timed Sync round trip.
+};
+
+struct PointResult {
+  int clients = 0;
+  int ops = 0;
+  double elapsed_s = 0.0;
+  double req_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+};
+
+struct BackendTotals {
+  uint64_t requests = 0;
+  uint64_t round_trips = 0;
+  uint64_t frames_in = 0;
+  uint64_t batches = 0;
+  uint64_t malformed = 0;
 };
 
 void RunClient(xsim::Display& display, int client_index, int ops,
@@ -92,24 +129,9 @@ double PercentileUs(const std::vector<uint64_t>& sorted_ns, double p) {
   return static_cast<double>(sorted_ns[index]) / 1000.0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  // Strips --benchmark_* flags (run_benches.sh passes them to every bench).
-  benchmark::Initialize(&argc, argv);
-
-  int clients = 8;
-  int ops = 2000;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--clients=", 10) == 0) {
-      clients = std::atoi(argv[i] + 10);
-    } else if (std::strncmp(argv[i], "--ops=", 6) == 0) {
-      ops = std::atoi(argv[i] + 6);
-    }
-  }
-  if (clients < 1) clients = 1;
-  if (ops < 1) ops = 1;
-
+// One sweep point on one backend: fresh Server (the backend env var is read
+// at WireServer construction), K wire Displays, K client threads.
+PointResult RunPoint(int clients, int ops, BackendTotals& totals) {
   xsim::Server server;
   std::vector<std::unique_ptr<xsim::Display>> displays;
   displays.reserve(static_cast<size_t>(clients));
@@ -132,12 +154,16 @@ int main(int argc, char** argv) {
     thread.join();
   }
   auto end = std::chrono::steady_clock::now();
-  double elapsed_s =
-      std::chrono::duration_cast<std::chrono::duration<double>>(end - begin).count();
 
   const xsim::RequestCounters counters = server.counters();
   const xsim::WireCounters wire = server.wire_counters();
   displays.clear();  // Orderly kBye disconnects, outside the window.
+
+  totals.requests += counters.total;
+  totals.round_trips += counters.round_trips;
+  totals.frames_in += wire.frames_in;
+  totals.batches += wire.batches;
+  totals.malformed += wire.malformed_frames;
 
   std::vector<uint64_t> rtt;
   for (const ClientResult& result : results) {
@@ -145,49 +171,130 @@ int main(int argc, char** argv) {
   }
   std::sort(rtt.begin(), rtt.end());
 
-  double req_per_sec = static_cast<double>(counters.total) / elapsed_s;
-  uint64_t wire_bytes = wire.bytes_in + wire.bytes_out;
-  double bytes_per_sec = static_cast<double>(wire_bytes) / elapsed_s;
-  double bytes_per_req =
-      counters.total == 0 ? 0.0
-                          : static_cast<double>(wire_bytes) /
-                                static_cast<double>(counters.total);
-  double p50 = PercentileUs(rtt, 0.50);
-  double p95 = PercentileUs(rtt, 0.95);
-  double p99 = PercentileUs(rtt, 0.99);
+  PointResult point;
+  point.clients = clients;
+  point.ops = ops;
+  point.elapsed_s =
+      std::chrono::duration_cast<std::chrono::duration<double>>(end - begin).count();
+  point.req_per_sec = static_cast<double>(counters.total) / point.elapsed_s;
+  point.p50_us = PercentileUs(rtt, 0.50);
+  point.p95_us = PercentileUs(rtt, 0.95);
+  point.p99_us = PercentileUs(rtt, 0.99);
+  return point;
+}
 
-  std::printf("\nwire_throughput: %d clients x %d ops over the wire transport\n\n",
-              clients, ops);
-  std::printf("  requests      %llu (%.0f req/sec)\n",
-              static_cast<unsigned long long>(counters.total), req_per_sec);
-  std::printf("  round trips   %llu\n",
-              static_cast<unsigned long long>(counters.round_trips));
-  std::printf("  wire frames   %llu in / %llu out (%llu batches)\n",
-              static_cast<unsigned long long>(wire.frames_in),
-              static_cast<unsigned long long>(wire.frames_out),
-              static_cast<unsigned long long>(wire.batches));
-  std::printf("  wire bytes    %llu (%.0f bytes/sec, %.1f bytes/req)\n",
-              static_cast<unsigned long long>(wire_bytes), bytes_per_sec,
-              bytes_per_req);
-  std::printf("  sync RTT us   p50 %.1f   p95 %.1f   p99 %.1f   (%zu samples)\n",
-              p50, p95, p99, rtt.size());
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Strips --benchmark_* flags (run_benches.sh passes them to every bench).
+  benchmark::Initialize(&argc, argv);
+
+  std::vector<int> sweep = {2, 16, 64, 256};
+  int forced_ops = 0;
+  std::string backend_flag = "both";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--clients=", 10) == 0) {
+      int k = std::atoi(argv[i] + 10);
+      sweep = {k < 1 ? 1 : k};
+    } else if (std::strncmp(argv[i], "--ops=", 6) == 0) {
+      forced_ops = std::atoi(argv[i] + 6);
+    } else if (std::strncmp(argv[i], "--backend=", 10) == 0) {
+      backend_flag = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--sweep=", 8) == 0) {
+      sweep.clear();
+      for (const char* p = argv[i] + 8; *p != '\0';) {
+        int k = std::atoi(p);
+        if (k >= 1) {
+          sweep.push_back(k);
+        }
+        while (*p != '\0' && *p != ',') ++p;
+        if (*p == ',') ++p;
+      }
+      if (sweep.empty()) {
+        sweep = {2, 16, 64, 256};
+      }
+    }
+  }
+
+  std::vector<const char*> backends;
+  if (backend_flag == "threads") {
+    backends = {"threads"};
+  } else if (backend_flag == "reactor") {
+    backends = {"reactor"};
+  } else {
+    backends = {"threads", "reactor"};
+  }
+
+  unsigned cores = std::thread::hardware_concurrency();
+  if (cores == 0) {
+    cores = 1;
+  }
 
   benchjson::Writer json("wire");
-  json.AddInteger("clients", static_cast<uint64_t>(clients));
-  json.AddInteger("ops_per_client", static_cast<uint64_t>(ops));
-  json.AddNumber("elapsed_s", elapsed_s);
-  json.AddNumber("req_per_sec", req_per_sec);
-  json.AddNumber("bytes_per_sec", bytes_per_sec);
-  json.AddNumber("bytes_per_req", bytes_per_req);
-  json.AddNumber("p50_us", p50);
-  json.AddNumber("p95_us", p95);
-  json.AddNumber("p99_us", p99);
-  // Deterministic traffic counts (the regression-gated keys).
-  json.AddInteger("req_wire_total", counters.total);
-  json.AddInteger("req_wire_round_trips", counters.round_trips);
-  json.AddInteger("req_wire_frames_in", wire.frames_in);
-  json.AddInteger("req_wire_batches", wire.batches);
-  json.AddInteger("req_wire_malformed", wire.malformed_frames);
+  json.AddInteger("cores", cores);
+
+  // points[backend] parallels `sweep`.
+  std::vector<std::vector<PointResult>> points(backends.size());
+  for (size_t b = 0; b < backends.size(); ++b) {
+    setenv("TCLK_WIRE_BACKEND", backends[b], 1);
+    BackendTotals totals;
+    std::printf("\nwire_throughput [%s backend]\n\n", backends[b]);
+    for (int clients : sweep) {
+      int ops = forced_ops > 0 ? forced_ops : kOpsBudget / clients;
+      if (ops < 1) {
+        ops = 1;
+      }
+      PointResult point = RunPoint(clients, ops, totals);
+      points[b].push_back(point);
+      double per_core = point.req_per_sec / static_cast<double>(cores);
+      std::printf(
+          "  %4d clients x %4d ops  %8.0f req/sec  (%7.0f /core)  "
+          "RTT us p50 %7.1f  p95 %8.1f  p99 %8.1f\n",
+          point.clients, point.ops, point.req_per_sec, per_core, point.p50_us,
+          point.p95_us, point.p99_us);
+
+      std::string prefix =
+          std::string(backends[b]) + "_c" + std::to_string(clients) + "_";
+      json.AddNumber(prefix + "req_per_sec", point.req_per_sec);
+      json.AddNumber(prefix + "req_per_sec_per_core", per_core);
+      json.AddNumber(prefix + "p50_us", point.p50_us);
+      json.AddNumber(prefix + "p99_us", point.p99_us);
+    }
+    // Deterministic traffic counts, summed over the sweep (the
+    // regression-gated keys).  Identical on both backends by construction:
+    // the reactor must not change what reaches the server, only how.
+    std::string prefix = std::string("req_wire_") + std::string(backends[b]) + "_";
+    json.AddInteger(prefix + "total", totals.requests);
+    json.AddInteger(prefix + "round_trips", totals.round_trips);
+    json.AddInteger(prefix + "frames_in", totals.frames_in);
+    json.AddInteger(prefix + "batches", totals.batches);
+    json.AddInteger(prefix + "malformed", totals.malformed);
+  }
+
+  // Backend parity at scale: at every sweep point of 64+ clients the reactor
+  // should at least match the thread-pair backend on throughput without
+  // giving up tail latency.  Informational (timing), but printed loudly so a
+  // regression is visible in CI logs.
+  if (backends.size() == 2) {
+    std::printf("\n  parity (reactor vs threads):\n");
+    for (size_t i = 0; i < sweep.size(); ++i) {
+      const PointResult& threads_point = points[0][i];
+      const PointResult& reactor_point = points[1][i];
+      double req_ratio = threads_point.req_per_sec > 0.0
+                             ? reactor_point.req_per_sec / threads_point.req_per_sec
+                             : 0.0;
+      double p99_ratio = threads_point.p99_us > 0.0
+                             ? reactor_point.p99_us / threads_point.p99_us
+                             : 0.0;
+      std::printf("  %4d clients  req/sec x%.2f  p99 x%.2f%s\n", sweep[i],
+                  req_ratio, p99_ratio,
+                  sweep[i] >= 64 && req_ratio < 1.0 ? "  <-- reactor behind" : "");
+      std::string prefix = "parity_c" + std::to_string(sweep[i]) + "_";
+      json.AddNumber(prefix + "req_ratio", req_ratio);
+      json.AddNumber(prefix + "p99_ratio", p99_ratio);
+    }
+  }
+
   json.WriteFile();
   benchmark::Shutdown();
   return 0;

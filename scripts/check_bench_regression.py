@@ -19,9 +19,11 @@ import sys
 # baseline file -> the BENCH_*.json it gates.
 BASELINES = {
     "table2_requests.json": "BENCH_table2_operations.json",
-    # Wire-transport frame/request counts at the default 8 clients x 2000
-    # ops: any growth means each operation started costing more frames or
-    # round trips on the wire.
+    # Wire-transport frame/request counts summed over the default client
+    # sweep, once per WireServer backend (threads / reactor).  Any growth
+    # means each operation started costing more frames or round trips on the
+    # wire; the two backends' keys must also stay equal to each other -- the
+    # reactor changes how frames move, never what reaches the server.
     "wire_throughput.json": "BENCH_wire.json",
     # Soak & chaos invariants: every gated key has a zero baseline, and the
     # was-zero rule above makes any non-zero value a hard failure -- one

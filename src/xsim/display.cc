@@ -350,6 +350,16 @@ bool Display::RaiseWindow(WindowId w) {
   return Enqueue(std::move(request));
 }
 
+bool Display::ReparentWindow(WindowId w, WindowId parent, int x, int y) {
+  Request request;
+  request.op = RequestOpcode::kReparentWindow;
+  request.window = w;
+  request.resource = parent;
+  request.x = x;
+  request.y = y;
+  return Enqueue(std::move(request));
+}
+
 void Display::SelectInput(WindowId w, uint32_t mask) {
   Request request;
   request.op = RequestOpcode::kSelectInput;

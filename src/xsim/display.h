@@ -168,6 +168,8 @@ class Display {
   bool MoveResizeWindow(WindowId w, int x, int y, int width, int height);
   bool ResizeWindow(WindowId w, int width, int height);
   bool RaiseWindow(WindowId w);
+  // XReparentWindow: moves `w` (with its subtree) under `parent` at (x, y).
+  bool ReparentWindow(WindowId w, WindowId parent, int x, int y);
   void SelectInput(WindowId w, uint32_t mask);
   bool SetWindowBackground(WindowId w, Pixel p);
 

@@ -59,6 +59,11 @@ enum class RequestOpcode : uint8_t {
   // 0 = end) so resource re-creation is treated as an idempotent upsert.
   kSetCloseDownMode,
   kReplayMark,
+  // XReparentWindow: moves `window` under the window named by `resource` at
+  // position (x, y).  Appended last so earlier opcodes keep their wire
+  // values.  This is the canonical cross-shard operation: a batch carrying
+  // it locks both the source and destination subtree shards.
+  kReparentWindow,
 };
 
 // What happens to a client's resources when its connection goes away (the

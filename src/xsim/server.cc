@@ -593,6 +593,9 @@ bool Server::ApplyRequest(ClientId client, const Request& request, bool synchron
         ok = false;
       }
       break;
+    case RequestOpcode::kReparentWindow:
+      ok = ReparentWindow(client, request.window, request.resource, request.x, request.y);
+      break;
   }
   if (synchronous) {
     // XSynchronize: the client waits out a full round trip per request to
@@ -618,6 +621,142 @@ size_t Server::ApplyBatch(ClientId client, const std::vector<Request>& requests)
   // The flush marker lands after the batch's request records, mirroring the
   // order things hit the wire.
   trace_.RecordFlush(client, requests.size());
+  return applied;
+}
+
+// ---------------------------------------------------------------------------
+// Sharded batch dispatch (see shard.h for the locking model).
+
+WindowId Server::SubtreeRootLocked(WindowId window) const {
+  const WindowRec* rec = FindWindow(window);
+  if (rec == nullptr || window == kRootWindow) {
+    return kNone;
+  }
+  while (rec->parent != kRootWindow) {
+    const WindowRec* parent = FindWindow(rec->parent);
+    if (parent == nullptr) {
+      // Detached or mid-teardown: treat the highest known ancestor as the
+      // subtree root rather than escalating to the global shard.
+      break;
+    }
+    rec = parent;
+  }
+  return rec->id;
+}
+
+std::vector<ShardKey> Server::ClassifyBatchShards(
+    ClientId client, const std::vector<Request>& requests) const {
+  (void)client;
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::vector<ShardKey> keys;
+  keys.reserve(4);
+  // Subtree of `window`, degrading to the global shard for the root window
+  // (root properties back Tk's send registry -- serialize those) and for
+  // windows the classifier cannot place.
+  auto subtree_or_global = [&](WindowId window) -> ShardKey {
+    WindowId root = SubtreeRootLocked(window);
+    if (root == kNone) {
+      return ShardKey{ShardClass::kGlobal, 0};
+    }
+    return ShardKey{ShardClass::kWindowSubtree, root};
+  };
+  for (const Request& request : requests) {
+    switch (request.op) {
+      case RequestOpcode::kCreateWindow:
+        // `window` is the parent; a top-level create founds a new subtree
+        // whose shard is the client-allocated id itself.
+        if (request.window == kRootWindow) {
+          keys.push_back(ShardKey{ShardClass::kWindowSubtree, request.resource});
+        } else {
+          keys.push_back(subtree_or_global(request.window));
+        }
+        break;
+      case RequestOpcode::kReparentWindow:
+        // The cross-shard case: source subtree plus destination subtree.
+        keys.push_back(subtree_or_global(request.window));
+        if (request.resource == kRootWindow) {
+          // Reparenting directly under the root makes `window` a subtree
+          // root of its own.
+          keys.push_back(ShardKey{ShardClass::kWindowSubtree, request.window});
+        } else {
+          keys.push_back(subtree_or_global(request.resource));
+        }
+        break;
+      case RequestOpcode::kDestroyWindow:
+      case RequestOpcode::kMapWindow:
+      case RequestOpcode::kUnmapWindow:
+      case RequestOpcode::kConfigureWindow:
+      case RequestOpcode::kRaiseWindow:
+      case RequestOpcode::kSelectInput:
+      case RequestOpcode::kSetWindowBackground:
+      case RequestOpcode::kChangeProperty:
+      case RequestOpcode::kDeleteProperty:
+      case RequestOpcode::kClearWindow:
+      case RequestOpcode::kClearArea:
+      // Draw requests read their GC but only mutate the window, so they
+      // stay inside the subtree shard (the server mutex guards the actual
+      // GC map read).
+      case RequestOpcode::kFillRectangle:
+      case RequestOpcode::kDrawRectangle:
+      case RequestOpcode::kDrawLine:
+      case RequestOpcode::kDrawString:
+        keys.push_back(subtree_or_global(request.window));
+        break;
+      case RequestOpcode::kCreateGc:
+      case RequestOpcode::kFreeGc:
+      case RequestOpcode::kChangeGc:
+        keys.push_back(ShardKey{ShardClass::kGc, 0});
+        break;
+      case RequestOpcode::kSetSelectionOwner:
+      case RequestOpcode::kConvertSelection:
+      case RequestOpcode::kSendSelectionNotify:
+        keys.push_back(ShardKey{ShardClass::kAtom, 0});
+        break;
+      case RequestOpcode::kSendEvent:
+      case RequestOpcode::kSetInputFocus:
+      case RequestOpcode::kSetCloseDownMode:
+      case RequestOpcode::kReplayMark:
+        keys.push_back(ShardKey{ShardClass::kGlobal, 0});
+        break;
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+size_t Server::ApplyBatchSharded(ClientId client, const std::vector<Request>& requests) {
+  // Classification reads the tree under mu_, released before the shard
+  // acquisition: shard locks are always taken with mu_ free, and mu_ is
+  // re-taken per request inside -- the lock order that keeps batch
+  // concurrency deadlock-free.
+  ShardTable::Hold hold = shard_table_.Acquire(ClassifyBatchShards(client, requests));
+  const auto start = std::chrono::steady_clock::now();
+  uint64_t delay_ms = shard_hold_delay_ms_.load(std::memory_order_relaxed);
+  if (delay_ms != 0) {
+    // Contention-test hook: stretch the shard hold without touching mu_, so
+    // overlap (or its absence) is observable in batch wall-clock.
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+  size_t applied = 0;
+  for (const Request& request : requests) {
+    if (ApplyRequest(client, request)) {
+      ++applied;
+    }
+  }
+  uint64_t duration_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                           start)
+          .count());
+  {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    ++counters_.flushes;
+    counters_.batched_requests += requests.size();
+    if (requests.size() > counters_.max_batch) {
+      counters_.max_batch = requests.size();
+    }
+    trace_.RecordFlush(client, requests.size(), duration_ns);
+  }
   return applied;
 }
 
@@ -936,6 +1075,50 @@ bool Server::RaiseWindow(ClientId client, WindowId window) {
     parent->children.erase(it);
     parent->children.push_back(window);
   }
+  if (IsViewable(window)) {
+    GenerateExpose(window);
+  }
+  return true;
+}
+
+bool Server::ReparentWindow(ClientId client, WindowId window, WindowId new_parent, int x,
+                            int y) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (!BeginRequest(client, RequestType::kConfigureWindow, window)) {
+    return false;
+  }
+  WindowRec* rec = FindWindow(window);
+  if (rec == nullptr || window == kRootWindow) {
+    RaiseError(client, ErrorCode::kBadWindow, window, RequestType::kConfigureWindow);
+    return false;
+  }
+  WindowRec* parent = FindWindow(new_parent);
+  if (parent == nullptr) {
+    RaiseError(client, ErrorCode::kBadWindow, new_parent, RequestType::kConfigureWindow);
+    return false;
+  }
+  // X11's BadMatch: the new parent must not live inside the window's own
+  // subtree (that would orphan the tree).  kBadValue is the closest code the
+  // error model has.
+  for (WindowId ancestor = new_parent; ancestor != kNone;) {
+    if (ancestor == window) {
+      RaiseError(client, ErrorCode::kBadValue, new_parent, RequestType::kConfigureWindow);
+      return false;
+    }
+    const WindowRec* walk = FindWindow(ancestor);
+    ancestor = walk == nullptr ? kNone : walk->parent;
+  }
+  if (WindowRec* old_parent = FindWindow(rec->parent); old_parent != nullptr) {
+    auto it = std::find(old_parent->children.begin(), old_parent->children.end(), window);
+    if (it != old_parent->children.end()) {
+      old_parent->children.erase(it);
+    }
+  }
+  rec->parent = new_parent;
+  rec->geometry.x = x;
+  rec->geometry.y = y;
+  parent->children.push_back(window);  // Reparenting places the window on top.
+  ++counters_.configure_window;
   if (IsViewable(window)) {
     GenerateExpose(window);
   }

@@ -19,6 +19,7 @@
 #ifndef SRC_XSIM_SERVER_H_
 #define SRC_XSIM_SERVER_H_
 
+#include <atomic>
 #include <chrono>
 #include <deque>
 #include <functional>
@@ -37,6 +38,7 @@
 #include "src/xsim/keysym.h"
 #include "src/xsim/raster.h"
 #include "src/xsim/request.h"
+#include "src/xsim/shard.h"
 #include "src/xsim/trace.h"
 #include "src/xsim/types.h"
 
@@ -209,8 +211,33 @@ class Server {
   bool ApplyRequest(ClientId client, const Request& request, bool synchronous = false);
   // Applies a whole output-buffer flush: every request in order, then one
   // per-batch flush record in the trace.  Returns how many requests
-  // executed successfully.
+  // executed successfully.  Holds the server mutex for the whole batch (the
+  // direct transport's atomic-flush semantics).
   size_t ApplyBatch(ClientId client, const std::vector<Request>& requests);
+
+  // --- Sharded batch dispatch (the reactor-era concurrency path) -------------
+  //
+  // Same request-level semantics as ApplyBatch, but the batch-wide exclusion
+  // is per-*shard* rather than server-wide: the batch is classified into the
+  // resource shards it touches (window subtrees, GC table, atoms, global)
+  // and only those shard locks are held batch-wide, while the server mutex
+  // drops to per-request holds.  Two clients mutating disjoint window
+  // subtrees apply concurrently; a cross-shard reparent takes both subtree
+  // locks in ShardTable's canonical order.  This is what the wire front-ends
+  // call for every kBatch frame.
+
+  size_t ApplyBatchSharded(ClientId client, const std::vector<Request>& requests);
+  // The shard set a batch would lock, canonically ordered and deduplicated
+  // (public so the contention tests can pin classification down).
+  std::vector<ShardKey> ClassifyBatchShards(ClientId client,
+                                            const std::vector<Request>& requests) const;
+  ShardTable& shards() { return shard_table_; }
+  // Test hook: ApplyBatchSharded sleeps this long while holding its shard
+  // locks (before applying), so contention tests can measure whether two
+  // batches' shard holds overlap in wall-clock time.
+  void SetShardHoldDelayMs(uint64_t ms) {
+    shard_hold_delay_ms_.store(ms, std::memory_order_relaxed);
+  }
 
   // --- Windows -----------------------------------------------------------------
 
@@ -226,6 +253,10 @@ class Server {
   bool ConfigureWindow(ClientId client, WindowId window, int x, int y, int width, int height,
                        int border_width);
   bool RaiseWindow(ClientId client, WindowId window);
+  // XReparentWindow: moves `window` (and its subtree) under `new_parent` at
+  // (x, y), preserving map state.  BadWindow for unknown windows or the
+  // root; BadValue when `new_parent` lies inside `window`'s own subtree.
+  bool ReparentWindow(ClientId client, WindowId window, WindowId new_parent, int x, int y);
   void SelectInput(ClientId client, WindowId window, uint32_t mask);
   bool SetWindowBackground(ClientId client, WindowId window, Pixel pixel);
 
@@ -444,6 +475,9 @@ class Server {
 
   WindowRec* FindWindow(WindowId id);
   const WindowRec* FindWindow(WindowId id) const;
+  // Top-level ancestor (direct child of the root) of `window`; kNone for the
+  // root itself or unknown windows.  Caller holds mu_.
+  WindowId SubtreeRootLocked(WindowId window) const;
   ClientRec* FindClient(ClientId id);
   const ClientRec* FindClient(ClientId id) const;
   // Shared teardown for UnregisterClient and KillClient: destroys the
@@ -511,6 +545,11 @@ class Server {
   WindowId pointer_window_ = kRootWindow;
   WindowId grab_window_ = kNone;  // Implicit grab while a button is down.
   WindowId focus_window_ = kNone;
+
+  // Batch-level shard locks (see shard.h); orthogonal to mu_ and always
+  // acquired before it, never while holding it.
+  ShardTable shard_table_;
+  std::atomic<uint64_t> shard_hold_delay_ms_{0};
 
   RequestCounters counters_;
   FaultCounters fault_counters_;

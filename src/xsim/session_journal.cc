@@ -112,6 +112,18 @@ void SessionJournal::Note(const Request& request) {
       has_close_down_ = true;
       close_down_ = request.mask;
       break;
+    case RequestOpcode::kReparentWindow:
+      if (auto it = windows_.find(request.window); it != windows_.end()) {
+        it->second.parent = request.resource;
+        it->second.x = request.x;
+        it->second.y = request.y;
+        // A reparent can point at a window created *after* this one, which
+        // would break window_order_'s parents-before-children guarantee at
+        // replay time; restore it topologically (stable, so unrelated
+        // windows keep creation order).
+        RestoreTopologicalOrder();
+      }
+      break;
     // Pixels and transient traffic: regenerated or irrelevant after replay.
     case RequestOpcode::kClearWindow:
     case RequestOpcode::kClearArea:
@@ -125,6 +137,37 @@ void SessionJournal::Note(const Request& request) {
     case RequestOpcode::kReplayMark:
       break;
   }
+}
+
+void SessionJournal::RestoreTopologicalOrder() {
+  // Stable Kahn pass: keep appending (in current order) every window whose
+  // parent is either foreign to the journal or already placed.  A cycle is
+  // impossible server-side (reparent rejects it), but if a malformed journal
+  // ever produced one the remainder is appended as-is rather than looping.
+  std::vector<WindowId> ordered;
+  ordered.reserve(window_order_.size());
+  std::map<WindowId, bool> placed;
+  std::vector<WindowId> pending = window_order_;
+  while (!pending.empty()) {
+    size_t before = ordered.size();
+    std::vector<WindowId> next;
+    for (WindowId id : pending) {
+      auto it = windows_.find(id);
+      WindowId parent = it == windows_.end() ? kNone : it->second.parent;
+      if (!Knows(parent) || placed[parent]) {
+        ordered.push_back(id);
+        placed[id] = true;
+      } else {
+        next.push_back(id);
+      }
+    }
+    if (ordered.size() == before) {
+      ordered.insert(ordered.end(), next.begin(), next.end());
+      break;
+    }
+    pending = std::move(next);
+  }
+  window_order_ = std::move(ordered);
 }
 
 void SessionJournal::EraseWindowTree(WindowId window) {

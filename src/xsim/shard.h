@@ -1,0 +1,156 @@
+// Per-resource-class shard locks for concurrent batch dispatch.
+//
+// The reactor-era WireServer dispatches many clients' batches from a pool of
+// worker threads.  Server state is still guarded by the server mutex, but
+// that mutex used to be held for a *whole batch* (Server::ApplyBatch), so
+// independent clients serialized on it.  The shard layer replaces the
+// batch-wide hold: a batch is classified into the resource shards it touches
+// -- one shard per top-level window subtree, one for the GC table, one for
+// atoms/selections, one global catch-all -- and holds only those shard locks
+// for the batch while the server mutex drops to per-request holds.
+//
+// Two clients building widget trees under different top-level windows
+// therefore hold disjoint shard sets and interleave request-by-request; a
+// cross-shard operation (reparenting a subtree under another top-level
+// window) takes both subtree locks.  Deadlock freedom comes from a canonical
+// acquisition order: Acquire() sorts the key set (class, then id) and locks
+// ascending, so any two batches acquire their common shards in the same
+// order no matter how their requests were written.
+//
+// The shard locks are a concurrency-*scheduling* layer, not the state guard:
+// the server mutex remains the authority on every map and tree.  That keeps
+// the sharding claim honest (a stale classification can at worst admit two
+// batches that then interleave safely under the server mutex) while giving
+// the batch-level isolation the contention tests pin down.
+
+#ifndef SRC_XSIM_SHARD_H_
+#define SRC_XSIM_SHARD_H_
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/xsim/types.h"
+
+namespace xsim {
+
+// Resource classes with independent locking domains.  Order matters: it is
+// the major key of the canonical acquisition order.
+enum class ShardClass : uint8_t {
+  kGlobal = 0,        // Focus, input, SendEvent, lifecycle: one server-wide shard.
+  kAtom,              // Atom table and selection ownership.
+  kGc,                // The GC table (mutations only; draws just read).
+  kWindowSubtree,     // One shard per top-level window subtree (id = subtree root).
+};
+
+inline const char* ShardClassName(ShardClass cls) {
+  switch (cls) {
+    case ShardClass::kGlobal:
+      return "global";
+    case ShardClass::kAtom:
+      return "atom";
+    case ShardClass::kGc:
+      return "gc";
+    case ShardClass::kWindowSubtree:
+      return "window-subtree";
+  }
+  return "?";
+}
+
+struct ShardKey {
+  ShardClass cls = ShardClass::kGlobal;
+  XId id = 0;  // Subtree root for kWindowSubtree; 0 for the singleton classes.
+
+  friend bool operator==(const ShardKey& a, const ShardKey& b) {
+    return a.cls == b.cls && a.id == b.id;
+  }
+  friend bool operator<(const ShardKey& a, const ShardKey& b) {
+    if (a.cls != b.cls) {
+      return a.cls < b.cls;
+    }
+    return a.id < b.id;
+  }
+};
+
+// The lock registry.  Shard mutexes are created on demand (window subtrees
+// come and go) and live for the table's lifetime; the registry itself is
+// guarded by its own mutex, held only during lookup, never across a shard
+// acquisition.
+class ShardTable {
+ public:
+  ShardTable() = default;
+  ShardTable(const ShardTable&) = delete;
+  ShardTable& operator=(const ShardTable&) = delete;
+
+  // RAII hold on a set of shards; unlocks in reverse acquisition order.
+  class Hold {
+   public:
+    Hold() = default;
+    ~Hold() { Release(); }
+    Hold(Hold&& other) noexcept : locks_(std::move(other.locks_)) {
+      other.locks_.clear();
+    }
+    Hold& operator=(Hold&& other) noexcept {
+      if (this != &other) {
+        Release();
+        locks_ = std::move(other.locks_);
+        other.locks_.clear();
+      }
+      return *this;
+    }
+    Hold(const Hold&) = delete;
+    Hold& operator=(const Hold&) = delete;
+
+    size_t size() const { return locks_.size(); }
+
+   private:
+    friend class ShardTable;
+    void Release() {
+      for (auto it = locks_.rbegin(); it != locks_.rend(); ++it) {
+        (*it)->unlock();
+      }
+      locks_.clear();
+    }
+    std::vector<std::mutex*> locks_;
+  };
+
+  // Locks every shard in `keys` in canonical (sorted, deduplicated) order
+  // and returns the hold.  An empty key set returns an empty hold.
+  Hold Acquire(std::vector<ShardKey> keys) {
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    Hold hold;
+    hold.locks_.reserve(keys.size());
+    for (const ShardKey& key : keys) {
+      std::mutex* mu = Lookup(key);
+      mu->lock();
+      hold.locks_.push_back(mu);
+    }
+    return hold;
+  }
+
+  // How many distinct shards have been materialized (introspection/tests).
+  size_t shard_count() const {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    return shards_.size();
+  }
+
+ private:
+  std::mutex* Lookup(const ShardKey& key) {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    auto it = shards_.find(key);
+    if (it == shards_.end()) {
+      it = shards_.emplace(key, std::make_unique<std::mutex>()).first;
+    }
+    return it->second.get();
+  }
+
+  mutable std::mutex registry_mu_;
+  std::map<ShardKey, std::unique_ptr<std::mutex>> shards_;
+};
+
+}  // namespace xsim
+
+#endif  // SRC_XSIM_SHARD_H_

@@ -194,7 +194,7 @@ void TraceBuffer::RecordEvent(ClientId client, EventType type, WindowId window) 
   Append(record, /*is_request=*/false);
 }
 
-void TraceBuffer::RecordFlush(ClientId client, size_t batch_size) {
+void TraceBuffer::RecordFlush(ClientId client, size_t batch_size, uint64_t duration_ns) {
   if (!active()) {
     return;
   }
@@ -205,6 +205,7 @@ void TraceBuffer::RecordFlush(ClientId client, size_t batch_size) {
   record.client = client;
   record.is_flush = true;
   record.batch_size = static_cast<uint32_t>(batch_size);
+  record.duration_ns = duration_ns;
   Append(record, /*is_request=*/false);
 }
 

@@ -138,7 +138,10 @@ class TraceBuffer {
   // One output-buffer flush of `batch_size` requests reached the server.
   // Recorded after the batch's request records (wire order); retained even
   // under a request filter so batching stays observable in filtered dumps.
-  void RecordFlush(ClientId client, size_t batch_size);
+  // `duration_ns`, when nonzero, is the wall-clock the batch spent applying
+  // (shard-lock hold included) -- the signal the shard-contention tests
+  // read back out of the ring.
+  void RecordFlush(ClientId client, size_t batch_size, uint64_t duration_ns = 0);
   // `frames` wire frames totalling `bytes` crossed the transport (either
   // direction).  Counted while active, like every other cumulative counter;
   // no ring record (frame traffic would drown the request trace).

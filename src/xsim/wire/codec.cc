@@ -7,7 +7,7 @@ namespace {
 
 // Last legitimate values of the enums the decoders accept; anything above is
 // kBadOpcode.  Keep in sync with request.h / event.h.
-constexpr uint8_t kMaxRequestOpcode = static_cast<uint8_t>(RequestOpcode::kReplayMark);
+constexpr uint8_t kMaxRequestOpcode = static_cast<uint8_t>(RequestOpcode::kReparentWindow);
 constexpr uint32_t kMaxEventType = static_cast<uint32_t>(EventType::kClientMessage);
 constexpr uint8_t kMaxErrorCode = static_cast<uint8_t>(ErrorCode::kBadRequest);
 

@@ -1,0 +1,220 @@
+#include "src/xsim/wire/reactor.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <utility>
+
+namespace xsim {
+namespace wire {
+
+namespace {
+
+size_t EnvCount(const char* name, size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') {
+    return fallback;
+  }
+  long parsed = std::strtol(value, nullptr, 10);
+  if (parsed < 1) {
+    return fallback;
+  }
+  return static_cast<size_t>(parsed);
+}
+
+}  // namespace
+
+size_t Reactor::DefaultLoopCount() { return EnvCount("TCLK_REACTOR_LOOPS", 2); }
+
+Reactor::Reactor(IoHandler on_io, size_t loops) : on_io_(std::move(on_io)) {
+  if (loops == 0) {
+    loops = 1;
+  }
+  loops_ = std::vector<Loop>(loops);
+  for (Loop& loop : loops_) {
+    loop.epoll_fd = epoll_create1(EPOLL_CLOEXEC);
+    loop.wake_fd = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = ~uint64_t{0};  // Wake sentinel; never a connection token.
+    epoll_ctl(loop.epoll_fd, EPOLL_CTL_ADD, loop.wake_fd, &ev);
+    loop.thread = std::thread([this, &loop] { Run(loop); });
+  }
+}
+
+Reactor::~Reactor() {
+  stopping_.store(true, std::memory_order_release);
+  for (Loop& loop : loops_) {
+    uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = write(loop.wake_fd, &one, sizeof(one));
+  }
+  for (Loop& loop : loops_) {
+    if (loop.thread.joinable()) {
+      loop.thread.join();
+    }
+    close(loop.wake_fd);
+    close(loop.epoll_fd);
+  }
+}
+
+bool Reactor::Add(int fd, uint64_t token) {
+  if (stopping_.load(std::memory_order_acquire)) {
+    return false;
+  }
+  size_t target = 0;
+  for (size_t i = 1; i < loops_.size(); ++i) {
+    if (loops_[i].fds.load(std::memory_order_relaxed) <
+        loops_[target].fds.load(std::memory_order_relaxed)) {
+      target = i;
+    }
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = token;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (epoll_ctl(loops_[target].epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      return false;
+    }
+    fds_[fd] = FdState{target, token, EPOLLIN};
+  }
+  loops_[target].fds.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void Reactor::SetWriteInterest(int fd, bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    return;
+  }
+  uint32_t events =
+      enabled ? (it->second.events | EPOLLOUT) : (it->second.events & ~EPOLLOUT);
+  if (events == it->second.events) {
+    return;
+  }
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = it->second.token;
+  if (epoll_ctl(loops_[it->second.loop].epoll_fd, EPOLL_CTL_MOD, fd, &ev) == 0) {
+    it->second.events = events;
+  }
+}
+
+void Reactor::SetReadInterest(int fd, bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    return;
+  }
+  uint32_t events =
+      enabled ? (it->second.events | EPOLLIN) : (it->second.events & ~EPOLLIN);
+  if (events == it->second.events) {
+    return;
+  }
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = it->second.token;
+  if (epoll_ctl(loops_[it->second.loop].epoll_fd, EPOLL_CTL_MOD, fd, &ev) == 0) {
+    it->second.events = events;
+  }
+}
+
+void Reactor::Remove(int fd) {
+  size_t loop;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = fds_.find(fd);
+    if (it == fds_.end()) {
+      return;
+    }
+    loop = it->second.loop;
+    epoll_ctl(loops_[loop].epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
+    fds_.erase(it);
+  }
+  loops_[loop].fds.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Reactor::Run(Loop& loop) {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int n = epoll_wait(loop.epoll_fd, events, kMaxEvents, /*timeout_ms=*/200);
+    if (n < 0) {
+      continue;  // EINTR.
+    }
+    for (int i = 0; i < n; ++i) {
+      uint64_t token = events[i].data.u64;
+      if (token == ~uint64_t{0}) {
+        uint64_t drain;
+        while (read(loop.wake_fd, &drain, sizeof(drain)) > 0) {
+        }
+        continue;
+      }
+      uint32_t mask = events[i].events;
+      // Errors and hangups surface through the normal read/write paths: a
+      // read will see EOF/ECONNRESET, a write EPIPE.
+      bool readable = (mask & (EPOLLIN | EPOLLERR | EPOLLHUP | EPOLLRDHUP)) != 0;
+      bool writable = (mask & (EPOLLOUT | EPOLLERR | EPOLLHUP)) != 0;
+      on_io_(token, readable, writable);
+    }
+  }
+}
+
+size_t DispatchExecutor::DefaultWorkerCount() {
+  return EnvCount("TCLK_REACTOR_WORKERS", 4);
+}
+
+DispatchExecutor::DispatchExecutor(std::function<void(uint64_t token)> run,
+                                   size_t workers)
+    : run_(std::move(run)) {
+  if (workers == 0) {
+    workers = 1;
+  }
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { Run(); });
+  }
+}
+
+DispatchExecutor::~DispatchExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  ready_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) {
+      worker.join();
+    }
+  }
+}
+
+void DispatchExecutor::Schedule(uint64_t token) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(token);
+  }
+  ready_.notify_one();
+}
+
+void DispatchExecutor::Run() {
+  while (true) {
+    uint64_t token;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping_ and drained.
+      }
+      token = queue_.front();
+      queue_.pop_front();
+    }
+    run_(token);
+  }
+}
+
+}  // namespace wire
+}  // namespace xsim

@@ -1,0 +1,132 @@
+// The event-driven half of the reactor WireServer backend.
+//
+// A real X server is select()/epoll() over one fd per client; this file is
+// that loop, split into two small engines the WireServer composes:
+//
+//   * Reactor -- N event-loop threads, each owning an epoll set.  Fds are
+//     assigned to a loop round-robin at Add() time and stay there (no
+//     thundering herd; per-fd callbacks are serialized by their loop).
+//     Level-triggered, with read/write interest toggled per fd: write
+//     interest is armed only while a connection's outbound ring is
+//     non-empty, read interest is parked while its inbox is full (flow
+//     control).  Loops never block on anything but epoll_wait: handlers
+//     must bound their lock holds and never wait on queue space.
+//
+//   * DispatchExecutor -- a small worker pool that runs protocol dispatch
+//     *off* the loops.  Loops assemble frames and schedule the connection;
+//     workers drain its inbox through the same DispatchFrame path the
+//     threaded backend's reader threads use.  Workers are allowed to block
+//     (the backpressure wait on a full outbound ring lives here, exactly as
+//     it does on a threaded reader), which is what keeps the two backends'
+//     kill semantics identical.
+//
+// Tokens, not pointers, cross the boundary: the epoll payload is an opaque
+// uint64 the handler maps back to its connection under its own lock, so a
+// stale event raced by a teardown resolves to "gone" instead of a dangling
+// pointer.
+
+#ifndef SRC_XSIM_WIRE_REACTOR_H_
+#define SRC_XSIM_WIRE_REACTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace xsim {
+namespace wire {
+
+class Reactor {
+ public:
+  // `on_io(token, readable, writable)` runs on the owning loop thread.
+  // EPOLLERR/EPOLLHUP are folded into readable=true (a read will observe the
+  // condition) and writable=true when write interest was armed.
+  using IoHandler = std::function<void(uint64_t token, bool readable, bool writable)>;
+
+  Reactor(IoHandler on_io, size_t loops);
+  ~Reactor();  // Stops and joins every loop.
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  // Registers `fd` (must already be non-blocking) with read interest on the
+  // least-loaded loop.  False when the reactor is stopping or epoll_ctl
+  // failed.
+  bool Add(int fd, uint64_t token);
+  // Arms/disarms write or read interest.  Unknown fds are ignored (the
+  // teardown path may race a late interest change).
+  void SetWriteInterest(int fd, bool enabled);
+  void SetReadInterest(int fd, bool enabled);
+  // Unregisters `fd`.  Safe to call more than once; the caller still owns
+  // and closes the fd.
+  void Remove(int fd);
+
+  size_t loop_count() const { return loops_.size(); }
+
+  // How many loop threads a reactor gets by default: TCLK_REACTOR_LOOPS if
+  // set, else a small constant -- the whole point is that a handful of
+  // loops carries thousands of connections.
+  static size_t DefaultLoopCount();
+
+ private:
+  struct Loop {
+    int epoll_fd = -1;
+    int wake_fd = -1;  // eventfd: kicks the loop for shutdown.
+    std::thread thread;
+    std::atomic<size_t> fds{0};  // Load metric for assignment.
+  };
+
+  struct FdState {
+    size_t loop = 0;
+    uint64_t token = 0;
+    uint32_t events = 0;  // Current EPOLLIN/EPOLLOUT interest mask.
+  };
+
+  void Run(Loop& loop);
+
+  IoHandler on_io_;
+  std::vector<Loop> loops_;
+  std::atomic<bool> stopping_{false};
+  mutable std::mutex mu_;  // Guards fds_.
+  std::unordered_map<int, FdState> fds_;
+};
+
+// Runs one dispatch task per scheduled token at a time, on a fixed pool.
+// Scheduling is idempotent-by-caller: the WireServer keeps a per-connection
+// "scheduled" flag and only calls Schedule() on the false->true edge, so a
+// connection is never dispatched by two workers at once (per-connection
+// frame order is the protocol's bedrock).
+class DispatchExecutor {
+ public:
+  DispatchExecutor(std::function<void(uint64_t token)> run, size_t workers);
+  ~DispatchExecutor();  // Drains the queue, then joins.
+
+  DispatchExecutor(const DispatchExecutor&) = delete;
+  DispatchExecutor& operator=(const DispatchExecutor&) = delete;
+
+  void Schedule(uint64_t token);
+  size_t worker_count() const { return workers_.size(); }
+
+  // TCLK_REACTOR_WORKERS if set, else a small constant.
+  static size_t DefaultWorkerCount();
+
+ private:
+  void Run();
+
+  std::function<void(uint64_t token)> run_;
+  std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<uint64_t> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace wire
+}  // namespace xsim
+
+#endif  // SRC_XSIM_WIRE_REACTOR_H_

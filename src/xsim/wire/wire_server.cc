@@ -1,10 +1,13 @@
 #include "src/xsim/wire/wire_server.h"
 
+#include <fcntl.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
+#include <string_view>
 #include <utility>
 
 #include "src/xsim/color.h"
@@ -14,6 +17,15 @@ namespace xsim {
 namespace wire {
 
 namespace {
+
+// Inbox flow control (reactor backend): past the high-water mark the loop
+// parks this connection's read interest; the dispatch worker re-arms it once
+// the backlog drains below the low-water mark.  The numbers are modest on
+// purpose -- the threaded backend's implicit window is one frame (the reader
+// blocks inside dispatch), so a small reactor window keeps the two backends'
+// end-to-end pacing comparable.
+constexpr size_t kInboxHighWater = 64;
+constexpr size_t kInboxLowWater = 16;
 
 bool ReadFull(int fd, uint8_t* data, size_t size) {
   size_t done = 0;
@@ -45,9 +57,40 @@ bool WriteFull(int fd, const uint8_t* data, size_t size) {
   return true;
 }
 
+void SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) {
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+}
+
 }  // namespace
 
-WireServer::WireServer(Server& server) : server_(server) {}
+WireBackend WireBackendFromEnv() {
+  const char* env = std::getenv("TCLK_WIRE_BACKEND");
+  if (env != nullptr && std::string_view(env) == "threads") {
+    return WireBackend::kThreads;
+  }
+  return WireBackend::kReactor;
+}
+
+const char* WireBackendName(WireBackend backend) {
+  return backend == WireBackend::kThreads ? "threads" : "reactor";
+}
+
+WireServer::WireServer(Server& server, WireBackend backend)
+    : server_(server), backend_(backend) {
+  if (backend_ == WireBackend::kReactor) {
+    executor_ = std::make_unique<DispatchExecutor>(
+        [this](uint64_t token) { DispatchTask(token); },
+        DispatchExecutor::DefaultWorkerCount());
+    reactor_ = std::make_unique<Reactor>(
+        [this](uint64_t token, bool readable, bool writable) {
+          OnIo(token, readable, writable);
+        },
+        Reactor::DefaultLoopCount());
+  }
+}
 
 WireServer::~WireServer() {
   std::vector<std::shared_ptr<Connection>> connections;
@@ -66,11 +109,21 @@ WireServer::~WireServer() {
     while (!conn->threads_attached.load(std::memory_order_acquire)) {
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
-    if (conn->reader.joinable()) {
-      conn->reader.join();
-    }
-    if (conn->writer.joinable()) {
-      conn->writer.join();
+    if (backend_ == WireBackend::kThreads) {
+      if (conn->reader.joinable()) {
+        conn->reader.join();
+      }
+      if (conn->writer.joinable()) {
+        conn->writer.join();
+      }
+    } else {
+      // Reactor: the kill's shutdown surfaces as EPOLLHUP, the loop marks
+      // EOF, and a dispatch worker runs the same teardown a reader thread
+      // would -- wait for both roles to report done.
+      while (!conn->reader_done.load(std::memory_order_acquire) ||
+             !conn->writer_done.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
     }
     {
       std::lock_guard<std::mutex> lock(conn->out_mu);
@@ -80,6 +133,11 @@ WireServer::~WireServer() {
       }
     }
   }
+  // Every connection is quiesced; stop the engines.  Reactor first (joins
+  // the loops, so no further OnIo), then the executor (drains whatever
+  // stale tokens remain -- their tasks find teardown_started and no-op).
+  reactor_.reset();
+  executor_.reset();
 }
 
 int WireServer::Connect() {
@@ -101,6 +159,11 @@ int WireServer::Connect() {
   }
   auto conn = std::make_shared<Connection>();
   conn->fd = fds[0];
+  if (backend_ == WireBackend::kReactor) {
+    // Only the server end goes non-blocking; the client end keeps blocking
+    // semantics (WireTransport is unchanged by the backend choice).
+    SetNonBlocking(fds[0]);
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutting_down_ || !listening_) {
@@ -108,12 +171,36 @@ int WireServer::Connect() {
       ::close(fds[1]);
       return -1;
     }
+    if (backend_ == WireBackend::kReactor) {
+      conn->token = next_token_++;
+      by_token_[conn->token] = conn;
+    }
     connections_.push_back(conn);
   }
   server_.CountWireConnection();
-  conn->reader = std::thread(&WireServer::ReaderLoop, this, conn);
-  conn->writer = std::thread(&WireServer::WriterLoop, this, conn);
-  conn->threads_attached.store(true, std::memory_order_release);
+  if (backend_ == WireBackend::kReactor) {
+    // No per-connection threads to attach; mark attached before the first
+    // event can possibly finish the connection.
+    conn->threads_attached.store(true, std::memory_order_release);
+    if (!reactor_->Add(fds[0], conn->token)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      by_token_.erase(conn->token);
+      for (auto it = connections_.begin(); it != connections_.end(); ++it) {
+        if (it->get() == conn.get()) {
+          connections_.erase(it);
+          break;
+        }
+      }
+      ::close(fds[0]);
+      ::close(fds[1]);
+      return -1;
+    }
+  } else {
+    conn->reader = std::thread(&WireServer::ReaderLoop, this, conn);
+    conn->writer = std::thread(&WireServer::WriterLoop, this, conn);
+    conn->threads_attached.store(true, std::memory_order_release);
+  }
+  conn_stats_.RecordAccept();
   return fds[1];
 }
 
@@ -135,9 +222,11 @@ void WireServer::Bounce() {
   for (const auto& conn : live) {
     KillConnection(*conn);
   }
-  // Wait for each connection's threads to run their teardown (the reader's
-  // exit applies the client's close-down mode), so by the time Bounce()
-  // returns the server's session table reflects the restart.
+  // Wait for each connection's roles to run their teardown (the reader-exit
+  // path applies the client's close-down mode), so by the time Bounce()
+  // returns the server's session table reflects the restart.  Identical on
+  // both backends: the done flags are set by threads or by the reactor's
+  // worker/loop, but mean the same thing.
   for (const auto& conn : live) {
     while (!conn->reader_done.load(std::memory_order_acquire) ||
            !conn->writer_done.load(std::memory_order_acquire)) {
@@ -221,17 +310,16 @@ WireServer::Stats WireServer::stats() const {
       }
     }
   }
-  stats.peak_outbound_depth = peak_outbound_depth_.load(std::memory_order_relaxed);
-  stats.backpressure_kills = backpressure_kills_.load(std::memory_order_relaxed);
-  stats.reaped_connections = reaped_connections_.load(std::memory_order_relaxed);
+  stats.accepted_connections = conn_stats_.accepted();
+  stats.peak_outbound_depth = conn_stats_.peak_outbound_depth();
+  stats.backpressure_kills = conn_stats_.backpressure_kills();
+  stats.reaped_connections = conn_stats_.reaped();
   stats.bounces = bounces_.load(std::memory_order_relaxed);
   return stats;
 }
 
 void WireServer::ResetStats() {
-  peak_outbound_depth_.store(0, std::memory_order_relaxed);
-  backpressure_kills_.store(0, std::memory_order_relaxed);
-  reaped_connections_.store(0, std::memory_order_relaxed);
+  conn_stats_.Reset();
   bounces_.store(0, std::memory_order_relaxed);
 }
 
@@ -245,6 +333,7 @@ void WireServer::ReapFinishedConnections() {
           conn->reader_done.load(std::memory_order_acquire) &&
           conn->writer_done.load(std::memory_order_acquire)) {
         finished.push_back(conn);
+        by_token_.erase(conn->token);
         it = connections_.erase(it);
       } else {
         ++it;
@@ -252,7 +341,10 @@ void WireServer::ReapFinishedConnections() {
     }
   }
   // Join outside mu_ (the threads have already exited, so this is instant,
-  // but a join must never run under the lock their loops might want).
+  // but a join must never run under the lock their loops might want).  On
+  // the reactor backend there is nothing to join and the fd has already
+  // been removed from the epoll set (MaybeFinishWriter does that before
+  // setting writer_done), so closing it here cannot race a loop.
   for (const auto& conn : finished) {
     if (conn->reader.joinable()) {
       conn->reader.join();
@@ -270,12 +362,12 @@ void WireServer::ReapFinishedConnections() {
         conn->fd = -1;
       }
     }
-    reaped_connections_.fetch_add(1, std::memory_order_relaxed);
+    conn_stats_.RecordReap();
   }
 }
 
 // ---------------------------------------------------------------------------
-// Threads.
+// Threads backend.
 
 void WireServer::ReaderLoop(std::shared_ptr<Connection> conn) {
   while (true) {
@@ -357,6 +449,324 @@ void WireServer::WriterLoop(std::shared_ptr<Connection> conn) {
 }
 
 // ---------------------------------------------------------------------------
+// Reactor backend.
+
+std::shared_ptr<WireServer::Connection> WireServer::FindByToken(uint64_t token) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_token_.find(token);
+  return it == by_token_.end() ? nullptr : it->second;
+}
+
+void WireServer::OnIo(uint64_t token, bool readable, bool writable) {
+  std::shared_ptr<Connection> conn = FindByToken(token);
+  if (conn == nullptr) {
+    return;  // Reaped; the event raced the teardown.
+  }
+  if (writable) {
+    HandleWritable(conn);
+  }
+  if (readable) {
+    HandleReadable(conn);
+  }
+}
+
+void WireServer::HandleReadable(const std::shared_ptr<Connection>& conn) {
+  bool schedule = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->in_mu);
+    if (conn->eof_seen || conn->header_poisoned) {
+      return;  // Already winding down; ignore level-triggered residue.
+    }
+    if (conn->read_paused) {
+      // Read interest is parked, but EPOLLHUP/EPOLLERR are delivered
+      // regardless of the interest mask.  Peek so a peer hangup noticed
+      // while parked still reaches the dispatcher instead of spinning the
+      // loop on a level-triggered HUP.
+      uint8_t probe;
+      ssize_t n = ::recv(conn->fd, &probe, 1, MSG_PEEK);
+      if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                     errno != EINTR)) {
+        conn->eof_seen = true;
+        if (!conn->dispatch_scheduled) {
+          conn->dispatch_scheduled = true;
+          schedule = true;
+        }
+      }
+    } else {
+      bool hit_eof = false;
+      uint8_t chunk[16384];
+      while (true) {
+        ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+        if (n > 0) {
+          conn->in_buf.insert(conn->in_buf.end(), chunk, chunk + n);
+        } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+          break;
+        } else if (n < 0 && errno == EINTR) {
+          continue;
+        } else {
+          hit_eof = true;  // 0 is EOF; anything else is a dead socket.
+          break;
+        }
+      }
+      // Reassemble: peel every complete frame off the front of in_buf.  A
+      // header split across reads, or a payload arriving one byte per
+      // readiness callback, just leaves a remainder for next time.
+      size_t consumed = 0;
+      while (true) {
+        if (conn->in_buf.size() - consumed < kFrameHeaderSize) {
+          break;
+        }
+        FrameHeader header;
+        DecodeStatus status = DecodeFrameHeader(conn->in_buf.data() + consumed,
+                                                kFrameHeaderSize, &header);
+        if (status != DecodeStatus::kOk) {
+          // Poisoned byte stream: stop reassembling; the dispatcher reports
+          // the damage after the frames that preceded it.
+          conn->header_poisoned = true;
+          conn->header_error = status;
+          break;
+        }
+        if (conn->in_buf.size() - consumed < kFrameHeaderSize + header.payload_length) {
+          break;
+        }
+        Frame frame;
+        frame.kind = header.kind;
+        frame.payload.assign(
+            conn->in_buf.begin() + consumed + kFrameHeaderSize,
+            conn->in_buf.begin() + consumed + kFrameHeaderSize + header.payload_length);
+        consumed += kFrameHeaderSize + header.payload_length;
+        server_.CountWireFrameIn(kFrameHeaderSize + header.payload_length);
+        conn->inbox.push_back(std::move(frame));
+      }
+      if (consumed != 0) {
+        conn->in_buf.erase(conn->in_buf.begin(),
+                           conn->in_buf.begin() + static_cast<long>(consumed));
+      }
+      if (hit_eof) {
+        conn->eof_seen = true;
+      }
+      if (!hit_eof && !conn->header_poisoned &&
+          conn->inbox.size() >= kInboxHighWater) {
+        // Flow control: stop pulling bytes until dispatch catches up (the
+        // worker re-arms below the low-water mark).
+        conn->read_paused = true;
+        reactor_->SetReadInterest(conn->fd, false);
+      }
+      if ((hit_eof || conn->header_poisoned || !conn->inbox.empty()) &&
+          !conn->dispatch_scheduled) {
+        conn->dispatch_scheduled = true;
+        schedule = true;
+      }
+    }
+  }
+  if (schedule) {
+    executor_->Schedule(conn->token);
+  }
+}
+
+void WireServer::HandleWritable(const std::shared_ptr<Connection>& conn) {
+  std::vector<size_t> sent_sizes;
+  bool finish = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    if (conn->fd < 0 || conn->writer_finishing) {
+      return;
+    }
+    bool dead = false;
+    while (!conn->out.empty()) {
+      const std::vector<uint8_t>& front = conn->out.front();
+      ssize_t n = ::send(conn->fd, front.data() + conn->out_offset,
+                         front.size() - conn->out_offset, MSG_NOSIGNAL);
+      if (n > 0) {
+        conn->out_offset += static_cast<size_t>(n);
+        if (conn->out_offset == front.size()) {
+          sent_sizes.push_back(front.size());
+          conn->out.pop_front();
+          conn->out_offset = 0;
+        }
+      } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        break;  // Socket buffer full again; EPOLLOUT will bring us back.
+      } else if (n < 0 && errno == EINTR) {
+        continue;
+      } else {
+        dead = true;
+        break;
+      }
+    }
+    if (dead) {
+      conn->out.clear();
+      conn->out_offset = 0;
+      conn->closing = true;
+    }
+    if (conn->out.empty()) {
+      if (conn->write_armed) {
+        reactor_->SetWriteInterest(conn->fd, false);
+        conn->write_armed = false;
+      }
+      if (conn->closing) {
+        finish = true;
+      }
+    }
+  }
+  // Book-keep outside out_mu: CountWireFrameOut takes the Server lock, and
+  // the established order is the Server lock before out_mu, never after.
+  for (size_t size : sent_sizes) {
+    server_.CountWireFrameOut(size);
+  }
+  if (!sent_sizes.empty()) {
+    conn->out_space.notify_all();  // Backpressure waiters on dispatch workers.
+  }
+  if (finish) {
+    conn->out_space.notify_all();
+    MaybeFinishWriter(conn);
+  }
+}
+
+void WireServer::MaybeFinishWriter(const std::shared_ptr<Connection>& conn) {
+  int fd = -1;
+  {
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    if (conn->writer_finishing) {
+      return;
+    }
+    if (!conn->closing || !conn->out.empty()) {
+      return;  // The ring still has farewell frames to drain.
+    }
+    conn->writer_finishing = true;
+    fd = conn->fd;
+    if (fd >= 0) {
+      // Hang up so the client sees EOF rather than a silent stall; the fd
+      // itself is closed at reap time.
+      ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+  if (fd >= 0) {
+    reactor_->Remove(fd);
+  }
+  // Only now mark the writer done: reap and the destructor close() the fd
+  // on an acquire-load of this flag, so the epoll removal above must be
+  // fully over before anyone can observe it.
+  conn->writer_done.store(true, std::memory_order_release);
+  // A writer that dies before the reader saw EOF (server-side half-close,
+  // peer reset mid-ack) must still bring the whole connection down: the fd
+  // just left the epoll set, so the read side will never observe the
+  // shutdown on its own.  Mark the stream ended and hand the teardown to a
+  // dispatch worker, mirroring the threaded backend where a writer failure
+  // wakes the blocked reader.
+  bool schedule = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->in_mu);
+    if (!conn->eof_seen) {
+      conn->eof_seen = true;
+      if (!conn->dispatch_scheduled) {
+        conn->dispatch_scheduled = true;
+        schedule = true;
+      }
+    }
+  }
+  if (schedule) {
+    executor_->Schedule(conn->token);
+  }
+}
+
+void WireServer::FinishReader(Connection& conn) {
+  if (ReleaseClient(conn)) {
+    server_.DisconnectClient(conn.client,
+                             conn.disconnect_reason.load(std::memory_order_relaxed));
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn.out_mu);
+    conn.closing = true;
+  }
+  conn.out_ready.notify_all();
+  conn.out_space.notify_all();
+  conn.reader_done.store(true, std::memory_order_release);
+}
+
+void WireServer::DispatchTask(uint64_t token) {
+  std::shared_ptr<Connection> conn = FindByToken(token);
+  if (conn == nullptr) {
+    return;  // Reaped (or the server is quiescing); nothing to do.
+  }
+  while (true) {
+    Frame frame;
+    bool have = false;
+    bool poisoned = false;
+    DecodeStatus poison_error = DecodeStatus::kOk;
+    {
+      std::lock_guard<std::mutex> lock(conn->in_mu);
+      if (!conn->inbox.empty()) {
+        frame = std::move(conn->inbox.front());
+        conn->inbox.pop_front();
+        have = true;
+        if (conn->read_paused && !conn->eof_seen &&
+            conn->inbox.size() < kInboxLowWater) {
+          conn->read_paused = false;
+          reactor_->SetReadInterest(conn->fd, true);
+        }
+      } else if (conn->eof_seen || conn->header_poisoned) {
+        if (conn->teardown_started) {
+          conn->dispatch_scheduled = false;
+          return;
+        }
+        conn->teardown_started = true;
+        poisoned = conn->header_poisoned;
+        poison_error = conn->header_error;
+      } else {
+        // Drained; deschedule.  The loop schedules again on the next frame.
+        conn->dispatch_scheduled = false;
+        if (conn->read_paused) {
+          conn->read_paused = false;
+          reactor_->SetReadInterest(conn->fd, true);
+        }
+        return;
+      }
+    }
+    if (have) {
+      // The threaded reader's loop body, verbatim: dispatch, then push the
+      // events this dispatch generated to every connection.
+      bool keep = DispatchFrame(*conn, frame);
+      FanOutEvents();
+      if (!keep) {
+        {
+          std::lock_guard<std::mutex> lock(conn->in_mu);
+          if (conn->teardown_started) {
+            conn->dispatch_scheduled = false;
+            return;
+          }
+          conn->teardown_started = true;
+          conn->eof_seen = true;  // Stop the loop from reading further.
+        }
+        FinishReader(*conn);
+        {
+          std::lock_guard<std::mutex> lock(conn->in_mu);
+          conn->dispatch_scheduled = false;
+        }
+        MaybeFinishWriter(conn);
+        return;
+      }
+      continue;
+    }
+    // Falling through here means the stream ended (EOF, kill, or poisoned
+    // header) and this worker won the teardown.
+    if (poisoned) {
+      // Same order as the threaded reader: name the damage, then hang up.
+      conn->disconnect_reason.store(DisconnectReason::kMalformed,
+                                    std::memory_order_relaxed);
+      server_.CountWireMalformed();
+      EnqueueError(*conn, DecodeStatusToError(poison_error), 0);
+    }
+    FinishReader(*conn);
+    {
+      std::lock_guard<std::mutex> lock(conn->in_mu);
+      conn->dispatch_scheduled = false;
+    }
+    MaybeFinishWriter(conn);
+    return;
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Outbound queue.
 
 bool WireServer::EnqueueFrame(Connection& conn, std::vector<uint8_t> frame) {
@@ -377,19 +787,21 @@ bool WireServer::EnqueueFrame(Connection& conn, std::vector<uint8_t> frame) {
     }
     if (!room) {
       // The client stopped draining; a wedged connection must not stall the
-      // rest of the server.
+      // rest of the server.  (On the reactor backend this wait ran on a
+      // dispatch worker -- loops kept draining other connections.)
       lock.unlock();
       conn.disconnect_reason.store(DisconnectReason::kBackpressure,
                                    std::memory_order_relaxed);
-      backpressure_kills_.fetch_add(1, std::memory_order_relaxed);
+      conn_stats_.RecordBackpressureKill();
       KillConnection(conn);
       return false;
     }
     conn.out.push_back(std::move(frame));
-    size_t depth = conn.out.size();
-    size_t peak = peak_outbound_depth_.load(std::memory_order_relaxed);
-    while (depth > peak && !peak_outbound_depth_.compare_exchange_weak(
-                               peak, depth, std::memory_order_relaxed)) {
+    conn_stats_.RecordOutboundDepth(conn.out.size());
+    if (backend_ == WireBackend::kReactor && !conn.write_armed && conn.fd >= 0) {
+      // Lock order is fine: the reactor's registry lock is a leaf.
+      reactor_->SetWriteInterest(conn.fd, true);
+      conn.write_armed = true;
     }
   }
   conn.out_ready.notify_one();
@@ -481,7 +893,8 @@ void WireServer::KillConnection(Connection& conn) {
   {
     std::lock_guard<std::mutex> lock(conn.out_mu);
     conn.closing = true;
-    // Wakes the reader out of recv(); the fd itself is closed at reap time.
+    // Wakes the reader out of recv() -- or, on the reactor backend, surfaces
+    // as EPOLLHUP on the owning loop; the fd itself is closed at reap time.
     // Under out_mu so a kill aimed at an already-finished connection (a
     // stale session stolen by AdoptClient, or a bounce racing a reap) can
     // never shut down an fd the reaper has closed and the OS has recycled.
@@ -494,7 +907,7 @@ void WireServer::KillConnection(Connection& conn) {
 }
 
 // ---------------------------------------------------------------------------
-// Dispatch.
+// Dispatch (shared by both backends).
 
 WireAck WireServer::MakeAck(ClientId client, uint64_t value) {
   WireAck ack;
@@ -677,7 +1090,10 @@ bool WireServer::HandleBatch(Connection& conn, const Frame& frame) {
     server_.RaiseTransportError(conn.client, DecodeStatusToError(status));
   } else {
     server_.CountWireBatch();
-    applied = server_.ApplyBatch(conn.client, batch);
+    // Sharded application: concurrent batches touching disjoint resource
+    // classes (different window subtrees, GCs vs atoms) proceed in parallel
+    // instead of convoying on one whole-batch server lock.
+    applied = server_.ApplyBatchSharded(conn.client, batch);
   }
   // Deferred errors raised by the batch were enqueued by the error sink
   // above; the ack goes out after them, so the client sees errors first --

@@ -1,0 +1,481 @@
+// Reactor-backend tests: the epoll front-end's IO machinery, exercised at
+// the raw-socket level where its behavior differs mechanically from the
+// threaded backend -- short reads that split a frame header, payloads
+// arriving one byte per readiness callback, EPOLLOUT-driven drain of a full
+// outbound ring, backpressure kills, and the backend-neutral ConnectionStats
+// invariants under seeded many-client concurrency.  Protocol behavior itself
+// is covered by running the whole _wire suite matrix on both backends; this
+// file targets what only the reactor does.
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/xsim/display.h"
+#include "src/xsim/server.h"
+#include "src/xsim/wire/codec.h"
+#include "src/xsim/wire/transport.h"
+#include "src/xsim/wire/wire_server.h"
+
+namespace xsim {
+namespace {
+
+using wire::DecodeAckPayload;
+using wire::DecodeErrorPayload;
+using wire::DecodeFrameHeader;
+using wire::DecodeReplyPayload;
+using wire::EncodeBatchPayload;
+using wire::EncodeFrame;
+using wire::EncodeHelloPayload;
+using wire::EncodeQueryPayload;
+using wire::Frame;
+using wire::FrameHeader;
+using wire::FrameKind;
+using wire::kFrameHeaderSize;
+using wire::QueryOpcode;
+using wire::TransportKind;
+using wire::WireAck;
+using wire::WireBackend;
+using wire::WireQuery;
+using wire::WireReply;
+
+// Every Server created in this binary gets the reactor backend regardless of
+// what the ctest registration exported (the _threads matrix variant runs the
+// whole binary too; these tests are about the reactor specifically, so they
+// pin it).
+class ReactorBackendEnv : public ::testing::Environment {
+ public:
+  void SetUp() override { ::setenv("TCLK_WIRE_BACKEND", "reactor", 1); }
+};
+const auto* const kEnvRegistration =
+    ::testing::AddGlobalTestEnvironment(new ReactorBackendEnv);
+
+bool RawWrite(int fd, const std::vector<uint8_t>& bytes) {
+  size_t done = 0;
+  while (done < bytes.size()) {
+    ssize_t n = ::send(fd, bytes.data() + done, bytes.size() - done, MSG_NOSIGNAL);
+    if (n <= 0) {
+      return false;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// Writes one byte at a time, with an occasional yield so the server's loop
+// observes genuinely short reads rather than one coalesced buffer.
+bool TrickleWrite(int fd, const std::vector<uint8_t>& bytes) {
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    if (::send(fd, bytes.data() + i, 1, MSG_NOSIGNAL) != 1) {
+      return false;
+    }
+    if (i % 3 == 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  return true;
+}
+
+bool RawReadFrame(int fd, Frame* out) {
+  uint8_t header[kFrameHeaderSize];
+  size_t done = 0;
+  while (done < sizeof(header)) {
+    ssize_t n = ::recv(fd, header + done, sizeof(header) - done, 0);
+    if (n <= 0) {
+      return false;
+    }
+    done += static_cast<size_t>(n);
+  }
+  FrameHeader decoded;
+  if (DecodeFrameHeader(header, sizeof(header), &decoded) != wire::DecodeStatus::kOk) {
+    return false;
+  }
+  out->kind = decoded.kind;
+  out->payload.resize(decoded.payload_length);
+  done = 0;
+  while (done < out->payload.size()) {
+    ssize_t n = ::recv(fd, out->payload.data() + done, out->payload.size() - done, 0);
+    if (n <= 0) {
+      return false;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+ClientId RawHello(int fd, const std::string& name) {
+  if (!RawWrite(fd, EncodeFrame(FrameKind::kHello, EncodeHelloPayload(name)))) {
+    return 0;
+  }
+  Frame frame;
+  if (!RawReadFrame(fd, &frame) || frame.kind != FrameKind::kHelloAck) {
+    return 0;
+  }
+  WireAck ack;
+  if (DecodeAckPayload(frame.payload, &ack) != wire::DecodeStatus::kOk) {
+    return 0;
+  }
+  return static_cast<ClientId>(ack.value);
+}
+
+// --- Frame reassembly --------------------------------------------------------
+
+TEST(ReactorTest, ReassemblesFramesSplitAcrossShortReads) {
+  Server server;
+  ASSERT_EQ(server.wire().backend(), WireBackend::kReactor);
+  int fd = server.wire().Connect();
+  ASSERT_GE(fd, 0);
+
+  // The whole handshake, one byte per write: the header itself arrives split
+  // across reads, then the payload trickles in.  The reassembler must simply
+  // hold the remainder until the frame completes.
+  ASSERT_TRUE(TrickleWrite(fd, EncodeFrame(FrameKind::kHello, EncodeHelloPayload("trickler"))));
+  Frame frame;
+  ASSERT_TRUE(RawReadFrame(fd, &frame));
+  ASSERT_EQ(frame.kind, FrameKind::kHelloAck);
+  WireAck ack;
+  ASSERT_EQ(DecodeAckPayload(frame.payload, &ack), wire::DecodeStatus::kOk);
+  ClientId client = static_cast<ClientId>(ack.value);
+  ASSERT_NE(client, 0u);
+
+  // A batch delivered the same way still applies exactly once.
+  Request create;
+  create.op = RequestOpcode::kCreateWindow;
+  create.sequence = 1;
+  create.window = server.root();
+  create.resource = client * 0x00100000 + 1;  // Display's resource id scheme.
+  create.width = 32;
+  create.height = 32;
+  ASSERT_TRUE(TrickleWrite(fd, EncodeFrame(FrameKind::kBatch, EncodeBatchPayload({create}))));
+  ASSERT_TRUE(RawReadFrame(fd, &frame));
+  EXPECT_EQ(frame.kind, FrameKind::kBatchAck);
+  ASSERT_EQ(DecodeAckPayload(frame.payload, &ack), wire::DecodeStatus::kOk);
+  EXPECT_EQ(ack.value, 1u);
+  EXPECT_TRUE(server.WindowExists(create.resource));
+
+  // Two frames coalesced into one write must also come apart cleanly: the
+  // reassembler peels both off one buffer.
+  Request map;
+  map.op = RequestOpcode::kMapWindow;
+  map.sequence = 2;
+  map.window = create.resource;
+  std::vector<uint8_t> two = EncodeFrame(FrameKind::kBatch, EncodeBatchPayload({map}));
+  std::vector<uint8_t> second = EncodeFrame(FrameKind::kEventSync, {});
+  two.insert(two.end(), second.begin(), second.end());
+  ASSERT_TRUE(RawWrite(fd, two));
+  ASSERT_TRUE(RawReadFrame(fd, &frame));
+  EXPECT_EQ(frame.kind, FrameKind::kBatchAck);
+  // The map generated an expose for nobody (no mask selected), so the next
+  // frame is the event-sync ack.
+  ASSERT_TRUE(RawReadFrame(fd, &frame));
+  EXPECT_EQ(frame.kind, FrameKind::kEventSyncAck);
+  ::close(fd);
+}
+
+TEST(ReactorTest, PoisonedHeaderGetsErrorFrameThenHangup) {
+  Server server;
+  int fd = server.wire().Connect();
+  ASSERT_GE(fd, 0);
+  ASSERT_NE(RawHello(fd, "poisoner"), 0u);
+
+  // Garbage where a header should be: the reassembler stops, the dispatcher
+  // names the damage and hangs up -- same contract as the threaded reader.
+  std::vector<uint8_t> garbage(kFrameHeaderSize, 0xff);
+  ASSERT_TRUE(RawWrite(fd, garbage));
+  Frame frame;
+  ASSERT_TRUE(RawReadFrame(fd, &frame));
+  EXPECT_EQ(frame.kind, FrameKind::kError);
+  EXPECT_FALSE(RawReadFrame(fd, &frame));  // EOF after the farewell.
+  EXPECT_GE(server.wire_counters().malformed_frames, 1u);
+  ::close(fd);
+
+  // The server still accepts and serves new clients.
+  auto display = Display::Open(server, "after-poison", TransportKind::kWire);
+  WindowId w = display->CreateWindow(display->root(), 0, 0, 5, 5);
+  display->Sync();
+  EXPECT_TRUE(server.WindowExists(w));
+}
+
+// --- EPOLLOUT drain ----------------------------------------------------------
+
+TEST(ReactorTest, EpolloutDrainsFullOutboundRingInOrder) {
+  Server server;
+  // Room for every reply, but far more bytes than the socketpair buffers:
+  // the ring genuinely fills and must drain via EPOLLOUT callbacks, with
+  // partial writes resuming mid-frame.
+  server.wire().set_outbound_capacity(256);
+  server.wire().set_backpressure_timeout_ms(10000);
+
+  int fd = server.wire().Connect();
+  ASSERT_GE(fd, 0);
+  ClientId client = RawHello(fd, "ring-filler");
+  ASSERT_NE(client, 0u);
+
+  // Intern an atom and hang a fat property off the root window.
+  WireQuery intern;
+  intern.op = QueryOpcode::kInternAtom;
+  intern.text = "fat-property";
+  ASSERT_TRUE(RawWrite(fd, EncodeFrame(FrameKind::kQuery, EncodeQueryPayload(intern))));
+  Frame frame;
+  ASSERT_TRUE(RawReadFrame(fd, &frame));
+  ASSERT_EQ(frame.kind, FrameKind::kReply);
+  WireReply reply;
+  ASSERT_EQ(DecodeReplyPayload(frame.payload, &reply), wire::DecodeStatus::kOk);
+  const Atom atom = static_cast<Atom>(reply.value);
+  ASSERT_NE(atom, kAtomNone);
+
+  const std::string fat(64 * 1024, 'x');
+  Request property;
+  property.op = RequestOpcode::kChangeProperty;
+  property.sequence = 1;
+  property.window = server.root();
+  property.atom = atom;
+  property.text = fat;
+  ASSERT_TRUE(RawWrite(fd, EncodeFrame(FrameKind::kBatch, EncodeBatchPayload({property}))));
+  ASSERT_TRUE(RawReadFrame(fd, &frame));
+  ASSERT_EQ(frame.kind, FrameKind::kBatchAck);
+
+  // Now request that property many times without reading a single reply.
+  // ~40 x 64 KiB of replies is far beyond any socket buffer, so the ring
+  // backs up; when we finally read, every reply must arrive complete, in
+  // order, byte-identical.
+  constexpr int kQueries = 40;
+  WireQuery get;
+  get.op = QueryOpcode::kGetProperty;
+  get.a = server.root();
+  get.b = atom;
+  for (int i = 0; i < kQueries; ++i) {
+    ASSERT_TRUE(RawWrite(fd, EncodeFrame(FrameKind::kQuery, EncodeQueryPayload(get))));
+  }
+  // Give the dispatcher a moment to pile replies into the ring before the
+  // drain starts (not required for correctness, just makes the test actually
+  // exercise a deep ring).
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  for (int i = 0; i < kQueries; ++i) {
+    ASSERT_TRUE(RawReadFrame(fd, &frame)) << "reply " << i;
+    ASSERT_EQ(frame.kind, FrameKind::kReply) << "reply " << i;
+    ASSERT_EQ(DecodeReplyPayload(frame.payload, &reply), wire::DecodeStatus::kOk);
+    EXPECT_TRUE(reply.ok);
+    EXPECT_EQ(reply.text, fat) << "reply " << i;
+  }
+
+  const auto stats = server.wire().stats();
+  EXPECT_GE(stats.peak_outbound_depth, 2u);    // The ring really backed up...
+  EXPECT_LE(stats.peak_outbound_depth, 256u);  // ...within its capacity.
+  EXPECT_EQ(stats.backpressure_kills, 0u);     // And nobody got killed for it.
+  ::close(fd);
+}
+
+// --- Backpressure ------------------------------------------------------------
+
+TEST(ReactorTest, BackpressureKillsWedgedClientAtCapacity) {
+  Server server;
+  server.wire().set_outbound_capacity(4);
+  server.wire().set_backpressure_timeout_ms(50);
+
+  int fd = server.wire().Connect();
+  ASSERT_GE(fd, 0);
+  ASSERT_NE(RawHello(fd, "wedged"), 0u);
+
+  // Flood event-syncs and never read the acks.  The socket buffer fills,
+  // then the four-frame ring, and after the timeout the dispatch worker
+  // kills the connection.  The loop threads stay live throughout -- proven
+  // by the healthy client below.
+  std::vector<uint8_t> ping = EncodeFrame(FrameKind::kEventSync, {});
+  bool write_failed = false;
+  for (int i = 0; i < 200000 && !write_failed; ++i) {
+    write_failed = !RawWrite(fd, ping);
+  }
+  if (!write_failed) {
+    Frame frame;
+    while (RawReadFrame(fd, &frame)) {
+    }
+  }
+  ::close(fd);
+
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (server.wire().stats().backpressure_kills == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  const auto stats = server.wire().stats();
+  EXPECT_GE(stats.backpressure_kills, 1u);
+  EXPECT_GE(stats.peak_outbound_depth, 1u);
+  EXPECT_LE(stats.peak_outbound_depth, 4u);  // Capacity bounds the ring.
+
+  auto display = Display::Open(server, "healthy", TransportKind::kWire);
+  WindowId w = display->CreateWindow(display->root(), 0, 0, 4, 4);
+  display->Sync();
+  EXPECT_TRUE(server.WindowExists(w));
+}
+
+// --- Seeded concurrency / ConnectionStats invariants -------------------------
+
+TEST(ReactorTest, SeededConcurrencyKeepsStatsConsistent) {
+  Server server;
+  constexpr int kClients = 64;
+  constexpr uint32_t kSeed = 0xbeadcafe;
+
+  std::vector<std::thread> workers;
+  workers.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    workers.emplace_back([&server, i] {
+      std::mt19937 rng(kSeed + static_cast<uint32_t>(i));
+      auto display = Display::Open(server, "swarm-" + std::to_string(i),
+                                   TransportKind::kWire);
+      ASSERT_NE(display, nullptr);
+      WindowId top = display->CreateWindow(display->root(), 0, 0, 64, 64);
+      display->MapWindow(top);
+      for (int op = 0; op < 24; ++op) {
+        switch (rng() % 4) {
+          case 0: {
+            WindowId w = display->CreateWindow(top, static_cast<int>(rng() % 32),
+                                               static_cast<int>(rng() % 32), 8, 8);
+            display->MapWindow(w);
+            break;
+          }
+          case 1:
+            display->ClearWindow(top);
+            break;
+          case 2:
+            display->Flush();
+            break;
+          default:
+            display->Sync();
+            break;
+        }
+      }
+      display->Sync();
+    });
+  }
+  for (auto& worker : workers) {
+    worker.join();
+  }
+
+  // Quiesce: hold one probe connection open so Connect()'s reaper keeps
+  // running until every finished connection is accounted for.  At that point
+  // the ConnectionStats ledger must balance exactly:
+  //     live + reaped == accepted
+  bool balanced = false;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (!balanced && std::chrono::steady_clock::now() < deadline) {
+    int probe = server.wire().Connect();
+    ASSERT_GE(probe, 0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const auto stats = server.wire().stats();
+    balanced = stats.live_connections + stats.reaped_connections ==
+                   stats.accepted_connections &&
+               stats.reaped_connections >= static_cast<uint64_t>(kClients);
+    ::close(probe);
+    if (!balanced) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  EXPECT_TRUE(balanced);
+
+  const auto stats = server.wire().stats();
+  EXPECT_GE(stats.accepted_connections, static_cast<uint64_t>(kClients));
+  EXPECT_LE(stats.peak_outbound_depth, server.wire().outbound_capacity());
+  EXPECT_EQ(stats.backpressure_kills, 0u);
+}
+
+// --- Backend parity ----------------------------------------------------------
+
+// The same seeded workload on both backends must produce identical
+// deterministic accounting: ConnectionStats ledger entries and the inbound
+// wire counters.  (Timing-dependent numbers -- peak depth, bytes_out split
+// across event pumps -- are deliberately not compared.)
+struct ParityResult {
+  uint64_t accepted = 0;
+  uint64_t reaped = 0;
+  uint64_t kills = 0;
+  uint64_t frames_in = 0;
+  uint64_t bytes_in = 0;
+  uint64_t batches = 0;
+  uint64_t connections = 0;
+  uint64_t windows = 0;
+};
+
+ParityResult RunSeededWorkload(const char* backend) {
+  ::setenv("TCLK_WIRE_BACKEND", backend, 1);
+  ParityResult result;
+  {
+    Server server;
+    for (int c = 0; c < 3; ++c) {
+      std::mt19937 rng(0x5eed0000 + static_cast<uint32_t>(c));
+      auto display = Display::Open(server, "parity-" + std::to_string(c),
+                                   TransportKind::kWire);
+      WindowId top = display->CreateWindow(display->root(), 0, 0, 40, 40);
+      display->MapWindow(top);
+      for (int op = 0; op < 16; ++op) {
+        WindowId w = display->CreateWindow(top, static_cast<int>(rng() % 16),
+                                           static_cast<int>(rng() % 16), 4, 4);
+        if (rng() % 2 == 0) {
+          display->MapWindow(w);
+        }
+        if (op % 5 == 0) {
+          display->Sync();
+        }
+      }
+      display->Sync();
+      result.windows += server.ClientResources(display->client_id()).windows;
+      // Orderly close (kBye) inside the loop so connection teardown is part
+      // of the compared behavior.
+    }
+    // Quiesce the reaper the same way on both backends.
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (std::chrono::steady_clock::now() < deadline) {
+      int probe = server.wire().Connect();
+      if (probe >= 0) {
+        ::close(probe);
+      }
+      const auto stats = server.wire().stats();
+      if (stats.reaped_connections >= 3) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    const auto stats = server.wire().stats();
+    result.accepted = stats.accepted_connections;
+    result.reaped = stats.reaped_connections;
+    result.kills = stats.backpressure_kills;
+    const WireCounters wc = server.wire_counters();
+    result.frames_in = wc.frames_in;
+    result.bytes_in = wc.bytes_in;
+    result.batches = wc.batches;
+    result.connections = wc.connections;
+  }
+  ::setenv("TCLK_WIRE_BACKEND", "reactor", 1);  // Restore the suite default.
+  return result;
+}
+
+TEST(ReactorTest, StatsParityAcrossBackendsOnSameSeededRun) {
+  // The probe-connect quiesce loop makes accepted nondeterministic across
+  // runs, so compare only up to the probes: the three real clients must be
+  // accounted identically, and the inbound traffic (client-driven, hence
+  // deterministic) must match byte-for-byte.
+  ParityResult threads = RunSeededWorkload("threads");
+  ParityResult reactor = RunSeededWorkload("reactor");
+
+  EXPECT_EQ(threads.kills, 0u);
+  EXPECT_EQ(reactor.kills, 0u);
+  EXPECT_GE(threads.reaped, 3u);
+  EXPECT_GE(reactor.reaped, 3u);
+  EXPECT_EQ(threads.windows, reactor.windows);
+  EXPECT_EQ(threads.frames_in, reactor.frames_in);
+  EXPECT_EQ(threads.bytes_in, reactor.bytes_in);
+  EXPECT_EQ(threads.batches, reactor.batches);
+}
+
+}  // namespace
+}  // namespace xsim
