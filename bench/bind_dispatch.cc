@@ -92,24 +92,35 @@ void BM_FullClickDispatchUncached(benchmark::State& state) {
 }
 BENCHMARK(BM_FullClickDispatchUncached);
 
-// Machine-readable summary: binding scripts are prime eval-cache customers
-// (the same handler runs on every event), so report dispatch throughput with
-// the cache on and off plus the counters from the cached run.
+// Machine-readable summary: binding scripts are the hottest Eval callers
+// (the same handler runs on every event), so report dispatch throughput in
+// three modes -- tree-walker uncached, tree-walker + eval cache, and the
+// bytecode VM -- plus deterministic `req_tcl_*` command counters that
+// check_bench_regression.py gates (including the >=2x compiled-over-cached
+// floor) against bench/baselines/bind_dispatch.json.
 void WriteDispatchJson() {
   const int kClicks = 5000;
-  auto run = [](bool cached, tcl::EvalCacheStats* stats_out) {
+  auto run = [](bool cached, tcl::ExecMode mode, tcl::EvalCacheStats* stats_out,
+                uint64_t* commands_out) {
     xsim::Server server;
     tk::App app(server, "bench");
+    app.interp().set_exec_mode(mode);
     app.interp().set_eval_cache_enabled(cached);
     app.interp().Eval("set clicks 0");
     app.interp().Eval("frame .f -geometry 50x50");
     app.interp().Eval("pack append . .f {top}");
+    // A representative handler: bump the counter, then refresh a handful of
+    // dependent items the way a real callback updates widget state.  The
+    // loop keeps the measurement about script execution rather than pure
+    // event routing.
     app.interp().Eval(
-        "bind .f <Button-1> {incr clicks; set last \"click $clicks handled\"}");
+        "bind .f <Button-1> {incr clicks; set i 0; while {$i < 8} {incr i; "
+        "set msg \"click $clicks item $i\"}; set last $msg}");
     app.Update();
     server.InjectPointerMove(25, 25);
     app.Update();
     app.interp().ClearEvalCache();
+    uint64_t commands_before = app.interp().command_count();
     auto start = std::chrono::steady_clock::now();
     for (int i = 0; i < kClicks; ++i) {
       server.InjectClick(1);
@@ -122,21 +133,35 @@ void WriteDispatchJson() {
     if (stats_out != nullptr) {
       *stats_out = app.interp().eval_cache_stats();
     }
+    if (commands_out != nullptr) {
+      *commands_out = app.interp().command_count() - commands_before;
+    }
     return kClicks / seconds;
   };
 
-  double uncached_ops = run(false, nullptr);
+  double uncached_ops = run(false, tcl::ExecMode::kInterp, nullptr, nullptr);
   tcl::EvalCacheStats stats;
-  double cached_ops = run(true, &stats);
-  std::printf("\nFull click dispatch: %.0f/sec cached, %.0f/sec uncached (%.2fx)\n",
-              cached_ops, uncached_ops, cached_ops / uncached_ops);
+  uint64_t interp_commands = 0;
+  double cached_ops = run(true, tcl::ExecMode::kInterp, &stats, &interp_commands);
+  uint64_t compiled_commands = 0;
+  double compiled_ops = run(true, tcl::ExecMode::kCompile, nullptr, &compiled_commands);
+  std::printf("\nFull click dispatch: %.0f/sec compiled, %.0f/sec cached, "
+              "%.0f/sec uncached (compiled %.2fx over cached)\n",
+              compiled_ops, cached_ops, uncached_ops, compiled_ops / cached_ops);
 
   benchjson::Writer json("bind_dispatch");
   json.AddNumber("ops_per_sec", cached_ops);
   json.AddNumber("ops_per_sec_uncached", uncached_ops);
+  json.AddNumber("ops_per_sec_compiled", compiled_ops);
   json.AddNumber("speedup", cached_ops / uncached_ops);
+  json.AddNumber("speedup_compiled_vs_cached", compiled_ops / cached_ops);
   json.AddInteger("cache_hits", stats.hits);
   json.AddInteger("cache_misses", stats.misses);
+  // Deterministic per-run command counts; interp and compiled must agree
+  // (the VM's cmdcount parity), and growth means handlers started doing
+  // more per event.
+  json.AddInteger("req_tcl_interp_commands", interp_commands);
+  json.AddInteger("req_tcl_compiled_commands", compiled_commands);
   json.WriteFile();
 }
 

@@ -149,10 +149,20 @@ void PrintHumanResponseCheck() {
               ms < 100.0 ? "HOLDS" : "FAILS");
 }
 
-// Acceptance workload for the eval cache: a 10,000-iteration while loop whose
-// body carries enough literal text that tokenization dominates the uncached
-// run.  Reports iterations/sec with the cache on and off, the speedup, and
-// the cache counters from the cached run.
+// Acceptance workload, now a three-mode sweep: a 10,000-iteration while loop
+// whose body carries enough literal text that tokenization dominates the
+// uncached run.
+//
+//   uncached  -- tree-walker, eval cache off: re-tokenizes everything.
+//   cached    -- tree-walker + eval cache: parses once, walks every pass.
+//   compiled  -- bytecode compiler + stack VM: the loop body is inlined
+//                into the while's bytecode and never re-enters Eval.
+//
+// Besides the timings, the run emits deterministic `req_tcl_*` counters
+// (command counts and compile counts -- exact properties of the script, not
+// of the machine) that check_bench_regression.py gates against
+// bench/baselines/parser_throughput.json, including the >=5x
+// compiled-over-cached floor.
 void RunEvalCacheComparison() {
   // The loop body mimics a configuration-heavy Tk callback: a couple of
   // cheap commands plus large literal option strings.  Uncached, every
@@ -176,8 +186,14 @@ void RunEvalCacheComparison() {
       "set total";
   const int kIterations = 10000;
 
-  auto run = [&](bool cached) {
+  struct ModeResult {
+    double ops = 0;
+    tcl::EvalCacheStats stats;
+    uint64_t commands = 0;
+  };
+  auto run = [&](bool cached, tcl::ExecMode mode) {
     tcl::Interp interp;
+    interp.set_exec_mode(mode);
     interp.set_eval_cache_enabled(cached);
     auto start = std::chrono::steady_clock::now();
     interp.Eval(script);
@@ -185,32 +201,54 @@ void RunEvalCacheComparison() {
                          std::chrono::steady_clock::now() - start)
                          .count() /
                      1e9;
-    double ops = kIterations / seconds;
-    tcl::EvalCacheStats stats = interp.eval_cache_stats();
-    return std::pair<double, tcl::EvalCacheStats>(ops, stats);
+    ModeResult r;
+    r.ops = kIterations / seconds;
+    r.stats = interp.eval_cache_stats();
+    r.commands = interp.command_count();
+    return r;
   };
 
-  auto [uncached_ops, uncached_stats] = run(false);
-  auto [cached_ops, cached_stats] = run(true);
-  double hit_rate = static_cast<double>(cached_stats.hits) /
-                    static_cast<double>(cached_stats.hits + cached_stats.misses);
-  double speedup = cached_ops / uncached_ops;
+  ModeResult uncached = run(false, tcl::ExecMode::kInterp);
+  ModeResult cached = run(true, tcl::ExecMode::kInterp);
+  ModeResult compiled = run(true, tcl::ExecMode::kCompile);
+  double hit_rate = static_cast<double>(cached.stats.hits) /
+                    static_cast<double>(cached.stats.hits + cached.stats.misses);
+  double cached_speedup = cached.ops / uncached.ops;
+  double compiled_speedup = compiled.ops / uncached.ops;
+  double compiled_vs_cached = compiled.ops / cached.ops;
 
-  std::printf("\nEval-cache comparison (10k-iteration while loop):\n");
-  std::printf("  uncached: %12.0f iterations/sec\n", uncached_ops);
-  std::printf("  cached:   %12.0f iterations/sec  (%.2fx)\n", cached_ops, speedup);
+  std::printf("\nExec-mode comparison (10k-iteration while loop):\n");
+  std::printf("  uncached: %12.0f iterations/sec\n", uncached.ops);
+  std::printf("  cached:   %12.0f iterations/sec  (%.2fx over uncached)\n", cached.ops,
+              cached_speedup);
+  std::printf("  compiled: %12.0f iterations/sec  (%.2fx over uncached, %.2fx over cached)\n",
+              compiled.ops, compiled_speedup, compiled_vs_cached);
   std::printf("  cache: %llu hits, %llu misses (%.1f%% hit rate), %llu fallbacks\n",
-              static_cast<unsigned long long>(cached_stats.hits),
-              static_cast<unsigned long long>(cached_stats.misses), hit_rate * 100.0,
-              static_cast<unsigned long long>(cached_stats.fallbacks));
+              static_cast<unsigned long long>(cached.stats.hits),
+              static_cast<unsigned long long>(cached.stats.misses), hit_rate * 100.0,
+              static_cast<unsigned long long>(cached.stats.fallbacks));
+  std::printf("  compiled run: %llu compiles, %llu compiled evals, %llu commands\n",
+              static_cast<unsigned long long>(compiled.stats.compiles),
+              static_cast<unsigned long long>(compiled.stats.compiled_evals),
+              static_cast<unsigned long long>(compiled.commands));
 
   benchjson::Writer json("parser_throughput");
-  json.AddNumber("ops_per_sec", cached_ops);
-  json.AddNumber("ops_per_sec_uncached", uncached_ops);
-  json.AddNumber("speedup", speedup);
-  json.AddInteger("cache_hits", cached_stats.hits);
-  json.AddInteger("cache_misses", cached_stats.misses);
+  json.AddNumber("ops_per_sec", cached.ops);
+  json.AddNumber("ops_per_sec_uncached", uncached.ops);
+  json.AddNumber("ops_per_sec_compiled", compiled.ops);
+  json.AddNumber("speedup", cached_speedup);
+  json.AddNumber("speedup_compiled", compiled_speedup);
+  json.AddNumber("speedup_compiled_vs_cached", compiled_vs_cached);
+  json.AddInteger("cache_hits", cached.stats.hits);
+  json.AddInteger("cache_misses", cached.stats.misses);
   json.AddNumber("cache_hit_rate", hit_rate);
+  // Deterministic counters for the regression gate: exact functions of the
+  // script, so any drift is a semantic change, not noise.  The interp and
+  // compiled command counts must stay equal -- the VM's cmdcount parity.
+  json.AddInteger("req_tcl_interp_commands", cached.commands);
+  json.AddInteger("req_tcl_compiled_commands", compiled.commands);
+  json.AddInteger("req_tcl_compiled_compiles", compiled.stats.compiles);
+  json.AddInteger("req_tcl_compiled_evals", compiled.stats.compiled_evals);
   json.WriteFile();
 }
 

@@ -35,6 +35,12 @@ BASELINES = {
     # replayed-request total is growth-checked so journal replay cannot
     # silently start re-asserting more traffic per session.
     "reconnect_storm.json": "BENCH_reconnect.json",
+    # Bytecode-VM acceptance workloads: the req_tcl_* keys are exact command
+    # and compile counts for fixed scripts (deterministic, machine
+    # independent), and the MIN_EXEC_SPEEDUPS floors below additionally gate
+    # the compiled-over-cached throughput ratios.
+    "parser_throughput.json": "BENCH_parser_throughput.json",
+    "bind_dispatch.json": "BENCH_bind_dispatch.json",
 }
 
 
@@ -66,6 +72,7 @@ def check(baseline_path, results_path, threshold):
     for key in new_keys:
         print(f"  note {key}: {results[key]} (not in baseline; add it there)")
     failures += check_pipeline_ratios(results)
+    failures += check_exec_mode_floors(results_path.name, results)
     return failures
 
 
@@ -94,6 +101,42 @@ def check_pipeline_ratios(results):
             ratio = sync / max(buffered, 1)
             print(f"  ok   {buffered_key}: {sync} sync -> {buffered} buffered "
                   f"round trips ({ratio:.0f}x saved)")
+    return failures
+
+
+# Bytecode-VM speedup floors: BENCH file -> (ratio key, minimum).  The
+# compiled exec mode has to keep beating the tree-walker + eval cache by
+# these margins on the acceptance workloads; falling below means the VM's
+# fast paths stopped being taken (e.g. a new builtin guard or a compile
+# bail-out on the hot script), which is a performance regression even though
+# every conformance test still passes.
+MIN_EXEC_SPEEDUPS = {
+    "BENCH_parser_throughput.json": ("speedup_compiled_vs_cached", 5.0),
+    "BENCH_bind_dispatch.json": ("speedup_compiled_vs_cached", 2.0),
+}
+
+
+def check_exec_mode_floors(results_name, results):
+    failures = []
+    floor = MIN_EXEC_SPEEDUPS.get(results_name)
+    if floor is not None:
+        key, minimum = floor
+        value = results.get(key)
+        if value is None:
+            failures.append(f"{key}: missing from {results_name}")
+        elif value < minimum:
+            failures.append(f"{key}: {value:.2f}x < required {minimum:.1f}x "
+                            f"(compiled exec mode regression)")
+        else:
+            print(f"  ok   {key}: {value:.2f}x (floor {minimum:.1f}x)")
+    # cmdcount parity: both exec modes run the same script, so their command
+    # counters must be identical, not merely close.
+    interp_cmds = results.get("req_tcl_interp_commands")
+    compiled_cmds = results.get("req_tcl_compiled_commands")
+    if interp_cmds is not None and compiled_cmds is not None \
+            and interp_cmds != compiled_cmds:
+        failures.append(f"req_tcl_compiled_commands: {compiled_cmds} != "
+                        f"req_tcl_interp_commands {interp_cmds} (cmdcount parity)")
     return failures
 
 

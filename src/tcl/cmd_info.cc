@@ -4,8 +4,10 @@
 // it is possible to retrieve the body of a Tcl procedure or a list of all
 // defined variable names)" -- that is exactly what `info` implements.
 
+#include "src/tcl/compiler.h"
 #include "src/tcl/interp.h"
 #include "src/tcl/list.h"
+#include "src/tcl/parser.h"
 #include "src/tcl/utils.h"
 
 namespace tcl {
@@ -128,7 +130,10 @@ Code InfoCmd(Interp& interp, std::vector<std::string>& args) {
           "fallbacks",     FormatInt(static_cast<int64_t>(stats.fallbacks)),
           "entries",       FormatInt(static_cast<int64_t>(interp.eval_cache_size())),
           "limit",         FormatInt(static_cast<int64_t>(interp.eval_cache_capacity())),
-          "enabled",       interp.eval_cache_enabled() ? "1" : "0"};
+          "enabled",       interp.eval_cache_enabled() ? "1" : "0",
+          "compiles",      FormatInt(static_cast<int64_t>(stats.compiles)),
+          "compiled_evals", FormatInt(static_cast<int64_t>(stats.compiled_evals)),
+          "mode", interp.exec_mode() == ExecMode::kCompile ? "compile" : "interp"};
       interp.SetResult(MergeList(kv));
       return Code::kOk;
     }
@@ -175,6 +180,20 @@ Code InfoCmd(Interp& interp, std::vector<std::string>& args) {
     }
     return interp.Error("bad evalcache option \"" + action +
                         "\": should be clear, enabled, or limit");
+  }
+  if (option == "bytecode") {
+    // info bytecode script -> instruction listing of the compiled script
+    // (compiled fresh; does not populate the eval cache).
+    if (args.size() != 3) {
+      return interp.WrongNumArgs("info bytecode script");
+    }
+    std::shared_ptr<const ParsedScript> parsed = ParseScript(args[2]);
+    if (!parsed->ok) {
+      return interp.Error("can't compile script: static parse failed");
+    }
+    std::shared_ptr<const CompiledScript> compiled = CompileScript(std::move(parsed));
+    interp.SetResult(Disassemble(*compiled));
+    return Code::kOk;
   }
   if (option == "tclversion") {
     interp.SetResult(kTclVersion);
@@ -230,8 +249,9 @@ Code InfoCmd(Interp& interp, std::vector<std::string>& args) {
     return (*extension)(interp, args);
   }
   return interp.Error("bad option \"" + option +
-                      "\": should be args, body, cmdcount, commands, complete, default, "
-                      "evalcache, exists, globals, level, locals, procs, tclversion, or vars");
+                      "\": should be args, body, bytecode, cmdcount, commands, complete, "
+                      "default, evalcache, exists, globals, level, locals, procs, "
+                      "tclversion, or vars");
 }
 
 Code ArrayCmd(Interp& interp, std::vector<std::string>& args) {

@@ -1,0 +1,1376 @@
+#include "src/tcl/compiler.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_map>
+#include <utility>
+
+#include "src/tcl/list.h"
+#include "src/tcl/utils.h"
+
+namespace tcl {
+namespace {
+
+// Expression stack depth limit: expressions needing more slots bail to the
+// canonical engine (which recurses instead of using an explicit stack).
+constexpr int kMaxExprStack = 64;
+
+// ---------------------------------------------------------------------------
+// Numeric kernels shared by constant folding and the runtime evaluator.
+// These mirror the int/double arms of ExprParser::ApplyBinary / ParseUnary
+// exactly; std::nullopt means "the canonical engine must produce the result
+// (or error message) for this input".
+
+std::optional<NumVal> ApplyUnaryNum(char op, const NumVal& v) {
+  switch (op) {
+    case '-':
+      return v.is_int ? NumVal::Int(-v.i) : NumVal::Dbl(-v.d);
+    case '+':
+      return v;
+    case '!':
+      return NumVal::Int(v.Truthy() ? 0 : 1);
+    case '~':
+      if (!v.is_int) {
+        return std::nullopt;  // "can't use non-integer operand with \"~\""
+      }
+      return NumVal::Int(~v.i);
+  }
+  return std::nullopt;
+}
+
+std::optional<NumVal> ApplyBinaryNum(BinOp op, const NumVal& lhs, const NumVal& rhs) {
+  switch (op) {
+    case BinOp::kMod:
+    case BinOp::kShl:
+    case BinOp::kShr:
+    case BinOp::kBitAnd:
+    case BinOp::kBitOr:
+    case BinOp::kBitXor: {
+      if (!lhs.is_int || !rhs.is_int) {
+        return std::nullopt;  // "can't use non-integer operand with ..."
+      }
+      int64_t a = lhs.i;
+      int64_t b = rhs.i;
+      switch (op) {
+        case BinOp::kMod: {
+          if (b == 0) {
+            return std::nullopt;  // "divide by zero"
+          }
+          // Tcl defines % so the remainder has the sign of the divisor.
+          int64_t rem = a % b;
+          if (rem != 0 && ((rem < 0) != (b < 0))) {
+            rem += b;
+          }
+          return NumVal::Int(rem);
+        }
+        case BinOp::kShl:
+          return NumVal::Int(static_cast<int64_t>(static_cast<uint64_t>(a)
+                                                  << (static_cast<uint64_t>(b) & 63)));
+        case BinOp::kShr:
+          return NumVal::Int(a >> (static_cast<uint64_t>(b) & 63));
+        case BinOp::kBitAnd:
+          return NumVal::Int(a & b);
+        case BinOp::kBitOr:
+          return NumVal::Int(a | b);
+        default:
+          return NumVal::Int(a ^ b);
+      }
+    }
+    case BinOp::kLt:
+    case BinOp::kGt:
+    case BinOp::kLe:
+    case BinOp::kGe:
+    case BinOp::kEq:
+    case BinOp::kNe: {
+      bool result = false;
+      if (!lhs.is_int || !rhs.is_int) {
+        double a = lhs.AsDouble();
+        double b = rhs.AsDouble();
+        result = op == BinOp::kEq   ? a == b
+                 : op == BinOp::kNe ? a != b
+                 : op == BinOp::kLt ? a < b
+                 : op == BinOp::kGt ? a > b
+                 : op == BinOp::kLe ? a <= b
+                                    : a >= b;
+      } else {
+        int64_t a = lhs.i;
+        int64_t b = rhs.i;
+        result = op == BinOp::kEq   ? a == b
+                 : op == BinOp::kNe ? a != b
+                 : op == BinOp::kLt ? a < b
+                 : op == BinOp::kGt ? a > b
+                 : op == BinOp::kLe ? a <= b
+                                    : a >= b;
+      }
+      return NumVal::Int(result ? 1 : 0);
+    }
+    case BinOp::kAdd:
+    case BinOp::kSub:
+    case BinOp::kMul:
+    case BinOp::kDiv: {
+      if (!lhs.is_int || !rhs.is_int) {
+        double a = lhs.AsDouble();
+        double b = rhs.AsDouble();
+        switch (op) {
+          case BinOp::kAdd:
+            return NumVal::Dbl(a + b);
+          case BinOp::kSub:
+            return NumVal::Dbl(a - b);
+          case BinOp::kMul:
+            return NumVal::Dbl(a * b);
+          default:
+            if (b == 0.0) {
+              return std::nullopt;  // "divide by zero"
+            }
+            return NumVal::Dbl(a / b);
+        }
+      }
+      int64_t a = lhs.i;
+      int64_t b = rhs.i;
+      switch (op) {
+        case BinOp::kAdd:
+          return NumVal::Int(a + b);
+        case BinOp::kSub:
+          return NumVal::Int(a - b);
+        case BinOp::kMul:
+          return NumVal::Int(a * b);
+        default: {
+          if (b == 0) {
+            return std::nullopt;  // "divide by zero"
+          }
+          // Tcl division truncates toward negative infinity.
+          int64_t quot = a / b;
+          if ((a % b != 0) && ((a < 0) != (b < 0))) {
+            --quot;
+          }
+          return NumVal::Int(quot);
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Expression compiler: parses the compilable subset into a small AST, folds
+// constants, and emits RPN ops.  Any input outside the subset (strings,
+// braces, quotes, [commands], math functions, array references, non-decimal
+// literals) makes compilation fail, which leaves the CompiledExpr in
+// always-bail form.
+
+struct ENode {
+  enum class K { kConst, kVar, kUnary, kBinary, kAnd, kOr, kTernary };
+  K k = K::kConst;
+  NumVal value;            // kConst
+  uint32_t slot = 0;       // kVar
+  char uop = 0;            // kUnary
+  BinOp bin = BinOp::kAdd; // kBinary
+  std::unique_ptr<ENode> a;  // operand / lhs / condition
+  std::unique_ptr<ENode> b;  // rhs / then-branch
+  std::unique_ptr<ENode> c;  // else-branch
+};
+
+using NodeP = std::unique_ptr<ENode>;
+
+class ExprCompiler {
+ public:
+  // `intern` maps a scalar variable name to its slot index (-1 when the name
+  // cannot be served by the slot cache).
+  using InternFn = int32_t (*)(void* ctx, std::string_view name);
+  ExprCompiler(std::string_view text, InternFn intern, void* intern_ctx)
+      : text_(text), intern_(intern), intern_ctx_(intern_ctx) {}
+
+  bool Compile(std::vector<ExprOp>* ops) {
+    NodeP root;
+    if (!ParseTernary(&root)) {
+      return false;
+    }
+    SkipSpace();
+    if (pos_ < text_.size()) {
+      return false;  // Trailing text: canonical reports the syntax error.
+    }
+    Fold(&root);
+    if (MaxDepth(*root) > kMaxExprStack) {
+      return false;
+    }
+    Emit(*root, ops);
+    return true;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  static NodeP MakeConst(NumVal v) {
+    NodeP n = std::make_unique<ENode>();
+    n->k = ENode::K::kConst;
+    n->value = v;
+    return n;
+  }
+
+  bool ParseTernary(NodeP* out) {
+    if (!ParseBinary(0, out)) {
+      return false;
+    }
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '?') {
+      ++pos_;
+      NodeP then_node;
+      NodeP else_node;
+      if (!ParseTernary(&then_node)) {
+        return false;
+      }
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return false;
+      }
+      ++pos_;
+      if (!ParseTernary(&else_node)) {
+        return false;
+      }
+      NodeP n = std::make_unique<ENode>();
+      n->k = ENode::K::kTernary;
+      n->a = std::move(*out);
+      n->b = std::move(then_node);
+      n->c = std::move(else_node);
+      *out = std::move(n);
+    }
+    return true;
+  }
+
+  struct OpInfo {
+    std::string_view token;
+    int precedence;
+  };
+
+  static constexpr int kMaxPrecedence = 10;
+
+  // Identical matching rules to ExprParser::MatchBinaryOp so the compiled
+  // subset tokenizes exactly like the canonical engine.
+  std::string_view MatchBinaryOp(int level) {
+    static const OpInfo kOps[] = {
+        {"||", 0}, {"&&", 1}, {"|", 2},  {"^", 3},  {"&", 4},  {"==", 5}, {"!=", 5},
+        {"<=", 6}, {">=", 6}, {"<<", 7}, {">>", 7}, {"<", 6},  {">", 6},  {"+", 8},
+        {"-", 8},  {"*", 9},  {"/", 9},  {"%", 9},
+    };
+    SkipSpace();
+    for (const OpInfo& op : kOps) {
+      if (op.precedence != level) {
+        continue;
+      }
+      if (text_.substr(pos_, op.token.size()) == op.token) {
+        if (op.token == "<" || op.token == ">") {
+          char next = pos_ + 1 < text_.size() ? text_[pos_ + 1] : '\0';
+          if (next == '<' || next == '>' || next == '=') {
+            continue;
+          }
+        }
+        if (op.token == "|" && pos_ + 1 < text_.size() && text_[pos_ + 1] == '|') {
+          continue;
+        }
+        if (op.token == "&" && pos_ + 1 < text_.size() && text_[pos_ + 1] == '&') {
+          continue;
+        }
+        return op.token;
+      }
+    }
+    return {};
+  }
+
+  static BinOp BinOpFor(std::string_view op) {
+    if (op == "+") return BinOp::kAdd;
+    if (op == "-") return BinOp::kSub;
+    if (op == "*") return BinOp::kMul;
+    if (op == "/") return BinOp::kDiv;
+    if (op == "%") return BinOp::kMod;
+    if (op == "<<") return BinOp::kShl;
+    if (op == ">>") return BinOp::kShr;
+    if (op == "&") return BinOp::kBitAnd;
+    if (op == "|") return BinOp::kBitOr;
+    if (op == "^") return BinOp::kBitXor;
+    if (op == "<") return BinOp::kLt;
+    if (op == ">") return BinOp::kGt;
+    if (op == "<=") return BinOp::kLe;
+    if (op == ">=") return BinOp::kGe;
+    if (op == "==") return BinOp::kEq;
+    return BinOp::kNe;
+  }
+
+  bool ParseBinary(int level, NodeP* out) {
+    if (level > kMaxPrecedence) {
+      return ParseUnary(out);
+    }
+    if (!ParseBinary(level + 1, out)) {
+      return false;
+    }
+    while (true) {
+      std::string_view op = MatchBinaryOp(level);
+      if (op.empty()) {
+        return true;
+      }
+      pos_ += op.size();
+      NodeP rhs;
+      if (!ParseBinary(level + 1, &rhs)) {
+        return false;
+      }
+      NodeP n = std::make_unique<ENode>();
+      if (op == "&&") {
+        n->k = ENode::K::kAnd;
+      } else if (op == "||") {
+        n->k = ENode::K::kOr;
+      } else {
+        n->k = ENode::K::kBinary;
+        n->bin = BinOpFor(op);
+      }
+      n->a = std::move(*out);
+      n->b = std::move(rhs);
+      *out = std::move(n);
+    }
+  }
+
+  bool ParseUnary(NodeP* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    char c = text_[pos_];
+    if (c == '-' || c == '+' || c == '!' || c == '~') {
+      ++pos_;
+      if (!ParseUnary(out)) {
+        return false;
+      }
+      NodeP n = std::make_unique<ENode>();
+      n->k = ENode::K::kUnary;
+      n->uop = c;
+      n->a = std::move(*out);
+      *out = std::move(n);
+      return true;
+    }
+    return ParsePrimary(out);
+  }
+
+  bool ParsePrimary(NodeP* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    char c = text_[pos_];
+    if (c == '(') {
+      ++pos_;
+      if (!ParseTernary(out)) {
+        return false;
+      }
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ')') {
+        return false;
+      }
+      ++pos_;
+      return true;
+    }
+    if (c == '$') {
+      return ParseVarRef(out);
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      return ParseIntLiteral(out);
+    }
+    // Everything else -- strings, quotes, braces, [commands], math
+    // functions, bare booleans, '.<digits>' doubles -- bails out.
+    return false;
+  }
+
+  bool ParseVarRef(NodeP* out) {
+    ++pos_;  // '$'
+    std::string_view name;
+    if (pos_ < text_.size() && text_[pos_] == '{') {
+      size_t start = ++pos_;
+      while (pos_ < text_.size() && text_[pos_] != '}') {
+        ++pos_;
+      }
+      if (pos_ >= text_.size()) {
+        return false;  // Unterminated ${: canonical reports the error.
+      }
+      name = text_.substr(start, pos_ - start);
+      ++pos_;
+    } else {
+      size_t start = pos_;
+      while (pos_ < text_.size() && (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                                     text_[pos_] == '_')) {
+        ++pos_;
+      }
+      name = text_.substr(start, pos_ - start);
+      if (pos_ < text_.size() && text_[pos_] == '(') {
+        return false;  // Array reference: generic path.
+      }
+    }
+    if (name.empty() || name.find('(') != std::string_view::npos ||
+        name.find(')') != std::string_view::npos) {
+      return false;
+    }
+    NodeP n = std::make_unique<ENode>();
+    n->k = ENode::K::kVar;
+    n->slot = static_cast<uint32_t>(intern_(intern_ctx_, name));
+    *out = std::move(n);
+    return true;
+  }
+
+  bool ParseIntLiteral(NodeP* out) {
+    size_t start = pos_;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    std::string_view token = text_.substr(start, pos_ - start);
+    if (pos_ < text_.size()) {
+      char next = text_[pos_];
+      if (next == '.') {
+        return false;  // Double literal.
+      }
+      if (next == 'e' || next == 'E') {
+        // The canonical scanner treats e[-+]?<digits> as an exponent; any
+        // such suffix makes this a double (or a syntax error) -- bail.
+        size_t look = pos_ + 1;
+        if (look < text_.size() && (text_[look] == '+' || text_[look] == '-')) {
+          ++look;
+        }
+        if (look < text_.size() && std::isdigit(static_cast<unsigned char>(text_[look]))) {
+          return false;
+        }
+      }
+      if (next == 'x' || next == 'X') {
+        return false;  // "0x...": hex literal.
+      }
+    }
+    // Only canonical decimal spellings: a leading zero means octal to the
+    // canonical ParseInt (strtoll base 0), and >18 digits can overflow into
+    // the canonical engine's fall-back-to-double path.
+    if (token.size() > 1 && token[0] == '0') {
+      return false;
+    }
+    if (token.size() > 18) {
+      return false;
+    }
+    int64_t value = 0;
+    for (char d : token) {
+      value = value * 10 + (d - '0');
+    }
+    *out = MakeConst(NumVal::Int(value));
+    return true;
+  }
+
+  // Bottom-up constant folding using the same kernels the runtime uses; a
+  // kernel bail (divide by zero, ~ on a double) keeps the node unfolded so
+  // the runtime bails to the canonical engine for the exact error message.
+  void Fold(NodeP* node) {
+    ENode& n = **node;
+    if (n.a) Fold(&n.a);
+    if (n.b) Fold(&n.b);
+    if (n.c) Fold(&n.c);
+    auto is_const = [](const NodeP& p) { return p && p->k == ENode::K::kConst; };
+    switch (n.k) {
+      case ENode::K::kUnary:
+        if (is_const(n.a)) {
+          if (std::optional<NumVal> v = ApplyUnaryNum(n.uop, n.a->value)) {
+            *node = MakeConst(*v);
+          }
+        }
+        break;
+      case ENode::K::kBinary:
+        if (is_const(n.a) && is_const(n.b)) {
+          if (std::optional<NumVal> v = ApplyBinaryNum(n.bin, n.a->value, n.b->value)) {
+            *node = MakeConst(*v);
+          }
+        }
+        break;
+      case ENode::K::kAnd:
+        if (is_const(n.a)) {
+          if (!n.a->value.Truthy()) {
+            // Short-circuit: canonical skips the RHS entirely (including any
+            // divide-by-zero it would raise) and yields the LHS boolean.
+            *node = MakeConst(NumVal::Int(0));
+          } else if (is_const(n.b)) {
+            *node = MakeConst(NumVal::Int(n.b->value.Truthy() ? 1 : 0));
+          }
+        }
+        break;
+      case ENode::K::kOr:
+        if (is_const(n.a)) {
+          if (n.a->value.Truthy()) {
+            *node = MakeConst(NumVal::Int(1));
+          } else if (is_const(n.b)) {
+            *node = MakeConst(NumVal::Int(n.b->value.Truthy() ? 1 : 0));
+          }
+        }
+        break;
+      case ENode::K::kTernary:
+        if (is_const(n.a)) {
+          // Canonical parses the untaken branch with evaluate=false, so its
+          // runtime errors never surface; dropping it is exact.
+          NodeP taken = n.a->value.Truthy() ? std::move(n.b) : std::move(n.c);
+          *node = std::move(taken);
+        }
+        break;
+      case ENode::K::kConst:
+      case ENode::K::kVar:
+        break;
+    }
+  }
+
+  static int MaxDepth(const ENode& n) {
+    switch (n.k) {
+      case ENode::K::kConst:
+      case ENode::K::kVar:
+        return 1;
+      case ENode::K::kUnary:
+        return MaxDepth(*n.a);
+      case ENode::K::kBinary:
+        return std::max(MaxDepth(*n.a), MaxDepth(*n.b) + 1);
+      case ENode::K::kAnd:
+      case ENode::K::kOr:
+        return std::max(MaxDepth(*n.a), MaxDepth(*n.b));
+      case ENode::K::kTernary:
+        return std::max(MaxDepth(*n.a), std::max(MaxDepth(*n.b), MaxDepth(*n.c)));
+    }
+    return 1;
+  }
+
+  void Emit(const ENode& n, std::vector<ExprOp>* ops) {
+    switch (n.k) {
+      case ENode::K::kConst: {
+        ExprOp op;
+        if (n.value.is_int) {
+          op.k = ExprOp::K::kPushInt;
+          op.i = n.value.i;
+        } else {
+          op.k = ExprOp::K::kPushDouble;
+          op.d = n.value.d;
+        }
+        ops->push_back(op);
+        break;
+      }
+      case ENode::K::kVar: {
+        ExprOp op;
+        op.k = ExprOp::K::kLoadSlot;
+        op.a = n.slot;
+        ops->push_back(op);
+        break;
+      }
+      case ENode::K::kUnary: {
+        Emit(*n.a, ops);
+        ExprOp op;
+        op.k = ExprOp::K::kUnary;
+        op.uop = n.uop;
+        ops->push_back(op);
+        break;
+      }
+      case ENode::K::kBinary: {
+        Emit(*n.a, ops);
+        Emit(*n.b, ops);
+        ExprOp op;
+        op.k = ExprOp::K::kBinary;
+        op.bin = n.bin;
+        ops->push_back(op);
+        break;
+      }
+      case ENode::K::kAnd:
+      case ENode::K::kOr: {
+        Emit(*n.a, ops);
+        size_t jump_at = ops->size();
+        ExprOp op;
+        op.k = n.k == ENode::K::kAnd ? ExprOp::K::kAndJump : ExprOp::K::kOrJump;
+        ops->push_back(op);
+        Emit(*n.b, ops);
+        ExprOp boolify;
+        boolify.k = ExprOp::K::kBoolify;
+        ops->push_back(boolify);
+        (*ops)[jump_at].a = static_cast<uint32_t>(ops->size());
+        break;
+      }
+      case ENode::K::kTernary: {
+        Emit(*n.a, ops);
+        size_t cond_at = ops->size();
+        ExprOp cond;
+        cond.k = ExprOp::K::kCondJump;
+        ops->push_back(cond);
+        Emit(*n.b, ops);
+        size_t jump_at = ops->size();
+        ExprOp jump;
+        jump.k = ExprOp::K::kJump;
+        ops->push_back(jump);
+        (*ops)[cond_at].a = static_cast<uint32_t>(ops->size());
+        Emit(*n.c, ops);
+        (*ops)[jump_at].a = static_cast<uint32_t>(ops->size());
+        break;
+      }
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  InternFn intern_;
+  void* intern_ctx_;
+};
+
+// ---------------------------------------------------------------------------
+// Script compiler.
+
+constexpr std::string_view kWhileBodyNote = "\n    (\"while\" body line)";
+constexpr std::string_view kForeachBodyNote = "\n    (\"foreach\" body line)";
+
+class ScriptCompiler {
+ public:
+  explicit ScriptCompiler(std::shared_ptr<const ParsedScript> parsed) {
+    out_ = std::make_shared<CompiledScript>();
+    out_->parsed = std::move(parsed);
+  }
+
+  std::shared_ptr<const CompiledScript> Run() {
+    EmitBody(*out_->parsed, /*live=*/true, /*parent=*/-1, /*note=*/{},
+             /*reset_if_empty=*/false);
+    Instr done;
+    done.op = Instr::Op::kDone;
+    out_->instrs.push_back(done);
+    ThreadJumps();
+    return out_;
+  }
+
+ private:
+  std::vector<Instr>& instrs() { return out_->instrs; }
+
+  int32_t AddConst(std::string_view s) {
+    std::string key(s);
+    auto it = const_ids_.find(key);
+    if (it != const_ids_.end()) {
+      return it->second;
+    }
+    int32_t id = static_cast<int32_t>(out_->constants.size());
+    out_->constants.push_back(key);
+    const_ids_.emplace(std::move(key), id);
+    return id;
+  }
+
+  int32_t InternSlot(std::string_view name) {
+    std::string key(name);
+    auto it = slot_ids_.find(key);
+    if (it != slot_ids_.end()) {
+      return it->second;
+    }
+    int32_t id = static_cast<int32_t>(out_->slot_names.size());
+    out_->slot_names.push_back(key);
+    slot_ids_.emplace(std::move(key), id);
+    return id;
+  }
+
+  // Scalar-variable slot for `name`, or -1 for names the slot cache cannot
+  // serve (array references).
+  int32_t SlotForName(std::string_view name) {
+    if (name.find('(') != std::string_view::npos ||
+        name.find(')') != std::string_view::npos) {
+      return -1;
+    }
+    return InternSlot(name);
+  }
+
+  int32_t AddTrace(const ParsedCommand& cmd, const ParsedScript& block, int32_t parent,
+                   std::string_view note) {
+    TraceNode node;
+    node.text = block.source.substr(cmd.src_begin, cmd.src_end - cmd.src_begin);
+    node.note = std::string(note);
+    node.parent = parent;
+    out_->traces.push_back(std::move(node));
+    return static_cast<int32_t>(out_->traces.size() - 1);
+  }
+
+  static int32_t InternSlotThunk(void* ctx, std::string_view name) {
+    return static_cast<ScriptCompiler*>(ctx)->SlotForName(name);
+  }
+
+  int32_t CompileExprText(std::string_view text) {
+    CompiledExpr expr;
+    expr.text = std::string(text);
+    ExprCompiler compiler(expr.text, &InternSlotThunk, this);
+    std::vector<ExprOp> ops;
+    bool ok = compiler.Compile(&ops);
+    if (ok) {
+      // A slot-ineligible variable inside the subset (array name with
+      // parens) compiles to slot -1; treat the whole expression as
+      // non-compilable instead of faulting at runtime.
+      for (const ExprOp& op : ops) {
+        if (op.k == ExprOp::K::kLoadSlot && static_cast<int32_t>(op.a) < 0) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok) {
+      expr.ops = std::move(ops);
+    }
+    out_->exprs.push_back(std::move(expr));
+    return static_cast<int32_t>(out_->exprs.size() - 1);
+  }
+
+  // Parses a literal body for inlining.  Returns nullptr when the static
+  // parser rejects it (the surrounding construct then stays generic so the
+  // dynamic evaluator reports errors its way).
+  std::shared_ptr<const ParsedScript> ParseBlock(const std::string& body) {
+    std::shared_ptr<const ParsedScript> parsed = ParseScript(body);
+    if (!parsed->ok) {
+      return nullptr;
+    }
+    return parsed;
+  }
+
+  void EmitBody(const ParsedScript& block, bool live, int32_t parent, std::string_view note,
+                bool reset_if_empty) {
+    if (block.commands.empty()) {
+      if (reset_if_empty) {
+        Instr in;
+        in.op = Instr::Op::kResetResult;
+        instrs().push_back(in);
+      }
+      return;
+    }
+    for (size_t i = 0; i < block.commands.size(); ++i) {
+      bool cmd_live = live && i + 1 == block.commands.size();
+      EmitCommand(block.commands[i], block, cmd_live, parent, note);
+    }
+  }
+
+  void EmitCommand(const ParsedCommand& cmd, const ParsedScript& block, bool live,
+                   int32_t parent, std::string_view note) {
+    int32_t tn = AddTrace(cmd, block, parent, note);
+    const std::vector<ParsedWord>& w = cmd.words;
+    if (!w.empty() && w[0].is_literal) {
+      const std::string& name = w[0].literal;
+      if (name == "set" && TryCompileSet(cmd, tn, live)) return;
+      if (name == "incr" && TryCompileIncr(cmd, tn, live)) return;
+      if (name == "expr" && TryCompileExprCmd(cmd, tn, live)) return;
+      if (name == "if" && TryCompileIf(cmd, tn, live)) return;
+      if (name == "while" && TryCompileWhile(cmd, tn)) return;
+      if (name == "foreach" && TryCompileForeach(cmd, tn)) return;
+      if (name == "break" && w.size() == 1) {
+        EmitSimple(Instr::Op::kBreak, cmd, tn);
+        return;
+      }
+      if (name == "continue" && w.size() == 1) {
+        EmitSimple(Instr::Op::kContinue, cmd, tn);
+        return;
+      }
+    }
+    EmitInvoke(cmd, tn, live);
+  }
+
+  void EmitInvoke(const ParsedCommand& cmd, int32_t tn, bool live) {
+    Instr in;
+    in.op = Instr::Op::kInvoke;
+    in.live = live;
+    in.pcmd = &cmd;
+    in.trace = tn;
+    instrs().push_back(in);
+  }
+
+  void EmitSimple(Instr::Op op, const ParsedCommand& cmd, int32_t tn) {
+    Instr in;
+    in.op = op;
+    in.pcmd = &cmd;
+    in.trace = tn;
+    instrs().push_back(in);
+  }
+
+  bool TryCompileSet(const ParsedCommand& cmd, int32_t tn, bool live) {
+    const std::vector<ParsedWord>& w = cmd.words;
+    if ((w.size() != 2 && w.size() != 3) || !w[1].is_literal) {
+      return false;
+    }
+    const std::string& name = w[1].literal;
+    Instr in;
+    in.live = live;
+    in.pcmd = &cmd;
+    in.trace = tn;
+    in.slot = SlotForName(name);
+    in.name_cidx = AddConst(name);
+    if (w.size() == 2) {
+      in.op = Instr::Op::kSetRead;
+    } else if (w[2].is_literal) {
+      in.op = Instr::Op::kSetConst;
+      in.cidx = AddConst(w[2].literal);
+    } else {
+      in.op = Instr::Op::kSetWord;
+      in.word = &w[2];
+    }
+    instrs().push_back(in);
+    return true;
+  }
+
+  bool TryCompileIncr(const ParsedCommand& cmd, int32_t tn, bool live) {
+    const std::vector<ParsedWord>& w = cmd.words;
+    if ((w.size() != 2 && w.size() != 3) || !w[1].is_literal) {
+      return false;
+    }
+    Instr in;
+    in.op = Instr::Op::kIncr;
+    in.live = live;
+    in.pcmd = &cmd;
+    in.trace = tn;
+    in.slot = SlotForName(w[1].literal);
+    in.name_cidx = AddConst(w[1].literal);
+    if (w.size() == 3) {
+      if (w[2].is_literal) {
+        std::optional<int64_t> amount = ParseInt(w[2].literal);
+        if (!amount) {
+          // IncrCmd reports "expected integer" only after the variable
+          // lookup succeeds; keep the generic path for exact error order.
+          return false;
+        }
+        in.amount = *amount;
+      } else {
+        in.amount_const = false;
+        in.word = &w[2];
+      }
+    }
+    instrs().push_back(in);
+    return true;
+  }
+
+  bool TryCompileExprCmd(const ParsedCommand& cmd, int32_t tn, bool live) {
+    const std::vector<ParsedWord>& w = cmd.words;
+    if (w.size() < 2) {
+      return false;
+    }
+    for (size_t i = 1; i < w.size(); ++i) {
+      if (!w[i].is_literal) {
+        return false;
+      }
+    }
+    std::string text = w[1].literal;
+    for (size_t i = 2; i < w.size(); ++i) {
+      text += ' ';
+      text += w[i].literal;
+    }
+    Instr in;
+    in.op = Instr::Op::kExprCmd;
+    in.live = live;
+    in.pcmd = &cmd;
+    in.trace = tn;
+    in.expr = CompileExprText(text);
+    instrs().push_back(in);
+    return true;
+  }
+
+  bool TryCompileWhile(const ParsedCommand& cmd, int32_t tn) {
+    const std::vector<ParsedWord>& w = cmd.words;
+    if (w.size() != 3 || !w[1].is_literal || !w[2].is_literal) {
+      return false;
+    }
+    std::shared_ptr<const ParsedScript> body = ParseBlock(w[2].literal);
+    if (!body) {
+      return false;
+    }
+    int32_t eidx = CompileExprText(w[1].literal);
+
+    size_t enter_at = instrs().size();
+    Instr enter;
+    enter.op = Instr::Op::kEnterWhile;
+    enter.pcmd = &cmd;
+    enter.trace = tn;
+    instrs().push_back(enter);
+
+    size_t cond_at = instrs().size();
+    Instr cond;
+    cond.op = Instr::Op::kCond;
+    cond.expr = eidx;
+    cond.trace = tn;
+    cond.pop_loop_on_code = true;
+    instrs().push_back(cond);
+
+    EmitBody(*body, /*live=*/false, tn, kWhileBodyNote, /*reset_if_empty=*/false);
+
+    Instr jump;
+    jump.op = Instr::Op::kJump;
+    jump.a = static_cast<uint32_t>(cond_at);
+    instrs().push_back(jump);
+
+    size_t exit_at = instrs().size();
+    Instr exit;
+    exit.op = Instr::Op::kLoopExit;
+    instrs().push_back(exit);
+
+    instrs()[enter_at].b = static_cast<uint32_t>(exit_at);
+    instrs()[cond_at].a = static_cast<uint32_t>(exit_at);
+    out_->blocks.push_back(std::move(body));
+    return true;
+  }
+
+  bool TryCompileForeach(const ParsedCommand& cmd, int32_t tn) {
+    const std::vector<ParsedWord>& w = cmd.words;
+    // The value list (w[2]) may need runtime substitution; the name list and
+    // body must be literal.
+    if (w.size() != 4 || !w[1].is_literal || !w[3].is_literal) {
+      return false;
+    }
+    std::string error;
+    std::optional<std::vector<std::string>> names = SplitList(w[1].literal, &error);
+    if (!names || names->empty()) {
+      return false;  // Generic path reproduces the varList errors.
+    }
+    std::shared_ptr<const ParsedScript> body = ParseBlock(w[3].literal);
+    if (!body) {
+      return false;
+    }
+    ForeachPlan plan;
+    plan.names = std::move(*names);
+    for (const std::string& name : plan.names) {
+      plan.name_slots.push_back(SlotForName(name));
+    }
+    plan.list_word = &w[2];
+    if (w[2].is_literal) {
+      std::optional<std::vector<std::string>> values = SplitList(w[2].literal, &error);
+      if (!values) {
+        return false;  // Generic path reproduces the malformed-list error.
+      }
+      plan.const_values = std::move(*values);
+    }
+    int32_t fe = static_cast<int32_t>(out_->foreaches.size());
+    out_->foreaches.push_back(std::move(plan));
+
+    size_t enter_at = instrs().size();
+    Instr enter;
+    enter.op = Instr::Op::kEnterForeach;
+    enter.pcmd = &cmd;
+    enter.trace = tn;
+    enter.fe = fe;
+    instrs().push_back(enter);
+
+    size_t step_at = instrs().size();
+    Instr step;
+    step.op = Instr::Op::kForeachStep;
+    step.fe = fe;
+    step.trace = tn;
+    instrs().push_back(step);
+
+    EmitBody(*body, /*live=*/false, tn, kForeachBodyNote, /*reset_if_empty=*/false);
+
+    Instr jump;
+    jump.op = Instr::Op::kJump;
+    jump.a = static_cast<uint32_t>(step_at);
+    instrs().push_back(jump);
+
+    size_t exit_at = instrs().size();
+    Instr exit;
+    exit.op = Instr::Op::kLoopExit;
+    instrs().push_back(exit);
+
+    instrs()[enter_at].b = static_cast<uint32_t>(exit_at);
+    out_->blocks.push_back(std::move(body));
+    return true;
+  }
+
+  bool TryCompileIf(const ParsedCommand& cmd, int32_t tn, bool live) {
+    const std::vector<ParsedWord>& w = cmd.words;
+    if (w.size() < 3) {
+      return false;
+    }
+    for (const ParsedWord& word : w) {
+      if (!word.is_literal) {
+        return false;  // Keywords/conditions/bodies must be known statically.
+      }
+    }
+    // Mirror IfCmd's clause walk exactly (including its quirk of treating a
+    // trailing body without an "else" keyword as the else branch).
+    struct Clause {
+      const std::string* cond;
+      const std::string* body;
+    };
+    std::vector<Clause> clauses;
+    const std::string* else_body = nullptr;
+    size_t i = 1;
+    while (true) {
+      if (i >= w.size()) {
+        return false;  // "no expression after..." -> generic.
+      }
+      const std::string* cond = &w[i].literal;
+      ++i;
+      if (i < w.size() && w[i].literal == "then") {
+        ++i;
+      }
+      if (i >= w.size()) {
+        return false;  // "no script following..." -> generic.
+      }
+      clauses.push_back({cond, &w[i].literal});
+      ++i;
+      if (i >= w.size()) {
+        break;  // No else branch.
+      }
+      if (w[i].literal == "elseif") {
+        ++i;
+        continue;
+      }
+      if (w[i].literal == "else") {
+        ++i;
+        if (i >= w.size()) {
+          return false;  // "no script following \"else\"..." -> generic.
+        }
+      }
+      else_body = &w[i].literal;
+      break;
+    }
+
+    // All bodies must parse statically.
+    std::vector<std::shared_ptr<const ParsedScript>> bodies;
+    for (const Clause& clause : clauses) {
+      std::shared_ptr<const ParsedScript> parsed = ParseBlock(*clause.body);
+      if (!parsed) {
+        return false;
+      }
+      bodies.push_back(std::move(parsed));
+    }
+    std::shared_ptr<const ParsedScript> else_parsed;
+    if (else_body != nullptr) {
+      else_parsed = ParseBlock(*else_body);
+      if (!else_parsed) {
+        return false;
+      }
+    }
+
+    size_t enter_at = instrs().size();
+    Instr enter;
+    enter.op = Instr::Op::kEnterIf;
+    enter.pcmd = &cmd;
+    enter.trace = tn;
+    instrs().push_back(enter);
+
+    std::vector<size_t> end_jumps;
+    for (size_t ci = 0; ci < clauses.size(); ++ci) {
+      int32_t eidx = CompileExprText(*clauses[ci].cond);
+      size_t cond_at = instrs().size();
+      Instr cond;
+      cond.op = Instr::Op::kCond;
+      cond.expr = eidx;
+      cond.trace = tn;
+      instrs().push_back(cond);
+
+      EmitBody(*bodies[ci], live, tn, /*note=*/{}, /*reset_if_empty=*/true);
+      out_->blocks.push_back(std::move(bodies[ci]));
+
+      end_jumps.push_back(instrs().size());
+      Instr jump;
+      jump.op = Instr::Op::kJump;
+      instrs().push_back(jump);
+
+      instrs()[cond_at].a = static_cast<uint32_t>(instrs().size());
+    }
+    if (else_parsed) {
+      EmitBody(*else_parsed, live, tn, /*note=*/{}, /*reset_if_empty=*/true);
+      out_->blocks.push_back(std::move(else_parsed));
+    } else {
+      // All conditions false and no else: IfCmd resets the result.
+      Instr reset;
+      reset.op = Instr::Op::kResetResult;
+      instrs().push_back(reset);
+    }
+    size_t end_at = instrs().size();
+    for (size_t at : end_jumps) {
+      instrs()[at].a = static_cast<uint32_t>(end_at);
+    }
+    instrs()[enter_at].a = static_cast<uint32_t>(end_at);
+    return true;
+  }
+
+  // Jump threading: retarget any jump that lands on an unconditional kJump
+  // to that jump's destination (loops over chains, bounded by instr count).
+  void ThreadJumps() {
+    std::vector<Instr>& ins = instrs();
+    auto resolve = [&](uint32_t target) {
+      size_t hops = 0;
+      while (hops++ < ins.size() && target < ins.size() &&
+             ins[target].op == Instr::Op::kJump) {
+        target = ins[target].a;
+      }
+      return target;
+    };
+    for (Instr& in : ins) {
+      switch (in.op) {
+        case Instr::Op::kJump:
+        case Instr::Op::kCond:
+        case Instr::Op::kEnterIf:
+          in.a = resolve(in.a);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  std::shared_ptr<CompiledScript> out_;
+  std::unordered_map<std::string, int32_t> slot_ids_;
+  std::unordered_map<std::string, int32_t> const_ids_;
+};
+
+}  // namespace
+
+std::string NumVal::Print() const { return is_int ? FormatInt(i) : FormatDouble(d); }
+
+std::optional<NumVal> RunCompiledExpr(const CompiledExpr& expr, ExprSlotLoadFn load, void* ctx) {
+  if (expr.ops.empty()) {
+    return std::nullopt;
+  }
+  NumVal stack[kMaxExprStack];
+  int sp = 0;
+  size_t ip = 0;
+  const size_t count = expr.ops.size();
+  while (ip < count) {
+    const ExprOp& op = expr.ops[ip];
+    switch (op.k) {
+      case ExprOp::K::kPushInt:
+        stack[sp++] = NumVal::Int(op.i);
+        break;
+      case ExprOp::K::kPushDouble:
+        stack[sp++] = NumVal::Dbl(op.d);
+        break;
+      case ExprOp::K::kLoadSlot: {
+        const std::string* value = load != nullptr ? load(ctx, op.a) : nullptr;
+        if (value == nullptr) {
+          return std::nullopt;
+        }
+        // Classify exactly like Value::Classify: int first, then double,
+        // anything else is a string operand -> canonical engine.
+        if (std::optional<int64_t> as_int = ParseInt(*value)) {
+          stack[sp++] = NumVal::Int(*as_int);
+        } else if (std::optional<double> as_double = ParseDouble(*value)) {
+          stack[sp++] = NumVal::Dbl(*as_double);
+        } else {
+          return std::nullopt;
+        }
+        break;
+      }
+      case ExprOp::K::kUnary: {
+        std::optional<NumVal> v = ApplyUnaryNum(op.uop, stack[sp - 1]);
+        if (!v) {
+          return std::nullopt;
+        }
+        stack[sp - 1] = *v;
+        break;
+      }
+      case ExprOp::K::kBinary: {
+        std::optional<NumVal> v = ApplyBinaryNum(op.bin, stack[sp - 2], stack[sp - 1]);
+        if (!v) {
+          return std::nullopt;
+        }
+        --sp;
+        stack[sp - 1] = *v;
+        break;
+      }
+      case ExprOp::K::kAndJump: {
+        NumVal v = stack[--sp];
+        if (!v.Truthy()) {
+          stack[sp++] = NumVal::Int(0);
+          ip = op.a;
+          continue;
+        }
+        break;
+      }
+      case ExprOp::K::kOrJump: {
+        NumVal v = stack[--sp];
+        if (v.Truthy()) {
+          stack[sp++] = NumVal::Int(1);
+          ip = op.a;
+          continue;
+        }
+        break;
+      }
+      case ExprOp::K::kBoolify:
+        stack[sp - 1] = NumVal::Int(stack[sp - 1].Truthy() ? 1 : 0);
+        break;
+      case ExprOp::K::kCondJump: {
+        NumVal v = stack[--sp];
+        if (!v.Truthy()) {
+          ip = op.a;
+          continue;
+        }
+        break;
+      }
+      case ExprOp::K::kJump:
+        ip = op.a;
+        continue;
+    }
+    ++ip;
+  }
+  return stack[0];
+}
+
+std::shared_ptr<const CompiledScript> CompileScript(std::shared_ptr<const ParsedScript> parsed) {
+  ScriptCompiler compiler(std::move(parsed));
+  return compiler.Run();
+}
+
+namespace {
+
+std::string EscapeForListing(std::string_view text, size_t limit = 40) {
+  std::string out;
+  for (char c : text) {
+    if (out.size() >= limit) {
+      out += "...";
+      break;
+    }
+    if (c == '\n') {
+      out += "\\n";
+    } else if (c == '\t') {
+      out += "\\t";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string DisassembleExpr(const CompiledScript& script, int32_t idx) {
+  const CompiledExpr& expr = script.exprs[idx];
+  if (expr.ops.empty()) {
+    return "canonical \"" + EscapeForListing(expr.text) + "\"";
+  }
+  std::string out;
+  for (const ExprOp& op : expr.ops) {
+    if (!out.empty()) {
+      out += "; ";
+    }
+    switch (op.k) {
+      case ExprOp::K::kPushInt:
+        out += "push-int " + FormatInt(op.i);
+        break;
+      case ExprOp::K::kPushDouble:
+        out += "push-double " + FormatDouble(op.d);
+        break;
+      case ExprOp::K::kLoadSlot:
+        out += "load-slot " + std::to_string(op.a) + "(" + script.slot_names[op.a] + ")";
+        break;
+      case ExprOp::K::kUnary:
+        out += std::string("unary ") + op.uop;
+        break;
+      case ExprOp::K::kBinary: {
+        static constexpr std::string_view kNames[] = {
+            "add", "sub", "mul", "div", "mod", "shl", "shr",
+            "bit-and", "bit-or", "bit-xor",
+            "lt", "gt", "le", "ge", "eq", "ne",
+        };
+        out += std::string(kNames[static_cast<size_t>(op.bin)]);
+        break;
+      }
+      case ExprOp::K::kAndJump:
+        out += "and-jump ->" + std::to_string(op.a);
+        break;
+      case ExprOp::K::kOrJump:
+        out += "or-jump ->" + std::to_string(op.a);
+        break;
+      case ExprOp::K::kBoolify:
+        out += "boolify";
+        break;
+      case ExprOp::K::kCondJump:
+        out += "cond-jump ->" + std::to_string(op.a);
+        break;
+      case ExprOp::K::kJump:
+        out += "jump ->" + std::to_string(op.a);
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Disassemble(const CompiledScript& script) {
+  std::string out;
+  auto slot_suffix = [&](const Instr& in) {
+    std::string text;
+    if (in.slot >= 0) {
+      text = " slot=" + std::to_string(in.slot) + "(" + script.slot_names[in.slot] + ")";
+    } else if (in.name_cidx >= 0) {
+      text = " name=\"" + EscapeForListing(script.constants[in.name_cidx]) + "\"";
+    }
+    return text;
+  };
+  for (size_t i = 0; i < script.instrs.size(); ++i) {
+    const Instr& in = script.instrs[i];
+    out += std::to_string(i) + ": ";
+    switch (in.op) {
+      case Instr::Op::kInvoke:
+        out += "invoke \"" +
+               EscapeForListing(in.pcmd != nullptr && !in.pcmd->words.empty() &&
+                                        in.pcmd->words[0].is_literal
+                                    ? std::string_view(in.pcmd->words[0].literal)
+                                    : std::string_view("?")) +
+               "\"";
+        break;
+      case Instr::Op::kSetConst:
+        out += "set-const" + slot_suffix(in) + " value=\"" +
+               EscapeForListing(script.constants[in.cidx]) + "\"";
+        break;
+      case Instr::Op::kSetWord:
+        out += "set-word" + slot_suffix(in);
+        break;
+      case Instr::Op::kSetRead:
+        out += "set-read" + slot_suffix(in);
+        break;
+      case Instr::Op::kIncr:
+        out += "incr" + slot_suffix(in);
+        if (in.amount_const) {
+          out += " amount=" + FormatInt(in.amount);
+        } else {
+          out += " amount=<word>";
+        }
+        break;
+      case Instr::Op::kExprCmd:
+        out += "expr {" + DisassembleExpr(script, in.expr) + "}";
+        break;
+      case Instr::Op::kEnterIf:
+        out += "enter-if end=" + std::to_string(in.a);
+        break;
+      case Instr::Op::kEnterWhile:
+        out += "enter-while exit=" + std::to_string(in.b);
+        break;
+      case Instr::Op::kEnterForeach: {
+        const ForeachPlan& plan = script.foreaches[in.fe];
+        out += "enter-foreach exit=" + std::to_string(in.b) + " names={";
+        for (size_t j = 0; j < plan.names.size(); ++j) {
+          if (j > 0) {
+            out += ' ';
+          }
+          out += plan.names[j];
+        }
+        out += "}";
+        break;
+      }
+      case Instr::Op::kForeachStep:
+        out += "foreach-step";
+        break;
+      case Instr::Op::kCond:
+        out += "cond {" + DisassembleExpr(script, in.expr) + "} false->" + std::to_string(in.a);
+        break;
+      case Instr::Op::kJump:
+        out += "jump ->" + std::to_string(in.a);
+        break;
+      case Instr::Op::kLoopExit:
+        out += "loop-exit";
+        break;
+      case Instr::Op::kBreak:
+        out += "break";
+        break;
+      case Instr::Op::kContinue:
+        out += "continue";
+        break;
+      case Instr::Op::kResetResult:
+        out += "reset-result";
+        break;
+      case Instr::Op::kDone:
+        out += "done";
+        break;
+    }
+    if (in.live) {
+      out += " (live)";
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace tcl

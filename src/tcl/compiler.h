@@ -1,0 +1,213 @@
+// The Tcl bytecode compiler (stage two of the parse -> compile -> execute
+// pipeline).
+//
+// ParseScript (parser.h) turns a script into a ParsedScript: commands made of
+// literal words and substitution parts.  CompileScript lowers that structure
+// one step further into a flat instruction stream executed by the stack VM in
+// vm.h:
+//
+//   * `set`, `incr` and `expr` with literal names compile to inline
+//     instructions that read and write indexed local-variable slots instead
+//     of dispatching through the command table,
+//   * `if`, `while` and `foreach` with literal condition/body words compile
+//     to jump-threaded control flow with their bodies inlined into the same
+//     instruction stream (one compile, zero per-iteration parsing or cache
+//     lookups),
+//   * literal condition/argument expressions compile to a tiny RPN program
+//     over int/double values with constant folding; anything outside the
+//     numeric subset (strings, functions, nested [commands]) bails out to the
+//     canonical expr engine at runtime, which reproduces classic results and
+//     error messages byte for byte,
+//   * every other command becomes a kInvoke instruction that performs the
+//     exact per-execution work EvalParsed would: assemble the words, dispatch
+//     through Interp::EvalWords.
+//
+// Compilation never fails: a script that offers no inline opportunities is
+// just a sequence of kInvoke instructions.  Scripts the static tokenizer
+// rejects are never compiled at all (Interp::Eval keeps them on the dynamic
+// EvalScript path).
+//
+// Parity rules are structural: the VM counts commands exactly as EvalWords
+// would, reproduces the errorInfo trace chain via per-instruction TraceNodes,
+// and falls back to generic dispatch whenever one of the inlined builtins has
+// been redefined, renamed or deleted (Interp tracks that in builtin_epoch_).
+
+#ifndef SRC_TCL_COMPILER_H_
+#define SRC_TCL_COMPILER_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/tcl/parser.h"
+#include "src/tcl/types.h"
+
+namespace tcl {
+
+// ---------------------------------------------------------------------------
+// Compiled expressions.
+
+// A numeric value flowing through a compiled expression: the int/double
+// subset of the canonical expr engine's Value (strings force a bailout).
+struct NumVal {
+  bool is_int = true;
+  int64_t i = 0;
+  double d = 0.0;
+
+  static NumVal Int(int64_t v) {
+    NumVal out;
+    out.is_int = true;
+    out.i = v;
+    return out;
+  }
+  static NumVal Dbl(double v) {
+    NumVal out;
+    out.is_int = false;
+    out.d = v;
+    return out;
+  }
+  bool Truthy() const { return is_int ? i != 0 : d != 0.0; }
+  double AsDouble() const { return is_int ? static_cast<double>(i) : d; }
+  // Prints the way expr results print (FormatInt / FormatDouble).
+  std::string Print() const;
+};
+
+enum class BinOp : uint8_t {
+  kAdd, kSub, kMul, kDiv, kMod, kShl, kShr,
+  kBitAnd, kBitOr, kBitXor,
+  kLt, kGt, kLe, kGe, kEq, kNe,
+};
+
+// One RPN op of a compiled expression.
+struct ExprOp {
+  enum class K : uint8_t {
+    kPushInt,     // push Int(i)
+    kPushDouble,  // push Dbl(d) (produced by constant folding)
+    kLoadSlot,    // push classified value of slot `a`; bail if non-numeric
+    kUnary,       // apply unary `uop` to the top of stack
+    kBinary,      // pop rhs, apply `bin` to (tos, rhs)
+    kAndJump,     // pop v; if !v: push Int(0), jump to `a`   (&& short-circuit)
+    kOrJump,      // pop v; if v: push Int(1), jump to `a`    (|| short-circuit)
+    kBoolify,     // tos = Int(tos truthy)                    (closes && / ||)
+    kCondJump,    // pop v; if !v jump to `a`                 (?: condition)
+    kJump,        // jump to `a`
+  };
+  K k = K::kPushInt;
+  char uop = 0;          // '-', '+', '!', '~'
+  BinOp bin = BinOp::kAdd;
+  uint32_t a = 0;        // slot index or jump target
+  int64_t i = 0;
+  double d = 0.0;
+};
+
+// A compiled expression.  `ops` empty means the text is outside the compiled
+// subset: always evaluate `text` with the canonical expr engine instead.
+// The subset is side-effect free (integer literals, scalar $variables,
+// operators), so a runtime bailout can safely re-evaluate the original text.
+struct CompiledExpr {
+  std::string text;           // Original text, for the canonical bail path.
+  std::vector<ExprOp> ops;
+};
+
+// Evaluates a compiled expression.  `load` supplies the current string value
+// of variable slot `slot` (return nullptr to bail: undefined variable, array,
+// or caller-side cache problem).  Returns std::nullopt when evaluation must
+// fall back to the canonical engine (non-numeric operand, divide by zero,
+// int-only operator on a double, ...).
+using ExprSlotLoadFn = const std::string* (*)(void* ctx, uint32_t slot);
+std::optional<NumVal> RunCompiledExpr(const CompiledExpr& expr, ExprSlotLoadFn load, void* ctx);
+
+// ---------------------------------------------------------------------------
+// Compiled scripts.
+
+// One node of the error-trace tree.  On an error the VM reproduces the
+// "while executing / invoked from within" chain the tree-walker would build:
+// the failing instruction's own command text first, then for each ancestor
+// construct the connecting note (e.g. `\n    ("while" body line)`) followed
+// by the construct's command text.
+struct TraceNode {
+  std::string text;   // The command's source span (trimmed, as traced).
+  std::string note;   // Emitted via AddErrorInfo when walking to the parent.
+  int32_t parent = -1;
+};
+
+// Iteration plan for an inlined foreach: the literal varList split at compile
+// time, with slot indices for plain scalar names.
+struct ForeachPlan {
+  std::vector<std::string> names;
+  std::vector<int32_t> name_slots;       // -1 => generic SetVar path.
+  const ParsedWord* list_word = nullptr; // The (possibly non-literal) list word.
+  // When the value list is itself a literal word, it is split once here and
+  // every execution iterates this vector directly (no assembly, no split).
+  std::optional<std::vector<std::string>> const_values;
+};
+
+struct Instr {
+  enum class Op : uint8_t {
+    kInvoke,        // Generic: assemble pcmd's words, EvalWords.
+    kSetConst,      // set <name> <literal>: constants[cidx] into slot/name.
+    kSetWord,       // set <name> <word>: assemble `word`, then store.
+    kSetRead,       // set <name>: read the variable into the result.
+    kIncr,          // incr <name> ?amount?: amount constant or from `word`.
+    kExprCmd,       // expr <literal...>: run exprs[expr], result if live.
+    kEnterIf,       // Guard + count for an inlined `if`; on guard failure
+                    //   dispatch pcmd generically and jump to `a`.
+    kEnterWhile,    // Guard + count + push loop frame; exit at `b`, skip b+1.
+    kEnterForeach,  // Same plus list assembly/split via foreaches[fe].
+    kForeachStep,   // Assign next stride of variables or jump to loop exit.
+    kCond,          // Evaluate exprs[expr]; jump to `a` when false.
+    kJump,          // Unconditional jump to `a`.
+    kLoopExit,      // Pop loop frame, reset result.
+    kBreak,         // Inline `break`: count, reset result, unwind loop.
+    kContinue,      // Inline `continue`.
+    kResetResult,   // Reset the result (empty branch / if-with-no-else).
+    kDone,          // End of script: return kOk.
+  };
+
+  Op op = Op::kInvoke;
+  // Whether this command's result can be the script's final result; dead
+  // inline instructions skip SetResult entirely (the tree-walker's next
+  // ResetResult would discard it anyway).
+  bool live = false;
+  bool pop_loop_on_code = false;  // kCond of a loop: non-ok codes leave the loop.
+  bool amount_const = true;       // kIncr: amount in `amount` vs from `word`.
+  const ParsedCommand* pcmd = nullptr;  // Source command (generic fallback).
+  const ParsedWord* word = nullptr;     // Value word (kSetWord / kIncr amount).
+  int32_t trace = -1;             // TraceNode index.
+  uint32_t a = 0;                 // Jump target / skip target.
+  uint32_t b = 0;                 // Loop exit (kEnterWhile / kEnterForeach).
+  int32_t slot = -1;              // Variable slot (-1 => generic name path).
+  int32_t cidx = -1;              // constants[] index of the value.
+  int32_t name_cidx = -1;         // constants[] index of the variable name.
+  int64_t amount = 1;             // kIncr constant amount.
+  int32_t expr = -1;              // exprs[] index.
+  int32_t fe = -1;                // foreaches[] index.
+};
+
+struct CompiledScript {
+  // The parse this was compiled from, plus the parses of every literal body
+  // inlined into the stream (their ParsedCommand/ParsedWord storage backs the
+  // pcmd/word pointers in instrs).
+  std::shared_ptr<const ParsedScript> parsed;
+  std::vector<std::shared_ptr<const ParsedScript>> blocks;
+
+  std::vector<Instr> instrs;
+  std::vector<std::string> constants;
+  std::vector<std::string> slot_names;
+  std::vector<TraceNode> traces;
+  std::vector<CompiledExpr> exprs;
+  std::vector<ForeachPlan> foreaches;
+};
+
+// Compiles a statically-parsed script.  `parsed->ok` must be true.  Never
+// fails: commands outside the inline subset become kInvoke instructions.
+std::shared_ptr<const CompiledScript> CompileScript(std::shared_ptr<const ParsedScript> parsed);
+
+// Human-readable instruction listing (the `info bytecode` hook).
+std::string Disassemble(const CompiledScript& script);
+
+}  // namespace tcl
+
+#endif  // SRC_TCL_COMPILER_H_

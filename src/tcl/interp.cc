@@ -2,12 +2,16 @@
 
 #include <cassert>
 #include <cctype>
+#include <cstdlib>
+#include <cstring>
 #include <optional>
 
+#include "src/tcl/compiler.h"
 #include "src/tcl/expr.h"
 #include "src/tcl/list.h"
 #include "src/tcl/parser.h"
 #include "src/tcl/utils.h"
+#include "src/tcl/vm.h"
 
 namespace tcl {
 namespace {
@@ -26,9 +30,24 @@ bool SplitArrayName(std::string_view name, std::string_view* base, std::string_v
   return true;
 }
 
+// The builtins the VM executes inline; mutating any of them flips every
+// compiled script back to generic dispatch (see Interp::builtin_epoch_).
+bool IsVmInlinedBuiltin(std::string_view name) {
+  return name == "set" || name == "incr" || name == "expr" || name == "if" ||
+         name == "while" || name == "foreach" || name == "break" || name == "continue";
+}
+
+ExecMode ExecModeFromEnv() {
+  const char* mode = std::getenv("TCLK_TCL_EXEC");
+  if (mode != nullptr && std::strcmp(mode, "interp") == 0) {
+    return ExecMode::kInterp;
+  }
+  return ExecMode::kCompile;
+}
+
 }  // namespace
 
-Interp::Interp() {
+Interp::Interp() : exec_mode_(ExecModeFromEnv()) {
   auto global = std::make_unique<CallFrame>();
   global->level = 0;
   global->caller_index = -1;
@@ -48,12 +67,14 @@ void Interp::PushFrame(std::string invocation) {
   frame->invocation = std::move(invocation);
   frames_.push_back(std::move(frame));
   active_index_ = frames_.size() - 1;
+  ++frame_generation_;
 }
 
 void Interp::PopFrame() {
   assert(frames_.size() > 1);
   int caller = frames_.back()->caller_index;
   frames_.pop_back();
+  ++frame_generation_;
   active_index_ = caller >= 0 ? static_cast<size_t>(caller) : frames_.size() - 1;
   if (active_index_ >= frames_.size()) {
     active_index_ = frames_.size() - 1;
@@ -149,10 +170,15 @@ Code Interp::Eval(std::string_view script) {
   ++nesting_depth_;
   Code code;
   if (eval_cache_enabled_) {
-    // Hold a shared reference: the entry may be evicted or invalidated by
+    // Hold shared references: the entry may be evicted or invalidated by
     // commands the script itself runs.
-    std::shared_ptr<const ParsedScript> parsed = EvalCacheLookup(script);
-    if (parsed->ok) {
+    std::shared_ptr<const CompiledScript> compiled;
+    std::shared_ptr<const ParsedScript> parsed = EvalCacheLookup(
+        script, exec_mode_ == ExecMode::kCompile ? &compiled : nullptr);
+    if (compiled != nullptr) {
+      ++eval_cache_stats_.compiled_evals;
+      code = VmExecutor::Execute(*this, std::move(compiled));
+    } else if (parsed->ok) {
       code = EvalParsed(*this, *parsed);
     } else {
       // The static tokenizer rejected the script: take the classic
@@ -175,11 +201,21 @@ Code Interp::Eval(std::string_view script) {
 // ---------------------------------------------------------------------------
 // Eval cache.
 
-std::shared_ptr<const ParsedScript> Interp::EvalCacheLookup(std::string_view script) {
+std::shared_ptr<const ParsedScript> Interp::EvalCacheLookup(
+    std::string_view script, std::shared_ptr<const CompiledScript>* compiled) {
   auto it = eval_cache_.find(script);
   if (it != eval_cache_.end()) {
     ++eval_cache_stats_.hits;
     eval_cache_lru_.splice(eval_cache_lru_.begin(), eval_cache_lru_, it->second.lru_it);
+    if (compiled != nullptr && it->second.parsed->ok) {
+      if (it->second.compiled == nullptr) {
+        // Lazy lowering: an entry first seen in interp mode (or created
+        // before a mode switch) compiles on its first VM execution.
+        ++eval_cache_stats_.compiles;
+        it->second.compiled = CompileScript(it->second.parsed);
+      }
+      *compiled = it->second.compiled;
+    }
     return it->second.parsed;
   }
   ++eval_cache_stats_.misses;
@@ -187,16 +223,26 @@ std::shared_ptr<const ParsedScript> Interp::EvalCacheLookup(std::string_view scr
   if (!parsed->ok) {
     ++eval_cache_stats_.fallbacks;
   }
+  std::shared_ptr<const CompiledScript> compiled_now;
+  if (compiled != nullptr && parsed->ok) {
+    ++eval_cache_stats_.compiles;
+    compiled_now = CompileScript(parsed);
+    *compiled = compiled_now;
+  }
   if (eval_cache_capacity_ == 0) {
     return parsed;
   }
-  // Key and LRU entry are views into the parse's owned source copy.
-  std::string_view key(parsed->source);
-  eval_cache_lru_.push_front(key);
-  eval_cache_.emplace(key, EvalCacheEntry{parsed, eval_cache_lru_.begin()});
+  // The map key owns a copy of the script text (the caller's buffer may be
+  // transient); the LRU holds a view into the stored key, which unordered_map
+  // keeps at a stable address.
+  auto [entry_it, inserted] =
+      eval_cache_.emplace(std::string(script),
+                          EvalCacheEntry{parsed, std::move(compiled_now), {}});
+  eval_cache_lru_.push_front(std::string_view(entry_it->first));
+  entry_it->second.lru_it = eval_cache_lru_.begin();
   while (eval_cache_.size() > eval_cache_capacity_) {
     std::string_view victim = eval_cache_lru_.back();
-    eval_cache_.erase(victim);
+    eval_cache_.erase(eval_cache_.find(victim));
     eval_cache_lru_.pop_back();
   }
   return parsed;
@@ -206,7 +252,7 @@ void Interp::set_eval_cache_capacity(size_t capacity) {
   eval_cache_capacity_ = capacity;
   while (eval_cache_.size() > capacity) {
     std::string_view victim = eval_cache_lru_.back();
-    eval_cache_.erase(victim);
+    eval_cache_.erase(eval_cache_.find(victim));
     eval_cache_lru_.pop_back();
   }
 }
@@ -298,7 +344,18 @@ void Interp::AddCommandTrace(std::string_view command_text) {
 // ---------------------------------------------------------------------------
 // Commands.
 
+void Interp::NoteCommandMutation(std::string_view name) {
+  if (IsVmInlinedBuiltin(name)) {
+    ++builtin_epoch_;
+  }
+}
+
 void Interp::RegisterCommand(std::string name, CommandProc proc) {
+  // Only an overwrite can change what an inlined instruction should do; the
+  // constructor's first registrations leave the epoch at zero.
+  if (commands_.find(name) != commands_.end()) {
+    NoteCommandMutation(name);
+  }
   commands_[std::move(name)] = CommandEntry{std::move(proc)};
 }
 
@@ -318,6 +375,7 @@ bool Interp::DeleteCommand(std::string_view name) {
   }
   commands_.erase(it);
   procs_.erase(std::string(name));
+  NoteCommandMutation(name);
   InvalidateEvalCache();
   return true;
 }
@@ -340,6 +398,8 @@ bool Interp::RenameCommand(std::string_view old_name, std::string_view new_name)
   if (!new_name.empty()) {
     commands_[std::string(new_name)] = std::move(entry);
   }
+  NoteCommandMutation(old_name);
+  NoteCommandMutation(new_name);
   InvalidateEvalCache();
   return true;
 }
@@ -475,6 +535,7 @@ Code Interp::UnsetVar(std::string_view name) {
     }
   } else {
     current_frame().vars.erase(it);
+    ++current_frame().vars_epoch;  // A name->Var binding went away.
     var->defined = false;
     var->scalar.clear();
     var->array.clear();
@@ -530,6 +591,7 @@ Code Interp::LinkGlobal(std::string_view name) {
   }
   std::shared_ptr<Var> target = LookupVar(global_frame(), name, /*create=*/true);
   current_frame().vars[std::string(name)] = target;
+  ++current_frame().vars_epoch;  // An existing binding may have been re-pointed.
   return Code::kOk;
 }
 
@@ -542,6 +604,7 @@ Code Interp::LinkUpvar(std::string_view level_spec, std::string_view other,
   }
   std::shared_ptr<Var> target = LookupVar(*frame, other, /*create=*/true);
   current_frame().vars[std::string(my_name)] = target;
+  ++current_frame().vars_epoch;  // An existing binding may have been re-pointed.
   return Code::kOk;
 }
 

@@ -41,13 +41,25 @@ namespace tcl {
 
 class Interp;
 struct ParsedScript;
+struct CompiledScript;
 
-// Counters for the parsed-script eval cache (exposed as `info evalcache`).
+// How Interp::Eval executes statically-parsed scripts.  The default is the
+// bytecode compiler + stack VM; the tree-walking evaluator is retained for
+// conformance comparison and debugging, selected by TCLK_TCL_EXEC=interp
+// (mirroring the TCLK_WIRE_BACKEND dual-backend pattern).
+enum class ExecMode {
+  kCompile,  // parse -> compile -> stack VM (vm.h).
+  kInterp,   // parse -> tree-walk (EvalParsed).
+};
+
+// Counters for the parsed/compiled-script eval cache (`info evalcache`).
 struct EvalCacheStats {
-  uint64_t hits = 0;           // Evals served from a cached parse.
-  uint64_t misses = 0;         // Evals that had to parse.
-  uint64_t invalidations = 0;  // Entries dropped by invalidation hooks.
-  uint64_t fallbacks = 0;      // Scripts the static tokenizer rejected.
+  uint64_t hits = 0;            // Evals served from a cached parse.
+  uint64_t misses = 0;          // Evals that had to parse.
+  uint64_t invalidations = 0;   // Entries dropped by invalidation hooks.
+  uint64_t fallbacks = 0;       // Scripts the static tokenizer rejected.
+  uint64_t compiles = 0;        // Scripts lowered to bytecode.
+  uint64_t compiled_evals = 0;  // Evals executed by the bytecode VM.
 };
 
 // A command procedure.  args[0] is the command name; the remaining entries
@@ -78,6 +90,11 @@ struct CallFrame {
   // this frame was pushed; used to resolve uplevel/upvar level specs.
   int caller_index = -1;
   std::map<std::string, std::shared_ptr<Var>> vars;
+  // Bumped whenever a name->Var binding in `vars` is removed or re-pointed
+  // (unset, global, upvar).  The VM's local-slot cache revalidates against
+  // this; plain insertion of new names does not bump it (existing bindings
+  // are unaffected).
+  uint64_t vars_epoch = 0;
   // The command + arguments that created this frame, for error traces.
   std::string invocation;
 };
@@ -114,6 +131,12 @@ class Interp {
 
   // Evaluates `script` as a boolean expression (via the expr engine).
   Code EvalBool(std::string_view expr_text, bool* out);
+
+  // Execution backend for statically-parsed scripts.  Initialized from the
+  // TCLK_TCL_EXEC environment variable ("compile" default, "interp" for the
+  // tree-walker); tests pin it in-process via set_exec_mode.
+  ExecMode exec_mode() const { return exec_mode_; }
+  void set_exec_mode(ExecMode mode) { exec_mode_ = mode; }
 
   // --- Results --------------------------------------------------------------
 
@@ -234,6 +257,7 @@ class Interp {
   friend Code ProcInvoke(Interp& interp, const std::string& name, const Proc& proc,
                          std::vector<std::string>& args);
   friend class FrameGuard;
+  friend class VmExecutor;
 
   struct CommandEntry {
     CommandProc proc;
@@ -254,25 +278,57 @@ class Interp {
 
   struct EvalCacheEntry {
     std::shared_ptr<const ParsedScript> parsed;
+    // Bytecode for `parsed`, compiled lazily on the first compiled-mode
+    // execution of this entry.  Dropped with the entry, so the PR-1
+    // invalidation rules (proc redefinition, rename, deletion, capacity
+    // eviction) carry over to compiled code unchanged.
+    std::shared_ptr<const CompiledScript> compiled;
     std::list<std::string_view>::iterator lru_it;
   };
 
+  // Transparent hashing so the owned std::string keys can be probed with the
+  // caller's string_view (C++20 heterogeneous lookup) without a copy.
+  struct EvalCacheKeyHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view key) const {
+      return std::hash<std::string_view>()(key);
+    }
+  };
+
   // Looks `script` up in the eval cache, parsing and inserting on a miss.
-  // The returned ParsedScript is shared so an entry evicted or invalidated
-  // mid-execution stays alive until the execution finishes.
-  std::shared_ptr<const ParsedScript> EvalCacheLookup(std::string_view script);
+  // When `compiled` is non-null (compile mode) the entry's bytecode is
+  // compiled on demand and returned alongside.  The returned objects are
+  // shared so an entry evicted or invalidated mid-execution stays alive
+  // until the execution finishes.
+  std::shared_ptr<const ParsedScript> EvalCacheLookup(
+      std::string_view script, std::shared_ptr<const CompiledScript>* compiled);
+
+  // Bumps builtin_epoch_ when `name` is one of the builtins the VM inlines.
+  void NoteCommandMutation(std::string_view name);
 
   std::map<std::string, CommandEntry, std::less<>> commands_;
   std::map<std::string, CommandProc, std::less<>> info_extensions_;
   std::map<std::string, Proc, std::less<>> procs_;
 
-  // Eval cache state.  Map keys and LRU entries are views into the owned
-  // ParsedScript::source of each entry (std::list iterators are stable).
-  std::unordered_map<std::string_view, EvalCacheEntry> eval_cache_;
+  // Eval cache state.  Keys own their script text (an Eval caller's buffer
+  // may be freed while the entry lives); LRU entries are views into the map
+  // node's stored key, which is stable across rehashing.
+  std::unordered_map<std::string, EvalCacheEntry, EvalCacheKeyHash, std::equal_to<>>
+      eval_cache_;
   std::list<std::string_view> eval_cache_lru_;  // Front = most recently used.
   EvalCacheStats eval_cache_stats_;
   size_t eval_cache_capacity_ = 256;
   bool eval_cache_enabled_ = true;
+  ExecMode exec_mode_ = ExecMode::kCompile;
+
+  // Incremented whenever one of the VM-inlined builtins (set, incr, expr,
+  // if, while, foreach, break, continue) is overwritten, deleted or renamed.
+  // Nonzero sends every inlined instruction down the generic dispatch path,
+  // so shadowing `proc set ...` behaves identically in both exec modes.
+  uint64_t builtin_epoch_ = 0;
+  // Incremented on every frame push AND pop, so a cached CallFrame pointer
+  // can never be revalidated against a recycled address.
+  uint64_t frame_generation_ = 0;
 
   std::vector<std::unique_ptr<CallFrame>> frames_;
   // Index of the frame used for variable lookups; normally the top of

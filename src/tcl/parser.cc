@@ -800,53 +800,70 @@ std::shared_ptr<const ParsedScript> ParseScript(std::string_view script) {
   return parsed;
 }
 
+Code AssembleWordParts(Interp& interp, const ParsedWord& word, std::string* out) {
+  for (const WordPart& part : word.parts) {
+    switch (part.kind) {
+      case WordPart::Kind::kText:
+        out->append(part.text);
+        break;
+      case WordPart::Kind::kVar: {
+        const std::string* value = interp.GetVar(part.text);
+        if (value == nullptr) {
+          return Code::kError;  // GetVar left the message in the result.
+        }
+        out->append(*value);
+        break;
+      }
+      case WordPart::Kind::kComplexVar: {
+        size_t pos = 0;
+        Code part_code = SubstVar(interp, part.text, &pos, out);
+        if (part_code != Code::kOk) {
+          return part_code;
+        }
+        break;
+      }
+      case WordPart::Kind::kCommand: {
+        // Goes back through Interp::Eval, so nested scripts hit the cache
+        // (and the compiler) too.
+        Code part_code = interp.Eval(part.text);
+        if (part_code != Code::kOk) {
+          return part_code;
+        }
+        out->append(interp.result());
+        break;
+      }
+    }
+  }
+  return Code::kOk;
+}
+
+Code AssembleCommandWords(Interp& interp, const ParsedCommand& cmd,
+                          std::vector<std::string>* words) {
+  words->reserve(cmd.words.size());
+  for (const ParsedWord& parsed_word : cmd.words) {
+    if (parsed_word.is_literal) {
+      words->push_back(parsed_word.literal);
+      continue;
+    }
+    std::string out;
+    Code code = AssembleWordParts(interp, parsed_word, &out);
+    if (code != Code::kOk) {
+      return code;
+    }
+    words->push_back(std::move(out));
+  }
+  return Code::kOk;
+}
+
 Code EvalParsed(Interp& interp, const ParsedScript& parsed) {
   interp.ResetResult();
   Code code = Code::kOk;
   std::vector<std::string> words;
   for (const ParsedCommand& cmd : parsed.commands) {
     words.clear();
-    words.reserve(cmd.words.size());
-    for (const ParsedWord& parsed_word : cmd.words) {
-      if (parsed_word.is_literal) {
-        words.push_back(parsed_word.literal);
-        continue;
-      }
-      std::string out;
-      for (const WordPart& part : parsed_word.parts) {
-        switch (part.kind) {
-          case WordPart::Kind::kText:
-            out.append(part.text);
-            break;
-          case WordPart::Kind::kVar: {
-            const std::string* value = interp.GetVar(part.text);
-            if (value == nullptr) {
-              return Code::kError;  // GetVar left the message in the result.
-            }
-            out.append(*value);
-            break;
-          }
-          case WordPart::Kind::kComplexVar: {
-            size_t pos = 0;
-            Code part_code = SubstVar(interp, part.text, &pos, &out);
-            if (part_code != Code::kOk) {
-              return part_code;
-            }
-            break;
-          }
-          case WordPart::Kind::kCommand: {
-            // Goes back through Interp::Eval, so nested scripts hit the
-            // cache too.
-            Code part_code = interp.Eval(part.text);
-            if (part_code != Code::kOk) {
-              return part_code;
-            }
-            out.append(interp.result());
-            break;
-          }
-        }
-      }
-      words.push_back(std::move(out));
+    code = AssembleCommandWords(interp, cmd, &words);
+    if (code != Code::kOk) {
+      return code;
     }
     code = interp.EvalWords(words);
     if (code != Code::kOk) {

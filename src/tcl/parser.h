@@ -80,6 +80,14 @@ std::shared_ptr<const ParsedScript> ParseScript(std::string_view script);
 // EvalScript(interp, parsed.source, '\0', &pos) for scripts with ok == true.
 Code EvalParsed(Interp& interp, const ParsedScript& parsed);
 
+// Per-execution word assembly shared by EvalParsed and the bytecode VM:
+// substitutes one non-literal word's parts into `out` (appended), or all of
+// a command's words into `words`.  On a non-kOk code the interp result /
+// error state is exactly what the classic evaluator would have left.
+Code AssembleWordParts(Interp& interp, const ParsedWord& word, std::string* out);
+Code AssembleCommandWords(Interp& interp, const ParsedCommand& cmd,
+                          std::vector<std::string>* words);
+
 // Evaluates a script: a sequence of commands separated by newlines or
 // semicolons.  If `terminator` is ']' the script is a nested [command]
 // substitution and evaluation stops at the matching unquoted ']'; pass '\0'

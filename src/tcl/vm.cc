@@ -1,0 +1,614 @@
+// The bytecode stack VM.  See vm.h for the contract and compiler.h for the
+// instruction set.
+//
+// Parity discipline: every inline fast path here shadows one concrete code
+// path in cmd_core.cc / parser.cc / interp.cc, and bails out to that exact
+// code the moment any precondition fails (builtin redefined, variable has
+// traces / is an array / is undefined, value is non-numeric, ...).  The fast
+// paths therefore never need to reproduce error messages themselves -- the
+// canonical code produces them.
+
+#include "src/tcl/vm.h"
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/tcl/compiler.h"
+#include "src/tcl/expr.h"
+#include "src/tcl/interp.h"
+#include "src/tcl/list.h"
+#include "src/tcl/parser.h"
+#include "src/tcl/utils.h"
+
+namespace tcl {
+
+struct VmExecutor::Run {
+  // One active inlined loop.  `brk` is the kLoopExit instruction (pops this
+  // frame and resets the result, like the `break` exit of While/ForeachCmd);
+  // `cont` is the condition / step instruction.
+  struct LoopFrame {
+    uint32_t brk = 0;
+    uint32_t cont = 0;
+    const ForeachPlan* plan = nullptr;  // Null for while loops.
+    std::vector<std::string> owned;     // Runtime-assembled foreach values.
+    size_t vidx = 0;
+
+    const std::vector<std::string>& values() const {
+      return plan->const_values ? *plan->const_values : owned;
+    }
+  };
+
+  Run(Interp& interp, const CompiledScript& cs)
+      : interp_(interp), cs_(cs), slots_(cs.slot_names.size(), nullptr) {}
+
+  Interp& interp_;
+  const CompiledScript& cs_;
+  std::vector<LoopFrame> loops_;
+  std::vector<std::string> words_;  // Reused kInvoke argument buffer.
+  Code ret_ = Code::kOk;
+
+  // --- Local-variable slot cache --------------------------------------------
+  //
+  // Caches the Var behind each slot name in the current frame.  Valid only
+  // while (a) the active frame is the same object, (b) no frame was pushed or
+  // popped since (frame_generation_ guards address reuse), and (c) no binding
+  // in the frame was removed or re-pointed (vars_epoch).  Plain insertion of
+  // new names invalidates nothing, so resolved entries survive it.
+  CallFrame* cached_frame_ = nullptr;
+  uint64_t cached_gen_ = 0;
+  uint64_t cached_epoch_ = 0;
+  std::vector<Var*> slots_;
+
+  void RevalidateSlots() {
+    CallFrame& cf = interp_.current_frame();
+    if (cached_frame_ == &cf && cached_gen_ == interp_.frame_generation_ &&
+        cached_epoch_ == cf.vars_epoch) {
+      return;
+    }
+    cached_frame_ = &cf;
+    cached_gen_ = interp_.frame_generation_;
+    cached_epoch_ = cf.vars_epoch;
+    std::fill(slots_.begin(), slots_.end(), nullptr);
+  }
+
+  // Returns the (possibly just-created) Var for `slot`, or nullptr when the
+  // variable does not exist and `create` is false.  Misses are not cached:
+  // a variable created later through the generic path must become visible.
+  Var* SlotVar(int32_t slot, bool create) {
+    RevalidateSlots();
+    Var* var = slots_[slot];
+    if (var != nullptr) {
+      return var;
+    }
+    std::shared_ptr<Var> found =
+        interp_.LookupVar(*cached_frame_, cs_.slot_names[slot], create);
+    if (found == nullptr) {
+      return nullptr;
+    }
+    var = found.get();
+    slots_[slot] = var;
+    return var;
+  }
+
+  static const std::string* LoadSlotThunk(void* ctx, uint32_t slot) {
+    Run* self = static_cast<Run*>(ctx);
+    Var* var = self->SlotVar(static_cast<int32_t>(slot), /*create=*/false);
+    if (var == nullptr || !var->defined || var->is_array) {
+      return nullptr;  // Canonical engine reproduces the read error / string.
+    }
+    return &var->scalar;
+  }
+
+  // A scalar Var the inline write path may store to directly.  Anything else
+  // (write traces to fire, array collision error to report) goes through the
+  // generic SetVar.
+  static bool FastWritable(const Var* var) {
+    return var != nullptr && var->traces.empty() && !(var->defined && var->is_array);
+  }
+
+  // --- Error/trace plumbing -------------------------------------------------
+
+  // Rebuilds the errorInfo chain the tree-walker would have built: the
+  // failing command's own text (unless the error came from word assembly,
+  // which EvalParsed does not trace), then each ancestor construct's
+  // connecting note and command text.
+  void ApplyTrace(int32_t trace_idx, bool own) {
+    if (trace_idx < 0) {
+      return;
+    }
+    const TraceNode* node = &cs_.traces[trace_idx];
+    if (own) {
+      interp_.AddCommandTrace(node->text);
+    }
+    while (node->parent >= 0) {
+      const TraceNode* parent = &cs_.traces[node->parent];
+      if (!node->note.empty()) {
+        interp_.AddErrorInfo(node->note);
+      }
+      interp_.AddCommandTrace(parent->text);
+      node = parent;
+    }
+  }
+
+  // Routes a non-kOk completion code.  Break/continue inside an inlined loop
+  // jump to the loop's exit / continuation point; everything else unwinds out
+  // of the script (adding error traces first).  Returns true when execution
+  // continues at *ip.
+  bool Handle(Code code, const Instr& in, bool own, uint32_t* ip) {
+    if (code == Code::kBreak && !loops_.empty()) {
+      *ip = loops_.back().brk;
+      return true;
+    }
+    if (code == Code::kContinue && !loops_.empty()) {
+      *ip = loops_.back().cont;
+      return true;
+    }
+    if (code == Code::kError) {
+      ApplyTrace(in.trace, own);
+    }
+    ret_ = code;
+    return false;
+  }
+
+  // --- Generic dispatch -----------------------------------------------------
+
+  // Exactly one EvalParsed step: assemble the command's words, dispatch via
+  // EvalWords.  `*own` reports whether an error came from the dispatch (which
+  // EvalParsed traces) or from word assembly (which it does not).
+  Code Invoke(const ParsedCommand& cmd, bool* own) {
+    words_.clear();
+    Code code = AssembleCommandWords(interp_, cmd, &words_);
+    if (code != Code::kOk) {
+      *own = false;
+      return code;
+    }
+    return interp_.EvalWords(words_);
+  }
+
+  // Dispatches `in.pcmd` generically and advances *ip to `next` on success.
+  // Used both for kInvoke and for every inlined instruction's builtin-guard
+  // bailout.  Returns false when Go() must return ret_.
+  bool GenericStep(const Instr& in, uint32_t next, uint32_t* ip) {
+    bool own = true;
+    Code code = Invoke(*in.pcmd, &own);
+    if (code == Code::kOk) {
+      *ip = next;
+      return true;
+    }
+    return Handle(code, in, own, ip);
+  }
+
+  // True when one of the inlined builtins (set, incr, expr, if, while,
+  // foreach, break, continue) has been redefined, renamed or deleted; every
+  // inlined instruction then takes the generic dispatch path so the
+  // replacement command is honoured.
+  bool BuiltinsShadowed() const { return interp_.builtin_epoch_ != 0; }
+
+  // --- Condition evaluation -------------------------------------------------
+
+  // Evaluates exprs[eidx] as a boolean, preferring the compiled program.
+  // Returns kOk with *cond set, or the canonical engine's completion code.
+  Code EvalCond(int32_t eidx, bool* cond) {
+    const CompiledExpr& expr = cs_.exprs[eidx];
+    if (!expr.ops.empty()) {
+      std::optional<NumVal> value = RunCompiledExpr(expr, &LoadSlotThunk, this);
+      if (value) {
+        // NumVal::Truthy matches ParseBool on every printable numeric value
+        // (including NaN -> "NaN" -> true and -0.0 -> "-0" -> false).
+        *cond = value->Truthy();
+        return Code::kOk;
+      }
+    }
+    return ExprBoolean(interp_, expr.text, cond);
+  }
+
+  // --- Main loop ------------------------------------------------------------
+
+  Code Go() {
+    interp_.ResetResult();  // EvalParsed resets at the top, too.
+    const Instr* ins = cs_.instrs.data();
+    uint32_t ip = 0;
+    while (true) {
+      const Instr& in = ins[ip];
+      switch (in.op) {
+        case Instr::Op::kDone:
+          return Code::kOk;
+
+        case Instr::Op::kJump:
+          ip = in.a;
+          break;
+
+        case Instr::Op::kResetResult:
+          interp_.ResetResult();
+          ++ip;
+          break;
+
+        case Instr::Op::kInvoke: {
+          if (!GenericStep(in, ip + 1, &ip)) {
+            return ret_;
+          }
+          break;
+        }
+
+        case Instr::Op::kSetConst: {
+          if (BuiltinsShadowed()) {
+            if (!GenericStep(in, ip + 1, &ip)) {
+              return ret_;
+            }
+            break;
+          }
+          ++interp_.command_count_;
+          const std::string& value = cs_.constants[in.cidx];
+          Var* var = in.slot >= 0 ? SlotVar(in.slot, /*create=*/true) : nullptr;
+          if (FastWritable(var)) {
+            var->defined = true;
+            var->scalar = value;
+          } else {
+            Code code = interp_.SetVar(cs_.constants[in.name_cidx], value);
+            if (code != Code::kOk) {
+              if (!Handle(code, in, /*own=*/true, &ip)) {
+                return ret_;
+              }
+              break;
+            }
+          }
+          if (in.live) {
+            interp_.SetResult(value);
+          }
+          ++ip;
+          break;
+        }
+
+        case Instr::Op::kSetWord: {
+          if (BuiltinsShadowed()) {
+            if (!GenericStep(in, ip + 1, &ip)) {
+              return ret_;
+            }
+            break;
+          }
+          std::string value;
+          Code code = AssembleWordParts(interp_, *in.word, &value);
+          if (code != Code::kOk) {
+            if (!Handle(code, in, /*own=*/false, &ip)) {
+              return ret_;
+            }
+            break;
+          }
+          ++interp_.command_count_;
+          Var* var = in.slot >= 0 ? SlotVar(in.slot, /*create=*/true) : nullptr;
+          if (FastWritable(var)) {
+            var->defined = true;
+            var->scalar = value;  // Copy: `value` may still become the result.
+          } else {
+            code = interp_.SetVar(cs_.constants[in.name_cidx], value);
+            if (code != Code::kOk) {
+              if (!Handle(code, in, /*own=*/true, &ip)) {
+                return ret_;
+              }
+              break;
+            }
+          }
+          if (in.live) {
+            interp_.SetResult(std::move(value));
+          }
+          ++ip;
+          break;
+        }
+
+        case Instr::Op::kSetRead: {
+          if (BuiltinsShadowed()) {
+            if (!GenericStep(in, ip + 1, &ip)) {
+              return ret_;
+            }
+            break;
+          }
+          ++interp_.command_count_;
+          Var* var = in.slot >= 0 ? SlotVar(in.slot, /*create=*/false) : nullptr;
+          if (var != nullptr && var->defined && !var->is_array) {
+            if (in.live) {
+              interp_.SetResult(var->scalar);
+            }
+          } else {
+            const std::string* value = interp_.GetVar(cs_.constants[in.name_cidx]);
+            if (value == nullptr) {
+              if (!Handle(Code::kError, in, /*own=*/true, &ip)) {
+                return ret_;
+              }
+              break;
+            }
+            if (in.live) {
+              interp_.SetResult(*value);
+            }
+          }
+          ++ip;
+          break;
+        }
+
+        case Instr::Op::kIncr: {
+          if (BuiltinsShadowed()) {
+            if (!GenericStep(in, ip + 1, &ip)) {
+              return ret_;
+            }
+            break;
+          }
+          // IncrCmd's exact order: assemble amount word, count, read the
+          // variable, parse it, parse the amount, write, set result.
+          std::string amount_text;
+          if (!in.amount_const) {
+            Code code = AssembleWordParts(interp_, *in.word, &amount_text);
+            if (code != Code::kOk) {
+              if (!Handle(code, in, /*own=*/false, &ip)) {
+                return ret_;
+              }
+              break;
+            }
+          }
+          ++interp_.command_count_;
+          Var* var = in.slot >= 0 ? SlotVar(in.slot, /*create=*/false) : nullptr;
+          bool fast = var != nullptr && var->defined && !var->is_array &&
+                      var->traces.empty();
+          const std::string* current_text = nullptr;
+          if (fast) {
+            current_text = &var->scalar;
+          } else {
+            current_text = interp_.GetVar(cs_.constants[in.name_cidx]);
+            if (current_text == nullptr) {
+              if (!Handle(Code::kError, in, /*own=*/true, &ip)) {
+                return ret_;
+              }
+              break;
+            }
+          }
+          std::optional<int64_t> current = ParseInt(*current_text);
+          if (!current) {
+            interp_.Error("expected integer but got \"" + *current_text + "\"");
+            if (!Handle(Code::kError, in, /*own=*/true, &ip)) {
+              return ret_;
+            }
+            break;
+          }
+          int64_t amount = in.amount;
+          if (!in.amount_const) {
+            std::optional<int64_t> parsed = ParseInt(amount_text);
+            if (!parsed) {
+              interp_.Error("expected integer but got \"" + amount_text + "\"");
+              if (!Handle(Code::kError, in, /*own=*/true, &ip)) {
+                return ret_;
+              }
+              break;
+            }
+            amount = *parsed;
+          }
+          std::string updated = FormatInt(*current + amount);
+          if (fast) {
+            if (in.live) {
+              var->scalar = updated;
+              interp_.SetResult(std::move(updated));
+            } else {
+              var->scalar = std::move(updated);
+            }
+          } else {
+            Code code = interp_.SetVar(cs_.constants[in.name_cidx], updated);
+            if (code != Code::kOk) {
+              if (!Handle(code, in, /*own=*/true, &ip)) {
+                return ret_;
+              }
+              break;
+            }
+            if (in.live) {
+              interp_.SetResult(std::move(updated));
+            }
+          }
+          ++ip;
+          break;
+        }
+
+        case Instr::Op::kExprCmd: {
+          if (BuiltinsShadowed()) {
+            if (!GenericStep(in, ip + 1, &ip)) {
+              return ret_;
+            }
+            break;
+          }
+          ++interp_.command_count_;
+          const CompiledExpr& expr = cs_.exprs[in.expr];
+          std::optional<NumVal> value;
+          if (!expr.ops.empty()) {
+            value = RunCompiledExpr(expr, &LoadSlotThunk, this);
+          }
+          if (value) {
+            if (in.live) {
+              interp_.SetResult(value->Print());
+            }
+          } else {
+            std::string result;
+            Code code = ExprEval(interp_, expr.text, &result);
+            if (code != Code::kOk) {
+              if (!Handle(code, in, /*own=*/true, &ip)) {
+                return ret_;
+              }
+              break;
+            }
+            interp_.SetResult(std::move(result));
+          }
+          ++ip;
+          break;
+        }
+
+        case Instr::Op::kEnterIf: {
+          if (BuiltinsShadowed()) {
+            if (!GenericStep(in, in.a, &ip)) {
+              return ret_;
+            }
+            break;
+          }
+          ++interp_.command_count_;
+          ++ip;
+          break;
+        }
+
+        case Instr::Op::kEnterWhile: {
+          if (BuiltinsShadowed()) {
+            if (!GenericStep(in, in.b + 1, &ip)) {
+              return ret_;
+            }
+            break;
+          }
+          ++interp_.command_count_;
+          LoopFrame frame;
+          frame.brk = in.b;
+          frame.cont = ip + 1;  // The kCond.
+          loops_.push_back(std::move(frame));
+          ++ip;
+          break;
+        }
+
+        case Instr::Op::kEnterForeach: {
+          if (BuiltinsShadowed()) {
+            if (!GenericStep(in, in.b + 1, &ip)) {
+              return ret_;
+            }
+            break;
+          }
+          const ForeachPlan& plan = cs_.foreaches[in.fe];
+          LoopFrame frame;
+          frame.brk = in.b;
+          frame.cont = ip + 1;  // The kForeachStep.
+          frame.plan = &plan;
+          if (!plan.const_values) {
+            // Assemble and split the value list the way EvalParsed +
+            // ForeachCmd would: assembly errors are untraced word errors,
+            // the command counts after assembly, split errors are the
+            // command's own.
+            std::string list_text;
+            Code code = AssembleWordParts(interp_, *plan.list_word, &list_text);
+            if (code != Code::kOk) {
+              if (!Handle(code, in, /*own=*/false, &ip)) {
+                return ret_;
+              }
+              break;
+            }
+            ++interp_.command_count_;
+            std::string error;
+            std::optional<std::vector<std::string>> values = SplitList(list_text, &error);
+            if (!values) {
+              interp_.Error(error);
+              if (!Handle(Code::kError, in, /*own=*/true, &ip)) {
+                return ret_;
+              }
+              break;
+            }
+            frame.owned = std::move(*values);
+          } else {
+            ++interp_.command_count_;
+          }
+          loops_.push_back(std::move(frame));
+          ++ip;
+          break;
+        }
+
+        case Instr::Op::kForeachStep: {
+          LoopFrame& frame = loops_.back();
+          const std::vector<std::string>& values = frame.values();
+          if (frame.vidx >= values.size()) {
+            ip = frame.brk;
+            break;
+          }
+          const ForeachPlan& plan = *frame.plan;
+          size_t stride = plan.names.size();
+          bool failed = false;
+          for (size_t j = 0; j < stride; ++j) {
+            static const std::string kEmpty;
+            const std::string& value =
+                frame.vidx + j < values.size() ? values[frame.vidx + j] : kEmpty;
+            int32_t slot = plan.name_slots[j];
+            Var* var = slot >= 0 ? SlotVar(slot, /*create=*/true) : nullptr;
+            if (FastWritable(var)) {
+              var->defined = true;
+              var->scalar = value;
+            } else if (interp_.SetVar(plan.names[j], value) != Code::kOk) {
+              failed = true;
+              break;
+            }
+          }
+          if (failed) {
+            // ForeachCmd returns the SetVar error directly; the foreach
+            // command itself gets the trace.
+            loops_.pop_back();
+            if (!Handle(Code::kError, in, /*own=*/true, &ip)) {
+              return ret_;
+            }
+            break;
+          }
+          frame.vidx += stride;
+          ++ip;
+          break;
+        }
+
+        case Instr::Op::kCond: {
+          bool cond = false;
+          Code code = EvalCond(in.expr, &cond);
+          if (code != Code::kOk) {
+            // While/ForeachCmd return condition codes directly -- even break
+            // and continue leave the loop and propagate to the enclosing one.
+            if (in.pop_loop_on_code) {
+              loops_.pop_back();
+            }
+            if (!Handle(code, in, /*own=*/true, &ip)) {
+              return ret_;
+            }
+            break;
+          }
+          ip = cond ? ip + 1 : in.a;
+          break;
+        }
+
+        case Instr::Op::kLoopExit:
+          loops_.pop_back();
+          interp_.ResetResult();
+          ++ip;
+          break;
+
+        case Instr::Op::kBreak: {
+          if (BuiltinsShadowed()) {
+            if (!GenericStep(in, ip + 1, &ip)) {
+              return ret_;
+            }
+            break;
+          }
+          ++interp_.command_count_;
+          interp_.ResetResult();
+          if (!Handle(Code::kBreak, in, /*own=*/true, &ip)) {
+            return ret_;
+          }
+          break;
+        }
+
+        case Instr::Op::kContinue: {
+          if (BuiltinsShadowed()) {
+            if (!GenericStep(in, ip + 1, &ip)) {
+              return ret_;
+            }
+            break;
+          }
+          ++interp_.command_count_;
+          interp_.ResetResult();
+          if (!Handle(Code::kContinue, in, /*own=*/true, &ip)) {
+            return ret_;
+          }
+          break;
+        }
+      }
+    }
+  }
+};
+
+Code VmExecutor::Execute(Interp& interp, std::shared_ptr<const CompiledScript> script) {
+  Run run(interp, *script);
+  return run.Go();
+}
+
+}  // namespace tcl

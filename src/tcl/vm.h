@@ -1,0 +1,41 @@
+// The bytecode stack VM (stage three of the parse -> compile -> execute
+// pipeline; see compiler.h for stage two and the parity rules).
+//
+// VmExecutor::Execute runs a CompiledScript against an Interp with exactly
+// the observable behaviour of the tree-walking EvalParsed: same results,
+// same error messages and errorInfo traces, same `info cmdcount` counts,
+// same variable-trace firing.  What it removes is per-iteration overhead:
+// loop bodies run as straight-line instructions (no per-iteration Eval /
+// cache lookup / word vector), `set`/`incr`/`expr` hit variables through a
+// per-execution slot cache instead of name lookups, and literal conditions
+// evaluate as compiled numeric RPN.
+
+#ifndef SRC_TCL_VM_H_
+#define SRC_TCL_VM_H_
+
+#include <memory>
+
+#include "src/tcl/types.h"
+
+namespace tcl {
+
+class Interp;
+struct CompiledScript;
+
+class VmExecutor {
+ public:
+  // Executes `script` (compiled from a ParsedScript with ok == true).  The
+  // shared_ptr keeps the code alive even if the cache entry it came from is
+  // evicted or invalidated mid-run.
+  static Code Execute(Interp& interp, std::shared_ptr<const CompiledScript> script);
+
+ private:
+  // One execution of one compiled script.  Nested so it shares VmExecutor's
+  // friendship with Interp (a nested class has the access rights of any other
+  // member of the enclosing class).
+  struct Run;
+};
+
+}  // namespace tcl
+
+#endif  // SRC_TCL_VM_H_

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 
 #include "src/tcl/interp.h"
@@ -34,6 +35,10 @@ TEST_F(EvalCacheTest, RepeatEvalHitsCache) {
 }
 
 TEST_F(EvalCacheTest, LoopBodyParsedOnce) {
+  // In compile mode the loop body is inlined into the while's bytecode and
+  // never re-enters Eval, so the hit counters this test pins are a
+  // tree-walker property.
+  interp_.set_exec_mode(ExecMode::kInterp);
   interp_.ClearEvalCache();
   Ok("set i 0");
   Ok("while {$i < 1000} {incr i}");
@@ -164,6 +169,9 @@ TEST_F(EvalCacheTest, CachedErrorTraceMatchesUncached) {
 }
 
 TEST_F(EvalCacheTest, InfoEvalcacheReportsCounters) {
+  // Pinned to interp mode: the >=49 hit floor comes from the tree-walker
+  // re-evaluating the loop body through the cache each iteration.
+  interp_.set_exec_mode(ExecMode::kInterp);
   interp_.ClearEvalCache();
   Ok("set i 0");
   Ok("while {$i < 50} {incr i}");
@@ -171,8 +179,50 @@ TEST_F(EvalCacheTest, InfoEvalcacheReportsCounters) {
   EXPECT_NE(stats.find("hits"), std::string::npos);
   EXPECT_NE(stats.find("misses"), std::string::npos);
   EXPECT_NE(stats.find("invalidations"), std::string::npos);
-  EXPECT_EQ(Ok("llength [info evalcache]"), "14");
+  EXPECT_EQ(Ok("llength [info evalcache]"), "20");
   EXPECT_EQ(Ok("expr {[lindex [info evalcache] 1] >= 49}"), "1");
+}
+
+TEST_F(EvalCacheTest, CompileModeCountsCompilesAndCompiledEvals) {
+  interp_.set_exec_mode(ExecMode::kCompile);
+  interp_.ClearEvalCache();
+  Ok("set i 0");
+  Ok("while {$i < 50} {incr i}");
+  const EvalCacheStats& stats = interp_.eval_cache_stats();
+  EXPECT_GE(stats.compiles, 2u);        // One per distinct script.
+  EXPECT_GE(stats.compiled_evals, 2u);  // One per Eval of a compilable script.
+  EXPECT_EQ(Ok("set i"), "50");
+  EXPECT_EQ(Ok("lindex [info evalcache] 19"), "compile");
+}
+
+TEST_F(EvalCacheTest, InterpModeEntriesCompileLazilyOnModeSwitch) {
+  interp_.set_exec_mode(ExecMode::kInterp);
+  interp_.ClearEvalCache();
+  Ok("set lazy 1");
+  EXPECT_EQ(interp_.eval_cache_stats().compiles, 0u);
+  interp_.set_exec_mode(ExecMode::kCompile);
+  EXPECT_EQ(Ok("set lazy 1"), "1");  // Cache hit compiles on demand.
+  EXPECT_GE(interp_.eval_cache_stats().compiles, 1u);
+  EXPECT_GE(interp_.eval_cache_stats().compiled_evals, 1u);
+}
+
+TEST_F(EvalCacheTest, TransientScriptBufferIsSafeToCache) {
+  // Regression: the cache key used to be a string_view into the caller's
+  // buffer; evaluating a heap-allocated script, freeing it, then evaluating
+  // an equal script again would probe freed memory.  Keys now own their text.
+  interp_.ClearEvalCache();
+  {
+    auto transient = std::make_unique<std::string>("set transient_key 41");
+    ASSERT_EQ(interp_.Eval(*transient), Code::kOk);
+    // Scribble over the buffer before freeing so a dangling view cannot
+    // accidentally compare equal.
+    transient->assign(transient->size(), 'x');
+  }
+  uint64_t hits_before = interp_.eval_cache_stats().hits;
+  std::string again = "set transient_key 41";
+  EXPECT_EQ(interp_.Eval(again), Code::kOk);
+  EXPECT_EQ(interp_.eval_cache_stats().hits, hits_before + 1);
+  EXPECT_EQ(Ok("set transient_key"), "41");
 }
 
 TEST_F(EvalCacheTest, InfoEvalcacheLimitAndEnabledRoundTrip) {

@@ -1,0 +1,428 @@
+// Tests for the bytecode compiler + stack VM (compiler.{h,cc}, vm.{h,cc}):
+// compiled-code structure (folding, slots, inlining) via Disassemble, exact
+// dual-mode parity on the tricky control-flow / scope / error-trace cases,
+// and a seeded random-script differential harness that runs every script
+// under both exec modes and requires identical code, result, errorInfo and
+// command counts.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/tcl/compiler.h"
+#include "src/tcl/interp.h"
+#include "src/tcl/parser.h"
+
+namespace tcl {
+namespace {
+
+std::string DisassembleScript(const std::string& script) {
+  std::shared_ptr<const ParsedScript> parsed = ParseScript(script);
+  EXPECT_TRUE(parsed->ok) << script;
+  return Disassemble(*CompileScript(std::move(parsed)));
+}
+
+// Runs `script` in a fresh interp per mode and requires identical observable
+// outcomes.  Returns the (shared) result string for further assertions.
+std::string ExpectParity(const std::string& script) {
+  Interp compiled;
+  compiled.set_exec_mode(ExecMode::kCompile);
+  Interp walked;
+  walked.set_exec_mode(ExecMode::kInterp);
+  Code compiled_code = compiled.Eval(script);
+  Code walked_code = walked.Eval(script);
+  EXPECT_EQ(compiled_code, walked_code) << "script:\n" << script;
+  EXPECT_EQ(compiled.result(), walked.result()) << "script:\n" << script;
+  EXPECT_EQ(compiled.error_info(), walked.error_info()) << "script:\n" << script;
+  EXPECT_EQ(compiled.command_count(), walked.command_count()) << "script:\n" << script;
+  return compiled.result();
+}
+
+// --- Compiled-code structure ------------------------------------------------
+
+TEST(VmCompileTest, ConstantFoldingCollapsesLiteralArithmetic) {
+  std::string listing = DisassembleScript("expr {2 + 3 * 4}");
+  EXPECT_NE(listing.find("push-int 14"), std::string::npos) << listing;
+  EXPECT_EQ(listing.find("mul"), std::string::npos) << listing;
+  EXPECT_EQ(listing.find("add"), std::string::npos) << listing;
+}
+
+TEST(VmCompileTest, ConstantFoldingRespectsShortCircuit) {
+  // 0 && (1/0) must fold to 0, not fault on the dead divide.
+  std::string listing = DisassembleScript("expr {0 && 1 / 0}");
+  EXPECT_NE(listing.find("push-int 0"), std::string::npos) << listing;
+  // The divide-by-zero operand stays unfolded but unreachable -- or is
+  // dropped entirely; either way no fold-time fault and no "div" before the
+  // short-circuit result.
+}
+
+TEST(VmCompileTest, LeadingZeroLiteralsAreNotFolded) {
+  // ParseInt("010") == 8 (octal); the compiled literal subset refuses such
+  // spellings so the canonical engine keeps deciding their value.
+  std::string listing = DisassembleScript("expr {010 + 1}");
+  EXPECT_NE(listing.find("canonical"), std::string::npos) << listing;
+  EXPECT_EQ(ExpectParity("expr {010 + 1}"), "9");
+}
+
+TEST(VmCompileTest, LocalVariablesResolveToSlots) {
+  std::string listing = DisassembleScript("set x 1\nincr x\nset y $x");
+  EXPECT_NE(listing.find("slot=0(x)"), std::string::npos) << listing;
+  EXPECT_NE(listing.find("slot=1(y)"), std::string::npos) << listing;
+}
+
+TEST(VmCompileTest, ArrayNamesStayOnTheGenericNamePath) {
+  std::string listing = DisassembleScript("set a(1) x");
+  EXPECT_EQ(listing.find("slot="), std::string::npos) << listing;
+  EXPECT_NE(listing.find("name=\"a(1)\""), std::string::npos) << listing;
+}
+
+TEST(VmCompileTest, WhileCompilesToJumpThreadedLoop) {
+  std::string listing = DisassembleScript("while {$i < 10} {incr i}");
+  EXPECT_NE(listing.find("enter-while"), std::string::npos) << listing;
+  EXPECT_NE(listing.find("cond"), std::string::npos) << listing;
+  EXPECT_NE(listing.find("incr"), std::string::npos) << listing;
+  // The body is inlined: no generic invoke of `incr` or nested eval.
+  EXPECT_EQ(listing.find("invoke \"incr\""), std::string::npos) << listing;
+}
+
+TEST(VmCompileTest, InfoBytecodeExposesTheListing) {
+  Interp interp;
+  ASSERT_EQ(interp.Eval("info bytecode {set x 41}"), Code::kOk);
+  EXPECT_NE(interp.result().find("set-const"), std::string::npos) << interp.result();
+  ASSERT_EQ(interp.Eval("info bytecode {while {$i < 3} {incr i}}"), Code::kOk);
+  EXPECT_NE(interp.result().find("enter-while"), std::string::npos) << interp.result();
+  EXPECT_EQ(interp.Eval("info bytecode {set x [}"), Code::kError);
+}
+
+// --- Control-flow unwinding -------------------------------------------------
+
+TEST(VmParityTest, BreakAndContinueThroughNestedLoops) {
+  EXPECT_EQ(ExpectParity("set out {}\n"
+                         "foreach i {1 2 3} {\n"
+                         "  foreach j {1 2 3} {\n"
+                         "    if {$j == 2} {continue}\n"
+                         "    if {$i == 3} {break}\n"
+                         "    lappend out $i$j\n"
+                         "  }\n"
+                         "}\n"
+                         "set out"),
+            "11 13 21 23");
+}
+
+TEST(VmParityTest, BreakFromWhileConditionLeavesTheLoop) {
+  // WhileCmd returns condition codes directly: a [break] in the condition
+  // terminates the while and propagates to the enclosing loop.
+  EXPECT_EQ(ExpectParity("set out {}\n"
+                         "foreach i {1 2 3} {\n"
+                         "  while {[break]} {lappend out never}\n"
+                         "  lappend out w$i\n"
+                         "}\n"
+                         "set out"),
+            "");
+  // A [continue] in the condition likewise propagates out of the while to
+  // the enclosing loop, skipping the rest of that iteration's body.
+  EXPECT_EQ(ExpectParity("set i 0\n"
+                         "foreach q {1 2} {\n"
+                         "  while {[continue]} {set i 99}\n"
+                         "  set i skipped\n"
+                         "}\n"
+                         "set i"),
+            "0");
+}
+
+TEST(VmParityTest, ReturnUnwindsThroughNestedLoops) {
+  EXPECT_EQ(ExpectParity("proc f {} {\n"
+                         "  foreach i {1 2 3} {\n"
+                         "    while {1} {\n"
+                         "      if {$i == 2} {return got$i}\n"
+                         "      break\n"
+                         "    }\n"
+                         "  }\n"
+                         "  return no\n"
+                         "}\n"
+                         "f"),
+            "got2");
+}
+
+TEST(VmParityTest, BreakOutsideLoopPropagatesAndErrorsInProc) {
+  Interp compiled;
+  compiled.set_exec_mode(ExecMode::kCompile);
+  Interp walked;
+  walked.set_exec_mode(ExecMode::kInterp);
+  EXPECT_EQ(compiled.Eval("break"), Code::kBreak);
+  EXPECT_EQ(walked.Eval("break"), Code::kBreak);
+
+  ExpectParity("proc f {} {break}\nf");
+  EXPECT_EQ(ExpectParity("proc f {} {continue}\nset c [catch {f} msg]\nlist $c $msg"),
+            "1 {invoked \"continue\" outside of a loop}");
+}
+
+TEST(VmParityTest, IfElseifChainsAndTrailingBodyQuirk) {
+  EXPECT_EQ(ExpectParity("set x 7\n"
+                         "if {$x < 5} {set r low} elseif {$x < 10} {set r mid} else {set r hi}\n"
+                         "set r"),
+            "mid");
+  // A trailing body without the `else` keyword is the else branch.
+  EXPECT_EQ(ExpectParity("if 0 {set r a} {set r b}\nset r"), "b");
+  // All conditions false, no else: empty result.
+  EXPECT_EQ(ExpectParity("if 0 {set r a}"), "");
+}
+
+TEST(VmParityTest, ForeachStridesAndPadding) {
+  EXPECT_EQ(ExpectParity("set out {}\n"
+                         "foreach {a b} {1 2 3} {lappend out $a-$b}\n"
+                         "set out"),
+            "1-2 3-");
+  EXPECT_EQ(ExpectParity("set l {x y z}\nset out {}\n"
+                         "foreach v $l {lappend out <$v>}\n"
+                         "set out"),
+            "<x> <y> <z>");
+}
+
+// --- Scope safety -----------------------------------------------------------
+
+TEST(VmParityTest, UpvarAndUplevelMutationsStayVisible) {
+  EXPECT_EQ(ExpectParity("proc bump {} {\n"
+                         "  upvar 1 x y\n"
+                         "  set y [expr {$y + 1}]\n"
+                         "  uplevel 1 {incr x 10}\n"
+                         "}\n"
+                         "set x 1\n"
+                         "while {$x < 60} {bump}\n"
+                         "set x"),
+            "67");
+}
+
+TEST(VmParityTest, UnsetAndResetOfLoopVariableInsideBody) {
+  // Unsetting the loop variable mid-iteration must invalidate the slot cache
+  // (the binding is erased; re-setting creates a fresh Var).
+  EXPECT_EQ(ExpectParity("set i 0\n"
+                         "while {$i < 3} {\n"
+                         "  set k $i\n"
+                         "  unset i\n"
+                         "  set i [expr {$k + 1}]\n"
+                         "}\n"
+                         "set i"),
+            "3");
+}
+
+TEST(VmParityTest, GlobalLinkInsideProcLoop) {
+  EXPECT_EQ(ExpectParity("set g 0\n"
+                         "proc work {} {\n"
+                         "  global g\n"
+                         "  foreach i {1 2 3} {incr g $i}\n"
+                         "}\n"
+                         "work\n"
+                         "set g"),
+            "6");
+}
+
+TEST(VmParityTest, VariableTracesStillFire) {
+  // The inline write path defers to SetVar whenever traces exist.
+  for (ExecMode mode : {ExecMode::kCompile, ExecMode::kInterp}) {
+    Interp interp;
+    interp.set_exec_mode(mode);
+    int fires = 0;
+    ASSERT_EQ(interp.Eval("set t 0"), Code::kOk);
+    interp.TraceVar("t", [&fires](Interp&, std::string_view, std::string_view, bool) {
+      ++fires;
+    });
+    ASSERT_EQ(interp.Eval("set i 0\nwhile {$i < 5} {incr i; set t $i}"), Code::kOk);
+    EXPECT_EQ(fires, 5) << (mode == ExecMode::kCompile ? "compile" : "interp");
+  }
+}
+
+// --- Builtin shadowing ------------------------------------------------------
+
+TEST(VmParityTest, ShadowedSetDispatchesToTheReplacement) {
+  EXPECT_EQ(ExpectParity("proc set args {return shadowed}\n"
+                         "set x 1"),
+            "shadowed");
+  // Even pre-compiled loops must notice a mid-run redefinition.
+  EXPECT_EQ(ExpectParity("set out {}\n"
+                         "set i 0\n"
+                         "while {$i < 4} {\n"
+                         "  incr i\n"
+                         "  lappend out [set probe $i]\n"
+                         "  if {$i == 2} {proc set args {return S}}\n"
+                         "}\n"
+                         "join $out"),  // `set out` would hit the shadow too.
+            "1 2 S S");
+}
+
+TEST(VmParityTest, RenamedWhileFallsBackGenerically) {
+  EXPECT_EQ(ExpectParity("rename while tclwhile\n"
+                         "proc while {cond body} {return custom}\n"
+                         "while {$x < 3} {incr x}"),
+            "custom");
+}
+
+// --- Error traces -----------------------------------------------------------
+
+TEST(VmParityTest, ErrorInsideWhileBodyBuildsIdenticalTrace) {
+  std::string script =
+      "set i 0\n"
+      "while {$i < 3} {\n"
+      "  incr i\n"
+      "  if {$i == 2} {\n"
+      "    nosuchcommand $i\n"
+      "  }\n"
+      "}";
+  Interp compiled;
+  compiled.set_exec_mode(ExecMode::kCompile);
+  Interp walked;
+  walked.set_exec_mode(ExecMode::kInterp);
+  EXPECT_EQ(compiled.Eval(script), Code::kError);
+  EXPECT_EQ(walked.Eval(script), Code::kError);
+  EXPECT_EQ(compiled.result(), walked.result());
+  EXPECT_EQ(compiled.error_info(), walked.error_info());
+  EXPECT_NE(compiled.error_info().find("(\"while\" body line)"), std::string::npos)
+      << compiled.error_info();
+}
+
+TEST(VmParityTest, ErrorTraceCoversForeachProcAndExpr) {
+  ExpectParity("proc inner {v} {expr {$v / 0}}\n"
+               "proc outer {} {foreach i {1 2 3} {inner $i}}\n"
+               "outer");
+  ExpectParity("set s abc\nincr s");
+  ExpectParity("incr missing");
+  ExpectParity("while {$undefined_var} {set x 1}");
+  ExpectParity("foreach {a b} {1 2} {unset a; foreach a {x} {}; error boom}");
+}
+
+TEST(VmParityTest, WordAssemblyErrorsAreUntraced) {
+  // A $var failure during word assembly is reported without a "while
+  // executing" frame for the failing command itself (EvalParsed semantics).
+  ExpectParity("set i 0\nwhile {$i < 2} {incr i; set x $nope}");
+  ExpectParity("set y $nope");
+}
+
+// --- Expression semantics through the compiled path --------------------------
+
+TEST(VmParityTest, CompiledExprMatchesCanonicalAcrossTypes) {
+  EXPECT_EQ(ExpectParity("expr {-7 / 2}"), ExpectParity("expr {-7 / 2}"));
+  for (const char* expr : {
+           "expr {-7 / 2}", "expr {-7 % 2}", "expr {7 % -2}", "expr {1 << 40}",
+           "expr {-9 >> 1}", "expr {1.5 + 2}", "expr {3 / 2.0}", "expr {1e3 + 1}",
+           "expr {5 > 2 ? 10 : 20}", "expr {!4.5}", "expr {~0}", "expr {2 ** 2}",
+           "expr {1 / 0}", "expr {1 % 0}", "expr {1.0 / 0}", "expr {~1.5}",
+           "expr {(1 + 2) * (3 - 4)}", "expr {100000000 * 100000000}",
+       }) {
+    ExpectParity(expr);
+  }
+  // Variable-dependent: strings, hex, doubles and bail-outs.
+  for (const char* setup : {"set v 10", "set v 0x1f", "set v 1.25", "set v abc",
+                            "set v {}", "set v 00"}) {
+    ExpectParity(std::string(setup) + "\nexpr {$v + 1}");
+    ExpectParity(std::string(setup) + "\nexpr {$v > 1 && $v < 100}");
+    ExpectParity(std::string(setup) + "\nif {$v} {set r yes} else {set r no}");
+  }
+}
+
+TEST(VmParityTest, IncrOrderOfErrorsMatches) {
+  ExpectParity("set x abc\nincr x notanint");      // Current-value error first.
+  ExpectParity("set x 1\nincr x notanint");        // Then the increment error.
+  ExpectParity("incr gone 5");                     // Undefined-variable error.
+  ExpectParity("set x 1\nset n 3\nincr x $n\nset x");
+  ExpectParity("set x 1\nset n bad\nincr x $n");
+}
+
+// --- Seeded random-script differential ---------------------------------------
+
+class ScriptFuzzer {
+ public:
+  explicit ScriptFuzzer(uint32_t seed) : rng_(seed) {}
+
+  std::string Next() {
+    std::string script;
+    int statements = 1 + static_cast<int>(rng_() % 4);
+    for (int i = 0; i < statements; ++i) {
+      script += Statement(/*depth=*/0);
+      script += "\n";
+    }
+    return script;
+  }
+
+ private:
+  std::string Var() { return std::string(1, static_cast<char>('a' + rng_() % 3)); }
+  std::string Int() { return std::to_string(static_cast<int>(rng_() % 13) - 3); }
+
+  std::string Expr() {
+    switch (rng_() % 6) {
+      case 0: return "$" + Var() + " < " + Int();
+      case 1: return "$" + Var() + " + " + Int() + " * 2";
+      case 2: return Int() + " % 3 == 0";
+      case 3: return "$" + Var() + " > 0 && $" + Var() + " < 9";
+      case 4: return "$" + Var() + " / 2";
+      default: return Int() + " + " + Int();
+    }
+  }
+
+  std::string Body(int depth) {
+    std::string body = Statement(depth + 1);
+    if (rng_() % 2 == 0) {
+      body += "; " + Statement(depth + 1);
+    }
+    return body;
+  }
+
+  std::string Statement(int depth) {
+    int pick = static_cast<int>(rng_() % (depth >= 2 ? 6 : 10));
+    switch (pick) {
+      case 0: return "set " + Var() + " " + Int();
+      case 1: return "incr " + Var();
+      case 2: return "set " + Var() + " [expr {" + Expr() + "}]";
+      case 3: return "expr {" + Expr() + "}";
+      case 4: return "set " + Var();  // May be an undefined-variable error.
+      case 5: return "append " + Var() + " x";
+      case 6:
+        return "if {" + Expr() + "} {" + Body(depth) + "} else {" + Body(depth) + "}";
+      case 7: {
+        // Bounded while: a globally unique counter var keeps it terminating
+        // (a nested while reusing an enclosing loop's counter would reset it
+        // every iteration and spin forever).
+        std::string v = "w" + std::to_string(next_loop_var_++);
+        return "set " + v + " 0; while {$" + v + " < " + std::to_string(rng_() % 5) +
+               "} {incr " + v + "; " + Body(depth) + "}";
+      }
+      case 8:
+        return "foreach f0 {1 2 3} {" + Body(depth) + "}";
+      default:
+        return "foreach {f1 f2} {1 2 3 4 5} {" + Body(depth) + "}";
+    }
+  }
+
+  std::mt19937 rng_;
+  int next_loop_var_ = 0;
+};
+
+TEST(VmDifferentialTest, SeededRandomScriptsAgreeAcrossModes) {
+  ScriptFuzzer fuzzer(0xC0FFEE);
+  for (int i = 0; i < 400; ++i) {
+    std::string script = fuzzer.Next();
+    Interp compiled;
+    compiled.set_exec_mode(ExecMode::kCompile);
+    Interp walked;
+    walked.set_exec_mode(ExecMode::kInterp);
+    // Run twice in each interp: the second pass exercises the warm cache /
+    // already-compiled entry.
+    for (int round = 0; round < 2; ++round) {
+      Code compiled_code = compiled.Eval(script);
+      Code walked_code = walked.Eval(script);
+      ASSERT_EQ(compiled_code, walked_code)
+          << "iteration " << i << " round " << round << "\nscript:\n" << script;
+      ASSERT_EQ(compiled.result(), walked.result())
+          << "iteration " << i << " round " << round << "\nscript:\n" << script;
+      ASSERT_EQ(compiled.error_info(), walked.error_info())
+          << "iteration " << i << " round " << round << "\nscript:\n" << script;
+      ASSERT_EQ(compiled.command_count(), walked.command_count())
+          << "iteration " << i << " round " << round << "\nscript:\n" << script;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tcl
