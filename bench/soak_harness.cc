@@ -41,7 +41,8 @@ using Clock = std::chrono::steady_clock;
 // to provoke a guaranteed BadWindow.
 constexpr WindowId kBogusWindow = 0xFFFFFFF0u;
 
-constexpr const char* kPhaseNames[kPhaseCount] = {"table2", "browser", "sendsel"};
+constexpr const char* kPhaseNames[kPhaseCount] = {"table2", "browser", "sendsel",
+                                                  "editor"};
 
 uint64_t ElapsedMs(Clock::time_point since) {
   return static_cast<uint64_t>(
@@ -293,6 +294,39 @@ void PhaseSendSel(WorkerContext& ctx, ConnState& conn, std::mt19937_64& rng) {
   TimedSync(ctx, d, kPhaseSendSel);
 }
 
+// The text widget's incremental-redisplay traffic (the editor bench's
+// request shape): one full viewport paint on map, then a handful of
+// row-clipped repaints -- ClearArea of a single row followed by one
+// DrawString -- as edits land, and one scroll (full-viewport clear +
+// repaint).  Off-screen edits send nothing, so nothing here models them;
+// the whole point of the damage clip is that this is ALL the wire traffic
+// a burst of editing produces.
+void PhaseEditor(WorkerContext& ctx, ConnState& conn, std::mt19937_64& rng) {
+  Display& d = *conn.display;
+  constexpr int kRows = 24;
+  constexpr int kRowHeight = 13;
+  WindowId view = d.CreateWindow(d.root(), 10, 10, 190, kRows * kRowHeight + 8);
+  d.SelectInput(view, xsim::kExposureMask);
+  d.MapWindow(view);
+  for (int row = 0; row < kRows; ++row) {
+    d.DrawString(view, conn.gc, 5, kRowHeight * (row + 1),
+                 "line " + std::to_string(row));
+  }
+  for (int edit = 0; edit < 6; ++edit) {
+    int row = static_cast<int>(rng() % kRows);
+    d.ClearArea(view, Rect{2, 4 + row * kRowHeight, 186, kRowHeight});
+    d.DrawString(view, conn.gc, 5, kRowHeight * (row + 1),
+                 "edit-" + std::to_string(rng() % 1000));
+  }
+  d.ClearArea(view, Rect{0, 0, 190, kRows * kRowHeight + 8});
+  for (int row = 0; row < kRows; ++row) {
+    d.DrawString(view, conn.gc, 5, kRowHeight * (row + 1),
+                 "scrolled " + std::to_string(rng() % 100000));
+  }
+  TimedSync(ctx, d, kPhaseEditor);
+  d.DestroyWindow(view);
+}
+
 void WorkerMain(WorkerContext& ctx, std::atomic<bool>& stop, BreachLog& log) {
   std::mt19937_64 rng(ctx.opts->seed * 1000003ull + static_cast<uint64_t>(ctx.index));
   ConnState conn;
@@ -343,6 +377,9 @@ void WorkerMain(WorkerContext& ctx, std::atomic<bool>& stop, BreachLog& log) {
         break;
       case kPhaseBrowser:
         PhaseBrowser(ctx, conn, rng);
+        break;
+      case kPhaseEditor:
+        PhaseEditor(ctx, conn, rng);
         break;
       default:
         PhaseSendSel(ctx, conn, rng);

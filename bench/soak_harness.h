@@ -13,7 +13,10 @@
 //                 partial clear + redraw, a property read);
 //   * sendsel  -- the protocol traffic behind `send` and the selection
 //                 mechanism (registry-style ChangeProperty, selection
-//                 ownership/conversion, SendEvent, event draining).
+//                 ownership/conversion, SendEvent, event draining);
+//   * editor   -- the text widget's incremental-redisplay traffic (a full
+//                 viewport paint, row-clipped repaints after edits, a
+//                 scroll repaint), the request shape of the editor bench.
 //
 // While the fleet runs, a chaos scheduler executes a schedule derived purely
 // from (seed, duration, interval, clients): it kills clients mid-stream,
@@ -116,7 +119,8 @@ const std::vector<Invariant>& Invariants();
 inline constexpr int kPhaseTable2 = 0;
 inline constexpr int kPhaseBrowser = 1;
 inline constexpr int kPhaseSendSel = 2;
-inline constexpr int kPhaseCount = 3;
+inline constexpr int kPhaseEditor = 3;
+inline constexpr int kPhaseCount = 4;
 
 struct PhaseStats {
   std::string name;

@@ -1,0 +1,329 @@
+// The editor workload over the B-tree text widget: the paper's Section 5
+// "mx-like" scenario scaled to a million lines.
+//
+// For each buffer size in the sweep (1k -> 100k -> 1M lines by default) the
+// bench drives one tk::App through the widget's Tcl command surface -- the
+// same `.t insert/delete/tag/yview` path an editor's bindings use -- and
+// measures four phases:
+//
+//   * load        -- chunked `.t insert end $chunk` until the buffer holds
+//                    N lines (time per line must stay flat as N grows:
+//                    B-tree inserts are O(log n));
+//   * edits       -- seeded random character insert/delete pairs on lines
+//                    *below* the viewport.  Per-edit cost must be
+//                    independent of buffer size (the scaling ratio below),
+//                    and the redisplay layer must lay out ZERO lines: an
+//                    off-screen edit is free, which the was-zero gated
+//                    req_text_offscreen_edit_layouts counter pins;
+//   * tag churn   -- tag add/remove over off-screen ranges (zero layouts)
+//                    and a fixed in-viewport range (exactly the covered
+//                    rows lay out, never the whole buffer);
+//   * scroll      -- seeded `.t yview` jumps; each repaint lays out exactly
+//                    one viewport of lines.
+//
+// Results land in BENCH_text.json.  The req_text_* keys are deterministic
+// layout/edit counts summed over the sweep, gated by
+// scripts/check_bench_regression.py against bench/baselines/text_editor.json
+// (req_text_offscreen_edit_layouts is gated at zero: any non-zero value
+// means redisplay work became proportional to buffer size, the exact
+// regression the B-tree + damage design exists to prevent).  The timing
+// keys are informational except edit_scaling_1M_vs_1k, which the gate caps:
+// per-edit cost at 1M lines may not exceed a small multiple of the cost at
+// 1k lines (linear scaling would be ~1000x).
+//
+// Flags: --lines=N collapses the sweep to one buffer size; --edits=N caps
+// the seeded-edit count (sanitizer smoke runs use both); --benchmark_*
+// flags from run_benches.sh are accepted and ignored.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "src/tk/app.h"
+#include "src/tk/widgets/text.h"
+#include "src/xsim/server.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedMs(Clock::time_point begin) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+             Clock::now() - begin)
+      .count();
+}
+
+// Deterministic 64-bit LCG (MMIX constants): the gated counters depend on
+// the edit positions, so the sequence must be identical on every platform.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+  uint32_t Next() {
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<uint32_t>(state_ >> 33);
+  }
+  // Uniform in [lo, hi], inclusive.
+  int Range(int lo, int hi) {
+    return lo + static_cast<int>(Next() % static_cast<uint32_t>(hi - lo + 1));
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// Every generated line is exactly this shape: 7 digits, a space, 16 letters
+// (24 chars + newline).  Edits stay in columns [8, 20], safely inside the
+// letters, so no edit ever touches a newline and the line count is stable
+// through the whole edit phase.
+std::string LineText(int line_number) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%07d abcdefghijklmnop", line_number);
+  return buf;
+}
+
+constexpr int kEditColLo = 8;
+constexpr int kEditColHi = 20;
+
+// Fixed per-point work for the deterministic phases (the seeded edit count
+// scales with --edits; these do not).
+constexpr int kViewportEditPairs = 60;
+constexpr int kTagChurnRounds = 40;
+constexpr int kScrollJumps = 50;
+
+struct PointStats {
+  int lines = 0;
+  double load_ms = 0.0;
+  double edit_us = 0.0;       // Per seeded off-screen edit.
+  double tag_churn_us = 0.0;  // Per tag add/remove.
+  double scroll_lines_per_sec = 0.0;
+};
+
+struct Totals {
+  uint64_t lines_loaded = 0;
+  uint64_t edits_applied = 0;
+  uint64_t offscreen_edit_layouts = 0;  // Gated at zero.
+  uint64_t viewport_edit_layouts = 0;
+  uint64_t tag_layouts = 0;
+  uint64_t scroll_layouts = 0;
+};
+
+std::string SizeSuffix(int lines) {
+  if (lines >= 1000000 && lines % 1000000 == 0) {
+    return std::to_string(lines / 1000000) + "M";
+  }
+  if (lines >= 1000 && lines % 1000 == 0) {
+    return std::to_string(lines / 1000) + "k";
+  }
+  return std::to_string(lines);
+}
+
+std::string Index(int line_1based, int col) {
+  return std::to_string(line_1based) + "." + std::to_string(col);
+}
+
+tcl::Code Eval(tk::App& app, const std::string& script) {
+  tcl::Code code = app.interp().Eval(script);
+  if (code != tcl::Code::kOk) {
+    std::fprintf(stderr, "text_editor: \"%s\" failed: %s\n", script.c_str(),
+                 app.interp().result().c_str());
+    std::exit(1);
+  }
+  return code;
+}
+
+// One buffer size: fresh App, chunked load, then the measured phases.
+PointStats RunPoint(int lines, int edits, Totals& totals) {
+  xsim::Server server;
+  tk::App app(server, "editor");
+  Eval(app, "text .t -width 30 -height 24");
+  Eval(app, "pack append . .t {top expand fill}");
+  app.Update();
+
+  auto* text = static_cast<tk::Text*>(app.FindWidget(".t"));
+  const int rows = text->layout().rows();
+
+  PointStats point;
+  point.lines = lines;
+
+  // --- Load: 1000-line chunks through the Tcl insert path.  The chunk
+  // string is built in C++ and passed via a variable so the measured work
+  // is index parse + B-tree insert, not megabytes of script text.
+  auto begin = Clock::now();
+  int next_line = 1;
+  while (next_line <= lines) {
+    int count = std::min(1000, lines - next_line + 1);
+    std::string chunk;
+    chunk.reserve(static_cast<size_t>(count) * 25);
+    for (int i = 0; i < count; ++i) {
+      chunk += LineText(next_line + i);
+      chunk += '\n';
+    }
+    app.interp().SetVar("chunk", chunk);
+    Eval(app, ".t insert end $chunk");
+    next_line += count;
+  }
+  point.load_ms = ElapsedMs(begin);
+  Eval(app, ".t yview 1.0");
+  app.Update();
+  totals.lines_loaded += static_cast<uint64_t>(text->tree().LineCount());
+
+  // --- Seeded off-screen edits: insert/delete pairs on lines strictly
+  // below the viewport.  The pair targets one position, so every line keeps
+  // its generated length and the next seeded index is always valid.  The
+  // layout counter must not move: DamageForEdit maps these to an empty row
+  // range before they ever reach ScheduleRedraw.
+  Rng rng(0x7E27ED17ULL + static_cast<uint64_t>(lines));
+  const int first_offscreen = rows + 10;
+  const int pairs = edits / 2;
+  uint64_t layouts_before = text->layout().lines_laid_out();
+  begin = Clock::now();
+  for (int i = 0; i < pairs; ++i) {
+    int line = rng.Range(first_offscreen, lines);
+    int col = rng.Range(kEditColLo, kEditColHi);
+    Eval(app, ".t insert " + Index(line, col) + " x");
+    Eval(app, ".t delete " + Index(line, col));
+    if (i % 64 == 63) {
+      app.Update();  // Flush: there must be nothing scheduled to draw.
+    }
+  }
+  app.Update();
+  double edit_ms = ElapsedMs(begin);
+  point.edit_us = pairs > 0 ? edit_ms * 1000.0 / (2.0 * pairs) : 0.0;
+  totals.edits_applied += static_cast<uint64_t>(2 * pairs);
+  totals.offscreen_edit_layouts += text->layout().lines_laid_out() - layouts_before;
+
+  // --- In-viewport edits: the same pair shape landing on visible rows.
+  // Each op damages exactly one row, so each Update lays out exactly one
+  // line -- 2 layouts per pair, independent of buffer size.
+  layouts_before = text->layout().lines_laid_out();
+  for (int i = 0; i < kViewportEditPairs; ++i) {
+    int line = rng.Range(3, rows - 2);
+    int col = rng.Range(kEditColLo, kEditColHi);
+    Eval(app, ".t insert " + Index(line, col) + " x");
+    app.Update();
+    Eval(app, ".t delete " + Index(line, col));
+    app.Update();
+  }
+  totals.viewport_edit_layouts += text->layout().lines_laid_out() - layouts_before;
+
+  // --- Tag churn: off-screen ranges are free; the in-viewport range lays
+  // out exactly its covered rows on add and again on remove.
+  Eval(app, ".t tag configure hot -background gold -underline 1");
+  layouts_before = text->layout().lines_laid_out();
+  begin = Clock::now();
+  int tag_ops = 0;
+  for (int i = 0; i < kTagChurnRounds; ++i) {
+    int la = rng.Range(first_offscreen, lines - 60);
+    int lb = la + 40;
+    Eval(app, ".t tag add hot " + Index(la, 0) + " " + std::to_string(lb) + ".end");
+    app.Update();
+    Eval(app, ".t tag remove hot " + Index(la, 0) + " " + std::to_string(lb) + ".end");
+    app.Update();
+    Eval(app, ".t tag add hot 5.0 9.end");
+    app.Update();
+    Eval(app, ".t tag remove hot 5.0 9.end");
+    app.Update();
+    tag_ops += 4;
+  }
+  point.tag_churn_us = ElapsedMs(begin) * 1000.0 / tag_ops;
+  totals.tag_layouts += text->layout().lines_laid_out() - layouts_before;
+
+  // --- Scroll throughput: seeded yview jumps, one full viewport of
+  // layouts per repaint.
+  layouts_before = text->layout().lines_laid_out();
+  begin = Clock::now();
+  for (int i = 0; i < kScrollJumps; ++i) {
+    int top = rng.Range(1, std::max(1, lines - rows));
+    Eval(app, ".t yview " + Index(top, 0));
+    app.Update();
+  }
+  double scroll_ms = ElapsedMs(begin);
+  uint64_t scroll_layouts = text->layout().lines_laid_out() - layouts_before;
+  point.scroll_lines_per_sec =
+      scroll_ms > 0.0 ? static_cast<double>(scroll_layouts) * 1000.0 / scroll_ms : 0.0;
+  totals.scroll_layouts += scroll_layouts;
+
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Strips --benchmark_* flags (run_benches.sh passes them to every bench).
+  benchmark::Initialize(&argc, argv);
+
+  std::vector<int> sweep = {1000, 100000, 1000000};
+  int edits = 10000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--lines=", 8) == 0) {
+      int n = std::atoi(argv[i] + 8);
+      // The phases need room below a ~24-row viewport; 200 is the floor.
+      sweep = {n < 200 ? 200 : n};
+    } else if (std::strncmp(argv[i], "--edits=", 8) == 0) {
+      edits = std::atoi(argv[i] + 8);
+      if (edits < 2) {
+        edits = 2;
+      }
+    }
+  }
+
+  benchjson::Writer json("text");
+  Totals totals;
+  std::vector<PointStats> points;
+
+  std::printf("text_editor: editor workload over the B-tree text widget\n\n");
+  for (int lines : sweep) {
+    PointStats point = RunPoint(lines, edits, totals);
+    points.push_back(point);
+    std::string sfx = SizeSuffix(lines);
+    std::printf(
+        "  %7s lines  load %8.1f ms  edit %7.2f us  tag %7.2f us  "
+        "scroll %9.0f lines/sec\n",
+        sfx.c_str(), point.load_ms, point.edit_us, point.tag_churn_us,
+        point.scroll_lines_per_sec);
+    json.AddNumber("load_ms_" + sfx, point.load_ms);
+    json.AddNumber("edit_us_" + sfx, point.edit_us);
+    json.AddNumber("tag_churn_us_" + sfx, point.tag_churn_us);
+    json.AddNumber("scroll_lines_per_sec_" + sfx, point.scroll_lines_per_sec);
+  }
+
+  // Deterministic layout/edit counts summed over the sweep (the
+  // regression-gated keys).  offscreen_edit_layouts is the headline: the
+  // gate's was-zero rule turns any non-zero value into a hard failure.
+  json.AddInteger("req_text_lines_loaded", totals.lines_loaded);
+  json.AddInteger("req_text_edits_applied", totals.edits_applied);
+  json.AddInteger("req_text_offscreen_edit_layouts", totals.offscreen_edit_layouts);
+  json.AddInteger("req_text_viewport_edit_layouts", totals.viewport_edit_layouts);
+  json.AddInteger("req_text_tag_layouts", totals.tag_layouts);
+  json.AddInteger("req_text_scroll_layouts", totals.scroll_layouts);
+
+  // Per-edit cost scaling across three decades of buffer size.  Gated with
+  // a ceiling: linear scaling would be ~1000x, O(log n) is ~2x.
+  if (points.size() >= 2 && points.front().edit_us > 0.0) {
+    double scaling = points.back().edit_us / points.front().edit_us;
+    std::printf("\n  per-edit scaling %s vs %s lines: x%.2f\n",
+                SizeSuffix(points.back().lines).c_str(),
+                SizeSuffix(points.front().lines).c_str(), scaling);
+    if (points.front().lines == 1000 && points.back().lines == 1000000) {
+      json.AddNumber("edit_scaling_1M_vs_1k", scaling);
+    }
+  }
+  if (totals.offscreen_edit_layouts != 0) {
+    std::fprintf(stderr,
+                 "text_editor: %llu lines laid out during off-screen edits "
+                 "(expected 0: redisplay work leaked past the damage clip)\n",
+                 static_cast<unsigned long long>(totals.offscreen_edit_layouts));
+    return 1;
+  }
+
+  json.WriteFile();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,6 +1,7 @@
 # A simple directory browser -- Figure 9 of the paper, adapted only where
-# the 1990 environment differed (`mx` editor -> `viewer` proc that opens a
-# label window; recursive browse spawns a window instead of a process).
+# the 1990 environment differed (`mx` editor -> `viewer` proc that opens the
+# file in an editable text pane; recursive browse spawns a window instead of
+# a process).
 #
 # Run with:  wish -f browse.tcl ?dir? -dump
 
@@ -28,15 +29,24 @@ proc browse {dir file} {
     }
 }
 
-# Stand-in for the mx editor: shows the file name in a popup frame.
+# Stand-in for the mx editor: opens the file in an editable text widget
+# (B-tree buffer, so even a huge file loads and edits cheaply), with the
+# first line underlined as a heading and the insertion point at the top.
 proc viewer {file} {
     set w .view
     catch {destroy $w}
     frame $w -relief raised -borderwidth 2
-    label $w.title -text "viewing: $file"
+    label $w.title -text "editing: $file"
+    text $w.text -width 40 -height 12
     button $w.dismiss -text Dismiss -command "destroy $w"
-    pack append $w $w.title {top} $w.dismiss {bottom}
+    pack append $w $w.title {top} $w.text {top expand fill} $w.dismiss {bottom}
     pack append . $w {bottom fillx}
+    if [file $file isfile] {
+        $w.text insert 1.0 [exec cat $file]
+    }
+    $w.text tag configure head -underline 1
+    $w.text tag add head 1.0 1.end
+    $w.text mark set insert 1.0
 }
 
 if $argc>0 {set dir [index $argv 0]} else {set dir "."}

@@ -41,6 +41,13 @@ BASELINES = {
     # the compiled-over-cached throughput ratios.
     "parser_throughput.json": "BENCH_parser_throughput.json",
     "bind_dispatch.json": "BENCH_bind_dispatch.json",
+    # Editor workload over the B-tree text widget: the req_text_* keys are
+    # exact lines-laid-out counts per phase for the seeded default sweep.
+    # req_text_offscreen_edit_layouts has a zero baseline -- one line laid
+    # out for an off-screen edit means redisplay work became proportional
+    # to buffer size -- and MAX_SCALING_RATIOS below caps how much slower a
+    # single edit may get between the 1k-line and 1M-line buffers.
+    "text_editor.json": "BENCH_text.json",
 }
 
 
@@ -115,6 +122,16 @@ MIN_EXEC_SPEEDUPS = {
     "BENCH_bind_dispatch.json": ("speedup_compiled_vs_cached", 2.0),
 }
 
+# Scaling ceilings: BENCH file -> (ratio key, maximum).  The inverse of the
+# speedup floors: these ratios compare the same operation at two workload
+# sizes, and the data structure behind it (the text widget's B-tree) only
+# holds its O(log n) promise while the ratio stays far from linear -- a
+# 1000x buffer may cost each edit at most this factor.  Generous enough for
+# machine noise, three orders of magnitude under the linear failure mode.
+MAX_SCALING_RATIOS = {
+    "BENCH_text.json": ("edit_scaling_1M_vs_1k", 8.0),
+}
+
 
 def check_exec_mode_floors(results_name, results):
     failures = []
@@ -129,6 +146,17 @@ def check_exec_mode_floors(results_name, results):
                             f"(compiled exec mode regression)")
         else:
             print(f"  ok   {key}: {value:.2f}x (floor {minimum:.1f}x)")
+    ceiling = MAX_SCALING_RATIOS.get(results_name)
+    if ceiling is not None:
+        key, maximum = ceiling
+        value = results.get(key)
+        if value is None:
+            failures.append(f"{key}: missing from {results_name}")
+        elif value > maximum:
+            failures.append(f"{key}: {value:.2f}x > allowed {maximum:.1f}x "
+                            f"(per-edit cost no longer independent of buffer size)")
+        else:
+            print(f"  ok   {key}: {value:.2f}x (ceiling {maximum:.1f}x)")
     # cmdcount parity: both exec modes run the same script, so their command
     # counters must be identical, not merely close.
     interp_cmds = results.get("req_tcl_interp_commands")

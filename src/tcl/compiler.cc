@@ -22,6 +22,9 @@ constexpr int kMaxExprStack = 64;
 // (or error message) for this input".
 
 std::optional<NumVal> ApplyUnaryNum(char op, const NumVal& v) {
+  if (v.is_str) {
+    return std::nullopt;  // NonNumeric / ParseBool handling: canonical.
+  }
   switch (op) {
     case '-':
       return v.is_int ? NumVal::Int(-v.i) : NumVal::Dbl(-v.d);
@@ -39,6 +42,21 @@ std::optional<NumVal> ApplyUnaryNum(char op, const NumVal& v) {
 }
 
 std::optional<NumVal> ApplyBinaryNum(BinOp op, const NumVal& lhs, const NumVal& rhs) {
+  if (lhs.is_str || rhs.is_str) {
+    // Only equality is defined on strings here.  The canonical engine
+    // compares AsComparableString() -- the original spelling when there is
+    // one.  Two cases are exact without spellings:
+    //   * both operands strings: compare the strings themselves;
+    //   * one string, one numeric: never equal, because any numeric value's
+    //     spelling (original or reprinted) parses as a number while a string
+    //     operand by definition does not.
+    // Everything else (relational <, <=, ... included) bails out.
+    if (op != BinOp::kEq && op != BinOp::kNe) {
+      return std::nullopt;
+    }
+    bool equal = lhs.is_str && rhs.is_str && lhs.s == rhs.s;
+    return NumVal::Int((op == BinOp::kEq) == equal ? 1 : 0);
+  }
   switch (op) {
     case BinOp::kMod:
     case BinOp::kShl:
@@ -373,12 +391,46 @@ class ExprCompiler {
     if (c == '$') {
       return ParseVarRef(out);
     }
+    if (c == '"' || c == '{') {
+      return ParseStringLiteral(out);
+    }
     if (std::isdigit(static_cast<unsigned char>(c))) {
       return ParseIntLiteral(out);
     }
-    // Everything else -- strings, quotes, braces, [commands], math
-    // functions, bare booleans, '.<digits>' doubles -- bails out.
+    // Everything else -- [commands], math functions, bare booleans,
+    // '.<digits>' doubles -- bails out.
     return false;
+  }
+
+  // A quoted or braced literal with no substitutions, escapes or nesting.
+  // Classified exactly like the canonical primary: a spelling that parses as
+  // a number is that number (so {10} == 10 stays a numeric comparison);
+  // anything else becomes a string constant for == / != to consume.
+  bool ParseStringLiteral(NodeP* out) {
+    char open = text_[pos_];
+    char close = open == '{' ? '}' : '"';
+    size_t start = ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != close) {
+      char c = text_[pos_];
+      if (c == '\\' || (open == '"' && (c == '$' || c == '[')) ||
+          (open == '{' && c == '{')) {
+        return false;  // Substitution / escape / nesting: canonical.
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) {
+      return false;  // Unterminated: canonical reports the error.
+    }
+    std::string content(text_.substr(start, pos_ - start));
+    ++pos_;
+    if (std::optional<int64_t> as_int = ParseInt(content)) {
+      *out = MakeConst(NumVal::Int(*as_int));
+    } else if (std::optional<double> as_double = ParseDouble(content)) {
+      *out = MakeConst(NumVal::Dbl(*as_double));
+    } else {
+      *out = MakeConst(NumVal::Str(std::move(content)));
+    }
+    return true;
   }
 
   bool ParseVarRef(NodeP* out) {
@@ -468,6 +520,10 @@ class ExprCompiler {
     if (n.b) Fold(&n.b);
     if (n.c) Fold(&n.c);
     auto is_const = [](const NodeP& p) { return p && p->k == ENode::K::kConst; };
+    // Truthiness folds (&&, ||, ?:) need a numeric constant: a string
+    // operand goes through the canonical ToBoolean ("yes", "true", or an
+    // error), so such nodes stay unfolded and the runtime bails.
+    auto is_num_const = [&](const NodeP& p) { return is_const(p) && !p->value.is_str; };
     switch (n.k) {
       case ENode::K::kUnary:
         if (is_const(n.a)) {
@@ -484,27 +540,27 @@ class ExprCompiler {
         }
         break;
       case ENode::K::kAnd:
-        if (is_const(n.a)) {
+        if (is_num_const(n.a)) {
           if (!n.a->value.Truthy()) {
             // Short-circuit: canonical skips the RHS entirely (including any
             // divide-by-zero it would raise) and yields the LHS boolean.
             *node = MakeConst(NumVal::Int(0));
-          } else if (is_const(n.b)) {
+          } else if (is_num_const(n.b)) {
             *node = MakeConst(NumVal::Int(n.b->value.Truthy() ? 1 : 0));
           }
         }
         break;
       case ENode::K::kOr:
-        if (is_const(n.a)) {
+        if (is_num_const(n.a)) {
           if (n.a->value.Truthy()) {
             *node = MakeConst(NumVal::Int(1));
-          } else if (is_const(n.b)) {
+          } else if (is_num_const(n.b)) {
             *node = MakeConst(NumVal::Int(n.b->value.Truthy() ? 1 : 0));
           }
         }
         break;
       case ENode::K::kTernary:
-        if (is_const(n.a)) {
+        if (is_num_const(n.a)) {
           // Canonical parses the untaken branch with evaluate=false, so its
           // runtime errors never surface; dropping it is exact.
           NodeP taken = n.a->value.Truthy() ? std::move(n.b) : std::move(n.c);
@@ -539,7 +595,10 @@ class ExprCompiler {
     switch (n.k) {
       case ENode::K::kConst: {
         ExprOp op;
-        if (n.value.is_int) {
+        if (n.value.is_str) {
+          op.k = ExprOp::K::kPushStr;
+          op.s = n.value.s;
+        } else if (n.value.is_int) {
           op.k = ExprOp::K::kPushInt;
           op.i = n.value.i;
         } else {
@@ -705,6 +764,14 @@ class ScriptCompiler {
     }
     if (ok) {
       expr.ops = std::move(ops);
+      for (const ExprOp& op : expr.ops) {
+        if (op.k == ExprOp::K::kPushStr ||
+            (op.k == ExprOp::K::kBinary &&
+             (op.bin == BinOp::kEq || op.bin == BinOp::kNe))) {
+          expr.strings = true;
+          break;
+        }
+      }
     }
     out_->exprs.push_back(std::move(expr));
     return static_cast<int32_t>(out_->exprs.size() - 1);
@@ -748,6 +815,7 @@ class ScriptCompiler {
       if (name == "expr" && TryCompileExprCmd(cmd, tn, live)) return;
       if (name == "if" && TryCompileIf(cmd, tn, live)) return;
       if (name == "while" && TryCompileWhile(cmd, tn)) return;
+      if (name == "for" && TryCompileFor(cmd, tn)) return;
       if (name == "foreach" && TryCompileForeach(cmd, tn)) return;
       if (name == "break" && w.size() == 1) {
         EmitSimple(Instr::Op::kBreak, cmd, tn);
@@ -898,6 +966,93 @@ class ScriptCompiler {
 
     instrs()[enter_at].b = static_cast<uint32_t>(exit_at);
     instrs()[cond_at].a = static_cast<uint32_t>(exit_at);
+    out_->blocks.push_back(std::move(body));
+    return true;
+  }
+
+  // for {init} {test} {next} {body}, mirroring ForCmd's structure exactly:
+  //
+  //   enter-for            guard + count; generic bail skips past exit
+  //   <init body>          no loop frame yet: break/continue/error escape
+  //                        the construct, exactly as ForCmd returns
+  //                        Eval(init)'s completion code
+  //   loop-push            brk -> loop-exit, cont -> next_at
+  //   cond_at: cond        pop_loop_on_code (test codes escape the loop)
+  //   <body>               break -> loop-exit, continue -> next_at
+  //   next_at: loop-pop    the next-script runs UNFRAMED: ForCmd propagates
+  //   <next body>          every non-ok code out of the loop, so an inline
+  //   loop-push            break/continue here must reach the enclosing
+  //   jump cond_at         construct, not this loop's own frame
+  //   exit_at: loop-exit
+  //
+  // No trace notes anywhere: ForCmd adds no "(\"for\" ...)" errorInfo lines,
+  // so errors chain straight from the failing command to the for command.
+  bool TryCompileFor(const ParsedCommand& cmd, int32_t tn) {
+    const std::vector<ParsedWord>& w = cmd.words;
+    if (w.size() != 5 || !w[1].is_literal || !w[2].is_literal || !w[3].is_literal ||
+        !w[4].is_literal) {
+      return false;
+    }
+    std::shared_ptr<const ParsedScript> init = ParseBlock(w[1].literal);
+    std::shared_ptr<const ParsedScript> next = ParseBlock(w[3].literal);
+    std::shared_ptr<const ParsedScript> body = ParseBlock(w[4].literal);
+    if (!init || !next || !body) {
+      return false;
+    }
+    int32_t eidx = CompileExprText(w[2].literal);
+
+    size_t enter_at = instrs().size();
+    Instr enter;
+    enter.op = Instr::Op::kEnterFor;
+    enter.pcmd = &cmd;
+    enter.trace = tn;
+    instrs().push_back(enter);
+
+    EmitBody(*init, /*live=*/false, tn, /*note=*/{}, /*reset_if_empty=*/false);
+
+    size_t push_at = instrs().size();
+    Instr push;
+    push.op = Instr::Op::kLoopPush;
+    instrs().push_back(push);
+
+    size_t cond_at = instrs().size();
+    Instr cond;
+    cond.op = Instr::Op::kCond;
+    cond.expr = eidx;
+    cond.trace = tn;
+    cond.pop_loop_on_code = true;
+    instrs().push_back(cond);
+
+    EmitBody(*body, /*live=*/false, tn, /*note=*/{}, /*reset_if_empty=*/false);
+
+    size_t next_at = instrs().size();
+    Instr pop;
+    pop.op = Instr::Op::kLoopPop;
+    instrs().push_back(pop);
+
+    EmitBody(*next, /*live=*/false, tn, /*note=*/{}, /*reset_if_empty=*/false);
+
+    size_t repush_at = instrs().size();
+    instrs().push_back(push);
+
+    Instr jump;
+    jump.op = Instr::Op::kJump;
+    jump.a = static_cast<uint32_t>(cond_at);
+    instrs().push_back(jump);
+
+    size_t exit_at = instrs().size();
+    Instr exit;
+    exit.op = Instr::Op::kLoopExit;
+    instrs().push_back(exit);
+
+    instrs()[enter_at].b = static_cast<uint32_t>(exit_at);
+    instrs()[cond_at].a = static_cast<uint32_t>(exit_at);
+    for (size_t at : {push_at, repush_at}) {
+      instrs()[at].a = static_cast<uint32_t>(next_at);
+      instrs()[at].b = static_cast<uint32_t>(exit_at);
+    }
+    out_->blocks.push_back(std::move(init));
+    out_->blocks.push_back(std::move(next));
     out_->blocks.push_back(std::move(body));
     return true;
   }
@@ -1128,17 +1283,23 @@ std::optional<NumVal> RunCompiledExpr(const CompiledExpr& expr, ExprSlotLoadFn l
       case ExprOp::K::kPushDouble:
         stack[sp++] = NumVal::Dbl(op.d);
         break;
+      case ExprOp::K::kPushStr:
+        stack[sp++] = NumVal::Str(op.s);
+        break;
       case ExprOp::K::kLoadSlot: {
         const std::string* value = load != nullptr ? load(ctx, op.a) : nullptr;
         if (value == nullptr) {
           return std::nullopt;
         }
-        // Classify exactly like Value::Classify: int first, then double,
-        // anything else is a string operand -> canonical engine.
+        // Classify exactly like Value::Classify: int first, then double.  A
+        // string value feeds == / != in a strings-mode program; in a
+        // numeric-only program no op could consume it, so bail immediately.
         if (std::optional<int64_t> as_int = ParseInt(*value)) {
           stack[sp++] = NumVal::Int(*as_int);
         } else if (std::optional<double> as_double = ParseDouble(*value)) {
           stack[sp++] = NumVal::Dbl(*as_double);
+        } else if (expr.strings) {
+          stack[sp++] = NumVal::Str(*value);
         } else {
           return std::nullopt;
         }
@@ -1163,6 +1324,9 @@ std::optional<NumVal> RunCompiledExpr(const CompiledExpr& expr, ExprSlotLoadFn l
       }
       case ExprOp::K::kAndJump: {
         NumVal v = stack[--sp];
+        if (v.is_str) {
+          return std::nullopt;  // ToBoolean("yes"/"true"/error): canonical.
+        }
         if (!v.Truthy()) {
           stack[sp++] = NumVal::Int(0);
           ip = op.a;
@@ -1172,6 +1336,9 @@ std::optional<NumVal> RunCompiledExpr(const CompiledExpr& expr, ExprSlotLoadFn l
       }
       case ExprOp::K::kOrJump: {
         NumVal v = stack[--sp];
+        if (v.is_str) {
+          return std::nullopt;
+        }
         if (v.Truthy()) {
           stack[sp++] = NumVal::Int(1);
           ip = op.a;
@@ -1180,10 +1347,16 @@ std::optional<NumVal> RunCompiledExpr(const CompiledExpr& expr, ExprSlotLoadFn l
         break;
       }
       case ExprOp::K::kBoolify:
+        if (stack[sp - 1].is_str) {
+          return std::nullopt;
+        }
         stack[sp - 1] = NumVal::Int(stack[sp - 1].Truthy() ? 1 : 0);
         break;
       case ExprOp::K::kCondJump: {
         NumVal v = stack[--sp];
+        if (v.is_str) {
+          return std::nullopt;
+        }
         if (!v.Truthy()) {
           ip = op.a;
           continue;
@@ -1195,6 +1368,11 @@ std::optional<NumVal> RunCompiledExpr(const CompiledExpr& expr, ExprSlotLoadFn l
         continue;
     }
     ++ip;
+  }
+  if (stack[0].is_str) {
+    // A whole-expression string result (`expr {"abc"}`) prints, booleanizes
+    // and errors by canonical rules; strings only flow internally here.
+    return std::nullopt;
   }
   return stack[0];
 }
@@ -1240,6 +1418,9 @@ std::string DisassembleExpr(const CompiledScript& script, int32_t idx) {
         break;
       case ExprOp::K::kPushDouble:
         out += "push-double " + FormatDouble(op.d);
+        break;
+      case ExprOp::K::kPushStr:
+        out += "push-str \"" + EscapeForListing(op.s) + "\"";
         break;
       case ExprOp::K::kLoadSlot:
         out += "load-slot " + std::to_string(op.a) + "(" + script.slot_names[op.a] + ")";
@@ -1327,6 +1508,15 @@ std::string Disassemble(const CompiledScript& script) {
         break;
       case Instr::Op::kEnterWhile:
         out += "enter-while exit=" + std::to_string(in.b);
+        break;
+      case Instr::Op::kEnterFor:
+        out += "enter-for exit=" + std::to_string(in.b);
+        break;
+      case Instr::Op::kLoopPush:
+        out += "loop-push cont=" + std::to_string(in.a) + " exit=" + std::to_string(in.b);
+        break;
+      case Instr::Op::kLoopPop:
+        out += "loop-pop";
         break;
       case Instr::Op::kEnterForeach: {
         const ForeachPlan& plan = script.foreaches[in.fe];

@@ -9,15 +9,16 @@
 //   * `set`, `incr` and `expr` with literal names compile to inline
 //     instructions that read and write indexed local-variable slots instead
 //     of dispatching through the command table,
-//   * `if`, `while` and `foreach` with literal condition/body words compile
-//     to jump-threaded control flow with their bodies inlined into the same
-//     instruction stream (one compile, zero per-iteration parsing or cache
-//     lookups),
+//   * `if`, `while`, `for` and `foreach` with literal condition/body words
+//     compile to jump-threaded control flow with their bodies inlined into
+//     the same instruction stream (one compile, zero per-iteration parsing or
+//     cache lookups),
 //   * literal condition/argument expressions compile to a tiny RPN program
-//     over int/double values with constant folding; anything outside the
-//     numeric subset (strings, functions, nested [commands]) bails out to the
-//     canonical expr engine at runtime, which reproduces classic results and
-//     error messages byte for byte,
+//     over int/double values with constant folding; string literals are
+//     admitted just far enough to serve == / != comparisons; anything else
+//     outside the numeric subset (functions, nested [commands], strings fed
+//     to other operators) bails out to the canonical expr engine at runtime,
+//     which reproduces classic results and error messages byte for byte,
 //   * every other command becomes a kInvoke instruction that performs the
 //     exact per-execution work EvalParsed would: assemble the words, dispatch
 //     through Interp::EvalWords.
@@ -49,12 +50,17 @@ namespace tcl {
 // ---------------------------------------------------------------------------
 // Compiled expressions.
 
-// A numeric value flowing through a compiled expression: the int/double
-// subset of the canonical expr engine's Value (strings force a bailout).
+// A value flowing through a compiled expression: the int/double subset of
+// the canonical expr engine's Value, plus (when is_str) a raw string that
+// only the == / != operators may consume.  Every other op bails to the
+// canonical engine when it meets a string, so Truthy / AsDouble / Print are
+// never called on one.
 struct NumVal {
   bool is_int = true;
+  bool is_str = false;
   int64_t i = 0;
   double d = 0.0;
+  std::string s;  // Only meaningful when is_str.
 
   static NumVal Int(int64_t v) {
     NumVal out;
@@ -66,6 +72,12 @@ struct NumVal {
     NumVal out;
     out.is_int = false;
     out.d = v;
+    return out;
+  }
+  static NumVal Str(std::string v) {
+    NumVal out;
+    out.is_str = true;
+    out.s = std::move(v);
     return out;
   }
   bool Truthy() const { return is_int ? i != 0 : d != 0.0; }
@@ -85,7 +97,9 @@ struct ExprOp {
   enum class K : uint8_t {
     kPushInt,     // push Int(i)
     kPushDouble,  // push Dbl(d) (produced by constant folding)
-    kLoadSlot,    // push classified value of slot `a`; bail if non-numeric
+    kPushStr,     // push Str(s) (a non-numeric quoted/braced literal)
+    kLoadSlot,    // push classified value of slot `a`; non-numeric values
+                  //   push Str in a strings-mode expr, else bail
     kUnary,       // apply unary `uop` to the top of stack
     kBinary,      // pop rhs, apply `bin` to (tos, rhs)
     kAndJump,     // pop v; if !v: push Int(0), jump to `a`   (&& short-circuit)
@@ -100,6 +114,7 @@ struct ExprOp {
   uint32_t a = 0;        // slot index or jump target
   int64_t i = 0;
   double d = 0.0;
+  std::string s;         // kPushStr literal.
 };
 
 // A compiled expression.  `ops` empty means the text is outside the compiled
@@ -109,6 +124,11 @@ struct ExprOp {
 struct CompiledExpr {
   std::string text;           // Original text, for the canonical bail path.
   std::vector<ExprOp> ops;
+  // True when the program contains string literals or == / != (the two
+  // operators defined on strings): slot loads then push non-numeric values
+  // as Str operands instead of bailing.  Purely-numeric expressions keep
+  // the cheaper load path.
+  bool strings = false;
 };
 
 // Evaluates a compiled expression.  `load` supplies the current string value
@@ -156,6 +176,11 @@ struct Instr {
                     //   dispatch pcmd generically and jump to `a`.
     kEnterWhile,    // Guard + count + push loop frame; exit at `b`, skip b+1.
     kEnterForeach,  // Same plus list assembly/split via foreaches[fe].
+    kEnterFor,      // Guard + count for an inlined `for`; exit at `b` (the
+                    //   init body follows, before any loop frame exists).
+    kLoopPush,      // Push a loop frame: break to `b`, continue to `a`.
+    kLoopPop,       // Pop the loop frame (around a for's next-script, whose
+                    //   completion codes must escape the loop like ForCmd's).
     kForeachStep,   // Assign next stride of variables or jump to loop exit.
     kCond,          // Evaluate exprs[expr]; jump to `a` when false.
     kJump,          // Unconditional jump to `a`.

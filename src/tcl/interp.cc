@@ -34,7 +34,8 @@ bool SplitArrayName(std::string_view name, std::string_view* base, std::string_v
 // compiled script back to generic dispatch (see Interp::builtin_epoch_).
 bool IsVmInlinedBuiltin(std::string_view name) {
   return name == "set" || name == "incr" || name == "expr" || name == "if" ||
-         name == "while" || name == "foreach" || name == "break" || name == "continue";
+         name == "while" || name == "for" || name == "foreach" || name == "break" ||
+         name == "continue";
 }
 
 ExecMode ExecModeFromEnv() {

@@ -181,7 +181,7 @@ struct VmExecutor::Run {
     return Handle(code, in, own, ip);
   }
 
-  // True when one of the inlined builtins (set, incr, expr, if, while,
+  // True when one of the inlined builtins (set, incr, expr, if, while, for,
   // foreach, break, continue) has been redefined, renamed or deleted; every
   // inlined instruction then takes the generic dispatch path so the
   // replacement command is honoured.
@@ -465,6 +465,39 @@ struct VmExecutor::Run {
           ++ip;
           break;
         }
+
+        case Instr::Op::kEnterFor: {
+          // The loop frame is NOT pushed here: the init body runs first, and
+          // its completion codes must escape the construct the way ForCmd
+          // returns Eval(init)'s code.  The kLoopPush after init opens the
+          // frame.
+          if (BuiltinsShadowed()) {
+            if (!GenericStep(in, in.b + 1, &ip)) {
+              return ret_;
+            }
+            break;
+          }
+          ++interp_.command_count_;
+          ++ip;
+          break;
+        }
+
+        case Instr::Op::kLoopPush: {
+          LoopFrame frame;
+          frame.brk = in.b;
+          frame.cont = in.a;  // The for's next-script.
+          loops_.push_back(std::move(frame));
+          ++ip;
+          break;
+        }
+
+        case Instr::Op::kLoopPop:
+          // A for's next-script runs without the loop frame: ForCmd
+          // propagates every non-ok code (break and continue included) out
+          // of the loop, so they must route past this frame.
+          loops_.pop_back();
+          ++ip;
+          break;
 
         case Instr::Op::kEnterForeach: {
           if (BuiltinsShadowed()) {

@@ -25,6 +25,7 @@
 #include "src/tk/widgets/message.h"
 #include "src/tk/widgets/scale.h"
 #include "src/tk/widgets/scrollbar.h"
+#include "src/tk/widgets/text.h"
 
 namespace tk {
 namespace {
@@ -822,6 +823,9 @@ void App::RegisterCommands() {
   });
   RegisterWidgetClass(*app, "canvas", [](App& a, std::string path) {
     return std::make_unique<Canvas>(a, std::move(path));
+  });
+  RegisterWidgetClass(*app, "text", [](App& a, std::string path) {
+    return std::make_unique<Text>(a, std::move(path));
   });
 }
 

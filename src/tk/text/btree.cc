@@ -1,0 +1,1220 @@
+#include "src/tk/text/btree.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/tk/text/tag.h"
+
+namespace tk {
+namespace text {
+
+namespace {
+
+// Invariant checks must fire in Release builds too (the differential test
+// runs them after every op), so no assert().
+void Check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "text btree invariant violated: %s\n", what);
+    std::abort();
+  }
+}
+
+bool IsToggle(const Segment& seg) {
+  return seg.kind == Segment::Kind::kToggleOn ||
+         seg.kind == Segment::Kind::kToggleOff;
+}
+
+void CountLineToggles(const Line& line, std::map<const TextTag*, int>* counts) {
+  for (const Segment& seg : line.segments) {
+    if (IsToggle(seg)) {
+      ++(*counts)[seg.tag];
+    }
+  }
+}
+
+int LineCharCount(const Line& line) {
+  int chars = 0;
+  for (const Segment& seg : line.segments) {
+    chars += static_cast<int>(seg.chars.size());
+  }
+  return chars;
+}
+
+// Removes every toggle of `tag` at text offsets in [from, to] (inclusive) of
+// `line`; returns how many were removed.  Summaries are the caller's job.
+int StripLineToggles(Line* line, const TextTag* tag, int from, int to) {
+  int removed = 0;
+  int consumed = 0;
+  auto& segs = line->segments;
+  for (size_t i = 0; i < segs.size();) {
+    Segment& seg = segs[i];
+    if (seg.kind == Segment::Kind::kChars) {
+      consumed += static_cast<int>(seg.chars.size());
+      if (consumed > to) {
+        break;
+      }
+      ++i;
+      continue;
+    }
+    if (IsToggle(seg) && seg.tag == tag && consumed >= from && consumed <= to) {
+      segs.erase(segs.begin() + i);
+      ++removed;
+      continue;
+    }
+    ++i;
+  }
+  if (removed > 0) {
+    // A removed toggle may have been the only thing separating two char
+    // segments; re-merge in one pass (offsets above no longer matter).
+    for (size_t i = 1; i < segs.size();) {
+      if (segs[i - 1].kind == Segment::Kind::kChars &&
+          segs[i].kind == Segment::Kind::kChars) {
+        segs[i - 1].chars += segs[i].chars;
+        segs.erase(segs.begin() + i);
+      } else {
+        ++i;
+      }
+    }
+  }
+  return removed;
+}
+
+constexpr int kRankAfterAll = static_cast<int>(Segment::Kind::kToggleOn) + 1;
+constexpr int kRankBeforeAll = static_cast<int>(Segment::Kind::kToggleOff);
+
+}  // namespace
+
+std::string Line::Text() const {
+  std::string out;
+  out.reserve(static_cast<size_t>(chars));
+  for (const Segment& seg : segments) {
+    out += seg.chars;
+  }
+  return out;
+}
+
+BTree::BTree() : root_(std::make_unique<Node>()) {
+  auto line = std::make_unique<Line>();
+  Segment nl;
+  nl.kind = Segment::Kind::kChars;
+  nl.chars = "\n";
+  line->segments.push_back(std::move(nl));
+  line->chars = 1;
+  line->parent = root_.get();
+  root_->lines.push_back(std::move(line));
+  root_->num_lines = 1;
+  root_->num_chars = 1;
+}
+
+BTree::~BTree() = default;
+
+// ---------------------------------------------------------------------------
+// Index arithmetic.
+
+long long BTree::CharOffsetOfLine(int index) const {
+  if (index <= 0) {
+    return 0;
+  }
+  if (index >= root_->num_lines) {
+    return root_->num_chars;
+  }
+  long long offset = 0;
+  const Node* node = root_.get();
+  while (node->level > 0) {
+    for (const auto& child : node->children) {
+      if (index < child->num_lines) {
+        node = child.get();
+        break;
+      }
+      index -= child->num_lines;
+      offset += child->num_chars;
+    }
+  }
+  for (int i = 0; i < index; ++i) {
+    offset += node->lines[i]->chars;
+  }
+  return offset;
+}
+
+Line* BTree::FindLine(int index) const {
+  if (index < 0 || index >= root_->num_lines) {
+    return nullptr;
+  }
+  const Node* node = root_.get();
+  while (node->level > 0) {
+    for (const auto& child : node->children) {
+      if (index < child->num_lines) {
+        node = child.get();
+        break;
+      }
+      index -= child->num_lines;
+    }
+  }
+  return node->lines[index].get();
+}
+
+int BTree::LineIndex(const Line* line) const {
+  const Node* leaf = line->parent;
+  int index = 0;
+  for (const auto& l : leaf->lines) {
+    if (l.get() == line) {
+      break;
+    }
+    ++index;
+  }
+  const Node* node = leaf;
+  while (node->parent != nullptr) {
+    for (const auto& sibling : node->parent->children) {
+      if (sibling.get() == node) {
+        break;
+      }
+      index += sibling->num_lines;
+    }
+    node = node->parent;
+  }
+  return index;
+}
+
+int BTree::LineLength(int index) const {
+  Line* line = FindLine(index);
+  return line == nullptr ? 0 : line->chars;
+}
+
+Line* BTree::NextLine(const Line* line) const {
+  return FindLine(LineIndex(line) + 1);
+}
+
+Pos BTree::Normalize(Pos pos) const {
+  if (pos.line < 0) {
+    return Pos{0, 0};
+  }
+  if (pos.line >= LineCount()) {
+    return LastInsertPos();
+  }
+  if (pos.ch < 0) {
+    pos.ch = 0;
+    return pos;
+  }
+  int len = LineLength(pos.line);
+  if (pos.ch >= len) {
+    if (pos.ch == len && pos.line + 1 < LineCount()) {
+      return Pos{pos.line + 1, 0};
+    }
+    pos.ch = len - 1;
+  }
+  return pos;
+}
+
+Pos BTree::LastInsertPos() const {
+  int last = LineCount() - 1;
+  return Pos{last, LineLength(last) - 1};
+}
+
+Line* BTree::FirstLine(const Node* node) const {
+  while (node->level > 0) {
+    node = node->children.front().get();
+  }
+  return node->lines.front().get();
+}
+
+int BTree::Depth() const { return root_->level; }
+
+// ---------------------------------------------------------------------------
+// Summary maintenance.
+
+void BTree::AdjustCounts(Node* node, int dlines, long long dchars) {
+  for (; node != nullptr; node = node->parent) {
+    node->num_lines += dlines;
+    node->num_chars += dchars;
+  }
+}
+
+void BTree::AdjustToggles(Node* node, const TextTag* tag, int delta) {
+  for (; node != nullptr; node = node->parent) {
+    int& count = node->toggle_counts[tag];
+    count += delta;
+    if (count == 0) {
+      node->toggle_counts.erase(tag);
+    }
+  }
+}
+
+void BTree::RecomputeSummary(Node* node) {
+  node->num_lines = 0;
+  node->num_chars = 0;
+  node->toggle_counts.clear();
+  if (node->level == 0) {
+    for (const auto& line : node->lines) {
+      node->num_lines += 1;
+      node->num_chars += line->chars;
+      CountLineToggles(*line, &node->toggle_counts);
+    }
+  } else {
+    for (const auto& child : node->children) {
+      node->num_lines += child->num_lines;
+      node->num_chars += child->num_chars;
+      for (const auto& [tag, count] : child->toggle_counts) {
+        node->toggle_counts[tag] += count;
+      }
+    }
+  }
+}
+
+void BTree::Rebalance(Node* node) {
+  while (node != nullptr) {
+    Node* parent = node->parent;
+    size_t count = node->level == 0 ? node->lines.size() : node->children.size();
+    if (count > static_cast<size_t>(kMaxChildren)) {
+      if (parent == nullptr) {
+        // Grow a new root above the overfull old one.
+        auto new_root = std::make_unique<Node>();
+        new_root->level = node->level + 1;
+        new_root->children.push_back(std::move(root_));
+        node->parent = new_root.get();
+        root_ = std::move(new_root);
+        parent = root_.get();
+        RecomputeSummary(parent);
+      }
+      auto sibling = std::make_unique<Node>();
+      sibling->level = node->level;
+      sibling->parent = parent;
+      size_t keep = count / 2;
+      if (node->level == 0) {
+        for (size_t i = keep; i < node->lines.size(); ++i) {
+          node->lines[i]->parent = sibling.get();
+          sibling->lines.push_back(std::move(node->lines[i]));
+        }
+        node->lines.resize(keep);
+      } else {
+        for (size_t i = keep; i < node->children.size(); ++i) {
+          node->children[i]->parent = sibling.get();
+          sibling->children.push_back(std::move(node->children[i]));
+        }
+        node->children.resize(keep);
+      }
+      RecomputeSummary(node);
+      RecomputeSummary(sibling.get());
+      auto it = parent->children.begin();
+      while (it->get() != node) {
+        ++it;
+      }
+      parent->children.insert(it + 1, std::move(sibling));
+      node = parent;
+      continue;
+    }
+    if (parent != nullptr && count < static_cast<size_t>(kMinChildren)) {
+      size_t index = 0;
+      while (parent->children[index].get() != node) {
+        ++index;
+      }
+      // Merge the whole node into a neighbour, then let the loop re-split the
+      // neighbour if it overflowed.
+      Node* neighbour;
+      if (index > 0) {
+        neighbour = parent->children[index - 1].get();
+        if (node->level == 0) {
+          for (auto& line : node->lines) {
+            line->parent = neighbour;
+            neighbour->lines.push_back(std::move(line));
+          }
+        } else {
+          for (auto& child : node->children) {
+            child->parent = neighbour;
+            neighbour->children.push_back(std::move(child));
+          }
+        }
+      } else {
+        neighbour = parent->children[index + 1].get();
+        if (node->level == 0) {
+          for (auto it = node->lines.rbegin(); it != node->lines.rend(); ++it) {
+            (*it)->parent = neighbour;
+            neighbour->lines.insert(neighbour->lines.begin(), std::move(*it));
+          }
+        } else {
+          for (auto it = node->children.rbegin(); it != node->children.rend();
+               ++it) {
+            (*it)->parent = neighbour;
+            neighbour->children.insert(neighbour->children.begin(),
+                                       std::move(*it));
+          }
+        }
+      }
+      parent->children.erase(parent->children.begin() + index);
+      RecomputeSummary(neighbour);
+      node = neighbour;
+      continue;
+    }
+    if (parent == nullptr) {
+      // Shrink the root while it is an interior node with a single child.
+      while (root_->level > 0 && root_->children.size() == 1) {
+        std::unique_ptr<Node> child = std::move(root_->children.front());
+        child->parent = nullptr;
+        root_ = std::move(child);
+      }
+      break;
+    }
+    node = parent;
+  }
+}
+
+void BTree::UnlinkLine(Line* line) {
+  Node* leaf = line->parent;
+  std::map<const TextTag*, int> toggles;
+  CountLineToggles(*line, &toggles);
+  AdjustCounts(leaf, -1, -line->chars);
+  for (const auto& [tag, count] : toggles) {
+    AdjustToggles(leaf, tag, -count);
+  }
+  auto it = leaf->lines.begin();
+  while (it->get() != line) {
+    ++it;
+  }
+  leaf->lines.erase(it);
+}
+
+void BTree::LinkLine(Node* leaf, size_t at, std::unique_ptr<Line> line) {
+  line->parent = leaf;
+  AdjustCounts(leaf, 1, line->chars);
+  std::map<const TextTag*, int> toggles;
+  CountLineToggles(*line, &toggles);
+  for (const auto& [tag, count] : toggles) {
+    AdjustToggles(leaf, tag, count);
+  }
+  leaf->lines.insert(leaf->lines.begin() + at, std::move(line));
+}
+
+// ---------------------------------------------------------------------------
+// Segment-level helpers.
+
+size_t BTree::SplitAt(Line* line, int ch, int rank) const {
+  auto& segs = line->segments;
+  int consumed = 0;
+  for (size_t i = 0; i < segs.size(); ++i) {
+    Segment& seg = segs[i];
+    if (seg.kind == Segment::Kind::kChars) {
+      int len = static_cast<int>(seg.chars.size());
+      if (consumed + len <= ch) {
+        consumed += len;
+        continue;
+      }
+      int split = ch - consumed;
+      if (split == 0) {
+        return i;
+      }
+      Segment right;
+      right.kind = Segment::Kind::kChars;
+      right.chars = seg.chars.substr(static_cast<size_t>(split));
+      seg.chars.resize(static_cast<size_t>(split));
+      segs.insert(segs.begin() + i + 1, std::move(right));
+      return i + 1;
+    }
+    // Zero width: part of the run at text offset `consumed`.
+    if (consumed < ch || seg.rank() < rank) {
+      continue;
+    }
+    return i;
+  }
+  return segs.size();
+}
+
+void BTree::NormalizeAround(Line* line, size_t at) {
+  auto& segs = line->segments;
+  // Find the zero-width run containing position `at` (which may sit between
+  // two char segments, in which case the run is empty).
+  size_t lo = std::min(at, segs.size());
+  while (lo > 0 && segs[lo - 1].zero_width()) {
+    --lo;
+  }
+  size_t hi = lo;
+  while (hi < segs.size() && segs[hi].zero_width()) {
+    ++hi;
+  }
+  if (hi > lo) {
+    std::stable_sort(
+        segs.begin() + lo, segs.begin() + hi,
+        [](const Segment& a, const Segment& b) { return a.rank() < b.rank(); });
+    // Cancel (on, off) pairs of the same tag: they bracket zero characters,
+    // so together they are a no-op (an empty range, or two ranges meeting at
+    // this point that merge into one).
+    bool again = true;
+    while (again) {
+      again = false;
+      for (size_t i = lo; i < hi && !again; ++i) {
+        if (!IsToggle(segs[i])) {
+          continue;
+        }
+        for (size_t j = i + 1; j < hi; ++j) {
+          if (IsToggle(segs[j]) && segs[j].tag == segs[i].tag &&
+              segs[j].kind != segs[i].kind) {
+            AdjustToggles(line->parent, segs[i].tag, -2);
+            segs.erase(segs.begin() + j);
+            segs.erase(segs.begin() + i);
+            hi -= 2;
+            again = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+  // Merge char segments adjacent across a (possibly now empty) run edge.
+  if (lo == hi && lo > 0 && lo < segs.size() &&
+      segs[lo - 1].kind == Segment::Kind::kChars &&
+      segs[lo].kind == Segment::Kind::kChars) {
+    segs[lo - 1].chars += segs[lo].chars;
+    segs.erase(segs.begin() + lo);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Editing.
+
+void BTree::InsertChars(Pos pos, std::string_view chars) {
+  if (chars.empty()) {
+    return;
+  }
+  pos = Normalize(pos);
+  Line* line = FindLine(pos.line);
+  size_t at = SplitAt(line, pos.ch, static_cast<int>(Segment::Kind::kMarkRight));
+  size_t newline = chars.find('\n');
+  if (newline == std::string_view::npos) {
+    // Intra-line insert: extend an adjacent char segment where possible.
+    if (at > 0 && line->segments[at - 1].kind == Segment::Kind::kChars) {
+      line->segments[at - 1].chars += chars;
+    } else if (at < line->segments.size() &&
+               line->segments[at].kind == Segment::Kind::kChars) {
+      line->segments[at].chars.insert(0, chars);
+    } else {
+      Segment seg;
+      seg.kind = Segment::Kind::kChars;
+      seg.chars = std::string(chars);
+      line->segments.insert(line->segments.begin() + at, std::move(seg));
+    }
+    line->chars += static_cast<int>(chars.size());
+    AdjustCounts(line->parent, 0, static_cast<long long>(chars.size()));
+    // SplitAt may have cut a char segment that the branch above then extended
+    // on only one side; re-merge the seam.
+    NormalizeAround(line, at);
+    return;
+  }
+
+  // Multi-line insert: the line splits at the insert point.  Everything
+  // after the point (the "tail", including the original newline) moves to
+  // the last new line; marks in the tail travel with it -- they sit to the
+  // right of the inserted text, which is what their position past the
+  // insertion point already said.
+  std::vector<Segment> tail(
+      std::make_move_iterator(line->segments.begin() + at),
+      std::make_move_iterator(line->segments.end()));
+  line->segments.resize(at);
+
+  std::vector<std::unique_ptr<Line>> new_lines;
+  size_t piece_start = 0;
+  Line* dest = line;
+  while (true) {
+    size_t nl = chars.find('\n', piece_start);
+    if (nl == std::string_view::npos) {
+      break;
+    }
+    std::string_view piece = chars.substr(piece_start, nl + 1 - piece_start);
+    if (!dest->segments.empty() &&
+        dest->segments.back().kind == Segment::Kind::kChars) {
+      dest->segments.back().chars += piece;
+    } else {
+      Segment seg;
+      seg.kind = Segment::Kind::kChars;
+      seg.chars = std::string(piece);
+      dest->segments.push_back(std::move(seg));
+    }
+    piece_start = nl + 1;
+    new_lines.push_back(std::make_unique<Line>());
+    dest = new_lines.back().get();
+  }
+  // Remainder (no newline) plus the original tail end up on the last line.
+  std::string_view rest = chars.substr(piece_start);
+  if (!rest.empty()) {
+    Segment seg;
+    seg.kind = Segment::Kind::kChars;
+    seg.chars = std::string(rest);
+    dest->segments.push_back(std::move(seg));
+  }
+  for (Segment& seg : tail) {
+    if (seg.mark != nullptr) {
+      seg.mark->line = dest;
+    }
+    if (seg.kind == Segment::Kind::kChars && !dest->segments.empty() &&
+        dest->segments.back().kind == Segment::Kind::kChars) {
+      dest->segments.back().chars += seg.chars;
+    } else {
+      dest->segments.push_back(std::move(seg));
+    }
+  }
+  line->chars = LineCharCount(*line);
+  long long new_line_chars = 0;
+  std::map<const TextTag*, int> moved_toggles;
+  for (const auto& l : new_lines) {
+    l->chars = LineCharCount(*l);
+    new_line_chars += l->chars;
+    CountLineToggles(*l, &moved_toggles);
+  }
+  // The head line's char delta: total inserted chars minus what ended up on
+  // the new lines (LinkLine below accounts for each new line wholesale).
+  Node* leaf = line->parent;
+  AdjustCounts(leaf, 0, static_cast<long long>(chars.size()) - new_line_chars);
+  // Toggles that moved off the head line with the tail: LinkLine re-adds
+  // them, so drop their old contribution first.
+  for (const auto& [tag, count] : moved_toggles) {
+    AdjustToggles(leaf, tag, -count);
+  }
+  // Link one line at a time, rebalancing as we go: Rebalance handles a
+  // single-step overflow (13 -> 6+7), not a leaf that swallowed a bulk
+  // paste whole.
+  Line* prev = line;
+  for (auto& owned : new_lines) {
+    Line* raw = owned.get();
+    Node* dest_leaf = prev->parent;
+    size_t line_at = 0;
+    while (dest_leaf->lines[line_at].get() != prev) {
+      ++line_at;
+    }
+    LinkLine(dest_leaf, line_at + 1, std::move(owned));
+    Rebalance(dest_leaf);
+    prev = raw;
+  }
+}
+
+void BTree::DeleteChars(Pos start, Pos end) {
+  start = Normalize(start);
+  end = Normalize(end);
+  if (!(start < end)) {
+    return;
+  }
+  Line* head = FindLine(start.line);
+
+  // Toggles of the deleted region, for the parity fix-up at the join.
+  std::map<const TextTag*, int> dead_toggles;
+  // Marks inside the region re-home to the join point, in document order.
+  std::vector<Segment> rescued_marks;
+
+  auto scavenge = [&](std::vector<Segment>& segs) {
+    for (Segment& seg : segs) {
+      if (IsToggle(seg)) {
+        ++dead_toggles[seg.tag];
+      } else if (seg.mark != nullptr) {
+        rescued_marks.push_back(std::move(seg));
+      }
+    }
+  };
+
+  std::vector<Segment> survivors;
+  size_t i1;
+  if (start.line == end.line) {
+    i1 = SplitAt(head, start.ch, kRankAfterAll);
+    size_t i2 = SplitAt(head, end.ch, kRankBeforeAll);
+    std::vector<Segment> removed(
+        std::make_move_iterator(head->segments.begin() + i1),
+        std::make_move_iterator(head->segments.begin() + i2));
+    head->segments.erase(head->segments.begin() + i1,
+                         head->segments.begin() + i2);
+    long long removed_chars = 0;
+    for (const Segment& seg : removed) {
+      removed_chars += static_cast<long long>(seg.chars.size());
+    }
+    scavenge(removed);
+    head->chars -= static_cast<int>(removed_chars);
+    AdjustCounts(head->parent, 0, -removed_chars);
+    for (const auto& [tag, count] : dead_toggles) {
+      AdjustToggles(head->parent, tag, -count);
+    }
+  } else {
+    // Multi-line delete.  Head keeps [0, start.ch); the tail line's
+    // [end.ch, ...) survivors (including its newline) join the head; every
+    // line in between -- and the rest of head and start of tail -- dies.
+    Line* tail = FindLine(end.line);
+    i1 = SplitAt(head, start.ch, kRankAfterAll);
+    {
+      std::vector<Segment> removed(
+          std::make_move_iterator(head->segments.begin() + i1),
+          std::make_move_iterator(head->segments.end()));
+      head->segments.erase(head->segments.begin() + i1, head->segments.end());
+      long long removed_chars = 0;
+      std::map<const TextTag*, int> head_toggles;
+      for (const Segment& seg : removed) {
+        removed_chars += static_cast<long long>(seg.chars.size());
+        if (IsToggle(seg)) {
+          ++head_toggles[seg.tag];
+        }
+      }
+      scavenge(removed);
+      head->chars -= static_cast<int>(removed_chars);
+      AdjustCounts(head->parent, 0, -removed_chars);
+      for (const auto& [tag, count] : head_toggles) {
+        AdjustToggles(head->parent, tag, -count);
+      }
+    }
+    // Middle lines: rescue their marks, tally their toggles, then unlink
+    // one line at a time (each unlink may rebalance, so never hold more
+    // than one victim).
+    for (Line* mid = NextLine(head); mid != tail; mid = NextLine(head)) {
+      std::vector<Segment>& segs = mid->segments;
+      for (size_t i = 0; i < segs.size();) {
+        if (segs[i].mark != nullptr) {
+          rescued_marks.push_back(std::move(segs[i]));
+          segs.erase(segs.begin() + i);
+        } else {
+          if (IsToggle(segs[i])) {
+            ++dead_toggles[segs[i].tag];
+          }
+          ++i;
+        }
+      }
+      Node* mid_leaf = mid->parent;
+      UnlinkLine(mid);  // Recounts the line as it stands (marks already out).
+      Rebalance(mid_leaf);
+    }
+    // Tail: split off the dead prefix, keep the survivors, drop the line.
+    {
+      long long tail_chars = tail->chars;
+      std::map<const TextTag*, int> tail_toggles;
+      CountLineToggles(*tail, &tail_toggles);
+      size_t j = SplitAt(tail, end.ch, kRankBeforeAll);
+      std::vector<Segment> dead(
+          std::make_move_iterator(tail->segments.begin()),
+          std::make_move_iterator(tail->segments.begin() + j));
+      survivors.assign(std::make_move_iterator(tail->segments.begin() + j),
+                       std::make_move_iterator(tail->segments.end()));
+      tail->segments.clear();
+      scavenge(dead);
+      Node* tail_leaf = tail->parent;
+      AdjustCounts(tail_leaf, -1, -tail_chars);
+      for (const auto& [tag, count] : tail_toggles) {
+        AdjustToggles(tail_leaf, tag, -count);
+      }
+      auto it = tail_leaf->lines.begin();
+      while (it->get() != tail) {
+        ++it;
+      }
+      tail_leaf->lines.erase(it);
+      Rebalance(tail_leaf);
+    }
+  }
+
+  // Join: decide parity fixes from the kept-left toggles only (survivors at
+  // the same text offset must not count), then splice marks, fixes, and
+  // survivors back in.
+  std::vector<Segment> fixes;
+  for (const auto& [tag, count] : dead_toggles) {
+    if (count % 2 != 0) {
+      Segment fix;
+      fix.tag = const_cast<TextTag*>(tag);
+      bool on_left = ToggleParityBeforeSegment(head, i1, tag);
+      fix.kind = on_left ? Segment::Kind::kToggleOff : Segment::Kind::kToggleOn;
+      fixes.push_back(std::move(fix));
+    }
+  }
+  size_t at = i1;
+  for (Segment& seg : rescued_marks) {
+    seg.mark->line = head;
+    head->segments.insert(head->segments.begin() + at++, std::move(seg));
+  }
+  for (Segment& fix : fixes) {
+    AdjustToggles(head->parent, fix.tag, 1);
+    head->segments.insert(head->segments.begin() + at++, std::move(fix));
+  }
+  if (!survivors.empty()) {
+    long long survivor_chars = 0;
+    std::map<const TextTag*, int> survivor_toggles;
+    for (Segment& seg : survivors) {
+      survivor_chars += static_cast<long long>(seg.chars.size());
+      if (IsToggle(seg)) {
+        ++survivor_toggles[seg.tag];
+      }
+      if (seg.mark != nullptr) {
+        seg.mark->line = head;
+      }
+      head->segments.insert(head->segments.begin() + at++, std::move(seg));
+    }
+    head->chars += static_cast<int>(survivor_chars);
+    AdjustCounts(head->parent, 0, survivor_chars);
+    for (const auto& [tag, count] : survivor_toggles) {
+      AdjustToggles(head->parent, tag, count);
+    }
+  }
+  NormalizeAround(head, i1);
+  Rebalance(head->parent);
+}
+
+std::string BTree::GetText(Pos start, Pos end) const {
+  start = Normalize(start);
+  end = Normalize(end);
+  if (!(start < end)) {
+    return std::string();
+  }
+  std::string out;
+  Line* line = FindLine(start.line);
+  for (int index = start.line; index <= end.line && line != nullptr; ++index) {
+    std::string text = line->Text();
+    int from = index == start.line ? start.ch : 0;
+    int to = index == end.line ? end.ch : static_cast<int>(text.size());
+    if (to > from) {
+      out.append(text, static_cast<size_t>(from),
+                 static_cast<size_t>(to - from));
+    }
+    if (index == end.line) {
+      break;
+    }
+    line = NextLine(line);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Tags.
+
+int BTree::CountTogglesAbove(const Line* line, const TextTag* tag) const {
+  int count = 0;
+  const Node* leaf = line->parent;
+  for (const auto& l : leaf->lines) {
+    if (l.get() == line) {
+      break;
+    }
+    for (const Segment& seg : l->segments) {
+      if (IsToggle(seg) && seg.tag == tag) {
+        ++count;
+      }
+    }
+  }
+  for (const Node* node = leaf; node->parent != nullptr; node = node->parent) {
+    for (const auto& sibling : node->parent->children) {
+      if (sibling.get() == node) {
+        break;
+      }
+      auto it = sibling->toggle_counts.find(tag);
+      if (it != sibling->toggle_counts.end()) {
+        count += it->second;
+      }
+    }
+  }
+  return count;
+}
+
+bool BTree::ToggleParityThrough(const TextTag* tag, Pos pos) const {
+  if (root_->toggle_counts.find(tag) == root_->toggle_counts.end()) {
+    return false;
+  }
+  const Line* line = FindLine(pos.line);
+  if (line == nullptr) {
+    return false;
+  }
+  int count = CountTogglesAbove(line, tag);
+  int consumed = 0;
+  for (const Segment& seg : line->segments) {
+    if (seg.kind == Segment::Kind::kChars) {
+      consumed += static_cast<int>(seg.chars.size());
+      if (consumed > pos.ch) {
+        break;
+      }
+    } else if (IsToggle(seg) && seg.tag == tag) {
+      ++count;
+    }
+  }
+  return (count % 2) != 0;
+}
+
+bool BTree::ToggleParityBeforeSegment(const Line* line, size_t seg_index,
+                                      const TextTag* tag) const {
+  int count = CountTogglesAbove(line, tag);
+  for (size_t i = 0; i < seg_index && i < line->segments.size(); ++i) {
+    const Segment& seg = line->segments[i];
+    if (IsToggle(seg) && seg.tag == tag) {
+      ++count;
+    }
+  }
+  return (count % 2) != 0;
+}
+
+bool BTree::CharTagged(const TextTag* tag, Pos pos) const {
+  return ToggleParityThrough(tag, Normalize(pos));
+}
+
+int BTree::ToggleCount(const TextTag* tag) const {
+  auto it = root_->toggle_counts.find(tag);
+  return it == root_->toggle_counts.end() ? 0 : it->second;
+}
+
+void BTree::AddTag(TextTag* tag, Pos start, Pos end) {
+  start = Normalize(start);
+  end = Normalize(end);
+  if (!(start < end)) {
+    return;
+  }
+  // State the character at `end` had before the edit: everything at or past
+  // `end` must keep its tag state.
+  bool state_after = ToggleParityThrough(tag, end);
+  // Remove every toggle of the tag in [start, end] (inclusive of both
+  // boundary runs -- a range ending at `start` or starting at `end` merges
+  // with the new one instead of leaving redundant toggles behind).
+  if (ToggleCount(tag) > 0) {
+    Line* line = FindLine(start.line);
+    for (int index = start.line; index <= end.line && line != nullptr;
+         ++index) {
+      Line* next = index == end.line ? nullptr : NextLine(line);
+      int from = index == start.line ? start.ch : 0;
+      int to = index == end.line ? end.ch : line->chars;
+      int removed = StripLineToggles(line, tag, from, to);
+      if (removed != 0) {
+        AdjustToggles(line->parent, tag, -removed);
+      }
+      line = next;
+    }
+  }
+  bool state_before = ToggleParityThrough(tag, start);
+  if (!state_before) {
+    // On-toggles rank last in a run, so kRankAfterAll lands canonically.
+    Line* line = FindLine(start.line);
+    size_t at = SplitAt(line, start.ch, kRankAfterAll);
+    Segment on;
+    on.kind = Segment::Kind::kToggleOn;
+    on.tag = tag;
+    line->segments.insert(line->segments.begin() + at, std::move(on));
+    AdjustToggles(line->parent, tag, 1);
+  }
+  if (!state_after) {
+    // Off-toggles rank first in a run.
+    Line* line = FindLine(end.line);
+    size_t at = SplitAt(line, end.ch, kRankBeforeAll);
+    Segment off;
+    off.kind = Segment::Kind::kToggleOff;
+    off.tag = tag;
+    line->segments.insert(line->segments.begin() + at, std::move(off));
+    AdjustToggles(line->parent, tag, 1);
+  }
+}
+
+void BTree::RemoveTag(TextTag* tag, Pos start, Pos end) {
+  start = Normalize(start);
+  end = Normalize(end);
+  if (!(start < end) || ToggleCount(tag) == 0) {
+    return;
+  }
+  bool state_after = ToggleParityThrough(tag, end);
+  Line* line = FindLine(start.line);
+  for (int index = start.line; index <= end.line && line != nullptr; ++index) {
+    Line* next = index == end.line ? nullptr : NextLine(line);
+    int from = index == start.line ? start.ch : 0;
+    int to = index == end.line ? end.ch : line->chars;
+    int removed = StripLineToggles(line, tag, from, to);
+    if (removed != 0) {
+      AdjustToggles(line->parent, tag, -removed);
+    }
+    line = next;
+  }
+  bool state_before = ToggleParityThrough(tag, start);
+  if (state_before) {
+    // Closing an open range: the off-toggle ranks first in the run at start.
+    Line* at_line = FindLine(start.line);
+    size_t at = SplitAt(at_line, start.ch, kRankBeforeAll);
+    Segment off;
+    off.kind = Segment::Kind::kToggleOff;
+    off.tag = tag;
+    at_line->segments.insert(at_line->segments.begin() + at, std::move(off));
+    AdjustToggles(at_line->parent, tag, 1);
+  }
+  if (state_after) {
+    // Re-opening past the removal: the on-toggle ranks last in the run.
+    Line* at_line = FindLine(end.line);
+    size_t at = SplitAt(at_line, end.ch, kRankAfterAll);
+    Segment on;
+    on.kind = Segment::Kind::kToggleOn;
+    on.tag = tag;
+    at_line->segments.insert(at_line->segments.begin() + at, std::move(on));
+    AdjustToggles(at_line->parent, tag, 1);
+  }
+}
+
+void BTree::CollectRanges(const Node* node, const TextTag* tag, int first_line,
+                          std::vector<std::pair<Pos, Pos>>* out, bool* open,
+                          Pos* open_at) const {
+  auto it = node->toggle_counts.find(tag);
+  if (it == node->toggle_counts.end()) {
+    return;
+  }
+  if (node->level == 0) {
+    int index = first_line;
+    for (const auto& line : node->lines) {
+      int offset = 0;
+      for (const Segment& seg : line->segments) {
+        if (seg.kind == Segment::Kind::kChars) {
+          offset += static_cast<int>(seg.chars.size());
+        } else if (IsToggle(seg) && seg.tag == tag) {
+          if (*open) {
+            out->emplace_back(*open_at, Pos{index, offset});
+            *open = false;
+          } else {
+            *open = true;
+            *open_at = Pos{index, offset};
+          }
+        }
+      }
+      ++index;
+    }
+    return;
+  }
+  int base = first_line;
+  for (const auto& child : node->children) {
+    CollectRanges(child.get(), tag, base, out, open, open_at);
+    base += child->num_lines;
+  }
+}
+
+std::vector<std::pair<Pos, Pos>> BTree::TagRanges(const TextTag* tag) const {
+  std::vector<std::pair<Pos, Pos>> out;
+  bool open = false;
+  Pos open_at;
+  CollectRanges(root_.get(), tag, 0, &out, &open, &open_at);
+  if (open) {
+    // Unbalanced toggles never persist (parity fix-ups keep them matched),
+    // but close defensively at end-of-buffer.
+    out.emplace_back(open_at, LastInsertPos());
+  }
+  return out;
+}
+
+std::vector<const TextTag*> BTree::TagsAt(Pos pos) const {
+  std::vector<const TextTag*> out;
+  pos = Normalize(pos);
+  for (const auto& [tag, count] : root_->toggle_counts) {
+    if (ToggleParityThrough(tag, pos)) {
+      out.push_back(tag);
+    }
+  }
+  return out;
+}
+
+std::vector<const TextTag*> BTree::TagsBeforeLine(int index) const {
+  std::vector<const TextTag*> out;
+  const Line* line = FindLine(index);
+  if (line == nullptr) {
+    return out;
+  }
+  for (const auto& [tag, count] : root_->toggle_counts) {
+    if (ToggleParityBeforeSegment(line, 0, tag)) {
+      out.push_back(tag);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Marks.
+
+void BTree::RemoveMarkSegment(Mark* mark) {
+  auto& segs = mark->line->segments;
+  for (size_t i = 0; i < segs.size(); ++i) {
+    if (segs[i].mark == mark) {
+      segs.erase(segs.begin() + i);
+      // Removing the mark may leave two char segments touching.
+      NormalizeAround(mark->line, i);
+      return;
+    }
+  }
+}
+
+void BTree::InsertMarkSegment(Mark* mark, Pos pos) {
+  pos = Normalize(pos);
+  Line* line = FindLine(pos.line);
+  // Left marks land after existing left marks (before right marks); right
+  // marks land after right marks (before on-toggles).
+  int rank = mark->gravity == Gravity::kLeft
+                 ? static_cast<int>(Segment::Kind::kMarkLeft) + 1
+                 : static_cast<int>(Segment::Kind::kMarkRight) + 1;
+  size_t at = SplitAt(line, pos.ch, rank);
+  Segment seg;
+  seg.kind = mark->gravity == Gravity::kLeft ? Segment::Kind::kMarkLeft
+                                             : Segment::Kind::kMarkRight;
+  seg.mark = mark;
+  line->segments.insert(line->segments.begin() + at, std::move(seg));
+  mark->line = line;
+}
+
+Mark* BTree::SetMark(const std::string& name, Pos pos, Gravity gravity) {
+  auto it = marks_.find(name);
+  if (it != marks_.end()) {
+    Mark* mark = it->second.get();
+    RemoveMarkSegment(mark);
+    mark->gravity = gravity;
+    InsertMarkSegment(mark, pos);
+    return mark;
+  }
+  auto owned = std::make_unique<Mark>();
+  Mark* mark = owned.get();
+  mark->name = name;
+  mark->gravity = gravity;
+  marks_[name] = std::move(owned);
+  InsertMarkSegment(mark, pos);
+  return mark;
+}
+
+Mark* BTree::MoveMark(Mark* mark, Pos pos) {
+  RemoveMarkSegment(mark);
+  InsertMarkSegment(mark, pos);
+  return mark;
+}
+
+bool BTree::UnsetMark(const std::string& name) {
+  auto it = marks_.find(name);
+  if (it == marks_.end()) {
+    return false;
+  }
+  RemoveMarkSegment(it->second.get());
+  marks_.erase(it);
+  return true;
+}
+
+Mark* BTree::FindMark(const std::string& name) const {
+  auto it = marks_.find(name);
+  return it == marks_.end() ? nullptr : it->second.get();
+}
+
+bool BTree::SetGravity(Mark* mark, Gravity gravity) {
+  if (mark->gravity == gravity) {
+    return false;
+  }
+  Pos pos = MarkPos(mark);
+  RemoveMarkSegment(mark);
+  mark->gravity = gravity;
+  InsertMarkSegment(mark, pos);
+  return true;
+}
+
+Pos BTree::MarkPos(const Mark* mark) const {
+  int offset = 0;
+  for (const Segment& seg : mark->line->segments) {
+    if (seg.mark == mark) {
+      break;
+    }
+    offset += static_cast<int>(seg.chars.size());
+  }
+  return Pos{LineIndex(mark->line), offset};
+}
+
+std::vector<std::string> BTree::MarkNames() const {
+  std::vector<std::string> names;
+  names.reserve(marks_.size());
+  for (const auto& [name, mark] : marks_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+// ---------------------------------------------------------------------------
+// Validation.
+
+namespace {
+
+struct Tally {
+  int lines = 0;
+  long long chars = 0;
+  std::map<const TextTag*, int> toggles;
+};
+
+}  // namespace
+
+void BTree::CheckInvariants() const {
+  struct Walker {
+    const BTree* tree;
+    int mark_segments = 0;
+
+    Tally Walk(const Node* node, const Node* expected_parent,
+               int expected_level) {
+      Check(node->parent == expected_parent, "parent pointer");
+      Check(node->level == expected_level, "level");
+      Tally tally;
+      if (node->level == 0) {
+        for (const auto& line : node->lines) {
+          Check(line->parent == node, "line parent");
+          CheckLine(*line);
+          tally.lines += 1;
+          tally.chars += line->chars;
+          CountLineToggles(*line, &tally.toggles);
+        }
+      } else {
+        Check(node->children.size() >= 2 || node->parent != nullptr,
+              "thin interior root");
+        for (const auto& child : node->children) {
+          Tally sub = Walk(child.get(), node, node->level - 1);
+          tally.lines += sub.lines;
+          tally.chars += sub.chars;
+          for (const auto& [tag, count] : sub.toggles) {
+            tally.toggles[tag] += count;
+          }
+        }
+      }
+      size_t fanout =
+          node->level == 0 ? node->lines.size() : node->children.size();
+      if (node->parent != nullptr) {
+        Check(fanout >= static_cast<size_t>(kMinChildren), "underfull node");
+      }
+      Check(fanout <= static_cast<size_t>(kMaxChildren), "overfull node");
+      Check(node->num_lines == tally.lines, "line summary");
+      Check(node->num_chars == tally.chars, "char summary");
+      Check(node->toggle_counts == tally.toggles, "toggle summary");
+      return tally;
+    }
+
+    void CheckLine(const Line& line) {
+      Check(!line.segments.empty(), "segment-free line");
+      Check(line.chars == LineCharCount(line), "line char cache");
+      int newlines = 0;
+      int last_rank = 0;
+      bool prev_chars = false;
+      bool prev_was_zero = false;
+      for (size_t i = 0; i < line.segments.size(); ++i) {
+        const Segment& seg = line.segments[i];
+        if (seg.kind == Segment::Kind::kChars) {
+          Check(!seg.chars.empty(), "empty char segment");
+          Check(!prev_chars, "unmerged char segments");
+          for (size_t c = 0; c < seg.chars.size(); ++c) {
+            if (seg.chars[c] == '\n') {
+              ++newlines;
+              Check(i == line.segments.size() - 1 && c == seg.chars.size() - 1,
+                    "newline not at line end");
+            }
+          }
+          prev_chars = true;
+          prev_was_zero = false;
+        } else {
+          Check(seg.chars.empty(), "zero-width segment with chars");
+          if (prev_was_zero) {
+            Check(seg.rank() >= last_rank, "zero-width run out of rank order");
+          }
+          if (seg.mark != nullptr) {
+            Check(seg.mark->line == &line, "mark back-pointer");
+            Check(tree->FindMark(seg.mark->name) == seg.mark,
+                  "unregistered mark");
+            ++mark_segments;
+          } else {
+            Check(seg.tag != nullptr, "toggle without tag");
+          }
+          last_rank = seg.rank();
+          prev_was_zero = true;
+          prev_chars = false;
+        }
+      }
+      Check(newlines == 1, "line newline count");
+    }
+  };
+
+  Walker walker{this, 0};
+  Tally total = walker.Walk(root_.get(), nullptr, root_->level);
+  Check(total.lines >= 1, "empty tree");
+  Check(walker.mark_segments == static_cast<int>(marks_.size()), "mark census");
+  for (const auto& [tag, count] : root_->toggle_counts) {
+    Check(count > 0, "non-positive toggle summary");
+    Check(count % 2 == 0, "unbalanced toggles");
+  }
+}
+
+}  // namespace text
+}  // namespace tk

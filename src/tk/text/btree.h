@@ -1,0 +1,238 @@
+// B-tree text storage, after production Tk's tkTextBTree.
+//
+// The buffer is a sequence of *lines*, each ending in exactly one '\n'; the
+// tree always holds at least one line, and the final line's newline is the
+// buffer terminator (the widget never shows or deletes it).  Lines hang off
+// a B-tree whose interior nodes carry *summary counts* -- lines, characters,
+// and per-tag toggle counts below each node -- so that
+//
+//   * line number -> Line* and Line* -> line number are O(log n),
+//   * total line/char counts are O(1),
+//   * "is this character tagged?" and `tag ranges` are O(log n + output)
+//     (subtrees whose summaries hold no toggles of the tag are skipped),
+//
+// which is what keeps million-line buffers editable at interactive cost.
+//
+// Each line is a list of *segments*:
+//   * character segments -- runs of text (the last one ends in '\n');
+//   * mark segments -- named zero-width positions with left/right gravity;
+//   * tag toggle segments -- zero-width on/off switches; a character is
+//     tagged iff an odd number of toggles of that tag precede it.
+//
+// Zero-width segments that share one text offset are kept in a canonical
+// order (tag-off, left-gravity marks, right-gravity marks, tag-on) so that
+// text inserted at the offset lands *after* range ends and left marks and
+// *before* range starts and right marks -- exactly Tk's gravity and
+// "insertion does not extend a tag range" rules.
+
+#ifndef SRC_TK_TEXT_BTREE_H_
+#define SRC_TK_TEXT_BTREE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tk {
+namespace text {
+
+struct TextTag;
+
+// A position in the buffer: 0-based line, 0-based character (byte) offset.
+// The widget layer formats these 1-based ("2.0" = line index 1, char 0).
+struct Pos {
+  int line = 0;
+  int ch = 0;
+
+  friend bool operator==(const Pos& a, const Pos& b) {
+    return a.line == b.line && a.ch == b.ch;
+  }
+  friend bool operator!=(const Pos& a, const Pos& b) { return !(a == b); }
+  friend bool operator<(const Pos& a, const Pos& b) {
+    return a.line != b.line ? a.line < b.line : a.ch < b.ch;
+  }
+  friend bool operator<=(const Pos& a, const Pos& b) { return !(b < a); }
+};
+
+enum class Gravity { kLeft, kRight };
+
+class BTree;
+struct Line;
+
+// A named mark.  Owned by the BTree; its segment lives in `line`.
+struct Mark {
+  std::string name;
+  Gravity gravity = Gravity::kRight;
+  Line* line = nullptr;
+};
+
+struct Segment {
+  enum class Kind { kChars, kToggleOff, kMarkLeft, kMarkRight, kToggleOn };
+  Kind kind = Kind::kChars;
+  std::string chars;        // kChars only.
+  TextTag* tag = nullptr;   // Toggles only.
+  Mark* mark = nullptr;     // Marks only.
+
+  bool zero_width() const { return kind != Kind::kChars; }
+  // Canonical order of zero-width segments sharing a text offset; the enum
+  // values are that order (off=1 < left=2 < right=3 < on=4, chars=0 unused).
+  int rank() const { return static_cast<int>(kind); }
+};
+
+struct Node;
+
+// One buffer line.  `chars` is cached (== sum of char-segment lengths,
+// including the trailing '\n').
+struct Line {
+  Node* parent = nullptr;
+  std::vector<Segment> segments;
+  int chars = 0;
+
+  std::string Text() const;  // Character content, including the '\n'.
+};
+
+// Interior or leaf tree node.  Leaves (level 0) hold lines; interior nodes
+// hold child nodes.  Summaries cover the whole subtree.
+struct Node {
+  Node* parent = nullptr;
+  int level = 0;
+  std::vector<std::unique_ptr<Node>> children;  // level > 0.
+  std::vector<std::unique_ptr<Line>> lines;     // level == 0.
+
+  int num_lines = 0;
+  long long num_chars = 0;
+  std::map<const TextTag*, int> toggle_counts;
+};
+
+class BTree {
+ public:
+  // Tk's node fan-out bounds.
+  static constexpr int kMinChildren = 6;
+  static constexpr int kMaxChildren = 12;
+
+  BTree();   // One line holding just "\n".
+  ~BTree();
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  // --- Index arithmetic (O(log n) via summaries) ---------------------------
+
+  int LineCount() const { return root_->num_lines; }
+  long long CharCount() const { return root_->num_chars; }
+  Line* FindLine(int index) const;        // nullptr when out of range.
+  int LineIndex(const Line* line) const;  // Inverse of FindLine.
+  int LineLength(int index) const;        // Chars incl. the '\n'.
+  Line* NextLine(const Line* line) const; // nullptr after the last line.
+  // Clamps into the valid range and folds (line, LineLength) onto
+  // (line + 1, 0).
+  Pos Normalize(Pos pos) const;
+  // Characters in lines strictly before `index` (O(log n) via summaries);
+  // flat offset of a Pos is CharOffsetOfLine(pos.line) + pos.ch.
+  long long CharOffsetOfLine(int index) const;
+  // The last position text may be inserted at (just before the final '\n').
+  Pos LastInsertPos() const;
+
+  // --- Editing -------------------------------------------------------------
+
+  // Inserts `chars` (may contain newlines) before the character at `pos`.
+  // `pos.ch` must address a character of the line (0..len-1); inserting
+  // after the final newline is not representable, matching Tk.
+  void InsertChars(Pos pos, std::string_view chars);
+  // Deletes [start, end).  Tag toggles inside the range die (with a parity
+  // fix-up at the join so following text keeps its tag state); marks inside
+  // move to the join point.  The final newline must not be in the range.
+  void DeleteChars(Pos start, Pos end);
+  // Character content of [start, end).
+  std::string GetText(Pos start, Pos end) const;
+
+  // --- Tags ----------------------------------------------------------------
+
+  void AddTag(TextTag* tag, Pos start, Pos end);
+  void RemoveTag(TextTag* tag, Pos start, Pos end);
+  // True when the character at `pos` carries `tag` (toggle parity).
+  bool CharTagged(const TextTag* tag, Pos pos) const;
+  // All maximal tagged ranges, in buffer order.
+  std::vector<std::pair<Pos, Pos>> TagRanges(const TextTag* tag) const;
+  // Tags covering the character at `pos` (any order).
+  std::vector<const TextTag*> TagsAt(Pos pos) const;
+  // Tags whose state is "on" entering line `index` (parity of all toggles in
+  // earlier lines); the redisplay layer seeds its per-line segment walk with
+  // this.
+  std::vector<const TextTag*> TagsBeforeLine(int index) const;
+  // Total toggles of `tag` in the buffer (root summary; 0 = tag unused).
+  int ToggleCount(const TextTag* tag) const;
+
+  // --- Marks ---------------------------------------------------------------
+
+  // Creates or moves the named mark.  Keeps gravity when the mark exists
+  // and `gravity` is unset.
+  Mark* SetMark(const std::string& name, Pos pos, Gravity gravity);
+  Mark* MoveMark(Mark* mark, Pos pos);
+  bool UnsetMark(const std::string& name);
+  Mark* FindMark(const std::string& name) const;
+  bool SetGravity(Mark* mark, Gravity gravity);
+  Pos MarkPos(const Mark* mark) const;
+  std::vector<std::string> MarkNames() const;  // Sorted.
+
+  // --- Introspection / validation ------------------------------------------
+
+  int Depth() const;  // Root level (0 = single leaf).
+  // Walks the whole tree asserting structural invariants: summary counts
+  // match reality, fan-out bounds hold, parent pointers are right, every
+  // line ends in exactly one '\n', zero-width runs are rank-sorted.
+  // Aborts (via assert-style check) on violation; for tests.
+  void CheckInvariants() const;
+
+ private:
+  // Splits/locates so that zero-width segments with rank < `rank` at
+  // text offset `ch` precede the returned segment index.  May split a char
+  // segment in two.  rank 5 places the point after every zero-width segment
+  // at the offset; rank 0 before all of them.
+  size_t SplitAt(Line* line, int ch, int rank) const;
+
+  void AdjustCounts(Node* node, int dlines, long long dchars);
+  void AdjustToggles(Node* node, const TextTag* tag, int delta);
+  // Recomputes `node`'s summaries from its children (used by rebalancing).
+  void RecomputeSummary(Node* node);
+  void Rebalance(Node* node);
+  Line* FirstLine(const Node* node) const;
+  // Removes `line` (which must not be the only line) from its leaf,
+  // updating summaries; does not rebalance.
+  void UnlinkLine(Line* line);
+  // Inserts `line` into `leaf` at position `at`, updating summaries.
+  void LinkLine(Node* leaf, size_t at, std::unique_ptr<Line> line);
+  // Merges mergeable neighbours and rank-sorts the zero-width run around
+  // segment index `at` (after an edit or join).
+  void NormalizeAround(Line* line, size_t at);
+  // Removes/inserts the segment backing `mark` (keeping char segments
+  // merged / the run canonically ranked).
+  void RemoveMarkSegment(Mark* mark);
+  void InsertMarkSegment(Mark* mark, Pos pos);
+  // Parity of `tag` toggles at offsets <= pos (the tag state of the
+  // character at pos).
+  bool ToggleParityThrough(const TextTag* tag, Pos pos) const;
+  // Parity of `tag` toggles strictly before segment index `seg_index` of
+  // `line` (plus everything in earlier lines).  Unlike ToggleParityThrough
+  // this ignores toggles at the same text offset but at or after the
+  // segment index -- needed at a delete join, where survivors from the
+  // right-hand side share the offset.
+  bool ToggleParityBeforeSegment(const Line* line, size_t seg_index,
+                                 const TextTag* tag) const;
+  // Toggles of `tag` in lines strictly before `line` (leaf walk plus
+  // ancestor-sibling summaries).
+  int CountTogglesAbove(const Line* line, const TextTag* tag) const;
+  void CollectRanges(const Node* node, const TextTag* tag, int first_line,
+                     std::vector<std::pair<Pos, Pos>>* out, bool* open,
+                     Pos* open_at) const;
+
+  std::unique_ptr<Node> root_;
+  std::map<std::string, std::unique_ptr<Mark>> marks_;
+};
+
+}  // namespace text
+}  // namespace tk
+
+#endif  // SRC_TK_TEXT_BTREE_H_

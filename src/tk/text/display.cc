@@ -1,0 +1,153 @@
+#include "src/tk/text/display.h"
+
+#include <algorithm>
+
+namespace tk {
+namespace text {
+namespace {
+
+// Resolved attribute set for one position: each attribute comes from the
+// highest-priority active tag that sets it.
+struct Style {
+  bool has_foreground = false;
+  xsim::Pixel foreground = 0;
+  bool has_background = false;
+  xsim::Pixel background = 0;
+  bool underline = false;
+
+  friend bool operator==(const Style& a, const Style& b) = default;
+};
+
+Style Resolve(const std::vector<const TextTag*>& active) {
+  // `active` is kept sorted by ascending priority, so later tags win by
+  // overwriting earlier ones.
+  Style style;
+  for (const TextTag* tag : active) {
+    if (tag->has_foreground) {
+      style.has_foreground = true;
+      style.foreground = tag->foreground;
+    }
+    if (tag->has_background) {
+      style.has_background = true;
+      style.background = tag->background;
+    }
+    if (tag->has_underline) {
+      style.underline = tag->underline;
+    }
+  }
+  return style;
+}
+
+void Flip(std::vector<const TextTag*>* active, const TextTag* tag) {
+  auto it = std::find(active->begin(), active->end(), tag);
+  if (it != active->end()) {
+    active->erase(it);
+    return;
+  }
+  auto at = std::upper_bound(
+      active->begin(), active->end(), tag,
+      [](const TextTag* a, const TextTag* b) { return a->priority < b->priority; });
+  active->insert(at, tag);
+}
+
+void Emit(LineLayout* layout, const Style& style, std::string_view chars) {
+  if (chars.empty()) {
+    return;
+  }
+  if (!layout->runs.empty()) {
+    StyledRun& back = layout->runs.back();
+    Style back_style{back.has_foreground, back.foreground, back.has_background,
+                     back.background, back.underline};
+    if (back_style == style) {
+      back.chars.append(chars);
+      return;
+    }
+  }
+  StyledRun run;
+  run.chars = std::string(chars);
+  run.has_foreground = style.has_foreground;
+  run.foreground = style.foreground;
+  run.has_background = style.has_background;
+  run.background = style.background;
+  run.underline = style.underline;
+  layout->runs.push_back(std::move(run));
+}
+
+}  // namespace
+
+int LineLayout::Columns() const {
+  int total = 0;
+  for (const StyledRun& run : runs) {
+    total += static_cast<int>(run.chars.size());
+  }
+  return total;
+}
+
+void TextDisplay::SetViewport(int top_line, int rows) {
+  rows_ = std::max(1, rows);
+  top_line_ = ClampTop(top_line);
+}
+
+int TextDisplay::ClampTop(int top) const {
+  return std::clamp(top, 0, std::max(0, tree_.LineCount() - 1));
+}
+
+RowRange TextDisplay::DamageForEdit(int first_line, int last_line,
+                                    int lines_delta) const {
+  int bottom = top_line_ + rows_ - 1;
+  if (first_line > bottom) {
+    return RowRange{};  // Entirely below the viewport: nothing moves on it.
+  }
+  if (lines_delta != 0) {
+    // Structure changed: rows from the first edited line down all shift.
+    // An edit above the viewport renumbers top_line itself -- report the
+    // whole viewport and let the widget re-anchor.
+    return RowRange{std::max(0, first_line - top_line_), rows_ - 1};
+  }
+  if (last_line < top_line_) {
+    return RowRange{};  // Intra-line edit above the viewport.
+  }
+  return RowRange{std::max(0, first_line - top_line_),
+                  std::min(rows_ - 1, last_line - top_line_)};
+}
+
+RowRange TextDisplay::DamageForTags(int first_line, int last_line) const {
+  return DamageForEdit(first_line, last_line, 0);
+}
+
+LineLayout TextDisplay::LayoutLine(int line_index) const {
+  ++lines_laid_out_;
+  LineLayout layout;
+  const Line* line = tree_.FindLine(line_index);
+  if (line == nullptr) {
+    return layout;
+  }
+  std::vector<const TextTag*> active = tree_.TagsBeforeLine(line_index);
+  std::sort(active.begin(), active.end(),
+            [](const TextTag* a, const TextTag* b) { return a->priority < b->priority; });
+  Style style = Resolve(active);
+  for (const Segment& seg : line->segments) {
+    switch (seg.kind) {
+      case Segment::Kind::kChars: {
+        std::string_view chars = seg.chars;
+        if (!chars.empty() && chars.back() == '\n') {
+          chars.remove_suffix(1);
+        }
+        Emit(&layout, style, chars);
+        break;
+      }
+      case Segment::Kind::kToggleOn:
+      case Segment::Kind::kToggleOff:
+        Flip(&active, seg.tag);
+        style = Resolve(active);
+        break;
+      case Segment::Kind::kMarkLeft:
+      case Segment::Kind::kMarkRight:
+        break;  // Zero-width; no display effect.
+    }
+  }
+  return layout;
+}
+
+}  // namespace text
+}  // namespace tk

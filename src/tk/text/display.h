@@ -1,0 +1,108 @@
+// Incremental redisplay for the text widget (production Tk's tkTextDisp,
+// reduced to the fixed-height-line case).  The display layer answers two
+// questions for the widget:
+//
+//   1. *What* does a buffer line look like?  LayoutLine walks one line's
+//      segments, seeding the active-tag set from the B-tree's per-subtree
+//      toggle summaries (TagsBeforeLine), and produces a list of styled
+//      runs -- maximal substrings sharing one resolved style.  Attribute
+//      conflicts between overlapping tags resolve by tag priority.
+//
+//   2. *How little* must be repainted after a change?  The DamageFor*
+//      helpers map a buffer-coordinate edit onto the viewport and return
+//      the row range that needs repainting -- possibly empty (edit entirely
+//      off screen), a single row (intra-line edit), or the edited row
+//      through the viewport bottom (a line was added or removed, shifting
+//      everything below).  The widget converts rows to pixels and feeds
+//      them to ScheduleRedraw(rect), whose damage coalescing batches
+//      overlapping invalidations into one draw.
+//
+// `lines_laid_out` counts LayoutLine calls; the editor bench and tests use
+// it to prove redisplay work is proportional to damage, not buffer size.
+
+#ifndef SRC_TK_TEXT_DISPLAY_H_
+#define SRC_TK_TEXT_DISPLAY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/tk/text/btree.h"
+#include "src/tk/text/tag.h"
+
+namespace tk {
+namespace text {
+
+// A maximal substring of one line sharing a resolved style.  Never contains
+// the line's trailing '\n'.
+struct StyledRun {
+  std::string chars;
+  bool has_foreground = false;
+  xsim::Pixel foreground = 0;
+  bool has_background = false;
+  xsim::Pixel background = 0;
+  bool underline = false;
+
+  friend bool operator==(const StyledRun& a, const StyledRun& b) = default;
+};
+
+struct LineLayout {
+  std::vector<StyledRun> runs;
+  // Sum of run lengths (display columns under a fixed-width font).
+  int Columns() const;
+};
+
+// A viewport-relative row range, inclusive.  first > last means "nothing".
+struct RowRange {
+  int first = 0;
+  int last = -1;
+
+  bool empty() const { return last < first; }
+};
+
+class TextDisplay {
+ public:
+  TextDisplay(const BTree& tree, const TagTable& tags)
+      : tree_(tree), tags_(tags) {}
+
+  // Viewport: `top_line` is the buffer line shown in row 0; `rows` is how
+  // many whole lines fit.
+  void SetViewport(int top_line, int rows);
+  int top_line() const { return top_line_; }
+  int rows() const { return rows_; }
+  // Largest top_line that still shows content in row 0.
+  int ClampTop(int top) const;
+
+  // Damage for an edit whose *pre-edit* extent was buffer lines
+  // [first_line, last_line], after which the buffer gained `lines_delta`
+  // lines (negative for deletions).  When the line structure changed,
+  // every row from the first edited one to the viewport bottom shifts and
+  // must repaint; an edit entirely below the viewport is free, and one
+  // entirely above only matters if it changed the structure (the widget
+  // re-anchors top_line; callers then repaint everything).
+  RowRange DamageForEdit(int first_line, int last_line, int lines_delta) const;
+  // Damage for a tag attach/detach/reconfigure over [first_line, last_line]:
+  // the covered rows, clipped to the viewport.  Line structure is untouched.
+  RowRange DamageForTags(int first_line, int last_line) const;
+  // The whole viewport (full repaint: scroll, configure, raise).
+  RowRange AllRows() const { return RowRange{0, rows_ - 1}; }
+
+  // Lays out one buffer line into styled runs.  Counts toward
+  // lines_laid_out.
+  LineLayout LayoutLine(int line_index) const;
+
+  uint64_t lines_laid_out() const { return lines_laid_out_; }
+  void ResetCounters() { lines_laid_out_ = 0; }
+
+ private:
+  const BTree& tree_;
+  const TagTable& tags_;
+  int top_line_ = 0;
+  int rows_ = 1;
+  mutable uint64_t lines_laid_out_ = 0;
+};
+
+}  // namespace text
+}  // namespace tk
+
+#endif  // SRC_TK_TEXT_DISPLAY_H_

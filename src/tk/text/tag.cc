@@ -1,0 +1,83 @@
+#include "src/tk/text/tag.h"
+
+#include <algorithm>
+
+namespace tk {
+namespace text {
+
+TextTag* TagTable::FindOrCreate(const std::string& name) {
+  if (TextTag* existing = Find(name)) {
+    return existing;
+  }
+  auto tag = std::make_unique<TextTag>();
+  tag->name = name;
+  TextTag* raw = tag.get();
+  tags_.push_back(std::move(tag));
+  order_.push_back(raw);
+  RenumberPriorities();
+  return raw;
+}
+
+TextTag* TagTable::Find(const std::string& name) const {
+  for (const auto& tag : tags_) {
+    if (tag->name == name) {
+      return tag.get();
+    }
+  }
+  return nullptr;
+}
+
+bool TagTable::Delete(const std::string& name) {
+  TextTag* tag = Find(name);
+  if (tag == nullptr) {
+    return false;
+  }
+  order_.erase(std::remove(order_.begin(), order_.end(), tag), order_.end());
+  tags_.erase(std::remove_if(tags_.begin(), tags_.end(),
+                             [tag](const std::unique_ptr<TextTag>& t) {
+                               return t.get() == tag;
+                             }),
+              tags_.end());
+  RenumberPriorities();
+  return true;
+}
+
+void TagTable::Raise(TextTag* tag, TextTag* above) {
+  order_.erase(std::remove(order_.begin(), order_.end(), tag), order_.end());
+  if (above == nullptr) {
+    order_.push_back(tag);
+  } else {
+    auto it = std::find(order_.begin(), order_.end(), above);
+    order_.insert(it == order_.end() ? order_.end() : it + 1, tag);
+  }
+  RenumberPriorities();
+}
+
+void TagTable::Lower(TextTag* tag, TextTag* below) {
+  order_.erase(std::remove(order_.begin(), order_.end(), tag), order_.end());
+  if (below == nullptr) {
+    order_.insert(order_.begin(), tag);
+  } else {
+    auto it = std::find(order_.begin(), order_.end(), below);
+    order_.insert(it == order_.end() ? order_.begin() : it, tag);
+  }
+  RenumberPriorities();
+}
+
+std::vector<std::string> TagTable::Names() const {
+  std::vector<std::string> names;
+  names.reserve(tags_.size());
+  for (const auto& tag : tags_) {
+    names.push_back(tag->name);
+  }
+  return names;
+}
+
+void TagTable::RenumberPriorities() {
+  for (size_t i = 0; i < order_.size(); ++i) {
+    order_[i]->priority = static_cast<int>(i);
+  }
+}
+
+}  // namespace text
+}  // namespace tk

@@ -1,0 +1,72 @@
+// Text tags (production Tk's tkTextTag): named attribute bundles applied to
+// ranges of a text widget's B-tree.  A tag carries display attributes
+// (foreground/background colours, underline) and a *priority*; when several
+// tags cover one character, each attribute comes from the highest-priority
+// tag that sets it.  Priority defaults to creation order and is rearranged
+// by `tag raise` / `tag lower`.
+//
+// The B-tree stores where tags apply (toggle segments); this table stores
+// what the tags mean.
+
+#ifndef SRC_TK_TEXT_TAG_H_
+#define SRC_TK_TEXT_TAG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/xsim/types.h"
+
+namespace tk {
+namespace text {
+
+struct TextTag {
+  std::string name;
+  int priority = 0;  // Index into TagTable's priority order; larger wins.
+
+  bool has_foreground = false;
+  xsim::Pixel foreground = 0;
+  std::string foreground_name;
+
+  bool has_background = false;
+  xsim::Pixel background = 0;
+  std::string background_name;
+
+  bool has_underline = false;
+  bool underline = false;
+};
+
+// Owns every tag of one text widget and maintains the priority order.
+class TagTable {
+ public:
+  // Returns the tag named `name`, creating it (at highest priority) if new.
+  TextTag* FindOrCreate(const std::string& name);
+  // Returns nullptr when no such tag exists.
+  TextTag* Find(const std::string& name) const;
+  // Destroys the tag; the caller must already have removed its toggles from
+  // the B-tree.  Returns false when no such tag exists.
+  bool Delete(const std::string& name);
+
+  // Moves `tag` to the top of the priority order, or to just above `above`.
+  void Raise(TextTag* tag, TextTag* above = nullptr);
+  // Moves `tag` to the bottom of the priority order, or to just below
+  // `below`.
+  void Lower(TextTag* tag, TextTag* below = nullptr);
+
+  // Tags sorted by ascending priority (paint order: later entries win).
+  const std::vector<TextTag*>& priority_order() const { return order_; }
+  // Creation-ordered names, for `tag names`.
+  std::vector<std::string> Names() const;
+  size_t size() const { return tags_.size(); }
+
+ private:
+  void RenumberPriorities();
+
+  std::vector<std::unique_ptr<TextTag>> tags_;  // Creation order.
+  std::vector<TextTag*> order_;                 // Priority order (low->high).
+};
+
+}  // namespace text
+}  // namespace tk
+
+#endif  // SRC_TK_TEXT_TAG_H_

@@ -1,0 +1,846 @@
+#include "src/tk/widgets/text.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "src/tcl/list.h"
+#include "src/tcl/utils.h"
+#include "src/tk/app.h"
+
+namespace tk {
+
+namespace {
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+}  // namespace
+
+Text::Text(App& app, std::string path) : Widget(app, std::move(path), "Text") {
+  AddOption(ColorOption("-background", "background", "Background", "white", &background_,
+                        &background_name_));
+  last_option().aliases.push_back("-bg");
+  AddOption(ColorOption("-foreground", "foreground", "Foreground", "black", &foreground_,
+                        &foreground_name_));
+  last_option().aliases.push_back("-fg");
+  AddOption(FontOption("8x13", &font_, &font_name_));
+  AddOption(IntOption("-borderwidth", "borderWidth", "BorderWidth", "2", &border_width_));
+  last_option().aliases.push_back("-bd");
+  AddOption(ReliefOption("sunken", &relief_));
+  AddOption(IntOption("-width", "width", "Width", "80", &width_chars_));
+  AddOption(IntOption("-height", "height", "Height", "24", &height_lines_));
+  AddOption(StringOption("-scroll", "scrollCommand", "ScrollCommand", "", &scroll_command_));
+  last_option().aliases.push_back("-yscroll");
+  last_option().aliases.push_back("-yscrollcommand");
+  insert_mark_ = tree_.SetMark("insert", text::Pos{0, 0}, text::Gravity::kRight);
+}
+
+int Text::line_height() const {
+  const xsim::FontMetrics* metrics = const_cast<Text*>(this)->display().QueryFont(font_);
+  return metrics != nullptr ? metrics->line_height() : 13;
+}
+
+int Text::char_width() const {
+  const xsim::FontMetrics* metrics = const_cast<Text*>(this)->display().QueryFont(font_);
+  return metrics != nullptr ? metrics->char_width : 6;
+}
+
+int Text::visible_lines() const {
+  return std::max(1, (height() - 2 * border_width_ - 4) / std::max(1, line_height()));
+}
+
+void Text::OnConfigured() {
+  const xsim::FontMetrics* metrics = display().QueryFont(font_);
+  xsim::FontMetrics fallback;
+  if (metrics == nullptr) {
+    metrics = &fallback;
+  }
+  RequestSize(width_chars_ * metrics->char_width + 2 * border_width_ + 6,
+              height_lines_ * metrics->line_height() + 2 * border_width_ + 4);
+  layout_.SetViewport(top_, visible_lines());
+}
+
+void Text::NotifyScroll() {
+  if (scroll_command_.empty()) {
+    return;
+  }
+  int total = tree_.LineCount();
+  int window_lines = visible_lines();
+  int last = std::min(total - 1, top_ + window_lines - 1);
+  std::string script = scroll_command_ + " " + std::to_string(total) + " " +
+                       std::to_string(window_lines) + " " + std::to_string(top_) + " " +
+                       std::to_string(last);
+  if (interp().Eval(script) == tcl::Code::kError) {
+    app().BackgroundError("text scroll command error: " + interp().result());
+  }
+}
+
+void Text::DamageRows(text::RowRange rows) {
+  if (rows.empty()) {
+    return;
+  }
+  int lh = line_height();
+  int y0 = border_width_ + 2;
+  ScheduleRedraw(xsim::Rect{0, y0 + rows.first * lh, width(),
+                            (rows.last - rows.first + 1) * lh});
+}
+
+void Text::SetTop(int line) {
+  int clamped = layout_.ClampTop(line);
+  layout_.SetViewport(clamped, visible_lines());
+  if (clamped == top_) {
+    NotifyScroll();
+    return;
+  }
+  top_ = clamped;
+  NotifyScroll();
+  DamageRows(layout_.AllRows());
+}
+
+void Text::ScrollToSee(int line) {
+  int vis = visible_lines();
+  if (line < top_) {
+    SetTop(line);
+  } else if (line > top_ + vis - 1) {
+    SetTop(line - vis + 1);
+  }
+}
+
+void Text::Draw(const xsim::Rect& damage) {
+  const xsim::FontMetrics* metrics = display().QueryFont(font_);
+  xsim::FontMetrics fallback;
+  if (metrics == nullptr) {
+    metrics = &fallback;
+  }
+  layout_.SetViewport(top_, visible_lines());
+  bool covers_all = damage.x <= 0 && damage.y <= 0 && damage.x + damage.width >= width() &&
+                    damage.y + damage.height >= height();
+  if (covers_all) {
+    ClearWindow(background_);
+    DrawRelief(background_, relief_, border_width_);
+    DrawRows(0, visible_lines() - 1, *metrics);
+    return;
+  }
+  // Partial repaint: clear and redraw only the rows the damage touches,
+  // expanded to whole rows.  Everything else keeps its pixels -- this is
+  // where the incremental-redisplay savings are realized as fewer server
+  // requests.
+  int lh = metrics->line_height();
+  int y0 = border_width_ + 2;
+  int first = std::max(0, (damage.y - y0) / lh);
+  int last = std::max(0, (damage.y + damage.height - 1 - y0) / lh);
+  last = std::min(last, visible_lines() - 1);
+  if (last < first) {
+    return;
+  }
+  display().ClearArea(window(),
+                      xsim::Rect{border_width_, y0 + first * lh,
+                                 width() - 2 * border_width_, (last - first + 1) * lh});
+  DrawRows(first, last, *metrics);
+}
+
+void Text::DrawRows(int first_row, int last_row, const xsim::FontMetrics& metrics) {
+  int lh = metrics.line_height();
+  int cw = metrics.char_width;
+  int y = border_width_ + 2 + first_row * lh;
+  xsim::Server::Gc values;
+  values.font = font_;
+  for (int row = first_row; row <= last_row; ++row, y += lh) {
+    int line_index = top_ + row;
+    if (line_index >= tree_.LineCount()) {
+      break;
+    }
+    text::LineLayout layout = layout_.LayoutLine(line_index);
+    int x = border_width_ + 3;
+    for (const text::StyledRun& run : layout.runs) {
+      int run_width = static_cast<int>(run.chars.size()) * cw;
+      if (run.has_background) {
+        values.foreground = run.background;
+        display().ChangeGc(gc(), values);
+        display().FillRectangle(window(), gc(), xsim::Rect{x, y, run_width, lh});
+      }
+      values.foreground = run.has_foreground ? run.foreground : foreground_;
+      display().ChangeGc(gc(), values);
+      display().DrawString(window(), gc(), x, y + metrics.ascent, run.chars);
+      if (run.underline) {
+        display().DrawLine(window(), gc(), x, y + metrics.ascent + 1, x + run_width,
+                           y + metrics.ascent + 1);
+      }
+      x += run_width;
+    }
+  }
+  // Insertion cursor, when its line is among the drawn rows.
+  text::Pos ip = tree_.MarkPos(insert_mark_);
+  int cursor_row = ip.line - top_;
+  if (cursor_row >= first_row && cursor_row <= last_row) {
+    values.foreground = foreground_;
+    display().ChangeGc(gc(), values);
+    int cx = border_width_ + 3 + ip.ch * cw;
+    int cy = border_width_ + 2 + cursor_row * lh;
+    display().DrawLine(window(), gc(), cx, cy, cx, cy + lh);
+  }
+}
+
+// --- Index arithmetic ------------------------------------------------------
+
+long long Text::CountChars(text::Pos from, text::Pos to) const {
+  long long a = tree_.CharOffsetOfLine(from.line) + from.ch;
+  long long b = tree_.CharOffsetOfLine(to.line) + to.ch;
+  return b - a;
+}
+
+text::Pos Text::AdvanceChars(text::Pos pos, long long n) const {
+  pos = tree_.Normalize(pos);
+  if (n >= 0) {
+    while (n > 0) {
+      int len = tree_.LineLength(pos.line);
+      if (pos.line == tree_.LineCount() - 1) {
+        pos.ch = static_cast<int>(std::min<long long>(pos.ch + n, len - 1));
+        break;
+      }
+      long long room = len - 1 - pos.ch;  // Positions left before the '\n'.
+      if (n <= room) {
+        pos.ch += static_cast<int>(n);
+        break;
+      }
+      n -= room + 1;  // Step across the newline onto the next line.
+      ++pos.line;
+      pos.ch = 0;
+    }
+  } else {
+    n = -n;
+    while (n > 0) {
+      if (pos.ch >= n) {
+        pos.ch -= static_cast<int>(n);
+        break;
+      }
+      if (pos.line == 0) {
+        pos.ch = 0;
+        break;
+      }
+      n -= pos.ch + 1;  // Step back across the previous line's newline.
+      --pos.line;
+      pos.ch = tree_.LineLength(pos.line) - 1;
+    }
+  }
+  return pos;
+}
+
+std::string Text::FormatIndex(text::Pos pos) const {
+  return std::to_string(pos.line + 1) + "." + std::to_string(pos.ch);
+}
+
+tcl::Code Text::ParseIndex(const std::string& spec, text::Pos* out) {
+  size_t i = 0;
+  auto skip_spaces = [&] {
+    while (i < spec.size() && std::isspace(static_cast<unsigned char>(spec[i])) != 0) {
+      ++i;
+    }
+  };
+  auto error = [&] { return interp().Error("bad text index \"" + spec + "\""); };
+  skip_spaces();
+  text::Pos pos;
+  if (i < spec.size() && std::isdigit(static_cast<unsigned char>(spec[i])) != 0) {
+    // "line.char" or "line.end"; lines are 1-based in Tcl.
+    long long line = 0;
+    while (i < spec.size() && std::isdigit(static_cast<unsigned char>(spec[i])) != 0) {
+      line = line * 10 + (spec[i] - '0');
+      ++i;
+    }
+    pos.line = static_cast<int>(line) - 1;
+    if (i < spec.size() && spec[i] == '.') {
+      ++i;
+      if (spec.compare(i, 3, "end") == 0) {
+        i += 3;
+        pos.line = std::clamp(pos.line, 0, tree_.LineCount() - 1);
+        pos.ch = tree_.LineLength(pos.line) - 1;  // The '\n' position.
+      } else if (i < spec.size() && std::isdigit(static_cast<unsigned char>(spec[i])) != 0) {
+        long long ch = 0;
+        while (i < spec.size() && std::isdigit(static_cast<unsigned char>(spec[i])) != 0) {
+          ch = ch * 10 + (spec[i] - '0');
+          ++i;
+        }
+        pos.ch = static_cast<int>(ch);
+      } else {
+        return error();
+      }
+    }
+  } else if (spec.compare(i, 3, "end") == 0 &&
+             (i + 3 >= spec.size() ||
+              !std::isalnum(static_cast<unsigned char>(spec[i + 3])))) {
+    i += 3;
+    pos = tree_.LastInsertPos();
+  } else {
+    // A mark name: everything up to whitespace or a modifier sign.
+    size_t start = i;
+    while (i < spec.size() && std::isspace(static_cast<unsigned char>(spec[i])) == 0 &&
+           spec[i] != '+' && spec[i] != '-') {
+      ++i;
+    }
+    std::string name = spec.substr(start, i - start);
+    text::Mark* mark = tree_.FindMark(name);
+    if (mark == nullptr) {
+      return error();
+    }
+    pos = tree_.MarkPos(mark);
+  }
+  pos = tree_.Normalize(pos);
+
+  // Modifiers: "+N chars", "-N lines", "linestart", "lineend", "wordstart",
+  // "wordend" -- applied left to right; units abbreviate ("c", "char", ...).
+  while (true) {
+    skip_spaces();
+    if (i >= spec.size()) {
+      break;
+    }
+    char c = spec[i];
+    if (c == '+' || c == '-') {
+      int sign = c == '+' ? 1 : -1;
+      ++i;
+      skip_spaces();
+      if (i >= spec.size() || std::isdigit(static_cast<unsigned char>(spec[i])) == 0) {
+        return error();
+      }
+      long long n = 0;
+      while (i < spec.size() && std::isdigit(static_cast<unsigned char>(spec[i])) != 0) {
+        n = n * 10 + (spec[i] - '0');
+        ++i;
+      }
+      skip_spaces();
+      size_t start = i;
+      while (i < spec.size() && std::isalpha(static_cast<unsigned char>(spec[i])) != 0) {
+        ++i;
+      }
+      std::string unit = spec.substr(start, i - start);
+      if (!unit.empty() && std::string("chars").compare(0, unit.size(), unit) == 0) {
+        pos = AdvanceChars(pos, sign * n);
+      } else if (!unit.empty() &&
+                 std::string("lines").compare(0, unit.size(), unit) == 0) {
+        pos.line = std::clamp<int>(pos.line + static_cast<int>(sign * n), 0,
+                                   tree_.LineCount() - 1);
+        pos.ch = std::min(pos.ch, tree_.LineLength(pos.line) - 1);
+      } else {
+        return error();
+      }
+    } else if (std::isalpha(static_cast<unsigned char>(c)) != 0) {
+      size_t start = i;
+      while (i < spec.size() && std::isalpha(static_cast<unsigned char>(spec[i])) != 0) {
+        ++i;
+      }
+      std::string word = spec.substr(start, i - start);
+      if (word == "linestart") {
+        pos.ch = 0;
+      } else if (word == "lineend") {
+        pos.ch = tree_.LineLength(pos.line) - 1;
+      } else if (word == "wordstart") {
+        std::string text = tree_.FindLine(pos.line)->Text();
+        while (pos.ch > 0 && IsWordChar(text[pos.ch - 1])) {
+          --pos.ch;
+        }
+      } else if (word == "wordend") {
+        std::string text = tree_.FindLine(pos.line)->Text();
+        int len = tree_.LineLength(pos.line);
+        while (pos.ch < len - 1 && IsWordChar(text[pos.ch])) {
+          ++pos.ch;
+        }
+      } else {
+        return error();
+      }
+    } else {
+      return error();
+    }
+  }
+  *out = tree_.Normalize(pos);
+  return tcl::Code::kOk;
+}
+
+// --- Editing core ----------------------------------------------------------
+
+void Text::InsertAt(text::Pos pos, const std::string& chars,
+                    const std::vector<std::string>& tag_names) {
+  if (chars.empty()) {
+    return;
+  }
+  pos = tree_.Normalize(pos);
+  text::Pos last = tree_.LastInsertPos();
+  if (last < pos) {
+    pos = last;
+  }
+  int lines_before = tree_.LineCount();
+  tree_.InsertChars(pos, chars);
+  int delta = tree_.LineCount() - lines_before;
+  if (!tag_names.empty()) {
+    text::Pos end = AdvanceChars(pos, static_cast<long long>(chars.size()));
+    for (const std::string& name : tag_names) {
+      tree_.AddTag(tags_.FindOrCreate(name), pos, end);
+    }
+  }
+  layout_.SetViewport(top_, visible_lines());
+  DamageRows(layout_.DamageForEdit(pos.line, pos.line, delta));
+  if (delta != 0) {
+    NotifyScroll();
+  }
+}
+
+void Text::DeleteRange(text::Pos start, text::Pos end) {
+  start = tree_.Normalize(start);
+  end = tree_.Normalize(end);
+  text::Pos last = tree_.LastInsertPos();
+  if (last < end) {
+    end = last;  // The final newline is not deletable, matching Tk.
+  }
+  if (!(start < end)) {
+    return;
+  }
+  int lines_before = tree_.LineCount();
+  int first_line = start.line;
+  int last_line = end.line;
+  tree_.DeleteChars(start, end);
+  int delta = tree_.LineCount() - lines_before;
+  top_ = layout_.ClampTop(top_);
+  layout_.SetViewport(top_, visible_lines());
+  DamageRows(layout_.DamageForEdit(first_line, last_line, delta));
+  if (delta != 0) {
+    NotifyScroll();
+  }
+}
+
+// --- Command surface -------------------------------------------------------
+
+tcl::Code Text::MarkCommand(std::vector<std::string>& args) {
+  tcl::Interp& tcl = interp();
+  if (args.size() < 3) {
+    return tcl.WrongNumArgs(path() + " mark option ?arg arg ...?");
+  }
+  const std::string& option = args[2];
+  if (option == "set") {
+    if (args.size() != 5) {
+      return tcl.WrongNumArgs(path() + " mark set markName index");
+    }
+    text::Pos pos;
+    tcl::Code code = ParseIndex(args[4], &pos);
+    if (code != tcl::Code::kOk) {
+      return code;
+    }
+    text::Mark* mark = tree_.FindMark(args[3]);
+    text::Pos old = mark != nullptr ? tree_.MarkPos(mark) : pos;
+    if (mark != nullptr) {
+      tree_.MoveMark(mark, pos);
+    } else {
+      mark = tree_.SetMark(args[3], pos, text::Gravity::kRight);
+    }
+    if (mark == insert_mark_) {
+      DamageRows(layout_.DamageForTags(old.line, old.line));
+      DamageRows(layout_.DamageForTags(pos.line, pos.line));
+    }
+    tcl.ResetResult();
+    return tcl::Code::kOk;
+  }
+  if (option == "unset") {
+    for (size_t i = 3; i < args.size(); ++i) {
+      if (args[i] == "insert") {
+        continue;  // The insertion cursor always exists.
+      }
+      tree_.UnsetMark(args[i]);
+    }
+    tcl.ResetResult();
+    return tcl::Code::kOk;
+  }
+  if (option == "names") {
+    std::vector<std::string> names = tree_.MarkNames();
+    tcl.SetResult(tcl::MergeList(names));
+    return tcl::Code::kOk;
+  }
+  if (option == "gravity") {
+    if (args.size() != 4 && args.size() != 5) {
+      return tcl.WrongNumArgs(path() + " mark gravity markName ?direction?");
+    }
+    text::Mark* mark = tree_.FindMark(args[3]);
+    if (mark == nullptr) {
+      return tcl.Error("there is no mark named \"" + args[3] + "\"");
+    }
+    if (args.size() == 4) {
+      tcl.SetResult(mark->gravity == text::Gravity::kLeft ? "left" : "right");
+      return tcl::Code::kOk;
+    }
+    if (args[4] == "left") {
+      tree_.SetGravity(mark, text::Gravity::kLeft);
+    } else if (args[4] == "right") {
+      tree_.SetGravity(mark, text::Gravity::kRight);
+    } else {
+      return tcl.Error("bad mark gravity \"" + args[4] + "\": must be left or right");
+    }
+    tcl.ResetResult();
+    return tcl::Code::kOk;
+  }
+  return tcl.Error("bad mark option \"" + option +
+                   "\": must be gravity, names, set, or unset");
+}
+
+tcl::Code Text::ConfigureTag(text::TextTag* tag, std::vector<std::string>& args,
+                             size_t first) {
+  tcl::Interp& tcl = interp();
+  if ((args.size() - first) % 2 != 0) {
+    return tcl.Error("value for \"" + args.back() + "\" missing");
+  }
+  for (size_t i = first; i + 1 < args.size(); i += 2) {
+    const std::string& flag = args[i];
+    const std::string& value = args[i + 1];
+    if (flag == "-foreground" || flag == "-fg") {
+      tag->has_foreground = true;
+      tag->foreground = app().resources().GetColor(value);
+      tag->foreground_name = value;
+    } else if (flag == "-background" || flag == "-bg") {
+      tag->has_background = true;
+      tag->background = app().resources().GetColor(value);
+      tag->background_name = value;
+    } else if (flag == "-underline") {
+      tag->has_underline = true;
+      tag->underline = value != "0" && value != "false" && value != "no";
+    } else {
+      return tcl.Error("bad tag option \"" + flag +
+                       "\": must be -background, -foreground, or -underline");
+    }
+  }
+  // Repaint wherever the tag appears on screen.
+  if (tree_.ToggleCount(tag) > 0) {
+    DamageRows(layout_.AllRows());
+  }
+  tcl.ResetResult();
+  return tcl::Code::kOk;
+}
+
+tcl::Code Text::TagCommand(std::vector<std::string>& args) {
+  tcl::Interp& tcl = interp();
+  if (args.size() < 3) {
+    return tcl.WrongNumArgs(path() + " tag option ?arg arg ...?");
+  }
+  const std::string& option = args[2];
+  if (option == "add" || option == "remove") {
+    if (args.size() != 5 && args.size() != 6) {
+      return tcl.WrongNumArgs(path() + " tag " + option + " tagName index1 ?index2?");
+    }
+    text::Pos start;
+    tcl::Code code = ParseIndex(args[4], &start);
+    if (code != tcl::Code::kOk) {
+      return code;
+    }
+    text::Pos end = AdvanceChars(start, 1);
+    if (args.size() == 6) {
+      code = ParseIndex(args[5], &end);
+      if (code != tcl::Code::kOk) {
+        return code;
+      }
+    }
+    if (start < end) {
+      if (option == "add") {
+        tree_.AddTag(tags_.FindOrCreate(args[3]), start, end);
+        DamageRows(layout_.DamageForTags(start.line, end.line));
+      } else if (text::TextTag* tag = tags_.Find(args[3]); tag != nullptr) {
+        tree_.RemoveTag(tag, start, end);
+        DamageRows(layout_.DamageForTags(start.line, end.line));
+      }
+    }
+    tcl.ResetResult();
+    return tcl::Code::kOk;
+  }
+  if (option == "configure") {
+    if (args.size() < 6) {
+      return tcl.WrongNumArgs(path() + " tag configure tagName option value ?option value ...?");
+    }
+    return ConfigureTag(tags_.FindOrCreate(args[3]), args, 4);
+  }
+  if (option == "ranges") {
+    if (args.size() != 4) {
+      return tcl.WrongNumArgs(path() + " tag ranges tagName");
+    }
+    std::vector<std::string> out;
+    if (const text::TextTag* tag = tags_.Find(args[3]); tag != nullptr) {
+      for (const auto& [start, end] : tree_.TagRanges(tag)) {
+        out.push_back(FormatIndex(start));
+        out.push_back(FormatIndex(end));
+      }
+    }
+    tcl.SetResult(tcl::MergeList(out));
+    return tcl::Code::kOk;
+  }
+  if (option == "names") {
+    tcl.SetResult(tcl::MergeList(tags_.Names()));
+    return tcl::Code::kOk;
+  }
+  if (option == "raise" || option == "lower") {
+    if (args.size() != 4 && args.size() != 5) {
+      return tcl.WrongNumArgs(path() + " tag " + option + " tagName ?otherTag?");
+    }
+    text::TextTag* tag = tags_.Find(args[3]);
+    if (tag == nullptr) {
+      return tcl.Error("tag \"" + args[3] + "\" isn't defined in " + path());
+    }
+    text::TextTag* other = nullptr;
+    if (args.size() == 5) {
+      other = tags_.Find(args[4]);
+      if (other == nullptr) {
+        return tcl.Error("tag \"" + args[4] + "\" isn't defined in " + path());
+      }
+    }
+    if (option == "raise") {
+      tags_.Raise(tag, other);
+    } else {
+      tags_.Lower(tag, other);
+    }
+    if (tree_.ToggleCount(tag) > 0) {
+      DamageRows(layout_.AllRows());
+    }
+    tcl.ResetResult();
+    return tcl::Code::kOk;
+  }
+  return tcl.Error("bad tag option \"" + option +
+                   "\": must be add, configure, lower, names, raise, ranges, or remove");
+}
+
+tcl::Code Text::WidgetCommand(std::vector<std::string>& args) {
+  tcl::Interp& tcl = interp();
+  if (args.size() < 2) {
+    return tcl.WrongNumArgs(path() + " option ?arg arg ...?");
+  }
+  const std::string& option = args[1];
+  if (option == "configure") {
+    return ConfigureCommand(args, 2);
+  }
+  if (option == "insert") {
+    if (args.size() != 4 && args.size() != 5) {
+      return tcl.WrongNumArgs(path() + " insert index chars ?tagList?");
+    }
+    text::Pos pos;
+    tcl::Code code = ParseIndex(args[2], &pos);
+    if (code != tcl::Code::kOk) {
+      return code;
+    }
+    std::vector<std::string> tag_names;
+    if (args.size() == 5) {
+      std::string error;
+      auto split = tcl::SplitList(args[4], &error);
+      if (!split) {
+        return tcl.Error(error);
+      }
+      tag_names = std::move(*split);
+    }
+    InsertAt(pos, args[3], tag_names);
+    tcl.ResetResult();
+    return tcl::Code::kOk;
+  }
+  if (option == "delete") {
+    if (args.size() != 3 && args.size() != 4) {
+      return tcl.WrongNumArgs(path() + " delete index1 ?index2?");
+    }
+    text::Pos start;
+    tcl::Code code = ParseIndex(args[2], &start);
+    if (code != tcl::Code::kOk) {
+      return code;
+    }
+    text::Pos end = AdvanceChars(start, 1);
+    if (args.size() == 4) {
+      code = ParseIndex(args[3], &end);
+      if (code != tcl::Code::kOk) {
+        return code;
+      }
+    }
+    DeleteRange(start, end);
+    tcl.ResetResult();
+    return tcl::Code::kOk;
+  }
+  if (option == "get") {
+    if (args.size() != 3 && args.size() != 4) {
+      return tcl.WrongNumArgs(path() + " get index1 ?index2?");
+    }
+    text::Pos start;
+    tcl::Code code = ParseIndex(args[2], &start);
+    if (code != tcl::Code::kOk) {
+      return code;
+    }
+    text::Pos end = AdvanceChars(start, 1);
+    if (args.size() == 4) {
+      code = ParseIndex(args[3], &end);
+      if (code != tcl::Code::kOk) {
+        return code;
+      }
+    }
+    tcl.SetResult(start < end ? tree_.GetText(start, end) : std::string());
+    return tcl::Code::kOk;
+  }
+  if (option == "index") {
+    if (args.size() != 3) {
+      return tcl.WrongNumArgs(path() + " index index");
+    }
+    text::Pos pos;
+    tcl::Code code = ParseIndex(args[2], &pos);
+    if (code != tcl::Code::kOk) {
+      return code;
+    }
+    tcl.SetResult(FormatIndex(pos));
+    return tcl::Code::kOk;
+  }
+  if (option == "compare") {
+    if (args.size() != 5) {
+      return tcl.WrongNumArgs(path() + " compare index1 op index2");
+    }
+    text::Pos a;
+    text::Pos b;
+    tcl::Code code = ParseIndex(args[2], &a);
+    if (code != tcl::Code::kOk) {
+      return code;
+    }
+    code = ParseIndex(args[4], &b);
+    if (code != tcl::Code::kOk) {
+      return code;
+    }
+    const std::string& op = args[3];
+    bool result = false;
+    if (op == "<") {
+      result = a < b;
+    } else if (op == "<=") {
+      result = a <= b;
+    } else if (op == "==") {
+      result = a == b;
+    } else if (op == ">=") {
+      result = b <= a;
+    } else if (op == ">") {
+      result = b < a;
+    } else if (op == "!=") {
+      result = a != b;
+    } else {
+      return tcl.Error("bad comparison operator \"" + op +
+                       "\": must be <, <=, ==, >=, >, or !=");
+    }
+    tcl.SetResult(result ? "1" : "0");
+    return tcl::Code::kOk;
+  }
+  if (option == "count") {
+    if (args.size() != 4) {
+      return tcl.WrongNumArgs(path() + " count index1 index2");
+    }
+    text::Pos a;
+    text::Pos b;
+    tcl::Code code = ParseIndex(args[2], &a);
+    if (code != tcl::Code::kOk) {
+      return code;
+    }
+    code = ParseIndex(args[3], &b);
+    if (code != tcl::Code::kOk) {
+      return code;
+    }
+    tcl.SetResult(std::to_string(CountChars(a, b)));
+    return tcl::Code::kOk;
+  }
+  if (option == "see") {
+    if (args.size() != 3) {
+      return tcl.WrongNumArgs(path() + " see index");
+    }
+    text::Pos pos;
+    tcl::Code code = ParseIndex(args[2], &pos);
+    if (code != tcl::Code::kOk) {
+      return code;
+    }
+    ScrollToSee(pos.line);
+    tcl.ResetResult();
+    return tcl::Code::kOk;
+  }
+  if (option == "yview" || option == "view") {
+    if (args.size() == 2) {
+      tcl.SetResult(std::to_string(top_));
+      return tcl::Code::kOk;
+    }
+    if (args.size() != 3) {
+      return tcl.WrongNumArgs(path() + " yview ?index?");
+    }
+    text::Pos pos;
+    tcl::Code code = ParseIndex(args[2], &pos);
+    if (code != tcl::Code::kOk) {
+      return code;
+    }
+    SetTop(pos.line);
+    tcl.ResetResult();
+    return tcl::Code::kOk;
+  }
+  if (option == "mark") {
+    return MarkCommand(args);
+  }
+  if (option == "tag") {
+    return TagCommand(args);
+  }
+  return tcl.Error("bad option \"" + option +
+                   "\": must be compare, configure, count, delete, get, index, insert, "
+                   "mark, see, tag, or yview");
+}
+
+void Text::HandleEvent(const xsim::Event& event) {
+  Widget::HandleEvent(event);
+  switch (event.type) {
+    case xsim::EventType::kConfigureNotify:
+      layout_.SetViewport(top_, visible_lines());
+      NotifyScroll();
+      break;
+    case xsim::EventType::kKeyPress: {
+      xsim::KeySym keysym = event.detail;
+      text::Pos ip = tree_.MarkPos(insert_mark_);
+      if (keysym == xsim::kKeyBackSpace || keysym == xsim::kKeyDelete) {
+        if (ip != text::Pos{0, 0}) {
+          DeleteRange(AdvanceChars(ip, -1), ip);
+          ScrollToSee(tree_.MarkPos(insert_mark_).line);
+        }
+        break;
+      }
+      if (keysym == xsim::kKeyReturn) {
+        InsertAt(ip, "\n", {});
+        ScrollToSee(tree_.MarkPos(insert_mark_).line);
+        break;
+      }
+      if (keysym == xsim::kKeyLeft || keysym == xsim::kKeyRight ||
+          keysym == xsim::kKeyUp || keysym == xsim::kKeyDown) {
+        text::Pos target = ip;
+        if (keysym == xsim::kKeyLeft) {
+          target = AdvanceChars(ip, -1);
+        } else if (keysym == xsim::kKeyRight) {
+          target = AdvanceChars(ip, 1);
+        } else {
+          target.line += keysym == xsim::kKeyDown ? 1 : -1;
+          target = tree_.Normalize(target);
+          target.ch = std::min(target.ch, tree_.LineLength(target.line) - 1);
+        }
+        tree_.MoveMark(insert_mark_, target);
+        DamageRows(layout_.DamageForTags(ip.line, ip.line));
+        DamageRows(layout_.DamageForTags(target.line, target.line));
+        ScrollToSee(target.line);
+        break;
+      }
+      if ((event.state & xsim::kControlMask) != 0) {
+        break;  // Control combinations are left to user bindings.
+      }
+      std::string ascii =
+          xsim::KeySymToString(keysym, (event.state & xsim::kShiftMask) != 0);
+      if (!ascii.empty() && ascii[0] >= 0x20) {
+        InsertAt(ip, ascii, {});
+        ScrollToSee(tree_.MarkPos(insert_mark_).line);
+      }
+      break;
+    }
+    case xsim::EventType::kButtonPress:
+      if (event.detail == 1) {
+        int row = std::max(0, (event.y - border_width_ - 2) / std::max(1, line_height()));
+        int line = std::min(top_ + row, tree_.LineCount() - 1);
+        int ch = std::max(0, (event.x - border_width_ - 3) / std::max(1, char_width()));
+        ch = std::min(ch, tree_.LineLength(line) - 1);
+        text::Pos old = tree_.MarkPos(insert_mark_);
+        tree_.MoveMark(insert_mark_, text::Pos{line, ch});
+        app().display().SetInputFocus(window());
+        DamageRows(layout_.DamageForTags(old.line, old.line));
+        DamageRows(layout_.DamageForTags(line, line));
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace tk

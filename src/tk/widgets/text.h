@@ -1,0 +1,94 @@
+// The text widget: a multi-line editor over the B-tree buffer
+// (src/tk/text/btree.h) with tags, marks, and incremental redisplay
+// (src/tk/text/display.h).  This is the editor upgrade of the paper's
+// Section 5 "mx-like" scenario: the million-line buffer lives in the
+// B-tree, the widget only lays out and paints lines the damage touches,
+// and every edit is mapped to the smallest viewport row range before it
+// reaches ScheduleRedraw's coalescer.
+//
+// Indices use Tk's "line.char" syntax (lines 1-based, chars 0-based) plus
+// the symbolic bases "end" and mark names, and the modifiers
+// "+/-N chars", "+/-N lines", "linestart", "lineend", "wordstart",
+// "wordend".
+
+#ifndef SRC_TK_WIDGETS_TEXT_H_
+#define SRC_TK_WIDGETS_TEXT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/tk/text/btree.h"
+#include "src/tk/text/display.h"
+#include "src/tk/text/tag.h"
+#include "src/tk/widget.h"
+
+namespace tk {
+
+class Text : public Widget {
+ public:
+  Text(App& app, std::string path);
+
+  void Draw(const xsim::Rect& damage) override;
+  tcl::Code WidgetCommand(std::vector<std::string>& args) override;
+  void HandleEvent(const xsim::Event& event) override;
+  void OnConfigured() override;
+
+  // Parses a full index expression (base plus modifiers) into a normalized
+  // position.  Exposed for tests.
+  tcl::Code ParseIndex(const std::string& spec, text::Pos* out);
+  std::string FormatIndex(text::Pos pos) const;
+
+  const text::BTree& tree() const { return tree_; }
+  const text::TextDisplay& layout() const { return layout_; }
+  int top_line() const { return top_; }
+
+ private:
+  int line_height() const;
+  int char_width() const;
+  int visible_lines() const;
+  void NotifyScroll();
+  // Converts a viewport row range to pixels and schedules the redraw.
+  void DamageRows(text::RowRange rows);
+  // Scrolls so that `line` is the top line (clamped); full repaint.
+  void SetTop(int line);
+  void DrawRows(int first_row, int last_row, const xsim::FontMetrics& metrics);
+
+  // Editing core, shared by the Tcl command surface and key bindings.
+  void InsertAt(text::Pos pos, const std::string& chars,
+                const std::vector<std::string>& tag_names);
+  void DeleteRange(text::Pos start, text::Pos end);
+  void ScrollToSee(int line);
+
+  // Signed character distance from `from` to `to`.
+  long long CountChars(text::Pos from, text::Pos to) const;
+  // `pos` advanced by `n` characters (n may be negative); clamped to the
+  // buffer.
+  text::Pos AdvanceChars(text::Pos pos, long long n) const;
+
+  tcl::Code MarkCommand(std::vector<std::string>& args);
+  tcl::Code TagCommand(std::vector<std::string>& args);
+  tcl::Code ConfigureTag(text::TextTag* tag, std::vector<std::string>& args,
+                         size_t first);
+
+  text::BTree tree_;
+  text::TagTable tags_;
+  text::TextDisplay layout_{tree_, tags_};
+  text::Mark* insert_mark_ = nullptr;
+  int top_ = 0;
+
+  xsim::Pixel background_ = 0;
+  std::string background_name_;
+  xsim::Pixel foreground_ = 0;
+  std::string foreground_name_;
+  xsim::FontId font_ = 0;
+  std::string font_name_;
+  int border_width_ = 2;
+  Relief relief_ = Relief::kSunken;
+  int width_chars_ = 80;
+  int height_lines_ = 24;
+  std::string scroll_command_;
+};
+
+}  // namespace tk
+
+#endif  // SRC_TK_WIDGETS_TEXT_H_

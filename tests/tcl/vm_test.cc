@@ -88,6 +88,35 @@ TEST(VmCompileTest, WhileCompilesToJumpThreadedLoop) {
   EXPECT_EQ(listing.find("invoke \"incr\""), std::string::npos) << listing;
 }
 
+TEST(VmCompileTest, ForCompilesToJumpThreadedLoop) {
+  std::string listing =
+      DisassembleScript("for {set i 0} {$i < 3} {incr i} {set x $i}");
+  EXPECT_NE(listing.find("enter-for"), std::string::npos) << listing;
+  // The frame opens after init and is dropped around the next-script, so
+  // break/continue completion codes route exactly as ForCmd propagates them.
+  EXPECT_NE(listing.find("loop-push"), std::string::npos) << listing;
+  EXPECT_NE(listing.find("loop-pop"), std::string::npos) << listing;
+  EXPECT_NE(listing.find("cond"), std::string::npos) << listing;
+  // init/next/body are all inlined: no generic dispatch of set or incr.
+  EXPECT_EQ(listing.find("invoke"), std::string::npos) << listing;
+}
+
+TEST(VmCompileTest, StringEqualityCompilesInline) {
+  std::string listing = DisassembleScript("expr {$state == \"done\"}");
+  EXPECT_NE(listing.find("push-str \"done\""), std::string::npos) << listing;
+  EXPECT_NE(listing.find("eq"), std::string::npos) << listing;
+  EXPECT_EQ(listing.find("canonical"), std::string::npos) << listing;
+
+  // Two string literals fold at compile time.
+  listing = DisassembleScript("expr {\"abc\" != \"abd\"}");
+  EXPECT_NE(listing.find("push-int 1"), std::string::npos) << listing;
+  EXPECT_EQ(listing.find("push-str"), std::string::npos) << listing;
+
+  // A numeric spelling in quotes stays a number, like the canonical primary.
+  listing = DisassembleScript("expr {\"10\" == 10}");
+  EXPECT_NE(listing.find("push-int 1"), std::string::npos) << listing;
+}
+
 TEST(VmCompileTest, InfoBytecodeExposesTheListing) {
   Interp interp;
   ASSERT_EQ(interp.Eval("info bytecode {set x 41}"), Code::kOk);
@@ -131,6 +160,102 @@ TEST(VmParityTest, BreakFromWhileConditionLeavesTheLoop) {
                          "}\n"
                          "set i"),
             "0");
+}
+
+TEST(VmParityTest, ForLoopSumAndNesting) {
+  EXPECT_EQ(ExpectParity("set s 0\n"
+                         "for {set i 1} {$i <= 4} {incr i} {incr s $i}\n"
+                         "set s"),
+            "10");
+  EXPECT_EQ(ExpectParity("set n 0\n"
+                         "for {set i 0} {$i < 3} {incr i} {\n"
+                         "  for {set j 0} {$j < 3} {incr j} {incr n}\n"
+                         "}\n"
+                         "set n"),
+            "9");
+  // The for command's own result is always the reset empty string.
+  EXPECT_EQ(ExpectParity("for {set i 0} {$i < 2} {incr i} {set x $i}"), "");
+}
+
+TEST(VmParityTest, ForBreakAndContinueInBody) {
+  EXPECT_EQ(ExpectParity("set out {}\n"
+                         "for {set i 0} {$i < 6} {incr i} {\n"
+                         "  if {$i == 2} {continue}\n"
+                         "  if {$i == 4} {break}\n"
+                         "  lappend out $i\n"
+                         "}\n"
+                         "set out"),
+            "0 1 3");
+}
+
+TEST(VmParityTest, ForCodesInInitAndNextEscapeTheLoop) {
+  // ForCmd propagates Eval(init)'s and Eval(next)'s completion codes out of
+  // the loop -- a break in the next-script terminates the ENCLOSING loop,
+  // not just this for, and a continue in init skips the rest of the
+  // enclosing body.
+  EXPECT_EQ(ExpectParity("set out {}\n"
+                         "foreach i {1 2 3} {\n"
+                         "  for {set j 0} {$j < 5} {incr j; break} {lappend out $i$j}\n"
+                         "  lappend out never\n"
+                         "}\n"
+                         "set out"),
+            "10");
+  EXPECT_EQ(ExpectParity("set out {}\n"
+                         "foreach i {1 2} {\n"
+                         "  for {continue} {$i < 0} {} {}\n"
+                         "  lappend out after$i\n"
+                         "}\n"
+                         "set out"),
+            "");
+}
+
+TEST(VmParityTest, ForErrorTracesInEveryClause) {
+  // ForCmd adds no ("for" body line) note: errors chain straight from the
+  // failing command to the for command itself.
+  ExpectParity("for {blowup} {1} {} {}");                         // init
+  ExpectParity("set i 0\nfor {} {$i <} {incr i} {}");             // test
+  ExpectParity("for {set i 0} {$i < 2} {incr i} {blowup}");       // body
+  ExpectParity("for {set i 0} {$i < 2} {blowup} {set x 1}");      // next
+  Interp interp;
+  interp.set_exec_mode(ExecMode::kCompile);
+  EXPECT_EQ(interp.Eval("for {set i 0} {$i < 2} {incr i} {blowup}"), Code::kError);
+  EXPECT_EQ(interp.error_info().find("body line"), std::string::npos)
+      << interp.error_info();
+}
+
+TEST(VmParityTest, RedefinedForDispatchesGenerically) {
+  ExpectParity("rename for gone\nfor {set i 0} {$i < 2} {incr i} {}");
+  EXPECT_EQ(ExpectParity("proc for {a b c d} {return custom}\n"
+                         "for {set i 0} {$i < 2} {incr i} {}"),
+            "custom");
+}
+
+TEST(VmParityTest, StringComparisonsMatchCanonical) {
+  for (const char* setup : {"set v 10", "set v 0x1f", "set v 1.25", "set v abc",
+                            "set v {}", "set v 00", "set v done", "set v 1x"}) {
+    for (const char* tail : {
+             "expr {$v == \"done\"}", "expr {$v != \"done\"}",
+             "expr {$v == \"10\"}", "expr {$v == {}}", "expr {$v != {}}",
+             "expr {$v < \"done\"}",  // Relational strings: canonical bail.
+             "expr {$v == \"done\" || $v == \"abc\"}",
+             "if {$v == \"done\"} {set r yes} else {set r no}\nset r",
+             "set n 0\nwhile {$v != \"done\" && $n < 3} {incr n}\nset n",
+         }) {
+      ExpectParity(std::string(setup) + "\n" + tail);
+    }
+  }
+  // Literal-only and spelling corners.
+  for (const char* expr : {
+           "expr {\"abc\" == \"abd\"}", "expr {\"abc\" == \"abc\"}",
+           "expr {\"10\" == 10}", "expr {\"0x10\" == 16}",
+           "expr {\"1.50\" == 1.5}", "expr {\"abc\"}", "expr {\"yes\" && 1}",
+           "expr {\"abc\" == \"abd\" ? 1 : 2}", "expr {!\"abc\"}",
+           "expr {\"5\" + 2}", "expr {\"a b\" == \"a b\"}",
+       }) {
+    ExpectParity(expr);
+  }
+  // Undefined variable through the strings-mode load.
+  ExpectParity("expr {$missing == \"done\"}");
 }
 
 TEST(VmParityTest, ReturnUnwindsThroughNestedLoops) {
@@ -351,12 +476,17 @@ class ScriptFuzzer {
   std::string Int() { return std::to_string(static_cast<int>(rng_() % 13) - 3); }
 
   std::string Expr() {
-    switch (rng_() % 6) {
+    switch (rng_() % 8) {
       case 0: return "$" + Var() + " < " + Int();
       case 1: return "$" + Var() + " + " + Int() + " * 2";
       case 2: return Int() + " % 3 == 0";
       case 3: return "$" + Var() + " > 0 && $" + Var() + " < 9";
       case 4: return "$" + Var() + " / 2";
+      case 5:
+        // String comparisons: `append x` makes values like "1x" that only
+        // the strings-mode == / != path can digest without bailing.
+        return "$" + Var() + " == \"" + (rng_() % 2 == 0 ? "1x" : "done") + "\"";
+      case 6: return "$" + Var() + " != {}";
       default: return Int() + " + " + Int();
     }
   }
@@ -370,7 +500,7 @@ class ScriptFuzzer {
   }
 
   std::string Statement(int depth) {
-    int pick = static_cast<int>(rng_() % (depth >= 2 ? 6 : 10));
+    int pick = static_cast<int>(rng_() % (depth >= 2 ? 6 : 11));
     switch (pick) {
       case 0: return "set " + Var() + " " + Int();
       case 1: return "incr " + Var();
@@ -390,6 +520,12 @@ class ScriptFuzzer {
       }
       case 8:
         return "foreach f0 {1 2 3} {" + Body(depth) + "}";
+      case 9: {
+        // Bounded for, same unique-counter discipline as the while case.
+        std::string v = "w" + std::to_string(next_loop_var_++);
+        return "for {set " + v + " 0} {$" + v + " < " + std::to_string(rng_() % 4) +
+               "} {incr " + v + "} {" + Body(depth) + "}";
+      }
       default:
         return "foreach {f1 f2} {1 2 3 4 5} {" + Body(depth) + "}";
     }

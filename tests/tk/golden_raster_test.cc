@@ -174,6 +174,47 @@ TEST_F(GoldenRasterTest, EntryMatchesGolden) {
              "pack append . .l {top} .e1 {top fillx} .e2 {top fillx}");
 }
 
+TEST_F(GoldenRasterTest, TextPlainBufferMatchesGolden) {
+  CheckScene("text_plain",
+             "text .t -width 24 -height 6\n"
+             "pack append . .t {top expand fill}\n"
+             ".t insert 1.0 \"An X11 toolkit based\\non the Tcl language:\\n"
+             "the text widget keeps\\nits buffer in a B-tree\\nof lines.\"");
+}
+
+TEST_F(GoldenRasterTest, TextTaggedRangesMatchGolden) {
+  // Overlapping tags: `key` paints a background, `em` underlines, and the
+  // higher-priority `err` foreground wins where it overlaps `key`.  The
+  // second `tag add` happens after the first update so the repaint flows
+  // through the damage-clipped partial path -- pixels must match a full
+  // repaint regardless.
+  CheckScene("text_tagged",
+             "text .t -width 26 -height 5\n"
+             "pack append . .t {top expand fill}\n"
+             ".t insert 1.0 \"proc greet name {\\n  puts hello\\n  return 1\\n}\"\n"
+             ".t tag configure key -background gold\n"
+             ".t tag configure em -underline 1\n"
+             ".t tag configure err -foreground red\n"
+             ".t tag add key 1.0 1.4\n"
+             ".t tag add em 2.2 2.6\n"
+             "update\n"
+             ".t tag add err 1.2 1.9");
+}
+
+TEST_F(GoldenRasterTest, TextScrolledViewportMatchesGolden) {
+  // A tall buffer scrolled mid-way, with a live scrollbar fed by the
+  // widget's -scroll protocol; an edit landing inside the viewport after
+  // the first update exercises the incremental (row-clipped) redraw.
+  CheckScene("text_scrolled",
+             "scrollbar .sb -command {.t yview}\n"
+             "text .t -width 20 -height 5 -scroll {.sb set}\n"
+             "pack append . .sb {right filly} .t {left expand fill}\n"
+             "for {set i 1} {$i <= 40} {incr i} {.t insert end \"buffer line $i\\n\"}\n"
+             ".t yview 20.0\n"
+             "update\n"
+             ".t insert 21.7 { edited}");
+}
+
 TEST_F(GoldenRasterTest, Fig9BrowserSceneSurvivesServerBounce) {
   // The Figure 9 directory-browser scene, run over the wire transport so a
   // live server bounce actually severs the connection.  After the bounce the

@@ -82,14 +82,21 @@ TEST_F(BrowserIntegrationTest, SpaceDescendsIntoDirectory) {
   EXPECT_EQ(Ok("set current_dir"), (root_ / "subdir").string());
 }
 
-TEST_F(BrowserIntegrationTest, SpaceOpensFileViewer) {
+TEST_F(BrowserIntegrationTest, SpaceOpensFileEditor) {
   int index = IndexOf("alpha.txt");
   ASSERT_GE(index, 0);
   Ok(".list select from " + std::to_string(index));
   MoveToWidget(".list");
   TypeKey(' ');
   ASSERT_NE(app_->FindWidget(".view"), nullptr);
-  // The viewer shows the file name and its Dismiss button works.
+  // The mx stand-in is a real editor now: the text pane holds the file's
+  // contents, the heading tag covers the first line, and the buffer edits
+  // through the text command surface.
+  EXPECT_EQ(Ok(".view.text get 1.0 1.end"), "a");
+  EXPECT_EQ(Ok(".view.text tag ranges head"), "1.0 1.1");
+  Ok(".view.text insert 1.end { edited}");
+  EXPECT_EQ(Ok(".view.text get 1.0 1.end"), "a edited");
+  // Its Dismiss button still works.
   Ok(".view.dismiss invoke");
   Pump();
   EXPECT_EQ(app_->FindWidget(".view"), nullptr);

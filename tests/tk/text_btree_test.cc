@@ -1,0 +1,349 @@
+// Differential property test for the text B-tree: every operation is applied
+// in lockstep to the B-tree and to a naive model (flat string + interval
+// lists + mark offsets), and the full observable state -- text, line/char
+// counts, tag ranges, mark positions, per-character tag membership -- is
+// compared after every op.  The tree's own structural invariants are walked
+// after every op as well.
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/tk/text/btree.h"
+#include "src/tk/text/tag.h"
+
+namespace {
+
+using tk::text::BTree;
+using tk::text::Gravity;
+using tk::text::Pos;
+using tk::text::TagTable;
+using tk::text::TextTag;
+
+using Interval = std::pair<int, int>;
+
+// The boundary rules the B-tree must reproduce exactly:
+//   insert of `len` chars at g:  interval start a' = a + (a >= g) * len,
+//                                interval end   b' = b + (b >  g) * len
+//     (text inserted at a range boundary extends neither side),
+//   left-gravity mark  m' = m + (m >  g) * len  (stays before the text),
+//   right-gravity mark m' = m + (m >= g) * len  (moves after the text),
+//   delete [g1, g2):  every position p maps to
+//                       p <= g1 ? p : (p <= g2 ? g1 : p - (g2 - g1)),
+//     empty intervals are dropped and touching intervals merge.
+struct NaiveModel {
+  std::string text = "\n";
+  std::map<std::string, std::vector<Interval>> tags;
+  struct MarkState {
+    int pos = 0;
+    Gravity gravity = Gravity::kRight;
+  };
+  std::map<std::string, MarkState> marks;
+
+  static void NormalizeIntervals(std::vector<Interval>* iv) {
+    iv->erase(std::remove_if(iv->begin(), iv->end(),
+                             [](const Interval& i) { return i.first >= i.second; }),
+              iv->end());
+    std::sort(iv->begin(), iv->end());
+    std::vector<Interval> merged;
+    for (const Interval& i : *iv) {
+      if (!merged.empty() && merged.back().second >= i.first) {
+        merged.back().second = std::max(merged.back().second, i.second);
+      } else {
+        merged.push_back(i);
+      }
+    }
+    *iv = std::move(merged);
+  }
+
+  void Insert(int g, const std::string& s) {
+    int len = static_cast<int>(s.size());
+    text.insert(static_cast<size_t>(g), s);
+    for (auto& [name, iv] : tags) {
+      for (auto& [a, b] : iv) {
+        if (a >= g) a += len;
+        if (b > g) b += len;
+      }
+    }
+    for (auto& [name, m] : marks) {
+      if (m.gravity == Gravity::kRight ? m.pos >= g : m.pos > g) {
+        m.pos += len;
+      }
+    }
+  }
+
+  void Delete(int g1, int g2) {
+    if (g1 >= g2) return;
+    text.erase(static_cast<size_t>(g1), static_cast<size_t>(g2 - g1));
+    auto shift = [g1, g2](int p) {
+      return p <= g1 ? p : (p <= g2 ? g1 : p - (g2 - g1));
+    };
+    for (auto it = tags.begin(); it != tags.end();) {
+      for (auto& [a, b] : it->second) {
+        a = shift(a);
+        b = shift(b);
+      }
+      NormalizeIntervals(&it->second);
+      it = it->second.empty() ? tags.erase(it) : std::next(it);
+    }
+    for (auto& [name, m] : marks) {
+      m.pos = shift(m.pos);
+    }
+  }
+
+  void AddTag(const std::string& t, int a, int b) {
+    if (a >= b) return;
+    auto& iv = tags[t];
+    iv.emplace_back(a, b);
+    NormalizeIntervals(&iv);
+  }
+
+  void RemoveTag(const std::string& t, int a, int b) {
+    if (a >= b) return;
+    auto it = tags.find(t);
+    if (it == tags.end()) return;
+    std::vector<Interval> out;
+    for (const auto& [x, y] : it->second) {
+      if (y <= a || x >= b) {
+        out.emplace_back(x, y);
+        continue;
+      }
+      if (x < a) out.emplace_back(x, a);
+      if (y > b) out.emplace_back(b, y);
+    }
+    if (out.empty()) {
+      tags.erase(it);
+    } else {
+      it->second = std::move(out);
+    }
+  }
+
+  bool Tagged(const std::string& t, int p) const {
+    auto it = tags.find(t);
+    if (it == tags.end()) return false;
+    for (const auto& [a, b] : it->second) {
+      if (a <= p && p < b) return true;
+    }
+    return false;
+  }
+};
+
+Pos ToPos(const std::string& text, int g) {
+  int line = 0;
+  int start = 0;
+  for (int i = 0; i < g; ++i) {
+    if (text[static_cast<size_t>(i)] == '\n') {
+      ++line;
+      start = i + 1;
+    }
+  }
+  return Pos{line, g - start};
+}
+
+int ToFlat(const std::string& text, Pos p) {
+  int line = 0;
+  int start = 0;
+  for (size_t i = 0; i < text.size() && line < p.line; ++i) {
+    if (text[i] == '\n') {
+      ++line;
+      start = static_cast<int>(i) + 1;
+    }
+  }
+  return start + p.ch;
+}
+
+std::string TreeText(const BTree& tree) {
+  std::string out;
+  for (int i = 0; i < tree.LineCount(); ++i) {
+    out += tree.FindLine(i)->Text();
+  }
+  return out;
+}
+
+const std::vector<std::string> kTagPool = {"red", "bold", "ul", "warn"};
+const std::vector<std::string> kMarkPool = {"insert", "sel.first", "sel.last",
+                                            "anchor", "m1", "m2"};
+
+void VerifyAgainstModel(const BTree& tree, const TagTable& table,
+                        const NaiveModel& model, std::mt19937_64& rng,
+                        int op_index) {
+  SCOPED_TRACE("after op " + std::to_string(op_index));
+  tree.CheckInvariants();
+
+  // Text, line count, char count.
+  ASSERT_EQ(TreeText(tree), model.text);
+  int model_lines = static_cast<int>(
+      std::count(model.text.begin(), model.text.end(), '\n'));
+  ASSERT_EQ(tree.LineCount(), model_lines);
+  ASSERT_EQ(tree.CharCount(), static_cast<long long>(model.text.size()));
+
+  // Tag ranges, converted to flat offsets.
+  for (const std::string& name : kTagPool) {
+    const TextTag* tag = table.Find(name);
+    std::vector<Interval> tree_ranges;
+    if (tag != nullptr) {
+      for (const auto& [s, e] : tree.TagRanges(tag)) {
+        tree_ranges.emplace_back(ToFlat(model.text, s), ToFlat(model.text, e));
+      }
+    }
+    auto it = model.tags.find(name);
+    std::vector<Interval> model_ranges =
+        it == model.tags.end() ? std::vector<Interval>{} : it->second;
+    ASSERT_EQ(tree_ranges, model_ranges) << "tag " << name;
+  }
+
+  // Marks.
+  std::vector<std::string> model_names;
+  for (const auto& [name, m] : model.marks) {
+    model_names.push_back(name);
+    const tk::text::Mark* mark = tree.FindMark(name);
+    ASSERT_NE(mark, nullptr) << "mark " << name;
+    ASSERT_EQ(ToFlat(model.text, tree.MarkPos(mark)), m.pos)
+        << "mark " << name;
+    ASSERT_EQ(mark->gravity, m.gravity) << "mark " << name;
+  }
+  ASSERT_EQ(tree.MarkNames(), model_names);  // Both sorted.
+
+  // Spot-check index arithmetic and per-character tag membership.
+  int size = static_cast<int>(model.text.size());
+  for (int probe = 0; probe < 4; ++probe) {
+    int g = static_cast<int>(rng() % static_cast<unsigned>(size));
+    Pos pos = ToPos(model.text, g);
+    ASSERT_EQ(tree.LineIndex(tree.FindLine(pos.line)), pos.line);
+    ASSERT_EQ(ToFlat(model.text, tree.Normalize(pos)), g);
+    for (const std::string& name : kTagPool) {
+      const TextTag* tag = table.Find(name);
+      bool tree_tagged = tag != nullptr && tree.CharTagged(tag, pos);
+      ASSERT_EQ(tree_tagged, model.Tagged(name, g))
+          << "tag " << name << " at " << g;
+    }
+  }
+}
+
+std::string RandomText(std::mt19937_64& rng, int max_len, bool allow_newline) {
+  int len = 1 + static_cast<int>(rng() % static_cast<unsigned>(max_len));
+  std::string s;
+  for (int i = 0; i < len; ++i) {
+    if (allow_newline && rng() % 4 == 0) {
+      s += '\n';
+    } else {
+      s += static_cast<char>('a' + rng() % 26);
+    }
+  }
+  return s;
+}
+
+void RunDifferential(uint64_t seed, int ops) {
+  BTree tree;
+  TagTable table;
+  NaiveModel model;
+  std::mt19937_64 rng(seed);
+
+  for (int op = 0; op < ops; ++op) {
+    int size = static_cast<int>(model.text.size());
+    auto rand_pos = [&]() {
+      return static_cast<int>(rng() % static_cast<unsigned>(size));
+    };
+    int r = static_cast<int>(rng() % 100);
+    // Bias towards deletion once the buffer is large so it stays small
+    // enough for the O(n) model comparisons.
+    if (size > 4000 && r < 30) {
+      r = 35;
+    }
+    if (r < 30) {
+      int g = rand_pos();
+      std::string s = rng() % 50 == 0
+                          ? RandomText(rng, 400, true)  // Bulk paste.
+                          : RandomText(rng, 10, true);
+      tree.InsertChars(ToPos(model.text, g), s);
+      model.Insert(g, s);
+    } else if (r < 50) {
+      int g1 = rand_pos();
+      int g2 = rand_pos();
+      if (g1 > g2) std::swap(g1, g2);
+      tree.DeleteChars(ToPos(model.text, g1), ToPos(model.text, g2));
+      model.Delete(g1, g2);
+    } else if (r < 65) {
+      const std::string& name = kTagPool[rng() % kTagPool.size()];
+      int a = rand_pos();
+      int b = rand_pos();
+      if (a > b) std::swap(a, b);
+      tree.AddTag(table.FindOrCreate(name), ToPos(model.text, a),
+                  ToPos(model.text, b));
+      model.AddTag(name, a, b);
+    } else if (r < 78) {
+      const std::string& name = kTagPool[rng() % kTagPool.size()];
+      TextTag* tag = table.Find(name);
+      int a = rand_pos();
+      int b = rand_pos();
+      if (a > b) std::swap(a, b);
+      if (tag != nullptr) {
+        tree.RemoveTag(tag, ToPos(model.text, a), ToPos(model.text, b));
+      }
+      model.RemoveTag(name, a, b);
+    } else if (r < 88) {
+      const std::string& name = kMarkPool[rng() % kMarkPool.size()];
+      int g = rand_pos();
+      Gravity gravity = rng() % 2 == 0 ? Gravity::kLeft : Gravity::kRight;
+      tree.SetMark(name, ToPos(model.text, g), gravity);
+      model.marks[name] = {g, gravity};
+    } else if (r < 94) {
+      const std::string& name = kMarkPool[rng() % kMarkPool.size()];
+      tk::text::Mark* mark = tree.FindMark(name);
+      Gravity gravity = rng() % 2 == 0 ? Gravity::kLeft : Gravity::kRight;
+      if (mark != nullptr) {
+        tree.SetGravity(mark, gravity);
+        model.marks[name].gravity = gravity;
+      }
+    } else {
+      const std::string& name = kMarkPool[rng() % kMarkPool.size()];
+      tree.UnsetMark(name);
+      model.marks.erase(name);
+    }
+    VerifyAgainstModel(tree, table, model, rng, op);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(TextBTreeDifferential, SeededOpsAgainstNaiveModel) {
+  RunDifferential(0xC0FFEE, 6000);
+}
+
+TEST(TextBTreeDifferential, SecondSeed) { RunDifferential(1991, 6000); }
+
+// Structure test: a bulk load must actually grow a multi-level tree and keep
+// index arithmetic exact at depth.
+TEST(TextBTree, BulkLoadGrowsTree) {
+  BTree tree;
+  std::string chunk;
+  for (int i = 0; i < 200; ++i) {
+    chunk += "line body text here\n";
+  }
+  for (int i = 0; i < 50; ++i) {
+    tree.InsertChars(tree.LastInsertPos(), chunk);
+  }
+  EXPECT_EQ(tree.LineCount(), 50 * 200 + 1);
+  EXPECT_GE(tree.Depth(), 2);
+  tree.CheckInvariants();
+  for (int probe : {0, 1, 4999, 9999, 10000}) {
+    ASSERT_EQ(tree.LineIndex(tree.FindLine(probe)), probe);
+  }
+  // Tag a wide range and count toggles via the summary (O(1)).
+  TagTable table;
+  TextTag* tag = table.FindOrCreate("wide");
+  tree.AddTag(tag, Pos{100, 0}, Pos{9000, 5});
+  EXPECT_EQ(tree.ToggleCount(tag), 2);
+  EXPECT_TRUE(tree.CharTagged(tag, Pos{5000, 3}));
+  EXPECT_FALSE(tree.CharTagged(tag, Pos{99, 3}));
+  auto ranges = tree.TagRanges(tag);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].first, (Pos{100, 0}));
+  EXPECT_EQ(ranges[0].second, (Pos{9000, 5}));
+  tree.CheckInvariants();
+}
+
+}  // namespace
